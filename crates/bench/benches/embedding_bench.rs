@@ -1,0 +1,31 @@
+//! Embedding featurization cost: computed client-side at every query submission
+//! (compile time), so it must be microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use embedding::{query_signature, WorkloadEmbedder};
+
+fn bench_embed(c: &mut Criterion) {
+    let small = workloads::tpch::query(6, 10.0);
+    let large = workloads::tpcds::query(11, 10.0); // mega-join, deepest template
+    let plain = WorkloadEmbedder::plain();
+    let virt = WorkloadEmbedder::virtual_ops();
+
+    let mut group = c.benchmark_group("embed");
+    group.bench_function("plain_small_plan", |b| b.iter(|| plain.embed(black_box(&small))));
+    group.bench_function("plain_large_plan", |b| b.iter(|| plain.embed(black_box(&large))));
+    group.bench_function("virtual_small_plan", |b| b.iter(|| virt.embed(black_box(&small))));
+    group.bench_function("virtual_large_plan", |b| b.iter(|| virt.embed(black_box(&large))));
+    group.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let plan = workloads::tpcds::query(11, 10.0);
+    c.bench_function("query_signature_large_plan", |b| {
+        b.iter(|| query_signature(black_box(&plan)))
+    });
+}
+
+criterion_group!(benches, bench_embed, bench_signature);
+criterion_main!(benches);

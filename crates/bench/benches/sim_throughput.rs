@@ -1,0 +1,59 @@
+//! Simulator throughput: physical planning and full query execution. The online
+//! tuner sits on the job-submission critical path, so everything it touches must be
+//! sub-millisecond.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sparksim::config::SparkConf;
+use sparksim::noise::NoiseSpec;
+use sparksim::physical::plan_physical;
+use sparksim::simulator::Simulator;
+
+fn bench_planning(c: &mut Criterion) {
+    let conf = SparkConf::default();
+    let mut group = c.benchmark_group("physical_planning");
+    for (name, plan) in [
+        ("tpch_q1", workloads::tpch::query(1, 10.0)),
+        ("tpch_q9", workloads::tpch::query(9, 10.0)),
+        ("tpcds_q11", workloads::tpcds::query(11, 10.0)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| plan_physical(black_box(&plan), black_box(&conf)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let sim = Simulator::default_pool(NoiseSpec::high());
+    let conf = SparkConf::default();
+    let mut group = c.benchmark_group("query_execution");
+    for (name, plan) in [
+        ("tpch_q6", workloads::tpch::query(6, 10.0)),
+        ("tpch_q9", workloads::tpch::query(9, 10.0)),
+    ] {
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| sim.execute(black_box(&plan), black_box(&conf), s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_scaling(c: &mut Criterion) {
+    let plan = workloads::tpch::query(9, 10.0);
+    c.bench_function("plan_scaled_reestimate", |b| {
+        b.iter(|| black_box(&plan).scaled(black_box(2.5)))
+    });
+}
+
+criterion_group!(benches, bench_planning, bench_execution, bench_plan_scaling);
+criterion_main!(benches);

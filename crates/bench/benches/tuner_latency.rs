@@ -1,0 +1,90 @@
+//! Tuner inference latency — the paper's design goal: "the inference latency is on
+//! the critical path of the job submission/execution", reduced by constraining the
+//! candidate search area (Centroid Learning) vs BO's global proposals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use optimizers::bo::BayesOpt;
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::{Outcome, Tuner, TuningContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rockhopper::RockhopperTuner;
+
+fn ctx() -> TuningContext {
+    TuningContext {
+        embedding: vec![0.5; 10],
+        expected_data_size: 1e6,
+        iteration: 50,
+    }
+}
+
+/// Pre-load a tuner with `n` plausible observations.
+fn warm<T: Tuner>(tuner: &mut T, n: usize, seed: u64) {
+    let space = ConfigSpace::query_level();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let p = space.random_point(&mut rng);
+        tuner.observe(
+            &p,
+            &Outcome {
+                elapsed_ms: 100.0 + (i % 17) as f64 * 5.0,
+                data_size: 1e6,
+            },
+        );
+    }
+}
+
+fn bench_suggest_latency(c: &mut Criterion) {
+    let space = ConfigSpace::query_level();
+    let mut group = c.benchmark_group("suggest_latency_50_obs");
+
+    let mut cl = RockhopperTuner::builder(space.clone()).guardrail(None).seed(1).build();
+    warm(&mut cl, 50, 1);
+    group.bench_function("centroid_learning", |b| b.iter(|| cl.suggest(black_box(&ctx()))));
+
+    let mut bo = BayesOpt::new(space.clone(), 1);
+    warm(&mut bo, 50, 1);
+    group.bench_function("bayesopt", |b| b.iter(|| bo.suggest(black_box(&ctx()))));
+    group.finish();
+}
+
+fn bench_observe_latency(c: &mut Criterion) {
+    let space = ConfigSpace::query_level();
+    let mut cl = RockhopperTuner::builder(space.clone()).guardrail(None).seed(2).build();
+    warm(&mut cl, 50, 2);
+    let point = space.default_point();
+    c.bench_function("centroid_observe_and_update", |b| {
+        b.iter(|| {
+            cl.observe(
+                black_box(&point),
+                &Outcome {
+                    elapsed_ms: 123.0,
+                    data_size: 1e6,
+                },
+            )
+        })
+    });
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let space = ConfigSpace::query_level();
+    let state = rockhopper::centroid::CentroidState::new(
+        &space,
+        &space.default_point(),
+        rockhopper::centroid::CentroidConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("candidate_neighborhood_24", |b| {
+        b.iter(|| state.candidates(black_box(&space), &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_suggest_latency,
+    bench_observe_latency,
+    bench_candidate_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion micro-benchmarks live under `benches/`; this lib is intentionally empty.

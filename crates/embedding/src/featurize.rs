@@ -1,0 +1,167 @@
+//! Plan → fixed-length feature vector.
+
+use serde::{Deserialize, Serialize};
+use sparksim::plan::{Operator, PlanNode};
+
+use crate::virtual_ops::VirtualOpScheme;
+
+/// Which operator-count featurization to use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EmbeddingScheme {
+    /// Per-type operator counts — the prior-work baseline (Phoebe \[53\]).
+    PlainOperatorCounts,
+    /// Virtual-operator counts — the paper's finer-grained scheme (§4.1, Figure 4).
+    VirtualOperators(VirtualOpScheme),
+}
+
+/// A configured embedder producing vectors of a stable dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEmbedder {
+    scheme: EmbeddingScheme,
+}
+
+impl WorkloadEmbedder {
+    /// Plain per-type counts.
+    pub fn plain() -> WorkloadEmbedder {
+        WorkloadEmbedder {
+            scheme: EmbeddingScheme::PlainOperatorCounts,
+        }
+    }
+
+    /// Virtual operators with the default bucketing.
+    pub fn virtual_ops() -> WorkloadEmbedder {
+        WorkloadEmbedder {
+            scheme: EmbeddingScheme::VirtualOperators(VirtualOpScheme::default()),
+        }
+    }
+
+    /// Virtual operators with custom bucketing.
+    pub fn with_scheme(scheme: EmbeddingScheme) -> WorkloadEmbedder {
+        WorkloadEmbedder { scheme }
+    }
+
+    /// Output dimensionality: 2 cardinality features + the count block.
+    pub fn dim(&self) -> usize {
+        2 + self.count_block_dim()
+    }
+
+    fn count_block_dim(&self) -> usize {
+        match &self.scheme {
+            EmbeddingScheme::PlainOperatorCounts => Operator::TYPE_NAMES.len(),
+            EmbeddingScheme::VirtualOperators(s) => {
+                Operator::TYPE_NAMES.len() * s.variants_per_type()
+            }
+        }
+    }
+
+    /// Embed a plan. Layout: `[log1p(root rows), log1p(leaf input rows), counts…]`.
+    /// Cardinalities are log-scaled so the surrogate sees magnitudes, not raw counts
+    /// spanning nine orders.
+    pub fn embed(&self, plan: &PlanNode) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim()];
+        v[0] = plan.root_cardinality().max(0.0).ln_1p();
+        v[1] = plan.leaf_input_rows().max(0.0).ln_1p();
+        for node in plan.iter_nodes() {
+            let type_idx = Operator::TYPE_NAMES
+                .iter()
+                .position(|&t| t == node.op.type_name())
+                .expect("every operator type is in the vocabulary");
+            let slot = match &self.scheme {
+                EmbeddingScheme::PlainOperatorCounts => type_idx,
+                EmbeddingScheme::VirtualOperators(s) => {
+                    type_idx * s.variants_per_type() + s.variant_of(node)
+                }
+            };
+            v[2 + slot] += 1.0;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> PlanNode {
+        let dim = PlanNode::scan("dim", 1e4, 50.0).filter(0.5);
+        PlanNode::scan("fact", 1e8, 100.0)
+            .filter(0.001)
+            .fk_join(dim, 0.5)
+            .hash_aggregate(0.01)
+            .sort()
+    }
+
+    #[test]
+    fn dims_are_stable_and_match_vectors() {
+        for e in [WorkloadEmbedder::plain(), WorkloadEmbedder::virtual_ops()] {
+            let v = e.embed(&plan());
+            assert_eq!(v.len(), e.dim());
+        }
+        assert_eq!(WorkloadEmbedder::plain().dim(), 2 + 8);
+        assert_eq!(WorkloadEmbedder::virtual_ops().dim(), 2 + 8 * 15);
+    }
+
+    #[test]
+    fn plain_counts_each_operator_type() {
+        let v = WorkloadEmbedder::plain().embed(&plan());
+        // Layout after the two cardinality features follows TYPE_NAMES order:
+        // TableScan, Filter, Project, HashAggregate, Join, Sort, Limit, Union.
+        assert_eq!(v[2], 2.0, "two scans");
+        assert_eq!(v[3], 2.0, "two filters");
+        assert_eq!(v[5], 1.0, "one aggregate");
+        assert_eq!(v[6], 1.0, "one join");
+        assert_eq!(v[7], 1.0, "one sort");
+    }
+
+    #[test]
+    fn total_counts_equal_node_count() {
+        let p = plan();
+        for e in [WorkloadEmbedder::plain(), WorkloadEmbedder::virtual_ops()] {
+            let v = e.embed(&p);
+            let total: f64 = v[2..].iter().sum();
+            assert_eq!(total, p.node_count() as f64);
+        }
+    }
+
+    #[test]
+    fn virtual_embedding_distinguishes_what_plain_cannot() {
+        // Same operator multiset, very different selectivities.
+        let selective = PlanNode::scan("t", 1e8, 100.0).filter(1e-5);
+        let permissive = PlanNode::scan("t", 1e8, 100.0).filter(0.9);
+        let plain = WorkloadEmbedder::plain();
+        let virt = WorkloadEmbedder::virtual_ops();
+        // Plain: identical except root cardinality; counts block identical.
+        assert_eq!(plain.embed(&selective)[2..], plain.embed(&permissive)[2..]);
+        // Virtual: count blocks differ.
+        assert_ne!(virt.embed(&selective)[2..], virt.embed(&permissive)[2..]);
+    }
+
+    #[test]
+    fn cardinality_features_are_log_scaled() {
+        let small = PlanNode::scan("t", 100.0, 10.0);
+        let big = PlanNode::scan("t", 1e9, 10.0);
+        let e = WorkloadEmbedder::plain();
+        let vs = e.embed(&small);
+        let vb = e.embed(&big);
+        assert!(vb[1] > vs[1]);
+        assert!(vb[1] < 25.0, "log-scaled, not raw: {}", vb[1]);
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = WorkloadEmbedder::virtual_ops();
+        assert_eq!(e.embed(&plan()), e.embed(&plan()));
+    }
+
+    #[test]
+    fn tpch_queries_embed_distinctly() {
+        let e = WorkloadEmbedder::virtual_ops();
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in workloads::tpch::all_queries(1.0) {
+            let v = e.embed(&p);
+            let key: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+            seen.insert(key);
+        }
+        assert!(seen.len() >= 20, "embeddings collide: {} distinct", seen.len());
+    }
+}

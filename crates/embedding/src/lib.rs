@@ -1,0 +1,25 @@
+//! Workload embeddings (paper §4.1).
+//!
+//! An embedding turns a compile-time execution plan into a fixed-length vector that
+//! serves as the *context* of the contextual surrogate model
+//! `f([workload embedding, configs]) = perf`, enabling transfer learning from
+//! benchmark workloads to unseen customer queries. Each embedding comprises:
+//!
+//! 1. the estimated cardinality of the root operator,
+//! 2. the total input cardinality over all leaf operators,
+//! 3. operator-occurrence counts — either *plain* per-type counts (the prior-work
+//!    baseline the paper compares against, from Phoebe \[53\]) or *virtual-operator*
+//!    counts (the paper's contribution, Figure 4), where each physical operator type
+//!    is subdivided by bucketed input size and output/input ratio.
+//!
+//! [`signature`] provides the stable per-plan hash ("query signature", §4.2) that
+//! keys per-query models: it covers plan *structure*, not cardinalities, so the same
+//! recurrent query keeps its signature as its data grows.
+
+pub mod featurize;
+pub mod signature;
+pub mod virtual_ops;
+
+pub use featurize::{EmbeddingScheme, WorkloadEmbedder};
+pub use signature::query_signature;
+pub use virtual_ops::VirtualOpScheme;

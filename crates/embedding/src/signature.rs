@@ -1,0 +1,96 @@
+//! Query signatures (paper §4.2): one stable id per distinct execution plan, keying
+//! the per-query fine-tuned surrogate models.
+//!
+//! A signature hashes plan *structure* — operator types, their parameters' coarse
+//! identity, table names and tree shape — but **not** cardinality estimates, so a
+//! recurrent query keeps its signature while its data grows or shrinks run-to-run.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use sparksim::plan::{Operator, PlanNode};
+
+/// Compute the stable signature of a plan.
+pub fn query_signature(plan: &PlanNode) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_node(plan, &mut h);
+    h.finish()
+}
+
+fn hash_node(node: &PlanNode, h: &mut DefaultHasher) {
+    node.op.type_name().hash(h);
+    // Structural parameters that define the query text, but never cardinalities.
+    match &node.op {
+        Operator::TableScan { table, .. } => table.hash(h),
+        Operator::Filter { selectivity } => quantized(*selectivity).hash(h),
+        Operator::Project { width_factor } => quantized(*width_factor).hash(h),
+        Operator::HashAggregate { group_ratio } => quantized(*group_ratio).hash(h),
+        // Join selectivity is *derived from cardinalities* (an FK join's selectivity
+        // is fanout / dimension rows), so hashing it would split one recurrent query
+        // into a new signature every time its data grows. Join identity comes from
+        // tree shape and the children's structure.
+        Operator::Join { .. } => {}
+        Operator::Limit { n } => (*n as u64).hash(h),
+        Operator::Sort | Operator::Union => {}
+    }
+    node.children.len().hash(h);
+    for c in &node.children {
+        hash_node(c, h);
+    }
+}
+
+/// Quantize a parameter so float jitter does not split signatures.
+fn quantized(x: f64) -> u64 {
+    (x * 1e6).round() as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_plan_same_signature() {
+        let a = PlanNode::scan("t", 100.0, 8.0).filter(0.5);
+        let b = PlanNode::scan("t", 100.0, 8.0).filter(0.5);
+        assert_eq!(query_signature(&a), query_signature(&b));
+    }
+
+    #[test]
+    fn signature_survives_data_scaling() {
+        // The defining property: a recurrent query keeps its identity as data grows.
+        let p = PlanNode::scan("t", 100.0, 8.0)
+            .filter(0.5)
+            .hash_aggregate(0.01);
+        assert_eq!(query_signature(&p), query_signature(&p.scaled(100.0)));
+    }
+
+    #[test]
+    fn different_tables_differ() {
+        let a = PlanNode::scan("orders", 100.0, 8.0);
+        let b = PlanNode::scan("lineitem", 100.0, 8.0);
+        assert_ne!(query_signature(&a), query_signature(&b));
+    }
+
+    #[test]
+    fn different_predicates_differ() {
+        let a = PlanNode::scan("t", 100.0, 8.0).filter(0.5);
+        let b = PlanNode::scan("t", 100.0, 8.0).filter(0.1);
+        assert_ne!(query_signature(&a), query_signature(&b));
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        let a = PlanNode::scan("t", 100.0, 8.0).filter(0.5).sort();
+        let b = PlanNode::scan("t", 100.0, 8.0).sort().filter(0.5);
+        assert_ne!(query_signature(&a), query_signature(&b));
+    }
+
+    #[test]
+    fn tpch_signatures_are_distinct() {
+        let sigs: std::collections::HashSet<u64> = workloads::tpch::all_queries(1.0)
+            .iter()
+            .map(|(_, p)| query_signature(p))
+            .collect();
+        assert_eq!(sigs.len(), workloads::tpch::QUERY_COUNT);
+    }
+}

@@ -1,0 +1,153 @@
+//! Virtual operators (paper Figure 4).
+//!
+//! "Each physical operator is subdivided into multiple virtual operators according to
+//! the optimizer's estimates of input and output row counts." A `Filter` shrinking
+//! 10⁹ rows to 10³ behaves nothing like one passing 99% of a small input; bucketing by
+//! input magnitude and output/input ratio lets the surrogate tell them apart.
+
+use serde::{Deserialize, Serialize};
+use sparksim::plan::{Operator, PlanNode};
+
+/// Bucketing thresholds for virtual operators. The paper "fine-tunes the clustering
+/// thresholds for input and output sizes based on end-to-end performance"; these
+/// defaults are the tuned values used by the experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualOpScheme {
+    /// Upper edges (exclusive) of the input-row buckets; rows above the last edge
+    /// fall into one final bucket. Log-spaced by default.
+    pub input_edges: Vec<f64>,
+    /// Upper edges (exclusive) of the output/input-ratio buckets.
+    pub ratio_edges: Vec<f64>,
+}
+
+impl Default for VirtualOpScheme {
+    fn default() -> Self {
+        VirtualOpScheme {
+            // micro / small / medium / large / huge inputs
+            input_edges: vec![1e4, 1e6, 1e8, 1e10],
+            // reducing hard / reducing / preserving
+            ratio_edges: vec![0.01, 0.5],
+        }
+    }
+}
+
+impl VirtualOpScheme {
+    /// Number of input buckets.
+    pub fn input_buckets(&self) -> usize {
+        self.input_edges.len() + 1
+    }
+
+    /// Number of ratio buckets.
+    pub fn ratio_buckets(&self) -> usize {
+        self.ratio_edges.len() + 1
+    }
+
+    /// Virtual variants per physical operator type.
+    pub fn variants_per_type(&self) -> usize {
+        self.input_buckets() * self.ratio_buckets()
+    }
+
+    /// Index of the input bucket for `rows`.
+    pub fn input_bucket(&self, rows: f64) -> usize {
+        self.input_edges
+            .iter()
+            .position(|&e| rows < e)
+            .unwrap_or(self.input_edges.len())
+    }
+
+    /// Index of the ratio bucket for output/input ratio `r`.
+    pub fn ratio_bucket(&self, r: f64) -> usize {
+        self.ratio_edges
+            .iter()
+            .position(|&e| r < e)
+            .unwrap_or(self.ratio_edges.len())
+    }
+
+    /// The virtual-operator index (within its physical type) of a plan node.
+    pub fn variant_of(&self, node: &PlanNode) -> usize {
+        let input_rows = node_input_rows(node);
+        let ratio = if input_rows > 0.0 {
+            node.est_rows / input_rows
+        } else {
+            1.0
+        };
+        self.input_bucket(input_rows) * self.ratio_buckets() + self.ratio_bucket(ratio)
+    }
+}
+
+/// Input rows of a node: sum of children estimates, or the scan's own rows.
+pub fn node_input_rows(node: &PlanNode) -> f64 {
+    if node.children.is_empty() {
+        match &node.op {
+            Operator::TableScan { rows, .. } => *rows,
+            _ => 0.0,
+        }
+    } else {
+        node.children.iter().map(|c| c.est_rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_counts_match_edges() {
+        let s = VirtualOpScheme::default();
+        assert_eq!(s.input_buckets(), 5);
+        assert_eq!(s.ratio_buckets(), 3);
+        assert_eq!(s.variants_per_type(), 15);
+    }
+
+    #[test]
+    fn input_bucketing_is_monotone() {
+        let s = VirtualOpScheme::default();
+        assert_eq!(s.input_bucket(10.0), 0);
+        assert_eq!(s.input_bucket(1e5), 1);
+        assert_eq!(s.input_bucket(1e7), 2);
+        assert_eq!(s.input_bucket(1e9), 3);
+        assert_eq!(s.input_bucket(1e12), 4);
+    }
+
+    #[test]
+    fn ratio_bucketing_separates_selective_from_passthrough() {
+        let s = VirtualOpScheme::default();
+        assert_eq!(s.ratio_bucket(0.001), 0); // hard reducer
+        assert_eq!(s.ratio_bucket(0.2), 1); // reducer
+        assert_eq!(s.ratio_bucket(0.99), 2); // pass-through
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // Two filters over the same large input: one keeps almost nothing, one keeps
+        // half. They must land in different virtual variants.
+        let selective = PlanNode::scan("t", 1e7, 100.0).filter(0.001);
+        let permissive = PlanNode::scan("t", 1e7, 100.0).filter(0.5);
+        let s = VirtualOpScheme::default();
+        assert_ne!(s.variant_of(&selective), s.variant_of(&permissive));
+    }
+
+    #[test]
+    fn same_behaviour_same_variant() {
+        // Filters with similar selectivity over same-magnitude inputs share a
+        // virtual type (the paper's Filter1/Filter2 sharing Filter-Type-I).
+        let f1 = PlanNode::scan("a", 2e7, 100.0).filter(0.002);
+        let f2 = PlanNode::scan("b", 5e7, 80.0).filter(0.004);
+        let s = VirtualOpScheme::default();
+        assert_eq!(s.variant_of(&f1), s.variant_of(&f2));
+    }
+
+    #[test]
+    fn scan_input_rows_are_its_own_rows() {
+        let scan = PlanNode::scan("t", 123.0, 8.0);
+        assert_eq!(node_input_rows(&scan), 123.0);
+    }
+
+    #[test]
+    fn join_input_rows_sum_children() {
+        let l = PlanNode::scan("l", 100.0, 8.0);
+        let r = PlanNode::scan("r", 50.0, 8.0);
+        let j = l.join(r, 0.01);
+        assert_eq!(node_input_rows(&j), 150.0);
+    }
+}

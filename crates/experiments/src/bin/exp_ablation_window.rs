@@ -1,0 +1,6 @@
+//! Regenerates the paper's `exp_ablation_window` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::exp_ablation_window::run(scale).print();
+}

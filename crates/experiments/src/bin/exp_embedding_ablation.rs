@@ -1,0 +1,6 @@
+//! Regenerates the paper's `exp_embedding_ablation` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::exp_embedding_ablation::run(scale).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig01_shuffle_partitions` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig01_shuffle_partitions::run(scale).print();
+}

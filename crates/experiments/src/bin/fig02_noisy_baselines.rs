@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig02_noisy_baselines` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig02_noisy_baselines::run(scale).print();
+}

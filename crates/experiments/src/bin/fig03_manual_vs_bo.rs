@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig03_manual_vs_bo` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig03_manual_vs_bo::run(scale).print();
+}

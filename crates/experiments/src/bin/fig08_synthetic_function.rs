@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig08_synthetic_function` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig08_synthetic_function::run(scale).print();
+}

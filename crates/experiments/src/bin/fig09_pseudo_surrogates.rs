@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig09_pseudo_surrogates` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig09_pseudo_surrogates::run(scale).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig10_cl_learned_surrogate` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig10_cl_learned_surrogate::run(scale).print();
+}

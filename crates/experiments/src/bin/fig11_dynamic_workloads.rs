@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig11_dynamic_workloads` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig11_dynamic_workloads::run(scale).print();
+}

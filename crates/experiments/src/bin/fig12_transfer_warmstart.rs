@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig12_transfer_warmstart` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig12_transfer_warmstart::run(scale).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig13_cl_vs_cbo` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig13_cl_vs_cbo::run(scale).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig14_tpch_production` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig14_tpch_production::run(scale).print();
+}

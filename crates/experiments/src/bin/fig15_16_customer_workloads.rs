@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig15_16_customer_workloads` experiment. Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::fig15_16_customer_workloads::run(scale).print();
+}

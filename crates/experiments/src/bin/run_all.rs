@@ -1,0 +1,49 @@
+//! Runs every experiment in sequence. Pass `--quick` for a fast smoke sweep and
+//! `--plot` to render each band CSV as an ASCII chart after its experiment.
+
+type Runner = fn(experiments::Scale) -> experiments::Summary;
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let plot = std::env::args().any(|a| a == "--plot");
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("fig01", experiments::fig01_shuffle_partitions::run),
+        ("fig02", experiments::fig02_noisy_baselines::run),
+        ("fig03", experiments::fig03_manual_vs_bo::run),
+        ("fig08", experiments::fig08_synthetic_function::run),
+        ("fig09", experiments::fig09_pseudo_surrogates::run),
+        ("fig10", experiments::fig10_cl_learned_surrogate::run),
+        ("fig11", experiments::fig11_dynamic_workloads::run),
+        ("fig12", experiments::fig12_transfer_warmstart::run),
+        ("fig13", experiments::fig13_cl_vs_cbo::run),
+        ("fig14", experiments::fig14_tpch_production::run),
+        ("fig15_16", experiments::fig15_16_customer_workloads::run),
+        ("embedding", experiments::exp_embedding_ablation::run),
+        ("ablation_findbest", experiments::exp_ablation_findbest::run),
+        ("ablation_window", experiments::exp_ablation_window::run),
+        ("ablation_overshoot", experiments::exp_ablation_overshoot::run),
+        ("aqe_interaction", experiments::exp_aqe_interaction::run),
+        ("applevel", experiments::exp_applevel::run),
+    ];
+    for (name, run) in experiments {
+        let start = std::time::Instant::now();
+        let summary = run(scale);
+        summary.print();
+        if plot {
+            for file in &summary.files {
+                let Ok(doc) = std::fs::read_to_string(file) else {
+                    continue;
+                };
+                let bands = experiments::plot::bands_from_csv(&doc);
+                if bands.len() >= 8 {
+                    let title = file
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    println!("{}", experiments::plot::band_chart(&title, &bands, 72, 14));
+                }
+            }
+        }
+        eprintln!("[{name}] completed in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

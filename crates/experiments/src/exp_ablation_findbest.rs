@@ -1,0 +1,171 @@
+//! **Ablation: FIND_BEST v1/v2/v3** (§4.3). With run-to-run data-size variation,
+//! the raw minimum favours small-data flukes, the `r/p` normalization over-corrects,
+//! and the model-based version (Eq 5) controls for data size properly.
+
+use optimizers::env::{Environment, SyntheticEnv};
+use optimizers::tuner::Tuner;
+use rockhopper::centroid::CentroidConfig;
+use rockhopper::find_best::FindBestMode;
+use rockhopper::RockhopperTuner;
+use sparksim::noise::NoiseSpec;
+use workloads::dynamic::DataSchedule;
+
+use crate::harness::{write_csv, Scale, Summary};
+
+/// The three FIND_BEST refinements.
+pub const MODES: [(FindBestMode, &str); 3] = [
+    (FindBestMode::Raw, "v1-raw"),
+    (FindBestMode::Normalized, "v2-normalized"),
+    (FindBestMode::ModelBased, "v3-model"),
+];
+
+/// Final median normed performance of CL with the given FIND_BEST mode on a
+/// varying-data-size, high-noise workload.
+pub fn final_perf(mode: FindBestMode, runs: usize, iters: usize) -> f64 {
+    let finals: Vec<f64> = (0..runs as u64)
+        .map(|seed| {
+            let schedule = DataSchedule::RandomWalk {
+                start: 1.0,
+                volatility: 0.25,
+                lo: 0.2,
+                hi: 5.0,
+                seed: seed ^ 0xF1,
+            };
+            let mut env = SyntheticEnv::new(NoiseSpec::high(), schedule, seed);
+            // Sub-linear data scaling (r/p falls as p grows) — the regime the paper
+            // says breaks v2's normalization and motivates the model-based v3.
+            env.f = env.f.clone().with_data_exponent(0.6);
+            let mut tuner = RockhopperTuner::builder(env.space().clone())
+                .config(CentroidConfig {
+                    find_best: mode,
+                    ..CentroidConfig::default()
+                })
+                .guardrail(None)
+                .seed(seed)
+                .build();
+            let mut last = Vec::new();
+            for t in 0..iters {
+                let p = tuner.suggest(&env.context());
+                if t + 10 >= iters {
+                    last.push(env.normed_performance(&p));
+                }
+                let o = env.run(&p);
+                tuner.observe(&p, &o);
+            }
+            ml::stats::mean(&last)
+        })
+        .collect();
+    ml::stats::median(&finals)
+}
+
+/// Direct measurement of FIND_BEST selection quality, isolated from the rest of the
+/// algorithm: over many synthetic windows with varying data sizes (sub-linear
+/// scaling) and noisy observations, how good — in *true* performance at a fixed
+/// reference size — is the observation each mode picks? Returns the mean true
+/// normed performance of the chosen configurations (lower is better).
+pub fn selection_quality(
+    mode: FindBestMode,
+    windows: usize,
+    window_len: usize,
+    noise: NoiseSpec,
+) -> f64 {
+    use optimizers::space::ConfigSpace;
+    use optimizers::tuner::Observation;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use rockhopper::find_best::find_best;
+    use workloads::synthetic::SyntheticFunction;
+
+    // Strongly non-proportional data scaling (r ∝ p^0.3): fixed overheads dominate
+    // small inputs, so v2's r/p normalization systematically favours large-p runs.
+    let f = SyntheticFunction::paper_default().with_data_exponent(0.3);
+    let space = ConfigSpace::query_level();
+    let mut total = 0.0;
+    for w in 0..windows {
+        let mut rng = StdRng::seed_from_u64(w as u64 ^ 0xFB);
+        // A realistic tuning-trajectory window: configuration quality improves over
+        // the window (the tuner is working) while the input data size varies
+        // *independently* run to run. v1's small-p bias and v2's large-p bias now
+        // pick by data-size luck instead of configuration quality; v3 controls for
+        // p and can rank by the config effect.
+        let window: Vec<Observation> = (0..window_len)
+            .map(|i| {
+                let frac = i as f64 / (window_len - 1).max(1) as f64;
+                // Config walks from a bad corner toward the optimum, with jitter.
+                let x: Vec<f64> = (0..3)
+                    .map(|d| {
+                        let start = 0.95;
+                        let target = f.optimum[d];
+                        let jitter: f64 = rng.random_range(-0.08..0.08);
+                        (start + frac * (target - start) + jitter).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                let point = space.denormalize(&x);
+                let p: f64 = rng.random_range(0.3..3.0);
+                let r = f.observe(&[point[0], point[1], point[2]], p, &noise, &mut rng);
+                Observation {
+                    point,
+                    data_size: p,
+                    elapsed_ms: r,
+                }
+            })
+            .collect();
+        let idx = find_best(&space, &window, mode, 1.0).expect("non-empty window");
+        let c = &window[idx].point;
+        total += f.normed_performance(&[c[0], c[1], c[2]], 1.0);
+    }
+    total / windows as f64
+}
+
+/// Run the ablation.
+pub fn run(scale: Scale) -> Summary {
+    let runs = scale.pick(40, 4);
+    let iters = scale.pick(250, 30);
+    let sel_windows = scale.pick(500, 30);
+    let mut summary = Summary::new("exp_ablation_findbest");
+    let mut rows = Vec::new();
+    for (i, (mode, name)) in MODES.iter().enumerate() {
+        let perf = final_perf(*mode, runs, iters);
+        let q_prod = selection_quality(
+            *mode,
+            sel_windows,
+            20,
+            NoiseSpec {
+                fluctuation: 0.3,
+                spike: 0.3,
+            },
+        );
+        let q_extreme = selection_quality(*mode, sel_windows, 20, NoiseSpec::high());
+        summary.row(&format!("{name} final median normed perf"), format!("{perf:.3}"));
+        summary.row(
+            &format!("{name} c* quality (moderate / extreme noise)"),
+            format!("{q_prod:.3} / {q_extreme:.3}"),
+        );
+        rows.push(vec![i as f64, perf, q_prod, q_extreme]);
+    }
+    summary.row(
+        "paper expectation",
+        "v3 (model-based) selects the best c* under varying data sizes; end-to-end CL \
+         is robust to the choice because gradient learning dominates (§4.3 \"learning \
+         from failures\")",
+    );
+    summary.files.push(write_csv(
+        "exp_ablation_findbest",
+        "mode_idx,final_median_perf,selection_quality_moderate,selection_quality_extreme",
+        &rows,
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_produce_finite_results() {
+        for (mode, _) in MODES {
+            let p = final_perf(mode, 3, 25);
+            assert!(p.is_finite() && p >= 1.0, "{mode:?}: {p}");
+        }
+    }
+}

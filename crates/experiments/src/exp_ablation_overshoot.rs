@@ -1,0 +1,85 @@
+//! **Ablation: momentum overshoot α** (§4.3). α = 0 pins the centroid to the best
+//! observation (prone to stalling); moderate α escapes local regions faster;
+//! excessive α overshoots past the optimum and oscillates.
+
+use optimizers::env::{Environment, SyntheticEnv};
+use optimizers::tuner::Tuner;
+use rockhopper::centroid::CentroidConfig;
+use rockhopper::RockhopperTuner;
+
+use crate::harness::{write_csv, Scale, Summary};
+
+/// Overshoot factors swept (the production default is 0.12).
+pub const ALPHAS: [f64; 5] = [0.0, 0.06, 0.12, 0.24, 0.40];
+
+/// Final median normed performance of CL with overshoot `alpha` under high noise.
+pub fn final_perf(alpha: f64, runs: usize, iters: usize) -> f64 {
+    let finals: Vec<f64> = (0..runs as u64)
+        .map(|seed| {
+            let mut env = SyntheticEnv::high_noise_constant(seed);
+            let mut tuner = RockhopperTuner::builder(env.space().clone())
+                .config(CentroidConfig {
+                    alpha,
+                    ..CentroidConfig::default()
+                })
+                .guardrail(None)
+                .seed(seed)
+                .build();
+            let mut last = Vec::new();
+            for t in 0..iters {
+                let p = tuner.suggest(&env.context());
+                if t + 10 >= iters {
+                    last.push(env.normed_performance(&p));
+                }
+                let o = env.run(&p);
+                tuner.observe(&p, &o);
+            }
+            ml::stats::mean(&last)
+        })
+        .collect();
+    ml::stats::median(&finals)
+}
+
+/// Run the ablation.
+pub fn run(scale: Scale) -> Summary {
+    let runs = scale.pick(40, 4);
+    let iters = scale.pick(250, 30);
+    let mut summary = Summary::new("exp_ablation_overshoot");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for &a in &ALPHAS {
+        let perf = final_perf(a, runs, iters);
+        summary.row(
+            &format!("alpha = {a:<4} final median normed perf"),
+            format!("{perf:.3}"),
+        );
+        rows.push(vec![a, perf]);
+        results.push((a, perf));
+    }
+    let best = results
+        .iter()
+        .min_by(|x, y| x.1.total_cmp(&y.1))
+        .expect("non-empty");
+    summary.row("best alpha", best.0);
+    summary.row(
+        "paper expectation",
+        "moderate overshoot (momentum) beats alpha = 0 and extreme alpha",
+    );
+    summary
+        .files
+        .push(write_csv("exp_ablation_overshoot", "alpha,final_median_perf", &rows));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_finite_values() {
+        for &a in &ALPHAS[..2] {
+            let p = final_perf(a, 3, 25);
+            assert!(p.is_finite() && p >= 1.0, "alpha {a}: {p}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! **Ablation: window size N** (§4.3): "the number of observations N should be
+//! sufficiently large (e.g. 10 or 20) to mitigate the influence of significant
+//! noise." Tiny windows degrade CL to a FLOW2-like two-observation comparison.
+
+use optimizers::env::{Environment, SyntheticEnv};
+use optimizers::tuner::Tuner;
+use rockhopper::centroid::CentroidConfig;
+use rockhopper::RockhopperTuner;
+
+use crate::harness::{write_csv, Scale, Summary};
+
+/// Window sizes swept.
+pub const WINDOWS: [usize; 5] = [2, 5, 10, 20, 40];
+
+/// Final median normed performance of CL with window `n` under high noise.
+pub fn final_perf(window: usize, runs: usize, iters: usize) -> f64 {
+    let finals: Vec<f64> = (0..runs as u64)
+        .map(|seed| {
+            let mut env = SyntheticEnv::high_noise_constant(seed);
+            let mut tuner = RockhopperTuner::builder(env.space().clone())
+                .config(CentroidConfig {
+                    window,
+                    ..CentroidConfig::default()
+                })
+                .guardrail(None)
+                .seed(seed)
+                .build();
+            let mut last = Vec::new();
+            for t in 0..iters {
+                let p = tuner.suggest(&env.context());
+                if t + 10 >= iters {
+                    last.push(env.normed_performance(&p));
+                }
+                let o = env.run(&p);
+                tuner.observe(&p, &o);
+            }
+            ml::stats::mean(&last)
+        })
+        .collect();
+    ml::stats::median(&finals)
+}
+
+/// Run the ablation.
+pub fn run(scale: Scale) -> Summary {
+    let runs = scale.pick(40, 4);
+    let iters = scale.pick(250, 30);
+    let mut summary = Summary::new("exp_ablation_window");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for &w in &WINDOWS {
+        let perf = final_perf(w, runs, iters);
+        summary.row(&format!("N = {w:<2} final median normed perf"), format!("{perf:.3}"));
+        rows.push(vec![w as f64, perf]);
+        results.push((w, perf));
+    }
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    summary.row("best window", best.0);
+    summary.row("paper expectation", "N in the 10–20 range beats tiny windows");
+    summary
+        .files
+        .push(write_csv("exp_ablation_window", "window,final_median_perf", &rows));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_windows_help_under_noise() {
+        let tiny = final_perf(2, 6, 120);
+        let big = final_perf(20, 6, 120);
+        assert!(
+            big <= tiny * 1.2,
+            "N=20 ({big:.3}) should not lose badly to N=2 ({tiny:.3})"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! **Extension: end-to-end app-level optimization (§4.4 / Algorithm 2).** The paper
+//! deploys query-level tuning and pre-computes app-level configurations into the
+//! `app_cache`, but reports no isolated app-level numbers. This experiment evaluates
+//! Algorithm 2's output on the application simulator (executor acquisition + query
+//! sequence): per recurrent application, compare end-to-end wall time under
+//! (a) all defaults, (b) tuned query-level knobs only, and (c) the full app_cache
+//! (joint app + query configuration).
+
+use std::sync::Arc;
+
+use optimizers::env::Environment;
+use optimizers::space::ConfigSpace;
+use optimizers::QueryEnv;
+use pipeline::flighting::{run_flight, Benchmark, FlightPlan, PoolId, Strategy};
+use pipeline::service::AutotuneBackend;
+use pipeline::storage::Storage;
+use pipeline::trainer::train_baseline;
+use sparksim::app::{run_app, StartupCosts};
+use sparksim::config::SparkConf;
+use sparksim::noise::NoiseSpec;
+use sparksim::simulator::Simulator;
+use workloads::notebook::{generate_population, PopulationConfig};
+
+use crate::harness::{write_csv, Scale, Summary};
+
+/// Run the app-level evaluation.
+pub fn run(scale: Scale) -> Summary {
+    let n_notebooks = scale.pick(12, 3);
+    let tuning_runs = scale.pick(30, 8);
+    let seed = 44u64;
+
+    // Offline baseline so Algorithm 2's scorer is informed.
+    let space = ConfigSpace::query_level();
+    let flight = FlightPlan {
+        benchmark: Benchmark::TpcDs,
+        // Pinned to the original 24 templates so recorded results stay stable as the
+        // workloads crate grows.
+        queries: (1..=24).collect(),
+        scale_factor: scale.pick(5, 1) as f64,
+        runs_per_query: scale.pick(20, 4),
+        pool: PoolId::Medium,
+        strategy: Strategy::Random,
+        noise: NoiseSpec::low(),
+        seed,
+    };
+    let rows = run_flight(&flight, &space, &Storage::new());
+    let baseline = train_baseline(&space, &rows, None, seed).expect("flighting rows");
+
+    let population = generate_population(
+        &PopulationConfig {
+            notebooks: n_notebooks,
+            queries_per_notebook: (2, 5),
+            pathological_fraction: 0.0,
+        },
+        seed,
+    );
+
+    let mut backend = AutotuneBackend::new(Arc::new(Storage::new()), Some(baseline), seed);
+    let startup = StartupCosts::default();
+    let eval_sim = Simulator::default_pool(NoiseSpec::none());
+
+    let mut csv = Vec::new();
+    let (mut sum_default, mut sum_query_only, mut sum_joint) = (0.0, 0.0, 0.0);
+
+    for (ni, nb) in population.iter().enumerate() {
+        let user = format!("tenant-{}", nb.artifact_id);
+        // Online query-level tuning through the backend.
+        let mut final_query_confs = Vec::new();
+        for q in &nb.queries {
+            let mut env = QueryEnv::new(q.plan.clone(), q.noise, q.schedule.clone(), seed ^ q.signature);
+            let mut last_point = env.space().default_point();
+            for t in 0..tuning_runs {
+                let ctx = env.context();
+                let point = backend.suggest(&user, q.signature, &ctx);
+                let conf = env.space().to_conf(&point);
+                let plan = env.plan.clone().scaled(q.schedule.size_at(t as u32));
+                let run = env.sim.execute(&plan, &conf, seed ^ q.signature ^ t as u64);
+                let app_id = format!("{}-q{}-r{t}", nb.artifact_id, q.signature);
+                let events = env.sim.events_for_run(
+                    &app_id,
+                    &nb.artifact_id,
+                    q.signature,
+                    &plan,
+                    &conf,
+                    ctx.embedding,
+                    &run,
+                );
+                backend.ingest(&user, &app_id, &events);
+                last_point = point;
+                let _ = env.run(&last_point);
+            }
+            final_query_confs.push((q.plan.clone(), env.space().to_conf(&last_point)));
+        }
+        // Algorithm 2: pre-compute the app-level configuration.
+        let sigs: Vec<u64> = nb.queries.iter().map(|q| q.signature).collect();
+        backend.update_app_cache_forecast(&user, &nb.artifact_id, &sigs);
+        let app_point = backend
+            .app_conf(&nb.artifact_id)
+            .expect("cache computed after tuning");
+        let mut joint_app_conf = SparkConf::default();
+        joint_app_conf.executor_instances = app_point[0];
+        joint_app_conf.executor_memory_mb = app_point[1];
+
+        // Evaluate the three deployment states on the noise-free app simulator.
+        let default_queries: Vec<(sparksim::plan::PlanNode, SparkConf)> = nb
+            .queries
+            .iter()
+            .map(|q| (q.plan.clone(), SparkConf::default()))
+            .collect();
+        let default_app = SparkConf::default();
+        let a = run_app(&eval_sim, &startup, &default_app, &default_queries, 9).total_ms;
+        let b = run_app(&eval_sim, &startup, &default_app, &final_query_confs, 9).total_ms;
+        let c = run_app(&eval_sim, &startup, &joint_app_conf, &final_query_confs, 9).total_ms;
+        sum_default += a;
+        sum_query_only += b;
+        sum_joint += c;
+        csv.push(vec![ni as f64, a, b, c]);
+    }
+
+    let mut summary = Summary::new("exp_applevel");
+    summary.row("applications", n_notebooks);
+    summary.row("total wall time, all defaults", format!("{sum_default:.0} ms"));
+    summary.row(
+        "total wall time, query-level tuning only",
+        format!(
+            "{sum_query_only:.0} ms ({:+.1}%)",
+            100.0 * (sum_query_only - sum_default) / sum_default
+        ),
+    );
+    summary.row(
+        "total wall time, joint app + query (Algorithm 2)",
+        format!(
+            "{sum_joint:.0} ms ({:+.1}%)",
+            100.0 * (sum_joint - sum_default) / sum_default
+        ),
+    );
+    summary.row(
+        "expectation",
+        "query-level tuning improves over defaults; Algorithm 2's app_cache adds \
+         further gains by right-sizing the executor fleet per application",
+    );
+    summary.files.push(write_csv(
+        "exp_applevel",
+        "app_idx,default_ms,query_tuned_ms,joint_ms",
+        &csv,
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_config_is_not_catastrophically_worse() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let s = run(Scale::Quick);
+        let grab = |key: &str| -> f64 {
+            s.rows
+                .iter()
+                .find(|(k, _)| k.starts_with(key))
+                .and_then(|(_, v)| v.split(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        let default = grab("total wall time, all defaults");
+        let joint = grab("total wall time, joint app + query");
+        assert!(
+            joint < default * 1.2,
+            "Algorithm 2 should not blow up: {joint} vs {default}"
+        );
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+}

@@ -1,0 +1,81 @@
+//! **Figure 1**: query execution time vs `spark.sql.shuffle.partitions` — each query
+//! peaks at a different setting, motivating per-query tuning.
+
+use optimizers::space::ConfigSpace;
+use sparksim::noise::NoiseSpec;
+use sparksim::simulator::Simulator;
+
+use crate::harness::{write_csv, Scale, Summary};
+
+/// The TPC-DS-style queries swept (diverse shapes: report, inventory, union, mega-join).
+pub const QUERIES: [usize; 4] = [1, 5, 11, 21];
+
+/// Run the sweep and report each query's optimal partition count.
+pub fn run(scale: Scale) -> Summary {
+    let sf = match scale {
+        Scale::Full => 50.0,
+        Scale::Quick => 20.0,
+    };
+    let levels: Vec<f64> = [8, 16, 32, 64, 128, 200, 256, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    let sim = Simulator::default_pool(NoiseSpec::none());
+    let space = ConfigSpace::query_level();
+
+    let mut summary = Summary::new("fig01_shuffle_partitions");
+    let mut rows = Vec::new();
+    for (qi, &q) in QUERIES.iter().enumerate() {
+        let plan = workloads::tpcds::query(q, sf);
+        let mut best = (f64::INFINITY, 0.0);
+        for &p in &levels {
+            let mut point = space.default_point();
+            point[2] = p;
+            let t = sim.true_time_ms(&plan, &space.to_conf(&point));
+            rows.push(vec![qi as f64, p, t]);
+            if t < best.0 {
+                best = (t, p);
+            }
+        }
+        summary.row(
+            &format!("tpcds-style Q{q} optimal partitions"),
+            format!("{} ({:.0} ms)", best.1, best.0),
+        );
+    }
+    // The figure's claim: optima differ across queries.
+    let optima: std::collections::HashSet<u64> = QUERIES
+        .iter()
+        .enumerate()
+        .map(|(qi, _)| {
+            rows.iter()
+                .filter(|r| r[0] == qi as f64)
+                .min_by(|a, b| a[2].total_cmp(&b[2]))
+                .map(|r| r[1] as u64)
+                .unwrap()
+        })
+        .collect();
+    summary.row("distinct optima across queries", optima.len());
+    summary
+        .files
+        .push(write_csv("fig01_shuffle_partitions", "query_idx,partitions,true_ms", &rows));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_finds_distinct_optima() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let s = run(Scale::Quick);
+        let distinct: usize = s
+            .rows
+            .iter()
+            .find(|(k, _)| k == "distinct optima across queries")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap();
+        assert!(distinct >= 2, "Figure 1 premise requires per-query optima");
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+}

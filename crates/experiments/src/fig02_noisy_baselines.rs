@@ -1,0 +1,81 @@
+//! **Figure 2**: vanilla Bayesian Optimization and FLOW2 fail to converge on the
+//! noisy synthetic function — median plus P5–P95 band of *true* performance across
+//! replicated runs.
+
+use optimizers::bo::BayesOpt;
+use optimizers::env::{Environment, SyntheticEnv};
+use optimizers::flow2::Flow2;
+use optimizers::tuner::Tuner;
+
+use crate::harness::{band_rows, replicate, write_csv, Scale, Summary};
+
+/// Drive one tuner on a fresh high-noise synthetic environment, tracing the true
+/// normalized performance of each *executed* configuration.
+fn trace<T: Tuner>(mut make: impl FnMut(&SyntheticEnv, u64) -> T, seed: u64, iters: usize) -> Vec<f64> {
+    let mut env = SyntheticEnv::high_noise_constant(seed);
+    let mut tuner = make(&env, seed);
+    let mut out = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let p = tuner.suggest(&env.context());
+        out.push(env.normed_performance(&p));
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+    out
+}
+
+/// Run both baselines and summarize their (non-)convergence.
+pub fn run(scale: Scale) -> Summary {
+    let runs = scale.pick(200, 8);
+    let iters = scale.pick(300, 40);
+
+    let bo_bands = replicate(runs, |seed| {
+        trace(|env, s| BayesOpt::new(env.space().clone(), s), seed, iters)
+    });
+    let flow2_bands = replicate(runs, |seed| {
+        trace(|env, s| Flow2::new(env.space().clone(), s), seed, iters)
+    });
+
+    let mut summary = Summary::new("fig02_noisy_baselines");
+    let tail = |bands: &[ml::stats::Band]| {
+        let last = &bands[bands.len().saturating_sub(10)..];
+        let p50 = ml::stats::mean(&last.iter().map(|b| b.p50).collect::<Vec<_>>());
+        let p95 = ml::stats::mean(&last.iter().map(|b| b.p95).collect::<Vec<_>>());
+        (p50, p95)
+    };
+    let (bo50, bo95) = tail(&bo_bands);
+    let (f50, f95) = tail(&flow2_bands);
+    summary.row("BO final median normed perf", format!("{bo50:.3}"));
+    summary.row("BO final P95 normed perf", format!("{bo95:.3}"));
+    summary.row("FLOW2 final median normed perf", format!("{f50:.3}"));
+    summary.row("FLOW2 final P95 normed perf", format!("{f95:.3}"));
+    summary.row(
+        "paper expectation",
+        "both stay well above 1.0 with wide bands (poor convergence)",
+    );
+    summary.files.push(write_csv(
+        "fig02a_bayesopt",
+        "iteration,p5,p50,p95",
+        &band_rows(&bo_bands),
+    ));
+    summary.files.push(write_csv(
+        "fig02b_flow2",
+        "iteration,p5,p50,p95",
+        &band_rows(&flow2_bands),
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_bands() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let s = run(Scale::Quick);
+        assert_eq!(s.files.len(), 2);
+        assert!(s.rows.iter().any(|(k, _)| k.starts_with("BO final")));
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+}

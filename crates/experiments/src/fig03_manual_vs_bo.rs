@@ -1,0 +1,106 @@
+//! **Figure 3**: manual tuning (the §2.2 user study, simulated expert policies) vs
+//! model-based Bayesian Optimization on 5 queries. The study's platform served
+//! *predicted* times from a noise-free model, so the environments here are
+//! noiseless; the paper's finding is that BO converges faster on average but
+//! occasionally sticks in local minima while experts keep exploring.
+
+use optimizers::bo::BayesOpt;
+use optimizers::env::{Environment, QueryEnv};
+use optimizers::expert::SimulatedExpert;
+use optimizers::tuner::Tuner;
+use sparksim::noise::NoiseSpec;
+
+use crate::harness::{best_so_far, write_csv, Scale, Summary};
+
+/// The five queries the study tuned (diverse TPC-DS-style shapes).
+pub const QUERIES: [usize; 5] = [1, 5, 6, 13, 21];
+
+fn drive<T: Tuner>(env: &mut QueryEnv, tuner: &mut T, iters: usize) -> Vec<f64> {
+    let mut trace = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let p = tuner.suggest(&env.context());
+        trace.push(env.true_time(&p));
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+    best_so_far(&trace)
+}
+
+/// Run the comparison; reports final best-so-far times per query and the count of
+/// queries where experts ended ahead of BO.
+pub fn run(scale: Scale) -> Summary {
+    let sf = match scale {
+        Scale::Full => 20.0,
+        Scale::Quick => 1.0,
+    };
+    let iters = scale.pick(40, 12);
+    let n_experts = scale.pick(20, 3);
+
+    let mut summary = Summary::new("fig03_manual_vs_bo");
+    let mut rows = Vec::new();
+    let mut expert_wins = 0;
+    let mut best_expert_wins = 0;
+    for (qi, &q) in QUERIES.iter().enumerate() {
+        // Average (and best) expert trace across the volunteer pool.
+        let mut expert_avg = vec![0.0; iters];
+        let mut best_expert_final = f64::INFINITY;
+        for e in 0..n_experts {
+            let mut env = QueryEnv::tpcds(q, sf, NoiseSpec::none(), 1000 + e as u64);
+            let mut ex = SimulatedExpert::new(env.space().clone(), 2000 + e as u64);
+            let trace = drive(&mut env, &mut ex, iters);
+            for (t, v) in trace.iter().enumerate() {
+                expert_avg[t] += v / n_experts as f64;
+            }
+            best_expert_final = best_expert_final.min(trace[iters - 1]);
+        }
+        let mut env = QueryEnv::tpcds(q, sf, NoiseSpec::none(), 1);
+        let mut bo = BayesOpt::new(env.space().clone(), 77 + qi as u64);
+        let bo_trace = drive(&mut env, &mut bo, iters);
+
+        for t in 0..iters {
+            rows.push(vec![qi as f64, t as f64, expert_avg[t], bo_trace[t]]);
+        }
+        let (ef, bf) = (expert_avg[iters - 1], bo_trace[iters - 1]);
+        if ef < bf {
+            expert_wins += 1;
+        }
+        if best_expert_final < bf {
+            best_expert_wins += 1;
+        }
+        summary.row(
+            &format!("Q{q} final best (expert avg vs BO) ms"),
+            format!("{ef:.0} vs {bf:.0}"),
+        );
+    }
+    summary.row("queries where the average expert ended ahead", expert_wins);
+    summary.row(
+        "queries where some expert beat BO (\"occasionally better\")",
+        best_expert_wins,
+    );
+    summary.row(
+        "paper expectation",
+        "BO converges faster on average; experts occasionally beat it",
+    );
+    summary.files.push(write_csv(
+        "fig03_manual_vs_bo",
+        "query_idx,iteration,expert_avg_best_ms,bo_best_ms",
+        &rows,
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_all_queries() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let s = run(Scale::Quick);
+        assert_eq!(
+            s.rows.iter().filter(|(k, _)| k.starts_with('Q')).count(),
+            QUERIES.len()
+        );
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+}

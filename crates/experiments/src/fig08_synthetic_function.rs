@@ -1,0 +1,79 @@
+//! **Figure 8**: the synthetic optimization function before and after noise — one
+//! knob swept, true curve vs observed samples at high (FL=1, SL=1) and low
+//! (FL=0.1, SL=0.1) noise.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparksim::noise::NoiseSpec;
+use workloads::synthetic::SyntheticFunction;
+
+use crate::harness::{write_csv, Scale, Summary};
+
+/// Sweep knob 0 (`maxPartitionBytes`) across its range; sample each setting under
+/// both noise levels.
+pub fn run(scale: Scale) -> Summary {
+    let f = SyntheticFunction::paper_default();
+    let points = scale.pick(200, 30);
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut rows = Vec::new();
+    for i in 0..points {
+        let x = i as f64 / (points - 1) as f64;
+        let mut c = f.optimal_config();
+        c[0] = f.ranges[0].denormalize(x);
+        let true_t = f.true_time(&c, 1.0);
+        let high = f.observe(&c, 1.0, &NoiseSpec::high(), &mut rng);
+        let low = f.observe(&c, 1.0, &NoiseSpec::low(), &mut rng);
+        rows.push(vec![c[0], true_t, high, low]);
+    }
+    // Spike rate measured with the spike term isolated (FL = 0), since a |ε| ≥ 1
+    // fluctuation alone also doubles the time and would inflate the count.
+    let spike_only = NoiseSpec {
+        fluctuation: 0.0,
+        spike: 1.0,
+    };
+    let spike_draws = 20_000;
+    let spikes = (0..spike_draws)
+        .filter(|_| spike_only.apply(1.0, &mut rng) >= 2.0)
+        .count();
+    let mut summary = Summary::new("fig08_synthetic_function");
+    summary.row("sweep points", points);
+    summary.row(
+        "spike rate at SL = 1 (fluctuation isolated)",
+        format!(
+            "{:.1}% (paper: SL/10 = 10%)",
+            100.0 * spikes as f64 / spike_draws as f64
+        ),
+    );
+    let min_row = rows
+        .iter()
+        .min_by(|a, b| a[1].total_cmp(&b[1]))
+        .expect("non-empty sweep");
+    summary.row(
+        "true minimum at maxPartitionBytes",
+        format!("{:.0} MiB", min_row[0] / (1024.0 * 1024.0)),
+    );
+    summary.files.push(write_csv(
+        "fig08_synthetic_function",
+        "max_partition_bytes,true_ms,observed_high_noise_ms,observed_low_noise_ms",
+        &rows,
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_never_beats_true() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let s = run(Scale::Quick);
+        assert!(!s.files.is_empty());
+        let doc = std::fs::read_to_string(&s.files[0]).unwrap();
+        for line in doc.lines().skip(1) {
+            let v: Vec<f64> = line.split(',').map(|x| x.parse().unwrap()).collect();
+            assert!(v[2] >= v[1] && v[3] >= v[1], "noise only slows down: {v:?}");
+        }
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+}

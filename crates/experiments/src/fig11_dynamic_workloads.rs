@@ -1,0 +1,124 @@
+//! **Figure 11**: Centroid Learning under dynamic workloads — data sizes increasing
+//! linearly over time and changing periodically (`t mod K`) — still converges; the
+//! plots are normed performance and the `maxPartitionBytes` optimality gap.
+
+use optimizers::env::{Environment, SyntheticEnv};
+use optimizers::tuner::Tuner;
+use rockhopper::RockhopperTuner;
+use sparksim::noise::NoiseSpec;
+use workloads::dynamic::DataSchedule;
+
+use crate::harness::{band_rows, write_csv, Scale, Summary};
+
+/// The two schedules the paper simulates.
+pub fn schedules() -> Vec<(&'static str, DataSchedule)> {
+    vec![
+        (
+            "linear",
+            DataSchedule::LinearIncreasing {
+                start: 1.0,
+                slope: 0.02,
+            },
+        ),
+        (
+            "periodic",
+            DataSchedule::Periodic {
+                base: 1.0,
+                amplitude: 2.0,
+                k: 12,
+            },
+        ),
+    ]
+}
+
+fn trace(schedule: &DataSchedule, seed: u64, iters: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut env = SyntheticEnv::new(NoiseSpec::high(), schedule.clone(), seed);
+    let mut tuner = RockhopperTuner::builder(env.space().clone())
+        .guardrail(None)
+        .seed(seed)
+        .build();
+    let mut perf = Vec::with_capacity(iters);
+    let mut gap = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let p = tuner.suggest(&env.context());
+        perf.push(env.normed_performance(&p));
+        gap.push(env.optimality_gap(0, &p));
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+    (perf, gap)
+}
+
+/// Run both dynamic schedules.
+pub fn run(scale: Scale) -> Summary {
+    let runs = scale.pick(100, 6);
+    let iters = scale.pick(400, 40);
+    let mut summary = Summary::new("fig11_dynamic_workloads");
+    for (name, schedule) in schedules() {
+        let raw = crate::harness::replicate_raw(runs, |seed| {
+            let (perf, gap) = trace(&schedule, seed, iters);
+            let mut v = perf;
+            v.extend(gap);
+            v
+        });
+        let perf_bands = ml::stats::bands_per_iteration(
+            &raw.iter().map(|v| v[..iters].to_vec()).collect::<Vec<_>>(),
+        );
+        let gap_bands = ml::stats::bands_per_iteration(
+            &raw.iter().map(|v| v[iters..].to_vec()).collect::<Vec<_>>(),
+        );
+        let tail = &perf_bands[perf_bands.len().saturating_sub(10)..];
+        let final_p50 = ml::stats::mean(&tail.iter().map(|b| b.p50).collect::<Vec<_>>());
+        let gtail = &gap_bands[gap_bands.len().saturating_sub(10)..];
+        let final_gap = ml::stats::mean(&gtail.iter().map(|b| b.p50).collect::<Vec<_>>());
+        summary.row(
+            &format!("{name}: final median normed perf"),
+            format!("{final_p50:.3}"),
+        );
+        summary.row(
+            &format!("{name}: final median optimality gap"),
+            format!("{final_gap:.3}"),
+        );
+        summary.files.push(write_csv(
+            &format!("fig11_{name}_normed"),
+            "iteration,p5,p50,p95",
+            &band_rows(&perf_bands),
+        ));
+        summary.files.push(write_csv(
+            &format!("fig11_{name}_gap"),
+            "iteration,p5,p50,p95",
+            &band_rows(&gap_bands),
+        ));
+    }
+    summary.row(
+        "paper expectation",
+        "CL converges to the optimal configuration for both dynamic workloads",
+    );
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_shrinks_on_linear_schedule() {
+        let (_, sched) = &schedules()[0];
+        let finals: Vec<f64> = (0..5)
+            .map(|s| {
+                let (_, gap) = trace(sched, s, 150);
+                ml::stats::mean(&gap[gap.len() - 10..])
+            })
+            .collect();
+        let early: Vec<f64> = (0..5)
+            .map(|s| {
+                let (_, gap) = trace(sched, s, 150);
+                ml::stats::mean(&gap[..10])
+            })
+            .collect();
+        assert!(
+            ml::stats::median(&finals) < ml::stats::median(&early) + 0.05,
+            "gap should not grow: early {early:?} final {finals:?}"
+        );
+    }
+}

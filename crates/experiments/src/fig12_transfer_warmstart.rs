@@ -1,0 +1,150 @@
+//! **Figure 12**: Contextual BO warm-started with baseline models trained on 100,
+//! 500 and 1000 benchmark samples (leave-target-out). The paper finds 500 samples
+//! best (~15% gain), 1000 over-constrained (~7%), insufficient samples worst —
+//! convergence measured as speedup over the manually-tuned reference configuration.
+
+use optimizers::cbo::ContextualBO;
+use optimizers::env::Environment;
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::Tuner;
+use pipeline::flighting::{run_flight, Benchmark, FlightPlan, PoolId, Strategy};
+use pipeline::storage::Storage;
+use pipeline::trainer::subsample;
+use pipeline::TrainingRow;
+use sparksim::noise::NoiseSpec;
+
+use crate::harness::{best_so_far, write_csv, Scale, Summary};
+
+/// Baseline sample sizes swept by the paper.
+pub const SAMPLE_SIZES: [usize; 3] = [100, 500, 1000];
+
+/// Target queries tuned (TPC-DS-style; the baseline is trained on the others).
+pub const TARGETS: [usize; 4] = [1, 6, 13, 20];
+
+/// Collect the V0-style pre-recorded sweep: ≥275 configurations per query across the
+/// whole benchmark.
+fn collect_rows(sf: f64, runs_per_query: usize, seed: u64) -> Vec<TrainingRow> {
+    let plan = FlightPlan {
+        benchmark: Benchmark::TpcDs,
+        // Pinned to the original 24 templates so recorded results stay stable as the
+        // workloads crate grows.
+        queries: (1..=24).collect(),
+        scale_factor: sf,
+        runs_per_query,
+        pool: PoolId::Medium,
+        strategy: Strategy::Random,
+        // Flighting runs on the same shared cloud as production: its observations
+        // carry real noise, which is what makes over-large baselines entrench wrong
+        // beliefs (the paper's "additional samples reduce adaptability").
+        noise: NoiseSpec::high(),
+        seed,
+    };
+    run_flight(&plan, &ConfigSpace::query_level(), &Storage::new())
+}
+
+/// Run the warm-start sweep.
+pub fn run(scale: Scale) -> Summary {
+    let sf = match scale {
+        Scale::Full => 10.0,
+        Scale::Quick => 1.0,
+    };
+    let runs_per_query = scale.pick(50, 6); // 50 × 24 queries = 1200 rows available
+    let iters = scale.pick(30, 8);
+    let all_rows = collect_rows(sf, runs_per_query, 12);
+
+    let mut summary = Summary::new("fig12_transfer_warmstart");
+    let mut csv = Vec::new();
+    let mut final_speedups: Vec<(usize, f64)> = Vec::new();
+
+    let seeds_per_arm = scale.pick(3, 1);
+    for &n_samples in &SAMPLE_SIZES {
+        let mut per_iter_speedup = vec![0.0; iters];
+        let runs = (TARGETS.len() * seeds_per_arm) as f64;
+        for (ti, &target) in TARGETS.iter().enumerate() {
+            let target_sig = embedding::query_signature(&workloads::tpcds::query(target, sf));
+            // Leave-target-out baseline, capped at n_samples rows.
+            let other: Vec<TrainingRow> = all_rows
+                .iter()
+                .filter(|r| r.signature != target_sig)
+                .cloned()
+                .collect();
+            let baseline = subsample(&other, n_samples);
+
+            // The V0 platform: ≥275 pre-recorded configurations per query; tuning
+            // snaps to the recording and replays cached results (no live execution).
+            let space = ConfigSpace::query_level();
+            let plan = workloads::tpcds::query(target, sf);
+            let sim = sparksim::simulator::Simulator::default_pool(NoiseSpec::low());
+            for rep in 0..seeds_per_arm as u64 {
+                let mut env = optimizers::env::CachedEnv::record(
+                    &plan,
+                    &sim,
+                    &space,
+                    space.grid(7), // 343 ≥ the paper's 275 combinations
+                    &embedding::WorkloadEmbedder::virtual_ops(),
+                    300 + ti as u64 + rep * 97,
+                );
+                let mut cbo = ContextualBO::new(space.clone(), 400 + ti as u64 + rep * 31);
+                for r in &baseline {
+                    cbo.add_baseline_row(&r.embedding, &r.point_in(&space), r.elapsed_ms);
+                }
+                // Reference: the default configuration ("manual tuning" reference).
+                let reference = env.true_time(&space.default_point());
+                let mut trace = Vec::with_capacity(iters);
+                for _ in 0..iters {
+                    let p = cbo.suggest(&env.context());
+                    let snapped = env.snapped(&p).to_vec();
+                    trace.push(env.true_time(&snapped));
+                    let o = env.run(&snapped);
+                    cbo.observe(&snapped, &o);
+                }
+                for (t, v) in best_so_far(&trace).iter().enumerate() {
+                    per_iter_speedup[t] += reference / v / runs;
+                }
+            }
+        }
+        for (t, s) in per_iter_speedup.iter().enumerate() {
+            csv.push(vec![n_samples as f64, t as f64, *s]);
+        }
+        let final_s = *per_iter_speedup.last().expect("non-empty trace");
+        final_speedups.push((n_samples, final_s));
+        summary.row(
+            &format!("baseline n={n_samples}: final mean speedup"),
+            format!("{final_s:.3}x"),
+        );
+    }
+    let best = final_speedups
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    summary.row("best sample size", best.0);
+    summary.row(
+        "paper expectation",
+        "moderate sample counts (≈500) transfer best; more samples over-constrain",
+    );
+    summary.files.push(write_csv(
+        "fig12_transfer_warmstart",
+        "baseline_samples,iteration,mean_speedup",
+        &csv,
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmstarted_cbo_improves_over_default() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let s = run(Scale::Quick);
+        // At least one arm must end at speedup ≥ 1 (never worse than reference,
+        // since best-so-far includes whatever the search found).
+        let any_good = s.rows.iter().any(|(k, v)| {
+            k.contains("final mean speedup")
+                && v.trim_end_matches('x').parse::<f64>().map(|x| x >= 0.95).unwrap_or(false)
+        });
+        assert!(any_good, "rows: {:?}", s.rows);
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared experiment machinery: scale presets, replication fan-out, CSV output and
+//! console tables.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ml::stats::{bands_per_iteration, Band};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale replications/iterations (minutes per figure).
+    Full,
+    /// Down-scaled smoke run (seconds per figure) used by tests and `run_all --quick`.
+    Quick,
+}
+
+impl Scale {
+    /// Pick `full` or `quick` by scale.
+    pub fn pick(self, full: usize, quick: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+
+    /// Parse from CLI args: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// A labelled experiment outcome: headline key/value rows plus the CSV files written.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Experiment name (matches the binary and the CSV stem).
+    pub name: String,
+    /// Headline rows, printed and recorded in EXPERIMENTS.md.
+    pub rows: Vec<(String, String)>,
+    /// CSV files written.
+    pub files: Vec<PathBuf>,
+}
+
+impl Summary {
+    /// Start a summary.
+    pub fn new(name: &str) -> Summary {
+        Summary {
+            name: name.to_string(),
+            ..Summary::default()
+        }
+    }
+
+    /// Add a headline row.
+    pub fn row(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.rows.push((key.to_string(), value.to_string()));
+    }
+
+    /// Render to the console.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.name);
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.rows {
+            println!("  {k:<width$}  {v}");
+        }
+        for f in &self.files {
+            println!("  -> {}", f.display());
+        }
+    }
+}
+
+/// Directory experiment output lands in (`results/` at the workspace root, or
+/// `$ROCKHOPPER_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("ROCKHOPPER_RESULTS") {
+        return PathBuf::from(d);
+    }
+    // The binaries run from the workspace root via `cargo run`; fall back to CWD.
+    let candidate = Path::new("results");
+    PathBuf::from(candidate)
+}
+
+/// Write a CSV file into the results directory; returns its path.
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<f64>]) -> PathBuf {
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::with_capacity(rows.len() * 32);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        let line: Vec<String> = r.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(&path).expect("results dir is writable");
+    f.write_all(out.as_bytes()).expect("csv write");
+    path
+}
+
+/// Run `n_runs` independent replications of a per-iteration metric trace, fanned out
+/// over threads, and fold them into per-iteration (p5, median, p95) bands — the
+/// summary every convergence figure in the paper plots.
+pub fn replicate<F>(n_runs: usize, f: F) -> Vec<Band>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    bands_per_iteration(&replicate_raw(n_runs, f))
+}
+
+/// As [`replicate`], returning the raw per-run traces.
+pub fn replicate_raw<F>(n_runs: usize, f: F) -> Vec<Vec<f64>>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_runs.max(1));
+    let mut results: Vec<Option<Vec<f64>>> = vec![None; n_runs];
+    let chunks: Vec<Vec<usize>> = (0..threads)
+        .map(|t| (0..n_runs).filter(|i| i % threads == t).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in &chunks {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .map(|&i| (i, f(i as u64)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, trace) in h.join().expect("replication thread") {
+                results[i] = Some(trace);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("all runs filled")).collect()
+}
+
+/// CSV rows for a band series: `iteration, p5, p50, p95`.
+pub fn band_rows(bands: &[Band]) -> Vec<Vec<f64>> {
+    bands
+        .iter()
+        .enumerate()
+        .map(|(t, b)| vec![t as f64, b.p5, b.p50, b.p95])
+        .collect()
+}
+
+/// Best-so-far transform: `out[t] = min(xs[0..=t])`.
+pub fn best_so_far(xs: &[f64]) -> Vec<f64> {
+    let mut best = f64::INFINITY;
+    xs.iter()
+        .map(|&x| {
+            best = best.min(x);
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Full.pick(100, 5), 100);
+        assert_eq!(Scale::Quick.pick(100, 5), 5);
+    }
+
+    #[test]
+    fn replicate_is_deterministic_and_ordered() {
+        let a = replicate_raw(7, |seed| vec![seed as f64, seed as f64 * 2.0]);
+        assert_eq!(a.len(), 7);
+        for (i, t) in a.iter().enumerate() {
+            assert_eq!(t[0], i as f64);
+        }
+        let bands = replicate(7, |seed| vec![seed as f64]);
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].p50, 3.0);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let b = best_so_far(&[5.0, 3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(b, vec![5.0, 3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn csv_writes_to_results_dir() {
+        std::env::set_var("ROCKHOPPER_RESULTS", "/tmp/rockhopper-test-results");
+        let p = write_csv("harness_selftest", "a,b", &[vec![1.0, 2.0]]);
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::env::remove_var("ROCKHOPPER_RESULTS");
+    }
+
+    #[test]
+    fn summary_rows_accumulate() {
+        let mut s = Summary::new("t");
+        s.row("k", 1.5);
+        assert_eq!(s.rows[0], ("k".to_string(), "1.5".to_string()));
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness regenerating **every table and figure** in the paper's
+//! evaluation (§6). Each figure lives in its own module with a
+//! `run(scale) -> Summary` entry point; the `src/bin/` wrappers execute one figure
+//! each and `run_all` executes the lot. CSV series land in `results/`.
+//!
+//! Numbers are produced on the simulator substrate, so absolute values differ from
+//! the paper's testbed; `EXPERIMENTS.md` records the paper-vs-measured comparison of
+//! the *shapes* (who wins, by what factor, where crossovers fall).
+
+pub mod harness;
+pub mod plot;
+
+pub mod exp_ablation_findbest;
+pub mod exp_applevel;
+pub mod exp_aqe_interaction;
+pub mod exp_ablation_overshoot;
+pub mod exp_ablation_window;
+pub mod exp_embedding_ablation;
+pub mod fig01_shuffle_partitions;
+pub mod fig02_noisy_baselines;
+pub mod fig03_manual_vs_bo;
+pub mod fig08_synthetic_function;
+pub mod fig09_pseudo_surrogates;
+pub mod fig10_cl_learned_surrogate;
+pub mod fig11_dynamic_workloads;
+pub mod fig12_transfer_warmstart;
+pub mod fig13_cl_vs_cbo;
+pub mod fig14_tpch_production;
+pub mod fig15_16_customer_workloads;
+
+pub use harness::{Scale, Summary};

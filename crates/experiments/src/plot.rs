@@ -1,0 +1,160 @@
+//! Terminal plotting: render the convergence-band CSVs as ASCII charts so the
+//! experiment binaries can show the paper's figures without leaving the terminal
+//! (`run_all --plot`).
+
+use ml::stats::Band;
+
+/// Canvas cell glyphs, in paint order (later overwrites earlier).
+const FILL: char = '░';
+const MEDIAN: char = '━';
+
+/// Render per-iteration bands as an ASCII chart: `░` shades the P5–P95 region and
+/// `━` traces the median, with a y-axis in the data's units.
+pub fn band_chart(title: &str, bands: &[Band], width: usize, height: usize) -> String {
+    if bands.is_empty() || width < 8 || height < 2 {
+        return format!("{title}: (no data)\n");
+    }
+    let width = width.min(bands.len().max(8));
+    // Downsample columns: each column covers a slice of iterations.
+    let cols: Vec<Band> = (0..width)
+        .map(|c| {
+            let lo = c * bands.len() / width;
+            let hi = (((c + 1) * bands.len()) / width).max(lo + 1);
+            let slice = &bands[lo..hi.min(bands.len())];
+            Band {
+                p5: slice.iter().map(|b| b.p5).fold(f64::INFINITY, f64::min),
+                p50: slice.iter().map(|b| b.p50).sum::<f64>() / slice.len() as f64,
+                p95: slice.iter().map(|b| b.p95).fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect();
+
+    let y_min = cols.iter().map(|b| b.p5).fold(f64::INFINITY, f64::min);
+    let y_max = cols.iter().map(|b| b.p95).fold(f64::NEG_INFINITY, f64::max);
+    let span = (y_max - y_min).max(1e-12);
+    let row_of = |v: f64| -> usize {
+        let frac = ((v - y_min) / span).clamp(0.0, 1.0);
+        // Row 0 is the top of the chart.
+        ((1.0 - frac) * (height - 1) as f64).round() as usize
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, b) in cols.iter().enumerate() {
+        let (top, bottom) = (row_of(b.p95), row_of(b.p5));
+        for row in grid.iter_mut().take(bottom + 1).skip(top) {
+            row[c] = FILL;
+        }
+        grid[row_of(b.p50)][c] = MEDIAN;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>10.3}")
+        } else if r == height - 1 {
+            format!("{y_min:>10.3}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push(' ');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} iteration 0..{} ({} = median, {} = P5..P95)\n",
+        "", bands.len(), MEDIAN, FILL
+    ));
+    out
+}
+
+/// Parse a `iteration,p5,p50,p95` CSV document (as written by the harness) into
+/// bands. Malformed lines are skipped.
+pub fn bands_from_csv(doc: &str) -> Vec<Band> {
+    doc.lines()
+        .skip(1)
+        .filter_map(|line| {
+            let v: Vec<f64> = line.split(',').filter_map(|t| t.parse().ok()).collect();
+            (v.len() == 4).then(|| Band {
+                p5: v[1],
+                p50: v[2],
+                p95: v[3],
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descending_bands(n: usize) -> Vec<Band> {
+        (0..n)
+            .map(|t| {
+                let mid = 10.0 - 8.0 * t as f64 / (n - 1) as f64;
+                Band {
+                    p5: mid - 1.0,
+                    p50: mid,
+                    p95: mid + 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chart_has_title_axis_and_median_marks() {
+        let chart = band_chart("convergence", &descending_bands(50), 40, 10);
+        assert!(chart.starts_with("convergence\n"));
+        assert!(chart.contains(MEDIAN));
+        assert!(chart.contains(FILL));
+        assert!(chart.contains("11.000")); // y_max = 10 + 1
+        assert!(chart.contains("1.000")); // y_min = 2 - 1
+    }
+
+    #[test]
+    fn median_descends_left_to_right() {
+        let chart = band_chart("t", &descending_bands(60), 30, 12);
+        let rows: Vec<&str> = chart.lines().skip(1).take(12).collect();
+        let col_of_median_in = |row: &str| row.find(MEDIAN);
+        // The top rows' median marks appear left of the bottom rows' marks.
+        let top_col = rows
+            .iter()
+            .find_map(|r| col_of_median_in(r))
+            .expect("median drawn");
+        let bottom_col = rows
+            .iter()
+            .rev()
+            .find_map(|r| col_of_median_in(r))
+            .expect("median drawn");
+        assert!(top_col < bottom_col, "top {top_col} vs bottom {bottom_col}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_degrade_gracefully() {
+        assert!(band_chart("x", &[], 40, 10).contains("no data"));
+        assert!(band_chart("x", &descending_bands(5), 2, 10).contains("no data"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let bands = descending_bands(7);
+        let rows = crate::harness::band_rows(&bands);
+        let mut doc = String::from("iteration,p5,p50,p95\n");
+        for r in rows {
+            doc.push_str(
+                &r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","),
+            );
+            doc.push('\n');
+        }
+        let back = bands_from_csv(&doc);
+        assert_eq!(back.len(), 7);
+        assert!((back[0].p50 - bands[0].p50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_skips_garbage() {
+        let back = bands_from_csv("h\n1,2,3\nnot,a,row,at,all\n0,1,2,3\n");
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Training-set container shared by the flighting pipeline, the baseline-model trainer
+//! and the online surrogate updates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MlError;
+
+/// A feature matrix plus target vector, with convenience constructors for the
+/// incremental appends the online tuning loop performs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct Dataset {
+    /// Feature rows; all rows share one dimensionality.
+    pub x: Vec<Vec<f64>>,
+    /// Targets, one per feature row.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Build from parallel feature/target vectors, validating shape.
+    pub fn from_xy(x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, MlError> {
+        crate::validate_xy(&x, &y)?;
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality, or `None` when empty.
+    pub fn dim(&self) -> Option<usize> {
+        self.x.first().map(Vec::len)
+    }
+
+    /// Append one observation.
+    ///
+    /// Returns [`MlError::RaggedFeatures`] if `features` disagrees with the existing
+    /// dimensionality.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), MlError> {
+        if let Some(dim) = self.dim() {
+            if features.len() != dim {
+                return Err(MlError::RaggedFeatures {
+                    expected: dim,
+                    found: features.len(),
+                });
+            }
+        }
+        self.x.push(features);
+        self.y.push(target);
+        Ok(())
+    }
+
+    /// The most recent `n` observations (all of them if fewer exist) — the paper's
+    /// `Ω(t, N)` sliding window of Algorithm 1.
+    pub fn tail(&self, n: usize) -> Dataset {
+        let start = self.len().saturating_sub(n);
+        Dataset {
+            x: self.x[start..].to_vec(),
+            y: self.y[start..].to_vec(),
+        }
+    }
+
+    /// Concatenate two datasets (e.g. baseline benchmark data + query-specific traces).
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, MlError> {
+        if let (Some(a), Some(b)) = (self.dim(), other.dim()) {
+            if a != b {
+                return Err(MlError::RaggedFeatures {
+                    expected: a,
+                    found: b,
+                });
+            }
+        }
+        let mut out = self.clone();
+        out.x.extend_from_slice(&other.x);
+        out.y.extend_from_slice(&other.y);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_enforces_dimension() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], 3.0).unwrap();
+        assert!(d.push(vec![1.0], 0.0).is_err());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.dim(), Some(2));
+    }
+
+    #[test]
+    fn tail_returns_latest_window() {
+        let mut d = Dataset::new();
+        for i in 0..5 {
+            d.push(vec![i as f64], i as f64).unwrap();
+        }
+        let t = d.tail(2);
+        assert_eq!(t.y, vec![3.0, 4.0]);
+        let all = d.tail(100);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn concat_validates_and_merges() {
+        let a = Dataset::from_xy(vec![vec![1.0]], vec![1.0]).unwrap();
+        let b = Dataset::from_xy(vec![vec![2.0]], vec![2.0]).unwrap();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.y, vec![1.0, 2.0]);
+        let bad = Dataset::from_xy(vec![vec![1.0, 2.0]], vec![1.0]).unwrap();
+        assert!(a.concat(&bad).is_err());
+    }
+
+    #[test]
+    fn from_xy_rejects_mismatch() {
+        assert!(Dataset::from_xy(vec![vec![1.0]], vec![]).is_err());
+    }
+}

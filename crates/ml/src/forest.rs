@@ -1,0 +1,160 @@
+//! Bagged regression trees (a random-forest-lite). This is the offline **baseline
+//! model** of §4.2: trained on benchmark sweeps, fine-tuned per query signature, and
+//! queried by the Centroid Learning surrogate at iteration 0.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tree::RegressionTree;
+use crate::{validate_xy, MlError, Regressor};
+
+/// Ensemble of regression trees fit on bootstrap resamples with per-tree random
+/// feature subsets.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BaggedTrees {
+    n_trees: usize,
+    max_depth: usize,
+    min_leaf: usize,
+    /// Fraction of features each tree may split on, in `(0, 1]`.
+    feature_fraction: f64,
+    seed: u64,
+    trees: Vec<RegressionTree>,
+}
+
+impl BaggedTrees {
+    /// Create an unfitted ensemble with the given shape parameters.
+    pub fn new(n_trees: usize, max_depth: usize, min_leaf: usize, seed: u64) -> Self {
+        BaggedTrees {
+            n_trees: n_trees.max(1),
+            max_depth,
+            min_leaf,
+            feature_fraction: 0.8,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    /// The configuration used for baseline-model training in the experiments.
+    pub fn baseline_default(seed: u64) -> Self {
+        BaggedTrees::new(40, 8, 2, seed)
+    }
+
+    /// Override the per-tree feature fraction.
+    pub fn with_feature_fraction(mut self, frac: f64) -> Self {
+        self.feature_fraction = frac.clamp(0.05, 1.0);
+        self
+    }
+
+    /// Whether `fit` has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for BaggedTrees {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_features = ((dim as f64 * self.feature_fraction).ceil() as usize)
+            .clamp(1, dim);
+
+        self.trees.clear();
+        for _ in 0..self.n_trees {
+            // Bootstrap resample.
+            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            // Random feature subset (without replacement).
+            let mut features: Vec<usize> = (0..dim).collect();
+            for i in (1..features.len()).rev() {
+                let j = rng.random_range(0..=i);
+                features.swap(i, j);
+            }
+            features.truncate(n_features);
+
+            let mut tree = RegressionTree::new(self.max_depth, self.min_leaf);
+            tree.fit_indices(x, y, &idx, Some(&features))?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fits_nonlinear_surface_better_than_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)])
+            .collect();
+        let truth = |r: &[f64]| r[0] * r[0] + 0.5 * r[1];
+        let y: Vec<f64> = x.iter().map(|r| truth(r)).collect();
+        let mut f = BaggedTrees::new(30, 6, 2, 42);
+        f.fit(&x, &y).unwrap();
+
+        let mean_y = crate::stats::mean(&y);
+        let mut sse_model = 0.0;
+        let mut sse_mean = 0.0;
+        for _ in 0..100 {
+            let r = vec![rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)];
+            let t = truth(&r);
+            sse_model += (f.predict(&r) - t).powi(2);
+            sse_mean += (mean_y - t).powi(2);
+        }
+        assert!(
+            sse_model < sse_mean * 0.3,
+            "model {sse_model} vs mean {sse_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] + r[1]).collect();
+        let mut a = BaggedTrees::new(10, 5, 1, 9);
+        let mut b = BaggedTrees::new(10, 5, 1, 9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for i in 0..20 {
+            let p = vec![i as f64 * 1.3, 2.0];
+            assert_eq!(a.predict(&p), b.predict(&p));
+        }
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        assert_eq!(BaggedTrees::new(5, 3, 1, 0).predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn single_row_dataset_fits() {
+        let mut f = BaggedTrees::new(3, 3, 1, 1);
+        f.fit(&[vec![1.0]], &[7.0]).unwrap();
+        assert_eq!(f.predict(&[1.0]), 7.0);
+    }
+
+    #[test]
+    fn builder_clamps_feature_fraction() {
+        let f = BaggedTrees::new(3, 3, 1, 1).with_feature_fraction(5.0);
+        assert!(f.feature_fraction <= 1.0);
+        let f = BaggedTrees::new(3, 3, 1, 1).with_feature_fraction(0.0);
+        assert!(f.feature_fraction > 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Gaussian-process regression with posterior mean and variance — the surrogate behind
+//! the vanilla Bayesian Optimization baseline (paper Figure 2a) and the Contextual BO
+//! of §6.2. Hyper-parameters are fixed per fit (no marginal-likelihood optimization):
+//! the paper treats BO as an off-the-shelf baseline, and fixed, standardized-space
+//! hyper-parameters match how `bayes_opt`-style libraries behave with defaults.
+
+use crate::kernel::Kernel;
+use crate::linalg::{dot, solve_lower, solve_upper_from_lower, Matrix};
+use crate::scaler::{StandardScaler, TargetScaler};
+use crate::{validate_xy, MlError, Regressor};
+
+/// GP posterior for one query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior standard deviation (never negative).
+    pub std: f64,
+}
+
+/// Gaussian process regressor with observation noise.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    /// Observation noise variance added to the Gram diagonal.
+    noise: f64,
+    x_train: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Option<Matrix>,
+    x_scaler: Option<StandardScaler>,
+    y_scaler: Option<TargetScaler>,
+    /// Standardized training targets, kept for the marginal-likelihood computation.
+    y_std: Option<Vec<f64>>,
+}
+
+impl GaussianProcess {
+    /// Create an unfitted GP. `noise` is the observation-noise *variance* in
+    /// standardized target units; production data is extremely noisy, so the
+    /// experiments use values in `0.01..1.0`.
+    pub fn new(kernel: Kernel, noise: f64) -> Self {
+        GaussianProcess {
+            kernel,
+            noise: noise.max(1e-10),
+            x_train: Vec::new(),
+            alpha: Vec::new(),
+            chol: None,
+            x_scaler: None,
+            y_scaler: None,
+            y_std: None,
+        }
+    }
+
+    /// Matérn-5/2 GP, the conventional BO default.
+    pub fn default_bo() -> Self {
+        GaussianProcess::new(Kernel::matern52(1.0), 0.1)
+    }
+
+    /// Whether `fit` has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        self.chol.is_some()
+    }
+
+    /// Number of stored training points.
+    pub fn n_train(&self) -> usize {
+        self.x_train.len()
+    }
+
+    /// Log marginal likelihood of the training data under the fitted GP (in
+    /// standardized target space): `−½·yᵀα − Σᵢ ln Lᵢᵢ − n/2·ln 2π`. The standard
+    /// model-selection criterion for GP hyper-parameters; exposed for diagnostics
+    /// and hyper-parameter grids. `None` before a successful fit.
+    pub fn log_marginal_likelihood(&self) -> Option<f64> {
+        let chol = self.chol.as_ref()?;
+        let ys = self.y_std.as_ref()?;
+        let n = ys.len() as f64;
+        let data_fit: f64 = ys.iter().zip(&self.alpha).map(|(y, a)| y * a).sum();
+        let log_det: f64 = (0..chol.nrows()).map(|i| chol[(i, i)].ln()).sum();
+        Some(-0.5 * data_fit - log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+    }
+
+    /// Posterior mean and standard deviation at `x`.
+    ///
+    /// Before a successful fit this returns the prior: mean 0, std = prior signal
+    /// standard deviation.
+    pub fn posterior(&self, x: &[f64]) -> Posterior {
+        let (Some(chol), Some(xs), Some(ys)) = (&self.chol, &self.x_scaler, &self.y_scaler)
+        else {
+            return Posterior {
+                mean: 0.0,
+                std: self.kernel.diag().sqrt(),
+            };
+        };
+        let xt = xs.transform_row(x);
+        let k_star = self.kernel.cross(&xt, &self.x_train);
+        let mean_z = dot(&k_star, &self.alpha);
+        // var = k(x,x) − k*ᵀ (K+σ²I)⁻¹ k*, computed via v = L⁻¹ k*.
+        let v = solve_lower(chol, &k_star);
+        let var_z = (self.kernel.diag() - dot(&v, &v)).max(0.0);
+        Posterior {
+            mean: ys.inverse(mean_z),
+            std: ys.inverse_scale(var_z.sqrt()),
+        }
+    }
+}
+
+impl Regressor for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        validate_xy(x, y)?;
+        let x_scaler = StandardScaler::fit(x);
+        let y_scaler = TargetScaler::fit(y);
+        let xs = x_scaler.transform(x);
+        let ys: Vec<f64> = y.iter().map(|&v| y_scaler.transform(v)).collect();
+
+        let mut k = self.kernel.gram(&xs);
+        k.add_diagonal(self.noise + 1e-8);
+        let chol = k.cholesky()?;
+        let tmp = solve_lower(&chol, &ys);
+        let alpha = solve_upper_from_lower(&chol, &tmp);
+
+        self.x_train = xs;
+        self.alpha = alpha;
+        self.chol = Some(chol);
+        self.x_scaler = Some(x_scaler);
+        self.y_scaler = Some(y_scaler);
+        self.y_std = Some(ys);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.posterior(x).mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit_sine() -> GaussianProcess {
+        let x: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 * 0.25]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].sin()).collect();
+        let mut gp = GaussianProcess::new(Kernel::rbf(0.5), 1e-6);
+        gp.fit(&x, &y).unwrap();
+        gp
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let gp = fit_sine();
+        for &x in &[0.3, 1.7, 4.1] {
+            assert!((gp.predict(&[x]) - x.sin()).abs() < 0.05, "at {x}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let gp = fit_sine();
+        let near = gp.posterior(&[3.0]).std;
+        let far = gp.posterior(&[20.0]).std;
+        assert!(far > near * 5.0, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn posterior_std_is_small_at_training_points() {
+        let gp = fit_sine();
+        assert!(gp.posterior(&[1.0]).std < 0.05);
+    }
+
+    #[test]
+    fn unfitted_returns_prior() {
+        let gp = GaussianProcess::default_bo();
+        let p = gp.posterior(&[0.0, 0.0]);
+        assert_eq!(p.mean, 0.0);
+        assert!((p.std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_gp_does_not_interpolate_exactly() {
+        let x = vec![vec![0.0], vec![0.0], vec![1.0]];
+        let y = vec![0.0, 2.0, 1.0]; // conflicting observations at x = 0
+        let mut gp = GaussianProcess::new(Kernel::rbf(1.0), 0.5);
+        gp.fit(&x, &y).unwrap();
+        let p = gp.predict(&[0.0]);
+        // With conflicting targets the posterior mean lands between them.
+        assert!(p > 0.2 && p < 1.8, "mean {p}");
+    }
+
+    #[test]
+    fn marginal_likelihood_prefers_the_right_length_scale() {
+        // Data drawn from a smooth slow function: a matching (long) length scale
+        // must out-score a wildly short one.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.2]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 0.5).sin()).collect();
+        let lml = |ls: f64| {
+            let mut gp = GaussianProcess::new(Kernel::rbf(ls), 1e-4);
+            gp.fit(&x, &y).unwrap();
+            gp.log_marginal_likelihood().unwrap()
+        };
+        assert!(
+            lml(2.0) > lml(0.05),
+            "long ls {} should beat tiny ls {}",
+            lml(2.0),
+            lml(0.05)
+        );
+        // Unfitted GP has no likelihood.
+        assert!(GaussianProcess::default_bo().log_marginal_likelihood().is_none());
+    }
+
+    #[test]
+    fn repeated_points_stay_numerically_stable() {
+        let x = vec![vec![1.0]; 10];
+        let y = vec![5.0; 10];
+        let mut gp = GaussianProcess::new(Kernel::rbf(1.0), 0.01);
+        gp.fit(&x, &y).unwrap();
+        assert!((gp.predict(&[1.0]) - 5.0).abs() < 0.5);
+    }
+}

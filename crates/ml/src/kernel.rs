@@ -1,0 +1,136 @@
+//! Covariance kernels shared by kernel ridge regression and the Gaussian process.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{sq_dist, Matrix};
+
+/// A positive-definite kernel over feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum Kernel {
+    /// Squared-exponential (RBF): `σ² · exp(−‖a−b‖² / (2·ℓ²))`.
+    Rbf {
+        /// Length-scale ℓ (> 0).
+        length_scale: f64,
+        /// Signal variance σ².
+        variance: f64,
+    },
+    /// Matérn 5/2, a common BO default that is less smooth than RBF.
+    Matern52 {
+        /// Length-scale ℓ (> 0).
+        length_scale: f64,
+        /// Signal variance σ².
+        variance: f64,
+    },
+}
+
+impl Kernel {
+    /// An RBF kernel with unit variance.
+    pub fn rbf(length_scale: f64) -> Kernel {
+        Kernel::Rbf {
+            length_scale,
+            variance: 1.0,
+        }
+    }
+
+    /// A Matérn 5/2 kernel with unit variance.
+    pub fn matern52(length_scale: f64) -> Kernel {
+        Kernel::Matern52 {
+            length_scale,
+            variance: 1.0,
+        }
+    }
+
+    /// Evaluate `k(a, b)`.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Rbf {
+                length_scale,
+                variance,
+            } => {
+                let d2 = sq_dist(a, b);
+                variance * (-d2 / (2.0 * length_scale * length_scale)).exp()
+            }
+            Kernel::Matern52 {
+                length_scale,
+                variance,
+            } => {
+                let d = sq_dist(a, b).sqrt();
+                let s = 5f64.sqrt() * d / length_scale;
+                variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+
+    /// Kernel self-covariance `k(x, x)` (the signal variance for stationary kernels).
+    pub fn diag(&self) -> f64 {
+        match *self {
+            Kernel::Rbf { variance, .. } | Kernel::Matern52 { variance, .. } => variance,
+        }
+    }
+
+    /// Gram matrix `K[i][j] = k(xs[i], xs[j])`.
+    pub fn gram(&self, xs: &[Vec<f64>]) -> Matrix {
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Cross-covariance vector `k(x, xs[i])` for all `i`.
+    pub fn cross(&self, x: &[f64], xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|xi| self.eval(x, xi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_is_one_at_zero_distance() {
+        let k = Kernel::rbf(1.0);
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::rbf(1.0);
+        let near = k.eval(&[0.0], &[0.5]);
+        let far = k.eval(&[0.0], &[3.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn matern_is_one_at_zero_and_decays() {
+        let k = Kernel::matern52(1.0);
+        assert!((k.eval(&[0.0], &[0.0]) - 1.0).abs() < 1e-12);
+        assert!(k.eval(&[0.0], &[1.0]) > k.eval(&[0.0], &[2.0]));
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_unit_diagonal() {
+        let k = Kernel::rbf(2.0);
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![-1.0, 3.0]];
+        let g = k.gram(&xs);
+        for i in 0..3 {
+            assert!((g[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn longer_length_scale_means_slower_decay() {
+        let short = Kernel::rbf(0.5);
+        let long = Kernel::rbf(5.0);
+        assert!(long.eval(&[0.0], &[1.0]) > short.eval(&[0.0], &[1.0]));
+    }
+}

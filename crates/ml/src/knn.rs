@@ -1,0 +1,125 @@
+//! Distance-weighted k-nearest-neighbour regression. Cheap, assumption-free fallback
+//! surrogate used when the observation window is too small for kernel machines, and as
+//! a sanity baseline in the surrogate-accuracy experiments.
+
+use crate::linalg::sq_dist;
+use crate::scaler::StandardScaler;
+use crate::{validate_xy, MlError, Regressor};
+
+/// k-NN regressor with inverse-distance weighting in standardized feature space.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    x_train: Vec<Vec<f64>>,
+    y_train: Vec<f64>,
+    scaler: Option<StandardScaler>,
+}
+
+impl KnnRegressor {
+    /// Create an unfitted model using `k` neighbours (`k == 0` is coerced to 1).
+    pub fn new(k: usize) -> Self {
+        KnnRegressor {
+            k: k.max(1),
+            x_train: Vec::new(),
+            y_train: Vec::new(),
+            scaler: None,
+        }
+    }
+
+    /// Whether `fit` has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        self.scaler.is_some()
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        validate_xy(x, y)?;
+        let scaler = StandardScaler::fit(x);
+        self.x_train = scaler.transform(x);
+        self.y_train = y.to_vec();
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let Some(scaler) = &self.scaler else {
+            return 0.0;
+        };
+        let xt = scaler.transform_row(x);
+        let mut dists: Vec<(f64, f64)> = self
+            .x_train
+            .iter()
+            .zip(&self.y_train)
+            .map(|(xi, &yi)| (sq_dist(&xt, xi), yi))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        dists.truncate(self.k);
+
+        // Exact hit: return that target directly (avoids division by zero).
+        if let Some(&(d, y)) = dists.first() {
+            if d < 1e-18 {
+                return y;
+            }
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(d2, yi) in &dists {
+                let w = 1.0 / d2.sqrt();
+                num += w * yi;
+                den += w;
+            }
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_training_point_returns_its_target() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![10.0, 20.0, 30.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict(&[1.0]), 20.0);
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let x = vec![vec![0.0], vec![2.0]];
+        let y = vec![0.0, 20.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict(&[1.0]);
+        assert!((p - 10.0).abs() < 1e-9, "midpoint should average: {p}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_fine() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![1.0, 3.0];
+        let mut m = KnnRegressor::new(50);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict(&[0.5]);
+        assert!(p > 1.0 && p < 3.0);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        assert_eq!(KnnRegressor::new(3).predict(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn nearer_neighbours_weigh_more() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![0.0, 100.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y).unwrap();
+        // Query near x=0 should be pulled toward 0.
+        assert!(m.predict(&[1.0]) < 50.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Machine-learning substrate for the Rockhopper reproduction.
+//!
+//! The paper trains its surrogate models with scikit-learn (SVR, linear models) and
+//! drives Bayesian Optimization with a Gaussian process. Nothing of the sort exists in
+//! the offline crate set, so this crate implements the required hypothesis classes from
+//! scratch on top of a small dense linear-algebra kernel:
+//!
+//! - [`linreg::Ridge`] — ordinary/ridge least squares via normal equations,
+//! - [`krr::KernelRidge`] — RBF kernel ridge regression (the stand-in for the paper's
+//!   SVR surrogate; same kernel-machine hypothesis class),
+//! - [`gp::GaussianProcess`] — GP regression with posterior mean/variance, used by the
+//!   Bayesian-Optimization baselines,
+//! - [`knn::KnnRegressor`] — distance-weighted k-nearest-neighbour regression,
+//! - [`forest::BaggedTrees`] / [`tree::RegressionTree`] — CART-style trees and a bagged
+//!   ensemble, used for the offline baseline model,
+//! - [`pseudo::PercentileSelector`] — the paper's "Level X" pseudo-surrogates (§6.1),
+//!   which pick the candidate ranked at the 10·X-th percentile of *true* performance.
+//!
+//! All estimators implement the [`Regressor`] trait and are deterministic given a seed.
+
+pub mod dataset;
+pub mod forest;
+pub mod gp;
+pub mod kernel;
+pub mod knn;
+pub mod krr;
+pub mod linalg;
+pub mod linreg;
+pub mod metrics;
+pub mod pseudo;
+pub mod scaler;
+pub mod stats;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use forest::BaggedTrees;
+pub use gp::GaussianProcess;
+pub use knn::KnnRegressor;
+pub use krr::KernelRidge;
+pub use linreg::Ridge;
+pub use pseudo::PercentileSelector;
+pub use scaler::StandardScaler;
+
+/// Errors produced by the estimators in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The training set was empty or features/targets disagreed in length.
+    EmptyOrMismatched {
+        /// Number of feature rows supplied.
+        rows: usize,
+        /// Number of target values supplied.
+        targets: usize,
+    },
+    /// Feature rows have inconsistent dimensionality.
+    RaggedFeatures {
+        /// Dimensionality of the first row.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        found: usize,
+    },
+    /// A linear system was (numerically) singular and could not be solved.
+    Singular,
+    /// A hyper-parameter was outside its valid range.
+    InvalidHyperparameter(&'static str),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::EmptyOrMismatched { rows, targets } => write!(
+                f,
+                "empty or mismatched training data: {rows} feature rows vs {targets} targets"
+            ),
+            MlError::RaggedFeatures { expected, found } => write!(
+                f,
+                "ragged feature rows: expected dimension {expected}, found {found}"
+            ),
+            MlError::Singular => write!(f, "linear system is singular"),
+            MlError::InvalidHyperparameter(name) => {
+                write!(f, "invalid hyper-parameter: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// A trained (or trainable) regression model mapping feature vectors to a scalar.
+///
+/// This is the interface through which the Centroid Learning algorithm consumes
+/// surrogate models: fit on the latest `N` observations, then score candidates.
+pub trait Regressor {
+    /// Fit the model to rows `x` (each a feature vector) and targets `y`.
+    ///
+    /// Implementations must validate the training-set shape and return [`MlError`]
+    /// rather than panic.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError>;
+
+    /// Predict the target for a single feature vector.
+    ///
+    /// Calling `predict` before a successful `fit` returns an implementation-defined
+    /// default (typically `0.0` or the prior mean); it must not panic.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predict targets for a batch of feature vectors.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Validate a training-set shape shared by every estimator.
+pub(crate) fn validate_xy(x: &[Vec<f64>], y: &[f64]) -> Result<usize, MlError> {
+    if x.is_empty() || x.len() != y.len() {
+        return Err(MlError::EmptyOrMismatched {
+            rows: x.len(),
+            targets: y.len(),
+        });
+    }
+    let dim = x[0].len();
+    for row in x {
+        if row.len() != dim {
+            return Err(MlError::RaggedFeatures {
+                expected: dim,
+                found: row.len(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(
+            validate_xy(&[], &[]),
+            Err(MlError::EmptyOrMismatched {
+                rows: 0,
+                targets: 0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_mismatch() {
+        let x = vec![vec![1.0]];
+        assert!(matches!(
+            validate_xy(&x, &[1.0, 2.0]),
+            Err(MlError::EmptyOrMismatched { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_ragged() {
+        let x = vec![vec![1.0, 2.0], vec![1.0]];
+        assert_eq!(
+            validate_xy(&x, &[1.0, 2.0]),
+            Err(MlError::RaggedFeatures {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(validate_xy(&x, &[1.0, 2.0]), Ok(2));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = MlError::RaggedFeatures {
+            expected: 3,
+            found: 2,
+        }
+        .to_string();
+        assert!(msg.contains('3') && msg.contains('2'));
+        assert!(MlError::Singular.to_string().contains("singular"));
+    }
+}

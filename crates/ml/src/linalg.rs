@@ -1,0 +1,304 @@
+//! Minimal dense linear algebra: a row-major matrix with the handful of operations the
+//! estimators need (mat-mat/mat-vec products, transpose, Cholesky factorization and
+//! triangular solves). Deliberately small — this is not a general-purpose BLAS.
+
+use crate::MlError;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows passed to Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != ncols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| dot(self.row(i), v))
+            .collect()
+    }
+
+    /// Add `lambda` to every diagonal entry (in place). Used for ridge/jitter terms.
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Cholesky factorization of a symmetric positive-definite matrix: returns lower
+    /// triangular `L` with `L·Lᵀ = self`.
+    ///
+    /// Returns [`MlError::Singular`] if the matrix is not (numerically) positive
+    /// definite.
+    pub fn cholesky(&self) -> Result<Matrix, MlError> {
+        assert_eq!(self.rows, self.cols, "cholesky requires a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 1e-300 {
+                        return Err(MlError::Singular);
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Solve `L·x = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.nrows();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[(i, j)] * x[j];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solve `Lᵀ·x = b` for lower-triangular `L` (backward substitution).
+pub fn solve_upper_from_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.nrows();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= l[(j, i)] * x[j];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solve the symmetric positive-definite system `A·x = b` via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
+    let l = a.cholesky()?;
+    let y = solve_lower(&l, b);
+    Ok(solve_upper_from_lower(&l, &y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = Matrix::identity(3);
+        let v = vec![1.0, -2.0, 3.5];
+        assert_eq!(i.matvec(&v), v);
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrix() {
+        // A = Lt·Ltᵀ for a known lower-triangular Lt is SPD by construction.
+        let lt = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![0.5, 1.5, 0.0],
+            vec![-1.0, 0.3, 1.0],
+        ]);
+        let a = lt.matmul(&lt.transpose());
+        let l = a.cholesky().expect("SPD matrix must factor");
+        let recon = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(recon[(i, j)], a[(i, j)], 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(a.cholesky(), Err(MlError::Singular));
+    }
+
+    #[test]
+    fn solve_spd_recovers_known_solution() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert_close(x[0], 1.0, 1e-10);
+        assert_close(x[1], -2.0, 1e-10);
+    }
+
+    #[test]
+    fn triangular_solves_invert_each_other() {
+        let l = Matrix::from_rows(&[vec![2.0, 0.0], vec![1.0, 3.0]]);
+        let b = vec![4.0, 11.0];
+        let y = solve_lower(&l, &b);
+        // L·y should equal b
+        assert_close(2.0 * y[0], 4.0, 1e-12);
+        assert_close(y[0] + 3.0 * y[1], 11.0, 1e-12);
+        let z = solve_upper_from_lower(&l, &b);
+        // Lᵀ·z = b
+        assert_close(2.0 * z[0] + 1.0 * z[1], 4.0, 1e-12);
+        assert_close(3.0 * z[1], 11.0, 1e-12);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(0.5);
+        assert_eq!(a[(0, 0)], 0.5);
+        assert_eq!(a[(1, 1)], 0.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn dot_and_sq_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

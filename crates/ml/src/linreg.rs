@@ -1,0 +1,171 @@
+//! Ridge-regularized linear least squares, solved via the normal equations and a
+//! Cholesky factorization.
+//!
+//! Two roles in the paper:
+//! - the **FIND_GRADIENT** linear surface (§4.3): "a linear surface is employed to
+//!   approximate the small region explored in these iterations, enabling robust
+//!   gradient calculation", and
+//! - the **guardrail** regression of execution time on `(iteration, input cardinality)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{solve_spd, Matrix};
+use crate::{validate_xy, MlError, Regressor};
+
+/// Linear model `y ≈ w·x + b` with L2 penalty `lambda` on `w` (the intercept is
+/// unpenalized).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Ridge {
+    lambda: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl Ridge {
+    /// Create an unfitted model. `lambda = 0` gives ordinary least squares (a tiny
+    /// jitter is still applied for numerical stability).
+    pub fn new(lambda: f64) -> Self {
+        Ridge {
+            lambda: lambda.max(0.0),
+            weights: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Whether `fit` has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        let n = x.len();
+
+        // Center features and targets so the intercept drops out of the system.
+        let x_mean: Vec<f64> = (0..dim)
+            .map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n as f64)
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+
+        // A = XᵀX + λI (on centered X), b = Xᵀy.
+        let mut a = Matrix::zeros(dim, dim);
+        let mut b = vec![0.0; dim];
+        for (row, &target) in x.iter().zip(y) {
+            let centered: Vec<f64> = row.iter().zip(&x_mean).map(|(v, m)| v - m).collect();
+            let ty = target - y_mean;
+            for j in 0..dim {
+                b[j] += centered[j] * ty;
+                for k in j..dim {
+                    a[(j, k)] += centered[j] * centered[k];
+                }
+            }
+        }
+        for j in 0..dim {
+            for k in 0..j {
+                a[(j, k)] = a[(k, j)];
+            }
+        }
+        // Always add a small jitter so degenerate designs (e.g. duplicated
+        // observations during early tuning iterations) still solve.
+        a.add_diagonal(self.lambda + 1e-9);
+
+        let w = solve_spd(&a, &b)?;
+        self.intercept = y_mean - w.iter().zip(&x_mean).map(|(wj, mj)| wj * mj).sum::<f64>();
+        self.weights = w;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2x0 - 3x1 + 5
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let mut m = Ridge::new(0.0);
+        m.fit(&x, &y).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 3.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-5);
+        assert!((m.predict(&[10.0, 1.0]) - 22.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0]).collect();
+        let mut ols = Ridge::new(0.0);
+        let mut heavy = Ridge::new(1e3);
+        ols.fit(&x, &y).unwrap();
+        heavy.fit(&x, &y).unwrap();
+        assert!(heavy.weights()[0].abs() < ols.weights()[0].abs());
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let m = Ridge::new(1.0);
+        assert_eq!(m.predict(&[1.0, 2.0]), 0.0);
+        assert!(!m.is_fitted());
+    }
+
+    #[test]
+    fn degenerate_duplicate_rows_still_fit() {
+        // All rows identical: the centered design is all-zero, only jitter keeps the
+        // system solvable. This happens in practice when early tuning iterations
+        // repeat the default configuration.
+        let x = vec![vec![1.0, 2.0]; 5];
+        let y = vec![3.0; 5];
+        let mut m = Ridge::new(0.0);
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict(&[1.0, 2.0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sign_is_recovered_under_noise() {
+        // The FIND_GRADIENT use-case: detect the descent direction from noisy data.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 6) as f64]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 10.0 - 2.0 * r[0] + crate::stats::normal(&mut rng, 0.0, 1.0))
+            .collect();
+        let mut m = Ridge::new(0.1);
+        m.fit(&x, &y).unwrap();
+        assert!(m.weights()[0] < 0.0, "slope should be negative");
+    }
+}

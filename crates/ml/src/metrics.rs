@@ -1,0 +1,122 @@
+//! Regression quality metrics used to validate surrogate accuracy (the paper grades
+//! its learned surrogate as "comparable to Level 3–5"; `rank_percentile_of_argmin`
+//! makes that grading reproducible).
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "rmse length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mae length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Coefficient of determination R². Returns 0 when the targets are constant.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "r2 length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = crate::stats::mean(y_true);
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot < 1e-30 {
+        return 0.0;
+    }
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// The paper's "Level" grading of a surrogate (§6.1): where does the candidate the
+/// model picks as best actually rank in *true* performance?
+///
+/// Returns the percentile (0–100, lower is better) of the model-chosen argmin within
+/// the true scores. A perfect model returns 0; a Level-5 model returns ≈50.
+pub fn rank_percentile_of_argmin(true_scores: &[f64], predicted_scores: &[f64]) -> f64 {
+    assert_eq!(
+        true_scores.len(),
+        predicted_scores.len(),
+        "rank_percentile length mismatch"
+    );
+    assert!(!true_scores.is_empty(), "empty candidate set");
+    let chosen = predicted_scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let better = true_scores
+        .iter()
+        .filter(|&&t| t < true_scores[chosen])
+        .count();
+    100.0 * better as f64 / true_scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_zero_error_unit_r2() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_rmse_mae() {
+        let t = vec![0.0, 0.0];
+        let p = vec![3.0, 4.0];
+        assert!((rmse(&t, &p) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&t, &p), 3.5);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = vec![1.0, 2.0, 3.0];
+        let p = vec![2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_targets_is_zero() {
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn argmin_percentile_perfect_model() {
+        let truth = vec![3.0, 1.0, 2.0];
+        assert_eq!(rank_percentile_of_argmin(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn argmin_percentile_inverted_model() {
+        let truth = vec![1.0, 2.0, 3.0, 4.0];
+        let pred = vec![4.0, 3.0, 2.0, 1.0]; // model loves the worst candidate
+        assert_eq!(rank_percentile_of_argmin(&truth, &pred), 75.0);
+    }
+}

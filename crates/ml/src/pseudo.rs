@@ -1,0 +1,109 @@
+//! The paper's "Level X" pseudo-surrogate models (§6.1, Figure 9).
+//!
+//! To isolate how surrogate accuracy affects Centroid Learning, the paper replaces the
+//! learned surrogate with an oracle of controllable quality: a *Level X* model, given a
+//! candidate set, picks the candidate ranked at approximately the `10·X`-th percentile
+//! of **true** (noise-free) performance. Level 1 is near-optimal; Level 8 recommends a
+//! candidate around the 80th percentile — badly suboptimal.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Selects candidates at a target percentile of their true scores.
+#[derive(Debug)]
+pub struct PercentileSelector {
+    /// Level `X` in 1..=9, targeting the `10·X`-th percentile (lower = better).
+    level: u8,
+    /// Rank jitter (±fraction of the candidate count) so repeated selections are
+    /// "approximately" at the percentile, as the paper describes.
+    jitter: f64,
+    rng: StdRng,
+}
+
+impl PercentileSelector {
+    /// Create a Level-`level` selector; `level` is clamped to `1..=9`.
+    pub fn new(level: u8, seed: u64) -> Self {
+        PercentileSelector {
+            level: level.clamp(1, 9),
+            jitter: 0.05,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Pick an index into `true_scores` ranked near the `10·level`-th percentile,
+    /// where *lower score is better* (scores are execution times).
+    ///
+    /// Returns `None` for an empty candidate set.
+    pub fn select(&mut self, true_scores: &[f64]) -> Option<usize> {
+        if true_scores.is_empty() {
+            return None;
+        }
+        let n = true_scores.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| true_scores[a].total_cmp(&true_scores[b]));
+
+        let target = self.level as f64 / 10.0 * (n - 1) as f64;
+        let jitter = self.rng.random_range(-self.jitter..=self.jitter) * n as f64;
+        let rank = (target + jitter).round().clamp(0.0, (n - 1) as f64) as usize;
+        Some(order[rank])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> Vec<f64> {
+        (0..100).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn level_one_picks_near_best() {
+        let mut s = PercentileSelector::new(1, 0);
+        let sc = scores();
+        for _ in 0..20 {
+            let i = s.select(&sc).unwrap();
+            assert!(sc[i] <= 20.0, "level 1 picked rank {}", sc[i]);
+        }
+    }
+
+    #[test]
+    fn level_eight_picks_poor_candidates() {
+        let mut s = PercentileSelector::new(8, 0);
+        let sc = scores();
+        for _ in 0..20 {
+            let i = s.select(&sc).unwrap();
+            assert!(sc[i] >= 60.0, "level 8 picked rank {}", sc[i]);
+        }
+    }
+
+    #[test]
+    fn level_is_clamped() {
+        assert_eq!(PercentileSelector::new(0, 0).level(), 1);
+        assert_eq!(PercentileSelector::new(12, 0).level(), 9);
+    }
+
+    #[test]
+    fn empty_candidates_return_none() {
+        assert_eq!(PercentileSelector::new(3, 0).select(&[]), None);
+    }
+
+    #[test]
+    fn works_on_unsorted_scores() {
+        let mut s = PercentileSelector::new(1, 7);
+        let sc = vec![50.0, 1.0, 99.0, 2.0, 75.0, 3.0, 60.0, 4.0, 80.0, 5.0];
+        let i = s.select(&sc).unwrap();
+        assert!(sc[i] <= 5.0, "picked {}", sc[i]);
+    }
+
+    #[test]
+    fn single_candidate_is_always_chosen() {
+        let mut s = PercentileSelector::new(9, 0);
+        assert_eq!(s.select(&[42.0]), Some(0));
+    }
+}

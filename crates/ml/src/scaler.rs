@@ -1,0 +1,161 @@
+//! Per-feature standardization (zero mean, unit variance). Kernel machines and GPs are
+//! scale-sensitive, and the tuned Spark knobs span several orders of magnitude
+//! (`shuffle.partitions` in the hundreds vs `maxPartitionBytes` in the hundreds of
+//! millions), so every kernel estimator in this crate standardizes internally.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitted standardization parameters.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    /// Standard deviations, with zero-variance features clamped to 1 so constant
+    /// columns pass through unchanged instead of producing NaN.
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit the scaler on feature rows.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty (callers validate the training-set shape first).
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on an empty set");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for row in x {
+            for ((s, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Transform one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Transform a batch of rows.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Invert the transform for one row.
+    pub fn inverse_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| v * s + m)
+            .collect()
+    }
+
+    /// Feature dimensionality the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+/// Standardization for the *target* vector, used by GP/KRR so the prior mean is 0.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TargetScaler {
+    mean: f64,
+    std: f64,
+}
+
+impl TargetScaler {
+    /// Fit on targets; zero variance clamps std to 1.
+    pub fn fit(y: &[f64]) -> Self {
+        let mean = crate::stats::mean(y);
+        let std = {
+            let s = crate::stats::std_dev(y);
+            if s < 1e-12 {
+                1.0
+            } else {
+                s
+            }
+        };
+        TargetScaler { mean, std }
+    }
+
+    /// Standardize a target value.
+    pub fn transform(&self, y: f64) -> f64 {
+        (y - self.mean) / self.std
+    }
+
+    /// Undo the standardization.
+    pub fn inverse(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+
+    /// Undo the standardization of a *standard deviation* (scale only, no shift).
+    pub fn inverse_scale(&self, s: f64) -> f64 {
+        s * self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let x = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        for j in 0..2 {
+            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            assert!(crate::stats::mean(&col).abs() < 1e-12);
+            assert!((crate::stats::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_passes_through() {
+        let x = vec![vec![7.0], vec![7.0]];
+        let sc = StandardScaler::fit(&x);
+        assert_eq!(sc.transform_row(&[7.0]), vec![0.0]);
+        assert!(sc.transform_row(&[8.0])[0].is_finite());
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let x = vec![vec![1.0, -5.0], vec![2.0, 10.0], vec![9.0, 0.0]];
+        let sc = StandardScaler::fit(&x);
+        let row = vec![4.2, 3.3];
+        let back = sc.inverse_row(&sc.transform_row(&row));
+        assert!((back[0] - 4.2).abs() < 1e-12);
+        assert!((back[1] - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_scaler_roundtrips() {
+        let y = vec![10.0, 20.0, 30.0];
+        let ts = TargetScaler::fit(&y);
+        assert!((ts.inverse(ts.transform(17.0)) - 17.0).abs() < 1e-12);
+        assert!(ts.transform(20.0).abs() < 1e-12);
+    }
+}

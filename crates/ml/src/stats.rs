@@ -1,0 +1,169 @@
+//! Small statistics helpers shared across the workspace: percentiles, summary bands
+//! for convergence plots, and seeded normal deviates (Box–Muller), avoiding any
+//! dependency beyond `rand`.
+
+use rand::{Rng, RngExt};
+
+/// Draw a standard-normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from zero so ln() stays finite.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw a normal deviate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation percentile, `q ∈ [0, 100]`. Returns `NaN` on empty input.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_of_sorted(&sorted, q)
+}
+
+/// Percentile of an already-sorted (ascending) slice.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let q = q.clamp(0.0, 100.0);
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// A `(p5, median, p95)` band — the summary the paper plots for every convergence
+/// figure (solid median line plus a 5th–95th percentile shaded region).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// 5th percentile.
+    pub p5: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Band {
+    /// Compute the band from raw samples.
+    pub fn from_samples(xs: &[f64]) -> Band {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Band {
+            p5: percentile_of_sorted(&sorted, 5.0),
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+        }
+    }
+}
+
+/// Per-iteration bands across replicated runs: `runs[r][t]` is the metric of run `r`
+/// at iteration `t`. Runs shorter than the longest run contribute only to the
+/// iterations they cover.
+pub fn bands_per_iteration(runs: &[Vec<f64>]) -> Vec<Band> {
+    let horizon = runs.iter().map(Vec::len).max().unwrap_or(0);
+    (0..horizon)
+        .map(|t| {
+            let at_t: Vec<f64> = runs.iter().filter_map(|r| r.get(t).copied()).collect();
+            Band::from_samples(&at_t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        assert!((mean(&xs) - 3.0).abs() < 0.1, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 2.0).abs() < 0.1, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+        assert_eq!(median(&xs), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = vec![0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), 2.5);
+        assert_eq!(percentile(&xs, 75.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan_singleton_is_value() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn band_ordering_holds() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let b = Band::from_samples(&xs);
+        assert!(b.p5 <= b.p50 && b.p50 <= b.p95);
+        assert_eq!(b.p50, 50.0);
+    }
+
+    #[test]
+    fn bands_per_iteration_handles_ragged_runs() {
+        let runs = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0]];
+        let bands = bands_per_iteration(&runs);
+        assert_eq!(bands.len(), 3);
+        assert_eq!(bands[0].p50, 1.5);
+        assert_eq!(bands[2].p50, 3.0); // only the longer run reaches t=2
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! CART-style regression tree (variance-reduction splits). Together with
+//! [`crate::forest::BaggedTrees`] this provides the offline *baseline model* — the
+//! paper trains its baseline on hundreds of benchmark configurations where a
+//! non-parametric, interaction-capturing model is a better fit than a kernel machine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{validate_xy, MlError, Regressor};
+
+/// A node in the tree, stored in a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the `< threshold` child.
+        left: usize,
+        /// Arena index of the `>= threshold` child.
+        right: usize,
+    },
+}
+
+/// Regression tree with depth and leaf-size controls.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RegressionTree {
+    max_depth: usize,
+    min_leaf: usize,
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Create an unfitted tree. `max_depth = 0` means a single leaf (the mean).
+    pub fn new(max_depth: usize, min_leaf: usize) -> Self {
+        RegressionTree {
+            max_depth,
+            min_leaf: min_leaf.max(1),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Whether `fit` has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fit on a subset of rows given by `idx` (used by bagging). `feature_subset`
+    /// restricts the features considered at every split (`None` = all).
+    pub(crate) fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        feature_subset: Option<&[usize]>,
+    ) -> Result<(), MlError> {
+        validate_xy(x, y)?;
+        if idx.is_empty() {
+            return Err(MlError::EmptyOrMismatched {
+                rows: 0,
+                targets: 0,
+            });
+        }
+        self.nodes.clear();
+        let mut idx = idx.to_vec();
+        self.build(x, y, &mut idx, 0, feature_subset);
+        Ok(())
+    }
+
+    /// Recursively grow the tree; returns the arena index of the created node.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        feature_subset: Option<&[usize]>,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= self.max_depth || idx.len() < 2 * self.min_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        let dim = x[0].len();
+        let all_features: Vec<usize> = (0..dim).collect();
+        let features = feature_subset.unwrap_or(&all_features);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for &f in features {
+            if let Some((thr, score)) = best_split_on(x, y, idx, f, self.min_leaf) {
+                if best.is_none_or(|(_, _, s)| score < s) {
+                    best = Some((f, thr, score));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        // Partition idx in place around the threshold.
+        let split_at = partition(idx, |&i| x[i][feature] < threshold);
+        if split_at == 0 || split_at == idx.len() {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        // Reserve a slot for this split node before recursing.
+        self.nodes.push(Node::Leaf { value: mean });
+        let me = self.nodes.len() - 1;
+        let (left_idx, right_idx) = idx.split_at_mut(split_at);
+        let left = self.build(x, y, left_idx, depth + 1, feature_subset);
+        let right = self.build(x, y, right_idx, depth + 1, feature_subset);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+/// Find the best variance-reducing split of `idx` on feature `f`.
+/// Returns `(threshold, weighted_sse)` or `None` when no legal split exists.
+fn best_split_on(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    f: usize,
+    min_leaf: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+
+    let n = order.len();
+    // Prefix sums of y and y² along the sorted order enable O(1) SSE per split point.
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    let prefix: Vec<(f64, f64)> = order
+        .iter()
+        .map(|&i| {
+            sum += y[i];
+            sum2 += y[i] * y[i];
+            (sum, sum2)
+        })
+        .collect();
+    let (total, total2) = prefix[n - 1];
+
+    let mut best: Option<(f64, f64)> = None;
+    for k in min_leaf..=(n - min_leaf) {
+        if k == n {
+            break;
+        }
+        let lo = x[order[k - 1]][f];
+        let hi = x[order[k]][f];
+        if hi <= lo {
+            continue; // equal feature values cannot be separated
+        }
+        let (ls, ls2) = prefix[k - 1];
+        let rs = total - ls;
+        let rs2 = total2 - ls2;
+        let sse_left = ls2 - ls * ls / k as f64;
+        let sse_right = rs2 - rs * rs / (n - k) as f64;
+        let score = sse_left + sse_right;
+        if best.is_none_or(|(_, s)| score < s) {
+            best = Some((0.5 * (lo + hi), score));
+        }
+    }
+    best
+}
+
+/// Stable-ish in-place partition; returns the number of elements satisfying `pred`.
+fn partition<F: Fn(&usize) -> bool>(idx: &mut [usize], pred: F) -> usize {
+    idx.sort_by_key(|i| !pred(i)); // `false < true`, so matching elements come first
+    idx.iter().filter(|i| pred(i)).count()
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        self.fit_indices(x, y, &idx, None)
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] < 10.0 { 1.0 } else { 5.0 }).collect();
+        let mut t = RegressionTree::new(3, 1);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&[2.0]), 1.0);
+        assert_eq!(t.predict(&[15.0]), 5.0);
+    }
+
+    #[test]
+    fn depth_zero_predicts_mean() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let mut t = RegressionTree::new(0, 1);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&[0.0]), 3.0);
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut t = RegressionTree::new(10, 4);
+        t.fit(&x, &y).unwrap();
+        // min_leaf = 4 with 8 points permits exactly one split.
+        assert!(t.n_nodes() <= 3, "nodes: {}", t.n_nodes());
+    }
+
+    #[test]
+    fn constant_feature_yields_single_leaf() {
+        let x = vec![vec![1.0]; 6];
+        let y = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut t = RegressionTree::new(5, 1);
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&[1.0]), 3.5);
+    }
+
+    #[test]
+    fn captures_interaction_with_enough_depth() {
+        // XOR-like target requires depth 2.
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0.0, 1.0, 1.0, 0.0];
+        let mut t = RegressionTree::new(2, 1);
+        t.fit(&x, &y).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict(xi), *yi);
+        }
+    }
+
+    #[test]
+    fn empty_fit_errors() {
+        let mut t = RegressionTree::new(3, 1);
+        assert!(t.fit(&[], &[]).is_err());
+        assert_eq!(t.predict(&[0.0]), 0.0);
+    }
+}

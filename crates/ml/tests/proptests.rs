@@ -1,0 +1,135 @@
+//! Property-based tests for the ML substrate's numerical invariants.
+
+use proptest::prelude::*;
+
+use ml::linalg::{solve_spd, Matrix};
+use ml::scaler::StandardScaler;
+use ml::stats;
+use ml::{KernelRidge, KnnRegressor, Regressor, Ridge};
+
+/// Build a random SPD matrix A = LᵀL + εI from a seed vector.
+fn spd_from(vals: &[f64], n: usize) -> Matrix {
+    let mut l = Matrix::zeros(n, n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in 0..=i {
+            l[(i, j)] = vals[k % vals.len()] % 3.0;
+            k += 1;
+        }
+    }
+    let mut a = l.matmul(&l.transpose());
+    a.add_diagonal(1.0);
+    a
+}
+
+proptest! {
+    #[test]
+    fn cholesky_solve_satisfies_the_system(
+        vals in prop::collection::vec(-5.0..5.0f64, 10),
+        b in prop::collection::vec(-10.0..10.0f64, 3),
+    ) {
+        let a = spd_from(&vals, 3);
+        let x = solve_spd(&a, &b).expect("SPD by construction");
+        let ax = a.matvec(&x);
+        for (ai, bi) in ax.iter().zip(&b) {
+            prop_assert!((ai - bi).abs() < 1e-6, "residual {} vs {}", ai, bi);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative_enough(
+        vals in prop::collection::vec(-2.0..2.0f64, 12),
+    ) {
+        let a = Matrix::from_rows(&[vals[0..2].to_vec(), vals[2..4].to_vec()]);
+        let b = Matrix::from_rows(&[vals[4..6].to_vec(), vals[6..8].to_vec()]);
+        let c = Matrix::from_rows(&[vals[8..10].to_vec(), vals[10..12].to_vec()]);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_roundtrips_any_rows(
+        rows in prop::collection::vec(prop::collection::vec(-1e6..1e6f64, 3), 2..30),
+    ) {
+        let sc = StandardScaler::fit(&rows);
+        for r in &rows {
+            let back = sc.inverse_row(&sc.transform_row(r));
+            for (a, b) in r.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_predictions_are_finite(
+        xs in prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 2), 4..40),
+        noise in prop::collection::vec(-1.0..1.0f64, 40),
+    ) {
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r[0] - 2.0 * r[1] + noise[i % noise.len()])
+            .collect();
+        let mut m = Ridge::new(0.1);
+        m.fit(&xs, &y).expect("jittered normal equations always solve");
+        for r in &xs {
+            prop_assert!(m.predict(r).is_finite());
+        }
+    }
+
+    #[test]
+    fn krr_stays_within_target_hull_at_training_points(
+        ys in prop::collection::vec(1.0..1000.0f64, 5..20),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let mut m = KernelRidge::rbf(1.0, 0.5);
+        m.fit(&xs, &ys).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1.0);
+        for x in &xs {
+            let p = m.predict(x);
+            prop_assert!(p > lo - span && p < hi + span, "{p} outside [{lo}, {hi}]±span");
+        }
+    }
+
+    #[test]
+    fn knn_prediction_is_within_neighbour_hull(
+        ys in prop::collection::vec(-100.0..100.0f64, 3..20),
+        q in -50.0..50.0f64,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let mut m = KnnRegressor::new(3);
+        m.fit(&xs, &ys).unwrap();
+        let p = m.predict(&[q]);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..50),
+        q1 in 0.0..100.0f64,
+        q2 in 0.0..100.0f64,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::percentile(&xs, lo_q) <= stats::percentile(&xs, hi_q) + 1e-12);
+    }
+
+    #[test]
+    fn band_brackets_every_sample_loosely(
+        xs in prop::collection::vec(-1e3..1e3f64, 2..100),
+    ) {
+        let b = stats::Band::from_samples(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(b.p5 >= lo - 1e-12 && b.p95 <= hi + 1e-12);
+        prop_assert!(b.p5 <= b.p50 && b.p50 <= b.p95);
+    }
+}

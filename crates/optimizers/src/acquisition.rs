@@ -1,0 +1,144 @@
+//! Acquisition functions for model-guided search (minimization convention: lower
+//! predicted time is better).
+
+use ml::gp::Posterior;
+
+/// Standard-normal PDF.
+pub fn norm_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard-normal CDF via the Abramowitz–Stegun erf approximation (max abs error
+/// ≈ 1.5e-7 — far below the noise floor of anything scored here).
+pub fn norm_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected Improvement below the incumbent best (for minimization):
+/// `EI = (best − μ)·Φ(z) + σ·φ(z)` with `z = (best − μ)/σ`.
+pub fn expected_improvement(post: &Posterior, best: f64) -> f64 {
+    if post.std < 1e-12 {
+        return (best - post.mean).max(0.0);
+    }
+    let z = (best - post.mean) / post.std;
+    (best - post.mean) * norm_cdf(z) + post.std * norm_pdf(z)
+}
+
+/// Lower confidence bound score (to be *minimized*): `μ − κ·σ`.
+pub fn lcb(post: &Posterior, kappa: f64) -> f64 {
+    post.mean - kappa * post.std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_matches_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(norm_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((norm_pdf(1.3) - norm_pdf(-1.3)).abs() < 1e-12);
+        assert!(norm_pdf(0.0) > norm_pdf(0.5));
+        assert!((norm_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ei_prefers_lower_mean_at_equal_uncertainty() {
+        let best = 10.0;
+        let a = expected_improvement(
+            &Posterior {
+                mean: 8.0,
+                std: 1.0,
+            },
+            best,
+        );
+        let b = expected_improvement(
+            &Posterior {
+                mean: 9.5,
+                std: 1.0,
+            },
+            best,
+        );
+        assert!(a > b);
+    }
+
+    #[test]
+    fn ei_values_uncertainty_when_means_are_bad() {
+        // Both means are above the incumbent; only uncertainty can improve.
+        let best = 10.0;
+        let certain = expected_improvement(
+            &Posterior {
+                mean: 12.0,
+                std: 0.01,
+            },
+            best,
+        );
+        let uncertain = expected_improvement(
+            &Posterior {
+                mean: 12.0,
+                std: 3.0,
+            },
+            best,
+        );
+        assert!(uncertain > certain);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mean in [-5.0, 0.0, 5.0, 50.0] {
+            for std in [0.0, 0.1, 2.0] {
+                let ei = expected_improvement(&Posterior { mean, std }, 1.0);
+                assert!(ei >= 0.0, "mean {mean} std {std} -> {ei}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_std_ei_is_plain_improvement() {
+        let ei = expected_improvement(
+            &Posterior {
+                mean: 3.0,
+                std: 0.0,
+            },
+            10.0,
+        );
+        assert_eq!(ei, 7.0);
+    }
+
+    #[test]
+    fn lcb_rewards_uncertainty() {
+        let a = lcb(
+            &Posterior {
+                mean: 5.0,
+                std: 2.0,
+            },
+            1.0,
+        );
+        let b = lcb(
+            &Posterior {
+                mean: 5.0,
+                std: 0.0,
+            },
+            1.0,
+        );
+        assert!(a < b);
+    }
+}

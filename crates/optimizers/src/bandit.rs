@@ -1,0 +1,250 @@
+//! An OPPerTune-style bandit tuner (Somashekar et al., NSDI'24) — the third member
+//! of the greedy family the paper groups with hill climbing and FLOW2 ("rely solely
+//! on the last two rounds of observations", §4.3).
+//!
+//! Each dimension is discretized into arms; an exponential-weights (EXP3-style)
+//! learner per dimension samples an arm, observes the shared reward (negative
+//! normalized cost), and reweights. Like the other greedy baselines it reacts to
+//! individual noisy observations, which is exactly what Centroid Learning's
+//! window statistics are designed to avoid.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+/// Per-dimension EXP3 learner over discretized arm positions.
+#[derive(Debug, Clone)]
+struct DimBandit {
+    /// Normalized position of each arm in `[0, 1]`.
+    arms: Vec<f64>,
+    /// Log-weights (kept in log space for stability).
+    log_weights: Vec<f64>,
+    /// Index of the arm chosen in the pending round.
+    pending: usize,
+}
+
+impl DimBandit {
+    fn new(n_arms: usize) -> DimBandit {
+        let arms = (0..n_arms)
+            .map(|i| i as f64 / (n_arms - 1).max(1) as f64)
+            .collect();
+        DimBandit {
+            arms,
+            log_weights: vec![0.0; n_arms],
+            pending: 0,
+        }
+    }
+
+    /// Sampling distribution: softmax of weights mixed with uniform exploration.
+    fn probabilities(&self, gamma: f64) -> Vec<f64> {
+        let max_lw = self
+            .log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = self.log_weights.iter().map(|w| (w - max_lw).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let k = self.arms.len() as f64;
+        exps.iter()
+            .map(|e| (1.0 - gamma) * e / sum + gamma / k)
+            .collect()
+    }
+
+    fn sample(&mut self, gamma: f64, rng: &mut StdRng) -> f64 {
+        let probs = self.probabilities(gamma);
+        let mut roll: f64 = rng.random_range(0.0..1.0);
+        let mut chosen = probs.len() - 1;
+        for (i, p) in probs.iter().enumerate() {
+            if roll < *p {
+                chosen = i;
+                break;
+            }
+            roll -= p;
+        }
+        self.pending = chosen;
+        self.arms[chosen]
+    }
+
+    /// EXP3 importance-weighted update with reward in `[0, 1]`.
+    fn update(&mut self, reward: f64, gamma: f64, eta: f64) {
+        let probs = self.probabilities(gamma);
+        let p = probs[self.pending].max(1e-9);
+        self.log_weights[self.pending] += eta * reward / p;
+        // Re-center to avoid drift.
+        let mean: f64 =
+            self.log_weights.iter().sum::<f64>() / self.log_weights.len() as f64;
+        for w in &mut self.log_weights {
+            *w -= mean;
+        }
+    }
+}
+
+/// Multi-dimension bandit tuner: one EXP3 learner per knob, shared reward.
+#[derive(Debug)]
+pub struct BanditTuner {
+    space: ConfigSpace,
+    dims: Vec<DimBandit>,
+    rng: StdRng,
+    /// Exploration mix in `[0, 1]`.
+    pub gamma: f64,
+    /// Learning rate.
+    pub eta: f64,
+    /// Running reward scale: rewards are `clamp(1 − elapsed / (2·median), 0, 1)`.
+    median_tracker: Vec<f64>,
+    /// Recorded observations.
+    pub history: History,
+}
+
+impl BanditTuner {
+    /// Create with `arms_per_dim` discretization levels.
+    pub fn new(space: ConfigSpace, arms_per_dim: usize, seed: u64) -> BanditTuner {
+        let dims = (0..space.len())
+            .map(|_| DimBandit::new(arms_per_dim.max(2)))
+            .collect();
+        BanditTuner {
+            space,
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+            gamma: 0.15,
+            eta: 0.25,
+            median_tracker: Vec::new(),
+            history: History::new(),
+        }
+    }
+
+    /// The greedy (most-weighted) arm per dimension, decoded to a raw point.
+    pub fn incumbent(&self) -> Vec<f64> {
+        let x: Vec<f64> = self
+            .dims
+            .iter()
+            .map(|d| {
+                let best = d
+                    .log_weights
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                d.arms[best]
+            })
+            .collect();
+        self.space.denormalize(&x)
+    }
+}
+
+impl Tuner for BanditTuner {
+    fn suggest(&mut self, _ctx: &TuningContext) -> Vec<f64> {
+        let gamma = self.gamma;
+        let x: Vec<f64> = self
+            .dims
+            .iter_mut()
+            .map(|d| d.sample(gamma, &mut self.rng))
+            .collect();
+        self.space.denormalize(&x)
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+        // Normalize cost by the running median so rewards stay in [0, 1].
+        self.median_tracker.push(outcome.elapsed_ms);
+        if self.median_tracker.len() > 50 {
+            self.median_tracker.remove(0);
+        }
+        let median = ml::stats::median(&self.median_tracker).max(1e-9);
+        let reward = (1.0 - outcome.elapsed_ms / (2.0 * median)).clamp(0.0, 1.0);
+        for d in &mut self.dims {
+            d.update(reward, self.gamma, self.eta);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bandit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Environment, SyntheticEnv};
+    use sparksim::noise::NoiseSpec;
+    use workloads::dynamic::DataSchedule;
+
+    fn drive(noise: NoiseSpec, iters: usize, seed: u64) -> f64 {
+        let mut env = SyntheticEnv::new(noise, DataSchedule::Constant { size: 1.0 }, seed);
+        let mut b = BanditTuner::new(env.space().clone(), 8, seed);
+        for _ in 0..iters {
+            let p = b.suggest(&env.context());
+            let o = env.run(&p);
+            b.observe(&p, &o);
+        }
+        let inc = b.incumbent();
+        env.f.normed_performance(&[inc[0], inc[1], inc[2]], 1.0)
+    }
+
+    #[test]
+    fn learns_on_noiseless_function() {
+        let finals: Vec<f64> = (0..5).map(|s| drive(NoiseSpec::none(), 300, s)).collect();
+        let median = ml::stats::median(&finals);
+        assert!(median < 1.6, "bandit incumbent should improve: {median}");
+    }
+
+    #[test]
+    fn suggestions_stay_in_bounds() {
+        let space = ConfigSpace::query_level();
+        let mut b = BanditTuner::new(space.clone(), 6, 3);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        for i in 0..50 {
+            let p = b.suggest(&ctx);
+            for (v, d) in p.iter().zip(&space.dims) {
+                // Relative tolerance: log-scale round-trips can wobble by ~1 ULP of
+                // values in the billions.
+                let eps = 1e-9 * (1.0 + d.hi.abs());
+                assert!(*v >= d.lo - eps && *v <= d.hi + eps, "{v} not in [{}, {}]", d.lo, d.hi);
+            }
+            b.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0 + (i % 7) as f64,
+                    data_size: 1.0,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn rewarded_arm_gains_probability() {
+        let space = ConfigSpace::query_level();
+        let mut b = BanditTuner::new(space, 4, 1);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        // Always reward maximally: the pending arms' weights must grow.
+        let p = b.suggest(&ctx);
+        let before = b.dims[0].log_weights[b.dims[0].pending];
+        b.observe(
+            &p,
+            &Outcome {
+                elapsed_ms: 0.0, // reward clamps to 1
+                data_size: 1.0,
+            },
+        );
+        let after = b.dims[0].log_weights[b.dims[0].pending];
+        assert!(after > before);
+    }
+
+    #[test]
+    fn noise_hurts_the_bandit_more_than_quiet() {
+        let clean: f64 = (0..5).map(|s| drive(NoiseSpec::none(), 200, s)).sum::<f64>() / 5.0;
+        let noisy: f64 = (0..5).map(|s| drive(NoiseSpec::high(), 200, s)).sum::<f64>() / 5.0;
+        assert!(noisy >= clean * 0.95, "clean {clean} vs noisy {noisy}");
+    }
+}

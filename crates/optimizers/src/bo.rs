@@ -1,0 +1,192 @@
+//! Vanilla Bayesian Optimization: GP surrogate + Expected Improvement, candidates
+//! sampled uniformly over the whole space — the paper's primary baseline (Figure 2a).
+//!
+//! This is deliberately the *textbook* algorithm. Its global candidate proposals are
+//! exactly what the paper criticizes in production: under heavy noise the GP chases
+//! spikes into far-away regions, producing the wide, slow-converging band of Fig 2a.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ml::gp::GaussianProcess;
+use ml::Regressor;
+
+use crate::acquisition::expected_improvement;
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+/// GP-EI Bayesian Optimization over a [`ConfigSpace`].
+#[derive(Debug)]
+pub struct BayesOpt {
+    space: ConfigSpace,
+    rng: StdRng,
+    /// Pure-random warm-up iterations before the GP takes over.
+    pub n_init: usize,
+    /// Candidate pool size per suggestion.
+    pub n_candidates: usize,
+    /// Recorded observations.
+    pub history: History,
+}
+
+impl BayesOpt {
+    /// Create with the conventional defaults (5 random starts, 256 candidates).
+    pub fn new(space: ConfigSpace, seed: u64) -> BayesOpt {
+        BayesOpt {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            n_init: 5,
+            n_candidates: 256,
+            history: History::new(),
+        }
+    }
+
+    fn fit_gp(&self) -> Option<GaussianProcess> {
+        if self.history.len() < self.n_init {
+            return None;
+        }
+        // Cap the GP training set: the exact solve is O(n³), and BO libraries in
+        // production do the same (inducing points / history truncation). Keeping the
+        // most recent rows preserves the algorithm's behaviour on long runs.
+        const MAX_ROWS: usize = 200;
+        let window = self.history.window(MAX_ROWS);
+        let x: Vec<Vec<f64>> = window
+            .iter()
+            .map(|o| self.space.normalize(&o.point))
+            .collect();
+        // Log targets: execution times are positive and spike multiplicatively.
+        let y: Vec<f64> = window.iter().map(|o| o.elapsed_ms.ln()).collect();
+        let mut gp = GaussianProcess::default_bo();
+        gp.fit(&x, &y).ok()?;
+        Some(gp)
+    }
+}
+
+impl Tuner for BayesOpt {
+    fn suggest(&mut self, _ctx: &TuningContext) -> Vec<f64> {
+        let Some(gp) = self.fit_gp() else {
+            return self.space.random_point(&mut self.rng);
+        };
+        let best = self
+            .history
+            .best_raw()
+            .map(|o| o.elapsed_ms.ln())
+            .unwrap_or(0.0);
+        let mut best_point = None;
+        let mut best_ei = f64::NEG_INFINITY;
+        for _ in 0..self.n_candidates {
+            let cand = self.space.random_point(&mut self.rng);
+            let post = gp.posterior(&self.space.normalize(&cand));
+            let ei = expected_improvement(&post, best);
+            if ei > best_ei {
+                best_ei = ei;
+                best_point = Some(cand);
+            }
+        }
+        best_point.unwrap_or_else(|| self.space.random_point(&mut self.rng))
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+    }
+
+    fn name(&self) -> &'static str {
+        "bayesopt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Environment, SyntheticEnv};
+    use sparksim::noise::NoiseSpec;
+    use workloads::dynamic::DataSchedule;
+
+    fn ctx() -> TuningContext {
+        TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn warms_up_randomly_then_models() {
+        let mut bo = BayesOpt::new(ConfigSpace::query_level(), 1);
+        assert!(bo.fit_gp().is_none());
+        for i in 0..6 {
+            let p = bo.suggest(&ctx());
+            bo.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0 + i as f64,
+                    data_size: 1.0,
+                },
+            );
+        }
+        assert!(bo.fit_gp().is_some());
+    }
+
+    #[test]
+    fn converges_on_noiseless_synthetic_function() {
+        // With zero noise, textbook BO must find a near-optimal point quickly.
+        let mut env = SyntheticEnv::new(
+            NoiseSpec::none(),
+            DataSchedule::Constant { size: 1.0 },
+            7,
+        );
+        let mut bo = BayesOpt::new(env.space().clone(), 7);
+        let mut best = f64::INFINITY;
+        for _ in 0..60 {
+            let p = bo.suggest(&env.context());
+            let o = env.run(&p);
+            best = best.min(env.f.normed_performance(&[p[0], p[1], p[2]], 1.0));
+            bo.observe(&p, &o);
+        }
+        assert!(best < 1.25, "best normed perf {best}");
+    }
+
+    #[test]
+    fn struggles_under_high_noise_relative_to_noiseless() {
+        // The Figure 2a phenomenon, in miniature: final *incumbent-belief* quality
+        // degrades under heavy noise. We measure the true performance of what BO
+        // believes is best (its raw-minimum observation — spike-corrupted).
+        let run = |noise: sparksim::noise::NoiseSpec, seed: u64| -> f64 {
+            let mut env =
+                SyntheticEnv::new(noise, DataSchedule::Constant { size: 1.0 }, seed);
+            let mut bo = BayesOpt::new(env.space().clone(), seed);
+            for _ in 0..40 {
+                let p = bo.suggest(&env.context());
+                let o = env.run(&p);
+                bo.observe(&p, &o);
+            }
+            let inc = bo.history.best_raw().unwrap().point.clone();
+            env.f.normed_performance(&[inc[0], inc[1], inc[2]], 1.0)
+        };
+        let clean: f64 = (0..5).map(|s| run(NoiseSpec::none(), s)).sum::<f64>() / 5.0;
+        let noisy: f64 = (0..5).map(|s| run(NoiseSpec::high(), s)).sum::<f64>() / 5.0;
+        assert!(
+            noisy > clean,
+            "noise should hurt BO: clean {clean}, noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn suggestions_respect_bounds() {
+        let space = ConfigSpace::query_level();
+        let mut bo = BayesOpt::new(space.clone(), 3);
+        for i in 0..15 {
+            let p = bo.suggest(&ctx());
+            for (v, d) in p.iter().zip(&space.dims) {
+                assert!(*v >= d.lo && *v <= d.hi);
+            }
+            bo.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 50.0 + (i % 3) as f64,
+                    data_size: 1.0,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Categorical configuration support (§4.3: "categorical configurations can be
+//! handled by employing embedding algorithms that map categorical values into a
+//! continuous space to enable tuning", citing the Holon proto-action approach \[50\]).
+//!
+//! A [`CategoricalEncoder`] target-encodes each category by its observed performance:
+//! categories are laid out on `[0, 1]` ordered by their running mean outcome, so the
+//! continuous tuners' locality assumption ("nearby points behave similarly") holds —
+//! adjacent encoded values are categories with similar performance. Decoding snaps a
+//! continuous suggestion to the nearest category's position.
+//!
+//! Spark has several such knobs (`spark.serializer`, `spark.io.compression.codec`,
+//! `spark.sql.autoBroadcastJoinThreshold = -1` as an on/off, …); the reproduction's
+//! simulator only models numeric knobs, so this module is exercised by unit tests
+//! and available to downstream users.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Running performance statistics for one category.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct CategoryStats {
+    sum: f64,
+    count: u64,
+}
+
+impl CategoryStats {
+    fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Maps one categorical knob into `[0, 1]` by observed performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalEncoder {
+    /// The category labels, in declaration order.
+    categories: Vec<String>,
+    stats: Vec<CategoryStats>,
+}
+
+impl CategoricalEncoder {
+    /// Create an encoder over the given categories.
+    ///
+    /// # Panics
+    /// Panics on an empty category list or duplicate labels.
+    pub fn new<S: Into<String>>(categories: Vec<S>) -> CategoricalEncoder {
+        let categories: Vec<String> = categories.into_iter().map(Into::into).collect();
+        assert!(!categories.is_empty(), "need at least one category");
+        let distinct: std::collections::HashSet<&String> = categories.iter().collect();
+        assert_eq!(distinct.len(), categories.len(), "duplicate categories");
+        let stats = vec![CategoryStats::default(); categories.len()];
+        CategoricalEncoder { categories, stats }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the encoder has no categories (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Record an observed outcome (elapsed ms — lower is better) for a category.
+    /// Unknown labels are ignored (a client may send knobs this encoder never
+    /// declared).
+    pub fn observe(&mut self, category: &str, elapsed_ms: f64) {
+        if let Some(i) = self.index_of(category) {
+            self.stats[i].sum += elapsed_ms;
+            self.stats[i].count += 1;
+        }
+    }
+
+    fn index_of(&self, category: &str) -> Option<usize> {
+        self.categories.iter().position(|c| c == category)
+    }
+
+    /// The performance-ordered layout: positions in `[0, 1]` per category, best
+    /// (lowest mean) first. Unobserved categories keep their declaration-order slot
+    /// among themselves at the end of the layout.
+    fn layout(&self) -> HashMap<usize, f64> {
+        let mut order: Vec<usize> = (0..self.categories.len()).collect();
+        order.sort_by(|&a, &b| {
+            match (self.stats[a].mean(), self.stats[b].mean()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.cmp(&b),
+            }
+        });
+        let n = order.len();
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(rank, cat)| {
+                let pos = if n == 1 {
+                    0.0
+                } else {
+                    rank as f64 / (n - 1) as f64
+                };
+                (cat, pos)
+            })
+            .collect()
+    }
+
+    /// Encode a category into its current `[0, 1]` position.
+    /// Returns `None` for unknown labels.
+    pub fn encode(&self, category: &str) -> Option<f64> {
+        let i = self.index_of(category)?;
+        Some(self.layout()[&i])
+    }
+
+    /// Decode a continuous value to the nearest category's label.
+    pub fn decode(&self, x: f64) -> &str {
+        let layout = self.layout();
+        let best = (0..self.categories.len())
+            .min_by(|&a, &b| {
+                (layout[&a] - x).abs().total_cmp(&(layout[&b] - x).abs())
+            })
+            .expect("non-empty");
+        &self.categories[best]
+    }
+
+    /// Mean observed performance per category (for dashboards); `None` = unobserved.
+    pub fn means(&self) -> Vec<(&str, Option<f64>)> {
+        self.categories
+            .iter()
+            .map(String::as_str)
+            .zip(self.stats.iter().map(CategoryStats::mean))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> CategoricalEncoder {
+        CategoricalEncoder::new(vec!["lz4", "snappy", "zstd"])
+    }
+
+    #[test]
+    fn roundtrips_through_encode_decode() {
+        let mut e = encoder();
+        e.observe("lz4", 100.0);
+        e.observe("snappy", 200.0);
+        e.observe("zstd", 300.0);
+        for c in ["lz4", "snappy", "zstd"] {
+            let x = e.encode(c).unwrap();
+            assert_eq!(e.decode(x), c);
+        }
+    }
+
+    #[test]
+    fn performance_order_defines_the_layout() {
+        let mut e = encoder();
+        e.observe("zstd", 50.0); // best
+        e.observe("lz4", 100.0);
+        e.observe("snappy", 500.0); // worst
+        assert_eq!(e.encode("zstd"), Some(0.0));
+        assert_eq!(e.encode("lz4"), Some(0.5));
+        assert_eq!(e.encode("snappy"), Some(1.0));
+        // Low continuous values decode to the good end.
+        assert_eq!(e.decode(0.1), "zstd");
+        assert_eq!(e.decode(0.9), "snappy");
+    }
+
+    #[test]
+    fn layout_adapts_as_observations_accumulate() {
+        let mut e = encoder();
+        e.observe("lz4", 100.0);
+        e.observe("snappy", 200.0);
+        e.observe("zstd", 300.0);
+        assert_eq!(e.decode(0.0), "lz4");
+        // New evidence flips the ranking: zstd is actually fast.
+        for _ in 0..10 {
+            e.observe("zstd", 10.0);
+        }
+        assert_eq!(e.decode(0.0), "zstd");
+    }
+
+    #[test]
+    fn unobserved_categories_sit_after_observed_ones() {
+        let mut e = encoder();
+        e.observe("snappy", 100.0);
+        // snappy observed → best slot; others keep declaration order after it.
+        assert_eq!(e.encode("snappy"), Some(0.0));
+        assert!(e.encode("lz4").unwrap() > 0.0);
+        assert!(e.encode("zstd").unwrap() > e.encode("lz4").unwrap());
+    }
+
+    #[test]
+    fn unknown_labels_are_ignored_gracefully() {
+        let mut e = encoder();
+        e.observe("gzip", 1.0); // not declared
+        assert_eq!(e.encode("gzip"), None);
+        assert!(e.means().iter().all(|(_, m)| m.is_none()));
+    }
+
+    #[test]
+    fn single_category_is_trivial() {
+        let e = CategoricalEncoder::new(vec!["only"]);
+        assert_eq!(e.encode("only"), Some(0.0));
+        assert_eq!(e.decode(0.7), "only");
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate categories")]
+    fn duplicates_panic() {
+        CategoricalEncoder::new(vec!["a", "a"]);
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range() {
+        let mut e = encoder();
+        e.observe("lz4", 1.0);
+        e.observe("snappy", 2.0);
+        e.observe("zstd", 3.0);
+        assert_eq!(e.decode(-5.0), "lz4");
+        assert_eq!(e.decode(5.0), "zstd");
+    }
+}

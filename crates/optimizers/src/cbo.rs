@@ -1,0 +1,214 @@
+//! Contextual Bayesian Optimization (§6.2): the surrogate takes
+//! `[workload embedding, configs]` (Equation 2) and can be warm-started with baseline
+//! data collected offline from benchmark workloads — the transfer-learning experiment
+//! of Figure 12.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ml::gp::GaussianProcess;
+use ml::{Dataset, Regressor};
+
+use crate::acquisition::expected_improvement;
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+/// GP-EI over the joint (embedding, config) feature space with optional warm-start.
+#[derive(Debug)]
+pub struct ContextualBO {
+    space: ConfigSpace,
+    rng: StdRng,
+    /// Pure-random iterations before modeling *when no warm-start data exists*.
+    pub n_init: usize,
+    /// Candidate pool size.
+    pub n_candidates: usize,
+    /// Offline baseline rows: features are `[embedding…, normalized configs…]`,
+    /// targets are `ln(elapsed_ms)`.
+    warm_start: Dataset,
+    /// Online observations with their contexts.
+    online: Vec<(Vec<f64>, Vec<f64>, f64)>, // (embedding, point, elapsed)
+    /// Raw history for best-so-far reporting.
+    pub history: History,
+    /// Embedding captured at the latest `suggest`, attached to the next observation.
+    last_embedding: Vec<f64>,
+}
+
+impl ContextualBO {
+    /// Create without warm-start data.
+    pub fn new(space: ConfigSpace, seed: u64) -> ContextualBO {
+        ContextualBO {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            n_init: 5,
+            n_candidates: 256,
+            warm_start: Dataset::new(),
+            online: Vec::new(),
+            history: History::new(),
+            last_embedding: Vec::new(),
+        }
+    }
+
+    /// Prime the surrogate with baseline rows. `embedding` and `point` are raw; the
+    /// model stores `[embedding…, normalized point…] → ln(elapsed)`.
+    pub fn add_baseline_row(&mut self, embedding: &[f64], point: &[f64], elapsed_ms: f64) {
+        let feats = self.features(embedding, point);
+        // Ignore shape errors from inconsistent embedding dims: baseline data is
+        // advisory, never worth failing the tuner over.
+        let _ = self.warm_start.push(feats, elapsed_ms.max(1e-9).ln());
+    }
+
+    /// Number of warm-start rows currently held.
+    pub fn baseline_rows(&self) -> usize {
+        self.warm_start.len()
+    }
+
+    fn features(&self, embedding: &[f64], point: &[f64]) -> Vec<f64> {
+        let mut f = embedding.to_vec();
+        f.extend(self.space.normalize(point));
+        f
+    }
+
+    fn fit_gp(&self) -> Option<GaussianProcess> {
+        let total = self.warm_start.len() + self.online.len();
+        if total == 0 || (self.warm_start.is_empty() && self.online.len() < self.n_init) {
+            return None;
+        }
+        let mut x = self.warm_start.x.clone();
+        let mut y = self.warm_start.y.clone();
+        for (emb, pt, elapsed) in &self.online {
+            x.push(self.features(emb, pt));
+            y.push(elapsed.max(1e-9).ln());
+        }
+        // Cap the training set to keep the O(n³) solve tractable online: keep the
+        // most recent rows (online data is appended last, so it always survives).
+        const MAX_ROWS: usize = 1200;
+        if x.len() > MAX_ROWS {
+            let cut = x.len() - MAX_ROWS;
+            x.drain(..cut);
+            y.drain(..cut);
+        }
+        let mut gp = GaussianProcess::default_bo();
+        gp.fit(&x, &y).ok()?;
+        Some(gp)
+    }
+}
+
+impl Tuner for ContextualBO {
+    fn suggest(&mut self, ctx: &TuningContext) -> Vec<f64> {
+        self.last_embedding = ctx.embedding.clone();
+        let Some(gp) = self.fit_gp() else {
+            return self.space.random_point(&mut self.rng);
+        };
+        // Incumbent: best observed in this query's own history if any, else the
+        // model's belief at the default point.
+        let best = self
+            .history
+            .best_raw()
+            .map(|o| o.elapsed_ms.ln())
+            .unwrap_or_else(|| {
+                gp.predict(&self.features(&ctx.embedding, &self.space.default_point()))
+            });
+        let mut best_point = None;
+        let mut best_ei = f64::NEG_INFINITY;
+        for _ in 0..self.n_candidates {
+            let cand = self.space.random_point(&mut self.rng);
+            let post = gp.posterior(&self.features(&ctx.embedding, &cand));
+            let ei = expected_improvement(&post, best);
+            if ei > best_ei {
+                best_ei = ei;
+                best_point = Some(cand);
+            }
+        }
+        best_point.unwrap_or_else(|| self.space.random_point(&mut self.rng))
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        // suggest/observe run in lockstep, so the embedding captured at the latest
+        // suggest() is the context this observation ran under.
+        let emb = self.last_embedding.clone();
+        self.online.push((emb, point.to_vec(), outcome.elapsed_ms));
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+    }
+
+    fn name(&self) -> &'static str {
+        "contextual-bo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(emb: Vec<f64>) -> TuningContext {
+        TuningContext {
+            embedding: emb,
+            expected_data_size: 1.0,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn random_until_enough_online_data_without_warmstart() {
+        let mut t = ContextualBO::new(ConfigSpace::query_level(), 1);
+        assert!(t.fit_gp().is_none());
+        for _ in 0..5 {
+            let p = t.suggest(&ctx(vec![1.0]));
+            t.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0,
+                    data_size: 1.0,
+                },
+            );
+        }
+        assert!(t.fit_gp().is_some());
+    }
+
+    #[test]
+    fn warmstart_enables_modeling_from_iteration_zero() {
+        let space = ConfigSpace::query_level();
+        let mut t = ContextualBO::new(space.clone(), 1);
+        let emb = vec![2.0, 3.0];
+        for i in 0..20 {
+            let p = space.random_point(&mut StdRng::seed_from_u64(i));
+            t.add_baseline_row(&emb, &p, 100.0 + i as f64);
+        }
+        assert_eq!(t.baseline_rows(), 20);
+        assert!(t.fit_gp().is_some(), "warm start should enable the GP at t=0");
+    }
+
+    #[test]
+    fn warmstart_transfers_knowledge() {
+        // Baseline data says low shuffle partitions are terrible (high times for low
+        // third knob). A warm-started CBO's first modeled suggestion should avoid
+        // the bottom of that axis more often than random.
+        let space = ConfigSpace::query_level();
+        let emb = vec![1.0];
+        let mut avoided = 0;
+        for seed in 0..10 {
+            let mut t = ContextualBO::new(space.clone(), seed);
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            for _ in 0..60 {
+                let p = space.random_point(&mut rng);
+                let x = space.dims[2].normalize(p[2]);
+                // Steep penalty for small partition counts.
+                let time = 100.0 + 900.0 * (1.0 - x);
+                t.add_baseline_row(&emb, &p, time);
+            }
+            let p = t.suggest(&ctx(emb.clone()));
+            if space.dims[2].normalize(p[2]) > 0.5 {
+                avoided += 1;
+            }
+        }
+        assert!(avoided >= 7, "only {avoided}/10 avoided the bad region");
+    }
+
+    #[test]
+    fn mismatched_embedding_rows_are_ignored_not_fatal() {
+        let mut t = ContextualBO::new(ConfigSpace::query_level(), 1);
+        t.add_baseline_row(&[1.0, 2.0], &[1e6, 1e6, 100.0], 50.0);
+        t.add_baseline_row(&[1.0], &[1e6, 1e6, 100.0], 50.0); // wrong dim — dropped
+        assert_eq!(t.baseline_rows(), 1);
+    }
+}

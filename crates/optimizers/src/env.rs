@@ -1,0 +1,464 @@
+//! Executable tuning environments.
+//!
+//! An [`Environment`] is what a tuner optimizes against: it exposes a
+//! [`ConfigSpace`], yields a [`TuningContext`] at each submission, executes a
+//! suggested point, and (for evaluation only) reveals the noise-free true time so
+//! experiments can plot convergence of *true* performance as the paper does.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use embedding::WorkloadEmbedder;
+use sparksim::noise::NoiseSpec;
+use sparksim::plan::PlanNode;
+use sparksim::simulator::Simulator;
+use workloads::dynamic::DataSchedule;
+use workloads::synthetic::SyntheticFunction;
+
+use crate::space::ConfigSpace;
+use crate::tuner::{Outcome, TuningContext};
+
+/// A tunable workload: the common surface of the simulator- and synthetic-function
+/// environments.
+pub trait Environment {
+    /// The space tuners search.
+    fn space(&self) -> &ConfigSpace;
+    /// Compile-time context for the *next* run.
+    fn context(&self) -> TuningContext;
+    /// Execute a point; advances the iteration counter.
+    fn run(&mut self, point: &[f64]) -> Outcome;
+    /// Noise-free time of `point` at the next run's data size (evaluation only).
+    fn true_time(&self, point: &[f64]) -> f64;
+    /// Iterations executed so far.
+    fn iteration(&self) -> u32;
+}
+
+/// A recurrent query on the Spark simulator.
+#[derive(Debug)]
+pub struct QueryEnv {
+    /// Underlying simulator (pool, cost model, noise).
+    pub sim: Simulator,
+    /// The query's logical plan at base scale.
+    pub plan: PlanNode,
+    /// How data size evolves across recurrences.
+    pub schedule: DataSchedule,
+    space: ConfigSpace,
+    embedder: WorkloadEmbedder,
+    iteration: u32,
+    rng: StdRng,
+}
+
+impl QueryEnv {
+    /// Wrap an arbitrary plan.
+    pub fn new(plan: PlanNode, noise: NoiseSpec, schedule: DataSchedule, seed: u64) -> QueryEnv {
+        QueryEnv {
+            sim: Simulator::default_pool(noise),
+            plan,
+            schedule,
+            space: ConfigSpace::query_level(),
+            embedder: WorkloadEmbedder::virtual_ops(),
+            iteration: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// TPC-H query `n` at scale factor `sf` with constant data size.
+    pub fn tpch(n: usize, sf: f64, noise: NoiseSpec, seed: u64) -> QueryEnv {
+        QueryEnv::new(
+            workloads::tpch::query(n, sf),
+            noise,
+            DataSchedule::Constant { size: 1.0 },
+            seed,
+        )
+    }
+
+    /// TPC-DS-style query `n` at scale factor `sf` with constant data size.
+    pub fn tpcds(n: usize, sf: f64, noise: NoiseSpec, seed: u64) -> QueryEnv {
+        QueryEnv::new(
+            workloads::tpcds::query(n, sf),
+            noise,
+            DataSchedule::Constant { size: 1.0 },
+            seed,
+        )
+    }
+
+    /// Replace the embedder (e.g. to run the plain-vs-virtual ablation).
+    pub fn with_embedder(mut self, embedder: WorkloadEmbedder) -> QueryEnv {
+        self.embedder = embedder;
+        self
+    }
+
+    /// The plan scaled to the data size of iteration `t`.
+    fn plan_at(&self, t: u32) -> PlanNode {
+        let size = self.schedule.size_at(t);
+        if (size - 1.0).abs() < 1e-12 {
+            self.plan.clone()
+        } else {
+            self.plan.scaled(size)
+        }
+    }
+
+    /// Stable signature of the underlying query.
+    pub fn signature(&self) -> u64 {
+        embedding::query_signature(&self.plan)
+    }
+}
+
+impl Environment for QueryEnv {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn context(&self) -> TuningContext {
+        let plan = self.plan_at(self.iteration);
+        TuningContext {
+            embedding: self.embedder.embed(&plan),
+            expected_data_size: plan.leaf_input_rows(),
+            iteration: self.iteration,
+        }
+    }
+
+    fn run(&mut self, point: &[f64]) -> Outcome {
+        let plan = self.plan_at(self.iteration);
+        let conf = self.space.to_conf(point);
+        let run = self.sim.execute_with_rng(&plan, &conf, &mut self.rng);
+        self.iteration += 1;
+        Outcome {
+            elapsed_ms: run.metrics.elapsed_ms,
+            data_size: run.metrics.input_rows,
+        }
+    }
+
+    fn true_time(&self, point: &[f64]) -> f64 {
+        let plan = self.plan_at(self.iteration);
+        self.sim.true_time_ms(&plan, &self.space.to_conf(point))
+    }
+
+    fn iteration(&self) -> u32 {
+        self.iteration
+    }
+}
+
+/// The paper's **V0 evaluation platform** (§6.2): a pre-recorded sweep of
+/// configuration → performance pairs for one query; suggestions snap to the nearest
+/// recorded configuration and return its cached result — "we restrict the candidate
+/// set to these pre-recorded configurations and use cached results without live
+/// query execution."
+#[derive(Debug)]
+pub struct CachedEnv {
+    space: ConfigSpace,
+    /// Recorded points, normalized.
+    points_norm: Vec<Vec<f64>>,
+    /// Recorded points, raw.
+    points_raw: Vec<Vec<f64>>,
+    /// Cached observed time per point.
+    times: Vec<f64>,
+    embedding: Vec<f64>,
+    expected_p: f64,
+    iteration: u32,
+}
+
+impl CachedEnv {
+    /// Pre-record a sweep: execute `plan` once per config in `points` on `sim`
+    /// (seeded noise) and cache the results.
+    pub fn record(
+        plan: &PlanNode,
+        sim: &Simulator,
+        space: &ConfigSpace,
+        points: Vec<Vec<f64>>,
+        embedder: &WorkloadEmbedder,
+        seed: u64,
+    ) -> CachedEnv {
+        assert!(!points.is_empty(), "need at least one recorded configuration");
+        let times: Vec<f64> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                sim.execute(plan, &space.to_conf(p), seed ^ i as u64)
+                    .metrics
+                    .elapsed_ms
+            })
+            .collect();
+        CachedEnv {
+            space: space.clone(),
+            points_norm: points.iter().map(|p| space.normalize(p)).collect(),
+            points_raw: points,
+            times,
+            embedding: embedder.embed(plan),
+            expected_p: plan.leaf_input_rows(),
+            iteration: 0,
+        }
+    }
+
+    /// Index of the recorded configuration nearest (normalized L2) to `point`.
+    pub fn nearest(&self, point: &[f64]) -> usize {
+        let x = self.space.normalize(point);
+        self.points_norm
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                ml::linalg::sq_dist(a.1, &x).total_cmp(&ml::linalg::sq_dist(b.1, &x))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty recording")
+    }
+
+    /// The raw point a suggestion actually snaps to.
+    pub fn snapped(&self, point: &[f64]) -> &[f64] {
+        &self.points_raw[self.nearest(point)]
+    }
+
+    /// The best cached time over all recorded configurations.
+    pub fn best_recorded_ms(&self) -> f64 {
+        self.times.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Number of recorded configurations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the recording is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+impl Environment for CachedEnv {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn context(&self) -> TuningContext {
+        TuningContext {
+            embedding: self.embedding.clone(),
+            expected_data_size: self.expected_p,
+            iteration: self.iteration,
+        }
+    }
+
+    fn run(&mut self, point: &[f64]) -> Outcome {
+        let idx = self.nearest(point);
+        self.iteration += 1;
+        Outcome {
+            elapsed_ms: self.times[idx],
+            data_size: self.expected_p,
+        }
+    }
+
+    fn true_time(&self, point: &[f64]) -> f64 {
+        // The V0 platform has no separate noise-free oracle; the cached result *is*
+        // the ground truth the experiment measures against.
+        self.times[self.nearest(point)]
+    }
+
+    fn iteration(&self) -> u32 {
+        self.iteration
+    }
+}
+
+/// The paper's §6.1 synthetic convex function as an environment.
+#[derive(Debug)]
+pub struct SyntheticEnv {
+    /// The underlying function.
+    pub f: SyntheticFunction,
+    /// Noise applied to observations.
+    pub noise: NoiseSpec,
+    /// Data-size schedule.
+    pub schedule: DataSchedule,
+    space: ConfigSpace,
+    iteration: u32,
+    rng: StdRng,
+}
+
+impl SyntheticEnv {
+    /// Standard setup: the paper's function over the query-level space.
+    pub fn new(noise: NoiseSpec, schedule: DataSchedule, seed: u64) -> SyntheticEnv {
+        SyntheticEnv {
+            f: SyntheticFunction::paper_default(),
+            noise,
+            schedule,
+            space: ConfigSpace::query_level(),
+            iteration: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Constant-size high-noise environment — the paper's default stress test.
+    pub fn high_noise_constant(seed: u64) -> SyntheticEnv {
+        SyntheticEnv::new(NoiseSpec::high(), DataSchedule::Constant { size: 1.0 }, seed)
+    }
+
+    fn as_array(point: &[f64]) -> [f64; 3] {
+        [point[0], point[1], point[2]]
+    }
+
+    /// Normalized regret (true time / optimal time) of a point at the *next* run's
+    /// data size — the y-axis of the paper's convergence plots.
+    pub fn normed_performance(&self, point: &[f64]) -> f64 {
+        self.f
+            .normed_performance(&Self::as_array(point), self.schedule.size_at(self.iteration))
+    }
+
+    /// Optimality gap of knob `i` at a point (Figures 10b / 11d).
+    pub fn optimality_gap(&self, i: usize, point: &[f64]) -> f64 {
+        self.f.optimality_gap(i, point[i])
+    }
+}
+
+impl Environment for SyntheticEnv {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn context(&self) -> TuningContext {
+        TuningContext {
+            embedding: Vec::new(),
+            expected_data_size: self.schedule.size_at(self.iteration),
+            iteration: self.iteration,
+        }
+    }
+
+    fn run(&mut self, point: &[f64]) -> Outcome {
+        let p = self.schedule.size_at(self.iteration);
+        let elapsed = self
+            .f
+            .observe(&Self::as_array(point), p, &self.noise, &mut self.rng);
+        self.iteration += 1;
+        Outcome {
+            elapsed_ms: elapsed,
+            data_size: p,
+        }
+    }
+
+    fn true_time(&self, point: &[f64]) -> f64 {
+        self.f
+            .true_time(&Self::as_array(point), self.schedule.size_at(self.iteration))
+    }
+
+    fn iteration(&self) -> u32 {
+        self.iteration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_env_runs_and_advances() {
+        let mut env = QueryEnv::tpch(6, 1.0, NoiseSpec::none(), 1);
+        let p = env.space().default_point();
+        assert_eq!(env.iteration(), 0);
+        let o = env.run(&p);
+        assert!(o.elapsed_ms > 0.0);
+        assert!(o.data_size > 0.0);
+        assert_eq!(env.iteration(), 1);
+    }
+
+    #[test]
+    fn query_env_noiseless_observation_equals_true_time() {
+        let mut env = QueryEnv::tpch(3, 1.0, NoiseSpec::none(), 1);
+        let p = env.space().default_point();
+        let t = env.true_time(&p);
+        let o = env.run(&p);
+        assert!((o.elapsed_ms - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_env_context_has_embedding_and_size() {
+        let env = QueryEnv::tpch(1, 1.0, NoiseSpec::none(), 1);
+        let ctx = env.context();
+        assert!(!ctx.embedding.is_empty());
+        assert!(ctx.expected_data_size > 1e6);
+        assert_eq!(ctx.iteration, 0);
+    }
+
+    #[test]
+    fn schedule_scales_data_between_runs() {
+        let mut env = QueryEnv::new(
+            workloads::tpch::query(6, 1.0),
+            NoiseSpec::none(),
+            DataSchedule::LinearIncreasing {
+                start: 1.0,
+                slope: 1.0,
+            },
+            1,
+        );
+        let p = env.space().default_point();
+        let o0 = env.run(&p);
+        let o1 = env.run(&p);
+        assert!(o1.data_size > o0.data_size * 1.5);
+    }
+
+    #[test]
+    fn cached_env_snaps_to_recorded_points_and_replays() {
+        let plan = workloads::tpch::query(6, 0.2);
+        let sim = Simulator::default_pool(NoiseSpec::low());
+        let space = ConfigSpace::query_level();
+        let points = space.grid(3); // 27 recorded configurations
+        let mut env = CachedEnv::record(
+            &plan,
+            &sim,
+            &space,
+            points.clone(),
+            &WorkloadEmbedder::virtual_ops(),
+            5,
+        );
+        assert_eq!(env.len(), 27);
+        // A suggestion between grid points snaps to one of them.
+        let mut rng = StdRng::seed_from_u64(1);
+        let wild = space.random_point(&mut rng);
+        let snapped = env.snapped(&wild).to_vec();
+        assert!(points.contains(&snapped));
+        // Replays are cached: same point, same result, no live noise.
+        let a = env.run(&wild).elapsed_ms;
+        let b = env.run(&wild).elapsed_ms;
+        assert_eq!(a, b);
+        assert_eq!(env.iteration(), 2);
+        assert!(env.best_recorded_ms() <= a);
+    }
+
+    #[test]
+    fn cached_env_exact_point_is_its_own_nearest() {
+        let plan = workloads::tpch::query(1, 0.2);
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let space = ConfigSpace::query_level();
+        let points = space.grid(3);
+        let env = CachedEnv::record(
+            &plan,
+            &sim,
+            &space,
+            points.clone(),
+            &WorkloadEmbedder::plain(),
+            0,
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(env.nearest(p), i);
+        }
+    }
+
+    #[test]
+    fn synthetic_env_optimum_beats_default() {
+        let env = SyntheticEnv::high_noise_constant(5);
+        let opt = env.f.optimal_config().to_vec();
+        let def = env.space().default_point();
+        assert!(env.true_time(&opt) < env.true_time(&def));
+        assert!((env.normed_performance(&opt) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_env_is_deterministic_per_seed() {
+        let mut a = SyntheticEnv::high_noise_constant(9);
+        let mut b = SyntheticEnv::high_noise_constant(9);
+        let p = a.space().default_point();
+        assert_eq!(a.run(&p).elapsed_ms, b.run(&p).elapsed_ms);
+    }
+
+    #[test]
+    fn signature_is_stable_across_clones() {
+        let e1 = QueryEnv::tpch(5, 1.0, NoiseSpec::none(), 1);
+        let e2 = QueryEnv::tpch(5, 100.0, NoiseSpec::high(), 77);
+        assert_eq!(e1.signature(), e2.signature());
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulated manual tuners — the stand-in for the paper's §2.2 human study (Figure 3),
+//! where 50+ volunteers tuned 5 queries over 7 knobs on a prediction-backed platform.
+//!
+//! A human study cannot be rerun offline, so this models the *policies* the study
+//! describes: domain experts adjust one knob at a time, are guided by priors ("nearly
+//! all customers reported tuning memory and core size" — they start with the knobs
+//! they believe matter), explore with occasional larger jumps, keep the best setting
+//! found, and satisfice (stop after 0–40 iterations, often before the optimum).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+/// Behavioural parameters of one simulated expert.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpertProfile {
+    /// Typical relative adjustment per move (normalized units).
+    pub step: f64,
+    /// Probability of an exploratory big jump instead of a local tweak.
+    pub jump_prob: f64,
+    /// Probability of revisiting the best-known point before continuing.
+    pub revisit_prob: f64,
+    /// After this many non-improving moves the expert stops changing things.
+    pub patience: u32,
+}
+
+impl Default for ExpertProfile {
+    fn default() -> Self {
+        ExpertProfile {
+            step: 0.15,
+            jump_prob: 0.1,
+            revisit_prob: 0.15,
+            patience: 8,
+        }
+    }
+}
+
+/// A simulated expert tuner.
+#[derive(Debug)]
+pub struct SimulatedExpert {
+    space: ConfigSpace,
+    profile: ExpertProfile,
+    rng: StdRng,
+    current: Vec<f64>, // normalized
+    best: Vec<f64>,    // normalized
+    best_cost: f64,
+    last_suggest: Vec<f64>,
+    non_improving: u32,
+    satisficed: bool,
+    /// Knob priority order (experts try "important" knobs first); a permutation of
+    /// dimension indices, sampled per expert.
+    priority: Vec<usize>,
+    move_count: u32,
+    /// Recorded observations.
+    pub history: History,
+}
+
+impl SimulatedExpert {
+    /// Create an expert with the default behavioural profile.
+    pub fn new(space: ConfigSpace, seed: u64) -> SimulatedExpert {
+        SimulatedExpert::with_profile(space, ExpertProfile::default(), seed)
+    }
+
+    /// Create with a specific profile.
+    pub fn with_profile(space: ConfigSpace, profile: ExpertProfile, seed: u64) -> SimulatedExpert {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut priority: Vec<usize> = (0..space.len()).collect();
+        for i in (1..priority.len()).rev() {
+            let j = rng.random_range(0..=i);
+            priority.swap(i, j);
+        }
+        let start = space.normalize(&space.default_point());
+        SimulatedExpert {
+            space,
+            profile,
+            rng,
+            current: start.clone(),
+            best: start.clone(),
+            best_cost: f64::INFINITY,
+            last_suggest: start,
+            non_improving: 0,
+            satisficed: false,
+            priority,
+            move_count: 0,
+            history: History::new(),
+        }
+    }
+
+    /// Whether the expert has stopped exploring.
+    pub fn satisficed(&self) -> bool {
+        self.satisficed
+    }
+
+    /// Best point found so far (raw units).
+    pub fn best_point(&self) -> Vec<f64> {
+        self.space.denormalize(&self.best)
+    }
+}
+
+impl Tuner for SimulatedExpert {
+    fn suggest(&mut self, _ctx: &TuningContext) -> Vec<f64> {
+        if self.satisficed {
+            // Stick with the best-known configuration.
+            self.last_suggest = self.best.clone();
+            return self.space.denormalize(&self.best);
+        }
+        let roll: f64 = self.rng.random_range(0.0..1.0);
+        let x = if self.move_count == 0 {
+            // First run: the default, to get a baseline reading.
+            self.current.clone()
+        } else if roll < self.profile.revisit_prob {
+            self.best.clone()
+        } else if roll < self.profile.revisit_prob + self.profile.jump_prob {
+            // Exploratory jump on a priority knob.
+            let dim = self.priority[self.move_count as usize % self.priority.len()];
+            let mut x = self.best.clone();
+            x[dim] = self.rng.random_range(0.0..1.0);
+            x
+        } else {
+            // Local one-knob tweak around the best-known point.
+            let dim = self.priority[self.move_count as usize % self.priority.len()];
+            let mut x = self.best.clone();
+            let delta = self.rng.random_range(-self.profile.step..=self.profile.step);
+            x[dim] = (x[dim] + delta).clamp(0.0, 1.0);
+            x
+        };
+        self.move_count += 1;
+        self.last_suggest = x.clone();
+        self.space.denormalize(&x)
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+        if outcome.elapsed_ms < self.best_cost {
+            self.best_cost = outcome.elapsed_ms;
+            self.best = self.last_suggest.clone();
+            self.non_improving = 0;
+        } else {
+            self.non_improving += 1;
+            if self.non_improving >= self.profile.patience {
+                self.satisficed = true;
+            }
+        }
+        self.current = self.last_suggest.clone();
+    }
+
+    fn name(&self) -> &'static str {
+        "expert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Environment, SyntheticEnv};
+    use sparksim::noise::NoiseSpec;
+    use workloads::dynamic::DataSchedule;
+
+    #[test]
+    fn expert_improves_over_default_without_noise() {
+        let mut env =
+            SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 2);
+        let mut ex = SimulatedExpert::new(env.space().clone(), 2);
+        let default_perf = env.normed_performance(&env.space().default_point());
+        for _ in 0..40 {
+            let p = ex.suggest(&env.context());
+            let o = env.run(&p);
+            ex.observe(&p, &o);
+        }
+        let final_perf = env.normed_performance(&ex.best_point());
+        assert!(
+            final_perf < default_perf,
+            "expert {final_perf} vs default {default_perf}"
+        );
+    }
+
+    #[test]
+    fn expert_eventually_satisfices() {
+        let space = ConfigSpace::query_level();
+        let mut ex = SimulatedExpert::new(space, 1);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        // Nothing ever improves on the first observation.
+        for i in 0..30 {
+            let p = ex.suggest(&ctx);
+            let cost = if i == 0 { 1.0 } else { 100.0 };
+            ex.observe(&p, &Outcome { elapsed_ms: cost, data_size: 1.0 });
+        }
+        assert!(ex.satisficed());
+        // Once satisficed, the expert repeats its best point.
+        let p = ex.suggest(&ctx);
+        let b = ex.best_point();
+        for (a, bb) in p.iter().zip(&b) {
+            assert!((a - bb).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn experts_with_different_seeds_behave_differently() {
+        let space = ConfigSpace::query_level();
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let mut a = SimulatedExpert::new(space.clone(), 1);
+        let mut b = SimulatedExpert::new(space, 2);
+        let mut diverged = false;
+        for i in 0..10 {
+            let pa = a.suggest(&ctx);
+            let pb = b.suggest(&ctx);
+            if pa != pb {
+                diverged = true;
+            }
+            let o = Outcome { elapsed_ms: 100.0 - i as f64, data_size: 1.0 };
+            a.observe(&pa, &o);
+            b.observe(&pb, &o);
+        }
+        assert!(diverged);
+    }
+
+    #[test]
+    fn first_suggestion_is_the_default() {
+        let space = ConfigSpace::query_level();
+        let mut ex = SimulatedExpert::new(space.clone(), 3);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let p = ex.suggest(&ctx);
+        let d = space.default_point();
+        for (a, b) in p.iter().zip(&d) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+}

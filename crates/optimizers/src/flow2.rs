@@ -1,0 +1,252 @@
+//! FLOW2 (Wu, Wang & Huang, AAAI'21) — FLAML's frugal randomized direct search, the
+//! paper's second baseline (Figure 2b).
+//!
+//! At each round FLOW2 samples a random unit direction `u` and proposes
+//! `x + δ·u`; on failure it tries the mirror `x − δ·u`. Improvements move the
+//! incumbent; after `2^(d−1)` consecutive no-improvement rounds the step size shrinks.
+//! Because accept/reject decisions compare *two raw observations*, heavy noise makes
+//! it accept regressions and reject true improvements — the failure mode the Centroid
+//! Learning algorithm is built to avoid.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Evaluate the incumbent first (to have a comparison value).
+    EvalIncumbent,
+    /// Proposed `x + δu`, awaiting its observation.
+    TriedPlus,
+    /// Proposed `x − δu`, awaiting its observation.
+    TriedMinus,
+}
+
+/// FLOW2 direct search in normalized space.
+#[derive(Debug)]
+pub struct Flow2 {
+    space: ConfigSpace,
+    rng: StdRng,
+    /// Current step size in normalized units.
+    pub step: f64,
+    /// Lower bound on the step size (convergence threshold).
+    pub step_lower: f64,
+    incumbent: Vec<f64>, // normalized
+    incumbent_cost: Option<f64>,
+    direction: Vec<f64>,
+    phase: Phase,
+    no_improve: u32,
+    /// Rounds without improvement before the step halves (`2^(d−1)` per the paper).
+    shrink_after: u32,
+    /// Recorded observations.
+    pub history: History,
+}
+
+impl Flow2 {
+    /// Start from the space's default configuration with step 0.1.
+    pub fn new(space: ConfigSpace, seed: u64) -> Flow2 {
+        let incumbent = space.normalize(&space.default_point());
+        let d = space.len() as u32;
+        Flow2 {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            step: 0.1,
+            step_lower: 1e-3,
+            incumbent,
+            incumbent_cost: None,
+            direction: Vec::new(),
+            phase: Phase::EvalIncumbent,
+            no_improve: 0,
+            shrink_after: 1u32 << d.saturating_sub(1),
+            history: History::new(),
+        }
+    }
+
+    /// Start from a specific raw point.
+    pub fn from_point(space: ConfigSpace, start: &[f64], seed: u64) -> Flow2 {
+        let mut f = Flow2::new(space, seed);
+        f.incumbent = f.space.normalize(start);
+        f
+    }
+
+    /// Current incumbent, raw units.
+    pub fn incumbent(&self) -> Vec<f64> {
+        self.space.denormalize(&self.incumbent)
+    }
+
+    fn sample_direction(&mut self) -> Vec<f64> {
+        // Random point on the unit sphere via normalized Gaussian.
+        loop {
+            let v: Vec<f64> = (0..self.space.len())
+                .map(|_| ml::stats::standard_normal(&mut self.rng))
+                .collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-9 {
+                return v.into_iter().map(|x| x / norm).collect();
+            }
+        }
+    }
+
+    fn proposal(&self, sign: f64) -> Vec<f64> {
+        let x: Vec<f64> = self
+            .incumbent
+            .iter()
+            .zip(&self.direction)
+            .map(|(xi, di)| (xi + sign * self.step * di).clamp(0.0, 1.0))
+            .collect();
+        self.space.denormalize(&x)
+    }
+}
+
+impl Tuner for Flow2 {
+    fn suggest(&mut self, _ctx: &TuningContext) -> Vec<f64> {
+        match self.phase {
+            Phase::EvalIncumbent => self.space.denormalize(&self.incumbent),
+            Phase::TriedPlus => self.proposal(1.0),
+            Phase::TriedMinus => self.proposal(-1.0),
+        }
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+        let cost = outcome.elapsed_ms;
+        match self.phase {
+            Phase::EvalIncumbent => {
+                self.incumbent_cost = Some(cost);
+                self.direction = self.sample_direction();
+                self.phase = Phase::TriedPlus;
+            }
+            Phase::TriedPlus => {
+                if cost < self.incumbent_cost.unwrap_or(f64::INFINITY) {
+                    self.incumbent = self.space.normalize(point);
+                    self.incumbent_cost = Some(cost);
+                    self.no_improve = 0;
+                    self.direction = self.sample_direction();
+                    // Stay in TriedPlus: next proposal explores from the new point.
+                } else {
+                    self.phase = Phase::TriedMinus;
+                }
+            }
+            Phase::TriedMinus => {
+                if cost < self.incumbent_cost.unwrap_or(f64::INFINITY) {
+                    self.incumbent = self.space.normalize(point);
+                    self.incumbent_cost = Some(cost);
+                    self.no_improve = 0;
+                } else {
+                    self.no_improve += 1;
+                    if self.no_improve >= self.shrink_after {
+                        self.step = (self.step * 0.5).max(self.step_lower);
+                        self.no_improve = 0;
+                    }
+                }
+                self.direction = self.sample_direction();
+                self.phase = Phase::TriedPlus;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "flow2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Environment, SyntheticEnv};
+    use sparksim::noise::NoiseSpec;
+    use workloads::dynamic::DataSchedule;
+
+    fn drive(noise: NoiseSpec, iters: usize, seed: u64) -> f64 {
+        let mut env = SyntheticEnv::new(noise, DataSchedule::Constant { size: 1.0 }, seed);
+        let mut f = Flow2::new(env.space().clone(), seed);
+        for _ in 0..iters {
+            let p = f.suggest(&env.context());
+            let o = env.run(&p);
+            f.observe(&p, &o);
+        }
+        let inc = f.incumbent();
+        env.f.normed_performance(&[inc[0], inc[1], inc[2]], 1.0)
+    }
+
+    #[test]
+    fn converges_without_noise() {
+        let final_perf: f64 = (0..5).map(|s| drive(NoiseSpec::none(), 150, s)).sum::<f64>() / 5.0;
+        assert!(final_perf < 1.15, "noiseless FLOW2 should converge: {final_perf}");
+    }
+
+    #[test]
+    fn noise_degrades_convergence() {
+        let clean: f64 = (0..5).map(|s| drive(NoiseSpec::none(), 100, s)).sum::<f64>() / 5.0;
+        let noisy: f64 = (0..5).map(|s| drive(NoiseSpec::high(), 100, s)).sum::<f64>() / 5.0;
+        assert!(noisy > clean, "clean {clean} vs noisy {noisy}");
+    }
+
+    #[test]
+    fn first_suggestion_is_the_start_point() {
+        let space = ConfigSpace::query_level();
+        let mut f = Flow2::new(space.clone(), 0);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let p = f.suggest(&ctx);
+        let d = space.default_point();
+        for (a, b) in p.iter().zip(&d) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn step_shrinks_after_repeated_failures() {
+        let space = ConfigSpace::query_level();
+        let mut f = Flow2::new(space.clone(), 0);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let initial_step = f.step;
+        // Incumbent is perfect (cost 0); everything else fails.
+        for i in 0..40 {
+            let p = f.suggest(&ctx);
+            let cost = if i == 0 { 0.0 } else { 100.0 };
+            f.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: cost,
+                    data_size: 1.0,
+                },
+            );
+        }
+        assert!(f.step < initial_step, "step {} never shrank", f.step);
+    }
+
+    #[test]
+    fn improvements_move_the_incumbent() {
+        let space = ConfigSpace::query_level();
+        let mut f = Flow2::new(space.clone(), 1);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let start = f.incumbent();
+        // Strictly decreasing costs: every proposal is an improvement.
+        for i in 0..10 {
+            let p = f.suggest(&ctx);
+            f.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0 - i as f64,
+                    data_size: 1.0,
+                },
+            );
+        }
+        assert_ne!(f.incumbent(), start);
+    }
+}

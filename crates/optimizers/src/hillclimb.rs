@@ -1,0 +1,180 @@
+//! Coordinate hill climbing — the classic greedy baseline the paper groups with FLOW2
+//! and OPPerTune ("rely solely on the last two rounds of observations", §4.3).
+//!
+//! Cycles through dimensions, trying ±step in normalized space; keeps any move whose
+//! single observation beats the incumbent's single observation.
+
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    EvalIncumbent,
+    TryUp,
+    TryDown,
+}
+
+/// Deterministic coordinate-descent hill climber.
+#[derive(Debug)]
+pub struct HillClimb {
+    space: ConfigSpace,
+    /// Step size in normalized units.
+    pub step: f64,
+    incumbent: Vec<f64>, // normalized
+    incumbent_cost: Option<f64>,
+    dim: usize,
+    phase: Phase,
+    /// Step shrink factor applied after a full unsuccessful sweep.
+    pub shrink: f64,
+    fails_this_sweep: usize,
+    /// Recorded observations.
+    pub history: History,
+}
+
+impl HillClimb {
+    /// Start from the default configuration.
+    pub fn new(space: ConfigSpace, step: f64) -> HillClimb {
+        let incumbent = space.normalize(&space.default_point());
+        HillClimb {
+            space,
+            step,
+            incumbent,
+            incumbent_cost: None,
+            dim: 0,
+            phase: Phase::EvalIncumbent,
+            shrink: 0.5,
+            fails_this_sweep: 0,
+            history: History::new(),
+        }
+    }
+
+    /// Current incumbent in raw units.
+    pub fn incumbent(&self) -> Vec<f64> {
+        self.space.denormalize(&self.incumbent)
+    }
+
+    fn moved(&self, delta: f64) -> Vec<f64> {
+        let mut x = self.incumbent.clone();
+        x[self.dim] = (x[self.dim] + delta).clamp(0.0, 1.0);
+        self.space.denormalize(&x)
+    }
+
+    fn advance_dim(&mut self) {
+        self.dim = (self.dim + 1) % self.space.len();
+        if self.dim == 0 && self.fails_this_sweep >= self.space.len() {
+            self.step *= self.shrink;
+            self.fails_this_sweep = 0;
+        } else if self.dim == 0 {
+            self.fails_this_sweep = 0;
+        }
+    }
+}
+
+impl Tuner for HillClimb {
+    fn suggest(&mut self, _ctx: &TuningContext) -> Vec<f64> {
+        match self.phase {
+            Phase::EvalIncumbent => self.space.denormalize(&self.incumbent),
+            Phase::TryUp => self.moved(self.step),
+            Phase::TryDown => self.moved(-self.step),
+        }
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+        let cost = outcome.elapsed_ms;
+        match self.phase {
+            Phase::EvalIncumbent => {
+                self.incumbent_cost = Some(cost);
+                self.phase = Phase::TryUp;
+            }
+            Phase::TryUp => {
+                if cost < self.incumbent_cost.unwrap_or(f64::INFINITY) {
+                    self.incumbent = self.space.normalize(point);
+                    self.incumbent_cost = Some(cost);
+                    self.advance_dim();
+                    self.phase = Phase::TryUp;
+                } else {
+                    self.phase = Phase::TryDown;
+                }
+            }
+            Phase::TryDown => {
+                if cost < self.incumbent_cost.unwrap_or(f64::INFINITY) {
+                    self.incumbent = self.space.normalize(point);
+                    self.incumbent_cost = Some(cost);
+                } else {
+                    self.fails_this_sweep += 1;
+                }
+                self.advance_dim();
+                self.phase = Phase::TryUp;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hillclimb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Environment, SyntheticEnv};
+    use sparksim::noise::NoiseSpec;
+    use workloads::dynamic::DataSchedule;
+
+    #[test]
+    fn descends_a_noiseless_bowl() {
+        let mut env =
+            SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 3);
+        let mut hc = HillClimb::new(env.space().clone(), 0.1);
+        let start_perf = env.normed_performance(&hc.incumbent());
+        for _ in 0..120 {
+            let p = hc.suggest(&env.context());
+            let o = env.run(&p);
+            hc.observe(&p, &o);
+        }
+        let end_perf = env.normed_performance(&hc.incumbent());
+        assert!(end_perf < start_perf, "{start_perf} -> {end_perf}");
+        assert!(end_perf < 1.2, "should converge near optimum: {end_perf}");
+    }
+
+    #[test]
+    fn cycles_through_dimensions() {
+        let space = ConfigSpace::query_level();
+        let mut hc = HillClimb::new(space, 0.1);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        // Fail everything: dims should advance after each up/down pair.
+        let p0 = hc.suggest(&ctx);
+        hc.observe(&p0, &Outcome { elapsed_ms: 1.0, data_size: 1.0 });
+        let mut dims_seen = std::collections::HashSet::new();
+        for _ in 0..12 {
+            let p = hc.suggest(&ctx);
+            dims_seen.insert(hc.dim);
+            hc.observe(&p, &Outcome { elapsed_ms: 100.0, data_size: 1.0 });
+        }
+        assert_eq!(dims_seen.len(), 3);
+    }
+
+    #[test]
+    fn step_shrinks_after_unsuccessful_sweep() {
+        let space = ConfigSpace::query_level();
+        let mut hc = HillClimb::new(space, 0.2);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let p0 = hc.suggest(&ctx);
+        hc.observe(&p0, &Outcome { elapsed_ms: 1.0, data_size: 1.0 });
+        for _ in 0..30 {
+            let p = hc.suggest(&ctx);
+            hc.observe(&p, &Outcome { elapsed_ms: 100.0, data_size: 1.0 });
+        }
+        assert!(hc.step < 0.2);
+    }
+}

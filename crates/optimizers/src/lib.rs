@@ -1,0 +1,35 @@
+//! Tuning infrastructure and baseline optimizers.
+//!
+//! This crate owns the pieces every tuner (including Rockhopper's Centroid Learning,
+//! built on top in the `rockhopper` crate) shares:
+//!
+//! - [`space::ConfigSpace`] — typed, bounded, log-scale-aware configuration space over
+//!   the Spark knobs, with normalization, clipping, neighborhoods and grids,
+//! - [`tuner::Tuner`] — the suggest/observe interface of an online tuner,
+//! - [`env`] — executable environments: [`env::QueryEnv`] (a plan on the Spark
+//!   simulator) and [`env::SyntheticEnv`] (the paper's §6.1 convex function),
+//! - the baselines the paper compares against: [`bo::BayesOpt`] (GP + Expected
+//!   Improvement), [`cbo::ContextualBO`] (embedding context + warm start, §6.2),
+//!   [`flow2::Flow2`] (FLAML's frugal direct search), [`hillclimb::HillClimb`],
+//!   [`random::RandomSearch`], [`sampling`] (random/grid/Latin-hypercube generation
+//!   for the flighting pipeline) and [`expert::SimulatedExpert`] (the §2.2 manual
+//!   tuning study).
+
+pub mod acquisition;
+pub mod bandit;
+pub mod bo;
+pub mod categorical;
+pub mod cbo;
+pub mod env;
+pub mod expert;
+pub mod flow2;
+pub mod hillclimb;
+pub mod objective;
+pub mod random;
+pub mod sampling;
+pub mod space;
+pub mod tuner;
+
+pub use env::{CachedEnv, QueryEnv, SyntheticEnv};
+pub use space::{ConfigSpace, Dim};
+pub use tuner::{Outcome, Tuner, TuningContext};

@@ -1,0 +1,171 @@
+//! Tuning objectives beyond latency (§2.1: "all customers valued execution time, but
+//! some teams with particularly large resource utilization or fixed budgets also
+//! noted the importance of cost"). The paper lists multi-objective tuning as related
+//! work (UDAO, AutoExecutor) and a direction; this module provides the scalarization
+//! layer so any tuner in this workspace can optimize cost or a latency/cost blend
+//! without modification — the objective maps an outcome to the scalar the tuner
+//! minimizes.
+
+use serde::{Deserialize, Serialize};
+use sparksim::config::SparkConf;
+
+use crate::tuner::Outcome;
+
+/// What the tuner minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Wall-clock latency (the paper's production objective).
+    Latency,
+    /// Dollar cost: executor-hours × hourly price. Slower-but-smaller wins.
+    Cost {
+        /// Price per executor-hour (arbitrary currency units).
+        price_per_executor_hour: f64,
+    },
+    /// Weighted blend: `w · normalized latency + (1 − w) · normalized cost`.
+    /// Normalizers put both terms on comparable scales.
+    Weighted {
+        /// Latency weight in `[0, 1]`.
+        latency_weight: f64,
+        /// Latency that scores 1.0 (e.g. the default config's typical time), ms.
+        latency_norm_ms: f64,
+        /// Cost that scores 1.0.
+        cost_norm: f64,
+        /// Price per executor-hour.
+        price_per_executor_hour: f64,
+    },
+}
+
+impl Objective {
+    /// Dollar cost of one run under a configuration.
+    pub fn run_cost(conf: &SparkConf, elapsed_ms: f64, price_per_executor_hour: f64) -> f64 {
+        let hours = elapsed_ms / 3_600_000.0;
+        conf.executor_count() as f64 * hours * price_per_executor_hour
+    }
+
+    /// The scalar score of an outcome (lower is better).
+    pub fn score(&self, conf: &SparkConf, outcome: &Outcome) -> f64 {
+        match *self {
+            Objective::Latency => outcome.elapsed_ms,
+            Objective::Cost {
+                price_per_executor_hour,
+            } => Objective::run_cost(conf, outcome.elapsed_ms, price_per_executor_hour),
+            Objective::Weighted {
+                latency_weight,
+                latency_norm_ms,
+                cost_norm,
+                price_per_executor_hour,
+            } => {
+                let w = latency_weight.clamp(0.0, 1.0);
+                let lat = outcome.elapsed_ms / latency_norm_ms.max(1e-9);
+                let cost = Objective::run_cost(conf, outcome.elapsed_ms, price_per_executor_hour)
+                    / cost_norm.max(1e-12);
+                w * lat + (1.0 - w) * cost
+            }
+        }
+    }
+
+    /// Rewrite an outcome so its `elapsed_ms` carries the objective score — the
+    /// adapter that lets every existing [`crate::tuner::Tuner`] optimize this
+    /// objective unchanged.
+    pub fn scored_outcome(&self, conf: &SparkConf, outcome: &Outcome) -> Outcome {
+        Outcome {
+            elapsed_ms: self.score(conf, outcome),
+            data_size: outcome.data_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(ms: f64) -> Outcome {
+        Outcome {
+            elapsed_ms: ms,
+            data_size: 1.0,
+        }
+    }
+
+    #[test]
+    fn latency_objective_is_identity() {
+        let conf = SparkConf::default();
+        assert_eq!(Objective::Latency.score(&conf, &outcome(1234.0)), 1234.0);
+    }
+
+    #[test]
+    fn cost_objective_prefers_fewer_executors_at_equal_time() {
+        let obj = Objective::Cost {
+            price_per_executor_hour: 2.0,
+        };
+        let mut small = SparkConf::default();
+        small.executor_instances = 2.0;
+        let mut big = SparkConf::default();
+        big.executor_instances = 16.0;
+        let o = outcome(3_600_000.0); // one hour
+        assert_eq!(obj.score(&small, &o), 4.0); // 2 executors × 1 h × $2
+        assert_eq!(obj.score(&big, &o), 32.0); // 16 executors × 1 h × $2
+        assert!(obj.score(&small, &o) < obj.score(&big, &o));
+    }
+
+    #[test]
+    fn cost_objective_can_prefer_slower_cheaper_runs() {
+        // 2 executors for 2 h beats 16 executors for 0.5 h on cost, loses on latency.
+        let obj = Objective::Cost {
+            price_per_executor_hour: 1.0,
+        };
+        let mut small = SparkConf::default();
+        small.executor_instances = 2.0;
+        let mut big = SparkConf::default();
+        big.executor_instances = 16.0;
+        let slow = outcome(2.0 * 3_600_000.0);
+        let fast = outcome(0.5 * 3_600_000.0);
+        assert!(obj.score(&small, &slow) < obj.score(&big, &fast));
+        assert!(Objective::Latency.score(&small, &slow) > Objective::Latency.score(&big, &fast));
+    }
+
+    #[test]
+    fn weighted_blends_between_extremes() {
+        let mk = |w: f64| Objective::Weighted {
+            latency_weight: w,
+            latency_norm_ms: 1000.0,
+            cost_norm: 1.0,
+            price_per_executor_hour: 3600.0 * 1000.0, // 1 unit per executor-ms
+        };
+        let mut conf = SparkConf::default();
+        conf.executor_instances = 4.0;
+        let o = outcome(1000.0);
+        // w=1: pure normalized latency = 1.0; w=0: pure normalized cost = 4000.
+        assert!((mk(1.0).score(&conf, &o) - 1.0).abs() < 1e-9);
+        assert!((mk(0.0).score(&conf, &o) - 4000.0).abs() < 1e-6);
+        let mid = mk(0.5).score(&conf, &o);
+        assert!(mid > 1.0 && mid < 4000.0);
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let obj = Objective::Weighted {
+            latency_weight: 7.0,
+            latency_norm_ms: 1.0,
+            cost_norm: 1.0,
+            price_per_executor_hour: 1.0,
+        };
+        let conf = SparkConf::default();
+        // Clamped to w=1: pure latency / norm.
+        assert!((obj.score(&conf, &outcome(5.0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scored_outcome_preserves_data_size() {
+        let obj = Objective::Cost {
+            price_per_executor_hour: 1.0,
+        };
+        let conf = SparkConf::default();
+        let o = Outcome {
+            elapsed_ms: 3_600_000.0,
+            data_size: 42.0,
+        };
+        let s = obj.scored_outcome(&conf, &o);
+        assert_eq!(s.data_size, 42.0);
+        assert_eq!(s.elapsed_ms, conf.executor_count() as f64);
+    }
+}

@@ -1,0 +1,82 @@
+//! Uniform random search — the weakest baseline and the flighting pipeline's default
+//! configuration generator ("currently set to 'Random'", §4.2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::space::ConfigSpace;
+use crate::tuner::{History, Outcome, Tuner, TuningContext};
+
+/// Random search over the space's normalized cube.
+#[derive(Debug)]
+pub struct RandomSearch {
+    space: ConfigSpace,
+    rng: StdRng,
+    /// Recorded history (exposed so experiments can report best-so-far).
+    pub history: History,
+}
+
+impl RandomSearch {
+    /// Create a seeded random searcher.
+    pub fn new(space: ConfigSpace, seed: u64) -> RandomSearch {
+        RandomSearch {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            history: History::new(),
+        }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn suggest(&mut self, _ctx: &TuningContext) -> Vec<f64> {
+        self.space.random_point(&mut self.rng)
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggestions_are_in_bounds_and_vary() {
+        let space = ConfigSpace::query_level();
+        let mut t = RandomSearch::new(space.clone(), 4);
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let p = t.suggest(&ctx);
+            for (v, d) in p.iter().zip(&space.dims) {
+                assert!(*v >= d.lo && *v <= d.hi);
+            }
+            distinct.insert(p.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        }
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn observe_appends_history() {
+        let mut t = RandomSearch::new(ConfigSpace::query_level(), 4);
+        t.observe(
+            &[1.0, 2.0, 3.0],
+            &Outcome {
+                elapsed_ms: 10.0,
+                data_size: 1.0,
+            },
+        );
+        assert_eq!(t.history.len(), 1);
+        assert_eq!(t.name(), "random");
+    }
+}

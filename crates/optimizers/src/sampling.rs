@@ -1,0 +1,123 @@
+//! Offline sampling strategies for the flighting pipeline (§4.2): random sweeps, full
+//! factorial grids and Latin-hypercube designs over a [`ConfigSpace`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::space::ConfigSpace;
+
+/// How the flighting pipeline generates configuration candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Independent uniform draws in the normalized cube (the paper's current setting).
+    Random,
+    /// Full factorial grid with the given levels per dimension.
+    Grid(usize),
+    /// Latin hypercube: stratified one-dimensional coverage.
+    LatinHypercube,
+}
+
+/// Generate `n` raw-unit points using `strategy`. Grid sampling ignores `n` beyond
+/// truncation (it produces its full factorial, truncated/cycled to `n`).
+pub fn sample(space: &ConfigSpace, strategy: SamplingStrategy, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match strategy {
+        SamplingStrategy::Random => (0..n).map(|_| space.random_point(&mut rng)).collect(),
+        SamplingStrategy::Grid(k) => {
+            let g = space.grid(k);
+            g.into_iter().cycle().take(n).collect()
+        }
+        SamplingStrategy::LatinHypercube => latin_hypercube(space, n, &mut rng),
+    }
+}
+
+/// Latin-hypercube sample: each dimension's `[0,1]` range is cut into `n` strata, one
+/// sample per stratum, strata order shuffled independently per dimension.
+fn latin_hypercube(space: &ConfigSpace, n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = space.len();
+    // perms[j] is the stratum assignment of each sample along dimension j.
+    let mut perms: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            p.swap(i, j);
+        }
+        perms.push(p);
+    }
+    (0..n)
+        .map(|i| {
+            let x: Vec<f64> = (0..d)
+                .map(|j| {
+                    let stratum = perms[j][i] as f64;
+                    (stratum + rng.random_range(0.0..1.0)) / n as f64
+                })
+                .collect();
+            space.denormalize(&x)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_and_lhs_produce_n_in_bounds() {
+        let space = ConfigSpace::query_level();
+        for strat in [SamplingStrategy::Random, SamplingStrategy::LatinHypercube] {
+            let pts = sample(&space, strat, 40, 1);
+            assert_eq!(pts.len(), 40);
+            for p in &pts {
+                for (v, d) in p.iter().zip(&space.dims) {
+                    assert!(*v >= d.lo - 1e-9 && *v <= d.hi + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_stratifies_each_dimension() {
+        let space = ConfigSpace::query_level();
+        let n = 20;
+        let pts = sample(&space, SamplingStrategy::LatinHypercube, n, 3);
+        // Every stratum of every dimension must contain exactly one sample.
+        for j in 0..space.len() {
+            let mut strata = vec![0usize; n];
+            for p in &pts {
+                let x = space.dims[j].normalize(p[j]);
+                let s = ((x * n as f64).floor() as usize).min(n - 1);
+                strata[s] += 1;
+            }
+            assert!(
+                strata.iter().all(|&c| c == 1),
+                "dim {j} strata counts {strata:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_sampling_cycles_to_n() {
+        let space = ConfigSpace::query_level();
+        let pts = sample(&space, SamplingStrategy::Grid(2), 10, 0);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0], pts[8]); // 2^3 = 8 grid points, then cycles
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let space = ConfigSpace::query_level();
+        let a = sample(&space, SamplingStrategy::Random, 5, 9);
+        let b = sample(&space, SamplingStrategy::Random, 5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_samples_is_empty() {
+        let space = ConfigSpace::query_level();
+        assert!(sample(&space, SamplingStrategy::LatinHypercube, 0, 1).is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! The configuration search space.
+//!
+//! Knobs live on wildly different scales (`maxPartitionBytes` in bytes up to 2 GiB,
+//! `shuffle.partitions` in the tens to thousands), so every tuner operates in a
+//! *normalized* unit cube: size-like knobs are log-scaled before normalization. The
+//! space also implements the Centroid Learning neighborhood (candidates within a
+//! relative step β around a centroid, §4.3) and the grids the flighting pipeline
+//! sweeps.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use sparksim::config::{Knob, SparkConf, MIB};
+
+/// One tunable dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dim {
+    /// The Spark knob this dimension drives.
+    pub knob: Knob,
+    /// Lower bound (raw units).
+    pub lo: f64,
+    /// Upper bound (raw units).
+    pub hi: f64,
+    /// Whether to normalize on a log scale (sizes and counts: yes).
+    pub log_scale: bool,
+    /// Default raw value (the tuning starting point).
+    pub default: f64,
+}
+
+impl Dim {
+    /// Raw → `[0, 1]`.
+    pub fn normalize(&self, v: f64) -> f64 {
+        let v = v.clamp(self.lo, self.hi);
+        if self.log_scale {
+            (v.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln())
+        } else {
+            (v - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    /// `[0, 1]` → raw.
+    pub fn denormalize(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        if self.log_scale {
+            (self.lo.ln() + x * (self.hi.ln() - self.lo.ln())).exp()
+        } else {
+            self.lo + x * (self.hi - self.lo)
+        }
+    }
+}
+
+/// An ordered set of dimensions. Points are raw-unit `Vec<f64>` in dimension order.
+///
+/// ```
+/// use optimizers::space::ConfigSpace;
+///
+/// let space = ConfigSpace::query_level();
+/// let default = space.default_point();
+/// // Roundtrip through the normalized cube the tuners search in.
+/// let unit = space.normalize(&default);
+/// assert!(unit.iter().all(|x| (0.0..=1.0).contains(x)));
+/// // Materialize a point as a full SparkConf.
+/// let conf = space.to_conf(&default);
+/// assert_eq!(conf.shuffle_partition_count(), 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    /// The dimensions, in point order.
+    pub dims: Vec<Dim>,
+}
+
+impl ConfigSpace {
+    /// The three query-level knobs production Rockhopper tunes (§6.3):
+    /// `maxPartitionBytes`, `autoBroadcastJoinThreshold`, `shuffle.partitions`.
+    pub fn query_level() -> ConfigSpace {
+        ConfigSpace {
+            dims: vec![
+                Dim {
+                    knob: Knob::MaxPartitionBytes,
+                    lo: MIB,
+                    hi: 2048.0 * MIB,
+                    log_scale: true,
+                    default: 128.0 * MIB,
+                },
+                Dim {
+                    knob: Knob::AutoBroadcastJoinThreshold,
+                    lo: MIB,
+                    hi: 1024.0 * MIB,
+                    log_scale: true,
+                    default: 10.0 * MIB,
+                },
+                Dim {
+                    knob: Knob::ShufflePartitions,
+                    lo: 8.0,
+                    hi: 4096.0,
+                    log_scale: true,
+                    default: 200.0,
+                },
+            ],
+        }
+    }
+
+    /// The application-level knobs fixed at startup (§4.4): executors and memory.
+    /// (The off-heap pair is omitted from the default app space as the paper's
+    /// production deployment does; [`ConfigSpace::app_level_full`] includes it.)
+    pub fn app_level() -> ConfigSpace {
+        ConfigSpace {
+            dims: vec![
+                Dim {
+                    knob: Knob::ExecutorInstances,
+                    lo: 1.0,
+                    hi: 64.0,
+                    log_scale: true,
+                    default: 4.0,
+                },
+                Dim {
+                    knob: Knob::ExecutorMemoryMb,
+                    lo: 1024.0,
+                    hi: 64.0 * 1024.0,
+                    log_scale: true,
+                    default: 8192.0,
+                },
+            ],
+        }
+    }
+
+    /// App-level space including the off-heap knobs (the §2.2 user-study set).
+    pub fn app_level_full() -> ConfigSpace {
+        let mut s = ConfigSpace::app_level();
+        s.dims.push(Dim {
+            knob: Knob::OffHeapEnabled,
+            lo: 0.0,
+            hi: 1.0,
+            log_scale: false,
+            default: 0.0,
+        });
+        s.dims.push(Dim {
+            knob: Knob::OffHeapSizeMb,
+            lo: 0.0,
+            hi: 16.0 * 1024.0,
+            log_scale: false,
+            default: 0.0,
+        });
+        s
+    }
+
+    /// Dimensionality.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The default point (raw units).
+    pub fn default_point(&self) -> Vec<f64> {
+        self.dims.iter().map(|d| d.default).collect()
+    }
+
+    /// Raw point → unit cube.
+    pub fn normalize(&self, point: &[f64]) -> Vec<f64> {
+        self.dims
+            .iter()
+            .zip(point)
+            .map(|(d, &v)| d.normalize(v))
+            .collect()
+    }
+
+    /// Unit cube → raw point.
+    pub fn denormalize(&self, x: &[f64]) -> Vec<f64> {
+        self.dims
+            .iter()
+            .zip(x)
+            .map(|(d, &v)| d.denormalize(v))
+            .collect()
+    }
+
+    /// Clip a raw point into bounds.
+    pub fn clip(&self, point: &[f64]) -> Vec<f64> {
+        self.dims
+            .iter()
+            .zip(point)
+            .map(|(d, &v)| v.clamp(d.lo, d.hi))
+            .collect()
+    }
+
+    /// Materialize a raw point as a [`SparkConf`] (unlisted knobs keep defaults).
+    pub fn to_conf(&self, point: &[f64]) -> SparkConf {
+        let overrides: Vec<(Knob, f64)> = self
+            .dims
+            .iter()
+            .zip(point)
+            .map(|(d, &v)| (d.knob, v.clamp(d.lo, d.hi)))
+            .collect();
+        SparkConf::from_overrides(&overrides)
+    }
+
+    /// Uniform random point in the normalized cube, returned raw.
+    pub fn random_point(&self, rng: &mut StdRng) -> Vec<f64> {
+        let x: Vec<f64> = self.dims.iter().map(|_| rng.random_range(0.0..1.0)).collect();
+        self.denormalize(&x)
+    }
+
+    /// `n` candidates within a box of half-width `step` (normalized units) around
+    /// `center` (raw units) — the Centroid Learning candidate neighborhood `C(e_t)`.
+    pub fn neighborhood(
+        &self,
+        center: &[f64],
+        step: f64,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        let c = self.normalize(center);
+        (0..n)
+            .map(|_| {
+                let x: Vec<f64> = c
+                    .iter()
+                    .map(|&ci| (ci + rng.random_range(-step..=step)).clamp(0.0, 1.0))
+                    .collect();
+                self.denormalize(&x)
+            })
+            .collect()
+    }
+
+    /// Full factorial grid with `k` levels per dimension (raw points). The paper's V0
+    /// platform pre-computes ≥275 combinations per query; `k = 7` on 3 dims gives 343.
+    pub fn grid(&self, k: usize) -> Vec<Vec<f64>> {
+        assert!(k >= 1, "grid needs at least one level");
+        let levels: Vec<f64> = if k == 1 {
+            vec![0.5]
+        } else {
+            (0..k).map(|i| i as f64 / (k - 1) as f64).collect()
+        };
+        let mut points: Vec<Vec<f64>> = vec![Vec::new()];
+        for _ in &self.dims {
+            let mut next = Vec::with_capacity(points.len() * k);
+            for p in &points {
+                for &l in &levels {
+                    let mut q = p.clone();
+                    q.push(l);
+                    next.push(q);
+                }
+            }
+            points = next;
+        }
+        points.into_iter().map(|x| self.denormalize(&x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalize_roundtrips_log_and_linear() {
+        let s = ConfigSpace::app_level_full();
+        let p = s.default_point();
+        let back = s.denormalize(&s.normalize(&p));
+        for (a, b) in p.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn default_point_is_spark_default() {
+        let s = ConfigSpace::query_level();
+        let conf = s.to_conf(&s.default_point());
+        let d = SparkConf::default();
+        assert_eq!(conf.max_partition_bytes, d.max_partition_bytes);
+        assert_eq!(conf.shuffle_partitions, d.shuffle_partitions);
+    }
+
+    #[test]
+    fn to_conf_clamps_out_of_bounds() {
+        let s = ConfigSpace::query_level();
+        let conf = s.to_conf(&[1e18, -5.0, 1e9]);
+        conf.validate().unwrap();
+    }
+
+    #[test]
+    fn neighborhood_stays_near_center_in_normalized_space() {
+        let s = ConfigSpace::query_level();
+        let mut rng = StdRng::seed_from_u64(1);
+        let center = s.default_point();
+        let c = s.normalize(&center);
+        for cand in s.neighborhood(&center, 0.1, 50, &mut rng) {
+            for (xi, ci) in s.normalize(&cand).iter().zip(&c) {
+                assert!((xi - ci).abs() <= 0.1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_with_zero_step_is_center() {
+        let s = ConfigSpace::query_level();
+        let mut rng = StdRng::seed_from_u64(2);
+        let center = s.default_point();
+        for cand in s.neighborhood(&center, 0.0, 5, &mut rng) {
+            for (a, b) in cand.iter().zip(&center) {
+                assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_has_k_to_the_d_points() {
+        let s = ConfigSpace::query_level();
+        assert_eq!(s.grid(7).len(), 343);
+        assert_eq!(s.grid(1).len(), 1);
+        // Paper's "over 275 configuration combinations".
+        assert!(s.grid(7).len() >= 275);
+    }
+
+    #[test]
+    fn grid_points_span_bounds() {
+        let s = ConfigSpace::query_level();
+        let g = s.grid(3);
+        let lo = g
+            .iter()
+            .map(|p| p[2])
+            .fold(f64::INFINITY, f64::min);
+        let hi = g.iter().map(|p| p[2]).fold(0.0, f64::max);
+        assert!((lo - 8.0).abs() < 1e-9);
+        assert!((hi - 4096.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn random_points_are_in_bounds() {
+        let s = ConfigSpace::query_level();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = s.random_point(&mut rng);
+            for (v, d) in p.iter().zip(&s.dims) {
+                assert!(*v >= d.lo - 1e-9 && *v <= d.hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn log_scale_spreads_small_values() {
+        // In log space, the normalized midpoint of [1 MiB, 2048 MiB] is ~45 MiB,
+        // not ~1024 MiB.
+        let d = &ConfigSpace::query_level().dims[0];
+        let mid = d.denormalize(0.5);
+        assert!(mid < 100.0 * MIB, "midpoint {mid}");
+    }
+}

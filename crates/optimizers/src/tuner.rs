@@ -1,0 +1,135 @@
+//! The online-tuning interface every optimizer implements, plus shared observation
+//! bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Compile-time context available when a configuration must be suggested.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningContext {
+    /// Workload embedding of the submitted query (may be empty when no embedder is
+    /// configured, e.g. for the synthetic function).
+    pub embedding: Vec<f64>,
+    /// Expected input data size for this run (the optimizer's estimate `p`; the
+    /// paper notes it "is often unknown at the start" — environments expose their
+    /// best compile-time estimate here and the true size in the outcome).
+    pub expected_data_size: f64,
+    /// Tuning iteration (0-based).
+    pub iteration: u32,
+}
+
+/// What came back from executing a suggested configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Observed (noisy) execution time, ms.
+    pub elapsed_ms: f64,
+    /// Actual input data size of the run (the `p` recorded with each observation).
+    pub data_size: f64,
+}
+
+/// An online configuration tuner: suggest a point, observe its outcome, repeat.
+/// Points are raw-unit vectors over the tuner's [`crate::space::ConfigSpace`].
+pub trait Tuner {
+    /// Propose the configuration for the next run.
+    fn suggest(&mut self, ctx: &TuningContext) -> Vec<f64>;
+
+    /// Record the outcome of running `point`.
+    fn observe(&mut self, point: &[f64], outcome: &Outcome);
+
+    /// Short display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// One recorded observation — the paper's `(c_i, p_i, r_i)` triple of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The configuration point (raw units).
+    pub point: Vec<f64>,
+    /// The data size `p` of that run.
+    pub data_size: f64,
+    /// The observed performance `r` (elapsed ms; lower is better).
+    pub elapsed_ms: f64,
+}
+
+/// An append-only observation history with the sliding-window view `Ω(t, N)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    /// All observations, oldest first.
+    pub all: Vec<Observation>,
+}
+
+impl History {
+    /// Create an empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, point: Vec<f64>, data_size: f64, elapsed_ms: f64) {
+        self.all.push(Observation {
+            point,
+            data_size,
+            elapsed_ms,
+        });
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether no observations exist.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// The latest `n` observations — `Ω(t, N)`.
+    pub fn window(&self, n: usize) -> &[Observation] {
+        let start = self.all.len().saturating_sub(n);
+        &self.all[start..]
+    }
+
+    /// The observation with the smallest raw elapsed time (FIND_BEST v1).
+    pub fn best_raw(&self) -> Option<&Observation> {
+        self.all
+            .iter()
+            .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(t: f64) -> (Vec<f64>, f64, f64) {
+        (vec![t], 1.0, t)
+    }
+
+    #[test]
+    fn window_returns_latest_n() {
+        let mut h = History::new();
+        for i in 0..10 {
+            let (p, d, r) = obs(i as f64);
+            h.push(p, d, r);
+        }
+        let w = h.window(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].elapsed_ms, 7.0);
+        assert_eq!(h.window(100).len(), 10);
+    }
+
+    #[test]
+    fn best_raw_finds_minimum() {
+        let mut h = History::new();
+        for t in [5.0, 2.0, 9.0] {
+            let (p, d, r) = obs(t);
+            h.push(p, d, r);
+        }
+        assert_eq!(h.best_raw().unwrap().elapsed_ms, 2.0);
+    }
+
+    #[test]
+    fn empty_history_has_no_best() {
+        assert!(History::new().best_raw().is_none());
+        assert!(History::new().window(5).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The Embedding ETL streaming job (§5, backend job 1): Spark event logs in,
+//! training rows out.
+//!
+//! A training row pairs what was known at *compile* time (signature, embedding,
+//! configuration) with what was observed at *run* time (data size, elapsed). Rows are
+//! assembled by joining each `QueryStart` with its `QueryEnd` within an application's
+//! event stream; unmatched starts (crashed queries) and malformed lines are dropped,
+//! as a production log processor must.
+
+use serde::{Deserialize, Serialize};
+use sparksim::config::SparkConf;
+use sparksim::event::SparkEvent;
+
+use optimizers::space::ConfigSpace;
+use rockhopper::baseline::BaselineRow;
+
+/// One (compile-time, run-time) training pair extracted from event logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRow {
+    /// Query signature the row belongs to.
+    pub signature: u64,
+    /// Client-computed workload embedding.
+    pub embedding: Vec<f64>,
+    /// The full configuration the run used.
+    pub conf: SparkConf,
+    /// Observed input rows (`p`).
+    pub data_size: f64,
+    /// Observed elapsed time, ms (`r`).
+    pub elapsed_ms: f64,
+}
+
+impl TrainingRow {
+    /// Project the configuration onto a tuning space's dimensions (raw point).
+    pub fn point_in(&self, space: &ConfigSpace) -> Vec<f64> {
+        space.dims.iter().map(|d| self.conf.get(d.knob)).collect()
+    }
+
+    /// Convert to the baseline-trainer's row type over a given space.
+    pub fn to_baseline_row(&self, space: &ConfigSpace) -> BaselineRow {
+        BaselineRow {
+            embedding: self.embedding.clone(),
+            point: self.point_in(space),
+            data_size: self.data_size,
+            elapsed_ms: self.elapsed_ms,
+        }
+    }
+}
+
+/// Extract training rows from an event stream. Joins `QueryStart`/`QueryEnd` pairs
+/// per `(app_id, signature)` in order; a start without a matching end is dropped.
+pub fn extract_rows(events: &[SparkEvent]) -> Vec<TrainingRow> {
+    // Pending starts per (app, signature), FIFO to pair repeated executions.
+    use std::collections::HashMap;
+    type PendingStarts = HashMap<(String, u64), Vec<(SparkConf, Vec<f64>)>>;
+    let mut pending: PendingStarts = HashMap::new();
+    let mut rows = Vec::new();
+    for e in events {
+        match e {
+            SparkEvent::QueryStart {
+                app_id,
+                query_signature,
+                conf,
+                embedding,
+                ..
+            } => {
+                pending
+                    .entry((app_id.clone(), *query_signature))
+                    .or_default()
+                    .push((conf.clone(), embedding.clone()));
+            }
+            SparkEvent::QueryEnd {
+                app_id,
+                query_signature,
+                metrics,
+            } => {
+                if let Some(starts) = pending.get_mut(&(app_id.clone(), *query_signature)) {
+                    if !starts.is_empty() {
+                        let (conf, embedding) = starts.remove(0);
+                        rows.push(TrainingRow {
+                            signature: *query_signature,
+                            embedding,
+                            conf,
+                            data_size: metrics.input_rows,
+                            elapsed_ms: metrics.elapsed_ms,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Parse a JSON-lines event document and extract rows in one step.
+pub fn extract_rows_from_jsonl(doc: &str) -> Vec<TrainingRow> {
+    extract_rows(&sparksim::event::from_jsonl(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::metrics::QueryMetrics;
+
+    fn start(app: &str, sig: u64, partitions: f64) -> SparkEvent {
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = partitions;
+        SparkEvent::QueryStart {
+            app_id: app.into(),
+            query_signature: sig,
+            conf,
+            plan_summary: vec!["TableScan".into()],
+            embedding: vec![1.0, 2.0],
+        }
+    }
+
+    fn end(app: &str, sig: u64, elapsed: f64, rows: f64) -> SparkEvent {
+        SparkEvent::QueryEnd {
+            app_id: app.into(),
+            query_signature: sig,
+            metrics: QueryMetrics {
+                elapsed_ms: elapsed,
+                true_ms: elapsed,
+                num_stages: 1,
+                num_tasks: 1,
+                input_bytes: rows * 100.0,
+                input_rows: rows,
+                root_rows: 1.0,
+                shuffle_bytes: 0.0,
+                spilled_bytes: 0.0,
+                broadcast_joins: 0,
+                sort_merge_joins: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn pairs_start_and_end() {
+        let rows = extract_rows(&[start("a", 1, 128.0), end("a", 1, 500.0, 1e6)]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].signature, 1);
+        assert_eq!(rows[0].elapsed_ms, 500.0);
+        assert_eq!(rows[0].data_size, 1e6);
+        assert_eq!(rows[0].conf.shuffle_partitions, 128.0);
+        assert_eq!(rows[0].embedding, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn unmatched_start_is_dropped() {
+        let rows = extract_rows(&[start("a", 1, 128.0)]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn end_without_start_is_dropped() {
+        let rows = extract_rows(&[end("a", 1, 500.0, 1e6)]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn repeated_executions_pair_fifo() {
+        let rows = extract_rows(&[
+            start("a", 1, 100.0),
+            start("a", 1, 200.0),
+            end("a", 1, 10.0, 1.0),
+            end("a", 1, 20.0, 1.0),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].conf.shuffle_partitions, 100.0);
+        assert_eq!(rows[0].elapsed_ms, 10.0);
+        assert_eq!(rows[1].conf.shuffle_partitions, 200.0);
+    }
+
+    #[test]
+    fn apps_do_not_cross_pair() {
+        let rows = extract_rows(&[start("a", 1, 100.0), end("b", 1, 10.0, 1.0)]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn point_projection_follows_space_order() {
+        let rows = extract_rows(&[start("a", 1, 321.0), end("a", 1, 10.0, 1.0)]);
+        let space = ConfigSpace::query_level();
+        let point = rows[0].point_in(&space);
+        assert_eq!(point.len(), 3);
+        assert_eq!(point[2], 321.0); // shuffle partitions is dim 2
+        let br = rows[0].to_baseline_row(&space);
+        assert_eq!(br.point, point);
+        assert_eq!(br.elapsed_ms, 10.0);
+    }
+
+    #[test]
+    fn jsonl_path_skips_garbage() {
+        let doc = format!(
+            "{}\ngarbage\n{}\n",
+            start("a", 1, 64.0).to_json_line(),
+            end("a", 1, 99.0, 5.0).to_json_line()
+        );
+        let rows = extract_rows_from_jsonl(&doc);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].elapsed_ms, 99.0);
+    }
+}

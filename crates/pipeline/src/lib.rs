@@ -1,0 +1,52 @@
+//! The Rockhopper offline/online pipeline (paper §4.2 and §5, Figure 7).
+//!
+//! - [`storage`] — the Autotune Backend's storage: per-application event folders,
+//!   model files, the `app_cache`, capability tokens standing in for SAS URLs, and a
+//!   Storage Manager retention sweep (GDPR cleanup).
+//! - [`flighting`] — the offline experiment platform: execute open-source benchmark
+//!   queries under sampled configurations and pools, emitting event logs.
+//! - [`etl`] — the Embedding ETL streaming job: event logs → training rows.
+//! - [`trainer`] — the ML training pipeline producing the per-region baseline model.
+//! - [`service`] — the online phase: Autotune Client (config inference at query
+//!   start) and Autotune Backend (model updates after completion) joined by
+//!   crossbeam channels, mirroring the architecture in Figure 7.
+
+pub mod etl;
+pub mod monitor;
+pub mod flighting;
+pub mod service;
+pub mod storage;
+pub mod trainer;
+
+pub use etl::TrainingRow;
+pub use service::{AutotuneBackend, AutotuneClient, AutotuneService};
+pub use storage::{AccessToken, Storage};
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A storage access was attempted with a token lacking the required rights.
+    AccessDenied {
+        /// The path that was touched.
+        path: String,
+    },
+    /// The requested object does not exist.
+    NotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// Not enough training rows to build a model.
+    InsufficientData,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::AccessDenied { path } => write!(f, "access denied: {path}"),
+            PipelineError::NotFound { path } => write!(f, "not found: {path}"),
+            PipelineError::InsufficientData => write!(f, "insufficient training data"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}

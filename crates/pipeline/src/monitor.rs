@@ -1,0 +1,498 @@
+//! The monitoring dashboard (§6.3, "posterior analysis").
+//!
+//! "A key component of Rockhopper is the monitoring dashboard, which facilitates
+//! real-time analysis of query tuning performance": visualization of configuration
+//! changes across iterations, performance trends, and the metrics directly influenced
+//! by configuration suggestions — "(1) partitions, (2) physical plans, (3) task
+//! numbers, and (4) input data sizes" — supporting Root Cause Analysis (RCA) for
+//! performance variations.
+//!
+//! [`QueryMonitor`] accumulates per-iteration records from event logs; [`Dashboard`]
+//! aggregates monitors per query signature and renders text reports.
+
+use std::collections::HashMap;
+
+use ml::{Regressor, Ridge};
+use serde::{Deserialize, Serialize};
+use sparksim::config::{Knob, SparkConf};
+use sparksim::event::SparkEvent;
+
+/// One iteration's record: the suggested configuration and what it did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorRecord {
+    /// Iteration index (order of arrival).
+    pub iteration: u32,
+    /// Configuration the run used.
+    pub conf: SparkConf,
+    /// Observed elapsed time, ms.
+    pub elapsed_ms: f64,
+    /// Input rows (data size).
+    pub input_rows: f64,
+    /// Total tasks.
+    pub num_tasks: usize,
+    /// Stage count (physical-plan shape proxy).
+    pub num_stages: usize,
+    /// Broadcast-hash joins in the physical plan.
+    pub broadcast_joins: usize,
+    /// Sort-merge joins in the physical plan.
+    pub sort_merge_joins: usize,
+    /// Bytes spilled.
+    pub spilled_bytes: f64,
+}
+
+/// The attributed cause of an iteration-to-iteration performance change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RootCause {
+    /// Input size moved enough to explain the change.
+    DataSizeChange {
+        /// `p_t / p_{t-1}`.
+        ratio: f64,
+    },
+    /// The physical plan changed shape (join strategy flipped, task count jumped).
+    PlanChange {
+        /// Broadcast-join delta.
+        broadcast_delta: i64,
+        /// Relative task-count change.
+        task_ratio: f64,
+    },
+    /// Tuned knobs moved and the plan stayed comparable — the tuner's doing.
+    ConfigChange {
+        /// The knobs that moved, with (from, to) values.
+        knobs: Vec<(Knob, f64, f64)>,
+    },
+    /// Nothing observable changed: fluctuation noise or an external spike.
+    LikelyNoiseOrExternal,
+}
+
+/// A fitted performance trend over iterations (data size controlled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// Estimated ms change per iteration at fixed data size.
+    pub slope_ms_per_iteration: f64,
+    /// Whether performance is improving (negative slope beyond noise).
+    pub improving: bool,
+}
+
+/// Per-signature monitor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryMonitor {
+    /// Chronological records.
+    pub records: Vec<MonitorRecord>,
+    pending_conf: Option<SparkConf>,
+}
+
+impl QueryMonitor {
+    /// Empty monitor.
+    pub fn new() -> QueryMonitor {
+        QueryMonitor::default()
+    }
+
+    /// Feed one event; `QueryStart`/`QueryEnd` pairs become records.
+    pub fn ingest(&mut self, event: &SparkEvent) {
+        match event {
+            SparkEvent::QueryStart { conf, .. } => self.pending_conf = Some(conf.clone()),
+            SparkEvent::QueryEnd { metrics, .. } => {
+                let Some(conf) = self.pending_conf.take() else {
+                    return;
+                };
+                self.records.push(MonitorRecord {
+                    iteration: self.records.len() as u32,
+                    conf,
+                    elapsed_ms: metrics.elapsed_ms,
+                    input_rows: metrics.input_rows,
+                    num_tasks: metrics.num_tasks,
+                    num_stages: metrics.num_stages,
+                    broadcast_joins: metrics.broadcast_joins,
+                    sort_merge_joins: metrics.sort_merge_joins,
+                    spilled_bytes: metrics.spilled_bytes,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Knob changes between consecutive iterations:
+    /// `(iteration, knob, previous, new)` — the dashboard's "configuration changes
+    /// across iterations" view.
+    pub fn config_changes(&self) -> Vec<(u32, Knob, f64, f64)> {
+        let mut out = Vec::new();
+        for w in self.records.windows(2) {
+            for knob in Knob::QUERY_LEVEL.iter().chain(Knob::APP_LEVEL.iter()) {
+                let (a, b) = (w[0].conf.get(*knob), w[1].conf.get(*knob));
+                if relative_change(a, b) > 1e-9 {
+                    out.push((w[1].iteration, *knob, a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fit the performance trend (`elapsed ~ iteration + ln input_rows`).
+    /// Returns `None` with fewer than 5 records.
+    pub fn trend(&self) -> Option<TrendReport> {
+        if self.records.len() < 5 {
+            return None;
+        }
+        let x: Vec<Vec<f64>> = self
+            .records
+            .iter()
+            .map(|r| vec![r.iteration as f64, r.input_rows.max(1e-9).ln()])
+            .collect();
+        let y: Vec<f64> = self.records.iter().map(|r| r.elapsed_ms).collect();
+        let mut m = Ridge::new(1.0);
+        m.fit(&x, &y).ok()?;
+        let slope = m.weights()[0];
+        Some(TrendReport {
+            slope_ms_per_iteration: slope,
+            improving: slope < 0.0,
+        })
+    }
+
+    /// Attribute the performance change at `iteration` (vs the previous one).
+    /// Returns `None` for iteration 0 or out-of-range.
+    pub fn rca(&self, iteration: u32) -> Option<RootCause> {
+        let i = iteration as usize;
+        if i == 0 || i >= self.records.len() {
+            return None;
+        }
+        let (prev, cur) = (&self.records[i - 1], &self.records[i]);
+
+        // 1. Data-size movement explains most production variance; check it first
+        //    ("we attempt to exclude external impacts such as changes in data size").
+        let p_ratio = cur.input_rows.max(1e-9) / prev.input_rows.max(1e-9);
+        if !(0.9..=1.1).contains(&p_ratio) {
+            return Some(RootCause::DataSizeChange { ratio: p_ratio });
+        }
+
+        // 2. Physical-plan shape changes (join strategy flips, task-count jumps).
+        let broadcast_delta = cur.broadcast_joins as i64 - prev.broadcast_joins as i64;
+        let task_ratio = cur.num_tasks.max(1) as f64 / prev.num_tasks.max(1) as f64;
+        if broadcast_delta != 0 || !(0.8..=1.25).contains(&task_ratio) {
+            return Some(RootCause::PlanChange {
+                broadcast_delta,
+                task_ratio,
+            });
+        }
+
+        // 3. Knob movement without a plan-shape change.
+        let knobs: Vec<(Knob, f64, f64)> = Knob::QUERY_LEVEL
+            .iter()
+            .chain(Knob::APP_LEVEL.iter())
+            .filter_map(|k| {
+                let (a, b) = (prev.conf.get(*k), cur.conf.get(*k));
+                (relative_change(a, b) > 0.01).then_some((*k, a, b))
+            })
+            .collect();
+        if !knobs.is_empty() {
+            return Some(RootCause::ConfigChange { knobs });
+        }
+        Some(RootCause::LikelyNoiseOrExternal)
+    }
+
+    /// Render the per-query dashboard: a sparkline of elapsed times, the fitted
+    /// trend, and the latest record's key metrics.
+    pub fn render(&self, signature: u64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "query {signature:016x}: {} iterations\n",
+            self.records.len()
+        ));
+        let times: Vec<f64> = self.records.iter().map(|r| r.elapsed_ms).collect();
+        out.push_str(&format!("  elapsed  {}\n", sparkline(&times)));
+        if let Some(t) = self.trend() {
+            out.push_str(&format!(
+                "  trend    {:+.1} ms/iteration ({})\n",
+                t.slope_ms_per_iteration,
+                if t.improving { "improving" } else { "regressing" }
+            ));
+        }
+        if let Some(last) = self.records.last() {
+            out.push_str(&format!(
+                "  latest   {:.0} ms | partitions {} | tasks {} | stages {} | \
+                 bc/smj joins {}/{} | input {:.2e} rows | spill {:.1} MiB\n",
+                last.elapsed_ms,
+                last.conf.shuffle_partition_count(),
+                last.num_tasks,
+                last.num_stages,
+                last.broadcast_joins,
+                last.sort_merge_joins,
+                last.input_rows,
+                last.spilled_bytes / (1024.0 * 1024.0),
+            ));
+        }
+        out
+    }
+}
+
+/// Workspace-wide dashboard: one monitor per query signature.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dashboard {
+    monitors: HashMap<u64, QueryMonitor>,
+}
+
+impl Dashboard {
+    /// Empty dashboard.
+    pub fn new() -> Dashboard {
+        Dashboard::default()
+    }
+
+    /// Feed a stream of events, routing them to per-signature monitors.
+    pub fn ingest(&mut self, events: &[SparkEvent]) {
+        for e in events {
+            let sig = match e {
+                SparkEvent::QueryStart {
+                    query_signature, ..
+                }
+                | SparkEvent::QueryEnd {
+                    query_signature, ..
+                } => *query_signature,
+                _ => continue,
+            };
+            self.monitors.entry(sig).or_default().ingest(e);
+        }
+    }
+
+    /// The monitor for a signature, if any.
+    pub fn monitor(&self, signature: u64) -> Option<&QueryMonitor> {
+        self.monitors.get(&signature)
+    }
+
+    /// Signatures tracked.
+    pub fn signatures(&self) -> Vec<u64> {
+        let mut sigs: Vec<u64> = self.monitors.keys().copied().collect();
+        sigs.sort_unstable();
+        sigs
+    }
+
+    /// Signatures whose trend regresses — the operator's attention list.
+    pub fn regressing_signatures(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .monitors
+            .iter()
+            .filter(|(_, m)| m.trend().map(|t| !t.improving).unwrap_or(false))
+            .map(|(s, _)| *s)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Render every tracked query.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for sig in self.signatures() {
+            out.push_str(&self.monitors[&sig].render(sig));
+        }
+        out
+    }
+}
+
+/// Relative change `|b − a| / max(|a|, |b|, ε)`.
+fn relative_change(a: f64, b: f64) -> f64 {
+    (b - a).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Unicode sparkline of a series (▁▂▃▄▅▆▇█), capped at 60 points (tail).
+fn sparkline(xs: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail = &xs[xs.len().saturating_sub(60)..];
+    if tail.is_empty() {
+        return String::new();
+    }
+    let lo = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    tail.iter()
+        .map(|&x| {
+            let idx = (((x - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::metrics::QueryMetrics;
+
+    fn start(conf: SparkConf) -> SparkEvent {
+        SparkEvent::QueryStart {
+            app_id: "a".into(),
+            query_signature: 9,
+            conf,
+            plan_summary: vec![],
+            embedding: vec![],
+        }
+    }
+
+    fn end(elapsed: f64, rows: f64, tasks: usize, bc: usize) -> SparkEvent {
+        SparkEvent::QueryEnd {
+            app_id: "a".into(),
+            query_signature: 9,
+            metrics: QueryMetrics {
+                elapsed_ms: elapsed,
+                true_ms: elapsed,
+                num_stages: 3,
+                num_tasks: tasks,
+                input_bytes: rows * 100.0,
+                input_rows: rows,
+                root_rows: 1.0,
+                shuffle_bytes: 0.0,
+                spilled_bytes: 0.0,
+                broadcast_joins: bc,
+                sort_merge_joins: 1 - bc.min(1),
+            },
+        }
+    }
+
+    fn feed(monitor: &mut QueryMonitor, conf: SparkConf, elapsed: f64, rows: f64, tasks: usize, bc: usize) {
+        monitor.ingest(&start(conf));
+        monitor.ingest(&end(elapsed, rows, tasks, bc));
+    }
+
+    #[test]
+    fn records_accumulate_from_event_pairs() {
+        let mut m = QueryMonitor::new();
+        feed(&mut m, SparkConf::default(), 100.0, 1e6, 50, 0);
+        feed(&mut m, SparkConf::default(), 90.0, 1e6, 50, 0);
+        assert_eq!(m.records.len(), 2);
+        assert_eq!(m.records[1].iteration, 1);
+    }
+
+    #[test]
+    fn orphan_end_is_ignored() {
+        let mut m = QueryMonitor::new();
+        m.ingest(&end(100.0, 1.0, 1, 0));
+        assert!(m.records.is_empty());
+    }
+
+    #[test]
+    fn config_changes_are_detected_per_knob() {
+        let mut m = QueryMonitor::new();
+        let mut c2 = SparkConf::default();
+        c2.shuffle_partitions = 400.0;
+        feed(&mut m, SparkConf::default(), 100.0, 1e6, 50, 0);
+        feed(&mut m, c2, 95.0, 1e6, 50, 0);
+        let changes = m.config_changes();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1, Knob::ShufflePartitions);
+        assert_eq!(changes[0].2, 200.0);
+        assert_eq!(changes[0].3, 400.0);
+    }
+
+    #[test]
+    fn trend_detects_improvement_and_regression() {
+        let mut improving = QueryMonitor::new();
+        let mut regressing = QueryMonitor::new();
+        for i in 0..10 {
+            feed(&mut improving, SparkConf::default(), 200.0 - 10.0 * i as f64, 1e6, 50, 0);
+            feed(&mut regressing, SparkConf::default(), 100.0 + 10.0 * i as f64, 1e6, 50, 0);
+        }
+        assert!(improving.trend().unwrap().improving);
+        assert!(!regressing.trend().unwrap().improving);
+        assert!(QueryMonitor::new().trend().is_none());
+    }
+
+    #[test]
+    fn rca_attributes_data_size_first() {
+        let mut m = QueryMonitor::new();
+        feed(&mut m, SparkConf::default(), 100.0, 1e6, 50, 0);
+        let mut c2 = SparkConf::default();
+        c2.shuffle_partitions = 400.0; // conf also changed, but data doubled
+        feed(&mut m, c2, 220.0, 2e6, 80, 0);
+        assert!(matches!(
+            m.rca(1),
+            Some(RootCause::DataSizeChange { ratio }) if (ratio - 2.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn rca_attributes_plan_flip() {
+        let mut m = QueryMonitor::new();
+        feed(&mut m, SparkConf::default(), 100.0, 1e6, 50, 0);
+        feed(&mut m, SparkConf::default(), 60.0, 1e6, 48, 1); // join went broadcast
+        assert!(matches!(
+            m.rca(1),
+            Some(RootCause::PlanChange { broadcast_delta: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rca_attributes_config_change() {
+        let mut m = QueryMonitor::new();
+        feed(&mut m, SparkConf::default(), 100.0, 1e6, 50, 0);
+        let mut c2 = SparkConf::default();
+        c2.max_partition_bytes *= 2.0;
+        feed(&mut m, c2, 95.0, 1.02e6, 52, 0);
+        match m.rca(1) {
+            Some(RootCause::ConfigChange { knobs }) => {
+                assert_eq!(knobs.len(), 1);
+                assert_eq!(knobs[0].0, Knob::MaxPartitionBytes);
+            }
+            other => panic!("expected ConfigChange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rca_falls_back_to_noise() {
+        let mut m = QueryMonitor::new();
+        feed(&mut m, SparkConf::default(), 100.0, 1e6, 50, 0);
+        feed(&mut m, SparkConf::default(), 210.0, 1e6, 50, 0); // 2.1x, nothing changed
+        assert_eq!(m.rca(1), Some(RootCause::LikelyNoiseOrExternal));
+        assert_eq!(m.rca(0), None);
+        assert_eq!(m.rca(99), None);
+    }
+
+    #[test]
+    fn dashboard_routes_by_signature_and_renders() {
+        let mut d = Dashboard::new();
+        let mut events = Vec::new();
+        for sig in [1u64, 2] {
+            for i in 0..6 {
+                events.push(SparkEvent::QueryStart {
+                    app_id: "a".into(),
+                    query_signature: sig,
+                    conf: SparkConf::default(),
+                    plan_summary: vec![],
+                    embedding: vec![],
+                });
+                let elapsed = if sig == 1 {
+                    100.0 - 5.0 * i as f64
+                } else {
+                    100.0 + 20.0 * i as f64
+                };
+                events.push(SparkEvent::QueryEnd {
+                    app_id: "a".into(),
+                    query_signature: sig,
+                    metrics: QueryMetrics {
+                        elapsed_ms: elapsed,
+                        true_ms: elapsed,
+                        num_stages: 1,
+                        num_tasks: 10,
+                        input_bytes: 1.0,
+                        input_rows: 1.0,
+                        root_rows: 1.0,
+                        shuffle_bytes: 0.0,
+                        spilled_bytes: 0.0,
+                        broadcast_joins: 0,
+                        sort_merge_joins: 0,
+                    },
+                });
+            }
+        }
+        d.ingest(&events);
+        assert_eq!(d.signatures(), vec![1, 2]);
+        assert_eq!(d.regressing_signatures(), vec![2]);
+        let text = d.render();
+        assert!(text.contains("0000000000000001"));
+        assert!(text.contains("regressing"));
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

@@ -1,0 +1,678 @@
+//! The online phase (§5, Figure 7): Autotune Clients on Spark clusters talk to the
+//! Autotune Backend, which owns storage, per-signature tuners, and the `app_cache`.
+//!
+//! The backend's logic lives in [`AutotuneBackend`] (synchronous, directly testable);
+//! [`AutotuneService::spawn`] runs it on a dedicated thread behind crossbeam channels
+//! — the reproduction of the client/backend split — with [`AutotuneClient`] as the
+//! cluster-side handle (the model loader / query listener pair).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::{Outcome, Tuner, TuningContext};
+use rockhopper::applevel::{AppCache, AppLevelOptimizer, QueryState};
+use rockhopper::baseline::BaselineModel;
+use rockhopper::RockhopperTuner;
+use sparksim::event::SparkEvent;
+
+use crate::etl::extract_rows;
+use crate::monitor::Dashboard;
+use crate::storage::{paths, Storage};
+
+/// The backend: storage, per-(user, signature) tuners, baseline model, app cache.
+pub struct AutotuneBackend {
+    storage: Arc<Storage>,
+    space: ConfigSpace,
+    /// Query-level baseline (warm start for new signatures).
+    baseline: Option<BaselineModel>,
+    tuners: HashMap<(String, u64), RockhopperTuner>,
+    /// Latest embedding seen per signature (context for app-cache scoring).
+    embeddings: HashMap<u64, Vec<f64>>,
+    app_cache: AppCache,
+    app_optimizer: AppLevelOptimizer,
+    /// The §6.3 monitoring dashboard, fed by every ingested event file.
+    dashboard: Dashboard,
+    /// Guardrail policy applied to newly created tuners.
+    guardrail_policy: Option<rockhopper::Guardrail>,
+    seed: u64,
+}
+
+impl AutotuneBackend {
+    /// Create a backend over shared storage with an optional baseline model.
+    pub fn new(storage: Arc<Storage>, baseline: Option<BaselineModel>, seed: u64) -> Self {
+        AutotuneBackend {
+            storage,
+            space: ConfigSpace::query_level(),
+            baseline,
+            tuners: HashMap::new(),
+            embeddings: HashMap::new(),
+            app_cache: AppCache::new(),
+            app_optimizer: AppLevelOptimizer::default(),
+            dashboard: Dashboard::new(),
+            guardrail_policy: Some(rockhopper::Guardrail::default()),
+            seed,
+        }
+    }
+
+    /// Override the guardrail policy for tuners created from now on. The paper's
+    /// production deployment runs "extremely conservative guardrail settings" (only
+    /// 73/416 signatures kept autotuning); `None` disables the guardrail entirely.
+    pub fn with_guardrail_policy(mut self, policy: Option<rockhopper::Guardrail>) -> Self {
+        self.guardrail_policy = policy;
+        self
+    }
+
+    /// Suggest the query-level configuration for a submission (Figure 7 step: the
+    /// Autotune Config Inference before physical planning).
+    pub fn suggest(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+        self.embeddings.insert(signature, ctx.embedding.clone());
+        let tuner = self.tuner_for(user, signature);
+        tuner.suggest(ctx)
+    }
+
+    fn tuner_for(&mut self, user: &str, signature: u64) -> &mut RockhopperTuner {
+        let key = (user.to_string(), signature);
+        if !self.tuners.contains_key(&key) {
+            let mut builder = RockhopperTuner::builder(self.space.clone())
+                .seed(self.seed ^ signature)
+                .guardrail(self.guardrail_policy.clone());
+            if let Some(b) = &self.baseline {
+                builder = builder.baseline(b.clone());
+            }
+            self.tuners.insert(key.clone(), builder.build());
+        }
+        self.tuners.get_mut(&key).expect("inserted above")
+    }
+
+    /// Ingest an application's event file: persist it, ETL it, and feed every
+    /// completed query back into its tuner (the Model Updater job).
+    pub fn ingest(&mut self, user: &str, app_id: &str, events: &[SparkEvent]) {
+        let token = self.storage.issue_token("events/", true, u64::MAX);
+        let _ = self.storage.put(
+            &token,
+            &paths::events(app_id),
+            sparksim::event::to_jsonl(events).into_bytes(),
+        );
+        self.storage.tick();
+        self.dashboard.ingest(events);
+        for row in extract_rows(events) {
+            let space = self.space.clone();
+            let point = row.point_in(&space);
+            let tuner = self.tuner_for(user, row.signature);
+            tuner.observe(
+                &point,
+                &Outcome {
+                    elapsed_ms: row.elapsed_ms,
+                    data_size: row.data_size,
+                },
+            );
+        }
+    }
+
+    /// Whether the guardrail has disabled a signature.
+    pub fn is_disabled(&self, user: &str, signature: u64) -> bool {
+        self.tuners
+            .get(&(user.to_string(), signature))
+            .map(RockhopperTuner::is_disabled)
+            .unwrap_or(false)
+    }
+
+    /// Recompute the `app_cache` entry for an artifact after its run completes
+    /// (the App Cache Generator job, Algorithm 2). `expected_p` is the data size the
+    /// next run is expected to carry.
+    pub fn update_app_cache(
+        &mut self,
+        user: &str,
+        artifact_id: &str,
+        signatures: &[u64],
+        expected_p: f64,
+    ) {
+        let queries: Vec<QueryState> = signatures
+            .iter()
+            .filter_map(|&sig| {
+                self.tuners
+                    .get(&(user.to_string(), sig))
+                    .map(|t| QueryState {
+                        signature: sig,
+                        centroid: t.centroid(),
+                    })
+            })
+            .collect();
+        if queries.is_empty() {
+            return;
+        }
+        // Score with the baseline model when present (embedding + query point at the
+        // expected data size), discounted by a simple parallelism factor from the
+        // app-level executor knob — app knobs are otherwise invisible to the
+        // query-level baseline.
+        let baseline = self.baseline.clone();
+        let embeddings: Vec<Vec<f64>> = signatures
+            .iter()
+            .map(|s| self.embeddings.get(s).cloned().unwrap_or_default())
+            .collect();
+        let app_space = self.app_optimizer.app_space.clone();
+        let score = move |qi: usize, app: &[f64], query: &[f64]| -> f64 {
+            let base = match &baseline {
+                Some(b) => b.predict_ms(&embeddings[qi], query, expected_p),
+                None => 1000.0,
+            };
+            // More executors shorten wide stages but add startup/GC drag: a convex
+            // proxy with an interior optimum at ~60% of the executor range.
+            let xe = app_space.dims[0].normalize(app[0]);
+            base * (1.0 + 0.6 * (xe - 0.6) * (xe - 0.6))
+        };
+        let current = self.app_optimizer.app_space.default_point();
+        if let Some(entry) =
+            self.app_optimizer
+                .optimize(&current, &queries, score, self.seed ^ 0x00AC_CAFE)
+        {
+            let token = self.storage.issue_token("app_cache/", true, u64::MAX);
+            let _ = self.storage.put(
+                &token,
+                &paths::app_cache(artifact_id),
+                serde_json::to_vec(&entry).expect("entry serializes"),
+            );
+            self.app_cache.put(artifact_id, entry);
+        }
+    }
+
+    /// The pre-computed app-level configuration for a submitting artifact, if any
+    /// (read at job submission, bypassing all model inference).
+    pub fn app_conf(&self, artifact_id: &str) -> Option<Vec<f64>> {
+        self.app_cache.get(artifact_id).map(|e| e.app_point.clone())
+    }
+
+    /// Forecast the next run's data size for a signature from its observation
+    /// history (see [`rockhopper::forecast`]); `None` before any observations.
+    pub fn forecast_data_size(&self, user: &str, signature: u64) -> Option<f64> {
+        self.tuners
+            .get(&(user.to_string(), signature))
+            .and_then(|t| rockhopper::forecast::forecast_data_size(&t.history))
+            .map(|f| f.value)
+    }
+
+    /// As [`AutotuneBackend::update_app_cache`], with the expected data size
+    /// forecast from the queries' own histories (mean of per-signature forecasts) —
+    /// the fully-automatic path the App Cache Generator runs after each application.
+    pub fn update_app_cache_forecast(
+        &mut self,
+        user: &str,
+        artifact_id: &str,
+        signatures: &[u64],
+    ) {
+        let forecasts: Vec<f64> = signatures
+            .iter()
+            .filter_map(|&s| self.forecast_data_size(user, s))
+            .collect();
+        let expected_p = if forecasts.is_empty() {
+            1.0
+        } else {
+            ml::stats::mean(&forecasts)
+        };
+        self.update_app_cache(user, artifact_id, signatures, expected_p);
+    }
+
+    /// Number of live tuners (monitoring).
+    pub fn tuner_count(&self) -> usize {
+        self.tuners.len()
+    }
+
+    /// The monitoring dashboard (§6.3), accumulated from every ingested event file.
+    pub fn dashboard(&self) -> &Dashboard {
+        &self.dashboard
+    }
+
+    /// Persist every per-signature tuner state as a model file (the Model Updater's
+    /// output in Figure 7: models are written to storage for the next application's
+    /// client to load). Returns the number of models written.
+    pub fn persist_models(&self) -> usize {
+        let token = self.storage.issue_token("models/", true, u64::MAX);
+        let mut written = 0;
+        for ((user, sig), tuner) in &self.tuners {
+            let snap = tuner.snapshot();
+            if let Ok(bytes) = serde_json::to_vec(&snap) {
+                if self.storage.put(&token, &paths::model(user, *sig), bytes).is_ok() {
+                    written += 1;
+                }
+            }
+        }
+        written
+    }
+
+    /// Restore every persisted tuner state from storage (what a freshly started
+    /// backend process does). Malformed model files are skipped. Returns the number
+    /// of models restored.
+    pub fn restore_models(&mut self) -> usize {
+        let token = self.storage.issue_token("models/", false, u64::MAX);
+        let Ok(files) = self.storage.list(&token, "models/") else {
+            return 0;
+        };
+        let mut restored = 0;
+        for path in files {
+            // models/<user>/<signature-hex>.json
+            let mut parts = path.trim_start_matches("models/").splitn(2, '/');
+            let (Some(user), Some(file)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let Ok(sig) = u64::from_str_radix(file.trim_end_matches(".json"), 16) else {
+                continue;
+            };
+            let Ok(bytes) = self.storage.get(&token, &path) else {
+                continue;
+            };
+            let Ok(state) = serde_json::from_slice::<rockhopper::tuner::TunerState>(&bytes)
+            else {
+                continue;
+            };
+            let tuner = RockhopperTuner::restore(
+                self.space.clone(),
+                state,
+                self.baseline.clone(),
+            );
+            self.tuners.insert((user.to_string(), sig), tuner);
+            restored += 1;
+        }
+        restored
+    }
+
+    /// Persist the region baseline model.
+    pub fn persist_baseline(&self, region: &str) -> bool {
+        let Some(b) = &self.baseline else { return false };
+        let token = self.storage.issue_token("baseline/", true, u64::MAX);
+        serde_json::to_vec(b)
+            .ok()
+            .and_then(|bytes| self.storage.put(&token, &paths::baseline(region), bytes).ok())
+            .is_some()
+    }
+
+    /// Load the region baseline model from storage into this backend.
+    pub fn load_baseline(&mut self, region: &str) -> bool {
+        let token = self.storage.issue_token("baseline/", false, u64::MAX);
+        let Ok(bytes) = self.storage.get(&token, &paths::baseline(region)) else {
+            return false;
+        };
+        match serde_json::from_slice::<BaselineModel>(&bytes) {
+            Ok(b) => {
+                self.baseline = Some(b);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Messages from clients to the backend thread.
+enum Request {
+    Suggest {
+        user: String,
+        signature: u64,
+        ctx: TuningContext,
+        reply: Sender<Vec<f64>>,
+    },
+    Ingest {
+        user: String,
+        app_id: String,
+        events: Vec<SparkEvent>,
+    },
+    UpdateAppCache {
+        user: String,
+        artifact_id: String,
+        signatures: Vec<u64>,
+        expected_p: f64,
+    },
+    AppConf {
+        artifact_id: String,
+        reply: Sender<Option<Vec<f64>>>,
+    },
+    Shutdown,
+}
+
+/// The backend running on its own thread.
+pub struct AutotuneService {
+    tx: Sender<Request>,
+    handle: Option<JoinHandle<AutotuneBackend>>,
+}
+
+impl AutotuneService {
+    /// Spawn the backend thread; returns the service handle and a client.
+    pub fn spawn(mut backend: AutotuneBackend) -> (AutotuneService, AutotuneClient) {
+        let (tx, rx) = unbounded::<Request>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(req) = rx.recv() {
+                match req {
+                    Request::Suggest {
+                        user,
+                        signature,
+                        ctx,
+                        reply,
+                    } => {
+                        let point = backend.suggest(&user, signature, &ctx);
+                        let _ = reply.send(point);
+                    }
+                    Request::Ingest {
+                        user,
+                        app_id,
+                        events,
+                    } => backend.ingest(&user, &app_id, &events),
+                    Request::UpdateAppCache {
+                        user,
+                        artifact_id,
+                        signatures,
+                        expected_p,
+                    } => backend.update_app_cache(&user, &artifact_id, &signatures, expected_p),
+                    Request::AppConf { artifact_id, reply } => {
+                        let _ = reply.send(backend.app_conf(&artifact_id));
+                    }
+                    Request::Shutdown => break,
+                }
+            }
+            backend
+        });
+        (
+            AutotuneService {
+                tx: tx.clone(),
+                handle: Some(handle),
+            },
+            AutotuneClient { tx },
+        )
+    }
+
+    /// Stop the backend thread and recover the backend state.
+    pub fn shutdown(mut self) -> AutotuneBackend {
+        let _ = self.tx.send(Request::Shutdown);
+        self.handle
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("backend thread exits cleanly")
+    }
+}
+
+/// Cluster-side handle: the model loader + query listener pair.
+#[derive(Clone)]
+pub struct AutotuneClient {
+    tx: Sender<Request>,
+}
+
+impl AutotuneClient {
+    /// Request a query-level configuration (blocks for the reply, as config
+    /// inference sits on the submission critical path).
+    pub fn suggest(&self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Request::Suggest {
+                user: user.to_string(),
+                signature,
+                ctx: ctx.clone(),
+                reply: reply_tx,
+            })
+            .expect("backend alive");
+        reply_rx.recv().expect("backend replies")
+    }
+
+    /// Ship an application's event file to the backend (fire-and-forget, like the
+    /// Event Hub trigger).
+    pub fn ingest(&self, user: &str, app_id: &str, events: Vec<SparkEvent>) {
+        let _ = self.tx.send(Request::Ingest {
+            user: user.to_string(),
+            app_id: app_id.to_string(),
+            events,
+        });
+    }
+
+    /// Ask the backend to refresh an artifact's app cache.
+    pub fn update_app_cache(
+        &self,
+        user: &str,
+        artifact_id: &str,
+        signatures: Vec<u64>,
+        expected_p: f64,
+    ) {
+        let _ = self.tx.send(Request::UpdateAppCache {
+            user: user.to_string(),
+            artifact_id: artifact_id.to_string(),
+            signatures,
+            expected_p,
+        });
+    }
+
+    /// Fetch the pre-computed app-level configuration (blocks for the reply).
+    pub fn app_conf(&self, artifact_id: &str) -> Option<Vec<f64>> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Request::AppConf {
+                artifact_id: artifact_id.to_string(),
+                reply: reply_tx,
+            })
+            .expect("backend alive");
+        reply_rx.recv().expect("backend replies")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimizers::env::Environment;
+    use optimizers::QueryEnv;
+    use sparksim::noise::NoiseSpec;
+
+    fn backend() -> AutotuneBackend {
+        AutotuneBackend::new(Arc::new(Storage::new()), None, 42)
+    }
+
+    fn drive_query(backend: &mut AutotuneBackend, env: &mut QueryEnv, user: &str, iters: usize) {
+        let sig = env.signature();
+        for i in 0..iters {
+            let ctx = env.context();
+            let point = backend.suggest(user, sig, &ctx);
+            let conf = env.space().to_conf(&point);
+            let plan = env.plan.clone().scaled(env.schedule.size_at(i as u32));
+            let run = env.sim.execute(&plan, &conf, i as u64);
+            let events = env.sim.events_for_run(
+                &format!("app-{i}"),
+                "artifact-x",
+                sig,
+                &plan,
+                &conf,
+                ctx.embedding.clone(),
+                &run,
+            );
+            backend.ingest(user, &format!("app-{i}"), &events);
+            let _ = env.run(&point); // keep the env's iteration counter in step
+        }
+    }
+
+    #[test]
+    fn suggest_creates_one_tuner_per_user_signature() {
+        let mut b = backend();
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        let ctx = env.context();
+        b.suggest("alice", 1, &ctx);
+        b.suggest("alice", 1, &ctx);
+        b.suggest("alice", 2, &ctx);
+        b.suggest("bob", 1, &ctx);
+        assert_eq!(b.tuner_count(), 3);
+    }
+
+    #[test]
+    fn ingest_persists_events_and_updates_tuners() {
+        let mut b = backend();
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        drive_query(&mut b, &mut env, "alice", 5);
+        // Event files landed in storage.
+        let token = b.storage.issue_token("events/", false, u64::MAX);
+        assert_eq!(b.storage.list(&token, "events/").unwrap().len(), 5);
+        // The tuner accumulated all five observations.
+        let t = b.tuners.get(&("alice".to_string(), env.signature())).unwrap();
+        assert_eq!(t.history.len(), 5);
+    }
+
+    #[test]
+    fn privacy_isolation_between_users() {
+        let mut b = backend();
+        let mut env_a = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        drive_query(&mut b, &mut env_a, "alice", 3);
+        let sig = env_a.signature();
+        // Bob's tuner for the same signature shares nothing with Alice's.
+        let ctx = env_a.context();
+        b.suggest("bob", sig, &ctx);
+        let bob = b.tuners.get(&("bob".to_string(), sig)).unwrap();
+        assert_eq!(bob.history.len(), 0);
+        let alice = b.tuners.get(&("alice".to_string(), sig)).unwrap();
+        assert_eq!(alice.history.len(), 3);
+    }
+
+    #[test]
+    fn app_cache_roundtrips_through_backend_and_storage() {
+        let mut b = backend();
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        drive_query(&mut b, &mut env, "alice", 3);
+        let sig = env.signature();
+        assert!(b.app_conf("artifact-x").is_none());
+        b.update_app_cache("alice", "artifact-x", &[sig], 1e6);
+        let conf = b.app_conf("artifact-x").expect("cache entry exists");
+        assert_eq!(conf.len(), 2); // executors + memory
+        // Persisted too.
+        let token = b.storage.issue_token("app_cache/", false, u64::MAX);
+        assert!(b.storage.get(&token, &paths::app_cache("artifact-x")).is_ok());
+    }
+
+    #[test]
+    fn app_cache_for_unknown_signatures_is_a_noop() {
+        let mut b = backend();
+        b.update_app_cache("alice", "artifact-y", &[999], 1.0);
+        assert!(b.app_conf("artifact-y").is_none());
+    }
+
+    #[test]
+    fn dashboard_tracks_ingested_queries() {
+        let mut b = backend();
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        drive_query(&mut b, &mut env, "alice", 6);
+        let sig = env.signature();
+        let m = b.dashboard().monitor(sig).expect("dashboard tracks the signature");
+        assert_eq!(m.records.len(), 6);
+        assert!(b.dashboard().render().contains(&format!("{sig:016x}")));
+    }
+
+    #[test]
+    fn forecast_and_auto_app_cache_work_end_to_end() {
+        let mut b = backend();
+        let mut env = QueryEnv::new(
+            workloads::tpch::query(6, 0.1),
+            NoiseSpec::none(),
+            workloads::dynamic::DataSchedule::LinearIncreasing {
+                start: 1.0,
+                slope: 0.2,
+            },
+            3,
+        );
+        let sig = env.signature();
+        assert!(b.forecast_data_size("u", sig).is_none());
+        drive_query(&mut b, &mut env, "u", 12);
+        let f = b.forecast_data_size("u", sig).expect("history exists");
+        // Input grows each run; the forecast must exceed the first run's size.
+        let first = b
+            .tuners
+            .get(&("u".to_string(), sig))
+            .unwrap()
+            .history
+            .all[0]
+            .data_size;
+        assert!(f > first, "forecast {f} vs first observation {first}");
+        b.update_app_cache_forecast("u", "artifact-f", &[sig]);
+        assert!(b.app_conf("artifact-f").is_some());
+    }
+
+    #[test]
+    fn model_persistence_survives_backend_restart() {
+        let storage = Arc::new(Storage::new());
+        let mut b = AutotuneBackend::new(Arc::clone(&storage), None, 7);
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 7);
+        drive_query(&mut b, &mut env, "alice", 8);
+        let sig = env.signature();
+        assert_eq!(b.persist_models(), 1);
+        drop(b);
+
+        // A fresh backend process over the same storage resumes where it left off.
+        let mut b2 = AutotuneBackend::new(Arc::clone(&storage), None, 7);
+        assert_eq!(b2.tuner_count(), 0);
+        assert_eq!(b2.restore_models(), 1);
+        assert_eq!(b2.tuner_count(), 1);
+        let t = b2.tuners.get(&("alice".to_string(), sig)).unwrap();
+        assert_eq!(t.history.len(), 8);
+    }
+
+    #[test]
+    fn baseline_persist_load_roundtrip() {
+        use rockhopper::baseline::{BaselineModel, BaselineRow};
+        let space = optimizers::space::ConfigSpace::query_level();
+        let rows: Vec<BaselineRow> = (0..30)
+            .map(|i| BaselineRow {
+                embedding: vec![1.0],
+                point: space.default_point(),
+                data_size: 1.0,
+                elapsed_ms: 100.0 + i as f64,
+            })
+            .collect();
+        let baseline = BaselineModel::train(&space, &rows, 1).unwrap();
+        let storage = Arc::new(Storage::new());
+        let b = AutotuneBackend::new(Arc::clone(&storage), Some(baseline), 1);
+        assert!(b.persist_baseline("westus"));
+        drop(b);
+
+        let mut b2 = AutotuneBackend::new(storage, None, 1);
+        assert!(!b2.persist_baseline("westus"), "no baseline yet");
+        assert!(b2.load_baseline("westus"));
+        assert!(b2.persist_baseline("westus"));
+        assert!(!b2.load_baseline("eastus"), "unknown region");
+    }
+
+    #[test]
+    fn restore_skips_garbage_model_files() {
+        let storage = Arc::new(Storage::new());
+        let token = storage.issue_token("models/", true, u64::MAX);
+        storage.put(&token, "models/u/zzzz.json", b"not json".to_vec()).unwrap();
+        storage.put(&token, "models/odd-path", b"{}".to_vec()).unwrap();
+        let mut b = AutotuneBackend::new(storage, None, 1);
+        assert_eq!(b.restore_models(), 0);
+    }
+
+    #[test]
+    fn service_threads_answer_clients() {
+        let b = backend();
+        let (service, client) = AutotuneService::spawn(b);
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        let ctx = env.context();
+        let point = client.suggest("alice", 7, &ctx);
+        assert_eq!(point.len(), 3);
+        assert!(client.app_conf("none").is_none());
+        let backend = service.shutdown();
+        assert_eq!(backend.tuner_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_clients_are_serialized_by_the_backend() {
+        let (service, client) = AutotuneService::spawn(backend());
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        let ctx = env.context();
+        std::thread::scope(|s| {
+            for u in 0..4 {
+                let c = client.clone();
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    for sig in 0..5u64 {
+                        let p = c.suggest(&format!("user-{u}"), sig, &ctx);
+                        assert_eq!(p.len(), 3);
+                    }
+                });
+            }
+        });
+        let backend = service.shutdown();
+        assert_eq!(backend.tuner_count(), 20);
+    }
+}

@@ -1,0 +1,390 @@
+//! Backend storage (§5, "Autotune Backend").
+//!
+//! "Each Spark application is assigned a dedicated folder for event files, organized
+//! by its job ID, and another folder for its artifact_id … Restricted access is
+//! enforced through SAS URLs … A Storage Manager oversees the cleanup of outdated
+//! event files to maintain GDPR compliance."
+//!
+//! The reproduction keeps the same shape: a thread-safe, path-addressed object store
+//! with *capability tokens* (prefix-scoped, read/write-scoped, expiring) standing in
+//! for SAS URLs, and a retention sweep driven by logical time (a monotone run
+//! counter, keeping everything deterministic).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::PipelineError;
+
+/// A prefix-scoped, expiring capability — the SAS-URL stand-in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessToken {
+    /// Paths this token may touch must start with this prefix.
+    pub prefix: String,
+    /// Whether writes are allowed (reads always are, within the prefix).
+    pub can_write: bool,
+    /// Logical expiry tick (inclusive).
+    pub expires_at: u64,
+}
+
+impl AccessToken {
+    fn permits(&self, path: &str, write: bool, now: u64) -> bool {
+        path.starts_with(&self.prefix) && now <= self.expires_at && (self.can_write || !write)
+    }
+}
+
+#[derive(Debug)]
+struct Object {
+    bytes: Vec<u8>,
+    written_at: u64,
+}
+
+/// Thread-safe path-addressed object store with logical time.
+#[derive(Debug, Default)]
+pub struct Storage {
+    inner: RwLock<StorageInner>,
+}
+
+#[derive(Debug, Default)]
+struct StorageInner {
+    objects: BTreeMap<String, Object>,
+    clock: u64,
+}
+
+/// Conventional path layout (one place to keep the folder scheme consistent).
+pub mod paths {
+    /// Event file for one application run.
+    pub fn events(app_id: &str) -> String {
+        format!("events/{app_id}/events.jsonl")
+    }
+
+    /// Model file for one query signature (scoped per user for privacy: "models are
+    /// trained exclusively with … query traces originating from the same user").
+    pub fn model(user: &str, signature: u64) -> String {
+        format!("models/{user}/{signature:016x}.json")
+    }
+
+    /// App-cache entry for one artifact.
+    pub fn app_cache(artifact_id: &str) -> String {
+        format!("app_cache/{artifact_id}.json")
+    }
+
+    /// Baseline model for one region.
+    pub fn baseline(region: &str) -> String {
+        format!("baseline/{region}.json")
+    }
+}
+
+impl Storage {
+    /// Empty store at tick 0.
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// Advance logical time by one tick and return the new value. The service calls
+    /// this once per application run.
+    pub fn tick(&self) -> u64 {
+        let mut g = self.inner.write();
+        g.clock += 1;
+        g.clock
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.inner.read().clock
+    }
+
+    /// Issue a token. (In production the Autotune Manager authenticates the caller
+    /// first; the reproduction trusts its single tenant.)
+    pub fn issue_token(&self, prefix: &str, can_write: bool, ttl_ticks: u64) -> AccessToken {
+        let now = self.now();
+        AccessToken {
+            prefix: prefix.to_string(),
+            can_write,
+            expires_at: now.saturating_add(ttl_ticks),
+        }
+    }
+
+    /// Write an object through a token.
+    pub fn put(&self, token: &AccessToken, path: &str, bytes: Vec<u8>) -> Result<(), PipelineError> {
+        let mut g = self.inner.write();
+        if !token.permits(path, true, g.clock) {
+            return Err(PipelineError::AccessDenied {
+                path: path.to_string(),
+            });
+        }
+        let written_at = g.clock;
+        g.objects.insert(path.to_string(), Object { bytes, written_at });
+        Ok(())
+    }
+
+    /// Read an object through a token.
+    pub fn get(&self, token: &AccessToken, path: &str) -> Result<Vec<u8>, PipelineError> {
+        let g = self.inner.read();
+        if !token.permits(path, false, g.clock) {
+            return Err(PipelineError::AccessDenied {
+                path: path.to_string(),
+            });
+        }
+        g.objects
+            .get(path)
+            .map(|o| o.bytes.clone())
+            .ok_or_else(|| PipelineError::NotFound {
+                path: path.to_string(),
+            })
+    }
+
+    /// List paths under a prefix (token must cover the prefix).
+    pub fn list(&self, token: &AccessToken, prefix: &str) -> Result<Vec<String>, PipelineError> {
+        let g = self.inner.read();
+        if !token.permits(prefix, false, g.clock) {
+            return Err(PipelineError::AccessDenied {
+                path: prefix.to_string(),
+            });
+        }
+        Ok(g.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    /// Delete one object.
+    pub fn delete(&self, token: &AccessToken, path: &str) -> Result<(), PipelineError> {
+        let mut g = self.inner.write();
+        if !token.permits(path, true, g.clock) {
+            return Err(PipelineError::AccessDenied {
+                path: path.to_string(),
+            });
+        }
+        g.objects
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| PipelineError::NotFound {
+                path: path.to_string(),
+            })
+    }
+
+    /// The Storage Manager's retention sweep: drop every object under `prefix` older
+    /// than `retention_ticks`. Returns the number of objects removed.
+    pub fn cleanup(&self, prefix: &str, retention_ticks: u64) -> usize {
+        let mut g = self.inner.write();
+        let cutoff = g.clock.saturating_sub(retention_ticks);
+        let stale: Vec<String> = g
+            .objects
+            .iter()
+            .filter(|(k, o)| k.starts_with(prefix) && o.written_at < cutoff)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &stale {
+            g.objects.remove(k);
+        }
+        stale.len()
+    }
+
+    /// Total stored objects (monitoring).
+    pub fn object_count(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    /// Persist the whole store to a directory (one file per object, the path layout
+    /// mirrored on disk, plus a `_meta` file carrying logical timestamps). Gives the
+    /// backend durability across process restarts without a database.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        let g = self.inner.read();
+        std::fs::create_dir_all(dir)?;
+        let mut meta = String::new();
+        meta.push_str(&format!("clock {}\n", g.clock));
+        for (path, obj) in &g.objects {
+            let file = dir.join(path);
+            if let Some(parent) = file.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&file, &obj.bytes)?;
+            meta.push_str(&format!("{} {}\n", obj.written_at, path));
+        }
+        std::fs::write(dir.join("_meta"), meta)?;
+        Ok(())
+    }
+
+    /// Load a store previously written by [`Storage::save_to_dir`]. Objects listed
+    /// in `_meta` but missing on disk are skipped.
+    pub fn load_from_dir(dir: &Path) -> std::io::Result<Storage> {
+        let meta = std::fs::read_to_string(dir.join("_meta"))?;
+        let mut inner = StorageInner::default();
+        for line in meta.lines() {
+            let mut parts = line.splitn(2, ' ');
+            let (Some(first), Some(rest)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            if first == "clock" {
+                inner.clock = rest.parse().unwrap_or(0);
+                continue;
+            }
+            let Ok(written_at) = first.parse::<u64>() else {
+                continue;
+            };
+            let Ok(bytes) = std::fs::read(dir.join(rest)) else {
+                continue;
+            };
+            inner.objects.insert(rest.to_string(), Object { bytes, written_at });
+        }
+        Ok(Storage {
+            inner: RwLock::new(inner),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root_token(s: &Storage) -> AccessToken {
+        s.issue_token("", true, u64::MAX)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = Storage::new();
+        let t = root_token(&s);
+        s.put(&t, "events/app-1/events.jsonl", b"hello".to_vec()).unwrap();
+        assert_eq!(s.get(&t, "events/app-1/events.jsonl").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn token_prefix_is_enforced() {
+        let s = Storage::new();
+        let scoped = s.issue_token("events/app-1/", true, 100);
+        s.put(&scoped, "events/app-1/events.jsonl", vec![1]).unwrap();
+        let err = s.put(&scoped, "events/app-2/events.jsonl", vec![2]);
+        assert!(matches!(err, Err(PipelineError::AccessDenied { .. })));
+        let err = s.get(&scoped, "models/u/0000000000000001.json");
+        assert!(matches!(err, Err(PipelineError::AccessDenied { .. })));
+    }
+
+    #[test]
+    fn read_only_token_cannot_write() {
+        let s = Storage::new();
+        let rw = root_token(&s);
+        s.put(&rw, "models/u/a.json", vec![1]).unwrap();
+        let ro = s.issue_token("models/", false, 100);
+        assert!(s.get(&ro, "models/u/a.json").is_ok());
+        assert!(matches!(
+            s.put(&ro, "models/u/a.json", vec![2]),
+            Err(PipelineError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_token_is_rejected() {
+        let s = Storage::new();
+        let t = s.issue_token("", true, 1);
+        s.put(&t, "x", vec![1]).unwrap();
+        s.tick();
+        s.tick(); // now = 2 > expires_at = 1
+        assert!(matches!(
+            s.get(&t, "x"),
+            Err(PipelineError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn list_scopes_to_prefix() {
+        let s = Storage::new();
+        let t = root_token(&s);
+        s.put(&t, "events/a/1", vec![]).unwrap();
+        s.put(&t, "events/b/1", vec![]).unwrap();
+        s.put(&t, "models/x", vec![]).unwrap();
+        assert_eq!(s.list(&t, "events/").unwrap().len(), 2);
+        assert_eq!(s.list(&t, "events/a/").unwrap(), vec!["events/a/1"]);
+    }
+
+    #[test]
+    fn cleanup_removes_only_stale_objects_under_prefix() {
+        let s = Storage::new();
+        let t = root_token(&s);
+        s.put(&t, "events/old/1", vec![]).unwrap(); // written at tick 0
+        s.put(&t, "models/old", vec![]).unwrap();
+        for _ in 0..10 {
+            s.tick();
+        }
+        s.put(&t, "events/new/1", vec![]).unwrap(); // written at tick 10
+        let removed = s.cleanup("events/", 5);
+        assert_eq!(removed, 1);
+        assert!(matches!(
+            s.get(&t, "events/old/1"),
+            Err(PipelineError::NotFound { .. })
+        ));
+        assert!(s.get(&t, "events/new/1").is_ok());
+        assert!(s.get(&t, "models/old").is_ok(), "other prefixes untouched");
+    }
+
+    #[test]
+    fn delete_missing_is_not_found() {
+        let s = Storage::new();
+        let t = root_token(&s);
+        assert!(matches!(
+            s.delete(&t, "nope"),
+            Err(PipelineError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn paths_layout_is_stable() {
+        assert_eq!(paths::events("app-1"), "events/app-1/events.jsonl");
+        assert_eq!(paths::model("u1", 0xab), "models/u1/00000000000000ab.json");
+        assert_eq!(paths::app_cache("art-1"), "app_cache/art-1.json");
+        assert_eq!(paths::baseline("westus"), "baseline/westus.json");
+    }
+
+    #[test]
+    fn save_load_roundtrips_with_timestamps() {
+        let dir = std::env::temp_dir().join("rockhopper-storage-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Storage::new();
+        let t = root_token(&s);
+        s.put(&t, "events/a/1", b"one".to_vec()).unwrap();
+        for _ in 0..5 {
+            s.tick();
+        }
+        s.put(&t, "models/u/x.json", b"two".to_vec()).unwrap();
+        s.save_to_dir(&dir).unwrap();
+
+        let loaded = Storage::load_from_dir(&dir).unwrap();
+        let t2 = loaded.issue_token("", true, u64::MAX);
+        assert_eq!(loaded.get(&t2, "events/a/1").unwrap(), b"one");
+        assert_eq!(loaded.get(&t2, "models/u/x.json").unwrap(), b"two");
+        assert_eq!(loaded.now(), 5);
+        // Retention still works off the restored timestamps: the old event file is
+        // stale relative to the restored clock, the fresh model is not.
+        assert_eq!(loaded.cleanup("events/", 2), 1);
+        assert_eq!(loaded.cleanup("models/", 2), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_from_missing_dir_errors() {
+        assert!(Storage::load_from_dir(std::path::Path::new("/nonexistent/xyz")).is_err());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(Storage::new());
+        let t = s.issue_token("", true, u64::MAX);
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let s = Arc::clone(&s);
+                let t = t.clone();
+                scope.spawn(move || {
+                    for j in 0..50 {
+                        s.put(&t, &format!("events/t{i}/{j}"), vec![i as u8]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.object_count(), 400);
+    }
+}

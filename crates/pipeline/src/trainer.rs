@@ -1,0 +1,119 @@
+//! The ML training pipeline (§4.2): flighting rows in, a per-region baseline model
+//! out, plus the per-signature fine-tuning data split that enforces the paper's
+//! privacy rule ("models are trained exclusively with baseline data and query traces
+//! originating from the same user and query signature").
+
+use optimizers::space::ConfigSpace;
+use rockhopper::baseline::{BaselineModel, BaselineRow};
+
+use crate::etl::TrainingRow;
+use crate::PipelineError;
+
+/// Train the region baseline model from flighting rows.
+///
+/// `exclude_signature` implements the leave-target-out protocol of the paper's
+/// transfer-learning experiment (§6.2: "trained on data sampled from all queries
+/// except the optimization target").
+pub fn train_baseline(
+    space: &ConfigSpace,
+    rows: &[TrainingRow],
+    exclude_signature: Option<u64>,
+    seed: u64,
+) -> Result<BaselineModel, PipelineError> {
+    let baseline_rows: Vec<BaselineRow> = rows
+        .iter()
+        .filter(|r| Some(r.signature) != exclude_signature)
+        .map(|r| r.to_baseline_row(space))
+        .collect();
+    BaselineModel::train(space, &baseline_rows, seed).ok_or(PipelineError::InsufficientData)
+}
+
+/// Split rows into (same signature, everything else) — the fine-tune/transfer split.
+pub fn split_by_signature(rows: &[TrainingRow], signature: u64) -> (Vec<TrainingRow>, Vec<TrainingRow>) {
+    let (own, other): (Vec<_>, Vec<_>) = rows
+        .iter()
+        .cloned()
+        .partition(|r| r.signature == signature);
+    (own, other)
+}
+
+/// Cap the training set at `n` rows, keeping a deterministic stratified subsample
+/// (every k-th row). The paper's Figure 12 sweeps baseline sample sizes 100/500/1000.
+pub fn subsample(rows: &[TrainingRow], n: usize) -> Vec<TrainingRow> {
+    if rows.len() <= n || n == 0 {
+        return rows.to_vec();
+    }
+    let stride = rows.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| rows[(i as f64 * stride) as usize].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::config::SparkConf;
+
+    fn rows(n: usize, sigs: &[u64]) -> Vec<TrainingRow> {
+        (0..n)
+            .map(|i| {
+                let mut conf = SparkConf::default();
+                conf.shuffle_partitions = 8.0 + (i % 50) as f64 * 10.0;
+                TrainingRow {
+                    signature: sigs[i % sigs.len()],
+                    embedding: vec![i as f64 % 3.0, 1.0],
+                    conf,
+                    data_size: 1.0 + (i % 4) as f64,
+                    elapsed_ms: 100.0 + (i % 50) as f64,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_a_model_from_rows() {
+        let space = ConfigSpace::query_level();
+        let m = train_baseline(&space, &rows(60, &[1, 2, 3]), None, 0).unwrap();
+        assert!(m.predict_ms(&[1.0, 1.0], &space.default_point(), 1.0) > 0.0);
+    }
+
+    #[test]
+    fn leave_target_out_excludes_the_signature() {
+        let space = ConfigSpace::query_level();
+        // Only signature 1 exists: excluding it leaves nothing to train on.
+        let r = train_baseline(&space, &rows(20, &[1]), Some(1), 0);
+        assert!(matches!(r, Err(PipelineError::InsufficientData)));
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let all = rows(30, &[1, 2, 3]);
+        let (own, other) = split_by_signature(&all, 2);
+        assert_eq!(own.len(), 10);
+        assert_eq!(other.len(), 20);
+        assert!(own.iter().all(|r| r.signature == 2));
+        assert!(other.iter().all(|r| r.signature != 2));
+    }
+
+    #[test]
+    fn subsample_caps_and_preserves_order() {
+        // Rows whose elapsed encodes their index, so order is checkable directly.
+        let all: Vec<TrainingRow> = (0..100)
+            .map(|i| TrainingRow {
+                signature: 1,
+                embedding: vec![0.0],
+                conf: SparkConf::default(),
+                data_size: 1.0,
+                elapsed_ms: i as f64,
+            })
+            .collect();
+        let s = subsample(&all, 10);
+        assert_eq!(s.len(), 10);
+        let idx: Vec<f64> = s.iter().map(|r| r.elapsed_ms).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(idx, sorted, "subsample must preserve row order");
+        // No-op when already small enough.
+        assert_eq!(subsample(&all, 200).len(), 100);
+    }
+}

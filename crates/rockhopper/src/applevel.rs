@@ -1,0 +1,314 @@
+//! App-level configuration optimization (§4.4, Algorithm 2).
+//!
+//! Application-level knobs (executors, memory) are fixed at startup and shared by
+//! every query in the application, and no workload embeddings exist yet at that
+//! point. Rockhopper therefore **pre-computes** the app-level configuration when the
+//! *previous* run of the same recurrent application finishes — when all its query
+//! centroids and histories are known — and stores it in the `app_cache` keyed by
+//! `artifact_id`. The next submission reads the cache with zero inference latency.
+//!
+//! Algorithm 2: generate `M` app-level candidates around the current setting; for
+//! each, generate `N` query-level candidates around each query's centroid, pick the
+//! best joint configuration per query by the per-query score, and sum those scores.
+//! The app candidate with the best total wins.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use optimizers::space::ConfigSpace;
+
+/// Everything Algorithm 2 needs to know about one query of the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryState {
+    /// The query's stable signature.
+    pub signature: u64,
+    /// The query's current centroid (raw units, query-level space).
+    pub centroid: Vec<f64>,
+}
+
+/// The outcome of a joint optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppCacheEntry {
+    /// Best app-level configuration found (raw units, app-level space).
+    pub app_point: Vec<f64>,
+    /// The query-level point chosen for each query under that app config.
+    pub per_query: Vec<(u64, Vec<f64>)>,
+    /// The winning total predicted score (lower is better).
+    pub total_score: f64,
+}
+
+/// Algorithm 2's combinatorial search. Scoring is pluggable: production scores with
+/// the per-query surrogate (an acquisition over predicted time); experiments may
+/// score with the simulator directly.
+#[derive(Debug, Clone)]
+pub struct AppLevelOptimizer {
+    /// The application-level space.
+    pub app_space: ConfigSpace,
+    /// The query-level space.
+    pub query_space: ConfigSpace,
+    /// `M`: app-level candidates per optimization.
+    pub m_app: usize,
+    /// `N`: query-level candidates per query.
+    pub n_query: usize,
+    /// Neighborhood half-width for both candidate sets (normalized units).
+    pub beta: f64,
+}
+
+impl Default for AppLevelOptimizer {
+    fn default() -> Self {
+        AppLevelOptimizer {
+            app_space: ConfigSpace::app_level(),
+            query_space: ConfigSpace::query_level(),
+            m_app: 12,
+            n_query: 12,
+            beta: 0.12,
+        }
+    }
+}
+
+impl AppLevelOptimizer {
+    /// Run Algorithm 2. `score(query_idx, app_point, query_point)` returns the
+    /// predicted cost (ms — lower is better) of running that query under the joint
+    /// configuration.
+    ///
+    /// Returns `None` when the application has no queries.
+    pub fn optimize<F>(
+        &self,
+        current_app: &[f64],
+        queries: &[QueryState],
+        score: F,
+        seed: u64,
+    ) -> Option<AppCacheEntry>
+    where
+        F: Fn(usize, &[f64], &[f64]) -> f64,
+    {
+        if queries.is_empty() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // V ← M app-level candidates around the current setting (plus the current
+        // setting itself, so the cache never regresses on its own input).
+        let mut app_candidates =
+            self.app_space
+                .neighborhood(current_app, self.beta, self.m_app, &mut rng);
+        app_candidates.push(self.app_space.clip(current_app));
+
+        // W_q ← N query-level candidates around each query's centroid (plus it).
+        let query_candidates: Vec<Vec<Vec<f64>>> = queries
+            .iter()
+            .map(|q| {
+                let mut w =
+                    self.query_space
+                        .neighborhood(&q.centroid, self.beta, self.n_query, &mut rng);
+                w.push(self.query_space.clip(&q.centroid));
+                w
+            })
+            .collect();
+
+        let mut best: Option<AppCacheEntry> = None;
+        for v in &app_candidates {
+            let mut total = 0.0;
+            let mut per_query = Vec::with_capacity(queries.len());
+            for (qi, q) in queries.iter().enumerate() {
+                // c*_q(v) = argmin over the Cartesian slice {v} × W_q.
+                let (best_w, best_s) = query_candidates[qi]
+                    .iter()
+                    .map(|w| (w, score(qi, v, w)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("candidate sets are non-empty");
+                total += best_s;
+                per_query.push((q.signature, best_w.clone()));
+            }
+            if best.as_ref().is_none_or(|b| total < b.total_score) {
+                best = Some(AppCacheEntry {
+                    app_point: v.clone(),
+                    per_query,
+                    total_score: total,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// The `app_cache`: pre-computed app-level configurations keyed by `artifact_id`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AppCache {
+    entries: HashMap<String, AppCacheEntry>,
+}
+
+impl AppCache {
+    /// Empty cache.
+    pub fn new() -> AppCache {
+        AppCache::default()
+    }
+
+    /// Store the entry for an artifact (overwrites any previous run's entry).
+    pub fn put(&mut self, artifact_id: &str, entry: AppCacheEntry) {
+        self.entries.insert(artifact_id.to_string(), entry);
+    }
+
+    /// Fetch the pre-computed entry for a submitting application, if any.
+    pub fn get(&self, artifact_id: &str) -> Option<&AppCacheEntry> {
+        self.entries.get(artifact_id)
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop an artifact's entry (GDPR cleanup path).
+    pub fn remove(&mut self, artifact_id: &str) -> Option<AppCacheEntry> {
+        self.entries.remove(artifact_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queries(n: usize) -> Vec<QueryState> {
+        let space = ConfigSpace::query_level();
+        (0..n)
+            .map(|i| QueryState {
+                signature: i as u64 + 1,
+                centroid: space.default_point(),
+            })
+            .collect()
+    }
+
+    /// Score: quadratic bowl in the app executor knob (normalized), optimum at 0.75,
+    /// plus a per-query bowl in shuffle partitions at 0.4.
+    fn bowl_score<'a>(
+        app_space: &'a ConfigSpace,
+        query_space: &'a ConfigSpace,
+    ) -> impl Fn(usize, &[f64], &[f64]) -> f64 + 'a {
+        move |_qi, app, query| {
+            let xa = app_space.dims[0].normalize(app[0]);
+            let xq = query_space.dims[2].normalize(query[2]);
+            1000.0 * (xa - 0.75) * (xa - 0.75) + 500.0 * (xq - 0.4) * (xq - 0.4)
+        }
+    }
+
+    #[test]
+    fn empty_application_returns_none() {
+        let opt = AppLevelOptimizer::default();
+        let r = opt.optimize(&opt.app_space.default_point(), &[], |_, _, _| 0.0, 1);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn result_covers_every_query() {
+        let opt = AppLevelOptimizer::default();
+        let qs = queries(4);
+        let e = opt
+            .optimize(&opt.app_space.default_point(), &qs, |_, _, _| 1.0, 1)
+            .unwrap();
+        assert_eq!(e.per_query.len(), 4);
+        let sigs: Vec<u64> = e.per_query.iter().map(|(s, _)| *s).collect();
+        assert_eq!(sigs, vec![1, 2, 3, 4]);
+        assert_eq!(e.total_score, 4.0);
+    }
+
+    #[test]
+    fn joint_optimization_moves_toward_the_bowl() {
+        let opt = AppLevelOptimizer {
+            m_app: 30,
+            n_query: 30,
+            beta: 0.3,
+            ..AppLevelOptimizer::default()
+        };
+        let app_space = opt.app_space.clone();
+        let query_space = opt.query_space.clone();
+        let score = bowl_score(&app_space, &query_space);
+        let start = opt.app_space.default_point();
+        let start_x = opt.app_space.dims[0].normalize(start[0]);
+        let e = opt.optimize(&start, &queries(2), score, 3).unwrap();
+        let chosen_x = opt.app_space.dims[0].normalize(e.app_point[0]);
+        assert!(
+            (chosen_x - 0.75).abs() < (start_x - 0.75).abs(),
+            "start {start_x}, chosen {chosen_x}"
+        );
+    }
+
+    #[test]
+    fn current_setting_is_always_a_candidate() {
+        // With a score that punishes any move, the optimizer must return (a clipped
+        // copy of) the current configuration.
+        let opt = AppLevelOptimizer::default();
+        let current = opt.app_space.default_point();
+        let cur = current.clone();
+        let app_space = opt.app_space.clone();
+        let e = opt
+            .optimize(
+                &current,
+                &queries(1),
+                move |_, app, _| {
+                    let d: f64 = app_space
+                        .normalize(app)
+                        .iter()
+                        .zip(app_space.normalize(&cur))
+                        .map(|(a, b)| (a - b).abs())
+                        .sum();
+                    d * 1e6
+                },
+                9,
+            )
+            .unwrap();
+        for (a, b) in e.app_point.iter().zip(&current) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn app_cache_roundtrips() {
+        let mut cache = AppCache::new();
+        assert!(cache.is_empty());
+        let entry = AppCacheEntry {
+            app_point: vec![8.0, 16384.0],
+            per_query: vec![(42, vec![1e8, 1e7, 256.0])],
+            total_score: 123.0,
+        };
+        cache.put("artifact-1", entry.clone());
+        assert_eq!(cache.get("artifact-1"), Some(&entry));
+        assert_eq!(cache.get("artifact-2"), None);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.remove("artifact-1"), Some(entry));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let opt = AppLevelOptimizer::default();
+        let qs = queries(2);
+        let app_space = opt.app_space.clone();
+        let query_space = opt.query_space.clone();
+        let a = opt
+            .optimize(
+                &opt.app_space.default_point(),
+                &qs,
+                bowl_score(&app_space, &query_space),
+                7,
+            )
+            .unwrap();
+        let b = opt
+            .optimize(
+                &opt.app_space.default_point(),
+                &qs,
+                bowl_score(&app_space, &query_space),
+                7,
+            )
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

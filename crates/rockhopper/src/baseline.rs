@@ -1,0 +1,166 @@
+//! The offline **baseline model** (§4.2): a regression over
+//! `[workload embedding, normalized configs, ln p] → ln elapsed_ms`, trained on
+//! benchmark sweeps by the pipeline crate and used to warm-start candidate selection
+//! at iteration 0, before any query-specific observations exist.
+
+use ml::{BaggedTrees, Regressor};
+use optimizers::space::ConfigSpace;
+use serde::{Deserialize, Serialize};
+
+/// One training row for the baseline model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Workload embedding of the benchmark query.
+    pub embedding: Vec<f64>,
+    /// Raw configuration point.
+    pub point: Vec<f64>,
+    /// Input data size of the run.
+    pub data_size: f64,
+    /// Observed elapsed time, ms.
+    pub elapsed_ms: f64,
+}
+
+/// A trained baseline model bound to the space it was trained over. Serializable —
+/// the backend stores baseline models as files (the paper round-trips ONNX models
+/// through storage; this reproduction round-trips JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineModel {
+    space: ConfigSpace,
+    model: BaggedTrees,
+    embedding_dim: usize,
+}
+
+impl BaselineModel {
+    /// Train on benchmark rows. Rows whose embedding dimension disagrees with the
+    /// first row are skipped (heterogeneous embedders must not poison the model).
+    ///
+    /// Returns `None` when no usable rows exist.
+    pub fn train(space: &ConfigSpace, rows: &[BaselineRow], seed: u64) -> Option<BaselineModel> {
+        let embedding_dim = rows.first()?.embedding.len();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in rows {
+            if r.embedding.len() != embedding_dim {
+                continue;
+            }
+            x.push(Self::features_in(space, &r.embedding, &r.point, r.data_size));
+            y.push(r.elapsed_ms.max(1e-9).ln());
+        }
+        if x.is_empty() {
+            return None;
+        }
+        let mut model = BaggedTrees::baseline_default(seed);
+        model.fit(&x, &y).ok()?;
+        Some(BaselineModel {
+            space: space.clone(),
+            model,
+            embedding_dim,
+        })
+    }
+
+    fn features_in(
+        space: &ConfigSpace,
+        embedding: &[f64],
+        point: &[f64],
+        data_size: f64,
+    ) -> Vec<f64> {
+        let mut f = embedding.to_vec();
+        f.extend(space.normalize(point));
+        f.push(data_size.max(1e-9).ln());
+        f
+    }
+
+    /// Predicted elapsed time (ms) for a config under a workload context.
+    /// An embedding of the wrong dimension is truncated/zero-padded — the baseline
+    /// is advisory and must never panic in the serving path.
+    pub fn predict_ms(&self, embedding: &[f64], point: &[f64], data_size: f64) -> f64 {
+        let mut emb = embedding.to_vec();
+        emb.resize(self.embedding_dim, 0.0);
+        let f = Self::features_in(&self.space, &emb, point, data_size);
+        self.model.predict(&f).exp()
+    }
+
+    /// Embedding dimensionality the model expects.
+    pub fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::query_level()
+    }
+
+    fn synthetic_rows(n: usize) -> Vec<BaselineRow> {
+        // True model: time = p · (100 + 300·(x₂ − 0.5)²) where x₂ is dim-2 normalized.
+        let s = space();
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64 / 9.0;
+                let p = 1.0 + (i % 4) as f64;
+                let mut point = s.default_point();
+                point[2] = s.dims[2].denormalize(x);
+                BaselineRow {
+                    embedding: vec![1.0, 2.0],
+                    point,
+                    data_size: p,
+                    elapsed_ms: p * (100.0 + 300.0 * (x - 0.5) * (x - 0.5)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_and_ranks_configs_correctly() {
+        let s = space();
+        let m = BaselineModel::train(&s, &synthetic_rows(120), 1).unwrap();
+        let mut good = s.default_point();
+        good[2] = s.dims[2].denormalize(0.5);
+        let mut bad = s.default_point();
+        bad[2] = s.dims[2].denormalize(0.95);
+        assert!(
+            m.predict_ms(&[1.0, 2.0], &good, 2.0) < m.predict_ms(&[1.0, 2.0], &bad, 2.0)
+        );
+    }
+
+    #[test]
+    fn predictions_scale_with_data_size() {
+        let s = space();
+        let m = BaselineModel::train(&s, &synthetic_rows(120), 1).unwrap();
+        let p = s.default_point();
+        let small = m.predict_ms(&[1.0, 2.0], &p, 1.0);
+        let large = m.predict_ms(&[1.0, 2.0], &p, 4.0);
+        assert!(large > small, "{small} vs {large}");
+    }
+
+    #[test]
+    fn empty_rows_give_none() {
+        assert!(BaselineModel::train(&space(), &[], 1).is_none());
+    }
+
+    #[test]
+    fn mismatched_embedding_rows_are_skipped() {
+        let mut rows = synthetic_rows(20);
+        rows.push(BaselineRow {
+            embedding: vec![1.0], // wrong dim
+            point: space().default_point(),
+            data_size: 1.0,
+            elapsed_ms: 1.0,
+        });
+        let m = BaselineModel::train(&space(), &rows, 1).unwrap();
+        assert_eq!(m.embedding_dim(), 2);
+    }
+
+    #[test]
+    fn wrong_dim_embedding_at_predict_time_is_padded_not_fatal() {
+        let m = BaselineModel::train(&space(), &synthetic_rows(40), 1).unwrap();
+        let p = space().default_point();
+        let v = m.predict_ms(&[], &p, 1.0);
+        assert!(v.is_finite() && v > 0.0);
+        let v = m.predict_ms(&[1.0, 2.0, 3.0, 4.0], &p, 1.0);
+        assert!(v.is_finite() && v > 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The Centroid Learning state machine — Algorithm 1 without the I/O.
+//!
+//! [`CentroidState`] owns the centroid `e_t` (in normalized space) and implements the
+//! post-observation update:
+//!
+//! ```text
+//! c*  = FIND_BEST(Ω(t+1, N))                  // best of the latest N observations
+//! Δ   = FIND_GRADIENT(Ω(t+1, N))              // ternary descent direction
+//! e_{t+1} = clamp( x(c*) − α·Δ )              // overshoot past the best point
+//! ```
+//!
+//! The overshoot (momentum, §4.3) is the point: the centroid does not sit *on* the
+//! best observation, it moves *past* it in the improving direction, so the next
+//! neighborhood already explores fresher ground and local minima get escaped.
+
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::History;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::find_best::{find_best, FindBestMode};
+use crate::gradient::{find_gradient, GradientMode};
+
+/// Hyper-parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CentroidConfig {
+    /// Centroid update step `α` (normalized units) — the momentum overshoot.
+    pub alpha: f64,
+    /// Candidate-generation step `β` (normalized units) — the neighborhood half-width
+    /// that bounds per-iteration regression risk.
+    pub beta: f64,
+    /// Window length `N` ("should be sufficiently large (e.g. 10 or 20)", §4.3).
+    pub window: usize,
+    /// Candidates generated per iteration.
+    pub n_candidates: usize,
+    /// FIND_BEST refinement.
+    pub find_best: FindBestMode,
+    /// FIND_GRADIENT estimator.
+    pub gradient: GradientMode,
+}
+
+impl Default for CentroidConfig {
+    /// The production configuration: model-based FIND_BEST, ML-corner gradients,
+    /// N = 20, modest overshoot.
+    fn default() -> Self {
+        CentroidConfig {
+            alpha: 0.12,
+            beta: 0.08,
+            window: 20,
+            n_candidates: 24,
+            find_best: FindBestMode::ModelBased,
+            gradient: GradientMode::MlCorners,
+        }
+    }
+}
+
+/// The centroid plus its update logic.
+#[derive(Debug, Clone)]
+pub struct CentroidState {
+    /// Algorithm hyper-parameters.
+    pub config: CentroidConfig,
+    /// Current centroid in normalized space.
+    centroid: Vec<f64>,
+}
+
+impl CentroidState {
+    /// Start the centroid at a raw-unit point (usually the default configuration —
+    /// "the search subspace is defined as the neighborhood around the default").
+    pub fn new(space: &ConfigSpace, start: &[f64], config: CentroidConfig) -> CentroidState {
+        CentroidState {
+            config,
+            centroid: space.normalize(start),
+        }
+    }
+
+    /// Rebuild a state from a checkpointed normalized centroid (see
+    /// [`crate::tuner::TunerState`]). Coordinates are clamped into the unit cube.
+    pub fn from_normalized(centroid: Vec<f64>, config: CentroidConfig) -> CentroidState {
+        CentroidState {
+            config,
+            centroid: centroid.into_iter().map(|x| x.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// The centroid in raw units.
+    pub fn centroid(&self, space: &ConfigSpace) -> Vec<f64> {
+        space.denormalize(&self.centroid)
+    }
+
+    /// The centroid in normalized units.
+    pub fn centroid_normalized(&self) -> &[f64] {
+        &self.centroid
+    }
+
+    /// Generate the candidate set `C(e_t)`: the neighborhood of half-width β plus the
+    /// centroid itself (so standing still is always on the table).
+    pub fn candidates(&self, space: &ConfigSpace, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let center = self.centroid(space);
+        let mut c = space.neighborhood(&center, self.config.beta, self.config.n_candidates, rng);
+        c.push(center);
+        c
+    }
+
+    /// Post-observation centroid update (Steps 4–5 of Figure 5). `p_next` is the
+    /// expected data size of the next run (the paper's `p_{t+1}`).
+    ///
+    /// No-op while the window holds fewer than 2 observations.
+    pub fn update(&mut self, space: &ConfigSpace, history: &History, p_next: f64) {
+        let window = history.window(self.config.window);
+        let Some(best_idx) = find_best(space, window, self.config.find_best, p_next) else {
+            return;
+        };
+        let c_star = window[best_idx].point.clone();
+        let delta = find_gradient(
+            space,
+            window,
+            &c_star,
+            self.config.gradient,
+            self.config.alpha,
+            p_next,
+        );
+        let x_star = space.normalize(&c_star);
+        self.centroid = x_star
+            .iter()
+            .zip(&delta)
+            .map(|(x, d)| (x - self.config.alpha * d).clamp(0.0, 1.0))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimizers::tuner::History;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::query_level()
+    }
+
+    fn state() -> CentroidState {
+        let s = space();
+        CentroidState::new(&s, &s.default_point(), CentroidConfig::default())
+    }
+
+    #[test]
+    fn starts_at_the_given_point() {
+        let s = space();
+        let st = state();
+        let c = st.centroid(&s);
+        for (a, b) in c.iter().zip(&s.default_point()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn candidates_include_centroid_and_respect_beta() {
+        let s = space();
+        let st = state();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands = st.candidates(&s, &mut rng);
+        assert_eq!(cands.len(), st.config.n_candidates + 1);
+        let c = st.centroid_normalized();
+        for cand in &cands {
+            for (xi, ci) in s.normalize(cand).iter().zip(c) {
+                assert!((xi - ci).abs() <= st.config.beta + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn update_is_noop_on_empty_history() {
+        let s = space();
+        let mut st = state();
+        let before = st.centroid_normalized().to_vec();
+        st.update(&s, &History::new(), 1.0);
+        assert_eq!(st.centroid_normalized(), before.as_slice());
+    }
+
+    #[test]
+    fn update_moves_toward_better_region_and_overshoots() {
+        // Observations: time falls as dim-2 falls. The best observation is at
+        // x₂ = 0.2; the centroid must land at or *below* it (overshoot), never above.
+        let s = space();
+        let mut st = state();
+        let mut h = History::new();
+        for i in 0..20 {
+            let x = 0.2 + 0.6 * ((i % 7) as f64 / 6.0);
+            let mut p = s.default_point();
+            p[2] = s.dims[2].denormalize(x);
+            h.push(p, 1.0, 100.0 + 400.0 * x);
+        }
+        st.update(&s, &h, 1.0);
+        let e2 = st.centroid_normalized()[2];
+        assert!(
+            e2 <= 0.2 + 1e-9,
+            "centroid x₂ = {e2}, expected overshoot past 0.2"
+        );
+    }
+
+    #[test]
+    fn centroid_stays_in_unit_cube() {
+        // Best observation at the boundary: the overshoot must clamp.
+        let s = space();
+        let mut st = state();
+        let mut h = History::new();
+        for i in 0..20 {
+            let x = 0.1 * ((i % 5) as f64 / 4.0); // all near 0
+            let mut p = s.default_point();
+            p[2] = s.dims[2].denormalize(x);
+            h.push(p, 1.0, 100.0 + 400.0 * x);
+        }
+        st.update(&s, &h, 1.0);
+        for &v in st.centroid_normalized() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn default_config_matches_paper_guidance() {
+        let c = CentroidConfig::default();
+        assert!(c.window >= 10, "N should be 10–20 per §4.3");
+        assert!(c.alpha > 0.0 && c.beta > 0.0);
+        assert_eq!(c.find_best, FindBestMode::ModelBased);
+        assert_eq!(c.gradient, GradientMode::MlCorners);
+    }
+}

@@ -1,0 +1,248 @@
+//! Data-size forecasting — the paper's §8 future-work direction ("adaptive
+//! strategies for dynamic workloads") and a direct answer to its §1 observation that
+//! "the size of the data is often unknown at the start of a job".
+//!
+//! The forecaster predicts the next run's input cardinality `p_{t+1}` from the
+//! history of observed sizes, combining three candidate models chosen by in-sample
+//! fit: *last value* (random-walk workloads), *linear trend in log space* (steadily
+//! growing inputs), and *seasonal* (periodic `t mod K` schedules, detected by
+//! autocorrelation). The prediction feeds FIND_BEST's reference size, the centroid
+//! update's `p_{t+1}`, and the app-cache pre-computation.
+
+use optimizers::tuner::History;
+use serde::{Deserialize, Serialize};
+
+/// Which model produced a forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForecastModel {
+    /// Repeat the most recent size.
+    LastValue,
+    /// Linear trend in `ln p`.
+    LogTrend,
+    /// Periodic repeat with the detected period.
+    Seasonal {
+        /// Detected period length.
+        period: usize,
+    },
+}
+
+/// A forecast with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Forecast {
+    /// Predicted next data size.
+    pub value: f64,
+    /// The model that won in-sample selection.
+    pub model: ForecastModel,
+}
+
+/// Maximum period length the seasonal detector considers.
+const MAX_PERIOD: usize = 24;
+/// Window of recent sizes the forecaster looks at.
+const WINDOW: usize = 48;
+
+/// Forecast the next run's data size from `history`. Returns `None` when no sizes
+/// have been observed yet.
+pub fn forecast_data_size(history: &History) -> Option<Forecast> {
+    let sizes: Vec<f64> = history
+        .window(WINDOW)
+        .iter()
+        .map(|o| o.data_size.max(1e-9))
+        .collect();
+    let n = sizes.len();
+    if n == 0 {
+        return None;
+    }
+    if n < 4 {
+        return Some(Forecast {
+            value: sizes[n - 1],
+            model: ForecastModel::LastValue,
+        });
+    }
+
+    // Candidate 1: last value. One-step in-sample error = |p_t − p_{t−1}| in logs.
+    let last_err = one_step_error(&sizes, |hist| *hist.last().expect("non-empty"));
+
+    // Candidate 2: log-linear trend.
+    let trend_err = one_step_error(&sizes, trend_predict);
+
+    // Candidate 3: best seasonal period by the same criterion.
+    let mut best_seasonal: Option<(usize, f64)> = None;
+    for period in 2..=MAX_PERIOD.min(n / 2) {
+        let err = one_step_error(&sizes, move |hist| {
+            if hist.len() >= period {
+                hist[hist.len() - period]
+            } else {
+                *hist.last().expect("non-empty")
+            }
+        });
+        if best_seasonal.map_or(true, |(_, e)| err < e) {
+            best_seasonal = Some((period, err));
+        }
+    }
+
+    let mut best = (
+        Forecast {
+            value: sizes[n - 1],
+            model: ForecastModel::LastValue,
+        },
+        last_err,
+    );
+    if trend_err < best.1 {
+        best = (
+            Forecast {
+                value: trend_predict(&sizes),
+                model: ForecastModel::LogTrend,
+            },
+            trend_err,
+        );
+    }
+    if let Some((period, err)) = best_seasonal {
+        // Require a clear win: seasonality claims structure, so it must beat the
+        // naive model decisively or we'd hallucinate periods in random walks.
+        if err < 0.8 * best.1 {
+            best = (
+                Forecast {
+                    value: sizes[n - period],
+                    model: ForecastModel::Seasonal { period },
+                },
+                err,
+            );
+        }
+    }
+    Some(best.0)
+}
+
+/// Mean absolute one-step-ahead error in log space of `predict` over the series.
+fn one_step_error<F: Fn(&[f64]) -> f64>(sizes: &[f64], predict: F) -> f64 {
+    let n = sizes.len();
+    let start = n / 2; // evaluate on the second half only
+    let mut total = 0.0;
+    let mut count = 0;
+    for t in start.max(1)..n {
+        let pred = predict(&sizes[..t]).max(1e-9);
+        total += (pred.ln() - sizes[t].ln()).abs();
+        count += 1;
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+/// OLS trend in log space, extrapolated one step.
+fn trend_predict(sizes: &[f64]) -> f64 {
+    let n = sizes.len() as f64;
+    if sizes.len() < 2 {
+        return *sizes.last().unwrap_or(&1.0);
+    }
+    let xs_mean = (n - 1.0) / 2.0;
+    let ys: Vec<f64> = sizes.iter().map(|p| p.ln()).collect();
+    let ys_mean = ys.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, y) in ys.iter().enumerate() {
+        let dx = i as f64 - xs_mean;
+        num += dx * (y - ys_mean);
+        den += dx * dx;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    (ys_mean + slope * (n - xs_mean)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_of(sizes: &[f64]) -> History {
+        let mut h = History::new();
+        for &p in sizes {
+            h.push(vec![0.0], p, 100.0);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_history_has_no_forecast() {
+        assert!(forecast_data_size(&History::new()).is_none());
+    }
+
+    #[test]
+    fn short_history_repeats_last_value() {
+        let f = forecast_data_size(&history_of(&[5.0, 7.0])).unwrap();
+        assert_eq!(f.model, ForecastModel::LastValue);
+        assert_eq!(f.value, 7.0);
+    }
+
+    #[test]
+    fn detects_steady_growth() {
+        // Geometric growth is exactly linear in log space — LogTrend's home turf.
+        let sizes: Vec<f64> = (0..30).map(|i| 1.08f64.powi(i)).collect();
+        let f = forecast_data_size(&history_of(&sizes)).unwrap();
+        assert_eq!(f.model, ForecastModel::LogTrend);
+        let expected = 1.08f64.powi(30);
+        assert!(
+            (f.value / expected - 1.0).abs() < 0.05,
+            "trend forecast {} should approach {expected}",
+            f.value
+        );
+    }
+
+    #[test]
+    fn detects_periodicity() {
+        // Period-7 sawtooth, 6 full cycles.
+        let sizes: Vec<f64> = (0..42).map(|i| 1.0 + (i % 7) as f64).collect();
+        let f = forecast_data_size(&history_of(&sizes)).unwrap();
+        assert_eq!(f.model, ForecastModel::Seasonal { period: 7 });
+        // Next value in the cycle is 1.0 (t = 42 ≡ 0 mod 7).
+        assert_eq!(f.value, 1.0);
+    }
+
+    #[test]
+    fn constant_series_forecasts_itself() {
+        let f = forecast_data_size(&history_of(&[3.0; 20])).unwrap();
+        assert!((f.value - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_random_walk_does_not_hallucinate_seasonality() {
+        // Deterministic pseudo-random walk.
+        let mut sizes = vec![1.0];
+        for i in 1..40u64 {
+            let step = ((i.wrapping_mul(2654435761) >> 7) % 100) as f64 / 500.0 - 0.1;
+            let prev = *sizes.last().expect("non-empty");
+            sizes.push((prev * (1.0 + step)).clamp(0.3, 3.0));
+        }
+        let f = forecast_data_size(&history_of(&sizes)).unwrap();
+        assert!(
+            !matches!(f.model, ForecastModel::Seasonal { .. }),
+            "random walk misdetected as {:?}",
+            f.model
+        );
+    }
+
+    #[test]
+    fn beats_naive_forecasting_on_dynamic_schedules() {
+        // End-to-end check against the workload generator's schedules.
+        use workloads::dynamic::DataSchedule;
+        let schedule = DataSchedule::Periodic {
+            base: 1.0,
+            amplitude: 2.0,
+            k: 9,
+        };
+        let sizes = schedule.sizes(45);
+        let mut model_err = 0.0;
+        let mut naive_err = 0.0;
+        for t in 20..45 {
+            let h = history_of(&sizes[..t as usize]);
+            let f = forecast_data_size(&h).unwrap();
+            let truth = schedule.size_at(t);
+            model_err += (f.value - truth).abs();
+            naive_err += (sizes[t as usize - 1] - truth).abs();
+        }
+        assert!(
+            model_err < naive_err * 0.5,
+            "forecaster {model_err:.2} vs naive {naive_err:.2}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! FIND_GRADIENT (§4.3): estimate, per knob, whether to move up or down.
+//!
+//! "The derived gradient indicates only the direction of change, not the magnitude."
+//! Two estimators:
+//!
+//! - **Linear** (Figure 6): fit a linear surface over the window — features are the
+//!   normalized configs plus `ln p` so data-size effects are excluded — and take the
+//!   sign of each config coefficient.
+//! - **ML corners** (Eqs 6–7): reuse the window model `H` and evaluate the `2^d`
+//!   corners `c* ∓ α·δ`, `δ ∈ {±1}^d`; the best corner's δ is the direction. This
+//!   "relaxes the assumption about the relationship between data size and
+//!   performance" and is what production uses.
+
+use ml::{Regressor, Ridge};
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::Observation;
+use serde::{Deserialize, Serialize};
+
+use crate::find_best::{fit_window_model, h_features};
+
+/// Which gradient estimator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GradientMode {
+    /// Linear-surface coefficient signs (Figure 6).
+    Linear,
+    /// ML model evaluated at the `2^d` corners around `c*` (Eqs 6–7).
+    MlCorners,
+}
+
+/// A descent direction: one entry per config dimension in `{-1.0, 0.0, +1.0}`,
+/// pointing from the current best toward *better* configurations (i.e. the centroid
+/// moves by `−α·Δ`... the paper's sign convention: `e_{t+1} = c* − α·Δ`, so `Δ`
+/// points toward *worse* performance and the update walks away from it).
+pub type Direction = Vec<f64>;
+
+/// Estimate the gradient direction from `window` around best point `c_star`
+/// (raw units). `alpha` is the probe distance in normalized units for the ML-corner
+/// mode. `p_ref` fixes the data size for corner evaluation (the paper uses `p_{t+1}`).
+///
+/// Returns all-zeros (no movement) when the window is too small to estimate anything.
+pub fn find_gradient(
+    space: &ConfigSpace,
+    window: &[Observation],
+    c_star: &[f64],
+    mode: GradientMode,
+    alpha: f64,
+    p_ref: f64,
+) -> Direction {
+    let d = space.len();
+    if window.len() < 4 {
+        return vec![0.0; d];
+    }
+    match mode {
+        GradientMode::Linear => linear_direction(space, window, d),
+        GradientMode::MlCorners => {
+            ml_corner_direction(space, window, c_star, alpha, p_ref, d)
+                .unwrap_or_else(|| linear_direction(space, window, d))
+        }
+    }
+}
+
+/// Fit `ln r ~ [normalized c, ln p]` and return the sign of each config coefficient.
+fn linear_direction(space: &ConfigSpace, window: &[Observation], d: usize) -> Direction {
+    let x: Vec<Vec<f64>> = window
+        .iter()
+        .map(|o| h_features(space, &o.point, o.data_size))
+        .collect();
+    let y: Vec<f64> = window.iter().map(|o| o.elapsed_ms.max(1e-9).ln()).collect();
+    let mut m = Ridge::new(0.01);
+    if m.fit(&x, &y).is_err() {
+        return vec![0.0; d];
+    }
+    // Tiny coefficients are noise: emit 0 (don't move on that axis). The threshold
+    // is absolute in ln-time units per unit normalized knob — 0.08 means "moving the
+    // knob across 100% of its range changes time by under ~8%", which is below the
+    // fluctuation floor of any production run.
+    const MIN_SLOPE: f64 = 0.08;
+    m.weights()[..d]
+        .iter()
+        .map(|&w| if w.abs() < MIN_SLOPE { 0.0 } else { w.signum() })
+        .collect()
+}
+
+/// Evaluate `H` at the `2^d` corners `x(c*) − α·δ` and return the δ of the best
+/// corner, negated into the paper's convention (`e = c* − α·Δ` lands on that corner).
+fn ml_corner_direction(
+    space: &ConfigSpace,
+    window: &[Observation],
+    c_star: &[f64],
+    alpha: f64,
+    p_ref: f64,
+    d: usize,
+) -> Option<Direction> {
+    let h = fit_window_model(space, window)?;
+    let x_star = space.normalize(c_star);
+    let mut best_delta: Option<Vec<f64>> = None;
+    let mut best_pred = f64::INFINITY;
+    // Enumerate {±1}^d via bit patterns.
+    for mask in 0..(1u32 << d) {
+        let delta: Vec<f64> = (0..d)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { -1.0 })
+            .collect();
+        let probe: Vec<f64> = x_star
+            .iter()
+            .zip(&delta)
+            .map(|(xi, di)| (xi - alpha * di).clamp(0.0, 1.0))
+            .collect();
+        let raw = space.denormalize(&probe);
+        let pred = h.predict(&h_features(space, &raw, p_ref));
+        if pred < best_pred {
+            best_pred = pred;
+            best_delta = Some(delta);
+        }
+    }
+    best_delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::query_level()
+    }
+
+    /// Build a window where true time rises with dim-2's normalized value and is
+    /// linear in data size, plus deterministic pseudo-noise.
+    fn rising_window(n: usize) -> Vec<Observation> {
+        let s = space();
+        (0..n)
+            .map(|i| {
+                let x = (i % 7) as f64 / 6.0;
+                let p = 1.0 + (i % 3) as f64;
+                let mut point = s.default_point();
+                point[2] = s.dims[2].denormalize(x);
+                let noise = 1.0 + 0.02 * ((i * 37 % 11) as f64 / 10.0);
+                Observation {
+                    point,
+                    data_size: p,
+                    elapsed_ms: p * (50.0 + 100.0 * x) * noise,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linear_finds_the_rising_axis() {
+        let s = space();
+        let w = rising_window(14);
+        let dir = find_gradient(&s, &w, &s.default_point(), GradientMode::Linear, 0.1, 1.0);
+        // Time rises with dim 2 ⇒ Δ₂ = +1 (centroid moves down via −α·Δ).
+        assert_eq!(dir[2], 1.0, "direction {dir:?}");
+    }
+
+    #[test]
+    fn linear_excludes_data_size_effects() {
+        // Time depends ONLY on p; configs are pure noise. Use a full 4×5 factorial
+        // so config and data size are exactly uncorrelated in-sample, then the
+        // config coefficient must vanish and all directions come out 0.
+        let s = space();
+        let w: Vec<Observation> = (0..20)
+            .map(|i| {
+                let p = 1.0 + (i / 4) as f64;
+                let mut point = s.default_point();
+                point[2] = s.dims[2].denormalize((i % 4) as f64 / 3.0);
+                Observation {
+                    point,
+                    data_size: p,
+                    elapsed_ms: 100.0 * p,
+                }
+            })
+            .collect();
+        let dir = find_gradient(&s, &w, &s.default_point(), GradientMode::Linear, 0.1, 1.0);
+        assert_eq!(dir[2], 0.0, "config must not inherit p's trend: {dir:?}");
+    }
+
+    #[test]
+    fn ml_corners_point_downhill() {
+        let s = space();
+        let w = rising_window(20);
+        let mut c_star = s.default_point();
+        c_star[2] = s.dims[2].denormalize(0.6);
+        let dir = find_gradient(&s, &w, &c_star, GradientMode::MlCorners, 0.1, 1.0);
+        // Moving dim 2 down improves ⇒ best corner has δ₂ = +1 (e = c* − α·δ).
+        assert_eq!(dir[2], 1.0, "direction {dir:?}");
+    }
+
+    #[test]
+    fn small_window_yields_zero_direction() {
+        let s = space();
+        let w = rising_window(3);
+        for mode in [GradientMode::Linear, GradientMode::MlCorners] {
+            let dir = find_gradient(&s, &w, &s.default_point(), mode, 0.1, 1.0);
+            assert!(dir.iter().all(|&d| d == 0.0), "{mode:?}: {dir:?}");
+        }
+    }
+
+    #[test]
+    fn directions_are_ternary() {
+        let s = space();
+        let w = rising_window(20);
+        for mode in [GradientMode::Linear, GradientMode::MlCorners] {
+            let dir = find_gradient(&s, &w, &s.default_point(), mode, 0.1, 2.0);
+            assert_eq!(dir.len(), 3);
+            for v in &dir {
+                assert!(
+                    *v == -1.0 || *v == 0.0 || *v == 1.0,
+                    "{mode:?} produced {v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The guardrail (§4.3, "Additional guardrail"): a per-query monitor that disables
+//! autotuning on sustained regression.
+//!
+//! "Starting at iteration 30, the model predicts the execution time for the next
+//! iteration. If this predicted value exceeds the execution time of the previous
+//! iteration by more than a predefined threshold, autotuning is deactivated for the
+//! query." The predictor is a simple regression on *(iteration number, input
+//! cardinality)*, so genuine data growth is not mistaken for regression.
+
+use ml::{Regressor, Ridge};
+use optimizers::tuner::History;
+use serde::{Deserialize, Serialize};
+
+/// The guardrail's verdict for the next iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardrailDecision {
+    /// Keep tuning.
+    Continue,
+    /// Autotuning is disabled; serve the default configuration.
+    Disabled,
+}
+
+/// Sustained-regression detector.
+///
+/// ```
+/// use optimizers::tuner::History;
+/// use rockhopper::{Guardrail, GuardrailDecision};
+///
+/// let mut guardrail = Guardrail::new(5, 0.1, 2);
+/// let mut history = History::new();
+/// // Times regress hard every run: after the minimum iterations, two consecutive
+/// // violations disable autotuning permanently.
+/// let mut fired = false;
+/// for i in 0..20 {
+///     history.push(vec![0.0], 1.0, 100.0 * (i + 1) as f64);
+///     if guardrail.check(&history, 1.0) == GuardrailDecision::Disabled {
+///         fired = true;
+///         break;
+///     }
+/// }
+/// assert!(fired && guardrail.is_disabled());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Guardrail {
+    /// Iterations every query is guaranteed before the guardrail may fire
+    /// ("ensuring that every query undergoes at least 30 iterations").
+    pub min_iterations: usize,
+    /// Relative threshold: fire when the predicted next time exceeds the previous
+    /// observation by more than this factor (e.g. 0.3 = 30% worse).
+    pub threshold: f64,
+    /// Consecutive violations required before disabling ("continuous performance
+    /// regression … over several consecutive iterations").
+    pub patience: usize,
+    violations: usize,
+    disabled: bool,
+}
+
+impl Default for Guardrail {
+    fn default() -> Self {
+        Guardrail {
+            min_iterations: 30,
+            threshold: 0.3,
+            patience: 3,
+            violations: 0,
+            disabled: false,
+        }
+    }
+}
+
+impl Guardrail {
+    /// A guardrail with custom parameters.
+    pub fn new(min_iterations: usize, threshold: f64, patience: usize) -> Guardrail {
+        Guardrail {
+            min_iterations,
+            threshold,
+            patience: patience.max(1),
+            violations: 0,
+            disabled: false,
+        }
+    }
+
+    /// Whether autotuning has been permanently disabled for this query.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Evaluate after each observation. `next_data_size` is the expected input
+    /// cardinality of the upcoming run.
+    ///
+    /// The regression model `elapsed ~ iteration + ln(input cardinality)` predicts
+    /// the next run; to separate genuine regression from data growth, we compare the
+    /// prediction at `(t+1, p_next)` against the prediction at an *early* reference
+    /// iteration with the **same** `p_next` — i.e. we extract the pure iteration
+    /// trend with data size held fixed. A sustained upward trend beyond `threshold`
+    /// disables autotuning.
+    pub fn check(&mut self, history: &History, next_data_size: f64) -> GuardrailDecision {
+        if self.disabled {
+            return GuardrailDecision::Disabled;
+        }
+        if history.len() < self.min_iterations {
+            return GuardrailDecision::Continue;
+        }
+        let Some(model) = self.fit_trend(history) else {
+            return GuardrailDecision::Continue;
+        };
+        let ln_p = next_data_size.max(1e-9).ln();
+        let t_next = history.len() as f64;
+        let t_ref = (self.min_iterations as f64 / 2.0).max(1.0);
+        let predicted_next = model.predict(&[t_next, ln_p]);
+        let predicted_ref = model.predict(&[t_ref, ln_p]);
+        let regressing = predicted_ref > 1e-9
+            && predicted_next > predicted_ref * (1.0 + self.threshold);
+        if regressing {
+            self.violations += 1;
+            if self.violations >= self.patience {
+                self.disabled = true;
+                return GuardrailDecision::Disabled;
+            }
+        } else {
+            self.violations = 0;
+        }
+        GuardrailDecision::Continue
+    }
+
+    /// Fit the linear trend model `elapsed ~ iteration + ln(input cardinality)`.
+    ///
+    /// Targets are clipped at 2.5× their median first: performance spikes are ≥2×
+    /// events by the paper's own noise model (Eq 8), and a least-squares trend line
+    /// must not let one straggler masquerade as a regression.
+    fn fit_trend(&self, history: &History) -> Option<Ridge> {
+        let x: Vec<Vec<f64>> = history
+            .all
+            .iter()
+            .enumerate()
+            .map(|(i, o)| vec![i as f64, o.data_size.max(1e-9).ln()])
+            .collect();
+        let raw: Vec<f64> = history.all.iter().map(|o| o.elapsed_ms).collect();
+        let cap = 2.5 * ml::stats::median(&raw);
+        let y: Vec<f64> = raw.into_iter().map(|v| v.min(cap)).collect();
+        let mut m = Ridge::new(1.0);
+        m.fit(&x, &y).ok()?;
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with_trend(n: usize, slope: f64, data_size: impl Fn(usize) -> f64) -> History {
+        let mut h = History::new();
+        for i in 0..n {
+            h.push(vec![0.0], data_size(i), 100.0 + slope * i as f64);
+        }
+        h
+    }
+
+    #[test]
+    fn never_fires_before_min_iterations() {
+        let mut g = Guardrail::default();
+        let h = history_with_trend(29, 50.0, |_| 1.0); // violently regressing
+        assert_eq!(g.check(&h, 1.0), GuardrailDecision::Continue);
+        assert!(!g.is_disabled());
+    }
+
+    #[test]
+    fn disables_on_sustained_regression() {
+        let mut g = Guardrail::new(30, 0.1, 2);
+        // Times grow 20% of base per iteration — strong upward trend.
+        let mut h = history_with_trend(30, 20.0, |_| 1.0);
+        let mut fired = false;
+        for i in 30..40 {
+            h.push(vec![0.0], 1.0, 100.0 + 20.0 * i as f64);
+            if g.check(&h, 1.0) == GuardrailDecision::Disabled {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "guardrail never fired on a regressing query");
+        // And it latches.
+        assert_eq!(g.check(&h, 1.0), GuardrailDecision::Disabled);
+    }
+
+    #[test]
+    fn tolerates_improving_performance() {
+        let mut g = Guardrail::default();
+        let mut h = history_with_trend(30, -1.0, |_| 1.0); // improving
+        for i in 30..60 {
+            h.push(vec![0.0], 1.0, (100.0 - i as f64).max(10.0));
+            assert_eq!(g.check(&h, 1.0), GuardrailDecision::Continue, "iter {i}");
+        }
+    }
+
+    #[test]
+    fn data_growth_is_not_mistaken_for_regression() {
+        // Times vary a lot, but purely because input cardinality varies (a periodic
+        // workload); the ln(p) feature absorbs it and the iteration trend is flat,
+        // so the guardrail must not fire even when the next run is huge.
+        let mut g = Guardrail::new(30, 0.3, 2);
+        let mut h = History::new();
+        for i in 0..45u32 {
+            let p = 1.0 + (i % 10) as f64;
+            h.push(vec![0.0], p, 100.0 * (1.0 + p.ln()));
+        }
+        for _ in 0..5 {
+            assert_eq!(g.check(&h, 10.0), GuardrailDecision::Continue);
+        }
+        assert!(!g.is_disabled());
+    }
+
+    #[test]
+    fn isolated_spike_does_not_disable() {
+        let mut g = Guardrail::new(30, 0.3, 3);
+        let mut h = history_with_trend(35, 0.0, |_| 1.0);
+        h.push(vec![0.0], 1.0, 500.0); // one spike
+        let d1 = g.check(&h, 1.0);
+        assert_eq!(d1, GuardrailDecision::Continue);
+        // Back to normal: violation counter resets.
+        for _ in 0..5 {
+            h.push(vec![0.0], 1.0, 100.0);
+            assert_eq!(g.check(&h, 1.0), GuardrailDecision::Continue);
+        }
+        assert!(!g.is_disabled());
+    }
+}

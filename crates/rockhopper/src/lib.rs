@@ -1,0 +1,48 @@
+//! The Rockhopper tuner — the paper's primary contribution.
+//!
+//! # Centroid Learning in one paragraph
+//!
+//! Classic Bayesian Optimization proposes candidates *anywhere* in the space, so one
+//! noisy spike can teleport the search into a terrible region; greedy methods (FLOW2,
+//! hill climbing) compare *two raw observations* and flip direction on every spike.
+//! Centroid Learning (Algorithm 1) keeps a **centroid** and only ever proposes
+//! candidates in a small neighborhood around it (step β) — bounding regression risk —
+//! while updating the centroid from **statistics of the last N observations**: the
+//! best candidate `c*` under a data-size-controlled model (FIND_BEST, Eqs 3–5) plus a
+//! descent direction Δ learned by regression over the window (FIND_GRADIENT, Eqs 6–7),
+//! deliberately overshot by momentum factor α to escape local minima:
+//! `e_{t+1} = c* − α·Δ`.
+//!
+//! # Module map
+//!
+//! - [`find_best`] — the three FIND_BEST refinements the paper describes,
+//! - [`gradient`] — linear-sign and ML-corner FIND_GRADIENT,
+//! - [`selector`] — pluggable candidate selection (window surrogate, offline baseline
+//!   warm start, the §6.1 Level-X pseudo-surrogates, random),
+//! - [`centroid`] — the Algorithm 1 state machine,
+//! - [`guardrail`] — the iteration-30 regression detector that disables autotuning,
+//! - [`baseline`] — the offline baseline model (trained by the pipeline crate),
+//! - [`tuner`] — [`RockhopperTuner`], wiring it all behind the
+//!   [`optimizers::tuner::Tuner`] interface,
+//! - [`applevel`] — Algorithm 2 joint app/query-level optimization and the
+//!   `app_cache`.
+
+pub mod applevel;
+pub mod baseline;
+pub mod centroid;
+pub mod find_best;
+pub mod forecast;
+pub mod gradient;
+pub mod guardrail;
+pub mod selector;
+pub mod tuner;
+
+pub use baseline::BaselineModel;
+pub use centroid::{CentroidConfig, CentroidState};
+pub use guardrail::{Guardrail, GuardrailDecision};
+pub use tuner::{RockhopperBuilder, RockhopperTuner};
+
+/// Re-exports of the space types for downstream convenience.
+pub mod space {
+    pub use optimizers::space::{ConfigSpace, Dim};
+}

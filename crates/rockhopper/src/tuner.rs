@@ -1,0 +1,456 @@
+//! [`RockhopperTuner`]: the complete online tuner of Figure 5 behind the common
+//! [`Tuner`] interface — centroid state, candidate selection, guardrail, history.
+//!
+//! The tuner state is checkpointable ([`RockhopperTuner::snapshot`] /
+//! [`RockhopperTuner::restore`]): in production the Model Updater persists each
+//! query's model between applications — the process serving the next submission is
+//! not the one that observed the last run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::{History, Observation, Outcome, Tuner, TuningContext};
+
+use crate::baseline::BaselineModel;
+use crate::centroid::{CentroidConfig, CentroidState};
+use crate::guardrail::{Guardrail, GuardrailDecision};
+use crate::selector::{CandidateSelector, SurrogateSelector};
+
+/// The production Rockhopper tuner.
+pub struct RockhopperTuner {
+    space: ConfigSpace,
+    state: CentroidState,
+    selector: Box<dyn CandidateSelector + Send>,
+    guardrail: Option<Guardrail>,
+    rng: StdRng,
+    /// All observations for this query signature.
+    pub history: History,
+    /// Expected data size captured at the latest suggest (the `p_{t+1}` used in the
+    /// next centroid update).
+    last_expected_p: f64,
+    /// Seed the tuner was built with (checkpointed so restore is reproducible).
+    seed: u64,
+}
+
+impl std::fmt::Debug for RockhopperTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RockhopperTuner")
+            .field("centroid", &self.state.centroid_normalized())
+            .field("observations", &self.history.len())
+            .field(
+                "guardrail_disabled",
+                &self.guardrail.as_ref().map(Guardrail::is_disabled),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl RockhopperTuner {
+    /// Start building a tuner over `space`.
+    ///
+    /// ```
+    /// use optimizers::space::ConfigSpace;
+    /// use optimizers::tuner::{Outcome, Tuner, TuningContext};
+    /// use rockhopper::RockhopperTuner;
+    ///
+    /// let space = ConfigSpace::query_level();
+    /// let mut tuner = RockhopperTuner::builder(space.clone()).seed(7).build();
+    /// let ctx = TuningContext {
+    ///     embedding: vec![],
+    ///     expected_data_size: 1e6,
+    ///     iteration: 0,
+    /// };
+    /// let candidate = tuner.suggest(&ctx);
+    /// assert!(space.to_conf(&candidate).validate().is_ok());
+    /// tuner.observe(&candidate, &Outcome { elapsed_ms: 1234.0, data_size: 1e6 });
+    /// assert_eq!(tuner.history.len(), 1);
+    /// ```
+    pub fn builder(space: ConfigSpace) -> RockhopperBuilder {
+        RockhopperBuilder {
+            space,
+            config: CentroidConfig::default(),
+            start: None,
+            baseline: None,
+            selector: None,
+            guardrail: Some(Guardrail::default()),
+            seed: 0,
+        }
+    }
+
+    /// Current centroid in raw units.
+    pub fn centroid(&self) -> Vec<f64> {
+        self.state.centroid(&self.space)
+    }
+
+    /// Whether the guardrail has disabled tuning for this query.
+    pub fn is_disabled(&self) -> bool {
+        self.guardrail
+            .as_ref()
+            .map(Guardrail::is_disabled)
+            .unwrap_or(false)
+    }
+
+    /// Best observation so far by raw elapsed time.
+    pub fn best_observed(&self) -> Option<&Observation> {
+        self.history.best_raw()
+    }
+
+    /// The algorithm hyper-parameters in use.
+    pub fn config(&self) -> &CentroidConfig {
+        &self.state.config
+    }
+
+    /// Checkpoint the tuner's full learning state (the "model file" the backend
+    /// writes to storage between application runs).
+    pub fn snapshot(&self) -> TunerState {
+        TunerState {
+            centroid_normalized: self.state.centroid_normalized().to_vec(),
+            config: self.state.config,
+            history: self.history.clone(),
+            guardrail: self.guardrail.clone(),
+            last_expected_p: self.last_expected_p,
+            seed: self.seed,
+        }
+    }
+
+    /// Rebuild a tuner from a checkpoint. `baseline` re-attaches the (separately
+    /// stored) baseline model; the candidate-generation RNG restarts from the
+    /// checkpointed seed.
+    pub fn restore(
+        space: ConfigSpace,
+        state: TunerState,
+        baseline: Option<BaselineModel>,
+    ) -> RockhopperTuner {
+        let selector: Box<dyn CandidateSelector + Send> = Box::new(SurrogateSelector::new(
+            state.config.window,
+            baseline,
+            state.seed ^ 0x5eed,
+        ));
+        RockhopperTuner {
+            space,
+            state: CentroidState::from_normalized(state.centroid_normalized, state.config),
+            selector,
+            guardrail: state.guardrail,
+            rng: StdRng::seed_from_u64(state.seed),
+            history: state.history,
+            last_expected_p: state.last_expected_p,
+            seed: state.seed,
+        }
+    }
+}
+
+/// A serializable checkpoint of a [`RockhopperTuner`] — everything the next process
+/// needs to continue tuning the same query signature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TunerState {
+    /// Centroid in normalized space.
+    pub centroid_normalized: Vec<f64>,
+    /// Algorithm hyper-parameters.
+    pub config: CentroidConfig,
+    /// Full observation history.
+    pub history: History,
+    /// Guardrail state (violation counter, disabled flag).
+    pub guardrail: Option<Guardrail>,
+    /// Expected data size captured at the last suggest.
+    pub last_expected_p: f64,
+    /// Seed for candidate generation.
+    pub seed: u64,
+}
+
+impl Tuner for RockhopperTuner {
+    fn suggest(&mut self, ctx: &TuningContext) -> Vec<f64> {
+        self.last_expected_p = ctx.expected_data_size;
+        if self.is_disabled() {
+            // Regression detected earlier: reinstate the default configuration.
+            return self.space.default_point();
+        }
+        let candidates = self.state.candidates(&self.space, &mut self.rng);
+        let idx = self
+            .selector
+            .select(&self.space, &candidates, ctx, &self.history);
+        candidates[idx].clone()
+    }
+
+    fn observe(&mut self, point: &[f64], outcome: &Outcome) {
+        self.history
+            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+        if let Some(g) = &mut self.guardrail {
+            if g.check(&self.history, self.last_expected_p) == GuardrailDecision::Disabled {
+                return; // stop updating the centroid; suggest() now serves defaults
+            }
+        }
+        self.state
+            .update(&self.space, &self.history, self.last_expected_p);
+    }
+
+    fn name(&self) -> &'static str {
+        "rockhopper"
+    }
+}
+
+/// Builder for [`RockhopperTuner`].
+pub struct RockhopperBuilder {
+    space: ConfigSpace,
+    config: CentroidConfig,
+    start: Option<Vec<f64>>,
+    baseline: Option<BaselineModel>,
+    selector: Option<Box<dyn CandidateSelector + Send>>,
+    guardrail: Option<Guardrail>,
+    seed: u64,
+}
+
+impl RockhopperBuilder {
+    /// Override the Algorithm 1 hyper-parameters.
+    pub fn config(mut self, config: CentroidConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Start the centroid somewhere other than the default configuration (e.g. a
+    /// known-good manual tuning, §6.2).
+    pub fn start_at(mut self, point: Vec<f64>) -> Self {
+        self.start = Some(point);
+        self
+    }
+
+    /// Warm-start candidate selection with an offline baseline model (§4.2).
+    pub fn baseline(mut self, baseline: BaselineModel) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// Replace the candidate selector entirely (pseudo-surrogate experiments).
+    pub fn selector(mut self, selector: Box<dyn CandidateSelector + Send>) -> Self {
+        self.selector = Some(selector);
+        self
+    }
+
+    /// Replace the guardrail, or disable it with `None` (ablations).
+    pub fn guardrail(mut self, guardrail: Option<Guardrail>) -> Self {
+        self.guardrail = guardrail;
+        self
+    }
+
+    /// Seed for candidate generation and tie-breaking.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the tuner.
+    pub fn build(self) -> RockhopperTuner {
+        let start = self.start.unwrap_or_else(|| self.space.default_point());
+        let state = CentroidState::new(&self.space, &start, self.config);
+        let selector = self.selector.unwrap_or_else(|| {
+            Box::new(SurrogateSelector::new(
+                self.config.window,
+                self.baseline,
+                self.seed ^ 0x5eed,
+            ))
+        });
+        RockhopperTuner {
+            space: self.space,
+            state,
+            selector,
+            guardrail: self.guardrail,
+            rng: StdRng::seed_from_u64(self.seed),
+            history: History::new(),
+            last_expected_p: 1.0,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimizers::env::{Environment, SyntheticEnv};
+    use sparksim::noise::NoiseSpec;
+    use workloads::dynamic::DataSchedule;
+
+    fn drive(
+        mut env: SyntheticEnv,
+        mut tuner: RockhopperTuner,
+        iters: usize,
+    ) -> (SyntheticEnv, RockhopperTuner) {
+        for _ in 0..iters {
+            let p = tuner.suggest(&env.context());
+            let o = env.run(&p);
+            tuner.observe(&p, &o);
+        }
+        (env, tuner)
+    }
+
+    #[test]
+    fn converges_on_noiseless_function() {
+        let env = SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 1);
+        let tuner = RockhopperTuner::builder(env.space().clone()).seed(1).build();
+        let (env, tuner) = drive(env, tuner, 150);
+        let perf = env.normed_performance(&tuner.centroid());
+        assert!(perf < 1.2, "noiseless CL should converge: {perf}");
+    }
+
+    #[test]
+    fn converges_under_high_noise() {
+        // The paper's headline: CL still converges where BO/FLOW2 collapse.
+        let mut final_perfs = Vec::new();
+        for seed in 0..6 {
+            let env = SyntheticEnv::high_noise_constant(seed);
+            let tuner = RockhopperTuner::builder(env.space().clone()).seed(seed).build();
+            let (env, tuner) = drive(env, tuner, 250);
+            final_perfs.push(env.normed_performance(&tuner.centroid()));
+        }
+        final_perfs.sort_by(|a, b| a.total_cmp(b));
+        let median = final_perfs[final_perfs.len() / 2];
+        assert!(median < 1.5, "median normed perf under high noise: {median}");
+    }
+
+    #[test]
+    fn suggestions_stay_near_centroid() {
+        // The regression-avoidance property: proposals never leave the β-box.
+        let env = SyntheticEnv::high_noise_constant(3);
+        let mut tuner = RockhopperTuner::builder(env.space().clone()).seed(3).build();
+        let space = env.space().clone();
+        let beta = tuner.config().beta;
+        let mut env = env;
+        for _ in 0..50 {
+            let centroid = space.normalize(&tuner.centroid());
+            let p = tuner.suggest(&env.context());
+            if tuner.is_disabled() {
+                // Guardrail fired: the tuner serves the default instead, which may
+                // legitimately sit outside the β-box.
+                break;
+            }
+            for (xi, ci) in space.normalize(&p).iter().zip(&centroid) {
+                assert!((xi - ci).abs() <= beta + 1e-9);
+            }
+            let o = env.run(&p);
+            tuner.observe(&p, &o);
+        }
+    }
+
+    #[test]
+    fn disabled_tuner_serves_defaults() {
+        let env = SyntheticEnv::high_noise_constant(4);
+        let space = env.space().clone();
+        let mut tuner = RockhopperTuner::builder(space.clone())
+            .guardrail(Some(Guardrail::new(5, 0.01, 1)))
+            .seed(4)
+            .build();
+        // Feed violently regressing observations to trip the guardrail.
+        let ctx = env.context();
+        for i in 0..30 {
+            let p = tuner.suggest(&ctx);
+            tuner.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0 * (i + 1) as f64,
+                    data_size: 1.0,
+                },
+            );
+            if tuner.is_disabled() {
+                break;
+            }
+        }
+        assert!(tuner.is_disabled(), "guardrail should have fired");
+        let p = tuner.suggest(&ctx);
+        assert_eq!(p, space.default_point());
+    }
+
+    #[test]
+    fn start_at_changes_first_neighborhood() {
+        let space = ConfigSpace::query_level();
+        let mut custom = space.default_point();
+        custom[2] = 1024.0;
+        let tuner = RockhopperTuner::builder(space.clone())
+            .start_at(custom.clone())
+            .seed(0)
+            .build();
+        let c = tuner.centroid();
+        assert!((c[2] - 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn best_observed_tracks_minimum() {
+        let env = SyntheticEnv::high_noise_constant(6);
+        let tuner = RockhopperTuner::builder(env.space().clone()).seed(6).build();
+        let (_, tuner) = drive(env, tuner, 20);
+        let best = tuner.best_observed().unwrap().elapsed_ms;
+        assert!(tuner.history.all.iter().all(|o| o.elapsed_ms >= best));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_learning_state() {
+        let env = SyntheticEnv::high_noise_constant(12);
+        let tuner = RockhopperTuner::builder(env.space().clone()).seed(12).build();
+        let (mut env, tuner) = drive(env, tuner, 25);
+        let snap = tuner.snapshot();
+
+        // Serialize through JSON as the backend's storage does.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TunerState = serde_json::from_str(&json).unwrap();
+        let mut restored = RockhopperTuner::restore(env.space().clone(), back, None);
+
+        assert_eq!(restored.centroid(), tuner.centroid());
+        assert_eq!(restored.history.len(), tuner.history.len());
+        assert_eq!(restored.is_disabled(), tuner.is_disabled());
+        // The restored tuner keeps learning from where it left off.
+        for _ in 0..10 {
+            let p = restored.suggest(&env.context());
+            let o = env.run(&p);
+            restored.observe(&p, &o);
+        }
+        assert_eq!(restored.history.len(), tuner.history.len() + 10);
+    }
+
+    #[test]
+    fn restored_disabled_tuner_stays_disabled() {
+        let space = ConfigSpace::query_level();
+        let mut tuner = RockhopperTuner::builder(space.clone())
+            .guardrail(Some(Guardrail::new(5, 0.01, 1)))
+            .seed(1)
+            .build();
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        for i in 0..30 {
+            let p = tuner.suggest(&ctx);
+            tuner.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0 * (i + 1) as f64,
+                    data_size: 1.0,
+                },
+            );
+        }
+        assert!(tuner.is_disabled());
+        let restored = RockhopperTuner::restore(space, tuner.snapshot(), None);
+        assert!(restored.is_disabled());
+    }
+
+    #[test]
+    fn builder_without_guardrail_never_disables() {
+        let space = ConfigSpace::query_level();
+        let mut tuner = RockhopperTuner::builder(space).guardrail(None).seed(1).build();
+        let ctx = TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        for i in 0..60 {
+            let p = tuner.suggest(&ctx);
+            tuner.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0 * (i + 1) as f64,
+                    data_size: 1.0,
+                },
+            );
+        }
+        assert!(!tuner.is_disabled());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the Centroid Learning algorithm's safety invariants:
+//! whatever the observation stream throws at it, the tuner must stay in bounds,
+//! produce valid configurations, and respect its own state machine.
+
+use proptest::prelude::*;
+
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::{History, Observation, Outcome, Tuner, TuningContext};
+use rockhopper::centroid::{CentroidConfig, CentroidState};
+use rockhopper::find_best::{find_best, FindBestMode};
+use rockhopper::gradient::{find_gradient, GradientMode};
+use rockhopper::guardrail::{Guardrail, GuardrailDecision};
+use rockhopper::RockhopperTuner;
+
+/// Arbitrary observation stream: (normalized point coords, data size, elapsed).
+fn obs_stream(max_len: usize) -> impl Strategy<Value = Vec<(Vec<f64>, f64, f64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0.0..1.0f64, 3),
+            0.01..100.0f64,
+            0.1..1e7f64,
+        ),
+        1..max_len,
+    )
+}
+
+fn ctx(p: f64) -> TuningContext {
+    TuningContext {
+        embedding: vec![],
+        expected_data_size: p,
+        iteration: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tuner_always_suggests_valid_configs(stream in obs_stream(40), seed: u64) {
+        let space = ConfigSpace::query_level();
+        let mut tuner = RockhopperTuner::builder(space.clone()).seed(seed).build();
+        for (x, p, r) in &stream {
+            let point = tuner.suggest(&ctx(*p));
+            prop_assert!(space.to_conf(&point).validate().is_ok());
+            // Observe something unrelated to the suggestion — the tuner must cope
+            // with arbitrary (point, outcome) pairs (e.g. a client that overrode
+            // the recommendation).
+            let observed = space.denormalize(x);
+            tuner.observe(&observed, &Outcome { elapsed_ms: *r, data_size: *p });
+        }
+    }
+
+    #[test]
+    fn centroid_never_leaves_the_unit_cube(stream in obs_stream(40)) {
+        let space = ConfigSpace::query_level();
+        let mut state = CentroidState::new(
+            &space,
+            &space.default_point(),
+            CentroidConfig::default(),
+        );
+        let mut history = History::new();
+        for (x, p, r) in &stream {
+            history.push(space.denormalize(x), *p, *r);
+            state.update(&space, &history, *p);
+            for &c in state.centroid_normalized() {
+                prop_assert!((0.0..=1.0).contains(&c), "centroid coord {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_best_index_is_always_in_window(stream in obs_stream(30), p_ref in 0.01..100.0f64) {
+        let space = ConfigSpace::query_level();
+        let window: Vec<Observation> = stream
+            .iter()
+            .map(|(x, p, r)| Observation {
+                point: space.denormalize(x),
+                data_size: *p,
+                elapsed_ms: *r,
+            })
+            .collect();
+        for mode in [FindBestMode::Raw, FindBestMode::Normalized, FindBestMode::ModelBased] {
+            let idx = find_best(&space, &window, mode, p_ref);
+            prop_assert!(idx.map_or(false, |i| i < window.len()), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn gradients_are_always_ternary(stream in obs_stream(30), alpha in 0.01..0.5f64) {
+        let space = ConfigSpace::query_level();
+        let window: Vec<Observation> = stream
+            .iter()
+            .map(|(x, p, r)| Observation {
+                point: space.denormalize(x),
+                data_size: *p,
+                elapsed_ms: *r,
+            })
+            .collect();
+        let c_star = window[0].point.clone();
+        for mode in [GradientMode::Linear, GradientMode::MlCorners] {
+            let dir = find_gradient(&space, &window, &c_star, mode, alpha, 1.0);
+            prop_assert_eq!(dir.len(), 3);
+            for v in &dir {
+                prop_assert!(*v == -1.0 || *v == 0.0 || *v == 1.0, "{:?}: {}", mode, v);
+            }
+        }
+    }
+
+    #[test]
+    fn guardrail_never_fires_early(stream in obs_stream(29)) {
+        let mut g = Guardrail::new(30, 0.01, 1); // hair-trigger thresholds
+        let mut h = History::new();
+        for (x, p, r) in &stream {
+            h.push(x.clone(), *p, *r);
+            prop_assert_eq!(g.check(&h, *p), GuardrailDecision::Continue);
+        }
+        prop_assert!(!g.is_disabled());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_centroid_and_history(
+        stream in obs_stream(25),
+        seed: u64,
+    ) {
+        let space = ConfigSpace::query_level();
+        let mut tuner = RockhopperTuner::builder(space.clone()).seed(seed).build();
+        for (x, p, r) in &stream {
+            let _ = tuner.suggest(&ctx(*p));
+            tuner.observe(&space.denormalize(x), &Outcome { elapsed_ms: *r, data_size: *p });
+        }
+        let restored = RockhopperTuner::restore(space, tuner.snapshot(), None);
+        prop_assert_eq!(restored.centroid(), tuner.centroid());
+        prop_assert_eq!(restored.history.len(), tuner.history.len());
+        prop_assert_eq!(restored.is_disabled(), tuner.is_disabled());
+    }
+}

@@ -1,0 +1,178 @@
+//! Application-level execution: a Spark *application* acquires executors once at
+//! startup, then runs its queries in sequence (§4.4: app-level knobs "are fixed at
+//! startup" and shared by every query).
+//!
+//! This gives the app-level knobs their end-to-end cost surface: more executors
+//! shorten wide stages (the scheduler's wave math) but lengthen startup and add GC
+//! drag; more memory prevents spills but also drags. Algorithm 2's output can then
+//! be *evaluated* against this simulator instead of only scored by its own model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SparkConf;
+use crate::metrics::QueryMetrics;
+use crate::plan::PlanNode;
+use crate::simulator::Simulator;
+
+/// Cost constants for application startup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StartupCosts {
+    /// Fixed driver/session bring-up, ms.
+    pub driver_ms: f64,
+    /// Per-executor acquisition cost, ms (container request + JVM start). Executors
+    /// come up with parallelism, so the paid cost grows sub-linearly.
+    pub per_executor_ms: f64,
+    /// Parallel acquisition factor in `(0, 1]`: 1 = fully serial, small = fully
+    /// parallel. Effective startup = `driver + per_executor · n^factor…` — modeled as
+    /// `per_executor · n.powf(factor)`.
+    pub acquisition_exponent: f64,
+}
+
+impl Default for StartupCosts {
+    fn default() -> Self {
+        StartupCosts {
+            driver_ms: 8_000.0,
+            per_executor_ms: 2_500.0,
+            acquisition_exponent: 0.6,
+        }
+    }
+}
+
+impl StartupCosts {
+    /// Startup duration for `executors` executors.
+    pub fn startup_ms(&self, executors: usize) -> f64 {
+        self.driver_ms + self.per_executor_ms * (executors.max(1) as f64).powf(self.acquisition_exponent)
+    }
+}
+
+/// The outcome of one simulated application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRun {
+    /// Startup (executor acquisition) time, ms.
+    pub startup_ms: f64,
+    /// Per-query metrics, in execution order.
+    pub queries: Vec<QueryMetrics>,
+    /// End-to-end wall time: startup + sum of observed query times.
+    pub total_ms: f64,
+}
+
+/// Execute an application: acquire executors under `app_conf`, then run each
+/// `(plan, query_conf)` pair in sequence. Query-level knobs come from each pair's
+/// conf; app-level knobs are forced from `app_conf` onto every query (they are fixed
+/// at startup and cannot vary per query).
+pub fn run_app(
+    sim: &Simulator,
+    startup: &StartupCosts,
+    app_conf: &SparkConf,
+    queries: &[(PlanNode, SparkConf)],
+    seed: u64,
+) -> AppRun {
+    let executors = sim
+        .cluster
+        .granted_executors(app_conf.executor_count());
+    let startup_ms = startup.startup_ms(executors);
+    let mut total_ms = startup_ms;
+    let mut metrics = Vec::with_capacity(queries.len());
+    for (i, (plan, query_conf)) in queries.iter().enumerate() {
+        let mut conf = query_conf.clone();
+        // App-level knobs are pinned by the application.
+        conf.executor_instances = app_conf.executor_instances;
+        conf.executor_memory_mb = app_conf.executor_memory_mb;
+        conf.offheap_enabled = app_conf.offheap_enabled;
+        conf.offheap_size_mb = app_conf.offheap_size_mb;
+        let run = sim.execute(plan, &conf, seed ^ (i as u64) << 16);
+        total_ms += run.metrics.elapsed_ms;
+        metrics.push(run.metrics);
+    }
+    AppRun {
+        startup_ms,
+        queries: metrics,
+        total_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseSpec;
+
+    fn queries(n: usize) -> Vec<(PlanNode, SparkConf)> {
+        (0..n)
+            .map(|i| {
+                (
+                    PlanNode::scan("t", 5e7 + i as f64 * 1e7, 100.0).hash_aggregate(0.01),
+                    SparkConf::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn startup_grows_sublinearly_with_executors() {
+        let s = StartupCosts::default();
+        let one = s.startup_ms(1);
+        let four = s.startup_ms(4);
+        let sixteen = s.startup_ms(16);
+        assert!(four > one && sixteen > four);
+        assert!(
+            sixteen - four < 4.0 * (four - one),
+            "acquisition should parallelize"
+        );
+    }
+
+    #[test]
+    fn app_run_sums_startup_and_queries() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let startup = StartupCosts::default();
+        let run = run_app(&sim, &startup, &SparkConf::default(), &queries(3), 1);
+        assert_eq!(run.queries.len(), 3);
+        let sum: f64 = run.queries.iter().map(|q| q.elapsed_ms).sum();
+        assert!((run.total_ms - run.startup_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_conf_pins_executor_count_across_queries() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let startup = StartupCosts::default();
+        let mut app_conf = SparkConf::default();
+        app_conf.executor_instances = 2.0;
+        // Query confs ask for 16 executors; the app must override them.
+        let qs: Vec<(PlanNode, SparkConf)> = queries(2)
+            .into_iter()
+            .map(|(p, mut c)| {
+                c.executor_instances = 16.0;
+                (p, c)
+            })
+            .collect();
+        let few = run_app(&sim, &startup, &app_conf, &qs, 1);
+        app_conf.executor_instances = 16.0;
+        let many = run_app(&sim, &startup, &app_conf, &qs, 1);
+        // With 16 executors the per-query time shrinks but startup grows.
+        let few_q: f64 = few.queries.iter().map(|q| q.true_ms).sum();
+        let many_q: f64 = many.queries.iter().map(|q| q.true_ms).sum();
+        assert!(many_q < few_q, "more executors should speed queries");
+        assert!(many.startup_ms > few.startup_ms);
+    }
+
+    #[test]
+    fn executor_count_has_an_interior_optimum_for_small_apps() {
+        // A micro-batch app: one tiny query. Huge fleets pay startup for nothing.
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let startup = StartupCosts::default();
+        let tiny = vec![(
+            PlanNode::scan("t", 1e6, 100.0).hash_aggregate(0.01),
+            SparkConf::default(),
+        )];
+        let total = |execs: f64| {
+            let mut c = SparkConf::default();
+            c.executor_instances = execs;
+            run_app(&sim, &startup, &c, &tiny, 1).total_ms
+        };
+        let small = total(2.0);
+        let large = total(16.0);
+        assert!(
+            small < large,
+            "a micro-batch should prefer a small fleet: {small} vs {large}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Cluster/pool specifications. The paper's flighting pipeline sweeps "pool IDs linked
+//! to node configurations"; a pool here fixes the per-executor core count and caps the
+//! executor fleet the `spark.executor.instances` knob can actually obtain.
+
+use serde::{Deserialize, Serialize};
+
+/// A Spark pool: the hardware envelope a job runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Maximum executors the pool can grant.
+    pub max_executors: usize,
+    /// Cores per executor (task slots per executor).
+    pub cores_per_executor: usize,
+    /// Maximum memory per executor the pool's node size allows (MiB).
+    pub max_executor_memory_mb: f64,
+}
+
+impl ClusterSpec {
+    /// Small pool: 8 × 4-core executors, 16 GiB nodes.
+    pub fn small() -> ClusterSpec {
+        ClusterSpec {
+            max_executors: 8,
+            cores_per_executor: 4,
+            max_executor_memory_mb: 16.0 * 1024.0,
+        }
+    }
+
+    /// Medium pool: 16 × 8-core executors, 64 GiB nodes — the default everywhere.
+    pub fn medium() -> ClusterSpec {
+        ClusterSpec {
+            max_executors: 16,
+            cores_per_executor: 8,
+            max_executor_memory_mb: 64.0 * 1024.0,
+        }
+    }
+
+    /// Large pool: 64 × 16-core executors, 256 GiB nodes.
+    pub fn large() -> ClusterSpec {
+        ClusterSpec {
+            max_executors: 64,
+            cores_per_executor: 16,
+            max_executor_memory_mb: 256.0 * 1024.0,
+        }
+    }
+
+    /// Executors actually granted for a request (the pool caps the knob).
+    pub fn granted_executors(&self, requested: usize) -> usize {
+        requested.clamp(1, self.max_executors)
+    }
+
+    /// Total task slots for a granted executor count.
+    pub fn slots(&self, executors: usize) -> usize {
+        (executors * self.cores_per_executor).max(1)
+    }
+
+    /// Executor memory actually granted (MiB), capped by node size.
+    pub fn granted_memory_mb(&self, requested: f64) -> f64 {
+        requested.clamp(512.0, self.max_executor_memory_mb)
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::medium()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_grow_monotonically() {
+        let s = ClusterSpec::small();
+        let m = ClusterSpec::medium();
+        let l = ClusterSpec::large();
+        assert!(s.max_executors < m.max_executors && m.max_executors < l.max_executors);
+        assert!(s.slots(s.max_executors) < l.slots(l.max_executors));
+    }
+
+    #[test]
+    fn granted_executors_clamps() {
+        let m = ClusterSpec::medium();
+        assert_eq!(m.granted_executors(0), 1);
+        assert_eq!(m.granted_executors(9999), m.max_executors);
+        assert_eq!(m.granted_executors(4), 4);
+    }
+
+    #[test]
+    fn granted_memory_respects_node_size() {
+        let s = ClusterSpec::small();
+        assert_eq!(s.granted_memory_mb(1e9), s.max_executor_memory_mb);
+        assert_eq!(s.granted_memory_mb(0.0), 512.0);
+    }
+
+    #[test]
+    fn slots_never_zero() {
+        let m = ClusterSpec::medium();
+        assert!(m.slots(0) >= 1);
+    }
+}

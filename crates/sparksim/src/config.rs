@@ -1,0 +1,337 @@
+//! The Spark configuration surface: the seven knobs the paper's user study tunes
+//! (§2.2) of which production Rockhopper tunes the first three (§6.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Mebibytes to bytes.
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// The tunable knobs, in the order the paper lists them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Knob {
+    /// `spark.sql.files.maxPartitionBytes` — bytes per input split.
+    MaxPartitionBytes,
+    /// `spark.sql.autoBroadcastJoinThreshold` — max build-side bytes for a broadcast
+    /// join; `<= 0` disables broadcasting.
+    AutoBroadcastJoinThreshold,
+    /// `spark.sql.shuffle.partitions` — tasks per shuffle stage.
+    ShufflePartitions,
+    /// `spark.executor.instances` — executor count.
+    ExecutorInstances,
+    /// `spark.executor.memory` — heap per executor, MiB.
+    ExecutorMemoryMb,
+    /// `spark.memory.offHeap.enabled`.
+    OffHeapEnabled,
+    /// `spark.memory.offHeap.size` — off-heap per executor, MiB.
+    OffHeapSizeMb,
+    /// `spark.sql.adaptive.enabled` — AQE shuffle-partition coalescing.
+    AdaptiveEnabled,
+    /// `spark.sql.adaptive.advisoryPartitionSizeInBytes` — AQE's coalescing target.
+    AdvisoryPartitionBytes,
+}
+
+impl Knob {
+    /// The Spark property name.
+    pub fn spark_name(self) -> &'static str {
+        match self {
+            Knob::MaxPartitionBytes => "spark.sql.files.maxPartitionBytes",
+            Knob::AutoBroadcastJoinThreshold => "spark.sql.autoBroadcastJoinThreshold",
+            Knob::ShufflePartitions => "spark.sql.shuffle.partitions",
+            Knob::ExecutorInstances => "spark.executor.instances",
+            Knob::ExecutorMemoryMb => "spark.executor.memory",
+            Knob::OffHeapEnabled => "spark.memory.offHeap.enabled",
+            Knob::OffHeapSizeMb => "spark.memory.offHeap.size",
+            Knob::AdaptiveEnabled => "spark.sql.adaptive.enabled",
+            Knob::AdvisoryPartitionBytes => {
+                "spark.sql.adaptive.advisoryPartitionSizeInBytes"
+            }
+        }
+    }
+
+    /// The three query-level knobs production Rockhopper tunes (§6.3).
+    pub const QUERY_LEVEL: [Knob; 3] = [
+        Knob::MaxPartitionBytes,
+        Knob::AutoBroadcastJoinThreshold,
+        Knob::ShufflePartitions,
+    ];
+
+    /// The application-level knobs fixed at startup (§4.4).
+    pub const APP_LEVEL: [Knob; 4] = [
+        Knob::ExecutorInstances,
+        Knob::ExecutorMemoryMb,
+        Knob::OffHeapEnabled,
+        Knob::OffHeapSizeMb,
+    ];
+}
+
+/// A full Spark configuration. Numeric fields are `f64` because the tuners operate in
+/// a continuous space; the simulator rounds where semantics demand integers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparkConf {
+    /// `spark.sql.files.maxPartitionBytes` in bytes.
+    pub max_partition_bytes: f64,
+    /// `spark.sql.autoBroadcastJoinThreshold` in bytes (`<= 0` disables).
+    pub auto_broadcast_join_threshold: f64,
+    /// `spark.sql.shuffle.partitions`.
+    pub shuffle_partitions: f64,
+    /// `spark.executor.instances`.
+    pub executor_instances: f64,
+    /// `spark.executor.memory` in MiB.
+    pub executor_memory_mb: f64,
+    /// `spark.memory.offHeap.enabled`.
+    pub offheap_enabled: bool,
+    /// `spark.memory.offHeap.size` in MiB (ignored unless enabled).
+    pub offheap_size_mb: f64,
+    /// `spark.sql.adaptive.enabled`: when true, AQE coalesces shuffle partitions
+    /// down toward [`SparkConf::advisory_partition_bytes`] at runtime (it only
+    /// merges — the task count never exceeds `shuffle.partitions`).
+    pub adaptive_enabled: bool,
+    /// `spark.sql.adaptive.advisoryPartitionSizeInBytes`.
+    pub advisory_partition_bytes: f64,
+}
+
+impl Default for SparkConf {
+    /// Spark's out-of-the-box defaults (the ones >95% of surveyed queries run with).
+    fn default() -> Self {
+        SparkConf {
+            max_partition_bytes: 128.0 * MIB,
+            auto_broadcast_join_threshold: 10.0 * MIB,
+            shuffle_partitions: 200.0,
+            executor_instances: 4.0,
+            executor_memory_mb: 8192.0,
+            offheap_enabled: false,
+            offheap_size_mb: 0.0,
+            // Off by default so the paper's experiments (which tune raw partition
+            // counts) keep their semantics; flip on to study the interaction.
+            adaptive_enabled: false,
+            advisory_partition_bytes: 64.0 * MIB,
+        }
+    }
+}
+
+impl SparkConf {
+    /// Read a knob as `f64` (booleans map to 0/1).
+    pub fn get(&self, knob: Knob) -> f64 {
+        match knob {
+            Knob::MaxPartitionBytes => self.max_partition_bytes,
+            Knob::AutoBroadcastJoinThreshold => self.auto_broadcast_join_threshold,
+            Knob::ShufflePartitions => self.shuffle_partitions,
+            Knob::ExecutorInstances => self.executor_instances,
+            Knob::ExecutorMemoryMb => self.executor_memory_mb,
+            Knob::OffHeapEnabled => {
+                if self.offheap_enabled {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Knob::OffHeapSizeMb => self.offheap_size_mb,
+            Knob::AdaptiveEnabled => {
+                if self.adaptive_enabled {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Knob::AdvisoryPartitionBytes => self.advisory_partition_bytes,
+        }
+    }
+
+    /// Write a knob from `f64` (booleans treat `>= 0.5` as true).
+    pub fn set(&mut self, knob: Knob, value: f64) {
+        match knob {
+            Knob::MaxPartitionBytes => self.max_partition_bytes = value,
+            Knob::AutoBroadcastJoinThreshold => self.auto_broadcast_join_threshold = value,
+            Knob::ShufflePartitions => self.shuffle_partitions = value,
+            Knob::ExecutorInstances => self.executor_instances = value,
+            Knob::ExecutorMemoryMb => self.executor_memory_mb = value,
+            Knob::OffHeapEnabled => self.offheap_enabled = value >= 0.5,
+            Knob::OffHeapSizeMb => self.offheap_size_mb = value,
+            Knob::AdaptiveEnabled => self.adaptive_enabled = value >= 0.5,
+            Knob::AdvisoryPartitionBytes => self.advisory_partition_bytes = value,
+        }
+    }
+
+    /// Build a conf by overriding the default with `(knob, value)` pairs — how the
+    /// tuners materialize a candidate point.
+    pub fn from_overrides(overrides: &[(Knob, f64)]) -> SparkConf {
+        let mut conf = SparkConf::default();
+        for &(k, v) in overrides {
+            conf.set(k, v);
+        }
+        conf
+    }
+
+    /// Rounded shuffle partition count, at least 1.
+    pub fn shuffle_partition_count(&self) -> usize {
+        (self.shuffle_partitions.round() as i64).max(1) as usize
+    }
+
+    /// Rounded executor count, at least 1.
+    pub fn executor_count(&self) -> usize {
+        (self.executor_instances.round() as i64).max(1) as usize
+    }
+
+    /// Total off-heap memory available per executor (MiB), respecting the enable flag.
+    pub fn effective_offheap_mb(&self) -> f64 {
+        if self.offheap_enabled {
+            self.offheap_size_mb.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Validate ranges; the production guardrails never submit an invalid conf, but
+    /// the flighting pipeline's random generator relies on this check.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.max_partition_bytes >= MIB && self.max_partition_bytes <= 2048.0 * MIB) {
+            return Err(SimError::InvalidConf {
+                knob: "spark.sql.files.maxPartitionBytes",
+                value: self.max_partition_bytes,
+                constraint: "must be within [1 MiB, 2048 MiB]",
+            });
+        }
+        if self.auto_broadcast_join_threshold > 8192.0 * MIB {
+            return Err(SimError::InvalidConf {
+                knob: "spark.sql.autoBroadcastJoinThreshold",
+                value: self.auto_broadcast_join_threshold,
+                constraint: "must be at most 8192 MiB",
+            });
+        }
+        if !(self.shuffle_partitions >= 1.0 && self.shuffle_partitions <= 20_000.0) {
+            return Err(SimError::InvalidConf {
+                knob: "spark.sql.shuffle.partitions",
+                value: self.shuffle_partitions,
+                constraint: "must be within [1, 20000]",
+            });
+        }
+        if !(self.executor_instances >= 1.0 && self.executor_instances <= 1000.0) {
+            return Err(SimError::InvalidConf {
+                knob: "spark.executor.instances",
+                value: self.executor_instances,
+                constraint: "must be within [1, 1000]",
+            });
+        }
+        if !(self.executor_memory_mb >= 512.0 && self.executor_memory_mb <= 512.0 * 1024.0) {
+            return Err(SimError::InvalidConf {
+                knob: "spark.executor.memory",
+                value: self.executor_memory_mb,
+                constraint: "must be within [512 MiB, 512 GiB]",
+            });
+        }
+        if self.adaptive_enabled
+            && !(self.advisory_partition_bytes >= MIB
+                && self.advisory_partition_bytes <= 2048.0 * MIB)
+        {
+            return Err(SimError::InvalidConf {
+                knob: "spark.sql.adaptive.advisoryPartitionSizeInBytes",
+                value: self.advisory_partition_bytes,
+                constraint: "must be within [1 MiB, 2048 MiB] when AQE is enabled",
+            });
+        }
+        if self.offheap_enabled && self.offheap_size_mb < 0.0 {
+            return Err(SimError::InvalidConf {
+                knob: "spark.memory.offHeap.size",
+                value: self.offheap_size_mb,
+                constraint: "must be non-negative when off-heap is enabled",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_spark_defaults() {
+        let c = SparkConf::default();
+        c.validate().unwrap();
+        assert_eq!(c.shuffle_partition_count(), 200);
+        assert_eq!(c.max_partition_bytes, 128.0 * MIB);
+        assert_eq!(c.auto_broadcast_join_threshold, 10.0 * MIB);
+        assert!(!c.offheap_enabled);
+    }
+
+    #[test]
+    fn get_set_roundtrip_every_knob() {
+        let mut c = SparkConf::default();
+        let knobs = [
+            Knob::MaxPartitionBytes,
+            Knob::AutoBroadcastJoinThreshold,
+            Knob::ShufflePartitions,
+            Knob::ExecutorInstances,
+            Knob::ExecutorMemoryMb,
+            Knob::OffHeapSizeMb,
+        ];
+        for (i, &k) in knobs.iter().enumerate() {
+            let v = (i as f64 + 1.0) * 100.0;
+            c.set(k, v);
+            assert_eq!(c.get(k), v, "{k:?}");
+        }
+        c.set(Knob::OffHeapEnabled, 1.0);
+        assert_eq!(c.get(Knob::OffHeapEnabled), 1.0);
+        c.set(Knob::OffHeapEnabled, 0.2);
+        assert_eq!(c.get(Knob::OffHeapEnabled), 0.0);
+    }
+
+    #[test]
+    fn from_overrides_only_touches_listed_knobs() {
+        let c = SparkConf::from_overrides(&[(Knob::ShufflePartitions, 64.0)]);
+        assert_eq!(c.shuffle_partition_count(), 64);
+        assert_eq!(c.max_partition_bytes, SparkConf::default().max_partition_bytes);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut c = SparkConf::default();
+        c.shuffle_partitions = 0.0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidConf { .. })));
+        let mut c = SparkConf::default();
+        c.max_partition_bytes = 0.5 * MIB;
+        assert!(c.validate().is_err());
+        let mut c = SparkConf::default();
+        c.executor_memory_mb = 100.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn negative_broadcast_threshold_disables_but_validates() {
+        let mut c = SparkConf::default();
+        c.auto_broadcast_join_threshold = -1.0;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn effective_offheap_respects_flag() {
+        let mut c = SparkConf::default();
+        c.offheap_size_mb = 2048.0;
+        assert_eq!(c.effective_offheap_mb(), 0.0);
+        c.offheap_enabled = true;
+        assert_eq!(c.effective_offheap_mb(), 2048.0);
+    }
+
+    #[test]
+    fn rounding_clamps_to_one() {
+        let mut c = SparkConf::default();
+        c.shuffle_partitions = 0.4;
+        assert_eq!(c.shuffle_partition_count(), 1);
+        c.executor_instances = -3.0;
+        assert_eq!(c.executor_count(), 1);
+    }
+
+    #[test]
+    fn spark_names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = Knob::QUERY_LEVEL
+            .iter()
+            .chain(Knob::APP_LEVEL.iter())
+            .chain([Knob::AdaptiveEnabled, Knob::AdvisoryPartitionBytes].iter())
+            .map(|k| k.spark_name())
+            .collect();
+        assert_eq!(names.len(), 9);
+    }
+}

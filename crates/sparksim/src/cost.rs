@@ -1,0 +1,97 @@
+//! Cost-model constants. One place to see (and tune) every throughput and overhead the
+//! simulator assumes. Values are loosely calibrated to commodity cloud nodes; absolute
+//! numbers do not matter for the reproduction — only the induced response-surface
+//! *shape* does (see DESIGN.md §1).
+
+use serde::{Deserialize, Serialize};
+
+/// All cost constants used by [`crate::scheduler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// CPU nanoseconds per row for a plain scan; other operators are expressed as
+    /// multiples of this via [`CostParams::op_weight`].
+    pub cpu_ns_per_row: f64,
+    /// Extra CPU ns per row·log2(rows) for sorting.
+    pub sort_ns_per_row_log: f64,
+    /// Cold-storage scan throughput, bytes/s per task.
+    pub scan_bps: f64,
+    /// Shuffle write throughput, bytes/s per task.
+    pub shuffle_write_bps: f64,
+    /// Shuffle read throughput, bytes/s per task.
+    pub shuffle_read_bps: f64,
+    /// Local-disk spill throughput (write + re-read accounted separately), bytes/s.
+    pub spill_bps: f64,
+    /// Broadcast distribution throughput, bytes/s.
+    pub broadcast_bps: f64,
+    /// Fixed per-task overhead (scheduling, serialization), milliseconds.
+    pub task_overhead_ms: f64,
+    /// Fixed per-stage overhead (stage submission, DAG bookkeeping), milliseconds.
+    pub stage_overhead_ms: f64,
+    /// Straggler tail: the final wave of a stage runs this fraction longer.
+    pub skew_tail: f64,
+    /// GC drag per 64 GiB of heap: CPU time is multiplied by `1 + gc_per_64g · heap/64GiB`.
+    pub gc_per_64g: f64,
+    /// Fraction of executor heap usable for execution (Spark's `spark.memory.fraction`).
+    pub exec_memory_fraction: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            cpu_ns_per_row: 120.0,
+            sort_ns_per_row_log: 25.0,
+            scan_bps: 300e6,
+            shuffle_write_bps: 150e6,
+            shuffle_read_bps: 200e6,
+            spill_bps: 120e6,
+            broadcast_bps: 400e6,
+            task_overhead_ms: 40.0,
+            stage_overhead_ms: 120.0,
+            skew_tail: 0.35,
+            gc_per_64g: 0.25,
+            exec_memory_fraction: 0.6,
+        }
+    }
+}
+
+impl CostParams {
+    /// Relative CPU weight of each operator type (cost per row as a multiple of the
+    /// scan cost).
+    pub fn op_weight(op_type: &str) -> f64 {
+        match op_type {
+            "TableScan" => 1.0,
+            "Filter" => 0.25,
+            "Project" => 0.15,
+            "HashAggregate" => 1.6,
+            "Join" => 1.2,
+            "Sort" => 0.0, // costed separately via sort_ns_per_row_log
+            "Limit" => 0.05,
+            "Union" => 0.05,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_sane() {
+        let c = CostParams::default();
+        assert!(c.cpu_ns_per_row > 0.0);
+        assert!(c.scan_bps > c.spill_bps, "scans should outpace spills");
+        assert!(c.exec_memory_fraction > 0.0 && c.exec_memory_fraction < 1.0);
+        assert!(c.task_overhead_ms < c.stage_overhead_ms);
+    }
+
+    #[test]
+    fn aggregate_costs_more_than_filter() {
+        assert!(CostParams::op_weight("HashAggregate") > CostParams::op_weight("Filter"));
+    }
+
+    #[test]
+    fn unknown_operator_defaults_to_scan_weight() {
+        assert_eq!(CostParams::op_weight("Exotic"), 1.0);
+    }
+}

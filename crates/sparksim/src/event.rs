@@ -1,0 +1,153 @@
+//! Spark-style event log. Every simulated execution can emit a JSON-lines event
+//! stream, which the pipeline crate's Embedding ETL consumes exactly as Rockhopper's
+//! backend consumes real Spark event files (§5, Figure 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SparkConf;
+use crate::metrics::QueryMetrics;
+
+/// One event in the log of a Spark application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event")]
+pub enum SparkEvent {
+    /// Application startup, carrying the recurrent-workload identity.
+    ApplicationStart {
+        /// Unique per-run application id.
+        app_id: String,
+        /// Stable artifact hash identifying the recurrent workload (§4.4).
+        artifact_id: String,
+    },
+    /// A query began executing.
+    QueryStart {
+        /// Application this query belongs to.
+        app_id: String,
+        /// Stable query-signature hash (one per distinct execution plan, §4.2).
+        query_signature: u64,
+        /// The configuration the query ran with.
+        conf: SparkConf,
+        /// Serialized logical-plan summary (operator type names, pre-order).
+        plan_summary: Vec<String>,
+        /// Workload embedding computed client-side at compile time (opaque to the
+        /// simulator; the pipeline's Embedding ETL consumes it).
+        embedding: Vec<f64>,
+    },
+    /// A stage finished.
+    StageCompleted {
+        /// Owning application.
+        app_id: String,
+        /// Owning query signature.
+        query_signature: u64,
+        /// Stage id within the query.
+        stage_id: usize,
+        /// Tasks executed.
+        tasks: usize,
+        /// Stage duration, ms.
+        duration_ms: f64,
+        /// Bytes spilled by the stage.
+        spilled_bytes: f64,
+    },
+    /// A query finished, with its full metrics.
+    QueryEnd {
+        /// Owning application.
+        app_id: String,
+        /// Query signature.
+        query_signature: u64,
+        /// Collected metrics.
+        metrics: QueryMetrics,
+    },
+    /// Application shutdown.
+    ApplicationEnd {
+        /// Application id.
+        app_id: String,
+    },
+}
+
+impl SparkEvent {
+    /// Serialize to one JSON line.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("SparkEvent serializes")
+    }
+
+    /// Parse one JSON line; `None` on malformed input (the ETL skips bad lines as a
+    /// real log processor must).
+    pub fn from_json_line(line: &str) -> Option<SparkEvent> {
+        serde_json::from_str(line).ok()
+    }
+
+    /// The application id this event belongs to.
+    pub fn app_id(&self) -> &str {
+        match self {
+            SparkEvent::ApplicationStart { app_id, .. }
+            | SparkEvent::QueryStart { app_id, .. }
+            | SparkEvent::StageCompleted { app_id, .. }
+            | SparkEvent::QueryEnd { app_id, .. }
+            | SparkEvent::ApplicationEnd { app_id } => app_id,
+        }
+    }
+}
+
+/// Serialize a batch of events to a JSON-lines document.
+pub fn to_jsonl(events: &[SparkEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSON-lines document, skipping malformed lines.
+pub fn from_jsonl(doc: &str) -> Vec<SparkEvent> {
+    doc.lines().filter_map(SparkEvent::from_json_line).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SparkEvent> {
+        vec![
+            SparkEvent::ApplicationStart {
+                app_id: "app-1".into(),
+                artifact_id: "artifact-9".into(),
+            },
+            SparkEvent::QueryStart {
+                app_id: "app-1".into(),
+                query_signature: 42,
+                conf: SparkConf::default(),
+                plan_summary: vec!["HashAggregate".into(), "TableScan".into()],
+                embedding: vec![1.5, 2.5],
+            },
+            SparkEvent::ApplicationEnd {
+                app_id: "app-1".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let events = sample_events();
+        let doc = to_jsonl(&events);
+        assert_eq!(doc.lines().count(), 3);
+        let back = from_jsonl(&doc);
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let doc = format!(
+            "{}\nnot json at all\n{{\"event\":\"Unknown\"}}\n",
+            sample_events()[0].to_json_line()
+        );
+        let back = from_jsonl(&doc);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn app_id_is_extracted_from_every_variant() {
+        for e in sample_events() {
+            assert_eq!(e.app_id(), "app-1");
+        }
+    }
+}

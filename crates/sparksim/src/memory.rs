@@ -1,0 +1,169 @@
+//! Executor memory model: how much execution memory each task gets and how much a
+//! stage's tasks spill when their working set exceeds it.
+//!
+//! This is the mechanism that makes *too few* shuffle partitions expensive (each task's
+//! share of the shuffled data outgrows its memory and spills) and gives the
+//! `executor.memory` / off-heap knobs their effect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::config::{SparkConf, MIB};
+use crate::cost::CostParams;
+use crate::physical::Stage;
+
+/// Per-stage memory outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryOutcome {
+    /// Execution memory available to one task, bytes.
+    pub task_budget_bytes: f64,
+    /// Working set one task must hold, bytes.
+    pub task_working_set_bytes: f64,
+    /// Bytes spilled per task (0 when the working set fits).
+    pub spill_bytes_per_task: f64,
+}
+
+impl MemoryOutcome {
+    /// Whether this stage spills.
+    pub fn spills(&self) -> bool {
+        self.spill_bytes_per_task > 0.0
+    }
+
+    /// Total spill across the stage.
+    pub fn total_spill_bytes(&self, tasks: usize) -> f64 {
+        self.spill_bytes_per_task * tasks as f64
+    }
+}
+
+/// Execution memory available to a single task, in bytes.
+///
+/// `executor.memory × exec_memory_fraction` is shared by the executor's cores;
+/// off-heap (when enabled) adds directly. The pool caps the granted heap.
+pub fn task_memory_budget(conf: &SparkConf, cluster: &ClusterSpec, cost: &CostParams) -> f64 {
+    let heap_mb = cluster.granted_memory_mb(conf.executor_memory_mb);
+    let exec_mb = heap_mb * cost.exec_memory_fraction + conf.effective_offheap_mb();
+    exec_mb * MIB / cluster.cores_per_executor as f64
+}
+
+/// Evaluate one stage's memory behaviour.
+pub fn evaluate_stage(
+    stage: &Stage,
+    conf: &SparkConf,
+    cluster: &ClusterSpec,
+    cost: &CostParams,
+) -> MemoryOutcome {
+    let budget = task_memory_budget(conf, cluster, cost);
+    let tasks = stage.tasks.max(1) as f64;
+    // A task holds: its slice of hash tables, its slice of sort buffers (approximated
+    // by its input share when sorting), and the full broadcast tables (shared per
+    // executor, so amortized over the executor's cores).
+    let sort_bytes = if stage.sort_rows > 0.0 {
+        stage.input_bytes / tasks
+    } else {
+        0.0
+    };
+    let working_set = stage.hash_build_bytes / tasks
+        + sort_bytes
+        + stage.broadcast_bytes / cluster.cores_per_executor as f64;
+    let spill = (working_set - budget).max(0.0);
+    MemoryOutcome {
+        task_budget_bytes: budget,
+        task_working_set_bytes: working_set,
+        spill_bytes_per_task: spill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::StageKind;
+
+    fn stage(tasks: usize, hash_build: f64, input: f64, sort_rows: f64) -> Stage {
+        Stage {
+            id: 0,
+            kind: StageKind::Shuffle,
+            tasks,
+            input_bytes: input,
+            cpu_rows: 0.0,
+            sort_rows,
+            hash_build_bytes: hash_build,
+            shuffle_write_bytes: 0.0,
+            broadcast_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn more_partitions_reduce_spill() {
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let big = 400.0 * 1024.0 * MIB; // 400 GiB of hash state
+        let few = evaluate_stage(&stage(10, big, big, 0.0), &conf, &cluster, &cost);
+        let many = evaluate_stage(&stage(2000, big, big, 0.0), &conf, &cluster, &cost);
+        assert!(few.spills());
+        assert!(many.spill_bytes_per_task < few.spill_bytes_per_task);
+    }
+
+    #[test]
+    fn more_memory_reduces_spill() {
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let s = stage(50, 100.0 * 1024.0 * MIB, 0.0, 0.0);
+        let mut small = SparkConf::default();
+        small.executor_memory_mb = 2048.0;
+        let mut large = SparkConf::default();
+        large.executor_memory_mb = 32_768.0;
+        let a = evaluate_stage(&s, &small, &cluster, &cost);
+        let b = evaluate_stage(&s, &large, &cluster, &cost);
+        assert!(b.spill_bytes_per_task < a.spill_bytes_per_task);
+    }
+
+    #[test]
+    fn offheap_adds_budget_only_when_enabled() {
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let mut conf = SparkConf::default();
+        conf.offheap_size_mb = 8192.0;
+        let without = task_memory_budget(&conf, &cluster, &cost);
+        conf.offheap_enabled = true;
+        let with = task_memory_budget(&conf, &cluster, &cost);
+        assert!(with > without);
+        assert!((with - without - 8192.0 * MIB / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_spill_when_working_set_fits() {
+        let conf = SparkConf::default();
+        let out = evaluate_stage(
+            &stage(200, MIB, 10.0 * MIB, 0.0),
+            &conf,
+            &ClusterSpec::medium(),
+            &CostParams::default(),
+        );
+        assert!(!out.spills());
+        assert_eq!(out.spill_bytes_per_task, 0.0);
+    }
+
+    #[test]
+    fn sorting_counts_input_share_in_working_set() {
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let input = 100.0 * 1024.0 * MIB;
+        let no_sort = evaluate_stage(&stage(10, 0.0, input, 0.0), &conf, &cluster, &cost);
+        let sorting = evaluate_stage(&stage(10, 0.0, input, 1e6), &conf, &cluster, &cost);
+        assert!(sorting.task_working_set_bytes > no_sort.task_working_set_bytes);
+    }
+
+    #[test]
+    fn pool_caps_memory_grant() {
+        let cluster = ClusterSpec::small(); // 16 GiB nodes
+        let cost = CostParams::default();
+        let mut conf = SparkConf::default();
+        conf.executor_memory_mb = 1e9; // absurd request
+        let budget = task_memory_budget(&conf, &cluster, &cost);
+        let expected =
+            cluster.max_executor_memory_mb * cost.exec_memory_fraction * MIB / 4.0;
+        assert!((budget - expected).abs() < 1.0);
+    }
+}

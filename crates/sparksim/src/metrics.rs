@@ -1,0 +1,123 @@
+//! Query execution metrics — everything the monitoring dashboard (§6.3) collects:
+//! "(1) partitions, (2) physical plans, (3) task numbers, and (4) input data sizes".
+
+use serde::{Deserialize, Serialize};
+
+use crate::physical::{JoinStrategy, PhysicalPlan};
+use crate::scheduler::QueryTiming;
+
+/// Aggregated metrics for one simulated query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Observed wall-clock duration (noise applied), ms.
+    pub elapsed_ms: f64,
+    /// True (noise-free) duration, ms.
+    pub true_ms: f64,
+    /// Stage count.
+    pub num_stages: usize,
+    /// Total task count across stages.
+    pub num_tasks: usize,
+    /// Bytes scanned from base tables.
+    pub input_bytes: f64,
+    /// Total input rows across leaf scans (the data size `p` tuners condition on).
+    pub input_rows: f64,
+    /// Estimated rows of the root operator.
+    pub root_rows: f64,
+    /// Total bytes written to shuffle.
+    pub shuffle_bytes: f64,
+    /// Total bytes spilled to disk.
+    pub spilled_bytes: f64,
+    /// Joins executed as broadcast-hash.
+    pub broadcast_joins: usize,
+    /// Joins executed as sort-merge.
+    pub sort_merge_joins: usize,
+}
+
+impl QueryMetrics {
+    /// Assemble metrics from planning and timing results.
+    pub fn collect(
+        phys: &PhysicalPlan,
+        timing: &QueryTiming,
+        input_bytes: f64,
+        input_rows: f64,
+        root_rows: f64,
+        elapsed_ms: f64,
+    ) -> QueryMetrics {
+        let spilled = timing
+            .stages
+            .iter()
+            .map(|s| s.memory.total_spill_bytes(s.tasks))
+            .sum();
+        QueryMetrics {
+            elapsed_ms,
+            true_ms: timing.total_ms,
+            num_stages: phys.stages.len(),
+            num_tasks: phys.total_tasks(),
+            input_bytes,
+            input_rows,
+            root_rows,
+            shuffle_bytes: phys.total_shuffle_bytes(),
+            spilled_bytes: spilled,
+            broadcast_joins: phys.joins_with(JoinStrategy::BroadcastHash),
+            sort_merge_joins: phys.joins_with(JoinStrategy::SortMerge),
+        }
+    }
+
+    /// Observed slowdown relative to the true runtime (1.0 = no noise).
+    pub fn noise_factor(&self) -> f64 {
+        if self.true_ms > 0.0 {
+            self.elapsed_ms / self.true_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SparkConf;
+    use crate::physical::plan_physical;
+    use crate::plan::PlanNode;
+    use crate::scheduler::schedule;
+    use crate::{cluster::ClusterSpec, cost::CostParams};
+
+    #[test]
+    fn collect_assembles_consistent_metrics() {
+        let plan = PlanNode::scan("t", 1e7, 100.0).hash_aggregate(0.01);
+        let conf = SparkConf::default();
+        let phys = plan_physical(&plan, &conf);
+        let timing = schedule(&phys, &conf, &ClusterSpec::medium(), &CostParams::default());
+        let m = QueryMetrics::collect(
+            &phys,
+            &timing,
+            plan.leaf_input_bytes(),
+            plan.leaf_input_rows(),
+            plan.root_cardinality(),
+            timing.total_ms * 1.5,
+        );
+        assert_eq!(m.num_stages, phys.stages.len());
+        assert_eq!(m.num_tasks, phys.total_tasks());
+        assert!((m.noise_factor() - 1.5).abs() < 1e-12);
+        assert_eq!(m.input_bytes, 1e9);
+        assert_eq!(m.broadcast_joins + m.sort_merge_joins, 0);
+    }
+
+    #[test]
+    fn noise_factor_handles_zero_true_time() {
+        let m = QueryMetrics {
+            elapsed_ms: 5.0,
+            true_ms: 0.0,
+            num_stages: 0,
+            num_tasks: 0,
+            input_bytes: 0.0,
+            input_rows: 0.0,
+            root_rows: 0.0,
+            shuffle_bytes: 0.0,
+            spilled_bytes: 0.0,
+            broadcast_joins: 0,
+            sort_merge_joins: 0,
+        };
+        assert_eq!(m.noise_factor(), 1.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Production-noise injection — the paper's Equation (8), verbatim:
+//!
+//! ```text
+//! g = g0 · (1 + |ε|)        with probability 1 − SL/10
+//! g = g0 · (1 + |ε|) · 2    with probability SL/10        ε ~ N(0, FL)
+//! ```
+//!
+//! *Fluctuation noise* (`FL`) models the random slowdowns every cloud run experiences;
+//! *performance spikes* (`SL`) model the ≥2× stragglers that make naive tuners chase
+//! ghosts. High noise is `FL = 1, SL = 1`; low noise is `FL = 0.1, SL = 0.1` (§6.1).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Noise parameters `(FL, SL)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Fluctuation level `FL`: standard deviation of the Gaussian slowdown.
+    pub fluctuation: f64,
+    /// Spike level `SL`: the 2× spike fires with probability `SL / 10`.
+    pub spike: f64,
+}
+
+impl NoiseSpec {
+    /// No noise: observations equal true performance.
+    pub fn none() -> NoiseSpec {
+        NoiseSpec {
+            fluctuation: 0.0,
+            spike: 0.0,
+        }
+    }
+
+    /// The paper's low-noise setting (`FL = 0.1, SL = 0.1`).
+    pub fn low() -> NoiseSpec {
+        NoiseSpec {
+            fluctuation: 0.1,
+            spike: 0.1,
+        }
+    }
+
+    /// The paper's high-noise setting (`FL = 1, SL = 1`): 10% of runs spike to ≥2×.
+    pub fn high() -> NoiseSpec {
+        NoiseSpec {
+            fluctuation: 1.0,
+            spike: 1.0,
+        }
+    }
+
+    /// Apply Eq (8) to a true duration `g0`.
+    pub fn apply<R: Rng + ?Sized>(&self, g0: f64, rng: &mut R) -> f64 {
+        if self.fluctuation == 0.0 && self.spike == 0.0 {
+            return g0;
+        }
+        let eps = standard_normal(rng) * self.fluctuation;
+        let slowed = g0 * (1.0 + eps.abs());
+        let p: f64 = rng.random_range(0.0..1.0);
+        if p > self.spike / 10.0 {
+            slowed
+        } else {
+            slowed * 2.0
+        }
+    }
+}
+
+/// Standard-normal deviate via Box–Muller (duplicated from the `ml` crate so the
+/// simulator substrate stays dependency-free of the ML layer).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(NoiseSpec::none().apply(123.0, &mut rng), 123.0);
+    }
+
+    #[test]
+    fn noise_only_slows_down() {
+        // Eq (8) uses |ε|, so observations never beat the true time.
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = NoiseSpec::high();
+        for _ in 0..1000 {
+            assert!(spec.apply(100.0, &mut rng) >= 100.0);
+        }
+    }
+
+    #[test]
+    fn spike_rate_matches_sl_over_ten() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = NoiseSpec {
+            fluctuation: 0.0,
+            spike: 1.0,
+        };
+        let n = 20_000;
+        let spikes = (0..n)
+            .filter(|_| spec.apply(100.0, &mut rng) >= 200.0)
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "spike rate {rate}");
+    }
+
+    #[test]
+    fn high_noise_has_larger_variance_than_low() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = |spec: NoiseSpec, rng: &mut StdRng| -> f64 {
+            let xs: Vec<f64> = (0..5000).map(|_| spec.apply(100.0, rng)).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        let lo = sample(NoiseSpec::low(), &mut rng);
+        let hi = sample(NoiseSpec::high(), &mut rng);
+        assert!(hi > lo * 5.0, "high {hi} vs low {lo}");
+    }
+
+    #[test]
+    fn fluctuation_mean_matches_half_normal() {
+        // E[|ε|] for ε ~ N(0, FL) is FL·√(2/π).
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = NoiseSpec {
+            fluctuation: 0.5,
+            spike: 0.0,
+        };
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| spec.apply(1.0, &mut rng)).sum::<f64>() / n as f64;
+        let expected = 1.0 + 0.5 * (2.0 / std::f64::consts::PI).sqrt();
+        assert!((mean - expected).abs() < 0.01, "mean {mean} vs {expected}");
+    }
+}

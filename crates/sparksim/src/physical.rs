@@ -1,0 +1,474 @@
+//! Physical planning: turn a logical [`PlanNode`] tree into a stage DAG under a given
+//! [`SparkConf`].
+//!
+//! Two conf-dependent decisions happen here, mirroring Spark's planner:
+//!
+//! 1. **Join strategy.** A join whose smaller side is estimated below
+//!    `spark.sql.autoBroadcastJoinThreshold` becomes a *broadcast hash join* (build
+//!    side shipped to every executor, probe side keeps its partitioning — no shuffle);
+//!    otherwise it is a *sort-merge join* (both sides exchange + sort).
+//! 2. **Stage boundaries.** Every exchange closes the producing stage; scan stages are
+//!    split into `ceil(bytes / maxPartitionBytes)` tasks, shuffle stages into
+//!    `spark.sql.shuffle.partitions` tasks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SparkConf;
+use crate::cost::CostParams;
+use crate::plan::{Operator, PlanNode};
+
+/// How a logical join was realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinStrategy {
+    /// Build side broadcast to every executor; probe side unshuffled.
+    BroadcastHash,
+    /// Both sides exchanged on the join key and sorted.
+    SortMerge,
+}
+
+/// How a stage receives its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Reads base-table splits; task count follows `maxPartitionBytes`.
+    Scan,
+    /// Reads shuffled data; task count follows `shuffle.partitions`.
+    Shuffle,
+}
+
+/// One schedulable stage with all quantities the cost model needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage id, in creation (≈ execution) order.
+    pub id: usize,
+    /// Input source class.
+    pub kind: StageKind,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Bytes read by this stage (table splits or shuffle blocks).
+    pub input_bytes: f64,
+    /// Weighted row-operations executed in this stage (operator CPU weights applied).
+    pub cpu_rows: f64,
+    /// Rows sorted within this stage (costed at `n·log n`).
+    pub sort_rows: f64,
+    /// Bytes materialized into in-task hash tables (aggregation/join build).
+    pub hash_build_bytes: f64,
+    /// Bytes written to shuffle for downstream stages.
+    pub shuffle_write_bytes: f64,
+    /// Bytes of broadcast tables this stage's tasks must hold (shared per executor).
+    pub broadcast_bytes: f64,
+}
+
+/// A fully planned query: the stage list plus planning decisions for metrics/events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    /// Stages in dependency order (a stage only reads from earlier stages).
+    pub stages: Vec<Stage>,
+    /// Strategy chosen for each logical join, in plan pre-order.
+    pub join_strategies: Vec<JoinStrategy>,
+}
+
+impl PhysicalPlan {
+    /// Total tasks across stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    /// Total bytes written to shuffle.
+    pub fn total_shuffle_bytes(&self) -> f64 {
+        self.stages.iter().map(|s| s.shuffle_write_bytes).sum()
+    }
+
+    /// Count of joins using the given strategy.
+    pub fn joins_with(&self, strategy: JoinStrategy) -> usize {
+        self.join_strategies
+            .iter()
+            .filter(|&&s| s == strategy)
+            .count()
+    }
+}
+
+/// Caps keeping degenerate confs from exploding the simulation.
+const MAX_TASKS_PER_STAGE: usize = 100_000;
+
+/// Plan `root` under `conf`.
+pub fn plan_physical(root: &PlanNode, conf: &SparkConf) -> PhysicalPlan {
+    let mut planner = Planner {
+        conf: conf.clone(),
+        stages: Vec::new(),
+        join_strategies: Vec::new(),
+    };
+    let open = planner.build(root);
+    // Close the final stage: its output is the query result (driver collect).
+    planner.seal(open);
+    PhysicalPlan {
+        stages: planner.stages,
+        join_strategies: planner.join_strategies,
+    }
+}
+
+/// The stage currently accepting narrow (pipelined) operators, plus the cardinality
+/// flowing out of the already-applied operators.
+struct OpenStage {
+    idx: usize,
+    rows: f64,
+    bytes: f64,
+}
+
+struct Planner {
+    conf: SparkConf,
+    stages: Vec<Stage>,
+    join_strategies: Vec<JoinStrategy>,
+}
+
+impl Planner {
+    fn scan_tasks(&self, bytes: f64) -> usize {
+        let per = self.conf.max_partition_bytes.max(1.0);
+        ((bytes / per).ceil() as usize).clamp(1, MAX_TASKS_PER_STAGE)
+    }
+
+    /// Task count of a shuffle stage reading `input_bytes`. With AQE enabled, Spark
+    /// coalesces small partitions at runtime: the count shrinks toward
+    /// `ceil(input_bytes / advisoryPartitionSizeInBytes)` but never *grows* beyond
+    /// the configured `shuffle.partitions`.
+    fn shuffle_tasks(&self, input_bytes: f64) -> usize {
+        let configured = self.conf.shuffle_partition_count().min(MAX_TASKS_PER_STAGE);
+        if !self.conf.adaptive_enabled {
+            return configured;
+        }
+        let advisory = self.conf.advisory_partition_bytes.max(1.0);
+        let coalesced = ((input_bytes / advisory).ceil() as usize).max(1);
+        coalesced.min(configured)
+    }
+
+    fn new_stage(&mut self, kind: StageKind, tasks: usize, input_bytes: f64) -> usize {
+        let id = self.stages.len();
+        self.stages.push(Stage {
+            id,
+            kind,
+            tasks,
+            input_bytes,
+            cpu_rows: 0.0,
+            sort_rows: 0.0,
+            hash_build_bytes: 0.0,
+            shuffle_write_bytes: 0.0,
+            broadcast_bytes: 0.0,
+        });
+        id
+    }
+
+    /// Close an open stage that writes its output to shuffle.
+    fn close_with_shuffle(&mut self, open: OpenStage) -> (f64, f64) {
+        self.stages[open.idx].shuffle_write_bytes += open.bytes;
+        (open.rows, open.bytes)
+    }
+
+    /// Close the final (result) stage — no shuffle write.
+    fn seal(&mut self, _open: OpenStage) {}
+
+    fn build(&mut self, node: &PlanNode) -> OpenStage {
+        match &node.op {
+            Operator::TableScan { .. } => {
+                let tasks = self.scan_tasks(node.est_bytes);
+                let idx = self.new_stage(StageKind::Scan, tasks, node.est_bytes);
+                self.stages[idx].cpu_rows +=
+                    node.est_rows * CostParams::op_weight("TableScan");
+                OpenStage {
+                    idx,
+                    rows: node.est_rows,
+                    bytes: node.est_bytes,
+                }
+            }
+            Operator::Filter { .. } | Operator::Project { .. } | Operator::Limit { .. } => {
+                let child = self.build(&node.children[0]);
+                // Narrow ops pipeline into the child's stage; cost is paid on the
+                // child's output rows.
+                self.stages[child.idx].cpu_rows +=
+                    child.rows * CostParams::op_weight(node.op.type_name());
+                OpenStage {
+                    idx: child.idx,
+                    rows: node.est_rows,
+                    bytes: node.est_bytes,
+                }
+            }
+            Operator::HashAggregate { .. } => {
+                let child = self.build(&node.children[0]);
+                // Partial aggregation in the child's stage.
+                self.stages[child.idx].cpu_rows +=
+                    child.rows * CostParams::op_weight("HashAggregate");
+                self.stages[child.idx].hash_build_bytes += node.est_bytes;
+                let (_rows, bytes) = self.close_with_shuffle(OpenStage {
+                    idx: child.idx,
+                    rows: node.est_rows,
+                    bytes: node.est_bytes,
+                });
+                // Final aggregation in a fresh shuffle stage.
+                let idx = self.new_stage(StageKind::Shuffle, self.shuffle_tasks(bytes), bytes);
+                self.stages[idx].cpu_rows +=
+                    node.est_rows * CostParams::op_weight("HashAggregate");
+                self.stages[idx].hash_build_bytes += node.est_bytes;
+                OpenStage {
+                    idx,
+                    rows: node.est_rows,
+                    bytes: node.est_bytes,
+                }
+            }
+            Operator::Sort => {
+                let child = self.build(&node.children[0]);
+                let (rows, bytes) = self.close_with_shuffle(child);
+                let idx = self.new_stage(StageKind::Shuffle, self.shuffle_tasks(bytes), bytes);
+                self.stages[idx].sort_rows += rows;
+                OpenStage {
+                    idx,
+                    rows: node.est_rows,
+                    bytes: node.est_bytes,
+                }
+            }
+            Operator::Join { .. } => {
+                let left = self.build(&node.children[0]);
+                let right = self.build(&node.children[1]);
+                let threshold = self.conf.auto_broadcast_join_threshold;
+                let (probe, build, build_is_right) = if right.bytes <= left.bytes {
+                    (left, right, true)
+                } else {
+                    (right, left, false)
+                };
+                let _ = build_is_right;
+                if threshold > 0.0 && build.bytes <= threshold {
+                    self.join_strategies.push(JoinStrategy::BroadcastHash);
+                    // Build side is collected and broadcast; its open stage ends
+                    // without a shuffle (driver collect + broadcast).
+                    let build_bytes = build.bytes;
+                    // Probe stage pays the probe cost and holds the broadcast table.
+                    self.stages[probe.idx].cpu_rows += (probe.rows + build.rows)
+                        * CostParams::op_weight("Join");
+                    self.stages[probe.idx].broadcast_bytes += build_bytes;
+                    self.stages[probe.idx].hash_build_bytes += build_bytes;
+                    OpenStage {
+                        idx: probe.idx,
+                        rows: node.est_rows,
+                        bytes: node.est_bytes,
+                    }
+                } else {
+                    self.join_strategies.push(JoinStrategy::SortMerge);
+                    let (l_rows, l_bytes) = self.close_with_shuffle(probe);
+                    let (r_rows, r_bytes) = self.close_with_shuffle(build);
+                    let idx = self.new_stage(
+                        StageKind::Shuffle,
+                        self.shuffle_tasks(l_bytes + r_bytes),
+                        l_bytes + r_bytes,
+                    );
+                    self.stages[idx].sort_rows += l_rows + r_rows;
+                    self.stages[idx].cpu_rows +=
+                        (l_rows + r_rows + node.est_rows) * CostParams::op_weight("Join");
+                    OpenStage {
+                        idx,
+                        rows: node.est_rows,
+                        bytes: node.est_bytes,
+                    }
+                }
+            }
+            Operator::Union => {
+                // Modeled as an exchange-union: both children close into one stage.
+                // (Real Spark unions without a shuffle; the cost difference is the
+                // shuffle of the union inputs, small for the plans used here.)
+                let left = self.build(&node.children[0]);
+                let right = self.build(&node.children[1]);
+                let (l_rows, l_bytes) = self.close_with_shuffle(left);
+                let (r_rows, r_bytes) = self.close_with_shuffle(right);
+                let idx = self.new_stage(
+                    StageKind::Shuffle,
+                    self.shuffle_tasks(l_bytes + r_bytes),
+                    l_bytes + r_bytes,
+                );
+                self.stages[idx].cpu_rows +=
+                    (l_rows + r_rows) * CostParams::op_weight("Union");
+                OpenStage {
+                    idx,
+                    rows: node.est_rows,
+                    bytes: node.est_bytes,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MIB;
+
+    fn join_plan(dim_rows: f64) -> PlanNode {
+        let fact = PlanNode::scan("fact", 10_000_000.0, 100.0);
+        let dim = PlanNode::scan("dim", dim_rows, 100.0);
+        fact.fk_join(dim, 1.0).hash_aggregate(0.001)
+    }
+
+    #[test]
+    fn small_dim_broadcasts_under_default_threshold() {
+        // 10k rows × 100 B = 1 MB < 10 MB default threshold.
+        let plan = join_plan(10_000.0);
+        let phys = plan_physical(&plan, &SparkConf::default());
+        assert_eq!(phys.joins_with(JoinStrategy::BroadcastHash), 1);
+        assert_eq!(phys.joins_with(JoinStrategy::SortMerge), 0);
+    }
+
+    #[test]
+    fn large_dim_sort_merges() {
+        // 1M rows × 100 B = 100 MB > 10 MB threshold.
+        let plan = join_plan(1_000_000.0);
+        let phys = plan_physical(&plan, &SparkConf::default());
+        assert_eq!(phys.joins_with(JoinStrategy::SortMerge), 1);
+    }
+
+    #[test]
+    fn raising_threshold_flips_strategy() {
+        let plan = join_plan(1_000_000.0);
+        let mut conf = SparkConf::default();
+        conf.auto_broadcast_join_threshold = 200.0 * MIB;
+        let phys = plan_physical(&plan, &conf);
+        assert_eq!(phys.joins_with(JoinStrategy::BroadcastHash), 1);
+    }
+
+    #[test]
+    fn disabled_threshold_never_broadcasts() {
+        let plan = join_plan(10.0);
+        let mut conf = SparkConf::default();
+        conf.auto_broadcast_join_threshold = -1.0;
+        let phys = plan_physical(&plan, &conf);
+        assert_eq!(phys.joins_with(JoinStrategy::SortMerge), 1);
+    }
+
+    #[test]
+    fn broadcast_join_produces_fewer_stages() {
+        let plan = join_plan(10_000.0);
+        let bc = plan_physical(&plan, &SparkConf::default());
+        let mut conf = SparkConf::default();
+        conf.auto_broadcast_join_threshold = -1.0;
+        let smj = plan_physical(&plan, &conf);
+        assert!(bc.stages.len() < smj.stages.len());
+        assert!(bc.total_shuffle_bytes() < smj.total_shuffle_bytes());
+    }
+
+    #[test]
+    fn scan_tasks_follow_max_partition_bytes() {
+        let plan = PlanNode::scan("t", 10_000_000.0, 100.0); // 1 GB
+        let mut conf = SparkConf::default();
+        conf.max_partition_bytes = 128.0 * MIB;
+        let coarse = plan_physical(&plan, &conf);
+        conf.max_partition_bytes = 16.0 * MIB;
+        let fine = plan_physical(&plan, &conf);
+        assert!(fine.stages[0].tasks > coarse.stages[0].tasks);
+        assert_eq!(coarse.stages[0].tasks, (1e9 / (128.0 * MIB)).ceil() as usize);
+    }
+
+    #[test]
+    fn shuffle_stage_tasks_follow_shuffle_partitions() {
+        let plan = PlanNode::scan("t", 1_000_000.0, 100.0).hash_aggregate(0.01);
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 77.0;
+        let phys = plan_physical(&plan, &conf);
+        let shuffle = phys
+            .stages
+            .iter()
+            .find(|s| s.kind == StageKind::Shuffle)
+            .expect("aggregate forces a shuffle stage");
+        assert_eq!(shuffle.tasks, 77);
+    }
+
+    #[test]
+    fn aggregate_creates_two_stage_pipeline() {
+        let plan = PlanNode::scan("t", 1_000_000.0, 100.0).hash_aggregate(0.01);
+        let phys = plan_physical(&plan, &SparkConf::default());
+        assert_eq!(phys.stages.len(), 2);
+        assert!(phys.stages[0].shuffle_write_bytes > 0.0);
+        assert_eq!(phys.stages[1].kind, StageKind::Shuffle);
+    }
+
+    #[test]
+    fn sort_merge_join_sorts_both_inputs() {
+        let plan = join_plan(1_000_000.0);
+        let phys = plan_physical(&plan, &SparkConf::default());
+        let join_stage = phys
+            .stages
+            .iter()
+            .find(|s| s.sort_rows > 0.0)
+            .expect("SMJ must sort");
+        // fact 10M + dim 1M rows sorted.
+        assert!((join_stage.sort_rows - 11_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn union_merges_children_into_one_stage() {
+        let a = PlanNode::scan("a", 1000.0, 10.0);
+        let b = PlanNode::scan("b", 2000.0, 10.0);
+        let phys = plan_physical(&a.union(b), &SparkConf::default());
+        assert_eq!(phys.stages.len(), 3); // two scans + union stage
+    }
+
+    #[test]
+    fn aqe_coalesces_overpartitioned_shuffles() {
+        // 1 GB aggregated down to ~100 MB of shuffle data; 4096 configured
+        // partitions would leave ~25 KB tasks — AQE merges them to the advisory.
+        let plan = PlanNode::scan("t", 1e7, 100.0).hash_aggregate(0.1);
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 4096.0;
+        let without = plan_physical(&plan, &conf);
+        conf.adaptive_enabled = true;
+        conf.advisory_partition_bytes = 64.0 * MIB;
+        let with = plan_physical(&plan, &conf);
+        let shuffle_without = without.stages.iter().find(|s| s.kind == StageKind::Shuffle).unwrap();
+        let shuffle_with = with.stages.iter().find(|s| s.kind == StageKind::Shuffle).unwrap();
+        assert_eq!(shuffle_without.tasks, 4096);
+        assert!(
+            shuffle_with.tasks < 100,
+            "AQE should coalesce: {} tasks",
+            shuffle_with.tasks
+        );
+    }
+
+    #[test]
+    fn aqe_never_exceeds_configured_partitions() {
+        // Huge shuffle input with a tiny advisory size: AQE would want thousands of
+        // partitions but must not split beyond the configured count.
+        let plan = PlanNode::scan("t", 1e9, 100.0).hash_aggregate(0.9);
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 50.0;
+        conf.adaptive_enabled = true;
+        conf.advisory_partition_bytes = MIB;
+        let phys = plan_physical(&plan, &conf);
+        let shuffle = phys.stages.iter().find(|s| s.kind == StageKind::Shuffle).unwrap();
+        assert_eq!(shuffle.tasks, 50);
+    }
+
+    #[test]
+    fn aqe_flattens_the_overpartitioning_penalty() {
+        // The interaction the exp_aqe experiment demonstrates: with AQE on, absurd
+        // partition counts stop hurting because the runtime coalesces them.
+        use crate::cluster::ClusterSpec;
+        use crate::cost::CostParams;
+        use crate::scheduler::schedule;
+        let plan = PlanNode::scan("t", 5e7, 100.0).hash_aggregate(0.05);
+        let time = |partitions: f64, aqe: bool| {
+            let mut conf = SparkConf::default();
+            conf.shuffle_partitions = partitions;
+            conf.adaptive_enabled = aqe;
+            let phys = plan_physical(&plan, &conf);
+            schedule(&phys, &conf, &ClusterSpec::medium(), &CostParams::default()).total_ms
+        };
+        let penalty_without = time(8192.0, false) / time(128.0, false);
+        let penalty_with = time(8192.0, true) / time(128.0, true);
+        assert!(
+            penalty_with < penalty_without,
+            "AQE should soften over-partitioning: {penalty_with} vs {penalty_without}"
+        );
+    }
+
+    #[test]
+    fn task_counts_are_capped() {
+        let plan = PlanNode::scan("t", 1e12, 1000.0); // petabyte scan
+        let mut conf = SparkConf::default();
+        conf.max_partition_bytes = MIB;
+        let phys = plan_physical(&plan, &conf);
+        assert!(phys.stages[0].tasks <= MAX_TASKS_PER_STAGE);
+    }
+}

@@ -1,0 +1,400 @@
+//! Logical query plans with optimizer-style cardinality estimates.
+//!
+//! Plans are trees of relational operators annotated, bottom-up, with estimated output
+//! rows and bytes — the information a query optimizer has at compile time, which is
+//! exactly what the paper's workload embedding consumes (§4.1: "information related to
+//! the query optimizer that is available at compile time").
+
+use serde::{Deserialize, Serialize};
+
+/// Logical relational operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Base-table scan with estimated row count and bytes per row.
+    TableScan {
+        /// Table name (for signatures and event logs).
+        table: String,
+        /// Estimated rows in the table.
+        rows: f64,
+        /// Average row width in bytes.
+        row_bytes: f64,
+    },
+    /// Row filter keeping `selectivity` of its input.
+    Filter {
+        /// Fraction of rows kept, in `[0, 1]`.
+        selectivity: f64,
+    },
+    /// Projection changing row width by `width_factor`.
+    Project {
+        /// Output row width relative to input, in `(0, ..]`.
+        width_factor: f64,
+    },
+    /// Hash aggregation producing `group_ratio` of its input rows.
+    HashAggregate {
+        /// Output groups as a fraction of input rows, in `(0, 1]`.
+        group_ratio: f64,
+    },
+    /// Binary join; output rows = `left_rows · right_rows · selectivity`, but
+    /// templates usually express joins as FK joins via [`PlanNode::fk_join`].
+    Join {
+        /// Join selectivity against the cross product.
+        selectivity: f64,
+    },
+    /// Total ordering of the input.
+    Sort,
+    /// Keep at most `n` rows.
+    Limit {
+        /// Row cap.
+        n: f64,
+    },
+    /// Bag union of the children.
+    Union,
+}
+
+impl Operator {
+    /// Stable operator-type name used by embeddings and event logs.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Operator::TableScan { .. } => "TableScan",
+            Operator::Filter { .. } => "Filter",
+            Operator::Project { .. } => "Project",
+            Operator::HashAggregate { .. } => "HashAggregate",
+            Operator::Join { .. } => "Join",
+            Operator::Sort => "Sort",
+            Operator::Limit { .. } => "Limit",
+            Operator::Union => "Union",
+        }
+    }
+
+    /// All operator type names, in a stable order (the embedding vocabulary).
+    pub const TYPE_NAMES: [&'static str; 8] = [
+        "TableScan",
+        "Filter",
+        "Project",
+        "HashAggregate",
+        "Join",
+        "Sort",
+        "Limit",
+        "Union",
+    ];
+}
+
+/// A node in the logical plan tree, annotated with cardinality estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// The operator at this node.
+    pub op: Operator,
+    /// Child subplans (0 for scans, 1 for unary ops, 2+ for joins/unions).
+    pub children: Vec<PlanNode>,
+    /// Estimated output rows (maintained by the builder methods).
+    pub est_rows: f64,
+    /// Estimated output bytes.
+    pub est_bytes: f64,
+}
+
+impl PlanNode {
+    /// Leaf scan node.
+    pub fn scan(table: &str, rows: f64, row_bytes: f64) -> PlanNode {
+        let mut n = PlanNode {
+            op: Operator::TableScan {
+                table: table.to_string(),
+                rows,
+                row_bytes,
+            },
+            children: Vec::new(),
+            est_rows: 0.0,
+            est_bytes: 0.0,
+        };
+        n.estimate();
+        n
+    }
+
+    fn unary(op: Operator, child: PlanNode) -> PlanNode {
+        let mut n = PlanNode {
+            op,
+            children: vec![child],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+        };
+        n.estimate();
+        n
+    }
+
+    /// Add a filter above this plan.
+    pub fn filter(self, selectivity: f64) -> PlanNode {
+        PlanNode::unary(
+            Operator::Filter {
+                selectivity: selectivity.clamp(0.0, 1.0),
+            },
+            self,
+        )
+    }
+
+    /// Add a projection above this plan.
+    pub fn project(self, width_factor: f64) -> PlanNode {
+        PlanNode::unary(
+            Operator::Project {
+                width_factor: width_factor.max(1e-3),
+            },
+            self,
+        )
+    }
+
+    /// Add a hash aggregation above this plan.
+    pub fn hash_aggregate(self, group_ratio: f64) -> PlanNode {
+        PlanNode::unary(
+            Operator::HashAggregate {
+                group_ratio: group_ratio.clamp(1e-9, 1.0),
+            },
+            self,
+        )
+    }
+
+    /// Add a sort above this plan.
+    pub fn sort(self) -> PlanNode {
+        PlanNode::unary(Operator::Sort, self)
+    }
+
+    /// Add a limit above this plan.
+    pub fn limit(self, n: f64) -> PlanNode {
+        PlanNode::unary(Operator::Limit { n: n.max(0.0) }, self)
+    }
+
+    /// Join with explicit cross-product selectivity.
+    pub fn join(self, right: PlanNode, selectivity: f64) -> PlanNode {
+        let mut n = PlanNode {
+            op: Operator::Join { selectivity },
+            children: vec![self, right],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+        };
+        n.estimate();
+        n
+    }
+
+    /// Foreign-key join: each left row matches ~`fanout` right rows. This is the
+    /// common TPC-H/TPC-DS pattern (fact table joining a dimension has fanout 1).
+    pub fn fk_join(self, right: PlanNode, fanout: f64) -> PlanNode {
+        let sel = if right.est_rows > 0.0 {
+            fanout / right.est_rows
+        } else {
+            0.0
+        };
+        self.join(right, sel)
+    }
+
+    /// Union with another plan.
+    pub fn union(self, other: PlanNode) -> PlanNode {
+        let mut n = PlanNode {
+            op: Operator::Union,
+            children: vec![self, other],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+        };
+        n.estimate();
+        n
+    }
+
+    /// Recompute this node's estimates from its children (children must already be
+    /// estimated — builders maintain this invariant).
+    fn estimate(&mut self) {
+        let (rows, bytes) = match &self.op {
+            Operator::TableScan {
+                rows, row_bytes, ..
+            } => (*rows, rows * row_bytes),
+            Operator::Filter { selectivity } => {
+                let c = &self.children[0];
+                (c.est_rows * selectivity, c.est_bytes * selectivity)
+            }
+            Operator::Project { width_factor } => {
+                let c = &self.children[0];
+                (c.est_rows, c.est_bytes * width_factor)
+            }
+            Operator::HashAggregate { group_ratio } => {
+                let c = &self.children[0];
+                (
+                    (c.est_rows * group_ratio).max(1.0),
+                    (c.est_bytes * group_ratio).max(8.0),
+                )
+            }
+            Operator::Join { selectivity } => {
+                let l = &self.children[0];
+                let r = &self.children[1];
+                let rows = (l.est_rows * r.est_rows * selectivity).max(0.0);
+                let width = row_width(l) + row_width(r);
+                (rows, rows * width)
+            }
+            Operator::Sort => {
+                let c = &self.children[0];
+                (c.est_rows, c.est_bytes)
+            }
+            Operator::Limit { n } => {
+                let c = &self.children[0];
+                let rows = c.est_rows.min(*n);
+                (rows, rows * row_width(c))
+            }
+            Operator::Union => {
+                let rows = self.children.iter().map(|c| c.est_rows).sum();
+                let bytes = self.children.iter().map(|c| c.est_bytes).sum();
+                (rows, bytes)
+            }
+        };
+        self.est_rows = rows;
+        self.est_bytes = bytes;
+    }
+
+    /// Estimated cardinality of the root operator — embedding component (1).
+    pub fn root_cardinality(&self) -> f64 {
+        self.est_rows
+    }
+
+    /// Total input cardinality over all leaf scans — embedding component (2), and the
+    /// "data size" `p` the Centroid Learning algorithm conditions on.
+    pub fn leaf_input_rows(&self) -> f64 {
+        match &self.op {
+            Operator::TableScan { rows, .. } => *rows,
+            _ => self.children.iter().map(PlanNode::leaf_input_rows).sum(),
+        }
+    }
+
+    /// Total bytes scanned from base tables.
+    pub fn leaf_input_bytes(&self) -> f64 {
+        match &self.op {
+            Operator::TableScan {
+                rows, row_bytes, ..
+            } => rows * row_bytes,
+            _ => self.children.iter().map(PlanNode::leaf_input_bytes).sum(),
+        }
+    }
+
+    /// Pre-order traversal of all nodes.
+    pub fn iter_nodes(&self) -> Vec<&PlanNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.iter_nodes());
+        }
+        out
+    }
+
+    /// Number of operators in the plan.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::node_count).sum::<usize>()
+    }
+
+    /// Scale every base-table cardinality by `factor` and re-estimate the whole tree
+    /// — how dynamic data sizes (§6.1) are modeled without rebuilding templates.
+    pub fn scaled(&self, factor: f64) -> PlanNode {
+        let mut node = self.clone();
+        node.scale_in_place(factor);
+        node
+    }
+
+    fn scale_in_place(&mut self, factor: f64) {
+        for c in &mut self.children {
+            c.scale_in_place(factor);
+        }
+        if let Operator::TableScan { rows, .. } = &mut self.op {
+            *rows *= factor;
+        }
+        self.estimate();
+    }
+}
+
+/// Average output row width of a node, guarding divide-by-zero on empty estimates.
+fn row_width(n: &PlanNode) -> f64 {
+    if n.est_rows > 0.0 {
+        n.est_bytes / n.est_rows
+    } else {
+        8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_plan() -> PlanNode {
+        let fact = PlanNode::scan("fact", 1_000_000.0, 100.0).filter(0.5);
+        let dim = PlanNode::scan("dim", 10_000.0, 50.0);
+        fact.fk_join(dim, 1.0).hash_aggregate(0.001)
+    }
+
+    #[test]
+    fn scan_estimates_rows_and_bytes() {
+        let s = PlanNode::scan("t", 1000.0, 80.0);
+        assert_eq!(s.est_rows, 1000.0);
+        assert_eq!(s.est_bytes, 80_000.0);
+    }
+
+    #[test]
+    fn filter_scales_cardinality() {
+        let p = PlanNode::scan("t", 1000.0, 80.0).filter(0.1);
+        assert_eq!(p.est_rows, 100.0);
+        assert_eq!(p.est_bytes, 8000.0);
+    }
+
+    #[test]
+    fn fk_join_preserves_left_cardinality_at_fanout_one() {
+        let p = two_table_plan();
+        // 500k filtered fact rows × fanout 1 → join output 500k, then agg to 500.
+        let join = &p.children[0];
+        assert!((join.est_rows - 500_000.0).abs() < 1.0);
+        assert!((p.est_rows - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn leaf_aggregates_cover_all_scans() {
+        let p = two_table_plan();
+        assert_eq!(p.leaf_input_rows(), 1_010_000.0);
+        assert_eq!(p.leaf_input_bytes(), 1_000_000.0 * 100.0 + 10_000.0 * 50.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_leaves_and_reestimates() {
+        let p = two_table_plan();
+        let p2 = p.scaled(2.0);
+        assert_eq!(p2.leaf_input_rows(), 2.0 * p.leaf_input_rows());
+        // Join selectivity is fixed, so output rows grow superlinearly (both sides).
+        assert!(p2.root_cardinality() > p.root_cardinality());
+        // Original untouched.
+        assert_eq!(p.leaf_input_rows(), 1_010_000.0);
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let p = PlanNode::scan("t", 1000.0, 10.0).limit(10.0);
+        assert_eq!(p.est_rows, 10.0);
+        let p = PlanNode::scan("t", 5.0, 10.0).limit(10.0);
+        assert_eq!(p.est_rows, 5.0);
+    }
+
+    #[test]
+    fn union_adds_children() {
+        let a = PlanNode::scan("a", 100.0, 10.0);
+        let b = PlanNode::scan("b", 200.0, 10.0);
+        let u = a.union(b);
+        assert_eq!(u.est_rows, 300.0);
+        assert_eq!(u.node_count(), 3);
+    }
+
+    #[test]
+    fn aggregate_never_estimates_zero_rows() {
+        let p = PlanNode::scan("t", 10.0, 10.0).filter(0.0).hash_aggregate(0.5);
+        assert!(p.est_rows >= 1.0);
+    }
+
+    #[test]
+    fn iter_nodes_is_preorder_and_complete() {
+        let p = two_table_plan();
+        let nodes = p.iter_nodes();
+        assert_eq!(nodes.len(), p.node_count());
+        assert_eq!(nodes[0].op.type_name(), "HashAggregate");
+    }
+
+    #[test]
+    fn sort_preserves_estimates() {
+        let p = PlanNode::scan("t", 42.0, 8.0).sort();
+        assert_eq!(p.est_rows, 42.0);
+        assert_eq!(p.est_bytes, 336.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Wave-based task scheduling and the per-stage time model.
+//!
+//! A stage's `tasks` run over `slots = executors × cores` in `ceil(tasks / slots)`
+//! waves. Each task pays CPU, I/O, shuffle and spill costs plus a fixed overhead; the
+//! final wave carries a straggler tail. The ceil produces the realistic staircase in
+//! runtime-vs-partitions curves (paper Figure 1) while the per-task overhead penalizes
+//! over-partitioning and the memory model penalizes under-partitioning.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::config::SparkConf;
+use crate::cost::CostParams;
+use crate::memory::{evaluate_stage, MemoryOutcome};
+use crate::physical::{PhysicalPlan, Stage, StageKind};
+
+/// Timing breakdown for one stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage id.
+    pub stage_id: usize,
+    /// Task count.
+    pub tasks: usize,
+    /// Scheduling waves.
+    pub waves: usize,
+    /// Single-task duration, ms (before the straggler tail).
+    pub task_ms: f64,
+    /// Total stage duration, ms.
+    pub stage_ms: f64,
+    /// Memory outcome feeding the spill costs.
+    pub memory: MemoryOutcome,
+}
+
+/// Timing for the whole query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTiming {
+    /// Per-stage breakdowns, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// End-to-end duration, ms (stages serialized — the simulator's stage DAGs are
+    /// effectively linear chains after planning).
+    pub total_ms: f64,
+}
+
+/// Compute the deterministic ("true", noise-free) timing of a physical plan.
+pub fn schedule(
+    plan: &PhysicalPlan,
+    conf: &SparkConf,
+    cluster: &ClusterSpec,
+    cost: &CostParams,
+) -> QueryTiming {
+    let executors = cluster.granted_executors(conf.executor_count());
+    let slots = cluster.slots(executors);
+    let heap_mb = cluster.granted_memory_mb(conf.executor_memory_mb);
+    // Bigger heaps drag CPU via GC in this simplified model, giving the memory knob
+    // an interior optimum instead of "always max".
+    let gc_factor = 1.0 + cost.gc_per_64g * (heap_mb / (64.0 * 1024.0));
+
+    let mut stages = Vec::with_capacity(plan.stages.len());
+    let mut total_ms = 0.0;
+    for stage in &plan.stages {
+        let timing = schedule_stage(stage, conf, cluster, cost, slots, executors, gc_factor);
+        total_ms += timing.stage_ms;
+        stages.push(timing);
+    }
+    QueryTiming { stages, total_ms }
+}
+
+fn schedule_stage(
+    stage: &Stage,
+    conf: &SparkConf,
+    cluster: &ClusterSpec,
+    cost: &CostParams,
+    slots: usize,
+    executors: usize,
+    gc_factor: f64,
+) -> StageTiming {
+    let tasks = stage.tasks.max(1);
+    let tasks_f = tasks as f64;
+    let memory = evaluate_stage(stage, conf, cluster, cost);
+
+    // CPU: weighted rows, evenly divided; sorting adds n·log n on the task's slice.
+    let rows_per_task = stage.cpu_rows / tasks_f;
+    let mut cpu_ms = rows_per_task * cost.cpu_ns_per_row * 1e-6;
+    if stage.sort_rows > 0.0 {
+        let sort_rows_per_task = stage.sort_rows / tasks_f;
+        cpu_ms += sort_rows_per_task
+            * sort_rows_per_task.max(2.0).log2()
+            * cost.sort_ns_per_row_log
+            * 1e-6;
+    }
+    cpu_ms *= gc_factor;
+
+    // I/O: reads from storage or shuffle, writes to shuffle.
+    let read_bps = match stage.kind {
+        StageKind::Scan => cost.scan_bps,
+        StageKind::Shuffle => cost.shuffle_read_bps,
+    };
+    let io_ms = stage.input_bytes / tasks_f / read_bps * 1e3
+        + stage.shuffle_write_bytes / tasks_f / cost.shuffle_write_bps * 1e3;
+
+    // Spill: spilled bytes are written then re-read.
+    let spill_ms = 2.0 * memory.spill_bytes_per_task / cost.spill_bps * 1e3;
+
+    let task_ms = cpu_ms + io_ms + spill_ms + cost.task_overhead_ms;
+    let waves = tasks.div_ceil(slots);
+
+    // Broadcast distribution happens once per stage, growing with the fleet size.
+    let broadcast_ms = if stage.broadcast_bytes > 0.0 {
+        stage.broadcast_bytes / cost.broadcast_bps * 1e3 * (1.0 + 0.05 * executors as f64)
+    } else {
+        0.0
+    };
+
+    let stage_ms = waves as f64 * task_ms
+        + task_ms * cost.skew_tail // straggling final wave
+        + cost.stage_overhead_ms
+        + broadcast_ms;
+
+    StageTiming {
+        stage_id: stage.id,
+        tasks,
+        waves,
+        task_ms,
+        stage_ms,
+        memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::plan_physical;
+    use crate::plan::PlanNode;
+
+    fn agg_plan(rows: f64) -> PlanNode {
+        PlanNode::scan("t", rows, 100.0)
+            .filter(0.5)
+            .hash_aggregate(0.05)
+    }
+
+    fn time_with_partitions(rows: f64, partitions: f64) -> f64 {
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = partitions;
+        let phys = plan_physical(&agg_plan(rows), &conf);
+        schedule(&phys, &conf, &ClusterSpec::medium(), &CostParams::default()).total_ms
+    }
+
+    #[test]
+    fn shuffle_partitions_have_interior_optimum() {
+        // The paper's Figure 1 phenomenon: extremes lose to a middle setting.
+        let lo = time_with_partitions(5e8, 4.0);
+        let mid = time_with_partitions(5e8, 256.0);
+        let hi = time_with_partitions(5e8, 20_000.0);
+        assert!(mid < lo, "mid {mid} should beat too-few {lo}");
+        assert!(mid < hi, "mid {mid} should beat too-many {hi}");
+    }
+
+    #[test]
+    fn more_data_takes_longer() {
+        let small = time_with_partitions(1e6, 200.0);
+        let large = time_with_partitions(1e8, 200.0);
+        assert!(large > small * 2.0);
+    }
+
+    #[test]
+    fn more_executors_speed_up_wide_stages() {
+        let plan = agg_plan(5e8);
+        let cost = CostParams::default();
+        let cluster = ClusterSpec::large();
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 2048.0;
+        conf.executor_instances = 2.0;
+        let phys = plan_physical(&plan, &conf);
+        let few = schedule(&phys, &conf, &cluster, &cost).total_ms;
+        conf.executor_instances = 64.0;
+        let many = schedule(&phys, &conf, &cluster, &cost).total_ms;
+        assert!(many < few);
+    }
+
+    #[test]
+    fn waves_follow_slots() {
+        let plan = PlanNode::scan("t", 1e9, 100.0); // 100 GB → many scan tasks
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let phys = plan_physical(&plan, &conf);
+        let timing = schedule(&phys, &conf, &cluster, &CostParams::default());
+        let slots = cluster.slots(cluster.granted_executors(conf.executor_count()));
+        let st = &timing.stages[0];
+        assert_eq!(st.waves, st.tasks.div_ceil(slots));
+    }
+
+    #[test]
+    fn gc_penalizes_oversized_heaps() {
+        let plan = agg_plan(1e7); // small enough that memory never spills
+        let cost = CostParams::default();
+        let cluster = ClusterSpec::large();
+        let mut conf = SparkConf::default();
+        conf.executor_memory_mb = 8.0 * 1024.0;
+        let phys = plan_physical(&plan, &conf);
+        let small_heap = schedule(&phys, &conf, &cluster, &cost).total_ms;
+        conf.executor_memory_mb = 256.0 * 1024.0;
+        let huge_heap = schedule(&phys, &conf, &cluster, &cost).total_ms;
+        assert!(huge_heap > small_heap);
+    }
+
+    #[test]
+    fn spilling_stage_is_slower_than_fitting_stage() {
+        // Force a giant sort-merge join so the shuffle stage's working set explodes,
+        // then relieve it with more partitions.
+        let fact = PlanNode::scan("fact", 2e8, 200.0);
+        let other = PlanNode::scan("other", 2e8, 200.0);
+        let plan = fact.join(other, 1e-8);
+        let cluster = ClusterSpec::small();
+        let cost = CostParams::default();
+        let mut conf = SparkConf::default();
+        conf.auto_broadcast_join_threshold = -1.0;
+        conf.shuffle_partitions = 8.0;
+        let phys = plan_physical(&plan, &conf);
+        let t8 = schedule(&phys, &conf, &cluster, &cost);
+        assert!(
+            t8.stages.iter().any(|s| s.memory.spills()),
+            "tiny partition count must spill"
+        );
+        conf.shuffle_partitions = 2000.0;
+        let phys = plan_physical(&plan, &conf);
+        let t2000 = schedule(&phys, &conf, &cluster, &cost);
+        let spill8: f64 = t8
+            .stages
+            .iter()
+            .map(|s| s.memory.total_spill_bytes(s.tasks))
+            .sum();
+        let spill2000: f64 = t2000
+            .stages
+            .iter()
+            .map(|s| s.memory.total_spill_bytes(s.tasks))
+            .sum();
+        assert!(spill2000 < spill8);
+    }
+
+    #[test]
+    fn timing_is_deterministic() {
+        let a = time_with_partitions(1e7, 100.0);
+        let b = time_with_partitions(1e7, 100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_is_sum_of_stages() {
+        let conf = SparkConf::default();
+        let phys = plan_physical(&agg_plan(1e7), &conf);
+        let t = schedule(&phys, &conf, &ClusterSpec::medium(), &CostParams::default());
+        let sum: f64 = t.stages.iter().map(|s| s.stage_ms).sum();
+        assert!((t.total_ms - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! The top-level simulator: plan → schedule → add noise → metrics (+ optional events).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::config::SparkConf;
+use crate::cost::CostParams;
+use crate::event::SparkEvent;
+use crate::metrics::QueryMetrics;
+use crate::noise::NoiseSpec;
+use crate::physical::{plan_physical, PhysicalPlan};
+use crate::plan::PlanNode;
+use crate::scheduler::{schedule, QueryTiming};
+
+/// One simulated query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRun {
+    /// Aggregated metrics (observed + true time, tasks, spill, …).
+    pub metrics: QueryMetrics,
+    /// The physical plan that ran.
+    pub physical: PhysicalPlan,
+    /// The per-stage timing breakdown.
+    pub timing: QueryTiming,
+}
+
+/// A simulated Spark environment: a pool, a cost model and a noise level.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Pool the queries run in.
+    pub cluster: ClusterSpec,
+    /// Cost-model constants.
+    pub cost: CostParams,
+    /// Observational noise applied to every run.
+    pub noise: NoiseSpec,
+}
+
+impl Simulator {
+    /// A simulator on the default (medium) pool with default costs.
+    pub fn default_pool(noise: NoiseSpec) -> Simulator {
+        Simulator {
+            cluster: ClusterSpec::medium(),
+            cost: CostParams::default(),
+            noise,
+        }
+    }
+
+    /// Execute `plan` under `conf`. `seed` drives only the noise draw, so the same
+    /// seed reproduces the same observation.
+    pub fn execute(&self, plan: &PlanNode, conf: &SparkConf, seed: u64) -> QueryRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.execute_with_rng(plan, conf, &mut rng)
+    }
+
+    /// Execute with a caller-supplied RNG (lets an online loop share one stream).
+    pub fn execute_with_rng(
+        &self,
+        plan: &PlanNode,
+        conf: &SparkConf,
+        rng: &mut StdRng,
+    ) -> QueryRun {
+        let physical = plan_physical(plan, conf);
+        let timing = schedule(&physical, conf, &self.cluster, &self.cost);
+        let elapsed = self.noise.apply(timing.total_ms, rng);
+        let metrics = QueryMetrics::collect(
+            &physical,
+            &timing,
+            plan.leaf_input_bytes(),
+            plan.leaf_input_rows(),
+            plan.root_cardinality(),
+            elapsed,
+        );
+        QueryRun {
+            metrics,
+            physical,
+            timing,
+        }
+    }
+
+    /// The noise-free runtime — the quantity convergence plots measure.
+    pub fn true_time_ms(&self, plan: &PlanNode, conf: &SparkConf) -> f64 {
+        let physical = plan_physical(plan, conf);
+        schedule(&physical, conf, &self.cluster, &self.cost).total_ms
+    }
+
+    /// Emit the Spark-style event log for a finished run. `embedding` is the
+    /// client-computed workload embedding shipped inside `QueryStart` (pass an empty
+    /// vector when no embedder is configured).
+    #[allow(clippy::too_many_arguments)]
+    pub fn events_for_run(
+        &self,
+        app_id: &str,
+        artifact_id: &str,
+        query_signature: u64,
+        plan: &PlanNode,
+        conf: &SparkConf,
+        embedding: Vec<f64>,
+        run: &QueryRun,
+    ) -> Vec<SparkEvent> {
+        let mut events = vec![
+            SparkEvent::ApplicationStart {
+                app_id: app_id.to_string(),
+                artifact_id: artifact_id.to_string(),
+            },
+            SparkEvent::QueryStart {
+                app_id: app_id.to_string(),
+                query_signature,
+                conf: conf.clone(),
+                plan_summary: plan
+                    .iter_nodes()
+                    .iter()
+                    .map(|n| n.op.type_name().to_string())
+                    .collect(),
+                embedding,
+            },
+        ];
+        for st in &run.timing.stages {
+            events.push(SparkEvent::StageCompleted {
+                app_id: app_id.to_string(),
+                query_signature,
+                stage_id: st.stage_id,
+                tasks: st.tasks,
+                duration_ms: st.stage_ms,
+                spilled_bytes: st.memory.total_spill_bytes(st.tasks),
+            });
+        }
+        events.push(SparkEvent::QueryEnd {
+            app_id: app_id.to_string(),
+            query_signature,
+            metrics: run.metrics.clone(),
+        });
+        events.push(SparkEvent::ApplicationEnd {
+            app_id: app_id.to_string(),
+        });
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> PlanNode {
+        PlanNode::scan("t", 1e7, 100.0)
+            .filter(0.2)
+            .hash_aggregate(0.01)
+    }
+
+    #[test]
+    fn noiseless_run_observes_true_time() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let run = sim.execute(&plan(), &SparkConf::default(), 1);
+        assert_eq!(run.metrics.elapsed_ms, run.metrics.true_ms);
+        assert!(run.metrics.true_ms > 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_observation() {
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let a = sim.execute(&plan(), &SparkConf::default(), 99);
+        let b = sim.execute(&plan(), &SparkConf::default(), 99);
+        assert_eq!(a.metrics.elapsed_ms, b.metrics.elapsed_ms);
+    }
+
+    #[test]
+    fn different_seeds_vary_under_noise() {
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let a = sim.execute(&plan(), &SparkConf::default(), 1);
+        let b = sim.execute(&plan(), &SparkConf::default(), 2);
+        assert_ne!(a.metrics.elapsed_ms, b.metrics.elapsed_ms);
+        assert_eq!(a.metrics.true_ms, b.metrics.true_ms);
+    }
+
+    #[test]
+    fn true_time_matches_execute_timing() {
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let t = sim.true_time_ms(&plan(), &SparkConf::default());
+        let run = sim.execute(&plan(), &SparkConf::default(), 5);
+        assert_eq!(t, run.metrics.true_ms);
+    }
+
+    #[test]
+    fn event_log_covers_lifecycle() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let p = plan();
+        let conf = SparkConf::default();
+        let run = sim.execute(&p, &conf, 1);
+        let events = sim.events_for_run("app-7", "art-3", 1234, &p, &conf, vec![0.5], &run);
+        assert!(matches!(events[0], SparkEvent::ApplicationStart { .. }));
+        assert!(matches!(events[1], SparkEvent::QueryStart { .. }));
+        assert!(matches!(events.last(), Some(SparkEvent::ApplicationEnd { .. })));
+        let stage_events = events
+            .iter()
+            .filter(|e| matches!(e, SparkEvent::StageCompleted { .. }))
+            .count();
+        assert_eq!(stage_events, run.physical.stages.len());
+    }
+
+    #[test]
+    fn data_scaling_increases_runtime() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let base = sim.true_time_ms(&plan(), &conf);
+        let bigger = sim.true_time_ms(&plan().scaled(10.0), &conf);
+        assert!(bigger > base * 1.8, "10x data: {base} -> {bigger}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the simulator's planning and scheduling invariants.
+
+use proptest::prelude::*;
+
+use sparksim::cluster::ClusterSpec;
+use sparksim::config::{SparkConf, MIB};
+use sparksim::cost::CostParams;
+use sparksim::noise::NoiseSpec;
+use sparksim::physical::plan_physical;
+use sparksim::plan::PlanNode;
+use sparksim::scheduler::schedule;
+use sparksim::simulator::Simulator;
+
+/// A conf drawn from the legal ranges.
+fn conf_strategy() -> impl Strategy<Value = SparkConf> {
+    (
+        1.0..2048.0f64,   // maxPartitionBytes, MiB
+        -1.0..1024.0f64,  // broadcast threshold, MiB (negative disables)
+        1.0..8192.0f64,   // shuffle partitions
+        1.0..64.0f64,     // executors
+        512.0..65536.0f64, // memory MB
+    )
+        .prop_map(|(mpb, bc, sp, ex, mem)| {
+            let mut c = SparkConf::default();
+            c.max_partition_bytes = mpb * MIB;
+            c.auto_broadcast_join_threshold = bc * MIB;
+            c.shuffle_partitions = sp;
+            c.executor_instances = ex;
+            c.executor_memory_mb = mem;
+            c
+        })
+}
+
+/// A small join/aggregate plan with variable sizes.
+fn plan_strategy() -> impl Strategy<Value = PlanNode> {
+    (
+        1e3..1e9f64,  // fact rows
+        1e1..1e7f64,  // dim rows
+        0.001..1.0f64, // filter selectivity
+        1e-7..0.5f64, // group ratio
+    )
+        .prop_map(|(fact, dim, sel, group)| {
+            PlanNode::scan("fact", fact, 120.0)
+                .filter(sel)
+                .fk_join(PlanNode::scan("dim", dim, 80.0), 0.8)
+                .hash_aggregate(group)
+                .sort()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_legal_conf_schedules_any_plan_finitely(
+        conf in conf_strategy(),
+        plan in plan_strategy(),
+    ) {
+        conf.validate().expect("strategy stays in legal ranges");
+        let phys = plan_physical(&plan, &conf);
+        prop_assert!(!phys.stages.is_empty());
+        prop_assert!(phys.total_tasks() >= 1);
+        let t = schedule(&phys, &conf, &ClusterSpec::medium(), &CostParams::default());
+        prop_assert!(t.total_ms.is_finite() && t.total_ms > 0.0);
+        for st in &t.stages {
+            prop_assert!(st.stage_ms.is_finite() && st.stage_ms > 0.0);
+            prop_assert!(st.waves >= 1);
+        }
+    }
+
+    #[test]
+    fn join_count_is_conf_independent(
+        a in conf_strategy(),
+        b in conf_strategy(),
+        plan in plan_strategy(),
+    ) {
+        // Strategy may differ (broadcast vs sort-merge) but total join count cannot.
+        let pa = plan_physical(&plan, &a);
+        let pb = plan_physical(&plan, &b);
+        prop_assert_eq!(pa.join_strategies.len(), pb.join_strategies.len());
+    }
+
+    #[test]
+    fn raising_broadcast_threshold_never_removes_broadcasts(
+        conf in conf_strategy(),
+        plan in plan_strategy(),
+    ) {
+        use sparksim::physical::JoinStrategy;
+        let mut higher = conf.clone();
+        higher.auto_broadcast_join_threshold =
+            conf.auto_broadcast_join_threshold.max(0.0) * 2.0 + 10.0 * MIB;
+        let low = plan_physical(&plan, &conf).joins_with(JoinStrategy::BroadcastHash);
+        let high = plan_physical(&plan, &higher).joins_with(JoinStrategy::BroadcastHash);
+        prop_assert!(high >= low, "broadcasts {low} -> {high}");
+    }
+
+    #[test]
+    fn smaller_partitions_never_reduce_scan_tasks(
+        plan in plan_strategy(),
+        mpb in 2.0..2048.0f64,
+    ) {
+        let mut coarse = SparkConf::default();
+        coarse.max_partition_bytes = mpb * MIB;
+        let mut fine = SparkConf::default();
+        fine.max_partition_bytes = mpb * MIB / 2.0;
+        let tc = plan_physical(&plan, &coarse).stages[0].tasks;
+        let tf = plan_physical(&plan, &fine).stages[0].tasks;
+        prop_assert!(tf >= tc);
+    }
+
+    #[test]
+    fn observed_time_bounds_true_time(
+        conf in conf_strategy(),
+        plan in plan_strategy(),
+        seed: u64,
+    ) {
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let run = sim.execute(&plan, &conf, seed);
+        prop_assert!(run.metrics.elapsed_ms >= run.metrics.true_ms);
+        // Eq (8) bound: spike doubles once; |ε| is unbounded, but 6σ covers any
+        // plausible draw — flag absurd multipliers as model bugs.
+        prop_assert!(run.metrics.elapsed_ms <= run.metrics.true_ms * 2.0 * 8.0);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(
+        conf in conf_strategy(),
+        plan in plan_strategy(),
+    ) {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let run = sim.execute(&plan, &conf, 0);
+        prop_assert_eq!(run.metrics.num_stages, run.physical.stages.len());
+        prop_assert_eq!(run.metrics.num_tasks, run.physical.total_tasks());
+        prop_assert_eq!(
+            run.metrics.broadcast_joins + run.metrics.sort_merge_joins,
+            run.physical.join_strategies.len()
+        );
+        prop_assert!((run.metrics.input_rows - plan.leaf_input_rows()).abs() < 1.0);
+    }
+
+    #[test]
+    fn event_log_roundtrips_for_any_run(
+        conf in conf_strategy(),
+        plan in plan_strategy(),
+    ) {
+        let sim = Simulator::default_pool(NoiseSpec::low());
+        let run = sim.execute(&plan, &conf, 3);
+        let events = sim.events_for_run("app", "art", 1, &plan, &conf, vec![1.0], &run);
+        let doc = sparksim::event::to_jsonl(&events);
+        let back = sparksim::event::from_jsonl(&doc);
+        prop_assert_eq!(back.len(), events.len());
+        // Floats may move by 1 ULP on the first serialize/parse; after that the
+        // representation must be stable (what the ETL actually relies on).
+        let doc2 = sparksim::event::to_jsonl(&back);
+        let back2 = sparksim::event::from_jsonl(&doc2);
+        prop_assert_eq!(back2, back);
+    }
+}

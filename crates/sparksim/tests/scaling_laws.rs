@@ -1,0 +1,148 @@
+//! Calibration tests: the cost model must obey the scaling laws real Spark obeys.
+//! These pin the simulator's *shape* — the only thing the reproduction's conclusions
+//! rest on (DESIGN.md §1).
+
+use sparksim::cluster::ClusterSpec;
+use sparksim::config::{SparkConf, MIB};
+use sparksim::cost::CostParams;
+use sparksim::noise::NoiseSpec;
+use sparksim::physical::plan_physical;
+use sparksim::plan::PlanNode;
+use sparksim::scheduler::schedule;
+use sparksim::simulator::Simulator;
+
+fn time(plan: &PlanNode, conf: &SparkConf) -> f64 {
+    let phys = plan_physical(plan, conf);
+    schedule(&phys, conf, &ClusterSpec::medium(), &CostParams::default()).total_ms
+}
+
+/// Scan-dominated work saturated past the cluster's parallelism scales ~linearly in
+/// input size.
+#[test]
+fn saturated_scans_scale_linearly() {
+    let conf = SparkConf::default();
+    // Big enough that tasks ≫ slots at both sizes.
+    let t1 = time(&PlanNode::scan("t", 2e8, 100.0), &conf); // 20 GB
+    let t4 = time(&PlanNode::scan("t", 8e8, 100.0), &conf); // 80 GB
+    let ratio = t4 / t1;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4x data should be ~4x time when saturated: {ratio:.2}"
+    );
+}
+
+/// Below saturation, extra data is absorbed by idle slots: sub-linear scaling.
+#[test]
+fn unsaturated_scans_scale_sublinearly() {
+    let conf = SparkConf::default(); // 128 MiB splits, 32 slots granted
+    let t1 = time(&PlanNode::scan("t", 1e6, 100.0), &conf); // 100 MB → 1 task
+    let t8 = time(&PlanNode::scan("t", 8e6, 100.0), &conf); // 800 MB → 7 tasks, 1 wave
+    assert!(t8 / t1 < 4.0, "one wave either way: ratio {:.2}", t8 / t1);
+}
+
+/// Sorting costs super-linearly in rows (the n·log n term) — measured on the sort
+/// stage itself, where fixed overheads can't mask the log factor.
+#[test]
+fn sort_stage_cost_grows_superlinearly_per_row() {
+    let cluster = ClusterSpec::medium();
+    let cost = CostParams::default();
+    let sort_stage_ms = |rows: f64| {
+        let mut c = SparkConf::default();
+        c.shuffle_partitions = 8.0; // pinned: per-task row counts scale with input
+        let plan = PlanNode::scan("t", rows, 50.0).sort();
+        let phys = plan_physical(&plan, &c);
+        let timing = schedule(&phys, &c, &cluster, &cost);
+        // The sort happens in the (last) shuffle stage.
+        timing.stages.last().expect("sort stage exists").stage_ms
+    };
+    let per_row_small = sort_stage_ms(1e7) / 1e7;
+    let per_row_big = sort_stage_ms(3.2e8) / 3.2e8;
+    assert!(
+        per_row_big > per_row_small,
+        "per-row sort-stage cost must grow with scale: {per_row_small:.3e} vs {per_row_big:.3e}"
+    );
+}
+
+/// Broadcast joins beat sort-merge when the build side is small.
+#[test]
+fn broadcast_beats_smj_for_small_dimensions() {
+    let fact = PlanNode::scan("fact", 1e8, 100.0);
+    let dim = PlanNode::scan("dim", 5e4, 100.0); // 5 MB — broadcastable
+    let plan = fact.fk_join(dim, 1.0).hash_aggregate(0.001);
+    let mut bc = SparkConf::default(); // 10 MB threshold: broadcasts
+    let mut smj = SparkConf::default();
+    smj.auto_broadcast_join_threshold = -1.0;
+    bc.auto_broadcast_join_threshold = 10.0 * MIB;
+    assert!(
+        time(&plan, &bc) < time(&plan, &smj),
+        "broadcast {} should beat SMJ {}",
+        time(&plan, &bc),
+        time(&plan, &smj)
+    );
+}
+
+/// Broadcasting a huge build side backfires (distribution + memory pressure).
+#[test]
+fn broadcasting_huge_tables_backfires() {
+    let fact = PlanNode::scan("fact", 1e8, 100.0);
+    let big_dim = PlanNode::scan("dim", 3e7, 200.0); // 6 GB build side
+    let plan = fact.fk_join(big_dim, 1.0).hash_aggregate(0.001);
+    let mut force_bc = SparkConf::default();
+    force_bc.auto_broadcast_join_threshold = 8000.0 * MIB;
+    let mut smj = SparkConf::default();
+    smj.auto_broadcast_join_threshold = -1.0;
+    assert!(
+        time(&plan, &smj) < time(&plan, &force_bc),
+        "SMJ {} should beat forced broadcast {}",
+        time(&plan, &smj),
+        time(&plan, &force_bc)
+    );
+}
+
+/// Doubling executors on an embarrassingly parallel saturated stage roughly halves it.
+#[test]
+fn executor_scaling_near_linear_when_saturated() {
+    let plan = PlanNode::scan("t", 1e9, 100.0); // 100 GB, hundreds of tasks
+    let cluster = ClusterSpec::large();
+    let cost = CostParams::default();
+    let t = |execs: f64| {
+        let mut c = SparkConf::default();
+        c.executor_instances = execs;
+        let phys = plan_physical(&plan, &c);
+        schedule(&phys, &c, &cluster, &cost).total_ms
+    };
+    let ratio = t(8.0) / t(32.0);
+    assert!(
+        (2.0..5.5).contains(&ratio),
+        "4x executors should give ~4x speedup on saturated scans: {ratio:.2}"
+    );
+}
+
+/// The noise-free simulator is monotone in data size for a fixed configuration.
+#[test]
+fn runtime_is_monotone_in_data_size() {
+    let sim = Simulator::default_pool(NoiseSpec::none());
+    let conf = SparkConf::default();
+    let plan = PlanNode::scan("t", 1e7, 100.0).filter(0.3).hash_aggregate(0.01);
+    let mut prev = 0.0;
+    for scale in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let t = sim.true_time_ms(&plan.scaled(scale), &conf);
+        assert!(t >= prev, "time dropped when data grew: {prev} -> {t} at {scale}x");
+        prev = t;
+    }
+}
+
+/// Fixed overheads dominate tiny inputs: r/p falls as p grows — the §4.3 observation
+/// motivating FIND_BEST v3.
+#[test]
+fn per_row_cost_amortizes_with_scale() {
+    let sim = Simulator::default_pool(NoiseSpec::none());
+    let conf = SparkConf::default();
+    let plan = PlanNode::scan("t", 1e5, 100.0).hash_aggregate(0.01);
+    let small = sim.true_time_ms(&plan, &conf) / 1e5;
+    let large = sim.true_time_ms(&plan.scaled(100.0), &conf) / 1e7;
+    assert!(
+        large < small / 2.0,
+        "per-row cost should amortize: {small:.2e} vs {large:.2e}"
+    );
+}

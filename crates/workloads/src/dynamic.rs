@@ -1,0 +1,166 @@
+//! Data-size schedules for dynamic workloads (§6.1).
+//!
+//! "We simulate two types of dynamic workloads … workloads with data sizes increasing
+//! linearly over time; workloads with periodic changes in data size, where the input
+//! data size follows f(t) = t mod K". A seeded random walk rounds out the set for the
+//! customer-notebook generator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How a recurrent workload's input data size evolves across iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSchedule {
+    /// Fixed size every run.
+    Constant {
+        /// The size (a multiplier applied to the base workload).
+        size: f64,
+    },
+    /// `size(t) = start + slope · t`.
+    LinearIncreasing {
+        /// Size at iteration 0.
+        start: f64,
+        /// Growth per iteration.
+        slope: f64,
+    },
+    /// The paper's periodic schedule: `size(t) = base + amplitude · (t mod k) / k`.
+    Periodic {
+        /// Minimum size.
+        base: f64,
+        /// Peak-to-trough swing.
+        amplitude: f64,
+        /// Period length in iterations.
+        k: u32,
+    },
+    /// Multiplicative random walk, clamped to `[lo, hi]` — models organically
+    /// drifting production inputs.
+    RandomWalk {
+        /// Starting size.
+        start: f64,
+        /// Per-step multiplicative volatility (e.g. 0.1 for ±10%).
+        volatility: f64,
+        /// Lower clamp.
+        lo: f64,
+        /// Upper clamp.
+        hi: f64,
+        /// Seed for the walk (the whole path is a pure function of seed + t).
+        seed: u64,
+    },
+}
+
+impl DataSchedule {
+    /// Data size at iteration `t` (always > 0).
+    pub fn size_at(&self, t: u32) -> f64 {
+        match *self {
+            DataSchedule::Constant { size } => size.max(1e-9),
+            DataSchedule::LinearIncreasing { start, slope } => {
+                (start + slope * t as f64).max(1e-9)
+            }
+            DataSchedule::Periodic { base, amplitude, k } => {
+                let k = k.max(1);
+                base + amplitude * (t % k) as f64 / k as f64
+            }
+            DataSchedule::RandomWalk {
+                start,
+                volatility,
+                lo,
+                hi,
+                seed,
+            } => {
+                // Replay the walk deterministically up to t. Walks are short (tuning
+                // horizons are hundreds of iterations), so O(t) replay is fine and
+                // keeps the schedule a pure function.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut size = start;
+                for _ in 0..t {
+                    let step = ml_free_normal(&mut rng) * volatility;
+                    size = (size * (1.0 + step)).clamp(lo, hi);
+                }
+                size.max(1e-9)
+            }
+        }
+    }
+
+    /// Convenience: the sizes for iterations `0..n`.
+    pub fn sizes(&self, n: u32) -> Vec<f64> {
+        (0..n).map(|t| self.size_at(t)).collect()
+    }
+}
+
+/// Box–Muller deviate (kept local so `workloads` does not depend on `ml`).
+fn ml_free_normal(rng: &mut StdRng) -> f64 {
+    use rand::RngExt;
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = DataSchedule::Constant { size: 2.5 };
+        assert!(s.sizes(10).iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn linear_grows_by_slope() {
+        let s = DataSchedule::LinearIncreasing {
+            start: 1.0,
+            slope: 0.5,
+        };
+        assert_eq!(s.size_at(0), 1.0);
+        assert_eq!(s.size_at(4), 3.0);
+    }
+
+    #[test]
+    fn periodic_wraps_at_k() {
+        let s = DataSchedule::Periodic {
+            base: 1.0,
+            amplitude: 2.0,
+            k: 4,
+        };
+        assert_eq!(s.size_at(0), s.size_at(4));
+        assert_eq!(s.size_at(3), 1.0 + 2.0 * 0.75);
+        assert!(s.size_at(3) > s.size_at(1));
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_clamped() {
+        let s = DataSchedule::RandomWalk {
+            start: 1.0,
+            volatility: 0.5,
+            lo: 0.5,
+            hi: 2.0,
+            seed: 7,
+        };
+        let a = s.sizes(50);
+        let b = s.sizes(50);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0.5..=2.0).contains(&x)));
+        // It should actually move.
+        assert!(a.iter().any(|&x| (x - 1.0).abs() > 0.05));
+    }
+
+    #[test]
+    fn sizes_never_non_positive() {
+        let s = DataSchedule::LinearIncreasing {
+            start: 1.0,
+            slope: -1.0,
+        };
+        assert!(s.size_at(100) > 0.0);
+    }
+
+    #[test]
+    fn periodic_k_zero_is_safe() {
+        let s = DataSchedule::Periodic {
+            base: 1.0,
+            amplitude: 1.0,
+            k: 0,
+        };
+        assert_eq!(s.size_at(5), 1.0);
+    }
+}

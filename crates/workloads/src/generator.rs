@@ -1,0 +1,124 @@
+//! Seeded random plan synthesis — the building block of the customer-notebook
+//! generator. Produces star-join/aggregation plans with randomized table sizes,
+//! selectivities and depths so that no two generated query signatures share a shape.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sparksim::plan::PlanNode;
+
+/// Parameters bounding the random plans.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanGenConfig {
+    /// Fact-table rows are drawn log-uniformly from this range.
+    pub fact_rows: (f64, f64),
+    /// Dimension-table rows are drawn log-uniformly from this range.
+    pub dim_rows: (f64, f64),
+    /// Number of dimension joins, inclusive range.
+    pub joins: (usize, usize),
+    /// Probability of a trailing sort.
+    pub sort_prob: f64,
+}
+
+impl Default for PlanGenConfig {
+    fn default() -> Self {
+        PlanGenConfig {
+            fact_rows: (1e5, 5e8),
+            dim_rows: (1e2, 5e6),
+            joins: (0, 5),
+            sort_prob: 0.5,
+        }
+    }
+}
+
+/// Draw log-uniformly from `(lo, hi)`.
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.random_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Generate a random plan. The same `seed` always yields the same plan.
+pub fn random_plan(config: &PlanGenConfig, seed: u64) -> PlanNode {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fact_rows = log_uniform(&mut rng, config.fact_rows.0, config.fact_rows.1);
+    let fact_width = rng.random_range(40.0..400.0);
+    let mut plan = PlanNode::scan(&format!("fact_{seed}"), fact_rows, fact_width);
+
+    if rng.random_range(0.0..1.0) < 0.7 {
+        plan = plan.filter(rng.random_range(0.01..0.9f64));
+    }
+
+    let n_joins = rng.random_range(config.joins.0..=config.joins.1);
+    for j in 0..n_joins {
+        let dim_rows = log_uniform(&mut rng, config.dim_rows.0, config.dim_rows.1);
+        let dim_width = rng.random_range(30.0..300.0);
+        let mut dim = PlanNode::scan(&format!("dim_{seed}_{j}"), dim_rows, dim_width);
+        if rng.random_range(0.0..1.0) < 0.4 {
+            dim = dim.filter(rng.random_range(0.05..0.8f64));
+        }
+        let fanout = rng.random_range(0.05..1.0f64);
+        plan = plan.fk_join(dim, fanout);
+    }
+
+    // Group ratio spans "almost distinct" to "global aggregate".
+    let group_ratio = 10f64.powf(rng.random_range(-7.0..-0.5));
+    plan = plan.hash_aggregate(group_ratio);
+
+    if rng.random_range(0.0..1.0) < config.sort_prob {
+        plan = plan.sort();
+    }
+    if rng.random_range(0.0..1.0) < 0.3 {
+        plan = plan.limit(rng.random_range(10.0..1000.0f64));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::config::SparkConf;
+    use sparksim::noise::NoiseSpec;
+    use sparksim::simulator::Simulator;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PlanGenConfig::default();
+        assert_eq!(random_plan(&cfg, 5), random_plan(&cfg, 5));
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let cfg = PlanGenConfig::default();
+        let distinct: std::collections::HashSet<usize> = (0..20)
+            .map(|s| random_plan(&cfg, s).node_count())
+            .collect();
+        assert!(distinct.len() >= 3, "plans too uniform");
+    }
+
+    #[test]
+    fn generated_plans_all_simulate() {
+        let cfg = PlanGenConfig::default();
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        for seed in 0..50 {
+            let p = random_plan(&cfg, seed);
+            let t = sim.true_time_ms(&p, &conf);
+            assert!(t > 0.0 && t.is_finite(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn join_bounds_are_respected() {
+        let cfg = PlanGenConfig {
+            joins: (2, 2),
+            ..PlanGenConfig::default()
+        };
+        for seed in 0..10 {
+            let p = random_plan(&cfg, seed);
+            let joins = p
+                .iter_nodes()
+                .iter()
+                .filter(|n| n.op.type_name() == "Join")
+                .count();
+            assert_eq!(joins, 2, "seed {seed}");
+        }
+    }
+}

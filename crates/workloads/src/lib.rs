@@ -1,0 +1,27 @@
+//! Workloads for the Rockhopper reproduction.
+//!
+//! The paper evaluates on (a) a synthetic convex function with injected noise (§6.1),
+//! (b) TPC-DS and TPC-H benchmark queries (§6.2, §6.3), and (c) private customer
+//! notebooks (§6.3). This crate provides all three:
+//!
+//! - [`synthetic`]: the paper's three-knob convex function with Eq (8) noise,
+//! - [`tables`], [`tpch`], [`tpcds`]: schema statistics and plan templates for all 22
+//!   TPC-H queries and 24 TPC-DS-style queries, parameterized by scale factor,
+//! - [`dynamic`]: data-size schedules (constant, linear, periodic `t mod K`, random
+//!   walk) driving the dynamic-workload experiments,
+//! - [`notebook`]: a seeded generator of "customer" applications — mixed query DAGs,
+//!   drifting input sizes and per-signature noise — standing in for the paper's
+//!   private production traces,
+//! - [`generator`]: random plan synthesis used by the notebook generator.
+
+pub mod dynamic;
+pub mod generator;
+pub mod notebook;
+pub mod synthetic;
+pub mod tables;
+pub mod tpcds;
+pub mod tpch;
+
+pub use dynamic::DataSchedule;
+pub use notebook::{Notebook, NotebookQuery};
+pub use synthetic::SyntheticFunction;

@@ -1,0 +1,197 @@
+//! Synthetic "customer notebook" population — the stand-in for the paper's private
+//! production traces (§6.3: 60+ internal notebooks, 416 external query signatures).
+//!
+//! Each notebook is a recurrent Spark application with a stable `artifact_id` and a
+//! handful of query signatures. Per the paper's description of production reality, the
+//! population mixes: varying input sizes run-to-run, mostly-moderate noise with a
+//! minority of pathologically noisy signatures (the ones the guardrail must catch),
+//! and job sizes from micro-batches to long-running pipelines.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sparksim::noise::NoiseSpec;
+use sparksim::plan::PlanNode;
+
+use crate::dynamic::DataSchedule;
+use crate::generator::{random_plan, PlanGenConfig};
+
+/// One recurrent query inside a notebook.
+#[derive(Debug, Clone)]
+pub struct NotebookQuery {
+    /// Stable query-signature id (unique across the population).
+    pub signature: u64,
+    /// The logical plan template (scaled by the schedule at each run).
+    pub plan: PlanNode,
+    /// How this query's input size evolves across recurrences.
+    pub schedule: DataSchedule,
+    /// This signature's observational noise.
+    pub noise: NoiseSpec,
+}
+
+/// A recurrent customer application.
+#[derive(Debug, Clone)]
+pub struct Notebook {
+    /// Stable artifact hash (the paper's `artifact_id`, §4.4).
+    pub artifact_id: String,
+    /// The queries the notebook executes each run.
+    pub queries: Vec<NotebookQuery>,
+}
+
+/// Population-level generation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of notebooks to generate.
+    pub notebooks: usize,
+    /// Queries per notebook, inclusive range.
+    pub queries_per_notebook: (usize, usize),
+    /// Fraction of query signatures with pathological (high) noise.
+    pub pathological_fraction: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            notebooks: 60,
+            queries_per_notebook: (1, 8),
+            pathological_fraction: 0.12,
+        }
+    }
+}
+
+/// Generate a deterministic notebook population.
+pub fn generate_population(config: &PopulationConfig, seed: u64) -> Vec<Notebook> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan_cfg = PlanGenConfig::default();
+    let mut next_signature: u64 = 1;
+    let mut notebooks = Vec::with_capacity(config.notebooks);
+
+    for nb in 0..config.notebooks {
+        let n_queries =
+            rng.random_range(config.queries_per_notebook.0..=config.queries_per_notebook.1);
+        let mut queries = Vec::with_capacity(n_queries);
+        for _ in 0..n_queries {
+            let signature = next_signature;
+            next_signature += 1;
+            let plan_seed = rng.random_range(0..u64::MAX / 2);
+            let plan = random_plan(&plan_cfg, plan_seed);
+
+            let schedule = match rng.random_range(0..4u8) {
+                0 => DataSchedule::Constant {
+                    size: rng.random_range(0.5..2.0f64),
+                },
+                1 => DataSchedule::LinearIncreasing {
+                    start: rng.random_range(0.5..1.5f64),
+                    slope: rng.random_range(0.001..0.02f64),
+                },
+                2 => DataSchedule::Periodic {
+                    base: rng.random_range(0.5..1.0f64),
+                    amplitude: rng.random_range(0.2..1.5f64),
+                    k: rng.random_range(3..20u32),
+                },
+                _ => DataSchedule::RandomWalk {
+                    start: 1.0,
+                    volatility: rng.random_range(0.02..0.15f64),
+                    lo: 0.3,
+                    hi: 3.0,
+                    seed: rng.random_range(0..u64::MAX / 2),
+                },
+            };
+
+            let noise = if rng.random_range(0.0..1.0) < config.pathological_fraction {
+                NoiseSpec::high()
+            } else {
+                NoiseSpec {
+                    fluctuation: rng.random_range(0.05..0.3f64),
+                    spike: rng.random_range(0.0..0.4f64),
+                }
+            };
+
+            queries.push(NotebookQuery {
+                signature,
+                plan,
+                schedule,
+                noise,
+            });
+        }
+        notebooks.push(Notebook {
+            artifact_id: format!("artifact-{nb:04}"),
+            queries,
+        });
+    }
+    notebooks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = PopulationConfig::default();
+        let a = generate_population(&cfg, 7);
+        let b = generate_population(&cfg, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.artifact_id, y.artifact_id);
+            assert_eq!(x.queries.len(), y.queries.len());
+            for (qx, qy) in x.queries.iter().zip(&y.queries) {
+                assert_eq!(qx.signature, qy.signature);
+                assert_eq!(qx.plan, qy.plan);
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_are_globally_unique() {
+        let cfg = PopulationConfig {
+            notebooks: 30,
+            ..PopulationConfig::default()
+        };
+        let pop = generate_population(&cfg, 1);
+        let sigs: Vec<u64> = pop
+            .iter()
+            .flat_map(|n| n.queries.iter().map(|q| q.signature))
+            .collect();
+        let uniq: std::collections::HashSet<_> = sigs.iter().collect();
+        assert_eq!(uniq.len(), sigs.len());
+    }
+
+    #[test]
+    fn pathological_fraction_is_roughly_respected() {
+        let cfg = PopulationConfig {
+            notebooks: 200,
+            queries_per_notebook: (2, 4),
+            pathological_fraction: 0.2,
+        };
+        let pop = generate_population(&cfg, 3);
+        let all: Vec<&NotebookQuery> = pop.iter().flat_map(|n| n.queries.iter()).collect();
+        let high = all
+            .iter()
+            .filter(|q| q.noise.fluctuation >= 1.0)
+            .count() as f64;
+        let frac = high / all.len() as f64;
+        assert!((frac - 0.2).abs() < 0.07, "pathological fraction {frac}");
+    }
+
+    #[test]
+    fn query_counts_respect_bounds() {
+        let cfg = PopulationConfig {
+            notebooks: 50,
+            queries_per_notebook: (2, 5),
+            pathological_fraction: 0.1,
+        };
+        for nb in generate_population(&cfg, 9) {
+            assert!((2..=5).contains(&nb.queries.len()));
+        }
+    }
+
+    #[test]
+    fn artifact_ids_are_stable_and_distinct() {
+        let pop = generate_population(&PopulationConfig::default(), 0);
+        let ids: std::collections::HashSet<_> =
+            pop.iter().map(|n| n.artifact_id.clone()).collect();
+        assert_eq!(ids.len(), pop.len());
+        assert!(pop[0].artifact_id.starts_with("artifact-"));
+    }
+}

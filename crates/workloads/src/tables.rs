@@ -1,0 +1,157 @@
+//! Base-table statistics for the TPC-H and TPC-DS schemas.
+//!
+//! Row counts are the official scale-factor-1 populations (rows scale linearly with SF
+//! for fact tables; dimensions that the specs hold fixed or sub-linear are modeled with
+//! the spec's scaling rules, simplified where the rule is logarithmic). Row widths are
+//! average uncompressed widths, which is what the simulator's byte-based costs need.
+
+use sparksim::plan::PlanNode;
+
+/// A table's statistics at a given scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableStats {
+    /// Rows at the requested scale factor.
+    pub rows: f64,
+    /// Average row width, bytes.
+    pub row_bytes: f64,
+}
+
+/// TPC-H table statistics at scale factor `sf` (SF 1 ≈ 1 GB).
+pub fn tpch_table(name: &str, sf: f64) -> TableStats {
+    let sf = sf.max(0.001);
+    let (rows_sf1, width, scales) = match name {
+        "region" => (5.0, 120.0, false),
+        "nation" => (25.0, 120.0, false),
+        "supplier" => (10_000.0, 150.0, true),
+        "customer" => (150_000.0, 180.0, true),
+        "part" => (200_000.0, 150.0, true),
+        "partsupp" => (800_000.0, 140.0, true),
+        "orders" => (1_500_000.0, 110.0, true),
+        "lineitem" => (6_001_215.0, 120.0, true),
+        other => panic!("unknown TPC-H table: {other}"),
+    };
+    TableStats {
+        rows: if scales { rows_sf1 * sf } else { rows_sf1 },
+        row_bytes: width,
+    }
+}
+
+/// TPC-DS table statistics at scale factor `sf` (SF 1 ≈ 1 GB).
+pub fn tpcds_table(name: &str, sf: f64) -> TableStats {
+    let sf = sf.max(0.001);
+    // Dimensions in TPC-DS scale sub-linearly; approximate with sqrt scaling for the
+    // ones the spec grows, and keep the tiny static ones fixed.
+    let (rows_sf1, width, scaling) = match name {
+        "store_sales" => (2_880_404.0, 164.0, Scaling::Linear),
+        "store_returns" => (287_514.0, 132.0, Scaling::Linear),
+        "catalog_sales" => (1_441_548.0, 226.0, Scaling::Linear),
+        "catalog_returns" => (144_067.0, 162.0, Scaling::Linear),
+        "web_sales" => (719_384.0, 226.0, Scaling::Linear),
+        "web_returns" => (71_763.0, 162.0, Scaling::Linear),
+        "inventory" => (11_745_000.0, 16.0, Scaling::Linear),
+        "customer" => (100_000.0, 132.0, Scaling::Sqrt),
+        "customer_address" => (50_000.0, 110.0, Scaling::Sqrt),
+        "customer_demographics" => (1_920_800.0, 42.0, Scaling::Fixed),
+        "household_demographics" => (7_200.0, 21.0, Scaling::Fixed),
+        "item" => (18_000.0, 281.0, Scaling::Sqrt),
+        "date_dim" => (73_049.0, 141.0, Scaling::Fixed),
+        "time_dim" => (86_400.0, 59.0, Scaling::Fixed),
+        "store" => (12.0, 263.0, Scaling::Sqrt),
+        "warehouse" => (5.0, 117.0, Scaling::Sqrt),
+        "web_site" => (30.0, 292.0, Scaling::Sqrt),
+        "web_page" => (60.0, 96.0, Scaling::Sqrt),
+        "promotion" => (300.0, 124.0, Scaling::Sqrt),
+        "catalog_page" => (11_718.0, 139.0, Scaling::Sqrt),
+        other => panic!("unknown TPC-DS table: {other}"),
+    };
+    let rows = match scaling {
+        Scaling::Linear => rows_sf1 * sf,
+        Scaling::Sqrt => rows_sf1 * sf.sqrt().max(1.0),
+        Scaling::Fixed => rows_sf1,
+    };
+    TableStats {
+        rows,
+        row_bytes: width,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Scaling {
+    Linear,
+    Sqrt,
+    Fixed,
+}
+
+/// Scan builder for a TPC-H table.
+pub fn tpch_scan(name: &str, sf: f64) -> PlanNode {
+    let s = tpch_table(name, sf);
+    PlanNode::scan(name, s.rows, s.row_bytes)
+}
+
+/// Scan builder for a TPC-DS table.
+pub fn tpcds_scan(name: &str, sf: f64) -> PlanNode {
+    let s = tpcds_table(name, sf);
+    PlanNode::scan(name, s.rows, s.row_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_scales_linearly() {
+        let a = tpch_table("lineitem", 1.0);
+        let b = tpch_table("lineitem", 100.0);
+        assert!((b.rows / a.rows - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nation_and_region_are_fixed() {
+        assert_eq!(tpch_table("nation", 1000.0).rows, 25.0);
+        assert_eq!(tpch_table("region", 1000.0).rows, 5.0);
+    }
+
+    #[test]
+    fn tpch_sf1_is_about_a_gigabyte() {
+        let tables = [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+            "lineitem",
+        ];
+        let bytes: f64 = tables
+            .iter()
+            .map(|t| {
+                let s = tpch_table(t, 1.0);
+                s.rows * s.row_bytes
+            })
+            .sum();
+        assert!(bytes > 0.7e9 && bytes < 1.6e9, "SF1 = {bytes} bytes");
+    }
+
+    #[test]
+    fn tpcds_dimensions_scale_sublinearly() {
+        let a = tpcds_table("customer", 1.0);
+        let b = tpcds_table("customer", 100.0);
+        assert!(b.rows / a.rows < 20.0);
+        assert!(b.rows > a.rows);
+        assert_eq!(tpcds_table("date_dim", 100.0).rows, 73_049.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown TPC-H table")]
+    fn unknown_table_panics() {
+        tpch_table("nope", 1.0);
+    }
+
+    #[test]
+    fn scan_builders_carry_stats() {
+        let p = tpch_scan("orders", 2.0);
+        assert_eq!(p.est_rows, 3_000_000.0);
+        let p = tpcds_scan("store", 1.0);
+        assert_eq!(p.est_rows, 12.0);
+    }
+
+    #[test]
+    fn tiny_sf_does_not_zero_tables() {
+        assert!(tpch_table("lineitem", 0.0).rows > 0.0);
+    }
+}

@@ -1,0 +1,572 @@
+//! Plan templates for 36 TPC-DS-style queries.
+//!
+//! TPC-DS has 99 queries; the paper's experiments use subsets ("18 TPC-DS queries" in
+//! §6.2, a TPC-DS-trained baseline in §6.3). These templates cover the workload's
+//! characteristic shapes — star joins over the three sales channels, returns analysis,
+//! inventory scans, channel unions and deep snowflakes — with spec-derived table sizes
+//! and plausible predicate selectivities.
+
+use sparksim::plan::PlanNode;
+
+use crate::tables::tpcds_scan;
+
+/// Number of TPC-DS-style templates provided.
+pub const QUERY_COUNT: usize = 36;
+
+/// Build TPC-DS-style query `n` (1-based) at scale factor `sf`.
+///
+/// # Panics
+/// Panics if `n` is not in `1..=36`.
+pub fn query(n: usize, sf: f64) -> PlanNode {
+    assert!(
+        (1..=QUERY_COUNT).contains(&n),
+        "TPC-DS templates are 1..={QUERY_COUNT}, got {n}"
+    );
+    QUERIES[n - 1](sf)
+}
+
+/// All templates.
+pub fn all_queries(sf: f64) -> Vec<(usize, PlanNode)> {
+    (1..=QUERY_COUNT).map(|n| (n, query(n, sf))).collect()
+}
+
+type Builder = fn(f64) -> PlanNode;
+
+static QUERIES: [Builder; QUERY_COUNT] = [
+    q_store_sales_report,     // 1  (like Q3): item-brand report over store_sales
+    q_returns_by_customer,    // 2  (like Q1): store_returns per customer vs avg
+    q_channel_union,          // 3  (like Q5): sales+returns across channels
+    q_catalog_year_over_year, // 4  (like Q11): customer year-over-year
+    q_inventory_turns,        // 5  (like Q21/39): inventory by warehouse/item
+    q_store_sales_demo,       // 6  (like Q7): demographics star join
+    q_cross_channel_customer, // 7  (like Q10): customers active in 2+ channels
+    q_promo_effect,           // 8  (like Q61): promo vs non-promo revenue
+    q_web_conversion,         // 9  (like Q90): web sales am/pm ratio
+    q_top_stores,             // 10 (like Q43): store weekly report
+    q_big_fact_join,          // 11 (like Q64): store+catalog sales mega-join
+    q_quarterly_rollup,       // 12 (like Q67): rollup over store_sales
+    q_returned_then_bought,   // 13 (like Q29): returns followed by purchases
+    q_warehouse_shipping,     // 14 (like Q99): catalog shipping latency buckets
+    q_customer_address_mix,   // 15 (like Q19): brand by customer geography
+    q_item_price_bands,       // 16 (like Q98): item revenue by price band
+    q_store_returns_ratio,    // 17 (like Q50): return latency per store
+    q_catalog_page_report,    // 18 (like Q80): per-page profit with returns
+    q_household_ltv,          // 19 (like Q34): frequent-buyer households
+    q_seasonal_items,         // 20 (like Q12): seasonal web items
+    q_ad_hoc_scan,            // 21: heavy single-pass scan-agg
+    q_snowflake_deep,         // 22: five-level snowflake
+    q_sales_returns_union,    // 23: union of three return channels
+    q_tiny_lookup,            // 24: small dimension-only query
+    q_returns_by_reason,      // 25 (like Q85): web returns sliced by reason/demo
+    q_stockout_risk,          // 26 (like Q72): inventory vs catalog demand
+    q_hourly_traffic,         // 27 (like Q88): store traffic by time-of-day bands
+    q_affinity_pairs,         // 28 (like Q29 variant): items bought together
+    q_channel_migration,      // 29 (like Q78): customers shifting store→web
+    q_markdown_impact,        // 30 (like Q65): items selling below average price
+    q_regional_rollup,        // 31 (like Q31): address-level sales trends
+    q_first_purchase_cohort,  // 32 (like Q54): cohort after first purchase month
+    q_web_latency_buckets,    // 33 (like Q62): shipping latency distribution
+    q_returns_fraud_screen,   // 34 (like Q84): high-return customers with demo join
+    q_catalog_inventory_gap,  // 35: catalog orders vs warehouse stock union
+    q_wide_projection_export, // 36: heavy projection export scan (ETL-style)
+];
+
+fn q_store_sales_report(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.016), 0.016) // one month
+        .fk_join(tpcds_scan("item", sf).filter(0.06), 0.06) // one manufacturer band
+        .hash_aggregate(0.01)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_returns_by_customer(sf: f64) -> PlanNode {
+    let per_customer = tpcds_scan("store_returns", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27) // one year
+        .hash_aggregate(0.3);
+    let store_avg = per_customer.clone().hash_aggregate(0.001);
+    per_customer
+        .join(store_avg, 1e-3)
+        .filter(0.2)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_channel_union(sf: f64) -> PlanNode {
+    let store = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.04), 0.04)
+        .hash_aggregate(0.001);
+    let catalog = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.04), 0.04)
+        .hash_aggregate(0.001);
+    let web = tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.04), 0.04)
+        .hash_aggregate(0.001);
+    store.union(catalog).union(web).hash_aggregate(0.3).sort()
+}
+
+fn q_catalog_year_over_year(sf: f64) -> PlanNode {
+    let y1 = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .hash_aggregate(0.05);
+    let y2 = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .hash_aggregate(0.05);
+    y1.join(y2, 2e-5).filter(0.1).sort().limit(100.0)
+}
+
+fn q_inventory_turns(sf: f64) -> PlanNode {
+    tpcds_scan("inventory", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .fk_join(tpcds_scan("item", sf).filter(0.2), 0.2)
+        .fk_join(tpcds_scan("warehouse", sf), 1.0)
+        .hash_aggregate(0.01)
+        .sort()
+}
+
+fn q_store_sales_demo(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("customer_demographics", sf).filter(0.05), 0.05)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .fk_join(tpcds_scan("promotion", sf).filter(0.5), 0.5)
+        .hash_aggregate(0.002)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_cross_channel_customer(sf: f64) -> PlanNode {
+    let store_customers = tpcds_scan("store_sales", sf).hash_aggregate(0.03);
+    let web_customers = tpcds_scan("web_sales", sf).hash_aggregate(0.06);
+    store_customers
+        .join(web_customers, 1e-5)
+        .fk_join(tpcds_scan("customer_demographics", sf), 1.0)
+        .hash_aggregate(0.001)
+        .sort()
+}
+
+fn q_promo_effect(sf: f64) -> PlanNode {
+    let promo = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("promotion", sf).filter(0.3), 0.3)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .hash_aggregate(1e-7);
+    let all = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .hash_aggregate(1e-7);
+    promo.join(all, 1.0)
+}
+
+fn q_web_conversion(sf: f64) -> PlanNode {
+    let am = tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("time_dim", sf).filter(0.1), 0.1)
+        .fk_join(tpcds_scan("web_page", sf).filter(0.3), 0.3)
+        .hash_aggregate(1e-7);
+    let pm = tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("time_dim", sf).filter(0.1), 0.1)
+        .fk_join(tpcds_scan("web_page", sf).filter(0.3), 0.3)
+        .hash_aggregate(1e-7);
+    am.join(pm, 1.0)
+}
+
+fn q_top_stores(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .hash_aggregate(1e-4)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_big_fact_join(sf: f64) -> PlanNode {
+    let cs = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27);
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .join(cs, 1e-7) // same item sold in both channels
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .hash_aggregate(0.01)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_quarterly_rollup(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf), 1.0)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .hash_aggregate(0.05) // rollup grouping sets
+        .sort()
+        .limit(100.0)
+}
+
+fn q_returned_then_bought(sf: f64) -> PlanNode {
+    let returns = tpcds_scan("store_returns", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .join(returns, 3e-7) // same customer+item returned
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .hash_aggregate(0.01)
+        .sort()
+}
+
+fn q_warehouse_shipping(sf: f64) -> PlanNode {
+    tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("warehouse", sf), 1.0)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .hash_aggregate(1e-4)
+        .sort()
+}
+
+fn q_customer_address_mix(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.016), 0.016)
+        .fk_join(tpcds_scan("item", sf).filter(0.06), 0.06)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .fk_join(tpcds_scan("customer_address", sf), 1.0)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .filter(0.1) // customer zip != store zip
+        .hash_aggregate(0.01)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_item_price_bands(sf: f64) -> PlanNode {
+    tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("item", sf).filter(0.3), 0.3)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .hash_aggregate(0.02)
+        .sort()
+}
+
+fn q_store_returns_ratio(sf: f64) -> PlanNode {
+    tpcds_scan("store_returns", sf)
+        .fk_join(tpcds_scan("store_sales", sf).hash_aggregate(0.9), 1.0)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .hash_aggregate(1e-4)
+        .sort()
+}
+
+fn q_catalog_page_report(sf: f64) -> PlanNode {
+    let sales = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .fk_join(tpcds_scan("catalog_page", sf), 1.0)
+        .hash_aggregate(0.01);
+    let returns = tpcds_scan("catalog_returns", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .fk_join(tpcds_scan("catalog_page", sf), 1.0)
+        .hash_aggregate(0.05);
+    sales.join(returns, 1e-4).sort().limit(100.0)
+}
+
+fn q_household_ltv(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.3), 0.3)
+        .fk_join(tpcds_scan("household_demographics", sf).filter(0.3), 0.3)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .hash_aggregate(0.05) // per ticket
+        .filter(0.05) // 15..20 items
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .sort()
+}
+
+fn q_seasonal_items(sf: f64) -> PlanNode {
+    tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("item", sf).filter(0.1), 0.1)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .hash_aggregate(0.05)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_ad_hoc_scan(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .filter(0.6)
+        .project(0.4)
+        .hash_aggregate(1e-6)
+}
+
+fn q_snowflake_deep(sf: f64) -> PlanNode {
+    tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .fk_join(tpcds_scan("customer_address", sf), 1.0)
+        .fk_join(tpcds_scan("customer_demographics", sf), 1.0)
+        .fk_join(tpcds_scan("household_demographics", sf).filter(0.2), 0.2)
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .hash_aggregate(0.001)
+        .sort()
+}
+
+fn q_sales_returns_union(sf: f64) -> PlanNode {
+    let sr = tpcds_scan("store_returns", sf).project(0.5);
+    let cr = tpcds_scan("catalog_returns", sf).project(0.5);
+    let wr = tpcds_scan("web_returns", sf).project(0.5);
+    sr.union(cr)
+        .union(wr)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .hash_aggregate(0.02)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_tiny_lookup(sf: f64) -> PlanNode {
+    tpcds_scan("item", sf)
+        .filter(0.01)
+        .fk_join(tpcds_scan("promotion", sf), 0.3)
+        .sort()
+}
+
+fn q_returns_by_reason(sf: f64) -> PlanNode {
+    tpcds_scan("web_returns", sf)
+        .fk_join(tpcds_scan("customer_demographics", sf).filter(0.1), 0.1)
+        .fk_join(tpcds_scan("customer_address", sf).filter(0.3), 0.3)
+        .fk_join(tpcds_scan("web_page", sf), 1.0)
+        .hash_aggregate(0.001)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_stockout_risk(sf: f64) -> PlanNode {
+    // Inventory positions joined against near-term catalog demand.
+    let demand = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.02), 0.02)
+        .hash_aggregate(0.1); // per item+warehouse
+    tpcds_scan("inventory", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.02), 0.02)
+        .join(demand, 1e-7)
+        .filter(0.05) // on-hand below demand
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .fk_join(tpcds_scan("warehouse", sf), 1.0)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_hourly_traffic(sf: f64) -> PlanNode {
+    // Eight disjoint time-band aggregates, unioned (the Q88 shape).
+    let band = |frac: f64| {
+        tpcds_scan("store_sales", sf)
+            .fk_join(tpcds_scan("time_dim", sf).filter(frac), frac)
+            .fk_join(tpcds_scan("household_demographics", sf).filter(0.3), 0.3)
+            .fk_join(tpcds_scan("store", sf), 1.0)
+            .hash_aggregate(1e-7)
+    };
+    band(0.04)
+        .union(band(0.05))
+        .union(band(0.06))
+        .union(band(0.07))
+        .hash_aggregate(1.0)
+}
+
+fn q_affinity_pairs(sf: f64) -> PlanNode {
+    // Self-join of store_sales on ticket to find co-purchased item pairs.
+    let left = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
+    let right = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
+    left.join(right, 2e-7)
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .hash_aggregate(0.005)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_channel_migration(sf: f64) -> PlanNode {
+    // Customers whose web purchases grew while store purchases shrank.
+    let store = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .hash_aggregate(0.03);
+    let web = tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .hash_aggregate(0.06);
+    store
+        .join(web, 1e-5)
+        .filter(0.2)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_markdown_impact(sf: f64) -> PlanNode {
+    // Items whose revenue sits below the store average (Q65 shape).
+    let per_item = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
+        .hash_aggregate(0.01);
+    let store_avg = per_item.clone().hash_aggregate(0.001);
+    per_item
+        .join(store_avg, 1e-3)
+        .filter(0.3)
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .fk_join(tpcds_scan("store", sf), 1.0)
+        .sort()
+}
+
+fn q_regional_rollup(sf: f64) -> PlanNode {
+    tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .fk_join(tpcds_scan("customer_address", sf).filter(0.2), 0.2)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .hash_aggregate(2e-4) // per county+quarter
+        .sort()
+}
+
+fn q_first_purchase_cohort(sf: f64) -> PlanNode {
+    // Customers whose first purchase fell in a target month, then their revenue.
+    let cohort = tpcds_scan("store_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.016), 0.016)
+        .hash_aggregate(0.02); // distinct customers
+    tpcds_scan("catalog_sales", sf)
+        .join(cohort, 1e-6)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.1), 0.1)
+        .hash_aggregate(0.01)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_web_latency_buckets(sf: f64) -> PlanNode {
+    tpcds_scan("web_sales", sf)
+        .fk_join(tpcds_scan("warehouse", sf), 1.0)
+        .fk_join(tpcds_scan("web_site", sf), 1.0)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
+        .project(0.3)
+        .hash_aggregate(1e-4)
+        .sort()
+}
+
+fn q_returns_fraud_screen(sf: f64) -> PlanNode {
+    let per_customer = tpcds_scan("store_returns", sf).hash_aggregate(0.3);
+    per_customer
+        .filter(0.02) // abnormally many returns
+        .fk_join(tpcds_scan("customer", sf), 1.0)
+        .fk_join(tpcds_scan("customer_demographics", sf).filter(0.2), 0.2)
+        .fk_join(tpcds_scan("household_demographics", sf), 1.0)
+        .sort()
+        .limit(100.0)
+}
+
+fn q_catalog_inventory_gap(sf: f64) -> PlanNode {
+    let ordered = tpcds_scan("catalog_sales", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.04), 0.04)
+        .hash_aggregate(0.05)
+        .project(0.5);
+    let stocked = tpcds_scan("inventory", sf)
+        .fk_join(tpcds_scan("date_dim", sf).filter(0.04), 0.04)
+        .hash_aggregate(0.05)
+        .project(0.5);
+    ordered.union(stocked).hash_aggregate(0.5).sort()
+}
+
+fn q_wide_projection_export(sf: f64) -> PlanNode {
+    // ETL-style export: wide scan, light filter, no aggregation, heavy write.
+    tpcds_scan("catalog_sales", sf)
+        .filter(0.8)
+        .fk_join(tpcds_scan("item", sf), 1.0)
+        .project(1.5) // denormalized output rows are wider
+        .sort()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::config::SparkConf;
+    use sparksim::noise::NoiseSpec;
+    use sparksim::simulator::Simulator;
+
+    #[test]
+    fn all_templates_build_and_simulate() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        for (n, plan) in all_queries(1.0) {
+            assert!(plan.node_count() >= 2, "template {n}");
+            let t = sim.true_time_ms(&plan, &conf);
+            assert!(t > 0.0 && t.is_finite(), "template {n} time {t}");
+        }
+    }
+
+    #[test]
+    fn workload_spans_orders_of_magnitude() {
+        let sizes: Vec<f64> = all_queries(1.0)
+            .iter()
+            .map(|(_, p)| p.leaf_input_bytes())
+            .collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 50.0, "span {min}..{max}");
+    }
+
+    #[test]
+    fn tiny_lookup_is_fastest_class() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let tiny = sim.true_time_ms(&query(24, 10.0), &conf);
+        let big = sim.true_time_ms(&query(11, 10.0), &conf);
+        assert!(tiny < big, "tiny {tiny} vs big {big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "TPC-DS templates")]
+    fn out_of_range_panics() {
+        query(QUERY_COUNT + 1, 1.0);
+    }
+
+    #[test]
+    fn extended_templates_are_structurally_distinct() {
+        // Every template must have a unique plan signature — no copy-paste shapes.
+        let sigs: std::collections::HashSet<u64> = all_queries(1.0)
+            .iter()
+            .map(|(_, p)| embedding_free_signature(p))
+            .collect();
+        assert_eq!(sigs.len(), QUERY_COUNT);
+    }
+
+    /// Minimal structural hash (local, to avoid a dev-dependency cycle with the
+    /// embedding crate): operator names + child counts + table names, pre-order.
+    fn embedding_free_signature(p: &PlanNode) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn walk(n: &PlanNode, h: &mut DefaultHasher) {
+            n.op.type_name().hash(h);
+            if let sparksim::plan::Operator::TableScan { table, .. } = &n.op {
+                table.hash(h);
+            }
+            if let sparksim::plan::Operator::Filter { selectivity } = &n.op {
+                ((selectivity * 1e6) as u64).hash(h);
+            }
+            if let sparksim::plan::Operator::HashAggregate { group_ratio } = &n.op {
+                ((group_ratio * 1e9) as u64).hash(h);
+            }
+            n.children.len().hash(h);
+            for c in &n.children {
+                walk(c, h);
+            }
+        }
+        let mut h = DefaultHasher::new();
+        walk(p, &mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn broadcast_sensitivity_exists_in_workload() {
+        // At least one query must flip join strategies when the threshold moves, or
+        // the broadcast knob would be untunable.
+        use sparksim::physical::{plan_physical, JoinStrategy};
+        let mut low = SparkConf::default();
+        low.auto_broadcast_join_threshold = -1.0;
+        let mut high = SparkConf::default();
+        high.auto_broadcast_join_threshold = 512.0 * 1024.0 * 1024.0;
+        let mut flips = 0;
+        for (_, plan) in all_queries(10.0) {
+            let a = plan_physical(&plan, &low).joins_with(JoinStrategy::BroadcastHash);
+            let b = plan_physical(&plan, &high).joins_with(JoinStrategy::BroadcastHash);
+            if b > a {
+                flips += 1;
+            }
+        }
+        assert!(flips >= 10, "only {flips} templates respond to the threshold");
+    }
+}

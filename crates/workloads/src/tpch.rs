@@ -1,0 +1,380 @@
+//! Plan templates for all 22 TPC-H queries.
+//!
+//! These are *shape-faithful approximations*: the join graph, the relative table
+//! sizes, filter selectivities from the spec's predicates, and the aggregation
+//! fan-ins are preserved; textual expressions are not (the simulator costs operator
+//! work, not expressions). Dimension filters are folded into the FK-join fanout —
+//! a dimension filtered to fraction `f` keeps fraction `f` of the fact rows.
+
+use sparksim::plan::PlanNode;
+
+use crate::tables::tpch_scan;
+
+/// Number of TPC-H queries.
+pub const QUERY_COUNT: usize = 22;
+
+/// Build the plan for TPC-H query `n` (1-based) at scale factor `sf`.
+///
+/// # Panics
+/// Panics if `n` is not in `1..=22`.
+pub fn query(n: usize, sf: f64) -> PlanNode {
+    match n {
+        1 => q1(sf),
+        2 => q2(sf),
+        3 => q3(sf),
+        4 => q4(sf),
+        5 => q5(sf),
+        6 => q6(sf),
+        7 => q7(sf),
+        8 => q8(sf),
+        9 => q9(sf),
+        10 => q10(sf),
+        11 => q11(sf),
+        12 => q12(sf),
+        13 => q13(sf),
+        14 => q14(sf),
+        15 => q15(sf),
+        16 => q16(sf),
+        17 => q17(sf),
+        18 => q18(sf),
+        19 => q19(sf),
+        20 => q20(sf),
+        21 => q21(sf),
+        22 => q22(sf),
+        _ => panic!("TPC-H has queries 1..=22, got {n}"),
+    }
+}
+
+/// All 22 plans.
+pub fn all_queries(sf: f64) -> Vec<(usize, PlanNode)> {
+    (1..=QUERY_COUNT).map(|n| (n, query(n, sf))).collect()
+}
+
+/// Q1: pricing summary report — one lineitem pass, 4 output groups.
+fn q1(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .filter(0.98) // l_shipdate <= date '1998-12-01' - 90 days
+        .hash_aggregate(1e-6)
+        .sort()
+}
+
+/// Q2: minimum-cost supplier — part/partsupp/supplier/nation/region with a min
+/// subquery (modeled as a second partsupp aggregation joined back).
+fn q2(sf: f64) -> PlanNode {
+    let parts = tpch_scan("part", sf).filter(0.004); // size = 15 and type like '%BRASS'
+    let ps = tpch_scan("partsupp", sf).fk_join(parts, 0.004);
+    let supp = tpch_scan("supplier", sf); // nation/region filter keeps 1/5 of suppliers
+    let ps_supp = ps.fk_join(supp, 0.2);
+    let min_cost = tpch_scan("partsupp", sf).hash_aggregate(0.25); // min per part
+    ps_supp.join(min_cost, 1e-6).sort().limit(100.0)
+}
+
+/// Q3: shipping priority — customer/orders/lineitem, top 10.
+fn q3(sf: f64) -> PlanNode {
+    let orders = tpch_scan("orders", sf)
+        .filter(0.48) // o_orderdate < 1995-03-15
+        .fk_join(tpch_scan("customer", sf).filter(0.2), 0.2); // BUILDING segment
+    tpch_scan("lineitem", sf)
+        .filter(0.54) // l_shipdate > 1995-03-15
+        .fk_join(orders, 0.096)
+        .hash_aggregate(0.05)
+        .sort()
+        .limit(10.0)
+}
+
+/// Q4: order priority checking — orders semi-join lineitem.
+fn q4(sf: f64) -> PlanNode {
+    let late_items = tpch_scan("lineitem", sf)
+        .filter(0.63) // l_commitdate < l_receiptdate
+        .hash_aggregate(0.37); // distinct orderkeys
+    tpch_scan("orders", sf)
+        .filter(0.038) // one quarter of 1993
+        .join(late_items, 5e-7) // semi-join on orderkey
+        .hash_aggregate(1e-5)
+        .sort()
+}
+
+/// Q5: local supplier volume — 6-way join over a region.
+fn q5(sf: f64) -> PlanNode {
+    let orders = tpch_scan("orders", sf)
+        .filter(0.15) // one year
+        .fk_join(tpch_scan("customer", sf), 0.2); // one region of 5
+    tpch_scan("lineitem", sf)
+        .fk_join(orders, 0.03)
+        .fk_join(tpch_scan("supplier", sf), 0.2)
+        .fk_join(tpch_scan("nation", sf), 1.0)
+        .hash_aggregate(1e-5)
+        .sort()
+}
+
+/// Q6: revenue forecast — pure lineitem scan-filter-agg.
+fn q6(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .filter(0.019) // date year × discount band × quantity
+        .hash_aggregate(1e-9)
+}
+
+/// Q7: volume shipping — lineitem/supplier/orders/customer with nation pair filter.
+fn q7(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .filter(0.3) // two shipping years
+        .fk_join(tpch_scan("supplier", sf).filter(0.04), 0.04)
+        .fk_join(tpch_scan("orders", sf), 1.0)
+        .fk_join(tpch_scan("customer", sf).filter(0.04), 0.04)
+        .hash_aggregate(1e-5)
+        .sort()
+}
+
+/// Q8: national market share — 8-way join, two years.
+fn q8(sf: f64) -> PlanNode {
+    let orders = tpch_scan("orders", sf)
+        .filter(0.3)
+        .fk_join(tpch_scan("customer", sf).filter(0.2), 0.2);
+    tpch_scan("lineitem", sf)
+        .fk_join(tpch_scan("part", sf).filter(0.007), 0.007)
+        .fk_join(orders, 0.06)
+        .fk_join(tpch_scan("supplier", sf), 1.0)
+        .fk_join(tpch_scan("nation", sf), 1.0)
+        .hash_aggregate(1e-6)
+        .sort()
+}
+
+/// Q9: product type profit — lineitem/part/supplier/partsupp/orders/nation.
+fn q9(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .fk_join(tpch_scan("part", sf).filter(0.055), 0.055) // name like '%green%'
+        .fk_join(tpch_scan("supplier", sf), 1.0)
+        .fk_join(tpch_scan("partsupp", sf), 1.0)
+        .fk_join(tpch_scan("orders", sf), 1.0)
+        .fk_join(tpch_scan("nation", sf), 1.0)
+        .hash_aggregate(1e-4)
+        .sort()
+}
+
+/// Q10: returned item reporting — one quarter, top 20 customers.
+fn q10(sf: f64) -> PlanNode {
+    let orders = tpch_scan("orders", sf)
+        .filter(0.038)
+        .fk_join(tpch_scan("customer", sf), 1.0);
+    tpch_scan("lineitem", sf)
+        .filter(0.25) // returnflag = 'R'
+        .fk_join(orders, 0.038)
+        .fk_join(tpch_scan("nation", sf), 1.0)
+        .hash_aggregate(0.3)
+        .sort()
+        .limit(20.0)
+}
+
+/// Q11: important stock identification — partsupp over one nation plus a global
+/// aggregate subquery.
+fn q11(sf: f64) -> PlanNode {
+    let national = tpch_scan("partsupp", sf)
+        .fk_join(tpch_scan("supplier", sf).filter(0.04), 0.04)
+        .hash_aggregate(0.8);
+    let total = tpch_scan("partsupp", sf)
+        .fk_join(tpch_scan("supplier", sf).filter(0.04), 0.04)
+        .hash_aggregate(1e-9);
+    national.join(total, 1.0).filter(0.01).sort()
+}
+
+/// Q12: shipping modes — lineitem/orders, two ship modes, one year.
+fn q12(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .filter(0.005)
+        .fk_join(tpch_scan("orders", sf), 1.0)
+        .hash_aggregate(1e-7)
+        .sort()
+}
+
+/// Q13: customer distribution — left join customer/orders with comment filter.
+fn q13(sf: f64) -> PlanNode {
+    tpch_scan("orders", sf)
+        .filter(0.98) // comment not like '%special%requests%'
+        .fk_join(tpch_scan("customer", sf), 1.0)
+        .hash_aggregate(0.1) // per customer
+        .hash_aggregate(1e-4) // histogram over counts
+        .sort()
+}
+
+/// Q14: promotion effect — lineitem/part, one month.
+fn q14(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .filter(0.0125)
+        .fk_join(tpch_scan("part", sf), 1.0)
+        .hash_aggregate(1e-9)
+}
+
+/// Q15: top supplier — revenue view aggregated twice.
+fn q15(sf: f64) -> PlanNode {
+    let revenue = tpch_scan("lineitem", sf)
+        .filter(0.038) // one quarter
+        .hash_aggregate(0.01); // per supplier
+    let max_rev = revenue.clone().hash_aggregate(1e-9);
+    revenue
+        .join(max_rev, 1.0)
+        .filter(1e-4)
+        .fk_join(tpch_scan("supplier", sf), 1.0)
+        .sort()
+}
+
+/// Q16: parts/supplier relationship — partsupp/part anti-join supplier complaints.
+fn q16(sf: f64) -> PlanNode {
+    tpch_scan("partsupp", sf)
+        .fk_join(tpch_scan("part", sf).filter(0.15), 0.15)
+        .join(tpch_scan("supplier", sf).filter(0.0005), 1e-7) // anti-join complainers
+        .hash_aggregate(0.1)
+        .sort()
+}
+
+/// Q17: small-quantity-order revenue — lineitem/part with per-part avg subquery.
+fn q17(sf: f64) -> PlanNode {
+    let avg_qty = tpch_scan("lineitem", sf).hash_aggregate(0.033); // avg per part
+    tpch_scan("lineitem", sf)
+        .fk_join(tpch_scan("part", sf).filter(0.001), 0.001)
+        .join(avg_qty, 5e-7)
+        .filter(0.3)
+        .hash_aggregate(1e-9)
+}
+
+/// Q18: large volume customer — orders with big lineitem sums, top 100.
+fn q18(sf: f64) -> PlanNode {
+    let big_orders = tpch_scan("lineitem", sf).hash_aggregate(0.25).filter(0.0004);
+    tpch_scan("lineitem", sf)
+        .fk_join(tpch_scan("orders", sf), 1.0)
+        .join(big_orders, 4e-7)
+        .fk_join(tpch_scan("customer", sf), 1.0)
+        .hash_aggregate(0.1)
+        .sort()
+        .limit(100.0)
+}
+
+/// Q19: discounted revenue — lineitem/part with disjunctive predicates.
+fn q19(sf: f64) -> PlanNode {
+    tpch_scan("lineitem", sf)
+        .filter(0.02)
+        .fk_join(tpch_scan("part", sf).filter(0.002), 0.1)
+        .hash_aggregate(1e-9)
+}
+
+/// Q20: potential part promotion — nested semi-joins into supplier.
+fn q20(sf: f64) -> PlanNode {
+    let qty = tpch_scan("lineitem", sf)
+        .filter(0.15)
+        .hash_aggregate(0.13); // per part+supplier
+    let parts = tpch_scan("part", sf).filter(0.01); // name like 'forest%'
+    let ps = tpch_scan("partsupp", sf).fk_join(parts, 0.01).join(qty, 1e-6);
+    tpch_scan("supplier", sf)
+        .filter(0.04)
+        .join(ps, 1e-4)
+        .sort()
+}
+
+/// Q21: suppliers who kept orders waiting — triple lineitem self-join.
+fn q21(sf: f64) -> PlanNode {
+    let l1 = tpch_scan("lineitem", sf)
+        .filter(0.63)
+        .fk_join(tpch_scan("supplier", sf).filter(0.04), 0.04)
+        .fk_join(tpch_scan("orders", sf).filter(0.49), 0.49);
+    let l2 = tpch_scan("lineitem", sf).hash_aggregate(0.37); // other suppliers exist
+    let l3 = tpch_scan("lineitem", sf).filter(0.63).hash_aggregate(0.37);
+    l1.join(l2, 4e-7)
+        .join(l3, 4e-7)
+        .hash_aggregate(1e-4)
+        .sort()
+        .limit(100.0)
+}
+
+/// Q22: global sales opportunity — customer anti-join orders.
+fn q22(sf: f64) -> PlanNode {
+    let avg_bal = tpch_scan("customer", sf).filter(0.28).hash_aggregate(1e-9);
+    tpch_scan("customer", sf)
+        .filter(0.28) // 7 of 25 country codes
+        .join(avg_bal, 1.0)
+        .filter(0.5) // balance above average
+        .join(tpch_scan("orders", sf).hash_aggregate(0.066), 1e-6) // anti-join
+        .hash_aggregate(1e-5)
+        .sort()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::config::SparkConf;
+    use sparksim::noise::NoiseSpec;
+    use sparksim::simulator::Simulator;
+
+    #[test]
+    fn all_22_queries_build_and_estimate() {
+        for (n, plan) in all_queries(1.0) {
+            assert!(plan.node_count() >= 3, "Q{n} too trivial");
+            assert!(plan.leaf_input_rows() > 0.0, "Q{n} has no input");
+            assert!(plan.root_cardinality() >= 0.0, "Q{n} negative estimate");
+        }
+    }
+
+    #[test]
+    fn all_queries_simulate_with_positive_runtime() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        for (n, plan) in all_queries(1.0) {
+            let t = sim.true_time_ms(&plan, &conf);
+            assert!(t > 0.0 && t.is_finite(), "Q{n} time {t}");
+        }
+    }
+
+    #[test]
+    fn queries_have_diverse_shapes() {
+        let plans = all_queries(1.0);
+        let counts: Vec<usize> = plans.iter().map(|(_, p)| p.node_count()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > &(min * 2), "shapes too uniform: {counts:?}");
+    }
+
+    #[test]
+    fn lineitem_heavy_queries_dominate_runtime() {
+        // Q1 (full lineitem) should be much heavier than Q6 (2% of lineitem).
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let t1 = sim.true_time_ms(&query(1, 10.0), &conf);
+        let t6 = sim.true_time_ms(&query(6, 10.0), &conf);
+        assert!(t1 > t6, "Q1 {t1} vs Q6 {t6}");
+    }
+
+    #[test]
+    fn scale_factor_scales_work() {
+        let small = query(3, 1.0).leaf_input_bytes();
+        let large = query(3, 100.0).leaf_input_bytes();
+        assert!(large > small * 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TPC-H has queries")]
+    fn query_zero_panics() {
+        query(0, 1.0);
+    }
+
+    #[test]
+    fn optimal_shuffle_partitions_differ_across_queries() {
+        // The Figure 1 premise: each query peaks at a different setting.
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let grid = [8.0, 32.0, 128.0, 512.0, 2048.0];
+        let mut optima = std::collections::HashSet::new();
+        for n in [1, 3, 6, 9, 18] {
+            let plan = query(n, 50.0);
+            let best = grid
+                .iter()
+                .min_by(|a, b| {
+                    let mut ca = SparkConf::default();
+                    ca.shuffle_partitions = **a;
+                    let mut cb = SparkConf::default();
+                    cb.shuffle_partitions = **b;
+                    sim.true_time_ms(&plan, &ca)
+                        .total_cmp(&sim.true_time_ms(&plan, &cb))
+                })
+                .unwrap();
+            optima.insert(*best as u64);
+        }
+        assert!(optima.len() >= 2, "all queries peaked at one setting");
+    }
+}

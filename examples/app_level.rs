@@ -1,0 +1,64 @@
+//! App-level joint optimization (paper §4.4, Algorithm 2): a recurrent application
+//! with several queries runs through the backend service; after each completion the
+//! App Cache Generator pre-computes the next run's executor/memory configuration,
+//! which the next submission reads with zero inference latency.
+//!
+//! ```sh
+//! cargo run --release --example app_level
+//! ```
+
+use std::sync::Arc;
+
+use rockhopper_repro::pipeline::service::AutotuneBackend;
+use rockhopper_repro::pipeline::storage::Storage;
+use rockhopper_repro::prelude::*;
+
+fn main() {
+    let mut backend = AutotuneBackend::new(Arc::new(Storage::new()), None, 17);
+    let user = "contoso";
+    let artifact_id = "nightly-sales-rollup";
+
+    // The application's three recurrent queries.
+    let mut envs: Vec<QueryEnv> = [1usize, 10, 16]
+        .iter()
+        .map(|&q| QueryEnv::tpcds(q, 2.0, NoiseSpec::low(), 31 + q as u64))
+        .collect();
+    let signatures: Vec<u64> = envs.iter().map(QueryEnv::signature).collect();
+
+    for app_run in 0..8 {
+        // Submission: the pre-computed app-level configuration (if any) is read
+        // straight from the cache — Algorithm 2 ran after the *previous* run.
+        match backend.app_conf(artifact_id) {
+            Some(app) => println!(
+                "run {app_run}: app_cache hit -> executors = {:.0}, memory = {:.0} MiB",
+                app[0], app[1]
+            ),
+            None => println!("run {app_run}: cold start, app defaults"),
+        }
+
+        // Each query gets its per-query configuration, executes, and reports events.
+        for env in envs.iter_mut() {
+            let sig = env.signature();
+            let ctx = env.context();
+            let point = backend.suggest(user, sig, &ctx);
+            let conf = env.space().to_conf(&point);
+            let plan = env.plan.clone();
+            let run = env.sim.execute(&plan, &conf, app_run as u64 ^ sig);
+            let app_id = format!("{artifact_id}-run{app_run}");
+            let events =
+                env.sim
+                    .events_for_run(&app_id, artifact_id, sig, &plan, &conf, ctx.embedding, &run);
+            backend.ingest(user, &app_id, &events);
+            let _ = env.run(&point); // keep the env's iteration counter in step
+        }
+
+        // Application finished: pre-compute the app cache for the next run.
+        backend.update_app_cache(user, artifact_id, &signatures, 1e7);
+    }
+
+    let entry = backend.app_conf(artifact_id).expect("computed after run 0");
+    println!(
+        "\nfinal pre-computed app-level config: executors = {:.0}, memory = {:.0} MiB",
+        entry[0], entry[1]
+    );
+}

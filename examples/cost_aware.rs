@@ -1,0 +1,77 @@
+//! Cost-aware tuning (§2.1: some customers optimize spend, not just latency): tune
+//! query- and app-level knobs jointly, once for latency and once for dollar cost,
+//! and compare what each objective chooses.
+//!
+//! ```sh
+//! cargo run --release --example cost_aware
+//! ```
+
+use rockhopper_repro::optimizers::objective::Objective;
+use rockhopper_repro::prelude::*;
+use rockhopper_repro::rockhopper::RockhopperTuner;
+use rockhopper_repro::sparksim::simulator::Simulator;
+
+fn joint_space() -> ConfigSpace {
+    let mut space = ConfigSpace::query_level();
+    space.dims.extend(ConfigSpace::app_level().dims);
+    space
+}
+
+fn tune(objective: Objective, seed: u64) -> (SparkConf, f64, f64) {
+    let plan = rockhopper_repro::workloads::tpch::query(9, 5.0);
+    let sim = Simulator::default_pool(NoiseSpec::low());
+    let space = joint_space();
+    let mut tuner = RockhopperTuner::builder(space.clone())
+        .guardrail(None)
+        .seed(seed)
+        .build();
+    let ctx = TuningContext {
+        embedding: vec![],
+        expected_data_size: plan.leaf_input_rows(),
+        iteration: 0,
+    };
+    for i in 0..60 {
+        let point = tuner.suggest(&ctx);
+        let conf = space.to_conf(&point);
+        let run = sim.execute(&plan, &conf, seed ^ i);
+        let outcome = Outcome {
+            elapsed_ms: run.metrics.elapsed_ms,
+            data_size: run.metrics.input_rows,
+        };
+        // The objective adapter scores the outcome; the tuner minimizes the score.
+        tuner.observe(&point, &objective.scored_outcome(&conf, &outcome));
+    }
+    let conf = space.to_conf(&tuner.centroid());
+    let time = sim.true_time_ms(&plan, &conf);
+    let cost = Objective::run_cost(&conf, time, 2.0);
+    (conf, time, cost)
+}
+
+fn main() {
+    let (lat_conf, lat_time, lat_cost) = tune(Objective::Latency, 1);
+    let (cost_conf, cost_time, cost_cost) = tune(
+        Objective::Cost {
+            price_per_executor_hour: 2.0,
+        },
+        1,
+    );
+
+    println!("TPC-H Q9, 60 tuning runs per objective ($2 / executor-hour):\n");
+    println!(
+        "latency objective: {:>5.1} s, ${:.4}/run, {} executors",
+        lat_time / 1e3,
+        lat_cost,
+        lat_conf.executor_count()
+    );
+    println!(
+        "cost objective:    {:>5.1} s, ${:.4}/run, {} executors",
+        cost_time / 1e3,
+        cost_cost,
+        cost_conf.executor_count()
+    );
+    println!(
+        "\nthe cost objective trades {:+.0}% latency for {:+.0}% spend",
+        100.0 * (cost_time - lat_time) / lat_time,
+        100.0 * (cost_cost - lat_cost) / lat_cost,
+    );
+}

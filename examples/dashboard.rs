@@ -1,0 +1,96 @@
+//! The monitoring dashboard (§6.3): tune two queries — one healthy, one
+//! pathologically noisy — and render the posterior-analysis view with configuration
+//! changes, performance trends and root-cause attribution.
+//!
+//! ```sh
+//! cargo run --release --example dashboard
+//! ```
+
+use rockhopper_repro::pipeline::monitor::{Dashboard, RootCause};
+use rockhopper_repro::prelude::*;
+use rockhopper_repro::rockhopper::RockhopperTuner;
+
+fn main() {
+    let mut dashboard = Dashboard::new();
+
+    let queries = [
+        ("healthy", 3usize, NoiseSpec::low()),
+        ("noisy", 13usize, NoiseSpec::high()),
+    ];
+    for (label, q, noise) in queries {
+        let mut env = QueryEnv::tpcds(
+            q,
+            2.0,
+            noise,
+            7,
+        );
+        let sig = env.signature();
+        let space = env.space().clone();
+        let mut tuner = RockhopperTuner::builder(space.clone()).seed(q as u64).build();
+        for run in 0..25 {
+            let ctx = env.context();
+            let point = tuner.suggest(&ctx);
+            let conf = space.to_conf(&point);
+            let plan = env.plan.clone();
+            let sim_run = env.sim.execute(&plan, &conf, run);
+            let events = env.sim.events_for_run(
+                &format!("{label}-run{run}"),
+                label,
+                sig,
+                &plan,
+                &conf,
+                ctx.embedding,
+                &sim_run,
+            );
+            dashboard.ingest(&events);
+            let outcome = env.run(&point);
+            tuner.observe(&point, &outcome);
+        }
+    }
+
+    println!("{}", dashboard.render());
+
+    println!("signatures needing attention: {:?}\n", dashboard.regressing_signatures());
+
+    // Root-cause analysis of the largest iteration-to-iteration swings.
+    for sig in dashboard.signatures() {
+        let m = dashboard.monitor(sig).expect("tracked");
+        let mut swings: Vec<(u32, f64)> = m
+            .records
+            .windows(2)
+            .map(|w| {
+                (
+                    w[1].iteration,
+                    (w[1].elapsed_ms / w[0].elapsed_ms.max(1e-9) - 1.0).abs(),
+                )
+            })
+            .collect();
+        swings.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("query {sig:016x} — top performance swings:");
+        for (iter, swing) in swings.into_iter().take(3) {
+            let cause = m.rca(iter).expect("valid iteration");
+            let cause_text = match cause {
+                RootCause::DataSizeChange { ratio } => {
+                    format!("input size changed ({ratio:.2}x)")
+                }
+                RootCause::PlanChange {
+                    broadcast_delta,
+                    task_ratio,
+                } => format!(
+                    "physical plan changed (broadcast joins {broadcast_delta:+}, tasks {task_ratio:.2}x)"
+                ),
+                RootCause::ConfigChange { knobs } => format!(
+                    "configuration change: {}",
+                    knobs
+                        .iter()
+                        .map(|(k, a, b)| format!("{} {a:.3e} -> {b:.3e}", k.spark_name()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                RootCause::LikelyNoiseOrExternal => "likely noise or external cause".to_string(),
+            };
+            println!("  iter {iter:>2}: {:>5.1}% swing — {cause_text}", swing * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! The offline phase end-to-end: fly a benchmark sweep, ETL the event logs, train
+//! the baseline model, then warm-start tuning of a query the baseline never saw.
+//!
+//! ```sh
+//! cargo run --release --example offline_flighting
+//! ```
+
+use std::sync::Arc;
+
+use rockhopper_repro::pipeline::flighting::{Benchmark, FlightPlan, PoolId, Strategy};
+use rockhopper_repro::pipeline::storage::Storage;
+use rockhopper_repro::pipeline::trainer::train_baseline;
+use rockhopper_repro::prelude::*;
+use rockhopper_repro::rockhopper::RockhopperTuner as Tuner_;
+
+fn main() {
+    let storage = Arc::new(Storage::new());
+    let space = ConfigSpace::query_level();
+
+    // 1. Flighting: run TPC-DS under random configurations (the paper's offline
+    //    experiment platform, driven by a config file just like this struct).
+    let plan = FlightPlan {
+        benchmark: Benchmark::TpcDs,
+        queries: Vec::new(), // full benchmark
+        scale_factor: 2.0,
+        runs_per_query: 15,
+        pool: PoolId::Medium,
+        strategy: Strategy::Random,
+        noise: NoiseSpec::low(),
+        seed: 99,
+    };
+    let rows = rockhopper_repro::pipeline::flighting::run_flight(&plan, &space, &storage);
+    println!(
+        "flighting: {} training rows from {} event files",
+        rows.len(),
+        storage.object_count()
+    );
+
+    // 2. Train the baseline model (the ML training pipeline).
+    let baseline = train_baseline(&space, &rows, None, 99).expect("rows exist");
+    println!("baseline model trained (embedding dim {})", baseline.embedding_dim());
+
+    // 3. Online: a *TPC-H* query the TPC-DS baseline never saw, warm-started.
+    let mut env = QueryEnv::tpch(3, 2.0, NoiseSpec::low(), 3);
+    let default_ms = env.true_time(&space.default_point());
+    let mut tuner = Tuner_::builder(space.clone())
+        .baseline(baseline)
+        .seed(5)
+        .build();
+    for _ in 0..25 {
+        let p = tuner.suggest(&env.context());
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+    let tuned_ms = env.true_time(&tuner.centroid());
+    println!(
+        "TPC-H Q3 after 25 warm-started runs: {tuned_ms:.0} ms vs default {default_ms:.0} ms \
+         ({:+.1}%)",
+        100.0 * (tuned_ms - default_ms) / default_ms
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: tune one recurrent TPC-H query with Rockhopper's Centroid Learning.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rockhopper_repro::prelude::*;
+
+fn main() {
+    // A recurrent workload: TPC-H Q6 at scale factor 10, with production-style
+    // observational noise (fluctuations + occasional 2x spikes).
+    let mut env = QueryEnv::tpch(
+        6,
+        10.0,
+        NoiseSpec {
+            fluctuation: 0.3,
+            spike: 0.3,
+        },
+        42,
+    );
+    let space = env.space().clone();
+    let default_ms = env.true_time(&space.default_point());
+    println!("TPC-H Q6 under the default Spark configuration: {default_ms:.0} ms (true time)");
+
+    // The production tuner: Centroid Learning with the default guardrail.
+    let mut tuner = RockhopperTuner::builder(space.clone()).seed(7).build();
+
+    for run in 0..40 {
+        let candidate = tuner.suggest(&env.context());
+        let outcome = env.run(&candidate);
+        tuner.observe(&candidate, &outcome);
+        if run % 10 == 9 {
+            let tuned = env.true_time(&tuner.centroid());
+            println!(
+                "after {:>2} runs: centroid true time {tuned:.0} ms ({:+.1}% vs default)",
+                run + 1,
+                100.0 * (tuned - default_ms) / default_ms,
+            );
+        }
+    }
+
+    let conf = space.to_conf(&tuner.centroid());
+    println!("\nrecommended configuration:");
+    println!(
+        "  spark.sql.files.maxPartitionBytes   = {:.0} MiB",
+        conf.max_partition_bytes / (1024.0 * 1024.0)
+    );
+    println!(
+        "  spark.sql.autoBroadcastJoinThreshold = {:.0} MiB",
+        conf.auto_broadcast_join_threshold / (1024.0 * 1024.0)
+    );
+    println!(
+        "  spark.sql.shuffle.partitions          = {}",
+        conf.shuffle_partition_count()
+    );
+    let best = tuner.best_observed().expect("ran 40 iterations");
+    println!("best observed run: {:.0} ms", best.elapsed_ms);
+}

@@ -1,0 +1,211 @@
+//! `rockhopper` — command-line front end to the reproduction.
+//!
+//! ```text
+//! rockhopper tune   --bench tpch --query 6 [--sf 10] [--iters 40] [--noise low]
+//! rockhopper compare --bench tpcds --query 5 [--iters 60]      # CL vs BO vs FLOW2
+//! rockhopper flight --bench tpcds [--runs 20] [--sf 2]          # offline sweep
+//! rockhopper list                                               # available queries
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (the offline crate set has no
+//! CLI library); flags are `--key value` pairs in any order.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rockhopper_repro::optimizers::bo::BayesOpt;
+use rockhopper_repro::optimizers::flow2::Flow2;
+use rockhopper_repro::pipeline::flighting::{run_flight, Benchmark, FlightPlan, PoolId, Strategy};
+use rockhopper_repro::pipeline::storage::Storage;
+use rockhopper_repro::prelude::*;
+use rockhopper_repro::rockhopper::RockhopperTuner;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "tune" => cmd_tune(&flags),
+        "compare" => cmd_compare(&flags),
+        "flight" => cmd_flight(&flags),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rockhopper — Spark configuration autotuning (paper reproduction)
+
+USAGE:
+    rockhopper tune    --bench <tpch|tpcds> --query <N> [--sf <F>] [--iters <N>] [--noise <none|low|high>] [--seed <N>]
+    rockhopper compare --bench <tpch|tpcds> --query <N> [--sf <F>] [--iters <N>] [--seed <N>]
+    rockhopper flight  --bench <tpch|tpcds> [--sf <F>] [--runs <N>] [--seed <N>]
+    rockhopper list";
+
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let cmd = args.first()?.clone();
+    let mut flags = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Some((cmd, flags))
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench_of(flags: &HashMap<String, String>) -> Benchmark {
+    match flags.get("bench").map(String::as_str) {
+        Some("tpcds") => Benchmark::TpcDs,
+        _ => Benchmark::TpcH,
+    }
+}
+
+fn noise_of(flags: &HashMap<String, String>) -> NoiseSpec {
+    match flags.get("noise").map(String::as_str) {
+        Some("none") => NoiseSpec::none(),
+        Some("high") => NoiseSpec::high(),
+        _ => NoiseSpec::low(),
+    }
+}
+
+fn make_env(flags: &HashMap<String, String>) -> Option<QueryEnv> {
+    let bench = bench_of(flags);
+    let query: usize = flag(flags, "query", 0);
+    if query == 0 || query > bench.query_count() {
+        eprintln!(
+            "--query must be 1..={} for this benchmark",
+            bench.query_count()
+        );
+        return None;
+    }
+    let sf: f64 = flag(flags, "sf", 2.0);
+    let seed: u64 = flag(flags, "seed", 42);
+    Some(QueryEnv::new(
+        bench.query(query, sf),
+        noise_of(flags),
+        DataSchedule::Constant { size: 1.0 },
+        seed,
+    ))
+}
+
+fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(mut env) = make_env(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let iters: usize = flag(flags, "iters", 40);
+    let seed: u64 = flag(flags, "seed", 42);
+    let space = env.space().clone();
+    let default_ms = env.true_time(&space.default_point());
+    let mut tuner = RockhopperTuner::builder(space.clone()).seed(seed).build();
+    for _ in 0..iters {
+        let p = tuner.suggest(&env.context());
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+    let tuned_ms = env.true_time(&tuner.centroid());
+    let conf = space.to_conf(&tuner.centroid());
+    println!("after {iters} runs ({}):", if tuner.is_disabled() { "guardrail DISABLED tuning" } else { "guardrail ok" });
+    println!("  default true time: {default_ms:.0} ms");
+    println!(
+        "  tuned true time:   {tuned_ms:.0} ms  ({:+.1}%)",
+        100.0 * (tuned_ms - default_ms) / default_ms
+    );
+    println!("recommended configuration:");
+    println!(
+        "  spark.sql.files.maxPartitionBytes    {:.0}",
+        conf.max_partition_bytes
+    );
+    println!(
+        "  spark.sql.autoBroadcastJoinThreshold {:.0}",
+        conf.auto_broadcast_join_threshold
+    );
+    println!(
+        "  spark.sql.shuffle.partitions         {}",
+        conf.shuffle_partition_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> ExitCode {
+    let iters: usize = flag(flags, "iters", 60);
+    let seed: u64 = flag(flags, "seed", 42);
+    println!("{:<12} {:>14} {:>14}", "tuner", "final ms", "vs default");
+    for name in ["rockhopper", "bayesopt", "flow2"] {
+        let Some(mut env) = make_env(flags) else {
+            return ExitCode::FAILURE;
+        };
+        let space = env.space().clone();
+        let default_ms = env.true_time(&space.default_point());
+        let mut tuner: Box<dyn Tuner> = match name {
+            "rockhopper" => Box::new(
+                RockhopperTuner::builder(space.clone())
+                    .guardrail(None)
+                    .seed(seed)
+                    .build(),
+            ),
+            "bayesopt" => Box::new(BayesOpt::new(space.clone(), seed)),
+            _ => Box::new(Flow2::new(space.clone(), seed)),
+        };
+        let mut last5 = Vec::new();
+        for t in 0..iters {
+            let p = tuner.suggest(&env.context());
+            if t + 5 >= iters {
+                last5.push(env.true_time(&p));
+            }
+            let o = env.run(&p);
+            tuner.observe(&p, &o);
+        }
+        let final_ms = rockhopper_repro::ml::stats::mean(&last5);
+        println!(
+            "{name:<12} {final_ms:>14.0} {:>+13.1}%",
+            100.0 * (final_ms - default_ms) / default_ms
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_flight(flags: &HashMap<String, String>) -> ExitCode {
+    let plan = FlightPlan {
+        benchmark: bench_of(flags),
+        queries: Vec::new(),
+        scale_factor: flag(flags, "sf", 2.0),
+        runs_per_query: flag(flags, "runs", 20),
+        pool: PoolId::Medium,
+        strategy: Strategy::Random,
+        noise: noise_of(flags),
+        seed: flag(flags, "seed", 42),
+    };
+    let storage = Storage::new();
+    let rows = run_flight(&plan, &ConfigSpace::query_level(), &storage);
+    println!(
+        "flighting complete: {} training rows from {} queries ({} event files)",
+        rows.len(),
+        plan.benchmark.query_count(),
+        storage.object_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() -> ExitCode {
+    println!("tpch:  queries 1..=22  (the full TPC-H suite)");
+    println!("tpcds: queries 1..=24  (TPC-DS-style templates; see workloads::tpcds)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,48 @@
+//! # Rockhopper (reproduction)
+//!
+//! Facade crate re-exporting the full Rockhopper reproduction workspace: a robust
+//! optimizer for Spark configuration tuning (Zhu et al., SIGMOD-Companion 2025),
+//! rebuilt from scratch in Rust together with every substrate it depends on — a Spark
+//! cluster simulator, TPC-H/TPC-DS-style workloads, an ML substrate, baseline tuners,
+//! and the offline/online autotuning pipeline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rockhopper_repro::prelude::*;
+//!
+//! // A simulated Spark environment running TPC-H Q6 at scale factor 10.
+//! let mut env = QueryEnv::tpch(6, 10.0, NoiseSpec::low(), 1);
+//!
+//! // Tune the three production knobs with Centroid Learning.
+//! let mut tuner = RockhopperTuner::builder(ConfigSpace::query_level())
+//!     .seed(7)
+//!     .build();
+//! for _ in 0..20 {
+//!     let candidate = tuner.suggest(&env.context());
+//!     let outcome = env.run(&candidate);
+//!     tuner.observe(&candidate, &outcome);
+//! }
+//! let best = tuner.best_observed().expect("observed at least one run");
+//! assert!(best.elapsed_ms > 0.0);
+//! ```
+
+pub use embedding;
+pub use ml;
+pub use optimizers;
+pub use pipeline;
+pub use rockhopper;
+pub use sparksim;
+pub use workloads;
+
+/// Convenience re-exports for the examples and downstream users.
+pub mod prelude {
+    pub use optimizers::env::Environment;
+    pub use optimizers::space::ConfigSpace;
+    pub use optimizers::tuner::{Outcome, Tuner, TuningContext};
+    pub use optimizers::{QueryEnv, SyntheticEnv};
+    pub use rockhopper::{Guardrail, RockhopperTuner};
+    pub use sparksim::noise::NoiseSpec;
+    pub use sparksim::SparkConf;
+    pub use workloads::dynamic::DataSchedule;
+}

@@ -1,0 +1,91 @@
+//! Integration tests for the `rockhopper` CLI binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rockhopper"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("tune"));
+    assert!(text.contains("flight"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = cli().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = cli().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn list_names_both_benchmarks() {
+    let out = cli().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tpch"));
+    assert!(text.contains("tpcds"));
+}
+
+#[test]
+fn tune_produces_a_recommendation() {
+    let out = cli()
+        .args([
+            "tune", "--bench", "tpch", "--query", "6", "--sf", "0.5", "--iters", "8",
+            "--noise", "none",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recommended configuration"));
+    assert!(text.contains("spark.sql.shuffle.partitions"));
+}
+
+#[test]
+fn tune_rejects_out_of_range_query() {
+    let out = cli()
+        .args(["tune", "--bench", "tpch", "--query", "99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--query must be"));
+}
+
+#[test]
+fn flight_reports_row_counts() {
+    let out = cli()
+        .args(["flight", "--bench", "tpch", "--sf", "0.2", "--runs", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("flighting complete: 44 training rows"), "{text}");
+}
+
+#[test]
+fn compare_lists_all_three_tuners() {
+    let out = cli()
+        .args([
+            "compare", "--bench", "tpcds", "--query", "24", "--sf", "0.5", "--iters", "6",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["rockhopper", "bayesopt", "flow2"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end integration: offline flighting → baseline training → online Centroid
+//! Learning on the Spark simulator, asserting the paper's headline behaviours.
+
+use optimizers::env::Environment;
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::Tuner;
+use pipeline::flighting::{run_flight, Benchmark, FlightPlan, PoolId, Strategy};
+use pipeline::storage::Storage;
+use pipeline::trainer::train_baseline;
+use rockhopper_repro::prelude::*;
+use rockhopper_repro::rockhopper::RockhopperTuner;
+
+fn tune(env: &mut QueryEnv, mut tuner: RockhopperTuner, iters: usize) -> RockhopperTuner {
+    for _ in 0..iters {
+        let p = tuner.suggest(&env.context());
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+    tuner
+}
+
+#[test]
+fn centroid_learning_beats_default_on_tpch() {
+    let mut wins = 0;
+    let queries = [1, 3, 6, 9];
+    for &q in &queries {
+        let mut env = QueryEnv::tpch(q, 2.0, NoiseSpec::low(), 100 + q as u64);
+        let space = env.space().clone();
+        let default_ms = env.true_time(&space.default_point());
+        let tuner = tune(
+            &mut env,
+            RockhopperTuner::builder(space).guardrail(None).seed(q as u64).build(),
+            40,
+        );
+        let tuned_ms = env.true_time(&tuner.centroid());
+        if tuned_ms < default_ms {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 3,
+        "CL should beat the default on most queries ({wins}/{} won)",
+        queries.len()
+    );
+}
+
+#[test]
+fn warm_start_pipeline_transfers_across_benchmarks() {
+    // Baseline on TPC-DS, target on TPC-H — the paper's §6.3 deployment protocol.
+    let space = ConfigSpace::query_level();
+    let flight = FlightPlan {
+        benchmark: Benchmark::TpcDs,
+        queries: vec![1, 3, 5, 10, 12, 21],
+        scale_factor: 1.0,
+        runs_per_query: 12,
+        pool: PoolId::Medium,
+        strategy: Strategy::Random,
+        noise: NoiseSpec::low(),
+        seed: 5,
+    };
+    let rows = run_flight(&flight, &space, &Storage::new());
+    assert_eq!(rows.len(), 6 * 12);
+    let baseline = train_baseline(&space, &rows, None, 5).unwrap();
+
+    let mut env = QueryEnv::tpch(6, 1.0, NoiseSpec::low(), 9);
+    let default_ms = env.true_time(&space.default_point());
+    let tuner = tune(
+        &mut env,
+        RockhopperTuner::builder(space)
+            .baseline(baseline)
+            .guardrail(None)
+            .seed(9)
+            .build(),
+        30,
+    );
+    let tuned_ms = env.true_time(&tuner.centroid());
+    assert!(
+        tuned_ms < default_ms * 1.05,
+        "warm-started tuning should not regress: {tuned_ms} vs default {default_ms}"
+    );
+}
+
+#[test]
+fn tuner_never_proposes_out_of_bounds_configs() {
+    let mut env = QueryEnv::tpcds(11, 1.0, NoiseSpec::high(), 4);
+    let space = env.space().clone();
+    let mut tuner = RockhopperTuner::builder(space.clone()).seed(4).build();
+    for _ in 0..60 {
+        let p = tuner.suggest(&env.context());
+        let conf = space.to_conf(&p);
+        conf.validate().expect("every proposed configuration must be valid");
+        let o = env.run(&p);
+        tuner.observe(&p, &o);
+    }
+}
+
+#[test]
+fn guardrail_protects_pathologically_noisy_queries() {
+    // A query with violent spikes and an adversarial environment where tuning keeps
+    // making things worse: the guardrail must eventually serve defaults.
+    let space = ConfigSpace::query_level();
+    let mut tuner = RockhopperTuner::builder(space.clone())
+        .guardrail(Some(Guardrail::new(10, 0.05, 2)))
+        .seed(3)
+        .build();
+    let ctx = TuningContext {
+        embedding: vec![],
+        expected_data_size: 1.0,
+        iteration: 0,
+    };
+    for i in 0..40 {
+        let p = tuner.suggest(&ctx);
+        // Adversarial: time regresses steadily regardless of configuration.
+        tuner.observe(
+            &p,
+            &Outcome {
+                elapsed_ms: 100.0 + 25.0 * i as f64,
+                data_size: 1.0,
+            },
+        );
+    }
+    assert!(tuner.is_disabled());
+    assert_eq!(tuner.suggest(&ctx), space.default_point());
+}
+
+#[test]
+fn dynamic_data_sizes_do_not_break_convergence() {
+    let mut env = QueryEnv::new(
+        rockhopper_repro::workloads::tpch::query(6, 2.0),
+        NoiseSpec::low(),
+        DataSchedule::Periodic {
+            base: 0.5,
+            amplitude: 1.0,
+            k: 5,
+        },
+        8,
+    );
+    let space = env.space().clone();
+    let default_ms = env.true_time(&space.default_point());
+    let tuner = tune(
+        &mut env,
+        RockhopperTuner::builder(space).guardrail(None).seed(8).build(),
+        50,
+    );
+    // Compare at whatever data size the env is now at — same basis for both.
+    let tuned_ms = env.true_time(&tuner.centroid());
+    let default_now = env.true_time(&env.space().default_point());
+    assert!(
+        tuned_ms <= default_now * 1.05,
+        "tuned {tuned_ms} vs default-now {default_now} (default at t0 was {default_ms})"
+    );
+}

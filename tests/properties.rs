@@ -1,0 +1,121 @@
+//! Property-based tests (proptest) over the core invariants of the workspace:
+//! config-space roundtrips, noise monotonicity, plan-estimate sanity, simulator
+//! determinism and signature stability.
+
+use proptest::prelude::*;
+
+use embedding::WorkloadEmbedder;
+use optimizers::space::ConfigSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparksim::config::SparkConf;
+use sparksim::noise::NoiseSpec;
+use sparksim::plan::PlanNode;
+use sparksim::simulator::Simulator;
+use workloads::generator::{random_plan, PlanGenConfig};
+
+proptest! {
+    #[test]
+    fn config_space_normalize_roundtrips(x0 in 0.0..1.0f64, x1 in 0.0..1.0f64, x2 in 0.0..1.0f64) {
+        let space = ConfigSpace::query_level();
+        let raw = space.denormalize(&[x0, x1, x2]);
+        let back = space.normalize(&raw);
+        for (a, b) in [x0, x1, x2].iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn config_space_points_always_produce_valid_confs(
+        x0 in -0.5..1.5f64, x1 in -0.5..1.5f64, x2 in -0.5..1.5f64,
+    ) {
+        // Even out-of-cube normalized coordinates must clamp into a valid SparkConf.
+        let space = ConfigSpace::query_level();
+        let raw = space.denormalize(&[x0, x1, x2]);
+        let conf = space.to_conf(&raw);
+        prop_assert!(conf.validate().is_ok());
+    }
+
+    #[test]
+    fn noise_never_speeds_runs_up(g0 in 1.0..1e6f64, fl in 0.0..2.0f64, sl in 0.0..2.0f64, seed: u64) {
+        let spec = NoiseSpec { fluctuation: fl, spike: sl };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec.apply(g0, &mut rng);
+        prop_assert!(g >= g0);
+        prop_assert!(g.is_finite());
+    }
+
+    #[test]
+    fn generated_plans_have_sane_estimates(seed in 0u64..500) {
+        let plan = random_plan(&PlanGenConfig::default(), seed);
+        prop_assert!(plan.est_rows >= 0.0);
+        prop_assert!(plan.est_bytes >= 0.0);
+        prop_assert!(plan.leaf_input_rows() > 0.0);
+        prop_assert!(plan.node_count() >= 2);
+    }
+
+    #[test]
+    fn simulator_is_deterministic_per_seed(plan_seed in 0u64..200, noise_seed: u64) {
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let conf = SparkConf::default();
+        let a = sim.execute(&plan, &conf, noise_seed);
+        let b = sim.execute(&plan, &conf, noise_seed);
+        prop_assert_eq!(a.metrics.elapsed_ms, b.metrics.elapsed_ms);
+        prop_assert!(a.metrics.true_ms > 0.0 && a.metrics.true_ms.is_finite());
+        prop_assert!(a.metrics.elapsed_ms >= a.metrics.true_ms);
+    }
+
+    #[test]
+    fn signatures_survive_data_scaling(seed in 0u64..200, factor in 0.1..100.0f64) {
+        let plan = random_plan(&PlanGenConfig::default(), seed);
+        let sig = embedding::query_signature(&plan);
+        prop_assert_eq!(sig, embedding::query_signature(&plan.scaled(factor)));
+    }
+
+    #[test]
+    fn embeddings_have_stable_dimension(seed in 0u64..200) {
+        let plan = random_plan(&PlanGenConfig::default(), seed);
+        for e in [WorkloadEmbedder::plain(), WorkloadEmbedder::virtual_ops()] {
+            let v = e.embed(&plan);
+            prop_assert_eq!(v.len(), e.dim());
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+            // Counts block sums to node count.
+            let total: f64 = v[2..].iter().sum();
+            prop_assert_eq!(total, plan.node_count() as f64);
+        }
+    }
+
+    #[test]
+    fn scan_partitioning_respects_max_partition_bytes(
+        rows in 1e3..1e9f64, mpb_mib in 1.0..2048.0f64,
+    ) {
+        let plan = PlanNode::scan("t", rows, 100.0);
+        let mut conf = SparkConf::default();
+        conf.max_partition_bytes = mpb_mib * 1024.0 * 1024.0;
+        let phys = sparksim::physical::plan_physical(&plan, &conf);
+        let expected = ((rows * 100.0) / conf.max_partition_bytes).ceil().max(1.0) as usize;
+        prop_assert_eq!(phys.stages[0].tasks, expected.min(100_000));
+    }
+
+    #[test]
+    fn more_noise_does_not_reduce_expected_time(g0 in 10.0..1e4f64, seed in 0u64..100) {
+        // Average of 200 draws under high noise must exceed the average under none.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hi: f64 = (0..200).map(|_| NoiseSpec::high().apply(g0, &mut rng)).sum::<f64>() / 200.0;
+        prop_assert!(hi > g0);
+    }
+
+    #[test]
+    fn history_window_is_suffix(n in 0usize..50, w in 0usize..60) {
+        let mut h = optimizers::tuner::History::new();
+        for i in 0..n {
+            h.push(vec![i as f64], 1.0, i as f64);
+        }
+        let win = h.window(w);
+        prop_assert_eq!(win.len(), w.min(n));
+        if let (Some(first), true) = (win.first(), n > 0) {
+            prop_assert_eq!(first.elapsed_ms, (n - win.len()) as f64);
+        }
+    }
+}

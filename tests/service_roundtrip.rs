@@ -1,0 +1,113 @@
+//! Integration: the online service path — client/backend threads, event-log
+//! persistence, ETL round-trips, retention cleanup and the app cache.
+
+use std::sync::Arc;
+
+use optimizers::env::Environment;
+use pipeline::service::{AutotuneBackend, AutotuneService};
+use pipeline::storage::{paths, Storage};
+use rockhopper_repro::prelude::*;
+
+#[test]
+fn full_service_loop_persists_and_learns() {
+    let storage = Arc::new(Storage::new());
+    let backend = AutotuneBackend::new(Arc::clone(&storage), None, 1);
+    let (service, client) = AutotuneService::spawn(backend);
+
+    let mut env = QueryEnv::tpch(6, 0.5, NoiseSpec::low(), 2);
+    let sig = env.signature();
+    for run in 0..10 {
+        let ctx = env.context();
+        let point = client.suggest("tenant-a", sig, &ctx);
+        assert_eq!(point.len(), 3);
+        let conf = env.space().to_conf(&point);
+        let plan = env.plan.clone();
+        let sim_run = env.sim.execute(&plan, &conf, run);
+        let app_id = format!("app-{run}");
+        let events = env.sim.events_for_run(
+            &app_id,
+            "artifact-7",
+            sig,
+            &plan,
+            &conf,
+            ctx.embedding.clone(),
+            &sim_run,
+        );
+        client.ingest("tenant-a", &app_id, events);
+        let _ = env.run(&point);
+    }
+    client.update_app_cache("tenant-a", "artifact-7", vec![sig], 1e6);
+    // The channel is asynchronous for ingest; shutting down drains it.
+    let backend = service.shutdown();
+
+    // Event files persisted, one per application run.
+    let token = storage.issue_token("", false, u64::MAX);
+    let files = storage.list(&token, "events/").unwrap();
+    assert_eq!(files.len(), 10);
+
+    // Stored logs ETL back into valid training rows.
+    let doc = String::from_utf8(storage.get(&token, &files[0]).unwrap()).unwrap();
+    let rows = pipeline::etl::extract_rows_from_jsonl(&doc);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].signature, sig);
+
+    // The tuner accumulated all ten observations and the app cache exists.
+    assert_eq!(backend.tuner_count(), 1);
+    assert!(backend.app_conf("artifact-7").is_some());
+    assert!(storage.get(&token, &paths::app_cache("artifact-7")).is_ok());
+}
+
+#[test]
+fn retention_sweep_cleans_old_event_files_only() {
+    let storage = Arc::new(Storage::new());
+    let mut backend = AutotuneBackend::new(Arc::clone(&storage), None, 3);
+    let mut env = QueryEnv::tpch(1, 0.5, NoiseSpec::none(), 3);
+    let sig = env.signature();
+    for run in 0..6 {
+        let ctx = env.context();
+        let point = backend.suggest("t", sig, &ctx);
+        let conf = env.space().to_conf(&point);
+        let plan = env.plan.clone();
+        let sim_run = env.sim.execute(&plan, &conf, run);
+        let events = env.sim.events_for_run(
+            &format!("app-{run}"),
+            "a",
+            sig,
+            &plan,
+            &conf,
+            vec![],
+            &sim_run,
+        );
+        backend.ingest("t", &format!("app-{run}"), &events);
+        let _ = env.run(&point);
+    }
+    // Each ingest ticked the logical clock once; retain only the last 2 ticks.
+    let removed = storage.cleanup("events/", 2);
+    assert!(removed >= 3, "removed {removed}");
+    let token = storage.issue_token("", false, u64::MAX);
+    let remaining = storage.list(&token, "events/").unwrap();
+    assert!(!remaining.is_empty(), "recent files must survive");
+    assert!(remaining.len() < 6);
+}
+
+#[test]
+fn concurrent_tenants_do_not_interfere() {
+    let backend = AutotuneBackend::new(Arc::new(Storage::new()), None, 5);
+    let (service, client) = AutotuneService::spawn(backend);
+    let env = QueryEnv::tpch(3, 0.5, NoiseSpec::none(), 5);
+    let ctx = env.context();
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            let c = client.clone();
+            let ctx = ctx.clone();
+            s.spawn(move || {
+                for i in 0..10u64 {
+                    let p = c.suggest(&format!("tenant-{t}"), 42, &ctx);
+                    assert_eq!(p.len(), 3, "tenant {t} iter {i}");
+                }
+            });
+        }
+    });
+    let backend = service.shutdown();
+    assert_eq!(backend.tuner_count(), 6, "one tuner per tenant for the signature");
+}
