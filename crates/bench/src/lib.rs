@@ -1,1 +1,3 @@
+#![forbid(unsafe_code)]
+
 //! Criterion micro-benchmarks live under `benches/`; this lib is intentionally empty.

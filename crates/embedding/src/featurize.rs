@@ -59,13 +59,20 @@ impl WorkloadEmbedder {
     /// spanning nine orders.
     pub fn embed(&self, plan: &PlanNode) -> Vec<f64> {
         let mut v = vec![0.0; self.dim()];
-        v[0] = plan.root_cardinality().max(0.0).ln_1p();
-        v[1] = plan.leaf_input_rows().max(0.0).ln_1p();
+        // dim() is always ≥ 2: two cardinality slots precede the count block.
+        if let [root, leaf, ..] = &mut v[..] {
+            *root = plan.root_cardinality().max(0.0).ln_1p();
+            *leaf = plan.leaf_input_rows().max(0.0).ln_1p();
+        }
         for node in plan.iter_nodes() {
-            let type_idx = Operator::TYPE_NAMES
+            // Every operator type is in the vocabulary; an unknown one (impossible
+            // today) simply contributes no count.
+            let Some(type_idx) = Operator::TYPE_NAMES
                 .iter()
                 .position(|&t| t == node.op.type_name())
-                .expect("every operator type is in the vocabulary");
+            else {
+                continue;
+            };
             let slot = match &self.scheme {
                 EmbeddingScheme::PlainOperatorCounts => type_idx,
                 EmbeddingScheme::VirtualOperators(s) => {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Workload embeddings (paper §4.1).
 //!
 //! An embedding turns a compile-time execution plan into a fixed-length vector that

@@ -55,7 +55,7 @@ pub fn final_perf(mode: FindBestMode, runs: usize, iters: usize) -> f64 {
             ml::stats::mean(&last)
         })
         .collect();
-    ml::stats::median(&finals)
+    ml::stats::median(&finals).expect("at least one run")
 }
 
 /// Direct measurement of FIND_BEST selection quality, isolated from the rest of the

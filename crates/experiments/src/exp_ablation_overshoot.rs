@@ -37,7 +37,7 @@ pub fn final_perf(alpha: f64, runs: usize, iters: usize) -> f64 {
             ml::stats::mean(&last)
         })
         .collect();
-    ml::stats::median(&finals)
+    ml::stats::median(&finals).expect("at least one run")
 }
 
 /// Run the ablation.

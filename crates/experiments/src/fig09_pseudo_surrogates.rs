@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn level_one_converges_near_optimum() {
         let finals: Vec<f64> = (0..4).map(|s| *trace_level(1, s, 150).last().unwrap()).collect();
-        let median = ml::stats::median(&finals);
+        let median = ml::stats::median(&finals).expect("runs > 0");
         assert!(median < 1.6, "level-1 CL median {median}");
     }
 }

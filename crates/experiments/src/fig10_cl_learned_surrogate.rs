@@ -86,10 +86,12 @@ pub fn run(scale: Scale) -> Summary {
         "final median maxPartitionBytes optimality gap",
         format!("{:.3}", ml::stats::mean(&gap_tail.iter().map(|b| b.p50).collect::<Vec<_>>())),
     );
-    let median_pick = ml::stats::median(&pick_all);
     summary.row(
         "surrogate pick percentile (≈ Level)",
-        format!("{:.0}th (paper: 30th–50th)", median_pick),
+        match ml::stats::median(&pick_all) {
+            Some(p) => format!("{p:.0}th (paper: 30th–50th)"),
+            None => "n/a (no runs)".to_string(),
+        },
     );
     summary.files.push(write_csv(
         "fig10a_cl_learned",
@@ -105,9 +107,10 @@ pub fn run(scale: Scale) -> Summary {
 }
 
 /// Exposed for the comparison tests: final median of CL under high noise.
-pub fn final_median(runs: usize, iters: usize) -> f64 {
+/// `None` when `runs == 0` or `iters == 0` (no bands to summarize).
+pub fn final_median(runs: usize, iters: usize) -> Option<f64> {
     let bands = replicate(runs, |seed| trace(seed, iters).0);
-    bands.last().map(|b| b.p50).unwrap_or(f64::NAN)
+    bands.last().map(|b| b.p50)
 }
 
 #[cfg(test)]
@@ -120,7 +123,7 @@ mod tests {
         // beats vanilla BO's (Figure 2a vs Figure 10a).
         use optimizers::bo::BayesOpt;
         use optimizers::env::{Environment, SyntheticEnv};
-        let cl = final_median(6, 80);
+        let cl = final_median(6, 80).expect("runs > 0");
         let bo_bands = replicate(6, |seed| {
             let mut env = SyntheticEnv::high_noise_constant(seed);
             let mut bo = BayesOpt::new(env.space().clone(), seed);

@@ -117,7 +117,8 @@ mod tests {
             })
             .collect();
         assert!(
-            ml::stats::median(&finals) < ml::stats::median(&early) + 0.05,
+            ml::stats::median(&finals).expect("runs > 0")
+                < ml::stats::median(&early).expect("runs > 0") + 0.05,
             "gap should not grow: early {early:?} final {finals:?}"
         );
     }

@@ -111,7 +111,10 @@ pub fn run(scale: Scale) -> Summary {
         "mean speed-up vs default",
         format!("{:.1}% (paper: ≈17–20%)", ml::stats::mean(&speedups)),
     );
-    summary.row("median speed-up", format!("{:.1}%", ml::stats::median(&speedups)));
+    summary.row(
+        "median speed-up",
+        format!("{:.1}%", ml::stats::median(&speedups).expect("population is non-empty")),
+    );
     summary.row(
         "signatures improved",
         format!("{improved}/{}", outcomes.len()),
@@ -146,7 +149,10 @@ pub fn run(scale: Scale) -> Summary {
     for q in [5.0, 25.0, 50.0, 75.0, 95.0] {
         summary.row(
             &format!("speed-up P{q:.0}"),
-            format!("{:.1}%", ml::stats::percentile(&speedups, q)),
+            format!(
+                "{:.1}%",
+                ml::stats::percentile(&speedups, q).expect("population is non-empty")
+            ),
         );
     }
     let rows: Vec<Vec<f64>> = outcomes
@@ -177,11 +183,8 @@ mod tests {
         assert!(!outcomes.is_empty());
         let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup_pct).collect();
         // Tuning should help at least half the signatures even in the quick run.
-        assert!(
-            ml::stats::median(&speedups) > -5.0,
-            "median speed-up {:.1}%",
-            ml::stats::median(&speedups)
-        );
+        let median = ml::stats::median(&speedups).expect("population is non-empty");
+        assert!(median > -5.0, "median speed-up {median:.1}%");
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness regenerating **every table and figure** in the paper's
 //! evaluation (§6). Each figure lives in its own module with a
 //! `run(scale) -> Summary` entry point; the `src/bin/` wrappers execute one figure

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Machine-learning substrate for the Rockhopper reproduction.
 //!
 //! The paper trains its surrogate models with scikit-learn (SVR, linear models) and
@@ -116,7 +118,7 @@ pub(crate) fn validate_xy(x: &[Vec<f64>], y: &[f64]) -> Result<usize, MlError> {
             targets: y.len(),
         });
     }
-    let dim = x[0].len();
+    let dim = x.first().map(Vec::len).unwrap_or(0);
     for row in x {
         if row.len() != dim {
             return Err(MlError::RaggedFeatures {

@@ -62,12 +62,9 @@ pub fn rank_percentile_of_argmin(true_scores: &[f64], predicted_scores: &[f64]) 
         "rank_percentile length mismatch"
     );
     assert!(!true_scores.is_empty(), "empty candidate set");
-    let chosen = predicted_scores
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty");
+    // Non-empty is asserted above; if every prediction is NaN the first
+    // candidate stands in.
+    let chosen = crate::stats::nan_safe_min_by(predicted_scores, |s| *s).unwrap_or(0);
     let better = true_scores
         .iter()
         .filter(|&&t| t < true_scores[chosen])

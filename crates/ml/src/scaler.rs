@@ -21,7 +21,7 @@ impl StandardScaler {
     /// Panics if `x` is empty (callers validate the training-set shape first).
     pub fn fit(x: &[Vec<f64>]) -> Self {
         assert!(!x.is_empty(), "cannot fit a scaler on an empty set");
-        let dim = x[0].len();
+        let dim = x.first().map(Vec::len).unwrap_or(0);
         let n = x.len() as f64;
         let mut means = vec![0.0; dim];
         for row in x {

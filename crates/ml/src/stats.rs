@@ -1,8 +1,48 @@
 //! Small statistics helpers shared across the workspace: percentiles, summary bands
-//! for convergence plots, and seeded normal deviates (Box–Muller), avoiding any
-//! dependency beyond `rand`.
+//! for convergence plots, seeded normal deviates (Box–Muller), and total-order float
+//! comparison helpers, avoiding any dependency beyond `rand`.
+//!
+//! Float ordering goes through [`total_cmp_f64`] / [`nan_safe_min_by`] /
+//! [`nan_safe_max_by`] so NaN can never panic a comparator or win a selection;
+//! aggregations over possibly-empty inputs return `Option` instead of NaN.
+
+use std::cmp::Ordering;
 
 use rand::{Rng, RngExt};
+
+/// Total-order comparison for `f64`, suitable for `sort_by`/`min_by`/`max_by`
+/// closures: `xs.sort_by(|a, b| total_cmp_f64(a, b))`. Unlike
+/// `partial_cmp(..).unwrap()`, never panics; NaN sorts after every number.
+pub fn total_cmp_f64(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// Index of the item whose key is smallest, ignoring NaN keys entirely.
+/// `None` when `items` is empty or every key is NaN.
+pub fn nan_safe_min_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> Option<usize> {
+    nan_safe_select(items, key, Ordering::Less)
+}
+
+/// Index of the item whose key is largest, ignoring NaN keys entirely.
+/// `None` when `items` is empty or every key is NaN.
+pub fn nan_safe_max_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> Option<usize> {
+    nan_safe_select(items, key, Ordering::Greater)
+}
+
+fn nan_safe_select<T>(items: &[T], key: impl Fn(&T) -> f64, want: Ordering) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, item) in items.iter().enumerate() {
+        let k = key(item);
+        if k.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bk)) if k.total_cmp(&bk) != want => {}
+            _ => best = Some((i, k)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
 
 /// Draw a standard-normal deviate via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -40,34 +80,31 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
-/// Linear-interpolation percentile, `q ∈ [0, 100]`. Returns `NaN` on empty input.
-pub fn percentile(xs: &[f64], q: f64) -> f64 {
-    if xs.is_empty() {
-        return f64::NAN;
-    }
+/// Linear-interpolation percentile, `q ∈ [0, 100]`. `None` on empty input.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.sort_by(total_cmp_f64);
     percentile_of_sorted(&sorted, q)
 }
 
-/// Percentile of an already-sorted (ascending) slice.
-pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
+/// Percentile of an already-sorted (ascending) slice. `None` on empty input.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    let first = sorted.first().copied()?;
     if sorted.len() == 1 {
-        return sorted[0];
+        return Some(first);
     }
     let q = q.clamp(0.0, 100.0);
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    let lo_v = sorted.get(lo).copied()?;
+    let hi_v = sorted.get(hi).copied()?;
+    Some(lo_v + frac * (hi_v - lo_v))
 }
 
-/// Median (50th percentile).
-pub fn median(xs: &[f64]) -> f64 {
+/// Median (50th percentile). `None` on empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
     percentile(xs, 50.0)
 }
 
@@ -84,15 +121,15 @@ pub struct Band {
 }
 
 impl Band {
-    /// Compute the band from raw samples.
-    pub fn from_samples(xs: &[f64]) -> Band {
+    /// Compute the band from raw samples. `None` when `xs` is empty.
+    pub fn from_samples(xs: &[f64]) -> Option<Band> {
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        Band {
-            p5: percentile_of_sorted(&sorted, 5.0),
-            p50: percentile_of_sorted(&sorted, 50.0),
-            p95: percentile_of_sorted(&sorted, 95.0),
-        }
+        sorted.sort_by(total_cmp_f64);
+        Some(Band {
+            p5: percentile_of_sorted(&sorted, 5.0)?,
+            p50: percentile_of_sorted(&sorted, 50.0)?,
+            p95: percentile_of_sorted(&sorted, 95.0)?,
+        })
     }
 }
 
@@ -102,8 +139,9 @@ impl Band {
 pub fn bands_per_iteration(runs: &[Vec<f64>]) -> Vec<Band> {
     let horizon = runs.iter().map(Vec::len).max().unwrap_or(0);
     (0..horizon)
-        .map(|t| {
+        .filter_map(|t| {
             let at_t: Vec<f64> = runs.iter().filter_map(|r| r.get(t).copied()).collect();
+            // Non-empty for every t < horizon: the longest run covers it.
             Band::from_samples(&at_t)
         })
         .collect()
@@ -126,30 +164,31 @@ mod tests {
     #[test]
     fn percentile_endpoints() {
         let xs = vec![3.0, 1.0, 2.0];
-        assert_eq!(percentile(&xs, 0.0), 1.0);
-        assert_eq!(percentile(&xs, 100.0), 3.0);
-        assert_eq!(median(&xs), 2.0);
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(3.0));
+        assert_eq!(median(&xs), Some(2.0));
     }
 
     #[test]
     fn percentile_interpolates() {
         let xs = vec![0.0, 10.0];
-        assert_eq!(percentile(&xs, 25.0), 2.5);
-        assert_eq!(percentile(&xs, 75.0), 7.5);
+        assert_eq!(percentile(&xs, 25.0), Some(2.5));
+        assert_eq!(percentile(&xs, 75.0), Some(7.5));
     }
 
     #[test]
-    fn percentile_empty_is_nan_singleton_is_value() {
-        assert!(percentile(&[], 50.0).is_nan());
-        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    fn percentile_empty_is_none_singleton_is_value() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[42.0], 99.0), Some(42.0));
     }
 
     #[test]
     fn band_ordering_holds() {
         let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
-        let b = Band::from_samples(&xs);
+        let b = Band::from_samples(&xs).unwrap();
         assert!(b.p5 <= b.p50 && b.p50 <= b.p95);
         assert_eq!(b.p50, 50.0);
+        assert_eq!(Band::from_samples(&[]), None);
     }
 
     #[test]
@@ -165,5 +204,29 @@ mod tests {
     fn variance_of_constant_is_zero() {
         assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
         assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn nan_safe_selection_skips_nan_keys() {
+        let xs = [f64::NAN, 3.0, 1.0, 2.0];
+        assert_eq!(nan_safe_min_by(&xs, |x| *x), Some(2));
+        assert_eq!(nan_safe_max_by(&xs, |x| *x), Some(1));
+        assert_eq!(nan_safe_min_by(&[f64::NAN; 3], |x| *x), None);
+        assert_eq!(nan_safe_min_by::<f64>(&[], |x| *x), None);
+    }
+
+    #[test]
+    fn nan_safe_min_prefers_first_of_equal_keys() {
+        let xs = [(0, 1.0), (1, 1.0), (2, 2.0)];
+        assert_eq!(nan_safe_min_by(&xs, |x| x.1), Some(0));
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_last() {
+        let mut xs = vec![2.0, f64::NAN, 1.0];
+        xs.sort_by(total_cmp_f64);
+        assert_eq!(xs[0], 1.0);
+        assert_eq!(xs[1], 2.0);
+        assert!(xs[2].is_nan());
     }
 }

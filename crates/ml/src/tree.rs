@@ -88,7 +88,7 @@ impl RegressionTree {
             return self.nodes.len() - 1;
         }
 
-        let dim = x[0].len();
+        let dim = x.first().map(Vec::len).unwrap_or(0);
         let all_features: Vec<usize> = (0..dim).collect();
         let features = feature_subset.unwrap_or(&all_features);
 

@@ -153,7 +153,8 @@ impl Tuner for BanditTuner {
         if self.median_tracker.len() > 50 {
             self.median_tracker.remove(0);
         }
-        let median = ml::stats::median(&self.median_tracker).max(1e-9);
+        // The tracker was just pushed to, so the median exists.
+        let median = ml::stats::median(&self.median_tracker).unwrap_or(1e-9).max(1e-9);
         let reward = (1.0 - outcome.elapsed_ms / (2.0 * median)).clamp(0.0, 1.0);
         for d in &mut self.dims {
             d.update(reward, self.gamma, self.eta);
@@ -187,7 +188,7 @@ mod tests {
     #[test]
     fn learns_on_noiseless_function() {
         let finals: Vec<f64> = (0..5).map(|s| drive(NoiseSpec::none(), 300, s)).collect();
-        let median = ml::stats::median(&finals);
+        let median = ml::stats::median(&finals).unwrap();
         assert!(median < 1.6, "bandit incumbent should improve: {median}");
     }
 

@@ -13,7 +13,7 @@
 //! simulator only models numeric knobs, so this module is exercised by unit tests
 //! and available to downstream users.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -46,7 +46,7 @@ impl CategoricalEncoder {
     pub fn new<S: Into<String>>(categories: Vec<S>) -> CategoricalEncoder {
         let categories: Vec<String> = categories.into_iter().map(Into::into).collect();
         assert!(!categories.is_empty(), "need at least one category");
-        let distinct: std::collections::HashSet<&String> = categories.iter().collect();
+        let distinct: std::collections::BTreeSet<&String> = categories.iter().collect();
         assert_eq!(distinct.len(), categories.len(), "duplicate categories");
         let stats = vec![CategoryStats::default(); categories.len()];
         CategoricalEncoder { categories, stats }
@@ -79,7 +79,7 @@ impl CategoricalEncoder {
     /// The performance-ordered layout: positions in `[0, 1]` per category, best
     /// (lowest mean) first. Unobserved categories keep their declaration-order slot
     /// among themselves at the end of the layout.
-    fn layout(&self) -> HashMap<usize, f64> {
+    fn layout(&self) -> BTreeMap<usize, f64> {
         let mut order: Vec<usize> = (0..self.categories.len()).collect();
         order.sort_by(|&a, &b| {
             match (self.stats[a].mean(), self.stats[b].mean()) {
@@ -114,12 +114,14 @@ impl CategoricalEncoder {
     /// Decode a continuous value to the nearest category's label.
     pub fn decode(&self, x: f64) -> &str {
         let layout = self.layout();
+        // The constructor rejects empty category lists, so a nearest slot
+        // always exists; the empty-string fallback is unreachable.
         let best = (0..self.categories.len())
             .min_by(|&a, &b| {
                 (layout[&a] - x).abs().total_cmp(&(layout[&b] - x).abs())
             })
-            .expect("non-empty");
-        &self.categories[best]
+            .unwrap_or(0);
+        self.categories.get(best).map(String::as_str).unwrap_or("")
     }
 
     /// Mean observed performance per category (for dashboards); `None` = unobserved.

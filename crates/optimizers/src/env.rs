@@ -193,14 +193,10 @@ impl CachedEnv {
     /// Index of the recorded configuration nearest (normalized L2) to `point`.
     pub fn nearest(&self, point: &[f64]) -> usize {
         let x = self.space.normalize(point);
-        self.points_norm
-            .iter()
-            .enumerate()
-            .min_by(|a, b| {
-                ml::linalg::sq_dist(a.1, &x).total_cmp(&ml::linalg::sq_dist(b.1, &x))
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty recording")
+        // The recording is non-empty by construction; NaN distances (which a
+        // corrupt cache row could produce) are skipped rather than panicking.
+        ml::stats::nan_safe_min_by(&self.points_norm, |p| ml::linalg::sq_dist(p, &x))
+            .unwrap_or(0)
     }
 
     /// The raw point a suggestion actually snaps to.
@@ -290,7 +286,11 @@ impl SyntheticEnv {
     }
 
     fn as_array(point: &[f64]) -> [f64; 3] {
-        [point[0], point[1], point[2]]
+        let mut a = [0.0; 3];
+        for (dst, src) in a.iter_mut().zip(point) {
+            *dst = *src;
+        }
+        a
     }
 
     /// Normalized regret (true time / optimal time) of a point at the *next* run's

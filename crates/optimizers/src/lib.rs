@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Tuning infrastructure and baseline optimizers.
 //!
 //! This crate owns the pieces every tuner (including Rockhopper's Centroid Learning,

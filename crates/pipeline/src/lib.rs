@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The Rockhopper offline/online pipeline (paper §4.2 and §5, Figure 7).
 //!
 //! - [`storage`] — the Autotune Backend's storage: per-application event folders,

@@ -117,10 +117,11 @@ impl QueryMonitor {
     pub fn config_changes(&self) -> Vec<(u32, Knob, f64, f64)> {
         let mut out = Vec::new();
         for w in self.records.windows(2) {
+            let [prev, cur] = w else { continue };
             for knob in Knob::QUERY_LEVEL.iter().chain(Knob::APP_LEVEL.iter()) {
-                let (a, b) = (w[0].conf.get(*knob), w[1].conf.get(*knob));
+                let (a, b) = (prev.conf.get(*knob), cur.conf.get(*knob));
                 if relative_change(a, b) > 1e-9 {
-                    out.push((w[1].iteration, *knob, a, b));
+                    out.push((cur.iteration, *knob, a, b));
                 }
             }
         }
@@ -141,7 +142,7 @@ impl QueryMonitor {
         let y: Vec<f64> = self.records.iter().map(|r| r.elapsed_ms).collect();
         let mut m = Ridge::new(1.0);
         m.fit(&x, &y).ok()?;
-        let slope = m.weights()[0];
+        let slope = m.weights().first().copied()?;
         Some(TrendReport {
             slope_ms_per_iteration: slope,
             improving: slope < 0.0,

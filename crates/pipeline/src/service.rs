@@ -76,16 +76,17 @@ impl AutotuneBackend {
 
     fn tuner_for(&mut self, user: &str, signature: u64) -> &mut RockhopperTuner {
         let key = (user.to_string(), signature);
-        if !self.tuners.contains_key(&key) {
-            let mut builder = RockhopperTuner::builder(self.space.clone())
-                .seed(self.seed ^ signature)
-                .guardrail(self.guardrail_policy.clone());
-            if let Some(b) = &self.baseline {
+        let (space, seed) = (&self.space, self.seed);
+        let (guardrail, baseline) = (&self.guardrail_policy, &self.baseline);
+        self.tuners.entry(key).or_insert_with(|| {
+            let mut builder = RockhopperTuner::builder(space.clone())
+                .seed(seed ^ signature)
+                .guardrail(guardrail.clone());
+            if let Some(b) = baseline {
                 builder = builder.baseline(b.clone());
             }
-            self.tuners.insert(key.clone(), builder.build());
-        }
-        self.tuners.get_mut(&key).expect("inserted above")
+            builder.build()
+        })
     }
 
     /// Ingest an application's event file: persist it, ETL it, and feed every
@@ -162,7 +163,12 @@ impl AutotuneBackend {
             };
             // More executors shorten wide stages but add startup/GC drag: a convex
             // proxy with an interior optimum at ~60% of the executor range.
-            let xe = app_space.dims[0].normalize(app[0]);
+            // Fall back to the proxy's optimum (multiplier 1.0) if either the app
+            // space or the candidate point is unexpectedly empty.
+            let xe = match (app_space.dims.first(), app.first()) {
+                (Some(dim), Some(&v)) => dim.normalize(v),
+                _ => 0.6,
+            };
             base * (1.0 + 0.6 * (xe - 0.6) * (xe - 0.6))
         };
         let current = self.app_optimizer.app_space.default_point();
@@ -170,12 +176,12 @@ impl AutotuneBackend {
             self.app_optimizer
                 .optimize(&current, &queries, score, self.seed ^ 0x00AC_CAFE)
         {
-            let token = self.storage.issue_token("app_cache/", true, u64::MAX);
-            let _ = self.storage.put(
-                &token,
-                &paths::app_cache(artifact_id),
-                serde_json::to_vec(&entry).expect("entry serializes"),
-            );
+            // Persisting the entry is best-effort: the in-memory cache below is
+            // authoritative for this process.
+            if let Ok(bytes) = serde_json::to_vec(&entry) {
+                let token = self.storage.issue_token("app_cache/", true, u64::MAX);
+                let _ = self.storage.put(&token, &paths::app_cache(artifact_id), bytes);
+            }
             self.app_cache.put(artifact_id, entry);
         }
     }
@@ -381,14 +387,11 @@ impl AutotuneService {
         )
     }
 
-    /// Stop the backend thread and recover the backend state.
-    pub fn shutdown(mut self) -> AutotuneBackend {
+    /// Stop the backend thread and recover the backend state. `None` if the
+    /// backend thread panicked (its state is lost with it).
+    pub fn shutdown(mut self) -> Option<AutotuneBackend> {
         let _ = self.tx.send(Request::Shutdown);
-        self.handle
-            .take()
-            .expect("shutdown called once")
-            .join()
-            .expect("backend thread exits cleanly")
+        self.handle.take()?.join().ok()
     }
 }
 
@@ -400,8 +403,9 @@ pub struct AutotuneClient {
 
 impl AutotuneClient {
     /// Request a query-level configuration (blocks for the reply, as config
-    /// inference sits on the submission critical path).
-    pub fn suggest(&self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+    /// inference sits on the submission critical path). `None` if the backend
+    /// thread has shut down — callers should serve the default configuration.
+    pub fn suggest(&self, user: &str, signature: u64, ctx: &TuningContext) -> Option<Vec<f64>> {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send(Request::Suggest {
@@ -410,8 +414,8 @@ impl AutotuneClient {
                 ctx: ctx.clone(),
                 reply: reply_tx,
             })
-            .expect("backend alive");
-        reply_rx.recv().expect("backend replies")
+            .ok()?;
+        reply_rx.recv().ok()
     }
 
     /// Ship an application's event file to the backend (fire-and-forget, like the
@@ -441,6 +445,7 @@ impl AutotuneClient {
     }
 
     /// Fetch the pre-computed app-level configuration (blocks for the reply).
+    /// `None` if no entry exists or the backend thread has shut down.
     pub fn app_conf(&self, artifact_id: &str) -> Option<Vec<f64>> {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
@@ -448,8 +453,8 @@ impl AutotuneClient {
                 artifact_id: artifact_id.to_string(),
                 reply: reply_tx,
             })
-            .expect("backend alive");
-        reply_rx.recv().expect("backend replies")
+            .ok()?;
+        reply_rx.recv().ok()?
     }
 }
 
@@ -648,10 +653,10 @@ mod tests {
         let (service, client) = AutotuneService::spawn(b);
         let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
         let ctx = env.context();
-        let point = client.suggest("alice", 7, &ctx);
+        let point = client.suggest("alice", 7, &ctx).expect("backend alive");
         assert_eq!(point.len(), 3);
         assert!(client.app_conf("none").is_none());
-        let backend = service.shutdown();
+        let backend = service.shutdown().expect("backend exits cleanly");
         assert_eq!(backend.tuner_count(), 1);
     }
 
@@ -666,13 +671,13 @@ mod tests {
                 let ctx = ctx.clone();
                 s.spawn(move || {
                     for sig in 0..5u64 {
-                        let p = c.suggest(&format!("user-{u}"), sig, &ctx);
+                        let p = c.suggest(&format!("user-{u}"), sig, &ctx).expect("backend alive");
                         assert_eq!(p.len(), 3);
                     }
                 });
             }
         });
-        let backend = service.shutdown();
+        let backend = service.shutdown().expect("backend exits cleanly");
         assert_eq!(backend.tuner_count(), 20);
     }
 }

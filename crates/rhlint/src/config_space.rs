@@ -1,0 +1,499 @@
+//! The config-space consistency check: the tuned Spark parameters must be
+//! declared identically across the knob enum (`sparksim/src/config.rs`) and
+//! the search space (`optimizers/src/space.rs`).
+//!
+//! Invariants enforced:
+//!
+//! 1. every `Knob` variant has a `spark_name` arm, and the property names are
+//!    pairwise distinct;
+//! 2. every variant has a `SparkConf::get` arm and a `SparkConf::set` arm;
+//! 3. every `Knob::X` referenced by a `Dim` in `space.rs` is a declared variant;
+//! 4. every knob in `QUERY_LEVEL` ∪ `APP_LEVEL` is covered by some search
+//!    space dimension, and that tuned set has exactly the paper's 7 knobs;
+//! 5. every backticked `spark.*` property mentioned in `SparkConf`'s field
+//!    docs (the serde'd struct) is one of the declared `spark_name` values.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::{Diagnostic, LintError, Rule};
+
+const CONFIG_RS: &str = "crates/sparksim/src/config.rs";
+const SPACE_RS: &str = "crates/optimizers/src/space.rs";
+
+/// The number of tuned knobs the paper's user study covers (§2.2).
+const TUNED_KNOBS: usize = 7;
+
+pub fn check_config_space(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let config_path = root.join(CONFIG_RS);
+    let space_path = root.join(SPACE_RS);
+    for path in [&config_path, &space_path] {
+        if !path.exists() {
+            return Err(LintError::MissingFile { path: path.clone() });
+        }
+    }
+    let config_text = read(&config_path)?;
+    let space_text = read(&space_path)?;
+    Ok(check_sources(&config_text, &space_text))
+}
+
+/// Pure core, separated so tests can feed synthetic sources.
+pub fn check_sources(config_text: &str, space_text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let config_lines: Vec<&str> = config_text.lines().collect();
+    let space_lines: Vec<&str> = space_text.lines().collect();
+
+    let variants = enum_variants(&config_lines, "pub enum Knob");
+    let variant_set: BTreeSet<&String> = variants.iter().map(|(name, _)| name).collect();
+
+    // 1. spark_name coverage + distinctness.
+    let spark_names = spark_name_arms(&config_lines);
+    for (variant, line) in &variants {
+        if !spark_names.contains_key(variant) {
+            diags.push(config_diag(
+                *line,
+                format!("Knob::{variant} has no spark_name() arm"),
+            ));
+        }
+    }
+    let mut by_name: BTreeMap<&str, Vec<&String>> = BTreeMap::new();
+    for (variant, (name, _)) in &spark_names {
+        by_name.entry(name.as_str()).or_default().push(variant);
+    }
+    for (name, owners) in &by_name {
+        if owners.len() > 1 {
+            let (_, line) = spark_names[owners[1]];
+            diags.push(config_diag(
+                line,
+                format!(
+                    "spark property `{name}` mapped by multiple knobs: {}",
+                    owners
+                        .iter()
+                        .map(|v| format!("Knob::{v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+    }
+
+    // 2. get/set coverage.
+    for fn_name in ["fn get", "fn set"] {
+        let arms = knob_refs_in_region(&config_lines, fn_name);
+        let covered: BTreeSet<&String> = arms.iter().map(|(v, _)| v).collect();
+        for (variant, line) in &variants {
+            if !covered.contains(variant) {
+                diags.push(config_diag(
+                    *line,
+                    format!("Knob::{variant} not handled in SparkConf::{}", &fn_name[3..]),
+                ));
+            }
+        }
+    }
+
+    // 3 + 4. space.rs dimensions reference declared variants and cover the
+    // tuned set.
+    let mut dim_knobs: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in space_lines.iter().enumerate() {
+        if let Some(pos) = line.find("knob: Knob::") {
+            let variant = ident_after(&line[pos + "knob: Knob::".len()..]);
+            if !variant.is_empty() {
+                if !variant_set.contains(&variant) {
+                    diags.push(Diagnostic {
+                        file: PathBuf::from(SPACE_RS),
+                        line: idx + 1,
+                        rule: Rule::ConfigSpace,
+                        message: format!(
+                            "dimension references Knob::{variant}, not a declared Knob variant"
+                        ),
+                    });
+                }
+                dim_knobs.insert(variant);
+            }
+        }
+    }
+    let mut tuned: BTreeSet<String> = BTreeSet::new();
+    for const_name in ["QUERY_LEVEL", "APP_LEVEL"] {
+        for (variant, line) in knob_refs_in_region(&config_lines, const_name) {
+            if !variant_set.contains(&variant) {
+                diags.push(config_diag(
+                    line,
+                    format!("{const_name} lists Knob::{variant}, not a declared variant"),
+                ));
+            }
+            tuned.insert(variant);
+        }
+    }
+    if tuned.len() != TUNED_KNOBS {
+        diags.push(config_diag(
+            1,
+            format!(
+                "QUERY_LEVEL ∪ APP_LEVEL has {} knobs; the paper tunes {TUNED_KNOBS}",
+                tuned.len()
+            ),
+        ));
+    }
+    for variant in &tuned {
+        if !dim_knobs.contains(variant) {
+            diags.push(Diagnostic {
+                file: PathBuf::from(SPACE_RS),
+                line: 1,
+                rule: Rule::ConfigSpace,
+                message: format!(
+                    "tuned knob Knob::{variant} has no search-space dimension in space.rs"
+                ),
+            });
+        }
+    }
+
+    // 5. SparkConf field docs name only declared spark properties.
+    let declared_names: BTreeSet<&str> =
+        spark_names.values().map(|(n, _)| n.as_str()).collect();
+    for (name, line) in backticked_spark_props(&config_lines, "pub struct SparkConf") {
+        if !declared_names.contains(name.as_str()) {
+            diags.push(config_diag(
+                line,
+                format!("SparkConf doc names `{name}`, which is not a spark_name() value"),
+            ));
+        }
+    }
+
+    diags
+}
+
+fn config_diag(line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        file: PathBuf::from(CONFIG_RS),
+        line,
+        rule: Rule::ConfigSpace,
+        message,
+    }
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Leading identifier of `s`.
+fn ident_after(s: &str) -> String {
+    s.chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// `(start, end)` line range of the brace-delimited region whose header line
+/// contains `marker`. Lines are 0-based; `end` is inclusive.
+fn brace_region(lines: &[&str], marker: &str) -> Option<(usize, usize)> {
+    let start = lines.iter().position(|l| l.contains(marker))?;
+    let mut depth = 0i64;
+    let mut seen = false;
+    for (idx, line) in lines.iter().enumerate().skip(start) {
+        // On the header line, count only after any `=`: a const's type
+        // annotation (`[Knob; 3] = [`) would otherwise open and close the
+        // region before its initializer starts.
+        let line: &str = if idx == start {
+            line.rfind('=').map(|p| &line[p..]).unwrap_or(line)
+        } else {
+            line
+        };
+        for c in line.chars() {
+            match c {
+                '{' | '[' => {
+                    depth += 1;
+                    seen = true;
+                }
+                '}' | ']' => {
+                    depth -= 1;
+                    if seen && depth == 0 {
+                        return Some((start, idx));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some((start, lines.len().saturating_sub(1)))
+}
+
+/// `(variant, 1-based line)` for each enum arm of the region headed by `marker`.
+fn enum_variants(lines: &[&str], marker: &str) -> Vec<(String, usize)> {
+    let Some((start, end)) = brace_region(lines, marker) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for idx in start + 1..=end {
+        let t = lines[idx].trim();
+        if t.starts_with("//") || t.starts_with('#') || t.is_empty() {
+            continue;
+        }
+        let name = ident_after(t);
+        if !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && (t[name.len()..].trim_start().starts_with(',') || t[name.len()..].trim().is_empty())
+        {
+            out.push((name, idx + 1));
+        }
+    }
+    out
+}
+
+/// All `Knob::Ident` references inside the region headed by `marker`,
+/// paired with their 1-based line.
+fn knob_refs_in_region(lines: &[&str], marker: &str) -> Vec<(String, usize)> {
+    let Some((start, end)) = brace_region(lines, marker) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for idx in start..=end {
+        let mut rest = lines[idx];
+        let mut consumed = 0;
+        while let Some(pos) = rest.find("Knob::") {
+            let after = &rest[pos + "Knob::".len()..];
+            let name = ident_after(after);
+            if !name.is_empty() {
+                out.push((name.clone(), idx + 1));
+            }
+            consumed += pos + "Knob::".len() + name.len();
+            rest = &lines[idx][consumed..];
+        }
+    }
+    out
+}
+
+/// `variant -> (spark property, 1-based line)` from the `fn spark_name` body.
+/// Arms may span lines (`Knob::X => {` / `"spark..."`), so the body is read as
+/// an alternating token stream of `Knob::Ident` refs and string literals.
+fn spark_name_arms(lines: &[&str]) -> BTreeMap<String, (String, usize)> {
+    let mut map = BTreeMap::new();
+    let Some((start, end)) = brace_region(lines, "fn spark_name") else {
+        return map;
+    };
+    let mut pending: Option<(String, usize)> = None;
+    for idx in start + 1..=end {
+        let line = lines[idx];
+        let mut rest = line;
+        loop {
+            let knob_pos = rest.find("Knob::");
+            let str_pos = rest.find('"');
+            match (knob_pos, str_pos) {
+                (Some(k), s) if k < s.unwrap_or(usize::MAX) => {
+                    let name = ident_after(&rest[k + "Knob::".len()..]);
+                    pending = Some((name.clone(), idx + 1));
+                    rest = &rest[k + "Knob::".len() + name.len()..];
+                }
+                (_, Some(s)) => {
+                    let after = &rest[s + 1..];
+                    let Some(close) = after.find('"') else { break };
+                    if let Some((variant, at)) = pending.take() {
+                        map.insert(variant, (after[..close].to_string(), at));
+                    }
+                    rest = &after[close + 1..];
+                }
+                _ => break,
+            }
+        }
+    }
+    map
+}
+
+/// Backticked `spark.*` property names in doc comments of the region headed
+/// by `marker`, with their 1-based lines.
+fn backticked_spark_props(lines: &[&str], marker: &str) -> Vec<(String, usize)> {
+    let Some((start, end)) = brace_region(lines, marker) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for idx in start..=end {
+        let line = lines[idx];
+        if !line.trim_start().starts_with("///") {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("`spark.") {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            out.push((after[..close].to_string(), idx + 1));
+            rest = &after[close + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_sources;
+
+    const GOOD_CONFIG: &str = r#"
+pub enum Knob {
+    /// `spark.a.one`
+    One,
+    /// `spark.a.two`
+    Two,
+    Three,
+    Four,
+    Five,
+    Six,
+    Seven,
+}
+
+impl Knob {
+    pub fn spark_name(self) -> &'static str {
+        match self {
+            Knob::One => "spark.a.one",
+            Knob::Two => "spark.a.two",
+            Knob::Three => "spark.a.three",
+            Knob::Four => "spark.a.four",
+            Knob::Five => "spark.a.five",
+            Knob::Six => "spark.a.six",
+            Knob::Seven => {
+                "spark.a.seven"
+            }
+        }
+    }
+
+    pub const QUERY_LEVEL: [Knob; 3] = [Knob::One, Knob::Two, Knob::Three];
+    pub const APP_LEVEL: [Knob; 4] = [Knob::Four, Knob::Five, Knob::Six, Knob::Seven];
+}
+
+pub struct SparkConf {
+    /// `spark.a.one` in bytes.
+    pub one: f64,
+    /// `spark.a.two`.
+    pub two: f64,
+}
+
+impl SparkConf {
+    pub fn get(&self, knob: Knob) -> f64 {
+        match knob {
+            Knob::One => 0.0,
+            Knob::Two => 0.0,
+            Knob::Three => 0.0,
+            Knob::Four => 0.0,
+            Knob::Five => 0.0,
+            Knob::Six => 0.0,
+            Knob::Seven => 0.0,
+        }
+    }
+
+    pub fn set(&mut self, knob: Knob, value: f64) {
+        match knob {
+            Knob::One => {}
+            Knob::Two => {}
+            Knob::Three => {}
+            Knob::Four => {}
+            Knob::Five => {}
+            Knob::Six => {}
+            Knob::Seven => {}
+        }
+    }
+}
+"#;
+
+    const GOOD_SPACE: &str = r#"
+impl ConfigSpace {
+    pub fn query_level() -> ConfigSpace {
+        ConfigSpace {
+            dims: vec![
+                Dim { knob: Knob::One, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+                Dim { knob: Knob::Two, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+                Dim { knob: Knob::Three, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+            ],
+        }
+    }
+    pub fn app_level() -> ConfigSpace {
+        ConfigSpace {
+            dims: vec![
+                Dim { knob: Knob::Four, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+                Dim { knob: Knob::Five, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+                Dim { knob: Knob::Six, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+                Dim { knob: Knob::Seven, lo: 0.0, hi: 1.0, log_scale: false, default: 0.5 },
+            ],
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn consistent_sources_are_clean() {
+        assert!(check_sources(GOOD_CONFIG, GOOD_SPACE).is_empty());
+    }
+
+    #[test]
+    fn missing_spark_name_arm_is_flagged() {
+        let config = GOOD_CONFIG.replace("Knob::Seven => {\n                \"spark.a.seven\"\n            }", "");
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags.iter().any(|d| d.message.contains("no spark_name() arm")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_spark_property_is_flagged() {
+        let config = GOOD_CONFIG.replace("\"spark.a.two\",", "\"spark.a.one\",");
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags.iter().any(|d| d.message.contains("multiple knobs")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_get_arm_is_flagged() {
+        let config = GOOD_CONFIG.replace("            Knob::Seven => 0.0,\n", "");
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("not handled in SparkConf::get")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_knob_in_space_is_flagged() {
+        let space = GOOD_SPACE.replace("knob: Knob::Seven", "knob: Knob::Eight");
+        let diags = check_sources(GOOD_CONFIG, &space);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("Knob::Eight, not a declared")),
+            "{diags:?}"
+        );
+        // Seven is tuned but now has no dimension.
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("Knob::Seven has no search-space dimension")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stale_doc_property_is_flagged() {
+        let config = GOOD_CONFIG.replace("/// `spark.a.one` in bytes.", "/// `spark.a.renamed` in bytes.");
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("`spark.a.renamed`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn tuned_set_must_have_seven_knobs() {
+        let config = GOOD_CONFIG.replace(
+            "pub const APP_LEVEL: [Knob; 4] = [Knob::Four, Knob::Five, Knob::Six, Knob::Seven];",
+            "pub const APP_LEVEL: [Knob; 3] = [Knob::Four, Knob::Five, Knob::Six];",
+        );
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags.iter().any(|d| d.message.contains("the paper tunes 7")),
+            "{diags:?}"
+        );
+    }
+}

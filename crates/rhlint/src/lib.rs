@@ -1,0 +1,312 @@
+#![forbid(unsafe_code)]
+
+//! `rhlint` — workspace-native static analysis for the Rockhopper reproduction.
+//!
+//! The Centroid Learning loop (paper Eq (8)) is only trustworthy in production
+//! because every decision it makes is reproducible and auditable: a single
+//! NaN-poisoned comparison, ambient-RNG call, or panic on the serving path
+//! silently invalidates the convergence experiments (fig09–fig13) and the
+//! guardrail's regression detection. `rhlint` is the compile-time half of that
+//! safety rail: a dependency-free, line/token-level scanner over the workspace
+//! sources enforcing four rule families:
+//!
+//! * **panic-freedom** — no `unwrap()`, `expect()`, `panic!`-style macros, or
+//!   literal slice indexing in library code of the production crates.
+//! * **determinism** — no wall-clock reads, ambient RNGs, or hash-ordered
+//!   collections in the simulator and optimizer crates; randomness must flow
+//!   through seeded `StdRng`s.
+//! * **float-safety** — no `partial_cmp(..).unwrap()`, no float sorts via
+//!   `partial_cmp`, no bare `f64::NAN` literals; comparisons go through
+//!   `ml::stats::total_cmp_f64` and friends.
+//! * **config-space** — the tuned Spark parameters must be declared
+//!   consistently across `sparksim/src/config.rs` (knob enum, spark property
+//!   names, `get`/`set` arms, serde'd `SparkConf` fields) and
+//!   `optimizers/src/space.rs` (search dimensions).
+//!
+//! Diagnostics are `file:line`-addressed. A finding can be suppressed inline
+//! with a justification:
+//!
+//! ```text
+//! let v = known_nonempty[0]; // rhlint:allow(slice-index): guarded by the len check above
+//! ```
+//!
+//! The suppression comment may sit on the flagged line or the line above it.
+//! A suppression without a justification (no `: reason` after the rule list)
+//! is itself a diagnostic — the audit trail is the point.
+//!
+//! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`, `examples/`) and
+//! the `experiments`/`workloads`/`bench` crates are exempt: panicking fast in
+//! a test or a figure harness is fine; panicking in the serving path is not.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+mod config_space;
+mod mask;
+mod rules;
+
+pub use config_space::check_config_space;
+pub use mask::MaskedSource;
+pub use rules::scan_source;
+
+/// Every rule rhlint can emit, addressable in `rhlint:allow(<id>)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `.unwrap()` in library code (panic-freedom family).
+    Unwrap,
+    /// `.expect(...)` in library code (panic-freedom family).
+    Expect,
+    /// `panic!` / `todo!` / `unimplemented!` / `unreachable!` (panic-freedom).
+    Panic,
+    /// Literal integer slice/array indexing like `xs[0]` (panic-freedom).
+    SliceIndex,
+    /// `SystemTime::now` / `Instant::now` (determinism family).
+    WallClock,
+    /// `thread_rng` / `rand::rng()` / OS-entropy RNG construction (determinism).
+    AmbientRng,
+    /// `HashMap` / `HashSet` in deterministic crates (determinism): iteration
+    /// order varies run-to-run; use `BTreeMap`/`BTreeSet`/`Vec` instead.
+    HashIter,
+    /// `partial_cmp(..).unwrap()` — NaN panics (float-safety family).
+    PartialCmpUnwrap,
+    /// Float sort/min/max via `partial_cmp` instead of `total_cmp` (float-safety).
+    FloatSort,
+    /// Bare `f64::NAN` / `f32::NAN` literal in library code (float-safety).
+    NanLiteral,
+    /// Cross-file Spark parameter declaration mismatch (config-space family).
+    ConfigSpace,
+    /// Malformed `rhlint:allow` — unknown rule id or missing justification.
+    BadSuppression,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 12] = [
+        Rule::Unwrap,
+        Rule::Expect,
+        Rule::Panic,
+        Rule::SliceIndex,
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::HashIter,
+        Rule::PartialCmpUnwrap,
+        Rule::FloatSort,
+        Rule::NanLiteral,
+        Rule::ConfigSpace,
+        Rule::BadSuppression,
+    ];
+
+    /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Expect => "expect",
+            Rule::Panic => "panic",
+            Rule::SliceIndex => "slice-index",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::HashIter => "hash-iter",
+            Rule::PartialCmpUnwrap => "partial-cmp-unwrap",
+            Rule::FloatSort => "float-sort",
+            Rule::NanLiteral => "nan-literal",
+            Rule::ConfigSpace => "config-space",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// The rule family, for grouping in reports.
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::Unwrap | Rule::Expect | Rule::Panic | Rule::SliceIndex => "panic-freedom",
+            Rule::WallClock | Rule::AmbientRng | Rule::HashIter => "determinism",
+            Rule::PartialCmpUnwrap | Rule::FloatSort | Rule::NanLiteral => "float-safety",
+            Rule::ConfigSpace => "config-space",
+            Rule::BadSuppression => "suppression",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+/// A single `file:line` finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.family(),
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Engine errors (I/O and layout problems, not findings).
+#[derive(Debug)]
+pub enum LintError {
+    Io { path: PathBuf, source: std::io::Error },
+    MissingFile { path: PathBuf },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => {
+                write!(f, "rhlint: cannot read {}: {source}", path.display())
+            }
+            LintError::MissingFile { path } => {
+                write!(f, "rhlint: expected file missing: {}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Crates whose library code must be panic-free and float-safe.
+pub const PANIC_SCOPE: [&str; 6] = [
+    "embedding",
+    "ml",
+    "optimizers",
+    "pipeline",
+    "rockhopper",
+    "sparksim",
+];
+
+/// Crates where all randomness must be seeded and iteration deterministic.
+pub const DETERMINISM_SCOPE: [&str; 3] = ["optimizers", "rockhopper", "sparksim"];
+
+/// Scope membership for one scanned file, derived from its crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanScope {
+    pub panic_freedom: bool,
+    pub determinism: bool,
+    pub float_safety: bool,
+}
+
+impl ScanScope {
+    pub fn for_crate(crate_name: &str) -> ScanScope {
+        ScanScope {
+            panic_freedom: PANIC_SCOPE.contains(&crate_name),
+            determinism: DETERMINISM_SCOPE.contains(&crate_name),
+            // Float-safety rides with panic-freedom: same production crates.
+            float_safety: PANIC_SCOPE.contains(&crate_name),
+        }
+    }
+}
+
+/// Run the full lint pass over a workspace checkout.
+///
+/// Scans `crates/<scoped>/src/**/*.rs` line rules, then the cross-file
+/// config-space consistency check. Returns diagnostics sorted by
+/// `(file, line, rule)`.
+pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let mut diagnostics = Vec::new();
+
+    for crate_name in PANIC_SCOPE
+        .iter()
+        .chain(DETERMINISM_SCOPE.iter())
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let src = root.join("crates").join(crate_name).join("src");
+        for file in rust_files_under(&src)? {
+            let text = read(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            diagnostics.extend(scan_source(
+                crate_name,
+                &rel,
+                &text,
+                ScanScope::for_crate(crate_name),
+            ));
+        }
+    }
+
+    diagnostics.extend(check_config_space(root)?);
+
+    diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    Ok(diagnostics)
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order (deterministic
+/// reports). `tests/`, `benches/`, `examples/` subtrees are skipped — those
+/// are exempt by design.
+fn rust_files_under(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut files = Vec::new();
+    if !dir.exists() {
+        return Ok(files);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current).map_err(|source| LintError::Io {
+            path: current.clone(),
+            source,
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|source| LintError::Io {
+                path: current.clone(),
+                source,
+            })?;
+            let path = entry.path();
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !matches!(name, "tests" | "benches" | "examples") {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Render a report to a string (one diagnostic per line plus a summary).
+pub fn render_report(diagnostics: &[Diagnostic]) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if diagnostics.is_empty() {
+        out.push_str("rhlint: clean — no violations\n");
+    } else {
+        let mut per_family: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in diagnostics {
+            *per_family.entry(d.rule.family()).or_insert(0) += 1;
+        }
+        let breakdown: Vec<String> = per_family
+            .iter()
+            .map(|(family, n)| format!("{family}: {n}"))
+            .collect();
+        out.push_str(&format!(
+            "rhlint: {} violation(s) ({})\n",
+            diagnostics.len(),
+            breakdown.join(", ")
+        ));
+    }
+    out
+}

@@ -1,0 +1,63 @@
+//! `cargo run -p rhlint -- check [root]`
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage/engine errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, root) = match args.as_slice() {
+        [cmd] => (cmd.as_str(), None),
+        [cmd, root] => (cmd.as_str(), Some(PathBuf::from(root))),
+        _ => ("", None),
+    };
+
+    match command {
+        "check" => {}
+        "rules" => {
+            for rule in rhlint::Rule::ALL {
+                println!("{:<20} {}", rule.id(), rule.family());
+            }
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("usage: rhlint check [workspace-root] | rhlint rules");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    match rhlint::check_workspace(&root) {
+        Ok(diagnostics) => {
+            print!("{}", rhlint::render_report(&diagnostics));
+            if diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk up from the current directory to the first dir containing a
+/// `Cargo.toml` with a `[workspace]` table (cargo sets cwd to the invoking
+/// directory, so `cargo run -p rhlint` from anywhere in the tree works).
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Source masking: blank out comments and string/char literals so the rule
+//! matchers never fire on text inside them, while preserving byte offsets and
+//! line structure. Also locates `#[cfg(test)]` regions so test modules inside
+//! library files are exempt.
+
+/// A source file with comments/literals blanked and test regions marked.
+pub struct MaskedSource {
+    /// Original lines (suppression comments are read from these).
+    pub raw_lines: Vec<String>,
+    /// Masked lines: comments and literal bodies replaced by spaces.
+    pub masked_lines: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl MaskedSource {
+    pub fn new(text: &str) -> MaskedSource {
+        let masked = mask_text(text);
+        let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let in_test = test_regions(&masked_lines);
+        MaskedSource {
+            raw_lines,
+            masked_lines,
+            in_test,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+}
+
+/// Replace comment and literal contents with spaces (newlines preserved).
+fn mask_text(text: &str) -> String {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(bytes.len());
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' | 'b' if starts_raw_string(&bytes, i) => {
+                    let (hashes, consumed) = raw_string_open(&bytes, i);
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        out.push(' ');
+                    }
+                    i += consumed;
+                    continue;
+                }
+                '\'' => {
+                    if let Some(len) = char_literal_len(&bytes, i) {
+                        for j in 0..len {
+                            out.push(if bytes[i + j] == '\n' { '\n' } else { ' ' });
+                        }
+                        i += len;
+                        continue;
+                    }
+                    out.push(c); // a lifetime tick, keep it
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    state = State::Normal;
+                    out.push(' ');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                    for _ in 0..(1 + hashes as usize) {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Does `r`/`b` at `i` begin a raw or byte string literal?
+fn starts_raw_string(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'"');
+    }
+    // b"..." byte string (non-raw)
+    bytes[i] == 'b' && bytes.get(i + 1) == Some(&'"')
+}
+
+/// Length of the opening delimiter and its hash count.
+fn raw_string_open(bytes: &[char], i: usize) -> (u8, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    } else {
+        // plain b"..." — treat as a normal string with zero hashes
+        return (0, j - i + 1);
+    }
+    let mut hashes = 0u8;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i + 1) // includes the opening quote
+}
+
+fn closes_raw_string(bytes: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// If position `i` (a `'`) starts a char literal, return its total length.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // escaped char: find the closing quote within a small window
+            let mut j = i + 2;
+            while j < bytes.len() && j - i < 12 {
+                if bytes[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            if bytes.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // lifetime like 'a or 'static
+            }
+        }
+    }
+}
+
+/// Mark every line belonging to a `#[cfg(test)]`-gated item (by brace span).
+fn test_regions(masked_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked_lines.len()];
+    let mut line = 0;
+    while line < masked_lines.len() {
+        if masked_lines[line].trim_start().starts_with("#[cfg(test)]") {
+            let end = item_end(masked_lines, line);
+            for flag in in_test.iter_mut().take(end + 1).skip(line) {
+                *flag = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    in_test
+}
+
+/// Last line of the item starting at `start`: scan to the first `{`, then to
+/// its matching `}` (or to a bare `;` before any brace).
+fn item_end(masked_lines: &[String], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut seen_brace = false;
+    for (line_idx, line) in masked_lines.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_brace = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if seen_brace && depth == 0 {
+                        return line_idx;
+                    }
+                }
+                ';' if !seen_brace && line_idx > start => return line_idx,
+                _ => {}
+            }
+        }
+    }
+    masked_lines.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MaskedSource;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let src = "let x = \"unwrap() inside\"; // .unwrap() in comment\nlet y = 1;\n";
+        let m = MaskedSource::new(src);
+        assert!(!m.masked_lines[0].contains("unwrap"));
+        assert!(m.raw_lines[0].contains("unwrap"));
+        assert_eq!(m.masked_lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_dont() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let m = MaskedSource::new(src);
+        assert!(m.masked_lines[0].contains("'a"));
+        assert!(!m.masked_lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "let s = r#\"panic!(\"no\")\"#; let t = 2;\n";
+        let m = MaskedSource::new(src);
+        assert!(!m.masked_lines[0].contains("panic"));
+        assert!(m.masked_lines[0].contains("let t = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_module() {
+        let src = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn more_lib() {}
+";
+        let m = MaskedSource::new(src);
+        assert_eq!(m.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let m = MaskedSource::new(src);
+        assert!(m.masked_lines[0].ends_with("let x = 1;"));
+        assert!(!m.masked_lines[0].contains("outer"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration: the full lint pass over the real workspace checkout, plus
+//! end-to-end rule/suppression behavior through the public API.
+
+use std::path::Path;
+
+use rhlint::{check_workspace, render_report, scan_source, Rule, ScanScope};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/rhlint sits two levels under the workspace root")
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let diagnostics = check_workspace(workspace_root()).expect("workspace scans");
+    assert!(
+        diagnostics.is_empty(),
+        "workspace must stay rhlint-clean:\n{}",
+        render_report(&diagnostics)
+    );
+}
+
+#[test]
+fn planted_violations_are_caught_end_to_end() {
+    let source = r#"
+pub fn bad(xs: &[f64]) -> f64 {
+    let first = xs[0];
+    let m = std::collections::HashMap::<u32, f64>::new();
+    first + m.get(&0).copied().unwrap()
+}
+"#;
+    let scope = ScanScope::for_crate("rockhopper");
+    let diags = scan_source("rockhopper", Path::new("src/bad.rs"), source, scope);
+    let rules: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&Rule::SliceIndex), "{diags:?}");
+    assert!(rules.contains(&Rule::HashIter), "{diags:?}");
+    assert!(rules.contains(&Rule::Unwrap), "{diags:?}");
+}
+
+#[test]
+fn justified_suppressions_silence_findings() {
+    let source = r#"
+pub fn allowed(xs: &[f64]) -> f64 {
+    // rhlint:allow(slice-index): the caller guarantees at least one element
+    xs[0]
+}
+"#;
+    let scope = ScanScope::for_crate("rockhopper");
+    let diags = scan_source("rockhopper", Path::new("src/ok.rs"), source, scope);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unjustified_suppressions_are_themselves_flagged() {
+    let source = r#"
+pub fn sneaky(xs: &[f64]) -> f64 {
+    // rhlint:allow(slice-index)
+    xs[0]
+}
+"#;
+    let scope = ScanScope::for_crate("rockhopper");
+    let diags = scan_source("rockhopper", Path::new("src/sneaky.rs"), source, scope);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::BadSuppression),
+        "{diags:?}"
+    );
+}

@@ -12,7 +12,7 @@
 //! best joint configuration per query by the per-query score, and sum those scores.
 //! The app candidate with the best total wins.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,13 +114,15 @@ impl AppLevelOptimizer {
             let mut total = 0.0;
             let mut per_query = Vec::with_capacity(queries.len());
             for (qi, q) in queries.iter().enumerate() {
-                // c*_q(v) = argmin over the Cartesian slice {v} × W_q.
-                let (best_w, best_s) = query_candidates[qi]
-                    .iter()
-                    .map(|w| (w, score(qi, v, w)))
-                    .min_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("candidate sets are non-empty");
-                total += best_s;
+                // c*_q(v) = argmin over the Cartesian slice {v} × W_q. Each W_q
+                // contains at least the query's own centroid, so a pick exists;
+                // NaN scores are skipped rather than panicking the loop.
+                let cands = &query_candidates[qi];
+                let wi = ml::stats::nan_safe_min_by(cands, |w| score(qi, v, w)).unwrap_or(0);
+                let Some(best_w) = cands.get(wi) else {
+                    continue;
+                };
+                total += score(qi, v, best_w);
                 per_query.push((q.signature, best_w.clone()));
             }
             if best.as_ref().is_none_or(|b| total < b.total_score) {
@@ -138,7 +140,7 @@ impl AppLevelOptimizer {
 /// The `app_cache`: pre-computed app-level configurations keyed by `artifact_id`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AppCache {
-    entries: HashMap<String, AppCacheEntry>,
+    entries: BTreeMap<String, AppCacheEntry>,
 }
 
 impl AppCache {

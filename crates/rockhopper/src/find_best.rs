@@ -65,13 +65,10 @@ pub fn find_best(
     if window.is_empty() {
         return None;
     }
+    // The window is non-empty (checked above); NaN scores are skipped, and if
+    // every score is NaN the first observation stands in.
     let argmin = |score: &dyn Fn(&Observation) -> f64| -> usize {
-        window
-            .iter()
-            .enumerate()
-            .min_by(|a, b| score(a.1).total_cmp(&score(b.1)))
-            .map(|(i, _)| i)
-            .expect("window is non-empty")
+        ml::stats::nan_safe_min_by(window, score).unwrap_or(0)
     };
     let idx = match mode {
         FindBestMode::Raw => argmin(&|o: &Observation| o.elapsed_ms),
@@ -84,12 +81,7 @@ pub fn find_best(
                     .iter()
                     .map(|o| h.predict(&h_features(space, &o.point, p_ref)))
                     .collect();
-                scores
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .expect("window is non-empty")
+                ml::stats::nan_safe_min_by(&scores, |s| *s).unwrap_or(0)
             }
             None => argmin(&|o: &Observation| o.elapsed_ms / o.data_size.max(1e-9)),
         },

@@ -60,7 +60,7 @@ pub fn forecast_data_size(history: &History) -> Option<Forecast> {
     }
 
     // Candidate 1: last value. One-step in-sample error = |p_t − p_{t−1}| in logs.
-    let last_err = one_step_error(&sizes, |hist| *hist.last().expect("non-empty"));
+    let last_err = one_step_error(&sizes, |hist| hist.last().copied().unwrap_or(1.0));
 
     // Candidate 2: log-linear trend.
     let trend_err = one_step_error(&sizes, trend_predict);
@@ -72,7 +72,7 @@ pub fn forecast_data_size(history: &History) -> Option<Forecast> {
             if hist.len() >= period {
                 hist[hist.len() - period]
             } else {
-                *hist.last().expect("non-empty")
+                hist.last().copied().unwrap_or(1.0)
             }
         });
         if best_seasonal.map_or(true, |(_, e)| err < e) {

@@ -135,7 +135,7 @@ impl Guardrail {
             .map(|(i, o)| vec![i as f64, o.data_size.max(1e-9).ln()])
             .collect();
         let raw: Vec<f64> = history.all.iter().map(|o| o.elapsed_ms).collect();
-        let cap = 2.5 * ml::stats::median(&raw);
+        let cap = 2.5 * ml::stats::median(&raw)?;
         let y: Vec<f64> = raw.into_iter().map(|v| v.min(cap)).collect();
         let mut m = Ridge::new(1.0);
         m.fit(&x, &y).ok()?;

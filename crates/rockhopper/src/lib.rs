@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The Rockhopper tuner — the paper's primary contribution.
 //!
 //! # Centroid Learning in one paragraph

@@ -115,7 +115,7 @@ impl CandidateSelector for PseudoSelector {
     ) -> usize {
         assert!(!candidates.is_empty(), "candidate set must be non-empty");
         let scores: Vec<f64> = candidates.iter().map(|c| (self.oracle)(c)).collect();
-        self.selector.select(&scores).expect("non-empty candidates")
+        self.selector.select(&scores).unwrap_or(0)
     }
 }
 
@@ -148,12 +148,9 @@ impl CandidateSelector for RandomSelector {
 }
 
 fn argmin_by<F: Fn(&Vec<f64>) -> f64>(candidates: &[Vec<f64>], score: F) -> usize {
-    candidates
-        .iter()
-        .enumerate()
-        .min_by(|a, b| score(a.1).total_cmp(&score(b.1)))
-        .map(|(i, _)| i)
-        .expect("non-empty candidates")
+    // Candidates are asserted non-empty by every selector; if every score is
+    // NaN the first candidate is as good a pick as any.
+    ml::stats::nan_safe_min_by(candidates, score).unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -64,9 +64,10 @@ pub enum SparkEvent {
 }
 
 impl SparkEvent {
-    /// Serialize to one JSON line.
+    /// Serialize to one JSON line. Serializing this plain data enum cannot fail;
+    /// if it ever did, the empty line is skipped by every JSONL consumer.
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(self).expect("SparkEvent serializes")
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Parse one JSON line; `None` on malformed input (the ETL skips bad lines as a

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! A discrete Apache Spark cluster simulator.
 //!
 //! The Rockhopper paper tunes real Spark on Microsoft Fabric; no Spark exists in this

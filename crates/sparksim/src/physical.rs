@@ -165,6 +165,17 @@ impl Planner {
     /// Close the final (result) stage — no shuffle write.
     fn seal(&mut self, _open: OpenStage) {}
 
+    /// Fallback for a malformed plan node missing its required children: an
+    /// empty scan stage carrying the node's own estimates, instead of a panic.
+    fn degenerate_stage(&mut self, node: &PlanNode) -> OpenStage {
+        let idx = self.new_stage(StageKind::Scan, 1, node.est_bytes);
+        OpenStage {
+            idx,
+            rows: node.est_rows,
+            bytes: node.est_bytes,
+        }
+    }
+
     fn build(&mut self, node: &PlanNode) -> OpenStage {
         match &node.op {
             Operator::TableScan { .. } => {
@@ -179,7 +190,10 @@ impl Planner {
                 }
             }
             Operator::Filter { .. } | Operator::Project { .. } | Operator::Limit { .. } => {
-                let child = self.build(&node.children[0]);
+                let Some(input) = node.children.first() else {
+                    return self.degenerate_stage(node);
+                };
+                let child = self.build(input);
                 // Narrow ops pipeline into the child's stage; cost is paid on the
                 // child's output rows.
                 self.stages[child.idx].cpu_rows +=
@@ -191,7 +205,10 @@ impl Planner {
                 }
             }
             Operator::HashAggregate { .. } => {
-                let child = self.build(&node.children[0]);
+                let Some(input) = node.children.first() else {
+                    return self.degenerate_stage(node);
+                };
+                let child = self.build(input);
                 // Partial aggregation in the child's stage.
                 self.stages[child.idx].cpu_rows +=
                     child.rows * CostParams::op_weight("HashAggregate");
@@ -213,7 +230,10 @@ impl Planner {
                 }
             }
             Operator::Sort => {
-                let child = self.build(&node.children[0]);
+                let Some(input) = node.children.first() else {
+                    return self.degenerate_stage(node);
+                };
+                let child = self.build(input);
                 let (rows, bytes) = self.close_with_shuffle(child);
                 let idx = self.new_stage(StageKind::Shuffle, self.shuffle_tasks(bytes), bytes);
                 self.stages[idx].sort_rows += rows;
@@ -224,8 +244,11 @@ impl Planner {
                 }
             }
             Operator::Join { .. } => {
-                let left = self.build(&node.children[0]);
-                let right = self.build(&node.children[1]);
+                let [l, r] = &node.children[..] else {
+                    return self.degenerate_stage(node);
+                };
+                let left = self.build(l);
+                let right = self.build(r);
                 let threshold = self.conf.auto_broadcast_join_threshold;
                 let (probe, build, build_is_right) = if right.bytes <= left.bytes {
                     (left, right, true)
@@ -271,8 +294,11 @@ impl Planner {
                 // Modeled as an exchange-union: both children close into one stage.
                 // (Real Spark unions without a shuffle; the cost difference is the
                 // shuffle of the union inputs, small for the plans used here.)
-                let left = self.build(&node.children[0]);
-                let right = self.build(&node.children[1]);
+                let [l, r] = &node.children[..] else {
+                    return self.degenerate_stage(node);
+                };
+                let left = self.build(l);
+                let right = self.build(r);
                 let (l_rows, l_bytes) = self.close_with_shuffle(left);
                 let (r_rows, r_bytes) = self.close_with_shuffle(right);
                 let idx = self.new_stage(

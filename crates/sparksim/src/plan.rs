@@ -198,46 +198,41 @@ impl PlanNode {
     /// Recompute this node's estimates from its children (children must already be
     /// estimated — builders maintain this invariant).
     fn estimate(&mut self) {
-        let (rows, bytes) = match &self.op {
-            Operator::TableScan {
-                rows, row_bytes, ..
-            } => (*rows, rows * row_bytes),
-            Operator::Filter { selectivity } => {
-                let c = &self.children[0];
+        let (rows, bytes) = match (&self.op, &self.children[..]) {
+            (
+                Operator::TableScan {
+                    rows, row_bytes, ..
+                },
+                _,
+            ) => (*rows, rows * row_bytes),
+            (Operator::Filter { selectivity }, [c, ..]) => {
                 (c.est_rows * selectivity, c.est_bytes * selectivity)
             }
-            Operator::Project { width_factor } => {
-                let c = &self.children[0];
+            (Operator::Project { width_factor }, [c, ..]) => {
                 (c.est_rows, c.est_bytes * width_factor)
             }
-            Operator::HashAggregate { group_ratio } => {
-                let c = &self.children[0];
-                (
-                    (c.est_rows * group_ratio).max(1.0),
-                    (c.est_bytes * group_ratio).max(8.0),
-                )
-            }
-            Operator::Join { selectivity } => {
-                let l = &self.children[0];
-                let r = &self.children[1];
+            (Operator::HashAggregate { group_ratio }, [c, ..]) => (
+                (c.est_rows * group_ratio).max(1.0),
+                (c.est_bytes * group_ratio).max(8.0),
+            ),
+            (Operator::Join { selectivity }, [l, r, ..]) => {
                 let rows = (l.est_rows * r.est_rows * selectivity).max(0.0);
                 let width = row_width(l) + row_width(r);
                 (rows, rows * width)
             }
-            Operator::Sort => {
-                let c = &self.children[0];
-                (c.est_rows, c.est_bytes)
-            }
-            Operator::Limit { n } => {
-                let c = &self.children[0];
+            (Operator::Sort, [c, ..]) => (c.est_rows, c.est_bytes),
+            (Operator::Limit { n }, [c, ..]) => {
                 let rows = c.est_rows.min(*n);
                 (rows, rows * row_width(c))
             }
-            Operator::Union => {
+            (Operator::Union, _) => {
                 let rows = self.children.iter().map(|c| c.est_rows).sum();
                 let bytes = self.children.iter().map(|c| c.est_bytes).sum();
                 (rows, bytes)
             }
+            // A node missing its required children estimates as empty rather
+            // than panicking on a malformed plan.
+            _ => (0.0, 0.0),
         };
         self.est_rows = rows;
         self.est_bytes = bytes;

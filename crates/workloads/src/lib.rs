@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Workloads for the Rockhopper reproduction.
 //!
 //! The paper evaluates on (a) a synthetic convex function with injected noise (§6.1),

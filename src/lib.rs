@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # Rockhopper (reproduction)
 //!
 //! Facade crate re-exporting the full Rockhopper reproduction workspace: a robust

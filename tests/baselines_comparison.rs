@@ -30,7 +30,7 @@ fn final_median<T: Tuner>(
             ml::stats::mean(&tail)
         })
         .collect();
-    ml::stats::median(&finals)
+    ml::stats::median(&finals).expect("at least one replication")
 }
 
 #[test]

@@ -1,0 +1,19 @@
+//! Tier-1 gate: `cargo test` fails if the workspace stops being rhlint-clean.
+//!
+//! This runs the same pass as `cargo run -p rhlint -- check` — panic-freedom,
+//! determinism, float-safety and config-space invariants — so a violation cannot
+//! land without either fixing it or adding a justified `rhlint:allow` suppression.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_rhlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diagnostics = rhlint::check_workspace(root).expect("lint pass runs");
+    assert!(
+        diagnostics.is_empty(),
+        "rhlint found {} violation(s):\n{}",
+        diagnostics.len(),
+        rhlint::render_report(&diagnostics)
+    );
+}

@@ -1,0 +1,163 @@
+//! Offline shim of `criterion`.
+//!
+//! Provides the API spelling the workspace's benches use, backed by a simple
+//! measure-and-print harness: each benchmark is warmed up briefly, then timed
+//! over a fixed wall-clock budget and reported as mean ns/iter. No plots, no
+//! statistics beyond the mean — enough to compare hot paths locally while the
+//! real crate is unavailable offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// How batched inputs are sized; only a marker in this shim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), &mut f);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    // Calibrate: find an iteration count that takes a noticeable time slice.
+    let mut iters: u64 = 1;
+    let calibrate_start = Instant::now();
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed > Duration::from_millis(50)
+            || iters >= 1 << 30
+            || calibrate_start.elapsed() > WARMUP
+        {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    // Measure within the time budget.
+    let mut total_iters: u64 = 0;
+    let mut total_time = Duration::ZERO;
+    while total_time < MEASURE {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total_iters += iters;
+        total_time += b.elapsed;
+        if b.elapsed.is_zero() {
+            break;
+        }
+    }
+
+    if total_iters == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = total_time.as_nanos() as f64 / total_iters as f64;
+    println!("{name}: {ns_per_iter:.1} ns/iter ({total_iters} iters)");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,236 @@
+//! Offline shim of the `crossbeam` API surface this workspace uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`. Implemented as an
+//! MPMC queue over `std::sync::{Mutex, Condvar}` — not as fast as the real
+//! crate, but semantically equivalent for the service-thread request/reply
+//! pattern in `pipeline::service`.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned when the channel is disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            // No T: Debug bound, matching upstream crossbeam.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = lock_state(&self.shared);
+            if state.receivers == 0 {
+                return Err(SendError(item));
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock_state(&self.shared).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut state = lock_state(&self.shared);
+                state.senders -= 1;
+                state.senders
+            };
+            if remaining == 0 {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = lock_state(&self.shared);
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = lock_state(&self.shared);
+            if let Some(item) = state.items.pop_front() {
+                Ok(item)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = lock_state(&self.shared);
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = next;
+                if timed_out.timed_out() && state.items.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Drain-style blocking iterator, ends when all senders hang up.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock_state(&self.shared).receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock_state(&self.shared).receivers -= 1;
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    fn lock_state<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn request_reply_round_trip() {
+            let (tx, rx) = unbounded::<(u64, Sender<u64>)>();
+            let worker = thread::spawn(move || {
+                while let Ok((n, reply)) = rx.recv() {
+                    let _ = reply.send(n * 2);
+                }
+            });
+            let (reply_tx, reply_rx) = unbounded();
+            tx.send((21, reply_tx)).expect("worker alive");
+            assert_eq!(reply_rx.recv(), Ok(42));
+            drop(tx);
+            worker.join().expect("worker exits cleanly");
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).expect("receiver alive");
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

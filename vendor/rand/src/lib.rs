@@ -1,0 +1,317 @@
+//! Offline shim of the `rand` crate.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors the exact API surface it uses: a seedable `StdRng`
+//! (xoshiro256++ seeded via SplitMix64), `random_range` over integer and
+//! float ranges, and in-place slice shuffling. Everything is deterministic
+//! given a seed, which is a hard requirement of the Rockhopper Centroid
+//! Learning experiments (paper Eq (8)): reruns must be bit-reproducible.
+//!
+//! This is NOT a cryptographic RNG and makes no statistical-quality claims
+//! beyond what the simulator and tuners need (uniform-ish 64-bit streams).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of 64-bit random words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Marker trait mirroring `rand::Rng`; kept for bounds compatibility.
+/// The inherent sampling methods live on [`RngExt`] so that importing either
+/// trait name (as different workspace crates do) keeps code compiling.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension methods used throughout the workspace.
+pub trait RngExt: RngCore {
+    /// Sample uniformly from a half-open or inclusive range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniform draw from a type's full "standard" domain.
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = sample_index(self, i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn "plainly" via [`RngExt::random`].
+pub trait Standard: Sized {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniformly sampleable scalar types.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; `hi` is exclusive unless `inclusive`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                if span <= 0 {
+                    return lo;
+                }
+                let draw = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo_w + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        if !(hi > lo) {
+            return lo;
+        }
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        if !(hi > lo) {
+            return lo;
+        }
+        lo + (hi - lo) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Map a 64-bit word to a float in `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform index in `[0, n)` — used by shuffle.
+fn sample_index<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> usize {
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// SplitMix64: seeds the main generator from a single `u64`.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the workspace's standard RNG.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// `rand::rng()` exists upstream but returns OS-entropy state; the workspace
+/// bans it (rhlint `determinism` rule) in favour of seeded construction, so
+/// the shim deliberately does not provide it.
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(0.25..4.0);
+            assert!((0.25..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let i = rng.random_range(0..8usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rng.random_range(3..=3u32), 3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}

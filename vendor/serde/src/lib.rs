@@ -1,0 +1,464 @@
+//! Offline shim of `serde`.
+//!
+//! The registry is unreachable in this environment, so the workspace vendors a
+//! minimal value-tree serialization framework with the same spelling as serde:
+//! `#[derive(Serialize, Deserialize)]`, `serde_json::{to_string, to_vec,
+//! from_str, from_slice}`. Types serialize into a [`Value`] tree;
+//! `serde_json` renders/parses that tree as real JSON text. Round-trip
+//! fidelity within this workspace is the design goal, not wire compatibility
+//! with upstream serde.
+//!
+//! Maps serialize as arrays of `[key, value]` pairs sorted by their JSON-
+//! rendered key, so any `Eq + Hash` key type works and output is
+//! deterministic regardless of `HashMap` iteration order.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model every serializable type lowers into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; missing fields read as `Null` so `Option` fields
+    /// deserialize to `None` and everything else reports a typed error.
+    pub fn get_field(&self, name: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Value::Int(i) => Some(i as i128),
+            Value::UInt(u) => Some(u as i128),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error with a dotted-path breadcrumb.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::new(format!("expected {what}, got {}", got.type_name()))
+    }
+
+    /// Prefix the error path with a field or variant name.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError::new(format!("{field}: {}", self.message))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let wide = value.as_i128().ok_or_else(|| DeError::expected("integer", value))?;
+                <$t>::try_from(wide).map_err(|_| DeError::new(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let wide = value.as_i128().ok_or_else(|| DeError::expected("integer", value))?;
+                <$t>::try_from(wide).map_err(|_| DeError::new(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    // JSON has no NaN/Infinity literal; they render as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => other
+                        .as_f64()
+                        .map(|f| f as $t)
+                        .ok_or_else(|| DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().ok_or_else(|| DeError::new("empty char"))?),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::deserialize_value(value).map(VecDeque::from)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => Ok((
+                        $($name::deserialize_value(&items[$idx]).map_err(|e| e.in_field(stringify!($idx)))?,)+
+                    )),
+                    other => Err(DeError::expected(concat!("array of length ", $len), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0; 1);
+impl_tuple!(A: 0, B: 1; 2);
+impl_tuple!(A: 0, B: 1, C: 2; 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3; 4);
+
+/// Maps serialize as sorted arrays of `[key, value]` pairs — deterministic
+/// output for `HashMap`, and non-string keys (tuples, integers) just work.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(String, Value)> = entries
+        .map(|(k, v)| {
+            let key = k.serialize_value();
+            (crate::text::render_compact(&key), Value::Array(vec![key, v.serialize_value()]))
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(pairs.into_iter().map(|(_, pair)| pair).collect())
+}
+
+fn map_entries_from(value: &Value) -> Result<impl Iterator<Item = (&Value, &Value)>, DeError> {
+    match value {
+        Value::Array(items) => {
+            for item in items {
+                match item {
+                    Value::Array(pair) if pair.len() == 2 => {}
+                    other => return Err(DeError::expected("[key, value] pair", other)),
+                }
+            }
+            Ok(items.iter().map(|item| match item {
+                Value::Array(pair) => (&pair[0], &pair[1]),
+                _ => unreachable!("validated above"),
+            }))
+        }
+        other => Err(DeError::expected("array of [key, value] pairs", other)),
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        map_entries_from(value)?
+            .map(|(k, v)| Ok((K::deserialize_value(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        map_entries_from(value)?
+            .map(|(k, v)| Ok((K::deserialize_value(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: std::hash::BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        let mut rendered: Vec<(String, Value)> = self
+            .iter()
+            .map(|item| {
+                let v = item.serialize_value();
+                (crate::text::render_compact(&v), v)
+            })
+            .collect();
+        rendered.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Array(rendered.into_iter().map(|(_, v)| v).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+pub mod text;

@@ -1,0 +1,540 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::{Serialize, Deserialize}` traits
+//! (value-tree based, see `vendor/serde`) for the shapes this workspace
+//! actually uses: non-generic structs (named / tuple / unit) and non-generic
+//! enums (unit / newtype / tuple / struct variants), plus the
+//! `#[serde(tag = "...")]` internally-tagged enum representation.
+//!
+//! There is deliberately no `syn`/`quote` dependency — the registry is
+//! offline — so parsing is a small hand-rolled walk over `proc_macro`
+//! token trees. Unsupported shapes (generics, unknown `#[serde]` attributes)
+//! fail loudly with `compile_error!` rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, tag: Option<String>, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&parsed),
+                Mode::Deserialize => gen_deserialize(&parsed),
+            };
+            code.parse().unwrap_or_else(|e| {
+                error(&format!("serde_derive shim produced unparseable code: {e}"))
+            })
+        }
+        Err(message) => error(&message),
+    }
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("literal compile_error")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut tag = None;
+
+    // Leading attributes (doc comments arrive as #[doc] too).
+    while is_attr_start(&trees, pos) {
+        if let Some(serde_args) = attr_serde_args(&trees[pos + 1]) {
+            for (key, value) in serde_args? {
+                match key.as_str() {
+                    "tag" => tag = Some(value.ok_or("serde(tag) needs a value")?),
+                    other => {
+                        return Err(format!(
+                            "serde shim: unsupported container attribute `{other}`"
+                        ))
+                    }
+                }
+            }
+        }
+        pos += 2;
+    }
+
+    skip_visibility(&trees, &mut pos);
+
+    let kind = match ident_at(&trees, pos) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        _ => return Err("serde shim: expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+
+    let name = ident_at(&trees, pos).ok_or("serde shim: expected type name")?;
+    pos += 1;
+
+    if matches!(&trees.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim: generic type `{name}` is not supported"));
+    }
+
+    if kind == "struct" {
+        let fields = match trees.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            None => Fields::Unit,
+            _ => return Err("serde shim: unsupported struct body".into()),
+        };
+        if tag.is_some() {
+            return Err("serde shim: #[serde(tag)] only applies to enums".into());
+        }
+        Ok(Input::Struct { name, fields })
+    } else {
+        let body = match trees.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err("serde shim: expected enum body".into()),
+        };
+        let variants = parse_variants(body)?;
+        if let Some(tag_name) = &tag {
+            for v in &variants {
+                if matches!(v.fields, Fields::Tuple(_)) {
+                    return Err(format!(
+                        "serde shim: #[serde(tag = {tag_name:?})] cannot represent tuple variant `{}`",
+                        v.name
+                    ));
+                }
+            }
+        }
+        Ok(Input::Enum { name, tag, variants })
+    }
+}
+
+fn is_attr_start(trees: &[TokenTree], pos: usize) -> bool {
+    matches!(trees.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(trees.get(pos + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+}
+
+/// If the bracket group is `[serde(...)]`, parse `key` / `key = "value"`
+/// pairs; otherwise `None`.
+#[allow(clippy::type_complexity)]
+fn attr_serde_args(tree: &TokenTree) -> Option<Result<Vec<(String, Option<String>)>, String>> {
+    let TokenTree::Group(group) = tree else { return None };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return Some(Err("serde shim: malformed #[serde] attribute".into()));
+    };
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            return Some(Err("serde shim: expected identifier in #[serde(...)]".into()));
+        };
+        let key = key.to_string();
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    let raw = lit.to_string();
+                    value = Some(raw.trim_matches('"').to_string());
+                    i += 1;
+                }
+                _ => return Some(Err("serde shim: expected string after `=`".into())),
+            }
+        }
+        out.push((key, value));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Some(Ok(out))
+}
+
+fn ident_at(trees: &[TokenTree], pos: usize) -> Option<String> {
+    match trees.get(pos) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn skip_visibility(trees: &[TokenTree], pos: &mut usize) {
+    if ident_at(trees, *pos).as_deref() == Some("pub") {
+        *pos += 1;
+        if matches!(trees.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+/// Split a field-list token stream on top-level commas, tracking `<...>`
+/// nesting (angle brackets are puncts, not groups).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().expect("non-empty by construction").push(tree);
+    }
+    segments.retain(|seg| !seg.is_empty());
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut pos = 0;
+        while is_attr_start(&segment, pos) {
+            if let Some(args) = attr_serde_args(&segment[pos + 1]) {
+                let args = args?;
+                if let Some((key, _)) = args.first() {
+                    return Err(format!("serde shim: unsupported field attribute `{key}`"));
+                }
+            }
+            pos += 2;
+        }
+        skip_visibility(&segment, &mut pos);
+        let name = ident_at(&segment, pos)
+            .ok_or("serde shim: expected field name")?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut pos = 0;
+        while is_attr_start(&segment, pos) {
+            if let Some(args) = attr_serde_args(&segment[pos + 1]) {
+                let args = args?;
+                if let Some((key, _)) = args.first() {
+                    return Err(format!("serde shim: unsupported variant attribute `{key}`"));
+                }
+            }
+            pos += 2;
+        }
+        let name = ident_at(&segment, pos).ok_or("serde shim: expected variant name")?;
+        pos += 1;
+        let fields = match segment.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim: explicit discriminant on variant `{name}` is not supported"
+                ))
+            }
+            None => Fields::Unit,
+            _ => return Err(format!("serde shim: unsupported body on variant `{name}`")),
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn obj_pairs(fields: &[String], accessor: &dyn Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::serialize_value({})),",
+                accessor(f)
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    obj_pairs(names, &|f| format!("&self.{f}"))
+                ),
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::serialize_value(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, tag, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match (&v.fields, tag) {
+                        (Fields::Unit, None) => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
+                        ),
+                        (Fields::Unit, Some(tag)) => format!(
+                            "{name}::{vname} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({tag:?}), ::serde::Value::Str(::std::string::String::from({vname:?})))]),\n"
+                        ),
+                        (Fields::Named(fields), None) => {
+                            let binds = fields.join(", ");
+                            let pairs = obj_pairs(fields, &|f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), ::serde::Value::Object(::std::vec![{pairs}]))]),\n"
+                            )
+                        }
+                        (Fields::Named(fields), Some(tag)) => {
+                            let binds = fields.join(", ");
+                            let pairs = obj_pairs(fields, &|f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({tag:?}), ::serde::Value::Str(::std::string::String::from({vname:?}))), {pairs}]),\n"
+                            )
+                        }
+                        (Fields::Tuple(1), None) => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), ::serde::Serialize::serialize_value(inner))]),\n"
+                        ),
+                        (Fields::Tuple(n), None) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), ::serde::Value::Array(::std::vec![{items}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        (Fields::Tuple(_), Some(_)) => {
+                            unreachable!("rejected during parsing")
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_field_reads(type_path: &str, fields: &[String], source: &str) -> String {
+    let reads: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value({source}.get_field({f:?}))\
+                 .map_err(|e| e.in_field({f:?}))?,"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {reads} }}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let body = match input {
+        Input::Struct { name, fields } => match fields {
+            Fields::Named(field_names) => {
+                let construct = named_field_reads(name, field_names, "value");
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Object(_) => ::std::result::Result::Ok({construct}),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\n\
+                     }}"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(value)?))"
+            ),
+            Fields::Tuple(n) => {
+                let reads: String = (0..*n)
+                    .map(|i| {
+                        format!("::serde::Deserialize::deserialize_value(&items[{i}]).map_err(|e| e.in_field(\"{i}\"))?,")
+                    })
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                             ::std::result::Result::Ok({name}({reads})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"array of length {n}\", other)),\n\
+                     }}"
+                )
+            }
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Input::Enum { name, tag: Some(tag), variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ),
+                        Fields::Named(fields) => {
+                            let construct =
+                                named_field_reads(&format!("{name}::{vname}"), fields, "value");
+                            format!("{vname:?} => ::std::result::Result::Ok({construct}),\n")
+                        }
+                        Fields::Tuple(_) => unreachable!("rejected during parsing"),
+                    }
+                })
+                .collect();
+            format!(
+                "let tag_value = value.get_field({tag:?});\n\
+                 let ::serde::Value::Str(tag_name) = tag_value else {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::expected(\"tag string `{tag}`\", tag_value));\n\
+                 }};\n\
+                 match tag_name.as_str() {{\n\
+                     {arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                         ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, tag: None, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")
+                })
+                .collect();
+            let keyed_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Named(fields) => {
+                            let construct =
+                                named_field_reads(&format!("{name}::{vname}"), fields, "inner");
+                            format!("{vname:?} => ::std::result::Result::Ok({construct}),\n")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_value(inner).map_err(|e| e.in_field({vname:?}))?)),\n"
+                        ),
+                        Fields::Tuple(n) => {
+                            let reads: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&items[{i}]).map_err(|e| e.in_field({vname:?}))?,")
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                                         ::std::result::Result::Ok({name}::{vname}({reads})),\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::expected(\"array of length {n}\", other)),\n\
+                                 }},\n"
+                            )
+                        }
+                        Fields::Unit => unreachable!("filtered above"),
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                             ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (key, inner) = &fields[0];\n\
+                         match key.as_str() {{\n\
+                             {keyed_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"enum representation\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match input {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

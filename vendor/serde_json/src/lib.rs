@@ -1,0 +1,53 @@
+//! Offline shim of `serde_json`: renders and parses the vendored
+//! `serde::Value` tree as JSON text. Only the entry points this workspace
+//! calls are provided.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::{DeError, Value};
+
+/// Unified error type covering parse and shape mismatches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    inner: DeError,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(inner: DeError) -> Self {
+        Error { inner }
+    }
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::render_compact(&value.serialize_value()))
+}
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let tree = serde::text::parse(input)?;
+    T::deserialize_value(&tree).map_err(Error::from)
+}
+
+pub fn from_slice<T: serde::Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input)
+        .map_err(|e| Error::from(DeError::new(format!("invalid utf-8: {e}"))))?;
+    from_str(text)
+}
+
+/// Parse JSON into the generic value tree.
+pub fn value_from_str(input: &str) -> Result<Value, Error> {
+    serde::text::parse(input).map_err(Error::from)
+}
