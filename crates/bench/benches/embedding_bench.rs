@@ -13,10 +13,18 @@ fn bench_embed(c: &mut Criterion) {
     let virt = WorkloadEmbedder::virtual_ops();
 
     let mut group = c.benchmark_group("embed");
-    group.bench_function("plain_small_plan", |b| b.iter(|| plain.embed(black_box(&small))));
-    group.bench_function("plain_large_plan", |b| b.iter(|| plain.embed(black_box(&large))));
-    group.bench_function("virtual_small_plan", |b| b.iter(|| virt.embed(black_box(&small))));
-    group.bench_function("virtual_large_plan", |b| b.iter(|| virt.embed(black_box(&large))));
+    group.bench_function("plain_small_plan", |b| {
+        b.iter(|| plain.embed(black_box(&small)))
+    });
+    group.bench_function("plain_large_plan", |b| {
+        b.iter(|| plain.embed(black_box(&large)))
+    });
+    group.bench_function("virtual_small_plan", |b| {
+        b.iter(|| virt.embed(black_box(&small)))
+    });
+    group.bench_function("virtual_large_plan", |b| {
+        b.iter(|| virt.embed(black_box(&large)))
+    });
     group.finish();
 }
 

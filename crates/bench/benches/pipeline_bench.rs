@@ -48,7 +48,11 @@ fn bench_storage(c: &mut Criterion) {
     });
     storage.put(&token, "events/hot/events.jsonl", log).unwrap();
     c.bench_function("storage_get_event_file", |b| {
-        b.iter(|| storage.get(&token, black_box("events/hot/events.jsonl")).unwrap())
+        b.iter(|| {
+            storage
+                .get(&token, black_box("events/hot/events.jsonl"))
+                .unwrap()
+        })
     });
 }
 

@@ -40,9 +40,14 @@ fn bench_suggest_latency(c: &mut Criterion) {
     let space = ConfigSpace::query_level();
     let mut group = c.benchmark_group("suggest_latency_50_obs");
 
-    let mut cl = RockhopperTuner::builder(space.clone()).guardrail(None).seed(1).build();
+    let mut cl = RockhopperTuner::builder(space.clone())
+        .guardrail(None)
+        .seed(1)
+        .build();
     warm(&mut cl, 50, 1);
-    group.bench_function("centroid_learning", |b| b.iter(|| cl.suggest(black_box(&ctx()))));
+    group.bench_function("centroid_learning", |b| {
+        b.iter(|| cl.suggest(black_box(&ctx())))
+    });
 
     let mut bo = BayesOpt::new(space.clone(), 1);
     warm(&mut bo, 50, 1);
@@ -52,7 +57,10 @@ fn bench_suggest_latency(c: &mut Criterion) {
 
 fn bench_observe_latency(c: &mut Criterion) {
     let space = ConfigSpace::query_level();
-    let mut cl = RockhopperTuner::builder(space.clone()).guardrail(None).seed(2).build();
+    let mut cl = RockhopperTuner::builder(space.clone())
+        .guardrail(None)
+        .seed(2)
+        .build();
     warm(&mut cl, 50, 2);
     let point = space.default_point();
     c.bench_function("centroid_observe_and_update", |b| {

@@ -36,6 +36,7 @@ impl WorkloadEmbedder {
     }
 
     /// Virtual operators with custom bucketing.
+    // rhlint:allow(dead-pub): builder variant kept for alternative bucketing schemes
     pub fn with_scheme(scheme: EmbeddingScheme) -> WorkloadEmbedder {
         WorkloadEmbedder { scheme }
     }
@@ -169,6 +170,10 @@ mod tests {
             let key: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
             seen.insert(key);
         }
-        assert!(seen.len() >= 20, "embeddings collide: {} distinct", seen.len());
+        assert!(
+            seen.len() >= 20,
+            "embeddings collide: {} distinct",
+            seen.len()
+        );
     }
 }

@@ -41,6 +41,7 @@ fn hash_node(node: &PlanNode, h: &mut DefaultHasher) {
 
 /// Quantize a parameter so float jitter does not split signatures.
 fn quantized(x: f64) -> u64 {
+    // rhlint:allow(lossy-cast): two's-complement reinterpretation is the intended, bijective hash input
     (x * 1e6).round() as i64 as u64
 }
 

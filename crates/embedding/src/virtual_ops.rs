@@ -33,12 +33,12 @@ impl Default for VirtualOpScheme {
 
 impl VirtualOpScheme {
     /// Number of input buckets.
-    pub fn input_buckets(&self) -> usize {
+    pub(crate) fn input_buckets(&self) -> usize {
         self.input_edges.len() + 1
     }
 
     /// Number of ratio buckets.
-    pub fn ratio_buckets(&self) -> usize {
+    pub(crate) fn ratio_buckets(&self) -> usize {
         self.ratio_edges.len() + 1
     }
 
@@ -48,7 +48,7 @@ impl VirtualOpScheme {
     }
 
     /// Index of the input bucket for `rows`.
-    pub fn input_bucket(&self, rows: f64) -> usize {
+    pub(crate) fn input_bucket(&self, rows: f64) -> usize {
         self.input_edges
             .iter()
             .position(|&e| rows < e)
@@ -56,7 +56,7 @@ impl VirtualOpScheme {
     }
 
     /// Index of the ratio bucket for output/input ratio `r`.
-    pub fn ratio_bucket(&self, r: f64) -> usize {
+    pub(crate) fn ratio_bucket(&self, r: f64) -> usize {
         self.ratio_edges
             .iter()
             .position(|&e| r < e)
@@ -76,7 +76,7 @@ impl VirtualOpScheme {
 }
 
 /// Input rows of a node: sum of children estimates, or the scan's own rows.
-pub fn node_input_rows(node: &PlanNode) -> f64 {
+pub(crate) fn node_input_rows(node: &PlanNode) -> f64 {
     if node.children.is_empty() {
         match &node.op {
             Operator::TableScan { rows, .. } => *rows,

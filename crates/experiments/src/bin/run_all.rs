@@ -21,7 +21,10 @@ fn main() {
         ("embedding", experiments::exp_embedding_ablation::run),
         ("ablation_findbest", experiments::exp_ablation_findbest::run),
         ("ablation_window", experiments::exp_ablation_window::run),
-        ("ablation_overshoot", experiments::exp_ablation_overshoot::run),
+        (
+            "ablation_overshoot",
+            experiments::exp_ablation_overshoot::run,
+        ),
         ("aqe_interaction", experiments::exp_aqe_interaction::run),
         ("applevel", experiments::exp_applevel::run),
     ];
@@ -44,6 +47,9 @@ fn main() {
                 }
             }
         }
-        eprintln!("[{name}] completed in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name}] completed in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -136,7 +136,10 @@ pub fn run(scale: Scale) -> Summary {
             },
         );
         let q_extreme = selection_quality(*mode, sel_windows, 20, NoiseSpec::high());
-        summary.row(&format!("{name} final median normed perf"), format!("{perf:.3}"));
+        summary.row(
+            &format!("{name} final median normed perf"),
+            format!("{perf:.3}"),
+        );
         summary.row(
             &format!("{name} c* quality (moderate / extreme noise)"),
             format!("{q_prod:.3} / {q_extreme:.3}"),

@@ -65,9 +65,11 @@ pub fn run(scale: Scale) -> Summary {
         "paper expectation",
         "moderate overshoot (momentum) beats alpha = 0 and extreme alpha",
     );
-    summary
-        .files
-        .push(write_csv("exp_ablation_overshoot", "alpha,final_median_perf", &rows));
+    summary.files.push(write_csv(
+        "exp_ablation_overshoot",
+        "alpha,final_median_perf",
+        &rows,
+    ));
     summary
 }
 

@@ -49,7 +49,10 @@ pub fn run(scale: Scale) -> Summary {
     let mut results = Vec::new();
     for &w in &WINDOWS {
         let perf = final_perf(w, runs, iters);
-        summary.row(&format!("N = {w:<2} final median normed perf"), format!("{perf:.3}"));
+        summary.row(
+            &format!("N = {w:<2} final median normed perf"),
+            format!("{perf:.3}"),
+        );
         rows.push(vec![w as f64, perf]);
         results.push((w, perf));
     }
@@ -58,10 +61,15 @@ pub fn run(scale: Scale) -> Summary {
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("non-empty");
     summary.row("best window", best.0);
-    summary.row("paper expectation", "N in the 10–20 range beats tiny windows");
-    summary
-        .files
-        .push(write_csv("exp_ablation_window", "window,final_median_perf", &rows));
+    summary.row(
+        "paper expectation",
+        "N in the 10–20 range beats tiny windows",
+    );
+    summary.files.push(write_csv(
+        "exp_ablation_window",
+        "window,final_median_perf",
+        &rows,
+    ));
     summary
 }
 

@@ -67,7 +67,12 @@ pub fn run(scale: Scale) -> Summary {
         // Online query-level tuning through the backend.
         let mut final_query_confs = Vec::new();
         for q in &nb.queries {
-            let mut env = QueryEnv::new(q.plan.clone(), q.noise, q.schedule.clone(), seed ^ q.signature);
+            let mut env = QueryEnv::new(
+                q.plan.clone(),
+                q.noise,
+                q.schedule.clone(),
+                seed ^ q.signature,
+            );
             let mut last_point = env.space().default_point();
             for t in 0..tuning_runs {
                 let ctx = env.context();
@@ -119,7 +124,10 @@ pub fn run(scale: Scale) -> Summary {
 
     let mut summary = Summary::new("exp_applevel");
     summary.row("applications", n_notebooks);
-    summary.row("total wall time, all defaults", format!("{sum_default:.0} ms"));
+    summary.row(
+        "total wall time, all defaults",
+        format!("{sum_default:.0} ms"),
+    );
     summary.row(
         "total wall time, query-level tuning only",
         format!(

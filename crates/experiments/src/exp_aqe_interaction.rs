@@ -101,7 +101,9 @@ pub fn run(scale: Scale) -> Summary {
                 let point = tuner.suggest(&ctx);
                 let mut conf = space.to_conf(&point);
                 conf.adaptive_enabled = aqe;
-                let run = env.sim.execute(&env.plan, &conf, (t as u64) << 3 | qi as u64);
+                let run = env
+                    .sim
+                    .execute(&env.plan, &conf, (t as u64) << 3 | qi as u64);
                 if t + 5 >= iters {
                     last.push(env.sim.true_time_ms(&env.plan, &conf));
                 }

@@ -42,9 +42,17 @@ fn total_time_trace(
     let mut totals = vec![0.0; iters];
     for &q in queries {
         let sig = embedding::query_signature(&workloads::tpcds::query(q, sf));
-        let baseline =
-            train_baseline(&space, &rows.iter().filter(|r| r.signature != sig).cloned().collect::<Vec<_>>(), None, seed)
-                .expect("flighting rows exist");
+        let baseline = train_baseline(
+            &space,
+            &rows
+                .iter()
+                .filter(|r| r.signature != sig)
+                .cloned()
+                .collect::<Vec<_>>(),
+            None,
+            seed,
+        )
+        .expect("flighting rows exist");
         let mut env = QueryEnv::tpcds(
             q,
             sf,

@@ -55,9 +55,11 @@ pub fn run(scale: Scale) -> Summary {
         })
         .collect();
     summary.row("distinct optima across queries", optima.len());
-    summary
-        .files
-        .push(write_csv("fig01_shuffle_partitions", "query_idx,partitions,true_ms", &rows));
+    summary.files.push(write_csv(
+        "fig01_shuffle_partitions",
+        "query_idx,partitions,true_ms",
+        &rows,
+    ));
     summary
 }
 

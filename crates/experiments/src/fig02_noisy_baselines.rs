@@ -11,7 +11,11 @@ use crate::harness::{band_rows, replicate, write_csv, Scale, Summary};
 
 /// Drive one tuner on a fresh high-noise synthetic environment, tracing the true
 /// normalized performance of each *executed* configuration.
-fn trace<T: Tuner>(mut make: impl FnMut(&SyntheticEnv, u64) -> T, seed: u64, iters: usize) -> Vec<f64> {
+fn trace<T: Tuner>(
+    mut make: impl FnMut(&SyntheticEnv, u64) -> T,
+    seed: u64,
+    iters: usize,
+) -> Vec<f64> {
     let mut env = SyntheticEnv::high_noise_constant(seed);
     let mut tuner = make(&env, seed);
     let mut out = Vec::with_capacity(iters);

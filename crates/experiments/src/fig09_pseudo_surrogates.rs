@@ -20,7 +20,11 @@ pub fn trace_level(level: u8, seed: u64, iters: usize) -> Vec<f64> {
     let f = env.f.clone();
     let oracle = move |c: &[f64]| f.true_time(&[c[0], c[1], c[2]], 1.0);
     let mut tuner = RockhopperTuner::builder(env.space().clone())
-        .selector(Box::new(PseudoSelector::new(level, seed ^ 0x9, Box::new(oracle))))
+        .selector(Box::new(PseudoSelector::new(
+            level,
+            seed ^ 0x9,
+            Box::new(oracle),
+        )))
         .guardrail(None)
         .seed(seed)
         .build();
@@ -56,7 +60,11 @@ pub fn run(scale: Scale) -> Summary {
         ));
     }
     // The paper's headline: Level 5 still converges, beating Fig 2's baselines.
-    let l5 = finals.iter().find(|(l, _)| *l == 5).map(|(_, v)| *v).unwrap();
+    let l5 = finals
+        .iter()
+        .find(|(l, _)| *l == 5)
+        .map(|(_, v)| *v)
+        .unwrap();
     summary.row(
         "Level 5 robust convergence",
         format!("{l5:.3} (paper: converges, outperforming vanilla BO)"),
@@ -70,10 +78,14 @@ mod tests {
 
     #[test]
     fn better_surrogates_converge_at_least_as_well() {
-        let l1: f64 =
-            (0..4).map(|s| *trace_level(1, s, 60).last().unwrap()).sum::<f64>() / 4.0;
-        let l9: f64 =
-            (0..4).map(|s| *trace_level(9, s, 60).last().unwrap()).sum::<f64>() / 4.0;
+        let l1: f64 = (0..4)
+            .map(|s| *trace_level(1, s, 60).last().unwrap())
+            .sum::<f64>()
+            / 4.0;
+        let l9: f64 = (0..4)
+            .map(|s| *trace_level(9, s, 60).last().unwrap())
+            .sum::<f64>()
+            / 4.0;
         assert!(
             l1 <= l9 * 1.5,
             "level 1 ({l1:.3}) should not be far worse than level 9 ({l9:.3})"
@@ -82,7 +94,9 @@ mod tests {
 
     #[test]
     fn level_one_converges_near_optimum() {
-        let finals: Vec<f64> = (0..4).map(|s| *trace_level(1, s, 150).last().unwrap()).collect();
+        let finals: Vec<f64> = (0..4)
+            .map(|s| *trace_level(1, s, 150).last().unwrap())
+            .collect();
         let median = ml::stats::median(&finals).expect("runs > 0");
         assert!(median < 1.6, "level-1 CL median {median}");
     }

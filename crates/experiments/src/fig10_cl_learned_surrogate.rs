@@ -51,23 +51,22 @@ pub fn run(scale: Scale) -> Summary {
     let runs = scale.pick(100, 6);
     let iters = scale.pick(400, 40);
 
-    let traces: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
-        crate::harness::replicate_raw(runs, |seed| {
-            let (a, b, c) = trace(seed, iters);
-            // Flatten for the generic replicator, unflatten below.
-            let mut v = a;
-            v.extend(b);
-            v.extend(c);
-            v
-        })
-        .into_iter()
-        .map(|v| {
-            let perf = v[..iters].to_vec();
-            let gap = v[iters..2 * iters].to_vec();
-            let pct = v[2 * iters..].to_vec();
-            (perf, gap, pct)
-        })
-        .collect();
+    let traces: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = crate::harness::replicate_raw(runs, |seed| {
+        let (a, b, c) = trace(seed, iters);
+        // Flatten for the generic replicator, unflatten below.
+        let mut v = a;
+        v.extend(b);
+        v.extend(c);
+        v
+    })
+    .into_iter()
+    .map(|v| {
+        let perf = v[..iters].to_vec();
+        let gap = v[iters..2 * iters].to_vec();
+        let pct = v[2 * iters..].to_vec();
+        (perf, gap, pct)
+    })
+    .collect();
 
     let perf_bands =
         ml::stats::bands_per_iteration(&traces.iter().map(|t| t.0.clone()).collect::<Vec<_>>());
@@ -80,11 +79,17 @@ pub fn run(scale: Scale) -> Summary {
     let final_p50 = ml::stats::mean(&tail.iter().map(|b| b.p50).collect::<Vec<_>>());
     let final_p95 = ml::stats::mean(&tail.iter().map(|b| b.p95).collect::<Vec<_>>());
     summary.row("final median normed perf", format!("{final_p50:.3}"));
-    summary.row("final P95 normed perf (narrowing band)", format!("{final_p95:.3}"));
+    summary.row(
+        "final P95 normed perf (narrowing band)",
+        format!("{final_p95:.3}"),
+    );
     let gap_tail = &gap_bands[gap_bands.len().saturating_sub(10)..];
     summary.row(
         "final median maxPartitionBytes optimality gap",
-        format!("{:.3}", ml::stats::mean(&gap_tail.iter().map(|b| b.p50).collect::<Vec<_>>())),
+        format!(
+            "{:.3}",
+            ml::stats::mean(&gap_tail.iter().map(|b| b.p50).collect::<Vec<_>>())
+        ),
     );
     summary.row(
         "surrogate pick percentile (≈ Level)",
@@ -138,6 +143,9 @@ mod tests {
                 .collect()
         });
         let bo = bo_bands.last().unwrap().p50;
-        assert!(cl < bo, "CL {cl:.3} should beat BO {bo:.3} under high noise");
+        assert!(
+            cl < bo,
+            "CL {cl:.3} should beat BO {bo:.3} under high noise"
+        );
     }
 }

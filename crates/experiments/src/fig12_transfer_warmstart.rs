@@ -142,7 +142,10 @@ mod tests {
         // since best-so-far includes whatever the search found).
         let any_good = s.rows.iter().any(|(k, v)| {
             k.contains("final mean speedup")
-                && v.trim_end_matches('x').parse::<f64>().map(|x| x >= 0.95).unwrap_or(false)
+                && v.trim_end_matches('x')
+                    .parse::<f64>()
+                    .map(|x| x >= 0.95)
+                    .unwrap_or(false)
         });
         assert!(any_good, "rows: {:?}", s.rows);
         std::env::remove_var("ROCKHOPPER_RESULTS");

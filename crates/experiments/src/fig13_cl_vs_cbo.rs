@@ -97,15 +97,21 @@ pub fn run(scale: Scale) -> Summary {
     let n = QUERIES.len() as f64;
     summary.row(
         "mean final speedup",
-        format!("CL {:.3}x vs CBO {:.3}x", cl_final_sum / n, cbo_final_sum / n),
+        format!(
+            "CL {:.3}x vs CBO {:.3}x",
+            cl_final_sum / n,
+            cbo_final_sum / n
+        ),
     );
     summary.row(
         "paper expectation",
         "CL reaches significantly better final convergence from the poor start",
     );
-    summary
-        .files
-        .push(write_csv("fig13_cl_vs_cbo", "query_idx,iteration,cl_speedup,cbo_speedup", &csv));
+    summary.files.push(write_csv(
+        "fig13_cl_vs_cbo",
+        "query_idx,iteration,cl_speedup,cbo_speedup",
+        &csv,
+    ));
     summary
 }
 

@@ -82,25 +82,36 @@ pub fn run(scale: Scale) -> Summary {
         }
     }
 
-    let over10 = improvements.iter().filter(|(_, imp, _)| *imp > 10.0).count();
-    let over15 = improvements.iter().filter(|(_, imp, _)| *imp > 15.0).count();
-    let regressions: Vec<&(usize, f64, f64)> =
-        improvements.iter().filter(|(_, imp, _)| *imp < 0.0).collect();
+    let over10 = improvements
+        .iter()
+        .filter(|(_, imp, _)| *imp > 10.0)
+        .count();
+    let over15 = improvements
+        .iter()
+        .filter(|(_, imp, _)| *imp > 15.0)
+        .count();
+    let regressions: Vec<&(usize, f64, f64)> = improvements
+        .iter()
+        .filter(|(_, imp, _)| *imp < 0.0)
+        .collect();
     summary.row("queries tuned", improvements.len());
     summary.row(
         "total true time, first vs final window",
         format!("{total_first:.0} -> {total_last:.0} ms"),
     );
-    summary.row("queries improved >10% vs default", format!("{over10} (paper: 10)"));
-    summary.row("queries improved >15% vs default", format!("{over15} (paper: 6)"));
+    summary.row(
+        "queries improved >10% vs default",
+        format!("{over10} (paper: 10)"),
+    );
+    summary.row(
+        "queries improved >15% vs default",
+        format!("{over15} (paper: 6)"),
+    );
     summary.row(
         "regressions vs default",
         format!("{} (paper: 3, all minor)", regressions.len()),
     );
-    if let Some(worst) = regressions
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-    {
+    if let Some(worst) = regressions.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
         summary.row(
             "worst regression",
             format!("Q{} {:.1}% ({:.0} ms)", worst.0, worst.1, -worst.2),

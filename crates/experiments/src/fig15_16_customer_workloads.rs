@@ -113,7 +113,10 @@ pub fn run(scale: Scale) -> Summary {
     );
     summary.row(
         "median speed-up",
-        format!("{:.1}%", ml::stats::median(&speedups).expect("population is non-empty")),
+        format!(
+            "{:.1}%",
+            ml::stats::median(&speedups).expect("population is non-empty")
+        ),
     );
     summary.row(
         "signatures improved",
@@ -127,11 +130,8 @@ pub fn run(scale: Scale) -> Summary {
     // autotuning when performance clearly improves, disabling most signatures
     // (73/416 survived all iterations). Reproduce that regime with a hair-trigger
     // guardrail.
-    let conservative = simulate_population(
-        scale,
-        1516,
-        Some(rockhopper::Guardrail::new(10, 0.02, 1)),
-    );
+    let conservative =
+        simulate_population(scale, 1516, Some(rockhopper::Guardrail::new(10, 0.02, 1)));
     let cons_disabled = conservative.iter().filter(|o| o.disabled).count();
     let survivors = conservative.len() - cons_disabled;
     summary.row(
@@ -197,6 +197,9 @@ mod tests {
         );
         let d1 = default_pol.iter().filter(|o| o.disabled).count();
         let d2 = conservative.iter().filter(|o| o.disabled).count();
-        assert!(d2 >= d1, "conservative {d2} should disable at least default {d1}");
+        assert!(
+            d2 >= d1,
+            "conservative {d2} should disable at least default {d1}"
+        );
     }
 }

@@ -129,12 +129,9 @@ where
         let mut handles = Vec::new();
         for chunk in &chunks {
             let f = &f;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter()
-                    .map(|&i| (i, f(i as u64)))
-                    .collect::<Vec<_>>()
-            }));
+            handles.push(
+                scope.spawn(move || chunk.iter().map(|&i| (i, f(i as u64))).collect::<Vec<_>>()),
+            );
         }
         for h in handles {
             for (i, trace) in h.join().expect("replication thread") {
@@ -142,7 +139,10 @@ where
             }
         }
     });
-    results.into_iter().map(|r| r.expect("all runs filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all runs filled"))
+        .collect()
 }
 
 /// CSV rows for a band series: `iteration, p5, p50, p95`.

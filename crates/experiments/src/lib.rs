@@ -13,10 +13,10 @@ pub mod harness;
 pub mod plot;
 
 pub mod exp_ablation_findbest;
-pub mod exp_applevel;
-pub mod exp_aqe_interaction;
 pub mod exp_ablation_overshoot;
 pub mod exp_ablation_window;
+pub mod exp_applevel;
+pub mod exp_aqe_interaction;
 pub mod exp_embedding_ablation;
 pub mod fig01_shuffle_partitions;
 pub mod fig02_noisy_baselines;

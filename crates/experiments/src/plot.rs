@@ -24,7 +24,10 @@ pub fn band_chart(title: &str, bands: &[Band], width: usize, height: usize) -> S
             Band {
                 p5: slice.iter().map(|b| b.p5).fold(f64::INFINITY, f64::min),
                 p50: slice.iter().map(|b| b.p50).sum::<f64>() / slice.len() as f64,
-                p95: slice.iter().map(|b| b.p95).fold(f64::NEG_INFINITY, f64::max),
+                p95: slice
+                    .iter()
+                    .map(|b| b.p95)
+                    .fold(f64::NEG_INFINITY, f64::max),
             }
         })
         .collect();
@@ -64,7 +67,10 @@ pub fn band_chart(title: &str, bands: &[Band], width: usize, height: usize) -> S
     }
     out.push_str(&format!(
         "{:>10} iteration 0..{} ({} = median, {} = P5..P95)\n",
-        "", bands.len(), MEDIAN, FILL
+        "",
+        bands.len(),
+        MEDIAN,
+        FILL
     ));
     out
 }
@@ -143,7 +149,10 @@ mod tests {
         let mut doc = String::from("iteration,p5,p50,p95\n");
         for r in rows {
             doc.push_str(
-                &r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","),
+                &r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
             );
             doc.push('\n');
         }

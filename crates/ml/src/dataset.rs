@@ -22,6 +22,7 @@ impl Dataset {
     }
 
     /// Build from parallel feature/target vectors, validating shape.
+    // rhlint:allow(dead-pub): dataset construction API for future training harnesses
     pub fn from_xy(x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, MlError> {
         crate::validate_xy(&x, &y)?;
         Ok(Dataset { x, y })
@@ -71,6 +72,7 @@ impl Dataset {
     }
 
     /// Concatenate two datasets (e.g. baseline benchmark data + query-specific traces).
+    // rhlint:allow(dead-pub): dataset construction API for future training harnesses
     pub fn concat(&self, other: &Dataset) -> Result<Dataset, MlError> {
         if let (Some(a), Some(b)) = (self.dim(), other.dim()) {
             if a != b {

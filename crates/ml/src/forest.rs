@@ -41,6 +41,7 @@ impl BaggedTrees {
     }
 
     /// Override the per-tree feature fraction.
+    // rhlint:allow(dead-pub): forest tuning API kept for ablation experiments
     pub fn with_feature_fraction(mut self, frac: f64) -> Self {
         self.feature_fraction = frac.clamp(0.05, 1.0);
         self
@@ -52,6 +53,7 @@ impl BaggedTrees {
     }
 
     /// Number of fitted trees.
+    // rhlint:allow(dead-pub): forest introspection API kept for ablation experiments
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
@@ -62,8 +64,7 @@ impl Regressor for BaggedTrees {
         let dim = validate_xy(x, y)?;
         let n = x.len();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let n_features = ((dim as f64 * self.feature_fraction).ceil() as usize)
-            .clamp(1, dim);
+        let n_features = ((dim as f64 * self.feature_fraction).ceil() as usize).clamp(1, dim);
 
         self.trees.clear();
         for _ in 0..self.n_trees {

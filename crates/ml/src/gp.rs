@@ -61,6 +61,7 @@ impl GaussianProcess {
     }
 
     /// Number of stored training points.
+    // rhlint:allow(dead-pub): GP diagnostic surfaced for model-selection experiments
     pub fn n_train(&self) -> usize {
         self.x_train.len()
     }
@@ -69,6 +70,7 @@ impl GaussianProcess {
     /// standardized target space): `−½·yᵀα − Σᵢ ln Lᵢᵢ − n/2·ln 2π`. The standard
     /// model-selection criterion for GP hyper-parameters; exposed for diagnostics
     /// and hyper-parameter grids. `None` before a successful fit.
+    // rhlint:allow(dead-pub): GP diagnostic surfaced for model-selection experiments
     pub fn log_marginal_likelihood(&self) -> Option<f64> {
         let chol = self.chol.as_ref()?;
         let ys = self.y_std.as_ref()?;
@@ -83,8 +85,7 @@ impl GaussianProcess {
     /// Before a successful fit this returns the prior: mean 0, std = prior signal
     /// standard deviation.
     pub fn posterior(&self, x: &[f64]) -> Posterior {
-        let (Some(chol), Some(xs), Some(ys)) = (&self.chol, &self.x_scaler, &self.y_scaler)
-        else {
+        let (Some(chol), Some(xs), Some(ys)) = (&self.chol, &self.x_scaler, &self.y_scaler) else {
             return Posterior {
                 mean: 0.0,
                 std: self.kernel.diag().sqrt(),
@@ -202,7 +203,9 @@ mod tests {
             lml(0.05)
         );
         // Unfitted GP has no likelihood.
-        assert!(GaussianProcess::default_bo().log_marginal_likelihood().is_none());
+        assert!(GaussianProcess::default_bo()
+            .log_marginal_likelihood()
+            .is_none());
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl Kernel {
     }
 
     /// Evaluate `k(a, b)`.
-    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+    pub(crate) fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         match *self {
             Kernel::Rbf {
                 length_scale,

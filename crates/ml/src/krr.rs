@@ -5,7 +5,7 @@
 //! regressor fit on noisy data" role the paper assigns to it.
 
 use crate::kernel::Kernel;
-use crate::linalg::{solve_spd, dot};
+use crate::linalg::{dot, solve_spd};
 use crate::scaler::{StandardScaler, TargetScaler};
 use crate::{validate_xy, MlError, Regressor};
 
@@ -88,9 +88,7 @@ mod tests {
     fn learns_noisy_convex_bowl() {
         let mut rng = StdRng::seed_from_u64(11);
         let truth = |x: f64| 5.0 + (x - 3.0) * (x - 3.0);
-        let x: Vec<Vec<f64>> = (0..80)
-            .map(|_| vec![rng.random_range(0.0..6.0)])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..80).map(|_| vec![rng.random_range(0.0..6.0)]).collect();
         let y: Vec<f64> = x
             .iter()
             .map(|r| truth(r[0]) + crate::stats::normal(&mut rng, 0.0, 0.5))

@@ -23,6 +23,7 @@ impl Matrix {
     }
 
     /// Create the `n × n` identity matrix.
+    // rhlint:allow(dead-pub): linear-algebra API completeness
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
@@ -43,7 +44,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows passed to Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -52,6 +57,7 @@ impl Matrix {
     }
 
     /// Number of columns.
+    // rhlint:allow(dead-pub): linear-algebra API completeness
     pub fn ncols(&self) -> usize {
         self.cols
     }
@@ -99,9 +105,7 @@ impl Matrix {
     /// Panics if `v.len() != ncols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
     }
 
     /// Add `lambda` to every diagonal entry (in place). Used for ridge/jitter terms.

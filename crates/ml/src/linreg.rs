@@ -40,6 +40,7 @@ impl Ridge {
     }
 
     /// Fitted intercept.
+    // rhlint:allow(dead-pub): model introspection API
     pub fn intercept(&self) -> f64 {
         self.intercept
     }
@@ -94,13 +95,7 @@ impl Regressor for Ridge {
         if !self.fitted {
             return 0.0;
         }
-        self.intercept
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }
 

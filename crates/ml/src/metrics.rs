@@ -3,6 +3,7 @@
 //! makes that grading reproducible).
 
 /// Root mean squared error.
+// rhlint:allow(dead-pub): standard evaluation metric for figure harnesses
 pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "rmse length mismatch");
     if y_true.is_empty() {
@@ -18,6 +19,7 @@ pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
 }
 
 /// Mean absolute error.
+// rhlint:allow(dead-pub): standard evaluation metric for figure harnesses
 pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "mae length mismatch");
     if y_true.is_empty() {
@@ -32,6 +34,7 @@ pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
 }
 
 /// Coefficient of determination R². Returns 0 when the targets are constant.
+// rhlint:allow(dead-pub): standard evaluation metric for figure harnesses
 pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "r2 length mismatch");
     if y_true.is_empty() {
@@ -55,6 +58,7 @@ pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
 ///
 /// Returns the percentile (0–100, lower is better) of the model-chosen argmin within
 /// the true scores. A perfect model returns 0; a Level-5 model returns ≈50.
+// rhlint:allow(dead-pub): ranking metric for optimizer-quality figures
 pub fn rank_percentile_of_argmin(true_scores: &[f64], predicted_scores: &[f64]) -> f64 {
     assert_eq!(
         true_scores.len(),

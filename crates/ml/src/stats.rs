@@ -13,7 +13,7 @@ use rand::{Rng, RngExt};
 /// Total-order comparison for `f64`, suitable for `sort_by`/`min_by`/`max_by`
 /// closures: `xs.sort_by(|a, b| total_cmp_f64(a, b))`. Unlike
 /// `partial_cmp(..).unwrap()`, never panics; NaN sorts after every number.
-pub fn total_cmp_f64(a: &f64, b: &f64) -> Ordering {
+pub(crate) fn total_cmp_f64(a: &f64, b: &f64) -> Ordering {
     a.total_cmp(b)
 }
 
@@ -25,6 +25,7 @@ pub fn nan_safe_min_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> Option<usize>
 
 /// Index of the item whose key is largest, ignoring NaN keys entirely.
 /// `None` when `items` is empty or every key is NaN.
+// rhlint:allow(dead-pub): kept for symmetry with nan_safe_min_by
 pub fn nan_safe_max_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> Option<usize> {
     nan_safe_select(items, key, Ordering::Greater)
 }
@@ -88,7 +89,7 @@ pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
 }
 
 /// Percentile of an already-sorted (ascending) slice. `None` on empty input.
-pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+pub(crate) fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     let first = sorted.first().copied()?;
     if sorted.len() == 1 {
         return Some(first);

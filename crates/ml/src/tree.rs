@@ -47,6 +47,7 @@ impl RegressionTree {
     }
 
     /// Number of nodes in the fitted tree.
+    // rhlint:allow(dead-pub): model introspection API
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }
@@ -204,7 +205,11 @@ impl Regressor for RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] < *threshold { *left } else { *right };
+                    node = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -218,7 +223,10 @@ mod tests {
     #[test]
     fn fits_a_step_function_exactly() {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 10.0 { 1.0 } else { 5.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 10.0 { 1.0 } else { 5.0 })
+            .collect();
         let mut t = RegressionTree::new(3, 1);
         t.fit(&x, &y).unwrap();
         assert_eq!(t.predict(&[2.0]), 1.0);

@@ -4,13 +4,13 @@
 use ml::gp::Posterior;
 
 /// Standard-normal PDF.
-pub fn norm_pdf(z: f64) -> f64 {
+pub(crate) fn norm_pdf(z: f64) -> f64 {
     (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
 }
 
 /// Standard-normal CDF via the Abramowitz–Stegun erf approximation (max abs error
 /// ≈ 1.5e-7 — far below the noise floor of anything scored here).
-pub fn norm_cdf(z: f64) -> f64 {
+pub(crate) fn norm_cdf(z: f64) -> f64 {
     0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
 }
 
@@ -37,6 +37,7 @@ pub fn expected_improvement(post: &Posterior, best: f64) -> f64 {
 }
 
 /// Lower confidence bound score (to be *minimized*): `μ − κ·σ`.
+// rhlint:allow(dead-pub): LCB acquisition kept alongside EI for ablations
 pub fn lcb(post: &Posterior, kappa: f64) -> f64 {
     post.mean - kappa * post.std
 }

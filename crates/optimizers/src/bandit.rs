@@ -44,7 +44,11 @@ impl DimBandit {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = self.log_weights.iter().map(|w| (w - max_lw).exp()).collect();
+        let exps: Vec<f64> = self
+            .log_weights
+            .iter()
+            .map(|w| (w - max_lw).exp())
+            .collect();
         let sum: f64 = exps.iter().sum();
         let k = self.arms.len() as f64;
         exps.iter()
@@ -73,8 +77,7 @@ impl DimBandit {
         let p = probs[self.pending].max(1e-9);
         self.log_weights[self.pending] += eta * reward / p;
         // Re-center to avoid drift.
-        let mean: f64 =
-            self.log_weights.iter().sum::<f64>() / self.log_weights.len() as f64;
+        let mean: f64 = self.log_weights.iter().sum::<f64>() / self.log_weights.len() as f64;
         for w in &mut self.log_weights {
             *w -= mean;
         }
@@ -154,7 +157,9 @@ impl Tuner for BanditTuner {
             self.median_tracker.remove(0);
         }
         // The tracker was just pushed to, so the median exists.
-        let median = ml::stats::median(&self.median_tracker).unwrap_or(1e-9).max(1e-9);
+        let median = ml::stats::median(&self.median_tracker)
+            .unwrap_or(1e-9)
+            .max(1e-9);
         let reward = (1.0 - outcome.elapsed_ms / (2.0 * median)).clamp(0.0, 1.0);
         for d in &mut self.dims {
             d.update(reward, self.gamma, self.eta);
@@ -207,7 +212,12 @@ mod tests {
                 // Relative tolerance: log-scale round-trips can wobble by ~1 ULP of
                 // values in the billions.
                 let eps = 1e-9 * (1.0 + d.hi.abs());
-                assert!(*v >= d.lo - eps && *v <= d.hi + eps, "{v} not in [{}, {}]", d.lo, d.hi);
+                assert!(
+                    *v >= d.lo - eps && *v <= d.hi + eps,
+                    "{v} not in [{}, {}]",
+                    d.lo,
+                    d.hi
+                );
             }
             b.observe(
                 &p,
@@ -244,8 +254,14 @@ mod tests {
 
     #[test]
     fn noise_hurts_the_bandit_more_than_quiet() {
-        let clean: f64 = (0..5).map(|s| drive(NoiseSpec::none(), 200, s)).sum::<f64>() / 5.0;
-        let noisy: f64 = (0..5).map(|s| drive(NoiseSpec::high(), 200, s)).sum::<f64>() / 5.0;
+        let clean: f64 = (0..5)
+            .map(|s| drive(NoiseSpec::none(), 200, s))
+            .sum::<f64>()
+            / 5.0;
+        let noisy: f64 = (0..5)
+            .map(|s| drive(NoiseSpec::high(), 200, s))
+            .sum::<f64>()
+            / 5.0;
         assert!(noisy >= clean * 0.95, "clean {clean} vs noisy {noisy}");
     }
 }

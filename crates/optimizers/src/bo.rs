@@ -130,11 +130,7 @@ mod tests {
     #[test]
     fn converges_on_noiseless_synthetic_function() {
         // With zero noise, textbook BO must find a near-optimal point quickly.
-        let mut env = SyntheticEnv::new(
-            NoiseSpec::none(),
-            DataSchedule::Constant { size: 1.0 },
-            7,
-        );
+        let mut env = SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 7);
         let mut bo = BayesOpt::new(env.space().clone(), 7);
         let mut best = f64::INFINITY;
         for _ in 0..60 {
@@ -152,8 +148,7 @@ mod tests {
         // degrades under heavy noise. We measure the true performance of what BO
         // believes is best (its raw-minimum observation — spike-corrupted).
         let run = |noise: sparksim::noise::NoiseSpec, seed: u64| -> f64 {
-            let mut env =
-                SyntheticEnv::new(noise, DataSchedule::Constant { size: 1.0 }, seed);
+            let mut env = SyntheticEnv::new(noise, DataSchedule::Constant { size: 1.0 }, seed);
             let mut bo = BayesOpt::new(env.space().clone(), seed);
             for _ in 0..40 {
                 let p = bo.suggest(&env.context());

@@ -81,14 +81,14 @@ impl CategoricalEncoder {
     /// among themselves at the end of the layout.
     fn layout(&self) -> BTreeMap<usize, f64> {
         let mut order: Vec<usize> = (0..self.categories.len()).collect();
-        order.sort_by(|&a, &b| {
-            match (self.stats[a].mean(), self.stats[b].mean()) {
+        order.sort_by(
+            |&a, &b| match (self.stats[a].mean(), self.stats[b].mean()) {
                 (Some(x), Some(y)) => x.total_cmp(&y),
                 (Some(_), None) => std::cmp::Ordering::Less,
                 (None, Some(_)) => std::cmp::Ordering::Greater,
                 (None, None) => a.cmp(&b),
-            }
-        });
+            },
+        );
         let n = order.len();
         order
             .into_iter()
@@ -106,20 +106,20 @@ impl CategoricalEncoder {
 
     /// Encode a category into its current `[0, 1]` position.
     /// Returns `None` for unknown labels.
+    // rhlint:allow(dead-pub): encoder round-trip API for categorical-knob experiments
     pub fn encode(&self, category: &str) -> Option<f64> {
         let i = self.index_of(category)?;
         Some(self.layout()[&i])
     }
 
     /// Decode a continuous value to the nearest category's label.
+    // rhlint:allow(dead-pub): encoder round-trip API for categorical-knob experiments
     pub fn decode(&self, x: f64) -> &str {
         let layout = self.layout();
         // The constructor rejects empty category lists, so a nearest slot
         // always exists; the empty-string fallback is unreachable.
         let best = (0..self.categories.len())
-            .min_by(|&a, &b| {
-                (layout[&a] - x).abs().total_cmp(&(layout[&b] - x).abs())
-            })
+            .min_by(|&a, &b| (layout[&a] - x).abs().total_cmp(&(layout[&b] - x).abs()))
             .unwrap_or(0);
         self.categories.get(best).map(String::as_str).unwrap_or("")
     }

@@ -175,7 +175,10 @@ mod tests {
             t.add_baseline_row(&emb, &p, 100.0 + i as f64);
         }
         assert_eq!(t.baseline_rows(), 20);
-        assert!(t.fit_gp().is_some(), "warm start should enable the GP at t=0");
+        assert!(
+            t.fit_gp().is_some(),
+            "warm start should enable the GP at t=0"
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ impl CachedEnv {
         embedder: &WorkloadEmbedder,
         seed: u64,
     ) -> CachedEnv {
-        assert!(!points.is_empty(), "need at least one recorded configuration");
+        assert!(
+            !points.is_empty(),
+            "need at least one recorded configuration"
+        );
         let times: Vec<f64> = points
             .iter()
             .enumerate()
@@ -191,12 +194,11 @@ impl CachedEnv {
     }
 
     /// Index of the recorded configuration nearest (normalized L2) to `point`.
-    pub fn nearest(&self, point: &[f64]) -> usize {
+    pub(crate) fn nearest(&self, point: &[f64]) -> usize {
         let x = self.space.normalize(point);
         // The recording is non-empty by construction; NaN distances (which a
         // corrupt cache row could produce) are skipped rather than panicking.
-        ml::stats::nan_safe_min_by(&self.points_norm, |p| ml::linalg::sq_dist(p, &x))
-            .unwrap_or(0)
+        ml::stats::nan_safe_min_by(&self.points_norm, |p| ml::linalg::sq_dist(p, &x)).unwrap_or(0)
     }
 
     /// The raw point a suggestion actually snaps to.
@@ -205,6 +207,7 @@ impl CachedEnv {
     }
 
     /// The best cached time over all recorded configurations.
+    // rhlint:allow(dead-pub): environment introspection for experiment harnesses
     pub fn best_recorded_ms(&self) -> f64 {
         self.times.iter().cloned().fold(f64::INFINITY, f64::min)
     }
@@ -282,7 +285,11 @@ impl SyntheticEnv {
 
     /// Constant-size high-noise environment — the paper's default stress test.
     pub fn high_noise_constant(seed: u64) -> SyntheticEnv {
-        SyntheticEnv::new(NoiseSpec::high(), DataSchedule::Constant { size: 1.0 }, seed)
+        SyntheticEnv::new(
+            NoiseSpec::high(),
+            DataSchedule::Constant { size: 1.0 },
+            seed,
+        )
     }
 
     fn as_array(point: &[f64]) -> [f64; 3] {
@@ -296,8 +303,10 @@ impl SyntheticEnv {
     /// Normalized regret (true time / optimal time) of a point at the *next* run's
     /// data size — the y-axis of the paper's convergence plots.
     pub fn normed_performance(&self, point: &[f64]) -> f64 {
-        self.f
-            .normed_performance(&Self::as_array(point), self.schedule.size_at(self.iteration))
+        self.f.normed_performance(
+            &Self::as_array(point),
+            self.schedule.size_at(self.iteration),
+        )
     }
 
     /// Optimality gap of knob `i` at a point (Figures 10b / 11d).
@@ -332,8 +341,10 @@ impl Environment for SyntheticEnv {
     }
 
     fn true_time(&self, point: &[f64]) -> f64 {
-        self.f
-            .true_time(&Self::as_array(point), self.schedule.size_at(self.iteration))
+        self.f.true_time(
+            &Self::as_array(point),
+            self.schedule.size_at(self.iteration),
+        )
     }
 
     fn iteration(&self) -> u32 {

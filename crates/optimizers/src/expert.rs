@@ -64,7 +64,11 @@ impl SimulatedExpert {
     }
 
     /// Create with a specific profile.
-    pub fn with_profile(space: ConfigSpace, profile: ExpertProfile, seed: u64) -> SimulatedExpert {
+    pub(crate) fn with_profile(
+        space: ConfigSpace,
+        profile: ExpertProfile,
+        seed: u64,
+    ) -> SimulatedExpert {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut priority: Vec<usize> = (0..space.len()).collect();
         for i in (1..priority.len()).rev() {
@@ -89,6 +93,7 @@ impl SimulatedExpert {
     }
 
     /// Whether the expert has stopped exploring.
+    // rhlint:allow(dead-pub): satisficing stop-rule API for future guardrail harnesses
     pub fn satisficed(&self) -> bool {
         self.satisficed
     }
@@ -122,7 +127,9 @@ impl Tuner for SimulatedExpert {
             // Local one-knob tweak around the best-known point.
             let dim = self.priority[self.move_count as usize % self.priority.len()];
             let mut x = self.best.clone();
-            let delta = self.rng.random_range(-self.profile.step..=self.profile.step);
+            let delta = self
+                .rng
+                .random_range(-self.profile.step..=self.profile.step);
             x[dim] = (x[dim] + delta).clamp(0.0, 1.0);
             x
         };
@@ -161,8 +168,7 @@ mod tests {
 
     #[test]
     fn expert_improves_over_default_without_noise() {
-        let mut env =
-            SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 2);
+        let mut env = SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 2);
         let mut ex = SimulatedExpert::new(env.space().clone(), 2);
         let default_perf = env.normed_performance(&env.space().default_point());
         for _ in 0..40 {
@@ -190,7 +196,13 @@ mod tests {
         for i in 0..30 {
             let p = ex.suggest(&ctx);
             let cost = if i == 0 { 1.0 } else { 100.0 };
-            ex.observe(&p, &Outcome { elapsed_ms: cost, data_size: 1.0 });
+            ex.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: cost,
+                    data_size: 1.0,
+                },
+            );
         }
         assert!(ex.satisficed());
         // Once satisficed, the expert repeats its best point.
@@ -218,7 +230,10 @@ mod tests {
             if pa != pb {
                 diverged = true;
             }
-            let o = Outcome { elapsed_ms: 100.0 - i as f64, data_size: 1.0 };
+            let o = Outcome {
+                elapsed_ms: 100.0 - i as f64,
+                data_size: 1.0,
+            };
             a.observe(&pa, &o);
             b.observe(&pb, &o);
         }

@@ -48,7 +48,7 @@ impl Flow2 {
     /// Start from the space's default configuration with step 0.1.
     pub fn new(space: ConfigSpace, seed: u64) -> Flow2 {
         let incumbent = space.normalize(&space.default_point());
-        let d = space.len() as u32;
+        let d = u32::try_from(space.len()).unwrap_or(u32::MAX);
         Flow2 {
             space,
             rng: StdRng::seed_from_u64(seed),
@@ -65,6 +65,7 @@ impl Flow2 {
     }
 
     /// Start from a specific raw point.
+    // rhlint:allow(dead-pub): constructor kept for warm-start experiments
     pub fn from_point(space: ConfigSpace, start: &[f64], seed: u64) -> Flow2 {
         let mut f = Flow2::new(space, seed);
         f.incumbent = f.space.normalize(start);
@@ -174,14 +175,26 @@ mod tests {
 
     #[test]
     fn converges_without_noise() {
-        let final_perf: f64 = (0..5).map(|s| drive(NoiseSpec::none(), 150, s)).sum::<f64>() / 5.0;
-        assert!(final_perf < 1.15, "noiseless FLOW2 should converge: {final_perf}");
+        let final_perf: f64 = (0..5)
+            .map(|s| drive(NoiseSpec::none(), 150, s))
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            final_perf < 1.15,
+            "noiseless FLOW2 should converge: {final_perf}"
+        );
     }
 
     #[test]
     fn noise_degrades_convergence() {
-        let clean: f64 = (0..5).map(|s| drive(NoiseSpec::none(), 100, s)).sum::<f64>() / 5.0;
-        let noisy: f64 = (0..5).map(|s| drive(NoiseSpec::high(), 100, s)).sum::<f64>() / 5.0;
+        let clean: f64 = (0..5)
+            .map(|s| drive(NoiseSpec::none(), 100, s))
+            .sum::<f64>()
+            / 5.0;
+        let noisy: f64 = (0..5)
+            .map(|s| drive(NoiseSpec::high(), 100, s))
+            .sum::<f64>()
+            / 5.0;
         assert!(noisy > clean, "clean {clean} vs noisy {noisy}");
     }
 

@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn descends_a_noiseless_bowl() {
-        let mut env =
-            SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 3);
+        let mut env = SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 3);
         let mut hc = HillClimb::new(env.space().clone(), 0.1);
         let start_perf = env.normed_performance(&hc.incumbent());
         for _ in 0..120 {
@@ -150,12 +149,24 @@ mod tests {
         };
         // Fail everything: dims should advance after each up/down pair.
         let p0 = hc.suggest(&ctx);
-        hc.observe(&p0, &Outcome { elapsed_ms: 1.0, data_size: 1.0 });
+        hc.observe(
+            &p0,
+            &Outcome {
+                elapsed_ms: 1.0,
+                data_size: 1.0,
+            },
+        );
         let mut dims_seen = std::collections::HashSet::new();
         for _ in 0..12 {
             let p = hc.suggest(&ctx);
             dims_seen.insert(hc.dim);
-            hc.observe(&p, &Outcome { elapsed_ms: 100.0, data_size: 1.0 });
+            hc.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0,
+                    data_size: 1.0,
+                },
+            );
         }
         assert_eq!(dims_seen.len(), 3);
     }
@@ -170,10 +181,22 @@ mod tests {
             iteration: 0,
         };
         let p0 = hc.suggest(&ctx);
-        hc.observe(&p0, &Outcome { elapsed_ms: 1.0, data_size: 1.0 });
+        hc.observe(
+            &p0,
+            &Outcome {
+                elapsed_ms: 1.0,
+                data_size: 1.0,
+            },
+        );
         for _ in 0..30 {
             let p = hc.suggest(&ctx);
-            hc.observe(&p, &Outcome { elapsed_ms: 100.0, data_size: 1.0 });
+            hc.observe(
+                &p,
+                &Outcome {
+                    elapsed_ms: 100.0,
+                    data_size: 1.0,
+                },
+            );
         }
         assert!(hc.step < 0.2);
     }

@@ -19,7 +19,12 @@ pub enum SamplingStrategy {
 
 /// Generate `n` raw-unit points using `strategy`. Grid sampling ignores `n` beyond
 /// truncation (it produces its full factorial, truncated/cycled to `n`).
-pub fn sample(space: &ConfigSpace, strategy: SamplingStrategy, n: usize, seed: u64) -> Vec<Vec<f64>> {
+pub fn sample(
+    space: &ConfigSpace,
+    strategy: SamplingStrategy,
+    n: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
     match strategy {
         SamplingStrategy::Random => (0..n).map(|_| space.random_point(&mut rng)).collect(),

@@ -125,6 +125,7 @@ impl ConfigSpace {
     }
 
     /// App-level space including the off-heap knobs (the §2.2 user-study set).
+    // rhlint:allow(dead-pub): full app-level space kept for scale experiments
     pub fn app_level_full() -> ConfigSpace {
         let mut s = ConfigSpace::app_level();
         s.dims.push(Dim {
@@ -199,7 +200,11 @@ impl ConfigSpace {
 
     /// Uniform random point in the normalized cube, returned raw.
     pub fn random_point(&self, rng: &mut StdRng) -> Vec<f64> {
-        let x: Vec<f64> = self.dims.iter().map(|_| rng.random_range(0.0..1.0)).collect();
+        let x: Vec<f64> = self
+            .dims
+            .iter()
+            .map(|_| rng.random_range(0.0..1.0))
+            .collect();
         self.denormalize(&x)
     }
 
@@ -318,10 +323,7 @@ mod tests {
     fn grid_points_span_bounds() {
         let s = ConfigSpace::query_level();
         let g = s.grid(3);
-        let lo = g
-            .iter()
-            .map(|p| p[2])
-            .fold(f64::INFINITY, f64::min);
+        let lo = g.iter().map(|p| p[2]).fold(f64::INFINITY, f64::min);
         let hi = g.iter().map(|p| p[2]).fold(0.0, f64::max);
         assert!((lo - 8.0).abs() < 1e-9);
         assert!((hi - 4096.0).abs() < 1.0);

@@ -113,6 +113,7 @@ impl From<Strategy> for SamplingStrategy {
 
 impl FlightPlan {
     /// A sensible default sweep: full TPC-DS, 30 random configs per query.
+    // rhlint:allow(dead-pub): default flighting plan for TPC-DS harnesses
     pub fn tpcds_default(sf: f64, seed: u64) -> FlightPlan {
         FlightPlan {
             benchmark: Benchmark::TpcDs,

@@ -14,8 +14,8 @@
 //!   crossbeam channels, mirroring the architecture in Figure 7.
 
 pub mod etl;
-pub mod monitor;
 pub mod flighting;
+pub mod monitor;
 pub mod service;
 pub mod storage;
 pub mod trainer;

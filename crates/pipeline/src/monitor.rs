@@ -66,7 +66,7 @@ pub enum RootCause {
 
 /// A fitted performance trend over iterations (data size controlled).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TrendReport {
+pub(crate) struct TrendReport {
     /// Estimated ms change per iteration at fixed data size.
     pub slope_ms_per_iteration: f64,
     /// Whether performance is improving (negative slope beyond noise).
@@ -96,7 +96,7 @@ impl QueryMonitor {
                     return;
                 };
                 self.records.push(MonitorRecord {
-                    iteration: self.records.len() as u32,
+                    iteration: u32::try_from(self.records.len()).unwrap_or(u32::MAX),
                     conf,
                     elapsed_ms: metrics.elapsed_ms,
                     input_rows: metrics.input_rows,
@@ -114,6 +114,7 @@ impl QueryMonitor {
     /// Knob changes between consecutive iterations:
     /// `(iteration, knob, previous, new)` — the dashboard's "configuration changes
     /// across iterations" view.
+    // rhlint:allow(dead-pub): monitor introspection for guardrail experiments
     pub fn config_changes(&self) -> Vec<(u32, Knob, f64, f64)> {
         let mut out = Vec::new();
         for w in self.records.windows(2) {
@@ -130,7 +131,7 @@ impl QueryMonitor {
 
     /// Fit the performance trend (`elapsed ~ iteration + ln input_rows`).
     /// Returns `None` with fewer than 5 records.
-    pub fn trend(&self) -> Option<TrendReport> {
+    pub(crate) fn trend(&self) -> Option<TrendReport> {
         if self.records.len() < 5 {
             return None;
         }
@@ -204,7 +205,11 @@ impl QueryMonitor {
             out.push_str(&format!(
                 "  trend    {:+.1} ms/iteration ({})\n",
                 t.slope_ms_per_iteration,
-                if t.improving { "improving" } else { "regressing" }
+                if t.improving {
+                    "improving"
+                } else {
+                    "regressing"
+                }
             ));
         }
         if let Some(last) = self.records.last() {
@@ -345,7 +350,14 @@ mod tests {
         }
     }
 
-    fn feed(monitor: &mut QueryMonitor, conf: SparkConf, elapsed: f64, rows: f64, tasks: usize, bc: usize) {
+    fn feed(
+        monitor: &mut QueryMonitor,
+        conf: SparkConf,
+        elapsed: f64,
+        rows: f64,
+        tasks: usize,
+        bc: usize,
+    ) {
         monitor.ingest(&start(conf));
         monitor.ingest(&end(elapsed, rows, tasks, bc));
     }
@@ -385,8 +397,22 @@ mod tests {
         let mut improving = QueryMonitor::new();
         let mut regressing = QueryMonitor::new();
         for i in 0..10 {
-            feed(&mut improving, SparkConf::default(), 200.0 - 10.0 * i as f64, 1e6, 50, 0);
-            feed(&mut regressing, SparkConf::default(), 100.0 + 10.0 * i as f64, 1e6, 50, 0);
+            feed(
+                &mut improving,
+                SparkConf::default(),
+                200.0 - 10.0 * i as f64,
+                1e6,
+                50,
+                0,
+            );
+            feed(
+                &mut regressing,
+                SparkConf::default(),
+                100.0 + 10.0 * i as f64,
+                1e6,
+                50,
+                0,
+            );
         }
         assert!(improving.trend().unwrap().improving);
         assert!(!regressing.trend().unwrap().improving);
@@ -413,7 +439,10 @@ mod tests {
         feed(&mut m, SparkConf::default(), 60.0, 1e6, 48, 1); // join went broadcast
         assert!(matches!(
             m.rca(1),
-            Some(RootCause::PlanChange { broadcast_delta: 1, .. })
+            Some(RootCause::PlanChange {
+                broadcast_delta: 1,
+                ..
+            })
         ));
     }
 

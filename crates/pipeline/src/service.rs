@@ -180,7 +180,9 @@ impl AutotuneBackend {
             // authoritative for this process.
             if let Ok(bytes) = serde_json::to_vec(&entry) {
                 let token = self.storage.issue_token("app_cache/", true, u64::MAX);
-                let _ = self.storage.put(&token, &paths::app_cache(artifact_id), bytes);
+                let _ = self
+                    .storage
+                    .put(&token, &paths::app_cache(artifact_id), bytes);
             }
             self.app_cache.put(artifact_id, entry);
         }
@@ -204,12 +206,7 @@ impl AutotuneBackend {
     /// As [`AutotuneBackend::update_app_cache`], with the expected data size
     /// forecast from the queries' own histories (mean of per-signature forecasts) —
     /// the fully-automatic path the App Cache Generator runs after each application.
-    pub fn update_app_cache_forecast(
-        &mut self,
-        user: &str,
-        artifact_id: &str,
-        signatures: &[u64],
-    ) {
+    pub fn update_app_cache_forecast(&mut self, user: &str, artifact_id: &str, signatures: &[u64]) {
         let forecasts: Vec<f64> = signatures
             .iter()
             .filter_map(|&s| self.forecast_data_size(user, s))
@@ -235,13 +232,18 @@ impl AutotuneBackend {
     /// Persist every per-signature tuner state as a model file (the Model Updater's
     /// output in Figure 7: models are written to storage for the next application's
     /// client to load). Returns the number of models written.
+    // rhlint:allow(dead-pub): service persistence API for long-running deployments
     pub fn persist_models(&self) -> usize {
         let token = self.storage.issue_token("models/", true, u64::MAX);
         let mut written = 0;
         for ((user, sig), tuner) in &self.tuners {
             let snap = tuner.snapshot();
             if let Ok(bytes) = serde_json::to_vec(&snap) {
-                if self.storage.put(&token, &paths::model(user, *sig), bytes).is_ok() {
+                if self
+                    .storage
+                    .put(&token, &paths::model(user, *sig), bytes)
+                    .is_ok()
+                {
                     written += 1;
                 }
             }
@@ -252,6 +254,7 @@ impl AutotuneBackend {
     /// Restore every persisted tuner state from storage (what a freshly started
     /// backend process does). Malformed model files are skipped. Returns the number
     /// of models restored.
+    // rhlint:allow(dead-pub): service persistence API for long-running deployments
     pub fn restore_models(&mut self) -> usize {
         let token = self.storage.issue_token("models/", false, u64::MAX);
         let Ok(files) = self.storage.list(&token, "models/") else {
@@ -270,15 +273,10 @@ impl AutotuneBackend {
             let Ok(bytes) = self.storage.get(&token, &path) else {
                 continue;
             };
-            let Ok(state) = serde_json::from_slice::<rockhopper::tuner::TunerState>(&bytes)
-            else {
+            let Ok(state) = serde_json::from_slice::<rockhopper::tuner::TunerState>(&bytes) else {
                 continue;
             };
-            let tuner = RockhopperTuner::restore(
-                self.space.clone(),
-                state,
-                self.baseline.clone(),
-            );
+            let tuner = RockhopperTuner::restore(self.space.clone(), state, self.baseline.clone());
             self.tuners.insert((user.to_string(), sig), tuner);
             restored += 1;
         }
@@ -286,16 +284,24 @@ impl AutotuneBackend {
     }
 
     /// Persist the region baseline model.
+    // rhlint:allow(dead-pub): service persistence API for long-running deployments
     pub fn persist_baseline(&self, region: &str) -> bool {
-        let Some(b) = &self.baseline else { return false };
+        let Some(b) = &self.baseline else {
+            return false;
+        };
         let token = self.storage.issue_token("baseline/", true, u64::MAX);
         serde_json::to_vec(b)
             .ok()
-            .and_then(|bytes| self.storage.put(&token, &paths::baseline(region), bytes).ok())
+            .and_then(|bytes| {
+                self.storage
+                    .put(&token, &paths::baseline(region), bytes)
+                    .ok()
+            })
             .is_some()
     }
 
     /// Load the region baseline model from storage into this backend.
+    // rhlint:allow(dead-pub): service persistence API for long-running deployments
     pub fn load_baseline(&mut self, region: &str) -> bool {
         let token = self.storage.issue_token("baseline/", false, u64::MAX);
         let Ok(bytes) = self.storage.get(&token, &paths::baseline(region)) else {
@@ -512,7 +518,10 @@ mod tests {
         let token = b.storage.issue_token("events/", false, u64::MAX);
         assert_eq!(b.storage.list(&token, "events/").unwrap().len(), 5);
         // The tuner accumulated all five observations.
-        let t = b.tuners.get(&("alice".to_string(), env.signature())).unwrap();
+        let t = b
+            .tuners
+            .get(&("alice".to_string(), env.signature()))
+            .unwrap();
         assert_eq!(t.history.len(), 5);
     }
 
@@ -541,9 +550,12 @@ mod tests {
         b.update_app_cache("alice", "artifact-x", &[sig], 1e6);
         let conf = b.app_conf("artifact-x").expect("cache entry exists");
         assert_eq!(conf.len(), 2); // executors + memory
-        // Persisted too.
+                                   // Persisted too.
         let token = b.storage.issue_token("app_cache/", false, u64::MAX);
-        assert!(b.storage.get(&token, &paths::app_cache("artifact-x")).is_ok());
+        assert!(b
+            .storage
+            .get(&token, &paths::app_cache("artifact-x"))
+            .is_ok());
     }
 
     #[test]
@@ -559,7 +571,10 @@ mod tests {
         let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
         drive_query(&mut b, &mut env, "alice", 6);
         let sig = env.signature();
-        let m = b.dashboard().monitor(sig).expect("dashboard tracks the signature");
+        let m = b
+            .dashboard()
+            .monitor(sig)
+            .expect("dashboard tracks the signature");
         assert_eq!(m.records.len(), 6);
         assert!(b.dashboard().render().contains(&format!("{sig:016x}")));
     }
@@ -581,13 +596,7 @@ mod tests {
         drive_query(&mut b, &mut env, "u", 12);
         let f = b.forecast_data_size("u", sig).expect("history exists");
         // Input grows each run; the forecast must exceed the first run's size.
-        let first = b
-            .tuners
-            .get(&("u".to_string(), sig))
-            .unwrap()
-            .history
-            .all[0]
-            .data_size;
+        let first = b.tuners.get(&("u".to_string(), sig)).unwrap().history.all[0].data_size;
         assert!(f > first, "forecast {f} vs first observation {first}");
         b.update_app_cache_forecast("u", "artifact-f", &[sig]);
         assert!(b.app_conf("artifact-f").is_some());
@@ -641,8 +650,12 @@ mod tests {
     fn restore_skips_garbage_model_files() {
         let storage = Arc::new(Storage::new());
         let token = storage.issue_token("models/", true, u64::MAX);
-        storage.put(&token, "models/u/zzzz.json", b"not json".to_vec()).unwrap();
-        storage.put(&token, "models/odd-path", b"{}".to_vec()).unwrap();
+        storage
+            .put(&token, "models/u/zzzz.json", b"not json".to_vec())
+            .unwrap();
+        storage
+            .put(&token, "models/odd-path", b"{}".to_vec())
+            .unwrap();
         let mut b = AutotuneBackend::new(storage, None, 1);
         assert_eq!(b.restore_models(), 0);
     }
@@ -671,7 +684,9 @@ mod tests {
                 let ctx = ctx.clone();
                 s.spawn(move || {
                     for sig in 0..5u64 {
-                        let p = c.suggest(&format!("user-{u}"), sig, &ctx).expect("backend alive");
+                        let p = c
+                            .suggest(&format!("user-{u}"), sig, &ctx)
+                            .expect("backend alive");
                         assert_eq!(p.len(), 3);
                     }
                 });

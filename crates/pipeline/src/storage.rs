@@ -108,7 +108,12 @@ impl Storage {
     }
 
     /// Write an object through a token.
-    pub fn put(&self, token: &AccessToken, path: &str, bytes: Vec<u8>) -> Result<(), PipelineError> {
+    pub fn put(
+        &self,
+        token: &AccessToken,
+        path: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(), PipelineError> {
         let mut g = self.inner.write();
         if !token.permits(path, true, g.clock) {
             return Err(PipelineError::AccessDenied {
@@ -116,7 +121,8 @@ impl Storage {
             });
         }
         let written_at = g.clock;
-        g.objects.insert(path.to_string(), Object { bytes, written_at });
+        g.objects
+            .insert(path.to_string(), Object { bytes, written_at });
         Ok(())
     }
 
@@ -152,6 +158,7 @@ impl Storage {
     }
 
     /// Delete one object.
+    // rhlint:allow(dead-pub): artifact-store management API
     pub fn delete(&self, token: &AccessToken, path: &str) -> Result<(), PipelineError> {
         let mut g = self.inner.write();
         if !token.permits(path, true, g.clock) {
@@ -192,6 +199,7 @@ impl Storage {
     /// Persist the whole store to a directory (one file per object, the path layout
     /// mirrored on disk, plus a `_meta` file carrying logical timestamps). Gives the
     /// backend durability across process restarts without a database.
+    // rhlint:allow(dead-pub): artifact-store management API
     pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
         let g = self.inner.read();
         std::fs::create_dir_all(dir)?;
@@ -211,6 +219,7 @@ impl Storage {
 
     /// Load a store previously written by [`Storage::save_to_dir`]. Objects listed
     /// in `_meta` but missing on disk are skipped.
+    // rhlint:allow(dead-pub): artifact-store management API
     pub fn load_from_dir(dir: &Path) -> std::io::Result<Storage> {
         let meta = std::fs::read_to_string(dir.join("_meta"))?;
         let mut inner = StorageInner::default();
@@ -229,7 +238,9 @@ impl Storage {
             let Ok(bytes) = std::fs::read(dir.join(rest)) else {
                 continue;
             };
-            inner.objects.insert(rest.to_string(), Object { bytes, written_at });
+            inner
+                .objects
+                .insert(rest.to_string(), Object { bytes, written_at });
         }
         Ok(Storage {
             inner: RwLock::new(inner),
@@ -249,7 +260,8 @@ mod tests {
     fn put_get_roundtrip() {
         let s = Storage::new();
         let t = root_token(&s);
-        s.put(&t, "events/app-1/events.jsonl", b"hello".to_vec()).unwrap();
+        s.put(&t, "events/app-1/events.jsonl", b"hello".to_vec())
+            .unwrap();
         assert_eq!(s.get(&t, "events/app-1/events.jsonl").unwrap(), b"hello");
     }
 
@@ -257,7 +269,8 @@ mod tests {
     fn token_prefix_is_enforced() {
         let s = Storage::new();
         let scoped = s.issue_token("events/app-1/", true, 100);
-        s.put(&scoped, "events/app-1/events.jsonl", vec![1]).unwrap();
+        s.put(&scoped, "events/app-1/events.jsonl", vec![1])
+            .unwrap();
         let err = s.put(&scoped, "events/app-2/events.jsonl", vec![2]);
         assert!(matches!(err, Err(PipelineError::AccessDenied { .. })));
         let err = s.get(&scoped, "models/u/0000000000000001.json");
@@ -380,7 +393,8 @@ mod tests {
                 let t = t.clone();
                 scope.spawn(move || {
                     for j in 0..50 {
-                        s.put(&t, &format!("events/t{i}/{j}"), vec![i as u8]).unwrap();
+                        s.put(&t, &format!("events/t{i}/{j}"), vec![i as u8])
+                            .unwrap();
                     }
                 });
             }

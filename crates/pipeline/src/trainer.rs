@@ -29,11 +29,13 @@ pub fn train_baseline(
 }
 
 /// Split rows into (same signature, everything else) — the fine-tune/transfer split.
-pub fn split_by_signature(rows: &[TrainingRow], signature: u64) -> (Vec<TrainingRow>, Vec<TrainingRow>) {
-    let (own, other): (Vec<_>, Vec<_>) = rows
-        .iter()
-        .cloned()
-        .partition(|r| r.signature == signature);
+// rhlint:allow(dead-pub): per-signature training split for workload-drift experiments
+pub fn split_by_signature(
+    rows: &[TrainingRow],
+    signature: u64,
+) -> (Vec<TrainingRow>, Vec<TrainingRow>) {
+    let (own, other): (Vec<_>, Vec<_>) =
+        rows.iter().cloned().partition(|r| r.signature == signature);
     (own, other)
 }
 
@@ -45,7 +47,7 @@ pub fn subsample(rows: &[TrainingRow], n: usize) -> Vec<TrainingRow> {
     }
     let stride = rows.len() as f64 / n as f64;
     (0..n)
-        .map(|i| rows[(i as f64 * stride) as usize].clone())
+        .map(|i| rows[(i as f64 * stride).floor() as usize].clone())
         .collect()
 }
 

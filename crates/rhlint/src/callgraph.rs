@@ -1,0 +1,615 @@
+//! Call-graph construction and the determinism-taint analysis.
+//!
+//! Every function in [`crate::DETERMINISM_SCOPE`] is a deterministic entry
+//! point: the simulator and optimizer crates promise bit-for-bit reproducible
+//! results under a fixed seed (paper Eq (8) — the noise model is *sampled*,
+//! so the only legitimate randomness flows through seeded `StdRng`s). The
+//! lexical rules catch sinks written directly inside those crates; this pass
+//! walks the call graph so a sink hidden in ANOTHER crate behind use-aliases
+//! or helper indirection is caught too — the class the token scanner provably
+//! misses.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+
+use crate::parser::{Block, Expr, LitKind, Stmt};
+use crate::symbols::{FnInfo, Target, Workspace};
+use crate::{Diagnostic, Rule, DETERMINISM_SCOPE};
+
+/// What a tainted function touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    WallClock,
+    AmbientRng,
+    HashIter,
+}
+
+#[derive(Clone, Debug)]
+pub struct Sink {
+    pub kind: SinkKind,
+    pub line: u32,
+    pub what: String,
+}
+
+/// Per-function analysis results.
+#[derive(Default)]
+pub struct FnFacts {
+    /// Callees, as indexes into [`Workspace::fns`].
+    pub calls: BTreeSet<usize>,
+    pub sinks: Vec<Sink>,
+}
+
+/// A local type environment: variable name → type head name. Seeded from the
+/// signature, extended at `let` bindings whose type is annotated or inferable.
+#[derive(Clone, Default)]
+pub struct TypeEnv {
+    vars: BTreeMap<String, String>,
+    self_ty: Option<String>,
+}
+
+/// Collection types whose iteration order varies run to run.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Methods that iterate their receiver.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "extend",
+];
+
+/// std collection constructors recognized without resolution.
+const STD_CONTAINERS: [&str; 8] = [
+    "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Vec", "VecDeque", "String", "Box",
+];
+
+impl TypeEnv {
+    pub fn for_fn(fi: &FnInfo) -> TypeEnv {
+        let mut env = TypeEnv::default();
+        env.self_ty = fi.self_ty.clone();
+        if let Some(ty) = &fi.self_ty {
+            env.vars.insert("self".to_string(), ty.clone());
+        }
+        for (name, ty) in &fi.item.params {
+            if !name.is_empty() {
+                let head = ty.head_name();
+                if !head.is_empty() {
+                    env.vars.insert(name.clone(), head.to_string());
+                }
+            }
+        }
+        env
+    }
+
+    fn bind(&mut self, name: &str, ty: String) {
+        self.vars.insert(name.to_string(), ty);
+    }
+
+    /// Infer the head type name of an expression, if locally knowable.
+    pub fn infer(&self, ws: &Workspace, fi: &FnInfo, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    if let Some(t) = self.vars.get(&segs[0]) {
+                        return Some(t.clone());
+                    }
+                }
+                match resolve_in(ws, fi, segs) {
+                    Target::Type(t) => Some(t),
+                    _ => None,
+                }
+            }
+            Expr::Lit { kind, text, .. } => match kind {
+                LitKind::Float => Some(float_suffix(text).unwrap_or("f64").to_string()),
+                LitKind::Int => Some(int_suffix(text).unwrap_or("{integer}").to_string()),
+                LitKind::Bool => Some("bool".to_string()),
+                LitKind::Str => Some("str".to_string()),
+                LitKind::Char => Some("char".to_string()),
+            },
+            Expr::Cast { ty, .. } => Some(ty.head_name().to_string()),
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+                self.infer(ws, fi, expr)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if matches!(
+                    op.as_str(),
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||"
+                ) {
+                    Some("bool".to_string())
+                } else {
+                    self.infer(ws, fi, lhs).or_else(|| self.infer(ws, fi, rhs))
+                }
+            }
+            Expr::StructLit { path, .. } => path.last().cloned(),
+            Expr::Field { base, name, .. } => {
+                let base_ty = self.infer(ws, fi, base)?;
+                ws.field_type(&base_ty, name)
+                    .map(|t| t.head_name().to_string())
+            }
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segs, .. } = &**callee {
+                    // std container constructors: `HashMap::new()` etc.
+                    if segs.len() == 2
+                        && STD_CONTAINERS.contains(&segs[0].as_str())
+                        && matches!(
+                            segs[1].as_str(),
+                            "new" | "with_capacity" | "default" | "from"
+                        )
+                    {
+                        return Some(segs[0].clone());
+                    }
+                    match resolve_in(ws, fi, segs) {
+                        Target::Fns(idxs) => common_ret(ws, &idxs),
+                        // Tuple-struct / variant constructor.
+                        Target::Type(t) => Some(t),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            }
+            Expr::MethodCall { recv, method, .. } => {
+                let recv_ty = self.infer(ws, fi, recv);
+                if let Some(ty) = &recv_ty {
+                    let idxs = ws.methods_of(ty, method);
+                    if !idxs.is_empty() {
+                        return common_ret(ws, &idxs);
+                    }
+                }
+                builtin_method_ret(recv_ty.as_deref(), method)
+            }
+            Expr::If { then, else_, .. } => {
+                // Both branches agree or nothing.
+                let t = block_tail_type(self, ws, fi, then)?;
+                match else_ {
+                    Some(e) => {
+                        let u = self.infer(ws, fi, e)?;
+                        (t == u).then_some(t)
+                    }
+                    None => None,
+                }
+            }
+            Expr::Block { block, .. } => block_tail_type(self, ws, fi, block),
+            _ => None,
+        }
+    }
+}
+
+fn block_tail_type(env: &TypeEnv, ws: &Workspace, fi: &FnInfo, block: &Block) -> Option<String> {
+    match block.stmts.last() {
+        Some(Stmt::Expr { expr, semi: false }) => env.infer(ws, fi, expr),
+        _ => None,
+    }
+}
+
+fn float_suffix(text: &str) -> Option<&'static str> {
+    if text.ends_with("f32") {
+        Some("f32")
+    } else if text.ends_with("f64") {
+        Some("f64")
+    } else {
+        None
+    }
+}
+
+fn int_suffix(text: &str) -> Option<&'static str> {
+    for s in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ] {
+        if text.ends_with(s) {
+            return Some(match s {
+                "usize" => "usize",
+                "isize" => "isize",
+                "u128" => "u128",
+                "i128" => "i128",
+                "u64" => "u64",
+                "i64" => "i64",
+                "u32" => "u32",
+                "i32" => "i32",
+                "u16" => "u16",
+                "i16" => "i16",
+                "u8" => "u8",
+                _ => "i8",
+            });
+        }
+    }
+    None
+}
+
+/// Return type shared by every candidate, if they agree.
+fn common_ret(ws: &Workspace, idxs: &[usize]) -> Option<String> {
+    let mut ret: Option<String> = None;
+    for &i in idxs {
+        let head = ws.fns()[i].item.ret.as_ref()?.head_name().to_string();
+        if head.is_empty() {
+            return None;
+        }
+        match &ret {
+            None => ret = Some(head),
+            Some(r) if *r == head => {}
+            Some(_) => return None,
+        }
+    }
+    ret
+}
+
+/// Known-return builtin methods (receiver-type aware where it matters).
+fn builtin_method_ret(recv_ty: Option<&str>, method: &str) -> Option<String> {
+    match method {
+        "len" | "count" | "capacity" => Some("usize".to_string()),
+        "is_empty" | "contains" | "contains_key" | "any" | "all" => Some("bool".to_string()),
+        // Identity: numeric combinators preserve the receiver type.
+        "max" | "min" | "clamp" | "abs" | "round" | "floor" | "ceil" | "trunc" | "sqrt" | "ln"
+        | "exp" | "powf" | "powi" | "recip" | "signum" | "to_owned" | "clone"
+        | "saturating_add" | "saturating_sub" | "saturating_mul" | "wrapping_add"
+        | "wrapping_sub" | "wrapping_mul" => recv_ty.map(str::to_string),
+        "unsigned_abs" => match recv_ty {
+            Some("i8") => Some("u8".to_string()),
+            Some("i16") => Some("u16".to_string()),
+            Some("i32") => Some("u32".to_string()),
+            Some("i64") => Some("u64".to_string()),
+            Some("isize") => Some("usize".to_string()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Resolve a path as seen from `fi`'s module, substituting `Self`.
+fn resolve_in(ws: &Workspace, fi: &FnInfo, segs: &[String]) -> Target {
+    if segs.first().map(String::as_str) == Some("Self") {
+        if let Some(self_ty) = &fi.self_ty {
+            let mut substituted = segs.to_vec();
+            substituted[0] = self_ty.clone();
+            return ws.resolve(&fi.krate, &fi.module, &substituted);
+        }
+        return Target::Unknown;
+    }
+    ws.resolve(&fi.krate, &fi.module, segs)
+}
+
+/// A statement/expression visitor over a function body. Callbacks receive the
+/// type environment as of that point in the body.
+pub trait Visitor {
+    fn on_stmt(&mut self, _env: &TypeEnv, _stmt: &Stmt) {}
+    fn on_expr(&mut self, _env: &TypeEnv, _expr: &Expr) {}
+}
+
+/// Walk a function body in statement order.
+pub fn visit_fn<V: Visitor>(ws: &Workspace, fi: &FnInfo, visit: &mut V) {
+    if let Some(body) = fi.item.body.clone() {
+        let mut env = TypeEnv::for_fn(fi);
+        visit_block(ws, fi, &body, &mut env, visit);
+    }
+}
+
+fn visit_block<V: Visitor>(
+    ws: &Workspace,
+    fi: &FnInfo,
+    block: &Block,
+    env: &mut TypeEnv,
+    visit: &mut V,
+) {
+    for stmt in &block.stmts {
+        visit.on_stmt(env, stmt);
+        match stmt {
+            Stmt::Let { name, ty, init, .. } => {
+                if let Some(e) = init {
+                    visit_expr(ws, fi, e, env, visit);
+                }
+                if let Some(n) = name {
+                    let head = ty
+                        .as_ref()
+                        .map(|t| t.head_name().to_string())
+                        .filter(|h| !h.is_empty())
+                        .or_else(|| init.as_ref().and_then(|e| env.infer(ws, fi, e)));
+                    if let Some(h) = head {
+                        env.bind(n, h);
+                    }
+                }
+            }
+            Stmt::Expr { expr, .. } => visit_expr(ws, fi, expr, env, visit),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn visit_expr<V: Visitor>(ws: &Workspace, fi: &FnInfo, e: &Expr, env: &mut TypeEnv, visit: &mut V) {
+    visit.on_expr(env, e);
+    match e {
+        Expr::Call { callee, args, .. } => {
+            visit_expr(ws, fi, callee, env, visit);
+            for a in args {
+                visit_expr(ws, fi, a, env, visit);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            visit_expr(ws, fi, recv, env, visit);
+            for a in args {
+                visit_expr(ws, fi, a, env, visit);
+            }
+        }
+        Expr::Field { base, .. } => visit_expr(ws, fi, base, env, visit),
+        Expr::Index { base, index, .. } => {
+            visit_expr(ws, fi, base, env, visit);
+            visit_expr(ws, fi, index, env, visit);
+        }
+        Expr::Cast { expr, .. }
+        | Expr::Unary { expr, .. }
+        | Expr::Try { expr, .. }
+        | Expr::Ref { expr, .. }
+        | Expr::Closure { body: expr, .. } => visit_expr(ws, fi, expr, env, visit),
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_expr(ws, fi, lhs, env, visit);
+            visit_expr(ws, fi, rhs, env, visit);
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                visit_expr(ws, fi, v, env, visit);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                visit_expr(ws, fi, a, env, visit);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            visit_expr(ws, fi, scrutinee, env, visit);
+            for arm in arms {
+                let mut inner = env.clone();
+                if let Some(g) = &arm.guard {
+                    visit_expr(ws, fi, g, &mut inner, visit);
+                }
+                visit_expr(ws, fi, &arm.body, &mut inner, visit);
+            }
+        }
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            visit_expr(ws, fi, cond, env, visit);
+            let mut t_env = env.clone();
+            visit_block(ws, fi, then, &mut t_env, visit);
+            if let Some(el) = else_ {
+                let mut e_env = env.clone();
+                visit_expr(ws, fi, el, &mut e_env, visit);
+            }
+        }
+        Expr::Loop { body, .. } => {
+            let mut inner = env.clone();
+            visit_block(ws, fi, body, &mut inner, visit);
+        }
+        Expr::While { cond, body, .. } => {
+            visit_expr(ws, fi, cond, env, visit);
+            let mut inner = env.clone();
+            visit_block(ws, fi, body, &mut inner, visit);
+        }
+        Expr::For { iter, body, .. } => {
+            visit_expr(ws, fi, iter, env, visit);
+            let mut inner = env.clone();
+            visit_block(ws, fi, body, &mut inner, visit);
+        }
+        Expr::Block { block, .. } => {
+            let mut inner = env.clone();
+            visit_block(ws, fi, block, &mut inner, visit);
+        }
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for el in elems {
+                visit_expr(ws, fi, el, env, visit);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(l) = lo {
+                visit_expr(ws, fi, l, env, visit);
+            }
+            if let Some(h) = hi {
+                visit_expr(ws, fi, h, env, visit);
+            }
+        }
+        Expr::Return {
+            expr: Some(inner), ..
+        } => visit_expr(ws, fi, inner, env, visit),
+        _ => {}
+    }
+}
+
+/// Analyze every function: call edges plus determinism sinks.
+pub fn analyze(ws: &Workspace) -> Vec<FnFacts> {
+    struct Collector<'a> {
+        ws: &'a Workspace,
+        fi: &'a FnInfo,
+        facts: FnFacts,
+    }
+    impl Visitor for Collector<'_> {
+        fn on_expr(&mut self, env: &TypeEnv, e: &Expr) {
+            collect(self.ws, self.fi, env, e, &mut self.facts);
+        }
+    }
+    let mut all = Vec::with_capacity(ws.fns().len());
+    for fi in ws.fns() {
+        let mut c = Collector {
+            ws,
+            fi,
+            facts: FnFacts::default(),
+        };
+        visit_fn(ws, fi, &mut c);
+        all.push(c.facts);
+    }
+    all
+}
+
+fn collect(ws: &Workspace, fi: &FnInfo, env: &TypeEnv, e: &Expr, facts: &mut FnFacts) {
+    match e {
+        Expr::Call { callee, .. } => {
+            if let Expr::Path { segs, line } = &**callee {
+                match resolve_in(ws, fi, segs) {
+                    Target::Fns(idxs) => facts.calls.extend(idxs),
+                    Target::External(expanded) => {
+                        if let Some(sink) = external_sink(&expanded) {
+                            facts.sinks.push(Sink {
+                                kind: sink,
+                                line: *line,
+                                what: expanded.join("::"),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Expr::MethodCall {
+            recv, method, line, ..
+        } => {
+            let recv_ty = env.infer(ws, fi, recv);
+            if let Some(ty) = &recv_ty {
+                if HASH_TYPES.contains(&ty.as_str()) && ITER_METHODS.contains(&method.as_str()) {
+                    facts.sinks.push(Sink {
+                        kind: SinkKind::HashIter,
+                        line: *line,
+                        what: format!("{ty}::{method}"),
+                    });
+                }
+                let idxs = ws.methods_of(ty, method);
+                if !idxs.is_empty() {
+                    facts.calls.extend(idxs);
+                    return;
+                }
+            }
+            // Unknown receiver: link only if the method name is unique
+            // workspace-wide (under-approximation, no false edges).
+            let named = ws.methods_named(method);
+            if named.len() == 1 {
+                facts.calls.extend(named);
+            }
+        }
+        Expr::For { iter, line, .. } => {
+            if let Some(ty) = env.infer(ws, fi, iter) {
+                if HASH_TYPES.contains(&ty.as_str()) {
+                    facts.sinks.push(Sink {
+                        kind: SinkKind::HashIter,
+                        line: *line,
+                        what: format!("for-loop over {ty}"),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Classify a fully-expanded external path as a determinism sink.
+fn external_sink(segs: &[String]) -> Option<SinkKind> {
+    let last = segs.last().map(String::as_str).unwrap_or("");
+    let penult = segs
+        .len()
+        .checked_sub(2)
+        .map(|i| segs[i].as_str())
+        .unwrap_or("");
+    if last == "now" && matches!(penult, "Instant" | "SystemTime") {
+        return Some(SinkKind::WallClock);
+    }
+    if segs.first().map(String::as_str) == Some("rand") {
+        if last == "thread_rng" || last == "rng" {
+            return Some(SinkKind::AmbientRng);
+        }
+    }
+    if matches!(last, "from_entropy" | "from_os_rng") || segs.iter().any(|s| s == "OsRng") {
+        return Some(SinkKind::AmbientRng);
+    }
+    None
+}
+
+/// The determinism-taint rule (RH013): BFS over the call graph from every
+/// non-test function in a determinism-scope crate; flag reachable sinks that
+/// live OUTSIDE those crates (sinks inside them are the lexical rules' job).
+pub fn determinism_taint(ws: &Workspace) -> Vec<Diagnostic> {
+    let facts = analyze(ws);
+    let fns = ws.fns();
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    for (i, fi) in fns.iter().enumerate() {
+        if DETERMINISM_SCOPE.contains(&fi.krate.as_str()) && !fi.cfg_test && !fi.trait_decl {
+            parent.insert(i, None);
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &callee in &facts[cur].calls {
+            if fns[callee].cfg_test {
+                continue;
+            }
+            parent.entry(callee).or_insert_with(|| {
+                queue.push_back(callee);
+                Some(cur)
+            });
+        }
+    }
+
+    let mut seen: BTreeSet<(PathBuf, usize, SinkKind)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (&idx, _) in &parent {
+        let fi = &fns[idx];
+        if DETERMINISM_SCOPE.contains(&fi.krate.as_str()) {
+            continue;
+        }
+        for sink in &facts[idx].sinks {
+            let file = ws.files()[fi.file].rel.clone();
+            let key = (file.clone(), sink.line as usize, sink.kind);
+            if !seen.insert(key) {
+                continue;
+            }
+            let path = call_path(ws, &parent, idx);
+            let noun = match sink.kind {
+                SinkKind::WallClock => "reads the wall clock via",
+                SinkKind::AmbientRng => "draws ambient (unseeded) randomness via",
+                SinkKind::HashIter => "iterates a hash-ordered collection via",
+            };
+            out.push(Diagnostic {
+                file,
+                line: sink.line as usize,
+                rule: Rule::DeterminismTaint,
+                message: format!(
+                    "`{}` is reachable from deterministic code ({path}) and {noun} `{}`; \
+                     thread seeded randomness / ordered collections through instead",
+                    qualified(fi),
+                    sink.what
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+fn qualified(fi: &FnInfo) -> String {
+    match &fi.self_ty {
+        Some(ty) => format!("{}::{}::{}", fi.krate, ty, fi.name),
+        None => format!("{}::{}", fi.krate, fi.name),
+    }
+}
+
+fn call_path(ws: &Workspace, parent: &BTreeMap<usize, Option<usize>>, mut idx: usize) -> String {
+    let mut chain = vec![idx];
+    let mut fuel = 32;
+    while let Some(Some(p)) = parent.get(&idx) {
+        chain.push(*p);
+        idx = *p;
+        fuel -= 1;
+        if fuel == 0 {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+        .iter()
+        .map(|&i| format!("`{}`", qualified(&ws.fns()[i])))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}

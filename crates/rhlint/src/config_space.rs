@@ -2,20 +2,26 @@
 //! declared identically across the knob enum (`sparksim/src/config.rs`) and
 //! the search space (`optimizers/src/space.rs`).
 //!
-//! Invariants enforced:
+//! Invariants enforced (now against the parsed AST — enum variants, match
+//! arms, const initializers, and struct literals — instead of line patterns):
 //!
 //! 1. every `Knob` variant has a `spark_name` arm, and the property names are
 //!    pairwise distinct;
-//! 2. every variant has a `SparkConf::get` arm and a `SparkConf::set` arm;
+//! 2. every variant has a `SparkConf::get` arm and a `SparkConf::set` arm
+//!    (explicit arms — a `_` wildcard does not count as handling a knob);
 //! 3. every `Knob::X` referenced by a `Dim` in `space.rs` is a declared variant;
 //! 4. every knob in `QUERY_LEVEL` ∪ `APP_LEVEL` is covered by some search
 //!    space dimension, and that tuned set has exactly the paper's 7 knobs;
-//! 5. every backticked `spark.*` property mentioned in `SparkConf`'s field
-//!    docs (the serde'd struct) is one of the declared `spark_name` values.
+//! 5. every backticked `spark.*` property mentioned in doc comments of the
+//!    `Knob` variants and the serde'd `SparkConf` fields is one of the
+//!    declared `spark_name` values.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use crate::parser::{
+    parse_file, walk_expr, Arm, Block, Expr, Item, ItemKind, LitKind, SourceFile, Stmt,
+};
 use crate::{Diagnostic, LintError, Rule};
 
 const CONFIG_RS: &str = "crates/sparksim/src/config.rs";
@@ -39,24 +45,25 @@ pub fn check_config_space(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
 
 /// Pure core, separated so tests can feed synthetic sources.
 pub fn check_sources(config_text: &str, space_text: &str) -> Vec<Diagnostic> {
+    let config = parse_file(config_text);
+    let space = parse_file(space_text);
     let mut diags = Vec::new();
-    let config_lines: Vec<&str> = config_text.lines().collect();
-    let space_lines: Vec<&str> = space_text.lines().collect();
 
-    let variants = enum_variants(&config_lines, "pub enum Knob");
-    let variant_set: BTreeSet<&String> = variants.iter().map(|(name, _)| name).collect();
+    // Declared variants, with lines and doc comments.
+    let variants = knob_variants(&config);
+    let variant_set: BTreeSet<&str> = variants.iter().map(|v| v.name.as_str()).collect();
 
-    // 1. spark_name coverage + distinctness.
-    let spark_names = spark_name_arms(&config_lines);
-    for (variant, line) in &variants {
-        if !spark_names.contains_key(variant) {
+    // 1. spark_name coverage + pairwise-distinct property names.
+    let spark_names = spark_name_arms(&config);
+    for v in &variants {
+        if !spark_names.contains_key(v.name.as_str()) {
             diags.push(config_diag(
-                *line,
-                format!("Knob::{variant} has no spark_name() arm"),
+                v.line,
+                format!("Knob::{} has no spark_name() arm", v.name),
             ));
         }
     }
-    let mut by_name: BTreeMap<&str, Vec<&String>> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     for (variant, (name, _)) in &spark_names {
         by_name.entry(name.as_str()).or_default().push(variant);
     }
@@ -77,45 +84,42 @@ pub fn check_sources(config_text: &str, space_text: &str) -> Vec<Diagnostic> {
         }
     }
 
-    // 2. get/set coverage.
-    for fn_name in ["fn get", "fn set"] {
-        let arms = knob_refs_in_region(&config_lines, fn_name);
-        let covered: BTreeSet<&String> = arms.iter().map(|(v, _)| v).collect();
-        for (variant, line) in &variants {
-            if !covered.contains(variant) {
+    // 2. get/set coverage via explicit match arms.
+    for fn_name in ["get", "set"] {
+        let covered = match_arm_knobs(&config, "SparkConf", fn_name);
+        for v in &variants {
+            if !covered.contains_key(v.name.as_str()) {
                 diags.push(config_diag(
-                    *line,
-                    format!("Knob::{variant} not handled in SparkConf::{}", &fn_name[3..]),
+                    v.line,
+                    format!("Knob::{} not handled in SparkConf::{fn_name}", v.name),
                 ));
             }
         }
     }
 
-    // 3 + 4. space.rs dimensions reference declared variants and cover the
-    // tuned set.
-    let mut dim_knobs: BTreeSet<String> = BTreeSet::new();
-    for (idx, line) in space_lines.iter().enumerate() {
-        if let Some(pos) = line.find("knob: Knob::") {
-            let variant = ident_after(&line[pos + "knob: Knob::".len()..]);
-            if !variant.is_empty() {
-                if !variant_set.contains(&variant) {
-                    diags.push(Diagnostic {
-                        file: PathBuf::from(SPACE_RS),
-                        line: idx + 1,
-                        rule: Rule::ConfigSpace,
-                        message: format!(
-                            "dimension references Knob::{variant}, not a declared Knob variant"
-                        ),
-                    });
-                }
-                dim_knobs.insert(variant);
-            }
+    // 3. every `Dim { knob: Knob::X, .. }` in space.rs names a declared variant.
+    let dims = dim_knobs(&space);
+    let mut dim_set: BTreeSet<String> = BTreeSet::new();
+    for (variant, line) in &dims {
+        if !variant_set.contains(variant.as_str()) {
+            diags.push(Diagnostic {
+                file: PathBuf::from(SPACE_RS),
+                line: *line,
+                rule: Rule::ConfigSpace,
+                message: format!(
+                    "dimension references Knob::{variant}, not a declared Knob variant"
+                ),
+            });
         }
+        dim_set.insert(variant.clone());
     }
+
+    // 4. the tuned set (QUERY_LEVEL ∪ APP_LEVEL) has exactly 7 knobs, all
+    // declared, all covered by a search-space dimension.
     let mut tuned: BTreeSet<String> = BTreeSet::new();
     for const_name in ["QUERY_LEVEL", "APP_LEVEL"] {
-        for (variant, line) in knob_refs_in_region(&config_lines, const_name) {
-            if !variant_set.contains(&variant) {
+        for (variant, line) in const_array_knobs(&config, const_name) {
+            if !variant_set.contains(variant.as_str()) {
                 diags.push(config_diag(
                     line,
                     format!("{const_name} lists Knob::{variant}, not a declared variant"),
@@ -134,7 +138,7 @@ pub fn check_sources(config_text: &str, space_text: &str) -> Vec<Diagnostic> {
         ));
     }
     for variant in &tuned {
-        if !dim_knobs.contains(variant) {
+        if !dim_set.contains(variant) {
             diags.push(Diagnostic {
                 file: PathBuf::from(SPACE_RS),
                 line: 1,
@@ -146,14 +150,14 @@ pub fn check_sources(config_text: &str, space_text: &str) -> Vec<Diagnostic> {
         }
     }
 
-    // 5. SparkConf field docs name only declared spark properties.
-    let declared_names: BTreeSet<&str> =
-        spark_names.values().map(|(n, _)| n.as_str()).collect();
-    for (name, line) in backticked_spark_props(&config_lines, "pub struct SparkConf") {
+    // 5. doc comments on Knob variants and SparkConf fields name only
+    // declared spark properties.
+    let declared_names: BTreeSet<&str> = spark_names.values().map(|(n, _)| n.as_str()).collect();
+    for (owner, name, line) in documented_spark_props(&config) {
         if !declared_names.contains(name.as_str()) {
             diags.push(config_diag(
                 line,
-                format!("SparkConf doc names `{name}`, which is not a spark_name() value"),
+                format!("{owner} doc names `{name}`, which is not a spark_name() value"),
             ));
         }
     }
@@ -177,147 +181,229 @@ fn read(path: &Path) -> Result<String, LintError> {
     })
 }
 
-/// Leading identifier of `s`.
-fn ident_after(s: &str) -> String {
-    s.chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+// ---- AST extraction ----
+
+struct VariantDecl {
+    name: String,
+    line: usize,
+}
+
+/// All items, flattened through inline modules.
+fn all_items(file: &SourceFile) -> Vec<&Item> {
+    fn push<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+        for item in items {
+            out.push(item);
+            if let ItemKind::Mod {
+                inline: Some(inner),
+            } = &item.kind
+            {
+                push(inner, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    push(&file.items, &mut out);
+    out
+}
+
+fn knob_variants(file: &SourceFile) -> Vec<VariantDecl> {
+    for item in all_items(file) {
+        if item.name == "Knob" {
+            if let ItemKind::Enum { variants } = &item.kind {
+                return variants
+                    .iter()
+                    .map(|v| VariantDecl {
+                        name: v.name.clone(),
+                        line: v.line as usize,
+                    })
+                    .collect();
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// The body of `impl <self_ty> { fn <name> }`, wherever it appears.
+fn impl_fn_body<'a>(file: &'a SourceFile, self_ty: &str, name: &str) -> Option<&'a Block> {
+    for item in all_items(file) {
+        if let ItemKind::Impl(imp) = &item.kind {
+            if imp.self_ty == self_ty {
+                for sub in &imp.items {
+                    if sub.name == name {
+                        if let ItemKind::Fn(f) = &sub.kind {
+                            return f.body.as_ref();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Match arms of the first `match` expression in the named method.
+fn method_match_arms(file: &SourceFile, self_ty: &str, name: &str) -> Vec<Arm> {
+    let Some(body) = impl_fn_body(file, self_ty, name) else {
+        return Vec::new();
+    };
+    let mut arms: Vec<Arm> = Vec::new();
+    let mut found = false;
+    crate::parser::walk_block(body, &mut |e| {
+        if let Expr::Match { arms: a, .. } = e {
+            if !found {
+                found = true;
+                arms = a.clone();
+            }
+        }
+    });
+    arms
+}
+
+/// `Knob::X` names bound by an arm's patterns.
+fn arm_knobs(arm: &Arm) -> Vec<String> {
+    arm.pat_paths
+        .iter()
+        .filter(|p| p.len() >= 2 && p[p.len() - 2] == "Knob")
+        .map(|p| p[p.len() - 1].clone())
         .collect()
 }
 
-/// `(start, end)` line range of the brace-delimited region whose header line
-/// contains `marker`. Lines are 0-based; `end` is inclusive.
-fn brace_region(lines: &[&str], marker: &str) -> Option<(usize, usize)> {
-    let start = lines.iter().position(|l| l.contains(marker))?;
-    let mut depth = 0i64;
-    let mut seen = false;
-    for (idx, line) in lines.iter().enumerate().skip(start) {
-        // On the header line, count only after any `=`: a const's type
-        // annotation (`[Knob; 3] = [`) would otherwise open and close the
-        // region before its initializer starts.
-        let line: &str = if idx == start {
-            line.rfind('=').map(|p| &line[p..]).unwrap_or(line)
-        } else {
-            line
-        };
-        for c in line.chars() {
-            match c {
-                '{' | '[' => {
-                    depth += 1;
-                    seen = true;
-                }
-                '}' | ']' => {
-                    depth -= 1;
-                    if seen && depth == 0 {
-                        return Some((start, idx));
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    Some((start, lines.len().saturating_sub(1)))
-}
-
-/// `(variant, 1-based line)` for each enum arm of the region headed by `marker`.
-fn enum_variants(lines: &[&str], marker: &str) -> Vec<(String, usize)> {
-    let Some((start, end)) = brace_region(lines, marker) else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    for idx in start + 1..=end {
-        let t = lines[idx].trim();
-        if t.starts_with("//") || t.starts_with('#') || t.is_empty() {
-            continue;
-        }
-        let name = ident_after(t);
-        if !name.is_empty()
-            && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
-            && (t[name.len()..].trim_start().starts_with(',') || t[name.len()..].trim().is_empty())
-        {
-            out.push((name, idx + 1));
-        }
-    }
-    out
-}
-
-/// All `Knob::Ident` references inside the region headed by `marker`,
-/// paired with their 1-based line.
-fn knob_refs_in_region(lines: &[&str], marker: &str) -> Vec<(String, usize)> {
-    let Some((start, end)) = brace_region(lines, marker) else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    for idx in start..=end {
-        let mut rest = lines[idx];
-        let mut consumed = 0;
-        while let Some(pos) = rest.find("Knob::") {
-            let after = &rest[pos + "Knob::".len()..];
-            let name = ident_after(after);
-            if !name.is_empty() {
-                out.push((name.clone(), idx + 1));
-            }
-            consumed += pos + "Knob::".len() + name.len();
-            rest = &lines[idx][consumed..];
-        }
-    }
-    out
-}
-
-/// `variant -> (spark property, 1-based line)` from the `fn spark_name` body.
-/// Arms may span lines (`Knob::X => {` / `"spark..."`), so the body is read as
-/// an alternating token stream of `Knob::Ident` refs and string literals.
-fn spark_name_arms(lines: &[&str]) -> BTreeMap<String, (String, usize)> {
+/// `variant -> (spark property, line)` from the `spark_name` match: each
+/// arm's pattern knobs map to the arm body's string literal (directly or as a
+/// block tail).
+fn spark_name_arms(file: &SourceFile) -> BTreeMap<String, (String, usize)> {
     let mut map = BTreeMap::new();
-    let Some((start, end)) = brace_region(lines, "fn spark_name") else {
-        return map;
-    };
-    let mut pending: Option<(String, usize)> = None;
-    for idx in start + 1..=end {
-        let line = lines[idx];
-        let mut rest = line;
-        loop {
-            let knob_pos = rest.find("Knob::");
-            let str_pos = rest.find('"');
-            match (knob_pos, str_pos) {
-                (Some(k), s) if k < s.unwrap_or(usize::MAX) => {
-                    let name = ident_after(&rest[k + "Knob::".len()..]);
-                    pending = Some((name.clone(), idx + 1));
-                    rest = &rest[k + "Knob::".len() + name.len()..];
-                }
-                (_, Some(s)) => {
-                    let after = &rest[s + 1..];
-                    let Some(close) = after.find('"') else { break };
-                    if let Some((variant, at)) = pending.take() {
-                        map.insert(variant, (after[..close].to_string(), at));
-                    }
-                    rest = &after[close + 1..];
-                }
-                _ => break,
-            }
+    for arm in &method_match_arms(file, "Knob", "spark_name") {
+        let Some(value) = arm_string_value(&arm.body) else {
+            continue;
+        };
+        for variant in arm_knobs(arm) {
+            map.entry(variant)
+                .or_insert_with(|| (value.clone(), arm.line as usize));
         }
     }
     map
 }
 
-/// Backticked `spark.*` property names in doc comments of the region headed
-/// by `marker`, with their 1-based lines.
-fn backticked_spark_props(lines: &[&str], marker: &str) -> Vec<(String, usize)> {
-    let Some((start, end)) = brace_region(lines, marker) else {
-        return Vec::new();
-    };
+fn arm_string_value(body: &Expr) -> Option<String> {
+    match body {
+        Expr::Lit {
+            kind: LitKind::Str,
+            text,
+            ..
+        } => Some(text.clone()),
+        Expr::Block { block, .. } => match block.stmts.last() {
+            Some(Stmt::Expr { expr, semi: false }) => arm_string_value(expr),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `variant -> line` for every explicit `Knob::X` arm in the named method.
+fn match_arm_knobs(file: &SourceFile, self_ty: &str, name: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for arm in &method_match_arms(file, self_ty, name) {
+        for variant in arm_knobs(arm) {
+            map.entry(variant).or_insert(arm.line as usize);
+        }
+    }
+    map
+}
+
+/// `Knob::X` elements of `const <name>: [Knob; N] = [...]`.
+fn const_array_knobs(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
     let mut out = Vec::new();
-    for idx in start..=end {
-        let line = lines[idx];
-        if !line.trim_start().starts_with("///") {
-            continue;
+    for item in all_items(file) {
+        let init = match &item.kind {
+            ItemKind::Const { init: Some(e), .. } if item.name == name => Some(e),
+            ItemKind::Impl(imp) => {
+                let mut found = None;
+                for sub in &imp.items {
+                    if sub.name == name {
+                        if let ItemKind::Const { init: Some(e), .. } = &sub.kind {
+                            found = Some(e);
+                        }
+                    }
+                }
+                found
+            }
+            _ => None,
+        };
+        let Some(init) = init else { continue };
+        walk_expr(init, &mut |e| {
+            if let Expr::Path { segs, line } = e {
+                if segs.len() >= 2 && segs[segs.len() - 2] == "Knob" {
+                    out.push((segs[segs.len() - 1].clone(), *line as usize));
+                }
+            }
+        });
+    }
+    out
+}
+
+/// `(variant, line)` for the `knob:` field of every `Dim { .. }` struct
+/// literal anywhere in the space file.
+fn dim_knobs(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for item in all_items(file) {
+        crate::parser::walk_item(item, &mut |e| {
+            if let Expr::StructLit { path, fields, .. } = e {
+                if path.last().map(String::as_str) == Some("Dim") {
+                    for (fname, value) in fields {
+                        if fname == "knob" {
+                            if let Expr::Path { segs, line } = value {
+                                if segs.len() >= 2 && segs[segs.len() - 2] == "Knob" {
+                                    out.push((segs[segs.len() - 1].clone(), *line as usize));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Backticked `spark.*` names in doc comments of `Knob` variants and
+/// `SparkConf` fields: `(owner description, property, line)`.
+fn documented_spark_props(file: &SourceFile) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for item in all_items(file) {
+        match &item.kind {
+            ItemKind::Enum { variants } if item.name == "Knob" => {
+                for v in variants {
+                    for doc in &v.docs {
+                        for prop in backticked_props(doc) {
+                            out.push((format!("Knob::{}", v.name), prop, v.line as usize));
+                        }
+                    }
+                }
+            }
+            ItemKind::Struct { fields } if item.name == "SparkConf" => {
+                for f in fields {
+                    for doc in &f.docs {
+                        for prop in backticked_props(doc) {
+                            out.push((format!("SparkConf::{}", f.name), prop, f.line as usize));
+                        }
+                    }
+                }
+            }
+            _ => {}
         }
-        let mut rest = line;
-        while let Some(open) = rest.find("`spark.") {
-            let after = &rest[open + 1..];
-            let Some(close) = after.find('`') else { break };
-            out.push((after[..close].to_string(), idx + 1));
-            rest = &after[close + 1..];
-        }
+    }
+    out
+}
+
+fn backticked_props(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(open) = rest.find("`spark.") {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
     }
     out
 }
@@ -423,10 +509,15 @@ impl ConfigSpace {
 
     #[test]
     fn missing_spark_name_arm_is_flagged() {
-        let config = GOOD_CONFIG.replace("Knob::Seven => {\n                \"spark.a.seven\"\n            }", "");
+        let config = GOOD_CONFIG.replace(
+            "Knob::Seven => {\n                \"spark.a.seven\"\n            }",
+            "",
+        );
         let diags = check_sources(&config, GOOD_SPACE);
         assert!(
-            diags.iter().any(|d| d.message.contains("no spark_name() arm")),
+            diags
+                .iter()
+                .any(|d| d.message.contains("no spark_name() arm")),
             "{diags:?}"
         );
     }
@@ -465,21 +556,37 @@ impl ConfigSpace {
         );
         // Seven is tuned but now has no dimension.
         assert!(
-            diags
-                .iter()
-                .any(|d| d.message.contains("Knob::Seven has no search-space dimension")),
+            diags.iter().any(|d| d
+                .message
+                .contains("Knob::Seven has no search-space dimension")),
             "{diags:?}"
         );
     }
 
     #[test]
     fn stale_doc_property_is_flagged() {
-        let config = GOOD_CONFIG.replace("/// `spark.a.one` in bytes.", "/// `spark.a.renamed` in bytes.");
+        let config = GOOD_CONFIG.replace(
+            "/// `spark.a.one` in bytes.",
+            "/// `spark.a.renamed` in bytes.",
+        );
         let diags = check_sources(&config, GOOD_SPACE);
         assert!(
             diags
                 .iter()
                 .any(|d| d.message.contains("`spark.a.renamed`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stale_variant_doc_property_is_flagged() {
+        // v1's line heuristics only checked SparkConf field docs; the AST
+        // pass also validates the enum variants' own doc comments.
+        let config =
+            GOOD_CONFIG.replace("/// `spark.a.two`\n    Two,", "/// `spark.a.old`\n    Two,");
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags.iter().any(|d| d.message.contains("`spark.a.old`")),
             "{diags:?}"
         );
     }
@@ -492,7 +599,24 @@ impl ConfigSpace {
         );
         let diags = check_sources(&config, GOOD_SPACE);
         assert!(
-            diags.iter().any(|d| d.message.contains("the paper tunes 7")),
+            diags
+                .iter()
+                .any(|d| d.message.contains("the paper tunes 7")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn wildcard_arm_does_not_count_as_coverage() {
+        let config = GOOD_CONFIG.replace(
+            "            Knob::Six => 0.0,\n            Knob::Seven => 0.0,\n",
+            "            _ => 0.0,\n",
+        );
+        let diags = check_sources(&config, GOOD_SPACE);
+        assert!(
+            diags.iter().any(|d| d
+                .message
+                .contains("Knob::Six not handled in SparkConf::get")),
             "{diags:?}"
         );
     }

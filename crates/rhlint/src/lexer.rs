@@ -1,0 +1,477 @@
+//! A std-only Rust lexer: the token stream the parser and the semantic passes
+//! consume. Comments and whitespace are dropped (doc comments survive as
+//! [`TokKind::Doc`] tokens so the config-space pass can read `///` text);
+//! string/char literals are carried with their inner text so rules can match
+//! declared Spark property names without re-scanning raw source.
+
+/// Token kinds. `Punct` text is the operator itself; multi-character operators
+/// are fused except those beginning with `>` (kept single so the parser can
+/// close nested generics like `Vec<Vec<f64>>` token by token).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Int,
+    Float,
+    /// String literal; `text` holds the *inner* (undelimited) bytes verbatim.
+    Str,
+    /// Char or byte literal; `text` holds the inner bytes.
+    Char,
+    /// Doc comment (`///` or `//!`); `text` holds the comment body.
+    Doc,
+    Punct,
+}
+
+/// One token with its 1-based line and byte offset in the original source.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub pos: u32,
+}
+
+impl Tok {
+    pub fn is(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// Operators fused into one token. Longest match wins; none start with `>`.
+const FUSED: [&str; 21] = [
+    "..=", "...", "<<=", "::", "->", "=>", "..", "==", "!=", "<=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "<<",
+];
+
+/// Lex `text` into tokens. Never fails: unrecognized bytes become single-char
+/// `Punct` tokens, so downstream passes degrade instead of aborting.
+pub fn lex(text: &str) -> Vec<Tok> {
+    Lexer {
+        src: text.as_bytes(),
+        chars: text.char_indices().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    chars: Vec<(usize, char)>,
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn pos(&self) -> usize {
+        self.chars
+            .get(self.i)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, pos: usize) {
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            pos: pos as u32,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            let pos = self.pos();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, pos),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(0, line, pos),
+                'r' | 'b' if self.starts_raw_or_byte_string() => self.raw_or_byte_string(line, pos),
+                '\'' => self.char_or_lifetime(line, pos),
+                c if c.is_ascii_digit() => self.number(line, pos),
+                c if c == '_' || c.is_alphabetic() => self.ident(line, pos),
+                _ => self.punct(line, pos),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, pos: usize) {
+        // `///` and `//!` are doc comments; plain `//` (and `////`) is dropped.
+        let is_doc =
+            (self.peek(2) == Some('/') && self.peek(3) != Some('/')) || self.peek(2) == Some('!');
+        let mut body = String::new();
+        // Skip the `///` / `//!` / `//` marker.
+        for _ in 0..(if is_doc { 3 } else { 2 }) {
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        if is_doc {
+            self.push(TokKind::Doc, body, line, pos);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Does the `r`/`b` at the cursor begin `r"`, `r#"`, `br"`, or `b"`?
+    fn starts_raw_or_byte_string(&self) -> bool {
+        let mut j = 0;
+        if self.peek(0) == Some('b') {
+            j += 1;
+        }
+        if self.peek(j) == Some('r') {
+            j += 1;
+            while self.peek(j) == Some('#') {
+                j += 1;
+            }
+            return self.peek(j) == Some('"');
+        }
+        self.peek(0) == Some('b') && self.peek(j) == Some('"')
+    }
+
+    fn raw_or_byte_string(&mut self, line: u32, pos: usize) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('r') {
+            self.bump();
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let mut body = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '"' && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                body.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Str, body, line, pos);
+        } else {
+            // plain byte string b"..."
+            self.string_literal(0, line, pos);
+        }
+    }
+
+    /// Cooked string starting at the current `"` (or after a consumed `b`).
+    fn string_literal(&mut self, _skip: usize, line: u32, pos: usize) {
+        self.bump(); // opening quote
+        let mut body = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep escapes verbatim; rules only match plain names.
+                    body.push(c);
+                    if let Some(e) = self.bump() {
+                        body.push(e);
+                    }
+                }
+                '"' => break,
+                _ => body.push(c),
+            }
+        }
+        self.push(TokKind::Str, body, line, pos);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, pos: usize) {
+        // 'x' or '\n' is a char literal; 'ident (no closing quote) a lifetime.
+        let c1 = self.peek(1);
+        let is_char = match c1 {
+            Some('\\') => true,
+            Some(c) if c != '\'' => self.peek(2) == Some('\''),
+            _ => false,
+        };
+        if is_char {
+            self.bump(); // '
+            let mut body = String::new();
+            while let Some(c) = self.bump() {
+                if c == '\\' {
+                    body.push(c);
+                    if let Some(e) = self.bump() {
+                        body.push(e);
+                    }
+                    continue;
+                }
+                if c == '\'' {
+                    break;
+                }
+                body.push(c);
+            }
+            self.push(TokKind::Char, body, line, pos);
+        } else {
+            self.bump(); // '
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line, pos);
+        }
+    }
+
+    fn number(&mut self, line: u32, pos: usize) {
+        let mut text = String::new();
+        let mut float = false;
+        let radix_prefix =
+            self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b'));
+        if radix_prefix {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part only when followed by a digit (`0.5` yes,
+            // `0..5` and `1.max(2)` no).
+            if self.peek(0) == Some('.')
+                && self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+            {
+                float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign = matches!(self.peek(1), Some('+') | Some('-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if self
+                    .peek(digit_at)
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+                {
+                    float = true;
+                    text.push(self.bump().unwrap_or('e'));
+                    if sign {
+                        text.push(self.bump().unwrap_or('+'));
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, `usize`): alphanumeric tail.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+        self.push(
+            if float { TokKind::Float } else { TokKind::Int },
+            text,
+            line,
+            pos,
+        );
+    }
+
+    fn ident(&mut self, line: u32, pos: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, pos);
+    }
+
+    fn punct(&mut self, line: u32, pos: usize) {
+        for fused in FUSED {
+            if fused
+                .chars()
+                .enumerate()
+                .all(|(k, fc)| self.peek(k) == Some(fc))
+            {
+                for _ in 0..fused.chars().count() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, fused.to_string(), line, pos);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Punct, c.to_string(), line, pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let toks = kinds("use std::time::Instant;");
+        assert_eq!(toks[0], (TokKind::Ident, "use".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "std".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "::".into()));
+        assert_eq!(toks.last().map(|t| t.1.clone()), Some(";".into()));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("1 0.5 1e9 2048 1_000 0xff 3f64 1.max(2) 0..5");
+        assert_eq!(toks[0].0, TokKind::Int);
+        assert_eq!(toks[1].0, TokKind::Float);
+        assert_eq!(toks[2].0, TokKind::Float);
+        assert_eq!(toks[3].0, TokKind::Int);
+        assert_eq!(toks[4].0, TokKind::Int);
+        assert_eq!(toks[5].0, TokKind::Int);
+        assert_eq!(toks[6], (TokKind::Float, "3f64".into()));
+        // `1.max(2)` lexes as Int(1) Punct(.) Ident(max) ...
+        assert_eq!(toks[7], (TokKind::Int, "1".into()));
+        assert_eq!(toks[8], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[9], (TokKind::Ident, "max".into()));
+        // `0..5` is Int Range Int.
+        let range = &toks[13..16];
+        assert_eq!(range[0].0, TokKind::Int);
+        assert_eq!(range[1], (TokKind::Punct, "..".into()));
+        assert_eq!(range[2].0, TokKind::Int);
+    }
+
+    #[test]
+    fn strings_and_raw_strings_keep_inner_text() {
+        let toks = kinds(r###"let s = "spark.sql.x"; let r = r#"raw "inner""#;"###);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Str && t.1 == "spark.sql.x"));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Str && t.1 == "raw \"inner\""));
+    }
+
+    #[test]
+    fn comments_dropped_docs_kept() {
+        let toks = kinds("// plain\n/// doc line\nfn f() {} /* block /* nested */ */");
+        assert_eq!(toks[0], (TokKind::Doc, " doc line".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+        assert!(!toks.iter().any(|t| t.1.contains("plain")));
+        assert!(!toks.iter().any(|t| t.1.contains("nested")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Lifetime && t.1 == "'a"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Char && t.1 == "x"));
+    }
+
+    #[test]
+    fn gt_is_never_fused() {
+        let toks = kinds("Vec<Vec<f64>> x >= y");
+        let texts: Vec<&str> = toks.iter().map(|t| t.1.as_str()).collect();
+        assert!(texts.contains(&">"));
+        assert!(!texts.contains(&">>"));
+        assert!(!texts.contains(&">="));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+}

@@ -7,24 +7,34 @@
 //! NaN-poisoned comparison, ambient-RNG call, or panic on the serving path
 //! silently invalidates the convergence experiments (fig09–fig13) and the
 //! guardrail's regression detection. `rhlint` is the compile-time half of that
-//! safety rail: a dependency-free, line/token-level scanner over the workspace
-//! sources enforcing four rule families:
+//! safety rail: a dependency-free static-analysis engine that lexes and parses
+//! every workspace source into an AST ([`lexer`], [`parser`]), builds a
+//! workspace-wide symbol table and call graph ([`symbols`], [`callgraph`]),
+//! and enforces five rule families:
 //!
 //! * **panic-freedom** — no `unwrap()`, `expect()`, `panic!`-style macros, or
 //!   literal slice indexing in library code of the production crates.
 //! * **determinism** — no wall-clock reads, ambient RNGs, or hash-ordered
 //!   collections in the simulator and optimizer crates; randomness must flow
-//!   through seeded `StdRng`s.
+//!   through seeded `StdRng`s. Beyond the token scan, a call-graph taint walk
+//!   ([`callgraph::determinism_taint`], RH013) follows calls out of the scoped
+//!   crates through `use ... as` aliases and helper fns to sinks the lexical
+//!   pass never sees.
 //! * **float-safety** — no `partial_cmp(..).unwrap()`, no float sorts via
 //!   `partial_cmp`, no bare `f64::NAN` literals; comparisons go through
 //!   `ml::stats::total_cmp_f64` and friends.
 //! * **config-space** — the tuned Spark parameters must be declared
 //!   consistently across `sparksim/src/config.rs` (knob enum, spark property
 //!   names, `get`/`set` arms, serde'd `SparkConf` fields) and
-//!   `optimizers/src/space.rs` (search dimensions).
+//!   `optimizers/src/space.rs` (search dimensions), checked on the parsed AST.
+//! * **semantic hygiene** — ignored `Result`/`Option` returns (RH014), lossy
+//!   `as` casts (RH015), and `pub` items no other file references (RH016),
+//!   all driven by the symbol table and a local type environment.
 //!
-//! Diagnostics are `file:line`-addressed. A finding can be suppressed inline
-//! with a justification:
+//! Every rule carries a stable `RH001`–`RH016` code (`rhlint rules` lists
+//! them); `rhlint check --format json` emits the findings as a byte-stable
+//! JSON array for tooling. Diagnostics are `file:line`-addressed. A finding
+//! can be suppressed inline with a justification, by rule id or RH code:
 //!
 //! ```text
 //! let v = known_nonempty[0]; // rhlint:allow(slice-index): guarded by the len check above
@@ -41,9 +51,14 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
 mod config_space;
+pub mod lexer;
 mod mask;
+pub mod parser;
 mod rules;
+pub mod semantic;
+pub mod symbols;
 
 pub use config_space::check_config_space;
 pub use mask::MaskedSource;
@@ -77,10 +92,19 @@ pub enum Rule {
     ConfigSpace,
     /// Malformed `rhlint:allow` — unknown rule id or missing justification.
     BadSuppression,
+    /// A function reachable from deterministic entry points touches ambient
+    /// RNG, wall-clock, or hash-ordered iteration (semantic/call-graph).
+    DeterminismTaint,
+    /// A statement discards a workspace function's `Result`/`Option` return.
+    IgnoredResult,
+    /// An `as` cast that can silently lose information (semantic).
+    LossyCast,
+    /// A `pub` item never referenced outside its defining file (semantic).
+    DeadPub,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 16] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -93,6 +117,10 @@ impl Rule {
         Rule::NanLiteral,
         Rule::ConfigSpace,
         Rule::BadSuppression,
+        Rule::DeterminismTaint,
+        Rule::IgnoredResult,
+        Rule::LossyCast,
+        Rule::DeadPub,
     ];
 
     /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
@@ -110,6 +138,56 @@ impl Rule {
             Rule::NanLiteral => "nan-literal",
             Rule::ConfigSpace => "config-space",
             Rule::BadSuppression => "bad-suppression",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::IgnoredResult => "ignored-result",
+            Rule::LossyCast => "lossy-cast",
+            Rule::DeadPub => "dead-pub",
+        }
+    }
+
+    /// Stable machine-readable diagnostic code (`RH001`–`RH016`). Codes are
+    /// append-only: a rule keeps its code forever, new rules take the next
+    /// free number.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "RH001",
+            Rule::Expect => "RH002",
+            Rule::Panic => "RH003",
+            Rule::SliceIndex => "RH004",
+            Rule::WallClock => "RH005",
+            Rule::AmbientRng => "RH006",
+            Rule::HashIter => "RH007",
+            Rule::PartialCmpUnwrap => "RH008",
+            Rule::FloatSort => "RH009",
+            Rule::NanLiteral => "RH010",
+            Rule::ConfigSpace => "RH011",
+            Rule::BadSuppression => "RH012",
+            Rule::DeterminismTaint => "RH013",
+            Rule::IgnoredResult => "RH014",
+            Rule::LossyCast => "RH015",
+            Rule::DeadPub => "RH016",
+        }
+    }
+
+    /// One-line documentation shown by `rhlint rules`.
+    pub fn doc(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "`.unwrap()` in production library code can panic; return an error or use a total alternative",
+            Rule::Expect => "`.expect(..)` in production library code can panic; return an error instead",
+            Rule::Panic => "`panic!`/`todo!`/`unimplemented!`/`unreachable!` in production library code",
+            Rule::SliceIndex => "literal slice/array index like `xs[0]` can panic; use `.get(..)` or slice patterns",
+            Rule::WallClock => "`Instant::now`/`SystemTime::now` in a deterministic crate breaks reproducibility",
+            Rule::AmbientRng => "`thread_rng`/`from_entropy`/OS-entropy RNG in a deterministic crate; use a seeded `StdRng`",
+            Rule::HashIter => "`HashMap`/`HashSet` in a deterministic crate has run-to-run iteration order; use `BTreeMap`/`BTreeSet`",
+            Rule::PartialCmpUnwrap => "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp`",
+            Rule::FloatSort => "float sort/min/max via `partial_cmp`; use `total_cmp`-based helpers",
+            Rule::NanLiteral => "bare `f64::NAN` literal in library code; prefer `Option` to NaN sentinels",
+            Rule::ConfigSpace => "tuned Spark parameter declared inconsistently across config.rs and space.rs",
+            Rule::BadSuppression => "malformed `rhlint:allow` comment (unknown rule or missing justification)",
+            Rule::DeterminismTaint => "function reachable from deterministic entry points touches ambient RNG, wall-clock, or hash iteration",
+            Rule::IgnoredResult => "statement discards a workspace function's `Result`/`Option` return value",
+            Rule::LossyCast => "`as` cast can silently truncate, wrap, or lose precision; guard or convert explicitly",
+            Rule::DeadPub => "`pub` item is never referenced outside its defining file; remove or demote visibility",
         }
     }
 
@@ -117,15 +195,22 @@ impl Rule {
     pub fn family(self) -> &'static str {
         match self {
             Rule::Unwrap | Rule::Expect | Rule::Panic | Rule::SliceIndex => "panic-freedom",
-            Rule::WallClock | Rule::AmbientRng | Rule::HashIter => "determinism",
+            Rule::WallClock | Rule::AmbientRng | Rule::HashIter | Rule::DeterminismTaint => {
+                "determinism"
+            }
             Rule::PartialCmpUnwrap | Rule::FloatSort | Rule::NanLiteral => "float-safety",
             Rule::ConfigSpace => "config-space",
             Rule::BadSuppression => "suppression",
+            Rule::IgnoredResult | Rule::LossyCast | Rule::DeadPub => "semantic",
         }
     }
 
+    /// Look a rule up by kebab-case id or by `RHnnn` code (codes are accepted
+    /// as aliases everywhere a rule id is, including `rhlint:allow(...)`).
     pub fn from_id(id: &str) -> Option<Rule> {
-        Rule::ALL.into_iter().find(|r| r.id() == id)
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.id() == id || r.code() == id)
     }
 }
 
@@ -144,9 +229,10 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}/{}] {}",
+            "{}:{}: [{} {}/{}] {}",
             self.file.display(),
             self.line,
+            self.rule.code(),
             self.rule.family(),
             self.rule.id(),
             self.message
@@ -157,8 +243,13 @@ impl fmt::Display for Diagnostic {
 /// Engine errors (I/O and layout problems, not findings).
 #[derive(Debug)]
 pub enum LintError {
-    Io { path: PathBuf, source: std::io::Error },
-    MissingFile { path: PathBuf },
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    MissingFile {
+        path: PathBuf,
+    },
 }
 
 impl fmt::Display for LintError {
@@ -208,79 +299,117 @@ impl ScanScope {
     }
 }
 
+/// The result of a full workspace pass: sorted diagnostics plus scan stats
+/// for the CLI summary.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Diagnostics sorted by `(file, line, rule)` — byte-stable across runs.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files parsed and indexed (one walk; the lexical,
+    /// call-graph, and semantic passes all share the cached sources).
+    pub files_scanned: usize,
+}
+
 /// Run the full lint pass over a workspace checkout.
 ///
-/// Scans `crates/<scoped>/src/**/*.rs` line rules, then the cross-file
-/// config-space consistency check. Returns diagnostics sorted by
-/// `(file, line, rule)`.
-pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
-    let mut diagnostics = Vec::new();
+/// The workspace is walked **once** ([`symbols::Workspace::load`]): every
+/// pass — lexical line rules, config-space consistency, call-graph
+/// determinism taint, and the expression-level semantic rules — runs over the
+/// same cached sources and [`MaskedSource`]s. Inline `rhlint:allow`
+/// suppressions are applied centrally, so they cover semantic diagnostics at
+/// their `(file, line)` exactly like lexical ones.
+pub fn run_check(root: &Path) -> Result<CheckReport, LintError> {
+    let ws = symbols::Workspace::load(root)?;
+    let mut raw = Vec::new();
 
-    for crate_name in PANIC_SCOPE
-        .iter()
-        .chain(DETERMINISM_SCOPE.iter())
-        .collect::<std::collections::BTreeSet<_>>()
-    {
-        let src = root.join("crates").join(crate_name).join("src");
-        for file in rust_files_under(&src)? {
-            let text = read(&file)?;
-            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            diagnostics.extend(scan_source(
-                crate_name,
-                &rel,
-                &text,
-                ScanScope::for_crate(crate_name),
+    for file in ws.files() {
+        let scope = ScanScope::for_crate(&file.krate);
+        if scope.panic_freedom || scope.determinism || scope.float_safety {
+            raw.extend(rules::raw_findings(
+                &file.krate,
+                &file.rel,
+                &file.masked,
+                scope,
             ));
         }
     }
 
-    diagnostics.extend(check_config_space(root)?);
+    raw.extend(check_config_space(root)?);
+    raw.extend(callgraph::determinism_taint(&ws));
+    raw.extend(semantic::check(&ws));
 
-    diagnostics.sort_by(|a, b| {
-        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
-    });
-    Ok(diagnostics)
-}
+    // Central suppression filter: an allow on the flagged line (or the line
+    // above) covers any rule, lexical or semantic.
+    let mut diagnostics: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            ws.files()
+                .iter()
+                .find(|f| f.rel == d.file)
+                .map(|f| !rules::allowed_rules_at(&f.masked, d.line).contains(&d.rule))
+                .unwrap_or(true)
+        })
+        .collect();
 
-fn read(path: &Path) -> Result<String, LintError> {
-    std::fs::read_to_string(path).map_err(|source| LintError::Io {
-        path: path.to_path_buf(),
-        source,
+    // Malformed suppressions fire everywhere in scoped crates, even on
+    // finding-free and test lines.
+    for file in ws.files() {
+        if ScanScope::for_crate(&file.krate) != ScanScope::default() {
+            diagnostics.extend(rules::bad_suppressions(&file.rel, &file.masked));
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(CheckReport {
+        diagnostics,
+        files_scanned: ws.files().len(),
     })
 }
 
-/// All `.rs` files under `dir`, recursively, in sorted order (deterministic
-/// reports). `tests/`, `benches/`, `examples/` subtrees are skipped — those
-/// are exempt by design.
-fn rust_files_under(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
-    let mut files = Vec::new();
-    if !dir.exists() {
-        return Ok(files);
+/// [`run_check`], diagnostics only. The tier-1 gate and tests use this.
+pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    run_check(root).map(|report| report.diagnostics)
+}
+
+/// Render diagnostics as a JSON array of `{code, file, line, message}`
+/// objects, sorted exactly as the input (the engine sorts by
+/// `(file, line, rule)`), with no timing or environment data — two runs over
+/// the same tree produce byte-identical output.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"code\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            d.rule.code(),
+            json_escape(&d.file.display().to_string()),
+            d.line,
+            json_escape(&d.message)
+        ));
     }
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(current) = stack.pop() {
-        let entries = std::fs::read_dir(&current).map_err(|source| LintError::Io {
-            path: current.clone(),
-            source,
-        })?;
-        for entry in entries {
-            let entry = entry.map_err(|source| LintError::Io {
-                path: current.clone(),
-                source,
-            })?;
-            let path = entry.path();
-            if path.is_dir() {
-                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                if !matches!(name, "tests" | "benches" | "examples") {
-                    stack.push(path);
-                }
-            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
-                files.push(path);
-            }
+    if !diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
-    files.sort();
-    Ok(files)
+    out
 }
 
 /// Render a report to a string (one diagnostic per line plus a summary).

@@ -1,37 +1,80 @@
-//! `cargo run -p rhlint -- check [root]`
+//! `cargo run -p rhlint -- check [root] [--format text|json]`
 //!
 //! Exit status: 0 when clean, 1 on violations, 2 on usage/engine errors.
+//! JSON output (`--format json`) is byte-stable across runs: sorted
+//! diagnostics, no timing data. The text summary reports wall-time, which is
+//! why timing never appears in the machine-readable format.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (command, root) = match args.as_slice() {
-        [cmd] => (cmd.as_str(), None),
-        [cmd, root] => (cmd.as_str(), Some(PathBuf::from(root))),
-        _ => ("", None),
+    let Some((command, rest)) = args.split_first() else {
+        return usage();
     };
 
-    match command {
-        "check" => {}
+    match command.as_str() {
         "rules" => {
-            for rule in rhlint::Rule::ALL {
-                println!("{:<20} {}", rule.id(), rule.family());
+            if !rest.is_empty() {
+                return usage();
             }
-            return ExitCode::SUCCESS;
+            for rule in rhlint::Rule::ALL {
+                println!(
+                    "{}  {:<20} [{}] {}",
+                    rule.code(),
+                    rule.id(),
+                    rule.family(),
+                    rule.doc()
+                );
+            }
+            ExitCode::SUCCESS
         }
-        _ => {
-            eprintln!("usage: rhlint check [workspace-root] | rhlint rules");
-            return ExitCode::from(2);
+        "check" => {
+            let mut root = None;
+            let mut format = Format::Text;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => format = Format::Text,
+                        Some("json") => format = Format::Json,
+                        _ => return usage(),
+                    },
+                    _ if root.is_none() && !arg.starts_with('-') => {
+                        root = Some(PathBuf::from(arg));
+                    }
+                    _ => return usage(),
+                }
+            }
+            run(root.unwrap_or_else(find_workspace_root), format)
         }
+        _ => usage(),
     }
+}
 
-    let root = root.unwrap_or_else(find_workspace_root);
-    match rhlint::check_workspace(&root) {
-        Ok(diagnostics) => {
-            print!("{}", rhlint::render_report(&diagnostics));
-            if diagnostics.is_empty() {
+fn run(root: PathBuf, format: Format) -> ExitCode {
+    let started = Instant::now();
+    match rhlint::run_check(&root) {
+        Ok(report) => {
+            match format {
+                Format::Json => print!("{}", rhlint::render_json(&report.diagnostics)),
+                Format::Text => {
+                    print!("{}", rhlint::render_report(&report.diagnostics));
+                    println!(
+                        "rhlint: scanned {} files in {:.0} ms",
+                        report.files_scanned,
+                        started.elapsed().as_secs_f64() * 1e3
+                    );
+                }
+            }
+            if report.diagnostics.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
@@ -42,6 +85,11 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rhlint check [workspace-root] [--format text|json] | rhlint rules");
+    ExitCode::from(2)
 }
 
 /// Walk up from the current directory to the first dir containing a

@@ -1,0 +1,2472 @@
+//! A tolerant recursive-descent parser for the Rust subset the workspace uses.
+//!
+//! Produces a per-file AST of items (functions, structs, enums, impls, traits,
+//! modules, uses, consts, type aliases) and expressions (calls, method chains,
+//! casts, matches, struct literals, closures, control flow). The parser never
+//! panics and never fails a file outright: an unparseable statement degrades to
+//! [`Expr::Opaque`] and item-level noise is skipped token by token, so the
+//! semantic passes see as much structure as can be recovered.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A parsed source file.
+#[derive(Clone, Debug, Default)]
+pub struct SourceFile {
+    pub items: Vec<Item>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vis {
+    Private,
+    /// `pub(crate)` / `pub(super)` / `pub(in ...)`.
+    Crate,
+    Pub,
+}
+
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub name: String,
+    pub vis: Vis,
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` item or module.
+    pub cfg_test: bool,
+    /// Doc-comment lines attached to the item.
+    pub docs: Vec<String>,
+    pub kind: ItemKind,
+}
+
+#[derive(Clone, Debug)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Struct {
+        fields: Vec<Field>,
+    },
+    Enum {
+        variants: Vec<Variant>,
+    },
+    Impl(ImplItem),
+    Trait {
+        items: Vec<Item>,
+    },
+    Mod {
+        inline: Option<Vec<Item>>,
+    },
+    Use {
+        bindings: Vec<UseBinding>,
+    },
+    Const {
+        ty: Type,
+        init: Option<Expr>,
+    },
+    Static {
+        ty: Type,
+        init: Option<Expr>,
+    },
+    TypeAlias {
+        target: Type,
+    },
+    /// `macro_rules!`, `extern` blocks, attribute noise — structure not needed.
+    Other,
+}
+
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub has_self: bool,
+    /// `(name, type)` for named, typed parameters (patterns keep `""`).
+    pub params: Vec<(String, Type)>,
+    pub ret: Option<Type>,
+    pub body: Option<Block>,
+}
+
+#[derive(Clone, Debug)]
+pub struct ImplItem {
+    /// The implementing type's head name (`SparkConf` for `impl SparkConf`).
+    pub self_ty: String,
+    /// `Some(trait path text)` for `impl Trait for Type`.
+    pub trait_: Option<String>,
+    pub items: Vec<Item>,
+}
+
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: Type,
+    pub line: u32,
+    pub docs: Vec<String>,
+    pub vis: Vis,
+}
+
+#[derive(Clone, Debug)]
+pub struct Variant {
+    pub name: String,
+    pub line: u32,
+    pub docs: Vec<String>,
+}
+
+/// `use a::b::{c, d as e}` flattens to one binding per leaf; glob imports get
+/// alias `"*"`.
+#[derive(Clone, Debug)]
+pub struct UseBinding {
+    pub path: Vec<String>,
+    pub alias: String,
+    pub is_pub: bool,
+}
+
+/// A type, reduced to its rendered text and head path (`std::collections::
+/// HashMap<K, V>` → head `["std", "collections", "HashMap"]`). References,
+/// `mut`, and lifetimes are stripped from the head.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Type {
+    pub text: String,
+    pub head: Vec<String>,
+}
+
+impl Type {
+    pub fn head_name(&self) -> &str {
+        self.head.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    Let {
+        /// Bound name when the pattern is a plain (possibly `mut`) identifier.
+        name: Option<String>,
+        ty: Option<Type>,
+        init: Option<Expr>,
+        /// `let _ = ...` — an explicit discard.
+        underscore: bool,
+        line: u32,
+    },
+    /// Expression statement; `semi` records whether it was `;`-terminated
+    /// (a `;`-terminated call is a discarded value, a tail call is returned).
+    Expr {
+        expr: Expr,
+        semi: bool,
+    },
+    Item(Item),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LitKind {
+    Int,
+    Float,
+    Str,
+    Char,
+    Bool,
+}
+
+#[derive(Clone, Debug)]
+pub struct Arm {
+    /// All path-like sequences in the pattern (`Knob::One | Knob::Two` →
+    /// `[["Knob","One"], ["Knob","Two"]]`).
+    pub pat_paths: Vec<Vec<String>>,
+    /// `_` wildcard pattern.
+    pub wildcard: bool,
+    pub guard: Option<Box<Expr>>,
+    pub body: Box<Expr>,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub enum Expr {
+    Path {
+        segs: Vec<String>,
+        line: u32,
+    },
+    Lit {
+        kind: LitKind,
+        text: String,
+        line: u32,
+    },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Field {
+        base: Box<Expr>,
+        name: String,
+        line: u32,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        line: u32,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: Type,
+        line: u32,
+    },
+    Unary {
+        op: char,
+        expr: Box<Expr>,
+        line: u32,
+    },
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    /// `expr?`.
+    Try {
+        expr: Box<Expr>,
+        line: u32,
+    },
+    StructLit {
+        path: Vec<String>,
+        fields: Vec<(String, Expr)>,
+        line: u32,
+    },
+    MacroCall {
+        path: Vec<String>,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Arm>,
+        line: u32,
+    },
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        else_: Option<Box<Expr>>,
+        line: u32,
+    },
+    Loop {
+        body: Block,
+        line: u32,
+    },
+    While {
+        cond: Box<Expr>,
+        body: Block,
+        line: u32,
+    },
+    For {
+        iter: Box<Expr>,
+        body: Block,
+        line: u32,
+    },
+    Closure {
+        body: Box<Expr>,
+        line: u32,
+    },
+    Block {
+        block: Block,
+        line: u32,
+    },
+    Ref {
+        expr: Box<Expr>,
+        line: u32,
+    },
+    Tuple {
+        elems: Vec<Expr>,
+        line: u32,
+    },
+    Array {
+        elems: Vec<Expr>,
+        line: u32,
+    },
+    Range {
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+        line: u32,
+    },
+    Return {
+        expr: Option<Box<Expr>>,
+        line: u32,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
+    /// Recovered parse failure — contents unknown.
+    Opaque {
+        line: u32,
+    },
+}
+
+impl Expr {
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::MacroCall { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::While { line, .. }
+            | Expr::For { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::Ref { line, .. }
+            | Expr::Tuple { line, .. }
+            | Expr::Array { line, .. }
+            | Expr::Range { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Break { line }
+            | Expr::Continue { line }
+            | Expr::Opaque { line } => *line,
+        }
+    }
+}
+
+/// Parse a whole file. Infallible by construction.
+pub fn parse_file(text: &str) -> SourceFile {
+    let toks = lex(text);
+    let mut p = Parser { toks: &toks, i: 0 };
+    SourceFile {
+        items: p.items_until_end(false),
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&Tok> {
+        self.toks.get(self.i + ahead)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek()
+            .map(|t| t.line)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.line).unwrap_or(1))
+    }
+
+    fn eat(&mut self, punct: &str) -> bool {
+        if self.peek().map(|t| t.is(punct)).unwrap_or(false) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_ident(kw)).unwrap_or(false) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at(&self, punct: &str) -> bool {
+        self.peek().map(|t| t.is(punct)).unwrap_or(false)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_ident(kw)).unwrap_or(false)
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let text = t.text.clone();
+                self.i += 1;
+                Some(text)
+            }
+            _ => None,
+        }
+    }
+
+    /// Skip one balanced group starting at the current open delimiter; returns
+    /// the token range of the *inner* tokens. `>` groups track angle depth.
+    fn skip_balanced(&mut self) -> (usize, usize) {
+        let open = match self.peek() {
+            Some(t) if t.kind == TokKind::Punct => t.text.clone(),
+            _ => return (self.i, self.i),
+        };
+        let close = match open.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            "<" => ">",
+            _ => return (self.i, self.i),
+        };
+        self.i += 1;
+        let start = self.i;
+        let mut depth = 1i64;
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                // Angle groups must also balance the bracket kinds nested in
+                // them (`Vec<[f64; 3]>`); bracket groups ignore angles (`a < b`).
+                if t.text == open || (open == "<" && matches!(t.text.as_str(), "(" | "[" | "{")) {
+                    if t.text == open {
+                        depth += 1;
+                    } else {
+                        // Nested non-angle group inside angles: skip it whole.
+                        self.skip_balanced();
+                        continue;
+                    }
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        let end = self.i;
+                        self.i += 1;
+                        return (start, end);
+                    }
+                }
+            }
+            self.i += 1;
+        }
+        (start, self.i)
+    }
+
+    /// Skip a `<...>` generic parameter/argument group if one starts here.
+    fn skip_generics(&mut self) {
+        if self.at("<") {
+            self.skip_balanced();
+        }
+    }
+
+    // ---- attributes ----
+
+    /// Consume leading `#[...]` / `#![...]` attributes and doc comments.
+    /// Returns `(docs, is_cfg_test)`.
+    fn attrs(&mut self) -> (Vec<String>, bool) {
+        let mut docs = Vec::new();
+        let mut cfg_test = false;
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokKind::Doc => {
+                    docs.push(t.text.clone());
+                    self.i += 1;
+                }
+                Some(t) if t.is("#") => {
+                    self.i += 1;
+                    self.eat("!");
+                    if self.at("[") {
+                        let (start, end) = self.skip_balanced();
+                        let inner =
+                            &self.toks[start.min(self.toks.len())..end.min(self.toks.len())];
+                        let has = |name: &str| inner.iter().any(|t| t.is_ident(name));
+                        if has("cfg") && has("test") {
+                            cfg_test = true;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        (docs, cfg_test)
+    }
+
+    // ---- items ----
+
+    fn items_until_end(&mut self, inside_braces: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            if inside_braces && self.at("}") {
+                break;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+            let before = self.i;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.i == before {
+                // No progress: skip the offending token (or whole group).
+                if self.at("(") || self.at("[") || self.at("{") {
+                    self.skip_balanced();
+                } else {
+                    self.i += 1;
+                }
+            }
+        }
+        items
+    }
+
+    fn item(&mut self) -> Option<Item> {
+        let (docs, mut cfg_test) = self.attrs();
+        let line = self.line();
+        let vis = self.visibility();
+
+        // Modifier keywords before the item keyword.
+        loop {
+            if self.at_kw("const") && self.peek_at(1).map(|t| t.is_ident("fn")).unwrap_or(false) {
+                self.i += 1; // `const fn`
+                continue;
+            }
+            if self.at_kw("async") || self.at_kw("unsafe") {
+                self.i += 1;
+                continue;
+            }
+            if self.at_kw("extern")
+                && self
+                    .peek_at(1)
+                    .map(|t| t.kind == TokKind::Str)
+                    .unwrap_or(false)
+                && self.peek_at(2).map(|t| t.is_ident("fn")).unwrap_or(false)
+            {
+                self.i += 2; // `extern "C" fn`
+                continue;
+            }
+            break;
+        }
+
+        if self.eat_kw("fn") {
+            let name = self.ident().unwrap_or_default();
+            let f = self.fn_rest();
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Fn(f),
+            });
+        }
+        if self.eat_kw("struct") {
+            let name = self.ident().unwrap_or_default();
+            self.skip_generics();
+            let mut fields = Vec::new();
+            if self.at("(") {
+                self.skip_balanced(); // tuple struct
+                self.skip_where();
+                self.eat(";");
+            } else if self.at("{") {
+                self.i += 1;
+                fields = self.fields_until_close();
+            } else {
+                self.skip_where();
+                if self.at("{") {
+                    self.i += 1;
+                    fields = self.fields_until_close();
+                } else {
+                    self.eat(";");
+                }
+            }
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Struct { fields },
+            });
+        }
+        if self.eat_kw("enum") {
+            let name = self.ident().unwrap_or_default();
+            self.skip_generics();
+            self.skip_where();
+            let mut variants = Vec::new();
+            if self.eat("{") {
+                loop {
+                    if self.eat("}") || self.peek().is_none() {
+                        break;
+                    }
+                    let (vdocs, _) = self.attrs();
+                    let vline = self.line();
+                    if let Some(vname) = self.ident() {
+                        variants.push(Variant {
+                            name: vname,
+                            line: vline,
+                            docs: vdocs,
+                        });
+                        if self.at("(") || self.at("{") {
+                            self.skip_balanced(); // payload
+                        }
+                        if self.eat("=") {
+                            // discriminant — consume one expression
+                            let _ = self.expr(true);
+                        }
+                        self.eat(",");
+                    } else if !self.eat(",") {
+                        self.i += 1; // recovery
+                    }
+                }
+            }
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Enum { variants },
+            });
+        }
+        if self.eat_kw("impl") {
+            self.skip_generics();
+            let first = self.type_until(&["for", "{", "where"]);
+            let (trait_, self_ty) = if self.eat_kw("for") {
+                let t = self.type_until(&["{", "where"]);
+                (Some(first.text.clone()), t)
+            } else {
+                (None, first)
+            };
+            self.skip_where();
+            let mut items = Vec::new();
+            if self.eat("{") {
+                items = self.items_until_end(true);
+                self.eat("}");
+            }
+            return Some(Item {
+                name: self_ty.head_name().to_string(),
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Impl(ImplItem {
+                    self_ty: self_ty.head_name().to_string(),
+                    trait_,
+                    items,
+                }),
+            });
+        }
+        if self.eat_kw("trait") {
+            let name = self.ident().unwrap_or_default();
+            self.skip_generics();
+            // supertrait bounds
+            if self.eat(":") {
+                while let Some(t) = self.peek() {
+                    if t.is("{") || t.is_ident("where") {
+                        break;
+                    }
+                    if t.is("(") || t.is("[") || t.is("<") {
+                        self.skip_balanced();
+                    } else {
+                        self.i += 1;
+                    }
+                }
+            }
+            self.skip_where();
+            let mut items = Vec::new();
+            if self.eat("{") {
+                items = self.items_until_end(true);
+                self.eat("}");
+            }
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Trait { items },
+            });
+        }
+        if self.eat_kw("mod") {
+            let name = self.ident().unwrap_or_default();
+            if self.eat(";") {
+                return Some(Item {
+                    name,
+                    vis,
+                    line,
+                    cfg_test,
+                    docs,
+                    kind: ItemKind::Mod { inline: None },
+                });
+            }
+            let mut inner = Vec::new();
+            if self.eat("{") {
+                inner = self.items_until_end(true);
+                self.eat("}");
+            }
+            if cfg_test {
+                fn mark(items: &mut [Item]) {
+                    for it in items {
+                        it.cfg_test = true;
+                        match &mut it.kind {
+                            ItemKind::Mod { inline: Some(sub) } => mark(sub),
+                            ItemKind::Impl(imp) => mark(&mut imp.items),
+                            ItemKind::Trait { items } => mark(items),
+                            _ => {}
+                        }
+                    }
+                }
+                mark(&mut inner);
+            }
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Mod {
+                    inline: Some(inner),
+                },
+            });
+        }
+        if self.eat_kw("use") {
+            let mut bindings = Vec::new();
+            self.use_tree(Vec::new(), &mut bindings, vis == Vis::Pub);
+            self.eat(";");
+            return Some(Item {
+                name: String::new(),
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Use { bindings },
+            });
+        }
+        if self.at_kw("const") || self.at_kw("static") {
+            let is_const = self.at_kw("const");
+            self.i += 1;
+            self.eat_kw("mut");
+            let name = self.ident().unwrap_or_default();
+            let ty = if self.eat(":") {
+                self.type_until(&["=", ";"])
+            } else {
+                Type::default()
+            };
+            let init = if self.eat("=") { self.expr(true) } else { None };
+            self.eat(";");
+            let kind = if is_const {
+                ItemKind::Const { ty, init }
+            } else {
+                ItemKind::Static { ty, init }
+            };
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind,
+            });
+        }
+        if self.eat_kw("type") {
+            let name = self.ident().unwrap_or_default();
+            self.skip_generics();
+            let target = if self.eat("=") {
+                self.type_until(&[";"])
+            } else {
+                Type::default()
+            };
+            self.eat(";");
+            return Some(Item {
+                name,
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::TypeAlias { target },
+            });
+        }
+        if self.at_kw("extern") || self.at_kw("macro_rules") {
+            // `extern crate x;` / extern block / macro definition: skip whole.
+            while let Some(t) = self.peek() {
+                if t.is(";") {
+                    self.i += 1;
+                    break;
+                }
+                if t.is("{") {
+                    self.skip_balanced();
+                    break;
+                }
+                self.i += 1;
+            }
+            return Some(Item {
+                name: String::new(),
+                vis,
+                line,
+                cfg_test,
+                docs,
+                kind: ItemKind::Other,
+            });
+        }
+        // Item-level macro invocation `foo!{...}` / `foo!(...);`
+        if self
+            .peek()
+            .map(|t| t.kind == TokKind::Ident)
+            .unwrap_or(false)
+            && self.peek_at(1).map(|t| t.is("!")).unwrap_or(false)
+        {
+            self.i += 2;
+            if self.at("(") || self.at("[") || self.at("{") {
+                self.skip_balanced();
+            }
+            self.eat(";");
+            return Some(Item {
+                name: String::new(),
+                vis,
+                line,
+                cfg_test: {
+                    cfg_test |= false;
+                    cfg_test
+                },
+                docs,
+                kind: ItemKind::Other,
+            });
+        }
+        None
+    }
+
+    fn visibility(&mut self) -> Vis {
+        if self.eat_kw("pub") {
+            if self.at("(") {
+                self.skip_balanced();
+                Vis::Crate
+            } else {
+                Vis::Pub
+            }
+        } else {
+            Vis::Private
+        }
+    }
+
+    fn skip_where(&mut self) {
+        if self.at_kw("where") {
+            while let Some(t) = self.peek() {
+                if t.is("{") || t.is(";") {
+                    break;
+                }
+                if t.is("(") || t.is("[") || t.is("<") {
+                    self.skip_balanced();
+                } else {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn fields_until_close(&mut self) -> Vec<Field> {
+        let mut fields = Vec::new();
+        loop {
+            if self.eat("}") || self.peek().is_none() {
+                break;
+            }
+            let (docs, _) = self.attrs();
+            let line = self.line();
+            let vis = self.visibility();
+            if let Some(name) = self.ident() {
+                if self.eat(":") {
+                    let ty = self.type_until(&[",", "}"]);
+                    fields.push(Field {
+                        name,
+                        ty,
+                        line,
+                        docs,
+                        vis,
+                    });
+                }
+                self.eat(",");
+            } else if !self.eat(",") {
+                self.i += 1; // recovery
+            }
+        }
+        fields
+    }
+
+    fn use_tree(&mut self, prefix: Vec<String>, out: &mut Vec<UseBinding>, is_pub: bool) {
+        let mut path = prefix;
+        loop {
+            if self.at("{") {
+                self.i += 1;
+                loop {
+                    if self.eat("}") || self.peek().is_none() {
+                        break;
+                    }
+                    self.use_tree(path.clone(), out, is_pub);
+                    self.eat(",");
+                }
+                return;
+            }
+            if self.at("*") {
+                self.i += 1;
+                out.push(UseBinding {
+                    path,
+                    alias: "*".into(),
+                    is_pub,
+                });
+                return;
+            }
+            let Some(seg) = self.ident() else {
+                return;
+            };
+            path.push(seg);
+            if self.eat("::") {
+                continue;
+            }
+            let alias = if self.eat_kw("as") {
+                self.ident().unwrap_or_else(|| "_".into())
+            } else {
+                path.last().cloned().unwrap_or_default()
+            };
+            out.push(UseBinding {
+                path,
+                alias,
+                is_pub,
+            });
+            return;
+        }
+    }
+
+    fn fn_rest(&mut self) -> FnItem {
+        self.skip_generics();
+        let mut has_self = false;
+        let mut params = Vec::new();
+        if self.at("(") {
+            let (start, end) = self.skip_balanced();
+            let inner: Vec<Tok> =
+                self.toks[start.min(self.toks.len())..end.min(self.toks.len())].to_vec();
+            let mut q = Parser { toks: &inner, i: 0 };
+            loop {
+                if q.peek().is_none() {
+                    break;
+                }
+                let (_, _) = q.attrs();
+                // `self` receiver forms: self / &self / &mut self / mut self
+                let save = q.i;
+                while q.at("&")
+                    || q.at_kw("mut")
+                    || q.peek()
+                        .map(|t| t.kind == TokKind::Lifetime)
+                        .unwrap_or(false)
+                {
+                    q.i += 1;
+                }
+                if q.eat_kw("self") {
+                    has_self = true;
+                    if q.eat(":") {
+                        let _ = q.type_until(&[","]);
+                    }
+                    q.eat(",");
+                    continue;
+                }
+                q.i = save;
+                // pattern tokens until `:` at depth 0
+                let mut name = None;
+                q.eat_kw("mut");
+                if q.peek().map(|t| t.kind == TokKind::Ident).unwrap_or(false)
+                    && q.peek_at(1).map(|t| t.is(":")).unwrap_or(false)
+                {
+                    name = q.ident();
+                } else {
+                    // complex pattern: skip to `:`
+                    while let Some(t) = q.peek() {
+                        if t.is(":") {
+                            break;
+                        }
+                        if t.is("(") || t.is("[") || t.is("{") {
+                            q.skip_balanced();
+                        } else {
+                            q.i += 1;
+                        }
+                    }
+                }
+                if q.eat(":") {
+                    let ty = q.type_until(&[","]);
+                    params.push((name.unwrap_or_default(), ty));
+                }
+                if !q.eat(",") && q.peek().is_some() && q.i == save {
+                    q.i += 1;
+                }
+            }
+        }
+        let ret = if self.eat("->") {
+            Some(self.type_until(&["{", ";", "where"]))
+        } else {
+            None
+        };
+        self.skip_where();
+        let body = if self.at("{") {
+            Some(self.block())
+        } else {
+            self.eat(";");
+            None
+        };
+        FnItem {
+            has_self,
+            params,
+            ret,
+            body,
+        }
+    }
+
+    // ---- types ----
+
+    /// Parse a type: consume tokens (balancing groups) until one of `stops`
+    /// appears at depth 0. Stop tokens are punct text or the keywords
+    /// `for`/`where`. The head path is extracted from the leading segments.
+    fn type_until(&mut self, stops: &[&str]) -> Type {
+        let mut text = String::new();
+        let mut head: Vec<String> = Vec::new();
+        let mut head_open = true;
+        let mut angle_depth = 0i64;
+        loop {
+            let Some(t) = self.peek() else { break };
+            let is_stop = stops.iter().any(|s| {
+                (t.kind == TokKind::Punct && t.text == *s)
+                    || (t.kind == TokKind::Ident && t.text == *s)
+            });
+            if is_stop && angle_depth == 0 {
+                break;
+            }
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "<" => {
+                        angle_depth += 1;
+                        head_open = false;
+                        text.push('<');
+                        self.i += 1;
+                    }
+                    ">" => {
+                        if angle_depth == 0 {
+                            break;
+                        }
+                        angle_depth -= 1;
+                        text.push('>');
+                        self.i += 1;
+                    }
+                    "(" | "[" => {
+                        let open = t.text.clone();
+                        let (s, e) = self.skip_balanced();
+                        text.push_str(&open);
+                        for tok in &self.toks[s.min(self.toks.len())..e.min(self.toks.len())] {
+                            text.push_str(&tok.text);
+                            text.push(' ');
+                        }
+                        text.push_str(if open == "(" { ")" } else { "]" });
+                        head_open = false;
+                    }
+                    "::" => {
+                        text.push_str("::");
+                        self.i += 1;
+                    }
+                    "&" | "*" => {
+                        text.push_str(&t.text);
+                        self.i += 1;
+                    }
+                    "+" | "'" | "," | "=" => {
+                        // `dyn A + Send`, stray commas inside angle depth.
+                        if angle_depth == 0 && (t.text == "," || t.text == "=") {
+                            break;
+                        }
+                        text.push_str(&t.text);
+                        head_open = false;
+                        self.i += 1;
+                    }
+                    _ => break,
+                },
+                TokKind::Ident => {
+                    let word = t.text.clone();
+                    self.i += 1;
+                    match word.as_str() {
+                        "mut" | "dyn" | "impl" | "const" => {
+                            text.push_str(&word);
+                            text.push(' ');
+                        }
+                        _ => {
+                            text.push_str(&word);
+                            if head_open && angle_depth == 0 {
+                                head.push(word);
+                                // Only continue the head through `::`.
+                                if !self.at("::") {
+                                    head_open = false;
+                                }
+                            }
+                        }
+                    }
+                }
+                TokKind::Lifetime => {
+                    text.push_str(&t.text);
+                    text.push(' ');
+                    self.i += 1;
+                }
+                TokKind::Int => {
+                    // array length `[f64; 3]` handled in bracket group; a bare
+                    // int here is const-generic-ish — keep text.
+                    text.push_str(&t.text);
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        Type { text, head }
+    }
+
+    // ---- expressions ----
+
+    fn block(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        if !self.eat("{") {
+            return Block { stmts };
+        }
+        loop {
+            if self.eat("}") || self.peek().is_none() {
+                break;
+            }
+            if self.eat(";") {
+                continue;
+            }
+            let before = self.i;
+            if let Some(stmt) = self.stmt() {
+                stmts.push(stmt);
+            }
+            if self.i == before {
+                // recovery: skip one token or group
+                if self.at("(") || self.at("[") || self.at("{") {
+                    self.skip_balanced();
+                } else {
+                    self.i += 1;
+                }
+            }
+        }
+        Block { stmts }
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        // Items allowed in statement position.
+        if self.at_kw("fn")
+            || self.at_kw("struct")
+            || self.at_kw("enum")
+            || self.at_kw("impl")
+            || self.at_kw("trait")
+            || self.at_kw("mod")
+            || self.at_kw("use")
+            || self.at_kw("type")
+            || (self.at_kw("const") && !self.peek_at(1).map(|t| t.is("{")).unwrap_or(false))
+            || self.at_kw("static")
+            || self.at("#")
+        {
+            // `let` handled below; `const { }` blocks are expressions.
+            if !self.at_kw("let") {
+                if let Some(item) = self.item() {
+                    return Some(Stmt::Item(item));
+                }
+            }
+        }
+
+        if self.at_kw("let") {
+            let line = self.line();
+            self.i += 1;
+            // pattern
+            let mut name = None;
+            let mut underscore = false;
+            self.eat_kw("mut");
+            if self.at_kw("_") {
+                underscore = true;
+                self.i += 1;
+            } else if self
+                .peek()
+                .map(|t| t.kind == TokKind::Ident)
+                .unwrap_or(false)
+                && self
+                    .peek_at(1)
+                    .map(|t| t.is(":") || t.is("=") || t.is(";"))
+                    .unwrap_or(false)
+            {
+                name = self.ident();
+            } else {
+                // complex pattern (tuple, struct, ref): skip to `:`/`=`/`;`
+                while let Some(t) = self.peek() {
+                    if t.is(":") || t.is("=") || t.is(";") {
+                        break;
+                    }
+                    if t.is("(") || t.is("[") || t.is("{") || t.is("<") {
+                        self.skip_balanced();
+                    } else {
+                        self.i += 1;
+                    }
+                }
+            }
+            let ty = if self.eat(":") {
+                Some(self.type_until(&["=", ";"]))
+            } else {
+                None
+            };
+            let init = if self.eat("=") { self.expr(true) } else { None };
+            // `let ... else { ... }`
+            if self.at_kw("else") {
+                self.i += 1;
+                if self.at("{") {
+                    self.block();
+                }
+            }
+            self.eat(";");
+            return Some(Stmt::Let {
+                name,
+                ty,
+                init,
+                underscore,
+                line,
+            });
+        }
+
+        let expr = self.expr(true)?;
+        let semi = self.eat(";");
+        Some(Stmt::Expr { expr, semi })
+    }
+
+    fn expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        self.assign_expr(allow_struct)
+    }
+
+    fn assign_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let lhs = self.range_expr(allow_struct)?;
+        if let Some(t) = self.peek() {
+            let op = t.text.clone();
+            if t.kind == TokKind::Punct
+                && matches!(
+                    op.as_str(),
+                    "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<="
+                )
+            {
+                let line = t.line;
+                self.i += 1;
+                // `>>=` arrives as `>` `>` `=` — not handled; assignments by
+                // shift-right are absent from this workspace.
+                let rhs = self
+                    .assign_expr(allow_struct)
+                    .unwrap_or(Expr::Opaque { line });
+                return Some(Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                });
+            }
+        }
+        Some(lhs)
+    }
+
+    fn range_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        if self.at("..") || self.at("..=") {
+            let line = self.line();
+            self.i += 1;
+            let hi = self.or_expr(allow_struct).map(Box::new);
+            return Some(Expr::Range { lo: None, hi, line });
+        }
+        let lo = self.or_expr(allow_struct)?;
+        if self.at("..") || self.at("..=") {
+            let line = self.line();
+            self.i += 1;
+            let at_end = self.peek().map(|t| {
+                t.is(")") || t.is("]") || t.is("}") || t.is(",") || t.is(";") || t.is("{")
+            });
+            let hi = if at_end.unwrap_or(true) {
+                None
+            } else {
+                self.or_expr(allow_struct).map(Box::new)
+            };
+            return Some(Expr::Range {
+                lo: Some(Box::new(lo)),
+                hi,
+                line,
+            });
+        }
+        Some(lo)
+    }
+
+    fn or_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        self.binary_level(allow_struct, 0)
+    }
+
+    /// Binary operators by precedence level (loosest first).
+    fn binary_level(&mut self, allow_struct: bool, level: usize) -> Option<Expr> {
+        const LEVELS: [&[&str]; 7] = [
+            &["||"],
+            &["&&"],
+            &["==", "!=", "<", ">", "<=", ">="],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<"],
+        ];
+        if level >= LEVELS.len() {
+            return self.add_expr(allow_struct);
+        }
+        let mut lhs = self.binary_level(allow_struct, level + 1)?;
+        loop {
+            let Some(t) = self.peek() else { break };
+            if t.kind != TokKind::Punct {
+                break;
+            }
+            // `>` followed directly by `=` means `>=` (lexer never fuses `>`).
+            let mut op = t.text.clone();
+            let mut extra = 0;
+            if op == ">" {
+                if let Some(n) = self.peek_at(1) {
+                    if n.is("=") && n.pos == t.pos + 1 {
+                        op = ">=".into();
+                        extra = 1;
+                    } else if n.is(">") && n.pos == t.pos + 1 {
+                        op = ">>".into();
+                        extra = 1;
+                    }
+                }
+            }
+            let lvl_ops = LEVELS[level];
+            let matched = lvl_ops.contains(&op.as_str()) || (level == 6 && op == ">>"); // shifts share a level
+            if !matched {
+                break;
+            }
+            let line = t.line;
+            self.i += 1 + extra;
+            let rhs = self
+                .binary_level(allow_struct, level + 1)
+                .unwrap_or(Expr::Opaque { line });
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn add_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let mut lhs = self.mul_expr(allow_struct)?;
+        while let Some(t) = self.peek() {
+            if !(t.is("+") || t.is("-")) {
+                break;
+            }
+            let op = t.text.clone();
+            let line = t.line;
+            self.i += 1;
+            let rhs = self.mul_expr(allow_struct).unwrap_or(Expr::Opaque { line });
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn mul_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let mut lhs = self.cast_expr(allow_struct)?;
+        while let Some(t) = self.peek() {
+            if !(t.is("*") || t.is("/") || t.is("%")) {
+                break;
+            }
+            let op = t.text.clone();
+            let line = t.line;
+            self.i += 1;
+            let rhs = self
+                .cast_expr(allow_struct)
+                .unwrap_or(Expr::Opaque { line });
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn cast_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let mut e = self.unary_expr(allow_struct)?;
+        while self.at_kw("as") {
+            let line = self.line();
+            self.i += 1;
+            let ty = self.type_until(&[
+                ",", ";", ")", "]", "}", "+", "-", "*", "/", "%", "==", "!=", "<=", "&&", "||",
+                "?", ".", "{", "..", "..=", "as",
+            ]);
+            e = Expr::Cast {
+                expr: Box::new(e),
+                ty,
+                line,
+            };
+        }
+        Some(e)
+    }
+
+    fn unary_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let t = self.peek()?;
+        let line = t.line;
+        if t.is("-") || t.is("!") || t.is("*") {
+            let op = t.text.chars().next().unwrap_or('-');
+            self.i += 1;
+            let inner = self.unary_expr(allow_struct)?;
+            return Some(Expr::Unary {
+                op,
+                expr: Box::new(inner),
+                line,
+            });
+        }
+        if t.is("&") || t.is("&&") {
+            let double = t.is("&&");
+            self.i += 1;
+            self.eat_kw("mut");
+            let inner = self.unary_expr(allow_struct)?;
+            let once = Expr::Ref {
+                expr: Box::new(inner),
+                line,
+            };
+            return Some(if double {
+                Expr::Ref {
+                    expr: Box::new(once),
+                    line,
+                }
+            } else {
+                once
+            });
+        }
+        self.postfix_expr(allow_struct)
+    }
+
+    fn postfix_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let mut e = self.primary_expr(allow_struct)?;
+        loop {
+            let Some(t) = self.peek() else { break };
+            if t.is(".") {
+                let line = t.line;
+                self.i += 1;
+                match self.peek() {
+                    Some(n) if n.kind == TokKind::Ident => {
+                        let name = n.text.clone();
+                        self.i += 1;
+                        if name == "await" {
+                            continue;
+                        }
+                        // turbofish on method: `.collect::<Vec<_>>()`
+                        if self.at("::") {
+                            self.i += 1;
+                            self.skip_generics();
+                        }
+                        if self.at("(") {
+                            let args = self.call_args();
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                method: name,
+                                args,
+                                line,
+                            };
+                        } else {
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                name,
+                                line,
+                            };
+                        }
+                    }
+                    Some(n) if n.kind == TokKind::Int => {
+                        let name = n.text.clone();
+                        self.i += 1;
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            name,
+                            line,
+                        };
+                    }
+                    _ => {
+                        e = Expr::Opaque { line };
+                        break;
+                    }
+                }
+            } else if t.is("(") {
+                let line = t.line;
+                let args = self.call_args();
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                    line,
+                };
+            } else if t.is("[") {
+                let line = t.line;
+                self.i += 1;
+                let idx = self.expr(true).unwrap_or(Expr::Opaque { line });
+                self.eat("]");
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(idx),
+                    line,
+                };
+            } else if t.is("?") {
+                let line = t.line;
+                self.i += 1;
+                e = Expr::Try {
+                    expr: Box::new(e),
+                    line,
+                };
+            } else {
+                break;
+            }
+        }
+        Some(e)
+    }
+
+    fn call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat("(") {
+            return args;
+        }
+        loop {
+            if self.eat(")") || self.peek().is_none() {
+                break;
+            }
+            let before = self.i;
+            if let Some(a) = self.expr(true) {
+                args.push(a);
+            }
+            if !self.eat(",") && !self.at(")") && self.i == before {
+                self.i += 1; // recovery
+            }
+        }
+        args
+    }
+
+    fn primary_expr(&mut self, allow_struct: bool) -> Option<Expr> {
+        let t = self.peek()?;
+        let line = t.line;
+        match t.kind {
+            TokKind::Int => {
+                let text = t.text.clone();
+                self.i += 1;
+                Some(Expr::Lit {
+                    kind: LitKind::Int,
+                    text,
+                    line,
+                })
+            }
+            TokKind::Float => {
+                let text = t.text.clone();
+                self.i += 1;
+                Some(Expr::Lit {
+                    kind: LitKind::Float,
+                    text,
+                    line,
+                })
+            }
+            TokKind::Str => {
+                let text = t.text.clone();
+                self.i += 1;
+                Some(Expr::Lit {
+                    kind: LitKind::Str,
+                    text,
+                    line,
+                })
+            }
+            TokKind::Char => {
+                let text = t.text.clone();
+                self.i += 1;
+                Some(Expr::Lit {
+                    kind: LitKind::Char,
+                    text,
+                    line,
+                })
+            }
+            TokKind::Lifetime => {
+                // loop label `'outer: loop { ... }`
+                self.i += 1;
+                self.eat(":");
+                self.primary_expr(allow_struct)
+            }
+            TokKind::Doc => {
+                self.i += 1;
+                self.primary_expr(allow_struct)
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.i += 1;
+                    let mut elems = Vec::new();
+                    loop {
+                        if self.eat(")") || self.peek().is_none() {
+                            break;
+                        }
+                        let before = self.i;
+                        if let Some(e) = self.expr(true) {
+                            elems.push(e);
+                        }
+                        if !self.eat(",") && !self.at(")") && self.i == before {
+                            self.i += 1;
+                        }
+                    }
+                    if elems.len() == 1 {
+                        elems.pop()
+                    } else {
+                        Some(Expr::Tuple { elems, line })
+                    }
+                }
+                "[" => {
+                    self.i += 1;
+                    let mut elems = Vec::new();
+                    loop {
+                        if self.eat("]") || self.peek().is_none() {
+                            break;
+                        }
+                        let before = self.i;
+                        if let Some(e) = self.expr(true) {
+                            elems.push(e);
+                        }
+                        // `[expr; n]` repeat syntax
+                        if self.eat(";") {
+                            let _ = self.expr(true);
+                        }
+                        if !self.eat(",") && !self.at("]") && self.i == before {
+                            self.i += 1;
+                        }
+                    }
+                    Some(Expr::Array { elems, line })
+                }
+                "{" => Some(Expr::Block {
+                    block: self.block(),
+                    line,
+                }),
+                "|" | "||" => {
+                    // closure
+                    if t.is("|") {
+                        self.skip_balanced_closure_params();
+                    } else {
+                        self.i += 1;
+                    }
+                    // optional `-> Type` then body
+                    if self.eat("->") {
+                        let _ = self.type_until(&["{"]);
+                    }
+                    let body = self.expr(true).unwrap_or(Expr::Opaque { line });
+                    Some(Expr::Closure {
+                        body: Box::new(body),
+                        line,
+                    })
+                }
+                "#" => {
+                    // expression-position attribute (e.g. on a match arm block)
+                    let _ = self.attrs();
+                    self.primary_expr(allow_struct)
+                }
+                _ => None,
+            },
+            TokKind::Ident => {
+                let word = t.text.clone();
+                match word.as_str() {
+                    "true" | "false" => {
+                        self.i += 1;
+                        Some(Expr::Lit {
+                            kind: LitKind::Bool,
+                            text: word,
+                            line,
+                        })
+                    }
+                    "if" => self.if_expr(),
+                    "match" => self.match_expr(),
+                    "loop" => {
+                        self.i += 1;
+                        Some(Expr::Loop {
+                            body: self.block(),
+                            line,
+                        })
+                    }
+                    "while" => {
+                        self.i += 1;
+                        if self.eat_kw("let") {
+                            // `while let pat = expr { }` — skip pattern
+                            self.skip_pattern_until(&["="]);
+                            self.eat("=");
+                        }
+                        let cond = self.expr(false).unwrap_or(Expr::Opaque { line });
+                        Some(Expr::While {
+                            cond: Box::new(cond),
+                            body: self.block(),
+                            line,
+                        })
+                    }
+                    "for" => {
+                        self.i += 1;
+                        self.skip_pattern_until(&["in"]);
+                        self.eat_kw("in");
+                        let iter = self.expr(false).unwrap_or(Expr::Opaque { line });
+                        Some(Expr::For {
+                            iter: Box::new(iter),
+                            body: self.block(),
+                            line,
+                        })
+                    }
+                    "return" => {
+                        self.i += 1;
+                        let at_end = self
+                            .peek()
+                            .map(|t| t.is(";") || t.is("}") || t.is(")") || t.is(","))
+                            .unwrap_or(true);
+                        let inner = if at_end {
+                            None
+                        } else {
+                            self.expr(true).map(Box::new)
+                        };
+                        Some(Expr::Return { expr: inner, line })
+                    }
+                    "break" => {
+                        self.i += 1;
+                        if self
+                            .peek()
+                            .map(|t| t.kind == TokKind::Lifetime)
+                            .unwrap_or(false)
+                        {
+                            self.i += 1;
+                        }
+                        let at_end = self
+                            .peek()
+                            .map(|t| t.is(";") || t.is("}") || t.is(")") || t.is(","))
+                            .unwrap_or(true);
+                        if !at_end {
+                            let _ = self.expr(allow_struct);
+                        }
+                        Some(Expr::Break { line })
+                    }
+                    "continue" => {
+                        self.i += 1;
+                        if self
+                            .peek()
+                            .map(|t| t.kind == TokKind::Lifetime)
+                            .unwrap_or(false)
+                        {
+                            self.i += 1;
+                        }
+                        Some(Expr::Continue { line })
+                    }
+                    "move" => {
+                        self.i += 1;
+                        self.primary_expr(allow_struct)
+                    }
+                    "unsafe" | "const" => {
+                        self.i += 1;
+                        if self.at("{") {
+                            Some(Expr::Block {
+                                block: self.block(),
+                                line,
+                            })
+                        } else {
+                            self.primary_expr(allow_struct)
+                        }
+                    }
+                    "let" => {
+                        // `if let` handled in if_expr; a stray `let` in expr
+                        // position (let-chains) — parse as opaque condition.
+                        self.i += 1;
+                        self.skip_pattern_until(&["="]);
+                        self.eat("=");
+                        let _ = self.expr(false);
+                        Some(Expr::Opaque { line })
+                    }
+                    _ => self.path_or_struct_or_macro(allow_struct),
+                }
+            }
+        }
+    }
+
+    fn skip_balanced_closure_params(&mut self) {
+        // at `|`: skip to the matching `|` at depth 0
+        self.i += 1;
+        let mut guard = 0usize;
+        while let Some(t) = self.peek() {
+            guard += 1;
+            if guard > 10_000 {
+                break;
+            }
+            if t.is("|") {
+                self.i += 1;
+                break;
+            }
+            if t.is("(") || t.is("[") || t.is("{") || t.is("<") {
+                self.skip_balanced();
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn skip_pattern_until(&mut self, stops: &[&str]) {
+        while let Some(t) = self.peek() {
+            let hit = stops.iter().any(|s| {
+                (t.kind == TokKind::Punct && t.text == *s)
+                    || (t.kind == TokKind::Ident && t.text == *s)
+            });
+            if hit {
+                break;
+            }
+            if t.is("(") || t.is("[") || t.is("{") {
+                self.skip_balanced();
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn if_expr(&mut self) -> Option<Expr> {
+        let line = self.line();
+        self.eat_kw("if");
+        if self.eat_kw("let") {
+            self.skip_pattern_until(&["="]);
+            self.eat("=");
+        }
+        let cond = self.expr(false).unwrap_or(Expr::Opaque { line });
+        let then = self.block();
+        let else_ = if self.eat_kw("else") {
+            if self.at_kw("if") {
+                self.if_expr().map(Box::new)
+            } else {
+                let l = self.line();
+                Some(Box::new(Expr::Block {
+                    block: self.block(),
+                    line: l,
+                }))
+            }
+        } else {
+            None
+        };
+        Some(Expr::If {
+            cond: Box::new(cond),
+            then,
+            else_,
+            line,
+        })
+    }
+
+    fn match_expr(&mut self) -> Option<Expr> {
+        let line = self.line();
+        self.eat_kw("match");
+        let scrutinee = self.expr(false).unwrap_or(Expr::Opaque { line });
+        let mut arms = Vec::new();
+        if self.eat("{") {
+            loop {
+                if self.eat("}") || self.peek().is_none() {
+                    break;
+                }
+                let (_, _) = self.attrs();
+                let arm_line = self.line();
+                // Pattern: collect path-like sequences until `=>` or `if`.
+                let mut pat_paths: Vec<Vec<String>> = Vec::new();
+                let mut wildcard = false;
+                let mut current: Vec<String> = Vec::new();
+                let mut guard = None;
+                loop {
+                    let Some(t) = self.peek() else { break };
+                    if t.is("=>") {
+                        self.i += 1;
+                        break;
+                    }
+                    if t.is_ident("if") {
+                        if !current.is_empty() {
+                            pat_paths.push(std::mem::take(&mut current));
+                        }
+                        self.i += 1;
+                        guard = self.expr(false).map(Box::new);
+                        self.eat("=>");
+                        break;
+                    }
+                    match t.kind {
+                        TokKind::Ident if t.text == "_" => {
+                            wildcard = true;
+                            self.i += 1;
+                        }
+                        TokKind::Ident => {
+                            current.push(t.text.clone());
+                            self.i += 1;
+                            if !self.at("::") {
+                                pat_paths.push(std::mem::take(&mut current));
+                            } else {
+                                self.i += 1; // consume `::`
+                            }
+                        }
+                        TokKind::Punct => match t.text.as_str() {
+                            "_" => {
+                                wildcard = true;
+                                self.i += 1;
+                            }
+                            "(" | "[" | "{" => {
+                                // Sub-patterns may carry more paths; extract
+                                // idents joined by `::` from the group.
+                                let (s, e) = self.skip_balanced();
+                                let inner =
+                                    &self.toks[s.min(self.toks.len())..e.min(self.toks.len())];
+                                let mut sub: Vec<String> = Vec::new();
+                                let mut k = 0;
+                                while k < inner.len() {
+                                    if inner[k].is_ident("_") {
+                                        wildcard = true;
+                                    } else if inner[k].kind == TokKind::Ident {
+                                        sub.push(inner[k].text.clone());
+                                        if inner.get(k + 1).map(|t| t.is("::")).unwrap_or(false) {
+                                            k += 2;
+                                            continue;
+                                        }
+                                        pat_paths.push(std::mem::take(&mut sub));
+                                    }
+                                    k += 1;
+                                }
+                            }
+                            _ => {
+                                self.i += 1;
+                            }
+                        },
+                        _ => {
+                            self.i += 1;
+                        }
+                    }
+                }
+                let body = self.expr(true).unwrap_or(Expr::Opaque { line: arm_line });
+                self.eat(",");
+                arms.push(Arm {
+                    pat_paths,
+                    wildcard,
+                    guard,
+                    body: Box::new(body),
+                    line: arm_line,
+                });
+            }
+        }
+        Some(Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        })
+    }
+
+    /// A path, optionally continuing into a struct literal or macro call.
+    fn path_or_struct_or_macro(&mut self, allow_struct: bool) -> Option<Expr> {
+        let line = self.line();
+        let mut segs = Vec::new();
+        loop {
+            let Some(seg) = self.ident() else { break };
+            segs.push(seg);
+            if self.at("::") {
+                self.i += 1;
+                // turbofish `::<...>`
+                if self.at("<") {
+                    self.skip_balanced();
+                    if !self.at("::") {
+                        break;
+                    }
+                    self.i += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            return None;
+        }
+        if self.at("!") {
+            self.i += 1;
+            let mut args = Vec::new();
+            if self.at("(") || self.at("[") || self.at("{") {
+                let (s, e) = self.skip_balanced();
+                let inner: Vec<Tok> =
+                    self.toks[s.min(self.toks.len())..e.min(self.toks.len())].to_vec();
+                let mut q = Parser { toks: &inner, i: 0 };
+                loop {
+                    if q.peek().is_none() {
+                        break;
+                    }
+                    let before = q.i;
+                    if let Some(a) = q.expr(true) {
+                        args.push(a);
+                    }
+                    if !q.eat(",") && !q.eat(";") && q.i == before {
+                        q.i += 1;
+                    }
+                }
+            }
+            return Some(Expr::MacroCall {
+                path: segs,
+                args,
+                line,
+            });
+        }
+        if allow_struct && self.at("{") && self.looks_like_struct_lit() {
+            self.i += 1;
+            let mut fields = Vec::new();
+            loop {
+                if self.eat("}") || self.peek().is_none() {
+                    break;
+                }
+                if self.eat("..") {
+                    // struct update syntax `..base`
+                    let _ = self.expr(true);
+                    continue;
+                }
+                let Some(fname) = self.ident() else {
+                    if !self.eat(",") {
+                        self.i += 1;
+                    }
+                    continue;
+                };
+                if self.eat(":") {
+                    if let Some(v) = self.expr(true) {
+                        fields.push((fname, v));
+                    }
+                } else {
+                    // shorthand `Point { x, y }`
+                    fields.push((
+                        fname.clone(),
+                        Expr::Path {
+                            segs: vec![fname],
+                            line,
+                        },
+                    ));
+                }
+                self.eat(",");
+            }
+            return Some(Expr::StructLit {
+                path: segs,
+                fields,
+                line,
+            });
+        }
+        Some(Expr::Path { segs, line })
+    }
+
+    /// Heuristic: `Path {` opens a struct literal if the first tokens inside
+    /// look like `ident:` / `ident,` / `ident }` / `..` / `}`.
+    fn looks_like_struct_lit(&self) -> bool {
+        let Some(t1) = self.peek_at(1) else {
+            return false;
+        };
+        if t1.is("}") || t1.is("..") {
+            return true;
+        }
+        if t1.kind == TokKind::Ident {
+            if let Some(t2) = self.peek_at(2) {
+                return (t2.is(":") && !t2.is("::")) || t2.is(",") || t2.is("}");
+            }
+        }
+        false
+    }
+}
+
+// ---- generic AST walking ----
+
+/// Invoke `f` on every expression in the block, recursively (including closure
+/// bodies, match arms, nested blocks).
+pub fn walk_block<F: FnMut(&Expr)>(block: &Block, f: &mut F) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } => walk_expr(e, f),
+            Stmt::Let { .. } => {}
+            Stmt::Expr { expr, .. } => walk_expr(expr, f),
+            Stmt::Item(item) => walk_item(item, f),
+        }
+    }
+}
+
+pub fn walk_item<F: FnMut(&Expr)>(item: &Item, f: &mut F) {
+    match &item.kind {
+        ItemKind::Fn(func) => {
+            if let Some(b) = &func.body {
+                walk_block(b, f);
+            }
+        }
+        ItemKind::Impl(imp) => {
+            for it in &imp.items {
+                walk_item(it, f);
+            }
+        }
+        ItemKind::Trait { items }
+        | ItemKind::Mod {
+            inline: Some(items),
+        } => {
+            for it in items {
+                walk_item(it, f);
+            }
+        }
+        ItemKind::Const { init: Some(e), .. } | ItemKind::Static { init: Some(e), .. } => {
+            walk_expr(e, f)
+        }
+        _ => {}
+    }
+}
+
+pub fn walk_expr<F: FnMut(&Expr)>(expr: &Expr, f: &mut F) {
+    f(expr);
+    match expr {
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Cast { expr, .. }
+        | Expr::Unary { expr, .. }
+        | Expr::Try { expr, .. }
+        | Expr::Ref { expr, .. }
+        | Expr::Closure { body: expr, .. } => walk_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, f);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = else_ {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Loop { body, .. } => walk_block(body, f),
+        Expr::While { cond, body, .. } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::Block { block, .. } => walk_block(block, f),
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for e in elems {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                walk_expr(e, f);
+            }
+            if let Some(e) = hi {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Return { expr: Some(e), .. } => walk_expr(e, f),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse_file(src).items
+    }
+
+    #[test]
+    fn parses_fn_with_params_and_ret() {
+        let file = items("pub fn add(a: f64, b: f64) -> f64 { a + b }");
+        assert_eq!(file.len(), 1);
+        let Item {
+            name, vis, kind, ..
+        } = &file[0];
+        assert_eq!(name, "add");
+        assert_eq!(*vis, Vis::Pub);
+        let ItemKind::Fn(f) = kind else {
+            panic!("not a fn")
+        };
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].0, "a");
+        assert_eq!(f.params[0].1.head_name(), "f64");
+        assert_eq!(f.ret.as_ref().map(|t| t.head_name()), Some("f64"));
+    }
+
+    #[test]
+    fn parses_struct_fields_with_docs() {
+        let file = items("pub struct S {\n    /// `spark.a.one` in bytes.\n    pub one: f64,\n    two: Vec<u32>,\n}");
+        let ItemKind::Struct { fields } = &file[0].kind else {
+            panic!()
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].name, "one");
+        assert!(fields[0].docs[0].contains("`spark.a.one`"));
+        assert_eq!(fields[1].ty.head_name(), "Vec");
+    }
+
+    #[test]
+    fn parses_enum_variants() {
+        let file = items("enum Knob { One, Two, Three(u32), Four { x: f64 } }");
+        let ItemKind::Enum { variants } = &file[0].kind else {
+            panic!()
+        };
+        let names: Vec<&str> = variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["One", "Two", "Three", "Four"]);
+    }
+
+    #[test]
+    fn parses_impl_and_trait_impl() {
+        let file = items("impl Foo { fn a(&self) {} }\nimpl Display for Foo { fn fmt(&self) {} }");
+        let ItemKind::Impl(a) = &file[0].kind else {
+            panic!()
+        };
+        assert_eq!(a.self_ty, "Foo");
+        assert!(a.trait_.is_none());
+        let ItemKind::Impl(b) = &file[1].kind else {
+            panic!()
+        };
+        assert_eq!(b.self_ty, "Foo");
+        assert_eq!(b.trait_.as_deref(), Some("Display"));
+    }
+
+    #[test]
+    fn parses_use_trees_and_aliases() {
+        let file = items(
+            "use std::time::Instant as Clock;\npub use space::{ConfigSpace, Dim};\nuse rand::*;",
+        );
+        let ItemKind::Use { bindings } = &file[0].kind else {
+            panic!()
+        };
+        assert_eq!(bindings[0].path, ["std", "time", "Instant"]);
+        assert_eq!(bindings[0].alias, "Clock");
+        let ItemKind::Use { bindings } = &file[1].kind else {
+            panic!()
+        };
+        assert_eq!(bindings.len(), 2);
+        assert!(bindings[0].is_pub);
+        assert_eq!(bindings[1].path, ["space", "Dim"]);
+        let ItemKind::Use { bindings } = &file[2].kind else {
+            panic!()
+        };
+        assert_eq!(bindings[0].alias, "*");
+    }
+
+    #[test]
+    fn cfg_test_marks_module_items() {
+        let file = items("fn lib() {}\n#[cfg(test)]\nmod tests { fn helper() {} }");
+        assert!(!file[0].cfg_test);
+        assert!(file[1].cfg_test);
+        let ItemKind::Mod {
+            inline: Some(inner),
+        } = &file[1].kind
+        else {
+            panic!()
+        };
+        assert!(inner[0].cfg_test);
+    }
+
+    fn first_fn_body(src: &str) -> Block {
+        for item in parse_file(src).items {
+            if let ItemKind::Fn(f) = item.kind {
+                if let Some(b) = f.body {
+                    return b;
+                }
+            }
+        }
+        panic!("no fn body in {src}");
+    }
+
+    #[test]
+    fn extracts_calls_and_method_chains() {
+        let body = first_fn_body("fn f() { helper(); x.iter().map(g).collect::<Vec<_>>(); }");
+        let mut calls = Vec::new();
+        walk_block(&body, &mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                if let Expr::Path { segs, .. } = &**callee {
+                    calls.push(segs.join("::"));
+                }
+            }
+            if let Expr::MethodCall { method, .. } = e {
+                calls.push(format!(".{method}"));
+            }
+        });
+        assert!(calls.contains(&"helper".to_string()));
+        assert!(calls.contains(&".iter".to_string()));
+        assert!(calls.contains(&".collect".to_string()));
+    }
+
+    #[test]
+    fn extracts_casts() {
+        let body = first_fn_body("fn f(x: f64) -> u32 { (x.round() as i64).max(1) as u32 }");
+        let mut casts = Vec::new();
+        walk_block(&body, &mut |e| {
+            if let Expr::Cast { ty, .. } = e {
+                casts.push(ty.head_name().to_string());
+            }
+        });
+        assert_eq!(casts, ["u32", "i64"]);
+    }
+
+    #[test]
+    fn parses_match_arms_with_paths() {
+        let body = first_fn_body(
+            "fn f(k: Knob) -> &'static str { match k { Knob::One => \"a\", Knob::Two | Knob::Three => \"b\", _ => \"c\" } }",
+        );
+        let mut arms_seen = Vec::new();
+        let mut wildcards = 0;
+        walk_block(&body, &mut |e| {
+            if let Expr::Match { arms, .. } = e {
+                for arm in arms {
+                    for p in &arm.pat_paths {
+                        arms_seen.push(p.join("::"));
+                    }
+                    if arm.wildcard {
+                        wildcards += 1;
+                    }
+                }
+            }
+        });
+        assert_eq!(arms_seen, ["Knob::One", "Knob::Two", "Knob::Three"]);
+        assert_eq!(wildcards, 1);
+    }
+
+    #[test]
+    fn parses_struct_literals() {
+        let body = first_fn_body(
+            "fn f() -> Dim { Dim { knob: Knob::One, lo: 0.0, hi: 1.0 * MIB, log_scale: true, default: 0.5 } }",
+        );
+        let mut found = false;
+        walk_block(&body, &mut |e| {
+            if let Expr::StructLit { path, fields, .. } = e {
+                if path.last().map(String::as_str) == Some("Dim") {
+                    found = true;
+                    assert!(fields.iter().any(|(n, v)| {
+                        n == "knob"
+                            && matches!(v, Expr::Path { segs, .. } if segs.join("::") == "Knob::One")
+                    }));
+                }
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn struct_literal_not_confused_with_blocks() {
+        // `if x { ... }` must not parse `x {` as a struct literal.
+        let body = first_fn_body("fn f(x: bool) -> u32 { if x { 1 } else { 2 } }");
+        let mut ifs = 0;
+        let mut lits = 0;
+        walk_block(&body, &mut |e| match e {
+            Expr::If { .. } => ifs += 1,
+            Expr::StructLit { .. } => lits += 1,
+            _ => {}
+        });
+        assert_eq!(ifs, 1);
+        assert_eq!(lits, 0);
+    }
+
+    #[test]
+    fn closures_and_macros_are_walked() {
+        let body = first_fn_body(
+            "fn f(xs: &[f64]) { xs.iter().map(|x| helper(*x)).count(); println!(\"{}\", other()); }",
+        );
+        let mut calls = Vec::new();
+        walk_block(&body, &mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                if let Expr::Path { segs, .. } = &**callee {
+                    calls.push(segs.join("::"));
+                }
+            }
+        });
+        assert!(calls.contains(&"helper".to_string()));
+        assert!(calls.contains(&"other".to_string()));
+    }
+
+    #[test]
+    fn let_statements_capture_name_type_init() {
+        let body = first_fn_body("fn f() { let n: usize = xs.len(); let _ = drop_it(); }");
+        let Stmt::Let {
+            name,
+            ty,
+            init,
+            underscore,
+            ..
+        } = &body.stmts[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name.as_deref(), Some("n"));
+        assert_eq!(ty.as_ref().map(|t| t.head_name()), Some("usize"));
+        assert!(init.is_some());
+        assert!(!underscore);
+        let Stmt::Let { underscore, .. } = &body.stmts[1] else {
+            panic!()
+        };
+        assert!(underscore);
+    }
+
+    #[test]
+    fn semi_vs_tail_statements() {
+        let body = first_fn_body("fn f() -> u32 { g(); h() }");
+        let Stmt::Expr { semi, .. } = &body.stmts[0] else {
+            panic!()
+        };
+        assert!(semi);
+        let Stmt::Expr { semi, .. } = &body.stmts[1] else {
+            panic!()
+        };
+        assert!(!semi);
+    }
+
+    #[test]
+    fn tolerates_unparseable_noise() {
+        // Garbage between items must not lose the following fn.
+        let file = items("@@ %% fn good() {} ??");
+        assert!(file.iter().any(|i| i.name == "good"));
+    }
+
+    #[test]
+    fn nested_generics_in_types() {
+        let file = items(
+            "fn f(m: BTreeMap<String, Vec<Vec<f64>>>) -> Option<Box<dyn Sel + Send>> { None }",
+        );
+        let ItemKind::Fn(f) = &file[0].kind else {
+            panic!()
+        };
+        assert_eq!(f.params[0].1.head_name(), "BTreeMap");
+        assert_eq!(f.ret.as_ref().map(|t| t.head_name()), Some("Option"));
+    }
+
+    #[test]
+    fn if_let_and_while_let_and_for() {
+        let body = first_fn_body(
+            "fn f(xs: Vec<u32>) { if let Some(x) = xs.first() { g(x); } for x in xs.iter() { h(x); } }",
+        );
+        let mut fors = 0;
+        walk_block(&body, &mut |e| {
+            if matches!(e, Expr::For { .. }) {
+                fors += 1;
+            }
+        });
+        assert_eq!(fors, 1);
+        assert_eq!(body.stmts.len(), 2);
+    }
+}

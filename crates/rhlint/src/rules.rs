@@ -7,6 +7,11 @@ use crate::{Diagnostic, Rule, ScanScope};
 
 /// Scan one source file. `crate_name` selects rule scopes; `rel_path` is the
 /// workspace-relative path recorded in diagnostics.
+///
+/// Standalone entry point (masks the text itself, applies suppressions).
+/// The workspace pass instead uses [`raw_findings`] over cached
+/// [`MaskedSource`]s and filters suppressions centrally, so the semantic
+/// rules honor `rhlint:allow` too.
 pub fn scan_source(
     crate_name: &str,
     rel_path: &Path,
@@ -14,49 +19,58 @@ pub fn scan_source(
     scope: ScanScope,
 ) -> Vec<Diagnostic> {
     let masked = MaskedSource::new(text);
-    let mut diagnostics = Vec::new();
+    let mut diagnostics = raw_findings(crate_name, rel_path, &masked, scope);
+    diagnostics.retain(|d| !allowed_rules_at(&masked, d.line).contains(&d.rule));
+    diagnostics.extend(bad_suppressions(rel_path, &masked));
+    diagnostics
+}
 
+/// All line-rule findings, BEFORE suppression filtering. Test regions are
+/// skipped.
+pub(crate) fn raw_findings(
+    crate_name: &str,
+    rel_path: &Path,
+    masked: &MaskedSource,
+    scope: ScanScope,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
     for (idx, masked_line) in masked.masked_lines.iter().enumerate() {
-        let line_no = idx + 1;
         if masked.in_test.get(idx).copied().unwrap_or(false) {
             continue;
         }
-
-        let mut findings = line_findings(masked_line, scope, crate_name);
-        if findings.is_empty() {
-            continue;
-        }
-
-        // A suppression on the flagged line or the line above covers it.
-        let allows = [
-            idx.checked_sub(1).and_then(|p| masked.raw_lines.get(p)),
-            masked.raw_lines.get(idx),
-        ];
-        let mut allowed: Vec<Rule> = Vec::new();
-        for raw in allows.into_iter().flatten() {
-            match parse_suppression(raw) {
-                Suppression::None => {}
-                Suppression::Allow(rules) => allowed.extend(rules),
-                // Malformed allows are reported where they appear; handled in
-                // the dedicated pass below so they fire even on finding-free
-                // lines.
-                Suppression::Malformed(_) => {}
-            }
-        }
-        findings.retain(|(rule, _)| !allowed.contains(rule));
-
-        for (rule, message) in findings {
+        for (rule, message) in line_findings(masked_line, scope, crate_name) {
             diagnostics.push(Diagnostic {
                 file: rel_path.to_path_buf(),
-                line: line_no,
+                line: idx + 1,
                 rule,
                 message,
             });
         }
     }
+    diagnostics
+}
 
-    // Malformed suppressions are diagnostics wherever they appear (including
-    // test code: a broken audit trail is a problem everywhere).
+/// Rules allowed at 1-based `line_no` by a justified `rhlint:allow` on the
+/// flagged line or the line above it.
+pub(crate) fn allowed_rules_at(masked: &MaskedSource, line_no: usize) -> Vec<Rule> {
+    let idx = line_no.saturating_sub(1);
+    let candidates = [
+        idx.checked_sub(1).and_then(|p| masked.raw_lines.get(p)),
+        masked.raw_lines.get(idx),
+    ];
+    let mut allowed = Vec::new();
+    for raw in candidates.into_iter().flatten() {
+        if let Suppression::Allow(rules) = parse_suppression(raw) {
+            allowed.extend(rules);
+        }
+    }
+    allowed
+}
+
+/// Malformed suppressions are diagnostics wherever they appear (including
+/// test code: a broken audit trail is a problem everywhere).
+pub(crate) fn bad_suppressions(rel_path: &Path, masked: &MaskedSource) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
     for (idx, raw) in masked.raw_lines.iter().enumerate() {
         if let Suppression::Malformed(why) = parse_suppression(raw) {
             diagnostics.push(Diagnostic {
@@ -67,7 +81,6 @@ pub fn scan_source(
             });
         }
     }
-
     diagnostics
 }
 
@@ -92,7 +105,9 @@ fn line_findings(line: &str, scope: ScanScope, crate_name: &str) -> Vec<(Rule, S
             if line.contains(nan) {
                 findings.push((
                     Rule::NanLiteral,
-                    format!("bare {nan} literal; return Option/Result instead of poisoning results"),
+                    format!(
+                        "bare {nan} literal; return Option/Result instead of poisoning results"
+                    ),
                 ));
             }
         }
@@ -140,7 +155,13 @@ fn line_findings(line: &str, scope: ScanScope, crate_name: &str) -> Vec<(Rule, S
                 ));
             }
         }
-        for pat in ["thread_rng", "rand::rng()", "from_os_rng", "from_entropy", "OsRng"] {
+        for pat in [
+            "thread_rng",
+            "rand::rng()",
+            "from_os_rng",
+            "from_entropy",
+            "OsRng",
+        ] {
             if line.contains(pat) {
                 findings.push((
                     Rule::AmbientRng,
@@ -182,9 +203,15 @@ fn has_token(line: &str, needle: &str) -> bool {
 }
 
 fn contains_any_sort_adapter(line: &str) -> bool {
-    [".sort_by(", ".sort_unstable_by(", ".min_by(", ".max_by(", ".binary_search_by("]
-        .iter()
-        .any(|p| line.contains(p))
+    [
+        ".sort_by(",
+        ".sort_unstable_by(",
+        ".min_by(",
+        ".max_by(",
+        ".binary_search_by(",
+    ]
+    .iter()
+    .any(|p| line.contains(p))
 }
 
 /// Find `expr[<integer literal>]` indexing; returns the matched snippet.
@@ -203,9 +230,7 @@ fn literal_index(line: &str) -> Option<String> {
         let close = chars[i + 1..].iter().position(|&c| c == ']')?;
         let inner: String = chars[i + 1..i + 1 + close].iter().collect();
         let trimmed = inner.trim();
-        if !trimmed.is_empty()
-            && trimmed.chars().all(|c| c.is_ascii_digit() || c == '_')
-        {
+        if !trimmed.is_empty() && trimmed.chars().all(|c| c.is_ascii_digit() || c == '_') {
             // reconstruct a short snippet: the identifier + index
             let start = line[..byte_offset(line, i)]
                 .rfind(|c: char| !is_ident_char(c) && c != '.' && c != ')' && c != ']')
@@ -254,9 +279,7 @@ fn parse_suppression(raw_line: &str) -> Suppression {
         match Rule::from_id(id) {
             Some(rule) => rules.push(rule),
             None => {
-                return Suppression::Malformed(format!(
-                    "rhlint:allow names unknown rule `{id}`"
-                ))
+                return Suppression::Malformed(format!("rhlint:allow names unknown rule `{id}`"))
             }
         }
     }
@@ -297,7 +320,10 @@ mod tests {
     fn flags_unwrap_expect_panic_in_lib_code() {
         let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"set\");\n    panic!(\"boom\");\n}\n";
         let diags = scan("pipeline", src);
-        assert_eq!(rules_of(&diags), vec![Rule::Unwrap, Rule::Expect, Rule::Panic]);
+        assert_eq!(
+            rules_of(&diags),
+            vec![Rule::Unwrap, Rule::Expect, Rule::Panic]
+        );
         assert_eq!(diags[0].line, 2);
         assert_eq!(diags[1].line, 3);
         assert_eq!(diags[2].line, 4);
@@ -399,7 +425,8 @@ mod tests {
 
     #[test]
     fn allow_of_wrong_rule_does_not_suppress() {
-        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // rhlint:allow(expect): wrong rule\n";
+        let src =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // rhlint:allow(expect): wrong rule\n";
         let diags = scan("pipeline", src);
         assert_eq!(rules_of(&diags), vec![Rule::Unwrap]);
     }

@@ -1,0 +1,346 @@
+//! Expression- and symbol-level semantic rules: ignored `Result`/`Option`
+//! returns, lossy `as` casts, and dead `pub` items.
+//!
+//! All three run on the parsed AST with the shared type environment from
+//! [`crate::callgraph`]; they apply to non-test code of the
+//! [`crate::PANIC_SCOPE`] crates.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{visit_fn, TypeEnv, Visitor};
+use crate::parser::{Expr, LitKind, Stmt};
+use crate::symbols::{FnInfo, Target, Workspace};
+use crate::{Diagnostic, Rule, PANIC_SCOPE};
+
+/// Run every semantic rule. Returned diagnostics are unsorted; the caller
+/// merges and sorts.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for fi in ws.fns() {
+        if !PANIC_SCOPE.contains(&fi.krate.as_str()) || fi.cfg_test {
+            continue;
+        }
+        let mut v = FnRules {
+            ws,
+            fi,
+            out: &mut out,
+        };
+        visit_fn(ws, fi, &mut v);
+    }
+    out.extend(dead_pub(ws));
+    out
+}
+
+struct FnRules<'a> {
+    ws: &'a Workspace,
+    fi: &'a FnInfo,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Visitor for FnRules<'_> {
+    fn on_stmt(&mut self, env: &TypeEnv, stmt: &Stmt) {
+        // RH014: a `;`-terminated call whose value is a workspace
+        // `Result`/`Option` silently discards the failure channel. `let _ =`
+        // and `?` are explicit handling and never reach this pattern.
+        let Stmt::Expr { expr, semi: true } = stmt else {
+            return;
+        };
+        let (ret, line, what) = match expr {
+            Expr::Call { callee, line, .. } => {
+                let Expr::Path { segs, .. } = &**callee else {
+                    return;
+                };
+                let Target::Fns(idxs) = resolve_for(self.ws, self.fi, segs) else {
+                    return;
+                };
+                let Some(ret) = all_fallible(self.ws, &idxs) else {
+                    return;
+                };
+                (ret, *line, segs.join("::"))
+            }
+            Expr::MethodCall {
+                recv, method, line, ..
+            } => {
+                let Some(ty) = env.infer(self.ws, self.fi, recv) else {
+                    return;
+                };
+                let idxs = self.ws.methods_of(&ty, method);
+                if idxs.is_empty() {
+                    return;
+                }
+                let Some(ret) = all_fallible(self.ws, &idxs) else {
+                    return;
+                };
+                (ret, *line, format!("{ty}::{method}"))
+            }
+            _ => return,
+        };
+        self.out.push(Diagnostic {
+            file: self.ws.files()[self.fi.file].rel.clone(),
+            line: line as usize,
+            rule: Rule::IgnoredResult,
+            message: format!(
+                "call to `{what}` discards its `{ret}` return value; \
+                 handle it, propagate with `?`, or discard explicitly with `let _ =`"
+            ),
+        });
+    }
+
+    fn on_expr(&mut self, env: &TypeEnv, expr: &Expr) {
+        // RH015: lossy `as` casts with a locally-known source type.
+        let Expr::Cast {
+            expr: operand,
+            ty,
+            line,
+        } = expr
+        else {
+            return;
+        };
+        let dst = ty.head_name();
+        let Some(src) = env.infer(self.ws, self.fi, operand) else {
+            return;
+        };
+        if let Some(loss) = cast_loss(&src, dst, operand) {
+            self.out.push(Diagnostic {
+                file: self.ws.files()[self.fi.file].rel.clone(),
+                line: *line as usize,
+                rule: Rule::LossyCast,
+                message: format!("cast from `{src}` to `{dst}` {loss}"),
+            });
+        }
+    }
+}
+
+/// `Some(ret head)` when every candidate returns `Result` or `Option`.
+fn all_fallible(ws: &Workspace, idxs: &[usize]) -> Option<String> {
+    let mut ret = None;
+    for &i in idxs {
+        let head = ws.fns()[i].item.ret.as_ref()?.head_name().to_string();
+        if head != "Result" && head != "Option" {
+            return None;
+        }
+        match &ret {
+            None => ret = Some(head),
+            Some(r) if *r == head => {}
+            Some(_) => return None,
+        }
+    }
+    ret
+}
+
+fn resolve_for(ws: &Workspace, fi: &FnInfo, segs: &[String]) -> Target {
+    if segs.first().map(String::as_str) == Some("Self") {
+        if let Some(self_ty) = &fi.self_ty {
+            let mut s = segs.to_vec();
+            s[0] = self_ty.clone();
+            return ws.resolve(&fi.krate, &fi.module, &s);
+        }
+        return Target::Unknown;
+    }
+    ws.resolve(&fi.krate, &fi.module, segs)
+}
+
+const INT_TYPES: [(&str, u32, bool); 12] = [
+    ("u8", 8, false),
+    ("u16", 16, false),
+    ("u32", 32, false),
+    ("u64", 64, false),
+    ("u128", 128, false),
+    ("usize", 64, false),
+    ("i8", 8, true),
+    ("i16", 16, true),
+    ("i32", 32, true),
+    ("i64", 64, true),
+    ("i128", 128, true),
+    ("isize", 64, true),
+];
+
+fn int_info(ty: &str) -> Option<(u32, bool)> {
+    INT_TYPES
+        .iter()
+        .find(|(name, _, _)| *name == ty)
+        .map(|&(_, bits, signed)| (bits, signed))
+}
+
+/// Why a cast `src as dst` is lossy, or `None` if it is safe / guarded.
+fn cast_loss(src: &str, dst: &str, operand: &Expr) -> Option<String> {
+    // Unsuffixed integer literal: check the value against the target range.
+    if src == "{integer}" {
+        if let Expr::Lit {
+            kind: LitKind::Int,
+            text,
+            ..
+        } = operand
+        {
+            let (bits, signed) = int_info(dst)?;
+            let value = parse_int_literal(text)?;
+            let max = if signed {
+                (1u128 << (bits - 1)) - 1
+            } else if bits == 128 {
+                u128::MAX
+            } else {
+                (1u128 << bits) - 1
+            };
+            if value > max {
+                return Some(format!(
+                    "overflows `{dst}` (literal {value} > {max}); the value wraps"
+                ));
+            }
+        }
+        return None;
+    }
+
+    let src_float = src == "f32" || src == "f64";
+    let dst_float = dst == "f32" || dst == "f64";
+
+    if src_float && int_info(dst).is_some() {
+        if has_rounding(operand) {
+            return None;
+        }
+        return Some(
+            "truncates toward zero and saturates at the bounds; \
+             round explicitly (`.round()`, `.floor()`, `.ceil()`, `.trunc()`) first"
+                .to_string(),
+        );
+    }
+    if src == "f64" && dst == "f32" {
+        return Some("loses precision (f64 → f32)".to_string());
+    }
+    if src_float && dst_float {
+        return None;
+    }
+
+    let ((src_bits, src_signed), (dst_bits, dst_signed)) = (int_info(src)?, int_info(dst)?);
+    if src_signed && !dst_signed {
+        if has_nonneg_guard(operand) {
+            if src_bits > dst_bits {
+                return Some(format!(
+                    "narrows from {src_bits} to {dst_bits} bits; out-of-range values wrap"
+                ));
+            }
+            return None;
+        }
+        return Some(
+            "wraps negative values to huge positive ones; \
+             guard with `.max(0)` / `.unsigned_abs()` or use `try_from`"
+                .to_string(),
+        );
+    }
+    if src_bits > dst_bits {
+        return Some(format!(
+            "narrows from {src_bits} to {dst_bits} bits; out-of-range values wrap"
+        ));
+    }
+    // Equal-width unsigned → signed (e.g. `usize as i64`) is tolerated: the
+    // workspace's sizes are far below 2^63 and flagging `len() as i64` is
+    // noise. Same-signedness widening is always safe.
+    None
+}
+
+/// Does the cast operand's method chain end in an explicit rounding step?
+fn has_rounding(e: &Expr) -> bool {
+    match e {
+        Expr::MethodCall { method, recv, .. } => {
+            matches!(method.as_str(), "round" | "floor" | "ceil" | "trunc")
+                || matches!(method.as_str(), "max" | "min" | "clamp" | "abs") && has_rounding(recv)
+        }
+        Expr::Unary { expr, .. } | Expr::Ref { expr, .. } => has_rounding(expr),
+        _ => false,
+    }
+}
+
+/// Does the operand guarantee a non-negative value before a signed→unsigned
+/// cast? Recognizes `.max(<nonneg literal>)`, `.clamp(<nonneg literal>, ..)`,
+/// `.abs()`, `.unsigned_abs()`, and `.len()`-like usize sources upstream.
+fn has_nonneg_guard(e: &Expr) -> bool {
+    match e {
+        Expr::MethodCall {
+            method, args, recv, ..
+        } => match method.as_str() {
+            "abs" | "unsigned_abs" => true,
+            "max" | "clamp" => args.first().map(is_nonneg_literal).unwrap_or(false),
+            "min" => has_nonneg_guard(recv),
+            _ => false,
+        },
+        Expr::Ref { expr, .. } => has_nonneg_guard(expr),
+        _ => false,
+    }
+}
+
+fn is_nonneg_literal(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Lit {
+            kind: LitKind::Int | LitKind::Float,
+            ..
+        }
+    )
+}
+
+fn parse_int_literal(text: &str) -> Option<u128> {
+    let t = text.replace('_', "");
+    let t = INT_TYPES
+        .iter()
+        .map(|(name, _, _)| *name)
+        .fold(t, |acc, suffix| {
+            acc.strip_suffix(suffix).map(str::to_string).unwrap_or(acc)
+        });
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u128::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = t.strip_prefix("0o") {
+        u128::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = t.strip_prefix("0b") {
+        u128::from_str_radix(bin, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// RH016: `pub` items in production crates that no file other than their own
+/// ever references. Trait-associated items, `main`, test items, and
+/// underscore-prefixed names are exempt; so are crate-root re-exports (the
+/// re-export itself counts as a reference from `lib.rs`).
+fn dead_pub(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for rec in ws.item_records() {
+        if rec.vis != crate::parser::Vis::Pub
+            || rec.cfg_test
+            || rec.trait_associated
+            || !PANIC_SCOPE.contains(&rec.krate.as_str())
+            || rec.name == "main"
+            || rec.name.starts_with('_')
+        {
+            continue;
+        }
+        if !seen.insert((rec.file, rec.name.clone())) {
+            continue;
+        }
+        let rel = &ws.files()[rec.file].rel;
+        // A type's values can cross files purely through inference (`let e =
+        // cache.get(..)`) without its name ever appearing at the use site, so
+        // for types the name, every field/variant, and every inherent method
+        // must all be unreferenced before the item counts as dead.
+        let mut names = vec![rec.name.clone()];
+        if rec.tag != "fn" {
+            if let Some(info) = ws.type_named(&rec.name) {
+                names.extend(info.fields.iter().map(|(n, _)| n.clone()));
+                names.extend(info.variants.iter().cloned());
+            }
+            names.extend(ws.method_names_of(&rec.name));
+        }
+        if names.iter().all(|n| ws.external_references(n, rel) == 0) {
+            out.push(Diagnostic {
+                file: rel.clone(),
+                line: rec.line as usize,
+                rule: Rule::DeadPub,
+                message: format!(
+                    "pub {} `{}` is never referenced outside this file; \
+                     remove it or demote to `pub(crate)`",
+                    rec.tag, rec.name
+                ),
+            });
+        }
+    }
+    out
+}

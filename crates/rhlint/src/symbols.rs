@@ -1,0 +1,815 @@
+//! Workspace loader and symbol table.
+//!
+//! Loads every crate's sources in ONE walk (caching the [`MaskedSource`] and
+//! parsed AST per file — the line rules, the config-space check, and the
+//! semantic passes all reuse the same loaded data), then indexes items,
+//! impls, use-aliases, and re-exports so paths can be resolved at the
+//! type/path level instead of by substring.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::mask::MaskedSource;
+use crate::parser::{parse_file, FnItem, Item, ItemKind, SourceFile, Type, UseBinding, Vis};
+use crate::LintError;
+
+/// One parsed crate source file.
+pub struct LoadedFile {
+    /// Path relative to the workspace root.
+    pub rel: PathBuf,
+    /// Crate identifier (directory name with `-` normalized to `_`).
+    pub krate: String,
+    /// Module path from the file's location under `src/`.
+    pub module: Vec<String>,
+    pub text: String,
+    pub masked: MaskedSource,
+    pub ast: SourceFile,
+}
+
+/// A function or method known to the workspace.
+pub struct FnInfo {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    pub krate: String,
+    pub module: Vec<String>,
+    /// `Some(type name)` for methods defined in an `impl` block.
+    pub self_ty: Option<String>,
+    /// `Some(trait path)` when defined in a trait impl.
+    pub trait_impl: Option<String>,
+    /// Declared inside a `trait` block (default or required method).
+    pub trait_decl: bool,
+    pub name: String,
+    pub line: u32,
+    pub vis: Vis,
+    pub cfg_test: bool,
+    pub item: FnItem,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeKind {
+    Struct,
+    Enum,
+    Alias,
+}
+
+/// A nominal type (struct/enum/alias) known to the workspace.
+pub struct TypeInfo {
+    pub file: usize,
+    pub krate: String,
+    pub module: Vec<String>,
+    pub name: String,
+    pub line: u32,
+    pub vis: Vis,
+    pub cfg_test: bool,
+    pub kind: TypeKind,
+    pub fields: Vec<(String, Type)>,
+    pub variants: Vec<String>,
+    /// Alias target head name, for `type X = Y<..>`.
+    pub alias_head: Option<String>,
+}
+
+/// Any named item, recorded for reference counting (dead-pub analysis).
+pub struct ItemRec {
+    pub file: usize,
+    pub krate: String,
+    pub name: String,
+    pub line: u32,
+    pub vis: Vis,
+    pub cfg_test: bool,
+    /// Method in an `impl Trait for ..` block or declared in a `trait`.
+    pub trait_associated: bool,
+    /// Human tag for messages: "fn", "struct", "enum", ...
+    pub tag: &'static str,
+}
+
+/// Result of resolving a path in some module context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Workspace function candidates (indexes into [`Workspace::fns`]).
+    Fns(Vec<usize>),
+    /// A workspace type.
+    Type(String),
+    /// A path rooted in an external crate or `std`, fully alias-expanded.
+    External(Vec<String>),
+    Unknown,
+}
+
+/// Crate roots that are NOT part of this workspace.
+const EXTERNAL_ROOTS: [&str; 12] = [
+    "std",
+    "core",
+    "alloc",
+    "rand",
+    "rand_distr",
+    "serde",
+    "serde_json",
+    "crossbeam",
+    "crossbeam_channel",
+    "parking_lot",
+    "proptest",
+    "criterion",
+];
+
+pub struct Workspace {
+    pub root: PathBuf,
+    files: Vec<LoadedFile>,
+    fns: Vec<FnInfo>,
+    types: Vec<TypeInfo>,
+    items: Vec<ItemRec>,
+    crate_names: BTreeSet<String>,
+    /// `(krate, module_join)` of every module that exists.
+    modules: BTreeSet<(String, String)>,
+    /// `(krate, module_join)` → use bindings declared there.
+    uses: BTreeMap<(String, String), Vec<UseBinding>>,
+    /// `(krate, module_join, name)` → free fns with that name in that module.
+    free_fns: BTreeMap<(String, String, String), Vec<usize>>,
+    /// `(type name, method name)` → methods.
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    /// fn name → all fns with that name anywhere.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// type name → index into `types` (first definition wins).
+    type_by_name: BTreeMap<String, usize>,
+    /// Identifier occurrence counts per file, crate sources first then
+    /// reference-only files (tests/, examples/, benches/).
+    counts: Vec<(PathBuf, BTreeMap<String, usize>)>,
+}
+
+impl Workspace {
+    pub fn load(root: &Path) -> Result<Workspace, LintError> {
+        let mut ws = Workspace {
+            root: root.to_path_buf(),
+            files: Vec::new(),
+            fns: Vec::new(),
+            types: Vec::new(),
+            items: Vec::new(),
+            crate_names: BTreeSet::new(),
+            modules: BTreeSet::new(),
+            uses: BTreeMap::new(),
+            free_fns: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            type_by_name: BTreeMap::new(),
+            counts: Vec::new(),
+        };
+
+        // Crate sources: crates/*/src/**/*.rs (tests/benches/examples inside
+        // src/ are skipped by the walker below).
+        let crates_dir = root.join("crates");
+        for crate_dir in sorted_dirs(&crates_dir)? {
+            let dir_name = file_name(&crate_dir);
+            let krate = dir_name.replace('-', "_");
+            let src = crate_dir.join("src");
+            if src.is_dir() {
+                ws.crate_names.insert(krate.clone());
+                for file in rust_files(&src, true)? {
+                    ws.load_file(root, &krate, &src, &file)?;
+                }
+            }
+        }
+        // Root package sources (src/), named after the root Cargo.toml.
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            let krate = root_package_name(root);
+            ws.crate_names.insert(krate.clone());
+            for file in rust_files(&root_src, true)? {
+                ws.load_file(root, &krate, &root_src, &file)?;
+            }
+        }
+
+        // Index items from every loaded file.
+        for idx in 0..ws.files.len() {
+            let base_module = ws.files[idx].module.clone();
+            let krate = ws.files[idx].krate.clone();
+            // Every ancestor of the file module exists as a module.
+            for k in 0..=base_module.len() {
+                ws.modules
+                    .insert((krate.clone(), base_module[..k].join("::")));
+            }
+            let ast = std::mem::take(&mut ws.files[idx].ast);
+            ws.index_items(idx, &krate, &base_module, &ast.items, false);
+            ws.files[idx].ast = ast;
+        }
+
+        // Identifier counts: crate sources first, then reference-only trees.
+        for file in &ws.files {
+            ws.counts
+                .push((file.rel.clone(), ident_counts(&file.masked)));
+        }
+        for dir in reference_dirs(root)? {
+            for file in rust_files(&dir, false)? {
+                if file.components().any(|c| c.as_os_str() == "fixtures") {
+                    continue;
+                }
+                let text = read(&file)?;
+                let masked = MaskedSource::new(&text);
+                let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+                ws.counts.push((rel, ident_counts(&masked)));
+            }
+        }
+
+        Ok(ws)
+    }
+
+    fn load_file(
+        &mut self,
+        root: &Path,
+        krate: &str,
+        src: &Path,
+        file: &Path,
+    ) -> Result<(), LintError> {
+        let text = read(file)?;
+        let masked = MaskedSource::new(&text);
+        let ast = parse_file(&text);
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        let module = module_path(src, file);
+        self.files.push(LoadedFile {
+            rel,
+            krate: krate.to_string(),
+            module,
+            text,
+            masked,
+            ast,
+        });
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn index_items(
+        &mut self,
+        file: usize,
+        krate: &str,
+        module: &[String],
+        items: &[Item],
+        in_trait_decl: bool,
+    ) {
+        for item in items {
+            match &item.kind {
+                ItemKind::Fn(f) => {
+                    let fn_idx = self.fns.len();
+                    self.fns.push(FnInfo {
+                        file,
+                        krate: krate.to_string(),
+                        module: module.to_vec(),
+                        self_ty: None,
+                        trait_impl: None,
+                        trait_decl: in_trait_decl,
+                        name: item.name.clone(),
+                        line: item.line,
+                        vis: item.vis,
+                        cfg_test: item.cfg_test,
+                        item: f.clone(),
+                    });
+                    self.free_fns
+                        .entry((krate.to_string(), module.join("::"), item.name.clone()))
+                        .or_default()
+                        .push(fn_idx);
+                    self.by_name
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(fn_idx);
+                    self.push_item(file, krate, item, in_trait_decl, "fn");
+                }
+                ItemKind::Struct { fields } => {
+                    self.push_type(
+                        file,
+                        krate,
+                        module,
+                        item,
+                        TypeKind::Struct,
+                        fields,
+                        &[],
+                        None,
+                    );
+                    self.push_item(file, krate, item, false, "struct");
+                }
+                ItemKind::Enum { variants } => {
+                    let names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+                    self.push_type(file, krate, module, item, TypeKind::Enum, &[], &names, None);
+                    self.push_item(file, krate, item, false, "enum");
+                }
+                ItemKind::TypeAlias { target } => {
+                    self.push_type(
+                        file,
+                        krate,
+                        module,
+                        item,
+                        TypeKind::Alias,
+                        &[],
+                        &[],
+                        Some(target.head_name().to_string()),
+                    );
+                    self.push_item(file, krate, item, false, "type");
+                }
+                ItemKind::Impl(imp) => {
+                    for sub in &imp.items {
+                        if let ItemKind::Fn(f) = &sub.kind {
+                            let fn_idx = self.fns.len();
+                            self.fns.push(FnInfo {
+                                file,
+                                krate: krate.to_string(),
+                                module: module.to_vec(),
+                                self_ty: Some(imp.self_ty.clone()),
+                                trait_impl: imp.trait_.clone(),
+                                trait_decl: false,
+                                name: sub.name.clone(),
+                                line: sub.line,
+                                vis: sub.vis,
+                                cfg_test: item.cfg_test || sub.cfg_test,
+                                item: f.clone(),
+                            });
+                            self.methods
+                                .entry((imp.self_ty.clone(), sub.name.clone()))
+                                .or_default()
+                                .push(fn_idx);
+                            self.by_name
+                                .entry(sub.name.clone())
+                                .or_default()
+                                .push(fn_idx);
+                            self.push_item(file, krate, sub, imp.trait_.is_some(), "fn");
+                        } else {
+                            // consts / type bindings inside impls
+                            self.index_items(file, krate, module, std::slice::from_ref(sub), false);
+                        }
+                    }
+                }
+                ItemKind::Trait { items } => {
+                    self.push_item(file, krate, item, false, "trait");
+                    self.index_items(file, krate, module, items, true);
+                }
+                ItemKind::Mod { inline } => {
+                    let mut sub_module = module.to_vec();
+                    sub_module.push(item.name.clone());
+                    self.modules
+                        .insert((krate.to_string(), sub_module.join("::")));
+                    if let Some(inner) = inline {
+                        self.index_items(file, krate, &sub_module, inner, in_trait_decl);
+                    }
+                }
+                ItemKind::Use { bindings } => {
+                    self.uses
+                        .entry((krate.to_string(), module.join("::")))
+                        .or_default()
+                        .extend(bindings.iter().cloned());
+                }
+                ItemKind::Const { .. } => {
+                    self.push_item(file, krate, item, in_trait_decl, "const");
+                }
+                ItemKind::Static { .. } => {
+                    self.push_item(file, krate, item, false, "static");
+                }
+                ItemKind::Other => {}
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_type(
+        &mut self,
+        file: usize,
+        krate: &str,
+        module: &[String],
+        item: &Item,
+        kind: TypeKind,
+        fields: &[crate::parser::Field],
+        variants: &[String],
+        alias_head: Option<String>,
+    ) {
+        let idx = self.types.len();
+        self.types.push(TypeInfo {
+            file,
+            krate: krate.to_string(),
+            module: module.to_vec(),
+            name: item.name.clone(),
+            line: item.line,
+            vis: item.vis,
+            cfg_test: item.cfg_test,
+            kind,
+            fields: fields
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.clone()))
+                .collect(),
+            variants: variants.to_vec(),
+            alias_head,
+        });
+        self.type_by_name.entry(item.name.clone()).or_insert(idx);
+    }
+
+    fn push_item(
+        &mut self,
+        file: usize,
+        krate: &str,
+        item: &Item,
+        trait_associated: bool,
+        tag: &'static str,
+    ) {
+        if item.name.is_empty() {
+            return;
+        }
+        self.items.push(ItemRec {
+            file,
+            krate: krate.to_string(),
+            name: item.name.clone(),
+            line: item.line,
+            vis: item.vis,
+            cfg_test: item.cfg_test,
+            trait_associated,
+            tag,
+        });
+    }
+
+    // ---- accessors ----
+
+    pub fn files(&self) -> &[LoadedFile] {
+        &self.files
+    }
+
+    pub fn fns(&self) -> &[FnInfo] {
+        &self.fns
+    }
+
+    pub fn item_records(&self) -> &[ItemRec] {
+        &self.items
+    }
+
+    pub fn crate_names(&self) -> &BTreeSet<String> {
+        &self.crate_names
+    }
+
+    pub fn type_named(&self, name: &str) -> Option<&TypeInfo> {
+        self.type_by_name.get(name).map(|&i| &self.types[i])
+    }
+
+    /// Methods named `name` on type `ty` (following one alias hop).
+    pub fn methods_of(&self, ty: &str, name: &str) -> Vec<usize> {
+        if let Some(v) = self.methods.get(&(ty.to_string(), name.to_string())) {
+            return v.clone();
+        }
+        if let Some(info) = self.type_named(ty) {
+            if let Some(head) = &info.alias_head {
+                if head != ty {
+                    return self.methods_of(head, name);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// Names of all inherent/impl methods declared on `ty`.
+    pub fn method_names_of(&self, ty: &str) -> Vec<String> {
+        self.methods
+            .keys()
+            .filter(|(t, _)| t == ty)
+            .map(|(_, m)| m.clone())
+            .collect()
+    }
+
+    /// All methods with this name on ANY workspace type.
+    pub fn methods_named(&self, name: &str) -> Vec<usize> {
+        self.methods
+            .iter()
+            .filter(|((_, m), _)| m == name)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn field_type(&self, ty: &str, field: &str) -> Option<&Type> {
+        let info = self.type_named(ty)?;
+        info.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t)
+    }
+
+    /// How many distinct FILES (other than `defining_file`) reference `name`
+    /// as an identifier token. Counts cover all crate sources plus tests/,
+    /// examples/, and benches/ trees.
+    pub fn external_references(&self, name: &str, defining_rel: &Path) -> usize {
+        self.counts
+            .iter()
+            .filter(|(rel, counts)| rel != defining_rel && counts.contains_key(name))
+            .count()
+    }
+
+    /// How often `name` occurs inside its own defining file.
+    pub fn internal_references(&self, name: &str, defining_rel: &Path) -> usize {
+        self.counts
+            .iter()
+            .find(|(rel, _)| rel == defining_rel)
+            .and_then(|(_, counts)| counts.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    // ---- path resolution ----
+
+    /// Resolve a (possibly aliased, possibly re-exported) path as seen from
+    /// `module` of `krate`.
+    pub fn resolve(&self, krate: &str, module: &[String], segs: &[String]) -> Target {
+        self.resolve_inner(krate, module, segs, 8)
+    }
+
+    fn resolve_inner(&self, krate: &str, module: &[String], segs: &[String], fuel: u32) -> Target {
+        if fuel == 0 || segs.is_empty() {
+            return Target::Unknown;
+        }
+        let krate = krate.to_string();
+        let mut module = module.to_vec();
+        let mut segs = segs.to_vec();
+
+        // Leading `crate` / `self` / `super` normalization.
+        loop {
+            match segs.first().map(String::as_str) {
+                Some("crate") => {
+                    module.clear();
+                    segs.remove(0);
+                }
+                Some("self") => {
+                    segs.remove(0);
+                }
+                Some("super") => {
+                    module.pop();
+                    segs.remove(0);
+                }
+                _ => break,
+            }
+            if segs.is_empty() {
+                return Target::Unknown;
+            }
+        }
+
+        let head = segs[0].clone();
+
+        // External crate root: the path is fully expanded already.
+        if EXTERNAL_ROOTS.contains(&head.as_str()) {
+            return Target::External(segs);
+        }
+
+        // Another workspace crate: jump to its root module.
+        if segs.len() > 1 && self.crate_names.contains(&head) && head != krate {
+            return self.resolve_inner(&head, &[], &segs[1..], fuel - 1);
+        }
+
+        let mod_key = (krate.clone(), module.join("::"));
+
+        // Item defined in this module.
+        if let Some(fns) = self
+            .free_fns
+            .get(&(krate.clone(), module.join("::"), head.clone()))
+        {
+            if segs.len() == 1 {
+                return Target::Fns(fns.clone());
+            }
+        }
+        if let Some(info) = self.type_in_module(&krate, &module, &head) {
+            if segs.len() == 1 {
+                return Target::Type(info.name.clone());
+            }
+            if segs.len() == 2 {
+                let methods = self.methods_of(&info.name, &segs[1]);
+                if !methods.is_empty() {
+                    return Target::Fns(methods);
+                }
+                return Target::Type(info.name.clone());
+            }
+        }
+
+        // `use` alias declared in this module.
+        if let Some(bindings) = self.uses.get(&mod_key) {
+            for b in bindings {
+                if b.alias == head {
+                    let mut expanded = b.path.clone();
+                    expanded.extend(segs[1..].iter().cloned());
+                    let t = self.resolve_inner(&krate, &module, &expanded, fuel - 1);
+                    if t != Target::Unknown {
+                        return t;
+                    }
+                }
+            }
+        }
+
+        // Child module descent.
+        let mut child = module.clone();
+        child.push(head.clone());
+        if segs.len() > 1 && self.modules.contains(&(krate.clone(), child.join("::"))) {
+            let t = self.resolve_inner(&krate, &child, &segs[1..], fuel - 1);
+            if t != Target::Unknown {
+                return t;
+            }
+        }
+
+        // Glob imports: try each `use x::*` prefix.
+        if let Some(bindings) = self.uses.get(&mod_key) {
+            for b in bindings {
+                if b.alias == "*" {
+                    let mut expanded = b.path.clone();
+                    expanded.extend(segs.iter().cloned());
+                    let t = self.resolve_inner(&krate, &module, &expanded, fuel - 1);
+                    if t != Target::Unknown {
+                        return t;
+                    }
+                }
+            }
+        }
+
+        // Crate-root retry (items referenced from a submodule without `crate::`
+        // when the surrounding file was reached through re-exports).
+        if !module.is_empty() {
+            let t = self.resolve_inner(&krate, &[], &segs, fuel - 1);
+            if t != Target::Unknown {
+                return t;
+            }
+        }
+
+        // Global fallbacks — acceptable under-approximation for a lint.
+        if segs.len() == 2 {
+            if self.type_by_name.contains_key(&head) {
+                let methods = self.methods_of(&head, &segs[1]);
+                if !methods.is_empty() {
+                    return Target::Fns(methods);
+                }
+                return Target::Type(head);
+            }
+        } else if segs.len() == 1 {
+            if let Some(fns) = self.by_name.get(&head) {
+                let free: Vec<usize> = fns
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].self_ty.is_none())
+                    .collect();
+                if free.len() == 1 {
+                    return Target::Fns(free);
+                }
+            }
+        }
+
+        Target::Unknown
+    }
+
+    fn type_in_module(&self, krate: &str, module: &[String], name: &str) -> Option<&TypeInfo> {
+        self.types
+            .iter()
+            .find(|t| t.krate == krate && t.module == module && t.name == name)
+    }
+}
+
+// ---- filesystem helpers ----
+
+fn read(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("")
+        .to_string()
+}
+
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut dirs = Vec::new();
+    if !dir.is_dir() {
+        return Ok(dirs);
+    }
+    let entries = std::fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        if path.is_dir() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// All `.rs` files under `dir` recursively, sorted. With `skip_test_dirs`,
+/// `tests/`, `benches/`, `examples/` subtrees are excluded (crate `src/`
+/// walks); without, everything is included (reference-only walks).
+fn rust_files(dir: &Path, skip_test_dirs: bool) -> Result<Vec<PathBuf>, LintError> {
+    let mut files = Vec::new();
+    if !dir.exists() {
+        return Ok(files);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current).map_err(|source| LintError::Io {
+            path: current.clone(),
+            source,
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|source| LintError::Io {
+                path: current.clone(),
+                source,
+            })?;
+            let path = entry.path();
+            if path.is_dir() {
+                let name = file_name(&path);
+                if !(skip_test_dirs && matches!(name.as_str(), "tests" | "benches" | "examples")) {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Directories whose files count as "references" for dead-pub analysis but
+/// are not themselves linted or indexed: integration tests, examples, benches.
+fn reference_dirs(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut dirs = Vec::new();
+    for name in ["tests", "examples", "benches"] {
+        let d = root.join(name);
+        if d.is_dir() {
+            dirs.push(d);
+        }
+    }
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        for name in ["tests", "examples", "benches"] {
+            let d = crate_dir.join(name);
+            if d.is_dir() {
+                dirs.push(d);
+            }
+        }
+    }
+    Ok(dirs)
+}
+
+/// Module path of `file` relative to the crate source root: `lib.rs`,
+/// `main.rs`, and `mod.rs` map to their directory; `foo.rs` maps to `foo`.
+fn module_path(src: &Path, file: &Path) -> Vec<String> {
+    let rel = file.strip_prefix(src).unwrap_or(file);
+    let mut module: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if let Some(last) = module.pop() {
+        let stem = last.trim_end_matches(".rs");
+        if !matches!(stem, "lib" | "main" | "mod") {
+            module.push(stem.to_string());
+        }
+    }
+    module
+}
+
+/// Count identifier occurrences over the masked source (comments and string
+/// contents excluded, so a name in prose doesn't count as a reference).
+fn ident_counts(masked: &MaskedSource) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for line in &masked.masked_lines {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c == b'_' || c.is_ascii_alphabetic() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let word = &line[start..i];
+                *counts.entry(word.to_string()).or_insert(0) += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Root package crate identifier from `Cargo.toml` (fallback: `"root"`).
+fn root_package_name(root: &Path) -> String {
+    let manifest = root.join("Cargo.toml");
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        let mut in_package = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_package = line == "[package]";
+                continue;
+            }
+            if in_package {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(rest) = rest.strip_prefix('=') {
+                        let v = rest.trim().trim_matches('"');
+                        if !v.is_empty() {
+                            return v.replace('-', "_");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    "root".to_string()
+}

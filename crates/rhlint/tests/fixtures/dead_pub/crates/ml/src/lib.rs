@@ -1,0 +1,6 @@
+//! Fixture ml crate with an orphaned public item.
+
+/// Never referenced anywhere else in this fixture workspace.
+pub fn orphan_metric(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

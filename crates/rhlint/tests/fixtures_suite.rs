@@ -1,0 +1,160 @@
+//! Fixture-workspace tests for the semantic (AST/call-graph) rules.
+//!
+//! Each fixture under `tests/fixtures/` is a self-contained mini-workspace
+//! with one deliberate violation family; `clean/` has none. The fixtures are
+//! never compiled by cargo — rhlint parses them with its own lexer/parser —
+//! and the `fixtures` path component keeps them out of the real workspace's
+//! reference counting.
+
+use std::path::{Path, PathBuf};
+
+use rhlint::{check_workspace, render_json, scan_source, Diagnostic, Rule, ScanScope};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture_check(name: &str) -> Vec<Diagnostic> {
+    check_workspace(&fixture_root(name)).expect("fixture workspace should load")
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let diags = fixture_check("clean");
+    assert!(
+        diags.is_empty(),
+        "clean fixture should be spotless, got:\n{}",
+        render(&diags)
+    );
+}
+
+/// The tentpole demo: an unseeded-RNG call reached through one level of
+/// helper indirection, with `use ... as` aliases on both hops. The optimizers
+/// file contains no banned token, and the helper lives in a crate the lexical
+/// pass never scans — only the call-graph taint walk can find it.
+#[test]
+fn taint_catches_aliased_rng_through_helper() {
+    let diags = fixture_check("taint_alias");
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly the taint finding:\n{}",
+        render(&diags)
+    );
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::DeterminismTaint);
+    assert!(
+        d.file.to_string_lossy().contains("util"),
+        "sink is in the helper crate"
+    );
+    assert!(
+        d.message.contains("fresh_seed"),
+        "names the tainted fn: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("thread_rng"),
+        "names the sink: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("reseed"),
+        "shows the call path from the entry point: {}",
+        d.message
+    );
+}
+
+/// The same fixture proves the PR-1 token scanner misses the violation:
+/// the optimizers file (the only one the lexical pass would scan — `util`
+/// is outside every lexical scope) contains no banned token even under the
+/// strictest possible scope.
+#[test]
+fn lexical_scan_provably_misses_the_aliased_rng() {
+    // The helper crate is exempt from every lexical rule family, so the
+    // token scanner never reads the one file that names `thread_rng`.
+    assert_eq!(ScanScope::for_crate("util"), ScanScope::default());
+
+    let rel = "crates/optimizers/src/lib.rs";
+    let text =
+        std::fs::read_to_string(fixture_root("taint_alias").join(rel)).expect("fixture file");
+    // Scan with FULL scope — stricter than the real pass ever would.
+    let scope = ScanScope {
+        panic_freedom: true,
+        determinism: true,
+        float_safety: true,
+    };
+    let diags = scan_source("optimizers", Path::new(rel), &text, scope);
+    assert!(
+        diags.is_empty(),
+        "token scanner should see nothing in {rel}:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn ignored_result_fires_on_discarded_result() {
+    let diags = fixture_check("ignored_result");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::IgnoredResult);
+    assert!(d.file.to_string_lossy().contains("sparksim"));
+    assert!(d.message.contains("parse_knob"), "{}", d.message);
+    assert!(d.message.contains("Result"), "{}", d.message);
+}
+
+/// Two identical lossy casts; one carries `rhlint:allow(RH015)`. Exactly one
+/// diagnostic proves both the cast detection and that the central suppression
+/// filter covers semantic rules (including the RH-code alias form).
+#[test]
+fn lossy_cast_fires_and_respects_suppressions() {
+    let diags = fixture_check("lossy_cast");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::LossyCast);
+    assert!(d.message.contains("usize"), "{}", d.message);
+    assert!(d.message.contains("u32"), "{}", d.message);
+}
+
+#[test]
+fn dead_pub_fires_on_orphaned_item() {
+    let diags = fixture_check("dead_pub");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::DeadPub);
+    assert!(d.message.contains("orphan_metric"), "{}", d.message);
+}
+
+#[test]
+fn config_space_fires_on_missing_dimension() {
+    let diags = fixture_check("config_space");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::ConfigSpace);
+    assert!(d.message.contains("BroadcastThreshold"), "{}", d.message);
+    assert!(
+        d.message.contains("no search-space dimension"),
+        "{}",
+        d.message
+    );
+}
+
+/// `--format json` must be byte-identical across runs: same sorted order,
+/// no timestamps or environment data.
+#[test]
+fn json_output_is_byte_stable_across_runs() {
+    let a = render_json(&fixture_check("taint_alias"));
+    let b = render_json(&fixture_check("taint_alias"));
+    assert_eq!(a, b);
+    assert!(a.contains("\"code\":\"RH013\""), "{a}");
+    assert!(a.contains("\"line\":"), "{a}");
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -43,7 +43,12 @@ impl BaselineModel {
             if r.embedding.len() != embedding_dim {
                 continue;
             }
-            x.push(Self::features_in(space, &r.embedding, &r.point, r.data_size));
+            x.push(Self::features_in(
+                space,
+                &r.embedding,
+                &r.point,
+                r.data_size,
+            ));
             y.push(r.elapsed_ms.max(1e-9).ln());
         }
         if x.is_empty() {
@@ -121,9 +126,7 @@ mod tests {
         good[2] = s.dims[2].denormalize(0.5);
         let mut bad = s.default_point();
         bad[2] = s.dims[2].denormalize(0.95);
-        assert!(
-            m.predict_ms(&[1.0, 2.0], &good, 2.0) < m.predict_ms(&[1.0, 2.0], &bad, 2.0)
-        );
+        assert!(m.predict_ms(&[1.0, 2.0], &good, 2.0) < m.predict_ms(&[1.0, 2.0], &bad, 2.0));
     }
 
     #[test]

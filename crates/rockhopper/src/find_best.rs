@@ -34,10 +34,7 @@ pub(crate) fn h_features(space: &ConfigSpace, point: &[f64], data_size: f64) -> 
 
 /// Fit the window model `H(c, p) → ln r` (Eq 4). Returns `None` when the window is
 /// too small or degenerate for a stable fit.
-pub(crate) fn fit_window_model(
-    space: &ConfigSpace,
-    window: &[Observation],
-) -> Option<KernelRidge> {
+pub(crate) fn fit_window_model(space: &ConfigSpace, window: &[Observation]) -> Option<KernelRidge> {
     if window.len() < 4 {
         return None;
     }
@@ -72,9 +69,7 @@ pub fn find_best(
     };
     let idx = match mode {
         FindBestMode::Raw => argmin(&|o: &Observation| o.elapsed_ms),
-        FindBestMode::Normalized => {
-            argmin(&|o: &Observation| o.elapsed_ms / o.data_size.max(1e-9))
-        }
+        FindBestMode::Normalized => argmin(&|o: &Observation| o.elapsed_ms / o.data_size.max(1e-9)),
         FindBestMode::ModelBased => match fit_window_model(space, window) {
             Some(h) => {
                 let scores: Vec<f64> = window
@@ -165,7 +160,10 @@ mod tests {
     #[test]
     fn model_based_falls_back_on_tiny_windows() {
         let s = space();
-        let w = vec![obs(s.default_point(), 1.0, 10.0), obs(s.default_point(), 2.0, 30.0)];
+        let w = vec![
+            obs(s.default_point(), 1.0, 10.0),
+            obs(s.default_point(), 2.0, 30.0),
+        ];
         // Window of 2 cannot fit H; must fall back to v2 (index 0: 10/1 < 30/2).
         assert_eq!(find_best(&s, &w, FindBestMode::ModelBased, 1.0), Some(0));
     }
@@ -205,6 +203,9 @@ mod tests {
             },
             1.0,
         ));
-        assert!(near < far, "H should prefer the bowl bottom: {near} vs {far}");
+        assert!(
+            near < far,
+            "H should prefer the bowl bottom: {near} vs {far}"
+        );
     }
 }

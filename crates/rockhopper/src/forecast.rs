@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// Which model produced a forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// rhlint:allow(RH016): public model field type of `Forecast`
 pub enum ForecastModel {
     /// Repeat the most recent size.
     LastValue,

@@ -31,7 +31,7 @@ pub enum GradientMode {
 /// pointing from the current best toward *better* configurations (i.e. the centroid
 /// moves by `−α·Δ`... the paper's sign convention: `e_{t+1} = c* − α·Δ`, so `Δ`
 /// points toward *worse* performance and the update walks away from it).
-pub type Direction = Vec<f64>;
+pub(crate) type Direction = Vec<f64>;
 
 /// Estimate the gradient direction from `window` around best point `c_star`
 /// (raw units). `alpha` is the probe distance in normalized units for the ML-corner
@@ -52,10 +52,8 @@ pub fn find_gradient(
     }
     match mode {
         GradientMode::Linear => linear_direction(space, window, d),
-        GradientMode::MlCorners => {
-            ml_corner_direction(space, window, c_star, alpha, p_ref, d)
-                .unwrap_or_else(|| linear_direction(space, window, d))
-        }
+        GradientMode::MlCorners => ml_corner_direction(space, window, c_star, alpha, p_ref, d)
+            .unwrap_or_else(|| linear_direction(space, window, d)),
     }
 }
 

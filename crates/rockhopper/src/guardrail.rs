@@ -108,8 +108,8 @@ impl Guardrail {
         let t_ref = (self.min_iterations as f64 / 2.0).max(1.0);
         let predicted_next = model.predict(&[t_next, ln_p]);
         let predicted_ref = model.predict(&[t_ref, ln_p]);
-        let regressing = predicted_ref > 1e-9
-            && predicted_next > predicted_ref * (1.0 + self.threshold);
+        let regressing =
+            predicted_ref > 1e-9 && predicted_next > predicted_ref * (1.0 + self.threshold);
         if regressing {
             self.violations += 1;
             if self.violations >= self.patience {

@@ -77,7 +77,7 @@ impl CandidateSelector for SurrogateSelector {
 }
 
 /// A true-performance oracle: maps a raw candidate point to its noise-free score.
-pub type Oracle = Box<dyn FnMut(&[f64]) -> f64 + Send>;
+pub(crate) type Oracle = Box<dyn FnMut(&[f64]) -> f64 + Send>;
 
 /// §6.1 pseudo-surrogate: ranks candidates by their *true* performance (supplied by
 /// an oracle closure — only experiments can provide one) and picks the one at the
@@ -224,7 +224,10 @@ mod tests {
         let mut sel = SurrogateSelector::new(20, Some(baseline), 1);
         let idx = sel.select(&s, &candidate_sweep(), &ctx(), &History::new());
         let x = s.dims[2].normalize(candidate_sweep()[idx][2]);
-        assert!(x < 0.35, "warm start should pick a low-x candidate, got {x}");
+        assert!(
+            x < 0.35,
+            "warm start should pick a low-x candidate, got {x}"
+        );
     }
 
     #[test]

@@ -286,7 +286,9 @@ mod tests {
     #[test]
     fn converges_on_noiseless_function() {
         let env = SyntheticEnv::new(NoiseSpec::none(), DataSchedule::Constant { size: 1.0 }, 1);
-        let tuner = RockhopperTuner::builder(env.space().clone()).seed(1).build();
+        let tuner = RockhopperTuner::builder(env.space().clone())
+            .seed(1)
+            .build();
         let (env, tuner) = drive(env, tuner, 150);
         let perf = env.normed_performance(&tuner.centroid());
         assert!(perf < 1.2, "noiseless CL should converge: {perf}");
@@ -298,20 +300,27 @@ mod tests {
         let mut final_perfs = Vec::new();
         for seed in 0..6 {
             let env = SyntheticEnv::high_noise_constant(seed);
-            let tuner = RockhopperTuner::builder(env.space().clone()).seed(seed).build();
+            let tuner = RockhopperTuner::builder(env.space().clone())
+                .seed(seed)
+                .build();
             let (env, tuner) = drive(env, tuner, 250);
             final_perfs.push(env.normed_performance(&tuner.centroid()));
         }
         final_perfs.sort_by(|a, b| a.total_cmp(b));
         let median = final_perfs[final_perfs.len() / 2];
-        assert!(median < 1.5, "median normed perf under high noise: {median}");
+        assert!(
+            median < 1.5,
+            "median normed perf under high noise: {median}"
+        );
     }
 
     #[test]
     fn suggestions_stay_near_centroid() {
         // The regression-avoidance property: proposals never leave the β-box.
         let env = SyntheticEnv::high_noise_constant(3);
-        let mut tuner = RockhopperTuner::builder(env.space().clone()).seed(3).build();
+        let mut tuner = RockhopperTuner::builder(env.space().clone())
+            .seed(3)
+            .build();
         let space = env.space().clone();
         let beta = tuner.config().beta;
         let mut env = env;
@@ -375,7 +384,9 @@ mod tests {
     #[test]
     fn best_observed_tracks_minimum() {
         let env = SyntheticEnv::high_noise_constant(6);
-        let tuner = RockhopperTuner::builder(env.space().clone()).seed(6).build();
+        let tuner = RockhopperTuner::builder(env.space().clone())
+            .seed(6)
+            .build();
         let (_, tuner) = drive(env, tuner, 20);
         let best = tuner.best_observed().unwrap().elapsed_ms;
         assert!(tuner.history.all.iter().all(|o| o.elapsed_ms >= best));
@@ -384,7 +395,9 @@ mod tests {
     #[test]
     fn snapshot_restore_roundtrips_learning_state() {
         let env = SyntheticEnv::high_noise_constant(12);
-        let tuner = RockhopperTuner::builder(env.space().clone()).seed(12).build();
+        let tuner = RockhopperTuner::builder(env.space().clone())
+            .seed(12)
+            .build();
         let (mut env, tuner) = drive(env, tuner, 25);
         let snap = tuner.snapshot();
 
@@ -435,7 +448,10 @@ mod tests {
     #[test]
     fn builder_without_guardrail_never_disables() {
         let space = ConfigSpace::query_level();
-        let mut tuner = RockhopperTuner::builder(space).guardrail(None).seed(1).build();
+        let mut tuner = RockhopperTuner::builder(space)
+            .guardrail(None)
+            .seed(1)
+            .build();
         let ctx = TuningContext {
             embedding: vec![],
             expected_data_size: 1.0,

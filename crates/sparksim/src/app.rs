@@ -40,8 +40,9 @@ impl Default for StartupCosts {
 
 impl StartupCosts {
     /// Startup duration for `executors` executors.
-    pub fn startup_ms(&self, executors: usize) -> f64 {
-        self.driver_ms + self.per_executor_ms * (executors.max(1) as f64).powf(self.acquisition_exponent)
+    pub(crate) fn startup_ms(&self, executors: usize) -> f64 {
+        self.driver_ms
+            + self.per_executor_ms * (executors.max(1) as f64).powf(self.acquisition_exponent)
     }
 }
 
@@ -67,9 +68,7 @@ pub fn run_app(
     queries: &[(PlanNode, SparkConf)],
     seed: u64,
 ) -> AppRun {
-    let executors = sim
-        .cluster
-        .granted_executors(app_conf.executor_count());
+    let executors = sim.cluster.granted_executors(app_conf.executor_count());
     let startup_ms = startup.startup_ms(executors);
     let mut total_ms = startup_ms;
     let mut metrics = Vec::with_capacity(queries.len());

@@ -44,9 +44,7 @@ impl Knob {
             Knob::OffHeapEnabled => "spark.memory.offHeap.enabled",
             Knob::OffHeapSizeMb => "spark.memory.offHeap.size",
             Knob::AdaptiveEnabled => "spark.sql.adaptive.enabled",
-            Knob::AdvisoryPartitionBytes => {
-                "spark.sql.adaptive.advisoryPartitionSizeInBytes"
-            }
+            Knob::AdvisoryPartitionBytes => "spark.sql.adaptive.advisoryPartitionSizeInBytes",
         }
     }
 
@@ -140,7 +138,7 @@ impl SparkConf {
     }
 
     /// Write a knob from `f64` (booleans treat `>= 0.5` as true).
-    pub fn set(&mut self, knob: Knob, value: f64) {
+    pub(crate) fn set(&mut self, knob: Knob, value: f64) {
         match knob {
             Knob::MaxPartitionBytes => self.max_partition_bytes = value,
             Knob::AutoBroadcastJoinThreshold => self.auto_broadcast_join_threshold = value,
@@ -282,7 +280,10 @@ mod tests {
     fn from_overrides_only_touches_listed_knobs() {
         let c = SparkConf::from_overrides(&[(Knob::ShufflePartitions, 64.0)]);
         assert_eq!(c.shuffle_partition_count(), 64);
-        assert_eq!(c.max_partition_bytes, SparkConf::default().max_partition_bytes);
+        assert_eq!(
+            c.max_partition_bytes,
+            SparkConf::default().max_partition_bytes
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl SparkEvent {
 
     /// Parse one JSON line; `None` on malformed input (the ETL skips bad lines as a
     /// real log processor must).
-    pub fn from_json_line(line: &str) -> Option<SparkEvent> {
+    pub(crate) fn from_json_line(line: &str) -> Option<SparkEvent> {
         serde_json::from_str(line).ok()
     }
 

@@ -39,7 +39,11 @@ impl MemoryOutcome {
 ///
 /// `executor.memory × exec_memory_fraction` is shared by the executor's cores;
 /// off-heap (when enabled) adds directly. The pool caps the granted heap.
-pub fn task_memory_budget(conf: &SparkConf, cluster: &ClusterSpec, cost: &CostParams) -> f64 {
+pub(crate) fn task_memory_budget(
+    conf: &SparkConf,
+    cluster: &ClusterSpec,
+    cost: &CostParams,
+) -> f64 {
     let heap_mb = cluster.granted_memory_mb(conf.executor_memory_mb);
     let exec_mb = heap_mb * cost.exec_memory_fraction + conf.effective_offheap_mb();
     exec_mb * MIB / cluster.cores_per_executor as f64
@@ -162,8 +166,7 @@ mod tests {
         let mut conf = SparkConf::default();
         conf.executor_memory_mb = 1e9; // absurd request
         let budget = task_memory_budget(&conf, &cluster, &cost);
-        let expected =
-            cluster.max_executor_memory_mb * cost.exec_memory_fraction * MIB / 4.0;
+        let expected = cluster.max_executor_memory_mb * cost.exec_memory_fraction * MIB / 4.0;
         assert!((budget - expected).abs() < 1.0);
     }
 }

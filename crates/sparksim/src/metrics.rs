@@ -64,6 +64,7 @@ impl QueryMetrics {
     }
 
     /// Observed slowdown relative to the true runtime (1.0 = no noise).
+    // rhlint:allow(dead-pub): noise-model introspection for robustness experiments
     pub fn noise_factor(&self) -> f64 {
         if self.true_ms > 0.0 {
             self.elapsed_ms / self.true_ms

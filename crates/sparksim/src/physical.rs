@@ -181,8 +181,7 @@ impl Planner {
             Operator::TableScan { .. } => {
                 let tasks = self.scan_tasks(node.est_bytes);
                 let idx = self.new_stage(StageKind::Scan, tasks, node.est_bytes);
-                self.stages[idx].cpu_rows +=
-                    node.est_rows * CostParams::op_weight("TableScan");
+                self.stages[idx].cpu_rows += node.est_rows * CostParams::op_weight("TableScan");
                 OpenStage {
                     idx,
                     rows: node.est_rows,
@@ -220,8 +219,7 @@ impl Planner {
                 });
                 // Final aggregation in a fresh shuffle stage.
                 let idx = self.new_stage(StageKind::Shuffle, self.shuffle_tasks(bytes), bytes);
-                self.stages[idx].cpu_rows +=
-                    node.est_rows * CostParams::op_weight("HashAggregate");
+                self.stages[idx].cpu_rows += node.est_rows * CostParams::op_weight("HashAggregate");
                 self.stages[idx].hash_build_bytes += node.est_bytes;
                 OpenStage {
                     idx,
@@ -262,8 +260,8 @@ impl Planner {
                     // without a shuffle (driver collect + broadcast).
                     let build_bytes = build.bytes;
                     // Probe stage pays the probe cost and holds the broadcast table.
-                    self.stages[probe.idx].cpu_rows += (probe.rows + build.rows)
-                        * CostParams::op_weight("Join");
+                    self.stages[probe.idx].cpu_rows +=
+                        (probe.rows + build.rows) * CostParams::op_weight("Join");
                     self.stages[probe.idx].broadcast_bytes += build_bytes;
                     self.stages[probe.idx].hash_build_bytes += build_bytes;
                     OpenStage {
@@ -306,8 +304,7 @@ impl Planner {
                     self.shuffle_tasks(l_bytes + r_bytes),
                     l_bytes + r_bytes,
                 );
-                self.stages[idx].cpu_rows +=
-                    (l_rows + r_rows) * CostParams::op_weight("Union");
+                self.stages[idx].cpu_rows += (l_rows + r_rows) * CostParams::op_weight("Union");
                 OpenStage {
                     idx,
                     rows: node.est_rows,
@@ -384,7 +381,10 @@ mod tests {
         conf.max_partition_bytes = 16.0 * MIB;
         let fine = plan_physical(&plan, &conf);
         assert!(fine.stages[0].tasks > coarse.stages[0].tasks);
-        assert_eq!(coarse.stages[0].tasks, (1e9 / (128.0 * MIB)).ceil() as usize);
+        assert_eq!(
+            coarse.stages[0].tasks,
+            (1e9 / (128.0 * MIB)).ceil() as usize
+        );
     }
 
     #[test]
@@ -442,8 +442,16 @@ mod tests {
         conf.adaptive_enabled = true;
         conf.advisory_partition_bytes = 64.0 * MIB;
         let with = plan_physical(&plan, &conf);
-        let shuffle_without = without.stages.iter().find(|s| s.kind == StageKind::Shuffle).unwrap();
-        let shuffle_with = with.stages.iter().find(|s| s.kind == StageKind::Shuffle).unwrap();
+        let shuffle_without = without
+            .stages
+            .iter()
+            .find(|s| s.kind == StageKind::Shuffle)
+            .unwrap();
+        let shuffle_with = with
+            .stages
+            .iter()
+            .find(|s| s.kind == StageKind::Shuffle)
+            .unwrap();
         assert_eq!(shuffle_without.tasks, 4096);
         assert!(
             shuffle_with.tasks < 100,
@@ -462,7 +470,11 @@ mod tests {
         conf.adaptive_enabled = true;
         conf.advisory_partition_bytes = MIB;
         let phys = plan_physical(&plan, &conf);
-        let shuffle = phys.stages.iter().find(|s| s.kind == StageKind::Shuffle).unwrap();
+        let shuffle = phys
+            .stages
+            .iter()
+            .find(|s| s.kind == StageKind::Shuffle)
+            .unwrap();
         assert_eq!(shuffle.tasks, 50);
     }
 

@@ -273,7 +273,11 @@ impl PlanNode {
 
     /// Number of operators in the plan.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(PlanNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PlanNode::node_count)
+            .sum::<usize>()
     }
 
     /// Scale every base-table cardinality by `factor` and re-estimate the whole tree
@@ -374,7 +378,9 @@ mod tests {
 
     #[test]
     fn aggregate_never_estimates_zero_rows() {
-        let p = PlanNode::scan("t", 10.0, 10.0).filter(0.0).hash_aggregate(0.5);
+        let p = PlanNode::scan("t", 10.0, 10.0)
+            .filter(0.0)
+            .hash_aggregate(0.5);
         assert!(p.est_rows >= 1.0);
     }
 

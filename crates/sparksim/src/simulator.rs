@@ -189,7 +189,10 @@ mod tests {
         let events = sim.events_for_run("app-7", "art-3", 1234, &p, &conf, vec![0.5], &run);
         assert!(matches!(events[0], SparkEvent::ApplicationStart { .. }));
         assert!(matches!(events[1], SparkEvent::QueryStart { .. }));
-        assert!(matches!(events.last(), Some(SparkEvent::ApplicationEnd { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(SparkEvent::ApplicationEnd { .. })
+        ));
         let stage_events = events
             .iter()
             .filter(|e| matches!(e, SparkEvent::StageCompleted { .. }))

@@ -14,10 +14,10 @@ use sparksim::simulator::Simulator;
 /// A conf drawn from the legal ranges.
 fn conf_strategy() -> impl Strategy<Value = SparkConf> {
     (
-        1.0..2048.0f64,   // maxPartitionBytes, MiB
-        -1.0..1024.0f64,  // broadcast threshold, MiB (negative disables)
-        1.0..8192.0f64,   // shuffle partitions
-        1.0..64.0f64,     // executors
+        1.0..2048.0f64,    // maxPartitionBytes, MiB
+        -1.0..1024.0f64,   // broadcast threshold, MiB (negative disables)
+        1.0..8192.0f64,    // shuffle partitions
+        1.0..64.0f64,      // executors
         512.0..65536.0f64, // memory MB
     )
         .prop_map(|(mpb, bc, sp, ex, mem)| {
@@ -34,10 +34,10 @@ fn conf_strategy() -> impl Strategy<Value = SparkConf> {
 /// A small join/aggregate plan with variable sizes.
 fn plan_strategy() -> impl Strategy<Value = PlanNode> {
     (
-        1e3..1e9f64,  // fact rows
-        1e1..1e7f64,  // dim rows
+        1e3..1e9f64,   // fact rows
+        1e1..1e7f64,   // dim rows
         0.001..1.0f64, // filter selectivity
-        1e-7..0.5f64, // group ratio
+        1e-7..0.5f64,  // group ratio
     )
         .prop_map(|(fact, dim, sel, group)| {
             PlanNode::scan("fact", fact, 120.0)

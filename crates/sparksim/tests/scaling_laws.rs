@@ -123,11 +123,16 @@ fn executor_scaling_near_linear_when_saturated() {
 fn runtime_is_monotone_in_data_size() {
     let sim = Simulator::default_pool(NoiseSpec::none());
     let conf = SparkConf::default();
-    let plan = PlanNode::scan("t", 1e7, 100.0).filter(0.3).hash_aggregate(0.01);
+    let plan = PlanNode::scan("t", 1e7, 100.0)
+        .filter(0.3)
+        .hash_aggregate(0.01);
     let mut prev = 0.0;
     for scale in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let t = sim.true_time_ms(&plan.scaled(scale), &conf);
-        assert!(t >= prev, "time dropped when data grew: {prev} -> {t} at {scale}x");
+        assert!(
+            t >= prev,
+            "time dropped when data grew: {prev} -> {t} at {scale}x"
+        );
         prev = t;
     }
 }

@@ -54,9 +54,7 @@ impl DataSchedule {
     pub fn size_at(&self, t: u32) -> f64 {
         match *self {
             DataSchedule::Constant { size } => size.max(1e-9),
-            DataSchedule::LinearIncreasing { start, slope } => {
-                (start + slope * t as f64).max(1e-9)
-            }
+            DataSchedule::LinearIncreasing { start, slope } => (start + slope * t as f64).max(1e-9),
             DataSchedule::Periodic { base, amplitude, k } => {
                 let k = k.max(1);
                 base + amplitude * (t % k) as f64 / k as f64

@@ -87,9 +87,8 @@ mod tests {
     #[test]
     fn different_seeds_give_different_plans() {
         let cfg = PlanGenConfig::default();
-        let distinct: std::collections::HashSet<usize> = (0..20)
-            .map(|s| random_plan(&cfg, s).node_count())
-            .collect();
+        let distinct: std::collections::HashSet<usize> =
+            (0..20).map(|s| random_plan(&cfg, s).node_count()).collect();
         assert!(distinct.len() >= 3, "plans too uniform");
     }
 

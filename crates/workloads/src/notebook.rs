@@ -166,10 +166,7 @@ mod tests {
         };
         let pop = generate_population(&cfg, 3);
         let all: Vec<&NotebookQuery> = pop.iter().flat_map(|n| n.queries.iter()).collect();
-        let high = all
-            .iter()
-            .filter(|q| q.noise.fluctuation >= 1.0)
-            .count() as f64;
+        let high = all.iter().filter(|q| q.noise.fluctuation >= 1.0).count() as f64;
         let frac = high / all.len() as f64;
         assert!((frac - 0.2).abs() < 0.07, "pathological fraction {frac}");
     }
@@ -189,8 +186,7 @@ mod tests {
     #[test]
     fn artifact_ids_are_stable_and_distinct() {
         let pop = generate_population(&PopulationConfig::default(), 0);
-        let ids: std::collections::HashSet<_> =
-            pop.iter().map(|n| n.artifact_id.clone()).collect();
+        let ids: std::collections::HashSet<_> = pop.iter().map(|n| n.artifact_id.clone()).collect();
         assert_eq!(ids.len(), pop.len());
         assert!(pop[0].artifact_id.starts_with("artifact-"));
     }

@@ -77,7 +77,10 @@ impl SyntheticFunction {
                     hi: 1024.0 * 1024.0 * 1024.0,
                 },
                 // shuffle.partitions: 8 .. 4096
-                KnobRange { lo: 8.0, hi: 4096.0 },
+                KnobRange {
+                    lo: 8.0,
+                    hi: 4096.0,
+                },
             ],
             optimum: [0.30, 0.65, 0.45],
             weights: [3.0, 1.2, 2.0],
@@ -187,7 +190,10 @@ mod tests {
 
     #[test]
     fn normalize_roundtrips() {
-        let r = KnobRange { lo: 8.0, hi: 4096.0 };
+        let r = KnobRange {
+            lo: 8.0,
+            hi: 4096.0,
+        };
         for x in [0.0, 0.25, 0.5, 1.0] {
             assert!((r.normalize(r.denormalize(x)) - x).abs() < 1e-12);
         }
@@ -195,7 +201,10 @@ mod tests {
 
     #[test]
     fn out_of_range_values_clamp() {
-        let r = KnobRange { lo: 8.0, hi: 4096.0 };
+        let r = KnobRange {
+            lo: 8.0,
+            hi: 4096.0,
+        };
         assert_eq!(r.normalize(1.0), 0.0);
         assert_eq!(r.normalize(1e9), 1.0);
     }

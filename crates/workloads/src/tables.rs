@@ -114,8 +114,7 @@ mod tests {
     #[test]
     fn tpch_sf1_is_about_a_gigabyte() {
         let tables = [
-            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
-            "lineitem",
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
         ];
         let bytes: f64 = tables
             .iter()

@@ -181,8 +181,7 @@ fn q_top_stores(sf: f64) -> PlanNode {
 }
 
 fn q_big_fact_join(sf: f64) -> PlanNode {
-    let cs = tpcds_scan("catalog_sales", sf)
-        .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27);
+    let cs = tpcds_scan("catalog_sales", sf).fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27);
     tpcds_scan("store_sales", sf)
         .fk_join(tpcds_scan("date_dim", sf).filter(0.27), 0.27)
         .join(cs, 1e-7) // same item sold in both channels
@@ -204,8 +203,8 @@ fn q_quarterly_rollup(sf: f64) -> PlanNode {
 }
 
 fn q_returned_then_bought(sf: f64) -> PlanNode {
-    let returns = tpcds_scan("store_returns", sf)
-        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
+    let returns =
+        tpcds_scan("store_returns", sf).fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
     tpcds_scan("store_sales", sf)
         .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08)
         .join(returns, 3e-7) // same customer+item returned
@@ -365,10 +364,9 @@ fn q_hourly_traffic(sf: f64) -> PlanNode {
 
 fn q_affinity_pairs(sf: f64) -> PlanNode {
     // Self-join of store_sales on ticket to find co-purchased item pairs.
-    let left = tpcds_scan("store_sales", sf)
-        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
-    let right = tpcds_scan("store_sales", sf)
-        .fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
+    let left = tpcds_scan("store_sales", sf).fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
+    let right =
+        tpcds_scan("store_sales", sf).fk_join(tpcds_scan("date_dim", sf).filter(0.08), 0.08);
     left.join(right, 2e-7)
         .fk_join(tpcds_scan("item", sf), 1.0)
         .hash_aggregate(0.005)
@@ -567,6 +565,9 @@ mod tests {
                 flips += 1;
             }
         }
-        assert!(flips >= 10, "only {flips} templates respond to the threshold");
+        assert!(
+            flips >= 10,
+            "only {flips} templates respond to the threshold"
+        );
     }
 }

@@ -238,7 +238,9 @@ fn q17(sf: f64) -> PlanNode {
 
 /// Q18: large volume customer — orders with big lineitem sums, top 100.
 fn q18(sf: f64) -> PlanNode {
-    let big_orders = tpch_scan("lineitem", sf).hash_aggregate(0.25).filter(0.0004);
+    let big_orders = tpch_scan("lineitem", sf)
+        .hash_aggregate(0.25)
+        .filter(0.0004);
     tpch_scan("lineitem", sf)
         .fk_join(tpch_scan("orders", sf), 1.0)
         .join(big_orders, 4e-7)
@@ -258,15 +260,12 @@ fn q19(sf: f64) -> PlanNode {
 
 /// Q20: potential part promotion — nested semi-joins into supplier.
 fn q20(sf: f64) -> PlanNode {
-    let qty = tpch_scan("lineitem", sf)
-        .filter(0.15)
-        .hash_aggregate(0.13); // per part+supplier
+    let qty = tpch_scan("lineitem", sf).filter(0.15).hash_aggregate(0.13); // per part+supplier
     let parts = tpch_scan("part", sf).filter(0.01); // name like 'forest%'
-    let ps = tpch_scan("partsupp", sf).fk_join(parts, 0.01).join(qty, 1e-6);
-    tpch_scan("supplier", sf)
-        .filter(0.04)
-        .join(ps, 1e-4)
-        .sort()
+    let ps = tpch_scan("partsupp", sf)
+        .fk_join(parts, 0.01)
+        .join(qty, 1e-6);
+    tpch_scan("supplier", sf).filter(0.04).join(ps, 1e-4).sort()
 }
 
 /// Q21: suppliers who kept orders waiting — triple lineitem self-join.

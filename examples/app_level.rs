@@ -45,9 +45,15 @@ fn main() {
             let plan = env.plan.clone();
             let run = env.sim.execute(&plan, &conf, app_run as u64 ^ sig);
             let app_id = format!("{artifact_id}-run{app_run}");
-            let events =
-                env.sim
-                    .events_for_run(&app_id, artifact_id, sig, &plan, &conf, ctx.embedding, &run);
+            let events = env.sim.events_for_run(
+                &app_id,
+                artifact_id,
+                sig,
+                &plan,
+                &conf,
+                ctx.embedding,
+                &run,
+            );
             backend.ingest(user, &app_id, &events);
             let _ = env.run(&point); // keep the env's iteration counter in step
         }

@@ -18,15 +18,12 @@ fn main() {
         ("noisy", 13usize, NoiseSpec::high()),
     ];
     for (label, q, noise) in queries {
-        let mut env = QueryEnv::tpcds(
-            q,
-            2.0,
-            noise,
-            7,
-        );
+        let mut env = QueryEnv::tpcds(q, 2.0, noise, 7);
         let sig = env.signature();
         let space = env.space().clone();
-        let mut tuner = RockhopperTuner::builder(space.clone()).seed(q as u64).build();
+        let mut tuner = RockhopperTuner::builder(space.clone())
+            .seed(q as u64)
+            .build();
         for run in 0..25 {
             let ctx = env.context();
             let point = tuner.suggest(&ctx);
@@ -50,7 +47,10 @@ fn main() {
 
     println!("{}", dashboard.render());
 
-    println!("signatures needing attention: {:?}\n", dashboard.regressing_signatures());
+    println!(
+        "signatures needing attention: {:?}\n",
+        dashboard.regressing_signatures()
+    );
 
     // Root-cause analysis of the largest iteration-to-iteration swings.
     for sig in dashboard.signatures() {
@@ -89,7 +89,10 @@ fn main() {
                 ),
                 RootCause::LikelyNoiseOrExternal => "likely noise or external cause".to_string(),
             };
-            println!("  iter {iter:>2}: {:>5.1}% swing — {cause_text}", swing * 100.0);
+            println!(
+                "  iter {iter:>2}: {:>5.1}% swing — {cause_text}",
+                swing * 100.0
+            );
         }
         println!();
     }

@@ -38,7 +38,10 @@ fn main() {
 
     // 2. Train the baseline model (the ML training pipeline).
     let baseline = train_baseline(&space, &rows, None, 99).expect("rows exist");
-    println!("baseline model trained (embedding dim {})", baseline.embedding_dim());
+    println!(
+        "baseline model trained (embedding dim {})",
+        baseline.embedding_dim()
+    );
 
     // 3. Online: a *TPC-H* query the TPC-DS baseline never saw, warm-started.
     let mut env = QueryEnv::tpch(3, 2.0, NoiseSpec::low(), 3);

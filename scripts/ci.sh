@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full CI pass, in the order that fails fastest:
+#   formatting → static analysis (rhlint) → release build → tests.
+# Usage: scripts/ci.sh  (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> rhlint check"
+cargo run -q -p rhlint -- check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI: all green"

@@ -122,7 +122,14 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
     }
     let tuned_ms = env.true_time(&tuner.centroid());
     let conf = space.to_conf(&tuner.centroid());
-    println!("after {iters} runs ({}):", if tuner.is_disabled() { "guardrail DISABLED tuning" } else { "guardrail ok" });
+    println!(
+        "after {iters} runs ({}):",
+        if tuner.is_disabled() {
+            "guardrail DISABLED tuning"
+        } else {
+            "guardrail ok"
+        }
+    );
     println!("  default true time: {default_ms:.0} ms");
     println!(
         "  tuned true time:   {tuned_ms:.0} ms  ({:+.1}%)",

@@ -50,7 +50,10 @@ fn centroid_learning_beats_bo_and_flow2_under_high_noise() {
     let flow2 = final_median(|env, s| Flow2::new(env.space().clone(), s), 0..8, iters);
 
     assert!(cl < bo, "CL {cl:.3} must beat BO {bo:.3} under high noise");
-    assert!(cl < flow2 * 1.05, "CL {cl:.3} should not lose to FLOW2 {flow2:.3}");
+    assert!(
+        cl < flow2 * 1.05,
+        "CL {cl:.3} should not lose to FLOW2 {flow2:.3}"
+    );
     assert!(cl < 2.0, "CL should actually converge: {cl:.3}");
 }
 

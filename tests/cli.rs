@@ -43,12 +43,16 @@ fn list_names_both_benchmarks() {
 fn tune_produces_a_recommendation() {
     let out = cli()
         .args([
-            "tune", "--bench", "tpch", "--query", "6", "--sf", "0.5", "--iters", "8",
-            "--noise", "none",
+            "tune", "--bench", "tpch", "--query", "6", "--sf", "0.5", "--iters", "8", "--noise",
+            "none",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("recommended configuration"));
     assert!(text.contains("spark.sql.shuffle.partitions"));
@@ -72,7 +76,10 @@ fn flight_reports_row_counts() {
         .expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("flighting complete: 44 training rows"), "{text}");
+    assert!(
+        text.contains("flighting complete: 44 training rows"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -83,7 +90,11 @@ fn compare_lists_all_three_tuners() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     for name in ["rockhopper", "bayesopt", "flow2"] {
         assert!(text.contains(name), "missing {name} in:\n{text}");

@@ -29,7 +29,10 @@ fn centroid_learning_beats_default_on_tpch() {
         let default_ms = env.true_time(&space.default_point());
         let tuner = tune(
             &mut env,
-            RockhopperTuner::builder(space).guardrail(None).seed(q as u64).build(),
+            RockhopperTuner::builder(space)
+                .guardrail(None)
+                .seed(q as u64)
+                .build(),
             40,
         );
         let tuned_ms = env.true_time(&tuner.centroid());
@@ -88,7 +91,8 @@ fn tuner_never_proposes_out_of_bounds_configs() {
     for _ in 0..60 {
         let p = tuner.suggest(&env.context());
         let conf = space.to_conf(&p);
-        conf.validate().expect("every proposed configuration must be valid");
+        conf.validate()
+            .expect("every proposed configuration must be valid");
         let o = env.run(&p);
         tuner.observe(&p, &o);
     }
@@ -139,7 +143,10 @@ fn dynamic_data_sizes_do_not_break_convergence() {
     let default_ms = env.true_time(&space.default_point());
     let tuner = tune(
         &mut env,
-        RockhopperTuner::builder(space).guardrail(None).seed(8).build(),
+        RockhopperTuner::builder(space)
+            .guardrail(None)
+            .seed(8)
+            .build(),
         50,
     );
     // Compare at whatever data size the env is now at — same basis for both.

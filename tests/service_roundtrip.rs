@@ -18,7 +18,9 @@ fn full_service_loop_persists_and_learns() {
     let sig = env.signature();
     for run in 0..10 {
         let ctx = env.context();
-        let point = client.suggest("tenant-a", sig, &ctx).expect("backend alive");
+        let point = client
+            .suggest("tenant-a", sig, &ctx)
+            .expect("backend alive");
         assert_eq!(point.len(), 3);
         let conf = env.space().to_conf(&point);
         let plan = env.plan.clone();
@@ -102,12 +104,18 @@ fn concurrent_tenants_do_not_interfere() {
             let ctx = ctx.clone();
             s.spawn(move || {
                 for i in 0..10u64 {
-                    let p = c.suggest(&format!("tenant-{t}"), 42, &ctx).expect("backend alive");
+                    let p = c
+                        .suggest(&format!("tenant-{t}"), 42, &ctx)
+                        .expect("backend alive");
                     assert_eq!(p.len(), 3, "tenant {t} iter {i}");
                 }
             });
         }
     });
     let backend = service.shutdown().expect("backend exits cleanly");
-    assert_eq!(backend.tuner_count(), 6, "one tuner per tenant for the signature");
+    assert_eq!(
+        backend.tuner_count(),
+        6,
+        "one tuner per tenant for the signature"
+    );
 }

@@ -35,7 +35,9 @@ impl Default for Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.to_string() }
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
@@ -105,7 +107,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
     let mut iters: u64 = 1;
     let calibrate_start = Instant::now();
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed > Duration::from_millis(50)
             || iters >= 1 << 30
@@ -120,7 +125,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
     let mut total_iters: u64 = 0;
     let mut total_time = Duration::ZERO;
     while total_time < MEASURE {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total_iters += iters;
         total_time += b.elapsed;

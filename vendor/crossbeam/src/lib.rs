@@ -72,10 +72,19 @@ pub mod channel {
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             ready: Condvar::new(),
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -94,7 +103,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             lock_state(&self.shared).senders += 1;
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -175,7 +186,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             lock_state(&self.shared).receivers += 1;
-            Receiver { shared: Arc::clone(&self.shared) }
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 

@@ -130,7 +130,12 @@ impl Standard for bool {
 /// Uniformly sampleable scalar types.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform draw from `[lo, hi)`; `hi` is exclusive unless `inclusive`.
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// Range forms accepted by [`RngExt::random_range`].
@@ -171,7 +176,12 @@ macro_rules! impl_uniform_int {
 impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
         if !(hi > lo) {
             return lo;
         }
@@ -180,7 +190,12 @@ impl SampleUniform for f64 {
 }
 
 impl SampleUniform for f32 {
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
         if !(hi > lo) {
             return lo;
         }
@@ -280,7 +295,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..64 {
-            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
         }
     }
 

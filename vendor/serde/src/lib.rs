@@ -87,7 +87,9 @@ pub struct DeError {
 
 impl DeError {
     pub fn new(message: impl Into<String>) -> Self {
-        DeError { message: message.into() }
+        DeError {
+            message: message.into(),
+        }
     }
 
     pub fn expected(what: &str, got: &Value) -> Self {
@@ -228,7 +230,9 @@ impl Serialize for char {
 impl Deserialize for char {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
         match value {
-            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().ok_or_else(|| DeError::new("empty char"))?),
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().ok_or_else(|| DeError::new("empty char"))?)
+            }
             other => Err(DeError::expected("single-char string", other)),
         }
     }
@@ -358,7 +362,10 @@ where
     let mut pairs: Vec<(String, Value)> = entries
         .map(|(k, v)| {
             let key = k.serialize_value();
-            (crate::text::render_compact(&key), Value::Array(vec![key, v.serialize_value()]))
+            (
+                crate::text::render_compact(&key),
+                Value::Array(vec![key, v.serialize_value()]),
+            )
         })
         .collect();
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
@@ -383,7 +390,9 @@ fn map_entries_from(value: &Value) -> Result<impl Iterator<Item = (&Value, &Valu
     }
 }
 
-impl<K: Serialize + Eq + Hash, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+impl<K: Serialize + Eq + Hash, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for HashMap<K, V, S>
+{
     fn serialize_value(&self) -> Value {
         map_to_value(self.iter())
     }

@@ -73,7 +73,10 @@ fn render_string(s: &str, out: &mut String) {
 
 /// Parse JSON text into a [`Value`] tree.
 pub fn parse(input: &str) -> Result<Value, DeError> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -182,7 +185,10 @@ impl<'a> Parser<'a> {
                     return Ok(out);
                 }
                 b'\\' => {
-                    let esc = rest.get(1).copied().ok_or_else(|| self.error("bad escape"))?;
+                    let esc = rest
+                        .get(1)
+                        .copied()
+                        .ok_or_else(|| self.error("bad escape"))?;
                     self.pos += 2;
                     match esc {
                         b'"' => out.push('"'),
@@ -213,7 +219,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar.
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.error("invalid utf-8 in string"))?;
-                    let c = text.chars().next().ok_or_else(|| self.error("unterminated string"))?;
+                    let c = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -283,7 +292,10 @@ mod tests {
         let value = Value::Object(vec![
             ("name".into(), Value::Str("tpch_q9 \"scaled\"\n".into())),
             ("elapsed_ms".into(), Value::Float(1234.5678)),
-            ("stages".into(), Value::Array(vec![Value::Int(-3), Value::UInt(u64::MAX)])),
+            (
+                "stages".into(),
+                Value::Array(vec![Value::Int(-3), Value::UInt(u64::MAX)]),
+            ),
             ("aqe".into(), Value::Bool(true)),
             ("parent".into(), Value::Null),
         ]);

@@ -41,8 +41,15 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, tag: Option<String>, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        tag: Option<String>,
+        variants: Vec<Variant>,
+    },
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -61,7 +68,9 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
 }
 
 fn error(message: &str) -> TokenStream {
-    format!("compile_error!({message:?});").parse().expect("literal compile_error")
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("literal compile_error")
 }
 
 // ---------------------------------------------------------------------------
@@ -102,7 +111,9 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     pos += 1;
 
     if matches!(&trees.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("serde shim: generic type `{name}` is not supported"));
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported"
+        ));
     }
 
     if kind == "struct" {
@@ -137,7 +148,11 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
                 }
             }
         }
-        Ok(Input::Enum { name, tag, variants })
+        Ok(Input::Enum {
+            name,
+            tag,
+            variants,
+        })
     }
 }
 
@@ -150,7 +165,9 @@ fn is_attr_start(trees: &[TokenTree], pos: usize) -> bool {
 /// pairs; otherwise `None`.
 #[allow(clippy::type_complexity)]
 fn attr_serde_args(tree: &TokenTree) -> Option<Result<Vec<(String, Option<String>)>, String>> {
-    let TokenTree::Group(group) = tree else { return None };
+    let TokenTree::Group(group) = tree else {
+        return None;
+    };
     let inner: Vec<TokenTree> = group.stream().into_iter().collect();
     match inner.first() {
         Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
@@ -164,7 +181,9 @@ fn attr_serde_args(tree: &TokenTree) -> Option<Result<Vec<(String, Option<String
     let mut i = 0;
     while i < tokens.len() {
         let TokenTree::Ident(key) = &tokens[i] else {
-            return Some(Err("serde shim: expected identifier in #[serde(...)]".into()));
+            return Some(Err(
+                "serde shim: expected identifier in #[serde(...)]".into()
+            ));
         };
         let key = key.to_string();
         i += 1;
@@ -222,7 +241,10 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
                 _ => {}
             }
         }
-        segments.last_mut().expect("non-empty by construction").push(tree);
+        segments
+            .last_mut()
+            .expect("non-empty by construction")
+            .push(tree);
     }
     segments.retain(|seg| !seg.is_empty());
     segments
@@ -242,8 +264,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             pos += 2;
         }
         skip_visibility(&segment, &mut pos);
-        let name = ident_at(&segment, pos)
-            .ok_or("serde shim: expected field name")?;
+        let name = ident_at(&segment, pos).ok_or("serde shim: expected field name")?;
         names.push(name);
     }
     Ok(names)
@@ -312,9 +333,7 @@ fn gen_serialize(input: &Input) -> String {
                     "::serde::Value::Object(::std::vec![{}])",
                     obj_pairs(names, &|f| format!("&self.{f}"))
                 ),
-                Fields::Tuple(1) => {
-                    "::serde::Serialize::serialize_value(&self.0)".to_string()
-                }
+                Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
                 Fields::Tuple(n) => {
                     let items: String = (0..*n)
                         .map(|i| format!("::serde::Serialize::serialize_value(&self.{i}),"))
@@ -329,7 +348,11 @@ fn gen_serialize(input: &Input) -> String {
                  }}"
             )
         }
-        Input::Enum { name, tag, variants } => {
+        Input::Enum {
+            name,
+            tag,
+            variants,
+        } => {
             let arms: String = variants
                 .iter()
                 .map(|v| {
@@ -435,15 +458,19 @@ fn gen_deserialize(input: &Input) -> String {
             }
             Fields::Unit => format!("::std::result::Result::Ok({name})"),
         },
-        Input::Enum { name, tag: Some(tag), variants } => {
+        Input::Enum {
+            name,
+            tag: Some(tag),
+            variants,
+        } => {
             let arms: String = variants
                 .iter()
                 .map(|v| {
                     let vname = &v.name;
                     match &v.fields {
-                        Fields::Unit => format!(
-                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
-                        ),
+                        Fields::Unit => {
+                            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")
+                        }
                         Fields::Named(fields) => {
                             let construct =
                                 named_field_reads(&format!("{name}::{vname}"), fields, "value");
@@ -465,7 +492,11 @@ fn gen_deserialize(input: &Input) -> String {
                  }}"
             )
         }
-        Input::Enum { name, tag: None, variants } => {
+        Input::Enum {
+            name,
+            tag: None,
+            variants,
+        } => {
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.fields, Fields::Unit))
