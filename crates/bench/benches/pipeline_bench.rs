@@ -75,6 +75,7 @@ fn bench_checkpoint(c: &mut Criterion) {
             &Outcome {
                 elapsed_ms: 100.0 + (i % 9) as f64,
                 data_size: 1e6,
+                kind: optimizers::tuner::ObservationKind::Measured,
             },
         );
     }

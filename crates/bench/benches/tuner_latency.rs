@@ -31,6 +31,7 @@ fn warm<T: Tuner>(tuner: &mut T, n: usize, seed: u64) {
             &Outcome {
                 elapsed_ms: 100.0 + (i % 17) as f64 * 5.0,
                 data_size: 1e6,
+                kind: optimizers::tuner::ObservationKind::Measured,
             },
         );
     }
@@ -70,6 +71,7 @@ fn bench_observe_latency(c: &mut Criterion) {
                 &Outcome {
                     elapsed_ms: 123.0,
                     data_size: 1e6,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 },
             )
         })

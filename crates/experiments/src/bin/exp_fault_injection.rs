@@ -1,0 +1,7 @@
+//! Regenerates the `exp_fault_injection` extension experiment. Pass `--quick`
+//! for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::exp_fault_injection::run(scale).print();
+}

@@ -26,6 +26,7 @@ fn main() {
             experiments::exp_ablation_overshoot::run,
         ),
         ("aqe_interaction", experiments::exp_aqe_interaction::run),
+        ("fault_injection", experiments::exp_fault_injection::run),
         ("applevel", experiments::exp_applevel::run),
     ];
     for (name, run) in experiments {

@@ -107,6 +107,7 @@ pub fn selection_quality(
                     point,
                     data_size: p,
                     elapsed_ms: r,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 }
             })
             .collect();

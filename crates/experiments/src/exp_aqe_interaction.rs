@@ -112,6 +112,7 @@ pub fn run(scale: Scale) -> Summary {
                     &optimizers::tuner::Outcome {
                         elapsed_ms: run.metrics.elapsed_ms,
                         data_size: run.metrics.input_rows,
+                        kind: optimizers::tuner::ObservationKind::Measured,
                     },
                 );
             }

@@ -70,6 +70,7 @@ pub fn run(scale: Scale) -> Summary {
             &Outcome {
                 elapsed_ms: first.elapsed_ms,
                 data_size: first.data_size,
+                kind: optimizers::tuner::ObservationKind::Measured,
             },
         );
         let mut cbo_trace = Vec::with_capacity(iters);

@@ -224,6 +224,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0 + (i % 7) as f64,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }
@@ -246,6 +247,7 @@ mod tests {
             &Outcome {
                 elapsed_ms: 0.0, // reward clamps to 1
                 data_size: 1.0,
+                kind: crate::tuner::ObservationKind::Measured,
             },
         );
         let after = b.dims[0].log_weights[b.dims[0].pending];

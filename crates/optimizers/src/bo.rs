@@ -121,6 +121,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0 + i as f64,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }
@@ -180,6 +181,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 50.0 + (i % 3) as f64,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }

@@ -159,6 +159,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }

@@ -126,6 +126,7 @@ impl Environment for QueryEnv {
         Outcome {
             elapsed_ms: run.metrics.elapsed_ms,
             data_size: run.metrics.input_rows,
+            kind: crate::tuner::ObservationKind::Measured,
         }
     }
 
@@ -242,6 +243,7 @@ impl Environment for CachedEnv {
         Outcome {
             elapsed_ms: self.times[idx],
             data_size: self.expected_p,
+            kind: crate::tuner::ObservationKind::Measured,
         }
     }
 
@@ -337,6 +339,7 @@ impl Environment for SyntheticEnv {
         Outcome {
             elapsed_ms: elapsed,
             data_size: p,
+            kind: crate::tuner::ObservationKind::Measured,
         }
     }
 

@@ -201,6 +201,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: cost,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }
@@ -233,6 +234,7 @@ mod tests {
             let o = Outcome {
                 elapsed_ms: 100.0 - i as f64,
                 data_size: 1.0,
+                kind: crate::tuner::ObservationKind::Measured,
             };
             a.observe(&pa, &o);
             b.observe(&pb, &o);

@@ -233,6 +233,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: cost,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }
@@ -257,6 +258,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0 - i as f64,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }

@@ -154,6 +154,7 @@ mod tests {
             &Outcome {
                 elapsed_ms: 1.0,
                 data_size: 1.0,
+                kind: crate::tuner::ObservationKind::Measured,
             },
         );
         let mut dims_seen = std::collections::HashSet::new();
@@ -165,6 +166,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }
@@ -186,6 +188,7 @@ mod tests {
             &Outcome {
                 elapsed_ms: 1.0,
                 data_size: 1.0,
+                kind: crate::tuner::ObservationKind::Measured,
             },
         );
         for _ in 0..30 {
@@ -195,6 +198,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0,
                     data_size: 1.0,
+                    kind: crate::tuner::ObservationKind::Measured,
                 },
             );
         }

@@ -71,6 +71,7 @@ impl Objective {
         Outcome {
             elapsed_ms: self.score(conf, outcome),
             data_size: outcome.data_size,
+            kind: outcome.kind,
         }
     }
 }
@@ -80,10 +81,7 @@ mod tests {
     use super::*;
 
     fn outcome(ms: f64) -> Outcome {
-        Outcome {
-            elapsed_ms: ms,
-            data_size: 1.0,
-        }
+        Outcome::measured(ms, 1.0)
     }
 
     #[test]
@@ -160,10 +158,7 @@ mod tests {
             price_per_executor_hour: 1.0,
         };
         let conf = SparkConf::default();
-        let o = Outcome {
-            elapsed_ms: 3_600_000.0,
-            data_size: 42.0,
-        };
+        let o = Outcome::measured(3_600_000.0, 42.0);
         let s = obj.scored_outcome(&conf, &o);
         assert_eq!(s.data_size, 42.0);
         assert_eq!(s.elapsed_ms, conf.executor_count() as f64);

@@ -74,6 +74,7 @@ mod tests {
             &Outcome {
                 elapsed_ms: 10.0,
                 data_size: 1.0,
+                kind: crate::tuner::ObservationKind::Measured,
             },
         );
         assert_eq!(t.history.len(), 1);

@@ -17,13 +17,79 @@ pub struct TuningContext {
     pub iteration: u32,
 }
 
+/// How an observation entered the history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ObservationKind {
+    /// A real, measured completion time.
+    #[default]
+    Measured,
+    /// A failed or unobserved run recorded as a *censored* high-cost bound
+    /// (Li et al., VLDB 2023): `elapsed_ms` holds a penalty cost, not a
+    /// measurement. Model fits down-weight it; argmin-style selection and
+    /// best-so-far bookkeeping skip it entirely.
+    Censored,
+}
+
+// Manual impls so a missing/`null` field (checkpoints written before the
+// fault model existed) deserializes as `Measured` instead of erroring.
+impl Serialize for ObservationKind {
+    fn serialize_value(&self) -> serde::Value {
+        match self {
+            ObservationKind::Measured => serde::Value::Str("Measured".to_string()),
+            ObservationKind::Censored => serde::Value::Str("Censored".to_string()),
+        }
+    }
+}
+
+impl Deserialize for ObservationKind {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Null => Ok(ObservationKind::Measured),
+            serde::Value::Str(s) if s == "Measured" => Ok(ObservationKind::Measured),
+            serde::Value::Str(s) if s == "Censored" => Ok(ObservationKind::Censored),
+            other => Err(serde::DeError::expected("ObservationKind", other)),
+        }
+    }
+}
+
 /// What came back from executing a suggested configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Outcome {
-    /// Observed (noisy) execution time, ms.
+    /// Observed (noisy) execution time, ms — or the penalty cost of a
+    /// censored run (see `kind`).
     pub elapsed_ms: f64,
     /// Actual input data size of the run (the `p` recorded with each observation).
     pub data_size: f64,
+    /// Whether this is a real measurement or a censored bound. Deserializes
+    /// to [`ObservationKind::Measured`] when absent in serialized data, so
+    /// pre-fault checkpoints restore unchanged.
+    pub kind: ObservationKind,
+}
+
+impl Outcome {
+    /// A real measured completion.
+    pub fn measured(elapsed_ms: f64, data_size: f64) -> Outcome {
+        Outcome {
+            elapsed_ms,
+            data_size,
+            kind: ObservationKind::Measured,
+        }
+    }
+
+    /// A censored observation for a failed/unobserved run: `penalty_ms` is the
+    /// high-cost bound the tuner records instead of a measurement.
+    pub fn censored(penalty_ms: f64, data_size: f64) -> Outcome {
+        Outcome {
+            elapsed_ms: penalty_ms,
+            data_size,
+            kind: ObservationKind::Censored,
+        }
+    }
+
+    /// Whether this outcome is a censored bound rather than a measurement.
+    pub fn is_censored(&self) -> bool {
+        self.kind == ObservationKind::Censored
+    }
 }
 
 /// An online configuration tuner: suggest a point, observe its outcome, repeat.
@@ -46,8 +112,19 @@ pub struct Observation {
     pub point: Vec<f64>,
     /// The data size `p` of that run.
     pub data_size: f64,
-    /// The observed performance `r` (elapsed ms; lower is better).
+    /// The observed performance `r` (elapsed ms; lower is better), or the
+    /// penalty bound of a censored run.
     pub elapsed_ms: f64,
+    /// Measurement vs. censored bound; missing fields in old checkpoints
+    /// deserialize as [`ObservationKind::Measured`].
+    pub kind: ObservationKind,
+}
+
+impl Observation {
+    /// Whether this observation is a censored bound rather than a measurement.
+    pub fn is_censored(&self) -> bool {
+        self.kind == ObservationKind::Censored
+    }
 }
 
 /// An append-only observation history with the sliding-window view `Ω(t, N)`.
@@ -63,13 +140,38 @@ impl History {
         History::default()
     }
 
-    /// Record one observation.
+    /// Record one measured observation.
     pub fn push(&mut self, point: Vec<f64>, data_size: f64, elapsed_ms: f64) {
         self.all.push(Observation {
             point,
             data_size,
             elapsed_ms,
+            kind: ObservationKind::Measured,
         });
+    }
+
+    /// Record one observation from an [`Outcome`], preserving its kind.
+    pub fn push_outcome(&mut self, point: Vec<f64>, outcome: &Outcome) {
+        self.all.push(Observation {
+            point,
+            data_size: outcome.data_size,
+            elapsed_ms: outcome.elapsed_ms,
+            kind: outcome.kind,
+        });
+    }
+
+    /// Number of censored observations.
+    pub fn censored_count(&self) -> usize {
+        self.all.iter().filter(|o| o.is_censored()).count()
+    }
+
+    /// Consecutive censored/failed observations at the end of the history.
+    pub fn trailing_censored(&self) -> usize {
+        self.all
+            .iter()
+            .rev()
+            .take_while(|o| o.is_censored())
+            .count()
     }
 
     /// Number of observations.
@@ -89,9 +191,11 @@ impl History {
     }
 
     /// The observation with the smallest raw elapsed time (FIND_BEST v1).
+    /// Censored bounds are penalty costs, not achieved times — they never win.
     pub fn best_raw(&self) -> Option<&Observation> {
         self.all
             .iter()
+            .filter(|o| !o.is_censored())
             .min_by(|a, b| a.elapsed_ms.total_cmp(&b.elapsed_ms))
     }
 }

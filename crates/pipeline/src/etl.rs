@@ -46,13 +46,43 @@ impl TrainingRow {
     }
 }
 
-/// Extract training rows from an event stream. Joins `QueryStart`/`QueryEnd` pairs
-/// per `(app_id, signature)` in order; a start without a matching end is dropped.
-pub fn extract_rows(events: &[SparkEvent]) -> Vec<TrainingRow> {
+/// A query start that never saw its `QueryEnd` — the event-level signature of a
+/// failed (or telemetry-censored) run. The backend turns these into censored
+/// observations and degraded-mode bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedRun {
+    /// Application the run belonged to.
+    pub app_id: String,
+    /// Query signature of the run.
+    pub signature: u64,
+    /// Client-computed workload embedding at submission.
+    pub embedding: Vec<f64>,
+    /// The configuration the failed run used.
+    pub conf: SparkConf,
+}
+
+/// The full output of one ETL pass over an event document: completed training
+/// rows, failed runs (unmatched starts), and the number of quarantined lines.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EtlBatch {
+    /// Completed `(compile-time, run-time)` training pairs.
+    pub rows: Vec<TrainingRow>,
+    /// Starts whose end never arrived, oldest first.
+    pub failed: Vec<FailedRun>,
+    /// Corrupt/truncated JSON lines quarantined during parsing (0 when the batch
+    /// was built from already-parsed events).
+    pub quarantined_lines: usize,
+}
+
+/// Extract the full ETL batch from an event stream. Joins `QueryStart`/`QueryEnd`
+/// pairs per `(app_id, signature)` in order; a start without a matching end is
+/// reported as a [`FailedRun`] rather than silently dropped.
+pub fn extract_batch(events: &[SparkEvent]) -> EtlBatch {
     // Pending starts per (app, signature), FIFO to pair repeated executions.
-    use std::collections::HashMap;
-    type PendingStarts = HashMap<(String, u64), Vec<(SparkConf, Vec<f64>)>>;
-    let mut pending: PendingStarts = HashMap::new();
+    // BTreeMap keeps leftover-start (= failed run) ordering deterministic.
+    use std::collections::BTreeMap;
+    type PendingStarts = BTreeMap<(String, u64), Vec<(SparkConf, Vec<f64>)>>;
+    let mut pending: PendingStarts = BTreeMap::new();
     let mut rows = Vec::new();
     for e in events {
         match e {
@@ -89,12 +119,42 @@ pub fn extract_rows(events: &[SparkEvent]) -> Vec<TrainingRow> {
             _ => {}
         }
     }
-    rows
+    let failed = pending
+        .into_iter()
+        .flat_map(|((app_id, signature), starts)| {
+            starts.into_iter().map(move |(conf, embedding)| FailedRun {
+                app_id: app_id.clone(),
+                signature,
+                embedding,
+                conf,
+            })
+        })
+        .collect();
+    EtlBatch {
+        rows,
+        failed,
+        quarantined_lines: 0,
+    }
+}
+
+/// Extract training rows from an event stream (completed pairs only).
+pub fn extract_rows(events: &[SparkEvent]) -> Vec<TrainingRow> {
+    extract_batch(events).rows
+}
+
+/// Parse a JSON-lines event document — quarantining individual corrupt or
+/// truncated lines instead of discarding the whole file — and extract the full
+/// batch in one step.
+pub fn extract_batch_from_jsonl(doc: &str) -> EtlBatch {
+    let (events, quarantined) = sparksim::event::from_jsonl_lossy(doc);
+    let mut batch = extract_batch(&events);
+    batch.quarantined_lines = quarantined;
+    batch
 }
 
 /// Parse a JSON-lines event document and extract rows in one step.
 pub fn extract_rows_from_jsonl(doc: &str) -> Vec<TrainingRow> {
-    extract_rows(&sparksim::event::from_jsonl(doc))
+    extract_batch_from_jsonl(doc).rows
 }
 
 #[cfg(test)]
@@ -149,6 +209,35 @@ mod tests {
     fn unmatched_start_is_dropped() {
         let rows = extract_rows(&[start("a", 1, 128.0)]);
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn unmatched_start_surfaces_as_failed_run() {
+        let batch = extract_batch(&[
+            start("a", 1, 128.0),
+            end("a", 1, 500.0, 1e6),
+            start("a", 2, 64.0), // crashed: no end
+        ]);
+        assert_eq!(batch.rows.len(), 1);
+        assert_eq!(batch.failed.len(), 1);
+        assert_eq!(batch.failed[0].signature, 2);
+        assert_eq!(batch.failed[0].app_id, "a");
+        assert_eq!(batch.failed[0].conf.shuffle_partitions, 64.0);
+        assert_eq!(batch.failed[0].embedding, vec![1.0, 2.0]);
+        assert_eq!(batch.quarantined_lines, 0);
+    }
+
+    #[test]
+    fn quarantined_lines_are_counted_not_fatal() {
+        let doc = format!(
+            "{}\n{{\"truncated\": \n{}\nnot json at all\n",
+            start("a", 1, 64.0).to_json_line(),
+            end("a", 1, 99.0, 5.0).to_json_line()
+        );
+        let batch = extract_batch_from_jsonl(&doc);
+        assert_eq!(batch.rows.len(), 1, "good lines still pair up");
+        assert_eq!(batch.quarantined_lines, 2);
+        assert!(batch.failed.is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod storage;
 pub mod trainer;
 
 pub use etl::TrainingRow;
-pub use service::{AutotuneBackend, AutotuneClient, AutotuneService};
+pub use service::{AutotuneBackend, AutotuneClient, AutotuneService, SuggestFallback};
 pub use storage::{AccessToken, Storage};
 
 /// Errors surfaced by the pipeline.
@@ -39,6 +39,12 @@ pub enum PipelineError {
     },
     /// Not enough training rows to build a model.
     InsufficientData,
+    /// The storage backend transiently refused the operation (injected fault or
+    /// simulated outage); the caller may retry with backoff.
+    Unavailable {
+        /// The path that was touched.
+        path: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -47,6 +53,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::AccessDenied { path } => write!(f, "access denied: {path}"),
             PipelineError::NotFound { path } => write!(f, "not found: {path}"),
             PipelineError::InsufficientData => write!(f, "insufficient training data"),
+            PipelineError::Unavailable { path } => write!(f, "transiently unavailable: {path}"),
         }
     }
 }

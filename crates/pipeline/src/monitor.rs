@@ -78,6 +78,8 @@ pub(crate) struct TrendReport {
 pub struct QueryMonitor {
     /// Chronological records.
     pub records: Vec<MonitorRecord>,
+    /// Runs that started but never completed (failed or censored).
+    pub failed_runs: usize,
     pending_conf: Option<SparkConf>,
 }
 
@@ -109,6 +111,11 @@ impl QueryMonitor {
             }
             _ => {}
         }
+    }
+
+    /// Record one failed run (a start whose end never arrived).
+    pub fn record_failure(&mut self) {
+        self.failed_runs += 1;
     }
 
     /// Knob changes between consecutive iterations:
@@ -196,8 +203,13 @@ impl QueryMonitor {
     pub fn render(&self, signature: u64) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "query {signature:016x}: {} iterations\n",
-            self.records.len()
+            "query {signature:016x}: {} iterations{}\n",
+            self.records.len(),
+            if self.failed_runs > 0 {
+                format!(", {} failed runs", self.failed_runs)
+            } else {
+                String::new()
+            }
         ));
         let times: Vec<f64> = self.records.iter().map(|r| r.elapsed_ms).collect();
         out.push_str(&format!("  elapsed  {}\n", sparkline(&times)));
@@ -234,6 +246,7 @@ impl QueryMonitor {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dashboard {
     monitors: HashMap<u64, QueryMonitor>,
+    quarantined_lines: usize,
 }
 
 impl Dashboard {
@@ -256,6 +269,26 @@ impl Dashboard {
             };
             self.monitors.entry(sig).or_default().ingest(e);
         }
+    }
+
+    /// Count corrupt/truncated event-log lines quarantined during ingest.
+    pub fn record_quarantined(&mut self, lines: usize) {
+        self.quarantined_lines += lines;
+    }
+
+    /// Record one failed run against a signature's monitor.
+    pub fn record_failure(&mut self, signature: u64) {
+        self.monitors.entry(signature).or_default().record_failure();
+    }
+
+    /// Total corrupt/truncated event-log lines quarantined so far.
+    pub fn quarantined_lines(&self) -> usize {
+        self.quarantined_lines
+    }
+
+    /// Total failed runs across all signatures.
+    pub fn failed_runs(&self) -> usize {
+        self.monitors.values().map(|m| m.failed_runs).sum()
     }
 
     /// The monitor for a signature, if any.
@@ -287,6 +320,12 @@ impl Dashboard {
         let mut out = String::new();
         for sig in self.signatures() {
             out.push_str(&self.monitors[&sig].render(sig));
+        }
+        if self.quarantined_lines > 0 {
+            out.push_str(&format!(
+                "telemetry: {} quarantined event-log lines\n",
+                self.quarantined_lines
+            ));
         }
         out
     }
@@ -515,6 +554,22 @@ mod tests {
         let text = d.render();
         assert!(text.contains("0000000000000001"));
         assert!(text.contains("regressing"));
+    }
+
+    #[test]
+    fn quarantine_and_failure_counters_render() {
+        let mut d = Dashboard::new();
+        assert_eq!(d.quarantined_lines(), 0);
+        assert_eq!(d.failed_runs(), 0);
+        d.record_quarantined(3);
+        d.record_quarantined(2);
+        d.record_failure(9);
+        d.record_failure(9);
+        assert_eq!(d.quarantined_lines(), 5);
+        assert_eq!(d.failed_runs(), 2);
+        let text = d.render();
+        assert!(text.contains("5 quarantined event-log lines"), "{text}");
+        assert!(text.contains("2 failed runs"), "{text}");
     }
 
     #[test]

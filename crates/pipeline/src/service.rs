@@ -9,8 +9,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 
 use optimizers::space::ConfigSpace;
 use optimizers::tuner::{Outcome, Tuner, TuningContext};
@@ -19,9 +20,27 @@ use rockhopper::baseline::BaselineModel;
 use rockhopper::RockhopperTuner;
 use sparksim::event::SparkEvent;
 
-use crate::etl::extract_rows;
+use crate::etl::{extract_batch, EtlBatch};
 use crate::monitor::Dashboard;
 use crate::storage::{paths, Storage};
+use crate::PipelineError;
+
+/// Penalty cost recorded for a failed run when the signature has no measured
+/// history yet to scale from (10 minutes).
+const DEFAULT_FAILURE_PENALTY_MS: f64 = 600_000.0;
+
+/// Maximum attempts when persisting an event file through a flaky store.
+const INGEST_MAX_ATTEMPTS: u32 = 4;
+
+/// Per-signature failure bookkeeping behind degraded mode: after
+/// `degrade_after` consecutive failed runs the backend stops tuning the
+/// signature and serves the default configuration, probing the tuner again
+/// every `probe_period`-th suggestion until a run completes.
+#[derive(Debug, Clone, Copy, Default)]
+struct DegradedState {
+    degraded: bool,
+    suggests_while_degraded: u32,
+}
 
 /// The backend: storage, per-(user, signature) tuners, baseline model, app cache.
 pub struct AutotuneBackend {
@@ -38,6 +57,14 @@ pub struct AutotuneBackend {
     dashboard: Dashboard,
     /// Guardrail policy applied to newly created tuners.
     guardrail_policy: Option<rockhopper::Guardrail>,
+    /// Per-(user, signature) failure streaks and degraded-mode flags.
+    degraded: HashMap<(String, u64), DegradedState>,
+    /// Consecutive failed runs that flip a signature into degraded mode.
+    degrade_after: u32,
+    /// In degraded mode, every `probe_period`-th suggestion probes the tuner.
+    probe_period: u32,
+    /// Event-file writes that had to be retried against a flaky store.
+    ingest_retries: u64,
     seed: u64,
 }
 
@@ -54,6 +81,10 @@ impl AutotuneBackend {
             app_optimizer: AppLevelOptimizer::default(),
             dashboard: Dashboard::new(),
             guardrail_policy: Some(rockhopper::Guardrail::default()),
+            degraded: HashMap::new(),
+            degrade_after: 3,
+            probe_period: 4,
+            ingest_retries: 0,
             seed,
         }
     }
@@ -66,10 +97,32 @@ impl AutotuneBackend {
         self
     }
 
+    /// Override the degraded-mode policy: `degrade_after` consecutive failed
+    /// runs disable tuning for a signature; every `probe_period`-th suggestion
+    /// while degraded probes the tuner again.
+    pub fn with_degraded_policy(mut self, degrade_after: u32, probe_period: u32) -> Self {
+        self.degrade_after = degrade_after.max(1);
+        self.probe_period = probe_period.max(1);
+        self
+    }
+
     /// Suggest the query-level configuration for a submission (Figure 7 step: the
-    /// Autotune Config Inference before physical planning).
+    /// Autotune Config Inference before physical planning). Signatures in
+    /// degraded mode get the default configuration, except for the periodic
+    /// probe that checks whether tuning can be re-enabled.
     pub fn suggest(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
         self.embeddings.insert(signature, ctx.embedding.clone());
+        let probe_period = self.probe_period;
+        let state = self
+            .degraded
+            .entry((user.to_string(), signature))
+            .or_default();
+        if state.degraded {
+            state.suggests_while_degraded += 1;
+            if state.suggests_while_degraded % probe_period != 0 {
+                return self.space.default_point();
+            }
+        }
         let tuner = self.tuner_for(user, signature);
         tuner.suggest(ctx)
     }
@@ -89,28 +142,114 @@ impl AutotuneBackend {
         })
     }
 
-    /// Ingest an application's event file: persist it, ETL it, and feed every
-    /// completed query back into its tuner (the Model Updater job).
+    /// Ingest an application's event file: persist it (with retry against a
+    /// flaky store), ETL it, and feed every completed query back into its tuner
+    /// (the Model Updater job). Failed runs — starts whose end never arrived —
+    /// become censored high-cost observations and advance degraded-mode streaks.
     pub fn ingest(&mut self, user: &str, app_id: &str, events: &[SparkEvent]) {
-        let token = self.storage.issue_token("events/", true, u64::MAX);
-        let _ = self.storage.put(
-            &token,
-            &paths::events(app_id),
-            sparksim::event::to_jsonl(events).into_bytes(),
-        );
+        self.persist_events(app_id, sparksim::event::to_jsonl(events).into_bytes());
         self.storage.tick();
         self.dashboard.ingest(events);
-        for row in extract_rows(events) {
-            let space = self.space.clone();
+        self.ingest_batch(user, extract_batch(events));
+    }
+
+    /// Ingest a raw JSON-lines event document as shipped over the wire:
+    /// corrupt/truncated lines are quarantined (and counted on the dashboard)
+    /// instead of poisoning the whole file.
+    pub fn ingest_jsonl(&mut self, user: &str, app_id: &str, doc: &str) {
+        self.persist_events(app_id, doc.as_bytes().to_vec());
+        self.storage.tick();
+        let (events, quarantined) = sparksim::event::from_jsonl_lossy(doc);
+        self.dashboard.ingest(&events);
+        let mut batch = extract_batch(&events);
+        batch.quarantined_lines = quarantined;
+        self.ingest_batch(user, batch);
+    }
+
+    /// Persist an event file, retrying transient storage outages with bounded
+    /// backoff in *logical* time (each retry burns backoff ticks, doubling up to
+    /// a cap — deterministic, no wall clock). Gives up after
+    /// [`INGEST_MAX_ATTEMPTS`]; tuner updates proceed regardless, since the
+    /// in-memory observations are authoritative for this process.
+    fn persist_events(&mut self, app_id: &str, bytes: Vec<u8>) -> bool {
+        let token = self.storage.issue_token("events/", true, u64::MAX);
+        let path = paths::events(app_id);
+        let mut backoff: u64 = 1;
+        for attempt in 0..INGEST_MAX_ATTEMPTS {
+            match self.storage.put(&token, &path, bytes.clone()) {
+                Ok(()) => return true,
+                Err(PipelineError::Unavailable { .. }) if attempt + 1 < INGEST_MAX_ATTEMPTS => {
+                    self.ingest_retries += 1;
+                    for _ in 0..backoff {
+                        self.storage.tick();
+                    }
+                    backoff = (backoff * 2).min(8);
+                }
+                Err(PipelineError::Unavailable { .. })
+                | Err(PipelineError::AccessDenied { .. })
+                | Err(PipelineError::NotFound { .. })
+                | Err(PipelineError::InsufficientData) => return false,
+            }
+        }
+        false
+    }
+
+    /// Feed one ETL batch into the tuners and the failure bookkeeping.
+    fn ingest_batch(&mut self, user: &str, batch: EtlBatch) {
+        self.dashboard.record_quarantined(batch.quarantined_lines);
+        let space = self.space.clone();
+        let default_point = space.default_point();
+        for row in &batch.rows {
             let point = row.point_in(&space);
             let tuner = self.tuner_for(user, row.signature);
-            tuner.observe(
-                &point,
-                &Outcome {
-                    elapsed_ms: row.elapsed_ms,
-                    data_size: row.data_size,
-                },
-            );
+            tuner.observe(&point, &Outcome::measured(row.elapsed_ms, row.data_size));
+            let state = self
+                .degraded
+                .entry((user.to_string(), row.signature))
+                .or_default();
+            // A completed run on a *tuned* configuration (a probe, or normal
+            // operation) proves tuning viable again; a completed run on the
+            // default config only proves the default works and stays degraded.
+            let is_probe = point
+                .iter()
+                .zip(&default_point)
+                .any(|(a, b)| (a - b).abs() > 1e-9);
+            if state.degraded && is_probe {
+                state.degraded = false;
+                state.suggests_while_degraded = 0;
+            }
+        }
+        for fail in &batch.failed {
+            self.dashboard.record_failure(fail.signature);
+            let point: Vec<f64> = space.dims.iter().map(|d| fail.conf.get(d.knob)).collect();
+            let tuner = self.tuner_for(user, fail.signature);
+            // Penalty: well above anything measured for this signature, so the
+            // centroid update is pushed away without one constant dominating.
+            let worst_measured = tuner
+                .history
+                .all
+                .iter()
+                .filter(|o| !o.is_censored())
+                .map(|o| o.elapsed_ms)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let penalty = if worst_measured.is_finite() {
+                2.0 * worst_measured
+            } else {
+                DEFAULT_FAILURE_PENALTY_MS
+            };
+            let data_size = tuner.history.all.last().map(|o| o.data_size).unwrap_or(1.0);
+            tuner.observe(&point, &Outcome::censored(penalty, data_size));
+            // The failure streak lives in the tuner's own history: a measured
+            // observation resets it, a censored one extends it.
+            let streak = tuner.history.trailing_censored();
+            let degrade_after = self.degrade_after;
+            let state = self
+                .degraded
+                .entry((user.to_string(), fail.signature))
+                .or_default();
+            if streak >= degrade_after as usize {
+                state.degraded = true;
+            }
         }
     }
 
@@ -120,6 +259,28 @@ impl AutotuneBackend {
             .get(&(user.to_string(), signature))
             .map(RockhopperTuner::is_disabled)
             .unwrap_or(false)
+    }
+
+    /// Whether repeated failures have put a signature into degraded mode
+    /// (serving the default configuration, probing for re-enable).
+    pub fn is_degraded(&self, user: &str, signature: u64) -> bool {
+        self.degraded
+            .get(&(user.to_string(), signature))
+            .map(|s| s.degraded)
+            .unwrap_or(false)
+    }
+
+    /// Event-file writes that had to be retried against a flaky store.
+    pub fn ingest_retry_count(&self) -> u64 {
+        self.ingest_retries
+    }
+
+    /// Observations (measured and censored) recorded for a signature's tuner.
+    pub fn observation_count(&self, user: &str, signature: u64) -> usize {
+        self.tuners
+            .get(&(user.to_string(), signature))
+            .map(|t| t.history.len())
+            .unwrap_or(0)
     }
 
     /// Recompute the `app_cache` entry for an artifact after its run completes
@@ -401,6 +562,24 @@ impl AutotuneService {
     }
 }
 
+/// Why a suggestion fell back instead of coming from the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuggestFallback {
+    /// The backend thread is gone (channel disconnected).
+    BackendDown,
+    /// The backend did not answer within the timeout.
+    TimedOut,
+}
+
+impl std::fmt::Display for SuggestFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuggestFallback::BackendDown => write!(f, "backend down"),
+            SuggestFallback::TimedOut => write!(f, "backend timed out"),
+        }
+    }
+}
+
 /// Cluster-side handle: the model loader + query listener pair.
 #[derive(Clone)]
 pub struct AutotuneClient {
@@ -409,19 +588,52 @@ pub struct AutotuneClient {
 
 impl AutotuneClient {
     /// Request a query-level configuration (blocks for the reply, as config
-    /// inference sits on the submission critical path). `None` if the backend
-    /// thread has shut down — callers should serve the default configuration.
-    pub fn suggest(&self, user: &str, signature: u64, ctx: &TuningContext) -> Option<Vec<f64>> {
+    /// inference sits on the submission critical path — but never longer than
+    /// `timeout`). On error — a dead or wedged backend — callers should serve
+    /// the default configuration; [`AutotuneClient::suggest_or_default`] does
+    /// exactly that.
+    pub fn suggest(
+        &self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, SuggestFallback> {
         let (reply_tx, reply_rx) = unbounded();
-        self.tx
+        if self
+            .tx
             .send(Request::Suggest {
                 user: user.to_string(),
                 signature,
                 ctx: ctx.clone(),
                 reply: reply_tx,
             })
-            .ok()?;
-        reply_rx.recv().ok()
+            .is_err()
+        {
+            return Err(SuggestFallback::BackendDown);
+        }
+        match reply_rx.recv_timeout(timeout) {
+            Ok(point) => Ok(point),
+            Err(RecvTimeoutError::Disconnected) => Err(SuggestFallback::BackendDown),
+            Err(RecvTimeoutError::Timeout) => Err(SuggestFallback::TimedOut),
+        }
+    }
+
+    /// As [`AutotuneClient::suggest`], degrading to the space's default
+    /// configuration when the backend is dead or wedged. Returns the point to
+    /// run plus the fallback reason, if any.
+    pub fn suggest_or_default(
+        &self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        timeout: Duration,
+        space: &ConfigSpace,
+    ) -> (Vec<f64>, Option<SuggestFallback>) {
+        match self.suggest(user, signature, ctx, timeout) {
+            Ok(point) => (point, None),
+            Err(why) => (space.default_point(), Some(why)),
+        }
     }
 
     /// Ship an application's event file to the backend (fire-and-forget, like the
@@ -666,11 +878,225 @@ mod tests {
         let (service, client) = AutotuneService::spawn(b);
         let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
         let ctx = env.context();
-        let point = client.suggest("alice", 7, &ctx).expect("backend alive");
+        let point = client
+            .suggest("alice", 7, &ctx, Duration::from_secs(10))
+            .expect("backend alive");
         assert_eq!(point.len(), 3);
         assert!(client.app_conf("none").is_none());
         let backend = service.shutdown().expect("backend exits cleanly");
         assert_eq!(backend.tuner_count(), 1);
+    }
+
+    fn start_event(app: &str, sig: u64, conf: SparkConf) -> SparkEvent {
+        SparkEvent::QueryStart {
+            app_id: app.into(),
+            query_signature: sig,
+            conf,
+            plan_summary: vec![],
+            embedding: vec![0.5],
+        }
+    }
+
+    use sparksim::config::SparkConf;
+
+    #[test]
+    fn failed_runs_become_censored_observations() {
+        let mut b = backend();
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        drive_query(&mut b, &mut env, "alice", 3);
+        let sig = env.signature();
+        // A run that started but never ended: censored, counted, not ignored.
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 32.0;
+        b.ingest("alice", "app-crash", &[start_event("app-crash", sig, conf)]);
+        let t = b.tuners.get(&("alice".to_string(), sig)).unwrap();
+        assert_eq!(t.history.len(), 4);
+        assert_eq!(t.history.censored_count(), 1);
+        let censored = t.history.all.last().unwrap();
+        assert!(censored.is_censored());
+        // Penalty scales from the worst measured time, never poisons best_raw.
+        let worst = t
+            .history
+            .all
+            .iter()
+            .filter(|o| !o.is_censored())
+            .map(|o| o.elapsed_ms)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((censored.elapsed_ms - 2.0 * worst).abs() < 1e-9);
+        assert!(!b.dashboard().monitor(sig).is_none());
+        assert_eq!(b.dashboard().failed_runs(), 1);
+    }
+
+    #[test]
+    fn repeated_failures_trigger_degraded_mode_and_probe_reenables() {
+        let mut b = backend().with_degraded_policy(2, 3);
+        let sig = 77u64;
+        let ctx = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1).context();
+        let space = ConfigSpace::query_level();
+        // Two straight failures flip the signature into degraded mode.
+        for i in 0..2 {
+            let mut conf = SparkConf::default();
+            conf.shuffle_partitions = 16.0;
+            b.ingest("u", &format!("app-{i}"), &[start_event("x", sig, conf)]);
+        }
+        assert!(b.is_degraded("u", sig));
+        // Degraded: suggestions 1 and 2 serve the default; the 3rd probes.
+        assert_eq!(b.suggest("u", sig, &ctx), space.default_point());
+        assert_eq!(b.suggest("u", sig, &ctx), space.default_point());
+        let probe = b.suggest("u", sig, &ctx);
+        // A completed run on a tuned (non-default) config re-enables tuning.
+        let mut tuned = SparkConf::default();
+        tuned.shuffle_partitions = 555.0;
+        let events = vec![
+            start_event("app-ok", sig, tuned),
+            SparkEvent::QueryEnd {
+                app_id: "app-ok".into(),
+                query_signature: sig,
+                metrics: sparksim::metrics::QueryMetrics {
+                    elapsed_ms: 120.0,
+                    true_ms: 120.0,
+                    num_stages: 1,
+                    num_tasks: 1,
+                    input_bytes: 100.0,
+                    input_rows: 1.0,
+                    root_rows: 1.0,
+                    shuffle_bytes: 0.0,
+                    spilled_bytes: 0.0,
+                    broadcast_joins: 0,
+                    sort_merge_joins: 0,
+                },
+            },
+        ];
+        b.ingest("u", "app-ok", &events);
+        assert!(!b.is_degraded("u", sig));
+        // Probe length sanity: the probe is a real point in the space.
+        assert_eq!(probe.len(), space.dims.len());
+    }
+
+    #[test]
+    fn default_config_success_does_not_reenable_tuning() {
+        let mut b = backend().with_degraded_policy(1, 100);
+        let sig = 5u64;
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 16.0;
+        b.ingest("u", "app-0", &[start_event("x", sig, conf)]);
+        assert!(b.is_degraded("u", sig));
+        // A success on the *default* config proves nothing about tuning.
+        let events = vec![
+            start_event("app-1", sig, SparkConf::default()),
+            SparkEvent::QueryEnd {
+                app_id: "app-1".into(),
+                query_signature: sig,
+                metrics: sparksim::metrics::QueryMetrics {
+                    elapsed_ms: 100.0,
+                    true_ms: 100.0,
+                    num_stages: 1,
+                    num_tasks: 1,
+                    input_bytes: 100.0,
+                    input_rows: 1.0,
+                    root_rows: 1.0,
+                    shuffle_bytes: 0.0,
+                    spilled_bytes: 0.0,
+                    broadcast_joins: 0,
+                    sort_merge_joins: 0,
+                },
+            },
+        ];
+        b.ingest("u", "app-1", &events);
+        assert!(
+            b.is_degraded("u", sig),
+            "default success must not re-enable"
+        );
+    }
+
+    #[test]
+    fn ingest_retries_transient_storage_outages() {
+        let storage = Arc::new(Storage::new());
+        let mut b = AutotuneBackend::new(Arc::clone(&storage), None, 3);
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 3);
+        storage.inject_put_failures(2); // first two attempts bounce
+        drive_query(&mut b, &mut env, "alice", 1);
+        assert_eq!(b.ingest_retry_count(), 2);
+        let token = storage.issue_token("events/", false, u64::MAX);
+        assert_eq!(
+            storage.list(&token, "events/").unwrap().len(),
+            1,
+            "event file landed despite the outage"
+        );
+    }
+
+    #[test]
+    fn ingest_survives_a_full_outage() {
+        let storage = Arc::new(Storage::new());
+        let mut b = AutotuneBackend::new(Arc::clone(&storage), None, 3);
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 3);
+        storage.inject_put_failures(1_000);
+        drive_query(&mut b, &mut env, "alice", 1);
+        // Persistence gave up, but the tuner still learned from the run.
+        let t = b
+            .tuners
+            .get(&("alice".to_string(), env.signature()))
+            .unwrap();
+        assert_eq!(t.history.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_ingest_quarantines_corrupt_lines() {
+        let mut b = backend();
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        let sig = env.signature();
+        let ctx = env.context();
+        let point = b.suggest("alice", sig, &ctx);
+        let conf = env.space().to_conf(&point);
+        let plan = env.plan.clone().scaled(1.0);
+        let run = env.sim.execute(&plan, &conf, 0);
+        let events = env.sim.events_for_run(
+            "app-0",
+            "art",
+            sig,
+            &plan,
+            &conf,
+            ctx.embedding.clone(),
+            &run,
+        );
+        let mut doc = sparksim::event::to_jsonl(&events);
+        doc.push_str("{\"mangled\": tru\n");
+        b.ingest_jsonl("alice", "app-0", &doc);
+        assert_eq!(b.dashboard().quarantined_lines(), 1);
+        let t = b.tuners.get(&("alice".to_string(), sig)).unwrap();
+        assert_eq!(t.history.len(), 1, "good lines still train the tuner");
+    }
+
+    #[test]
+    fn client_times_out_against_a_wedged_backend() {
+        // A channel nobody services: the send succeeds, the reply never comes.
+        let (tx, _rx) = unbounded::<Request>();
+        let client = AutotuneClient { tx };
+        let ctx = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1).context();
+        assert_eq!(
+            client.suggest("u", 1, &ctx, Duration::from_millis(20)),
+            Err(SuggestFallback::TimedOut)
+        );
+        let space = ConfigSpace::query_level();
+        let (point, why) =
+            client.suggest_or_default("u", 1, &ctx, Duration::from_millis(20), &space);
+        assert_eq!(point, space.default_point());
+        assert_eq!(why, Some(SuggestFallback::TimedOut));
+        assert_eq!(
+            format!("{}", SuggestFallback::TimedOut),
+            "backend timed out"
+        );
+    }
+
+    #[test]
+    fn client_reports_a_dead_backend() {
+        let (service, client) = AutotuneService::spawn(backend());
+        let _ = service.shutdown();
+        let ctx = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1).context();
+        let err = client
+            .suggest("u", 1, &ctx, Duration::from_millis(100))
+            .unwrap_err();
+        assert_eq!(err, SuggestFallback::BackendDown);
     }
 
     #[test]
@@ -685,7 +1111,7 @@ mod tests {
                 s.spawn(move || {
                     for sig in 0..5u64 {
                         let p = c
-                            .suggest(&format!("user-{u}"), sig, &ctx)
+                            .suggest(&format!("user-{u}"), sig, &ctx, Duration::from_secs(10))
                             .expect("backend alive");
                         assert_eq!(p.len(), 3);
                     }

@@ -51,6 +51,9 @@ pub struct Storage {
 struct StorageInner {
     objects: BTreeMap<String, Object>,
     clock: u64,
+    /// Writes left to reject with [`PipelineError::Unavailable`] — the
+    /// deterministic outage-injection hook used by fault experiments.
+    failing_puts: u64,
 }
 
 /// Conventional path layout (one place to keep the folder scheme consistent).
@@ -107,6 +110,13 @@ impl Storage {
         }
     }
 
+    /// Make the next `n` writes fail with [`PipelineError::Unavailable`] — a
+    /// deterministic stand-in for a storage outage. Each rejected write consumes
+    /// one unit, so recovery is exact and reproducible.
+    pub fn inject_put_failures(&self, n: u64) {
+        self.inner.write().failing_puts = n;
+    }
+
     /// Write an object through a token.
     pub fn put(
         &self,
@@ -117,6 +127,12 @@ impl Storage {
         let mut g = self.inner.write();
         if !token.permits(path, true, g.clock) {
             return Err(PipelineError::AccessDenied {
+                path: path.to_string(),
+            });
+        }
+        if g.failing_puts > 0 {
+            g.failing_puts -= 1;
+            return Err(PipelineError::Unavailable {
                 path: path.to_string(),
             });
         }
@@ -332,6 +348,34 @@ mod tests {
         ));
         assert!(s.get(&t, "events/new/1").is_ok());
         assert!(s.get(&t, "models/old").is_ok(), "other prefixes untouched");
+    }
+
+    #[test]
+    fn injected_put_failures_are_exactly_counted() {
+        let s = Storage::new();
+        let t = root_token(&s);
+        s.inject_put_failures(2);
+        assert!(matches!(
+            s.put(&t, "events/x", vec![1]),
+            Err(PipelineError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            s.put(&t, "events/x", vec![1]),
+            Err(PipelineError::Unavailable { .. })
+        ));
+        // Third attempt succeeds: the outage is consumed write-by-write.
+        assert!(s.put(&t, "events/x", vec![1]).is_ok());
+        // A denied write does not consume outage units.
+        s.inject_put_failures(1);
+        let scoped = s.issue_token("models/", true, 100);
+        assert!(matches!(
+            s.put(&scoped, "events/y", vec![1]),
+            Err(PipelineError::AccessDenied { .. })
+        ));
+        assert!(matches!(
+            s.put(&t, "events/y", vec![1]),
+            Err(PipelineError::Unavailable { .. })
+        ));
     }
 
     #[test]

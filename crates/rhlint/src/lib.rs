@@ -28,10 +28,11 @@
 //!   names, `get`/`set` arms, serde'd `SparkConf` fields) and
 //!   `optimizers/src/space.rs` (search dimensions), checked on the parsed AST.
 //! * **semantic hygiene** — ignored `Result`/`Option` returns (RH014), lossy
-//!   `as` casts (RH015), and `pub` items no other file references (RH016),
-//!   all driven by the symbol table and a local type environment.
+//!   `as` casts (RH015), `pub` items no other file references (RH016), and
+//!   `RunOutcome` matches that hide `Failed`/`Censored` behind a wildcard
+//!   (RH017), all driven by the symbol table and a local type environment.
 //!
-//! Every rule carries a stable `RH001`–`RH016` code (`rhlint rules` lists
+//! Every rule carries a stable `RH001`–`RH017` code (`rhlint rules` lists
 //! them); `rhlint check --format json` emits the findings as a byte-stable
 //! JSON array for tooling. Diagnostics are `file:line`-addressed. A finding
 //! can be suppressed inline with a justification, by rule id or RH code:
@@ -101,10 +102,13 @@ pub enum Rule {
     LossyCast,
     /// A `pub` item never referenced outside its defining file (semantic).
     DeadPub,
+    /// A `match` on [`RunOutcome`] in production code that does not handle
+    /// `Failed` and `Censored` explicitly, or hides them behind `_`.
+    OutcomeMatch,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -121,6 +125,7 @@ impl Rule {
         Rule::IgnoredResult,
         Rule::LossyCast,
         Rule::DeadPub,
+        Rule::OutcomeMatch,
     ];
 
     /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
@@ -142,6 +147,7 @@ impl Rule {
             Rule::IgnoredResult => "ignored-result",
             Rule::LossyCast => "lossy-cast",
             Rule::DeadPub => "dead-pub",
+            Rule::OutcomeMatch => "outcome-match",
         }
     }
 
@@ -166,6 +172,7 @@ impl Rule {
             Rule::IgnoredResult => "RH014",
             Rule::LossyCast => "RH015",
             Rule::DeadPub => "RH016",
+            Rule::OutcomeMatch => "RH017",
         }
     }
 
@@ -188,6 +195,7 @@ impl Rule {
             Rule::IgnoredResult => "statement discards a workspace function's `Result`/`Option` return value",
             Rule::LossyCast => "`as` cast can silently truncate, wrap, or lose precision; guard or convert explicitly",
             Rule::DeadPub => "`pub` item is never referenced outside its defining file; remove or demote visibility",
+            Rule::OutcomeMatch => "`match` on `RunOutcome` must handle `Failed` and `Censored` explicitly — a wildcard arm silently swallows new failure modes",
         }
     }
 
@@ -201,7 +209,9 @@ impl Rule {
             Rule::PartialCmpUnwrap | Rule::FloatSort | Rule::NanLiteral => "float-safety",
             Rule::ConfigSpace => "config-space",
             Rule::BadSuppression => "suppression",
-            Rule::IgnoredResult | Rule::LossyCast | Rule::DeadPub => "semantic",
+            Rule::IgnoredResult | Rule::LossyCast | Rule::DeadPub | Rule::OutcomeMatch => {
+                "semantic"
+            }
         }
     }
 

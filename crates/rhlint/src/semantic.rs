@@ -87,6 +87,21 @@ impl Visitor for FnRules<'_> {
     }
 
     fn on_expr(&mut self, env: &TypeEnv, expr: &Expr) {
+        // RH017: a `match` over `RunOutcome` must name `Failed` and
+        // `Censored` — the failure channel is the point of the type, and a
+        // wildcard arm silently swallows whatever failure mode is added next.
+        if let Expr::Match { arms, line, .. } = expr {
+            if let Some(problem) = outcome_match_problem(arms) {
+                self.out.push(Diagnostic {
+                    file: self.ws.files()[self.fi.file].rel.clone(),
+                    line: *line as usize,
+                    rule: Rule::OutcomeMatch,
+                    message: problem,
+                });
+            }
+            return;
+        }
+
         // RH015: lossy `as` casts with a locally-known source type.
         let Expr::Cast {
             expr: operand,
@@ -108,6 +123,74 @@ impl Visitor for FnRules<'_> {
                 message: format!("cast from `{src}` to `{dst}` {loss}"),
             });
         }
+    }
+}
+
+/// RH017 helper: `Some(message)` when `arms` form a `RunOutcome` match that
+/// omits the failure variants or hides them behind a catch-all arm.
+///
+/// A match counts as a `RunOutcome` match when an arm pattern carries a
+/// `RunOutcome`-qualified path, or when unqualified arms name at least two of
+/// the three variants (a `use RunOutcome::*` match). An arm is a catch-all
+/// when it binds or wildcards the whole scrutinee without naming any variant.
+fn outcome_match_problem(arms: &[crate::parser::Arm]) -> Option<String> {
+    const VARIANTS: [&str; 3] = ["Success", "Failed", "Censored"];
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut qualified = false;
+    let mut catch_all = false;
+    for arm in arms {
+        let mut arm_variants: Vec<&str> = Vec::new();
+        for path in &arm.pat_paths {
+            if let Some(i) = path.iter().position(|s| s == "RunOutcome") {
+                qualified = true;
+                if let Some(v) = path.get(i + 1) {
+                    if let Some(&known) = VARIANTS.iter().find(|&&k| k == v) {
+                        arm_variants.push(known);
+                    }
+                }
+            } else if let [only] = path.as_slice() {
+                if let Some(&known) = VARIANTS.iter().find(|&&k| k == only) {
+                    arm_variants.push(known);
+                }
+            }
+        }
+        if arm_variants.is_empty() {
+            // `Failed { reason: _, .. }` sets the arm's wildcard flag, so a
+            // catch-all is only an arm that names no type or variant at all.
+            let names_a_type = arm
+                .pat_paths
+                .iter()
+                .flatten()
+                .any(|s| s.chars().next().map(char::is_uppercase).unwrap_or(false));
+            if !names_a_type && (arm.wildcard || !arm.pat_paths.is_empty()) {
+                catch_all = true;
+            }
+        }
+        seen.extend(arm_variants);
+    }
+    if seen.is_empty() || (!qualified && seen.len() < 2) {
+        return None;
+    }
+    if catch_all {
+        return Some(
+            "match on `RunOutcome` hides variants behind a catch-all arm; \
+             name `Failed { .. }` and `Censored` explicitly"
+                .to_string(),
+        );
+    }
+    let missing: Vec<&str> = ["Failed", "Censored"]
+        .iter()
+        .copied()
+        .filter(|v| !seen.contains(v))
+        .collect();
+    if missing.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "match on `RunOutcome` never handles `{}`; failed and censored \
+             runs must be dealt with explicitly",
+            missing.join("`/`")
+        ))
     }
 }
 

@@ -1,0 +1,26 @@
+//! Fixture fault module: one `RunOutcome` match hides the failure variants
+//! behind a wildcard, one handles them explicitly.
+
+/// What one simulated submission produced.
+pub enum RunOutcome {
+    Success(f64),
+    Failed { partial_time_ms: f64 },
+    Censored,
+}
+
+/// Handles every variant explicitly — no finding.
+pub fn observed_time(outcome: &RunOutcome) -> Option<f64> {
+    match outcome {
+        RunOutcome::Success(ms) => Some(*ms),
+        RunOutcome::Failed { partial_time_ms } => Some(*partial_time_ms),
+        RunOutcome::Censored => None,
+    }
+}
+
+/// The wildcard swallows `Failed` and `Censored` — RH017 fires here.
+pub fn completed_time(outcome: &RunOutcome) -> Option<f64> {
+    match outcome {
+        RunOutcome::Success(ms) => Some(*ms),
+        _ => None,
+    }
+}

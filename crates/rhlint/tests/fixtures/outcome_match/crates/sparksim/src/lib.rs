@@ -1,0 +1,27 @@
+//! Fixture sparksim crate: minimal but fully-consistent knob plumbing.
+
+pub mod config;
+pub mod fault;
+
+use config::{Knob, SparkConf, APP_LEVEL, QUERY_LEVEL};
+use fault::{completed_time, observed_time, RunOutcome};
+
+/// References the fault API outside its file so RH016 stays quiet and only
+/// the wildcard-match finding remains.
+fn exercise_fault() -> f64 {
+    let run = RunOutcome::Success(1.0);
+    observed_time(&run).unwrap_or(0.0) + completed_time(&run).unwrap_or(0.0)
+}
+
+/// Exercises the knob API so every public item is referenced outside its
+/// defining file (keeps the base fixture free of dead-pub findings).
+fn exercise() -> f64 {
+    let mut conf = SparkConf::default();
+    let mut total = 0.0;
+    for knob in QUERY_LEVEL.iter().chain(APP_LEVEL.iter()) {
+        let name = knob.spark_name();
+        conf.set(*knob, name.len() as f64);
+        total += conf.get(*knob);
+    }
+    total
+}

@@ -126,6 +126,18 @@ fn dead_pub_fires_on_orphaned_item() {
     assert!(d.message.contains("orphan_metric"), "{}", d.message);
 }
 
+/// Two `RunOutcome` matches: one names every variant (clean), one hides
+/// `Failed`/`Censored` behind `_`. Exactly one RH017 finding, on the bad one.
+#[test]
+fn outcome_match_fires_on_wildcard_arm_only() {
+    let diags = fixture_check("outcome_match");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::OutcomeMatch);
+    assert!(d.file.to_string_lossy().contains("fault"), "{}", d.message);
+    assert!(d.message.contains("catch-all"), "{}", d.message);
+}
+
 #[test]
 fn config_space_fires_on_missing_dimension() {
     let diags = fixture_check("config_space");

@@ -34,15 +34,40 @@ pub(crate) fn h_features(space: &ConfigSpace, point: &[f64], data_size: f64) -> 
 
 /// Fit the window model `H(c, p) → ln r` (Eq 4). Returns `None` when the window is
 /// too small or degenerate for a stable fit.
+///
+/// Censored observations participate *capped*: their penalty cost is clipped at
+/// 1.5× the worst measured time in the window, so the fit is pushed away from
+/// failing regions (Li et al., VLDB 2023) without one arbitrary penalty
+/// constant dominating the ridge solution.
 pub(crate) fn fit_window_model(space: &ConfigSpace, window: &[Observation]) -> Option<KernelRidge> {
     if window.len() < 4 {
         return None;
     }
+    let worst_measured = window
+        .iter()
+        .filter(|o| !o.is_censored())
+        .map(|o| o.elapsed_ms)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cap = if worst_measured.is_finite() {
+        1.5 * worst_measured.max(1e-9)
+    } else {
+        f64::INFINITY
+    };
     let x: Vec<Vec<f64>> = window
         .iter()
         .map(|o| h_features(space, &o.point, o.data_size))
         .collect();
-    let y: Vec<f64> = window.iter().map(|o| o.elapsed_ms.max(1e-9).ln()).collect();
+    let y: Vec<f64> = window
+        .iter()
+        .map(|o| {
+            let v = if o.is_censored() {
+                o.elapsed_ms.min(cap)
+            } else {
+                o.elapsed_ms
+            };
+            v.max(1e-9).ln()
+        })
+        .collect();
     let mut m = KernelRidge::rbf(1.0, 0.1);
     m.fit(&x, &y).ok()?;
     Some(m)
@@ -51,21 +76,32 @@ pub(crate) fn fit_window_model(space: &ConfigSpace, window: &[Observation]) -> O
 /// Run FIND_BEST over `window`, returning the index of the chosen observation.
 /// `p_ref` is the reference data size for v3 (the paper fixes it to the latest `p_t`).
 ///
-/// Returns `None` on an empty window. If the v3 model cannot be fit, v3 falls back to
-/// v2 (the paper's second-best refinement).
+/// Returns `None` on an empty window or when every observation is censored
+/// (nothing was actually achieved, so there is no best). A censored observation
+/// is never chosen as `c*` — its penalty cost is a bound, not a time — though it
+/// still shapes the v3 window model. If the v3 model cannot be fit, v3 falls
+/// back to v2 (the paper's second-best refinement).
 pub fn find_best(
     space: &ConfigSpace,
     window: &[Observation],
     mode: FindBestMode,
     p_ref: f64,
 ) -> Option<usize> {
-    if window.is_empty() {
+    if window.iter().all(|o| o.is_censored()) {
         return None;
     }
-    // The window is non-empty (checked above); NaN scores are skipped, and if
-    // every score is NaN the first observation stands in.
+    // Censored entries score +∞ so argmin skips them; some measured entry exists
+    // (checked above). NaN scores are skipped, and if every finite score is NaN
+    // the first observation stands in.
     let argmin = |score: &dyn Fn(&Observation) -> f64| -> usize {
-        ml::stats::nan_safe_min_by(window, score).unwrap_or(0)
+        ml::stats::nan_safe_min_by(window, &|o: &Observation| {
+            if o.is_censored() {
+                f64::INFINITY
+            } else {
+                score(o)
+            }
+        })
+        .unwrap_or(0)
     };
     let idx = match mode {
         FindBestMode::Raw => argmin(&|o: &Observation| o.elapsed_ms),
@@ -74,7 +110,13 @@ pub fn find_best(
             Some(h) => {
                 let scores: Vec<f64> = window
                     .iter()
-                    .map(|o| h.predict(&h_features(space, &o.point, p_ref)))
+                    .map(|o| {
+                        if o.is_censored() {
+                            f64::INFINITY
+                        } else {
+                            h.predict(&h_features(space, &o.point, p_ref))
+                        }
+                    })
                     .collect();
                 ml::stats::nan_safe_min_by(&scores, |s| *s).unwrap_or(0)
             }
@@ -88,11 +130,23 @@ pub fn find_best(
 mod tests {
     use super::*;
 
+    use optimizers::tuner::ObservationKind;
+
     fn obs(point: Vec<f64>, p: f64, r: f64) -> Observation {
         Observation {
             point,
             data_size: p,
             elapsed_ms: r,
+            kind: ObservationKind::Measured,
+        }
+    }
+
+    fn censored(point: Vec<f64>, p: f64, penalty: f64) -> Observation {
+        Observation {
+            point,
+            data_size: p,
+            elapsed_ms: penalty,
+            kind: ObservationKind::Censored,
         }
     }
 
@@ -171,6 +225,75 @@ mod tests {
     #[test]
     fn empty_window_returns_none() {
         assert_eq!(find_best(&space(), &[], FindBestMode::Raw, 1.0), None);
+    }
+
+    #[test]
+    fn censored_observation_never_wins() {
+        // The censored run carries a *low* bound (it died early, so its partial
+        // time undercuts everything) — picking it as c* would chase a killer
+        // config. Every mode must skip it.
+        let s = space();
+        let w = vec![
+            censored(s.default_point(), 1.0, 5.0),
+            obs(s.default_point(), 1.0, 50.0),
+            obs(s.default_point(), 1.0, 80.0),
+        ];
+        for mode in [
+            FindBestMode::Raw,
+            FindBestMode::Normalized,
+            FindBestMode::ModelBased,
+        ] {
+            assert_eq!(find_best(&s, &w, mode, 1.0), Some(1), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn all_censored_window_has_no_best() {
+        let s = space();
+        let w = vec![
+            censored(s.default_point(), 1.0, 10.0),
+            censored(s.default_point(), 1.0, 20.0),
+        ];
+        for mode in [
+            FindBestMode::Raw,
+            FindBestMode::Normalized,
+            FindBestMode::ModelBased,
+        ] {
+            assert_eq!(find_best(&s, &w, mode, 1.0), None, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn censored_penalties_push_the_model_away_from_failing_regions() {
+        // Dim-2 low half fails (censored at a high penalty), high half measures
+        // flat 100 ms. The window model must predict worse times in the failing
+        // region than in the safe region.
+        let s = space();
+        let mut w = Vec::new();
+        for i in 0..6 {
+            let x = 0.05 + 0.08 * i as f64; // 0.05 .. 0.45 — failing half
+            let mut point = s.default_point();
+            point[2] = s.dims[2].denormalize(x);
+            w.push(censored(point, 1.0, 100_000.0));
+        }
+        for i in 0..6 {
+            let x = 0.55 + 0.08 * i as f64; // 0.55 .. 0.95 — safe half
+            let mut point = s.default_point();
+            point[2] = s.dims[2].denormalize(x);
+            w.push(obs(point, 1.0, 100.0 + i as f64));
+        }
+        let h = fit_window_model(&s, &w).expect("fits");
+        let at = |x: f64| {
+            let mut p = s.default_point();
+            p[2] = s.dims[2].denormalize(x);
+            h.predict(&h_features(&s, &p, 1.0))
+        };
+        assert!(
+            at(0.2) > at(0.8),
+            "failing region should predict worse: {} vs {}",
+            at(0.2),
+            at(0.8)
+        );
     }
 
     #[test]

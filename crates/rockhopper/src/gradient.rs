@@ -136,6 +136,7 @@ mod tests {
                     point,
                     data_size: p,
                     elapsed_ms: p * (50.0 + 100.0 * x) * noise,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 }
             })
             .collect()
@@ -165,6 +166,7 @@ mod tests {
                     point,
                     data_size: p,
                     elapsed_ms: 100.0 * p,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 }
             })
             .collect();

@@ -45,13 +45,19 @@ pub struct Guardrail {
     /// Iterations every query is guaranteed before the guardrail may fire
     /// ("ensuring that every query undergoes at least 30 iterations").
     pub min_iterations: usize,
-    /// Relative threshold: fire when the predicted next time exceeds the previous
-    /// observation by more than this factor (e.g. 0.3 = 30% worse).
+    /// Relative threshold: fire when the predicted next time exceeds the
+    /// windowed median of recent observations by more than this factor
+    /// (e.g. 0.3 = 30% worse).
     pub threshold: f64,
     /// Consecutive violations required before disabling ("continuous performance
     /// regression … over several consecutive iterations").
     pub patience: usize,
+    /// Consecutive *failed* (censored) runs that disable tuning outright. A
+    /// config that keeps killing runs must not enjoy the 30-iteration
+    /// guarantee — safety trumps exploration.
+    pub failure_patience: usize,
     violations: usize,
+    consecutive_failures: usize,
     disabled: bool,
 }
 
@@ -61,7 +67,9 @@ impl Default for Guardrail {
             min_iterations: 30,
             threshold: 0.3,
             patience: 3,
+            failure_patience: 5,
             violations: 0,
+            consecutive_failures: 0,
             disabled: false,
         }
     }
@@ -74,9 +82,14 @@ impl Guardrail {
             min_iterations,
             threshold,
             patience: patience.max(1),
-            violations: 0,
-            disabled: false,
+            ..Guardrail::default()
         }
+    }
+
+    /// Override how many consecutive failed runs disable tuning.
+    pub fn with_failure_patience(mut self, failure_patience: usize) -> Guardrail {
+        self.failure_patience = failure_patience.max(1);
+        self
     }
 
     /// Whether autotuning has been permanently disabled for this query.
@@ -84,15 +97,37 @@ impl Guardrail {
         self.disabled
     }
 
+    /// Record a failed or censored run. Unlike the regression check, failures
+    /// may disable tuning *before* `min_iterations`: the guarantee protects
+    /// slow-but-working configurations, not killers.
+    pub fn record_failure(&mut self) -> GuardrailDecision {
+        if self.disabled {
+            return GuardrailDecision::Disabled;
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.failure_patience {
+            self.disabled = true;
+            return GuardrailDecision::Disabled;
+        }
+        GuardrailDecision::Continue
+    }
+
+    /// Record a successful (measured) run: the failure streak resets.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
     /// Evaluate after each observation. `next_data_size` is the expected input
     /// cardinality of the upcoming run.
     ///
-    /// The regression model `elapsed ~ iteration + ln(input cardinality)` predicts
-    /// the next run; to separate genuine regression from data growth, we compare the
-    /// prediction at `(t+1, p_next)` against the prediction at an *early* reference
-    /// iteration with the **same** `p_next` — i.e. we extract the pure iteration
-    /// trend with data size held fixed. A sustained upward trend beyond `threshold`
-    /// disables autotuning.
+    /// The regression model `elapsed ~ iteration + ln(input cardinality)`
+    /// predicts the next run. The prediction is compared against a **windowed
+    /// median** of the recent observations — each adjusted to the upcoming
+    /// run's data size through the model's `ln(p)` term — rather than the
+    /// single previous observation: one Eq. 8 spike in the reference would
+    /// otherwise mask a real regression (spiked reference looks fine to beat)
+    /// or fake one (comparing a normal prediction against one lucky fast run).
+    /// A sustained excess beyond `threshold` disables autotuning.
     pub fn check(&mut self, history: &History, next_data_size: f64) -> GuardrailDecision {
         if self.disabled {
             return GuardrailDecision::Disabled;
@@ -105,11 +140,11 @@ impl Guardrail {
         };
         let ln_p = next_data_size.max(1e-9).ln();
         let t_next = history.len() as f64;
-        let t_ref = (self.min_iterations as f64 / 2.0).max(1.0);
         let predicted_next = model.predict(&[t_next, ln_p]);
-        let predicted_ref = model.predict(&[t_ref, ln_p]);
-        let regressing =
-            predicted_ref > 1e-9 && predicted_next > predicted_ref * (1.0 + self.threshold);
+        let Some(reference) = self.reference_median(history, &model, ln_p) else {
+            return GuardrailDecision::Continue;
+        };
+        let regressing = reference > 1e-9 && predicted_next > reference * (1.0 + self.threshold);
         if regressing {
             self.violations += 1;
             if self.violations >= self.patience {
@@ -120,6 +155,29 @@ impl Guardrail {
             self.violations = 0;
         }
         GuardrailDecision::Continue
+    }
+
+    /// Median of the recent measured observations, each translated to the
+    /// upcoming run's data-size basis via the model's `ln(p)` coefficient
+    /// (`adj_i = r_i + Ĥ(t_i, p_next) − Ĥ(t_i, p_i)`), so a periodic workload's
+    /// size swings don't distort the reference. Censored penalties are
+    /// excluded — they are bounds, not achieved times.
+    fn reference_median(&self, history: &History, model: &Ridge, ln_p_next: f64) -> Option<f64> {
+        let window = (self.min_iterations / 2).clamp(3, 10);
+        let n = history.len();
+        let adjusted: Vec<f64> = history
+            .all
+            .iter()
+            .enumerate()
+            .skip(n.saturating_sub(window))
+            .filter(|(_, o)| !o.is_censored())
+            .map(|(i, o)| {
+                let t = i as f64;
+                let ln_p_i = o.data_size.max(1e-9).ln();
+                o.elapsed_ms + model.predict(&[t, ln_p_next]) - model.predict(&[t, ln_p_i])
+            })
+            .collect();
+        ml::stats::median(&adjusted)
     }
 
     /// Fit the linear trend model `elapsed ~ iteration + ln(input cardinality)`.
@@ -220,6 +278,75 @@ mod tests {
             h.push(vec![0.0], 1.0, 100.0);
             assert_eq!(g.check(&h, 1.0), GuardrailDecision::Continue);
         }
+        assert!(!g.is_disabled());
+    }
+
+    #[test]
+    fn spike_in_reference_cannot_mask_sustained_regression() {
+        // Times climb 20 ms per iteration — a real, ongoing regression — and a
+        // 4× spike lands right where a "previous observation" reference would
+        // look: against the spike the prediction would seem like a huge
+        // improvement and the regression would pass unnoticed. The windowed
+        // median treats the spike as the outlier it is and still fires.
+        let mut g = Guardrail::new(30, 0.1, 2);
+        let mut h = history_with_trend(30, 20.0, |_| 1.0);
+        h.push(vec![0.0], 1.0, 3000.0); // the masking spike
+        let mut fired = false;
+        for i in 31..45 {
+            h.push(vec![0.0], 1.0, 100.0 + 20.0 * i as f64);
+            if g.check(&h, 1.0) == GuardrailDecision::Disabled {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "spiked reference masked a sustained regression");
+    }
+
+    #[test]
+    fn failure_streak_disables_before_min_iterations() {
+        // 3 observations — far below min_iterations — but every run is dying:
+        // the failure patience must not wait for the 30-iteration guarantee.
+        let mut g = Guardrail::default().with_failure_patience(3);
+        assert_eq!(g.record_failure(), GuardrailDecision::Continue);
+        assert_eq!(g.record_failure(), GuardrailDecision::Continue);
+        assert_eq!(g.record_failure(), GuardrailDecision::Disabled);
+        assert!(g.is_disabled());
+        // And it latches.
+        assert_eq!(g.record_failure(), GuardrailDecision::Disabled);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut g = Guardrail::default().with_failure_patience(3);
+        for _ in 0..10 {
+            assert_eq!(g.record_failure(), GuardrailDecision::Continue);
+            assert_eq!(g.record_failure(), GuardrailDecision::Continue);
+            g.record_success();
+        }
+        assert!(!g.is_disabled());
+    }
+
+    #[test]
+    fn censored_observations_are_excluded_from_the_reference() {
+        // Steady 100 ms runs plus recent censored penalties at 10×: if the
+        // penalties leaked into the reference median, the reference would
+        // inflate and real regressions would hide behind it. The guardrail
+        // must keep a ~100 ms reference and stay quiet for a 100 ms workload.
+        let mut g = Guardrail::new(30, 0.3, 2);
+        let mut h = History::new();
+        for _ in 0..32 {
+            h.push(vec![0.0], 1.0, 100.0);
+        }
+        for _ in 0..3 {
+            h.all.push(optimizers::tuner::Observation {
+                point: vec![0.0],
+                data_size: 1.0,
+                elapsed_ms: 1000.0,
+                kind: optimizers::tuner::ObservationKind::Censored,
+            });
+        }
+        h.push(vec![0.0], 1.0, 100.0);
+        assert_eq!(g.check(&h, 1.0), GuardrailDecision::Continue);
         assert!(!g.is_disabled());
     }
 }

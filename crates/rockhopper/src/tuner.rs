@@ -64,7 +64,7 @@ impl RockhopperTuner {
     /// };
     /// let candidate = tuner.suggest(&ctx);
     /// assert!(space.to_conf(&candidate).validate().is_ok());
-    /// tuner.observe(&candidate, &Outcome { elapsed_ms: 1234.0, data_size: 1e6 });
+    /// tuner.observe(&candidate, &Outcome::measured(1234.0, 1e6));
     /// assert_eq!(tuner.history.len(), 1);
     /// ```
     pub fn builder(space: ConfigSpace) -> RockhopperBuilder {
@@ -174,10 +174,18 @@ impl Tuner for RockhopperTuner {
     }
 
     fn observe(&mut self, point: &[f64], outcome: &Outcome) {
-        self.history
-            .push(point.to_vec(), outcome.data_size, outcome.elapsed_ms);
+        self.history.push_outcome(point.to_vec(), outcome);
         if let Some(g) = &mut self.guardrail {
-            if g.check(&self.history, self.last_expected_p) == GuardrailDecision::Disabled {
+            // A censored outcome is a failed or unobserved run: it counts
+            // toward the failure streak, not the regression trend. Measured
+            // outcomes reset the streak and feed the trend check.
+            let decision = if outcome.is_censored() {
+                g.record_failure()
+            } else {
+                g.record_success();
+                g.check(&self.history, self.last_expected_p)
+            };
+            if decision == GuardrailDecision::Disabled {
                 return; // stop updating the centroid; suggest() now serves defaults
             }
         }
@@ -357,6 +365,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0 * (i + 1) as f64,
                     data_size: 1.0,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 },
             );
             if tuner.is_disabled() {
@@ -437,6 +446,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0 * (i + 1) as f64,
                     data_size: 1.0,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 },
             );
         }
@@ -464,6 +474,7 @@ mod tests {
                 &Outcome {
                     elapsed_ms: 100.0 * (i + 1) as f64,
                     data_size: 1.0,
+                    kind: optimizers::tuner::ObservationKind::Measured,
                 },
             );
         }

@@ -46,7 +46,7 @@ proptest! {
             // with arbitrary (point, outcome) pairs (e.g. a client that overrode
             // the recommendation).
             let observed = space.denormalize(x);
-            tuner.observe(&observed, &Outcome { elapsed_ms: *r, data_size: *p });
+            tuner.observe(&observed, &Outcome::measured(*r, *p));
         }
     }
 
@@ -77,6 +77,7 @@ proptest! {
                 point: space.denormalize(x),
                 data_size: *p,
                 elapsed_ms: *r,
+                kind: optimizers::tuner::ObservationKind::Measured,
             })
             .collect();
         for mode in [FindBestMode::Raw, FindBestMode::Normalized, FindBestMode::ModelBased] {
@@ -94,6 +95,7 @@ proptest! {
                 point: space.denormalize(x),
                 data_size: *p,
                 elapsed_ms: *r,
+                kind: optimizers::tuner::ObservationKind::Measured,
             })
             .collect();
         let c_star = window[0].point.clone();
@@ -126,7 +128,7 @@ proptest! {
         let mut tuner = RockhopperTuner::builder(space.clone()).seed(seed).build();
         for (x, p, r) in &stream {
             let _ = tuner.suggest(&ctx(*p));
-            tuner.observe(&space.denormalize(x), &Outcome { elapsed_ms: *r, data_size: *p });
+            tuner.observe(&space.denormalize(x), &Outcome::measured(*r, *p));
         }
         let restored = RockhopperTuner::restore(space, tuner.snapshot(), None);
         prop_assert_eq!(restored.centroid(), tuner.centroid());

@@ -100,7 +100,26 @@ pub fn to_jsonl(events: &[SparkEvent]) -> String {
 
 /// Parse a JSON-lines document, skipping malformed lines.
 pub fn from_jsonl(doc: &str) -> Vec<SparkEvent> {
-    doc.lines().filter_map(SparkEvent::from_json_line).collect()
+    from_jsonl_lossy(doc).0
+}
+
+/// Parse a JSON-lines document, *quarantining* malformed lines instead of
+/// silently dropping them: returns the parsed events plus the number of lines
+/// that failed to parse (truncated writes, in-flight corruption — see
+/// [`crate::fault::mangle_jsonl`]). Blank lines are not counted.
+pub fn from_jsonl_lossy(doc: &str) -> (Vec<SparkEvent>, usize) {
+    let mut events = Vec::new();
+    let mut quarantined = 0usize;
+    for line in doc.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match SparkEvent::from_json_line(line) {
+            Some(e) => events.push(e),
+            None => quarantined += 1,
+        }
+    }
+    (events, quarantined)
 }
 
 #[cfg(test)]
@@ -143,6 +162,18 @@ mod tests {
         );
         let back = from_jsonl(&doc);
         assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn lossy_parse_counts_quarantined_lines() {
+        let doc = format!(
+            "{}\nnot json at all\n\n{{\"event\":\"Unknown\"}}\n{}\n",
+            sample_events()[0].to_json_line(),
+            sample_events()[2].to_json_line(),
+        );
+        let (events, quarantined) = from_jsonl_lossy(&doc);
+        assert_eq!(events.len(), 2);
+        assert_eq!(quarantined, 2, "blank lines are not quarantined");
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! Failure injection — the faults that dominate production Spark and that the
+//! paper's guardrail (§4.3) and client/backend split (§5) exist to survive:
+//!
+//! - **OOM kills**: a stage whose per-task working set exceeds a *hard ceiling*
+//!   above the spill threshold does not spill its way through — the executor is
+//!   killed and the run fails. This is what makes aggressively tuned-down memory
+//!   configurations *dangerous*, not merely slow.
+//! - **Executor loss**: executors die with a hazard proportional to how long the
+//!   run holds them. Lost tasks re-queue and re-execute ([`crate::scheduler`]);
+//!   lost shuffle map output is recomputed. Too many losses abort the run.
+//! - **Telemetry loss/corruption**: event-log lines are dropped or truncated in
+//!   flight, so a run can succeed yet never be observed (a *censored* outcome),
+//!   and the ETL must quarantine garbage instead of trusting it.
+//!
+//! Every fault decision is a pure function of the run's seed: the fault stream
+//! is drawn from a dedicated RNG (`seed ^ FAULT_SALT`) so the *noise* draw of a
+//! run is bit-identical with faults on or off, and the same seed replays the
+//! same failure sequence — the property `tests/determinism.rs` locks in.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::config::SparkConf;
+use crate::cost::CostParams;
+use crate::memory::evaluate_stage;
+use crate::physical::PhysicalPlan;
+use crate::scheduler::{executor_loss_retry, schedule, QueryTiming};
+use crate::simulator::QueryRun;
+
+/// Salt mixed into the run seed for the fault stream, so fault draws never
+/// perturb the noise draws of the same run.
+const FAULT_SALT: u64 = 0xFA17_5EED_0BAD_C0DE;
+
+/// Fault-injection parameters. [`FaultSpec::none`] reproduces the benign
+/// simulator exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// OOM hard ceiling as a multiple of the per-task execution-memory budget:
+    /// a stage whose per-task working set exceeds `oom_ceiling × budget` is
+    /// killed instead of spilling. `f64::INFINITY` disables OOM kills.
+    pub oom_ceiling: f64,
+    /// Executor-loss hazard per executor-minute of stage runtime.
+    pub executor_loss_per_min: f64,
+    /// Executor losses one run survives; one more aborts it.
+    pub max_executor_losses: u32,
+    /// Probability that a run's completion record (`QueryEnd`) is lost in
+    /// flight — the run succeeded but nobody can observe its time.
+    pub telemetry_loss: f64,
+    /// Per-line probability that a shipped event-log line arrives truncated or
+    /// garbled (see [`mangle_jsonl`]).
+    pub telemetry_corruption: f64,
+}
+
+impl FaultSpec {
+    /// No faults: [`crate::Simulator::execute_outcome`] degenerates to
+    /// [`crate::Simulator::execute`].
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            oom_ceiling: f64::INFINITY,
+            executor_loss_per_min: 0.0,
+            max_executor_losses: u32::MAX,
+            telemetry_loss: 0.0,
+            telemetry_corruption: 0.0,
+        }
+    }
+
+    /// Production-like background failure rates: rare losses, a generous OOM
+    /// ceiling, sub-percent telemetry trouble.
+    pub fn production() -> FaultSpec {
+        FaultSpec {
+            oom_ceiling: 4.0,
+            executor_loss_per_min: 0.004,
+            max_executor_losses: 3,
+            telemetry_loss: 0.01,
+            telemetry_corruption: 0.005,
+        }
+    }
+
+    /// Chaos testing: a tight OOM ceiling, frequent executor churn and lossy
+    /// telemetry — the regime the CI chaos step runs the suite under.
+    pub fn chaos() -> FaultSpec {
+        FaultSpec {
+            oom_ceiling: 2.0,
+            executor_loss_per_min: 0.08,
+            max_executor_losses: 2,
+            telemetry_loss: 0.15,
+            telemetry_corruption: 0.10,
+        }
+    }
+
+    /// Whether this spec can produce any fault at all.
+    pub fn is_none(&self) -> bool {
+        !self.oom_ceiling.is_finite()
+            && self.executor_loss_per_min == 0.0
+            && self.telemetry_loss == 0.0
+            && self.telemetry_corruption == 0.0
+    }
+
+    /// The RNG that drives every fault decision for a run seed.
+    pub fn rng_for(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed ^ FAULT_SALT)
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// A stage's per-task working set blew through the OOM hard ceiling.
+    OutOfMemory {
+        /// The stage that was killed.
+        stage_id: usize,
+    },
+    /// The run lost more executors than [`FaultSpec::max_executor_losses`].
+    ExecutorsLost {
+        /// Losses suffered before the abort.
+        losses: u32,
+    },
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::OutOfMemory { stage_id } => {
+                write!(f, "OOM-killed in stage {stage_id}")
+            }
+            FailureReason::ExecutorsLost { losses } => {
+                write!(f, "aborted after {losses} executor losses")
+            }
+        }
+    }
+}
+
+/// What one simulated submission produced, as the observer sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The run completed and its telemetry arrived intact.
+    Success(QueryRun),
+    /// The run was killed. `partial_time_ms` is the (noise-free) time it burned
+    /// before dying — what a billing meter saw, never more than the run would
+    /// have taken to complete under the same fault sequence.
+    Failed {
+        /// What killed it.
+        reason: FailureReason,
+        /// Time consumed before the kill, ms.
+        partial_time_ms: f64,
+    },
+    /// The run completed but its completion record was lost in flight: the
+    /// observer knows the submission happened and nothing else.
+    Censored,
+}
+
+impl RunOutcome {
+    /// The completed run, if the outcome is observable.
+    pub fn success(&self) -> Option<&QueryRun> {
+        match self {
+            RunOutcome::Success(run) => Some(run),
+            RunOutcome::Failed { .. } => None,
+            RunOutcome::Censored => None,
+        }
+    }
+
+    /// Whether the run completed and was observed.
+    pub fn is_success(&self) -> bool {
+        self.success().is_some()
+    }
+
+    /// Whether the run was killed.
+    pub fn is_failed(&self) -> bool {
+        match self {
+            RunOutcome::Failed { .. } => true,
+            RunOutcome::Success(_) => false,
+            RunOutcome::Censored => false,
+        }
+    }
+}
+
+/// Per-stage fault bookkeeping from one faulty schedule pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageFaultRecord {
+    /// Stage id.
+    pub stage_id: usize,
+    /// Executor losses the stage suffered.
+    pub executor_losses: u32,
+    /// Tasks re-queued after losses (each re-executes to completion).
+    pub retried_tasks: usize,
+    /// Task attempts executed: original tasks plus retries. Never below the
+    /// stage's task count — retries re-queue work, they never lose it.
+    pub task_attempts: usize,
+    /// Extra stage time attributable to retries and recomputation, ms.
+    pub retry_ms: f64,
+}
+
+/// The result of pushing a physical plan through the fault model: the inflated
+/// (noise-free) timing, what faults fired, and whether the run survived them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyTiming {
+    /// Per-stage timing with retry inflation applied (all stages, even those
+    /// the run never reached when it failed).
+    pub timing: QueryTiming,
+    /// Per-stage fault records, aligned with `timing.stages`.
+    pub stage_faults: Vec<StageFaultRecord>,
+    /// The failure that aborted the run, with the partial time burned.
+    pub failure: Option<(FailureReason, f64)>,
+    /// Whether the completion record was lost in flight (only meaningful when
+    /// `failure` is `None`).
+    pub censored: bool,
+}
+
+impl FaultyTiming {
+    /// Total executor losses across the run.
+    pub fn total_losses(&self) -> u32 {
+        self.stage_faults.iter().map(|s| s.executor_losses).sum()
+    }
+}
+
+/// Run the fault model over a planned query. Decisions are drawn from
+/// [`FaultSpec::rng_for`]`(seed)` only — pure in `(plan, conf, spec, seed)`.
+pub fn apply_faults(
+    physical: &PhysicalPlan,
+    conf: &SparkConf,
+    cluster: &ClusterSpec,
+    cost: &CostParams,
+    spec: &FaultSpec,
+    seed: u64,
+) -> FaultyTiming {
+    let mut rng = FaultSpec::rng_for(seed);
+    let clean = schedule(physical, conf, cluster, cost);
+    let executors = cluster.granted_executors(conf.executor_count());
+    let slots = cluster.slots(executors);
+
+    let mut stages = Vec::with_capacity(clean.stages.len());
+    let mut stage_faults = Vec::with_capacity(clean.stages.len());
+    let mut elapsed_ms = 0.0;
+    let mut total_ms = 0.0;
+    let mut losses_so_far: u32 = 0;
+    let mut failure: Option<(FailureReason, f64)> = None;
+
+    for (stage, timing) in physical.stages.iter().zip(&clean.stages) {
+        let mut timing = timing.clone();
+        let memory = evaluate_stage(stage, conf, cluster, cost);
+
+        // 1. OOM hard ceiling: checked before any work beyond the first wave —
+        //    the working set is allocated up front, so death is early. The kill
+        //    point within the first wave is the only stochastic part.
+        if failure.is_none() && memory.oom_kills(spec.oom_ceiling) {
+            let frac: f64 = rng.random_range(0.05..0.95);
+            let burned = elapsed_ms + frac * timing.task_ms.min(timing.stage_ms);
+            failure = Some((FailureReason::OutOfMemory { stage_id: stage.id }, burned));
+        }
+
+        // 2. Executor loss: hazard grows with how long the stage holds the
+        //    fleet. Survivors pay retry waves; one loss too many aborts.
+        let mut record = StageFaultRecord {
+            stage_id: stage.id,
+            executor_losses: 0,
+            retried_tasks: 0,
+            task_attempts: stage.tasks.max(1),
+            retry_ms: 0.0,
+        };
+        if spec.executor_loss_per_min > 0.0 {
+            let hazard =
+                spec.executor_loss_per_min * executors as f64 * (timing.stage_ms / 60_000.0);
+            let p_loss = 1.0 - (-hazard).exp();
+            let u: f64 = rng.random_range(0.0..1.0);
+            if u < p_loss {
+                // A second independent draw can lose another executor in very
+                // long stages; beyond that the hazard is spent.
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let losses = if u2 < p_loss * 0.5 { 2 } else { 1 };
+                let retry = executor_loss_retry(stage, &timing, losses, slots, executors, cost);
+                record.executor_losses = losses;
+                record.retried_tasks = retry.retried_tasks;
+                record.task_attempts = stage.tasks.max(1) + retry.retried_tasks;
+                record.retry_ms = retry.extra_ms;
+                timing.stage_ms += retry.extra_ms;
+                if failure.is_none() {
+                    losses_so_far += losses;
+                    if losses_so_far > spec.max_executor_losses {
+                        let frac: f64 = rng.random_range(0.1..1.0);
+                        let burned = elapsed_ms + frac * timing.stage_ms;
+                        failure = Some((
+                            FailureReason::ExecutorsLost {
+                                losses: losses_so_far,
+                            },
+                            burned,
+                        ));
+                    }
+                }
+            }
+        }
+
+        if failure.is_none() {
+            elapsed_ms += timing.stage_ms;
+        }
+        total_ms += timing.stage_ms;
+        stages.push(timing);
+        stage_faults.push(record);
+    }
+
+    // 3. Telemetry: the completion record of a *successful* run can vanish.
+    let censor_draw: f64 = rng.random_range(0.0..1.0);
+    let censored = failure.is_none() && censor_draw < spec.telemetry_loss;
+
+    FaultyTiming {
+        timing: QueryTiming { stages, total_ms },
+        stage_faults,
+        failure,
+        censored,
+    }
+}
+
+/// Corrupt a JSON-lines event document in flight: each line is independently
+/// dropped with probability [`FaultSpec::telemetry_loss`] or garbled (truncated
+/// at a random byte, simulating a torn write) with probability
+/// [`FaultSpec::telemetry_corruption`]. Returns the document as delivered plus
+/// the number of lines dropped and corrupted.
+pub fn mangle_jsonl(doc: &str, spec: &FaultSpec, rng: &mut StdRng) -> (String, usize, usize) {
+    let mut out = String::with_capacity(doc.len());
+    let (mut dropped, mut corrupted) = (0usize, 0usize);
+    for line in doc.lines() {
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u < spec.telemetry_loss {
+            dropped += 1;
+            continue;
+        }
+        if u < spec.telemetry_loss + spec.telemetry_corruption {
+            corrupted += 1;
+            let cut = if line.len() > 2 {
+                let idx = rng.random_range(1..line.len());
+                // Cut on a char boundary at or below the drawn byte index.
+                let mut cut = idx;
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                cut.max(1)
+            } else {
+                1
+            };
+            out.push_str(line.get(..cut).unwrap_or(line));
+            out.push('\n');
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    (out, dropped, corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MIB;
+    use crate::noise::NoiseSpec;
+    use crate::physical::plan_physical;
+    use crate::plan::PlanNode;
+    use crate::simulator::Simulator;
+
+    fn join_plan() -> PlanNode {
+        let fact = PlanNode::scan("fact", 2e8, 200.0);
+        let other = PlanNode::scan("other", 2e8, 200.0);
+        fact.join(other, 1e-8)
+    }
+
+    fn small_plan() -> PlanNode {
+        PlanNode::scan("t", 1e6, 100.0)
+            .filter(0.5)
+            .hash_aggregate(0.1)
+    }
+
+    #[test]
+    fn no_faults_matches_clean_schedule() {
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let phys = plan_physical(&small_plan(), &conf);
+        let faulty = apply_faults(&phys, &conf, &cluster, &cost, &FaultSpec::none(), 7);
+        let clean = schedule(&phys, &conf, &cluster, &cost);
+        assert_eq!(faulty.timing, clean);
+        assert!(faulty.failure.is_none());
+        assert!(!faulty.censored);
+        assert_eq!(faulty.total_losses(), 0);
+    }
+
+    #[test]
+    fn fault_decisions_are_pure_in_the_seed() {
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::small();
+        let cost = CostParams::default();
+        let phys = plan_physical(&join_plan(), &conf);
+        let spec = FaultSpec::chaos();
+        let a = apply_faults(&phys, &conf, &cluster, &cost, &spec, 99);
+        let b = apply_faults(&phys, &conf, &cluster, &cost, &spec, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn starved_memory_config_is_oom_killed() {
+        // A giant sort-merge join over tiny partitions with minimal memory:
+        // the working set dwarfs the budget × ceiling and the run must die.
+        let mut conf = SparkConf::default();
+        conf.auto_broadcast_join_threshold = -1.0;
+        conf.shuffle_partitions = 4.0;
+        conf.executor_memory_mb = 1024.0;
+        let cluster = ClusterSpec::small();
+        let cost = CostParams::default();
+        let phys = plan_physical(&join_plan(), &conf);
+        let spec = FaultSpec {
+            oom_ceiling: 2.0,
+            ..FaultSpec::none()
+        };
+        let faulty = apply_faults(&phys, &conf, &cluster, &cost, &spec, 3);
+        match faulty.failure {
+            Some((FailureReason::OutOfMemory { .. }, partial)) => {
+                assert!(partial > 0.0);
+                assert!(partial <= faulty.timing.total_ms);
+            }
+            other => panic!("expected OOM kill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_memory_config_survives_the_same_ceiling() {
+        let mut conf = SparkConf::default();
+        conf.shuffle_partitions = 2000.0;
+        conf.executor_memory_mb = 16.0 * 1024.0;
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let phys = plan_physical(&join_plan(), &conf);
+        let spec = FaultSpec {
+            oom_ceiling: 2.0,
+            ..FaultSpec::none()
+        };
+        let faulty = apply_faults(&phys, &conf, &cluster, &cost, &spec, 3);
+        assert!(faulty.failure.is_none(), "{:?}", faulty.failure);
+    }
+
+    #[test]
+    fn executor_loss_inflates_time_but_never_loses_tasks() {
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let phys = plan_physical(&join_plan(), &conf);
+        let spec = FaultSpec {
+            executor_loss_per_min: 50.0, // pathological hazard: losses certain
+            max_executor_losses: u32::MAX,
+            ..FaultSpec::none()
+        };
+        let faulty = apply_faults(&phys, &conf, &cluster, &cost, &spec, 11);
+        let clean = schedule(&phys, &conf, &cluster, &cost);
+        assert!(faulty.total_losses() > 0);
+        assert!(faulty.timing.total_ms > clean.total_ms);
+        for (rec, stage) in faulty.stage_faults.iter().zip(&phys.stages) {
+            assert!(rec.task_attempts >= stage.tasks.max(1));
+            assert_eq!(rec.task_attempts, stage.tasks.max(1) + rec.retried_tasks);
+        }
+    }
+
+    #[test]
+    fn too_many_losses_abort_the_run() {
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let phys = plan_physical(&join_plan(), &conf);
+        let spec = FaultSpec {
+            executor_loss_per_min: 50.0,
+            max_executor_losses: 0,
+            ..FaultSpec::none()
+        };
+        let faulty = apply_faults(&phys, &conf, &cluster, &cost, &spec, 11);
+        match faulty.failure {
+            Some((FailureReason::ExecutorsLost { losses }, partial)) => {
+                assert!(losses >= 1);
+                assert!(partial <= faulty.timing.total_ms);
+            }
+            other => panic!("expected executor-loss abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_outcome_without_faults_equals_execute() {
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let conf = SparkConf::default();
+        let plan = small_plan();
+        let run = sim.execute(&plan, &conf, 42);
+        match sim.execute_outcome(&plan, &conf, 42, &FaultSpec::none()) {
+            RunOutcome::Success(r) => assert_eq!(r, run),
+            RunOutcome::Failed { reason, .. } => panic!("failed: {reason}"),
+            RunOutcome::Censored => panic!("censored without telemetry faults"),
+        }
+    }
+
+    #[test]
+    fn censoring_fires_at_the_configured_rate() {
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let plan = small_plan();
+        let spec = FaultSpec {
+            telemetry_loss: 0.3,
+            ..FaultSpec::none()
+        };
+        let n = 2000;
+        let censored = (0..n)
+            .filter(|&s| {
+                matches!(
+                    sim.execute_outcome(&plan, &conf, s, &spec),
+                    RunOutcome::Censored
+                )
+            })
+            .count();
+        let rate = censored as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "censor rate {rate}");
+    }
+
+    #[test]
+    fn mangle_jsonl_counts_drops_and_corruptions() {
+        let doc: String = (0..500)
+            .map(|i| format!("{{\"event\":\"line{i}\"}}\n"))
+            .collect();
+        let spec = FaultSpec {
+            telemetry_loss: 0.2,
+            telemetry_corruption: 0.2,
+            ..FaultSpec::none()
+        };
+        let mut rng = FaultSpec::rng_for(5);
+        let (out, dropped, corrupted) = mangle_jsonl(&doc, &spec, &mut rng);
+        assert!(dropped > 50 && dropped < 150, "dropped {dropped}");
+        assert!(corrupted > 50 && corrupted < 150, "corrupted {corrupted}");
+        assert_eq!(out.lines().count(), 500 - dropped);
+        // Corrupted lines are truncated, not expanded.
+        assert!(out.len() < doc.len());
+    }
+
+    #[test]
+    fn mangle_jsonl_with_no_faults_is_identity() {
+        let doc = "{\"a\":1}\n{\"b\":2}\n";
+        let mut rng = FaultSpec::rng_for(1);
+        let (out, dropped, corrupted) = mangle_jsonl(doc, &FaultSpec::none(), &mut rng);
+        assert_eq!(out, doc);
+        assert_eq!((dropped, corrupted), (0, 0));
+    }
+
+    #[test]
+    fn oom_ceiling_is_above_the_spill_threshold() {
+        // A config that spills but sits under the ceiling must survive (spill,
+        // not die): the ceiling is strictly laxer than the spill threshold.
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let conf = SparkConf::default();
+        let stage = crate::physical::Stage {
+            id: 0,
+            kind: crate::physical::StageKind::Shuffle,
+            tasks: 100,
+            input_bytes: 0.0,
+            cpu_rows: 1e6,
+            sort_rows: 0.0,
+            hash_build_bytes: 100.0 * 1024.0 * MIB,
+            shuffle_write_bytes: 0.0,
+            broadcast_bytes: 0.0,
+        };
+        let mem = evaluate_stage(&stage, &conf, &cluster, &cost);
+        assert!(mem.spills());
+        assert!(!mem.oom_kills(4.0), "mild overflow spills, not dies");
+        assert!(mem.oom_kills(1.0 + 1e-9) || !mem.spills());
+    }
+}

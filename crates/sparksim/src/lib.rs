@@ -41,6 +41,7 @@ pub mod cluster;
 pub mod config;
 pub mod cost;
 pub mod event;
+pub mod fault;
 pub mod memory;
 pub mod metrics;
 pub mod noise;
@@ -51,6 +52,7 @@ pub mod simulator;
 
 pub use cluster::ClusterSpec;
 pub use config::SparkConf;
+pub use fault::{FailureReason, FaultSpec, RunOutcome};
 pub use metrics::QueryMetrics;
 pub use noise::NoiseSpec;
 pub use plan::PlanNode;

@@ -33,6 +33,14 @@ impl MemoryOutcome {
     pub fn total_spill_bytes(&self, tasks: usize) -> f64 {
         self.spill_bytes_per_task * tasks as f64
     }
+
+    /// Whether the working set blows through the OOM hard ceiling, `ceiling ×`
+    /// the per-task budget. The ceiling sits *above* the spill threshold
+    /// (`ceiling ≥ 1`): mild overflow spills to disk, runaway overflow kills
+    /// the executor (see [`crate::fault`]). A non-finite ceiling never kills.
+    pub fn oom_kills(&self, ceiling: f64) -> bool {
+        ceiling.is_finite() && self.task_working_set_bytes > ceiling * self.task_budget_bytes
+    }
 }
 
 /// Execution memory available to a single task, in bytes.

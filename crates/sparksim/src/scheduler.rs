@@ -126,11 +126,94 @@ fn schedule_stage(
     }
 }
 
+/// Extra work when `losses` executors die mid-stage (see [`crate::fault`]):
+/// the dead executors' in-flight and unfetched-finished tasks re-queue — they
+/// are never lost — lost shuffle map output is recomputed by the readers, and
+/// the pool pays a reschedule overhead per loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryWave {
+    /// Tasks re-queued for re-execution.
+    pub retried_tasks: usize,
+    /// Time spent recomputing lost shuffle output, ms.
+    pub recompute_ms: f64,
+    /// Total extra stage time, ms (retry waves + recompute + reschedule).
+    pub extra_ms: f64,
+}
+
+/// Cost of re-executing the work lost with `losses` executors during `stage`.
+pub fn executor_loss_retry(
+    stage: &Stage,
+    timing: &StageTiming,
+    losses: u32,
+    slots: usize,
+    executors: usize,
+    cost: &CostParams,
+) -> RetryWave {
+    let tasks = stage.tasks.max(1);
+    let per_loss = tasks.div_ceil(executors.max(1));
+    let retried = (per_loss * losses as usize).min(tasks);
+    let slots = slots.max(1);
+    let extra_waves = retried.div_ceil(slots);
+    // Shuffle readers lose the dead executors' map output and recompute it;
+    // scan stages re-read from durable storage instead.
+    let recompute_ms = match stage.kind {
+        StageKind::Shuffle => timing.task_ms * (retried as f64 / slots as f64),
+        StageKind::Scan => 0.0,
+    };
+    let extra_ms =
+        extra_waves as f64 * timing.task_ms + recompute_ms + cost.stage_overhead_ms * losses as f64;
+    RetryWave {
+        retried_tasks: retried,
+        recompute_ms,
+        extra_ms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::physical::plan_physical;
     use crate::plan::PlanNode;
+
+    #[test]
+    fn executor_loss_retry_requeues_without_losing_tasks() {
+        let plan = PlanNode::scan("t", 1e9, 100.0).hash_aggregate(0.1);
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let phys = plan_physical(&plan, &conf);
+        let timing = schedule(&phys, &conf, &cluster, &cost);
+        let executors = cluster.granted_executors(conf.executor_count());
+        let slots = cluster.slots(executors);
+        for (stage, st) in phys.stages.iter().zip(&timing.stages) {
+            let one = executor_loss_retry(stage, st, 1, slots, executors, &cost);
+            let two = executor_loss_retry(stage, st, 2, slots, executors, &cost);
+            assert!(one.retried_tasks >= 1);
+            assert!(one.retried_tasks <= stage.tasks.max(1));
+            assert!(one.extra_ms > 0.0);
+            assert!(two.retried_tasks >= one.retried_tasks);
+            assert!(two.extra_ms > one.extra_ms);
+        }
+    }
+
+    #[test]
+    fn shuffle_stages_pay_recompute_scan_stages_do_not() {
+        let plan = PlanNode::scan("t", 1e9, 100.0).hash_aggregate(0.1);
+        let conf = SparkConf::default();
+        let cluster = ClusterSpec::medium();
+        let cost = CostParams::default();
+        let phys = plan_physical(&plan, &conf);
+        let timing = schedule(&phys, &conf, &cluster, &cost);
+        let executors = cluster.granted_executors(conf.executor_count());
+        let slots = cluster.slots(executors);
+        for (stage, st) in phys.stages.iter().zip(&timing.stages) {
+            let retry = executor_loss_retry(stage, st, 1, slots, executors, &cost);
+            match stage.kind {
+                StageKind::Scan => assert_eq!(retry.recompute_ms, 0.0),
+                StageKind::Shuffle => assert!(retry.recompute_ms > 0.0),
+            }
+        }
+    }
 
     fn agg_plan(rows: f64) -> PlanNode {
         PlanNode::scan("t", rows, 100.0)

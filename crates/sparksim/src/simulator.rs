@@ -8,6 +8,7 @@ use crate::cluster::ClusterSpec;
 use crate::config::SparkConf;
 use crate::cost::CostParams;
 use crate::event::SparkEvent;
+use crate::fault::{apply_faults, FaultSpec, RunOutcome};
 use crate::metrics::QueryMetrics;
 use crate::noise::NoiseSpec;
 use crate::physical::{plan_physical, PhysicalPlan};
@@ -75,6 +76,131 @@ impl Simulator {
             metrics,
             physical,
             timing,
+        }
+    }
+
+    /// Execute `plan` under `conf` with fault injection: the run can be
+    /// OOM-killed, aborted by executor loss, or complete but lose its
+    /// completion record ([`RunOutcome::Censored`]). Fault decisions come from
+    /// a dedicated RNG stream (`seed ^ FAULT_SALT`), so the noise draw is
+    /// bit-identical to [`Simulator::execute`] and `FaultSpec::none()` makes
+    /// this method degenerate to it exactly.
+    pub fn execute_outcome(
+        &self,
+        plan: &PlanNode,
+        conf: &SparkConf,
+        seed: u64,
+        spec: &FaultSpec,
+    ) -> RunOutcome {
+        let physical = plan_physical(plan, conf);
+        let faulty = apply_faults(&physical, conf, &self.cluster, &self.cost, spec, seed);
+        match faulty.failure {
+            Some((reason, partial_time_ms)) => RunOutcome::Failed {
+                reason,
+                partial_time_ms,
+            },
+            None => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let elapsed = self.noise.apply(faulty.timing.total_ms, &mut rng);
+                let metrics = QueryMetrics::collect(
+                    &physical,
+                    &faulty.timing,
+                    plan.leaf_input_bytes(),
+                    plan.leaf_input_rows(),
+                    plan.root_cardinality(),
+                    elapsed,
+                );
+                if faulty.censored {
+                    return RunOutcome::Censored;
+                }
+                RunOutcome::Success(QueryRun {
+                    metrics,
+                    physical,
+                    timing: faulty.timing,
+                })
+            }
+        }
+    }
+
+    /// Execute with fault injection and emit the event log *as delivered*: a
+    /// failed run ships its completed stages but never a `QueryEnd` (the
+    /// backend sees an aborted query); a censored run loses the `QueryEnd`
+    /// line in flight. Returns the outcome alongside the delivered events.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_and_events(
+        &self,
+        app_id: &str,
+        artifact_id: &str,
+        query_signature: u64,
+        plan: &PlanNode,
+        conf: &SparkConf,
+        embedding: Vec<f64>,
+        seed: u64,
+        spec: &FaultSpec,
+    ) -> (RunOutcome, Vec<SparkEvent>) {
+        let outcome = self.execute_outcome(plan, conf, seed, spec);
+        match &outcome {
+            RunOutcome::Success(run) => {
+                let events = self.events_for_run(
+                    app_id,
+                    artifact_id,
+                    query_signature,
+                    plan,
+                    conf,
+                    embedding,
+                    run,
+                );
+                (outcome, events)
+            }
+            RunOutcome::Censored | RunOutcome::Failed { .. } => {
+                // Re-derive the faulty timing to know which stages completed.
+                let physical = plan_physical(plan, conf);
+                let faulty = apply_faults(&physical, conf, &self.cluster, &self.cost, spec, seed);
+                let budget_ms = match &outcome {
+                    RunOutcome::Failed {
+                        partial_time_ms, ..
+                    } => *partial_time_ms,
+                    RunOutcome::Censored => faulty.timing.total_ms,
+                    RunOutcome::Success(_) => faulty.timing.total_ms,
+                };
+                let mut events = vec![
+                    SparkEvent::ApplicationStart {
+                        app_id: app_id.to_string(),
+                        artifact_id: artifact_id.to_string(),
+                    },
+                    SparkEvent::QueryStart {
+                        app_id: app_id.to_string(),
+                        query_signature,
+                        conf: conf.clone(),
+                        plan_summary: plan
+                            .iter_nodes()
+                            .iter()
+                            .map(|n| n.op.type_name().to_string())
+                            .collect(),
+                        embedding,
+                    },
+                ];
+                let mut cum_ms = 0.0;
+                for st in &faulty.timing.stages {
+                    if cum_ms + st.stage_ms > budget_ms + 1e-9 {
+                        break;
+                    }
+                    cum_ms += st.stage_ms;
+                    events.push(SparkEvent::StageCompleted {
+                        app_id: app_id.to_string(),
+                        query_signature,
+                        stage_id: st.stage_id,
+                        tasks: st.tasks,
+                        duration_ms: st.stage_ms,
+                        spilled_bytes: st.memory.total_spill_bytes(st.tasks),
+                    });
+                }
+                // No QueryEnd: killed before it, or lost in flight.
+                events.push(SparkEvent::ApplicationEnd {
+                    app_id: app_id.to_string(),
+                });
+                (outcome, events)
+            }
         }
     }
 

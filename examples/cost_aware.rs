@@ -34,10 +34,7 @@ fn tune(objective: Objective, seed: u64) -> (SparkConf, f64, f64) {
         let point = tuner.suggest(&ctx);
         let conf = space.to_conf(&point);
         let run = sim.execute(&plan, &conf, seed ^ i);
-        let outcome = Outcome {
-            elapsed_ms: run.metrics.elapsed_ms,
-            data_size: run.metrics.input_rows,
-        };
+        let outcome = Outcome::measured(run.metrics.elapsed_ms, run.metrics.input_rows);
         // The objective adapter scores the outcome; the tuner minimizes the score.
         tuner.observe(&point, &objective.scored_outcome(&conf, &outcome));
     }

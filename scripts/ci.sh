@@ -18,4 +18,7 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> chaos smoke (fault injection)"
+cargo run -q --release -p experiments --bin exp_fault_injection -- --quick
+
 echo "CI: all green"

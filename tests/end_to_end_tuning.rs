@@ -120,6 +120,7 @@ fn guardrail_protects_pathologically_noisy_queries() {
             &Outcome {
                 elapsed_ms: 100.0 + 25.0 * i as f64,
                 data_size: 1.0,
+                kind: optimizers::tuner::ObservationKind::Measured,
             },
         );
     }

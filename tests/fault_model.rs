@@ -1,0 +1,221 @@
+//! Property tests over the fault-model invariants (the dynamic counterpart of
+//! rhlint's RH017 outcome-match rule):
+//!
+//! - **seed purity** — fault decisions are a pure function of the run seed,
+//!   and the fault RNG never perturbs the noise stream: with no faults
+//!   configured, `execute_outcome` is bit-identical to `execute`.
+//! - **partial-time bound** — a failed run's `partial_time_ms` never exceeds
+//!   what the same run would have cost to complete under the same fault
+//!   sequence.
+//! - **retries never lose tasks** — executor losses re-queue work; every
+//!   stage's task attempts cover at least its task count, and retry waves only
+//!   ever inflate stage time.
+//! - **telemetry mangling is survivable** — the ETL quarantines corrupt lines
+//!   instead of panicking, and the ingest path retries transient storage
+//!   outages exactly as many times as outages were injected.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use optimizers::tuner::{Outcome, Tuner, TuningContext};
+use pipeline::etl::extract_batch_from_jsonl;
+use pipeline::{AutotuneBackend, AutotuneService, Storage, SuggestFallback};
+use rockhopper::guardrail::Guardrail;
+use rockhopper::RockhopperTuner;
+use sparksim::config::SparkConf;
+use sparksim::fault::{apply_faults, mangle_jsonl, FaultSpec, RunOutcome};
+use sparksim::noise::NoiseSpec;
+use sparksim::physical::plan_physical;
+use sparksim::simulator::Simulator;
+use workloads::generator::{random_plan, PlanGenConfig};
+
+/// A spec whose OOM ceiling bites for some configs and whose background rates
+/// are high enough to exercise every failure path across a few hundred seeds.
+fn harsh() -> FaultSpec {
+    FaultSpec {
+        oom_ceiling: 1.5,
+        executor_loss_per_min: 0.5,
+        max_executor_losses: 1,
+        telemetry_loss: 0.2,
+        telemetry_corruption: 0.2,
+    }
+}
+
+proptest! {
+    #[test]
+    fn fault_decisions_are_pure_in_the_seed(plan_seed in 0u64..100, run_seed: u64) {
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let conf = SparkConf::default();
+        let spec = harsh();
+        let a = sim.execute_outcome(&plan, &conf, run_seed, &spec);
+        let b = sim.execute_outcome(&plan, &conf, run_seed, &spec);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_faults_means_bit_identical_to_execute(plan_seed in 0u64..100, run_seed: u64) {
+        // The fault RNG is salted off the run seed, so merely *enabling* the
+        // fault model must not shift a single noise draw.
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let conf = SparkConf::default();
+        let clean = sim.execute(&plan, &conf, run_seed);
+        match sim.execute_outcome(&plan, &conf, run_seed, &FaultSpec::none()) {
+            RunOutcome::Success(run) => prop_assert_eq!(run, clean),
+            RunOutcome::Failed { reason, .. } => {
+                prop_assert!(false, "failed without faults: {reason}");
+            }
+            RunOutcome::Censored => {
+                prop_assert!(false, "censored without telemetry faults");
+            }
+        }
+    }
+
+    #[test]
+    fn production_faults_leave_noise_draws_untouched(plan_seed in 0u64..100, run_seed: u64) {
+        // Same property with production-rate faults enabled: every run that
+        // survives reports exactly the timings of the benign simulator.
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::high());
+        let conf = SparkConf::default();
+        let spec = FaultSpec::production();
+        let outcome = sim.execute_outcome(&plan, &conf, run_seed, &spec);
+        let phys = plan_physical(&plan, &conf);
+        let faulty = apply_faults(&phys, &conf, &sim.cluster, &sim.cost, &spec, run_seed);
+        if faulty.failure.is_none() && !faulty.censored && faulty.total_losses() == 0 {
+            // A run no fault touched must be bit-identical to the clean run.
+            let clean = sim.execute(&plan, &conf, run_seed);
+            match outcome {
+                RunOutcome::Success(run) => prop_assert_eq!(run, clean),
+                other => prop_assert!(false, "fault-free run not Success: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_time_never_exceeds_the_completed_time(plan_seed in 0u64..150, run_seed: u64) {
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let spec = harsh();
+        let phys = plan_physical(&plan, &conf);
+        let faulty = apply_faults(&phys, &conf, &sim.cluster, &sim.cost, &spec, run_seed);
+        if let Some((_, partial_ms)) = faulty.failure {
+            prop_assert!(partial_ms > 0.0);
+            prop_assert!(
+                partial_ms <= faulty.timing.total_ms,
+                "partial {partial_ms} > completed {}", faulty.timing.total_ms
+            );
+        }
+        let outcome = sim.execute_outcome(&plan, &conf, run_seed, &spec);
+        if let RunOutcome::Failed { partial_time_ms, .. } = outcome {
+            prop_assert!((partial_time_ms - faulty.failure.map(|(_, p)| p).unwrap_or(-1.0)).abs() < 1e-9);
+        }
+        prop_assert_eq!(outcome.is_failed(), faulty.failure.is_some());
+    }
+
+    #[test]
+    fn retries_never_lose_tasks(plan_seed in 0u64..150, run_seed: u64) {
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let spec = FaultSpec {
+            executor_loss_per_min: 2.0,
+            max_executor_losses: u32::MAX, // survive everything: observe retries
+            ..FaultSpec::none()
+        };
+        let phys = plan_physical(&plan, &conf);
+        let faulty = apply_faults(&phys, &conf, &sim.cluster, &sim.cost, &spec, run_seed);
+        prop_assert!(faulty.failure.is_none());
+        for (rec, stage) in faulty.stage_faults.iter().zip(&phys.stages) {
+            prop_assert!(rec.task_attempts >= stage.tasks.max(1));
+            prop_assert_eq!(rec.task_attempts, stage.tasks.max(1) + rec.retried_tasks);
+            prop_assert!(rec.retry_ms >= 0.0);
+        }
+        if faulty.total_losses() > 0 {
+            let clean_ms: f64 = plan_physical(&plan, &conf)
+                .stages
+                .iter()
+                .zip(&faulty.timing.stages)
+                .map(|(_, t)| t.stage_ms)
+                .sum();
+            prop_assert!(clean_ms >= faulty.timing.total_ms - 1e-6);
+        }
+    }
+
+    #[test]
+    fn mangled_event_logs_are_quarantined_not_fatal(plan_seed in 0u64..60, run_seed: u64) {
+        let plan = random_plan(&PlanGenConfig::default(), plan_seed);
+        let sim = Simulator::default_pool(NoiseSpec::none());
+        let conf = SparkConf::default();
+        let spec = harsh();
+        let (outcome, events) = sim.run_and_events(
+            "app-prop", "artifact-prop", 7, &plan, &conf, Vec::new(), run_seed, &spec,
+        );
+        prop_assert_eq!(outcome.is_success(), outcome.success().is_some());
+        let doc = sparksim::event::to_jsonl(&events);
+        let total_lines = doc.lines().count();
+        let mut rng = FaultSpec::rng_for(run_seed ^ 0xD0C);
+        let (mangled, dropped, corrupted) = mangle_jsonl(&doc, &spec, &mut rng);
+        prop_assert_eq!(mangled.lines().count(), total_lines - dropped);
+        // The ETL must digest whatever arrives: corrupt lines quarantined,
+        // never a panic, and it cannot invent rows out of thin air.
+        let batch = extract_batch_from_jsonl(&mangled);
+        prop_assert!(batch.quarantined_lines <= corrupted);
+        prop_assert!(batch.rows.len() + batch.failed.len() <= total_lines);
+    }
+
+    #[test]
+    fn ingest_retries_match_injected_outages(outages in 0u64..3) {
+        let storage = Arc::new(Storage::new());
+        let mut backend = AutotuneBackend::new(Arc::clone(&storage), None, 3);
+        storage.inject_put_failures(outages);
+        backend.ingest("prop", "app-0", &[]);
+        prop_assert_eq!(backend.ingest_retry_count(), outages);
+    }
+
+    #[test]
+    fn failure_patience_disables_the_guardrail_tuner(patience in 1usize..6) {
+        let space = optimizers::space::ConfigSpace::query_level();
+        let guardrail = Guardrail::new(30, 0.3, 3).with_failure_patience(patience);
+        let mut tuner = RockhopperTuner::builder(space)
+            .guardrail(Some(guardrail))
+            .seed(9)
+            .build();
+        let ctx = TuningContext {
+            embedding: Vec::new(),
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        for i in 0..patience {
+            prop_assert!(!tuner.is_disabled(), "disabled after only {i} failures");
+            let point = tuner.suggest(&ctx);
+            tuner.observe(&point, &Outcome::censored(1e6, 1.0));
+        }
+        prop_assert!(tuner.is_disabled());
+    }
+}
+
+/// A client whose backend was shut down degrades to the default configuration
+/// with an explicit fallback reason — the serving path never blocks on a dead
+/// backend.
+#[test]
+fn dead_backend_degrades_to_default_config() {
+    let storage = Arc::new(Storage::new());
+    let backend = AutotuneBackend::new(storage, None, 5);
+    let (service, client) = AutotuneService::spawn(backend);
+    service.shutdown();
+    let space = optimizers::space::ConfigSpace::query_level();
+    let ctx = TuningContext {
+        embedding: Vec::new(),
+        expected_data_size: 1.0,
+        iteration: 0,
+    };
+    let (point, fallback) =
+        client.suggest_or_default("prop", 1, &ctx, Duration::from_secs(5), &space);
+    assert_eq!(point, space.default_point());
+    assert_eq!(fallback, Some(SuggestFallback::BackendDown));
+}

@@ -2,6 +2,7 @@
 //! persistence, ETL round-trips, retention cleanup and the app cache.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use optimizers::env::Environment;
 use pipeline::service::{AutotuneBackend, AutotuneService};
@@ -19,7 +20,7 @@ fn full_service_loop_persists_and_learns() {
     for run in 0..10 {
         let ctx = env.context();
         let point = client
-            .suggest("tenant-a", sig, &ctx)
+            .suggest("tenant-a", sig, &ctx, Duration::from_secs(5))
             .expect("backend alive");
         assert_eq!(point.len(), 3);
         let conf = env.space().to_conf(&point);
@@ -105,7 +106,7 @@ fn concurrent_tenants_do_not_interfere() {
             s.spawn(move || {
                 for i in 0..10u64 {
                     let p = c
-                        .suggest(&format!("tenant-{t}"), 42, &ctx)
+                        .suggest(&format!("tenant-{t}"), 42, &ctx, Duration::from_secs(5))
                         .expect("backend alive");
                     assert_eq!(p.len(), 3, "tenant {t} iter {i}");
                 }
