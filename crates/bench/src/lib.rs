@@ -1,3 +1,334 @@
 #![forbid(unsafe_code)]
 
-//! Criterion micro-benchmarks live under `benches/`; this lib is intentionally empty.
+//! Criterion micro-benchmarks live under `benches/`; this lib hosts the
+//! parallel-scaling harness behind `cargo run -p bench`: it times the three
+//! pool-backed hot paths (tuner candidate batch, app-cache build, experiment
+//! fan-out) serially and at 2/4/8 workers, checks that every width produced
+//! bit-identical results, and emits the machine-readable `BENCH_parallel.json`
+//! baseline consumed by the tier-1 regression gate (`tests/bench_gate.rs`) and
+//! the CI artifact upload.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use optimizers::env::Environment;
+use optimizers::tuner::{Outcome, Tuner};
+use optimizers::{ConfigSpace, QueryEnv};
+use pipeline::service::AutotuneBackend;
+use pipeline::storage::Storage;
+use rockhopper::baseline::{BaselineModel, BaselineRow};
+use sparksim::noise::NoiseSpec;
+
+/// Schema tag stamped into the JSON so downstream parsers can reject
+/// incompatible layouts instead of misreading them.
+pub const SCHEMA: &str = "rockhopper-bench-parallel/v1";
+
+/// Default output path, relative to the invoking directory (the workspace
+/// root under `cargo run -p bench`). Overridable via `ROCKHOPPER_BENCH_OUT`.
+pub const DEFAULT_OUT: &str = "BENCH_parallel.json";
+
+/// The parallel widths swept against the serial baseline.
+pub const THREAD_SWEEP: [usize; 3] = [2, 4, 8];
+
+/// How much work each timed workload does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// The baseline emitted by `cargo run -p bench` (seconds).
+    Full,
+    /// Down-scaled run used by the tier-1 gate (sub-second).
+    Quick,
+}
+
+impl BenchScale {
+    fn pick(self, full: usize, quick: usize) -> usize {
+        match self {
+            BenchScale::Full => full,
+            BenchScale::Quick => quick,
+        }
+    }
+}
+
+/// One workload's serial-vs-parallel measurement.
+#[derive(Debug, Clone)]
+pub struct WorkloadTiming {
+    /// Stable workload key (`tuner_batch`, `app_cache_build`, `experiment_fanout`).
+    pub name: &'static str,
+    /// Wall time of the `RH_THREADS=1` run, milliseconds.
+    pub serial_ms: f64,
+    /// Wall time per swept width, milliseconds, in [`THREAD_SWEEP`] order.
+    pub parallel_ms: Vec<(usize, f64)>,
+    /// Whether every width produced a bit-identical result fingerprint —
+    /// the DESIGN.md §7 contract, re-verified on every bench run.
+    pub deterministic: bool,
+}
+
+impl WorkloadTiming {
+    /// Speedup of the `threads`-wide run over serial (>1 means faster).
+    pub fn speedup(&self, threads: usize) -> Option<f64> {
+        let (_, ms) = self.parallel_ms.iter().find(|(t, _)| *t == threads)?;
+        if *ms > 0.0 && self.serial_ms.is_finite() {
+            Some(self.serial_ms / ms)
+        } else {
+            None
+        }
+    }
+}
+
+/// The whole baseline: one timing block per pool-backed hot path.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `std::thread::available_parallelism` on the measuring host — readers
+    /// must interpret speedups relative to this (an 8-wide pool cannot beat
+    /// serial on a 1-core container).
+    pub host_threads: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadTiming>,
+}
+
+impl BenchReport {
+    /// Look up one workload's timings by key.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadTiming> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+
+    /// Render as the `BENCH_parallel.json` document (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str("  \"workloads\": {\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", w.name));
+            out.push_str(&format!("      \"serial_ms\": {:.3},\n", w.serial_ms));
+            out.push_str("      \"parallel_ms\": {");
+            for (i, (t, ms)) in w.parallel_ms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{t}\": {ms:.3}"));
+            }
+            out.push_str("},\n");
+            out.push_str(&format!("      \"deterministic\": {}\n", w.deterministic));
+            out.push_str(if wi + 1 < self.workloads.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Time `work` at width 1 and every width in [`THREAD_SWEEP`], checking the
+/// result fingerprint never moves. `work(threads)` must set up its own state,
+/// run the workload under `RH_THREADS=threads`, and return a fingerprint of
+/// everything the workload computed.
+fn sweep(name: &'static str, work: impl Fn(usize) -> u64) -> WorkloadTiming {
+    let time_one = |threads: usize| -> (f64, u64) {
+        std::env::set_var(rockpool::THREADS_ENV, threads.to_string());
+        let start = Instant::now();
+        let fp = work(threads);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        std::env::remove_var(rockpool::THREADS_ENV);
+        (elapsed, fp)
+    };
+    // Warm-up (untimed): touches lazily-initialized state and page cache.
+    let _ = time_one(1);
+    let (serial_ms, serial_fp) = time_one(1);
+    let mut parallel_ms = Vec::with_capacity(THREAD_SWEEP.len());
+    let mut deterministic = true;
+    for &threads in &THREAD_SWEEP {
+        let (ms, fp) = time_one(threads);
+        deterministic &= fp == serial_fp;
+        parallel_ms.push((threads, ms));
+    }
+    WorkloadTiming {
+        name,
+        serial_ms,
+        parallel_ms,
+        deterministic,
+    }
+}
+
+/// Fold a float sequence into an order-sensitive bit fingerprint.
+fn fold_bits(acc: u64, xs: &[f64]) -> u64 {
+    let mut h = acc;
+    for x in xs {
+        h = rockpool::split_seed(h, x.to_bits());
+    }
+    h
+}
+
+/// Workload 1 — the BO/CBO acquisition batch: a GP fitted on a warmed history
+/// scores a 256-candidate pool per suggest (the `optimizers::batch` path).
+fn tuner_batch(scale: BenchScale) -> WorkloadTiming {
+    let suggests = scale.pick(24, 3);
+    sweep("tuner_batch", move |_| {
+        let space = ConfigSpace::query_level();
+        let mut bo = optimizers::bo::BayesOpt::new(space.clone(), 0x0BEC);
+        // Warm the history past n_init so every timed suggest runs the GP path.
+        let mut seed_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        for i in 0..60u64 {
+            let p = space.random_point(&mut seed_rng);
+            let elapsed = 100.0 + (i % 17) as f64 * 9.0;
+            bo.observe(&p, &Outcome::measured(elapsed, 1.0));
+        }
+        let ctx = optimizers::TuningContext {
+            embedding: vec![],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let mut fp = 0u64;
+        for _ in 0..suggests {
+            let p = bo.suggest(&ctx);
+            fp = fold_bits(fp, &p);
+        }
+        fp
+    })
+}
+
+/// Workload 2 — the App Cache Generator sweep: Algorithm 2 over many
+/// artifacts with a trained baseline model (`update_app_cache_batch`).
+fn app_cache_build(scale: BenchScale) -> WorkloadTiming {
+    let artifacts = scale.pick(16, 3);
+    let sigs_per_artifact = scale.pick(6, 3);
+    sweep("app_cache_build", move |_| {
+        let space = ConfigSpace::query_level();
+        let mut rows_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let rows: Vec<BaselineRow> = (0..80)
+            .map(|i| {
+                let point = space.random_point(&mut rows_rng);
+                BaselineRow {
+                    embedding: vec![0.4, 0.7],
+                    point,
+                    data_size: 1.0,
+                    elapsed_ms: 120.0 + (i % 13) as f64 * 20.0,
+                }
+            })
+            .collect();
+        let baseline = BaselineModel::train(&space, &rows, 5);
+        let mut backend = AutotuneBackend::new(Arc::new(Storage::new()), baseline, 0xCAC8E);
+        let ctx = optimizers::TuningContext {
+            embedding: vec![0.4, 0.7],
+            expected_data_size: 1.0,
+            iteration: 0,
+        };
+        let mut batch: Vec<(String, Vec<u64>, f64)> = Vec::with_capacity(artifacts);
+        for a in 0..artifacts as u64 {
+            let sigs: Vec<u64> = (0..sigs_per_artifact as u64)
+                .map(|q| a * 100 + q + 1)
+                .collect();
+            for &sig in &sigs {
+                let _ = backend.suggest("bench", sig, &ctx);
+            }
+            batch.push((format!("artifact-{a}"), sigs, 1.0));
+        }
+        let installed = backend.update_app_cache_batch("bench", &batch);
+        let mut fp = installed as u64;
+        for (artifact, _, _) in &batch {
+            if let Some(conf) = backend.app_conf(artifact) {
+                fp = fold_bits(fp, &conf);
+            }
+        }
+        fp
+    })
+}
+
+/// Workload 3 — the experiment fan-out: independent seeded replications of a
+/// small simulated tuning run (`experiments::replicate_raw`).
+fn experiment_fanout(scale: BenchScale) -> WorkloadTiming {
+    let runs = scale.pick(24, 4);
+    let iters = scale.pick(12, 4);
+    sweep("experiment_fanout", move |_| {
+        let traces = experiments::harness::replicate_raw(runs, |seed| {
+            let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::high(), seed);
+            let mut tuner = optimizers::random::RandomSearch::new(env.space().clone(), seed);
+            (0..iters)
+                .map(|_| {
+                    let p = tuner.suggest(&env.context());
+                    let o = env.run(&p);
+                    tuner.observe(&p, &o);
+                    o.elapsed_ms
+                })
+                .collect()
+        });
+        let mut fp = 0u64;
+        for t in &traces {
+            fp = fold_bits(fp, t);
+        }
+        fp
+    })
+}
+
+/// Run the full serial-vs-parallel sweep.
+pub fn run_parallel_bench(scale: BenchScale) -> BenchReport {
+    BenchReport {
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        workloads: vec![
+            tuner_batch(scale),
+            app_cache_build(scale),
+            experiment_fanout(scale),
+        ],
+    }
+}
+
+/// Where `BENCH_parallel.json` goes: `$ROCKHOPPER_BENCH_OUT` or [`DEFAULT_OUT`].
+pub fn out_path() -> std::path::PathBuf {
+    std::env::var("ROCKHOPPER_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from(DEFAULT_OUT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_covers_every_workload_and_roundtrips() {
+        let report = run_parallel_bench(BenchScale::Quick);
+        assert_eq!(report.workloads.len(), 3);
+        for w in &report.workloads {
+            assert!(w.serial_ms >= 0.0);
+            assert_eq!(w.parallel_ms.len(), THREAD_SWEEP.len());
+            assert!(
+                w.deterministic,
+                "{} fingerprint moved across widths",
+                w.name
+            );
+        }
+        let json = report.to_json();
+        let value = serde_json::value_from_str(&json).expect("valid JSON");
+        match value.get_field("schema") {
+            serde::Value::Str(s) => assert_eq!(s, SCHEMA),
+            other => panic!("schema field: {other:?}"),
+        }
+        for name in ["tuner_batch", "app_cache_build", "experiment_fanout"] {
+            let w = value.get_field("workloads").get_field(name);
+            assert!(
+                matches!(w.get_field("serial_ms"), serde::Value::Float(_)),
+                "{name} serial_ms missing"
+            );
+            assert!(
+                matches!(w.get_field("deterministic"), serde::Value::Bool(true)),
+                "{name} not flagged deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_lookup() {
+        let w = WorkloadTiming {
+            name: "x",
+            serial_ms: 100.0,
+            parallel_ms: vec![(2, 50.0), (8, 25.0)],
+            deterministic: true,
+        };
+        assert_eq!(w.speedup(8), Some(4.0));
+        assert_eq!(w.speedup(2), Some(2.0));
+        assert_eq!(w.speedup(4), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! `cargo run -p bench [--quick]` — measure the pool-backed hot paths
+//! (tuner candidate batch, app-cache build, experiment fan-out) serially and
+//! at 2/4/8 workers, verify bit-identical results at every width, and write
+//! the `BENCH_parallel.json` baseline (path overridable with
+//! `ROCKHOPPER_BENCH_OUT`).
+
+use bench::BenchScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        BenchScale::Quick
+    } else {
+        BenchScale::Full
+    };
+    let report = bench::run_parallel_bench(scale);
+    for w in &report.workloads {
+        let per_width: Vec<String> = w
+            .parallel_ms
+            .iter()
+            .map(|(t, ms)| {
+                let speedup = w.speedup(*t).unwrap_or(f64::NAN);
+                format!("{t}t {ms:.1}ms ({speedup:.2}x)")
+            })
+            .collect();
+        println!(
+            "{:<18} serial {:.1}ms | {} | deterministic: {}",
+            w.name,
+            w.serial_ms,
+            per_width.join(" | "),
+            w.deterministic
+        );
+    }
+    println!(
+        "host parallelism: {} (speedups are bounded by physical cores)",
+        report.host_threads
+    );
+    let path = bench::out_path();
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if report.workloads.iter().any(|w| !w.deterministic) {
+        eprintln!("FAIL: a workload's results changed with the thread count");
+        std::process::exit(1);
+    }
+}

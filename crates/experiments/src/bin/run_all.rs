@@ -29,9 +29,18 @@ fn main() {
         ("fault_injection", experiments::exp_fault_injection::run),
         ("applevel", experiments::exp_applevel::run),
     ];
-    for (name, run) in experiments {
-        let start = std::time::Instant::now();
-        let summary = run(scale);
+    // Fan the experiments out over the ambient rockpool (`RH_THREADS`), then
+    // report serially in the declared order: every experiment is seeded
+    // internally and writes its own CSV stems, so runs are independent and the
+    // fan-out cannot change any result — only the wall-clock of the sweep.
+    let pool = rockpool::Pool::from_env();
+    let finished: Vec<(&str, experiments::Summary, f64)> =
+        pool.map(&experiments, |_, (name, run)| {
+            let start = std::time::Instant::now();
+            let summary = run(scale);
+            (*name, summary, start.elapsed().as_secs_f64())
+        });
+    for (name, summary, elapsed) in finished {
         summary.print();
         if plot {
             for file in &summary.files {
@@ -48,9 +57,6 @@ fn main() {
                 }
             }
         }
-        eprintln!(
-            "[{name}] completed in {:.1}s",
-            start.elapsed().as_secs_f64()
-        );
+        eprintln!("[{name}] completed in {elapsed:.1}s");
     }
 }

@@ -113,36 +113,15 @@ where
 }
 
 /// As [`replicate`], returning the raw per-run traces.
+///
+/// Each replication is an index-addressed rockpool task seeded by its run
+/// index, so the trace matrix is bit-identical for every `RH_THREADS`
+/// (DESIGN.md §7) — the pool only changes how long the fan-out takes.
 pub fn replicate_raw<F>(n_runs: usize, f: F) -> Vec<Vec<f64>>
 where
     F: Fn(u64) -> Vec<f64> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(n_runs.max(1));
-    let mut results: Vec<Option<Vec<f64>>> = vec![None; n_runs];
-    let chunks: Vec<Vec<usize>> = (0..threads)
-        .map(|t| (0..n_runs).filter(|i| i % threads == t).collect())
-        .collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in &chunks {
-            let f = &f;
-            handles.push(
-                scope.spawn(move || chunk.iter().map(|&i| (i, f(i as u64))).collect::<Vec<_>>()),
-            );
-        }
-        for h in handles {
-            for (i, trace) in h.join().expect("replication thread") {
-                results[i] = Some(trace);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("all runs filled"))
-        .collect()
+    rockpool::Pool::from_env().run(n_runs, |i| f(i as u64))
 }
 
 /// CSV rows for a band series: `iteration, p5, p50, p95`.

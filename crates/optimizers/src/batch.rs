@@ -1,0 +1,90 @@
+//! Deterministic batched candidate evaluation.
+//!
+//! Every acquisition loop in this workspace has the same shape: draw a
+//! candidate set *serially* from the tuner's seeded RNG (cheap), score each
+//! candidate against a fitted model (expensive — a GP posterior is O(n²) per
+//! point), then take an arg-extremum. The helpers here parallelize only the
+//! middle step, under the `rockpool` contract: scores are computed per stable
+//! candidate index and reduced in index order, so the selected point is
+//! bit-identical to the serial loop for every `RH_THREADS` value.
+
+use rockpool::Pool;
+
+/// Score every candidate with `score`, fanned out over `pool`, returned in
+/// candidate order. Equivalent to `candidates.iter().map(score).collect()`.
+// rhlint:allow(dead-pub): explicit-pool variant for harnesses that pin a width
+pub fn score_candidates_with<F>(pool: &Pool, candidates: &[Vec<f64>], score: F) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    pool.map(candidates, |_, c| score(c))
+}
+
+/// [`score_candidates_with`] on the ambient [`Pool::from_env`] pool
+/// (`RH_THREADS`, defaulting to the machine's parallelism).
+pub fn score_candidates<F>(candidates: &[Vec<f64>], score: F) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    score_candidates_with(&Pool::from_env(), candidates, score)
+}
+
+/// Index of the largest finite score, first index winning ties — exactly the
+/// `score > best` running-maximum loop the serial suggest used. `None` when
+/// `scores` is empty or nothing beats `f64::NEG_INFINITY` (all NaN).
+pub fn argmax_first(scores: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &s) in scores.iter().enumerate() {
+        let beat = match best {
+            Some((_, b)) => s > b,
+            None => s > f64::NEG_INFINITY,
+        };
+        if beat {
+            best = Some((i, s));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_come_back_in_candidate_order() {
+        let cands: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        for threads in [1, 2, 8] {
+            let scores = score_candidates_with(&Pool::new(threads), &cands, |c| c[0] * 2.0);
+            for (i, s) in scores.iter().enumerate() {
+                assert_eq!(*s, i as f64 * 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_first_matches_the_serial_running_max() {
+        // The serial loop: `if ei > best_ei { keep }` — first max wins ties.
+        let serial = |scores: &[f64]| {
+            let mut best = f64::NEG_INFINITY;
+            let mut idx = None;
+            for (i, &s) in scores.iter().enumerate() {
+                if s > best {
+                    best = s;
+                    idx = Some(i);
+                }
+            }
+            idx
+        };
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0, 3.0, 3.0, 2.0],
+            vec![f64::NAN, 1.0, f64::NAN],
+            vec![f64::NAN, f64::NAN],
+            vec![],
+            vec![f64::NEG_INFINITY],
+            vec![-1.0, -1.0],
+        ];
+        for scores in &cases {
+            assert_eq!(argmax_first(scores), serial(scores), "{scores:?}");
+        }
+    }
+}

@@ -71,18 +71,20 @@ impl Tuner for BayesOpt {
             .best_raw()
             .map(|o| o.elapsed_ms.ln())
             .unwrap_or(0.0);
-        let mut best_point = None;
-        let mut best_ei = f64::NEG_INFINITY;
-        for _ in 0..self.n_candidates {
-            let cand = self.space.random_point(&mut self.rng);
-            let post = gp.posterior(&self.space.normalize(&cand));
-            let ei = expected_improvement(&post, best);
-            if ei > best_ei {
-                best_ei = ei;
-                best_point = Some(cand);
-            }
+        // Candidates are drawn serially (preserving the tuner's RNG stream
+        // exactly as the old one-at-a-time loop did), then scored in parallel:
+        // EI evaluation is pure, so the fan-out cannot perturb determinism.
+        let candidates: Vec<Vec<f64>> = (0..self.n_candidates)
+            .map(|_| self.space.random_point(&mut self.rng))
+            .collect();
+        let scores = crate::batch::score_candidates(&candidates, |cand| {
+            let post = gp.posterior(&self.space.normalize(cand));
+            expected_improvement(&post, best)
+        });
+        match crate::batch::argmax_first(&scores).and_then(|i| candidates.get(i)) {
+            Some(cand) => cand.clone(),
+            None => self.space.random_point(&mut self.rng),
         }
-        best_point.unwrap_or_else(|| self.space.random_point(&mut self.rng))
     }
 
     fn observe(&mut self, point: &[f64], outcome: &Outcome) {

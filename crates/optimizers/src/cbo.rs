@@ -108,18 +108,20 @@ impl Tuner for ContextualBO {
             .unwrap_or_else(|| {
                 gp.predict(&self.features(&ctx.embedding, &self.space.default_point()))
             });
-        let mut best_point = None;
-        let mut best_ei = f64::NEG_INFINITY;
-        for _ in 0..self.n_candidates {
-            let cand = self.space.random_point(&mut self.rng);
-            let post = gp.posterior(&self.features(&ctx.embedding, &cand));
-            let ei = expected_improvement(&post, best);
-            if ei > best_ei {
-                best_ei = ei;
-                best_point = Some(cand);
-            }
+        // Serial candidate draws (RNG stream untouched relative to the old
+        // loop), parallel pure EI scoring, first-max selection — bit-identical
+        // to the serial suggest for every RH_THREADS (DESIGN.md §7).
+        let candidates: Vec<Vec<f64>> = (0..self.n_candidates)
+            .map(|_| self.space.random_point(&mut self.rng))
+            .collect();
+        let scores = crate::batch::score_candidates(&candidates, |cand| {
+            let post = gp.posterior(&self.features(&ctx.embedding, cand));
+            expected_improvement(&post, best)
+        });
+        match crate::batch::argmax_first(&scores).and_then(|i| candidates.get(i)) {
+            Some(cand) => cand.clone(),
+            None => self.space.random_point(&mut self.rng),
         }
-        best_point.unwrap_or_else(|| self.space.random_point(&mut self.rng))
     }
 
     fn observe(&mut self, point: &[f64], outcome: &Outcome) {

@@ -19,6 +19,7 @@
 
 pub mod acquisition;
 pub mod bandit;
+pub mod batch;
 pub mod bo;
 pub mod categorical;
 pub mod cbo;

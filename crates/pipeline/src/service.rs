@@ -15,7 +15,7 @@ use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 
 use optimizers::space::ConfigSpace;
 use optimizers::tuner::{Outcome, Tuner, TuningContext};
-use rockhopper::applevel::{AppCache, AppLevelOptimizer, QueryState};
+use rockhopper::applevel::{AppCache, AppCacheEntry, AppLevelOptimizer, QueryState};
 use rockhopper::baseline::BaselineModel;
 use rockhopper::RockhopperTuner;
 use sparksim::event::SparkEvent;
@@ -293,6 +293,39 @@ impl AutotuneBackend {
         signatures: &[u64],
         expected_p: f64,
     ) {
+        if let Some(entry) = self.compute_app_cache_entry(user, signatures, expected_p) {
+            self.commit_app_cache_entry(artifact_id, entry);
+        }
+    }
+
+    /// The pure half of the App Cache Generator: run Algorithm 2 for one
+    /// artifact's signatures without touching the cache or storage. `None`
+    /// when no signature has a live tuner.
+    fn compute_app_cache_entry(
+        &self,
+        user: &str,
+        signatures: &[u64],
+        expected_p: f64,
+    ) -> Option<AppCacheEntry> {
+        let inputs = self.gather_app_cache_inputs(user, signatures, expected_p)?;
+        solve_app_cache_entry(
+            &self.app_optimizer,
+            self.baseline.as_ref(),
+            self.seed,
+            &inputs,
+        )
+    }
+
+    /// Snapshot what Algorithm 2 needs for one artifact out of the live tuner
+    /// map: centroids and embeddings, as plain data. Separated from
+    /// [`AutotuneBackend::solve_app_cache_entry`] so a batch sweep can gather
+    /// serially (tuners hold non-`Sync` selector state) and solve in parallel.
+    fn gather_app_cache_inputs(
+        &self,
+        user: &str,
+        signatures: &[u64],
+        expected_p: f64,
+    ) -> Option<AppCacheInputs> {
         let queries: Vec<QueryState> = signatures
             .iter()
             .filter_map(|&sig| {
@@ -305,48 +338,66 @@ impl AutotuneBackend {
             })
             .collect();
         if queries.is_empty() {
-            return;
+            return None;
         }
-        // Score with the baseline model when present (embedding + query point at the
-        // expected data size), discounted by a simple parallelism factor from the
-        // app-level executor knob — app knobs are otherwise invisible to the
-        // query-level baseline.
-        let baseline = self.baseline.clone();
         let embeddings: Vec<Vec<f64>> = signatures
             .iter()
             .map(|s| self.embeddings.get(s).cloned().unwrap_or_default())
             .collect();
-        let app_space = self.app_optimizer.app_space.clone();
-        let score = move |qi: usize, app: &[f64], query: &[f64]| -> f64 {
-            let base = match &baseline {
-                Some(b) => b.predict_ms(&embeddings[qi], query, expected_p),
-                None => 1000.0,
-            };
-            // More executors shorten wide stages but add startup/GC drag: a convex
-            // proxy with an interior optimum at ~60% of the executor range.
-            // Fall back to the proxy's optimum (multiplier 1.0) if either the app
-            // space or the candidate point is unexpectedly empty.
-            let xe = match (app_space.dims.first(), app.first()) {
-                (Some(dim), Some(&v)) => dim.normalize(v),
-                _ => 0.6,
-            };
-            base * (1.0 + 0.6 * (xe - 0.6) * (xe - 0.6))
-        };
-        let current = self.app_optimizer.app_space.default_point();
-        if let Some(entry) =
-            self.app_optimizer
-                .optimize(&current, &queries, score, self.seed ^ 0x00AC_CAFE)
-        {
-            // Persisting the entry is best-effort: the in-memory cache below is
-            // authoritative for this process.
-            if let Ok(bytes) = serde_json::to_vec(&entry) {
-                let token = self.storage.issue_token("app_cache/", true, u64::MAX);
-                let _ = self
-                    .storage
-                    .put(&token, &paths::app_cache(artifact_id), bytes);
-            }
-            self.app_cache.put(artifact_id, entry);
+        Some(AppCacheInputs {
+            queries,
+            embeddings,
+            expected_p,
+        })
+    }
+
+    /// The mutating half: persist (best-effort — the in-memory cache is
+    /// authoritative for this process) and install one computed entry.
+    fn commit_app_cache_entry(&mut self, artifact_id: &str, entry: AppCacheEntry) {
+        if let Ok(bytes) = serde_json::to_vec(&entry) {
+            let token = self.storage.issue_token("app_cache/", true, u64::MAX);
+            let _ = self
+                .storage
+                .put(&token, &paths::app_cache(artifact_id), bytes);
         }
+        self.app_cache.put(artifact_id, entry);
+    }
+
+    /// Refresh the `app_cache` for many artifacts at once — the nightly App
+    /// Cache Generator sweep over every recurrent application of a user.
+    /// Entries are *computed* concurrently on the ambient rockpool (each
+    /// artifact is a stable-index task; Algorithm 2 is seeded identically to
+    /// [`AutotuneBackend::update_app_cache`]) and *committed* serially in
+    /// artifact order, so the resulting cache and storage writes are
+    /// bit-identical to calling `update_app_cache` in a loop, for any
+    /// `RH_THREADS` (DESIGN.md §7). Returns the number of entries installed.
+    pub fn update_app_cache_batch(
+        &mut self,
+        user: &str,
+        artifacts: &[(String, Vec<u64>, f64)],
+    ) -> usize {
+        // Gather serially (the tuner map holds non-Sync selector state), then
+        // solve each artifact as a stable-index task on the pool over plain
+        // Sync data; commits need `&mut self` and run after, in artifact order.
+        let inputs: Vec<Option<AppCacheInputs>> = artifacts
+            .iter()
+            .map(|(_, sigs, p)| self.gather_app_cache_inputs(user, sigs, *p))
+            .collect();
+        let (optimizer, baseline, seed) = (&self.app_optimizer, self.baseline.as_ref(), self.seed);
+        let entries: Vec<Option<AppCacheEntry>> =
+            rockpool::Pool::from_env().map(&inputs, |_, maybe| {
+                maybe
+                    .as_ref()
+                    .and_then(|i| solve_app_cache_entry(optimizer, baseline, seed, i))
+            });
+        let mut installed = 0;
+        for (slot, entry) in artifacts.iter().zip(entries) {
+            if let Some(entry) = entry {
+                self.commit_app_cache_entry(&slot.0, entry);
+                installed += 1;
+            }
+        }
+        installed
     }
 
     /// The pre-computed app-level configuration for a submitting artifact, if any
@@ -478,6 +529,48 @@ impl AutotuneBackend {
     }
 }
 
+/// One artifact's snapshotted Algorithm 2 inputs: plain `Sync` data carved
+/// out of the live (non-`Sync`) tuner map so batch solves can fan out.
+struct AppCacheInputs {
+    queries: Vec<QueryState>,
+    embeddings: Vec<Vec<f64>>,
+    expected_p: f64,
+}
+
+/// Run Algorithm 2 over one artifact's snapshotted inputs. A free function of
+/// `Sync` arguments only, so any number of artifacts solve concurrently
+/// ([`AutotuneBackend::update_app_cache_batch`]).
+fn solve_app_cache_entry(
+    optimizer: &AppLevelOptimizer,
+    baseline: Option<&BaselineModel>,
+    seed: u64,
+    inputs: &AppCacheInputs,
+) -> Option<AppCacheEntry> {
+    // Score with the baseline model when present (embedding + query point at the
+    // expected data size), discounted by a simple parallelism factor from the
+    // app-level executor knob — app knobs are otherwise invisible to the
+    // query-level baseline.
+    let app_space = &optimizer.app_space;
+    let expected_p = inputs.expected_p;
+    let score = move |qi: usize, app: &[f64], query: &[f64]| -> f64 {
+        let base = match (baseline, inputs.embeddings.get(qi)) {
+            (Some(b), Some(emb)) => b.predict_ms(emb, query, expected_p),
+            _ => 1000.0,
+        };
+        // More executors shorten wide stages but add startup/GC drag: a convex
+        // proxy with an interior optimum at ~60% of the executor range.
+        // Fall back to the proxy's optimum (multiplier 1.0) if either the app
+        // space or the candidate point is unexpectedly empty.
+        let xe = match (app_space.dims.first(), app.first()) {
+            (Some(dim), Some(&v)) => dim.normalize(v),
+            _ => 0.6,
+        };
+        base * (1.0 + 0.6 * (xe - 0.6) * (xe - 0.6))
+    };
+    let current = optimizer.app_space.default_point();
+    optimizer.optimize(&current, &inputs.queries, score, seed ^ 0x00AC_CAFE)
+}
+
 /// Messages from clients to the backend thread.
 enum Request {
     Suggest {
@@ -559,6 +652,20 @@ impl AutotuneService {
     pub fn shutdown(mut self) -> Option<AutotuneBackend> {
         let _ = self.tx.send(Request::Shutdown);
         self.handle.take()?.join().ok()
+    }
+}
+
+impl Drop for AutotuneService {
+    /// A dropped service must not leave its backend thread detached: even when
+    /// callers skip [`AutotuneService::shutdown`], send the shutdown request
+    /// and *join*. Queued work drains first (the shutdown message sits behind
+    /// it in the channel), so no accepted ingest is lost; a panicked backend's
+    /// payload is swallowed here because drop runs on unwind paths too.
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(Request::Shutdown);
+            let _ = handle.join();
+        }
     }
 }
 

@@ -19,7 +19,11 @@
 //!   through seeded `StdRng`s. Beyond the token scan, a call-graph taint walk
 //!   ([`callgraph::determinism_taint`], RH013) follows calls out of the scoped
 //!   crates through `use ... as` aliases and helper fns to sinks the lexical
-//!   pass never sees.
+//!   pass never sees. Raw `thread::spawn` (RH018) is confined to the two
+//!   sanctioned sites — the `rockpool` work pool and the `pipeline::service`
+//!   backend worker — everything else must fan out through `rockpool::Pool`,
+//!   which splits seeds on stable task indices and reduces in index order
+//!   (DESIGN.md §7).
 //! * **float-safety** — no `partial_cmp(..).unwrap()`, no float sorts via
 //!   `partial_cmp`, no bare `f64::NAN` literals; comparisons go through
 //!   `ml::stats::total_cmp_f64` and friends.
@@ -32,7 +36,7 @@
 //!   `RunOutcome` matches that hide `Failed`/`Censored` behind a wildcard
 //!   (RH017), all driven by the symbol table and a local type environment.
 //!
-//! Every rule carries a stable `RH001`–`RH017` code (`rhlint rules` lists
+//! Every rule carries a stable `RH001`–`RH018` code (`rhlint rules` lists
 //! them); `rhlint check --format json` emits the findings as a byte-stable
 //! JSON array for tooling. Diagnostics are `file:line`-addressed. A finding
 //! can be suppressed inline with a justification, by rule id or RH code:
@@ -105,10 +109,15 @@ pub enum Rule {
     /// A `match` on [`RunOutcome`] in production code that does not handle
     /// `Failed` and `Censored` explicitly, or hides them behind `_`.
     OutcomeMatch,
+    /// Raw `thread::spawn` outside the sanctioned sites (`rockpool`, the
+    /// `pipeline::service` worker): ad-hoc threads bypass the pool's
+    /// seed-splitting and ordered-reduction contract (DESIGN.md §7) and
+    /// detach instead of joining.
+    ThreadSpawn,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 18] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -126,6 +135,7 @@ impl Rule {
         Rule::LossyCast,
         Rule::DeadPub,
         Rule::OutcomeMatch,
+        Rule::ThreadSpawn,
     ];
 
     /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
@@ -148,10 +158,11 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::DeadPub => "dead-pub",
             Rule::OutcomeMatch => "outcome-match",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 
-    /// Stable machine-readable diagnostic code (`RH001`–`RH016`). Codes are
+    /// Stable machine-readable diagnostic code (`RH001`–`RH018`). Codes are
     /// append-only: a rule keeps its code forever, new rules take the next
     /// free number.
     pub fn code(self) -> &'static str {
@@ -173,6 +184,7 @@ impl Rule {
             Rule::LossyCast => "RH015",
             Rule::DeadPub => "RH016",
             Rule::OutcomeMatch => "RH017",
+            Rule::ThreadSpawn => "RH018",
         }
     }
 
@@ -196,6 +208,7 @@ impl Rule {
             Rule::LossyCast => "`as` cast can silently truncate, wrap, or lose precision; guard or convert explicitly",
             Rule::DeadPub => "`pub` item is never referenced outside its defining file; remove or demote visibility",
             Rule::OutcomeMatch => "`match` on `RunOutcome` must handle `Failed` and `Censored` explicitly — a wildcard arm silently swallows new failure modes",
+            Rule::ThreadSpawn => "raw `thread::spawn` outside rockpool/`pipeline::service`; fan out through `rockpool::Pool` so seeds split on task index and results reduce in order",
         }
     }
 
@@ -203,9 +216,11 @@ impl Rule {
     pub fn family(self) -> &'static str {
         match self {
             Rule::Unwrap | Rule::Expect | Rule::Panic | Rule::SliceIndex => "panic-freedom",
-            Rule::WallClock | Rule::AmbientRng | Rule::HashIter | Rule::DeterminismTaint => {
-                "determinism"
-            }
+            Rule::WallClock
+            | Rule::AmbientRng
+            | Rule::HashIter
+            | Rule::DeterminismTaint
+            | Rule::ThreadSpawn => "determinism",
             Rule::PartialCmpUnwrap | Rule::FloatSort | Rule::NanLiteral => "float-safety",
             Rule::ConfigSpace => "config-space",
             Rule::BadSuppression => "suppression",

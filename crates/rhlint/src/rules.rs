@@ -33,12 +33,13 @@ pub(crate) fn raw_findings(
     masked: &MaskedSource,
     scope: ScanScope,
 ) -> Vec<Diagnostic> {
+    let sanctioned_spawn = spawn_sanctioned(crate_name, rel_path);
     let mut diagnostics = Vec::new();
     for (idx, masked_line) in masked.masked_lines.iter().enumerate() {
         if masked.in_test.get(idx).copied().unwrap_or(false) {
             continue;
         }
-        for (rule, message) in line_findings(masked_line, scope, crate_name) {
+        for (rule, message) in line_findings(masked_line, scope, crate_name, sanctioned_spawn) {
             diagnostics.push(Diagnostic {
                 file: rel_path.to_path_buf(),
                 line: idx + 1,
@@ -84,8 +85,25 @@ pub(crate) fn bad_suppressions(rel_path: &Path, masked: &MaskedSource) -> Vec<Di
     diagnostics
 }
 
+/// The two sites allowed to call `thread::spawn` directly: the `rockpool`
+/// work pool itself, and the `pipeline::service` backend worker (a single
+/// long-lived request loop that the service handle joins on shutdown).
+/// Everything else must fan out through `rockpool::Pool`.
+fn spawn_sanctioned(crate_name: &str, rel_path: &Path) -> bool {
+    crate_name == "rockpool"
+        || rel_path
+            .to_string_lossy()
+            .replace('\\', "/")
+            .ends_with("pipeline/src/service.rs")
+}
+
 /// All rule hits on one masked line, before suppression filtering.
-fn line_findings(line: &str, scope: ScanScope, crate_name: &str) -> Vec<(Rule, String)> {
+fn line_findings(
+    line: &str,
+    scope: ScanScope,
+    crate_name: &str,
+    sanctioned_spawn: bool,
+) -> Vec<(Rule, String)> {
     let mut findings = Vec::new();
 
     if scope.float_safety {
@@ -177,6 +195,20 @@ fn line_findings(line: &str, scope: ScanScope, crate_name: &str) -> Vec<(Rule, S
                 ));
             }
         }
+    }
+
+    // Thread discipline applies to every scoped crate: a raw spawn escapes
+    // both the panic story (a detached thread's panic is invisible) and the
+    // determinism story (no seed splitting, no ordered reduction).
+    if (scope.panic_freedom || scope.determinism)
+        && !sanctioned_spawn
+        && line.contains("thread::spawn")
+    {
+        findings.push((
+            Rule::ThreadSpawn,
+            "raw thread::spawn outside rockpool/pipeline::service; fan out through rockpool::Pool"
+                .into(),
+        ));
     }
 
     findings
@@ -376,6 +408,39 @@ mod tests {
         // timestamps real wall-clock events by design).
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         assert!(scan("pipeline", src).is_empty());
+    }
+
+    // ---- thread discipline ----
+
+    #[test]
+    fn flags_raw_thread_spawn_in_scoped_crates() {
+        let src = "fn f() { let h = std::thread::spawn(|| 1); let _ = h.join(); }\n";
+        assert_eq!(rules_of(&scan("optimizers", src)), vec![Rule::ThreadSpawn]);
+        // Panic-scoped but determinism-exempt crates are still thread-scoped.
+        assert_eq!(rules_of(&scan("ml", src)), vec![Rule::ThreadSpawn]);
+    }
+
+    #[test]
+    fn sanctioned_spawn_sites_are_exempt() {
+        let src = "fn f() { let h = std::thread::spawn(|| 1); let _ = h.join(); }\n";
+        // The pipeline service worker is the sanctioned long-lived thread.
+        let diags = scan_source(
+            "pipeline",
+            &PathBuf::from("crates/pipeline/src/service.rs"),
+            src,
+            ScanScope::for_crate("pipeline"),
+        );
+        assert!(rules_of(&diags).is_empty(), "got {diags:?}");
+        // rockpool and the unscoped harness crates never flag.
+        assert!(scan("rockpool", src).is_empty());
+        assert!(scan("experiments", src).is_empty());
+    }
+
+    #[test]
+    fn scoped_spawn_through_the_pool_is_clean() {
+        let src =
+            "fn f(xs: &[u64]) -> Vec<u64> { rockpool::Pool::from_env().map(xs, |_, x| x + 1) }\n";
+        assert!(scan("optimizers", src).is_empty());
     }
 
     // ---- float-safety ----

@@ -1,0 +1,15 @@
+//! Fixture optimizers crate: one raw `thread::spawn` in a scoped crate —
+//! the RH018 violation this fixture exists to trigger.
+
+pub mod space;
+
+use space::{app_level, query_level};
+
+fn dims() -> usize {
+    query_level().len() + app_level().len()
+}
+
+fn fan_out() -> usize {
+    let worker = std::thread::spawn(dims);
+    worker.join().unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+//! Fixture pipeline service: the sanctioned `thread::spawn` site — the one
+//! long-lived backend worker the service handle joins on shutdown. RH018
+//! must stay silent here.
+
+fn spawn_backend() -> u64 {
+    let handle = std::thread::spawn(|| 7u64);
+    handle.join().unwrap_or(0)
+}

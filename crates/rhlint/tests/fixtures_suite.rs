@@ -138,6 +138,22 @@ fn outcome_match_fires_on_wildcard_arm_only() {
     assert!(d.message.contains("catch-all"), "{}", d.message);
 }
 
+/// Two `thread::spawn` calls: one in a scoped crate (flagged), one in the
+/// sanctioned `pipeline/src/service.rs` worker (exempt). Exactly one RH018.
+#[test]
+fn thread_spawn_fires_outside_sanctioned_sites() {
+    let diags = fixture_check("thread_spawn");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::ThreadSpawn);
+    assert!(
+        d.file.to_string_lossy().contains("optimizers"),
+        "the flagged spawn is the optimizers one: {}",
+        d.file.display()
+    );
+    assert!(d.message.contains("rockpool"), "{}", d.message);
+}
+
 #[test]
 fn config_space_fires_on_missing_dimension() {
     let diags = fixture_check("config_space");

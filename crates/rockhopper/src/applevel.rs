@@ -83,7 +83,7 @@ impl AppLevelOptimizer {
         seed: u64,
     ) -> Option<AppCacheEntry>
     where
-        F: Fn(usize, &[f64], &[f64]) -> f64,
+        F: Fn(usize, &[f64], &[f64]) -> f64 + Sync,
     {
         if queries.is_empty() {
             return None;
@@ -109,28 +109,41 @@ impl AppLevelOptimizer {
             })
             .collect();
 
-        let mut best: Option<AppCacheEntry> = None;
-        for v in &app_candidates {
-            let mut total = 0.0;
-            let mut per_query = Vec::with_capacity(queries.len());
-            for (qi, q) in queries.iter().enumerate() {
-                // c*_q(v) = argmin over the Cartesian slice {v} × W_q. Each W_q
-                // contains at least the query's own centroid, so a pick exists;
-                // NaN scores are skipped rather than panicking the loop.
-                let cands = &query_candidates[qi];
-                let wi = ml::stats::nan_safe_min_by(cands, |w| score(qi, v, w)).unwrap_or(0);
-                let Some(best_w) = cands.get(wi) else {
-                    continue;
-                };
-                total += score(qi, v, best_w);
-                per_query.push((q.signature, best_w.clone()));
-            }
-            if best.as_ref().is_none_or(|b| total < b.total_score) {
-                best = Some(AppCacheEntry {
+        // Every RNG draw happened above, so evaluating one app candidate is a
+        // pure function of its index: the M×Q×N scoring grid fans out over
+        // rockpool (DESIGN.md §7) while the winner is still chosen by the same
+        // strict `<` left-to-right scan a serial loop would run.
+        let evaluated: Vec<AppCacheEntry> =
+            rockpool::Pool::from_env().map(&app_candidates, |_, v| {
+                let mut total = 0.0;
+                let mut per_query = Vec::with_capacity(queries.len());
+                for (qi, q) in queries.iter().enumerate() {
+                    // c*_q(v) = argmin over the Cartesian slice {v} × W_q. Each W_q
+                    // contains at least the query's own centroid, so a pick exists;
+                    // NaN scores are skipped rather than panicking the loop.
+                    let Some(cands) = query_candidates.get(qi) else {
+                        continue;
+                    };
+                    let wi = ml::stats::nan_safe_min_by(cands, |w| score(qi, v, w)).unwrap_or(0);
+                    let Some(best_w) = cands.get(wi) else {
+                        continue;
+                    };
+                    total += score(qi, v, best_w);
+                    per_query.push((q.signature, best_w.clone()));
+                }
+                AppCacheEntry {
                     app_point: v.clone(),
                     per_query,
                     total_score: total,
-                });
+                }
+            });
+        let mut best: Option<AppCacheEntry> = None;
+        for entry in evaluated {
+            if best
+                .as_ref()
+                .is_none_or(|b| entry.total_score < b.total_score)
+            {
+                best = Some(entry);
             }
         }
         best

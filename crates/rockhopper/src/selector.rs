@@ -61,7 +61,10 @@ impl CandidateSelector for SurrogateSelector {
         history: &History,
     ) -> usize {
         assert!(!candidates.is_empty(), "candidate set must be non-empty");
-        // Prefer the query's own window model once it can be fit.
+        // Prefer the query's own window model once it can be fit. Scoring a
+        // CL centroid's whole sample set is pure (the fitted model is read
+        // only), so it fans out over rockpool; the index-ordered reduction in
+        // `argmin_by` keeps the pick bit-identical to the serial loop.
         if let Some(h) = fit_window_model(space, history.window(self.window)) {
             return argmin_by(candidates, |c| {
                 h.predict(&h_features(space, c, ctx.expected_data_size))
@@ -147,10 +150,14 @@ impl CandidateSelector for RandomSelector {
     }
 }
 
-fn argmin_by<F: Fn(&Vec<f64>) -> f64>(candidates: &[Vec<f64>], score: F) -> usize {
-    // Candidates are asserted non-empty by every selector; if every score is
-    // NaN the first candidate is as good a pick as any.
-    ml::stats::nan_safe_min_by(candidates, score).unwrap_or(0)
+fn argmin_by<F: Fn(&Vec<f64>) -> f64 + Sync>(candidates: &[Vec<f64>], score: F) -> usize {
+    // Scores are computed per stable candidate index on the ambient pool and
+    // reduced in index order, so the winning index matches the serial scan
+    // for any RH_THREADS (DESIGN.md §7). Candidates are asserted non-empty by
+    // every selector; if every score is NaN the first candidate is as good a
+    // pick as any.
+    let scores = rockpool::Pool::from_env().map(candidates, |_, c| score(c));
+    ml::stats::nan_safe_min_by(&scores, |s| *s).unwrap_or(0)
 }
 
 #[cfg(test)]

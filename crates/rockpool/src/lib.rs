@@ -1,0 +1,266 @@
+#![forbid(unsafe_code)]
+
+//! `rockpool` — a std-only scoped-thread work pool whose results are
+//! **bit-identical to serial execution** for every thread count.
+//!
+//! The whole stack leans on seeded determinism (same seed ⇒ same History,
+//! same event trace, same fault sequence), so parallelism is only admissible
+//! under a strict contract (DESIGN.md §7):
+//!
+//! 1. **Tasks are index-addressed.** Work is a pure function of the *stable
+//!    task index* `0..n` and the input item, never of which worker picked it
+//!    up or in what order. RNG streams are derived with [`split_seed`] on the
+//!    task index — never on pool-slot order.
+//! 2. **Reduction is ordered.** Results land in a slot per index and are
+//!    returned as `Vec<R>` in index order; callers fold left-to-right exactly
+//!    as a serial loop would.
+//! 3. **Thread count is irrelevant to the answer.** `RH_THREADS=1` and
+//!    `RH_THREADS=64` must produce byte-identical output; the pool only
+//!    changes wall-clock time. `tests/determinism.rs` enforces this end to
+//!    end across fault regimes.
+//!
+//! Workers are `std::thread::scope` threads pulling indices from a shared
+//! atomic counter (an index-sharded work queue — no channels, no external
+//! deps). A panic inside a task is propagated to the caller, like the serial
+//! loop it replaces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable selecting the worker count for [`Pool::from_env`].
+pub const THREADS_ENV: &str = "RH_THREADS";
+
+/// Upper bound on workers: beyond this, scoped-spawn overhead dwarfs any win.
+const MAX_THREADS: usize = 64;
+
+/// Tasks-per-pool threshold under which [`Pool::run`] stays inline: spawning
+/// costs more than it buys for tiny batches.
+const MIN_PARALLEL_TASKS: usize = 2;
+
+/// The worker count [`Pool::from_env`] resolves right now: `RH_THREADS` when
+/// set to a positive integer, else the machine's available parallelism.
+/// Read on every call — tests flip the variable between runs.
+pub fn configured_threads() -> usize {
+    let from_env = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let n = from_env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    n.min(MAX_THREADS)
+}
+
+/// Derive an independent RNG seed for task `task_index` from a run seed.
+///
+/// This is the *only* sanctioned way to give parallel tasks randomness: the
+/// stream depends on the stable task index, so task 3 draws the same numbers
+/// whether it runs first on an 8-thread pool or last on a serial one. The
+/// mix is a SplitMix64 finalizer over `seed ⊕ φ·(index+1)`, so neighbouring
+/// indices land in unrelated streams.
+pub fn split_seed(seed: u64, task_index: u64) -> u64 {
+    let phi: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = seed ^ task_index.wrapping_add(1).wrapping_mul(phi);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-width scoped-thread pool. Creating one is free — threads are
+/// spawned per [`Pool::run`]/[`Pool::map`] call inside a `std::thread::scope`
+/// and always joined before the call returns, so no pool thread ever outlives
+/// its work (nothing detaches).
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to `1..=64`).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// A pool sized by `RH_THREADS` / available parallelism (see
+    /// [`configured_threads`]).
+    pub fn from_env() -> Pool {
+        Pool::new(configured_threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `n_tasks` index-addressed tasks and return their results in index
+    /// order. `f(i)` must be a pure function of `i` (derive randomness with
+    /// [`split_seed`], never from shared mutable state), which is exactly
+    /// what makes the output independent of the thread count.
+    ///
+    /// With one worker — or fewer than two tasks — this is a plain serial
+    /// loop, no threads involved.
+    pub fn run<R, F>(&self, n_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads <= 1 || n_tasks < MIN_PARALLEL_TASKS {
+            return (0..n_tasks).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n_tasks);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n_tasks);
+        slots.resize_with(n_tasks, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(produced) => {
+                        for (i, r) in produced {
+                            if let Some(slot) = slots.get_mut(i) {
+                                *slot = Some(r);
+                            }
+                        }
+                    }
+                    // A task panicked: surface it on the caller exactly as
+                    // the serial loop would have.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        // Every index in 0..n_tasks was claimed exactly once and its worker
+        // joined cleanly above, so every slot is filled.
+        slots.into_iter().flatten().collect()
+    }
+
+    /// Map `f` over `items` with stable indices, results in item order —
+    /// the parallel drop-in for `items.iter().enumerate().map(..).collect()`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| match items.get(i) {
+            Some(item) => f(i, item),
+            // Unreachable: run() only hands out i < items.len().
+            None => f(i, &items[items.len() - 1]),
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_index_order_for_every_width() {
+        let expect: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let got = Pool::new(threads).run(97, |i| i * 3);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_stable_indices_and_items() {
+        let items: Vec<u64> = (0..40).map(|i| i * 7).collect();
+        for threads in [1, 4] {
+            let got = Pool::new(threads).map(&items, |i, &v| (i, v));
+            for (i, (idx, v)) in got.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*v, items[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_stay_inline() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 5), vec![5]);
+        assert_eq!(pool.map::<u8, u8, _>(&[], |_, &v| v), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn split_seed_is_stable_and_spreads() {
+        assert_eq!(split_seed(42, 0), split_seed(42, 0));
+        // Neighbouring indices must not collide or correlate trivially.
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a ^ b, split_seed(42, 2) ^ split_seed(42, 3));
+    }
+
+    #[test]
+    fn thread_count_never_changes_seeded_results() {
+        // The contract in one test: per-task RNG streams derived by index
+        // produce identical output on every pool width.
+        let work = |i: usize| {
+            let mut state = split_seed(0xDEAD_BEEF, i as u64);
+            let mut acc = 0u64;
+            for _ in 0..100 {
+                state = split_seed(state, 1);
+                acc = acc.wrapping_add(state);
+            }
+            acc
+        };
+        let serial = Pool::new(1).run(64, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(Pool::new(threads).run(64, work), serial);
+        }
+    }
+
+    #[test]
+    fn clamps_thread_counts() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(10_000).threads(), 64);
+    }
+
+    #[test]
+    fn env_override_is_read_per_call() {
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(configured_threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        let fallback = configured_threads();
+        assert!(fallback >= 1);
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn panics_propagate_like_serial() {
+        let caught = std::panic::catch_unwind(|| {
+            Pool::new(4).run(16, |i| {
+                assert!(i != 7, "task 7 exploded");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

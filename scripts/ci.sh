@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Full CI pass, in the order that fails fastest:
-#   formatting → static analysis (rhlint) → release build → tests.
+#   formatting → static analysis (rhlint) → release build → tests (serial and
+#   8-wide pools — DESIGN.md §7 says the results must be identical) → the
+#   parallel-scaling benchmark (BENCH_parallel.json is the uploadable
+#   artifact) → chaos smoke.
 # Usage: scripts/ci.sh  (from anywhere inside the repo)
 set -euo pipefail
 
@@ -15,8 +18,14 @@ cargo run -q -p rhlint -- check
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --workspace
+echo "==> cargo test (RH_THREADS=1)"
+RH_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (RH_THREADS=8)"
+RH_THREADS=8 cargo test -q --workspace
+
+echo "==> parallel-scaling bench (BENCH_parallel.json)"
+cargo run -q --release -p bench -- --quick
 
 echo "==> chaos smoke (fault injection)"
 cargo run -q --release -p experiments --bin exp_fault_injection -- --quick

@@ -1,0 +1,75 @@
+//! Bench regression gate (tier 1): run the quick parallel-scaling sweep,
+//! round-trip it through the `BENCH_parallel.json` schema, and enforce the
+//! sanity floor on the 8-thread tuner batch.
+//!
+//! The floor is core-aware and deliberately loose (a *sanity* floor, not a
+//! performance target): on a machine with real parallelism the 8-wide batch
+//! must not be slower than serial, while on the 1–3 core containers this
+//! suite also runs in, scoped-spawn overhead legitimately eats the win and
+//! only a catastrophic regression (e.g. an accidental global lock serializing
+//! the pool *and* adding contention) is flagged. Determinism, by contrast, is
+//! a hard requirement at any core count.
+
+use bench::{BenchScale, THREAD_SWEEP};
+
+/// Minimum acceptable `serial_ms / 8-thread_ms` for the tuner batch.
+fn tuner_batch_floor(host_threads: usize) -> f64 {
+    if host_threads >= 4 {
+        1.0
+    } else {
+        // Too few cores for the fan-out to pay for its spawns; just catch
+        // pathological slowdowns.
+        0.25
+    }
+}
+
+#[test]
+fn bench_parallel_json_passes_the_sanity_floor() {
+    let report = bench::run_parallel_bench(BenchScale::Quick);
+
+    // The JSON document round-trips through the declared schema.
+    let json = report.to_json();
+    let doc = serde_json::value_from_str(&json).expect("BENCH_parallel.json parses");
+    match doc.get_field("schema") {
+        serde::Value::Str(s) => assert_eq!(s, bench::SCHEMA),
+        other => panic!("schema field missing or mistyped: {other:?}"),
+    }
+    let host_threads = match doc.get_field("host_threads") {
+        serde::Value::UInt(n) => *n as usize,
+        serde::Value::Int(n) => *n as usize,
+        other => panic!("host_threads missing: {other:?}"),
+    };
+
+    // Every workload reports a serial time, the full width sweep, and — the
+    // hard requirement — bit-identical results at every width.
+    for name in ["tuner_batch", "app_cache_build", "experiment_fanout"] {
+        let w = doc.get_field("workloads").get_field(name);
+        assert!(
+            matches!(w.get_field("serial_ms"), serde::Value::Float(f) if *f >= 0.0),
+            "{name}: serial_ms missing"
+        );
+        for t in THREAD_SWEEP {
+            let ms = w.get_field("parallel_ms").get_field(&t.to_string());
+            assert!(
+                matches!(ms, serde::Value::Float(f) if *f >= 0.0),
+                "{name}: missing {t}-thread timing"
+            );
+        }
+        assert!(
+            matches!(w.get_field("deterministic"), serde::Value::Bool(true)),
+            "{name}: results changed with the thread count — determinism contract broken"
+        );
+    }
+
+    // The sanity floor itself, read back from the in-memory report (same data
+    // as the JSON, without re-parsing floats from text).
+    let tuner = report.workload("tuner_batch").expect("tuner_batch present");
+    let speedup = tuner.speedup(8).expect("8-thread timing present");
+    let floor = tuner_batch_floor(host_threads);
+    assert!(
+        speedup >= floor,
+        "8-thread tuner batch regressed: speedup {speedup:.2}x < floor {floor:.2}x \
+         (serial {:.1}ms, host_threads {host_threads})",
+        tuner.serial_ms
+    );
+}

@@ -96,3 +96,128 @@ fn different_seeds_change_the_population() {
     // equality above is not vacuous).
     assert_ne!(run_once(1), run_once(2));
 }
+
+// ---------------------------------------------------------------------------
+// Parallel ≡ serial (DESIGN.md §7): the pool-backed paths must produce
+// bit-identical Histories, metrics, and serialized event traces for every
+// RH_THREADS value, under every fault regime.
+// ---------------------------------------------------------------------------
+
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::{Outcome, Tuner, TuningContext};
+use proptest::prelude::*;
+use rockhopper::guardrail::Guardrail;
+use rockhopper::RockhopperTuner;
+use sparksim::fault::RunOutcome;
+use sparksim::noise::NoiseSpec;
+use workloads::generator::{random_plan, PlanGenConfig};
+
+/// One seeded tuning run against the fault-injecting simulator, fully traced:
+/// every suggested point, every run outcome (success metrics, failure reasons,
+/// censored markers) as serialized JSON, every emitted event line, and the
+/// final tuner snapshot (the serialized History). The tuner's candidate
+/// scoring inside `suggest` fans out over rockpool — the path under test.
+fn one_tuning_run(seed: u64, spec: &FaultSpec) -> Vec<String> {
+    let plan = random_plan(&PlanGenConfig::default(), seed);
+    let space = ConfigSpace::query_level();
+    let mut tuner = RockhopperTuner::builder(space.clone())
+        .seed(seed)
+        .guardrail(Some(Guardrail::default().with_failure_patience(3)))
+        .build();
+    let sim = Simulator::default_pool(NoiseSpec::high());
+    let mut trace = Vec::new();
+    for i in 0..8u32 {
+        let ctx = TuningContext {
+            embedding: vec![0.3, 0.9],
+            expected_data_size: 1.0,
+            iteration: i,
+        };
+        let point = tuner.suggest(&ctx);
+        trace.push(format!("{i} point {point:?}"));
+        let conf = space.to_conf(&point);
+        let run_seed = seed ^ ((i as u64) << 32);
+        let outcome = sim.execute_outcome(&plan, &conf, run_seed, spec);
+        trace.push(serde_json::to_string(&outcome).expect("outcomes serialize"));
+        match &outcome {
+            RunOutcome::Success(run) => {
+                tuner.observe(&point, &Outcome::measured(run.metrics.elapsed_ms, 1.0));
+                let events = sim.events_for_run(
+                    "app-par",
+                    "artifact-par",
+                    7,
+                    &plan,
+                    &conf,
+                    ctx.embedding.clone(),
+                    run,
+                );
+                for event in &events {
+                    trace.push(serde_json::to_string(event).expect("events serialize"));
+                }
+            }
+            RunOutcome::Failed {
+                partial_time_ms, ..
+            } => tuner.observe(
+                &point,
+                &Outcome::censored(partial_time_ms.max(1.0) * 2.0, 1.0),
+            ),
+            RunOutcome::Censored => tuner.observe(&point, &Outcome::censored(1e6, 1.0)),
+        }
+    }
+    // The full History, bit for bit, via the serialized tuner state.
+    trace.push(serde_json::to_string(&tuner.snapshot()).expect("snapshot serializes"));
+    trace
+}
+
+/// Fan several tuning runs out over the pool itself (the experiment-runner
+/// shape): per-replication seeds come from `split_seed` on the stable
+/// replication index, results are reduced in index order.
+fn fanned_out_trace(seed: u64, spec: &FaultSpec) -> Vec<String> {
+    let reps = rockpool::Pool::from_env().run(3, |rep| {
+        one_tuning_run(rockpool::split_seed(seed, rep as u64), spec)
+    });
+    reps.into_iter().flatten().collect()
+}
+
+fn regime(index: usize) -> FaultSpec {
+    match index {
+        0 => FaultSpec::none(),
+        1 => FaultSpec::production(),
+        _ => FaultSpec::chaos(),
+    }
+}
+
+proptest! {
+    // Each case runs the full trace four times (1/2/4/8 threads); keep the
+    // case count small enough for the tier-1 budget while still sweeping
+    // seeds and all three fault regimes.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn parallel_is_bit_identical_to_serial(seed in 0u64..1_000_000, regime_idx in 0usize..3) {
+        let spec = regime(regime_idx);
+        std::env::set_var(rockpool::THREADS_ENV, "1");
+        let serial = fanned_out_trace(seed, &spec);
+        for threads in [2usize, 4, 8] {
+            std::env::set_var(rockpool::THREADS_ENV, threads.to_string());
+            let parallel = fanned_out_trace(seed, &spec);
+            std::env::remove_var(rockpool::THREADS_ENV);
+            prop_assert_eq!(
+                &serial, &parallel,
+                "trace diverged at RH_THREADS={} under regime {}", threads, regime_idx
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_regime_traces_contain_faults() {
+    // Guard against vacuous equality: under chaos the traced outcomes must
+    // actually include failures/censorings for at least one seed.
+    std::env::set_var(rockpool::THREADS_ENV, "4");
+    let any_fault = (0..5u64).any(|seed| {
+        fanned_out_trace(seed, &FaultSpec::chaos())
+            .iter()
+            .any(|line| line.contains("Failed") || line.contains("Censored"))
+    });
+    std::env::remove_var(rockpool::THREADS_ENV);
+    assert!(any_fault, "chaos produced no faults in any traced run");
+}

@@ -178,6 +178,81 @@ proptest! {
     }
 
     #[test]
+    fn exactly_patience_minus_one_failures_keeps_tuning(patience in 1usize..8) {
+        // The boundary, from below: n−1 consecutive failed runs must leave the
+        // guardrail enabled; the n-th disables it, and the switch latches.
+        let mut g = Guardrail::default().with_failure_patience(patience);
+        for i in 0..patience - 1 {
+            g.record_failure();
+            prop_assert!(!g.is_disabled(), "disabled after {} < n−1 failures", i + 1);
+        }
+        g.record_failure();
+        prop_assert!(g.is_disabled(), "still enabled after n = {patience} failures");
+        g.record_success(); // too late: the disable latches
+        g.record_failure();
+        prop_assert!(g.is_disabled());
+    }
+
+    #[test]
+    fn success_mid_streak_resets_the_patience_counter(
+        patience in 2usize..8,
+        streaks in prop::collection::vec(1usize..8, 1..6),
+    ) {
+        // Any number of failure streaks each shorter than n, separated by
+        // successes, never disables; extending the final streak to n does.
+        let mut g = Guardrail::default().with_failure_patience(patience);
+        for streak in &streaks {
+            for _ in 0..(*streak).min(patience - 1) {
+                g.record_failure();
+            }
+            prop_assert!(!g.is_disabled());
+            g.record_success();
+        }
+        prop_assert!(!g.is_disabled(), "short streaks must never accumulate");
+        for _ in 0..patience {
+            g.record_failure();
+        }
+        prop_assert!(g.is_disabled());
+    }
+
+    #[test]
+    fn trailing_censored_counts_exactly_the_terminal_streak(
+        kinds in prop::collection::vec(0u8..2, 0..40),
+    ) {
+        // Arbitrary interleavings of measured (0) and censored (1)
+        // observations: trailing_censored must equal the length of the
+        // censored suffix and nothing else — inner streaks are invisible.
+        let mut h = optimizers::tuner::History::new();
+        for (i, k) in kinds.iter().enumerate() {
+            if *k == 0 {
+                h.push(vec![0.0], 1.0, 100.0 + i as f64);
+            } else {
+                h.all.push(optimizers::tuner::Observation {
+                    point: vec![0.0],
+                    data_size: 1.0,
+                    elapsed_ms: 1e6,
+                    kind: optimizers::tuner::ObservationKind::Censored,
+                });
+            }
+        }
+        let expected = kinds.iter().rev().take_while(|k| **k == 1).count();
+        prop_assert_eq!(h.trailing_censored(), expected);
+        // A measured observation always resets the streak to zero…
+        h.push(vec![0.0], 1.0, 50.0);
+        prop_assert_eq!(h.trailing_censored(), 0);
+        // …and censored ones extend it one at a time.
+        for add in 1..=3usize {
+            h.all.push(optimizers::tuner::Observation {
+                point: vec![0.0],
+                data_size: 1.0,
+                elapsed_ms: 1e6,
+                kind: optimizers::tuner::ObservationKind::Censored,
+            });
+            prop_assert_eq!(h.trailing_censored(), add);
+        }
+    }
+
+    #[test]
     fn failure_patience_disables_the_guardrail_tuner(patience in 1usize..6) {
         let space = optimizers::space::ConfigSpace::query_level();
         let guardrail = Guardrail::new(30, 0.3, 3).with_failure_patience(patience);
