@@ -1,0 +1,123 @@
+//! `cargo run -p bench --bin serve_loadgen -- [--quick] [--seed N]
+//! [--addr HOST:PORT] [--out PATH]`
+//!
+//! Drive a rockserve endpoint with a seeded open-loop fleet of concurrent
+//! clients sending a mixed `Suggest`/`Report`/`Health`/`Metrics` schedule,
+//! then write the `BENCH_serve.json` baseline. Without `--addr` the server is
+//! spawned in-process on an ephemeral port and drain-shutdown is part of the
+//! measurement; with `--addr` an already-running server is driven and left
+//! running. Exits non-zero on any protocol error or an unclean drain.
+
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+use bench::serve::{self, ServeBenchConfig};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let Some(v) = args.next() else {
+                    return usage("--seed needs an integer");
+                };
+                seed = v.parse().unwrap_or(42);
+            }
+            "--addr" => {
+                let Some(v) = args.next() else {
+                    return usage("--addr needs HOST:PORT");
+                };
+                addr = Some(v);
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    return usage("--out needs a path");
+                };
+                out = Some(v);
+            }
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    let cfg = if quick {
+        ServeBenchConfig::quick(seed)
+    } else {
+        ServeBenchConfig::full(seed)
+    };
+
+    let report = match &addr {
+        Some(spec) => {
+            let Some(resolved) = spec
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+            else {
+                return usage(&format!("cannot resolve --addr {spec}"));
+            };
+            serve::run_serve_bench_against(resolved, &cfg)
+        }
+        None => serve::run_serve_bench(&cfg),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_loadgen: bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{} lanes x {} frames = {} requests in {:.1}ms ({:.0} rps)",
+        report.clients,
+        cfg.requests_per_client,
+        report.requests_total,
+        report.wall_ms,
+        report.throughput_rps
+    );
+    println!(
+        "latency p50/p95/p99: {}/{}/{} us | batch_max {} | {} backend evals for {} suggests ({} coalesced)",
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.batch_max,
+        report.backend_evals,
+        report.sent.0,
+        report.coalesced_hits
+    );
+    println!(
+        "overloaded: {} | protocol errors: {} | clean drain: {} | fingerprint {:016x}",
+        report.overloaded, report.protocol_errors, report.clean_drain, report.suggest_fingerprint
+    );
+
+    let path = out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(serve::serve_out_path);
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if report.protocol_errors > 0 {
+        eprintln!(
+            "FAIL: {} protocol error(s) under load",
+            report.protocol_errors
+        );
+        return ExitCode::FAILURE;
+    }
+    if !report.clean_drain {
+        eprintln!("FAIL: the server did not drain cleanly");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("serve_loadgen: {problem}");
+    eprintln!("usage: serve_loadgen [--quick] [--seed N] [--addr HOST:PORT] [--out PATH]");
+    ExitCode::from(2)
+}

@@ -6,7 +6,11 @@
 //! fan-out) serially and at 2/4/8 workers, checks that every width produced
 //! bit-identical results, and emits the machine-readable `BENCH_parallel.json`
 //! baseline consumed by the tier-1 regression gate (`tests/bench_gate.rs`) and
-//! the CI artifact upload.
+//! the CI artifact upload. The [`serve`] module is the companion load
+//! generator for the `rockserve` serving layer, emitting `BENCH_serve.json`
+//! through the same gate.
+
+pub mod serve;
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -1,0 +1,496 @@
+//! The rockserve load-generation bench: an open-loop, seeded client fleet
+//! driving a serving endpoint with a mixed request schedule, emitting the
+//! machine-readable `BENCH_serve.json` baseline consumed by the tier-1 gate
+//! (`tests/bench_gate.rs`) and the CI artifact upload.
+//!
+//! The whole schedule — which lane sends which frame when, which workload
+//! signature each `Suggest` carries, the inter-request gaps — is a pure
+//! function of the configured seed (lane seeds come from
+//! `rockpool::split_seed`, the same discipline as the evaluation pool), and
+//! the served suggestions are a pure function of request content (the
+//! server's coalescing contract). The cross-run `suggest_fingerprint`
+//! therefore must match between two runs at the same seed regardless of
+//! thread interleaving — that is the determinism gate.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rockserve::proto::Response;
+use rockserve::{ServeClient, ServeConfig, Server};
+use sparksim::config::SparkConf;
+use sparksim::event::SparkEvent;
+use sparksim::metrics::QueryMetrics;
+
+/// Schema tag stamped into `BENCH_serve.json`.
+pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v1";
+
+/// Default output path; overridable via `ROCKHOPPER_SERVE_OUT`.
+pub const SERVE_DEFAULT_OUT: &str = "BENCH_serve.json";
+
+/// Reports carry signatures in a disjoint band from suggests, so ingesting a
+/// report never invalidates a suggest's coalescing slot: every suggest key is
+/// evaluated exactly once per server lifetime and the fingerprint is stable.
+const REPORT_SIG_BASE: u64 = 1_000_000;
+
+/// Load-generator shape. Both presets drive well over 64 concurrent mixed
+/// requests (clients × requests_per_client).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Master seed: lane schedules and the server backend both derive from it.
+    pub seed: u64,
+    /// Concurrent client lanes (one connection each).
+    pub clients: usize,
+    /// Frames each lane sends.
+    pub requests_per_client: usize,
+    /// Distinct `Suggest` workload signatures in the mix.
+    pub suggest_signatures: u64,
+    /// Mean open-loop inter-request gap per lane, microseconds.
+    pub mean_gap_us: u64,
+}
+
+impl ServeBenchConfig {
+    /// Sub-second shape used by the tier-1 gate and the CI smoke step:
+    /// 16 lanes × 8 frames = 128 mixed requests.
+    pub fn quick(seed: u64) -> ServeBenchConfig {
+        ServeBenchConfig {
+            seed,
+            clients: 16,
+            requests_per_client: 8,
+            suggest_signatures: 4,
+            mean_gap_us: 200,
+        }
+    }
+
+    /// The `cargo run -p bench --bin serve_loadgen` baseline:
+    /// 32 lanes × 32 frames = 1024 mixed requests.
+    pub fn full(seed: u64) -> ServeBenchConfig {
+        ServeBenchConfig {
+            seed,
+            clients: 32,
+            requests_per_client: 32,
+            suggest_signatures: 8,
+            mean_gap_us: 100,
+        }
+    }
+}
+
+/// What one bench run measured; rendered to `BENCH_serve.json` by
+/// [`ServeBenchReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The configured master seed.
+    pub seed: u64,
+    /// Client lanes driven.
+    pub clients: usize,
+    /// Total frames sent across all lanes.
+    pub requests_total: u64,
+    /// Wall time of the loaded phase, milliseconds.
+    pub wall_ms: f64,
+    /// Requests per second over the loaded phase.
+    pub throughput_rps: f64,
+    /// Client-observed p50 request latency, microseconds.
+    pub p50_us: u64,
+    /// Client-observed p95 request latency, microseconds.
+    pub p95_us: u64,
+    /// Client-observed p99 request latency, microseconds.
+    pub p99_us: u64,
+    /// Frames sent per kind: (suggest, report, health, metrics).
+    pub sent: (u64, u64, u64, u64),
+    /// Requests the server shed with `Overloaded`.
+    pub overloaded: u64,
+    /// Protocol errors, client- and server-side combined (gate requires 0).
+    pub protocol_errors: u64,
+    /// Backend evaluations the server actually ran for all suggests.
+    pub backend_evals: u64,
+    /// Suggests served from a shared evaluation (coalesced).
+    pub coalesced_hits: u64,
+    /// Largest request batch served by one backend evaluation.
+    pub batch_max: u64,
+    /// Order-sensitive fold of every served suggestion point, in
+    /// (lane, request) order — bit-identical across runs at the same seed.
+    pub suggest_fingerprint: u64,
+    /// Whether the server drained cleanly after the run (in-process mode) or
+    /// answered a final health probe (external mode).
+    pub clean_drain: bool,
+}
+
+impl ServeBenchReport {
+    /// Render as the `BENCH_serve.json` document (stable field order). The
+    /// fingerprint is a hex string: a u64 does not survive JSON's f64 numbers.
+    pub fn to_json(&self) -> String {
+        let (suggest, report, health, metrics) = self.sent;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SERVE_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"clients\": {},\n", self.clients));
+        out.push_str(&format!("  \"requests_total\": {},\n", self.requests_total));
+        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall_ms));
+        out.push_str(&format!(
+            "  \"throughput_rps\": {:.1},\n",
+            self.throughput_rps
+        ));
+        out.push_str(&format!(
+            "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
+            self.p50_us, self.p95_us, self.p99_us
+        ));
+        out.push_str(&format!(
+            "  \"sent\": {{\"suggest\": {suggest}, \"report\": {report}, \"health\": {health}, \"metrics\": {metrics}}},\n",
+        ));
+        out.push_str(&format!(
+            "  \"server\": {{\"overloaded\": {}, \"protocol_errors\": {}, \"backend_evals\": {}, \"coalesced_hits\": {}, \"batch_max\": {}}},\n",
+            self.overloaded,
+            self.protocol_errors,
+            self.backend_evals,
+            self.coalesced_hits,
+            self.batch_max
+        ));
+        out.push_str(&format!(
+            "  \"suggest_fingerprint\": \"{:016x}\",\n",
+            self.suggest_fingerprint
+        ));
+        out.push_str(&format!("  \"clean_drain\": {}\n", self.clean_drain));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// One frame of the seeded schedule.
+enum Shot {
+    Suggest(u64),
+    Report(u64),
+    Health,
+    Metrics,
+}
+
+/// The request mix: ~70% suggest, 15% report, 10% health, 5% metrics.
+fn draw_shot(rng: &mut StdRng, suggest_signatures: u64) -> Shot {
+    let roll: u32 = rng.random_range(0..100u32);
+    if roll < 70 {
+        Shot::Suggest(rng.random_range(0..suggest_signatures.max(1)))
+    } else if roll < 85 {
+        Shot::Report(REPORT_SIG_BASE + rng.random_range(0..suggest_signatures.max(1)))
+    } else if roll < 95 {
+        Shot::Health
+    } else {
+        Shot::Metrics
+    }
+}
+
+/// The tuning context every lane uses for signature `sig` — identical content
+/// so concurrent lanes coalesce onto one backend evaluation.
+fn ctx_for(sig: u64) -> optimizers::TuningContext {
+    optimizers::TuningContext {
+        embedding: vec![0.2 + (sig % 7) as f64 * 0.1, 0.5],
+        expected_data_size: 1.0 + sig as f64,
+        iteration: 0,
+    }
+}
+
+/// A tiny but fully-valid event document for `Report` frames.
+fn report_doc(lane: usize, shot: usize, sig: u64) -> (String, String) {
+    let app_id = format!("loadgen-{lane}-{shot}");
+    let events = vec![
+        SparkEvent::ApplicationStart {
+            app_id: app_id.clone(),
+            artifact_id: format!("artifact-{sig}"),
+        },
+        SparkEvent::QueryStart {
+            app_id: app_id.clone(),
+            query_signature: sig,
+            conf: SparkConf::default(),
+            plan_summary: vec!["Scan".to_string(), "Aggregate".to_string()],
+            embedding: vec![0.3, 0.6],
+        },
+        SparkEvent::QueryEnd {
+            app_id: app_id.clone(),
+            query_signature: sig,
+            metrics: QueryMetrics {
+                elapsed_ms: 120.0 + (sig % 5) as f64 * 10.0,
+                true_ms: 118.0,
+                num_stages: 2,
+                num_tasks: 64,
+                input_bytes: 1.0e9,
+                input_rows: 1.0e6,
+                root_rows: 1.0e3,
+                shuffle_bytes: 2.0e8,
+                spilled_bytes: 0.0,
+                broadcast_joins: 1,
+                sort_merge_joins: 1,
+            },
+        },
+        SparkEvent::ApplicationEnd {
+            app_id: app_id.clone(),
+        },
+    ];
+    (app_id, sparksim::event::to_jsonl(&events))
+}
+
+/// What one lane brought back.
+struct LaneResult {
+    /// Served suggestion points, in this lane's request order.
+    points: Vec<Vec<f64>>,
+    /// Per-request latencies, microseconds.
+    latencies_us: Vec<u64>,
+    /// (suggest, report, health, metrics) frames sent.
+    sent: (u64, u64, u64, u64),
+    /// Wire errors or `Response::Error` replies observed.
+    protocol_errors: u64,
+    /// `Overloaded` replies observed.
+    overloaded: u64,
+}
+
+fn run_lane(addr: std::net::SocketAddr, lane: usize, cfg: &ServeBenchConfig) -> LaneResult {
+    let mut result = LaneResult {
+        points: Vec::new(),
+        latencies_us: Vec::new(),
+        sent: (0, 0, 0, 0),
+        protocol_errors: 0,
+        overloaded: 0,
+    };
+    let Ok(mut client) = ServeClient::connect(addr) else {
+        result.protocol_errors += 1;
+        return result;
+    };
+    let mut rng = StdRng::seed_from_u64(rockpool::split_seed(cfg.seed, lane as u64));
+    for shot_idx in 0..cfg.requests_per_client {
+        // Open-loop arrival: the gap is scheduled from the seed, not from the
+        // previous reply's timing.
+        let gap_us = rng.random_range(0..cfg.mean_gap_us.saturating_mul(2).max(1));
+        std::thread::sleep(Duration::from_micros(gap_us));
+        let shot = draw_shot(&mut rng, cfg.suggest_signatures);
+        let started = Instant::now();
+        let reply = match &shot {
+            Shot::Suggest(sig) => {
+                result.sent.0 += 1;
+                client.suggest("loadgen", *sig, &ctx_for(*sig))
+            }
+            Shot::Report(sig) => {
+                result.sent.1 += 1;
+                let (app_id, doc) = report_doc(lane, shot_idx, *sig);
+                client.report("loadgen", &app_id, doc)
+            }
+            Shot::Health => {
+                result.sent.2 += 1;
+                client.health()
+            }
+            Shot::Metrics => {
+                result.sent.3 += 1;
+                client.metrics()
+            }
+        };
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        result.latencies_us.push(us);
+        match reply {
+            Ok(Response::Suggestion { point, .. }) => result.points.push(point),
+            Ok(Response::Overloaded { .. }) => result.overloaded += 1,
+            Ok(Response::Error { .. }) | Err(_) => result.protocol_errors += 1,
+            Ok(_) => {}
+        }
+    }
+    result
+}
+
+/// Client-side percentile over the observed latencies (nearest-rank).
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// Drive `cfg.clients` concurrent lanes against `addr` and aggregate.
+fn run_fleet(addr: std::net::SocketAddr, cfg: &ServeBenchConfig) -> (Vec<LaneResult>, f64) {
+    let started = Instant::now();
+    let lanes: Vec<LaneResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|lane| scope.spawn(move || run_lane(addr, lane, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(LaneResult {
+                    points: Vec::new(),
+                    latencies_us: Vec::new(),
+                    sent: (0, 0, 0, 0),
+                    protocol_errors: 1,
+                    overloaded: 0,
+                })
+            })
+            .collect()
+    });
+    (lanes, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn aggregate(
+    cfg: &ServeBenchConfig,
+    lanes: Vec<LaneResult>,
+    wall_ms: f64,
+    server: rockserve::MetricsSnapshot,
+    clean_drain: bool,
+) -> ServeBenchReport {
+    let mut fingerprint = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut sent = (0u64, 0u64, 0u64, 0u64);
+    let mut client_protocol_errors = 0u64;
+    let mut client_overloaded = 0u64;
+    // Lane order, then request order within the lane: the fold order is part
+    // of the fingerprint's definition, so it must not depend on join timing.
+    for lane in &lanes {
+        for point in &lane.points {
+            fingerprint = fold_point(fingerprint, point);
+        }
+        latencies.extend_from_slice(&lane.latencies_us);
+        sent.0 += lane.sent.0;
+        sent.1 += lane.sent.1;
+        sent.2 += lane.sent.2;
+        sent.3 += lane.sent.3;
+        client_protocol_errors += lane.protocol_errors;
+        client_overloaded += lane.overloaded;
+    }
+    latencies.sort_unstable();
+    let requests_total = sent.0 + sent.1 + sent.2 + sent.3;
+    let throughput_rps = if wall_ms > 0.0 {
+        requests_total as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    ServeBenchReport {
+        seed: cfg.seed,
+        clients: cfg.clients,
+        requests_total,
+        wall_ms,
+        throughput_rps,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        sent,
+        overloaded: server.overloaded.max(client_overloaded),
+        protocol_errors: server.protocol_errors + client_protocol_errors,
+        backend_evals: server.backend_evals,
+        coalesced_hits: server.coalesced_hits,
+        batch_max: server.batch_max,
+        suggest_fingerprint: fingerprint,
+        clean_drain,
+    }
+}
+
+/// Order-sensitive bit fold of one suggestion point (same construction as the
+/// parallel bench's fingerprints).
+fn fold_point(acc: u64, point: &[f64]) -> u64 {
+    let mut h = rockpool::split_seed(acc, point.len() as u64);
+    for x in point {
+        h = rockpool::split_seed(h, x.to_bits());
+    }
+    h
+}
+
+/// Spawn an in-process server on an ephemeral port, run the fleet, then
+/// drain-shutdown and verify the backend came back intact.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> std::io::Result<ServeBenchReport> {
+    let backend = pipeline::AutotuneBackend::new(
+        std::sync::Arc::new(pipeline::Storage::new()),
+        None,
+        cfg.seed,
+    );
+    let server = Server::spawn(backend, "127.0.0.1:0", ServeConfig::default())?;
+    let addr = server.local_addr();
+    let (lanes, wall_ms) = run_fleet(addr, cfg);
+
+    // Final server-side counters, then an explicit drain via the wire.
+    let mut control = ServeClient::connect(addr)?;
+    let snapshot = match control.metrics() {
+        Ok(Response::MetricsReport { serving, .. }) => serving,
+        _ => rockserve::MetricsSnapshot::default(),
+    };
+    let acked = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
+    let drained = server.join().is_some();
+    Ok(aggregate(cfg, lanes, wall_ms, snapshot, acked && drained))
+}
+
+/// Run the fleet against an already-running external server (never sends
+/// `Shutdown`); `clean_drain` reports whether a final health probe answered.
+pub fn run_serve_bench_against(
+    addr: std::net::SocketAddr,
+    cfg: &ServeBenchConfig,
+) -> std::io::Result<ServeBenchReport> {
+    let (lanes, wall_ms) = run_fleet(addr, cfg);
+    let mut control = ServeClient::connect(addr)?;
+    let snapshot = match control.metrics() {
+        Ok(Response::MetricsReport { serving, .. }) => serving,
+        _ => rockserve::MetricsSnapshot::default(),
+    };
+    let healthy = matches!(control.health(), Ok(Response::Healthy { .. }));
+    Ok(aggregate(cfg, lanes, wall_ms, snapshot, healthy))
+}
+
+/// Where `BENCH_serve.json` goes: `$ROCKHOPPER_SERVE_OUT` or
+/// [`SERVE_DEFAULT_OUT`].
+pub fn serve_out_path() -> std::path::PathBuf {
+    std::env::var("ROCKHOPPER_SERVE_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from(SERVE_DEFAULT_OUT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_is_deterministic_and_clean() {
+        let cfg = ServeBenchConfig::quick(0x5EED);
+        let a = run_serve_bench(&cfg).expect("bench runs");
+        let b = run_serve_bench(&cfg).expect("bench runs twice");
+        assert_eq!(a.suggest_fingerprint, b.suggest_fingerprint);
+        assert_eq!(a.requests_total, 128);
+        assert_eq!(a.protocol_errors, 0, "protocol errors in {a:?}");
+        assert!(a.clean_drain && b.clean_drain);
+        assert!(a.p50_us <= a.p95_us && a.p95_us <= a.p99_us);
+        // Coalescing must be visible: far fewer evaluations than suggests.
+        assert!(
+            a.backend_evals <= u64::from(u32::try_from(cfg.suggest_signatures).unwrap_or(u32::MAX)),
+            "evals {} > distinct signatures {}",
+            a.backend_evals,
+            cfg.suggest_signatures
+        );
+        assert_eq!(a.backend_evals + a.coalesced_hits, a.sent.0);
+    }
+
+    #[test]
+    fn report_renders_the_serve_schema() {
+        let report = ServeBenchReport {
+            seed: 1,
+            clients: 2,
+            requests_total: 16,
+            wall_ms: 10.0,
+            throughput_rps: 1600.0,
+            p50_us: 10,
+            p95_us: 20,
+            p99_us: 30,
+            sent: (10, 3, 2, 1),
+            overloaded: 0,
+            protocol_errors: 0,
+            backend_evals: 4,
+            coalesced_hits: 6,
+            batch_max: 3,
+            suggest_fingerprint: 0xDEAD_BEEF,
+            clean_drain: true,
+        };
+        let json = report.to_json();
+        let value = serde_json::value_from_str(&json).expect("valid JSON");
+        match value.get_field("schema") {
+            serde::Value::Str(s) => assert_eq!(s, SERVE_SCHEMA),
+            other => panic!("schema field: {other:?}"),
+        }
+        match value.get_field("suggest_fingerprint") {
+            serde::Value::Str(s) => assert_eq!(s, "00000000deadbeef"),
+            other => panic!("fingerprint field: {other:?}"),
+        }
+        assert!(matches!(
+            value.get_field("clean_drain"),
+            serde::Value::Bool(true)
+        ));
+    }
+}

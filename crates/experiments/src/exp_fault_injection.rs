@@ -299,9 +299,10 @@ fn chaos_pipeline(iters: usize) -> ChaosReport {
         backend.ingest_jsonl("prod", &app_id, &mangled);
         let _ = env.run(&point);
     }
+    let counters = backend.dashboard().counters();
     ChaosReport {
-        quarantined: backend.dashboard().quarantined_lines(),
-        failed_runs: backend.dashboard().failed_runs(),
+        quarantined: usize::try_from(counters.quarantined_lines).unwrap_or(usize::MAX),
+        failed_runs: usize::try_from(counters.failed_runs).unwrap_or(usize::MAX),
         observations: backend.observation_count("prod", sig),
         degraded: backend.is_degraded("prod", sig),
     }

@@ -21,6 +21,7 @@ pub mod storage;
 pub mod trainer;
 
 pub use etl::TrainingRow;
+pub use monitor::DashboardCounters;
 pub use service::{AutotuneBackend, AutotuneClient, AutotuneService, SuggestFallback};
 pub use storage::{AccessToken, Storage};
 

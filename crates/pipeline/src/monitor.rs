@@ -89,13 +89,14 @@ impl QueryMonitor {
         QueryMonitor::default()
     }
 
-    /// Feed one event; `QueryStart`/`QueryEnd` pairs become records.
-    pub fn ingest(&mut self, event: &SparkEvent) {
+    /// Feed one event; `QueryStart`/`QueryEnd` pairs become records. Returns
+    /// `true` when the event completed a record (a matched `QueryEnd`).
+    pub fn ingest(&mut self, event: &SparkEvent) -> bool {
         match event {
             SparkEvent::QueryStart { conf, .. } => self.pending_conf = Some(conf.clone()),
             SparkEvent::QueryEnd { metrics, .. } => {
                 let Some(conf) = self.pending_conf.take() else {
-                    return;
+                    return false;
                 };
                 self.records.push(MonitorRecord {
                     iteration: u32::try_from(self.records.len()).unwrap_or(u32::MAX),
@@ -108,9 +109,11 @@ impl QueryMonitor {
                     sort_merge_joins: metrics.sort_merge_joins,
                     spilled_bytes: metrics.spilled_bytes,
                 });
+                return true;
             }
             _ => {}
         }
+        false
     }
 
     /// Record one failed run (a start whose end never arrived).
@@ -242,11 +245,27 @@ impl QueryMonitor {
     }
 }
 
+/// Cheaply snapshot-able dashboard counters: one `Copy` struct instead of
+/// per-field getters, maintained incrementally on every mutation so a snapshot
+/// never walks the per-signature monitors. `rockserve` exports this struct
+/// verbatim through its `Metrics` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DashboardCounters {
+    /// Completed `QueryStart`/`QueryEnd` record pairs ingested.
+    pub ingested_records: u64,
+    /// Runs that started but never completed (failed or censored).
+    pub failed_runs: u64,
+    /// Corrupt/truncated event-log lines quarantined during ingest.
+    pub quarantined_lines: u64,
+    /// Distinct query signatures with a monitor.
+    pub tracked_signatures: u64,
+}
+
 /// Workspace-wide dashboard: one monitor per query signature.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dashboard {
     monitors: HashMap<u64, QueryMonitor>,
-    quarantined_lines: usize,
+    counters: DashboardCounters,
 }
 
 impl Dashboard {
@@ -267,28 +286,31 @@ impl Dashboard {
                 } => *query_signature,
                 _ => continue,
             };
-            self.monitors.entry(sig).or_default().ingest(e);
+            if self.monitors.entry(sig).or_default().ingest(e) {
+                self.counters.ingested_records = self.counters.ingested_records.saturating_add(1);
+            }
         }
+        self.counters.tracked_signatures = u64::try_from(self.monitors.len()).unwrap_or(u64::MAX);
     }
 
     /// Count corrupt/truncated event-log lines quarantined during ingest.
     pub fn record_quarantined(&mut self, lines: usize) {
-        self.quarantined_lines += lines;
+        self.counters.quarantined_lines = self
+            .counters
+            .quarantined_lines
+            .saturating_add(u64::try_from(lines).unwrap_or(u64::MAX));
     }
 
     /// Record one failed run against a signature's monitor.
     pub fn record_failure(&mut self, signature: u64) {
         self.monitors.entry(signature).or_default().record_failure();
+        self.counters.failed_runs = self.counters.failed_runs.saturating_add(1);
+        self.counters.tracked_signatures = u64::try_from(self.monitors.len()).unwrap_or(u64::MAX);
     }
 
-    /// Total corrupt/truncated event-log lines quarantined so far.
-    pub fn quarantined_lines(&self) -> usize {
-        self.quarantined_lines
-    }
-
-    /// Total failed runs across all signatures.
-    pub fn failed_runs(&self) -> usize {
-        self.monitors.values().map(|m| m.failed_runs).sum()
+    /// One-copy snapshot of the aggregate counters.
+    pub fn counters(&self) -> DashboardCounters {
+        self.counters
     }
 
     /// The monitor for a signature, if any.
@@ -321,10 +343,10 @@ impl Dashboard {
         for sig in self.signatures() {
             out.push_str(&self.monitors[&sig].render(sig));
         }
-        if self.quarantined_lines > 0 {
+        if self.counters.quarantined_lines > 0 {
             out.push_str(&format!(
                 "telemetry: {} quarantined event-log lines\n",
-                self.quarantined_lines
+                self.counters.quarantined_lines
             ));
         }
         out
@@ -551,6 +573,8 @@ mod tests {
         d.ingest(&events);
         assert_eq!(d.signatures(), vec![1, 2]);
         assert_eq!(d.regressing_signatures(), vec![2]);
+        assert_eq!(d.counters().ingested_records, 12);
+        assert_eq!(d.counters().tracked_signatures, 2);
         let text = d.render();
         assert!(text.contains("0000000000000001"));
         assert!(text.contains("regressing"));
@@ -559,14 +583,16 @@ mod tests {
     #[test]
     fn quarantine_and_failure_counters_render() {
         let mut d = Dashboard::new();
-        assert_eq!(d.quarantined_lines(), 0);
-        assert_eq!(d.failed_runs(), 0);
+        assert_eq!(d.counters(), DashboardCounters::default());
         d.record_quarantined(3);
         d.record_quarantined(2);
         d.record_failure(9);
         d.record_failure(9);
-        assert_eq!(d.quarantined_lines(), 5);
-        assert_eq!(d.failed_runs(), 2);
+        let snap = d.counters();
+        assert_eq!(snap.quarantined_lines, 5);
+        assert_eq!(snap.failed_runs, 2);
+        assert_eq!(snap.tracked_signatures, 1);
+        assert_eq!(snap.ingested_records, 0);
         let text = d.render();
         assert!(text.contains("5 quarantined event-log lines"), "{text}");
         assert!(text.contains("2 failed runs"), "{text}");

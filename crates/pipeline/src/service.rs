@@ -21,7 +21,7 @@ use rockhopper::RockhopperTuner;
 use sparksim::event::SparkEvent;
 
 use crate::etl::{extract_batch, EtlBatch};
-use crate::monitor::Dashboard;
+use crate::monitor::{Dashboard, DashboardCounters};
 use crate::storage::{paths, Storage};
 use crate::PipelineError;
 
@@ -584,6 +584,14 @@ enum Request {
         app_id: String,
         events: Vec<SparkEvent>,
     },
+    IngestJsonl {
+        user: String,
+        app_id: String,
+        doc: String,
+    },
+    Counters {
+        reply: Sender<DashboardCounters>,
+    },
     UpdateAppCache {
         user: String,
         artifact_id: String,
@@ -624,6 +632,12 @@ impl AutotuneService {
                         app_id,
                         events,
                     } => backend.ingest(&user, &app_id, &events),
+                    Request::IngestJsonl { user, app_id, doc } => {
+                        backend.ingest_jsonl(&user, &app_id, &doc);
+                    }
+                    Request::Counters { reply } => {
+                        let _ = reply.send(backend.dashboard().counters());
+                    }
                     Request::UpdateAppCache {
                         user,
                         artifact_id,
@@ -751,6 +765,27 @@ impl AutotuneClient {
             app_id: app_id.to_string(),
             events,
         });
+    }
+
+    /// Ship a raw JSON-lines event document to the backend (fire-and-forget) —
+    /// the wire-ingest path used by `rockserve`'s `Report` frame. Corrupt or
+    /// truncated lines are quarantined backend-side instead of poisoning the
+    /// document.
+    pub fn report_jsonl(&self, user: &str, app_id: &str, doc: String) {
+        let _ = self.tx.send(Request::IngestJsonl {
+            user: user.to_string(),
+            app_id: app_id.to_string(),
+            doc,
+        });
+    }
+
+    /// Snapshot the backend's dashboard counters (blocks for the reply, never
+    /// longer than `timeout`). `None` when the backend is gone or wedged —
+    /// callers surface a default (zeroed) snapshot instead of failing.
+    pub fn dashboard_counters(&self, timeout: Duration) -> Option<DashboardCounters> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx.send(Request::Counters { reply: reply_tx }).ok()?;
+        reply_rx.recv_timeout(timeout).ok()
     }
 
     /// Ask the backend to refresh an artifact's app cache.
@@ -994,6 +1029,46 @@ mod tests {
         assert_eq!(backend.tuner_count(), 1);
     }
 
+    #[test]
+    fn jsonl_report_and_counters_flow_through_the_service() {
+        let (service, client) = AutotuneService::spawn(backend());
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 1);
+        let sig = env.signature();
+        let ctx = env.context();
+        let point = client
+            .suggest("alice", sig, &ctx, Duration::from_secs(10))
+            .expect("backend alive");
+        let conf = env.space().to_conf(&point);
+        let plan = env.plan.clone().scaled(1.0);
+        let run = env.sim.execute(&plan, &conf, 0);
+        let events = env.sim.events_for_run(
+            "app-0",
+            "art",
+            sig,
+            &plan,
+            &conf,
+            ctx.embedding.clone(),
+            &run,
+        );
+        let mut doc = sparksim::event::to_jsonl(&events);
+        doc.push_str("{\"mangled\": tru\n");
+        client.report_jsonl("alice", "app-0", doc);
+        // The ingest is fire-and-forget, but Counters queues *behind* it on the
+        // same channel, so the reply reflects the processed document.
+        let snap = client
+            .dashboard_counters(Duration::from_secs(10))
+            .expect("backend alive");
+        assert_eq!(snap.ingested_records, 1);
+        assert_eq!(snap.quarantined_lines, 1);
+        assert_eq!(snap.tracked_signatures, 1);
+        let backend = service.shutdown().expect("backend exits cleanly");
+        assert_eq!(backend.dashboard().counters(), snap);
+        // A dead backend yields no snapshot rather than hanging.
+        assert!(client
+            .dashboard_counters(Duration::from_millis(50))
+            .is_none());
+    }
+
     fn start_event(app: &str, sig: u64, conf: SparkConf) -> SparkEvent {
         SparkEvent::QueryStart {
             app_id: app.into(),
@@ -1031,7 +1106,7 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((censored.elapsed_ms - 2.0 * worst).abs() < 1e-9);
         assert!(!b.dashboard().monitor(sig).is_none());
-        assert_eq!(b.dashboard().failed_runs(), 1);
+        assert_eq!(b.dashboard().counters().failed_runs, 1);
     }
 
     #[test]
@@ -1169,7 +1244,7 @@ mod tests {
         let mut doc = sparksim::event::to_jsonl(&events);
         doc.push_str("{\"mangled\": tru\n");
         b.ingest_jsonl("alice", "app-0", &doc);
-        assert_eq!(b.dashboard().quarantined_lines(), 1);
+        assert_eq!(b.dashboard().counters().quarantined_lines, 1);
         let t = b.tuners.get(&("alice".to_string(), sig)).unwrap();
         assert_eq!(t.history.len(), 1, "good lines still train the tuner");
     }

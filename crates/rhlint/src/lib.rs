@@ -19,11 +19,13 @@
 //!   through seeded `StdRng`s. Beyond the token scan, a call-graph taint walk
 //!   ([`callgraph::determinism_taint`], RH013) follows calls out of the scoped
 //!   crates through `use ... as` aliases and helper fns to sinks the lexical
-//!   pass never sees. Raw `thread::spawn` (RH018) is confined to the two
-//!   sanctioned sites — the `rockpool` work pool and the `pipeline::service`
-//!   backend worker — everything else must fan out through `rockpool::Pool`,
-//!   which splits seeds on stable task indices and reduces in index order
-//!   (DESIGN.md §7).
+//!   pass never sees. Raw `thread::spawn` (RH018) is confined to the three
+//!   sanctioned sites — the `rockpool` work pool, the `pipeline::service`
+//!   backend worker, and the `rockserve` serving edge — everything else must
+//!   fan out through `rockpool::Pool`, which splits seeds on stable task
+//!   indices and reduces in index order (DESIGN.md §7). Raw socket
+//!   construction (RH019) is likewise confined to `rockserve`: every other
+//!   crate talks to the network through its tested protocol and client.
 //! * **float-safety** — no `partial_cmp(..).unwrap()`, no float sorts via
 //!   `partial_cmp`, no bare `f64::NAN` literals; comparisons go through
 //!   `ml::stats::total_cmp_f64` and friends.
@@ -36,7 +38,7 @@
 //!   `RunOutcome` matches that hide `Failed`/`Censored` behind a wildcard
 //!   (RH017), all driven by the symbol table and a local type environment.
 //!
-//! Every rule carries a stable `RH001`–`RH018` code (`rhlint rules` lists
+//! Every rule carries a stable `RH001`–`RH019` code (`rhlint rules` lists
 //! them); `rhlint check --format json` emits the findings as a byte-stable
 //! JSON array for tooling. Diagnostics are `file:line`-addressed. A finding
 //! can be suppressed inline with a justification, by rule id or RH code:
@@ -110,14 +112,20 @@ pub enum Rule {
     /// `Failed` and `Censored` explicitly, or hides them behind `_`.
     OutcomeMatch,
     /// Raw `thread::spawn` outside the sanctioned sites (`rockpool`, the
-    /// `pipeline::service` worker): ad-hoc threads bypass the pool's
-    /// seed-splitting and ordered-reduction contract (DESIGN.md §7) and
-    /// detach instead of joining.
+    /// `pipeline::service` worker, the `rockserve` serving edge): ad-hoc
+    /// threads bypass the pool's seed-splitting and ordered-reduction
+    /// contract (DESIGN.md §7) and detach instead of joining.
     ThreadSpawn,
+    /// Raw socket construction (`TcpListener`/`TcpStream`/`UdpSocket`/...)
+    /// outside the `rockserve` crate: networking must stay behind the one
+    /// serving subsystem whose wire protocol, admission control, and drain
+    /// contract are tested — an ad-hoc socket elsewhere is an untested I/O
+    /// path with unbounded buffering and no shutdown story.
+    RawSocket,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 18] = [
+    pub const ALL: [Rule; 19] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -136,6 +144,7 @@ impl Rule {
         Rule::DeadPub,
         Rule::OutcomeMatch,
         Rule::ThreadSpawn,
+        Rule::RawSocket,
     ];
 
     /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
@@ -159,6 +168,7 @@ impl Rule {
             Rule::DeadPub => "dead-pub",
             Rule::OutcomeMatch => "outcome-match",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::RawSocket => "raw-socket",
         }
     }
 
@@ -185,6 +195,7 @@ impl Rule {
             Rule::DeadPub => "RH016",
             Rule::OutcomeMatch => "RH017",
             Rule::ThreadSpawn => "RH018",
+            Rule::RawSocket => "RH019",
         }
     }
 
@@ -208,7 +219,8 @@ impl Rule {
             Rule::LossyCast => "`as` cast can silently truncate, wrap, or lose precision; guard or convert explicitly",
             Rule::DeadPub => "`pub` item is never referenced outside its defining file; remove or demote visibility",
             Rule::OutcomeMatch => "`match` on `RunOutcome` must handle `Failed` and `Censored` explicitly — a wildcard arm silently swallows new failure modes",
-            Rule::ThreadSpawn => "raw `thread::spawn` outside rockpool/`pipeline::service`; fan out through `rockpool::Pool` so seeds split on task index and results reduce in order",
+            Rule::ThreadSpawn => "raw `thread::spawn` outside rockpool/`pipeline::service`/rockserve; fan out through `rockpool::Pool` so seeds split on task index and results reduce in order",
+            Rule::RawSocket => "raw socket construction outside `rockserve`; all networking goes through the serving layer's tested protocol, admission control, and drain contract",
         }
     }
 
@@ -220,7 +232,8 @@ impl Rule {
             | Rule::AmbientRng
             | Rule::HashIter
             | Rule::DeterminismTaint
-            | Rule::ThreadSpawn => "determinism",
+            | Rule::ThreadSpawn
+            | Rule::RawSocket => "determinism",
             Rule::PartialCmpUnwrap | Rule::FloatSort | Rule::NanLiteral => "float-safety",
             Rule::ConfigSpace => "config-space",
             Rule::BadSuppression => "suppression",
@@ -293,12 +306,13 @@ impl fmt::Display for LintError {
 impl std::error::Error for LintError {}
 
 /// Crates whose library code must be panic-free and float-safe.
-pub const PANIC_SCOPE: [&str; 6] = [
+pub const PANIC_SCOPE: [&str; 7] = [
     "embedding",
     "ml",
     "optimizers",
     "pipeline",
     "rockhopper",
+    "rockserve",
     "sparksim",
 ];
 

@@ -34,12 +34,19 @@ pub(crate) fn raw_findings(
     scope: ScanScope,
 ) -> Vec<Diagnostic> {
     let sanctioned_spawn = spawn_sanctioned(crate_name, rel_path);
+    let sanctioned_socket = socket_sanctioned(crate_name);
     let mut diagnostics = Vec::new();
     for (idx, masked_line) in masked.masked_lines.iter().enumerate() {
         if masked.in_test.get(idx).copied().unwrap_or(false) {
             continue;
         }
-        for (rule, message) in line_findings(masked_line, scope, crate_name, sanctioned_spawn) {
+        for (rule, message) in line_findings(
+            masked_line,
+            scope,
+            crate_name,
+            sanctioned_spawn,
+            sanctioned_socket,
+        ) {
             diagnostics.push(Diagnostic {
                 file: rel_path.to_path_buf(),
                 line: idx + 1,
@@ -85,16 +92,26 @@ pub(crate) fn bad_suppressions(rel_path: &Path, masked: &MaskedSource) -> Vec<Di
     diagnostics
 }
 
-/// The two sites allowed to call `thread::spawn` directly: the `rockpool`
-/// work pool itself, and the `pipeline::service` backend worker (a single
-/// long-lived request loop that the service handle joins on shutdown).
-/// Everything else must fan out through `rockpool::Pool`.
+/// The three sites allowed to call `thread::spawn` directly: the `rockpool`
+/// work pool itself, the `pipeline::service` backend worker (a single
+/// long-lived request loop that the service handle joins on shutdown), and
+/// the `rockserve` serving edge (acceptor + worker pool, all joined by the
+/// server handle's drain contract). Everything else must fan out through
+/// `rockpool::Pool`.
 fn spawn_sanctioned(crate_name: &str, rel_path: &Path) -> bool {
     crate_name == "rockpool"
+        || crate_name == "rockserve"
         || rel_path
             .to_string_lossy()
             .replace('\\', "/")
             .ends_with("pipeline/src/service.rs")
+}
+
+/// The one crate allowed to construct raw sockets: the `rockserve` serving
+/// layer. Every other crate reaches the network through `ServeClient`, whose
+/// framing, error replies, and drain behavior are covered by tests.
+fn socket_sanctioned(crate_name: &str) -> bool {
+    crate_name == "rockserve"
 }
 
 /// All rule hits on one masked line, before suppression filtering.
@@ -103,6 +120,7 @@ fn line_findings(
     scope: ScanScope,
     crate_name: &str,
     sanctioned_spawn: bool,
+    sanctioned_socket: bool,
 ) -> Vec<(Rule, String)> {
     let mut findings = Vec::new();
 
@@ -209,6 +227,28 @@ fn line_findings(
             "raw thread::spawn outside rockpool/pipeline::service; fan out through rockpool::Pool"
                 .into(),
         ));
+    }
+
+    // Socket discipline mirrors thread discipline: networking outside the
+    // serving layer is an untested I/O path with no admission control and no
+    // drain story. Only `rockserve` may construct sockets.
+    if (scope.panic_freedom || scope.determinism) && !sanctioned_socket {
+        for ty in [
+            "TcpListener",
+            "TcpStream",
+            "UdpSocket",
+            "UnixListener",
+            "UnixStream",
+        ] {
+            if has_token(line, ty) {
+                findings.push((
+                    Rule::RawSocket,
+                    format!(
+                        "raw {ty} in crate `{crate_name}`; all networking goes through rockserve (ServeClient / Server)"
+                    ),
+                ));
+            }
+        }
     }
 
     findings
@@ -434,6 +474,35 @@ mod tests {
         // rockpool and the unscoped harness crates never flag.
         assert!(scan("rockpool", src).is_empty());
         assert!(scan("experiments", src).is_empty());
+    }
+
+    // ---- socket discipline ----
+
+    #[test]
+    fn flags_raw_sockets_in_scoped_crates() {
+        let listen = "fn f() { let l = std::net::TcpListener::bind(\"127.0.0.1:0\"); }\n";
+        assert_eq!(rules_of(&scan("pipeline", listen)), vec![Rule::RawSocket]);
+        let connect = "fn f() { let s = std::net::TcpStream::connect(\"127.0.0.1:1\"); }\n";
+        assert_eq!(
+            rules_of(&scan("optimizers", connect)),
+            vec![Rule::RawSocket]
+        );
+        let udp = "fn f() { let u = std::net::UdpSocket::bind(\"127.0.0.1:0\"); }\n";
+        assert_eq!(rules_of(&scan("ml", udp)), vec![Rule::RawSocket]);
+    }
+
+    #[test]
+    fn rockserve_is_the_sanctioned_socket_home() {
+        let src = "fn f() { let l = std::net::TcpListener::bind(\"127.0.0.1:0\"); let s = std::net::TcpStream::connect(\"127.0.0.1:1\"); }\n";
+        assert!(scan("rockserve", src).is_empty());
+        // Unscoped harness crates never flag either.
+        assert!(scan("experiments", src).is_empty());
+    }
+
+    #[test]
+    fn socket_tokens_in_strings_and_identifiers_do_not_flag() {
+        let src = "fn f() -> &'static str { \"TcpListener goes through rockserve\" }\nfn g(my_tcp_stream_count: usize) -> usize { my_tcp_stream_count }\n";
+        assert!(scan("pipeline", src).is_empty());
     }
 
     #[test]

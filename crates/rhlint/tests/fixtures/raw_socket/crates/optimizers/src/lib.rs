@@ -1,0 +1,17 @@
+//! Fixture optimizers crate: one raw `TcpStream::connect` in a scoped crate —
+//! the RH019 violation this fixture exists to trigger.
+
+pub mod space;
+
+use space::{app_level, query_level};
+
+fn dims() -> usize {
+    query_level().len() + app_level().len()
+}
+
+fn probe_peer() -> usize {
+    let Ok(_stream) = std::net::TcpStream::connect("127.0.0.1:9") else {
+        return 0;
+    };
+    dims()
+}

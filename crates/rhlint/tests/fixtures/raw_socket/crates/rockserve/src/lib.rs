@@ -1,0 +1,15 @@
+//! Fixture rockserve crate: the sanctioned socket home — RH019 must stay
+//! silent on listener and stream construction here, and RH018 on the worker
+//! threads the serving edge spawns and joins.
+
+fn bind_edge() -> bool {
+    match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(listener) => listener.local_addr().is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn wake_self() -> bool {
+    let worker = std::thread::spawn(bind_edge);
+    worker.join().unwrap_or(false)
+}

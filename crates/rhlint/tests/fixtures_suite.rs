@@ -154,6 +154,24 @@ fn thread_spawn_fires_outside_sanctioned_sites() {
     assert!(d.message.contains("rockpool"), "{}", d.message);
 }
 
+/// Raw sockets in two crates: a `TcpStream::connect` in scoped `optimizers`
+/// (flagged) and listener + stream construction in the sanctioned `rockserve`
+/// crate (exempt, along with its joined worker threads). Exactly one RH019.
+#[test]
+fn raw_socket_fires_outside_rockserve() {
+    let diags = fixture_check("raw_socket");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::RawSocket);
+    assert!(
+        d.file.to_string_lossy().contains("optimizers"),
+        "the flagged socket is the optimizers one: {}",
+        d.file.display()
+    );
+    assert!(d.message.contains("TcpStream"), "{}", d.message);
+    assert!(d.message.contains("rockserve"), "{}", d.message);
+}
+
 #[test]
 fn config_space_fires_on_missing_dimension() {
     let diags = fixture_check("config_space");

@@ -1,0 +1,85 @@
+//! A minimal blocking client for the rockserve wire protocol: one framed
+//! request, one framed reply, over a persistent connection. The load
+//! generator in `crates/bench` and the e2e tests both drive the server
+//! through this type.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use optimizers::tuner::TuningContext;
+
+use crate::proto::{self, Request, Response, WireError, HEADER_BYTES};
+
+/// A connected rockserve client. Each call is a synchronous request/reply
+/// exchange; the connection stays open across calls.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a serving endpoint.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Send one request frame and block for the reply frame.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        let payload = proto::encode_request(req)?;
+        proto::write_frame(&mut self.stream, &payload)?;
+        match proto::read_frame(&mut self.stream)? {
+            Some(reply) => proto::decode_response(&reply),
+            // The server closed without replying (e.g. shed at the accept
+            // gate after its Overloaded frame, or mid-drain).
+            None => Err(WireError::Truncated {
+                expected: HEADER_BYTES,
+                got: 0,
+            }),
+        }
+    }
+
+    /// Request a configuration suggestion for `(user, signature)`.
+    pub fn suggest(
+        &mut self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+    ) -> Result<Response, WireError> {
+        self.call(&Request::Suggest {
+            user: user.to_string(),
+            signature,
+            embedding: ctx.embedding.clone(),
+            expected_data_size: ctx.expected_data_size,
+            iteration: ctx.iteration,
+        })
+    }
+
+    /// Ship an application's event log (JSONL document) to the backend.
+    pub fn report(
+        &mut self,
+        user: &str,
+        app_id: &str,
+        jsonl: String,
+    ) -> Result<Response, WireError> {
+        self.call(&Request::Report {
+            user: user.to_string(),
+            app_id: app_id.to_string(),
+            jsonl,
+        })
+    }
+
+    /// Liveness + drain-state probe.
+    pub fn health(&mut self) -> Result<Response, WireError> {
+        self.call(&Request::Health)
+    }
+
+    /// Fetch the serving metrics snapshot and the rendered text page.
+    pub fn metrics(&mut self) -> Result<Response, WireError> {
+        self.call(&Request::Metrics)
+    }
+
+    /// Ask the server to drain and shut down.
+    pub fn shutdown_server(&mut self) -> Result<Response, WireError> {
+        self.call(&Request::Shutdown)
+    }
+}

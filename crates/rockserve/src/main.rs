@@ -1,0 +1,74 @@
+//! `cargo run -p rockserve -- [--addr HOST:PORT] [--seed N] [--workers N]`
+//!
+//! Binds a rockserve endpoint over a fresh autotune backend and serves until
+//! a client sends a `Shutdown` frame, then drains and reports what the
+//! backend accumulated.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pipeline::{AutotuneBackend, Storage};
+use rockserve::{ServeConfig, Server, PROTOCOL_VERSION};
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7070");
+    let mut seed = 42u64;
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(v) = args.next() else {
+                    return usage("--addr needs HOST:PORT");
+                };
+                addr = v;
+            }
+            "--seed" => {
+                let Some(v) = args.next() else {
+                    return usage("--seed needs an integer");
+                };
+                seed = v.parse().unwrap_or(42);
+            }
+            "--workers" => {
+                let Some(v) = args.next() else {
+                    return usage("--workers needs an integer");
+                };
+                cfg.workers = v.parse().unwrap_or(0);
+            }
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let backend = AutotuneBackend::new(Arc::new(Storage::new()), None, seed);
+    let server = match Server::spawn(backend, &addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rockserve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rockserve listening on {} (protocol v{PROTOCOL_VERSION}, seed {seed}); \
+         send a Shutdown frame to drain",
+        server.local_addr()
+    );
+    match server.join() {
+        Some(backend) => {
+            println!(
+                "rockserve drained cleanly; backend tracked {} tuner(s)",
+                backend.tuner_count()
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("rockserve: backend thread lost");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("rockserve: {problem}");
+    eprintln!("usage: rockserve [--addr HOST:PORT] [--seed N] [--workers N]");
+    ExitCode::from(2)
+}

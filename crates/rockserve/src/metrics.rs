@@ -1,0 +1,286 @@
+//! Serving-layer metrics: request counters, coalescing/batching gauges, and a
+//! log2-bucketed latency histogram with monotone p50/p95/p99 read-out,
+//! rendered as a `/metrics`-style text page.
+//!
+//! The histogram buckets latencies by power of two (bucket *i* covers
+//! `[2^i, 2^(i+1))` microseconds), so recording is O(1) and a quantile is one
+//! cumulative walk. Quantiles report the bucket's upper edge: p50 ≤ p95 ≤ p99
+//! holds by construction, which `tests/bench_gate.rs` relies on.
+
+use std::sync::{Mutex, PoisonError};
+
+use pipeline::DashboardCounters;
+use serde::{Deserialize, Serialize};
+
+/// Histogram width: bucket 31 covers ~36 minutes, far beyond any suggest.
+const BUCKETS: usize = 32;
+
+#[derive(Debug)]
+struct Inner {
+    suggests: u64,
+    reports: u64,
+    healths: u64,
+    metrics_requests: u64,
+    shutdowns: u64,
+    overloaded: u64,
+    protocol_errors: u64,
+    backend_evals: u64,
+    coalesced_hits: u64,
+    batch_max: u64,
+    latency_counts: [u64; BUCKETS],
+    latency_total: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            suggests: 0,
+            reports: 0,
+            healths: 0,
+            metrics_requests: 0,
+            shutdowns: 0,
+            overloaded: 0,
+            protocol_errors: 0,
+            backend_evals: 0,
+            coalesced_hits: 0,
+            batch_max: 0,
+            latency_counts: [0; BUCKETS],
+            latency_total: 0,
+        }
+    }
+}
+
+/// Shared, thread-safe serving metrics; one instance per server.
+#[derive(Debug, Default)]
+pub(crate) struct ServeMetrics {
+    inner: Mutex<Inner>,
+}
+
+impl ServeMetrics {
+    fn with<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    pub(crate) fn count_suggest(&self) {
+        self.with(|i| i.suggests = i.suggests.saturating_add(1));
+    }
+
+    pub(crate) fn count_report(&self) {
+        self.with(|i| i.reports = i.reports.saturating_add(1));
+    }
+
+    pub(crate) fn count_health(&self) {
+        self.with(|i| i.healths = i.healths.saturating_add(1));
+    }
+
+    pub(crate) fn count_metrics(&self) {
+        self.with(|i| i.metrics_requests = i.metrics_requests.saturating_add(1));
+    }
+
+    pub(crate) fn count_shutdown(&self) {
+        self.with(|i| i.shutdowns = i.shutdowns.saturating_add(1));
+    }
+
+    pub(crate) fn count_overloaded(&self) {
+        self.with(|i| i.overloaded = i.overloaded.saturating_add(1));
+    }
+
+    pub(crate) fn count_protocol_error(&self) {
+        self.with(|i| i.protocol_errors = i.protocol_errors.saturating_add(1));
+    }
+
+    pub(crate) fn count_backend_eval(&self) {
+        self.with(|i| i.backend_evals = i.backend_evals.saturating_add(1));
+    }
+
+    pub(crate) fn count_coalesced_hit(&self) {
+        self.with(|i| i.coalesced_hits = i.coalesced_hits.saturating_add(1));
+    }
+
+    /// Track the largest batch (requests served by one backend evaluation).
+    pub(crate) fn observe_batch(&self, size: u64) {
+        self.with(|i| i.batch_max = i.batch_max.max(size));
+    }
+
+    /// Record one request's service latency.
+    pub(crate) fn record_latency_us(&self, us: u64) {
+        let bucket = bucket_of(us);
+        self.with(|i| {
+            if let Some(c) = i.latency_counts.get_mut(bucket) {
+                *c = c.saturating_add(1);
+            }
+            i.latency_total = i.latency_total.saturating_add(1);
+        });
+    }
+
+    /// One-copy snapshot; queue gauges are sampled by the caller (they live
+    /// in the server's admission counters, not here).
+    pub(crate) fn snapshot(&self, queue_depth: u64, inflight: u64) -> MetricsSnapshot {
+        self.with(|i| MetricsSnapshot {
+            suggests: i.suggests,
+            reports: i.reports,
+            healths: i.healths,
+            metrics_requests: i.metrics_requests,
+            shutdowns: i.shutdowns,
+            overloaded: i.overloaded,
+            protocol_errors: i.protocol_errors,
+            backend_evals: i.backend_evals,
+            coalesced_hits: i.coalesced_hits,
+            batch_max: i.batch_max,
+            queue_depth,
+            inflight,
+            p50_us: quantile(&i.latency_counts, i.latency_total, 0.50),
+            p95_us: quantile(&i.latency_counts, i.latency_total, 0.95),
+            p99_us: quantile(&i.latency_counts, i.latency_total, 0.99),
+        })
+    }
+}
+
+/// The bucket index covering `us` microseconds.
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        return 0;
+    }
+    let log2 = (u64::BITS - 1 - us.leading_zeros()) as usize;
+    log2.min(BUCKETS - 1)
+}
+
+/// The `q`-quantile's bucket upper edge in microseconds; 0 with no samples.
+fn quantile(counts: &[u64; BUCKETS], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum = cum.saturating_add(c);
+        if cum >= rank {
+            return upper_edge(i);
+        }
+    }
+    upper_edge(BUCKETS - 1)
+}
+
+/// Upper edge of bucket `i`: `2^(i+1) - 1` microseconds.
+fn upper_edge(i: usize) -> u64 {
+    1u64.checked_shl(u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1))
+        .map(|v| v - 1)
+        .unwrap_or(u64::MAX)
+}
+
+/// A point-in-time copy of every serving counter and the latency percentiles.
+/// Carried verbatim inside `Response::MetricsReport` and folded into
+/// `BENCH_serve.json` by the load generator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `Suggest` frames handled (including coalesced and shed ones).
+    pub suggests: u64,
+    /// `Report` frames handled.
+    pub reports: u64,
+    /// `Health` frames handled.
+    pub healths: u64,
+    /// `Metrics` frames handled.
+    pub metrics_requests: u64,
+    /// `Shutdown` frames handled.
+    pub shutdowns: u64,
+    /// Requests shed by admission control.
+    pub overloaded: u64,
+    /// Frames rejected as truncated/oversized/malformed/wrong-version.
+    pub protocol_errors: u64,
+    /// Suggest evaluations that actually reached the autotune backend.
+    pub backend_evals: u64,
+    /// Suggest requests served from a shared evaluation instead of their own.
+    pub coalesced_hits: u64,
+    /// Largest number of requests served by a single backend evaluation.
+    pub batch_max: u64,
+    /// Connections waiting for a worker when the snapshot was taken.
+    pub queue_depth: u64,
+    /// Suggest evaluations in flight when the snapshot was taken.
+    pub inflight: u64,
+    /// Median service latency (bucket upper edge), microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile service latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile service latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// Render the `/metrics`-style text page: `name value` per line, serving
+/// counters first, then the pipeline dashboard counters.
+pub(crate) fn render_text(s: &MetricsSnapshot, d: &DashboardCounters) -> String {
+    let mut out = String::new();
+    for (name, value) in [
+        ("rockserve_requests_suggest", s.suggests),
+        ("rockserve_requests_report", s.reports),
+        ("rockserve_requests_health", s.healths),
+        ("rockserve_requests_metrics", s.metrics_requests),
+        ("rockserve_requests_shutdown", s.shutdowns),
+        ("rockserve_overloaded", s.overloaded),
+        ("rockserve_protocol_errors", s.protocol_errors),
+        ("rockserve_backend_evals", s.backend_evals),
+        ("rockserve_coalesced_hits", s.coalesced_hits),
+        ("rockserve_batch_max", s.batch_max),
+        ("rockserve_queue_depth", s.queue_depth),
+        ("rockserve_inflight", s.inflight),
+        ("rockserve_latency_p50_us", s.p50_us),
+        ("rockserve_latency_p95_us", s.p95_us),
+        ("rockserve_latency_p99_us", s.p99_us),
+        ("pipeline_ingested_records", d.ingested_records),
+        ("pipeline_failed_runs", d.failed_runs),
+        ("pipeline_quarantined_lines", d.quarantined_lines),
+        ("pipeline_tracked_signatures", d.tracked_signatures),
+    ] {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_log2_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_cover_the_samples() {
+        let m = ServeMetrics::default();
+        for us in [10u64, 20, 40, 80, 5000, 100_000] {
+            m.record_latency_us(us);
+        }
+        let s = m.snapshot(0, 0);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+        assert!(s.p50_us >= 40, "median above the low samples: {}", s.p50_us);
+        assert!(s.p99_us >= 100_000, "tail covers the slowest: {}", s.p99_us);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_quantiles() {
+        let s = ServeMetrics::default().snapshot(3, 1);
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (0, 0, 0));
+        assert_eq!((s.queue_depth, s.inflight), (3, 1));
+    }
+
+    #[test]
+    fn render_includes_every_counter_family() {
+        let m = ServeMetrics::default();
+        m.count_suggest();
+        m.count_backend_eval();
+        m.observe_batch(64);
+        let text = render_text(&m.snapshot(0, 0), &DashboardCounters::default());
+        assert!(text.contains("rockserve_requests_suggest 1"), "{text}");
+        assert!(text.contains("rockserve_batch_max 64"), "{text}");
+        assert!(text.contains("pipeline_ingested_records 0"), "{text}");
+        assert_eq!(text.lines().count(), 19);
+    }
+}

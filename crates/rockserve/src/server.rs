@@ -1,0 +1,558 @@
+//! The serving edge: a TCP listener feeding a fixed-width worker pool, with
+//! per-workload-signature request coalescing, admission control, and a
+//! drain-then-shutdown lifecycle wired to the pipeline's `Drop`-join contract.
+//!
+//! ## Determinism under concurrency
+//!
+//! The backend's tuner state advances on every evaluation, so a naive server
+//! would make the served point depend on request arrival order. rockserve
+//! instead memoizes each suggestion under its full request content
+//! (`(user, signature, context bytes)`): the first request for a key runs one
+//! backend evaluation, concurrent duplicates join it in flight, and later
+//! duplicates hit the cached entry. A `Report` for a signature invalidates
+//! that tenant's cached suggestions (new observations should move the tuner),
+//! so the served point is a pure function of the request history content —
+//! never of socket timing or worker interleaving. The worker-pool width
+//! follows `rockpool::configured_threads()` (`RH_THREADS`), and by the above
+//! the served answers are bit-identical at any width.
+//!
+//! ## Backpressure
+//!
+//! Two bounded admission gates, both answering `Response::Overloaded` instead
+//! of buffering without bound: `max_pending_conns` caps connections accepted
+//! but not yet picked up by a worker (the acceptor sheds above it), and
+//! `max_inflight_suggests` caps concurrent backend evaluations (the suggest
+//! path sheds above it; coalesced joins and cache hits are exempt since they
+//! cost no evaluation).
+//!
+//! ## Shutdown ordering
+//!
+//! A `Shutdown` frame (or [`Server::shutdown`] / dropping the handle) flips
+//! the drain flag and wakes the blocking acceptor with a throwaway connect.
+//! The acceptor exits, dropping the connection queue's sender; workers finish
+//! their current connections, drain every queued connection, then exit on the
+//! closed channel. Only after every serving thread has joined is the inner
+//! `AutotuneService` shut down — which itself drains its request queue and
+//! joins the backend thread before handing the [`AutotuneBackend`] back.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use optimizers::space::ConfigSpace;
+use optimizers::tuner::TuningContext;
+use pipeline::{AutotuneBackend, AutotuneClient, AutotuneService};
+use sparksim::event::SparkEvent;
+
+use crate::metrics::{render_text, ServeMetrics};
+use crate::proto::{self, codes, Request, Response, WireError, PROTOCOL_VERSION};
+
+/// How long an idle connection read blocks before re-checking the drain flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Serving-layer tunables. `Default` is sized for the load-generation bench;
+/// the e2e tests pin the admission caps to force deterministic shedding.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker-pool width; `0` means `rockpool::configured_threads()`
+    /// (the `RH_THREADS` discipline shared with the evaluation pool).
+    pub workers: usize,
+    /// Connections accepted but not yet picked up by a worker before the
+    /// acceptor sheds with `Overloaded`.
+    pub max_pending_conns: usize,
+    /// Concurrent backend evaluations before new suggest keys are shed with
+    /// `Overloaded` (coalesced joins and cache hits are exempt).
+    pub max_inflight_suggests: usize,
+    /// How long a suggest waits on the backend before degrading to the
+    /// default configuration.
+    pub suggest_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            max_pending_conns: 1024,
+            max_inflight_suggests: 256,
+            suggest_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A suggestion as published to coalesced waiters.
+#[derive(Clone)]
+struct Served {
+    point: Vec<f64>,
+    fallback: Option<String>,
+}
+
+/// One coalescing slot per distinct request content.
+enum Slot {
+    /// A leader is evaluating; duplicates park a sender here.
+    InFlight { waiters: Vec<Sender<Served>> },
+    /// The evaluation finished; `batch` counts every request it served.
+    Done {
+        point: Vec<f64>,
+        fallback: Option<String>,
+        batch: u64,
+    },
+}
+
+/// Full request content: tenant, signature, canonical context bytes.
+type CoalesceKey = (String, u64, Vec<u8>);
+
+struct Shared {
+    client: AutotuneClient,
+    space: ConfigSpace,
+    cfg: ServeConfig,
+    local_addr: SocketAddr,
+    draining: AtomicBool,
+    /// Connections accepted, not yet picked up by a worker.
+    queued: AtomicU64,
+    /// Backend evaluations in flight.
+    inflight: AtomicU64,
+    coalescer: Mutex<HashMap<CoalesceKey, Slot>>,
+    metrics: ServeMetrics,
+}
+
+fn lock_coalescer(shared: &Shared) -> MutexGuard<'_, HashMap<CoalesceKey, Slot>> {
+    shared
+        .coalescer
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A live serving instance. Dropping the handle drains and joins everything —
+/// the same contract `AutotuneService` honors one layer down.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    service: Option<AutotuneService>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `backend` on a fixed-width worker pool.
+    pub fn spawn(
+        backend: AutotuneBackend,
+        addr: &str,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (service, client) = AutotuneService::spawn(backend);
+        let width = if cfg.workers == 0 {
+            rockpool::configured_threads()
+        } else {
+            cfg.workers
+        }
+        .clamp(1, 64);
+        let shared = Arc::new(Shared {
+            client,
+            space: ConfigSpace::query_level(),
+            cfg,
+            local_addr,
+            draining: AtomicBool::new(false),
+            queued: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            coalescer: Mutex::new(HashMap::new()),
+            metrics: ServeMetrics::default(),
+        });
+        let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &conn_tx))
+        };
+        let workers = (0..width)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = conn_rx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            service: Some(service),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Block until something drains the server (a `Shutdown` frame from a
+    /// client, typically), then join every thread and recover the backend.
+    /// `None` if the backend thread panicked.
+    pub fn join(mut self) -> Option<AutotuneBackend> {
+        self.finish()
+    }
+
+    /// Drain now: stop accepting, serve everything queued, join every thread,
+    /// and recover the backend. `None` if the backend thread panicked.
+    pub fn shutdown(mut self) -> Option<AutotuneBackend> {
+        begin_drain(&self.shared);
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Option<AutotuneBackend> {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.service.take().and_then(AutotuneService::shutdown)
+    }
+}
+
+impl Drop for Server {
+    /// A dropped server must not leave acceptor or workers detached: drain
+    /// and join, exactly as [`Server::shutdown`] would.
+    fn drop(&mut self) {
+        begin_drain(&self.shared);
+        let _ = self.finish();
+    }
+}
+
+/// Flip the drain flag once and wake the blocking acceptor with a throwaway
+/// connect so it observes the flag.
+fn begin_drain(shared: &Shared) {
+    if !shared.draining.swap(true, Ordering::AcqRel) {
+        let _ = TcpStream::connect(shared.local_addr);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conn_tx: &Sender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let queued = shared.queued.load(Ordering::Acquire);
+        let cap = u64::try_from(shared.cfg.max_pending_conns).unwrap_or(u64::MAX);
+        if queued >= cap {
+            shared.metrics.count_overloaded();
+            shed_connection(stream, queued, cap);
+            continue;
+        }
+        shared.queued.fetch_add(1, Ordering::AcqRel);
+        if conn_tx.send(stream).is_err() {
+            break;
+        }
+    }
+    // conn_tx drops here; workers drain the queue, then exit on the closed
+    // channel.
+}
+
+/// Best-effort `Overloaded` reply to a connection shed at the accept gate.
+fn shed_connection(mut stream: TcpStream, inflight: u64, capacity: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = send_response(&mut stream, &Response::Overloaded { inflight, capacity });
+}
+
+fn worker_loop(shared: &Arc<Shared>, conn_rx: &Receiver<TcpStream>) {
+    while let Ok(stream) = conn_rx.recv() {
+        shared.queued.fetch_sub(1, Ordering::AcqRel);
+        handle_connection(shared, stream);
+    }
+}
+
+fn send_response(stream: &mut TcpStream, resp: &Response) -> bool {
+    match proto::encode_response(resp) {
+        Ok(payload) => proto::write_frame(stream, &payload).is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn error_response(e: &WireError) -> Response {
+    Response::Error {
+        code: e.code().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Serve one connection until it closes, errors, or the server drains. The
+/// short read timeout is an idle poll: a connection sitting between frames
+/// re-checks the drain flag every [`IDLE_POLL`]; a frame already arriving is
+/// always read to completion (see `proto::read_full`).
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match proto::read_frame(&mut stream) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let started = Instant::now();
+                let (resp, is_shutdown) = match proto::decode_request(&payload) {
+                    Ok(req) => dispatch(shared, req),
+                    Err(e) => {
+                        shared.metrics.count_protocol_error();
+                        (error_response(&e), false)
+                    }
+                };
+                let sent = send_response(&mut stream, &resp);
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared.metrics.record_latency_us(us);
+                if is_shutdown {
+                    begin_drain(shared);
+                    break;
+                }
+                if !sent || matches!(resp, Response::Error { .. }) {
+                    break;
+                }
+            }
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(e) => {
+                shared.metrics.count_protocol_error();
+                let _ = send_response(&mut stream, &error_response(&e));
+                break;
+            }
+        }
+    }
+}
+
+/// Route one decoded request; the bool asks the connection loop to start the
+/// server-wide drain after replying.
+fn dispatch(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
+    match req {
+        Request::Suggest {
+            user,
+            signature,
+            embedding,
+            expected_data_size,
+            iteration,
+        } => {
+            let ctx = TuningContext {
+                embedding,
+                expected_data_size,
+                iteration,
+            };
+            (serve_suggest(shared, &user, signature, &ctx), false)
+        }
+        Request::Report {
+            user,
+            app_id,
+            jsonl,
+        } => (serve_report(shared, &user, &app_id, jsonl), false),
+        Request::Health => {
+            shared.metrics.count_health();
+            (
+                Response::Healthy {
+                    draining: shared.draining.load(Ordering::Acquire),
+                    protocol_version: PROTOCOL_VERSION,
+                },
+                false,
+            )
+        }
+        Request::Metrics => (serve_metrics(shared), false),
+        Request::Shutdown => {
+            shared.metrics.count_shutdown();
+            (Response::ShuttingDown, true)
+        }
+    }
+}
+
+/// What a suggest request should do, decided under the coalescer lock.
+enum SuggestPlan {
+    /// Cache hit: the answer is already published.
+    Hit(Served),
+    /// A leader is in flight; wait for its publication.
+    Wait(Receiver<Served>),
+    /// This request leads a fresh backend evaluation.
+    Lead,
+}
+
+fn serve_suggest(
+    shared: &Arc<Shared>,
+    user: &str,
+    signature: u64,
+    ctx: &TuningContext,
+) -> Response {
+    shared.metrics.count_suggest();
+    let Ok(ctx_bytes) = serde_json::to_vec(ctx) else {
+        return Response::Error {
+            code: codes::MALFORMED_FRAME.to_string(),
+            message: "unencodable tuning context".to_string(),
+        };
+    };
+    let key: CoalesceKey = (user.to_string(), signature, ctx_bytes);
+    let plan = {
+        let mut map = lock_coalescer(shared);
+        match map.get_mut(&key) {
+            Some(Slot::Done {
+                point,
+                fallback,
+                batch,
+            }) => {
+                *batch = batch.saturating_add(1);
+                let served = Served {
+                    point: point.clone(),
+                    fallback: fallback.clone(),
+                };
+                let batch = *batch;
+                drop(map);
+                shared.metrics.count_coalesced_hit();
+                shared.metrics.observe_batch(batch);
+                SuggestPlan::Hit(served)
+            }
+            Some(Slot::InFlight { waiters }) => {
+                let (tx, rx) = unbounded();
+                waiters.push(tx);
+                drop(map);
+                shared.metrics.count_coalesced_hit();
+                SuggestPlan::Wait(rx)
+            }
+            None => {
+                let inflight = shared.inflight.load(Ordering::Acquire);
+                let cap = u64::try_from(shared.cfg.max_inflight_suggests).unwrap_or(u64::MAX);
+                if inflight >= cap {
+                    drop(map);
+                    shared.metrics.count_overloaded();
+                    return Response::Overloaded {
+                        inflight,
+                        capacity: cap,
+                    };
+                }
+                shared.inflight.fetch_add(1, Ordering::AcqRel);
+                map.insert(
+                    key.clone(),
+                    Slot::InFlight {
+                        waiters: Vec::new(),
+                    },
+                );
+                SuggestPlan::Lead
+            }
+        }
+    };
+    match plan {
+        SuggestPlan::Hit(s) => Response::Suggestion {
+            point: s.point,
+            fallback: s.fallback,
+        },
+        SuggestPlan::Wait(rx) => {
+            // Grace beyond the leader's own timeout: the leader always
+            // publishes (a default on fallback), so this only fires if the
+            // leader's thread died.
+            let wait = shared
+                .cfg
+                .suggest_timeout
+                .saturating_add(Duration::from_secs(1));
+            match rx.recv_timeout(wait) {
+                Ok(s) => Response::Suggestion {
+                    point: s.point,
+                    fallback: s.fallback,
+                },
+                Err(_) => Response::Suggestion {
+                    point: shared.space.default_point(),
+                    fallback: Some("coalesced leader unavailable".to_string()),
+                },
+            }
+        }
+        SuggestPlan::Lead => {
+            let (point, fallback) = shared.client.suggest_or_default(
+                user,
+                signature,
+                ctx,
+                shared.cfg.suggest_timeout,
+                &shared.space,
+            );
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            shared.metrics.count_backend_eval();
+            let fallback = fallback.map(|f| f.to_string());
+            let served = Served {
+                point: point.clone(),
+                fallback: fallback.clone(),
+            };
+            let (waiters, batch) = {
+                let mut map = lock_coalescer(shared);
+                let waiters = match map.remove(&key) {
+                    Some(Slot::InFlight { waiters }) => waiters,
+                    _ => Vec::new(),
+                };
+                let batch = u64::try_from(waiters.len())
+                    .unwrap_or(u64::MAX)
+                    .saturating_add(1);
+                map.insert(
+                    key,
+                    Slot::Done {
+                        point: point.clone(),
+                        fallback: fallback.clone(),
+                        batch,
+                    },
+                );
+                (waiters, batch)
+            };
+            shared.metrics.observe_batch(batch);
+            for w in waiters {
+                let _ = w.send(served.clone());
+            }
+            Response::Suggestion { point, fallback }
+        }
+    }
+}
+
+fn serve_report(shared: &Arc<Shared>, user: &str, app_id: &str, jsonl: String) -> Response {
+    shared.metrics.count_report();
+    // New observations should move the tuner: invalidate this tenant's cached
+    // suggestions for every signature the document mentions, so the *content*
+    // of the report history — not timing — decides what later suggests see.
+    let (events, _quarantined) = sparksim::event::from_jsonl_lossy(&jsonl);
+    let mut sigs: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            SparkEvent::QueryStart {
+                query_signature, ..
+            }
+            | SparkEvent::QueryEnd {
+                query_signature, ..
+            }
+            | SparkEvent::StageCompleted {
+                query_signature, ..
+            } => Some(*query_signature),
+            SparkEvent::ApplicationStart { .. } | SparkEvent::ApplicationEnd { .. } => None,
+        })
+        .collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    if !sigs.is_empty() {
+        let mut map = lock_coalescer(shared);
+        map.retain(|k, _| !(k.0 == user && sigs.binary_search(&k.1).is_ok()));
+    }
+    shared.client.report_jsonl(user, app_id, jsonl);
+    Response::Reported
+}
+
+fn serve_metrics(shared: &Arc<Shared>) -> Response {
+    shared.metrics.count_metrics();
+    let dashboard = shared
+        .client
+        .dashboard_counters(shared.cfg.suggest_timeout)
+        .unwrap_or_default();
+    let serving = shared.metrics.snapshot(
+        shared.queued.load(Ordering::Acquire),
+        shared.inflight.load(Ordering::Acquire),
+    );
+    let text = render_text(&serving, &dashboard);
+    Response::MetricsReport {
+        text,
+        serving,
+        dashboard,
+    }
+}

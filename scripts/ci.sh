@@ -3,7 +3,7 @@
 #   formatting → static analysis (rhlint) → release build → tests (serial and
 #   8-wide pools — DESIGN.md §7 says the results must be identical) → the
 #   parallel-scaling benchmark (BENCH_parallel.json is the uploadable
-#   artifact) → chaos smoke.
+#   artifact) → serving load-gen smoke (BENCH_serve.json) → chaos smoke.
 # Usage: scripts/ci.sh  (from anywhere inside the repo)
 set -euo pipefail
 
@@ -26,6 +26,9 @@ RH_THREADS=8 cargo test -q --workspace
 
 echo "==> parallel-scaling bench (BENCH_parallel.json)"
 cargo run -q --release -p bench -- --quick
+
+echo "==> serving load-gen smoke (BENCH_serve.json)"
+cargo run -q --release -p bench --bin serve_loadgen -- --quick
 
 echo "==> chaos smoke (fault injection)"
 cargo run -q --release -p experiments --bin exp_fault_injection -- --quick

@@ -1,6 +1,9 @@
-//! Bench regression gate (tier 1): run the quick parallel-scaling sweep,
+//! Bench regression gates (tier 1): run the quick parallel-scaling sweep,
 //! round-trip it through the `BENCH_parallel.json` schema, and enforce the
-//! sanity floor on the 8-thread tuner batch.
+//! sanity floor on the 8-thread tuner batch; then run the quick serving
+//! load-generation bench twice and enforce the `BENCH_serve.json` contract
+//! (stable schema, seeded-fleet fingerprint determinism, clean drain, zero
+//! protocol errors).
 //!
 //! The floor is core-aware and deliberately loose (a *sanity* floor, not a
 //! performance target): on a machine with real parallelism the 8-wide batch
@@ -72,4 +75,57 @@ fn bench_parallel_json_passes_the_sanity_floor() {
          (serial {:.1}ms, host_threads {host_threads})",
         tuner.serial_ms
     );
+}
+
+#[test]
+fn bench_serve_json_is_deterministic_and_clean() {
+    use bench::serve::{run_serve_bench, ServeBenchConfig, SERVE_SCHEMA};
+
+    let cfg = ServeBenchConfig::quick(0xB5);
+    let first = run_serve_bench(&cfg).expect("first serve bench run");
+    let second = run_serve_bench(&cfg).expect("second serve bench run");
+
+    // The seeded fleet folds every served suggestion into one fingerprint;
+    // it must not move across runs (fresh server, fresh port, same seed).
+    assert_eq!(
+        first.suggest_fingerprint, second.suggest_fingerprint,
+        "served suggestions changed between identically-seeded runs"
+    );
+
+    // Hard serving invariants, independent of host speed.
+    for (label, run) in [("first", &first), ("second", &second)] {
+        assert_eq!(run.protocol_errors, 0, "{label} run spoke bad frames");
+        assert!(run.clean_drain, "{label} run did not drain cleanly");
+        assert!(
+            run.p50_us <= run.p95_us && run.p95_us <= run.p99_us,
+            "{label} run: latency percentiles not monotone"
+        );
+        assert!(
+            run.backend_evals + run.coalesced_hits == run.sent.0,
+            "{label} run: every suggest is either an evaluation or a coalesced hit"
+        );
+    }
+
+    // The JSON document round-trips through the declared schema.
+    let json = first.to_json();
+    let doc = serde_json::value_from_str(&json).expect("BENCH_serve.json parses");
+    match doc.get_field("schema") {
+        serde::Value::Str(s) => assert_eq!(s, SERVE_SCHEMA),
+        other => panic!("schema field missing or mistyped: {other:?}"),
+    }
+    match doc.get_field("suggest_fingerprint") {
+        serde::Value::Str(s) => {
+            assert_eq!(s.len(), 16, "fingerprint renders as 16 hex digits");
+            assert_eq!(*s, format!("{:016x}", first.suggest_fingerprint));
+        }
+        other => panic!("suggest_fingerprint missing or mistyped: {other:?}"),
+    }
+    assert!(
+        matches!(doc.get_field("clean_drain"), serde::Value::Bool(true)),
+        "clean_drain missing from the JSON document"
+    );
+    match doc.get_field("latency_us").get_field("p95") {
+        serde::Value::UInt(_) | serde::Value::Int(_) => {}
+        other => panic!("latency_us.p95 missing: {other:?}"),
+    }
 }
