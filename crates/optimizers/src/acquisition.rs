@@ -28,6 +28,7 @@ fn erf(x: f64) -> f64 {
 
 /// Expected Improvement below the incumbent best (for minimization):
 /// `EI = (best − μ)·Φ(z) + σ·φ(z)` with `z = (best − μ)/σ`.
+// rhlint:hot — scored once per candidate per proposal round; keep alloc-free
 pub fn expected_improvement(post: &Posterior, best: f64) -> f64 {
     if post.std < 1e-12 {
         return (best - post.mean).max(0.0);
@@ -37,6 +38,7 @@ pub fn expected_improvement(post: &Posterior, best: f64) -> f64 {
 }
 
 /// Lower confidence bound score (to be *minimized*): `μ − κ·σ`.
+// rhlint:hot — scored once per candidate per proposal round; keep alloc-free
 // rhlint:allow(dead-pub): LCB acquisition kept alongside EI for ablations
 pub fn lcb(post: &Posterior, kappa: f64) -> f64 {
     post.mean - kappa * post.std

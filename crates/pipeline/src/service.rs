@@ -42,6 +42,17 @@ struct DegradedState {
     suggests_while_degraded: u32,
 }
 
+/// Hard caps on the backend's per-(user, signature) maps. The backend lives
+/// for the whole serving process, so every keyed map needs an eviction bound
+/// or an adversarial (or merely huge) workload grows it without limit. At the
+/// cap the smallest key is evicted — deterministic regardless of hash order,
+/// and an evicted tuner warm-starts again from the baseline on its next
+/// appearance. Production deployments in the paper track ~416 signatures;
+/// the caps are far above both that and every bench/test workload.
+const MAX_TRACKED_TUNERS: usize = 4096;
+const MAX_TRACKED_EMBEDDINGS: usize = 8192;
+const MAX_TRACKED_DEGRADED: usize = 8192;
+
 /// The backend: storage, per-(user, signature) tuners, baseline model, app cache.
 pub struct AutotuneBackend {
     storage: Arc<Storage>,
@@ -111,12 +122,22 @@ impl AutotuneBackend {
     /// degraded mode get the default configuration, except for the periodic
     /// probe that checks whether tuning can be re-enabled.
     pub fn suggest(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+        if self.embeddings.len() >= MAX_TRACKED_EMBEDDINGS
+            && !self.embeddings.contains_key(&signature)
+        {
+            if let Some(evict) = self.embeddings.keys().min().copied() {
+                self.embeddings.remove(&evict);
+            }
+        }
         self.embeddings.insert(signature, ctx.embedding.clone());
+        let key = (user.to_string(), signature);
+        if self.degraded.len() >= MAX_TRACKED_DEGRADED && !self.degraded.contains_key(&key) {
+            if let Some(evict) = self.degraded.keys().min().cloned() {
+                self.degraded.remove(&evict);
+            }
+        }
         let probe_period = self.probe_period;
-        let state = self
-            .degraded
-            .entry((user.to_string(), signature))
-            .or_default();
+        let state = self.degraded.entry(key).or_default();
         if state.degraded {
             state.suggests_while_degraded += 1;
             if state.suggests_while_degraded % probe_period != 0 {
@@ -129,6 +150,11 @@ impl AutotuneBackend {
 
     fn tuner_for(&mut self, user: &str, signature: u64) -> &mut RockhopperTuner {
         let key = (user.to_string(), signature);
+        if self.tuners.len() >= MAX_TRACKED_TUNERS && !self.tuners.contains_key(&key) {
+            if let Some(evict) = self.tuners.keys().min().cloned() {
+                self.tuners.remove(&evict);
+            }
+        }
         let (space, seed) = (&self.space, self.seed);
         let (guardrail, baseline) = (&self.guardrail_policy, &self.baseline);
         self.tuners.entry(key).or_insert_with(|| {
@@ -489,7 +515,13 @@ impl AutotuneBackend {
                 continue;
             };
             let tuner = RockhopperTuner::restore(self.space.clone(), state, self.baseline.clone());
-            self.tuners.insert((user.to_string(), sig), tuner);
+            let key = (user.to_string(), sig);
+            if self.tuners.len() >= MAX_TRACKED_TUNERS && !self.tuners.contains_key(&key) {
+                // Same bound as `tuner_for`: a store with more persisted
+                // models than the cap must not blow up a fresh backend.
+                continue;
+            }
+            self.tuners.insert(key, tuner);
             restored += 1;
         }
         restored

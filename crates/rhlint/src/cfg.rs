@@ -1,0 +1,227 @@
+//! Per-function control-flow graphs, built from the tolerant AST.
+//!
+//! A [`Cfg`] is a list of basic blocks; each block carries the ordered
+//! [`Event`]s the dataflow passes interpret (guard acquisitions and releases,
+//! blocking operations, panic sites, resolved workspace calls) plus its
+//! successor edges. The graph is an over-approximation of real control flow:
+//! both branches of an `if`/`match` are reachable, every loop body may run
+//! zero or more times, `return`/`break`/`continue` edges go where they say.
+//! That is exactly the shape a *may*-analysis wants — if a guard can be held
+//! on **some** path to a blocking call, the lint should fire.
+//!
+//! Construction is driven by the lock-discipline walker in [`crate::locks`]:
+//! it linearizes statements into the current block via [`CfgBuilder::push`]
+//! and splits blocks at branch points with [`CfgBuilder::fork`]-style
+//! primitives. Block 0 is the entry; [`CfgBuilder::exit`] is the single
+//! synthetic exit that `return` and the final fallthrough edge target.
+
+/// Index of a basic block inside its [`Cfg`].
+pub type BlockId = usize;
+
+/// The event alphabet of the dataflow passes (see [`crate::dataflow`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A `Mutex`/`RwLock` guard comes alive: `let g = m.lock()`, a temporary
+    /// `m.lock().x()` chain, or a call to a workspace fn returning a guard.
+    Acquire {
+        /// Unique-within-function guard identity (`g`, or `#tmp3` for
+        /// statement-scoped temporaries).
+        guard: String,
+        /// Stable identity of the lock object, e.g. `Shared.coalescer`.
+        lock: String,
+        line: usize,
+    },
+    /// The guard dies: explicit `drop(g)`, end of its lexical scope, or end
+    /// of statement for temporaries.
+    Release { guard: String },
+    /// A blocking operation: channel `recv`/`recv_timeout`, argument-less
+    /// `join()`, `thread::sleep`, socket accept/connect/bulk I/O.
+    Blocking { what: String, line: usize },
+    /// A potential panic: `unwrap`/`expect`, `panic!`-family macro, or an
+    /// `assert!` that can fail.
+    Panic { what: String, line: usize },
+    /// A call into another workspace function (index into
+    /// [`crate::symbols::Workspace::fns`]); interprocedural summaries decide
+    /// whether it blocks, panics, or acquires further locks.
+    Call { callee: usize, line: usize },
+}
+
+/// One basic block: straight-line events, then zero or more successors.
+#[derive(Clone, Debug, Default)]
+pub struct BasicBlock {
+    pub events: Vec<Event>,
+    pub succs: Vec<BlockId>,
+}
+
+/// A per-function control-flow graph. Block `0` is the entry.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub blocks: Vec<BasicBlock>,
+    /// The synthetic exit block every terminating path reaches.
+    pub exit: BlockId,
+}
+
+impl Cfg {
+    /// Predecessor lists, computed on demand by the dataflow solver.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (from, block) in self.blocks.iter().enumerate() {
+            for &to in &block.succs {
+                if let Some(p) = preds.get_mut(to) {
+                    p.push(from);
+                }
+            }
+        }
+        preds
+    }
+}
+
+/// Incremental CFG construction: the AST walker appends events to the
+/// *current* block and splits it at branch points.
+pub struct CfgBuilder {
+    blocks: Vec<BasicBlock>,
+    cur: BlockId,
+    exit: BlockId,
+    /// `(continue_target, break_target)` per enclosing loop.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl Default for CfgBuilder {
+    fn default() -> CfgBuilder {
+        CfgBuilder::new()
+    }
+}
+
+impl CfgBuilder {
+    pub fn new() -> CfgBuilder {
+        // Block 0 is the entry, block 1 the synthetic exit.
+        CfgBuilder {
+            blocks: vec![BasicBlock::default(), BasicBlock::default()],
+            cur: 0,
+            exit: 1,
+            loop_stack: Vec::new(),
+        }
+    }
+
+    /// The block new events land in.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// The synthetic exit block.
+    pub fn exit(&self) -> BlockId {
+        self.exit
+    }
+
+    /// Append an event to the current block.
+    pub fn push(&mut self, e: Event) {
+        if let Some(b) = self.blocks.get_mut(self.cur) {
+            b.events.push(e);
+        }
+    }
+
+    /// Allocate a fresh, empty block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    /// Add the edge `from → to`.
+    pub fn edge(&mut self, from: BlockId, to: BlockId) {
+        if let Some(b) = self.blocks.get_mut(from) {
+            if !b.succs.contains(&to) {
+                b.succs.push(to);
+            }
+        }
+    }
+
+    /// Redirect construction into `block`.
+    pub fn set_current(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// End the current block with a jump to the exit (a `return`), then
+    /// continue in a fresh unreachable block so trailing statements do not
+    /// leak facts past the jump.
+    pub fn diverge_to_exit(&mut self) {
+        let exit = self.exit;
+        self.diverge_to(exit);
+    }
+
+    /// End the current block with a jump to `target` (break/continue), then
+    /// continue in a fresh unreachable block.
+    pub fn diverge_to(&mut self, target: BlockId) {
+        self.edge(self.cur, target);
+        let orphan = self.new_block();
+        self.cur = orphan;
+    }
+
+    /// Enter a loop whose `continue` jumps to `head` and `break` to `after`.
+    pub fn enter_loop(&mut self, head: BlockId, after: BlockId) {
+        self.loop_stack.push((head, after));
+    }
+
+    /// Leave the innermost loop.
+    pub fn leave_loop(&mut self) {
+        self.loop_stack.pop();
+    }
+
+    /// The innermost loop's `(continue_target, break_target)`, if any.
+    pub fn innermost_loop(&self) -> Option<(BlockId, BlockId)> {
+        self.loop_stack.last().copied()
+    }
+
+    /// Finish: the final fallthrough edge reaches the exit.
+    pub fn finish(mut self) -> Cfg {
+        let exit = self.exit;
+        let cur = self.cur;
+        self.edge(cur, exit);
+        Cfg {
+            blocks: self.blocks,
+            exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_cfg_is_entry_then_exit() {
+        let mut b = CfgBuilder::new();
+        b.push(Event::Blocking {
+            what: "recv".into(),
+            line: 3,
+        });
+        let cfg = b.finish();
+        assert_eq!(cfg.blocks[0].succs, vec![cfg.exit]);
+        assert_eq!(cfg.blocks[0].events.len(), 1);
+    }
+
+    #[test]
+    fn diverge_creates_orphan_continuation() {
+        let mut b = CfgBuilder::new();
+        b.diverge_to_exit();
+        let orphan = b.current();
+        assert_ne!(orphan, 0);
+        let cfg = b.finish();
+        // Entry jumps straight to exit; the orphan has no predecessors.
+        assert_eq!(cfg.blocks[0].succs, vec![cfg.exit]);
+        assert!(cfg.preds()[orphan].is_empty());
+    }
+
+    #[test]
+    fn preds_invert_succs() {
+        let mut b = CfgBuilder::new();
+        let then_b = b.new_block();
+        let join = b.new_block();
+        b.edge(0, then_b);
+        b.edge(0, join);
+        b.edge(then_b, join);
+        b.set_current(join);
+        let cfg = b.finish();
+        let preds = cfg.preds();
+        assert_eq!(preds[join], vec![0, then_b]);
+    }
+}

@@ -1,0 +1,210 @@
+//! A forward dataflow framework over [`Cfg`]s.
+//!
+//! Facts are elements of a powerset lattice (`BTreeSet<F>`, join = union —
+//! a *may* analysis: a fact holds at a point if it holds on **some** path to
+//! it). A [`Transfer`] maps one [`Event`] over a fact set in place: the
+//! gen/kill of classic dataflow, e.g. `Acquire` gens a held-guard fact and
+//! `Release` kills it.
+//!
+//! [`forward`] runs the standard worklist algorithm to a fixpoint. Fact sets
+//! only grow at joins and transfer functions are monotone in practice, so the
+//! fixpoint is reached in `O(blocks × facts)` rounds; a fuel bound caps the
+//! iteration anyway so a pathological (non-monotone) transfer degrades into
+//! an under-approximation instead of a hang — the same tolerance stance as
+//! the parser.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{BlockId, Cfg, Event};
+
+/// One event's effect on a fact set (gen/kill, applied in program order).
+pub trait Transfer {
+    /// Ordered fact type; sets of these form the lattice.
+    type Fact: Clone + Ord;
+
+    /// Apply `event` to `facts` in place.
+    fn apply(&self, event: &Event, facts: &mut BTreeSet<Self::Fact>);
+}
+
+/// The fixpoint solution: the fact set *entering* each block.
+pub struct Solution<F: Clone + Ord> {
+    pub block_in: Vec<BTreeSet<F>>,
+}
+
+impl<F: Clone + Ord> Solution<F> {
+    /// Replay one block's events from its in-set, calling `at_event` with the
+    /// facts holding *immediately before* each event. This is how the lint
+    /// passes localize a diagnostic to the exact line inside a block.
+    pub fn walk_block<T>(
+        &self,
+        cfg: &Cfg,
+        block: BlockId,
+        transfer: &T,
+        mut at_event: impl FnMut(&Event, &BTreeSet<F>),
+    ) where
+        T: Transfer<Fact = F>,
+    {
+        let Some(data) = cfg.blocks.get(block) else {
+            return;
+        };
+        let mut facts = self.block_in.get(block).cloned().unwrap_or_default();
+        for event in &data.events {
+            at_event(event, &facts);
+            transfer.apply(event, &mut facts);
+        }
+    }
+}
+
+/// Run the forward worklist algorithm to a fixpoint.
+///
+/// `entry_facts` seeds block 0 (normally empty: no guards held on entry).
+pub fn forward<T: Transfer>(
+    cfg: &Cfg,
+    transfer: &T,
+    entry_facts: BTreeSet<T::Fact>,
+) -> Solution<T::Fact> {
+    let n = cfg.blocks.len();
+    let mut block_in: Vec<BTreeSet<T::Fact>> = vec![BTreeSet::new(); n];
+    let mut block_out: Vec<BTreeSet<T::Fact>> = vec![BTreeSet::new(); n];
+    if let Some(first) = block_in.first_mut() {
+        *first = entry_facts;
+    }
+
+    let mut worklist: BTreeSet<BlockId> = (0..n).collect();
+    // Each block re-enters the worklist only when a predecessor's out-set
+    // grew; with union joins that happens at most O(total facts) times per
+    // block. The fuel bound is a belt-and-braces cap on top.
+    let mut fuel = 16 * n * n + 256;
+    while let Some(&b) = worklist.iter().next() {
+        worklist.remove(&b);
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+
+        let mut out = block_in[b].clone();
+        for event in &cfg.blocks[b].events {
+            transfer.apply(event, &mut out);
+        }
+        let changed = out != block_out[b];
+        block_out[b] = out;
+        if !changed {
+            continue;
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let before = block_in[succ].len();
+            let merged: BTreeSet<T::Fact> = block_in[succ].union(&block_out[b]).cloned().collect();
+            if merged.len() != before {
+                block_in[succ] = merged;
+                worklist.insert(succ);
+            }
+        }
+    }
+
+    Solution { block_in }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+
+    /// Held-guard toy lattice: facts are guard names.
+    struct Guards;
+    impl Transfer for Guards {
+        type Fact = String;
+        fn apply(&self, event: &Event, facts: &mut BTreeSet<String>) {
+            match event {
+                Event::Acquire { guard, .. } => {
+                    facts.insert(guard.clone());
+                }
+                Event::Release { guard } => {
+                    facts.remove(guard);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn acquire(g: &str) -> Event {
+        Event::Acquire {
+            guard: g.into(),
+            lock: format!("Lock.{g}"),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn facts_flow_through_straight_line() {
+        let mut b = CfgBuilder::new();
+        b.push(acquire("g"));
+        let cfg = b.finish();
+        let sol = forward(&cfg, &Guards, BTreeSet::new());
+        assert!(sol.block_in[cfg.exit].contains("g"));
+    }
+
+    #[test]
+    fn release_kills_the_fact() {
+        let mut b = CfgBuilder::new();
+        b.push(acquire("g"));
+        b.push(Event::Release { guard: "g".into() });
+        let cfg = b.finish();
+        let sol = forward(&cfg, &Guards, BTreeSet::new());
+        assert!(sol.block_in[cfg.exit].is_empty());
+    }
+
+    #[test]
+    fn join_is_union_may_analysis() {
+        // if … { acquire g } — g may be held after the join.
+        let mut b = CfgBuilder::new();
+        let then_b = b.new_block();
+        let join = b.new_block();
+        b.edge(b.current(), then_b);
+        b.edge(b.current(), join);
+        b.set_current(then_b);
+        b.push(acquire("g"));
+        b.edge(then_b, join);
+        b.set_current(join);
+        let cfg = b.finish();
+        let sol = forward(&cfg, &Guards, BTreeSet::new());
+        assert!(sol.block_in[join].contains("g"));
+    }
+
+    #[test]
+    fn loop_back_edge_reaches_fixpoint() {
+        // loop { acquire g } — head sees g from the back edge.
+        let mut b = CfgBuilder::new();
+        let head = b.new_block();
+        let after = b.new_block();
+        b.edge(b.current(), head);
+        b.set_current(head);
+        b.push(acquire("g"));
+        b.edge(head, head);
+        b.edge(head, after);
+        b.set_current(after);
+        let cfg = b.finish();
+        let sol = forward(&cfg, &Guards, BTreeSet::new());
+        assert!(sol.block_in[head].contains("g"));
+        assert!(sol.block_in[after].contains("g"));
+    }
+
+    #[test]
+    fn walk_block_reports_facts_before_each_event() {
+        let mut b = CfgBuilder::new();
+        b.push(acquire("g"));
+        b.push(Event::Blocking {
+            what: "recv".into(),
+            line: 2,
+        });
+        let cfg = b.finish();
+        let sol = forward(&cfg, &Guards, BTreeSet::new());
+        let mut seen = Vec::new();
+        sol.walk_block(&cfg, 0, &Guards, |event, facts| {
+            if let Event::Blocking { .. } = event {
+                seen.push(facts.clone());
+            }
+        });
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].contains("g"));
+    }
+}

@@ -10,7 +10,9 @@
 //! safety rail: a dependency-free static-analysis engine that lexes and parses
 //! every workspace source into an AST ([`lexer`], [`parser`]), builds a
 //! workspace-wide symbol table and call graph ([`symbols`], [`callgraph`]),
-//! and enforces five rule families:
+//! lowers function bodies to per-function control-flow graphs with a forward
+//! dataflow solver over them ([`cfg`], [`dataflow`], [`locks`]), and enforces
+//! seven rule families:
 //!
 //! * **panic-freedom** — no `unwrap()`, `expect()`, `panic!`-style macros, or
 //!   literal slice indexing in library code of the production crates.
@@ -37,10 +39,25 @@
 //!   `as` casts (RH015), `pub` items no other file references (RH016), and
 //!   `RunOutcome` matches that hide `Failed`/`Censored` behind a wildcard
 //!   (RH017), all driven by the symbol table and a local type environment.
+//! * **concurrency** — lock-discipline rules over the CFG/dataflow layer
+//!   ([`locks`]): lock-order cycles that can deadlock (RH020), blocking calls
+//!   — channel `recv`, `join()`, socket I/O, sleeps — while a `Mutex`/`RwLock`
+//!   guard is live, including through interprocedural call summaries (RH021),
+//!   collections on long-lived service state that grow without any eviction or
+//!   bound (RH022), and potential panics inside a critical section that would
+//!   poison the lock (RH023).
+//! * **hot-path** — functions tagged `// rhlint:hot` (candidate scoring, wire
+//!   encode/decode, per-sample metrics) must not heap-allocate (RH024).
 //!
-//! Every rule carries a stable `RH001`–`RH019` code (`rhlint rules` lists
+//! The suppression audit itself is linted: an `rhlint:allow` that no longer
+//! suppresses anything is flagged as stale (RH025), so the allow inventory
+//! shrinks when the code it excused improves.
+//!
+//! Every rule carries a stable `RH001`–`RH025` code (`rhlint rules` lists
 //! them); `rhlint check --format json` emits the findings as a byte-stable
-//! JSON array for tooling. Diagnostics are `file:line`-addressed. A finding
+//! JSON array for tooling (`--format sarif` renders the same findings as a
+//! SARIF 2.1.0 log for code-scanning UIs). Diagnostics are
+//! `file:line`-addressed. A finding
 //! can be suppressed inline with a justification, by rule id or RH code:
 //!
 //! ```text
@@ -59,8 +76,11 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod callgraph;
+pub mod cfg;
 mod config_space;
+pub mod dataflow;
 pub mod lexer;
+pub mod locks;
 mod mask;
 pub mod parser;
 mod rules;
@@ -122,10 +142,30 @@ pub enum Rule {
     /// contract are tested — an ad-hoc socket elsewhere is an untested I/O
     /// path with unbounded buffering and no shutdown story.
     RawSocket,
+    /// Two locks acquired in opposite orders on different code paths — a
+    /// potential deadlock (CFG + interprocedural lock-acquisition graph).
+    LockOrderCycle,
+    /// A blocking operation (channel recv, `join()`, socket I/O, sleep, or a
+    /// call that transitively blocks) while a `Mutex`/`RwLock` guard is held:
+    /// every other thread queues behind the lock for the full wait — the
+    /// exact shape behind a serving p99 tail.
+    BlockingUnderLock,
+    /// Growth (`push`/`insert`/...) of a collection owned by long-lived
+    /// service state with no eviction, shrink, or bound anywhere in
+    /// production code.
+    UnboundedGrowth,
+    /// A potential panic (`unwrap`, `panic!`, a transitively panicking call)
+    /// while holding a guard: the panic poisons the lock for everyone else.
+    PanicUnderLock,
+    /// Heap allocation inside a function tagged `rhlint:hot`.
+    HotPathAlloc,
+    /// A well-formed `rhlint:allow` that suppresses nothing on its line or
+    /// the next — stale suppressions rot the audit trail.
+    StaleAllow,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 19] = [
+    pub const ALL: [Rule; 25] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -145,6 +185,12 @@ impl Rule {
         Rule::OutcomeMatch,
         Rule::ThreadSpawn,
         Rule::RawSocket,
+        Rule::LockOrderCycle,
+        Rule::BlockingUnderLock,
+        Rule::UnboundedGrowth,
+        Rule::PanicUnderLock,
+        Rule::HotPathAlloc,
+        Rule::StaleAllow,
     ];
 
     /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
@@ -169,6 +215,12 @@ impl Rule {
             Rule::OutcomeMatch => "outcome-match",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::RawSocket => "raw-socket",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::UnboundedGrowth => "unbounded-growth",
+            Rule::PanicUnderLock => "panic-under-lock",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 
@@ -196,6 +248,12 @@ impl Rule {
             Rule::OutcomeMatch => "RH017",
             Rule::ThreadSpawn => "RH018",
             Rule::RawSocket => "RH019",
+            Rule::LockOrderCycle => "RH020",
+            Rule::BlockingUnderLock => "RH021",
+            Rule::UnboundedGrowth => "RH022",
+            Rule::PanicUnderLock => "RH023",
+            Rule::HotPathAlloc => "RH024",
+            Rule::StaleAllow => "RH025",
         }
     }
 
@@ -221,6 +279,12 @@ impl Rule {
             Rule::OutcomeMatch => "`match` on `RunOutcome` must handle `Failed` and `Censored` explicitly — a wildcard arm silently swallows new failure modes",
             Rule::ThreadSpawn => "raw `thread::spawn` outside rockpool/`pipeline::service`/rockserve; fan out through `rockpool::Pool` so seeds split on task index and results reduce in order",
             Rule::RawSocket => "raw socket construction outside `rockserve`; all networking goes through the serving layer's tested protocol, admission control, and drain contract",
+            Rule::LockOrderCycle => "two locks acquired in opposite orders on different paths can deadlock; acquire locks in one global order",
+            Rule::BlockingUnderLock => "blocking operation (channel recv, `join()`, socket I/O, sleep) while holding a `Mutex`/`RwLock` guard serializes every other thread behind the wait",
+            Rule::UnboundedGrowth => "collection owned by long-lived service state grows with no eviction, shrink, or bound anywhere in production code",
+            Rule::PanicUnderLock => "potential panic while holding a guard poisons the lock; move fallible work outside the critical section",
+            Rule::HotPathAlloc => "heap allocation in a `rhlint:hot` function; preallocate outside the hot path or reuse buffers",
+            Rule::StaleAllow => "`rhlint:allow` that suppresses nothing on its line or the next; remove stale suppressions to keep the audit trail honest",
         }
     }
 
@@ -236,10 +300,15 @@ impl Rule {
             | Rule::RawSocket => "determinism",
             Rule::PartialCmpUnwrap | Rule::FloatSort | Rule::NanLiteral => "float-safety",
             Rule::ConfigSpace => "config-space",
-            Rule::BadSuppression => "suppression",
+            Rule::BadSuppression | Rule::StaleAllow => "suppression",
             Rule::IgnoredResult | Rule::LossyCast | Rule::DeadPub | Rule::OutcomeMatch => {
                 "semantic"
             }
+            Rule::LockOrderCycle
+            | Rule::BlockingUnderLock
+            | Rule::UnboundedGrowth
+            | Rule::PanicUnderLock => "concurrency",
+            Rule::HotPathAlloc => "hot-path",
         }
     }
 
@@ -376,6 +445,15 @@ pub fn run_check(root: &Path) -> Result<CheckReport, LintError> {
     raw.extend(check_config_space(root)?);
     raw.extend(callgraph::determinism_taint(&ws));
     raw.extend(semantic::check(&ws));
+    raw.extend(locks::check(&ws));
+    raw.extend(locks::check_growth(&ws));
+    raw.extend(locks::check_hot_paths(&ws));
+
+    // RH025 compares every well-formed allow against the full
+    // pre-suppression finding set: an allow that matches nothing on its line
+    // or the next is stale. Its own diagnostics join `raw` so they can be
+    // suppressed (and thereby justified) like any other rule.
+    raw.extend(stale_allows(&ws, &raw));
 
     // Central suppression filter: an allow on the flagged line (or the line
     // above) covers any rule, lexical or semantic.
@@ -405,6 +483,43 @@ pub fn run_check(root: &Path) -> Result<CheckReport, LintError> {
     })
 }
 
+/// RH025: well-formed, justified `rhlint:allow`s (outside test code, in
+/// crates any rule family scans) that suppress no finding on their own line
+/// or the next. `raw` is the complete pre-suppression finding set.
+fn stale_allows(ws: &symbols::Workspace, raw: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in ws.files() {
+        let scoped = ScanScope::for_crate(&file.krate) != ScanScope::default()
+            || locks::concurrency_scoped(&file.krate);
+        if !scoped {
+            continue;
+        }
+        for (line, rules) in rules::well_formed_allows(&file.masked) {
+            if file.masked.in_test.get(line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            let used = raw.iter().any(|d| {
+                d.file == file.rel
+                    && (d.line == line || d.line == line + 1)
+                    && rules.contains(&d.rule)
+            });
+            if !used {
+                let ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line,
+                    rule: Rule::StaleAllow,
+                    message: format!(
+                        "stale `rhlint:allow({})` — no matching finding on this line or the next; remove it",
+                        ids.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// [`run_check`], diagnostics only. The tier-1 gate and tests use this.
 pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     run_check(root).map(|report| report.diagnostics)
@@ -432,6 +547,46 @@ pub fn render_json(diagnostics: &[Diagnostic]) -> String {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// Render diagnostics as a SARIF 2.1.0 log. Like [`render_json`] the output
+/// is byte-stable: no timestamps, absolute paths, or environment data — two
+/// runs over the same tree produce byte-identical SARIF, so the CI artifact
+/// diffs cleanly between commits.
+pub fn render_sarif(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"rhlint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"properties\":{{\"family\":\"{}\"}}}}{}\n",
+            rule.code(),
+            json_escape(rule.id()),
+            json_escape(rule.doc()),
+            rule.family(),
+            if i + 1 < Rule::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        let uri = d.file.display().to_string().replace('\\', "/");
+        out.push_str(&format!(
+            "        {{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}{}\n",
+            d.rule.code(),
+            json_escape(&d.message),
+            json_escape(&uri),
+            d.line,
+            if i + 1 < diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
     out
 }
 

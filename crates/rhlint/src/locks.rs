@@ -1,0 +1,1470 @@
+//! Lock-discipline, growth, and hot-path analyses (RH020–RH024).
+//!
+//! This is the dataflow half of rhlint: every non-test function body is
+//! lowered to a [`Cfg`](crate::cfg::Cfg) whose events record guard
+//! acquisitions/releases, blocking operations, panic sites, and resolved
+//! workspace calls. A forward *may*-analysis ([`crate::dataflow`]) computes
+//! the set of held guards at every event; interprocedural summaries
+//! (may-block / may-panic / acquires) propagate over the call graph so a
+//! `client.suggest(..)` that blocks three calls deep still fires RH021 at the
+//! call site under the lock.
+//!
+//! The model is deliberately an approximation with the safe polarity per
+//! rule:
+//!
+//! * Guards come alive at `let g = m.lock()` (also `.read()`/`.write()` on an
+//!   `RwLock`-typed receiver, and calls to workspace fns returning a
+//!   `*Guard`), survive `unwrap`/`expect`/`unwrap_or_else` adapters, and die
+//!   at `drop(g)`, at the end of their lexical scope, or at the end of the
+//!   statement for temporaries.
+//! * Closure bodies are **not** inlined into the enclosing function's CFG: a
+//!   `thread::spawn(move || rx.recv())` does not make the spawner a blocking
+//!   function. The cost is that calls made through combinator closures are
+//!   invisible to the interprocedural pass (an under-approximation).
+//! * Lock identity is `Type.field` for `self.field.lock()`-shaped receivers
+//!   and `fn:name()` for guard-returning helpers, so two instances of the
+//!   same struct alias to one lock node. That can over-report RH020 on
+//!   per-instance locks and never under-reports a same-instance cycle.
+//! * A panic site already suppressed by a justified `rhlint:allow` for a
+//!   panic-family rule is trusted not to panic and does not seed RH023.
+//!
+//! RH022 (unbounded growth) and RH024 (hot-path allocation) ride on simpler
+//! whole-body visitors: growth needs workspace-wide shrink evidence rather
+//! than path sensitivity, and for a `rhlint:hot` function *any* allocation on
+//! *any* path is a finding.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::cfg::{Cfg, CfgBuilder, Event};
+use crate::dataflow::{self, Transfer};
+use crate::parser::{Block, Expr, Stmt};
+use crate::rules;
+use crate::symbols::{FnInfo, Target, Workspace};
+use crate::{Diagnostic, Rule, PANIC_SCOPE};
+
+/// Crates subject to the lock-discipline and growth rules: the production
+/// panic-scope crates plus the `rockpool` work pool (its whole job is
+/// threads and joins).
+pub(crate) fn concurrency_scoped(krate: &str) -> bool {
+    PANIC_SCOPE.contains(&krate) || krate == "rockpool"
+}
+
+/// Collection type heads whose growth RH022 tracks.
+const COLLECTIONS: [&str; 7] = [
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+/// Methods that add elements.
+const GROW_METHODS: [&str; 6] = [
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+];
+
+/// Methods that remove elements or bound the collection; one of these on the
+/// same `Type.field` anywhere in production code makes growth bounded.
+const SHRINK_METHODS: [&str; 12] = [
+    "remove",
+    "remove_entry",
+    "retain",
+    "clear",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "truncate",
+    "drain",
+    "split_off",
+    "swap_remove",
+    "take",
+];
+
+// ---------------------------------------------------------------------------
+// Held-guard lattice
+// ---------------------------------------------------------------------------
+
+/// A held-guard fact: `(guard id, lock id, acquisition line)`.
+type Held = (String, String, usize);
+
+struct HeldLocks;
+
+impl Transfer for HeldLocks {
+    type Fact = Held;
+
+    fn apply(&self, event: &Event, facts: &mut BTreeSet<Held>) {
+        match event {
+            Event::Acquire { guard, lock, line } => {
+                facts.insert((guard.clone(), lock.clone(), *line));
+            }
+            Event::Release { guard } => {
+                facts.retain(|(g, _, _)| g != guard);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-function lowering: AST → CFG events + call edges
+// ---------------------------------------------------------------------------
+
+/// One function lowered for analysis.
+struct FnModel {
+    cfg: Cfg,
+    /// Workspace callees (indexes into [`Workspace::fns`]).
+    calls: BTreeSet<usize>,
+}
+
+struct Lowerer<'a> {
+    ws: &'a Workspace,
+    fi: &'a FnInfo,
+    builder: CfgBuilder,
+    /// Variable name → declared/inferred type text.
+    env: BTreeMap<String, String>,
+    /// Let-bound guard names per open lexical scope.
+    scopes: Vec<Vec<String>>,
+    /// `scopes.len()` at each enclosing loop entry (for break/continue).
+    loop_scope_marks: Vec<usize>,
+    /// Statement-scoped temporary guards awaiting release.
+    stmt_tmps: Vec<String>,
+    next_tmp: usize,
+    calls: BTreeSet<usize>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(ws: &'a Workspace, fi: &'a FnInfo) -> Lowerer<'a> {
+        let mut env = BTreeMap::new();
+        if let Some(ty) = &fi.self_ty {
+            env.insert("self".to_string(), ty.clone());
+        }
+        for (name, ty) in &fi.item.params {
+            if !name.is_empty() && !ty.text.is_empty() {
+                env.insert(name.clone(), ty.text.clone());
+            }
+        }
+        Lowerer {
+            ws,
+            fi,
+            builder: CfgBuilder::new(),
+            env,
+            scopes: Vec::new(),
+            loop_scope_marks: Vec::new(),
+            stmt_tmps: Vec::new(),
+            next_tmp: 0,
+            calls: BTreeSet::new(),
+        }
+    }
+
+    fn lower(mut self) -> FnModel {
+        if let Some(body) = &self.fi.item.body {
+            let body = body.clone();
+            self.walk_block(&body);
+        }
+        FnModel {
+            cfg: self.builder.finish(),
+            calls: self.calls,
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> String {
+        self.next_tmp += 1;
+        format!("#tmp{}", self.next_tmp)
+    }
+
+    fn walk_block(&mut self, block: &Block) {
+        self.scopes.push(Vec::new());
+        for stmt in &block.stmts {
+            self.walk_stmt(stmt);
+        }
+        let ended = self.scopes.pop().unwrap_or_default();
+        for guard in ended.into_iter().rev() {
+            self.builder.push(Event::Release { guard });
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        let mark = self.stmt_tmps.len();
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                underscore,
+                line,
+            } => {
+                if let Some(e) = init {
+                    let acquired = self.walk_expr(e);
+                    match (acquired, name) {
+                        (Some(lock), Some(n)) => {
+                            // `let g = m.lock()` — guard lives to scope end.
+                            self.builder.push(Event::Acquire {
+                                guard: n.clone(),
+                                lock,
+                                line: *line as usize,
+                            });
+                            if let Some(scope) = self.scopes.last_mut() {
+                                scope.push(n.clone());
+                            }
+                            self.env.insert(n.clone(), "Guard".to_string());
+                        }
+                        (Some(lock), None) => {
+                            // `let _ = m.lock()` — acquired and dropped at once.
+                            let tmp = self.fresh_tmp();
+                            self.builder.push(Event::Acquire {
+                                guard: tmp.clone(),
+                                lock,
+                                line: *line as usize,
+                            });
+                            self.builder.push(Event::Release { guard: tmp });
+                            let _ = underscore;
+                        }
+                        (None, Some(n)) => {
+                            let text = ty
+                                .as_ref()
+                                .map(|t| t.text.clone())
+                                .filter(|t| !t.is_empty())
+                                .or_else(|| self.infer_text(e));
+                            if let Some(t) = text {
+                                self.env.insert(n.clone(), t);
+                            }
+                        }
+                        (None, None) => {}
+                    }
+                } else if let (Some(n), Some(t)) = (name, ty) {
+                    if !t.text.is_empty() {
+                        self.env.insert(n.clone(), t.text.clone());
+                    }
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                self.walk_value(expr);
+            }
+            Stmt::Item(_) => {}
+        }
+        // Temporaries acquired during this statement die with it.
+        for guard in self.stmt_tmps.split_off(mark) {
+            self.builder.push(Event::Release { guard });
+        }
+    }
+
+    /// Walk an expression in value position: if it evaluates to a fresh
+    /// guard, the guard becomes a statement-scoped temporary.
+    fn walk_value(&mut self, e: &Expr) {
+        if let Some(lock) = self.walk_expr(e) {
+            let tmp = self.fresh_tmp();
+            self.builder.push(Event::Acquire {
+                guard: tmp.clone(),
+                lock,
+                line: e.line() as usize,
+            });
+            self.stmt_tmps.push(tmp);
+        }
+    }
+
+    /// Walk an expression, emitting events in evaluation order. Returns
+    /// `Some(lock id)` when the expression's value is a freshly acquired
+    /// guard (the caller decides the guard's lifetime).
+    fn walk_expr(&mut self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let line = *line as usize;
+                // `unwrap`-family adapters are transparent to guard-ness:
+                // `m.lock().unwrap()` still yields the guard.
+                if matches!(
+                    method.as_str(),
+                    "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "unwrap_or_default"
+                ) {
+                    let inner = self.walk_expr(recv);
+                    for a in args {
+                        self.walk_value(a);
+                    }
+                    if matches!(method.as_str(), "unwrap" | "expect") {
+                        self.push_panic(format!(".{method}()"), line);
+                    }
+                    return inner;
+                }
+
+                self.walk_value(recv);
+                for a in args {
+                    self.walk_value(a);
+                }
+
+                // Guard acquisition.
+                if method == "lock" && args.is_empty() {
+                    return Some(self.lock_key(recv));
+                }
+                if matches!(method.as_str(), "read" | "write") && args.is_empty() {
+                    let rw = self
+                        .infer_text(recv)
+                        .map(|t| t.contains("RwLock"))
+                        .unwrap_or(false);
+                    if rw {
+                        return Some(self.lock_key(recv));
+                    }
+                }
+
+                // Blocking primitives.
+                if let Some(what) = blocking_method(method, args.len()) {
+                    self.builder.push(Event::Blocking { what, line });
+                    return None;
+                }
+
+                self.link_method(recv, method, line);
+                None
+            }
+            Expr::Call { callee, args, line } => {
+                let line = *line as usize;
+                if let Expr::Path { segs, .. } = &**callee {
+                    // `drop(g)` / `std::mem::drop(g)` kills the guard.
+                    if segs.last().map(String::as_str) == Some("drop") && args.len() == 1 {
+                        if let Expr::Path { segs: v, .. } = &args[0] {
+                            if v.len() == 1 {
+                                self.builder.push(Event::Release {
+                                    guard: v[0].clone(),
+                                });
+                                return None;
+                            }
+                        }
+                    }
+                    for a in args {
+                        self.walk_value(a);
+                    }
+                    if let Some(what) = blocking_path(segs) {
+                        self.builder.push(Event::Blocking { what, line });
+                        return None;
+                    }
+                    let resolved = self.resolve_call(segs);
+                    if let Some(idxs) = resolved {
+                        let mut guard_ret = false;
+                        for &i in &idxs {
+                            self.calls.insert(i);
+                            self.builder.push(Event::Call { callee: i, line });
+                            if returns_guard(&self.ws.fns()[i]) {
+                                guard_ret = true;
+                            }
+                        }
+                        if guard_ret {
+                            let name = segs.last().cloned().unwrap_or_default();
+                            return Some(format!("fn:{name}()"));
+                        }
+                    }
+                } else {
+                    self.walk_value(callee);
+                    for a in args {
+                        self.walk_value(a);
+                    }
+                }
+                None
+            }
+            Expr::MacroCall { path, args, line } => {
+                for a in args {
+                    self.walk_value(a);
+                }
+                let last = path.last().map(String::as_str).unwrap_or("");
+                if matches!(
+                    last,
+                    "panic"
+                        | "todo"
+                        | "unimplemented"
+                        | "unreachable"
+                        | "assert"
+                        | "assert_eq"
+                        | "assert_ne"
+                ) {
+                    self.push_panic(format!("{last}!"), *line as usize);
+                }
+                None
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                self.walk_value(cond);
+                let decision = self.builder.current();
+                let then_b = self.builder.new_block();
+                self.builder.edge(decision, then_b);
+                self.builder.set_current(then_b);
+                self.walk_block(then);
+                let then_end = self.builder.current();
+                let join = self.builder.new_block();
+                self.builder.edge(then_end, join);
+                if let Some(other) = else_ {
+                    let else_b = self.builder.new_block();
+                    self.builder.edge(decision, else_b);
+                    self.builder.set_current(else_b);
+                    self.walk_value(other);
+                    let else_end = self.builder.current();
+                    self.builder.edge(else_end, join);
+                } else {
+                    self.builder.edge(decision, join);
+                }
+                self.builder.set_current(join);
+                None
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.walk_value(scrutinee);
+                let decision = self.builder.current();
+                let join = self.builder.new_block();
+                if arms.is_empty() {
+                    self.builder.edge(decision, join);
+                }
+                for arm in arms {
+                    let arm_b = self.builder.new_block();
+                    self.builder.edge(decision, arm_b);
+                    self.builder.set_current(arm_b);
+                    if let Some(g) = &arm.guard {
+                        self.walk_value(g);
+                    }
+                    self.walk_value(&arm.body);
+                    let arm_end = self.builder.current();
+                    self.builder.edge(arm_end, join);
+                }
+                self.builder.set_current(join);
+                None
+            }
+            Expr::Loop { body, .. } => {
+                let head = self.builder.new_block();
+                self.builder.edge(self.builder.current(), head);
+                let after = self.builder.new_block();
+                self.builder.enter_loop(head, after);
+                self.loop_scope_marks.push(self.scopes.len());
+                self.builder.set_current(head);
+                self.walk_block(body);
+                let tail = self.builder.current();
+                self.builder.edge(tail, head);
+                self.loop_scope_marks.pop();
+                self.builder.leave_loop();
+                self.builder.set_current(after);
+                None
+            }
+            Expr::While { cond, body, .. } => {
+                let head = self.builder.new_block();
+                self.builder.edge(self.builder.current(), head);
+                self.builder.set_current(head);
+                self.walk_value(cond);
+                let test_end = self.builder.current();
+                let body_b = self.builder.new_block();
+                let after = self.builder.new_block();
+                self.builder.edge(test_end, body_b);
+                self.builder.edge(test_end, after);
+                self.builder.enter_loop(head, after);
+                self.loop_scope_marks.push(self.scopes.len());
+                self.builder.set_current(body_b);
+                self.walk_block(body);
+                let tail = self.builder.current();
+                self.builder.edge(tail, head);
+                self.loop_scope_marks.pop();
+                self.builder.leave_loop();
+                self.builder.set_current(after);
+                None
+            }
+            Expr::For { iter, body, .. } => {
+                self.walk_value(iter);
+                let head = self.builder.new_block();
+                self.builder.edge(self.builder.current(), head);
+                let body_b = self.builder.new_block();
+                let after = self.builder.new_block();
+                self.builder.edge(head, body_b);
+                self.builder.edge(head, after);
+                self.builder.enter_loop(head, after);
+                self.loop_scope_marks.push(self.scopes.len());
+                self.builder.set_current(body_b);
+                self.walk_block(body);
+                let tail = self.builder.current();
+                self.builder.edge(tail, head);
+                self.loop_scope_marks.pop();
+                self.builder.leave_loop();
+                self.builder.set_current(after);
+                None
+            }
+            Expr::Return { expr, .. } => {
+                if let Some(e2) = expr {
+                    self.walk_value(e2);
+                }
+                self.builder.diverge_to_exit();
+                None
+            }
+            Expr::Break { .. } => {
+                self.release_loop_scopes();
+                match self.builder.innermost_loop() {
+                    Some((_, after)) => self.builder.diverge_to(after),
+                    None => self.builder.diverge_to_exit(),
+                }
+                None
+            }
+            Expr::Continue { .. } => {
+                self.release_loop_scopes();
+                match self.builder.innermost_loop() {
+                    Some((head, _)) => self.builder.diverge_to(head),
+                    None => self.builder.diverge_to_exit(),
+                }
+                None
+            }
+            Expr::Try { expr, .. } => {
+                let inner = self.walk_expr(expr);
+                // `?` may exit early; model the error edge to the exit.
+                let cur = self.builder.current();
+                self.builder.edge(cur, self.builder.exit());
+                inner
+            }
+            Expr::Block { block, .. } => {
+                self.walk_block(block);
+                None
+            }
+            // Closure bodies run elsewhere (or lazily): never inline their
+            // events into this function's CFG.
+            Expr::Closure { .. } => None,
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
+                self.walk_expr(expr)
+            }
+            Expr::Field { base, .. } => {
+                self.walk_value(base);
+                None
+            }
+            Expr::Index { base, index, .. } => {
+                self.walk_value(base);
+                self.walk_value(index);
+                None
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.walk_value(lhs);
+                self.walk_value(rhs);
+                None
+            }
+            Expr::StructLit { fields, .. } => {
+                for (_, v) in fields {
+                    self.walk_value(v);
+                }
+                None
+            }
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                for v in elems {
+                    self.walk_value(v);
+                }
+                None
+            }
+            Expr::Range { lo, hi, .. } => {
+                if let Some(l) = lo {
+                    self.walk_value(l);
+                }
+                if let Some(h) = hi {
+                    self.walk_value(h);
+                }
+                None
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => None,
+        }
+    }
+
+    /// A panic event — unless a justified panic-family `rhlint:allow` on the
+    /// site vouches that it cannot fire.
+    fn push_panic(&mut self, what: String, line: usize) {
+        let masked = &self.ws.files()[self.fi.file].masked;
+        let allowed = rules::allowed_rules_at(masked, line);
+        let vouched = allowed.iter().any(|r| {
+            matches!(
+                r,
+                Rule::Unwrap | Rule::Expect | Rule::Panic | Rule::PanicUnderLock
+            )
+        });
+        if !vouched {
+            self.builder.push(Event::Panic { what, line });
+        }
+    }
+
+    /// On `break`/`continue`, guards scoped inside the loop die before the
+    /// jump (their scopes unwind), even though the scopes stay open for the
+    /// fallthrough path.
+    fn release_loop_scopes(&mut self) {
+        let depth = self.loop_scope_marks.last().copied().unwrap_or(0);
+        let guards: Vec<String> = self.scopes.iter().skip(depth).flatten().cloned().collect();
+        for guard in guards.into_iter().rev() {
+            self.builder.push(Event::Release { guard });
+        }
+    }
+
+    /// Stable identity for the lock behind a `.lock()`/`.read()`/`.write()`
+    /// receiver: `Type.field` when the receiver is a field access,
+    /// `krate::var` for locals/statics.
+    fn lock_key(&self, recv: &Expr) -> String {
+        match recv {
+            Expr::Field { base, name, .. } => {
+                let base_head = self
+                    .infer_text(base)
+                    .and_then(|t| peel_head(&t))
+                    .unwrap_or_else(|| "?".to_string());
+                format!("{base_head}.{name}")
+            }
+            Expr::Path { segs, .. } if segs.len() == 1 => {
+                format!("{}::{}", self.fi.krate, segs[0])
+            }
+            Expr::Path { segs, .. } => segs.join("::"),
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } => self.lock_key(expr),
+            _ => format!("{}::<anon>", self.fi.krate),
+        }
+    }
+
+    /// Best-effort type TEXT of an expression (full generics preserved, so
+    /// `Mutex<...>` / `RwLock<...>` / `JoinHandle<...>` checks see through
+    /// wrappers like `Arc<...>` via [`peel_head`] at lookup sites).
+    fn infer_text(&self, e: &Expr) -> Option<String> {
+        infer_type_text(self.ws, &self.env, e)
+    }
+
+    fn resolve_call(&self, segs: &[String]) -> Option<Vec<usize>> {
+        let mut segs = segs.to_vec();
+        if segs.first().map(String::as_str) == Some("Self") {
+            if let Some(ty) = &self.fi.self_ty {
+                segs[0] = ty.clone();
+            }
+        }
+        match self.ws.resolve(&self.fi.krate, &self.fi.module, &segs) {
+            Target::Fns(idxs) => Some(idxs),
+            _ => None,
+        }
+    }
+
+    fn link_method(&mut self, recv: &Expr, method: &str, line: usize) {
+        let ty = self.infer_text(recv).and_then(|t| peel_head(&t));
+        if let Some(t) = ty {
+            let idxs = self.ws.methods_of(&t, method);
+            if !idxs.is_empty() {
+                for i in idxs {
+                    self.calls.insert(i);
+                    self.builder.push(Event::Call { callee: i, line });
+                }
+                return;
+            }
+        }
+        // Unknown receiver: link only when the name is unique workspace-wide
+        // (the call graph's under-approximation stance).
+        let named = self.ws.methods_named(method);
+        if named.len() == 1 {
+            let i = named[0];
+            self.calls.insert(i);
+            self.builder.push(Event::Call { callee: i, line });
+        }
+    }
+}
+
+/// Best-effort type text of `e` given `env` (name → type text). Field types
+/// come from the workspace symbol table; `Arc`/`Box`/`&` wrappers are peeled
+/// at each hop.
+fn infer_type_text(ws: &Workspace, env: &BTreeMap<String, String>, e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => env.get(&segs[0]).cloned(),
+        Expr::Field { base, name, .. } => {
+            let base_text = infer_type_text(ws, env, base)?;
+            let head = peel_head(&base_text)?;
+            ws.field_type(&head, name).map(|t| t.text.clone())
+        }
+        Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+            infer_type_text(ws, env, expr)
+        }
+        Expr::MethodCall { recv, method, .. }
+            if matches!(method.as_str(), "clone" | "as_ref" | "as_mut" | "borrow") =>
+        {
+            infer_type_text(ws, env, recv)
+        }
+        Expr::Cast { ty, .. } => Some(ty.text.clone()),
+        _ => None,
+    }
+}
+
+/// Head identifier of a type text after stripping references, `mut`, and
+/// transparent wrappers (`Arc<T>` → `T`'s head, etc.).
+fn peel_head(text: &str) -> Option<String> {
+    let mut t = text.trim();
+    loop {
+        t = t
+            .trim_start_matches('&')
+            .trim_start_matches("'static")
+            .trim_start();
+        t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+        let ident: String = t
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident.is_empty() {
+            return None;
+        }
+        let rest = &t[ident.len()..];
+        if matches!(ident.as_str(), "Arc" | "Rc" | "Box" | "RefCell" | "Cell")
+            && rest.trim_start().starts_with('<')
+        {
+            // Only the head matters, so dropping into the `<...>` body and
+            // re-reading the next identifier is enough — the trailing `>`
+            // never parses as part of an identifier.
+            t = &rest.trim_start()[1..];
+            continue;
+        }
+        return Some(ident);
+    }
+}
+
+/// Does this function hand a live guard back to its caller?
+fn returns_guard(fi: &FnInfo) -> bool {
+    fi.item
+        .ret
+        .as_ref()
+        .map(|t| t.text.contains("Guard"))
+        .unwrap_or(false)
+}
+
+/// Blocking method calls: channel receives, argument-less `join()`
+/// (`JoinHandle`), condvar waits, listener `accept()`, and bulk socket I/O.
+fn blocking_method(method: &str, n_args: usize) -> Option<String> {
+    let what = match method {
+        "recv" | "recv_timeout" | "recv_deadline" => method,
+        "join" | "accept" if n_args == 0 => method,
+        "wait" | "wait_timeout" | "wait_while" => method,
+        "read_exact" | "write_all" | "read_to_end" | "read_to_string" => method,
+        _ => return None,
+    };
+    Some(format!(".{what}()"))
+}
+
+/// Blocking free-function paths: `thread::sleep`, `TcpStream::connect`.
+fn blocking_path(segs: &[String]) -> Option<String> {
+    let last = segs.last().map(String::as_str).unwrap_or("");
+    let penult = segs
+        .len()
+        .checked_sub(2)
+        .map(|i| segs[i].as_str())
+        .unwrap_or("");
+    if last == "sleep" && (penult == "thread" || segs.len() == 1) {
+        return Some("thread::sleep".to_string());
+    }
+    if last == "connect" && penult == "TcpStream" {
+        return Some("TcpStream::connect".to_string());
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural summaries
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Default)]
+struct Summary {
+    /// `Some(primitive)` when the function may block (directly or via calls).
+    blocks: Option<String>,
+    /// `Some(site)` when the function may panic.
+    panics: Option<String>,
+    /// Locks this function (transitively) acquires.
+    acquires: BTreeSet<String>,
+}
+
+fn summarize(models: &[Option<FnModel>]) -> Vec<Summary> {
+    let mut sums: Vec<Summary> = models
+        .iter()
+        .map(|m| {
+            let mut s = Summary::default();
+            if let Some(model) = m {
+                for block in &model.cfg.blocks {
+                    for ev in &block.events {
+                        match ev {
+                            Event::Blocking { what, .. } => {
+                                if s.blocks.is_none() {
+                                    s.blocks = Some(what.clone());
+                                }
+                            }
+                            Event::Panic { what, .. } => {
+                                if s.panics.is_none() {
+                                    s.panics = Some(what.clone());
+                                }
+                            }
+                            Event::Acquire { lock, .. } => {
+                                s.acquires.insert(lock.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            s
+        })
+        .collect();
+
+    // Propagate callee facts to callers to a fixpoint; the call graph is
+    // finite so this stabilizes within O(depth) rounds, fuel-capped anyway.
+    for _ in 0..64 {
+        let mut changed = false;
+        for i in 0..models.len() {
+            let Some(model) = &models[i] else { continue };
+            for &c in &model.calls {
+                if c == i {
+                    continue;
+                }
+                let (callee_blocks, callee_panics, callee_acquires) = {
+                    let s = &sums[c];
+                    (s.blocks.clone(), s.panics.clone(), s.acquires.clone())
+                };
+                let s = &mut sums[i];
+                if s.blocks.is_none() {
+                    if let Some(w) = callee_blocks {
+                        s.blocks = Some(w);
+                        changed = true;
+                    }
+                }
+                if s.panics.is_none() {
+                    if let Some(w) = callee_panics {
+                        s.panics = Some(w);
+                        changed = true;
+                    }
+                }
+                for l in callee_acquires {
+                    if s.acquires.insert(l) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+// ---------------------------------------------------------------------------
+// RH020 / RH021 / RH023 — the dataflow pass proper
+// ---------------------------------------------------------------------------
+
+/// Run the lock-discipline rules over every non-test function of the
+/// concurrency-scoped crates.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let models: Vec<Option<FnModel>> = ws
+        .fns()
+        .iter()
+        .map(|fi| {
+            if fi.cfg_test {
+                None
+            } else {
+                Some(Lowerer::new(ws, fi).lower())
+            }
+        })
+        .collect();
+    let sums = summarize(&models);
+
+    let mut found: BTreeSet<(PathBuf, usize, Rule, String)> = BTreeSet::new();
+    // Lock-acquisition order graph: (held, acquired) → first site.
+    let mut edges: BTreeMap<(String, String), (PathBuf, usize)> = BTreeMap::new();
+
+    for (i, fi) in ws.fns().iter().enumerate() {
+        if fi.cfg_test || !concurrency_scoped(&fi.krate) {
+            continue;
+        }
+        let Some(model) = &models[i] else { continue };
+        let rel = ws.files()[fi.file].rel.clone();
+        let sol = dataflow::forward(&model.cfg, &HeldLocks, BTreeSet::new());
+        for b in 0..model.cfg.blocks.len() {
+            sol.walk_block(&model.cfg, b, &HeldLocks, |ev, held| {
+                let first = held.iter().next();
+                match ev {
+                    Event::Blocking { what, line } => {
+                        if let Some((_, lock, aline)) = first {
+                            found.insert((
+                                rel.clone(),
+                                *line,
+                                Rule::BlockingUnderLock,
+                                format!(
+                                    "blocking `{what}` while `{lock}` is locked (acquired line {aline})"
+                                ),
+                            ));
+                        }
+                    }
+                    Event::Panic { what, line } => {
+                        if let Some((_, lock, aline)) = first {
+                            found.insert((
+                                rel.clone(),
+                                *line,
+                                Rule::PanicUnderLock,
+                                format!(
+                                    "potential panic `{what}` while `{lock}` is locked (acquired line {aline}) — a panic here poisons the lock"
+                                ),
+                            ));
+                        }
+                    }
+                    Event::Acquire { lock, line, .. } => {
+                        for (_, h, _) in held.iter() {
+                            edges
+                                .entry((h.clone(), lock.clone()))
+                                .or_insert_with(|| (rel.clone(), *line));
+                        }
+                    }
+                    Event::Call { callee, line } => {
+                        let s = &sums[*callee];
+                        if let Some((_, lock, aline)) = first {
+                            let qname = qualified_name(&ws.fns()[*callee]);
+                            if let Some(w) = &s.blocks {
+                                found.insert((
+                                    rel.clone(),
+                                    *line,
+                                    Rule::BlockingUnderLock,
+                                    format!(
+                                        "call to `{qname}` may block ({w}) while `{lock}` is locked (acquired line {aline})"
+                                    ),
+                                ));
+                            }
+                            if let Some(w) = &s.panics {
+                                found.insert((
+                                    rel.clone(),
+                                    *line,
+                                    Rule::PanicUnderLock,
+                                    format!(
+                                        "call to `{qname}` may panic ({w}) while `{lock}` is locked (acquired line {aline}) — a panic poisons the lock"
+                                    ),
+                                ));
+                            }
+                        }
+                        for (_, h, _) in held.iter() {
+                            for l in &s.acquires {
+                                edges
+                                    .entry((h.clone(), l.clone()))
+                                    .or_insert_with(|| (rel.clone(), *line));
+                            }
+                        }
+                    }
+                    Event::Release { .. } => {}
+                }
+            });
+        }
+    }
+
+    // RH020: any acquisition edge that closes a cycle is a potential
+    // deadlock. Self-edges (reacquiring a held lock) always deadlock with
+    // std's non-reentrant Mutex.
+    let mut adj: BTreeMap<&String, BTreeSet<&String>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().insert(b);
+    }
+    for ((a, b), (file, line)) in &edges {
+        let cyclic = if a == b { true } else { reaches(&adj, b, a) };
+        if cyclic {
+            let message = if a == b {
+                format!(
+                    "`{a}` acquired while already held — self-deadlock with a non-reentrant lock"
+                )
+            } else {
+                format!(
+                    "lock-order cycle: `{a}` is held while acquiring `{b}` here, and `{b}` is held while acquiring `{a}` elsewhere — acquire locks in one global order"
+                )
+            };
+            found.insert((file.clone(), *line, Rule::LockOrderCycle, message));
+        }
+    }
+
+    found
+        .into_iter()
+        .map(|(file, line, rule, message)| Diagnostic {
+            file,
+            line,
+            rule,
+            message,
+        })
+        .collect()
+}
+
+/// Is `to` reachable from `from` in the acquisition graph?
+fn reaches(adj: &BTreeMap<&String, BTreeSet<&String>>, from: &String, to: &String) -> bool {
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    let mut stack: Vec<&String> = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+fn qualified_name(fi: &FnInfo) -> String {
+    match &fi.self_ty {
+        Some(ty) => format!("{}::{}::{}", fi.krate, ty, fi.name),
+        None => format!("{}::{}", fi.krate, fi.name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RH022 — unbounded growth of long-lived service state
+// ---------------------------------------------------------------------------
+
+/// Run the unbounded-growth rule: a grow call (`push`/`insert`/...) on a
+/// collection field of a long-lived type, with no shrink/eviction call on
+/// the same `Type.field` anywhere in production code and no `len`/`capacity`
+/// check in the growing function.
+pub fn check_growth(ws: &Workspace) -> Vec<Diagnostic> {
+    let long_lived = long_lived_types(ws);
+
+    struct GrowSite {
+        file: PathBuf,
+        line: usize,
+        ty: String,
+        field: String,
+        method: String,
+        /// The growing fn consults `len()`/`capacity()` on the same field.
+        bounded_locally: bool,
+    }
+
+    let mut grows: Vec<GrowSite> = Vec::new();
+    let mut shrunk: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for fi in ws.fns() {
+        if fi.cfg_test {
+            continue;
+        }
+        let Some(body) = &fi.item.body else { continue };
+        let env = param_env(fi);
+        let rel = &ws.files()[fi.file].rel;
+
+        // First sweep: which fields does this fn bound-check or shrink?
+        let mut checked: BTreeSet<(String, String)> = BTreeSet::new();
+        for_each_expr_in_block(body, &mut |e| {
+            if let Expr::MethodCall { recv, method, .. } = e {
+                if let Some((ty, field)) = field_of(ws, &env, recv) {
+                    if matches!(method.as_str(), "len" | "capacity" | "is_empty") {
+                        checked.insert((ty.clone(), field.clone()));
+                    }
+                    if SHRINK_METHODS.contains(&method.as_str()) {
+                        shrunk.insert((ty, field));
+                    }
+                }
+            }
+        });
+
+        // Second sweep: grow calls on collection fields of long-lived types.
+        let in_scope = concurrency_scoped(&fi.krate);
+        for_each_expr_in_block(body, &mut |e| {
+            let Expr::MethodCall {
+                recv, method, line, ..
+            } = e
+            else {
+                return;
+            };
+            let (target, grow_name): (&Expr, String) =
+                if method.starts_with("or_insert") || method == "or_default" {
+                    // `map.entry(k).or_insert_with(..)` / `.or_default()`
+                    // grows the map.
+                    match &**recv {
+                        Expr::MethodCall {
+                            recv: inner,
+                            method: m2,
+                            ..
+                        } if m2 == "entry" => (inner, format!("entry().{method}()")),
+                        _ => return,
+                    }
+                } else if GROW_METHODS.contains(&method.as_str()) {
+                    (recv, format!("{method}()"))
+                } else {
+                    return;
+                };
+            let Some((ty, field)) = field_of(ws, &env, target) else {
+                return;
+            };
+            if !in_scope || !long_lived.contains(&ty) || !is_collection_field(ws, &ty, &field) {
+                return;
+            }
+            grows.push(GrowSite {
+                file: rel.clone(),
+                line: *line as usize,
+                ty: ty.clone(),
+                field: field.clone(),
+                method: grow_name,
+                bounded_locally: checked.contains(&(ty, field)),
+            });
+        });
+    }
+
+    let mut out = Vec::new();
+    for g in grows {
+        if g.bounded_locally || shrunk.contains(&(g.ty.clone(), g.field.clone())) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: g.file,
+            line: g.line,
+            rule: Rule::UnboundedGrowth,
+            message: format!(
+                "`{}.{}` grows via `{}` but nothing in production code evicts, shrinks, or bounds it — unbounded memory on long-lived service state",
+                g.ty, g.field, g.method
+            ),
+        });
+    }
+    out
+}
+
+/// Types that live for the service's lifetime: anything owning a
+/// `JoinHandle`/`Receiver`/`TcpListener`, anything held in an `Arc`, and
+/// anything captured by a `thread::spawn` closure.
+fn long_lived_types(ws: &Workspace) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for t in ws.types() {
+        if t.cfg_test {
+            continue;
+        }
+        for (_, ty) in &t.fields {
+            if ty.text.contains("JoinHandle")
+                || ty.text.contains("Receiver<")
+                || ty.text.contains("TcpListener")
+            {
+                set.insert(t.name.clone());
+            }
+            // `Arc<T>` anywhere marks T shared + long-lived.
+            for inner in angle_idents_after(&ty.text, "Arc<") {
+                if ws.type_named(&inner).is_some() {
+                    set.insert(inner);
+                }
+            }
+        }
+    }
+    // Structs moved into `thread::spawn` closures are worker state.
+    for fi in ws.fns() {
+        if fi.cfg_test {
+            continue;
+        }
+        let Some(body) = &fi.item.body else { continue };
+        let env = param_env(fi);
+        for_each_expr_in_block(body, &mut |e| {
+            let Expr::Call { callee, args, .. } = e else {
+                return;
+            };
+            let Expr::Path { segs, .. } = &**callee else {
+                return;
+            };
+            if segs.last().map(String::as_str) != Some("spawn") {
+                return;
+            }
+            for a in args {
+                let Expr::Closure { body, .. } = a else {
+                    continue;
+                };
+                for_each_expr(body, &mut |inner| {
+                    if let Expr::Path { segs, .. } = inner {
+                        if segs.len() == 1 {
+                            if let Some(text) = env.get(&segs[0]) {
+                                if let Some(head) = peel_head(text) {
+                                    if ws.type_named(&head).is_some() {
+                                        set.insert(head);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    set
+}
+
+/// Identifiers appearing right after each occurrence of `marker` in `text`.
+fn angle_idents_after(text: &str, marker: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(marker) {
+        let after = &rest[pos + marker.len()..];
+        let ident: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            out.push(ident);
+        }
+        rest = after;
+    }
+    out
+}
+
+/// `(owner type, field name)` when `e` is a field access whose base type is
+/// known (through `self`, params, or field chains).
+fn field_of(ws: &Workspace, env: &BTreeMap<String, String>, e: &Expr) -> Option<(String, String)> {
+    if let Expr::Field { base, name, .. } = e {
+        let base_text = infer_type_text(ws, env, base)?;
+        let head = peel_head(&base_text)?;
+        if ws.field_type(&head, name).is_some() {
+            return Some((head, name.clone()));
+        }
+    }
+    None
+}
+
+/// Is `Type.field` a growable collection (following one type-alias hop)?
+fn is_collection_field(ws: &Workspace, ty: &str, field: &str) -> bool {
+    let Some(t) = ws.field_type(ty, field) else {
+        return false;
+    };
+    let mut head = t.head_name().to_string();
+    if let Some(info) = ws.type_named(&head) {
+        if let Some(alias) = &info.alias_head {
+            head = alias.clone();
+        }
+    }
+    COLLECTIONS.contains(&head.as_str())
+}
+
+/// `self` + parameter types only — enough to type `self.field` chains, which
+/// is where long-lived state lives.
+fn param_env(fi: &FnInfo) -> BTreeMap<String, String> {
+    let mut env = BTreeMap::new();
+    if let Some(ty) = &fi.self_ty {
+        env.insert("self".to_string(), ty.clone());
+    }
+    for (name, ty) in &fi.item.params {
+        if !name.is_empty() && !ty.text.is_empty() {
+            env.insert(name.clone(), ty.text.clone());
+        }
+    }
+    env
+}
+
+// ---------------------------------------------------------------------------
+// RH024 — allocation in `rhlint:hot` functions
+// ---------------------------------------------------------------------------
+
+/// Run the hot-path rule: functions tagged `// rhlint:hot` (comment within
+/// three lines above the signature, or in the doc comment) must not allocate
+/// on any path, closures included.
+pub fn check_hot_paths(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for fi in ws.fns() {
+        if fi.cfg_test {
+            continue;
+        }
+        let file = &ws.files()[fi.file];
+        if !hot_tagged(fi, &file.masked.raw_lines) {
+            continue;
+        }
+        let Some(body) = &fi.item.body else { continue };
+        let env = param_env(fi);
+        for_each_expr_in_block(body, &mut |e| {
+            if let Some((what, line)) = alloc_of(ws, &env, e) {
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line,
+                    rule: Rule::HotPathAlloc,
+                    message: format!(
+                        "allocation `{what}` in `rhlint:hot` fn `{}` — preallocate outside the hot path or reuse a buffer",
+                        fi.name
+                    ),
+                });
+            }
+        });
+    }
+    out
+}
+
+fn hot_tagged(fi: &FnInfo, raw_lines: &[String]) -> bool {
+    // Scan the contiguous comment/attribute block directly above the
+    // signature (doc comments included).
+    let mut idx = (fi.line as usize).saturating_sub(1);
+    while idx > 0 {
+        idx -= 1;
+        let Some(raw) = raw_lines.get(idx) else { break };
+        let t = raw.trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.is_empty() {
+            // The tag must lead the comment (`// rhlint:hot` / `/// rhlint:hot`),
+            // so prose that merely *mentions* the tag does not mark a fn hot.
+            if t.trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim_start()
+                .starts_with("rhlint:hot")
+            {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Heap-allocating expression forms.
+fn alloc_of(ws: &Workspace, env: &BTreeMap<String, String>, e: &Expr) -> Option<(String, usize)> {
+    match e {
+        Expr::MacroCall { path, line, .. } => {
+            let last = path.last().map(String::as_str)?;
+            if matches!(last, "vec" | "format") {
+                return Some((format!("{last}!"), *line as usize));
+            }
+            None
+        }
+        Expr::Call { callee, line, .. } => {
+            let Expr::Path { segs, .. } = &**callee else {
+                return None;
+            };
+            let last = segs.last().map(String::as_str).unwrap_or("");
+            let penult = segs
+                .len()
+                .checked_sub(2)
+                .map(|i| segs[i].as_str())
+                .unwrap_or("");
+            let hit = matches!(
+                (penult, last),
+                ("Box", "new")
+                    | ("String", "from")
+                    | ("String", "with_capacity")
+                    | ("Vec", "with_capacity")
+                    | ("Vec", "from")
+            );
+            if hit {
+                return Some((format!("{penult}::{last}"), *line as usize));
+            }
+            None
+        }
+        Expr::MethodCall {
+            recv, method, line, ..
+        } => {
+            if matches!(
+                method.as_str(),
+                "to_vec" | "to_string" | "to_owned" | "collect"
+            ) {
+                return Some((format!(".{method}()"), *line as usize));
+            }
+            if method == "clone" {
+                let head = infer_type_text(ws, env, recv).and_then(|t| peel_head(&t));
+                if let Some(h) = head {
+                    if COLLECTIONS.contains(&h.as_str()) || h == "String" {
+                        return Some((format!("{h}::clone"), *line as usize));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-body expression walkers (closures included)
+// ---------------------------------------------------------------------------
+
+fn for_each_expr_in_block(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    for_each_expr(e, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => for_each_expr(expr, f),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn for_each_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Call { callee, args, .. } => {
+            for_each_expr(callee, f);
+            for a in args {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            for_each_expr(recv, f);
+            for a in args {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => for_each_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            for_each_expr(base, f);
+            for_each_expr(index, f);
+        }
+        Expr::Cast { expr, .. }
+        | Expr::Unary { expr, .. }
+        | Expr::Try { expr, .. }
+        | Expr::Ref { expr, .. }
+        | Expr::Closure { body: expr, .. } => for_each_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            for_each_expr(lhs, f);
+            for_each_expr(rhs, f);
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                for_each_expr(v, f);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            for_each_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    for_each_expr(g, f);
+                }
+                for_each_expr(&arm.body, f);
+            }
+        }
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            for_each_expr(cond, f);
+            for_each_expr_in_block(then, f);
+            if let Some(e2) = else_ {
+                for_each_expr(e2, f);
+            }
+        }
+        Expr::Loop { body, .. } => for_each_expr_in_block(body, f),
+        Expr::While { cond, body, .. } => {
+            for_each_expr(cond, f);
+            for_each_expr_in_block(body, f);
+        }
+        Expr::For { iter, body, .. } => {
+            for_each_expr(iter, f);
+            for_each_expr_in_block(body, f);
+        }
+        Expr::Block { block, .. } => for_each_expr_in_block(block, f),
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for a in elems {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(l) = lo {
+                for_each_expr(l, f);
+            }
+            if let Some(h) = hi {
+                for_each_expr(h, f);
+            }
+        }
+        Expr::Return { expr, .. } => {
+            if let Some(e2) = expr {
+                for_each_expr(e2, f);
+            }
+        }
+        Expr::Path { .. }
+        | Expr::Lit { .. }
+        | Expr::Break { .. }
+        | Expr::Continue { .. }
+        | Expr::Opaque { .. } => {}
+    }
+}

@@ -1,9 +1,10 @@
-//! `cargo run -p rhlint -- check [root] [--format text|json]`
+//! `cargo run -p rhlint -- check [root] [--format text|json|sarif]`
 //!
-//! Exit status: 0 when clean, 1 on violations, 2 on usage/engine errors.
-//! JSON output (`--format json`) is byte-stable across runs: sorted
-//! diagnostics, no timing data. The text summary reports wall-time, which is
-//! why timing never appears in the machine-readable format.
+//! Exit status: 0 when clean, 1 on violations, 2 on usage/engine errors
+//! (unreadable workspace, bad flags) — CI can distinguish "found problems"
+//! from "could not run". JSON and SARIF output are byte-stable across runs:
+//! sorted diagnostics, no timing data. The text summary reports wall-time,
+//! which is why timing never appears in the machine-readable formats.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,6 +13,7 @@ use std::time::Instant;
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
                     "--format" => match it.next().map(String::as_str) {
                         Some("text") => format = Format::Text,
                         Some("json") => format = Format::Json,
+                        Some("sarif") => format = Format::Sarif,
                         _ => return usage(),
                     },
                     _ if root.is_none() && !arg.starts_with('-') => {
@@ -65,6 +68,7 @@ fn run(root: PathBuf, format: Format) -> ExitCode {
         Ok(report) => {
             match format {
                 Format::Json => print!("{}", rhlint::render_json(&report.diagnostics)),
+                Format::Sarif => print!("{}", rhlint::render_sarif(&report.diagnostics)),
                 Format::Text => {
                     print!("{}", rhlint::render_report(&report.diagnostics));
                     println!(
@@ -88,7 +92,7 @@ fn run(root: PathBuf, format: Format) -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rhlint check [workspace-root] [--format text|json] | rhlint rules");
+    eprintln!("usage: rhlint check [workspace-root] [--format text|json|sarif] | rhlint rules");
     ExitCode::from(2)
 }
 

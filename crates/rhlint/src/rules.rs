@@ -75,6 +75,20 @@ pub(crate) fn allowed_rules_at(masked: &MaskedSource, line_no: usize) -> Vec<Rul
     allowed
 }
 
+/// Every well-formed, justified `rhlint:allow` in the file as
+/// `(1-based line, allowed rules)` — the input to the RH025 staleness check.
+pub(crate) fn well_formed_allows(masked: &MaskedSource) -> Vec<(usize, Vec<Rule>)> {
+    masked
+        .raw_lines
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, raw)| match parse_suppression(raw) {
+            Suppression::Allow(rules) => Some((idx + 1, rules)),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Malformed suppressions are diagnostics wherever they appear (including
 /// test code: a broken audit trail is a problem everywhere).
 pub(crate) fn bad_suppressions(rel_path: &Path, masked: &MaskedSource) -> Vec<Diagnostic> {

@@ -431,6 +431,10 @@ impl Workspace {
         &self.items
     }
 
+    pub fn types(&self) -> &[TypeInfo] {
+        &self.types
+    }
+
     pub fn crate_names(&self) -> &BTreeSet<String> {
         &self.crate_names
     }

@@ -1,0 +1,92 @@
+//! The CLI's exit-code contract, which CI scripts key off:
+//! `0` = clean, `1` = violations found, `2` = could not run (bad usage or
+//! unreadable workspace). A gate that conflates 1 and 2 would wave through
+//! runs where the linter never actually looked at the code.
+
+use std::path::Path;
+use std::process::Command;
+
+fn rhlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rhlint"))
+}
+
+fn fixture_root(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let out = rhlint()
+        .args(["check"])
+        .arg(fixture_root("clean"))
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn violations_exit_one() {
+    let out = rhlint()
+        .args(["check"])
+        .arg(fixture_root("lock_order"))
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RH020"), "{text}");
+}
+
+#[test]
+fn unreadable_workspace_exits_two() {
+    let out = rhlint()
+        .args(["check", "/nonexistent/rhlint-no-such-root"])
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.is_empty(), "engine errors are reported on stderr");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = rhlint()
+        .args(["check", "--format", "yaml"])
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sarif_format_is_accepted_and_stable() {
+    let run = || {
+        let out = rhlint()
+            .args(["check"])
+            .arg(fixture_root("lock_order"))
+            .args(["--format", "sarif"])
+            .output()
+            .expect("spawn rhlint");
+        assert_eq!(out.status.code(), Some(1));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "SARIF output must be byte-stable across runs");
+    assert!(a.contains("\"$schema\""), "{a}");
+}

@@ -1,0 +1,9 @@
+//! Fixture optimizers crate.
+
+pub mod space;
+
+use space::{app_level, query_level};
+
+fn dims() -> usize {
+    query_level().len() + app_level().len()
+}

@@ -1,0 +1,29 @@
+//! Search-space dimensions for the fixture workspace.
+
+use sparksim::config::Knob;
+
+/// One tunable dimension.
+pub struct Dim {
+    pub knob: Knob,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// Query-level dimensions.
+pub fn query_level() -> Vec<Dim> {
+    vec![
+        Dim { knob: Knob::ShufflePartitions, lo: 8.0, hi: 1024.0 },
+        Dim { knob: Knob::MemoryFraction, lo: 0.2, hi: 0.9 },
+        Dim { knob: Knob::BroadcastThreshold, lo: 1.0, hi: 256.0 },
+    ]
+}
+
+/// App-level dimensions.
+pub fn app_level() -> Vec<Dim> {
+    vec![
+        Dim { knob: Knob::ExecutorMemory, lo: 1024.0, hi: 32768.0 },
+        Dim { knob: Knob::ExecutorCores, lo: 1.0, hi: 8.0 },
+        Dim { knob: Knob::DriverMemory, lo: 1024.0, hi: 16384.0 },
+        Dim { knob: Knob::ExecutorInstances, lo: 1.0, hi: 64.0 },
+    ]
+}

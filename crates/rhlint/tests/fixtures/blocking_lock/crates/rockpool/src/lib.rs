@@ -1,0 +1,34 @@
+//! Fixture rockpool crate: a channel `recv` reached through a helper while
+//! the queue lock is held. The blocking call sits one hop away from the
+//! guard, so only the interprocedural summary can connect them.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+struct Worker {
+    queue: Mutex<Vec<u64>>,
+    feed: Receiver<u64>,
+}
+
+impl Worker {
+    /// Blocks on the channel — fine on its own, no guard held here.
+    fn next_item(&self) -> u64 {
+        match self.feed.recv() {
+            Ok(v) => v,
+            Err(_) => 0,
+        }
+    }
+
+    /// Holds the queue guard across the blocking helper call.
+    fn drain_one(&self) {
+        let q = self.queue.lock();
+        let item = self.next_item();
+    }
+
+    /// Releases the guard before blocking — silent.
+    fn drain_ok(&self) {
+        let q = self.queue.lock();
+        drop(q);
+        let item = self.next_item();
+    }
+}

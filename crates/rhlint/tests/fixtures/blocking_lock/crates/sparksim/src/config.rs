@@ -1,0 +1,94 @@
+//! Minimal, fully-consistent knob declarations for fixture workspaces.
+
+/// The tuned Spark parameters.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// `spark.executor.memory`
+    ExecutorMemory,
+    /// `spark.executor.cores`
+    ExecutorCores,
+    /// `spark.sql.shuffle.partitions`
+    ShufflePartitions,
+    /// `spark.driver.memory`
+    DriverMemory,
+    /// `spark.executor.instances`
+    ExecutorInstances,
+    /// `spark.memory.fraction`
+    MemoryFraction,
+    /// `spark.sql.autoBroadcastJoinThreshold`
+    BroadcastThreshold,
+}
+
+impl Knob {
+    pub fn spark_name(self) -> &'static str {
+        match self {
+            Knob::ExecutorMemory => "spark.executor.memory",
+            Knob::ExecutorCores => "spark.executor.cores",
+            Knob::ShufflePartitions => "spark.sql.shuffle.partitions",
+            Knob::DriverMemory => "spark.driver.memory",
+            Knob::ExecutorInstances => "spark.executor.instances",
+            Knob::MemoryFraction => "spark.memory.fraction",
+            Knob::BroadcastThreshold => "spark.sql.autoBroadcastJoinThreshold",
+        }
+    }
+}
+
+/// Query-level tuned knobs.
+pub const QUERY_LEVEL: [Knob; 3] = [
+    Knob::ShufflePartitions,
+    Knob::MemoryFraction,
+    Knob::BroadcastThreshold,
+];
+
+/// App-level tuned knobs.
+pub const APP_LEVEL: [Knob; 4] = [
+    Knob::ExecutorMemory,
+    Knob::ExecutorCores,
+    Knob::DriverMemory,
+    Knob::ExecutorInstances,
+];
+
+/// One Spark configuration point.
+#[derive(Clone, Default)]
+pub struct SparkConf {
+    /// `spark.executor.memory`
+    pub executor_memory_mb: f64,
+    /// `spark.executor.cores`
+    pub executor_cores: f64,
+    /// `spark.sql.shuffle.partitions`
+    pub shuffle_partitions: f64,
+    /// `spark.driver.memory`
+    pub driver_memory_mb: f64,
+    /// `spark.executor.instances`
+    pub executor_instances: f64,
+    /// `spark.memory.fraction`
+    pub memory_fraction: f64,
+    /// `spark.sql.autoBroadcastJoinThreshold`
+    pub broadcast_threshold_mb: f64,
+}
+
+impl SparkConf {
+    pub fn get(&self, knob: Knob) -> f64 {
+        match knob {
+            Knob::ExecutorMemory => self.executor_memory_mb,
+            Knob::ExecutorCores => self.executor_cores,
+            Knob::ShufflePartitions => self.shuffle_partitions,
+            Knob::DriverMemory => self.driver_memory_mb,
+            Knob::ExecutorInstances => self.executor_instances,
+            Knob::MemoryFraction => self.memory_fraction,
+            Knob::BroadcastThreshold => self.broadcast_threshold_mb,
+        }
+    }
+
+    pub fn set(&mut self, knob: Knob, value: f64) {
+        match knob {
+            Knob::ExecutorMemory => self.executor_memory_mb = value,
+            Knob::ExecutorCores => self.executor_cores = value,
+            Knob::ShufflePartitions => self.shuffle_partitions = value,
+            Knob::DriverMemory => self.driver_memory_mb = value,
+            Knob::ExecutorInstances => self.executor_instances = value,
+            Knob::MemoryFraction => self.memory_fraction = value,
+            Knob::BroadcastThreshold => self.broadcast_threshold_mb = value,
+        }
+    }
+}

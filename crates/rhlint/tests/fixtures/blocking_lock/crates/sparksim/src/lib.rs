@@ -1,0 +1,18 @@
+//! Fixture sparksim crate: minimal but fully-consistent knob plumbing.
+
+pub mod config;
+
+use config::{Knob, SparkConf, APP_LEVEL, QUERY_LEVEL};
+
+/// Exercises the knob API so every public item is referenced outside its
+/// defining file (keeps the base fixture free of dead-pub findings).
+fn exercise() -> f64 {
+    let mut conf = SparkConf::default();
+    let mut total = 0.0;
+    for knob in QUERY_LEVEL.iter().chain(APP_LEVEL.iter()) {
+        let name = knob.spark_name();
+        conf.set(*knob, name.len() as f64);
+        total += conf.get(*knob);
+    }
+    total
+}

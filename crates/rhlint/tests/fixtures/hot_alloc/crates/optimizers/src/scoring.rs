@@ -1,0 +1,33 @@
+//! Fixture scoring kernels for the hot-path allocation rule.
+
+/// Scores one candidate — tagged hot, but allocates a scratch buffer.
+// rhlint:hot — called once per candidate per round; must stay allocation-free
+fn score(xs: &[f64]) -> f64 {
+    let mut acc = Vec::with_capacity(xs.len());
+    for x in xs {
+        acc.push(*x + 1.0);
+    }
+    total(&acc)
+}
+
+/// Untagged helper — its allocation is nobody's business.
+fn total(xs: &[f64]) -> f64 {
+    let copied = xs.to_vec();
+    let mut sum = 0.0;
+    for x in &copied {
+        sum += *x;
+    }
+    sum
+}
+
+/// Tagged hot and genuinely allocation-free — silent.
+// rhlint:hot — pure arithmetic
+fn clamp01(x: f64) -> f64 {
+    if x < 0.0 {
+        0.0
+    } else if x > 1.0 {
+        1.0
+    } else {
+        x
+    }
+}

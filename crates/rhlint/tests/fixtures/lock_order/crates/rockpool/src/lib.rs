@@ -1,0 +1,31 @@
+//! Fixture rockpool crate: two mutexes acquired in opposite orders on
+//! different paths — the classic AB/BA deadlock.
+
+use std::sync::Mutex;
+
+struct Pool {
+    intake: Mutex<Vec<u64>>,
+    done: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    /// Acquires intake, then done.
+    fn forward(&self) {
+        let a = self.intake.lock();
+        let b = self.done.lock();
+    }
+
+    /// Acquires done, then intake — closes the cycle.
+    fn backward(&self) {
+        let b = self.done.lock();
+        let a = self.intake.lock();
+    }
+
+    /// Never holds both at once — contributes no ordering edge.
+    fn consistent(&self) {
+        let a = self.intake.lock();
+        drop(a);
+        let b = self.done.lock();
+        drop(b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture rockpool crate: a fallible parse unwrapped inside the critical
+//! section — a panic here poisons the counter lock for every other thread.
+
+use std::sync::Mutex;
+
+struct Counter {
+    total: Mutex<u64>,
+}
+
+impl Counter {
+    /// Unwraps while the guard is live.
+    fn bump(&self, raw: &str) {
+        let g = self.total.lock();
+        let v: u64 = raw.parse().unwrap();
+    }
+
+    /// Does the fallible work before taking the lock — silent.
+    fn bump_ok(&self, raw: &str) {
+        let v: u64 = match raw.parse() {
+            Ok(n) => n,
+            Err(_) => 0,
+        };
+        let g = self.total.lock();
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: one live suppression, one stale one left behind by a refactor.
+
+/// The allow below still earns its keep: the cast finding is real.
+fn widen(n: usize) -> u32 {
+    // rhlint:allow(lossy-cast): candidate index is bounded by the space size
+    n as u32
+}
+
+/// The unwrap this allow once covered is long gone.
+fn shrink(n: u32) -> u32 {
+    // rhlint:allow(unwrap): leftover from an old refactor
+    n / 2
+}

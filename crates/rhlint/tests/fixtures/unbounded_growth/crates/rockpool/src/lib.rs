@@ -1,0 +1,26 @@
+//! Fixture rockpool crate: a long-lived worker registry whose `seen` list
+//! grows on every call with no eviction anywhere, next to a `recent` list
+//! that is properly bounded.
+
+use std::thread::JoinHandle;
+
+struct Registry {
+    worker: JoinHandle<u64>,
+    seen: Vec<u64>,
+    recent: Vec<u64>,
+}
+
+impl Registry {
+    /// Grows forever — nothing in production code shrinks `seen`.
+    fn record(&mut self, v: u64) {
+        self.seen.push(v);
+    }
+
+    /// Bounded: checks the length and evicts the oldest entry.
+    fn remember(&mut self, v: u64) {
+        self.recent.push(v);
+        if self.recent.len() > 64 {
+            self.recent.remove(0);
+        }
+    }
+}

@@ -8,7 +8,9 @@
 
 use std::path::{Path, PathBuf};
 
-use rhlint::{check_workspace, render_json, scan_source, Diagnostic, Rule, ScanScope};
+use rhlint::{
+    check_workspace, render_json, render_sarif, scan_source, Diagnostic, Rule, ScanScope,
+};
 
 fn fixture_root(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -186,6 +188,86 @@ fn config_space_fires_on_missing_dimension() {
     );
 }
 
+/// AB/BA lock ordering across two paths. One finding per cyclic edge — one
+/// at each acquisition site — while the drop-before-reacquire path stays
+/// silent because it never holds both locks at once.
+#[test]
+fn lock_order_cycle_fires_on_both_edges() {
+    let diags = fixture_check("lock_order");
+    assert_eq!(diags.len(), 2, "got:\n{}", render(&diags));
+    for d in &diags {
+        assert_eq!(d.rule, Rule::LockOrderCycle);
+        assert!(d.message.contains("Pool.intake"), "{}", d.message);
+        assert!(d.message.contains("Pool.done"), "{}", d.message);
+        assert!(d.message.contains("lock-order cycle"), "{}", d.message);
+    }
+    assert_ne!(diags[0].line, diags[1].line, "one finding per edge site");
+}
+
+/// The blocking `recv` lives in a helper one call away from the guard: only
+/// the interprocedural summary can connect them. The sibling that drops the
+/// guard before calling the same helper stays silent.
+#[test]
+fn blocking_under_lock_fires_through_a_helper_call() {
+    let diags = fixture_check("blocking_lock");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::BlockingUnderLock);
+    assert!(d.message.contains("next_item"), "{}", d.message);
+    assert!(d.message.contains("recv"), "{}", d.message);
+    assert!(d.message.contains("Worker.queue"), "{}", d.message);
+}
+
+/// `seen` grows forever on a JoinHandle-holding registry; `recent` grows too
+/// but is length-checked and evicted, so only `seen` is flagged.
+#[test]
+fn unbounded_growth_fires_on_unevicted_field_only() {
+    let diags = fixture_check("unbounded_growth");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::UnboundedGrowth);
+    assert!(d.message.contains("Registry.seen"), "{}", d.message);
+    assert!(d.message.contains("push"), "{}", d.message);
+}
+
+/// `.unwrap()` inside the critical section poisons the lock on panic; the
+/// sibling that parses before locking stays silent.
+#[test]
+fn panic_under_lock_fires_inside_critical_section_only() {
+    let diags = fixture_check("panic_lock");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::PanicUnderLock);
+    assert!(d.message.contains("unwrap"), "{}", d.message);
+    assert!(d.message.contains("Counter.total"), "{}", d.message);
+    assert!(d.message.contains("poisons"), "{}", d.message);
+}
+
+/// A `rhlint:hot` fn that allocates is flagged; an untagged allocator and a
+/// tagged-but-clean kernel both stay silent.
+#[test]
+fn hot_path_alloc_fires_on_tagged_fn_only() {
+    let diags = fixture_check("hot_alloc");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::HotPathAlloc);
+    assert!(d.message.contains("Vec::with_capacity"), "{}", d.message);
+    assert!(d.message.contains("`score`"), "{}", d.message);
+}
+
+/// An allow with no matching finding on its line or the next is stale; the
+/// allow that really suppresses a lossy cast survives (and keeps the cast
+/// finding suppressed).
+#[test]
+fn stale_allow_fires_on_orphaned_suppression_only() {
+    let diags = fixture_check("stale_allow");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::StaleAllow);
+    assert!(d.message.contains("unwrap"), "{}", d.message);
+    assert!(d.message.contains("stale"), "{}", d.message);
+}
+
 /// `--format json` must be byte-identical across runs: same sorted order,
 /// no timestamps or environment data.
 #[test]
@@ -195,6 +277,28 @@ fn json_output_is_byte_stable_across_runs() {
     assert_eq!(a, b);
     assert!(a.contains("\"code\":\"RH013\""), "{a}");
     assert!(a.contains("\"line\":"), "{a}");
+}
+
+/// `--format sarif` is byte-stable too, and carries the full rule catalog
+/// plus one result per finding with a physical location.
+#[test]
+fn sarif_output_is_byte_stable_and_well_formed() {
+    let diags = fixture_check("lock_order");
+    let a = render_sarif(&diags);
+    let b = render_sarif(&diags);
+    assert_eq!(a, b);
+    assert!(a.contains("\"version\": \"2.1.0\""), "{a}");
+    assert!(a.contains("\"name\": \"rhlint\""), "{a}");
+    // Every rule in the catalog, even ones with no findings here.
+    for rule in Rule::ALL {
+        assert!(a.contains(&format!("\"id\":\"{}\"", rule.code())), "{a}");
+    }
+    assert!(a.contains("\"ruleId\":\"RH020\""), "{a}");
+    assert!(a.contains("\"startLine\":"), "{a}");
+    assert!(
+        a.contains("crates/rockpool/src/lib.rs"),
+        "uri uses forward slashes: {a}"
+    );
 }
 
 fn render(diags: &[Diagnostic]) -> String {

@@ -1,0 +1,123 @@
+//! Robustness properties for the rhlint front end: arbitrary input — raw
+//! bytes, arbitrary unicode, or Rust-ish token soup — must never panic the
+//! lexer, the tolerant parser, or the lexical scanner. Malformed input comes
+//! back as diagnostics or a tolerant AST, never a crash; the parser's
+//! internal fuel bounds runtime on adversarial nesting.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+
+use rhlint::{lexer, parser, scan_source, MaskedSource, ScanScope};
+
+/// The strictest scope any real crate gets — exercises every lexical rule.
+fn full_scope() -> ScanScope {
+    ScanScope {
+        panic_freedom: true,
+        determinism: true,
+        float_safety: true,
+    }
+}
+
+/// Run the whole front end over one input; returns a size so the property
+/// has an observable result to anchor on.
+fn front_end(text: &str) -> usize {
+    let toks = lexer::lex(text);
+    let file = parser::parse_file(text);
+    let masked = MaskedSource::new(text);
+    let diags = scan_source("optimizers", Path::new("src/lib.rs"), text, full_scope());
+    toks.len() + file.items.len() + masked.raw_lines.len() + diags.len()
+}
+
+/// Arbitrary bytes, lossily decoded to a string.
+fn bytes_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..=255u8, 0..512usize)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Arbitrary unicode scalar values (surrogates and out-of-range dropped).
+fn unicode_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x0011_0000u32, 0..256usize)
+        .prop_map(|points| points.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Rust-ish token soup reaches far deeper parser paths than noise does:
+/// nesting, guards, match arms, suppression comments, unbalanced braces.
+const VOCAB: [&str; 48] = [
+    "fn",
+    "pub",
+    "struct",
+    "impl",
+    "match",
+    "if",
+    "else",
+    "loop",
+    "while",
+    "for",
+    "let",
+    "mut",
+    "return",
+    "break",
+    "continue",
+    "self",
+    "Self",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    ";",
+    ",",
+    ".",
+    "::",
+    "->",
+    "=>",
+    "=",
+    "&",
+    "?",
+    "!",
+    "#[cfg(test)]",
+    "x",
+    "y",
+    "Mutex",
+    "lock",
+    "unwrap",
+    "recv",
+    "push",
+    "// rhlint:allow(unwrap): soup",
+    "\"str\"",
+    "0.5",
+    "42",
+    "move",
+];
+
+fn soup_strategy() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec((0usize..VOCAB.len()).prop_map(|i| VOCAB[i]), 0..160usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Raw bytes, lossily decoded: the front end never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(text in bytes_strategy()) {
+        front_end(&text);
+    }
+
+    /// Arbitrary unicode strings: same guarantee without the lossy step.
+    #[test]
+    fn arbitrary_unicode_never_panics(text in unicode_strategy()) {
+        front_end(&text);
+    }
+
+    /// Token soup, space- and newline-joined (line masking takes different
+    /// paths when suppression comments land on their own lines).
+    #[test]
+    fn token_soup_never_panics(words in soup_strategy()) {
+        front_end(&words.join(" "));
+        front_end(&words.join("\n"));
+    }
+}

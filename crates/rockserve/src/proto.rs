@@ -262,6 +262,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError>
 
 /// Write one frame under an explicit version — how the version-mismatch tests
 /// speak a deliberately wrong dialect.
+// rhlint:hot — header encode on every frame; stack bytes only, no alloc
 pub fn write_frame_versioned<W: Write>(
     w: &mut W,
     version: u16,

@@ -12,7 +12,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> rhlint check"
+echo "==> rhlint check (SARIF artifact: rhlint.sarif)"
+# Write the SARIF artifact first so it exists even when violations fail the
+# gate below. Exit 1 (violations) is tolerated here; exit 2 (engine error)
+# still aborts — a linter that could not run must not produce an artifact.
+cargo run -q -p rhlint -- check --format sarif > rhlint.sarif || [ $? -eq 1 ]
 cargo run -q -p rhlint -- check
 
 echo "==> cargo build --release"
