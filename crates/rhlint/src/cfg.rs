@@ -18,6 +18,142 @@
 /// Index of a basic block inside its [`Cfg`].
 pub type BlockId = usize;
 
+/// An abstract operand of a value-flow event: a tracked local, a numeric
+/// constant, or something the lowerer cannot see through. Constants are
+/// stored as `f64` bit patterns so [`Event`] keeps its derived `Eq`/`Ord`
+/// friendliness; `1 << 20` and every knob bound in the workspace are exact
+/// in an `f64`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    Var(String),
+    /// `f64::to_bits` of the constant value.
+    Const(u64),
+    Unknown,
+}
+
+impl Operand {
+    pub fn num(v: f64) -> Operand {
+        Operand::Const(v.to_bits())
+    }
+
+    /// The constant value, when this operand is one.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Operand::Const(bits) => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison operators that appear in branch guards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// The comparison that holds on the `else` edge.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// The comparison `b op a` equivalent to `a op b` with sides swapped.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+}
+
+/// The right-hand side of a value assignment, as abstract as the value
+/// analyses need: enough structure for interval transfer functions and taint
+/// propagation, [`VRhs::Opaque`] for everything else.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VRhs {
+    /// Plain copy/cast of one operand.
+    Operand(Operand),
+    /// Raw arithmetic `lhs op rhs` (`+ - * / % << >>`).
+    Binary {
+        op: String,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `arg.clamp(lo, hi)`.
+    Clamp {
+        arg: Operand,
+        lo: Operand,
+        hi: Operand,
+    },
+    /// `lhs.min(rhs)` / `cmp::min(lhs, rhs)`.
+    Min { lhs: Operand, rhs: Operand },
+    /// `lhs.max(rhs)` / `cmp::max(lhs, rhs)`.
+    Max { lhs: Operand, rhs: Operand },
+    /// `checked_*`/`saturating_*`/`wrapping_*` arithmetic — cannot overflow
+    /// unchecked, so taint stays but the overflow sink never fires on it.
+    GuardedArith { args: Vec<Operand> },
+    /// `T::try_from(arg)` — a bounded conversion; `range` is `T`'s value
+    /// range when the target type is a known integer (f64 bit patterns).
+    TryFrom {
+        arg: Operand,
+        range: Option<(u64, u64)>,
+    },
+    /// `arg.len()` — non-negative, and as attacker-controlled as `arg`.
+    Len { of: Operand },
+    /// A taint source: wire-decoded integers, env vars, file reads. `range`
+    /// is the decoded type's value range when known (f64 bit patterns).
+    Source {
+        what: &'static str,
+        int: bool,
+        range: Option<(u64, u64)>,
+    },
+    /// A resolved call to a workspace function (index into
+    /// [`crate::symbols::Workspace::fns`]); summaries supply the value.
+    Call { callee: usize },
+    /// Value-preserving adapters (`unwrap`, `ok`, `Ok(..)`, `unwrap_or`):
+    /// the result is one of `args`. When `values` is false only taint flows
+    /// through (e.g. `parse`: the number is new, the provenance is not).
+    Adapter { args: Vec<Operand>, values: bool },
+    /// No value information survives lowering.
+    Opaque,
+}
+
+/// Positions where a tainted or out-of-range value does damage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SinkKind {
+    /// An allocation sized by the operand (`with_capacity`, `resize`,
+    /// `reserve`, `vec![x; n]`). The string names the allocating form.
+    Alloc(String),
+    /// A slice/array index.
+    Index,
+    /// A divisor (`/`, `%`, `div_euclid`, `rem_euclid`).
+    Div,
+    /// Unchecked integer arithmetic (`+ - * <<`); the string is the operator.
+    Arith(String),
+    /// The operand flows into parameter `index` of workspace fn `callee`;
+    /// the callee's summary says whether that parameter reaches a sink.
+    CallArg { callee: usize, index: usize },
+    /// `conf.set(Knob::<name>, operand)` — checked against the knob's
+    /// declared `SearchSpace` bounds.
+    KnobSet { knob: String },
+}
+
 /// The event alphabet of the dataflow passes (see [`crate::dataflow`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
@@ -44,6 +180,24 @@ pub enum Event {
     /// [`crate::symbols::Workspace::fns`]); interprocedural summaries decide
     /// whether it blocks, panics, or acquires further locks.
     Call { callee: usize, line: usize },
+    /// A value assignment `var = rhs` visible to the value analyses.
+    /// Synthetic `#vN` temporaries chain sub-expression values; `#ret`
+    /// carries the function's return value for callee summaries.
+    Assign { var: String, rhs: VRhs, line: usize },
+    /// A branch-refined fact: on this block, `var cmp bound` holds. Emitted
+    /// into the then/else arms of comparisons that guard them.
+    Assume {
+        var: String,
+        op: CmpOp,
+        bound: Operand,
+    },
+    /// A dangerous use of a value; the value analyses decide whether the
+    /// operands are tainted/out-of-range enough to report.
+    Sink {
+        kind: SinkKind,
+        args: Vec<Operand>,
+        line: usize,
+    },
 }
 
 /// One basic block: straight-line events, then zero or more successors.

@@ -104,6 +104,122 @@ pub fn forward<T: Transfer>(
     Solution { block_in }
 }
 
+/// A general abstract environment — richer than a powerset: interval maps,
+/// taint maps, anything with a join. Unlike [`Transfer`]'s sets, these
+/// lattices may have infinite ascending chains (intervals do), so the solver
+/// switches from `join` to `widen` once a block has been joined into too many
+/// times.
+pub trait EnvLattice {
+    type Env: Clone + PartialEq;
+
+    /// Apply `event` to `env` in place.
+    fn transfer(&self, event: &Event, env: &mut Self::Env);
+
+    /// Join `incoming` into `acc` (least upper bound, in place).
+    fn join(&self, acc: &mut Self::Env, incoming: &Self::Env);
+
+    /// Accelerated join guaranteeing termination (defaults to `join`, which
+    /// suffices for finite-height lattices like taint maps).
+    fn widen(&self, acc: &mut Self::Env, incoming: &Self::Env) {
+        self.join(acc, incoming);
+    }
+}
+
+/// Fixpoint of an [`EnvLattice`] analysis: the environment entering each
+/// block.
+pub struct EnvSolution<E> {
+    pub block_in: Vec<E>,
+}
+
+impl<E: Clone> EnvSolution<E> {
+    /// Replay one block's events from its in-environment, calling `at_event`
+    /// with the environment holding *immediately before* each event.
+    pub fn walk_block<L>(
+        &self,
+        cfg: &Cfg,
+        block: BlockId,
+        lattice: &L,
+        mut at_event: impl FnMut(&Event, &E),
+    ) where
+        L: EnvLattice<Env = E>,
+    {
+        let Some(data) = cfg.blocks.get(block) else {
+            return;
+        };
+        let Some(mut env) = self.block_in.get(block).cloned() else {
+            return;
+        };
+        for event in &data.events {
+            at_event(event, &env);
+            lattice.transfer(event, &mut env);
+        }
+    }
+}
+
+/// How many joins a block absorbs before the solver widens its in-set. Small
+/// enough that loop-carried intervals stabilize fast, large enough that
+/// ordinary diamond joins never widen.
+const WIDEN_AFTER: u32 = 8;
+
+/// Run the forward worklist algorithm over an [`EnvLattice`] to a fixpoint.
+///
+/// `entry` seeds block 0; `bottom` initializes every other block (the
+/// identity of `join`, e.g. an unreachable marker or the empty map).
+pub fn forward_env<L: EnvLattice>(
+    cfg: &Cfg,
+    lattice: &L,
+    entry: L::Env,
+    bottom: L::Env,
+) -> EnvSolution<L::Env> {
+    let n = cfg.blocks.len();
+    let mut block_in: Vec<L::Env> = vec![bottom.clone(); n];
+    let mut block_out: Vec<L::Env> = vec![bottom; n];
+    let mut joins: Vec<u32> = vec![0; n];
+    if let Some(first) = block_in.first_mut() {
+        *first = entry;
+    }
+
+    let mut worklist: BTreeSet<BlockId> = (0..n).collect();
+    // Same belt-and-braces stance as `forward`: widening makes the chain
+    // finite, fuel caps a pathological transfer into under-approximation.
+    let mut fuel = 16 * n * n + 256;
+    while let Some(&b) = worklist.iter().next() {
+        worklist.remove(&b);
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+
+        let mut out = block_in[b].clone();
+        for event in &cfg.blocks[b].events {
+            lattice.transfer(event, &mut out);
+        }
+        let changed = out != block_out[b];
+        block_out[b] = out;
+        if !changed {
+            continue;
+        }
+        for &succ in &cfg.blocks[b].succs {
+            if succ >= n {
+                continue;
+            }
+            let mut merged = block_in[succ].clone();
+            if joins[succ] >= WIDEN_AFTER {
+                lattice.widen(&mut merged, &block_out[b]);
+            } else {
+                lattice.join(&mut merged, &block_out[b]);
+            }
+            if merged != block_in[succ] {
+                joins[succ] += 1;
+                block_in[succ] = merged;
+                worklist.insert(succ);
+            }
+        }
+    }
+
+    EnvSolution { block_in }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +302,61 @@ mod tests {
         let sol = forward(&cfg, &Guards, BTreeSet::new());
         assert!(sol.block_in[head].contains("g"));
         assert!(sol.block_in[after].contains("g"));
+    }
+
+    /// Counting toy lattice with an infinite ascending chain: each `Acquire`
+    /// increments, join is max. Without widening a loop never stabilizes;
+    /// with it the solver saturates and terminates.
+    struct Counter;
+    impl EnvLattice for Counter {
+        type Env = u64;
+        fn transfer(&self, event: &Event, env: &mut u64) {
+            if let Event::Acquire { .. } = event {
+                *env = env.saturating_add(1);
+            }
+        }
+        fn join(&self, acc: &mut u64, incoming: &u64) {
+            *acc = (*acc).max(*incoming);
+        }
+        fn widen(&self, acc: &mut u64, incoming: &u64) {
+            if *incoming > *acc {
+                *acc = u64::MAX;
+            }
+        }
+    }
+
+    #[test]
+    fn env_solver_widens_loop_carried_chains() {
+        // loop { acquire } — the count grows every round until widening.
+        let mut b = CfgBuilder::new();
+        let head = b.new_block();
+        let after = b.new_block();
+        b.edge(b.current(), head);
+        b.set_current(head);
+        b.push(acquire("g"));
+        b.edge(head, head);
+        b.edge(head, after);
+        b.set_current(after);
+        let cfg = b.finish();
+        let sol = forward_env(&cfg, &Counter, 0, 0);
+        assert_eq!(sol.block_in[after], u64::MAX);
+    }
+
+    #[test]
+    fn env_solver_joins_diamonds_without_widening() {
+        // if … { acquire } — join of 1 and 0 is 1, no widening involved.
+        let mut b = CfgBuilder::new();
+        let then_b = b.new_block();
+        let join = b.new_block();
+        b.edge(b.current(), then_b);
+        b.edge(b.current(), join);
+        b.set_current(then_b);
+        b.push(acquire("g"));
+        b.edge(then_b, join);
+        b.set_current(join);
+        let cfg = b.finish();
+        let sol = forward_env(&cfg, &Counter, 0, 0);
+        assert_eq!(sol.block_in[join], 1);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Long-form rule documentation backing `rhlint explain RH0NN`.
+//!
+//! Each rule gets a rationale (why the workspace bans the pattern), a
+//! minimal example violation, and the sanctioned fix. Text is static and
+//! append-only like the rule codes themselves, so `explain` output is
+//! stable across runs and suitable for CI links.
+
+use crate::Rule;
+
+/// One rule's long-form documentation.
+pub struct Explanation {
+    /// Why the pattern is banned in this workspace.
+    pub rationale: &'static str,
+    /// A minimal violating snippet.
+    pub example: &'static str,
+    /// The sanctioned fix.
+    pub fix: &'static str,
+}
+
+pub(crate) fn explanation(rule: Rule) -> Explanation {
+    match rule {
+        Rule::Unwrap => Explanation {
+            rationale: "A panicking `.unwrap()` in library code turns a recoverable error into \
+                        a crashed evaluation worker. The tuner's parallel engine treats worker \
+                        panics as poisoned runs, so one bad trial aborts a whole batch.",
+            example: "let conf = space.to_conf(&point).unwrap();",
+            fix: "Return the error (`?`) or provide a total alternative such as \
+                  `unwrap_or`/`match`. Tests (`#[cfg(test)]`) are exempt.",
+        },
+        Rule::Expect => Explanation {
+            rationale: "`.expect(..)` is `.unwrap()` with a nicer epitaph — it still panics in \
+                        production and aborts the evaluation batch.",
+            example: "let v = env_budget.expect(\"budget must be set\");",
+            fix: "Propagate the error with `?` or handle the `None`/`Err` arm explicitly.",
+        },
+        Rule::Panic => Explanation {
+            rationale: "`panic!`, `todo!`, `unimplemented!`, and `unreachable!` are control flow \
+                        by crashing. The optimizer must degrade gracefully when a trial fails.",
+            example: "_ => panic!(\"unknown knob {k:?}\"),",
+            fix: "Return an `Err` or a documented default; reserve panics for `#[cfg(test)]`.",
+        },
+        Rule::SliceIndex => Explanation {
+            rationale: "A literal index like `xs[0]` panics on an empty slice. History replays \
+                        and wire payloads are attacker- or operator-shaped, so emptiness is a \
+                        reachable state, not a bug in the caller.",
+            example: "let best = sorted_trials[0];",
+            fix: "Use `.first()`, `.get(i)`, or a slice pattern and handle the `None` arm.",
+        },
+        Rule::WallClock => Explanation {
+            rationale: "`Instant::now`/`SystemTime::now` make runs time-dependent. The \
+                        simulator and optimizers must be bit-reproducible given a seed, or \
+                        regression gates cannot distinguish a perf change from noise.",
+            example: "let t0 = Instant::now();",
+            fix: "Thread a logical clock or take durations from the simulator; wall-clock \
+                  timing belongs in the bench harness, not library crates.",
+        },
+        Rule::AmbientRng => Explanation {
+            rationale: "`thread_rng()` and OS-entropy constructors draw from ambient state, so \
+                        two runs with the same seed diverge. Every stochastic component must \
+                        consume an explicit seeded `StdRng`.",
+            example: "let mut rng = rand::thread_rng();",
+            fix: "Accept a `&mut StdRng` (or a seed) from the caller; derive child seeds with \
+                  `SeedableRng::seed_from_u64`.",
+        },
+        Rule::HashIter => Explanation {
+            rationale: "`HashMap`/`HashSet` iteration order changes run to run (SipHash keys \
+                        are randomized), which leaks nondeterminism into anything that iterates.",
+            example: "let mut knobs: HashMap<Knob, f64> = HashMap::new();",
+            fix: "Use `BTreeMap`/`BTreeSet` in deterministic crates; ordering is part of the \
+                  contract.",
+        },
+        Rule::PartialCmpUnwrap => Explanation {
+            rationale: "`partial_cmp(..).unwrap()` panics the first time a NaN reaches a sort — \
+                        typically deep inside a tuning run where the backtrace is useless.",
+            example: "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());",
+            fix: "Use `f64::total_cmp` (or the workspace's total-order helpers).",
+        },
+        Rule::FloatSort => Explanation {
+            rationale: "Float sorts/min/max built on `partial_cmp` silently misorder or drop \
+                        NaN values, corrupting surrogate-model rankings.",
+            example: "let best = costs.iter().cloned().fold(f64::MAX, f64::min);",
+            fix: "Sort with `total_cmp`; represent missing data as `Option<f64>`, not NaN.",
+        },
+        Rule::NanLiteral => Explanation {
+            rationale: "A bare `f64::NAN` sentinel poisons every comparison it touches and \
+                        defeats the float-safety rules above.",
+            example: "let mut best = f64::NAN;",
+            fix: "Model absence with `Option<f64>` and make the empty case explicit.",
+        },
+        Rule::ConfigSpace => Explanation {
+            rationale: "The tuned Spark parameters are declared twice — as simulator knobs in \
+                        `config.rs` and as search dimensions in `space.rs`. If the two drift, \
+                        the optimizer tunes a knob the simulator ignores (or vice versa).",
+            example: "space.rs declares `Knob::ShufflePartitions` but config.rs has no \
+                      matching knob entry.",
+            fix: "Add the knob to both declarations with consistent bounds, or remove it from \
+                  both.",
+        },
+        Rule::BadSuppression => Explanation {
+            rationale: "An `rhlint:allow` with an unknown rule id or no justification is an \
+                        unauditable hole in the lint gate.",
+            example: "// rhlint:allow(unwrpa)",
+            fix: "Use `// rhlint:allow(rule-id): reason` with a real rule id and a reason.",
+        },
+        Rule::DeterminismTaint => Explanation {
+            rationale: "A deterministic entry point (optimizer step, simulator run) that \
+                        *transitively* reaches ambient RNG, wall-clock, or hash iteration is \
+                        just as nondeterministic as calling them directly; the callgraph pass \
+                        closes that loophole.",
+            example: "fn suggest(..) { helper() }  // helper() calls Instant::now()",
+            fix: "Push the ambient effect out to the caller or replace it with a seeded/logical \
+                  source, then re-run the taint pass.",
+        },
+        Rule::IgnoredResult => Explanation {
+            rationale: "Dropping a workspace function's `Result`/`Option` on the floor silently \
+                        swallows trial failures, so the tuner keeps optimizing against stale \
+                        state.",
+            example: "record_outcome(run);  // returns Result<(), HistoryError>",
+            fix: "Handle the value: `?`, `match`, or an explicit `let _ =` with an \
+                  `rhlint:allow` justifying why dropping is sound.",
+        },
+        Rule::LossyCast => Explanation {
+            rationale: "`as` casts saturate floats and wrap integers silently. A budget of \
+                        `u64::MAX as f64 as usize` is a very different budget on 32-bit.",
+            example: "let n = total_bytes as u32;",
+            fix: "Use `TryFrom`/`try_into` and handle the error, or prove the range and clamp \
+                  first.",
+        },
+        Rule::DeadPub => Explanation {
+            rationale: "`pub` items nobody references outside their file expand the API the \
+                        workspace must keep stable and hide real dead code.",
+            example: "pub fn legacy_score(..) { .. }  // no external references",
+            fix: "Demote to `pub(crate)`/private, or delete the item.",
+        },
+        Rule::OutcomeMatch => Explanation {
+            rationale: "`RunOutcome` grows new failure modes (`Failed`, `Censored`) as the \
+                        robust-tuning work lands. A `_` arm silently treats new failures as \
+                        successes.",
+            example: "match outcome { RunOutcome::Ok(v) => v, _ => 0.0 }",
+            fix: "Match `Failed` and `Censored` explicitly so new variants are compile-time \
+                  visible.",
+        },
+        Rule::ThreadSpawn => Explanation {
+            rationale: "Raw `thread::spawn` bypasses `rockpool::Pool`, which is where seeds \
+                        split deterministically on task index and results reduce in submission \
+                        order. Ad-hoc threads reintroduce scheduling nondeterminism.",
+            example: "std::thread::spawn(move || evaluate(conf));",
+            fix: "Fan out through `rockpool::Pool`; only rockpool, `pipeline::service`, and \
+                  rockserve own threads.",
+        },
+        Rule::RawSocket => Explanation {
+            rationale: "Sockets constructed outside `rockserve` bypass the serving layer's \
+                        framing, admission control, and drain contract — the tested path for \
+                        every byte on the wire.",
+            example: "let l = TcpListener::bind((\"0.0.0.0\", port))?;",
+            fix: "Route networking through rockserve; other crates talk to it via its client \
+                  API.",
+        },
+        Rule::LockOrderCycle => Explanation {
+            rationale: "Two locks taken in opposite orders on different paths deadlock the \
+                        first time both paths race. The CFG pass proves the cycle, including \
+                        through callees.",
+            example: "thread A: history.lock() then model.lock(); thread B: model.lock() then \
+                      history.lock()",
+            fix: "Pick one global acquisition order and restructure the losing path, or merge \
+                  the two locks.",
+        },
+        Rule::BlockingUnderLock => Explanation {
+            rationale: "Blocking (channel `recv`, `join()`, socket I/O, `sleep`) while holding \
+                        a guard serializes every other thread behind the wait and can deadlock \
+                        against the thing being waited on.",
+            example: "let g = state.lock().unwrap(); let msg = rx.recv();",
+            fix: "Drop the guard before blocking: clone what you need, `drop(g)`, then wait.",
+        },
+        Rule::UnboundedGrowth => Explanation {
+            rationale: "A collection owned by long-lived service state that only ever grows is \
+                        a slow OOM in a serving process that runs for weeks.",
+            example: "self.history.push(trial);  // no eviction anywhere",
+            fix: "Add an eviction policy (ring buffer, LRU, cap + drain) or document the bound \
+                  with an allow.",
+        },
+        Rule::PanicUnderLock => Explanation {
+            rationale: "Panicking while holding a `Mutex` poisons it; every later `lock()` \
+                        returns `Err` and the service limps or crashes long after the root \
+                        cause.",
+            example: "let g = state.lock().unwrap(); g.best = trials[0];  // [0] can panic",
+            fix: "Do fallible work before acquiring, or handle the fallible case so the \
+                  critical section cannot panic.",
+        },
+        Rule::HotPathAlloc => Explanation {
+            rationale: "Functions tagged `rhlint:hot` sit on the per-request or per-trial path; \
+                        a fresh `Vec`/`String`/`Box` per call is avoidable allocator pressure \
+                        exactly where latency matters.",
+            example: "// rhlint:hot\nfn score(..) { let mut buf = Vec::new(); .. }",
+            fix: "Preallocate outside the hot path, reuse a scratch buffer, or take the \
+                  allocation as a parameter.",
+        },
+        Rule::StaleAllow => Explanation {
+            rationale: "An `rhlint:allow` that no longer suppresses anything is audit noise and \
+                        hides the next real violation added on that line.",
+            example: "// rhlint:allow(unwrap): legacy  ← but the unwrap was removed",
+            fix: "Delete the stale comment; `rhlint fix --stale-allows --write` does it \
+                  mechanically.",
+        },
+        Rule::UnvalidatedLengthAlloc => Explanation {
+            rationale: "An allocation sized by an untrusted value — wire bytes, an env var, a \
+                        file read — lets a hostile peer request gigabytes with four bytes. The \
+                        taint pass requires a dominating bound check between source and \
+                        allocation.",
+            example: "let len = u32::from_le_bytes(hdr) as usize;\nlet buf = vec![0u8; len];",
+            fix: "Bound first: `if len > MAX_PAYLOAD_BYTES { return Err(..) }` before \
+                  allocating, or clamp/`min` against a trusted cap.",
+        },
+        Rule::TaintedIndex => Explanation {
+            rationale: "Indexing a slice with an untrusted value panics the serving thread on \
+                        the first out-of-range input; that is a remote denial of service, not a \
+                        bug report.",
+            example: "let idx = u16::from_le_bytes(w) as usize;\nlet knob = dims[idx];",
+            fix: "Use `.get(idx)` and handle `None`, or check `idx < dims.len()` first (the \
+                  guard sanitizes the taint).",
+        },
+        Rule::ConfigOutOfRange => Explanation {
+            rationale: "The interval pass derives value ranges for every config write. A \
+                        suggested or clamped parameter whose derived interval escapes the \
+                        declared `SearchSpace` bounds ships a configuration Spark may reject — \
+                        or silently misbehave on.",
+            example: "conf.set(Knob::ShufflePartitions, 8192.0);  // Dim is [8, 4096]",
+            fix: "Clamp to the declared `Dim` range (`v.clamp(d.lo, d.hi)`) or fix the \
+                  declaration so bounds and writes agree.",
+        },
+        Rule::UncheckedArithUntrusted => Explanation {
+            rationale: "`+`/`-`/`*`/`<<` on an untrusted integer can overflow: wrapping in \
+                        release builds (silent corruption) or panicking in debug. Frame-length \
+                        math is the classic case.",
+            example: "let total = len + HEADER_BYTES;  // len from the wire",
+            fix: "Use `checked_add`/`saturating_add` (which the pass treats as sanitizing), or \
+                  bound-check the value first.",
+        },
+        Rule::UntrustedDivisor => Explanation {
+            rationale: "`/` or `%` by an untrusted value panics on zero — and zero is always in \
+                        a hostile input's repertoire. The pass accepts either a dominating \
+                        guard or interval evidence excluding zero.",
+            example: "let per = budget / workers;  // workers parsed from an env var",
+            fix: "Guard with `if workers == 0 { return Err(..) }` or floor with \
+                  `.max(1)` before dividing.",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_nonempty_explanation() {
+        for rule in Rule::ALL {
+            let e = explanation(rule);
+            assert!(!e.rationale.is_empty(), "{} rationale", rule.code());
+            assert!(!e.example.is_empty(), "{} example", rule.code());
+            assert!(!e.fix.is_empty(), "{} fix", rule.code());
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! Interprocedural interval (value-range) analysis — RH028.
+//!
+//! An interval lattice over the numeric locals of every lowered function
+//! ([`crate::lower`]): each variable maps to a `[lo, hi]` over-approximation
+//! of its runtime value. Transfer functions cover constants, arithmetic
+//! (with constant folding already done by the lowerer), `clamp`/`min`/`max`,
+//! saturating/checked ops, and comparison-guarded branches
+//! ([`Event::Assume`] facts placed by the lowerer on both arms of every
+//! `if`/`while`). Callee return intervals propagate caller-ward via the
+//! `#ret` pseudo-variable, summarized over a few rounds like
+//! `locks::summarize`.
+//!
+//! Approximation stance:
+//!
+//! * Unknown values are `(-inf, +inf)` (TOP) and stay silent — RH028 only
+//!   fires when an interval is *finite on both ends* and provably escapes
+//!   the declared bounds, so "don't know" never reports.
+//! * Strict `<`/`>` assumes are relaxed to `<=`/`>=`: intervals over `f64`
+//!   cannot represent open endpoints, and the relaxation only widens.
+//! * Joins at merge points intersect key sets (a variable bound on only one
+//!   path is TOP after the merge) and hull the intervals; loop-carried
+//!   growth is widened to ±inf by the solver after a few joins.
+//!
+//! The rule itself compares two things against the declared `SearchSpace`
+//! bounds (the `Dim { knob, lo, hi, default }` literals in
+//! `optimizers/src/space.rs`, const-evaluated workspace-wide):
+//!
+//! 1. Every `Dim` literal's own `default` must lie inside its `[lo, hi]`.
+//! 2. Every `conf.set(Knob::K, v)` in a scoped crate where `v`'s derived
+//!    interval is finite and **not contained** in the hull of `K`'s declared
+//!    bounds.
+//!
+//! The pass also exports the interval of every sink argument
+//! ([`SinkRanges`]) so the taint pass can use zero-exclusion evidence for
+//! RH030 (`x % n` after `n` was assigned `v.max(1)` is fine even though `n`
+//! is tainted).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::cfg::{CmpOp, Event, Operand, SinkKind, VRhs};
+use crate::dataflow::{forward_env, EnvLattice};
+use crate::locks::concurrency_scoped;
+use crate::lower::{const_eval, const_map, for_each_expr_in_block, FnModel};
+use crate::parser::Expr;
+use crate::symbols::Workspace;
+use crate::{Diagnostic, Rule};
+
+/// A closed interval over `f64`. `TOP` is `(-inf, +inf)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Interval {
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
+}
+
+pub(crate) const TOP: Interval = Interval {
+    lo: f64::NEG_INFINITY,
+    hi: f64::INFINITY,
+};
+
+impl Interval {
+    fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    fn new(lo: f64, hi: f64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `None` when the intersection is empty (an infeasible path).
+    fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            None
+        } else {
+            Some(Interval { lo, hi })
+        }
+    }
+
+    fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    pub(crate) fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+
+    fn add(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo + o.lo, self.hi + o.hi)
+    }
+
+    fn sub(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo - o.hi, self.hi - o.lo)
+    }
+
+    fn mul(&self, o: &Interval) -> Interval {
+        let cands = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            // 0 * inf is NaN; treat that corner as 0.
+            let c = if c.is_nan() { 0.0 } else { c };
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval::new(lo, hi)
+    }
+
+    fn div(&self, o: &Interval) -> Interval {
+        if !o.excludes_zero() {
+            return TOP;
+        }
+        let cands = [
+            self.lo / o.lo,
+            self.lo / o.hi,
+            self.hi / o.lo,
+            self.hi / o.hi,
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            let c = if c.is_nan() { 0.0 } else { c };
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval::new(lo, hi)
+    }
+
+    /// `a % b` for `b` excluding zero: magnitude below `max(|b|)`, sign of
+    /// the dividend (Rust semantics). Over-approximated symmetrically when
+    /// the dividend straddles zero.
+    fn rem(&self, o: &Interval) -> Interval {
+        let m = o.lo.abs().max(o.hi.abs());
+        if !m.is_finite() {
+            return TOP;
+        }
+        let lo = if self.lo >= 0.0 { 0.0 } else { -m };
+        let hi = if self.hi <= 0.0 { 0.0 } else { m };
+        Interval::new(lo, hi)
+    }
+}
+
+/// Variable → interval on reachable paths; `None` = unreachable (bottom).
+pub(crate) type Env = Option<BTreeMap<String, Interval>>;
+
+struct IntervalLattice<'a> {
+    /// Per-fn return interval (`#ret` at the exit block), TOP when unknown.
+    returns: &'a [Interval],
+}
+
+impl<'a> IntervalLattice<'a> {
+    fn operand(&self, env: &BTreeMap<String, Interval>, op: &Operand) -> Interval {
+        match op {
+            Operand::Const(bits) => Interval::point(f64::from_bits(*bits)),
+            Operand::Var(v) => env.get(v).copied().unwrap_or(TOP),
+            Operand::Unknown => TOP,
+        }
+    }
+
+    fn eval(&self, env: &BTreeMap<String, Interval>, rhs: &VRhs) -> Interval {
+        match rhs {
+            VRhs::Operand(op) => self.operand(env, op),
+            VRhs::Binary { op, lhs, rhs } => {
+                let a = self.operand(env, lhs);
+                let b = self.operand(env, rhs);
+                match op.as_str() {
+                    "+" => a.add(&b),
+                    "-" => a.sub(&b),
+                    "*" => a.mul(&b),
+                    "/" => a.div(&b),
+                    "%" => {
+                        if b.excludes_zero() {
+                            a.rem(&b)
+                        } else {
+                            TOP
+                        }
+                    }
+                    "<<" => match (b.lo == b.hi, b.lo) {
+                        (true, k) if (0.0..=63.0).contains(&k) && k.fract() == 0.0 => {
+                            a.mul(&Interval::point(2f64.powi(k as i32)))
+                        }
+                        _ => TOP,
+                    },
+                    ">>" => match (b.lo == b.hi, b.lo) {
+                        (true, k) if (0.0..=63.0).contains(&k) && k.fract() == 0.0 => {
+                            a.div(&Interval::point(2f64.powi(k as i32)))
+                        }
+                        _ => TOP,
+                    },
+                    _ => TOP,
+                }
+            }
+            VRhs::Clamp { arg, lo, hi } => {
+                // clamp(a, lo, hi) = min(max(a, lo), hi), lifted pointwise.
+                let a = self.operand(env, arg);
+                let l = self.operand(env, lo);
+                let h = self.operand(env, hi);
+                let m = Interval::new(a.lo.max(l.lo), a.hi.max(l.hi));
+                Interval::new(m.lo.min(h.lo), m.hi.min(h.hi))
+            }
+            VRhs::Min { lhs, rhs } => {
+                let a = self.operand(env, lhs);
+                let b = self.operand(env, rhs);
+                Interval::new(a.lo.min(b.lo), a.hi.min(b.hi))
+            }
+            VRhs::Max { lhs, rhs } => {
+                let a = self.operand(env, lhs);
+                let b = self.operand(env, rhs);
+                Interval::new(a.lo.max(b.lo), a.hi.max(b.hi))
+            }
+            // Saturating/checked/wrapping arithmetic: the unwrapped result is
+            // not tracked precisely — only that it cannot exceed the hull of
+            // its operands scaled arbitrarily. Stay at TOP (silent).
+            VRhs::GuardedArith { .. } => TOP,
+            VRhs::TryFrom { range, .. } => match range {
+                Some((lo, hi)) => Interval::new(f64::from_bits(*lo), f64::from_bits(*hi)),
+                None => TOP,
+            },
+            VRhs::Len { .. } => Interval::new(0.0, f64::INFINITY),
+            VRhs::Source { range, .. } => match range {
+                Some((lo, hi)) => Interval::new(f64::from_bits(*lo), f64::from_bits(*hi)),
+                None => TOP,
+            },
+            VRhs::Call { callee } => self.returns.get(*callee).copied().unwrap_or(TOP),
+            VRhs::Adapter { args, values } => {
+                if *values && !args.is_empty() {
+                    let mut acc: Option<Interval> = None;
+                    for a in args {
+                        let i = self.operand(env, a);
+                        acc = Some(match acc {
+                            Some(prev) => prev.hull(&i),
+                            None => i,
+                        });
+                    }
+                    acc.unwrap_or(TOP)
+                } else {
+                    TOP
+                }
+            }
+            VRhs::Opaque => TOP,
+        }
+    }
+}
+
+impl<'a> EnvLattice for IntervalLattice<'a> {
+    type Env = Env;
+
+    fn transfer(&self, event: &Event, env: &mut Env) {
+        let Some(map) = env else { return };
+        match event {
+            Event::Assign { var, rhs, .. } => {
+                let i = self.eval(map, rhs);
+                if i == TOP {
+                    map.remove(var);
+                } else {
+                    map.insert(var.clone(), i);
+                }
+            }
+            Event::Assume { var, op, bound } => {
+                let b = self.operand(map, bound);
+                // Relax strict comparisons; `!=` refines nothing here.
+                let constraint = match op {
+                    CmpOp::Lt | CmpOp::Le => Interval::new(f64::NEG_INFINITY, b.hi),
+                    CmpOp::Gt | CmpOp::Ge => Interval::new(b.lo, f64::INFINITY),
+                    CmpOp::Eq => b,
+                    CmpOp::Ne => TOP,
+                };
+                let cur = map.get(var).copied().unwrap_or(TOP);
+                match cur.intersect(&constraint) {
+                    Some(i) => {
+                        if i == TOP {
+                            map.remove(var);
+                        } else {
+                            map.insert(var.clone(), i);
+                        }
+                    }
+                    // Contradictory facts: this path is infeasible.
+                    None => *env = None,
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn join(&self, acc: &mut Env, incoming: &Env) {
+        let Some(inc) = incoming else { return };
+        match acc {
+            None => *acc = Some(inc.clone()),
+            Some(map) => {
+                // Key intersection with hull: a variable missing on either
+                // side is TOP and drops out.
+                let keys: Vec<String> = map.keys().cloned().collect();
+                for k in keys {
+                    match inc.get(&k) {
+                        Some(i) => {
+                            let h = map[&k].hull(i);
+                            map.insert(k, h);
+                        }
+                        None => {
+                            map.remove(&k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn widen(&self, acc: &mut Env, incoming: &Env) {
+        let Some(inc) = incoming else { return };
+        match acc {
+            None => *acc = Some(inc.clone()),
+            Some(map) => {
+                let keys: Vec<String> = map.keys().cloned().collect();
+                for k in keys {
+                    match inc.get(&k) {
+                        Some(i) => {
+                            let cur = map[&k];
+                            let lo = if i.lo < cur.lo {
+                                f64::NEG_INFINITY
+                            } else {
+                                cur.lo
+                            };
+                            let hi = if i.hi > cur.hi { f64::INFINITY } else { cur.hi };
+                            let w = Interval::new(lo, hi);
+                            if w == TOP {
+                                map.remove(&k);
+                            } else {
+                                map.insert(k, w);
+                            }
+                        }
+                        None => {
+                            map.remove(&k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interval of each sink argument, keyed by `(fn index, block, event index)`.
+pub(crate) type SinkRanges = BTreeMap<(usize, usize, usize), Vec<Interval>>;
+
+/// Run the interval pass: push RH028 findings into `raw`, return the sink
+/// ranges for the taint pass (RH030 zero-exclusion).
+pub(crate) fn check(
+    ws: &Workspace,
+    models: &[Option<FnModel>],
+    raw: &mut Vec<Diagnostic>,
+) -> SinkRanges {
+    // Return-interval summaries: start at TOP everywhere, refine over a few
+    // rounds (enough for the shallow helper chains this workspace has).
+    let mut returns: Vec<Interval> = vec![TOP; models.len()];
+    for _ in 0..3 {
+        let mut next = returns.clone();
+        for (i, model) in models.iter().enumerate() {
+            let Some(model) = model else { continue };
+            let lattice = IntervalLattice { returns: &returns };
+            let sol = forward_env(
+                &model.cfg,
+                &lattice,
+                Some(BTreeMap::new()),
+                None::<BTreeMap<String, Interval>>,
+            );
+            let at_exit = &sol.block_in[model.cfg.exit];
+            next[i] = at_exit
+                .as_ref()
+                .and_then(|m| m.get("#ret").copied())
+                .unwrap_or(TOP);
+        }
+        if next == returns {
+            break;
+        }
+        returns = next;
+    }
+
+    let declared = declared_bounds(ws, raw);
+
+    let mut ranges: SinkRanges = BTreeMap::new();
+    let mut found: BTreeSet<(PathBuf, usize, Rule, String)> = BTreeSet::new();
+
+    for (i, fi) in ws.fns().iter().enumerate() {
+        let Some(model) = &models[i] else { continue };
+        let lattice = IntervalLattice { returns: &returns };
+        let sol = forward_env(
+            &model.cfg,
+            &lattice,
+            Some(BTreeMap::new()),
+            None::<BTreeMap<String, Interval>>,
+        );
+        let scoped = !fi.cfg_test && concurrency_scoped(&fi.krate);
+        let rel = &ws.files()[fi.file].rel;
+        for b in 0..model.cfg.blocks.len() {
+            let mut idx = 0usize;
+            sol.walk_block(&model.cfg, b, &lattice, |ev, env| {
+                if let Event::Sink { kind, args, line } = ev {
+                    let arg_ranges: Vec<Interval> = match env {
+                        Some(map) => args.iter().map(|a| lattice.operand(map, a)).collect(),
+                        None => vec![TOP; args.len()],
+                    };
+                    // RH028(b): a knob write whose interval is finite and
+                    // escapes the declared bounds.
+                    if let SinkKind::KnobSet { knob } = kind {
+                        if scoped {
+                            if let (Some(v), Some(bounds)) =
+                                (arg_ranges.first(), declared.get(knob))
+                            {
+                                if v.is_finite() && !bounds.contains(v) {
+                                    found.insert((
+                                        rel.clone(),
+                                        *line,
+                                        Rule::ConfigOutOfRange,
+                                        format!(
+                                            "`Knob::{knob}` set to a value in [{}, {}] but its declared SearchSpace bounds are [{}, {}] — clamp to the declared `Dim` range",
+                                            fmt_num(v.lo),
+                                            fmt_num(v.hi),
+                                            fmt_num(bounds.lo),
+                                            fmt_num(bounds.hi),
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    ranges.insert((i, b, idx), arg_ranges);
+                }
+                idx += 1;
+            });
+        }
+    }
+
+    raw.extend(
+        found
+            .into_iter()
+            .map(|(file, line, rule, message)| Diagnostic {
+                file,
+                line,
+                rule,
+                message,
+            }),
+    );
+    ranges
+}
+
+/// Declared `[lo, hi]` per knob: const-evaluated hull of every
+/// `Dim { knob: Knob::K, lo, hi, default }` literal in non-test production
+/// code. Also fires RH028(a) for a `Dim` whose own default escapes its
+/// bounds.
+fn declared_bounds(ws: &Workspace, raw: &mut Vec<Diagnostic>) -> BTreeMap<String, Interval> {
+    let consts = const_map(ws);
+    let mut bounds: BTreeMap<String, Interval> = BTreeMap::new();
+    for fi in ws.fns() {
+        if fi.cfg_test || !concurrency_scoped(&fi.krate) {
+            continue;
+        }
+        let Some(body) = &fi.item.body else { continue };
+        let rel = &ws.files()[fi.file].rel;
+        for_each_expr_in_block(body, &mut |e| {
+            let Expr::StructLit { path, fields, line } = e else {
+                return;
+            };
+            if path.last().map(String::as_str) != Some("Dim") {
+                return;
+            }
+            let mut knob = None;
+            let mut lo = None;
+            let mut hi = None;
+            let mut default = None;
+            for (name, value) in fields {
+                match name.as_str() {
+                    "knob" => {
+                        if let Expr::Path { segs, .. } = value {
+                            if segs.len() >= 2 && segs[segs.len() - 2] == "Knob" {
+                                knob = segs.last().cloned();
+                            }
+                        }
+                    }
+                    "lo" => lo = const_eval(value, &consts),
+                    "hi" => hi = const_eval(value, &consts),
+                    "default" => default = const_eval(value, &consts),
+                    _ => {}
+                }
+            }
+            let (Some(knob), Some(lo), Some(hi)) = (knob, lo, hi) else {
+                return;
+            };
+            if let Some(d) = default {
+                if d < lo || d > hi {
+                    raw.push(Diagnostic {
+                        file: rel.clone(),
+                        line: *line as usize,
+                        rule: Rule::ConfigOutOfRange,
+                        message: format!(
+                            "`Dim` for `Knob::{knob}` declares default {} outside its own bounds [{}, {}]",
+                            fmt_num(d),
+                            fmt_num(lo),
+                            fmt_num(hi),
+                        ),
+                    });
+                }
+            }
+            let decl = Interval::new(lo, hi);
+            bounds
+                .entry(knob)
+                .and_modify(|b| *b = b.hull(&decl))
+                .or_insert(decl);
+        });
+    }
+    bounds
+}
+
+/// Deterministic short rendering for interval endpoints in messages.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic_is_conservative() {
+        let a = Interval::new(1.0, 3.0);
+        let b = Interval::new(-2.0, 2.0);
+        assert_eq!(a.add(&b), Interval::new(-1.0, 5.0));
+        assert_eq!(a.sub(&b), Interval::new(-1.0, 5.0));
+        assert_eq!(a.mul(&b), Interval::new(-6.0, 6.0));
+        assert_eq!(a.div(&b), TOP);
+        assert!(Interval::new(1.0, 4.0).excludes_zero());
+        assert!(!b.excludes_zero());
+    }
+
+    #[test]
+    fn intersect_detects_infeasible_paths() {
+        let a = Interval::new(0.0, 5.0);
+        assert_eq!(
+            a.intersect(&Interval::new(3.0, 10.0)),
+            Some(Interval::new(3.0, 5.0))
+        );
+        assert_eq!(a.intersect(&Interval::new(6.0, 10.0)), None);
+    }
+
+    #[test]
+    fn rem_bounds_by_divisor_magnitude() {
+        let a = Interval::new(0.0, 100.0);
+        let b = Interval::new(1.0, 8.0);
+        assert_eq!(a.rem(&b), Interval::new(0.0, 8.0));
+        let c = Interval::new(-100.0, 100.0);
+        assert_eq!(c.rem(&b), Interval::new(-8.0, 8.0));
+    }
+}

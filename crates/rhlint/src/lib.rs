@@ -11,8 +11,10 @@
 //! every workspace source into an AST ([`lexer`], [`parser`]), builds a
 //! workspace-wide symbol table and call graph ([`symbols`], [`callgraph`]),
 //! lowers function bodies to per-function control-flow graphs with a forward
-//! dataflow solver over them ([`cfg`], [`dataflow`], [`locks`]), and enforces
-//! seven rule families:
+//! dataflow solver over them ([`cfg`], [`dataflow`], [`locks`]) plus two
+//! environment lattices — value intervals and untrusted-input taint
+//! (`intervals`, `taint`, DESIGN.md §5) — and enforces eight rule
+//! families:
 //!
 //! * **panic-freedom** — no `unwrap()`, `expect()`, `panic!`-style macros, or
 //!   literal slice indexing in library code of the production crates.
@@ -35,6 +37,19 @@
 //!   consistently across `sparksim/src/config.rs` (knob enum, spark property
 //!   names, `get`/`set` arms, serde'd `SparkConf` fields) and
 //!   `optimizers/src/space.rs` (search dimensions), checked on the parsed AST.
+//!   On top of the declarations, the interval analysis proves every config
+//!   *write* stays inside its declared `Dim` bounds: a `set(Knob::K, v)`
+//!   whose derived value range escapes the declared search space, or a `Dim`
+//!   default outside its own `[lo, hi]`, is RH028.
+//! * **input-validation** — an interprocedural taint analysis tracks bytes
+//!   from the wire (`rockserve` frame decoding), environment variables, and
+//!   ETL file reads (`pipeline`) through assignments, adapters, and calls.
+//!   Untrusted values must pass a dominating sanitizer — a bound check
+//!   against a trusted cap, `clamp`/`min`, a narrowing `try_from`, checked
+//!   or saturating arithmetic, or a non-zero guard — before they size an
+//!   allocation (RH026), index a slice (RH027), feed raw `+ - * <<`
+//!   arithmetic (RH029), or appear as a divisor (RH030, which also accepts
+//!   interval evidence that zero is impossible).
 //! * **semantic hygiene** — ignored `Result`/`Option` returns (RH014), lossy
 //!   `as` casts (RH015), `pub` items no other file references (RH016), and
 //!   `RunOutcome` matches that hide `Failed`/`Censored` behind a wildcard
@@ -53,8 +68,9 @@
 //! suppresses anything is flagged as stale (RH025), so the allow inventory
 //! shrinks when the code it excused improves.
 //!
-//! Every rule carries a stable `RH001`–`RH025` code (`rhlint rules` lists
-//! them); `rhlint check --format json` emits the findings as a byte-stable
+//! Every rule carries a stable `RH001`–`RH030` code (`rhlint rules` lists
+//! them, `rhlint explain RH0NN` gives the rationale, an example violation,
+//! and the sanctioned fix); `rhlint check --format json` emits the findings as a byte-stable
 //! JSON array for tooling (`--format sarif` renders the same findings as a
 //! SARIF 2.1.0 log for code-scanning UIs). Diagnostics are
 //! `file:line`-addressed. A finding
@@ -72,6 +88,7 @@
 //! the `experiments`/`workloads`/`bench` crates are exempt: panicking fast in
 //! a test or a figure harness is fine; panicking in the serving path is not.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -79,15 +96,20 @@ pub mod callgraph;
 pub mod cfg;
 mod config_space;
 pub mod dataflow;
+mod explain;
+mod intervals;
 pub mod lexer;
 pub mod locks;
+mod lower;
 mod mask;
 pub mod parser;
 mod rules;
 pub mod semantic;
 pub mod symbols;
+mod taint;
 
 pub use config_space::check_config_space;
+pub use explain::Explanation;
 pub use mask::MaskedSource;
 pub use rules::scan_source;
 
@@ -162,10 +184,26 @@ pub enum Rule {
     /// A well-formed `rhlint:allow` that suppresses nothing on its line or
     /// the next — stale suppressions rot the audit trail.
     StaleAllow,
+    /// An allocation (`with_capacity`, `resize`, `reserve`, `vec![_; n]`)
+    /// sized by an untrusted value — wire bytes, env var, ETL file read —
+    /// with no dominating bound check between source and sink.
+    UnvalidatedLengthAlloc,
+    /// Slice/array indexing with an untrusted index and no dominating bound
+    /// check.
+    TaintedIndex,
+    /// A config parameter whose derived value interval escapes its declared
+    /// `SearchSpace` bounds (or a `Dim` whose default lies outside its own
+    /// `[lo, hi]`).
+    ConfigOutOfRange,
+    /// Unchecked `+`/`-`/`*`/`<<` on an untrusted integer (e.g. a wire `u32`
+    /// length); use `checked_*`/`saturating_*` or bound-check first.
+    UncheckedArithUntrusted,
+    /// `/` or `%` whose divisor is untrusted and not proven non-zero.
+    UntrustedDivisor,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 25] = [
+    pub const ALL: [Rule; 30] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -191,6 +229,11 @@ impl Rule {
         Rule::PanicUnderLock,
         Rule::HotPathAlloc,
         Rule::StaleAllow,
+        Rule::UnvalidatedLengthAlloc,
+        Rule::TaintedIndex,
+        Rule::ConfigOutOfRange,
+        Rule::UncheckedArithUntrusted,
+        Rule::UntrustedDivisor,
     ];
 
     /// Stable kebab-case id used in diagnostics and `rhlint:allow(...)`.
@@ -221,6 +264,11 @@ impl Rule {
             Rule::PanicUnderLock => "panic-under-lock",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::StaleAllow => "stale-allow",
+            Rule::UnvalidatedLengthAlloc => "unvalidated-length-alloc",
+            Rule::TaintedIndex => "tainted-index",
+            Rule::ConfigOutOfRange => "config-out-of-range",
+            Rule::UncheckedArithUntrusted => "unchecked-arith-untrusted",
+            Rule::UntrustedDivisor => "untrusted-divisor",
         }
     }
 
@@ -254,6 +302,11 @@ impl Rule {
             Rule::PanicUnderLock => "RH023",
             Rule::HotPathAlloc => "RH024",
             Rule::StaleAllow => "RH025",
+            Rule::UnvalidatedLengthAlloc => "RH026",
+            Rule::TaintedIndex => "RH027",
+            Rule::ConfigOutOfRange => "RH028",
+            Rule::UncheckedArithUntrusted => "RH029",
+            Rule::UntrustedDivisor => "RH030",
         }
     }
 
@@ -285,6 +338,11 @@ impl Rule {
             Rule::PanicUnderLock => "potential panic while holding a guard poisons the lock; move fallible work outside the critical section",
             Rule::HotPathAlloc => "heap allocation in a `rhlint:hot` function; preallocate outside the hot path or reuse buffers",
             Rule::StaleAllow => "`rhlint:allow` that suppresses nothing on its line or the next; remove stale suppressions to keep the audit trail honest",
+            Rule::UnvalidatedLengthAlloc => "allocation sized by an untrusted value (wire bytes, env var, file read) with no dominating bound check — a hostile length is an OOM",
+            Rule::TaintedIndex => "slice indexing with an untrusted index and no dominating bound check can panic the serving thread",
+            Rule::ConfigOutOfRange => "config value's derived interval escapes its declared `SearchSpace` bounds; clamp to the declared `Dim` range",
+            Rule::UncheckedArithUntrusted => "unchecked arithmetic on an untrusted integer can overflow; use `checked_*`/`saturating_*` or bound-check first",
+            Rule::UntrustedDivisor => "division/modulo by an untrusted value not proven non-zero panics on a hostile zero",
         }
     }
 
@@ -309,7 +367,18 @@ impl Rule {
             | Rule::UnboundedGrowth
             | Rule::PanicUnderLock => "concurrency",
             Rule::HotPathAlloc => "hot-path",
+            Rule::UnvalidatedLengthAlloc
+            | Rule::TaintedIndex
+            | Rule::UncheckedArithUntrusted
+            | Rule::UntrustedDivisor => "input-validation",
+            Rule::ConfigOutOfRange => "config-space",
         }
+    }
+
+    /// Long-form explanation for `rhlint explain <rule>`: why the rule
+    /// exists, an example violation, and the sanctioned fix.
+    pub fn explain(self) -> explain::Explanation {
+        explain::explanation(self)
     }
 
     /// Look a rule up by kebab-case id or by `RHnnn` code (codes are accepted
@@ -445,9 +514,15 @@ pub fn run_check(root: &Path) -> Result<CheckReport, LintError> {
     raw.extend(check_config_space(root)?);
     raw.extend(callgraph::determinism_taint(&ws));
     raw.extend(semantic::check(&ws));
-    raw.extend(locks::check(&ws));
+
+    // Every non-test fn is lowered once; the lock-discipline, interval, and
+    // taint passes share the models.
+    let models = lower::lower_all(&ws);
+    raw.extend(locks::check(&ws, &models));
     raw.extend(locks::check_growth(&ws));
     raw.extend(locks::check_hot_paths(&ws));
+    let ranges = intervals::check(&ws, &models, &mut raw);
+    raw.extend(taint::check(&ws, &models, &ranges));
 
     // RH025 compares every well-formed allow against the full
     // pre-suppression finding set: an allow that matches nothing on its line
@@ -523,6 +598,73 @@ fn stale_allows(ws: &symbols::Workspace, raw: &[Diagnostic]) -> Vec<Diagnostic> 
 /// [`run_check`], diagnostics only. The tier-1 gate and tests use this.
 pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     run_check(root).map(|report| report.diagnostics)
+}
+
+/// Result of `rhlint fix --stale-allows`.
+#[derive(Debug)]
+pub struct FixReport {
+    /// `(file, line)` of every stale allow removed (or, in a dry run, that
+    /// would be removed), sorted.
+    pub removed: Vec<(PathBuf, usize)>,
+    /// Whether the edits were written back to disk.
+    pub written: bool,
+}
+
+/// Mechanically delete RH025 stale `rhlint:allow` comments.
+///
+/// Runs the full check, takes the surviving [`Rule::StaleAllow`] findings
+/// (post-suppression, so a *justified* stale allow is left alone), and
+/// removes each one: a line that holds nothing but the allow comment is
+/// deleted outright, while a trailing `code(); // rhlint:allow(..)` comment
+/// is truncated at the `//`. With `write` false (the dry run, and the CLI
+/// default) nothing touches disk — the report lists what would change.
+pub fn fix_stale_allows(root: &Path, write: bool) -> Result<FixReport, LintError> {
+    let report = run_check(root)?;
+    let mut by_file: BTreeMap<PathBuf, Vec<usize>> = BTreeMap::new();
+    for d in &report.diagnostics {
+        if d.rule == Rule::StaleAllow {
+            by_file.entry(d.file.clone()).or_default().push(d.line);
+        }
+    }
+
+    let mut removed = Vec::new();
+    for (rel, mut lines) in by_file {
+        let path = root.join(&rel);
+        let text = std::fs::read_to_string(&path).map_err(|source| LintError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        lines.sort_unstable();
+        lines.dedup();
+        let mut kept: Vec<&str> = Vec::new();
+        for (i, line_text) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if lines.contains(&lineno) {
+                if let Some(pos) = line_text.find("//") {
+                    removed.push((rel.clone(), lineno));
+                    let head = line_text[..pos].trim_end();
+                    if head.is_empty() {
+                        continue;
+                    }
+                    kept.push(head);
+                    continue;
+                }
+            }
+            kept.push(line_text);
+        }
+        if write {
+            let mut new_text = kept.join("\n");
+            if text.ends_with('\n') {
+                new_text.push('\n');
+            }
+            std::fs::write(&path, new_text).map_err(|source| LintError::Io { path, source })?;
+        }
+    }
+    removed.sort();
+    Ok(FixReport {
+        removed,
+        written: write,
+    })
 }
 
 /// Render diagnostics as a JSON array of `{code, file, line, message}`

@@ -1,7 +1,8 @@
 //! Lock-discipline, growth, and hot-path analyses (RH020–RH024).
 //!
-//! This is the dataflow half of rhlint: every non-test function body is
-//! lowered to a [`Cfg`](crate::cfg::Cfg) whose events record guard
+//! This is the lock-facing half of rhlint's dataflow engine: it consumes the
+//! per-function [`FnModel`]s produced by [`crate::lower`] (shared with the
+//! interval and taint passes) whose events record guard
 //! acquisitions/releases, blocking operations, panic sites, and resolved
 //! workspace calls. A forward *may*-analysis ([`crate::dataflow`]) computes
 //! the set of held guards at every event; interprocedural summaries
@@ -37,11 +38,14 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use crate::cfg::{Cfg, CfgBuilder, Event};
+use crate::cfg::Event;
 use crate::dataflow::{self, Transfer};
-use crate::parser::{Block, Expr, Stmt};
-use crate::rules;
-use crate::symbols::{FnInfo, Target, Workspace};
+use crate::lower::{
+    for_each_expr, for_each_expr_in_block, infer_type_text, param_env, peel_head, qualified_name,
+    FnModel,
+};
+use crate::parser::Expr;
+use crate::symbols::{FnInfo, Workspace};
 use crate::{Diagnostic, Rule, PANIC_SCOPE};
 
 /// Crates subject to the lock-discipline and growth rules: the production
@@ -52,7 +56,7 @@ pub(crate) fn concurrency_scoped(krate: &str) -> bool {
 }
 
 /// Collection type heads whose growth RH022 tracks.
-const COLLECTIONS: [&str; 7] = [
+pub(crate) const COLLECTIONS: [&str; 7] = [
     "Vec",
     "VecDeque",
     "HashMap",
@@ -112,649 +116,6 @@ impl Transfer for HeldLocks {
             _ => {}
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Per-function lowering: AST → CFG events + call edges
-// ---------------------------------------------------------------------------
-
-/// One function lowered for analysis.
-struct FnModel {
-    cfg: Cfg,
-    /// Workspace callees (indexes into [`Workspace::fns`]).
-    calls: BTreeSet<usize>,
-}
-
-struct Lowerer<'a> {
-    ws: &'a Workspace,
-    fi: &'a FnInfo,
-    builder: CfgBuilder,
-    /// Variable name → declared/inferred type text.
-    env: BTreeMap<String, String>,
-    /// Let-bound guard names per open lexical scope.
-    scopes: Vec<Vec<String>>,
-    /// `scopes.len()` at each enclosing loop entry (for break/continue).
-    loop_scope_marks: Vec<usize>,
-    /// Statement-scoped temporary guards awaiting release.
-    stmt_tmps: Vec<String>,
-    next_tmp: usize,
-    calls: BTreeSet<usize>,
-}
-
-impl<'a> Lowerer<'a> {
-    fn new(ws: &'a Workspace, fi: &'a FnInfo) -> Lowerer<'a> {
-        let mut env = BTreeMap::new();
-        if let Some(ty) = &fi.self_ty {
-            env.insert("self".to_string(), ty.clone());
-        }
-        for (name, ty) in &fi.item.params {
-            if !name.is_empty() && !ty.text.is_empty() {
-                env.insert(name.clone(), ty.text.clone());
-            }
-        }
-        Lowerer {
-            ws,
-            fi,
-            builder: CfgBuilder::new(),
-            env,
-            scopes: Vec::new(),
-            loop_scope_marks: Vec::new(),
-            stmt_tmps: Vec::new(),
-            next_tmp: 0,
-            calls: BTreeSet::new(),
-        }
-    }
-
-    fn lower(mut self) -> FnModel {
-        if let Some(body) = &self.fi.item.body {
-            let body = body.clone();
-            self.walk_block(&body);
-        }
-        FnModel {
-            cfg: self.builder.finish(),
-            calls: self.calls,
-        }
-    }
-
-    fn fresh_tmp(&mut self) -> String {
-        self.next_tmp += 1;
-        format!("#tmp{}", self.next_tmp)
-    }
-
-    fn walk_block(&mut self, block: &Block) {
-        self.scopes.push(Vec::new());
-        for stmt in &block.stmts {
-            self.walk_stmt(stmt);
-        }
-        let ended = self.scopes.pop().unwrap_or_default();
-        for guard in ended.into_iter().rev() {
-            self.builder.push(Event::Release { guard });
-        }
-    }
-
-    fn walk_stmt(&mut self, stmt: &Stmt) {
-        let mark = self.stmt_tmps.len();
-        match stmt {
-            Stmt::Let {
-                name,
-                ty,
-                init,
-                underscore,
-                line,
-            } => {
-                if let Some(e) = init {
-                    let acquired = self.walk_expr(e);
-                    match (acquired, name) {
-                        (Some(lock), Some(n)) => {
-                            // `let g = m.lock()` — guard lives to scope end.
-                            self.builder.push(Event::Acquire {
-                                guard: n.clone(),
-                                lock,
-                                line: *line as usize,
-                            });
-                            if let Some(scope) = self.scopes.last_mut() {
-                                scope.push(n.clone());
-                            }
-                            self.env.insert(n.clone(), "Guard".to_string());
-                        }
-                        (Some(lock), None) => {
-                            // `let _ = m.lock()` — acquired and dropped at once.
-                            let tmp = self.fresh_tmp();
-                            self.builder.push(Event::Acquire {
-                                guard: tmp.clone(),
-                                lock,
-                                line: *line as usize,
-                            });
-                            self.builder.push(Event::Release { guard: tmp });
-                            let _ = underscore;
-                        }
-                        (None, Some(n)) => {
-                            let text = ty
-                                .as_ref()
-                                .map(|t| t.text.clone())
-                                .filter(|t| !t.is_empty())
-                                .or_else(|| self.infer_text(e));
-                            if let Some(t) = text {
-                                self.env.insert(n.clone(), t);
-                            }
-                        }
-                        (None, None) => {}
-                    }
-                } else if let (Some(n), Some(t)) = (name, ty) {
-                    if !t.text.is_empty() {
-                        self.env.insert(n.clone(), t.text.clone());
-                    }
-                }
-            }
-            Stmt::Expr { expr, .. } => {
-                self.walk_value(expr);
-            }
-            Stmt::Item(_) => {}
-        }
-        // Temporaries acquired during this statement die with it.
-        for guard in self.stmt_tmps.split_off(mark) {
-            self.builder.push(Event::Release { guard });
-        }
-    }
-
-    /// Walk an expression in value position: if it evaluates to a fresh
-    /// guard, the guard becomes a statement-scoped temporary.
-    fn walk_value(&mut self, e: &Expr) {
-        if let Some(lock) = self.walk_expr(e) {
-            let tmp = self.fresh_tmp();
-            self.builder.push(Event::Acquire {
-                guard: tmp.clone(),
-                lock,
-                line: e.line() as usize,
-            });
-            self.stmt_tmps.push(tmp);
-        }
-    }
-
-    /// Walk an expression, emitting events in evaluation order. Returns
-    /// `Some(lock id)` when the expression's value is a freshly acquired
-    /// guard (the caller decides the guard's lifetime).
-    fn walk_expr(&mut self, e: &Expr) -> Option<String> {
-        match e {
-            Expr::MethodCall {
-                recv,
-                method,
-                args,
-                line,
-            } => {
-                let line = *line as usize;
-                // `unwrap`-family adapters are transparent to guard-ness:
-                // `m.lock().unwrap()` still yields the guard.
-                if matches!(
-                    method.as_str(),
-                    "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "unwrap_or_default"
-                ) {
-                    let inner = self.walk_expr(recv);
-                    for a in args {
-                        self.walk_value(a);
-                    }
-                    if matches!(method.as_str(), "unwrap" | "expect") {
-                        self.push_panic(format!(".{method}()"), line);
-                    }
-                    return inner;
-                }
-
-                self.walk_value(recv);
-                for a in args {
-                    self.walk_value(a);
-                }
-
-                // Guard acquisition.
-                if method == "lock" && args.is_empty() {
-                    return Some(self.lock_key(recv));
-                }
-                if matches!(method.as_str(), "read" | "write") && args.is_empty() {
-                    let rw = self
-                        .infer_text(recv)
-                        .map(|t| t.contains("RwLock"))
-                        .unwrap_or(false);
-                    if rw {
-                        return Some(self.lock_key(recv));
-                    }
-                }
-
-                // Blocking primitives.
-                if let Some(what) = blocking_method(method, args.len()) {
-                    self.builder.push(Event::Blocking { what, line });
-                    return None;
-                }
-
-                self.link_method(recv, method, line);
-                None
-            }
-            Expr::Call { callee, args, line } => {
-                let line = *line as usize;
-                if let Expr::Path { segs, .. } = &**callee {
-                    // `drop(g)` / `std::mem::drop(g)` kills the guard.
-                    if segs.last().map(String::as_str) == Some("drop") && args.len() == 1 {
-                        if let Expr::Path { segs: v, .. } = &args[0] {
-                            if v.len() == 1 {
-                                self.builder.push(Event::Release {
-                                    guard: v[0].clone(),
-                                });
-                                return None;
-                            }
-                        }
-                    }
-                    for a in args {
-                        self.walk_value(a);
-                    }
-                    if let Some(what) = blocking_path(segs) {
-                        self.builder.push(Event::Blocking { what, line });
-                        return None;
-                    }
-                    let resolved = self.resolve_call(segs);
-                    if let Some(idxs) = resolved {
-                        let mut guard_ret = false;
-                        for &i in &idxs {
-                            self.calls.insert(i);
-                            self.builder.push(Event::Call { callee: i, line });
-                            if returns_guard(&self.ws.fns()[i]) {
-                                guard_ret = true;
-                            }
-                        }
-                        if guard_ret {
-                            let name = segs.last().cloned().unwrap_or_default();
-                            return Some(format!("fn:{name}()"));
-                        }
-                    }
-                } else {
-                    self.walk_value(callee);
-                    for a in args {
-                        self.walk_value(a);
-                    }
-                }
-                None
-            }
-            Expr::MacroCall { path, args, line } => {
-                for a in args {
-                    self.walk_value(a);
-                }
-                let last = path.last().map(String::as_str).unwrap_or("");
-                if matches!(
-                    last,
-                    "panic"
-                        | "todo"
-                        | "unimplemented"
-                        | "unreachable"
-                        | "assert"
-                        | "assert_eq"
-                        | "assert_ne"
-                ) {
-                    self.push_panic(format!("{last}!"), *line as usize);
-                }
-                None
-            }
-            Expr::If {
-                cond, then, else_, ..
-            } => {
-                self.walk_value(cond);
-                let decision = self.builder.current();
-                let then_b = self.builder.new_block();
-                self.builder.edge(decision, then_b);
-                self.builder.set_current(then_b);
-                self.walk_block(then);
-                let then_end = self.builder.current();
-                let join = self.builder.new_block();
-                self.builder.edge(then_end, join);
-                if let Some(other) = else_ {
-                    let else_b = self.builder.new_block();
-                    self.builder.edge(decision, else_b);
-                    self.builder.set_current(else_b);
-                    self.walk_value(other);
-                    let else_end = self.builder.current();
-                    self.builder.edge(else_end, join);
-                } else {
-                    self.builder.edge(decision, join);
-                }
-                self.builder.set_current(join);
-                None
-            }
-            Expr::Match {
-                scrutinee, arms, ..
-            } => {
-                self.walk_value(scrutinee);
-                let decision = self.builder.current();
-                let join = self.builder.new_block();
-                if arms.is_empty() {
-                    self.builder.edge(decision, join);
-                }
-                for arm in arms {
-                    let arm_b = self.builder.new_block();
-                    self.builder.edge(decision, arm_b);
-                    self.builder.set_current(arm_b);
-                    if let Some(g) = &arm.guard {
-                        self.walk_value(g);
-                    }
-                    self.walk_value(&arm.body);
-                    let arm_end = self.builder.current();
-                    self.builder.edge(arm_end, join);
-                }
-                self.builder.set_current(join);
-                None
-            }
-            Expr::Loop { body, .. } => {
-                let head = self.builder.new_block();
-                self.builder.edge(self.builder.current(), head);
-                let after = self.builder.new_block();
-                self.builder.enter_loop(head, after);
-                self.loop_scope_marks.push(self.scopes.len());
-                self.builder.set_current(head);
-                self.walk_block(body);
-                let tail = self.builder.current();
-                self.builder.edge(tail, head);
-                self.loop_scope_marks.pop();
-                self.builder.leave_loop();
-                self.builder.set_current(after);
-                None
-            }
-            Expr::While { cond, body, .. } => {
-                let head = self.builder.new_block();
-                self.builder.edge(self.builder.current(), head);
-                self.builder.set_current(head);
-                self.walk_value(cond);
-                let test_end = self.builder.current();
-                let body_b = self.builder.new_block();
-                let after = self.builder.new_block();
-                self.builder.edge(test_end, body_b);
-                self.builder.edge(test_end, after);
-                self.builder.enter_loop(head, after);
-                self.loop_scope_marks.push(self.scopes.len());
-                self.builder.set_current(body_b);
-                self.walk_block(body);
-                let tail = self.builder.current();
-                self.builder.edge(tail, head);
-                self.loop_scope_marks.pop();
-                self.builder.leave_loop();
-                self.builder.set_current(after);
-                None
-            }
-            Expr::For { iter, body, .. } => {
-                self.walk_value(iter);
-                let head = self.builder.new_block();
-                self.builder.edge(self.builder.current(), head);
-                let body_b = self.builder.new_block();
-                let after = self.builder.new_block();
-                self.builder.edge(head, body_b);
-                self.builder.edge(head, after);
-                self.builder.enter_loop(head, after);
-                self.loop_scope_marks.push(self.scopes.len());
-                self.builder.set_current(body_b);
-                self.walk_block(body);
-                let tail = self.builder.current();
-                self.builder.edge(tail, head);
-                self.loop_scope_marks.pop();
-                self.builder.leave_loop();
-                self.builder.set_current(after);
-                None
-            }
-            Expr::Return { expr, .. } => {
-                if let Some(e2) = expr {
-                    self.walk_value(e2);
-                }
-                self.builder.diverge_to_exit();
-                None
-            }
-            Expr::Break { .. } => {
-                self.release_loop_scopes();
-                match self.builder.innermost_loop() {
-                    Some((_, after)) => self.builder.diverge_to(after),
-                    None => self.builder.diverge_to_exit(),
-                }
-                None
-            }
-            Expr::Continue { .. } => {
-                self.release_loop_scopes();
-                match self.builder.innermost_loop() {
-                    Some((head, _)) => self.builder.diverge_to(head),
-                    None => self.builder.diverge_to_exit(),
-                }
-                None
-            }
-            Expr::Try { expr, .. } => {
-                let inner = self.walk_expr(expr);
-                // `?` may exit early; model the error edge to the exit.
-                let cur = self.builder.current();
-                self.builder.edge(cur, self.builder.exit());
-                inner
-            }
-            Expr::Block { block, .. } => {
-                self.walk_block(block);
-                None
-            }
-            // Closure bodies run elsewhere (or lazily): never inline their
-            // events into this function's CFG.
-            Expr::Closure { .. } => None,
-            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
-                self.walk_expr(expr)
-            }
-            Expr::Field { base, .. } => {
-                self.walk_value(base);
-                None
-            }
-            Expr::Index { base, index, .. } => {
-                self.walk_value(base);
-                self.walk_value(index);
-                None
-            }
-            Expr::Binary { lhs, rhs, .. } => {
-                self.walk_value(lhs);
-                self.walk_value(rhs);
-                None
-            }
-            Expr::StructLit { fields, .. } => {
-                for (_, v) in fields {
-                    self.walk_value(v);
-                }
-                None
-            }
-            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
-                for v in elems {
-                    self.walk_value(v);
-                }
-                None
-            }
-            Expr::Range { lo, hi, .. } => {
-                if let Some(l) = lo {
-                    self.walk_value(l);
-                }
-                if let Some(h) = hi {
-                    self.walk_value(h);
-                }
-                None
-            }
-            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => None,
-        }
-    }
-
-    /// A panic event — unless a justified panic-family `rhlint:allow` on the
-    /// site vouches that it cannot fire.
-    fn push_panic(&mut self, what: String, line: usize) {
-        let masked = &self.ws.files()[self.fi.file].masked;
-        let allowed = rules::allowed_rules_at(masked, line);
-        let vouched = allowed.iter().any(|r| {
-            matches!(
-                r,
-                Rule::Unwrap | Rule::Expect | Rule::Panic | Rule::PanicUnderLock
-            )
-        });
-        if !vouched {
-            self.builder.push(Event::Panic { what, line });
-        }
-    }
-
-    /// On `break`/`continue`, guards scoped inside the loop die before the
-    /// jump (their scopes unwind), even though the scopes stay open for the
-    /// fallthrough path.
-    fn release_loop_scopes(&mut self) {
-        let depth = self.loop_scope_marks.last().copied().unwrap_or(0);
-        let guards: Vec<String> = self.scopes.iter().skip(depth).flatten().cloned().collect();
-        for guard in guards.into_iter().rev() {
-            self.builder.push(Event::Release { guard });
-        }
-    }
-
-    /// Stable identity for the lock behind a `.lock()`/`.read()`/`.write()`
-    /// receiver: `Type.field` when the receiver is a field access,
-    /// `krate::var` for locals/statics.
-    fn lock_key(&self, recv: &Expr) -> String {
-        match recv {
-            Expr::Field { base, name, .. } => {
-                let base_head = self
-                    .infer_text(base)
-                    .and_then(|t| peel_head(&t))
-                    .unwrap_or_else(|| "?".to_string());
-                format!("{base_head}.{name}")
-            }
-            Expr::Path { segs, .. } if segs.len() == 1 => {
-                format!("{}::{}", self.fi.krate, segs[0])
-            }
-            Expr::Path { segs, .. } => segs.join("::"),
-            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } => self.lock_key(expr),
-            _ => format!("{}::<anon>", self.fi.krate),
-        }
-    }
-
-    /// Best-effort type TEXT of an expression (full generics preserved, so
-    /// `Mutex<...>` / `RwLock<...>` / `JoinHandle<...>` checks see through
-    /// wrappers like `Arc<...>` via [`peel_head`] at lookup sites).
-    fn infer_text(&self, e: &Expr) -> Option<String> {
-        infer_type_text(self.ws, &self.env, e)
-    }
-
-    fn resolve_call(&self, segs: &[String]) -> Option<Vec<usize>> {
-        let mut segs = segs.to_vec();
-        if segs.first().map(String::as_str) == Some("Self") {
-            if let Some(ty) = &self.fi.self_ty {
-                segs[0] = ty.clone();
-            }
-        }
-        match self.ws.resolve(&self.fi.krate, &self.fi.module, &segs) {
-            Target::Fns(idxs) => Some(idxs),
-            _ => None,
-        }
-    }
-
-    fn link_method(&mut self, recv: &Expr, method: &str, line: usize) {
-        let ty = self.infer_text(recv).and_then(|t| peel_head(&t));
-        if let Some(t) = ty {
-            let idxs = self.ws.methods_of(&t, method);
-            if !idxs.is_empty() {
-                for i in idxs {
-                    self.calls.insert(i);
-                    self.builder.push(Event::Call { callee: i, line });
-                }
-                return;
-            }
-        }
-        // Unknown receiver: link only when the name is unique workspace-wide
-        // (the call graph's under-approximation stance).
-        let named = self.ws.methods_named(method);
-        if named.len() == 1 {
-            let i = named[0];
-            self.calls.insert(i);
-            self.builder.push(Event::Call { callee: i, line });
-        }
-    }
-}
-
-/// Best-effort type text of `e` given `env` (name → type text). Field types
-/// come from the workspace symbol table; `Arc`/`Box`/`&` wrappers are peeled
-/// at each hop.
-fn infer_type_text(ws: &Workspace, env: &BTreeMap<String, String>, e: &Expr) -> Option<String> {
-    match e {
-        Expr::Path { segs, .. } if segs.len() == 1 => env.get(&segs[0]).cloned(),
-        Expr::Field { base, name, .. } => {
-            let base_text = infer_type_text(ws, env, base)?;
-            let head = peel_head(&base_text)?;
-            ws.field_type(&head, name).map(|t| t.text.clone())
-        }
-        Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
-            infer_type_text(ws, env, expr)
-        }
-        Expr::MethodCall { recv, method, .. }
-            if matches!(method.as_str(), "clone" | "as_ref" | "as_mut" | "borrow") =>
-        {
-            infer_type_text(ws, env, recv)
-        }
-        Expr::Cast { ty, .. } => Some(ty.text.clone()),
-        _ => None,
-    }
-}
-
-/// Head identifier of a type text after stripping references, `mut`, and
-/// transparent wrappers (`Arc<T>` → `T`'s head, etc.).
-fn peel_head(text: &str) -> Option<String> {
-    let mut t = text.trim();
-    loop {
-        t = t
-            .trim_start_matches('&')
-            .trim_start_matches("'static")
-            .trim_start();
-        t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
-        let ident: String = t
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        if ident.is_empty() {
-            return None;
-        }
-        let rest = &t[ident.len()..];
-        if matches!(ident.as_str(), "Arc" | "Rc" | "Box" | "RefCell" | "Cell")
-            && rest.trim_start().starts_with('<')
-        {
-            // Only the head matters, so dropping into the `<...>` body and
-            // re-reading the next identifier is enough — the trailing `>`
-            // never parses as part of an identifier.
-            t = &rest.trim_start()[1..];
-            continue;
-        }
-        return Some(ident);
-    }
-}
-
-/// Does this function hand a live guard back to its caller?
-fn returns_guard(fi: &FnInfo) -> bool {
-    fi.item
-        .ret
-        .as_ref()
-        .map(|t| t.text.contains("Guard"))
-        .unwrap_or(false)
-}
-
-/// Blocking method calls: channel receives, argument-less `join()`
-/// (`JoinHandle`), condvar waits, listener `accept()`, and bulk socket I/O.
-fn blocking_method(method: &str, n_args: usize) -> Option<String> {
-    let what = match method {
-        "recv" | "recv_timeout" | "recv_deadline" => method,
-        "join" | "accept" if n_args == 0 => method,
-        "wait" | "wait_timeout" | "wait_while" => method,
-        "read_exact" | "write_all" | "read_to_end" | "read_to_string" => method,
-        _ => return None,
-    };
-    Some(format!(".{what}()"))
-}
-
-/// Blocking free-function paths: `thread::sleep`, `TcpStream::connect`.
-fn blocking_path(segs: &[String]) -> Option<String> {
-    let last = segs.last().map(String::as_str).unwrap_or("");
-    let penult = segs
-        .len()
-        .checked_sub(2)
-        .map(|i| segs[i].as_str())
-        .unwrap_or("");
-    if last == "sleep" && (penult == "thread" || segs.len() == 1) {
-        return Some("thread::sleep".to_string());
-    }
-    if last == "connect" && penult == "TcpStream" {
-        return Some("TcpStream::connect".to_string());
-    }
-    None
 }
 
 // ---------------------------------------------------------------------------
@@ -848,20 +209,10 @@ fn summarize(models: &[Option<FnModel>]) -> Vec<Summary> {
 // ---------------------------------------------------------------------------
 
 /// Run the lock-discipline rules over every non-test function of the
-/// concurrency-scoped crates.
-pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
-    let models: Vec<Option<FnModel>> = ws
-        .fns()
-        .iter()
-        .map(|fi| {
-            if fi.cfg_test {
-                None
-            } else {
-                Some(Lowerer::new(ws, fi).lower())
-            }
-        })
-        .collect();
-    let sums = summarize(&models);
+/// concurrency-scoped crates. `models` is the shared lowering from
+/// [`crate::lower::lower_all`], index-aligned with [`Workspace::fns`].
+pub(crate) fn check(ws: &Workspace, models: &[Option<FnModel>]) -> Vec<Diagnostic> {
+    let sums = summarize(models);
 
     let mut found: BTreeSet<(PathBuf, usize, Rule, String)> = BTreeSet::new();
     // Lock-acquisition order graph: (held, acquired) → first site.
@@ -942,7 +293,7 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
                             }
                         }
                     }
-                    Event::Release { .. } => {}
+                    _ => {}
                 }
             });
         }
@@ -1000,13 +351,6 @@ fn reaches(adj: &BTreeMap<&String, BTreeSet<&String>>, from: &String, to: &Strin
     false
 }
 
-fn qualified_name(fi: &FnInfo) -> String {
-    match &fi.self_ty {
-        Some(ty) => format!("{}::{}::{}", fi.krate, ty, fi.name),
-        None => format!("{}::{}", fi.krate, fi.name),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // RH022 — unbounded growth of long-lived service state
 // ---------------------------------------------------------------------------
@@ -1015,7 +359,7 @@ fn qualified_name(fi: &FnInfo) -> String {
 /// collection field of a long-lived type, with no shrink/eviction call on
 /// the same `Type.field` anywhere in production code and no `len`/`capacity`
 /// check in the growing function.
-pub fn check_growth(ws: &Workspace) -> Vec<Diagnostic> {
+pub(crate) fn check_growth(ws: &Workspace) -> Vec<Diagnostic> {
     let long_lived = long_lived_types(ws);
 
     struct GrowSite {
@@ -1224,21 +568,6 @@ fn is_collection_field(ws: &Workspace, ty: &str, field: &str) -> bool {
     COLLECTIONS.contains(&head.as_str())
 }
 
-/// `self` + parameter types only — enough to type `self.field` chains, which
-/// is where long-lived state lives.
-fn param_env(fi: &FnInfo) -> BTreeMap<String, String> {
-    let mut env = BTreeMap::new();
-    if let Some(ty) = &fi.self_ty {
-        env.insert("self".to_string(), ty.clone());
-    }
-    for (name, ty) in &fi.item.params {
-        if !name.is_empty() && !ty.text.is_empty() {
-            env.insert(name.clone(), ty.text.clone());
-        }
-    }
-    env
-}
-
 // ---------------------------------------------------------------------------
 // RH024 — allocation in `rhlint:hot` functions
 // ---------------------------------------------------------------------------
@@ -1246,7 +575,7 @@ fn param_env(fi: &FnInfo) -> BTreeMap<String, String> {
 /// Run the hot-path rule: functions tagged `// rhlint:hot` (comment within
 /// three lines above the signature, or in the doc comment) must not allocate
 /// on any path, closures included.
-pub fn check_hot_paths(ws: &Workspace) -> Vec<Diagnostic> {
+pub(crate) fn check_hot_paths(ws: &Workspace) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for fi in ws.fns() {
         if fi.cfg_test {
@@ -1353,118 +682,5 @@ fn alloc_of(ws: &Workspace, env: &BTreeMap<String, String>, e: &Expr) -> Option<
             None
         }
         _ => None,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Whole-body expression walkers (closures included)
-// ---------------------------------------------------------------------------
-
-fn for_each_expr_in_block(block: &Block, f: &mut impl FnMut(&Expr)) {
-    for stmt in &block.stmts {
-        match stmt {
-            Stmt::Let { init, .. } => {
-                if let Some(e) = init {
-                    for_each_expr(e, f);
-                }
-            }
-            Stmt::Expr { expr, .. } => for_each_expr(expr, f),
-            Stmt::Item(_) => {}
-        }
-    }
-}
-
-fn for_each_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
-    f(e);
-    match e {
-        Expr::Call { callee, args, .. } => {
-            for_each_expr(callee, f);
-            for a in args {
-                for_each_expr(a, f);
-            }
-        }
-        Expr::MethodCall { recv, args, .. } => {
-            for_each_expr(recv, f);
-            for a in args {
-                for_each_expr(a, f);
-            }
-        }
-        Expr::Field { base, .. } => for_each_expr(base, f),
-        Expr::Index { base, index, .. } => {
-            for_each_expr(base, f);
-            for_each_expr(index, f);
-        }
-        Expr::Cast { expr, .. }
-        | Expr::Unary { expr, .. }
-        | Expr::Try { expr, .. }
-        | Expr::Ref { expr, .. }
-        | Expr::Closure { body: expr, .. } => for_each_expr(expr, f),
-        Expr::Binary { lhs, rhs, .. } => {
-            for_each_expr(lhs, f);
-            for_each_expr(rhs, f);
-        }
-        Expr::StructLit { fields, .. } => {
-            for (_, v) in fields {
-                for_each_expr(v, f);
-            }
-        }
-        Expr::MacroCall { args, .. } => {
-            for a in args {
-                for_each_expr(a, f);
-            }
-        }
-        Expr::Match {
-            scrutinee, arms, ..
-        } => {
-            for_each_expr(scrutinee, f);
-            for arm in arms {
-                if let Some(g) = &arm.guard {
-                    for_each_expr(g, f);
-                }
-                for_each_expr(&arm.body, f);
-            }
-        }
-        Expr::If {
-            cond, then, else_, ..
-        } => {
-            for_each_expr(cond, f);
-            for_each_expr_in_block(then, f);
-            if let Some(e2) = else_ {
-                for_each_expr(e2, f);
-            }
-        }
-        Expr::Loop { body, .. } => for_each_expr_in_block(body, f),
-        Expr::While { cond, body, .. } => {
-            for_each_expr(cond, f);
-            for_each_expr_in_block(body, f);
-        }
-        Expr::For { iter, body, .. } => {
-            for_each_expr(iter, f);
-            for_each_expr_in_block(body, f);
-        }
-        Expr::Block { block, .. } => for_each_expr_in_block(block, f),
-        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
-            for a in elems {
-                for_each_expr(a, f);
-            }
-        }
-        Expr::Range { lo, hi, .. } => {
-            if let Some(l) = lo {
-                for_each_expr(l, f);
-            }
-            if let Some(h) = hi {
-                for_each_expr(h, f);
-            }
-        }
-        Expr::Return { expr, .. } => {
-            if let Some(e2) = expr {
-                for_each_expr(e2, f);
-            }
-        }
-        Expr::Path { .. }
-        | Expr::Lit { .. }
-        | Expr::Break { .. }
-        | Expr::Continue { .. }
-        | Expr::Opaque { .. } => {}
     }
 }

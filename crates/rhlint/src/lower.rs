@@ -1,0 +1,1615 @@
+//! Shared AST → CFG lowering for every dataflow analysis.
+//!
+//! rhlint v3 grew this walker inside `locks.rs`; v4 promotes it to a module
+//! of its own because three analyses now consume the same [`FnModel`]s: the
+//! lock-discipline pass ([`crate::locks`]), the interval/value-range pass
+//! ([`crate::intervals`]), and the untrusted-input taint pass
+//! ([`crate::taint`]). [`lower_all`] lowers every non-test function once;
+//! `lib.rs` hands the models to each pass.
+//!
+//! Besides the v3 event alphabet (acquire/release/blocking/panic/call), the
+//! lowerer now emits *value-flow* events:
+//!
+//! * [`Event::Assign`] — `let x = e` / `x = e` / `x += e`, with the RHS
+//!   abstracted to a [`VRhs`]. Compound sub-expressions chain through
+//!   synthetic `#vN` temporaries so `env::var(..).ok().and_then(..)` keeps
+//!   its provenance hop by hop; `#ret` carries the return value (both
+//!   `return e` sites and the function's tail expression) for callee
+//!   summaries.
+//! * [`Event::Assume`] — comparison guards. `if len > MAX { return }`
+//!   places `len > MAX` in the then-arm and `len <= MAX` in the else-arm;
+//!   `&&` contributes conjunct facts to the then-arm, `||` negated facts to
+//!   the else-arm. The `if` lowering always materializes an else block (even
+//!   for `if` without `else`) so the negated assumption has a block to live
+//!   in; `while` conditions get a dedicated false-edge block so `break`
+//!   paths never see the loop's exit assumption.
+//! * [`Event::Sink`] — slice indexing, divisors, raw `+ - * <<` arithmetic,
+//!   allocations sized by an expression (`with_capacity`, `resize`,
+//!   `reserve`, `vec![x; n]`), `conf.set(Knob::…, v)` writes, and call
+//!   arguments headed into workspace functions (for parameter-sink
+//!   summaries).
+//!
+//! The value model keeps the same approximation stance as the lock model:
+//! pattern bindings (`let (a, b) = …`, `for x in …`, match arms) drop value
+//! information, `&x` call arguments havoc `x`, and closures stay opaque.
+//! Every loss rounds toward *fewer* findings — the analyses only report on
+//! values they can still see.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::cfg::{Cfg, CfgBuilder, CmpOp, Event, Operand, SinkKind, VRhs};
+use crate::parser::{Block, Expr, Item, ItemKind, LitKind, Stmt};
+use crate::rules;
+use crate::symbols::{FnInfo, Target, Workspace};
+use crate::Rule;
+
+/// One function lowered for analysis.
+pub(crate) struct FnModel {
+    pub(crate) cfg: Cfg,
+    /// Workspace callees (indexes into [`Workspace::fns`]).
+    pub(crate) calls: BTreeSet<usize>,
+}
+
+/// Lower every non-test function in the workspace (index-aligned with
+/// [`Workspace::fns`]). Constants are resolved once, workspace-wide.
+pub(crate) fn lower_all(ws: &Workspace) -> Vec<Option<FnModel>> {
+    let consts = const_map(ws);
+    ws.fns()
+        .iter()
+        .map(|fi| {
+            if fi.cfg_test {
+                None
+            } else {
+                Some(Lowerer::new(ws, fi, &consts).lower())
+            }
+        })
+        .collect()
+}
+
+struct Lowerer<'a> {
+    ws: &'a Workspace,
+    fi: &'a FnInfo,
+    builder: CfgBuilder,
+    /// Variable name → declared/inferred type text.
+    env: BTreeMap<String, String>,
+    /// Workspace-wide `const NAME: _ = <literal arithmetic>` values.
+    consts: &'a BTreeMap<String, f64>,
+    /// Let-bound guard names per open lexical scope.
+    scopes: Vec<Vec<String>>,
+    /// `scopes.len()` at each enclosing loop entry (for break/continue).
+    loop_scope_marks: Vec<usize>,
+    /// Statement-scoped temporary guards awaiting release.
+    stmt_tmps: Vec<String>,
+    next_tmp: usize,
+    /// Synthetic `#vN` value temporaries.
+    next_val: usize,
+    /// Nesting depth of inlined closure bodies (see [`Lowerer::push`]).
+    closure_depth: usize,
+    calls: BTreeSet<usize>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(ws: &'a Workspace, fi: &'a FnInfo, consts: &'a BTreeMap<String, f64>) -> Lowerer<'a> {
+        let mut env = BTreeMap::new();
+        if let Some(ty) = &fi.self_ty {
+            env.insert("self".to_string(), ty.clone());
+        }
+        for (name, ty) in &fi.item.params {
+            if !name.is_empty() && !ty.text.is_empty() {
+                env.insert(name.clone(), ty.text.clone());
+            }
+        }
+        Lowerer {
+            ws,
+            fi,
+            builder: CfgBuilder::new(),
+            env,
+            consts,
+            scopes: Vec::new(),
+            loop_scope_marks: Vec::new(),
+            stmt_tmps: Vec::new(),
+            next_tmp: 0,
+            next_val: 0,
+            closure_depth: 0,
+            calls: BTreeSet::new(),
+        }
+    }
+
+    /// Emit an event into the current block. Inside an inlined closure body
+    /// only value events survive: the closure may execute on another thread
+    /// or later (or never), so attributing its lock, panic, blocking, or
+    /// call events to the definition site would corrupt the lock-discipline
+    /// analyses — but the values it captures flow from exactly here, which
+    /// is what the taint/interval passes need. `#ret` writes are dropped
+    /// too: a `return` inside a closure returns from the closure, not the
+    /// enclosing function.
+    fn push(&mut self, e: Event) {
+        if self.closure_depth > 0 {
+            match &e {
+                Event::Acquire { .. }
+                | Event::Release { .. }
+                | Event::Blocking { .. }
+                | Event::Panic { .. }
+                | Event::Call { .. } => return,
+                Event::Assign { var, .. } if var == "#ret" => return,
+                _ => {}
+            }
+        }
+        self.builder.push(e);
+    }
+
+    fn lower(mut self) -> FnModel {
+        if let Some(body) = &self.fi.item.body {
+            let body = body.clone();
+            self.walk_block_tail(&body, true);
+        }
+        FnModel {
+            cfg: self.builder.finish(),
+            calls: self.calls,
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> String {
+        self.next_tmp += 1;
+        format!("#tmp{}", self.next_tmp)
+    }
+
+    fn fresh_val(&mut self) -> String {
+        self.next_val += 1;
+        format!("#v{}", self.next_val)
+    }
+
+    fn walk_block(&mut self, block: &Block) {
+        self.walk_block_tail(block, false);
+    }
+
+    /// `fn_tail` marks the function's own body block: its trailing non-`;`
+    /// expression is the return value and feeds the `#ret` pseudo-variable.
+    fn walk_block_tail(&mut self, block: &Block, fn_tail: bool) {
+        self.scopes.push(Vec::new());
+        let n = block.stmts.len();
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            self.walk_stmt(stmt);
+            if fn_tail && i + 1 == n {
+                if let Stmt::Expr { expr, semi: false } = stmt {
+                    let op = self.expr_operand(expr);
+                    self.push(Event::Assign {
+                        var: "#ret".to_string(),
+                        rhs: VRhs::Operand(op),
+                        line: expr.line() as usize,
+                    });
+                }
+            }
+        }
+        let ended = self.scopes.pop().unwrap_or_default();
+        for guard in ended.into_iter().rev() {
+            self.push(Event::Release { guard });
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        let mark = self.stmt_tmps.len();
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                underscore,
+                line,
+            } => {
+                if let Some(e) = init {
+                    let acquired = self.walk_expr(e);
+                    match (acquired, name) {
+                        (Some(lock), Some(n)) => {
+                            // `let g = m.lock()` — guard lives to scope end.
+                            self.push(Event::Acquire {
+                                guard: n.clone(),
+                                lock,
+                                line: *line as usize,
+                            });
+                            if let Some(scope) = self.scopes.last_mut() {
+                                scope.push(n.clone());
+                            }
+                            self.env.insert(n.clone(), "Guard".to_string());
+                        }
+                        (Some(lock), None) => {
+                            // `let _ = m.lock()` — acquired and dropped at once.
+                            let tmp = self.fresh_tmp();
+                            self.push(Event::Acquire {
+                                guard: tmp.clone(),
+                                lock,
+                                line: *line as usize,
+                            });
+                            self.push(Event::Release { guard: tmp });
+                            let _ = underscore;
+                        }
+                        (None, Some(n)) => {
+                            let text = ty
+                                .as_ref()
+                                .map(|t| t.text.clone())
+                                .filter(|t| !t.is_empty())
+                                .or_else(|| self.infer_text(e));
+                            if let Some(t) = text {
+                                self.env.insert(n.clone(), t);
+                            }
+                            let op = self.expr_operand(e);
+                            self.push(Event::Assign {
+                                var: n.clone(),
+                                rhs: VRhs::Operand(op),
+                                line: *line as usize,
+                            });
+                        }
+                        (None, None) => {}
+                    }
+                } else if let (Some(n), Some(t)) = (name, ty) {
+                    if !t.text.is_empty() {
+                        self.env.insert(n.clone(), t.text.clone());
+                    }
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                self.walk_value(expr);
+            }
+            Stmt::Item(_) => {}
+        }
+        // Temporaries acquired during this statement die with it.
+        for guard in self.stmt_tmps.split_off(mark) {
+            self.push(Event::Release { guard });
+        }
+    }
+
+    /// Walk an expression in value position: if it evaluates to a fresh
+    /// guard, the guard becomes a statement-scoped temporary.
+    fn walk_value(&mut self, e: &Expr) {
+        if let Some(lock) = self.walk_expr(e) {
+            let tmp = self.fresh_tmp();
+            self.push(Event::Acquire {
+                guard: tmp.clone(),
+                lock,
+                line: e.line() as usize,
+            });
+            self.stmt_tmps.push(tmp);
+        }
+    }
+
+    /// Walk an expression, emitting events in evaluation order. Returns
+    /// `Some(lock id)` when the expression's value is a freshly acquired
+    /// guard (the caller decides the guard's lifetime).
+    fn walk_expr(&mut self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let line = *line as usize;
+                // `unwrap`-family adapters are transparent to guard-ness:
+                // `m.lock().unwrap()` still yields the guard.
+                if matches!(
+                    method.as_str(),
+                    "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "unwrap_or_default"
+                ) {
+                    let inner = self.walk_expr(recv);
+                    for a in args {
+                        self.walk_value(a);
+                    }
+                    if matches!(method.as_str(), "unwrap" | "expect") {
+                        self.push_panic(format!(".{method}()"), line);
+                    }
+                    return inner;
+                }
+
+                self.walk_value(recv);
+                for a in args {
+                    self.walk_value(a);
+                }
+                self.havoc_ref_args(args);
+
+                // Guard acquisition.
+                if method == "lock" && args.is_empty() {
+                    return Some(self.lock_key(recv));
+                }
+                if matches!(method.as_str(), "read" | "write") && args.is_empty() {
+                    let rw = self
+                        .infer_text(recv)
+                        .map(|t| t.contains("RwLock"))
+                        .unwrap_or(false);
+                    if rw {
+                        return Some(self.lock_key(recv));
+                    }
+                }
+
+                // Blocking primitives.
+                if let Some(what) = blocking_method(method, args.len()) {
+                    self.push(Event::Blocking { what, line });
+                    return None;
+                }
+
+                // Value sinks reached through methods.
+                match method.as_str() {
+                    "resize" | "resize_with" if args.len() == 2 => {
+                        let op = self.expr_operand(&args[0]);
+                        self.sink(SinkKind::Alloc(format!(".{method}(n, _)")), vec![op], line);
+                    }
+                    "reserve" | "reserve_exact" if args.len() == 1 => {
+                        let op = self.expr_operand(&args[0]);
+                        self.sink(SinkKind::Alloc(format!(".{method}(n)")), vec![op], line);
+                    }
+                    "div_euclid" | "rem_euclid" if args.len() == 1 => {
+                        let op = self.expr_operand(&args[0]);
+                        self.sink(SinkKind::Div, vec![op], line);
+                    }
+                    "set" if args.len() == 2 => {
+                        if let Some(knob) = knob_of(&args[0]) {
+                            let op = self.expr_operand(&args[1]);
+                            self.sink(SinkKind::KnobSet { knob }, vec![op], line);
+                        }
+                    }
+                    _ => {}
+                }
+
+                self.link_method(recv, method, args, line);
+                None
+            }
+            Expr::Call { callee, args, line } => {
+                let line = *line as usize;
+                if let Expr::Path { segs, .. } = &**callee {
+                    // `drop(g)` / `std::mem::drop(g)` kills the guard.
+                    if segs.last().map(String::as_str) == Some("drop") && args.len() == 1 {
+                        if let Expr::Path { segs: v, .. } = &args[0] {
+                            if v.len() == 1 {
+                                self.push(Event::Release {
+                                    guard: v[0].clone(),
+                                });
+                                return None;
+                            }
+                        }
+                    }
+                    for a in args {
+                        self.walk_value(a);
+                    }
+                    self.havoc_ref_args(args);
+                    if let Some(what) = blocking_path(segs) {
+                        self.push(Event::Blocking { what, line });
+                        return None;
+                    }
+                    let last = segs.last().map(String::as_str).unwrap_or("");
+                    let penult = penult_of(segs);
+                    if last == "with_capacity" && !args.is_empty() {
+                        let op = self.expr_operand(&args[0]);
+                        self.sink(
+                            SinkKind::Alloc(format!("{penult}::with_capacity")),
+                            vec![op],
+                            line,
+                        );
+                    }
+                    let resolved = self.resolve_call(segs);
+                    if let Some(idxs) = resolved {
+                        let mut guard_ret = false;
+                        for &i in &idxs {
+                            self.calls.insert(i);
+                            self.push(Event::Call { callee: i, line });
+                            if returns_guard(&self.ws.fns()[i]) {
+                                guard_ret = true;
+                            }
+                        }
+                        self.call_arg_sinks(&idxs, args, line);
+                        if guard_ret {
+                            let name = segs.last().cloned().unwrap_or_default();
+                            return Some(format!("fn:{name}()"));
+                        }
+                    }
+                } else {
+                    self.walk_value(callee);
+                    for a in args {
+                        self.walk_value(a);
+                    }
+                }
+                None
+            }
+            Expr::MacroCall { path, args, line } => {
+                for a in args {
+                    self.walk_value(a);
+                }
+                let last = path.last().map(String::as_str).unwrap_or("");
+                if matches!(
+                    last,
+                    "panic"
+                        | "todo"
+                        | "unimplemented"
+                        | "unreachable"
+                        | "assert"
+                        | "assert_eq"
+                        | "assert_ne"
+                ) {
+                    self.push_panic(format!("{last}!"), *line as usize);
+                }
+                // `vec![elem; n]` — the parser splits macro arguments on both
+                // `,` and `;`, so a two-argument `vec!` is the repeat form iff
+                // the raw source line actually contains the `;`.
+                if last == "vec" && args.len() == 2 && self.line_has_repeat_semi(*line as usize) {
+                    let op = self.expr_operand(&args[1]);
+                    self.sink(
+                        SinkKind::Alloc("vec![_; n]".to_string()),
+                        vec![op],
+                        *line as usize,
+                    );
+                }
+                None
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                self.walk_value(cond);
+                let (then_as, else_as) = self.cond_assumes(cond);
+                let decision = self.builder.current();
+                let then_b = self.builder.new_block();
+                self.builder.edge(decision, then_b);
+                self.builder.set_current(then_b);
+                for ev in then_as {
+                    self.push(ev);
+                }
+                self.walk_block(then);
+                let then_end = self.builder.current();
+                let join = self.builder.new_block();
+                self.builder.edge(then_end, join);
+                // Always materialize the else block: the negated condition
+                // holds there even when the source has no `else`.
+                let else_b = self.builder.new_block();
+                self.builder.edge(decision, else_b);
+                self.builder.set_current(else_b);
+                for ev in else_as {
+                    self.push(ev);
+                }
+                if let Some(other) = else_ {
+                    self.walk_value(other);
+                }
+                let else_end = self.builder.current();
+                self.builder.edge(else_end, join);
+                self.builder.set_current(join);
+                None
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.walk_value(scrutinee);
+                let decision = self.builder.current();
+                let join = self.builder.new_block();
+                if arms.is_empty() {
+                    self.builder.edge(decision, join);
+                }
+                for arm in arms {
+                    let arm_b = self.builder.new_block();
+                    self.builder.edge(decision, arm_b);
+                    self.builder.set_current(arm_b);
+                    if let Some(g) = &arm.guard {
+                        self.walk_value(g);
+                    }
+                    self.walk_value(&arm.body);
+                    let arm_end = self.builder.current();
+                    self.builder.edge(arm_end, join);
+                }
+                self.builder.set_current(join);
+                None
+            }
+            Expr::Loop { body, .. } => {
+                let head = self.builder.new_block();
+                self.builder.edge(self.builder.current(), head);
+                let after = self.builder.new_block();
+                self.builder.enter_loop(head, after);
+                self.loop_scope_marks.push(self.scopes.len());
+                self.builder.set_current(head);
+                self.walk_block(body);
+                let tail = self.builder.current();
+                self.builder.edge(tail, head);
+                self.loop_scope_marks.pop();
+                self.builder.leave_loop();
+                self.builder.set_current(after);
+                None
+            }
+            Expr::While { cond, body, .. } => {
+                let head = self.builder.new_block();
+                self.builder.edge(self.builder.current(), head);
+                self.builder.set_current(head);
+                self.walk_value(cond);
+                let (then_as, else_as) = self.cond_assumes(cond);
+                let test_end = self.builder.current();
+                let body_b = self.builder.new_block();
+                let after = self.builder.new_block();
+                // The exit assumption lives on a dedicated false-edge block:
+                // `break` jumps straight to `after` and must not inherit it.
+                let false_b = self.builder.new_block();
+                self.builder.edge(test_end, body_b);
+                self.builder.edge(test_end, false_b);
+                self.builder.edge(false_b, after);
+                self.builder.enter_loop(head, after);
+                self.loop_scope_marks.push(self.scopes.len());
+                self.builder.set_current(body_b);
+                for ev in then_as {
+                    self.push(ev);
+                }
+                self.walk_block(body);
+                let tail = self.builder.current();
+                self.builder.edge(tail, head);
+                self.loop_scope_marks.pop();
+                self.builder.leave_loop();
+                self.builder.set_current(false_b);
+                for ev in else_as {
+                    self.push(ev);
+                }
+                self.builder.set_current(after);
+                None
+            }
+            Expr::For { iter, body, .. } => {
+                self.walk_value(iter);
+                let head = self.builder.new_block();
+                self.builder.edge(self.builder.current(), head);
+                let body_b = self.builder.new_block();
+                let after = self.builder.new_block();
+                self.builder.edge(head, body_b);
+                self.builder.edge(head, after);
+                self.builder.enter_loop(head, after);
+                self.loop_scope_marks.push(self.scopes.len());
+                self.builder.set_current(body_b);
+                self.walk_block(body);
+                let tail = self.builder.current();
+                self.builder.edge(tail, head);
+                self.loop_scope_marks.pop();
+                self.builder.leave_loop();
+                self.builder.set_current(after);
+                None
+            }
+            Expr::Return { expr, line } => {
+                if let Some(e2) = expr {
+                    self.walk_value(e2);
+                    let op = self.expr_operand(e2);
+                    self.push(Event::Assign {
+                        var: "#ret".to_string(),
+                        rhs: VRhs::Operand(op),
+                        line: *line as usize,
+                    });
+                }
+                self.builder.diverge_to_exit();
+                None
+            }
+            Expr::Break { .. } => {
+                self.release_loop_scopes();
+                match self.builder.innermost_loop() {
+                    Some((_, after)) => self.builder.diverge_to(after),
+                    None => self.builder.diverge_to_exit(),
+                }
+                None
+            }
+            Expr::Continue { .. } => {
+                self.release_loop_scopes();
+                match self.builder.innermost_loop() {
+                    Some((head, _)) => self.builder.diverge_to(head),
+                    None => self.builder.diverge_to_exit(),
+                }
+                None
+            }
+            Expr::Try { expr, .. } => {
+                let inner = self.walk_expr(expr);
+                // `?` may exit early; model the error edge to the exit.
+                let cur = self.builder.current();
+                self.builder.edge(cur, self.builder.exit());
+                inner
+            }
+            Expr::Block { block, .. } => {
+                self.walk_block(block);
+                None
+            }
+            // Closure bodies run elsewhere (or lazily): inline them as a
+            // may-run branch so captured-value flow is visible to the taint
+            // and interval passes, with lock/panic/call events filtered out
+            // by [`Lowerer::push`].
+            Expr::Closure { body, .. } => {
+                let before = self.builder.current();
+                let run = self.builder.new_block();
+                self.builder.edge(before, run);
+                self.builder.set_current(run);
+                self.closure_depth += 1;
+                self.walk_value(body);
+                self.closure_depth -= 1;
+                let after = self.builder.new_block();
+                self.builder.edge(self.builder.current(), after);
+                self.builder.edge(before, after);
+                self.builder.set_current(after);
+                None
+            }
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
+                self.walk_expr(expr)
+            }
+            Expr::Field { base, .. } => {
+                self.walk_value(base);
+                None
+            }
+            Expr::Index {
+                base, index, line, ..
+            } => {
+                self.walk_value(base);
+                self.walk_value(index);
+                let args = match &**index {
+                    Expr::Range { lo, hi, .. } => {
+                        let mut ops = Vec::new();
+                        if let Some(l) = lo {
+                            ops.push(self.expr_operand(l));
+                        }
+                        if let Some(h) = hi {
+                            ops.push(self.expr_operand(h));
+                        }
+                        ops
+                    }
+                    other => vec![self.expr_operand(other)],
+                };
+                if !args.is_empty() {
+                    self.sink(SinkKind::Index, args, *line as usize);
+                }
+                None
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                self.walk_value(lhs);
+                self.walk_value(rhs);
+                let line = *line as usize;
+                match op.as_str() {
+                    "/" | "%" => {
+                        let rop = self.expr_operand(rhs);
+                        self.sink(SinkKind::Div, vec![rop], line);
+                    }
+                    "+" | "-" | "*" | "<<" => {
+                        let lop = self.expr_operand(lhs);
+                        let rop = self.expr_operand(rhs);
+                        self.sink(SinkKind::Arith(op.clone()), vec![lop, rop], line);
+                    }
+                    "=" => {
+                        if let Some(v) = simple_var(lhs) {
+                            let rop = self.expr_operand(rhs);
+                            self.push(Event::Assign {
+                                var: v,
+                                rhs: VRhs::Operand(rop),
+                                line,
+                            });
+                        }
+                    }
+                    "+=" | "-=" | "*=" | "<<=" | "/=" | "%=" => {
+                        let base = op.trim_end_matches('=').to_string();
+                        let rop = self.expr_operand(rhs);
+                        if base == "/" || base == "%" {
+                            self.sink(SinkKind::Div, vec![rop.clone()], line);
+                        } else if let Some(v) = simple_var(lhs) {
+                            self.sink(
+                                SinkKind::Arith(base.clone()),
+                                vec![Operand::Var(v), rop.clone()],
+                                line,
+                            );
+                        }
+                        if let Some(v) = simple_var(lhs) {
+                            self.push(Event::Assign {
+                                var: v.clone(),
+                                rhs: VRhs::Binary {
+                                    op: base,
+                                    lhs: Operand::Var(v),
+                                    rhs: rop,
+                                },
+                                line,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                None
+            }
+            Expr::StructLit { fields, .. } => {
+                for (_, v) in fields {
+                    self.walk_value(v);
+                }
+                None
+            }
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                for v in elems {
+                    self.walk_value(v);
+                }
+                None
+            }
+            Expr::Range { lo, hi, .. } => {
+                if let Some(l) = lo {
+                    self.walk_value(l);
+                }
+                if let Some(h) = hi {
+                    self.walk_value(h);
+                }
+                None
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => None,
+        }
+    }
+
+    fn sink(&mut self, kind: SinkKind, args: Vec<Operand>, line: usize) {
+        self.push(Event::Sink { kind, args, line });
+    }
+
+    /// `&x` passed to a call may be `&mut x` under the hood (the parser does
+    /// not keep the distinction): forget everything known about `x`. Losing
+    /// information here rounds toward silence for both analyses.
+    fn havoc_ref_args(&mut self, args: &[Expr]) {
+        for a in args {
+            if let Expr::Ref { expr, line } = a {
+                if let Some(v) = simple_var(expr) {
+                    self.push(Event::Assign {
+                        var: v,
+                        rhs: VRhs::Opaque,
+                        line: *line as usize,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Parameter-sink plumbing: each simple argument of a resolved workspace
+    /// call is recorded so the taint pass can match it against the callee's
+    /// parameter-sink summary.
+    fn call_arg_sinks(&mut self, idxs: &[usize], args: &[Expr], line: usize) {
+        for (j, a) in args.iter().enumerate() {
+            let op = self.expr_operand(a);
+            if !matches!(op, Operand::Var(_)) {
+                continue;
+            }
+            for &i in idxs {
+                self.sink(
+                    SinkKind::CallArg {
+                        callee: i,
+                        index: j,
+                    },
+                    vec![op.clone()],
+                    line,
+                );
+            }
+        }
+    }
+
+    /// Does the raw source line of a two-argument `vec!` contain the `;` of
+    /// the repeat form? Distinguishes `vec![elem; n]` from `vec![a, b]`.
+    fn line_has_repeat_semi(&self, line: usize) -> bool {
+        let raw = &self.ws.files()[self.fi.file].masked.raw_lines;
+        raw.get(line.saturating_sub(1))
+            .map(|l| {
+                l.find("vec!")
+                    .map(|pos| l[pos..].contains(';'))
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Branch-refined comparison facts of a condition: `(then-arm facts,
+    /// else-arm facts)`. Both sides of a comparison contribute when they are
+    /// tracked variables; `&&` strengthens only the then-arm, `||` only the
+    /// else-arm, `!` swaps.
+    fn cond_assumes(&mut self, e: &Expr) -> (Vec<Event>, Vec<Event>) {
+        match e {
+            Expr::Binary { op, lhs, rhs, .. } => match op.as_str() {
+                "&&" => {
+                    let (mut a_then, _) = self.cond_assumes(lhs);
+                    let (b_then, _) = self.cond_assumes(rhs);
+                    a_then.extend(b_then);
+                    (a_then, Vec::new())
+                }
+                "||" => {
+                    let (_, mut a_else) = self.cond_assumes(lhs);
+                    let (b_else, _) = (self.cond_assumes(rhs).1, ());
+                    let mut a = a_else.split_off(0);
+                    a.extend(b_else);
+                    (Vec::new(), a)
+                }
+                "<" | "<=" | ">" | ">=" | "==" | "!=" => {
+                    let cmp = match op.as_str() {
+                        "<" => CmpOp::Lt,
+                        "<=" => CmpOp::Le,
+                        ">" => CmpOp::Gt,
+                        ">=" => CmpOp::Ge,
+                        "==" => CmpOp::Eq,
+                        _ => CmpOp::Ne,
+                    };
+                    let lop = self.expr_operand(lhs);
+                    let rop = self.expr_operand(rhs);
+                    let mut then_e = Vec::new();
+                    let mut else_e = Vec::new();
+                    if let Operand::Var(v) = &lop {
+                        then_e.push(Event::Assume {
+                            var: v.clone(),
+                            op: cmp,
+                            bound: rop.clone(),
+                        });
+                        else_e.push(Event::Assume {
+                            var: v.clone(),
+                            op: cmp.negate(),
+                            bound: rop.clone(),
+                        });
+                    }
+                    if let Operand::Var(v) = &rop {
+                        then_e.push(Event::Assume {
+                            var: v.clone(),
+                            op: cmp.flip(),
+                            bound: lop.clone(),
+                        });
+                        else_e.push(Event::Assume {
+                            var: v.clone(),
+                            op: cmp.flip().negate(),
+                            bound: lop,
+                        });
+                    }
+                    (then_e, else_e)
+                }
+                _ => (Vec::new(), Vec::new()),
+            },
+            Expr::Unary { op: '!', expr, .. } => {
+                let (t, f) = self.cond_assumes(expr);
+                (f, t)
+            }
+            _ => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Abstract an expression to an [`Operand`], materializing compound
+    /// sub-expressions as `#vN` temporaries so their [`VRhs`] structure
+    /// survives into the event stream.
+    fn expr_operand(&mut self, e: &Expr) -> Operand {
+        match e {
+            Expr::Lit { kind, text, .. } if matches!(kind, LitKind::Int | LitKind::Float) => {
+                parse_num(text)
+                    .map(Operand::num)
+                    .unwrap_or(Operand::Unknown)
+            }
+            Expr::Lit { .. } => Operand::Unknown,
+            Expr::Path { segs, .. } if segs.len() == 1 => match self.consts.get(&segs[0]) {
+                Some(v) => Operand::num(*v),
+                None => Operand::Var(segs[0].clone()),
+            },
+            Expr::Path { segs, .. } => self
+                .const_of_path(segs)
+                .map(Operand::num)
+                .unwrap_or(Operand::Unknown),
+            Expr::Cast { expr, .. } | Expr::Try { expr, .. } | Expr::Ref { expr, .. } => {
+                self.expr_operand(expr)
+            }
+            Expr::Unary { op: '-', expr, .. } => match self.expr_operand(expr) {
+                Operand::Const(bits) => Operand::num(-f64::from_bits(bits)),
+                _ => Operand::Unknown,
+            },
+            Expr::Unary { op: '*', expr, .. } => self.expr_operand(expr),
+            Expr::Unary { .. } => Operand::Unknown,
+            _ => {
+                let rhs = self.rvalue_of(e);
+                match rhs {
+                    VRhs::Opaque => Operand::Unknown,
+                    VRhs::Operand(op) => op,
+                    other => {
+                        let v = self.fresh_val();
+                        self.push(Event::Assign {
+                            var: v.clone(),
+                            rhs: other,
+                            line: e.line() as usize,
+                        });
+                        Operand::Var(v)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Abstract the right-hand side of an assignment.
+    fn rvalue_of(&mut self, e: &Expr) -> VRhs {
+        match e {
+            Expr::Lit { .. }
+            | Expr::Path { .. }
+            | Expr::Cast { .. }
+            | Expr::Try { .. }
+            | Expr::Ref { .. }
+            | Expr::Unary { .. } => VRhs::Operand(self.expr_operand(e)),
+            Expr::Binary { op, lhs, rhs, .. } => match op.as_str() {
+                "+" | "-" | "*" | "/" | "%" | "<<" | ">>" | "&" | "|" | "^" => {
+                    let lop = self.expr_operand(lhs);
+                    let rop = self.expr_operand(rhs);
+                    if let (Some(a), Some(b)) = (lop.value(), rop.value()) {
+                        if let Some(v) = fold_binary(op, a, b) {
+                            return VRhs::Operand(Operand::num(v));
+                        }
+                    }
+                    VRhs::Binary {
+                        op: op.clone(),
+                        lhs: lop,
+                        rhs: rop,
+                    }
+                }
+                _ => VRhs::Opaque,
+            },
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
+                let recv_op = self.expr_operand(recv);
+                match method.as_str() {
+                    "clamp" if args.len() == 2 => VRhs::Clamp {
+                        arg: recv_op,
+                        lo: self.expr_operand(&args[0]),
+                        hi: self.expr_operand(&args[1]),
+                    },
+                    "min" if args.len() == 1 => VRhs::Min {
+                        lhs: recv_op,
+                        rhs: self.expr_operand(&args[0]),
+                    },
+                    "max" if args.len() == 1 => VRhs::Max {
+                        lhs: recv_op,
+                        rhs: self.expr_operand(&args[0]),
+                    },
+                    "len" if args.is_empty() => VRhs::Len { of: recv_op },
+                    m if m.starts_with("saturating_")
+                        || m.starts_with("checked_")
+                        || m.starts_with("wrapping_")
+                        || m.starts_with("overflowing_") =>
+                    {
+                        let mut ops = vec![recv_op];
+                        for a in args {
+                            ops.push(self.expr_operand(a));
+                        }
+                        VRhs::GuardedArith { args: ops }
+                    }
+                    // Value-preserving adapters: the result *is* (one of)
+                    // the operands.
+                    "unwrap" | "expect" | "ok" | "cloned" | "copied" | "clone" | "borrow"
+                    | "as_ref" | "as_mut" | "by_ref" | "into" | "to_owned" => VRhs::Adapter {
+                        args: vec![recv_op],
+                        values: true,
+                    },
+                    "unwrap_or" if args.len() == 1 => VRhs::Adapter {
+                        args: vec![recv_op, self.expr_operand(&args[0])],
+                        values: true,
+                    },
+                    "unwrap_or_else" | "unwrap_or_default" => VRhs::Adapter {
+                        args: vec![recv_op],
+                        values: true,
+                    },
+                    // Everything else: taint flows from the receiver, the
+                    // numeric value does not (`parse`, `trim`, iterators…).
+                    _ => VRhs::Adapter {
+                        args: vec![recv_op],
+                        values: false,
+                    },
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                let Expr::Path { segs, .. } = &**callee else {
+                    return VRhs::Opaque;
+                };
+                let last = segs.last().map(String::as_str).unwrap_or("");
+                let penult = penult_of(segs);
+                if let Some((what, int, range)) = self.source_of(last, penult) {
+                    return VRhs::Source { what, int, range };
+                }
+                if last == "try_from" && args.len() == 1 {
+                    let range = int_type_range(penult).map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+                    return VRhs::TryFrom {
+                        arg: self.expr_operand(&args[0]),
+                        range,
+                    };
+                }
+                if (last == "min" || last == "max") && penult == "cmp" && args.len() == 2 {
+                    let lhs = self.expr_operand(&args[0]);
+                    let rhs = self.expr_operand(&args[1]);
+                    return if last == "min" {
+                        VRhs::Min { lhs, rhs }
+                    } else {
+                        VRhs::Max { lhs, rhs }
+                    };
+                }
+                if matches!(last, "Ok" | "Some" | "Err")
+                    || (last == "new" && matches!(penult, "Box" | "Arc" | "Rc"))
+                {
+                    let ops = args.iter().map(|a| self.expr_operand(a)).collect();
+                    return VRhs::Adapter {
+                        args: ops,
+                        values: true,
+                    };
+                }
+                if let Some(idxs) = self.resolve_call(segs) {
+                    if let Some(&i) = idxs.first() {
+                        return VRhs::Call { callee: i };
+                    }
+                }
+                // External call: taint may flow through from the arguments
+                // (`usize::from_str_radix(s, 10)`), values do not.
+                let ops = args.iter().map(|a| self.expr_operand(a)).collect();
+                VRhs::Adapter {
+                    args: ops,
+                    values: false,
+                }
+            }
+            // Reading out of a tainted buffer yields tainted data.
+            Expr::Index { base, .. } | Expr::Field { base, .. } => {
+                let op = self.expr_operand(base);
+                VRhs::Adapter {
+                    args: vec![op],
+                    values: false,
+                }
+            }
+            _ => VRhs::Opaque,
+        }
+    }
+
+    /// Taint sources: wire-decoded integers in the serving crate, env vars
+    /// anywhere, file reads in the ETL crate.
+    fn source_of(
+        &self,
+        last: &str,
+        penult: &str,
+    ) -> Option<(&'static str, bool, Option<(u64, u64)>)> {
+        if matches!(last, "from_le_bytes" | "from_be_bytes" | "from_ne_bytes")
+            && self.fi.krate == "rockserve"
+        {
+            let range = int_type_range(penult).map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+            return Some(("wire bytes", true, range));
+        }
+        if last == "var" && penult == "env" {
+            return Some(("env var", false, None));
+        }
+        if matches!(last, "read" | "read_to_string")
+            && penult == "fs"
+            && self.fi.krate == "pipeline"
+        {
+            return Some(("file read", false, None));
+        }
+        None
+    }
+
+    /// Workspace or std associated constants reached by a multi-segment path
+    /// (`u32::MAX`, `proto::MAX_PAYLOAD_BYTES`).
+    fn const_of_path(&self, segs: &[String]) -> Option<f64> {
+        let last = segs.last()?;
+        let penult = penult_of(segs);
+        if let Some((lo, hi)) = int_type_range(penult) {
+            match last.as_str() {
+                "MAX" => return Some(hi),
+                "MIN" => return Some(lo),
+                _ => {}
+            }
+        }
+        self.consts.get(last.as_str()).copied()
+    }
+
+    /// A panic event — unless a justified panic-family `rhlint:allow` on the
+    /// site vouches that it cannot fire.
+    fn push_panic(&mut self, what: String, line: usize) {
+        let masked = &self.ws.files()[self.fi.file].masked;
+        let allowed = rules::allowed_rules_at(masked, line);
+        let vouched = allowed.iter().any(|r| {
+            matches!(
+                r,
+                Rule::Unwrap | Rule::Expect | Rule::Panic | Rule::PanicUnderLock
+            )
+        });
+        if !vouched {
+            self.push(Event::Panic { what, line });
+        }
+    }
+
+    /// On `break`/`continue`, guards scoped inside the loop die before the
+    /// jump (their scopes unwind), even though the scopes stay open for the
+    /// fallthrough path.
+    fn release_loop_scopes(&mut self) {
+        let depth = self.loop_scope_marks.last().copied().unwrap_or(0);
+        let guards: Vec<String> = self.scopes.iter().skip(depth).flatten().cloned().collect();
+        for guard in guards.into_iter().rev() {
+            self.push(Event::Release { guard });
+        }
+    }
+
+    /// Stable identity for the lock behind a `.lock()`/`.read()`/`.write()`
+    /// receiver: `Type.field` when the receiver is a field access,
+    /// `krate::var` for locals/statics.
+    fn lock_key(&self, recv: &Expr) -> String {
+        match recv {
+            Expr::Field { base, name, .. } => {
+                let base_head = self
+                    .infer_text(base)
+                    .and_then(|t| peel_head(&t))
+                    .unwrap_or_else(|| "?".to_string());
+                format!("{base_head}.{name}")
+            }
+            Expr::Path { segs, .. } if segs.len() == 1 => {
+                format!("{}::{}", self.fi.krate, segs[0])
+            }
+            Expr::Path { segs, .. } => segs.join("::"),
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } => self.lock_key(expr),
+            _ => format!("{}::<anon>", self.fi.krate),
+        }
+    }
+
+    /// Best-effort type TEXT of an expression (full generics preserved, so
+    /// `Mutex<...>` / `RwLock<...>` / `JoinHandle<...>` checks see through
+    /// wrappers like `Arc<...>` via [`peel_head`] at lookup sites).
+    fn infer_text(&self, e: &Expr) -> Option<String> {
+        infer_type_text(self.ws, &self.env, e)
+    }
+
+    fn resolve_call(&self, segs: &[String]) -> Option<Vec<usize>> {
+        let mut segs = segs.to_vec();
+        if segs.first().map(String::as_str) == Some("Self") {
+            if let Some(ty) = &self.fi.self_ty {
+                segs[0] = ty.clone();
+            }
+        }
+        match self.ws.resolve(&self.fi.krate, &self.fi.module, &segs) {
+            Target::Fns(idxs) => Some(idxs),
+            _ => None,
+        }
+    }
+
+    fn link_method(&mut self, recv: &Expr, method: &str, args: &[Expr], line: usize) {
+        let ty = self.infer_text(recv).and_then(|t| peel_head(&t));
+        if let Some(t) = ty {
+            let idxs = self.ws.methods_of(&t, method);
+            if !idxs.is_empty() {
+                for i in &idxs {
+                    self.calls.insert(*i);
+                    self.push(Event::Call { callee: *i, line });
+                }
+                self.call_arg_sinks(&idxs, args, line);
+                return;
+            }
+        }
+        // Unknown receiver: link only when the name is unique workspace-wide
+        // (the call graph's under-approximation stance).
+        let named = self.ws.methods_named(method);
+        if named.len() == 1 {
+            let i = named[0];
+            self.calls.insert(i);
+            self.push(Event::Call { callee: i, line });
+            self.call_arg_sinks(&[i], args, line);
+        }
+    }
+}
+
+/// The single-identifier variable behind an lvalue/ref expression, if any.
+fn simple_var(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => Some(segs[0].clone()),
+        Expr::Unary { op: '*', expr, .. } => simple_var(expr),
+        _ => None,
+    }
+}
+
+fn penult_of(segs: &[String]) -> &str {
+    segs.len()
+        .checked_sub(2)
+        .map(|i| segs[i].as_str())
+        .unwrap_or("")
+}
+
+/// `Knob::MaxPartitionBytes`-shaped first argument of a `set` call.
+fn knob_of(e: &Expr) -> Option<String> {
+    if let Expr::Path { segs, .. } = e {
+        if penult_of(segs) == "Knob" {
+            return segs.last().cloned();
+        }
+    }
+    None
+}
+
+/// Value range of a primitive integer type, as `f64` endpoints. Wide types
+/// lose ULPs at the top end — irrelevant for a lint that compares against
+/// bounds orders of magnitude smaller.
+pub(crate) fn int_type_range(name: &str) -> Option<(f64, f64)> {
+    Some(match name {
+        "u8" => (0.0, u8::MAX as f64),
+        "u16" => (0.0, u16::MAX as f64),
+        "u32" => (0.0, u32::MAX as f64),
+        "u64" | "usize" | "u128" => (0.0, u64::MAX as f64),
+        "i8" => (i8::MIN as f64, i8::MAX as f64),
+        "i16" => (i16::MIN as f64, i16::MAX as f64),
+        "i32" => (i32::MIN as f64, i32::MAX as f64),
+        "i64" | "isize" | "i128" => (i64::MIN as f64, i64::MAX as f64),
+        _ => return None,
+    })
+}
+
+/// Parse an integer/float literal token (underscores, `0x`/`0o`/`0b`
+/// prefixes, and type suffixes tolerated).
+pub(crate) fn parse_num(text: &str) -> Option<f64> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    for (prefix, radix) in [("0x", 16u32), ("0o", 8), ("0b", 2)] {
+        if let Some(rest) = t.strip_prefix(prefix) {
+            let digits: String = rest.chars().take_while(|c| c.is_digit(radix)).collect();
+            return u128::from_str_radix(&digits, radix).ok().map(|v| v as f64);
+        }
+    }
+    if let Ok(v) = t.parse::<f64>() {
+        return Some(v);
+    }
+    for suffix in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        "f64", "f32",
+    ] {
+        if let Some(head) = t.strip_suffix(suffix) {
+            return head.parse::<f64>().ok();
+        }
+    }
+    None
+}
+
+/// Fold constant binary arithmetic. Shift counts are exact small integers in
+/// this workspace (`1 << 20`), so `f64` powers are precise.
+pub(crate) fn fold_binary(op: &str, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        "+" => a + b,
+        "-" => a - b,
+        "*" => a * b,
+        "/" => {
+            if b == 0.0 {
+                return None;
+            }
+            a / b
+        }
+        "%" => {
+            if b == 0.0 {
+                return None;
+            }
+            a % b
+        }
+        "<<" => {
+            if !(0.0..=63.0).contains(&b) || b.fract() != 0.0 {
+                return None;
+            }
+            a * 2f64.powi(b as i32)
+        }
+        ">>" => {
+            if !(0.0..=63.0).contains(&b) || b.fract() != 0.0 {
+                return None;
+            }
+            (a / 2f64.powi(b as i32)).trunc()
+        }
+        _ => return None,
+    })
+}
+
+/// Evaluate a constant initializer expression against already-known consts.
+pub(crate) fn const_eval(e: &Expr, consts: &BTreeMap<String, f64>) -> Option<f64> {
+    match e {
+        Expr::Lit { kind, text, .. } if matches!(kind, LitKind::Int | LitKind::Float) => {
+            parse_num(text)
+        }
+        Expr::Path { segs, .. } => {
+            let last = segs.last()?;
+            if let Some((lo, hi)) = int_type_range(penult_of(segs)) {
+                match last.as_str() {
+                    "MAX" => return Some(hi),
+                    "MIN" => return Some(lo),
+                    _ => {}
+                }
+            }
+            consts.get(last.as_str()).copied()
+        }
+        Expr::Unary { op: '-', expr, .. } => const_eval(expr, consts).map(|v| -v),
+        Expr::Cast { expr, .. } => const_eval(expr, consts),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = const_eval(lhs, consts)?;
+            let b = const_eval(rhs, consts)?;
+            fold_binary(op, a, b)
+        }
+        _ => None,
+    }
+}
+
+/// Workspace-wide `const`/`static` numeric values by bare name. A name bound
+/// to two different values anywhere in the workspace is dropped (poisoned)
+/// rather than guessed at.
+pub(crate) fn const_map(ws: &Workspace) -> BTreeMap<String, f64> {
+    let mut inits: Vec<(String, Expr)> = Vec::new();
+    for file in ws.files() {
+        collect_const_inits(&file.ast.items, &mut inits);
+    }
+    let mut consts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut poisoned: BTreeSet<String> = BTreeSet::new();
+    // Constants may reference each other (`MAX_PAYLOAD = MIB`); a few rounds
+    // resolve any realistic chain.
+    for _ in 0..3 {
+        for (name, init) in &inits {
+            if poisoned.contains(name) {
+                continue;
+            }
+            if let Some(v) = const_eval(init, &consts) {
+                if let Some(prev) = consts.get(name) {
+                    if *prev != v {
+                        poisoned.insert(name.clone());
+                        consts.remove(name);
+                    }
+                } else {
+                    consts.insert(name.clone(), v);
+                }
+            }
+        }
+    }
+    consts
+}
+
+fn collect_const_inits(items: &[Item], out: &mut Vec<(String, Expr)>) {
+    for item in items {
+        if item.cfg_test {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Const {
+                init: Some(init), ..
+            }
+            | ItemKind::Static {
+                init: Some(init), ..
+            } => {
+                out.push((item.name.clone(), init.clone()));
+            }
+            ItemKind::Mod {
+                inline: Some(items),
+            } => collect_const_inits(items, out),
+            ItemKind::Impl(imp) => collect_const_inits(&imp.items, out),
+            ItemKind::Trait { items } => collect_const_inits(items, out),
+            _ => {}
+        }
+    }
+}
+
+/// Best-effort type text of `e` given `env` (name → type text). Field types
+/// come from the workspace symbol table; `Arc`/`Box`/`&` wrappers are peeled
+/// at each hop.
+pub(crate) fn infer_type_text(
+    ws: &Workspace,
+    env: &BTreeMap<String, String>,
+    e: &Expr,
+) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => env.get(&segs[0]).cloned(),
+        Expr::Field { base, name, .. } => {
+            let base_text = infer_type_text(ws, env, base)?;
+            let head = peel_head(&base_text)?;
+            ws.field_type(&head, name).map(|t| t.text.clone())
+        }
+        Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+            infer_type_text(ws, env, expr)
+        }
+        Expr::MethodCall { recv, method, .. }
+            if matches!(method.as_str(), "clone" | "as_ref" | "as_mut" | "borrow") =>
+        {
+            infer_type_text(ws, env, recv)
+        }
+        Expr::Cast { ty, .. } => Some(ty.text.clone()),
+        _ => None,
+    }
+}
+
+/// Head identifier of a type text after stripping references, `mut`, and
+/// transparent wrappers (`Arc<T>` → `T`'s head, etc.).
+pub(crate) fn peel_head(text: &str) -> Option<String> {
+    let mut t = text.trim();
+    loop {
+        t = t
+            .trim_start_matches('&')
+            .trim_start_matches("'static")
+            .trim_start();
+        t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+        let ident: String = t
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident.is_empty() {
+            return None;
+        }
+        let rest = &t[ident.len()..];
+        if matches!(ident.as_str(), "Arc" | "Rc" | "Box" | "RefCell" | "Cell")
+            && rest.trim_start().starts_with('<')
+        {
+            // Only the head matters, so dropping into the `<...>` body and
+            // re-reading the next identifier is enough — the trailing `>`
+            // never parses as part of an identifier.
+            t = &rest.trim_start()[1..];
+            continue;
+        }
+        return Some(ident);
+    }
+}
+
+/// Does this function hand a live guard back to its caller?
+pub(crate) fn returns_guard(fi: &FnInfo) -> bool {
+    fi.item
+        .ret
+        .as_ref()
+        .map(|t| t.text.contains("Guard"))
+        .unwrap_or(false)
+}
+
+/// Blocking method calls: channel receives, argument-less `join()`
+/// (`JoinHandle`), condvar waits, listener `accept()`, and bulk socket I/O.
+pub(crate) fn blocking_method(method: &str, n_args: usize) -> Option<String> {
+    let what = match method {
+        "recv" | "recv_timeout" | "recv_deadline" => method,
+        "join" | "accept" if n_args == 0 => method,
+        "wait" | "wait_timeout" | "wait_while" => method,
+        "read_exact" | "write_all" | "read_to_end" | "read_to_string" => method,
+        _ => return None,
+    };
+    Some(format!(".{what}()"))
+}
+
+/// Blocking free-function paths: `thread::sleep`, `TcpStream::connect`.
+pub(crate) fn blocking_path(segs: &[String]) -> Option<String> {
+    let last = segs.last().map(String::as_str).unwrap_or("");
+    let penult = penult_of(segs);
+    if last == "sleep" && (penult == "thread" || segs.len() == 1) {
+        return Some("thread::sleep".to_string());
+    }
+    if last == "connect" && penult == "TcpStream" {
+        return Some("TcpStream::connect".to_string());
+    }
+    None
+}
+
+pub(crate) fn qualified_name(fi: &FnInfo) -> String {
+    match &fi.self_ty {
+        Some(ty) => format!("{}::{}::{}", fi.krate, ty, fi.name),
+        None => format!("{}::{}", fi.krate, fi.name),
+    }
+}
+
+/// `self` + parameter types only — enough to type `self.field` chains, which
+/// is where long-lived state lives.
+pub(crate) fn param_env(fi: &FnInfo) -> BTreeMap<String, String> {
+    let mut env = BTreeMap::new();
+    if let Some(ty) = &fi.self_ty {
+        env.insert("self".to_string(), ty.clone());
+    }
+    for (name, ty) in &fi.item.params {
+        if !name.is_empty() && !ty.text.is_empty() {
+            env.insert(name.clone(), ty.text.clone());
+        }
+    }
+    env
+}
+
+// ---------------------------------------------------------------------------
+// Whole-body expression walkers (closures included)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn for_each_expr_in_block(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    for_each_expr(e, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => for_each_expr(expr, f),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+pub(crate) fn for_each_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Call { callee, args, .. } => {
+            for_each_expr(callee, f);
+            for a in args {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            for_each_expr(recv, f);
+            for a in args {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => for_each_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            for_each_expr(base, f);
+            for_each_expr(index, f);
+        }
+        Expr::Cast { expr, .. }
+        | Expr::Unary { expr, .. }
+        | Expr::Try { expr, .. }
+        | Expr::Ref { expr, .. }
+        | Expr::Closure { body: expr, .. } => for_each_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            for_each_expr(lhs, f);
+            for_each_expr(rhs, f);
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                for_each_expr(v, f);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            for_each_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    for_each_expr(g, f);
+                }
+                for_each_expr(&arm.body, f);
+            }
+        }
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            for_each_expr(cond, f);
+            for_each_expr_in_block(then, f);
+            if let Some(e2) = else_ {
+                for_each_expr(e2, f);
+            }
+        }
+        Expr::Loop { body, .. } => for_each_expr_in_block(body, f),
+        Expr::While { cond, body, .. } => {
+            for_each_expr(cond, f);
+            for_each_expr_in_block(body, f);
+        }
+        Expr::For { iter, body, .. } => {
+            for_each_expr(iter, f);
+            for_each_expr_in_block(body, f);
+        }
+        Expr::Block { block, .. } => for_each_expr_in_block(block, f),
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for a in elems {
+                for_each_expr(a, f);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(l) = lo {
+                for_each_expr(l, f);
+            }
+            if let Some(h) = hi {
+                for_each_expr(h, f);
+            }
+        }
+        Expr::Return { expr, .. } => {
+            if let Some(e2) = expr {
+                for_each_expr(e2, f);
+            }
+        }
+        Expr::Path { .. }
+        | Expr::Lit { .. }
+        | Expr::Break { .. }
+        | Expr::Continue { .. }
+        | Expr::Opaque { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_num_handles_suffixes_and_radixes() {
+        assert_eq!(parse_num("42"), Some(42.0));
+        assert_eq!(parse_num("0u8"), Some(0.0));
+        assert_eq!(parse_num("1_024usize"), Some(1024.0));
+        assert_eq!(parse_num("0x20"), Some(32.0));
+        assert_eq!(parse_num("128.0"), Some(128.0));
+        assert_eq!(parse_num("2.5f64"), Some(2.5));
+        assert_eq!(parse_num("abc"), None);
+    }
+
+    #[test]
+    fn fold_binary_shifts_exactly() {
+        assert_eq!(fold_binary("<<", 1.0, 20.0), Some(1048576.0));
+        assert_eq!(fold_binary("/", 1.0, 0.0), None);
+        assert_eq!(fold_binary("<<", 1.0, 64.0), None);
+    }
+
+    #[test]
+    fn peel_head_sees_through_wrappers() {
+        assert_eq!(peel_head("&Arc<Mutex<T>>"), Some("Mutex".to_string()));
+        assert_eq!(peel_head("mut Vec<u8>"), Some("Vec".to_string()));
+        assert_eq!(peel_head(""), None);
+    }
+}

@@ -1,10 +1,16 @@
 //! `cargo run -p rhlint -- check [root] [--format text|json|sarif]`
 //!
-//! Exit status: 0 when clean, 1 on violations, 2 on usage/engine errors
-//! (unreadable workspace, bad flags) — CI can distinguish "found problems"
-//! from "could not run". JSON and SARIF output are byte-stable across runs:
-//! sorted diagnostics, no timing data. The text summary reports wall-time,
-//! which is why timing never appears in the machine-readable formats.
+//! Also: `rhlint rules` (the catalog), `rhlint explain <rule>` (rationale,
+//! example, fix for one rule), and `rhlint fix --stale-allows [root]
+//! [--write]` (mechanically delete RH025 stale suppressions; dry run by
+//! default).
+//!
+//! Exit status: 0 when clean, 1 on violations (for `fix`: pending fixes in a
+//! dry run), 2 on usage/engine errors (unreadable workspace, bad flags,
+//! unknown rule) — CI can distinguish "found problems" from "could not run".
+//! JSON and SARIF output are byte-stable across runs: sorted diagnostics, no
+//! timing data. The text summary reports wall-time, which is why timing
+//! never appears in the machine-readable formats.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,7 +42,81 @@ fn main() -> ExitCode {
                     rule.doc()
                 );
             }
+            println!();
+            println!("run `rhlint explain <rule>` for the rationale, an example violation, and the sanctioned fix");
             ExitCode::SUCCESS
+        }
+        "explain" => {
+            let [rule_arg] = rest else {
+                return usage();
+            };
+            let Some(rule) = rhlint::Rule::from_id(rule_arg) else {
+                eprintln!("rhlint: unknown rule `{rule_arg}` — `rhlint rules` lists the catalog");
+                return ExitCode::from(2);
+            };
+            let e = rule.explain();
+            println!("{}  {} [{}]", rule.code(), rule.id(), rule.family());
+            println!("{}", rule.doc());
+            println!();
+            println!("why:");
+            println!("  {}", e.rationale);
+            println!();
+            println!("example violation:");
+            for line in e.example.lines() {
+                println!("  {line}");
+            }
+            println!();
+            println!("fix:");
+            println!("  {}", e.fix);
+            ExitCode::SUCCESS
+        }
+        "fix" => {
+            let mut root = None;
+            let mut stale_allows = false;
+            let mut write = false;
+            for arg in rest {
+                match arg.as_str() {
+                    "--stale-allows" => stale_allows = true,
+                    "--write" => write = true,
+                    _ if root.is_none() && !arg.starts_with('-') => {
+                        root = Some(PathBuf::from(arg));
+                    }
+                    _ => return usage(),
+                }
+            }
+            if !stale_allows {
+                return usage();
+            }
+            let root = root.unwrap_or_else(find_workspace_root);
+            match rhlint::fix_stale_allows(&root, write) {
+                Ok(report) => {
+                    for (file, line) in &report.removed {
+                        println!(
+                            "{}: {}:{}: stale rhlint:allow",
+                            if report.written { "fixed" } else { "would fix" },
+                            file.display(),
+                            line
+                        );
+                    }
+                    if report.removed.is_empty() {
+                        println!("rhlint: no stale allows");
+                        ExitCode::SUCCESS
+                    } else if report.written {
+                        println!("rhlint: removed {} stale allow(s)", report.removed.len());
+                        ExitCode::SUCCESS
+                    } else {
+                        println!(
+                            "rhlint: {} stale allow(s) pending — rerun with --write to apply",
+                            report.removed.len()
+                        );
+                        ExitCode::from(1)
+                    }
+                }
+                Err(err) => {
+                    eprintln!("{err}");
+                    ExitCode::from(2)
+                }
+            }
         }
         "check" => {
             let mut root = None;
@@ -92,7 +172,12 @@ fn run(root: PathBuf, format: Format) -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rhlint check [workspace-root] [--format text|json|sarif] | rhlint rules");
+    eprintln!(
+        "usage: rhlint check [workspace-root] [--format text|json|sarif]\n\
+         \x20      rhlint rules\n\
+         \x20      rhlint explain <rule-id-or-RH-code>\n\
+         \x20      rhlint fix --stale-allows [workspace-root] [--write]"
+    );
     ExitCode::from(2)
 }
 

@@ -1,0 +1,600 @@
+//! Untrusted-input taint analysis — RH026/RH027/RH029/RH030.
+//!
+//! A taint lattice over the locals of every lowered function
+//! ([`crate::lower`]): each variable carries the set of untrusted *sources*
+//! that may have produced it, plus three sanitizer flags. Sources are the
+//! workspace's three trust boundaries:
+//!
+//! * **wire bytes** — integers decoded with `from_le_bytes` & friends in
+//!   `rockserve` (the length/version words of the frame protocol);
+//! * **env var** — `env::var(..)` anywhere in a scoped crate;
+//! * **file read** — `fs::read`/`fs::read_to_string` in `pipeline` (the ETL
+//!   input path).
+//!
+//! Sanitizers clear the corresponding hazard without clearing the taint:
+//!
+//! * a dominating comparison against an untrusted-free bound (`if len >
+//!   MAX_PAYLOAD_BYTES { return }` — the lowerer places the negated fact on
+//!   the fall-through arm) sets `bounded`;
+//! * bounded conversions (`u16::try_from(x)?`), `clamp`/`min` against an
+//!   untrusted-free cap, and checked/saturating arithmetic set `bounded`;
+//! * `x != 0` / `x > 0` guards and `x.max(1)`-style floors set `nonzero`.
+//!
+//! Sinks come pre-lowered as [`Event::Sink`]: allocations sized by a value
+//! (RH026 when tainted and unbounded), slice indexing (RH027), raw `+ - *
+//! <<` arithmetic (RH029 when the taint is integer-typed), and `/`/`%`
+//! divisors (RH030 when not proven non-zero — the interval pass's
+//! zero-exclusion evidence is consulted too, so `x % n` after
+//! `let n = v.clamp(1, 64)` stays silent).
+//!
+//! Interprocedural flow uses two summaries, refined over a few rounds like
+//! `locks::summarize`: per-function *return taint* (real sources reaching
+//! `#ret`) and *parameter sinks* (parameters that flow into a sink class
+//! with no dominating sanitizer — pseudo-sources `param#i` seeded at
+//! entry). A call with a really-tainted argument in a parameter-sink
+//! position fires at the call site, so `read_frame` handing a raw wire
+//! length to a helper that allocates is caught one hop away.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::cfg::{CmpOp, Event, Operand, SinkKind, VRhs};
+use crate::dataflow::{forward_env, EnvLattice};
+use crate::intervals::SinkRanges;
+use crate::locks::concurrency_scoped;
+use crate::lower::FnModel;
+use crate::symbols::Workspace;
+use crate::{Diagnostic, Rule};
+
+/// Taint carried by one variable.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Taint {
+    /// Untrusted origins: `"wire bytes"`, `"env var"`, `"file read"`, or a
+    /// `"param#N"` pseudo-source used for summary building.
+    sources: BTreeSet<String>,
+    /// The value is integer-typed at its source (wire words, lengths).
+    int: bool,
+    /// A dominating bound check / bounded conversion caps the value.
+    bounded: bool,
+    /// A dominating guard proves the value non-zero.
+    nonzero: bool,
+}
+
+impl Taint {
+    fn is_tainted(&self) -> bool {
+        !self.sources.is_empty()
+    }
+
+    fn real_sources(&self) -> Vec<&str> {
+        self.sources
+            .iter()
+            .map(String::as_str)
+            .filter(|s| !s.starts_with("param#"))
+            .collect()
+    }
+
+    fn param_sources(&self) -> Vec<usize> {
+        self.sources
+            .iter()
+            .filter_map(|s| s.strip_prefix("param#").and_then(|n| n.parse().ok()))
+            .collect()
+    }
+
+    fn merge(&mut self, other: &Taint) {
+        if !other.is_tainted() {
+            return;
+        }
+        if self.is_tainted() {
+            self.sources.extend(other.sources.iter().cloned());
+            self.int |= other.int;
+            self.bounded &= other.bounded;
+            self.nonzero &= other.nonzero;
+        } else {
+            *self = other.clone();
+        }
+    }
+}
+
+type Env = BTreeMap<String, Taint>;
+
+/// The sink classes a parameter can flow into (for summaries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum SinkClass {
+    Alloc,
+    Index,
+    Div,
+    Arith,
+}
+
+impl SinkClass {
+    fn rule(self) -> Rule {
+        match self {
+            SinkClass::Alloc => Rule::UnvalidatedLengthAlloc,
+            SinkClass::Index => Rule::TaintedIndex,
+            SinkClass::Div => Rule::UntrustedDivisor,
+            SinkClass::Arith => Rule::UncheckedArithUntrusted,
+        }
+    }
+
+    fn noun(self) -> &'static str {
+        match self {
+            SinkClass::Alloc => "an allocation size",
+            SinkClass::Index => "a slice index",
+            SinkClass::Div => "a divisor",
+            SinkClass::Arith => "unchecked arithmetic",
+        }
+    }
+}
+
+/// Per-function parameter-sink summary: `(param index, sink class)`.
+type ParamSinks = BTreeSet<(usize, SinkClass)>;
+
+struct TaintLattice<'a> {
+    /// Real-source taint reaching each function's `#ret`.
+    returns: &'a [Taint],
+}
+
+impl<'a> TaintLattice<'a> {
+    fn operand(&self, env: &Env, op: &Operand) -> Taint {
+        match op {
+            Operand::Var(v) => env.get(v).cloned().unwrap_or_default(),
+            _ => Taint::default(),
+        }
+    }
+
+    /// Is this operand free of *real* taint (and therefore a trustworthy
+    /// bound)? Parameter pseudo-sources don't disqualify a bound: comparing
+    /// against `dims.len()` is a legitimate check even though `dims` came
+    /// from the caller — the caller's own summary tracks its inputs.
+    fn untrusted_free(&self, env: &Env, op: &Operand) -> bool {
+        self.operand(env, op).real_sources().is_empty()
+    }
+
+    fn eval(&self, env: &Env, rhs: &VRhs) -> Taint {
+        match rhs {
+            VRhs::Operand(op) => self.operand(env, op),
+            VRhs::Binary { op: _, lhs, rhs } => {
+                let mut t = self.operand(env, lhs);
+                t.merge(&self.operand(env, rhs));
+                // Raw arithmetic can carry a bounded value past its bound.
+                t.bounded = false;
+                t.nonzero = false;
+                t
+            }
+            VRhs::Clamp { arg, lo, hi } => {
+                let mut t = self.operand(env, arg);
+                t.merge(&self.operand(env, lo));
+                t.merge(&self.operand(env, hi));
+                if self.untrusted_free(env, hi) {
+                    t.bounded = true;
+                }
+                if let Operand::Const(bits) = lo {
+                    if f64::from_bits(*bits) > 0.0 {
+                        t.nonzero = true;
+                    }
+                }
+                t
+            }
+            VRhs::Min { lhs, rhs } => {
+                let mut t = self.operand(env, lhs);
+                t.merge(&self.operand(env, rhs));
+                // min against an untrusted-free value caps the result.
+                if self.untrusted_free(env, lhs) || self.untrusted_free(env, rhs) {
+                    t.bounded = true;
+                }
+                t
+            }
+            VRhs::Max { lhs, rhs } => {
+                let mut t = self.operand(env, lhs);
+                t.merge(&self.operand(env, rhs));
+                // `x.max(1)` floors the value above zero.
+                for op in [lhs, rhs] {
+                    if let Operand::Const(bits) = op {
+                        if f64::from_bits(*bits) > 0.0 {
+                            t.nonzero = true;
+                        }
+                    }
+                }
+                t
+            }
+            VRhs::GuardedArith { args } => {
+                let mut t = Taint::default();
+                for a in args {
+                    t.merge(&self.operand(env, a));
+                }
+                // checked_*/saturating_* cannot overflow past the type.
+                t.bounded = true;
+                t
+            }
+            VRhs::TryFrom { arg, range } => {
+                let mut t = self.operand(env, arg);
+                if range.is_some() {
+                    // A narrowing integer TryFrom is a bounds check.
+                    t.bounded = true;
+                    t.int = true;
+                }
+                t
+            }
+            VRhs::Len { of } => {
+                let mut t = self.operand(env, of);
+                if t.is_tainted() {
+                    t.int = true;
+                    t.bounded = false;
+                }
+                t
+            }
+            VRhs::Source { what, int, .. } => {
+                let mut sources = BTreeSet::new();
+                sources.insert((*what).to_string());
+                Taint {
+                    sources,
+                    int: *int,
+                    bounded: false,
+                    nonzero: false,
+                }
+            }
+            VRhs::Call { callee } => self.returns.get(*callee).cloned().unwrap_or_default(),
+            VRhs::Adapter { args, .. } => {
+                let mut t = Taint::default();
+                for a in args {
+                    t.merge(&self.operand(env, a));
+                }
+                t
+            }
+            VRhs::Opaque => Taint::default(),
+        }
+    }
+}
+
+impl<'a> EnvLattice for TaintLattice<'a> {
+    type Env = Env;
+
+    fn transfer(&self, event: &Event, env: &mut Env) {
+        match event {
+            Event::Assign { var, rhs, .. } => {
+                let t = self.eval(env, rhs);
+                if t.is_tainted() {
+                    env.insert(var.clone(), t);
+                } else {
+                    env.remove(var);
+                }
+            }
+            Event::Assume { var, op, bound } => {
+                // A comparison against a tainted bound proves nothing.
+                if !self.untrusted_free(env, bound) {
+                    return;
+                }
+                let Some(t) = env.get_mut(var) else { return };
+                match op {
+                    CmpOp::Lt | CmpOp::Le => t.bounded = true,
+                    CmpOp::Eq => match bound {
+                        // Pinned to a known constant: no longer attacker-
+                        // controlled at all.
+                        Operand::Const(_) => {
+                            env.remove(var);
+                        }
+                        _ => t.bounded = true,
+                    },
+                    CmpOp::Gt | CmpOp::Ge => {
+                        let floor = match bound {
+                            Operand::Const(bits) => f64::from_bits(*bits),
+                            _ => f64::NEG_INFINITY,
+                        };
+                        if (*op == CmpOp::Gt && floor >= 0.0) || (*op == CmpOp::Ge && floor > 0.0) {
+                            t.nonzero = true;
+                        }
+                    }
+                    CmpOp::Ne => {
+                        if matches!(bound, Operand::Const(bits) if f64::from_bits(*bits) == 0.0) {
+                            t.nonzero = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn join(&self, acc: &mut Env, incoming: &Env) {
+        for (k, t) in incoming {
+            match acc.get_mut(k) {
+                Some(cur) => cur.merge(t),
+                None => {
+                    acc.insert(k.clone(), t.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Entry environment: every parameter is a pseudo-source for the
+/// parameter-sink summary; integer-typed parameters keep the `int` flag.
+fn param_seed(ws: &Workspace, fn_idx: usize) -> Env {
+    let fi = &ws.fns()[fn_idx];
+    let mut env = Env::new();
+    for (i, (name, ty)) in fi.item.params.iter().enumerate() {
+        if name.is_empty() {
+            continue;
+        }
+        let head = ty.head_name();
+        let int = matches!(
+            head,
+            "u8" | "u16" | "u32" | "u64" | "usize" | "i8" | "i16" | "i32" | "i64" | "isize"
+        );
+        let mut sources = BTreeSet::new();
+        sources.insert(format!("param#{i}"));
+        env.insert(
+            name.clone(),
+            Taint {
+                sources,
+                int,
+                bounded: false,
+                nonzero: false,
+            },
+        );
+    }
+    env
+}
+
+/// Run the taint pass. `ranges` is the interval pass's sink-argument ranges
+/// (zero-exclusion evidence for RH030).
+pub(crate) fn check(
+    ws: &Workspace,
+    models: &[Option<FnModel>],
+    ranges: &SinkRanges,
+) -> Vec<Diagnostic> {
+    // Summary rounds: return taint (real sources only) and parameter sinks,
+    // refined together so one-hop-away helpers resolve.
+    let mut returns: Vec<Taint> = vec![Taint::default(); models.len()];
+    let mut param_sinks: Vec<ParamSinks> = vec![ParamSinks::new(); models.len()];
+    for _ in 0..3 {
+        let mut changed = false;
+        let snapshot = returns.clone();
+        for (i, model) in models.iter().enumerate() {
+            let Some(model) = model else { continue };
+            let lattice = TaintLattice { returns: &snapshot };
+            let sol = forward_env(&model.cfg, &lattice, param_seed(ws, i), Env::new());
+
+            // Return taint: real sources reaching `#ret` at the exit.
+            let mut ret = sol.block_in[model.cfg.exit]
+                .get("#ret")
+                .cloned()
+                .unwrap_or_default();
+            ret.sources.retain(|s| !s.starts_with("param#"));
+            if !ret.is_tainted() {
+                ret = Taint::default();
+            }
+            if returns[i] != ret {
+                returns[i] = ret;
+                changed = true;
+            }
+
+            // Parameter sinks: unsanitized flows from `param#N` to a sink.
+            let mut sinks = ParamSinks::new();
+            for b in 0..model.cfg.blocks.len() {
+                sol.walk_block(&model.cfg, b, &lattice, |ev, env| {
+                    let Event::Sink { kind, args, .. } = ev else {
+                        return;
+                    };
+                    for a in args {
+                        let t = lattice.operand(env, a);
+                        if !t.is_tainted() || t.bounded {
+                            continue;
+                        }
+                        for class in classes_of(kind, &param_sinks) {
+                            if class == SinkClass::Div && t.nonzero {
+                                continue;
+                            }
+                            if class == SinkClass::Arith && !t.int {
+                                continue;
+                            }
+                            for p in t.param_sources() {
+                                sinks.insert((p, class));
+                            }
+                        }
+                    }
+                });
+            }
+            if param_sinks[i] != sinks {
+                param_sinks[i] = sinks;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: real findings in scoped, non-test functions.
+    let mut found: BTreeSet<(PathBuf, usize, Rule, String)> = BTreeSet::new();
+    for (i, fi) in ws.fns().iter().enumerate() {
+        if fi.cfg_test || !concurrency_scoped(&fi.krate) {
+            continue;
+        }
+        let Some(model) = &models[i] else { continue };
+        let lattice = TaintLattice { returns: &returns };
+        let sol = forward_env(&model.cfg, &lattice, param_seed(ws, i), Env::new());
+        let rel = &ws.files()[fi.file].rel;
+        for b in 0..model.cfg.blocks.len() {
+            let mut idx = 0usize;
+            sol.walk_block(&model.cfg, b, &lattice, |ev, env| {
+                if let Event::Sink { kind, args, line } = ev {
+                    for (j, a) in args.iter().enumerate() {
+                        let t = lattice.operand(env, a);
+                        let real = t.real_sources();
+                        if real.is_empty() || t.bounded {
+                            continue;
+                        }
+                        let origin = real.join(", ");
+                        match kind {
+                            SinkKind::Alloc(what) => {
+                                found.insert((
+                                    rel.clone(),
+                                    *line,
+                                    Rule::UnvalidatedLengthAlloc,
+                                    format!(
+                                        "allocation `{what}` sized by untrusted {origin} with no dominating bound check — cap it before allocating"
+                                    ),
+                                ));
+                            }
+                            SinkKind::Index => {
+                                found.insert((
+                                    rel.clone(),
+                                    *line,
+                                    Rule::TaintedIndex,
+                                    format!(
+                                        "slice index derived from untrusted {origin} with no dominating bound check — use `.get(..)` or check the bound first"
+                                    ),
+                                ));
+                            }
+                            SinkKind::Arith(op) => {
+                                if t.int {
+                                    found.insert((
+                                        rel.clone(),
+                                        *line,
+                                        Rule::UncheckedArithUntrusted,
+                                        format!(
+                                            "unchecked `{op}` on untrusted {origin} can overflow — use `checked_{}` or bound-check first",
+                                            arith_name(op)
+                                        ),
+                                    ));
+                                }
+                            }
+                            SinkKind::Div => {
+                                let zero_excluded = t.nonzero
+                                    || ranges
+                                        .get(&(i, b, idx))
+                                        .and_then(|r| r.get(j))
+                                        .map(|iv| iv.excludes_zero())
+                                        .unwrap_or(false);
+                                if !zero_excluded {
+                                    found.insert((
+                                        rel.clone(),
+                                        *line,
+                                        Rule::UntrustedDivisor,
+                                        format!(
+                                            "divisor derived from untrusted {origin} is not proven non-zero — guard with `== 0` or floor with `.max(1)`"
+                                        ),
+                                    ));
+                                }
+                            }
+                            SinkKind::CallArg { callee, index } => {
+                                for &(p, class) in &param_sinks[*callee] {
+                                    if p != *index {
+                                        continue;
+                                    }
+                                    if class == SinkClass::Arith && !t.int {
+                                        continue;
+                                    }
+                                    if class == SinkClass::Div {
+                                        let zero_excluded = t.nonzero
+                                            || ranges
+                                                .get(&(i, b, idx))
+                                                .and_then(|r| r.get(j))
+                                                .map(|iv| iv.excludes_zero())
+                                                .unwrap_or(false);
+                                        if zero_excluded {
+                                            continue;
+                                        }
+                                    }
+                                    let callee_fi = &ws.fns()[*callee];
+                                    found.insert((
+                                        rel.clone(),
+                                        *line,
+                                        class.rule(),
+                                        format!(
+                                            "untrusted {origin} flows into parameter {index} of `{}`, which uses it as {} with no dominating bound check",
+                                            callee_fi.name,
+                                            class.noun()
+                                        ),
+                                    ));
+                                }
+                            }
+                            SinkKind::KnobSet { .. } => {}
+                        }
+                    }
+                }
+                idx += 1;
+            });
+        }
+    }
+
+    found
+        .into_iter()
+        .map(|(file, line, rule, message)| Diagnostic {
+            file,
+            line,
+            rule,
+            message,
+        })
+        .collect()
+}
+
+/// Sink classes a sink event represents, resolving `CallArg` through the
+/// callee's current parameter-sink summary (transitive flows).
+fn classes_of(kind: &SinkKind, param_sinks: &[ParamSinks]) -> Vec<SinkClass> {
+    match kind {
+        SinkKind::Alloc(_) => vec![SinkClass::Alloc],
+        SinkKind::Index => vec![SinkClass::Index],
+        SinkKind::Div => vec![SinkClass::Div],
+        SinkKind::Arith(_) => vec![SinkClass::Arith],
+        SinkKind::CallArg { callee, index } => param_sinks
+            .get(*callee)
+            .map(|s| {
+                s.iter()
+                    .filter(|(p, _)| p == index)
+                    .map(|&(_, c)| c)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        SinkKind::KnobSet { .. } => Vec::new(),
+    }
+}
+
+fn arith_name(op: &str) -> &'static str {
+    match op {
+        "+" => "add",
+        "-" => "sub",
+        "*" => "mul",
+        _ => "shl",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_unions_sources_and_ands_sanitizers() {
+        let mut a = Taint {
+            sources: ["wire bytes".to_string()].into_iter().collect(),
+            int: true,
+            bounded: true,
+            nonzero: true,
+        };
+        let b = Taint {
+            sources: ["env var".to_string()].into_iter().collect(),
+            int: false,
+            bounded: false,
+            nonzero: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.sources.len(), 2);
+        assert!(a.int);
+        assert!(!a.bounded);
+        assert!(a.nonzero);
+    }
+
+    #[test]
+    fn param_sources_parse_indexes() {
+        let t = Taint {
+            sources: ["param#2".to_string(), "wire bytes".to_string()]
+                .into_iter()
+                .collect(),
+            ..Taint::default()
+        };
+        assert_eq!(t.param_sources(), vec![2]);
+        assert_eq!(t.real_sources(), vec!["wire bytes"]);
+    }
+}

@@ -3,24 +3,20 @@
 //! unreadable workspace). A gate that conflates 1 and 2 would wave through
 //! runs where the linter never actually looked at the code.
 
-use std::path::Path;
+mod common;
+
 use std::process::Command;
 
 fn rhlint() -> Command {
     Command::new(env!("CARGO_BIN_EXE_rhlint"))
 }
 
-fn fixture_root(name: &str) -> std::path::PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(name)
-}
-
 #[test]
 fn clean_workspace_exits_zero() {
+    let scaffold = common::scaffold("clean");
     let out = rhlint()
         .args(["check"])
-        .arg(fixture_root("clean"))
+        .arg(&scaffold.root)
         .output()
         .expect("spawn rhlint");
     assert_eq!(
@@ -33,9 +29,10 @@ fn clean_workspace_exits_zero() {
 
 #[test]
 fn violations_exit_one() {
+    let scaffold = common::scaffold("lock_order");
     let out = rhlint()
         .args(["check"])
-        .arg(fixture_root("lock_order"))
+        .arg(&scaffold.root)
         .output()
         .expect("spawn rhlint");
     assert_eq!(
@@ -73,12 +70,121 @@ fn bad_usage_exits_two() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// `rhlint explain` works for every rule in the catalog, by code and by id,
+/// and prints the three documented sections.
+#[test]
+fn explain_covers_every_rule() {
+    for rule in rhlint::Rule::ALL {
+        let out = rhlint()
+            .args(["explain", rule.code()])
+            .output()
+            .expect("spawn rhlint");
+        assert_eq!(out.status.code(), Some(0), "{}", rule.code());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(rule.code()), "{text}");
+        assert!(text.contains(rule.id()), "{text}");
+        assert!(text.contains("why:"), "{text}");
+        assert!(text.contains("example violation:"), "{text}");
+        assert!(text.contains("fix:"), "{text}");
+    }
+    // The kebab-case id is accepted as an alias for the code.
+    let out = rhlint()
+        .args(["explain", "tainted-index"])
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+/// An unknown rule is a usage error (exit 2), not a silent success.
+#[test]
+fn explain_unknown_rule_exits_two() {
+    let out = rhlint()
+        .args(["explain", "RH999"])
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown rule"), "{err}");
+}
+
+/// `fix --stale-allows` round trip on the stale_allow fixture: the dry run
+/// reports the pending fix without touching the file and exits 1; `--write`
+/// deletes exactly the stale allow line (the justified lossy-cast allow
+/// survives); afterwards both `fix` and `check` come back clean.
+#[test]
+fn fix_stale_allows_round_trip() {
+    let scaffold = common::scaffold("stale_allow");
+    let target = scaffold.root.join("crates/optimizers/src/tuning.rs");
+    let before = std::fs::read_to_string(&target).expect("fixture file");
+    assert!(before.contains("rhlint:allow(unwrap)"), "{before}");
+
+    // Dry run: pending fix, exit 1, file untouched.
+    let out = rhlint()
+        .args(["fix", "--stale-allows"])
+        .arg(&scaffold.root)
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("would fix"), "{text}");
+    assert!(text.contains("tuning.rs"), "{text}");
+    assert_eq!(
+        std::fs::read_to_string(&target).expect("fixture file"),
+        before,
+        "dry run must not modify the workspace"
+    );
+
+    // --write: applies the deletion and exits 0.
+    let out = rhlint()
+        .args(["fix", "--stale-allows", "--write"])
+        .arg(&scaffold.root)
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let after = std::fs::read_to_string(&target).expect("fixture file");
+    assert!(!after.contains("rhlint:allow(unwrap)"), "{after}");
+    assert!(
+        after.contains("rhlint:allow(lossy-cast)"),
+        "the justified allow must survive: {after}"
+    );
+
+    // The workspace is now clean: no pending fixes, no findings at all.
+    let out = rhlint()
+        .args(["fix", "--stale-allows"])
+        .arg(&scaffold.root)
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(out.status.code(), Some(0));
+    let out = rhlint()
+        .args(["check"])
+        .arg(&scaffold.root)
+        .output()
+        .expect("spawn rhlint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
 #[test]
 fn sarif_format_is_accepted_and_stable() {
+    let scaffold = common::scaffold("lock_order");
     let run = || {
         let out = rhlint()
             .args(["check"])
-            .arg(fixture_root("lock_order"))
+            .arg(&scaffold.root)
             .args(["--format", "sarif"])
             .output()
             .expect("spawn rhlint");

@@ -1,0 +1,72 @@
+//! Shared fixture scaffolding for the integration suites.
+//!
+//! Every fixture under `tests/fixtures/` used to carry its own copy of the
+//! boilerplate crates (`sparksim/config.rs`, `sparksim/lib.rs`,
+//! `optimizers/space.rs`, `optimizers/lib.rs`); fifteen identical copies of
+//! each drifted independently. Those now live once under
+//! `tests/fixtures/_common/`, and [`scaffold`] materializes a runnable
+//! mini-workspace by copying `_common` into a fresh tempdir and then
+//! overlaying the named fixture's files on top — a fixture file at the same
+//! relative path wins, so a fixture can still ship its own variant of any
+//! common crate (e.g. `config_space` keeps a deliberately-inconsistent
+//! `space.rs`).
+//!
+//! The scaffold root lives under `std::env::temp_dir()` and is removed on
+//! drop, so parallel test binaries (and parallel tests within one binary)
+//! never share state: the directory name embeds the pid and a per-process
+//! counter.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A materialized fixture workspace; the directory is deleted on drop.
+pub struct Scaffold {
+    pub root: PathBuf,
+}
+
+impl Drop for Scaffold {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The on-disk fixture directory (the overlay source, not a runnable root).
+#[allow(dead_code)]
+pub fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Materialize `_common` + the named fixture overlay into a tempdir.
+#[allow(dead_code)]
+pub fn scaffold(name: &str) -> Scaffold {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let root =
+        std::env::temp_dir().join(format!("rhlint-fixture-{name}-{}-{id}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    copy_tree(&fixture_dir("_common"), &root);
+    copy_tree(&fixture_dir(name), &root);
+    Scaffold { root }
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    let entries = match std::fs::read_dir(src) {
+        Ok(entries) => entries,
+        Err(e) => panic!("scaffold: read {}: {e}", src.display()),
+    };
+    std::fs::create_dir_all(dst).expect("scaffold: create dir");
+    for entry in entries {
+        let entry = entry.expect("scaffold: dir entry");
+        let from = entry.path();
+        let to = dst.join(entry.file_name());
+        if from.is_dir() {
+            copy_tree(&from, &to);
+        } else {
+            std::fs::copy(&from, &to)
+                .unwrap_or_else(|e| panic!("scaffold: copy {}: {e}", from.display()));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! CFG corner cases: labeled `break`/`continue`, `while let`, nested
+//! closures, and `?` early-return edges.
+//!
+//! Each construct wraps a taint flow that only resolves correctly if the
+//! CFG edges are right: the labeled loops must not strand the block after
+//! them, closure bodies must be lowered into the enclosing function, and a
+//! dominating bound must survive both a `?` edge and a `while let` loop.
+
+fn after_labeled_loops(hdr: [u8; 2], dims: &[f64]) -> f64 {
+    let idx = u16::from_le_bytes(hdr) as usize;
+    let mut total = 0.0;
+    'outer: for d in dims {
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > 2 {
+                continue 'outer;
+            }
+            if *d < 0.0 {
+                break 'outer;
+            }
+        }
+    }
+    total += dims[idx];
+    total
+}
+
+fn closure_allocates(hdr: [u8; 4]) -> Vec<u8> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    let make = || Vec::with_capacity(len);
+    make()
+}
+
+fn nested_closure_arith(hdr: [u8; 4]) -> usize {
+    let len = u32::from_le_bytes(hdr) as usize;
+    let outer = || {
+        let inner = || len + 1;
+        inner()
+    };
+    outer()
+}
+
+fn bound_survives_try_and_while_let(hdr: [u8; 4], rows: &[u64]) -> Option<u64> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len >= rows.len() {
+        return None;
+    }
+    let first = rows.first()?;
+    let mut acc = *first;
+    let mut it = rows.iter();
+    while let Some(r) = it.next() {
+        acc = acc.wrapping_add(*r);
+    }
+    Some(acc.wrapping_add(rows[len]))
+}

@@ -1,0 +1,32 @@
+//! RH028 fixture: config writes and `Dim` defaults versus declared bounds.
+//!
+//! Two positives — a `Dim` whose default sits outside its own `[lo, hi]`,
+//! and a `conf.set(..)` whose derived interval escapes the declared
+//! search-space bounds — and two negatives: an in-bounds default, and a
+//! suggested value clamped into the declared range before the write.
+
+pub mod space;
+
+use space::{app_level, query_level, Dim};
+use sparksim::config::{Knob, SparkConf};
+
+fn dims() -> usize {
+    query_level().len() + app_level().len()
+}
+
+fn bad_dim() -> Dim {
+    Dim { knob: Knob::ExecutorInstances, lo: 1.0, hi: 64.0, default: 96.0 }
+}
+
+fn good_dim() -> Dim {
+    Dim { knob: Knob::ExecutorCores, lo: 1.0, hi: 8.0, default: 4.0 }
+}
+
+fn suggest_out_of_range(conf: &mut SparkConf) {
+    conf.set(Knob::ShufflePartitions, 8192.0);
+}
+
+fn suggest_clamped(conf: &mut SparkConf, raw: f64) {
+    let v = raw.clamp(8.0, 1024.0);
+    conf.set(Knob::ShufflePartitions, v);
+}

@@ -1,0 +1,19 @@
+//! RH027 fixture: slice indexing by a wire-decoded value.
+//!
+//! One positive — `dims[idx]` where `idx` came straight off the wire — and
+//! one negative where `idx < dims.len()` dominates the access (the bound is
+//! parameter-derived, which the taint pass treats as trustworthy).
+
+fn knob_at(dims: &[f64], w: [u8; 2]) -> f64 {
+    let idx = u16::from_le_bytes(w) as usize;
+    dims[idx]
+}
+
+fn knob_at_checked(dims: &[f64], w: [u8; 2]) -> f64 {
+    let idx = u16::from_le_bytes(w) as usize;
+    if idx < dims.len() {
+        dims[idx]
+    } else {
+        0.0
+    }
+}

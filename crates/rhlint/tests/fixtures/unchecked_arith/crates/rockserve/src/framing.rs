@@ -1,0 +1,26 @@
+//! RH029 fixture: raw arithmetic on a wire-decoded integer.
+//!
+//! One positive — `len + HEADER_BYTES` where `len` is an unchecked wire
+//! length (release-mode wrap, debug-mode panic) — and two negatives: the
+//! `checked_add` form, and the same sum after a dominating bound check.
+
+const HEADER_BYTES: usize = 6;
+const MAX_PAYLOAD_BYTES: usize = 1048576;
+
+fn frame_total(hdr: [u8; 4]) -> usize {
+    let len = u32::from_le_bytes(hdr) as usize;
+    len + HEADER_BYTES
+}
+
+fn frame_total_checked(hdr: [u8; 4]) -> Option<usize> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    len.checked_add(HEADER_BYTES)
+}
+
+fn frame_total_bounded(hdr: [u8; 4]) -> usize {
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return 0;
+    }
+    len + HEADER_BYTES
+}

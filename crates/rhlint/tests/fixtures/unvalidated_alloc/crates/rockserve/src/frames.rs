@@ -1,0 +1,36 @@
+//! RH026 fixture: allocations sized by raw wire bytes.
+//!
+//! Two positives — a direct `Vec::with_capacity(len)` on an unchecked wire
+//! length, and the same length handed to a helper that allocates (caught
+//! through the parameter-sink summary). One negative: the length is checked
+//! against `MAX_PAYLOAD_BYTES` first, so the dominating-bound sanitizer
+//! clears the taint's hazard.
+
+const MAX_PAYLOAD_BYTES: usize = 1048576;
+
+fn read_len_unchecked(hdr: [u8; 4]) -> Vec<u8> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    Vec::with_capacity(len)
+}
+
+fn read_len_indirect(hdr: [u8; 4]) -> Vec<u8> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    alloc_buf(len)
+}
+
+fn alloc_buf(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+
+fn read_vec_macro_unchecked(hdr: [u8; 4]) -> Vec<u8> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    vec![0u8; len]
+}
+
+fn read_len_checked(hdr: [u8; 4]) -> Option<Vec<u8>> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return None;
+    }
+    Some(Vec::with_capacity(len))
+}

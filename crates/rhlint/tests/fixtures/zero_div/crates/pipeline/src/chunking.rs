@@ -1,0 +1,27 @@
+//! RH030 fixture: dividing by a value derived from an ETL file read.
+//!
+//! One positive — `total / chunks` where `chunks` came from file contents
+//! and zero was never excluded — and two negatives: an explicit `== 0`
+//! guard, and a `.max(1)` floor (which also gives the interval pass a
+//! zero-excluding range).
+
+fn rows_per_chunk(total: u64, manifest: &str) -> u64 {
+    let raw = std::fs::read_to_string(manifest).unwrap_or_default();
+    let chunks = raw.len() as u64;
+    total / chunks
+}
+
+fn rows_per_chunk_guarded(total: u64, manifest: &str) -> u64 {
+    let raw = std::fs::read_to_string(manifest).unwrap_or_default();
+    let chunks = raw.len() as u64;
+    if chunks == 0 {
+        return total;
+    }
+    total / chunks
+}
+
+fn rows_per_chunk_floored(total: u64, manifest: &str) -> u64 {
+    let raw = std::fs::read_to_string(manifest).unwrap_or_default();
+    let chunks = (raw.len() as u64).max(1);
+    total / chunks
+}

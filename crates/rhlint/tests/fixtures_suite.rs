@@ -1,25 +1,22 @@
 //! Fixture-workspace tests for the semantic (AST/call-graph) rules.
 //!
-//! Each fixture under `tests/fixtures/` is a self-contained mini-workspace
-//! with one deliberate violation family; `clean/` has none. The fixtures are
-//! never compiled by cargo — rhlint parses them with its own lexer/parser —
-//! and the `fixtures` path component keeps them out of the real workspace's
-//! reference counting.
+//! Each fixture under `tests/fixtures/` overlays one deliberate violation
+//! family onto the shared `_common/` crates (see `tests/common/mod.rs`);
+//! `clean/` overlays nothing. The fixtures are never compiled by cargo —
+//! rhlint parses them with its own lexer/parser — and the `fixtures` path
+//! component keeps them out of the real workspace's reference counting.
 
-use std::path::{Path, PathBuf};
+mod common;
+
+use std::path::Path;
 
 use rhlint::{
     check_workspace, render_json, render_sarif, scan_source, Diagnostic, Rule, ScanScope,
 };
 
-fn fixture_root(name: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(name)
-}
-
 fn fixture_check(name: &str) -> Vec<Diagnostic> {
-    check_workspace(&fixture_root(name)).expect("fixture workspace should load")
+    let scaffold = common::scaffold(name);
+    check_workspace(&scaffold.root).expect("fixture workspace should load")
 }
 
 #[test]
@@ -79,8 +76,8 @@ fn lexical_scan_provably_misses_the_aliased_rng() {
     assert_eq!(ScanScope::for_crate("util"), ScanScope::default());
 
     let rel = "crates/optimizers/src/lib.rs";
-    let text =
-        std::fs::read_to_string(fixture_root("taint_alias").join(rel)).expect("fixture file");
+    let text = std::fs::read_to_string(common::fixture_dir("taint_alias").join(rel))
+        .expect("fixture file");
     // Scan with FULL scope — stricter than the real pass ever would.
     let scope = ScanScope {
         panic_freedom: true,
@@ -279,6 +276,35 @@ fn json_output_is_byte_stable_across_runs() {
     assert!(a.contains("\"line\":"), "{a}");
 }
 
+/// The new input-validation and config-range codes render byte-stably in
+/// both machine formats, and SARIF results carry the new rule ids.
+#[test]
+fn new_rule_codes_are_byte_stable_in_json_and_sarif() {
+    for (fixture, code) in [
+        ("unvalidated_alloc", "RH026"),
+        ("tainted_index", "RH027"),
+        ("config_range", "RH028"),
+        ("unchecked_arith", "RH029"),
+        ("zero_div", "RH030"),
+    ] {
+        let diags = fixture_check(fixture);
+        let a = render_json(&diags);
+        let b = render_json(&fixture_check(fixture));
+        assert_eq!(a, b, "{fixture} JSON must be byte-stable");
+        assert!(
+            a.contains(&format!("\"code\":\"{code}\"")),
+            "{fixture}: {a}"
+        );
+        let s1 = render_sarif(&diags);
+        let s2 = render_sarif(&diags);
+        assert_eq!(s1, s2, "{fixture} SARIF must be byte-stable");
+        assert!(
+            s1.contains(&format!("\"ruleId\":\"{code}\"")),
+            "{fixture}: {s1}"
+        );
+    }
+}
+
 /// `--format sarif` is byte-stable too, and carries the full rule catalog
 /// plus one result per finding with a physical location.
 #[test]
@@ -298,6 +324,116 @@ fn sarif_output_is_byte_stable_and_well_formed() {
     assert!(
         a.contains("crates/rockpool/src/lib.rs"),
         "uri uses forward slashes: {a}"
+    );
+}
+
+/// Three RH026 positives — a direct `Vec::with_capacity(len)` on an
+/// unchecked wire length, the same length handed to an allocating helper
+/// (caught by the parameter-sink summary), and the `vec![0u8; len]` macro
+/// form that mirrors the real `proto.rs` read path minus its bound check —
+/// while the `MAX_PAYLOAD_BYTES`-checked sibling stays silent.
+#[test]
+fn unvalidated_alloc_fires_direct_and_through_helper() {
+    let diags = fixture_check("unvalidated_alloc");
+    assert_eq!(diags.len(), 3, "got:\n{}", render(&diags));
+    for d in &diags {
+        assert_eq!(d.rule, Rule::UnvalidatedLengthAlloc);
+        assert!(d.message.contains("wire bytes"), "{}", d.message);
+    }
+    assert!(
+        diags.iter().any(|d| d.message.contains("alloc_buf")),
+        "one finding is the interprocedural one:\n{}",
+        render(&diags)
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("vec![_; n]")),
+        "the vec! macro form is caught too:\n{}",
+        render(&diags)
+    );
+}
+
+/// `dims[idx]` with a wire-decoded index fires RH027; the sibling guarded by
+/// `idx < dims.len()` is sanitized by the dominating bound.
+#[test]
+fn tainted_index_fires_only_without_bound_check() {
+    let diags = fixture_check("tainted_index");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::TaintedIndex);
+    assert!(d.message.contains("wire bytes"), "{}", d.message);
+    assert!(d.message.contains(".get("), "{}", d.message);
+}
+
+/// Raw `len + HEADER_BYTES` on a wire length fires RH029; both the
+/// `checked_add` form and the bound-checked sum stay silent.
+#[test]
+fn unchecked_arith_fires_only_on_raw_operator() {
+    let diags = fixture_check("unchecked_arith");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::UncheckedArithUntrusted);
+    assert!(d.message.contains("checked_add"), "{}", d.message);
+    assert!(d.message.contains("wire bytes"), "{}", d.message);
+}
+
+/// Dividing by a file-read-derived count fires RH030; the `== 0` guard and
+/// the `.max(1)` floor both prove the divisor non-zero.
+#[test]
+fn zero_div_fires_only_without_nonzero_proof() {
+    let diags = fixture_check("zero_div");
+    assert_eq!(diags.len(), 1, "got:\n{}", render(&diags));
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::UntrustedDivisor);
+    assert!(d.message.contains("file read"), "{}", d.message);
+    assert!(d.message.contains("max(1)"), "{}", d.message);
+}
+
+/// A `Dim` default outside its own bounds and a `set()` escaping the
+/// declared range both fire RH028; the in-bounds default and the
+/// clamped-then-set suggestion stay silent.
+#[test]
+fn config_out_of_range_fires_on_default_and_set() {
+    let diags = fixture_check("config_range");
+    assert_eq!(diags.len(), 2, "got:\n{}", render(&diags));
+    for d in &diags {
+        assert_eq!(d.rule, Rule::ConfigOutOfRange);
+    }
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("ExecutorInstances")),
+        "the bad default is flagged:\n{}",
+        render(&diags)
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("ShufflePartitions")),
+        "the out-of-range set is flagged:\n{}",
+        render(&diags)
+    );
+}
+
+/// CFG corner cases: the block after labeled `break`/`continue` loops is
+/// still analyzed (RH027 fires there), closure bodies are lowered into the
+/// enclosing function (RH026 and RH029 fire inside closures), and a
+/// dominating bound survives `?` edges and a `while let` loop (no fourth
+/// finding).
+#[test]
+fn cfg_corners_keep_taint_flowing_on_the_right_edges() {
+    let diags = fixture_check("cfg_corners");
+    let rules: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(diags.len(), 3, "got:\n{}", render(&diags));
+    assert!(rules.contains(&Rule::TaintedIndex), "{}", render(&diags));
+    assert!(
+        rules.contains(&Rule::UnvalidatedLengthAlloc),
+        "{}",
+        render(&diags)
+    );
+    assert!(
+        rules.contains(&Rule::UncheckedArithUntrusted),
+        "{}",
+        render(&diags)
     );
 }
 

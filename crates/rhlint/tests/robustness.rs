@@ -43,7 +43,10 @@ fn unicode_strategy() -> impl Strategy<Value = String> {
 
 /// Rust-ish token soup reaches far deeper parser paths than noise does:
 /// nesting, guards, match arms, suppression comments, unbalanced braces.
-const VOCAB: [&str; 48] = [
+/// The label / closure / sanitizer tokens at the end steer the soup into the
+/// CFG corner paths (labeled break, `while let`, nested closures, `?`) and
+/// the taint transfer functions.
+const VOCAB: [&str; 60] = [
     "fn",
     "pub",
     "struct",
@@ -92,6 +95,18 @@ const VOCAB: [&str; 48] = [
     "0.5",
     "42",
     "move",
+    "'outer:",
+    "'outer",
+    "||",
+    "|v|",
+    "Some",
+    "None",
+    "from_le_bytes",
+    "clamp",
+    "checked_add",
+    "vec!",
+    "as",
+    "usize",
 ];
 
 fn soup_strategy() -> impl Strategy<Value = Vec<&'static str>> {
@@ -119,5 +134,38 @@ proptest! {
     fn token_soup_never_panics(words in soup_strategy()) {
         front_end(&words.join(" "));
         front_end(&words.join("\n"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full pipeline — symbols, call graph, CFG lowering, the interval
+    /// and taint dataflow passes — never panics on token soup either. The
+    /// front-end properties above stop at scanning; this one materialises
+    /// the soup as a one-crate workspace so lowering runs over whatever
+    /// half-formed labeled loops, closures, and `?` chains the soup builds.
+    #[test]
+    fn full_pipeline_never_panics_on_soup(words in soup_strategy(), seq in 0u32..u32::MAX) {
+        let body = words.join(" ");
+        let source = format!("pub fn soup(hdr: [u8; 4], dims: Vec<f64>) {{ {body} }}\n");
+        let root = std::env::temp_dir().join(format!(
+            "rhlint-soup-{}-{seq}",
+            std::process::id()
+        ));
+        let src = root.join("crates/optimizers/src");
+        std::fs::create_dir_all(&src).expect("mk soup workspace");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+            .expect("write manifest");
+        std::fs::write(
+            src.join("../Cargo.toml"),
+            "[package]\nname = \"optimizers\"\nversion = \"0.0.0\"\n",
+        )
+        .expect("write crate manifest");
+        std::fs::write(src.join("lib.rs"), source).expect("write soup");
+        let outcome = rhlint::check_workspace(&root);
+        std::fs::remove_dir_all(&root).ok();
+        // Diagnostics or a load error are both fine; a panic is not.
+        let _ = outcome;
     }
 }
