@@ -22,8 +22,9 @@ use sparksim::config::SparkConf;
 use sparksim::event::SparkEvent;
 use sparksim::metrics::QueryMetrics;
 
-/// Schema tag stamped into `BENCH_serve.json`.
-pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v1";
+/// Schema tag stamped into `BENCH_serve.json`. v2 added the `durability`
+/// counter block (WAL writes, quarantines, snapshots, recovery replays).
+pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v2";
 
 /// Default output path; overridable via `ROCKHOPPER_SERVE_OUT`.
 pub const SERVE_DEFAULT_OUT: &str = "BENCH_serve.json";
@@ -107,6 +108,14 @@ pub struct ServeBenchReport {
     pub coalesced_hits: u64,
     /// Largest request batch served by one backend evaluation.
     pub batch_max: u64,
+    /// WAL records the backend appended (0 when serving without a state dir).
+    pub wal_records_written: u64,
+    /// Corrupt WAL/snapshot artifacts quarantined during recovery.
+    pub wal_records_quarantined: u64,
+    /// Compacted snapshots written.
+    pub snapshot_writes: u64,
+    /// WAL records replayed into the backend at boot.
+    pub recovery_replayed: u64,
     /// Order-sensitive fold of every served suggestion point, in
     /// (lane, request) order — bit-identical across runs at the same seed.
     pub suggest_fingerprint: u64,
@@ -147,6 +156,13 @@ impl ServeBenchReport {
             self.batch_max
         ));
         out.push_str(&format!(
+            "  \"durability\": {{\"wal_records_written\": {}, \"wal_records_quarantined\": {}, \"snapshot_writes\": {}, \"recovery_replayed\": {}}},\n",
+            self.wal_records_written,
+            self.wal_records_quarantined,
+            self.snapshot_writes,
+            self.recovery_replayed
+        ));
+        out.push_str(&format!(
             "  \"suggest_fingerprint\": \"{:016x}\",\n",
             self.suggest_fingerprint
         ));
@@ -157,6 +173,7 @@ impl ServeBenchReport {
 }
 
 /// One frame of the seeded schedule.
+#[derive(Clone, Copy)]
 enum Shot {
     Suggest(u64),
     Report(u64),
@@ -241,7 +258,30 @@ struct LaneResult {
     overloaded: u64,
 }
 
-fn run_lane(addr: std::net::SocketAddr, lane: usize, cfg: &ServeBenchConfig) -> LaneResult {
+/// The lane's whole seeded schedule — `(gap_us, shot)` per frame. Pure
+/// function of `(cfg.seed, lane)`, so a crash-recovery run can replay an
+/// arbitrary *range* of the exact frames an uninterrupted run would send.
+fn lane_schedule(cfg: &ServeBenchConfig, lane: usize) -> Vec<(u64, Shot)> {
+    let mut rng = StdRng::seed_from_u64(rockpool::split_seed(cfg.seed, lane as u64));
+    (0..cfg.requests_per_client)
+        .map(|_| {
+            // Open-loop arrival: the gap is scheduled from the seed, not
+            // from the previous reply's timing.
+            let gap_us = rng.random_range(0..cfg.mean_gap_us.saturating_mul(2).max(1));
+            (gap_us, draw_shot(&mut rng, cfg.suggest_signatures))
+        })
+        .collect()
+}
+
+/// Send the lane's schedule frames `first..end` — `shot_idx` stays absolute
+/// so report app ids match the uninterrupted run's byte for byte.
+fn run_lane_range(
+    addr: std::net::SocketAddr,
+    lane: usize,
+    cfg: &ServeBenchConfig,
+    first: usize,
+    end: usize,
+) -> LaneResult {
     let mut result = LaneResult {
         points: Vec::new(),
         latencies_us: Vec::new(),
@@ -253,13 +293,9 @@ fn run_lane(addr: std::net::SocketAddr, lane: usize, cfg: &ServeBenchConfig) -> 
         result.protocol_errors += 1;
         return result;
     };
-    let mut rng = StdRng::seed_from_u64(rockpool::split_seed(cfg.seed, lane as u64));
-    for shot_idx in 0..cfg.requests_per_client {
-        // Open-loop arrival: the gap is scheduled from the seed, not from the
-        // previous reply's timing.
-        let gap_us = rng.random_range(0..cfg.mean_gap_us.saturating_mul(2).max(1));
-        std::thread::sleep(Duration::from_micros(gap_us));
-        let shot = draw_shot(&mut rng, cfg.suggest_signatures);
+    let schedule = lane_schedule(cfg, lane);
+    for (shot_idx, (gap_us, shot)) in schedule.iter().enumerate().take(end).skip(first) {
+        std::thread::sleep(Duration::from_micros(*gap_us));
         let started = Instant::now();
         let reply = match &shot {
             Shot::Suggest(sig) => {
@@ -303,10 +339,21 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
 
 /// Drive `cfg.clients` concurrent lanes against `addr` and aggregate.
 fn run_fleet(addr: std::net::SocketAddr, cfg: &ServeBenchConfig) -> (Vec<LaneResult>, f64) {
+    run_fleet_range(addr, cfg, 0, cfg.requests_per_client)
+}
+
+/// Drive every lane's schedule frames `first..end` concurrently (the full
+/// fleet is `run_fleet`; the split ranges are the crash-recovery bench).
+fn run_fleet_range(
+    addr: std::net::SocketAddr,
+    cfg: &ServeBenchConfig,
+    first: usize,
+    end: usize,
+) -> (Vec<LaneResult>, f64) {
     let started = Instant::now();
     let lanes: Vec<LaneResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
-            .map(|lane| scope.spawn(move || run_lane(addr, lane, cfg)))
+            .map(|lane| scope.spawn(move || run_lane_range(addr, lane, cfg, first, end)))
             .collect();
         handles
             .into_iter()
@@ -329,6 +376,7 @@ fn aggregate(
     lanes: Vec<LaneResult>,
     wall_ms: f64,
     server: rockserve::MetricsSnapshot,
+    dashboard: pipeline::DashboardCounters,
     clean_drain: bool,
 ) -> ServeBenchReport {
     let mut fingerprint = 0u64;
@@ -372,6 +420,10 @@ fn aggregate(
         backend_evals: server.backend_evals,
         coalesced_hits: server.coalesced_hits,
         batch_max: server.batch_max,
+        wal_records_written: dashboard.wal_records_written,
+        wal_records_quarantined: dashboard.wal_records_quarantined,
+        snapshot_writes: dashboard.snapshot_writes,
+        recovery_replayed: dashboard.recovery_replayed,
         suggest_fingerprint: fingerprint,
         clean_drain,
     }
@@ -401,13 +453,29 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> std::io::Result<ServeBenchRepo
 
     // Final server-side counters, then an explicit drain via the wire.
     let mut control = ServeClient::connect(addr)?;
-    let snapshot = match control.metrics() {
-        Ok(Response::MetricsReport { serving, .. }) => serving,
-        _ => rockserve::MetricsSnapshot::default(),
-    };
+    let (snapshot, dashboard) = read_counters(&mut control);
     let acked = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
     let drained = server.join().is_some();
-    Ok(aggregate(cfg, lanes, wall_ms, snapshot, acked && drained))
+    Ok(aggregate(
+        cfg,
+        lanes,
+        wall_ms,
+        snapshot,
+        dashboard,
+        acked && drained,
+    ))
+}
+
+/// One `Metrics` round trip: the serving counters and the backend dashboard.
+fn read_counters(
+    control: &mut ServeClient,
+) -> (rockserve::MetricsSnapshot, pipeline::DashboardCounters) {
+    match control.metrics() {
+        Ok(Response::MetricsReport {
+            serving, dashboard, ..
+        }) => (serving, dashboard),
+        _ => Default::default(),
+    }
 }
 
 /// Run the fleet against an already-running external server (never sends
@@ -418,12 +486,135 @@ pub fn run_serve_bench_against(
 ) -> std::io::Result<ServeBenchReport> {
     let (lanes, wall_ms) = run_fleet(addr, cfg);
     let mut control = ServeClient::connect(addr)?;
-    let snapshot = match control.metrics() {
-        Ok(Response::MetricsReport { serving, .. }) => serving,
-        _ => rockserve::MetricsSnapshot::default(),
-    };
+    let (snapshot, dashboard) = read_counters(&mut control);
     let healthy = matches!(control.health(), Ok(Response::Healthy { .. }));
-    Ok(aggregate(cfg, lanes, wall_ms, snapshot, healthy))
+    Ok(aggregate(cfg, lanes, wall_ms, snapshot, dashboard, healthy))
+}
+
+/// Snapshot cadence the crash-recovery bench serves at — small enough that
+/// even the quick shape exercises both snapshot restore *and* tail replay.
+pub const CRASH_BENCH_SNAPSHOT_EVERY: u64 = 8;
+
+/// Append lane `b`'s frames after lane `a`'s — the split run's two server
+/// lifetimes stitched back into one uninterrupted-looking lane.
+fn merge_lane(mut a: LaneResult, b: LaneResult) -> LaneResult {
+    a.points.extend(b.points);
+    a.latencies_us.extend(b.latencies_us);
+    a.sent.0 += b.sent.0;
+    a.sent.1 += b.sent.1;
+    a.sent.2 += b.sent.2;
+    a.sent.3 += b.sent.3;
+    a.protocol_errors += b.protocol_errors;
+    a.overloaded += b.overloaded;
+    a
+}
+
+/// Combine the serving counters of the two lifetimes: monotone counters add,
+/// high-water marks take the max.
+fn merge_snapshots(
+    a: rockserve::MetricsSnapshot,
+    b: rockserve::MetricsSnapshot,
+) -> rockserve::MetricsSnapshot {
+    rockserve::MetricsSnapshot {
+        suggests: a.suggests + b.suggests,
+        reports: a.reports + b.reports,
+        healths: a.healths + b.healths,
+        metrics_requests: a.metrics_requests + b.metrics_requests,
+        shutdowns: a.shutdowns + b.shutdowns,
+        overloaded: a.overloaded + b.overloaded,
+        protocol_errors: a.protocol_errors + b.protocol_errors,
+        backend_evals: a.backend_evals + b.backend_evals,
+        coalesced_hits: a.coalesced_hits + b.coalesced_hits,
+        batch_max: a.batch_max.max(b.batch_max),
+        queue_depth: a.queue_depth.max(b.queue_depth),
+        inflight: a.inflight.max(b.inflight),
+        p50_us: a.p50_us.max(b.p50_us),
+        p95_us: a.p95_us.max(b.p95_us),
+        p99_us: a.p99_us.max(b.p99_us),
+    }
+}
+
+/// The crash-recovery determinism harness: run the *same* seeded schedule as
+/// [`run_serve_bench`], but across two server lifetimes sharing one durable
+/// state directory — every lane sends frames `0..split` to the first server,
+/// the first server dies (optionally with a seed-salted torn tail chopped
+/// off its WAL, as a power loss mid-append would), a second server recovers
+/// from the directory and serves frames `split..` of the very same schedule.
+///
+/// The merged report's `suggest_fingerprint` folds both lifetimes' points in
+/// the uninterrupted (lane, request) order, so it must equal the fingerprint
+/// of an unsplit [`run_serve_bench`] at the same seed: recovery replays the
+/// WAL through the normal code paths, prepopulates the coalescing cache from
+/// the replayed operations, and checkpointed tuner RNG streams continue
+/// bit-identically. A torn tail can only drop a suffix of *logged-but-lost*
+/// operations, and each of those re-derives the identical point on the next
+/// request for its signature — so the gate holds under fault injection too.
+///
+/// The caller owns `state_dir` (create it empty, clean it up after).
+pub fn run_crash_recovery_bench(
+    cfg: &ServeBenchConfig,
+    state_dir: &std::path::Path,
+    split: usize,
+    tear_wal_tail: bool,
+) -> std::io::Result<ServeBenchReport> {
+    let split = split.min(cfg.requests_per_client);
+    let serve_cfg = || ServeConfig {
+        state_dir: Some(state_dir.to_path_buf()),
+        snapshot_every: CRASH_BENCH_SNAPSHOT_EVERY,
+        ..ServeConfig::default()
+    };
+    let backend = || {
+        pipeline::AutotuneBackend::new(
+            std::sync::Arc::new(pipeline::Storage::new()),
+            None,
+            cfg.seed,
+        )
+    };
+
+    // First lifetime: serve the schedule prefix, then drain. The drain
+    // fsyncs the WAL but deliberately writes no snapshot, so the second
+    // lifetime recovers through real log replay, not a trivial image load.
+    let server = Server::spawn(backend(), "127.0.0.1:0", serve_cfg())?;
+    let addr = server.local_addr();
+    let (lanes_a, wall_a) = run_fleet_range(addr, cfg, 0, split);
+    let mut control = ServeClient::connect(addr)?;
+    let (snap_a, _) = read_counters(&mut control);
+    let acked_a = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
+    let drained_a = server.join().is_some();
+
+    // The crash: tear a seed-derived number of bytes off the newest WAL
+    // segment. Recovery must keep the committed prefix and quarantine —
+    // never replay — the torn record.
+    if tear_wal_tail {
+        rockdur::fault::torn_tail(state_dir, cfg.seed)?;
+    }
+
+    // Second lifetime: recover (replay-before-accept) and serve the rest of
+    // the schedule as if nothing had happened.
+    let server = Server::spawn(backend(), "127.0.0.1:0", serve_cfg())?;
+    let addr = server.local_addr();
+    let (lanes_b, wall_b) = run_fleet_range(addr, cfg, split, cfg.requests_per_client);
+    let mut control = ServeClient::connect(addr)?;
+    // The recovered dashboard already carries the first lifetime's counters
+    // (it is part of the snapshot + replay), so only the serving-layer
+    // counters need summing across lifetimes.
+    let (snap_b, dashboard) = read_counters(&mut control);
+    let acked_b = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
+    let drained_b = server.join().is_some();
+
+    let lanes: Vec<LaneResult> = lanes_a
+        .into_iter()
+        .zip(lanes_b)
+        .map(|(a, b)| merge_lane(a, b))
+        .collect();
+    Ok(aggregate(
+        cfg,
+        lanes,
+        wall_a + wall_b,
+        merge_snapshots(snap_a, snap_b),
+        dashboard,
+        acked_a && drained_a && acked_b && drained_b,
+    ))
 }
 
 /// Where `BENCH_serve.json` goes: `$ROCKHOPPER_SERVE_OUT` or
@@ -475,6 +666,10 @@ mod tests {
             backend_evals: 4,
             coalesced_hits: 6,
             batch_max: 3,
+            wal_records_written: 12,
+            wal_records_quarantined: 1,
+            snapshot_writes: 2,
+            recovery_replayed: 5,
             suggest_fingerprint: 0xDEAD_BEEF,
             clean_drain: true,
         };
@@ -487,6 +682,17 @@ mod tests {
         match value.get_field("suggest_fingerprint") {
             serde::Value::Str(s) => assert_eq!(s, "00000000deadbeef"),
             other => panic!("fingerprint field: {other:?}"),
+        }
+        match value
+            .get_field("durability")
+            .get_field("wal_records_written")
+        {
+            serde::Value::UInt(12) | serde::Value::Int(12) => {}
+            other => panic!("durability.wal_records_written field: {other:?}"),
+        }
+        match value.get_field("durability").get_field("recovery_replayed") {
+            serde::Value::UInt(5) | serde::Value::Int(5) => {}
+            other => panic!("durability.recovery_replayed field: {other:?}"),
         }
         assert!(matches!(
             value.get_field("clean_drain"),

@@ -1,0 +1,8 @@
+//! Regenerates the `exp_restart_regret` extension experiment (warm vs cold
+//! backend restart over the post-restart request window). Pass `--quick`
+//! for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::exp_restart_regret::run(scale).print();
+}

@@ -27,6 +27,7 @@ fn main() {
         ),
         ("aqe_interaction", experiments::exp_aqe_interaction::run),
         ("fault_injection", experiments::exp_fault_injection::run),
+        ("restart_regret", experiments::exp_restart_regret::run),
         ("applevel", experiments::exp_applevel::run),
     ];
     // Fan the experiments out over the ambient rockpool (`RH_THREADS`), then

@@ -1,0 +1,258 @@
+//! **Extension: restart regret.** The paper's production framing (§4.2) keeps
+//! learned per-signature state in a long-lived backend — but production
+//! backends restart: deploys, OOM kills, node drains. This experiment
+//! measures what a restart *costs* in tuning quality, comparing three arms
+//! over the same post-restart request window:
+//!
+//! - **uninterrupted**: one backend serves the whole workload, no restart —
+//!   the ceiling;
+//! - **warm restart** (what the durability layer buys): the backend dies
+//!   after the warm-up phase and a new process recovers from the WAL +
+//!   snapshot directory before serving the rest;
+//! - **cold restart**: the backend dies and comes back *empty* — every
+//!   signature re-learns from scratch while production traffic waits.
+//!
+//! The durability contract is stronger than "warm is better than cold": a
+//! warm restart must serve the post-restart window **bit-identically** to
+//! the uninterrupted backend (checkpointed tuner RNG streams, replayed
+//! operation order), so its regret is exactly zero. The cold arm pays real
+//! regret — the cumulative extra milliseconds over the first ~50
+//! post-restart requests are the price of not having the WAL.
+
+use std::sync::Arc;
+
+use optimizers::env::{Environment, QueryEnv};
+use pipeline::{AutotuneBackend, Storage};
+use sparksim::fault::FaultSpec;
+use sparksim::noise::NoiseSpec;
+
+use crate::harness::{band_rows, write_csv, Scale, Summary};
+
+/// TPC-H query driven through the restart loop.
+const QUERY: usize = 6;
+
+/// Scale factor — moderate, so warm-up converges within the quick budget.
+const SCALE_FACTOR: f64 = 5.0;
+
+/// Snapshot cadence for the durable arm — small enough that the warm-up
+/// phase cuts at least one compacted snapshot, so recovery exercises the
+/// snapshot + tail-replay path rather than pure log replay.
+const SNAPSHOT_EVERY: u64 = 32;
+
+fn fresh_env(seed: u64) -> QueryEnv {
+    QueryEnv::tpch(
+        QUERY,
+        SCALE_FACTOR,
+        NoiseSpec {
+            fluctuation: 0.1,
+            spike: 0.05,
+        },
+        seed,
+    )
+}
+
+/// One request through the backend: suggest, execute, report the event file
+/// back (clean telemetry). Returns the suggested point and its *true* cost.
+fn drive(
+    backend: &mut AutotuneBackend,
+    env: &mut QueryEnv,
+    seed: u64,
+    t: usize,
+) -> (Vec<f64>, f64) {
+    let sig = env.signature();
+    let ctx = env.context();
+    let point = backend.suggest("prod", sig, &ctx);
+    let conf = env.space().to_conf(&point);
+    let true_ms = env.sim.true_time_ms(&env.plan, &conf);
+    let app_id = format!("app-{t}");
+    let run_seed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(t as u64);
+    let (_outcome, events) = env.sim.run_and_events(
+        &app_id,
+        "artifact-restart",
+        sig,
+        &env.plan,
+        &conf,
+        ctx.embedding.clone(),
+        run_seed,
+        &FaultSpec::none(),
+    );
+    backend.ingest("prod", &app_id, &events);
+    let _ = env.run(&point);
+    (point, true_ms)
+}
+
+/// Order-sensitive fold of suggested points — the same construction the
+/// serving bench uses, so "bit-identical" means the same thing everywhere.
+fn fold_point(acc: u64, point: &[f64]) -> u64 {
+    let mut h = rockpool::split_seed(acc, point.len() as u64);
+    for x in point {
+        h = rockpool::split_seed(h, x.to_bits());
+    }
+    h
+}
+
+/// One replication's post-restart traces.
+struct RepTraces {
+    uninterrupted: Vec<f64>,
+    warm: Vec<f64>,
+    cold: Vec<f64>,
+    /// Whether the warm arm's suggested points matched the uninterrupted
+    /// arm's bit for bit over the whole post-restart window.
+    warm_bit_identical: bool,
+}
+
+/// Run the three arms for one seed. `pre` warm-up requests, then `post`
+/// post-restart requests.
+fn one_rep(seed: u64, pre: usize, post: usize) -> RepTraces {
+    let dir = std::env::temp_dir().join(format!(
+        "rockhopper-exp-restart-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("restart-regret state dir creates");
+
+    // Durable warm-up, then the crash: the backend is dropped without
+    // ceremony — only the WAL and its snapshots survive.
+    let mut env = fresh_env(seed);
+    let mut durable = AutotuneBackend::new(Arc::new(Storage::new()), None, seed);
+    durable
+        .persist_to_with(&dir, SNAPSHOT_EVERY)
+        .expect("durability attaches");
+    for t in 0..pre {
+        drive(&mut durable, &mut env, seed, t);
+    }
+    let _ = durable.flush_durability();
+    drop(durable);
+
+    // Warm arm: a new process recovers the directory and keeps serving the
+    // same environment where the crashed one left off.
+    let mut warm = AutotuneBackend::new(Arc::new(Storage::new()), None, seed);
+    warm.recover_from_with(&dir, SNAPSHOT_EVERY)
+        .expect("recovery succeeds");
+    let mut warm_trace = Vec::with_capacity(post);
+    let mut warm_fp = 0u64;
+    for t in pre..pre + post {
+        let (point, ms) = drive(&mut warm, &mut env, seed, t);
+        warm_fp = fold_point(warm_fp, &point);
+        warm_trace.push(ms);
+    }
+
+    // Uninterrupted arm: same seed, same workload, one backend end to end
+    // (in-memory — durability logging must not perturb suggestions).
+    let mut env_u = fresh_env(seed);
+    let mut uninterrupted = AutotuneBackend::new(Arc::new(Storage::new()), None, seed);
+    for t in 0..pre {
+        drive(&mut uninterrupted, &mut env_u, seed, t);
+    }
+    let mut u_trace = Vec::with_capacity(post);
+    let mut u_fp = 0u64;
+    for t in pre..pre + post {
+        let (point, ms) = drive(&mut uninterrupted, &mut env_u, seed, t);
+        u_fp = fold_point(u_fp, &point);
+        u_trace.push(ms);
+    }
+
+    // Cold arm: the workload ran through the warm-up (default config — no
+    // backend existed to tune it), then an *empty* backend starts learning
+    // from the first post-restart request.
+    let mut env_c = fresh_env(seed);
+    let default_point = env_c.space().default_point();
+    for _ in 0..pre {
+        let _ = env_c.run(&default_point);
+    }
+    let mut cold = AutotuneBackend::new(Arc::new(Storage::new()), None, seed);
+    let mut cold_trace = Vec::with_capacity(post);
+    for t in pre..pre + post {
+        let (_point, ms) = drive(&mut cold, &mut env_c, seed, t);
+        cold_trace.push(ms);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    RepTraces {
+        uninterrupted: u_trace,
+        warm: warm_trace,
+        cold: cold_trace,
+        warm_bit_identical: warm_fp == u_fp,
+    }
+}
+
+/// Run the warm-vs-cold restart comparison.
+pub fn run(scale: Scale) -> Summary {
+    let pre = scale.pick(40, 12);
+    let post = scale.pick(50, 12);
+    let reps = scale.pick(8, 3);
+
+    let seeds: Vec<u64> = (0..reps)
+        .map(|r| 0x2E57_A27u64.wrapping_add(r as u64 * 101))
+        .collect();
+    let reps_done: Vec<RepTraces> = seeds.iter().map(|&seed| one_rep(seed, pre, post)).collect();
+
+    let mut summary = Summary::new("exp_restart_regret");
+    summary.row(
+        "post-restart window",
+        format!("{post} requests (after {pre} warm-up requests)"),
+    );
+    let mean_of = |pick: fn(&RepTraces) -> &Vec<f64>| -> f64 {
+        let per_rep: Vec<f64> = reps_done.iter().map(|r| ml::stats::mean(pick(r))).collect();
+        ml::stats::mean(&per_rep)
+    };
+    let warm_mean = mean_of(|r| &r.warm);
+    let cold_mean = mean_of(|r| &r.cold);
+    let u_mean = mean_of(|r| &r.uninterrupted);
+    summary.row("uninterrupted mean cost", format!("{u_mean:.0} ms"));
+    summary.row("warm restart mean cost", format!("{warm_mean:.0} ms"));
+    summary.row("cold restart mean cost", format!("{cold_mean:.0} ms"));
+    let all_identical = reps_done.iter().all(|r| r.warm_bit_identical);
+    summary.row(
+        "warm restart bit-identical to uninterrupted",
+        if all_identical { "yes" } else { "NO" },
+    );
+    summary.row(
+        "cold-restart cumulative regret",
+        format!(
+            "{:.0} ms over {post} requests",
+            (cold_mean - warm_mean) * post as f64
+        ),
+    );
+
+    let warm_traces: Vec<Vec<f64>> = reps_done.iter().map(|r| r.warm.clone()).collect();
+    let cold_traces: Vec<Vec<f64>> = reps_done.iter().map(|r| r.cold.clone()).collect();
+    summary.files.push(write_csv(
+        "exp_restart_regret_warm",
+        "iteration,p5,p50,p95",
+        &band_rows(&ml::stats::bands_per_iteration(&warm_traces)),
+    ));
+    summary.files.push(write_csv(
+        "exp_restart_regret_cold",
+        "iteration,p5,p50,p95",
+        &band_rows(&ml::stats::bands_per_iteration(&cold_traces)),
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_restart_is_bit_identical_and_cold_pays_regret() {
+        let rep = one_rep(0x7E57_0001, 12, 10);
+        assert!(
+            rep.warm_bit_identical,
+            "warm restart must continue the uninterrupted suggestion stream"
+        );
+        assert_eq!(
+            rep.warm, rep.uninterrupted,
+            "warm restart true-cost trace must equal the uninterrupted trace"
+        );
+        let warm_sum: f64 = rep.warm.iter().sum();
+        let cold_sum: f64 = rep.cold.iter().sum();
+        assert!(
+            cold_sum >= warm_sum,
+            "cold restart should not beat the recovered state over the \
+             post-restart window (cold {cold_sum:.0} ms < warm {warm_sum:.0} ms)"
+        );
+    }
+}

@@ -19,6 +19,7 @@ pub mod exp_applevel;
 pub mod exp_aqe_interaction;
 pub mod exp_embedding_ablation;
 pub mod exp_fault_injection;
+pub mod exp_restart_regret;
 pub mod fig01_shuffle_partitions;
 pub mod fig02_noisy_baselines;
 pub mod fig03_manual_vs_bo;

@@ -1,0 +1,278 @@
+//! Durable learned state for the Autotune Backend.
+//!
+//! Every state-mutating backend request is encoded as a [`WalEvent`] and
+//! appended to a `rockdur` write-ahead log *before* it is applied
+//! (append-before-apply). Because the backend thread serializes all
+//! mutations, the WAL records the exact operation order, and replaying it
+//! over the last compacted snapshot reproduces the backend bit-identically:
+//! tuner RNG streams are checkpointed raw (`TunerState::rng_state`), so a
+//! recovered tuner continues the *same* random sequence instead of
+//! restarting it from the seed.
+//!
+//! Corruption is data, not an error: torn tails, bit flips and
+//! foreign-version snapshots are quarantined by `rockdur` and surfaced here
+//! through [`RecoveryReport`] and the dashboard's
+//! `wal_records_quarantined` counter — recovery never panics and never
+//! silently drops a *committed* prefix.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use optimizers::tuner::TuningContext;
+use rockdur::{Recovery, Wal};
+use rockhopper::applevel::AppCache;
+use rockhopper::tuner::TunerState;
+
+use crate::monitor::Dashboard;
+
+/// Default number of WAL records between compacted snapshots.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+/// One state-mutating backend operation, as logged to the WAL.
+///
+/// The set is closed over exactly the operations that can change learned
+/// state: suggestions (they advance tuner RNG streams and iteration
+/// counters), report ingest (both the typed and the JSONL path log the
+/// canonical JSONL form), and app-cache recomputation. Read-only requests
+/// are never logged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum WalEvent {
+    /// A suggestion was issued for `(user, signature)` under `ctx`.
+    Suggest {
+        /// Tenant that asked.
+        user: String,
+        /// Query signature.
+        signature: u64,
+        /// Compile-time context the tuner saw.
+        ctx: TuningContext,
+    },
+    /// An event-log document was ingested.
+    IngestJsonl {
+        /// Tenant that reported.
+        user: String,
+        /// Application the document belongs to.
+        app_id: String,
+        /// The JSONL document, verbatim.
+        doc: String,
+    },
+    /// An app-cache recomputation was requested for one artifact.
+    UpdateAppCache {
+        /// Tenant that asked.
+        user: String,
+        /// Artifact whose cache entry is recomputed.
+        artifact_id: String,
+        /// Signatures participating in the joint optimization.
+        signatures: Vec<u64>,
+        /// Expected parallelism hint.
+        expected_p: f64,
+    },
+}
+
+/// One tuner's checkpoint inside a [`BackendSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct TunerEntry {
+    /// Tenant.
+    pub(crate) user: String,
+    /// Query signature.
+    pub(crate) signature: u64,
+    /// Full tuner state, including raw RNG words.
+    pub(crate) state: TunerState,
+}
+
+/// One cached query embedding inside a [`BackendSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct EmbeddingEntry {
+    /// Query signature.
+    pub(crate) signature: u64,
+    /// The embedding vector last seen for it.
+    pub(crate) embedding: Vec<f64>,
+}
+
+/// One served suggestion inside a [`BackendSnapshot`]'s memo.
+///
+/// The WAL's `Suggest` records replay to bit-identical points, but records
+/// *compacted into a snapshot* are pruned — so the snapshot itself must
+/// carry what was served, or a restarted serving layer would re-evaluate
+/// those keys on tuners that have already advanced past them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ServedEntry {
+    /// Tenant.
+    pub(crate) user: String,
+    /// Query signature.
+    pub(crate) signature: u64,
+    /// The exact tuning context the suggestion was computed under.
+    pub(crate) ctx: TuningContext,
+    /// The configuration that was served.
+    pub(crate) point: Vec<f64>,
+}
+
+/// One degradation-tracking entry inside a [`BackendSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct DegradedEntry {
+    /// Tenant.
+    pub(crate) user: String,
+    /// Query signature.
+    pub(crate) signature: u64,
+    /// Whether the tuner is currently degraded to the default config.
+    pub(crate) degraded: bool,
+    /// Suggests served while degraded (probe cadence counter).
+    pub(crate) suggests_while_degraded: u32,
+}
+
+/// A compacted, self-contained image of the backend's learned state.
+///
+/// Hash-map contents are encoded as vectors sorted by key so the same
+/// logical state always produces the same bytes — snapshots taken by two
+/// deterministic replicas are comparable byte-for-byte. Configuration that
+/// the operator passes at construction time (baseline model, degradation
+/// policy) is deliberately *not* included: a snapshot restores what was
+/// learned, not how the process was launched.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct BackendSnapshot {
+    /// The backend seed; adopted on recovery so new tuners derive the same
+    /// per-signature streams as before the crash.
+    pub(crate) seed: u64,
+    /// Transient-storage retries observed so far.
+    pub(crate) ingest_retries: u64,
+    /// Per-`(user, signature)` tuner checkpoints, sorted by key.
+    pub(crate) tuners: Vec<TunerEntry>,
+    /// Per-signature embeddings, sorted by signature.
+    pub(crate) embeddings: Vec<EmbeddingEntry>,
+    /// Per-`(user, signature)` degradation trackers, sorted by key.
+    pub(crate) degraded: Vec<DegradedEntry>,
+    /// Live served suggestions (not yet invalidated by a report), sorted by
+    /// `(user, signature, ctx)` — the serving layer rebuilds its coalescing
+    /// cache from these plus the replayed tail.
+    pub(crate) served: Vec<ServedEntry>,
+    /// The app-level configuration cache (already a sorted map).
+    pub(crate) app_cache: AppCache,
+    /// Monitoring state, counters included.
+    pub(crate) dashboard: Dashboard,
+}
+
+/// One replayed operation, in WAL order — the serving layer uses this to
+/// rebuild its coalescing cache exactly as the request stream left it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayedOp {
+    /// A suggestion was replayed; `point` is the (bit-identical) re-derived
+    /// configuration.
+    Suggest {
+        /// Tenant.
+        user: String,
+        /// Query signature.
+        signature: u64,
+        /// Context the suggestion was computed under.
+        ctx: TuningContext,
+        /// The configuration the replayed tuner produced.
+        point: Vec<f64>,
+    },
+    /// A report was replayed; any cached suggestion for these signatures is
+    /// stale, exactly as it would have been invalidated live.
+    Invalidate {
+        /// Tenant.
+        user: String,
+        /// Signatures the report mentioned (sorted, deduplicated).
+        signatures: Vec<u64>,
+    },
+}
+
+/// What a [`crate::AutotuneBackend::recover_from`] call found and did.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// WAL records replayed into the backend.
+    pub replayed: u64,
+    /// Corrupt artifacts quarantined: torn/flipped WAL suffixes, orphaned
+    /// segments, unreadable or foreign-version snapshots, and records whose
+    /// checksum passed but whose event encoding did not parse.
+    pub quarantined: u64,
+    /// Bytes set aside by quarantine.
+    pub quarantined_bytes: u64,
+    /// Whether a usable compacted snapshot was restored.
+    pub restored_snapshot: bool,
+    /// Replayed operations in WAL order, for serving-layer cache rebuild.
+    pub ops: Vec<ReplayedOp>,
+}
+
+/// The backend's handle on its durable state: a `rockdur` WAL plus the
+/// snapshot cadence and the replay guard.
+#[derive(Debug)]
+pub(crate) struct Durability {
+    wal: Wal,
+    snapshot_every: u64,
+    records_since_snapshot: u64,
+    /// While `true`, [`crate::AutotuneBackend`] mutators skip logging —
+    /// replayed operations must not be re-appended.
+    pub(crate) replaying: bool,
+}
+
+impl Durability {
+    /// Open (or create) the WAL under `dir` and return it with whatever
+    /// state survived on disk. The caller decides whether to replay the
+    /// recovery or treat its own in-memory state as authoritative.
+    pub(crate) fn open(dir: &Path, snapshot_every: u64) -> io::Result<(Durability, Recovery)> {
+        let (wal, recovery) = Wal::open(dir)?;
+        let d = Durability {
+            wal,
+            snapshot_every: snapshot_every.max(1),
+            records_since_snapshot: 0,
+            replaying: false,
+        };
+        Ok((d, recovery))
+    }
+
+    /// Append one event. Returns its sequence number.
+    pub(crate) fn append_event(&mut self, event: &WalEvent) -> io::Result<u64> {
+        let bytes = serde_json::to_vec(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        let seq = self.wal.append(&bytes)?;
+        self.records_since_snapshot = self.records_since_snapshot.saturating_add(1);
+        Ok(seq)
+    }
+
+    /// Whether enough records accumulated since the last snapshot.
+    pub(crate) fn snapshot_due(&self) -> bool {
+        self.records_since_snapshot >= self.snapshot_every
+    }
+
+    /// Write a compacted snapshot and prune the log behind it.
+    pub(crate) fn write_snapshot(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let seq = self.wal.snapshot(payload)?;
+        self.records_since_snapshot = 0;
+        Ok(seq)
+    }
+
+    /// Force-sync buffered appends to disk. This is the *only* flush the
+    /// drain path performs — deliberately not a snapshot, so crash tests
+    /// exercise real log replay rather than a trivial snapshot load.
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+}
+
+/// Extract the sorted, deduplicated query signatures a report's events
+/// mention. Both the serving layer's live invalidation and the replayed
+/// [`ReplayedOp::Invalidate`] use this one definition, so a recovered
+/// coalescing cache drops exactly the entries the live server would have.
+pub fn report_signatures(events: &[sparksim::event::SparkEvent]) -> Vec<u64> {
+    use sparksim::event::SparkEvent;
+    let mut sigs: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            SparkEvent::QueryStart {
+                query_signature, ..
+            }
+            | SparkEvent::QueryEnd {
+                query_signature, ..
+            }
+            | SparkEvent::StageCompleted {
+                query_signature, ..
+            } => Some(*query_signature),
+            SparkEvent::ApplicationStart { .. } | SparkEvent::ApplicationEnd { .. } => None,
+        })
+        .collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    sigs
+}

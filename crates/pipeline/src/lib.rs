@@ -12,7 +12,11 @@
 //! - [`service`] — the online phase: Autotune Client (config inference at query
 //!   start) and Autotune Backend (model updates after completion) joined by
 //!   crossbeam channels, mirroring the architecture in Figure 7.
+//! - [`durability`] — the backend's durable-state layer: every state-mutating
+//!   request is logged to a `rockdur` WAL before it is applied, with periodic
+//!   compacted snapshots, so a crashed backend recovers bit-identically.
 
+pub mod durability;
 pub mod etl;
 pub mod flighting;
 pub mod monitor;
@@ -20,6 +24,7 @@ pub mod service;
 pub mod storage;
 pub mod trainer;
 
+pub use durability::{report_signatures, RecoveryReport, ReplayedOp};
 pub use etl::TrainingRow;
 pub use monitor::DashboardCounters;
 pub use service::{AutotuneBackend, AutotuneClient, AutotuneService, SuggestFallback};

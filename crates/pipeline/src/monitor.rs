@@ -259,6 +259,15 @@ pub struct DashboardCounters {
     pub quarantined_lines: u64,
     /// Distinct query signatures with a monitor.
     pub tracked_signatures: u64,
+    /// WAL records durably appended by the backend (lifetime, carried across
+    /// restarts inside the snapshot).
+    pub wal_records_written: u64,
+    /// Corrupt WAL/snapshot artifacts quarantined during recovery.
+    pub wal_records_quarantined: u64,
+    /// Compacted state snapshots written.
+    pub snapshot_writes: u64,
+    /// WAL records replayed into the backend by recovery.
+    pub recovery_replayed: u64,
 }
 
 /// Workspace-wide dashboard: one monitor per query signature.
@@ -306,6 +315,26 @@ impl Dashboard {
         self.monitors.entry(signature).or_default().record_failure();
         self.counters.failed_runs = self.counters.failed_runs.saturating_add(1);
         self.counters.tracked_signatures = u64::try_from(self.monitors.len()).unwrap_or(u64::MAX);
+    }
+
+    /// Count one durably appended WAL record.
+    pub fn record_wal_write(&mut self) {
+        self.counters.wal_records_written = self.counters.wal_records_written.saturating_add(1);
+    }
+
+    /// Count one compacted snapshot write.
+    pub fn record_snapshot_write(&mut self) {
+        self.counters.snapshot_writes = self.counters.snapshot_writes.saturating_add(1);
+    }
+
+    /// Fold one recovery's outcome into the counters: `replayed` WAL records
+    /// re-applied to the backend, `quarantined` corrupt artifacts set aside.
+    pub fn record_recovery(&mut self, replayed: u64, quarantined: u64) {
+        self.counters.recovery_replayed = self.counters.recovery_replayed.saturating_add(replayed);
+        self.counters.wal_records_quarantined = self
+            .counters
+            .wal_records_quarantined
+            .saturating_add(quarantined);
     }
 
     /// One-copy snapshot of the aggregate counters.

@@ -7,6 +7,8 @@
 //! cluster-side handle (the model loader / query listener pair).
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -20,6 +22,10 @@ use rockhopper::baseline::BaselineModel;
 use rockhopper::RockhopperTuner;
 use sparksim::event::SparkEvent;
 
+use crate::durability::{
+    self, BackendSnapshot, DegradedEntry, Durability, EmbeddingEntry, RecoveryReport, ReplayedOp,
+    ServedEntry, TunerEntry, WalEvent,
+};
 use crate::etl::{extract_batch, EtlBatch};
 use crate::monitor::{Dashboard, DashboardCounters};
 use crate::storage::{paths, Storage};
@@ -53,6 +59,11 @@ const MAX_TRACKED_TUNERS: usize = 4096;
 const MAX_TRACKED_EMBEDDINGS: usize = 8192;
 const MAX_TRACKED_DEGRADED: usize = 8192;
 
+/// Cap on the served-suggestion memo carried in snapshots. On overflow new
+/// keys are simply not memoized (deterministic; never an eviction) — a
+/// restarted serving layer re-evaluates those keys instead of cache-hitting.
+const MAX_SERVED_MEMO: usize = 8192;
+
 /// The backend: storage, per-(user, signature) tuners, baseline model, app cache.
 pub struct AutotuneBackend {
     storage: Arc<Storage>,
@@ -76,6 +87,13 @@ pub struct AutotuneBackend {
     probe_period: u32,
     /// Event-file writes that had to be retried against a flaky store.
     ingest_retries: u64,
+    /// Durable-state handle (WAL + snapshot cadence); `None` = in-memory only.
+    durability: Option<Durability>,
+    /// Served suggestions not yet invalidated by a report, keyed by
+    /// `(user, signature, ctx-json)` — maintained only under durability, and
+    /// carried in every snapshot so a restarted serving layer can rebuild
+    /// its coalescing cache for operations the snapshot compacted away.
+    served: HashMap<(String, u64, String), (TuningContext, Vec<f64>)>,
     seed: u64,
 }
 
@@ -96,6 +114,8 @@ impl AutotuneBackend {
             degrade_after: 3,
             probe_period: 4,
             ingest_retries: 0,
+            durability: None,
+            served: HashMap::new(),
             seed,
         }
     }
@@ -122,6 +142,21 @@ impl AutotuneBackend {
     /// degraded mode get the default configuration, except for the periodic
     /// probe that checks whether tuning can be re-enabled.
     pub fn suggest(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+        // Append-before-apply: a suggestion advances tuner RNG/iteration
+        // state, so the WAL must record it before the tuner moves.
+        self.log_event(&WalEvent::Suggest {
+            user: user.to_string(),
+            signature,
+            ctx: ctx.clone(),
+        });
+        let point = self.suggest_point(user, signature, ctx);
+        self.memo_served(user, signature, ctx, &point);
+        point
+    }
+
+    /// The tuning logic behind [`AutotuneBackend::suggest`], after the WAL
+    /// append and before the served-memo update.
+    fn suggest_point(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
         if self.embeddings.len() >= MAX_TRACKED_EMBEDDINGS
             && !self.embeddings.contains_key(&signature)
         {
@@ -146,6 +181,35 @@ impl AutotuneBackend {
         }
         let tuner = self.tuner_for(user, signature);
         tuner.suggest(ctx)
+    }
+
+    /// Remember a served suggestion for the snapshot's served-memo. Only
+    /// durable backends pay for this: the memo exists so a *restarted*
+    /// serving layer can rebuild its coalescing cache, and an in-memory
+    /// backend has no restarts to survive.
+    fn memo_served(&mut self, user: &str, signature: u64, ctx: &TuningContext, point: &[f64]) {
+        if self.durability.is_none() {
+            return;
+        }
+        let Ok(ctx_key) = serde_json::to_string(ctx) else {
+            return;
+        };
+        let key = (user.to_string(), signature, ctx_key);
+        if self.served.len() >= MAX_SERVED_MEMO && !self.served.contains_key(&key) {
+            return;
+        }
+        self.served.insert(key, (ctx.clone(), point.to_vec()));
+    }
+
+    /// Drop memo entries a report's signatures make stale — the same rule
+    /// the serving layer applies to its live coalescing cache
+    /// ([`durability::report_signatures`] is the shared definition).
+    fn invalidate_served(&mut self, user: &str, signatures: &[u64]) {
+        if self.durability.is_none() || signatures.is_empty() {
+            return;
+        }
+        self.served
+            .retain(|k, _| !(k.0 == user && signatures.binary_search(&k.1).is_ok()));
     }
 
     fn tuner_for(&mut self, user: &str, signature: u64) -> &mut RockhopperTuner {
@@ -173,7 +237,16 @@ impl AutotuneBackend {
     /// (the Model Updater job). Failed runs — starts whose end never arrived —
     /// become censored high-cost observations and advance degraded-mode streaks.
     pub fn ingest(&mut self, user: &str, app_id: &str, events: &[SparkEvent]) {
-        self.persist_events(app_id, sparksim::event::to_jsonl(events).into_bytes());
+        // Logged in canonical JSONL form — replay goes through the lossy
+        // parser, which round-trips `to_jsonl` output exactly.
+        let doc = sparksim::event::to_jsonl(events);
+        self.log_event(&WalEvent::IngestJsonl {
+            user: user.to_string(),
+            app_id: app_id.to_string(),
+            doc: doc.clone(),
+        });
+        self.invalidate_served(user, &durability::report_signatures(events));
+        self.persist_events(app_id, doc.into_bytes());
         self.storage.tick();
         self.dashboard.ingest(events);
         self.ingest_batch(user, extract_batch(events));
@@ -183,9 +256,15 @@ impl AutotuneBackend {
     /// corrupt/truncated lines are quarantined (and counted on the dashboard)
     /// instead of poisoning the whole file.
     pub fn ingest_jsonl(&mut self, user: &str, app_id: &str, doc: &str) {
+        self.log_event(&WalEvent::IngestJsonl {
+            user: user.to_string(),
+            app_id: app_id.to_string(),
+            doc: doc.to_string(),
+        });
         self.persist_events(app_id, doc.as_bytes().to_vec());
         self.storage.tick();
         let (events, quarantined) = sparksim::event::from_jsonl_lossy(doc);
+        self.invalidate_served(user, &durability::report_signatures(&events));
         self.dashboard.ingest(&events);
         let mut batch = extract_batch(&events);
         batch.quarantined_lines = quarantined;
@@ -319,6 +398,12 @@ impl AutotuneBackend {
         signatures: &[u64],
         expected_p: f64,
     ) {
+        self.log_event(&WalEvent::UpdateAppCache {
+            user: user.to_string(),
+            artifact_id: artifact_id.to_string(),
+            signatures: signatures.to_vec(),
+            expected_p,
+        });
         if let Some(entry) = self.compute_app_cache_entry(user, signatures, expected_p) {
             self.commit_app_cache_entry(artifact_id, entry);
         }
@@ -402,6 +487,18 @@ impl AutotuneBackend {
         user: &str,
         artifacts: &[(String, Vec<u64>, f64)],
     ) -> usize {
+        // Log the whole sweep's intent up front: replaying one
+        // `UpdateAppCache` per artifact through `update_app_cache` is
+        // bit-identical to the batch (documented above), and a crash
+        // mid-sweep recovers to the completed-sweep state the WAL promised.
+        for (artifact_id, sigs, p) in artifacts {
+            self.log_event(&WalEvent::UpdateAppCache {
+                user: user.to_string(),
+                artifact_id: artifact_id.clone(),
+                signatures: sigs.clone(),
+                expected_p: *p,
+            });
+        }
         // Gather serially (the tuner map holds non-Sync selector state), then
         // solve each artifact as a stable-index task on the pool over plain
         // Sync data; commits need `&mut self` and run after, in artifact order.
@@ -557,6 +654,309 @@ impl AutotuneBackend {
                 true
             }
             Err(_) => false,
+        }
+    }
+
+    // --- Durable learned state (DESIGN.md §10) ---
+
+    /// Attach durable state under `dir`, treating *this backend's in-memory
+    /// state* as authoritative: a full compacted snapshot is written
+    /// immediately and every further mutation is WAL-logged. Anything
+    /// already under `dir` is superseded by the new snapshot — the
+    /// fresh-deployment / migration path. Use
+    /// [`AutotuneBackend::recover_from`] to adopt on-disk state instead.
+    /// Returns the snapshot's sequence number.
+    pub fn persist_to(&mut self, dir: &Path) -> io::Result<u64> {
+        self.persist_to_with(dir, durability::DEFAULT_SNAPSHOT_EVERY)
+    }
+
+    /// As [`AutotuneBackend::persist_to`] with an explicit snapshot cadence
+    /// (records between compacted snapshots).
+    pub fn persist_to_with(&mut self, dir: &Path, snapshot_every: u64) -> io::Result<u64> {
+        let (d, _superseded) = Durability::open(dir, snapshot_every)?;
+        self.durability = Some(d);
+        self.write_snapshot_now()
+    }
+
+    /// Recover learned state from `dir` — newest valid snapshot, then every
+    /// surviving WAL record replayed in original order — and keep logging
+    /// there. The disk is authoritative: the snapshot's seed is adopted and
+    /// replayed suggestions re-derive bit-identical configurations, because
+    /// tuner RNG streams were checkpointed raw. Corruption (torn tails, bit
+    /// flips, foreign-version snapshots, undecodable events) is quarantined
+    /// and counted, never fatal; `Err` is reserved for real I/O failures on
+    /// the directory itself.
+    pub fn recover_from(&mut self, dir: &Path) -> io::Result<RecoveryReport> {
+        self.recover_from_with(dir, durability::DEFAULT_SNAPSHOT_EVERY)
+    }
+
+    /// As [`AutotuneBackend::recover_from`] with an explicit snapshot cadence.
+    pub fn recover_from_with(
+        &mut self,
+        dir: &Path,
+        snapshot_every: u64,
+    ) -> io::Result<RecoveryReport> {
+        let (mut d, recovery) = Durability::open(dir, snapshot_every)?;
+        let mut report = RecoveryReport {
+            quarantined: recovery.quarantined,
+            quarantined_bytes: recovery.quarantined_bytes,
+            ..RecoveryReport::default()
+        };
+        // A snapshot whose CRC passed can still fail to decode (written by a
+        // foreign build with a compatible envelope). Its records cover state
+        // we then don't have — unless the snapshot sits at seq 0, where the
+        // pre-snapshot state is vacuously empty and replay stays sound.
+        let mut base_ok = true;
+        if let Some(snap) = recovery.snapshot {
+            match serde_json::from_slice::<BackendSnapshot>(&snap.payload) {
+                Ok(s) => {
+                    // The snapshot's served-memo stands in for the suggest
+                    // records it compacted away: without these ops the
+                    // serving layer would re-evaluate those keys on tuners
+                    // that have already advanced past them.
+                    for e in &s.served {
+                        report.ops.push(ReplayedOp::Suggest {
+                            user: e.user.clone(),
+                            signature: e.signature,
+                            ctx: e.ctx.clone(),
+                            point: e.point.clone(),
+                        });
+                    }
+                    self.apply_snapshot(s);
+                    report.restored_snapshot = true;
+                }
+                Err(_) => {
+                    report.quarantined = report.quarantined.saturating_add(1);
+                    report.quarantined_bytes = report
+                        .quarantined_bytes
+                        .saturating_add(u64::try_from(snap.payload.len()).unwrap_or(u64::MAX));
+                    base_ok = snap.seq == 0;
+                }
+            }
+        }
+        d.replaying = true;
+        self.durability = Some(d);
+        for (_seq, payload) in recovery.records {
+            let parsed = if base_ok {
+                serde_json::from_slice::<WalEvent>(&payload).ok()
+            } else {
+                None
+            };
+            match parsed {
+                Some(event) => {
+                    self.replay_event(event, &mut report);
+                    report.replayed = report.replayed.saturating_add(1);
+                }
+                None => {
+                    report.quarantined = report.quarantined.saturating_add(1);
+                    report.quarantined_bytes = report
+                        .quarantined_bytes
+                        .saturating_add(u64::try_from(payload.len()).unwrap_or(u64::MAX));
+                }
+            }
+        }
+        if let Some(d) = self.durability.as_mut() {
+            d.replaying = false;
+        }
+        self.dashboard
+            .record_recovery(report.replayed, report.quarantined);
+        Ok(report)
+    }
+
+    /// Force-sync buffered WAL appends to disk — the drain path's flush.
+    /// Deliberately *not* a final snapshot: the next boot exercises real log
+    /// replay, so crash-recovery tests stay honest. No-op without durability.
+    pub fn flush_durability(&mut self) -> io::Result<()> {
+        match self.durability.as_mut() {
+            None => Ok(()),
+            Some(d) => d.sync(),
+        }
+    }
+
+    /// Append one event to the WAL (no-op without durability or during
+    /// replay). When the snapshot cadence is due, the compacted snapshot is
+    /// written *before* the new event is appended: `log_event` runs under
+    /// append-before-apply, so this is the only moment the in-memory state
+    /// covers exactly the records already logged — snapshotting after the
+    /// append would prune a record whose effects the snapshot lacks.
+    /// Serving availability beats durability: a failed append degrades this
+    /// process to in-memory-only rather than failing the request.
+    fn log_event(&mut self, event: &WalEvent) {
+        let (replaying, due) = match self.durability.as_ref() {
+            None => return,
+            Some(d) => (d.replaying, d.snapshot_due()),
+        };
+        if replaying {
+            return;
+        }
+        if due {
+            let _ = self.write_snapshot_now();
+        }
+        let appended = match self.durability.as_mut() {
+            None => false,
+            Some(d) => d.append_event(event).is_ok(),
+        };
+        if appended {
+            self.dashboard.record_wal_write();
+        }
+    }
+
+    /// Serialize the full learned state and write a compacted snapshot,
+    /// pruning the WAL behind it.
+    fn write_snapshot_now(&mut self) -> io::Result<u64> {
+        let snap = self.snapshot_state();
+        let bytes = serde_json::to_vec(&snap)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        let seq = match self.durability.as_mut() {
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "durability not attached",
+                ))
+            }
+            Some(d) => d.write_snapshot(&bytes)?,
+        };
+        self.dashboard.record_snapshot_write();
+        Ok(seq)
+    }
+
+    /// Re-apply one replayed WAL event through the normal mutation paths
+    /// (the `replaying` guard keeps them from re-logging).
+    fn replay_event(&mut self, event: WalEvent, report: &mut RecoveryReport) {
+        match event {
+            WalEvent::Suggest {
+                user,
+                signature,
+                ctx,
+            } => {
+                let point = self.suggest(&user, signature, &ctx);
+                report.ops.push(ReplayedOp::Suggest {
+                    user,
+                    signature,
+                    ctx,
+                    point,
+                });
+            }
+            WalEvent::IngestJsonl { user, app_id, doc } => {
+                let (events, _) = sparksim::event::from_jsonl_lossy(&doc);
+                let signatures = durability::report_signatures(&events);
+                self.ingest_jsonl(&user, &app_id, &doc);
+                if !signatures.is_empty() {
+                    report.ops.push(ReplayedOp::Invalidate { user, signatures });
+                }
+            }
+            WalEvent::UpdateAppCache {
+                user,
+                artifact_id,
+                signatures,
+                expected_p,
+            } => {
+                self.update_app_cache(&user, &artifact_id, &signatures, expected_p);
+            }
+        }
+    }
+
+    /// Encode the full learned state with hash maps flattened into
+    /// key-sorted vectors, so equal logical state gives equal bytes.
+    fn snapshot_state(&self) -> BackendSnapshot {
+        let mut tuners: Vec<TunerEntry> = self
+            .tuners
+            .iter()
+            .map(|((user, sig), t)| TunerEntry {
+                user: user.clone(),
+                signature: *sig,
+                state: t.snapshot(),
+            })
+            .collect();
+        tuners.sort_by(|a, b| (&a.user, a.signature).cmp(&(&b.user, b.signature)));
+        let mut embeddings: Vec<EmbeddingEntry> = self
+            .embeddings
+            .iter()
+            .map(|(sig, e)| EmbeddingEntry {
+                signature: *sig,
+                embedding: e.clone(),
+            })
+            .collect();
+        embeddings.sort_by_key(|e| e.signature);
+        let mut degraded: Vec<DegradedEntry> = self
+            .degraded
+            .iter()
+            .map(|((user, sig), s)| DegradedEntry {
+                user: user.clone(),
+                signature: *sig,
+                degraded: s.degraded,
+                suggests_while_degraded: s.suggests_while_degraded,
+            })
+            .collect();
+        degraded.sort_by(|a, b| (&a.user, a.signature).cmp(&(&b.user, b.signature)));
+        let mut served_keys: Vec<&(String, u64, String)> = self.served.keys().collect();
+        served_keys.sort();
+        let served: Vec<ServedEntry> = served_keys
+            .into_iter()
+            .filter_map(|k| {
+                self.served.get(k).map(|(ctx, point)| ServedEntry {
+                    user: k.0.clone(),
+                    signature: k.1,
+                    ctx: ctx.clone(),
+                    point: point.clone(),
+                })
+            })
+            .collect();
+        BackendSnapshot {
+            seed: self.seed,
+            ingest_retries: self.ingest_retries,
+            tuners,
+            embeddings,
+            degraded,
+            served,
+            app_cache: self.app_cache.clone(),
+            dashboard: self.dashboard.clone(),
+        }
+    }
+
+    /// Install a decoded snapshot as this backend's state. The baseline and
+    /// policy knobs are construction-time configuration and stay as-is.
+    fn apply_snapshot(&mut self, snap: BackendSnapshot) {
+        self.seed = snap.seed;
+        self.ingest_retries = snap.ingest_retries;
+        self.app_cache = snap.app_cache;
+        self.dashboard = snap.dashboard;
+        self.tuners.clear();
+        for t in snap.tuners {
+            if self.tuners.len() >= MAX_TRACKED_TUNERS {
+                break; // hand-grown snapshots still respect the cap
+            }
+            let tuner =
+                RockhopperTuner::restore(self.space.clone(), t.state, self.baseline.clone());
+            self.tuners.insert((t.user, t.signature), tuner);
+        }
+        self.embeddings = snap
+            .embeddings
+            .into_iter()
+            .take(MAX_TRACKED_EMBEDDINGS)
+            .map(|e| (e.signature, e.embedding))
+            .collect();
+        self.degraded = snap
+            .degraded
+            .into_iter()
+            .take(MAX_TRACKED_DEGRADED)
+            .map(|d| {
+                (
+                    (d.user, d.signature),
+                    DegradedState {
+                        degraded: d.degraded,
+                        suggests_while_degraded: d.suggests_while_degraded,
+                    },
+                )
+            })
+            .collect();
+        self.served.clear();
+        for e in snap.served.into_iter().take(MAX_SERVED_MEMO) {
+            let Ok(ctx_key) = serde_json::to_string(&e.ctx) else {
+                continue;
+            };
+            self.served
+                .insert((e.user, e.signature, ctx_key), (e.ctx, e.point));
         }
     }
 }
@@ -1334,5 +1734,187 @@ mod tests {
         });
         let backend = service.shutdown().expect("backend exits cleanly");
         assert_eq!(backend.tuner_count(), 20);
+    }
+
+    // --- Durable learned state ---
+
+    /// Fresh state dir under the system tempdir, removed on drop.
+    struct StateDir(std::path::PathBuf);
+
+    impl StateDir {
+        fn new(tag: &str) -> StateDir {
+            static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+            let id = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let root =
+                std::env::temp_dir().join(format!("rockdur-svc-{tag}-{}-{id}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            StateDir(root)
+        }
+    }
+
+    impl Drop for StateDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Drive `n` suggest+ingest rounds against a backend; returns the env.
+    fn drive_rounds(b: &mut AutotuneBackend, n: usize) -> QueryEnv {
+        let mut env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 7);
+        drive_query(b, &mut env, "alice", n);
+        env
+    }
+
+    #[test]
+    fn durability_logging_does_not_perturb_suggestions() {
+        let dir = StateDir::new("noperturb");
+        let mut plain = backend();
+        let mut durable = backend();
+        durable.persist_to_with(&dir.0, 4).expect("attach");
+        let mut env_a = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 7);
+        let mut env_b = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 7);
+        let sig = env_a.signature();
+        for i in 0..6 {
+            let ctx = env_a.context();
+            let _ = env_b.context();
+            let pa = plain.suggest("alice", sig, &ctx);
+            let pb = durable.suggest("alice", sig, &ctx);
+            assert_eq!(pa, pb, "round {i}: WAL logging must be invisible");
+            let _ = env_a.run(&pa);
+            let _ = env_b.run(&pb);
+        }
+    }
+
+    #[test]
+    fn crash_recovery_replays_to_bit_identical_suggestions() {
+        let dir = StateDir::new("replay");
+        // Reference run: never crashes, never persists.
+        let mut reference = backend();
+        let ref_env = drive_rounds(&mut reference, 6);
+        let sig = ref_env.signature();
+
+        // Durable run: same workload, then "crash" (drop without snapshot —
+        // flush is a WAL sync only, so boot exercises real log replay).
+        let mut durable = backend();
+        durable.persist_to_with(&dir.0, 1000).expect("attach");
+        drive_rounds(&mut durable, 6);
+        durable.update_app_cache("alice", "artifact-x", &[sig], 1.0);
+        reference.update_app_cache("alice", "artifact-x", &[sig], 1.0);
+        durable.flush_durability().expect("flush");
+        drop(durable);
+
+        let mut recovered = backend();
+        let report = recovered.recover_from_with(&dir.0, 1000).expect("recover");
+        assert!(report.replayed > 0, "log replay must do work");
+        assert_eq!(report.quarantined, 0, "clean shutdown has no quarantine");
+        assert_eq!(
+            recovered.observation_count("alice", sig),
+            reference.observation_count("alice", sig)
+        );
+        assert_eq!(
+            recovered.app_conf("artifact-x"),
+            reference.app_conf("artifact-x")
+        );
+        // Replayed suggests re-derived the original points bit-exactly.
+        assert!(report
+            .ops
+            .iter()
+            .any(|op| matches!(op, ReplayedOp::Suggest { .. })));
+        // The decisive check: both backends continue the *same* stream.
+        let ctx = ref_env.context();
+        for i in 0..10 {
+            assert_eq!(
+                reference.suggest("alice", sig, &ctx),
+                recovered.suggest("alice", sig, &ctx),
+                "post-recovery round {i} must be bit-identical"
+            );
+        }
+        let c = recovered.dashboard().counters();
+        assert_eq!(c.recovery_replayed, report.replayed);
+    }
+
+    #[test]
+    fn snapshot_compaction_recovers_like_full_replay() {
+        let a = StateDir::new("compact-a");
+        let b = StateDir::new("compact-b");
+        // Same workload, wildly different snapshot cadences: cadence 3
+        // compacts repeatedly (pruning the log), cadence 1000 never does.
+        let mut often = backend();
+        often.persist_to_with(&a.0, 3).expect("attach");
+        let mut rarely = backend();
+        rarely.persist_to_with(&b.0, 1000).expect("attach");
+        let env = drive_rounds(&mut often, 6);
+        drive_rounds(&mut rarely, 6);
+        let sig = env.signature();
+        often.flush_durability().expect("flush");
+        rarely.flush_durability().expect("flush");
+        assert!(often.dashboard().counters().snapshot_writes > 1);
+        drop(often);
+        drop(rarely);
+
+        let mut from_snap = backend();
+        let snap_report = from_snap.recover_from_with(&a.0, 3).expect("recover a");
+        let mut from_log = backend();
+        from_log.recover_from_with(&b.0, 1000).expect("recover b");
+        assert!(
+            snap_report.restored_snapshot,
+            "cadence 3 must have compacted"
+        );
+        let ctx = env.context();
+        for _ in 0..8 {
+            assert_eq!(
+                from_snap.suggest("alice", sig, &ctx),
+                from_log.suggest("alice", sig, &ctx),
+                "snapshot+tail and pure-log recovery must agree bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_tail_recovery_keeps_the_committed_prefix() {
+        let dir = StateDir::new("torn");
+        let mut durable = backend();
+        durable.persist_to_with(&dir.0, 1000).expect("attach");
+        drive_rounds(&mut durable, 6);
+        durable.flush_durability().expect("flush");
+        drop(durable);
+        let chopped = rockdur::fault::torn_tail(&dir.0, 0xC0FFEE).expect("chop");
+        assert!(chopped > 0);
+
+        let mut recovered = backend();
+        let report = recovered.recover_from(&dir.0).expect("never fatal");
+        assert!(report.quarantined >= 1, "the torn suffix is quarantined");
+        assert!(report.replayed > 0, "the committed prefix still replays");
+        let c = recovered.dashboard().counters();
+        assert!(c.wal_records_quarantined >= 1);
+        // The backend keeps serving after partial recovery.
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 7);
+        let p = recovered.suggest("alice", env.signature(), &env.context());
+        assert_eq!(p.len(), recovered.space.dims.len());
+    }
+
+    #[test]
+    fn foreign_version_snapshot_recovers_empty_but_serving() {
+        let dir = StateDir::new("foreign");
+        let mut durable = backend();
+        durable.persist_to_with(&dir.0, 2).expect("attach");
+        drive_rounds(&mut durable, 5);
+        durable.flush_durability().expect("flush");
+        drop(durable);
+        let snap = rockdur::fault::newest_snapshot(&dir.0)
+            .expect("list")
+            .expect("a snapshot was compacted");
+        rockdur::fault::foreign_snapshot_version(&snap).expect("stamp");
+
+        let mut recovered = backend();
+        let report = recovered.recover_from_with(&dir.0, 2).expect("never fatal");
+        assert!(!report.restored_snapshot);
+        assert!(report.quarantined >= 1);
+        // Post-snapshot records are orphaned with it; state starts fresh
+        // but the process serves.
+        let env = QueryEnv::tpch(6, 0.1, NoiseSpec::none(), 7);
+        let p = recovered.suggest("alice", env.signature(), &env.context());
+        assert_eq!(p.len(), recovered.space.dims.len());
+        assert!(recovered.dashboard().counters().wal_records_quarantined >= 1);
     }
 }

@@ -444,11 +444,12 @@ impl fmt::Display for LintError {
 impl std::error::Error for LintError {}
 
 /// Crates whose library code must be panic-free and float-safe.
-pub const PANIC_SCOPE: [&str; 7] = [
+pub const PANIC_SCOPE: [&str; 8] = [
     "embedding",
     "ml",
     "optimizers",
     "pipeline",
+    "rockdur",
     "rockhopper",
     "rockserve",
     "sparksim",

@@ -1,0 +1,106 @@
+//! Deterministic corruption injectors for crash-recovery tests.
+//!
+//! Same discipline as `sparksim`'s `FaultSpec`: every injector derives its
+//! decision from the *workload seed XOR a fixed salt*, so "same seed"
+//! reproduces the same crash point without ever sharing an RNG stream with
+//! the workload itself. These are test/CI helpers — production code never
+//! calls them.
+
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::wal::to_u64;
+
+/// Salt for [`torn_tail`]; mirrors `sparksim::fault::FAULT_SALT`'s role.
+const TORN_TAIL_SALT: u64 = 0x70A4_5EED_0D15_C0DE;
+
+/// Salt for [`flip_bit`].
+const FLIP_SALT: u64 = 0xB17F_11B5_0BAD_F00D;
+
+/// SplitMix64 — the same generator `rockpool::split_seed` uses, inlined so
+/// this crate stays dependency-free.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Chop a seed-derived number of bytes (1..=96, capped at the record area)
+/// off the newest WAL segment, simulating a torn final write at power
+/// loss. Returns bytes removed — 0 when the dir has no choppable segment.
+pub fn torn_tail(dir: &Path, seed: u64) -> io::Result<u64> {
+    let Some(path) = newest_segment(dir)? else {
+        return Ok(0);
+    };
+    let len = fs::metadata(&path)?.len();
+    if len <= 8 {
+        return Ok(0); // magic-only segment: nothing to tear
+    }
+    let span = (len - 8).min(96);
+    let chop = splitmix(seed ^ TORN_TAIL_SALT) % span + 1;
+    let f = OpenOptions::new().write(true).open(&path)?;
+    f.set_len(len - chop)?;
+    f.sync_data()?;
+    Ok(chop)
+}
+
+/// Flip one seed-derived bit anywhere in `path`, simulating media
+/// corruption. Returns the byte offset flipped, or `None` for an empty
+/// file.
+pub fn flip_bit(path: &Path, seed: u64) -> io::Result<Option<u64>> {
+    let mut data = fs::read(path)?;
+    if data.is_empty() {
+        return Ok(None);
+    }
+    let r = splitmix(seed ^ FLIP_SALT);
+    let off = usize::try_from(r % to_u64(data.len())).unwrap_or(0);
+    let bit = u32::try_from((r >> 17) & 7).unwrap_or(0);
+    if let Some(b) = data.get_mut(off) {
+        *b ^= 1u8 << bit;
+    }
+    fs::write(path, &data)?;
+    Ok(Some(to_u64(off)))
+}
+
+/// Overwrite a snapshot's version word with a foreign value, simulating a
+/// file written by an incompatible build.
+pub fn foreign_snapshot_version(path: &Path) -> io::Result<()> {
+    let mut data = fs::read(path)?;
+    if let Some(bytes) = data.get_mut(8..12) {
+        bytes.copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    }
+    fs::write(path, &data)
+}
+
+/// Newest (highest first-seq) WAL segment in `dir`, if any.
+pub fn newest_segment(dir: &Path) -> io::Result<Option<PathBuf>> {
+    newest_with(dir, "wal-", ".log")
+}
+
+/// Newest (highest seq) snapshot in `dir`, if any.
+pub fn newest_snapshot(dir: &Path) -> io::Result<Option<PathBuf>> {
+    newest_with(dir, "snap-", ".snap")
+}
+
+fn newest_with(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Option<PathBuf>> {
+    let mut best: Option<(String, PathBuf)> = None;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !(name.starts_with(prefix) && name.ends_with(suffix)) {
+            continue;
+        }
+        // 16-hex fixed-width names sort lexicographically == numerically.
+        if best
+            .as_ref()
+            .map(|(n, _)| name > n.as_str())
+            .unwrap_or(true)
+        {
+            best = Some((name.to_string(), entry.path()));
+        }
+    }
+    Ok(best.map(|(_, p)| p))
+}

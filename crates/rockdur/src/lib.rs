@@ -1,0 +1,34 @@
+//! rockdur — durable learned state for the Rockhopper serving stack.
+//!
+//! A std-only persistence layer with two cooperating pieces (DESIGN.md §10):
+//!
+//! * an **append-only WAL** of backend events. Each record is
+//!   length-prefixed and CRC-32-checksummed; each segment file opens with a
+//!   versioned magic so a foreign-format file can never be half-parsed.
+//!   Appends are allocation-free (the encode buffer is reused) and fsync'd
+//!   in batches.
+//! * **compacted snapshots** of the full backend state, written
+//!   tmp-then-rename with their own versioned, checksummed header. A
+//!   snapshot at sequence `S` makes every WAL record below `S` redundant;
+//!   older segments and snapshots are pruned after the rename lands.
+//!
+//! Recovery is **prefix-disciplined**: boot state is the newest valid
+//! snapshot plus the longest contiguous run of valid records after it.
+//! Anything else — torn tails, bit flips, truncated headers, foreign
+//! versions, gaps between segments — is *quarantined* (counted, preserved
+//! in `*.quarantined` sidecars, never replayed) exactly like the ETL path
+//! quarantines malformed event-log lines. Corruption is data, not an
+//! error: recovery never panics and never propagates `Err` for bad bytes,
+//! only for real I/O failures.
+//!
+//! Determinism contract: replaying `Recovery::records` in order onto the
+//! state decoded from `Recovery::snapshot` must rebuild the pre-crash
+//! state bit-for-bit. The crate itself is format-only — what the payloads
+//! mean is the caller's business (`pipeline::service` logs backend events
+//! in backend-thread order, which serializes them by construction).
+
+pub mod crc;
+pub mod fault;
+pub mod wal;
+
+pub use wal::{Recovery, Snapshot, Wal, MAX_RECORD_BYTES, SNAPSHOT_VERSION};

@@ -27,6 +27,18 @@ pub trait CandidateSelector: std::fmt::Debug {
         ctx: &TuningContext,
         history: &History,
     ) -> usize;
+
+    /// Export the selector's raw RNG state for bit-exact checkpointing
+    /// (the durability layer's recovery contract: a restored selector must
+    /// continue the *same* random-fallback stream, not restart it from the
+    /// seed). Stateless selectors have nothing to save.
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        None
+    }
+
+    /// Re-inject state exported by [`CandidateSelector::rng_state`].
+    /// No-op for stateless selectors.
+    fn restore_rng_state(&mut self, _state: [u64; 4]) {}
 }
 
 /// The production selector: score candidates with the window model `H` when enough
@@ -76,6 +88,14 @@ impl CandidateSelector for SurrogateSelector {
             });
         }
         self.rng.random_range(0..candidates.len())
+    }
+
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        Some(self.rng.to_state())
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
     }
 }
 
@@ -147,6 +167,14 @@ impl CandidateSelector for RandomSelector {
     ) -> usize {
         assert!(!candidates.is_empty(), "candidate set must be non-empty");
         self.rng.random_range(0..candidates.len())
+    }
+
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        Some(self.rng.to_state())
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
     }
 }
 

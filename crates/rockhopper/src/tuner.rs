@@ -112,28 +112,39 @@ impl RockhopperTuner {
             guardrail: self.guardrail.clone(),
             last_expected_p: self.last_expected_p,
             seed: self.seed,
+            rng_state: Some(self.rng.to_state()),
+            selector_rng_state: self.selector.rng_state(),
         }
     }
 
     /// Rebuild a tuner from a checkpoint. `baseline` re-attaches the (separately
-    /// stored) baseline model; the candidate-generation RNG restarts from the
-    /// checkpointed seed.
+    /// stored) baseline model. When the checkpoint carries raw RNG states the
+    /// restored tuner continues the exact pre-checkpoint random streams
+    /// (bit-exact recovery, DESIGN.md §10); older checkpoints without them
+    /// restart the streams from the checkpointed seed.
     pub fn restore(
         space: ConfigSpace,
         state: TunerState,
         baseline: Option<BaselineModel>,
     ) -> RockhopperTuner {
-        let selector: Box<dyn CandidateSelector + Send> = Box::new(SurrogateSelector::new(
+        let mut selector: Box<dyn CandidateSelector + Send> = Box::new(SurrogateSelector::new(
             state.config.window,
             baseline,
             state.seed ^ 0x5eed,
         ));
+        if let Some(s) = state.selector_rng_state {
+            selector.restore_rng_state(s);
+        }
+        let rng = match state.rng_state {
+            Some(s) => StdRng::from_state(s),
+            None => StdRng::seed_from_u64(state.seed),
+        };
         RockhopperTuner {
             space,
             state: CentroidState::from_normalized(state.centroid_normalized, state.config),
             selector,
             guardrail: state.guardrail,
-            rng: StdRng::seed_from_u64(state.seed),
+            rng,
             history: state.history,
             last_expected_p: state.last_expected_p,
             seed: state.seed,
@@ -157,6 +168,11 @@ pub struct TunerState {
     pub last_expected_p: f64,
     /// Seed for candidate generation.
     pub seed: u64,
+    /// Raw candidate-generation RNG state for bit-exact mid-stream restore.
+    /// `None` (a pre-durability checkpoint) restarts the stream from `seed`.
+    pub rng_state: Option<[u64; 4]>,
+    /// Raw selector random-fallback RNG state; same contract as `rng_state`.
+    pub selector_rng_state: Option<[u64; 4]>,
 }
 
 impl Tuner for RockhopperTuner {
@@ -425,6 +441,56 @@ mod tests {
             restored.observe(&p, &o);
         }
         assert_eq!(restored.history.len(), tuner.history.len() + 10);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact_mid_stream() {
+        // The durability contract (DESIGN.md §10): checkpoint + restore in
+        // the middle of a tuning stream must be invisible — the restored
+        // tuner emits the *same* suggestion sequence as the original
+        // continuing uninterrupted, because the raw RNG states travel in
+        // the snapshot instead of being reseeded.
+        let env = SyntheticEnv::high_noise_constant(21);
+        let tuner = RockhopperTuner::builder(env.space().clone())
+            .seed(21)
+            .build();
+        let (mut env, mut original) = drive(env, tuner, 7);
+
+        let snap = original.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TunerState = serde_json::from_str(&json).unwrap();
+        let mut restored = RockhopperTuner::restore(env.space().clone(), back, None);
+
+        for _ in 0..12 {
+            let ctx = env.context();
+            let a = original.suggest(&ctx);
+            let b = restored.suggest(&ctx);
+            assert_eq!(a, b, "restored tuner diverged from the original");
+            let o = env.run(&a);
+            original.observe(&a, &o);
+            restored.observe(&b, &o);
+        }
+    }
+
+    #[test]
+    fn pre_durability_checkpoints_still_restore() {
+        // A checkpoint written before the rng_state fields existed decodes
+        // with them as None and falls back to seed-based streams.
+        let env = SyntheticEnv::high_noise_constant(3);
+        let tuner = RockhopperTuner::builder(env.space().clone())
+            .seed(3)
+            .build();
+        let (mut env, tuner) = drive(env, tuner, 5);
+        let mut snap = tuner.snapshot();
+        snap.rng_state = None;
+        snap.selector_rng_state = None;
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TunerState = serde_json::from_str(&json).unwrap();
+        assert!(back.rng_state.is_none());
+        let mut restored = RockhopperTuner::restore(env.space().clone(), back, None);
+        assert_eq!(restored.centroid(), tuner.centroid());
+        let p = restored.suggest(&env.context());
+        assert_eq!(p.len(), env.space().dims.len());
     }
 
     #[test]

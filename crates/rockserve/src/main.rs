@@ -1,8 +1,12 @@
-//! `cargo run -p rockserve -- [--addr HOST:PORT] [--seed N] [--workers N]`
+//! `cargo run -p rockserve -- [--addr HOST:PORT] [--seed N] [--workers N]
+//! [--state-dir DIR] [--snapshot-every N]`
 //!
 //! Binds a rockserve endpoint over a fresh autotune backend and serves until
 //! a client sends a `Shutdown` frame, then drains and reports what the
-//! backend accumulated.
+//! backend accumulated. With `--state-dir` the backend recovers whatever
+//! learned state survives in the directory before accepting a single
+//! connection, and WAL-logs every mutation there from then on — kill the
+//! process at any point and the next start replays to the exact same state.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -35,6 +39,20 @@ fn main() -> ExitCode {
                 };
                 cfg.workers = v.parse().unwrap_or(0);
             }
+            "--state-dir" => {
+                let Some(v) = args.next() else {
+                    return usage("--state-dir needs a directory path");
+                };
+                cfg.state_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--snapshot-every" => {
+                let Some(v) = args.next() else {
+                    return usage("--snapshot-every needs an integer");
+                };
+                cfg.snapshot_every = v
+                    .parse()
+                    .unwrap_or(pipeline::durability::DEFAULT_SNAPSHOT_EVERY);
+            }
             other => return usage(&format!("unknown flag {other}")),
         }
     }
@@ -47,6 +65,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(r) = server.recovery_report() {
+        println!(
+            "rockserve recovered: {} record(s) replayed, {} quarantined, snapshot {}",
+            r.replayed,
+            r.quarantined,
+            if r.restored_snapshot {
+                "restored"
+            } else {
+                "absent"
+            }
+        );
+    }
     println!(
         "rockserve listening on {} (protocol v{PROTOCOL_VERSION}, seed {seed}); \
          send a Shutdown frame to drain",
@@ -69,6 +99,9 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("rockserve: {problem}");
-    eprintln!("usage: rockserve [--addr HOST:PORT] [--seed N] [--workers N]");
+    eprintln!(
+        "usage: rockserve [--addr HOST:PORT] [--seed N] [--workers N] \
+         [--state-dir DIR] [--snapshot-every N]"
+    );
     ExitCode::from(2)
 }

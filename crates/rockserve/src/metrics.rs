@@ -230,6 +230,13 @@ pub(crate) fn render_text(s: &MetricsSnapshot, d: &DashboardCounters) -> String 
         ("pipeline_failed_runs", d.failed_runs),
         ("pipeline_quarantined_lines", d.quarantined_lines),
         ("pipeline_tracked_signatures", d.tracked_signatures),
+        ("pipeline_wal_records_written", d.wal_records_written),
+        (
+            "pipeline_wal_records_quarantined",
+            d.wal_records_quarantined,
+        ),
+        ("pipeline_snapshot_writes", d.snapshot_writes),
+        ("pipeline_recovery_replayed", d.recovery_replayed),
     ] {
         out.push_str(name);
         out.push(' ');
@@ -282,6 +289,8 @@ mod tests {
         assert!(text.contains("rockserve_requests_suggest 1"), "{text}");
         assert!(text.contains("rockserve_batch_max 64"), "{text}");
         assert!(text.contains("pipeline_ingested_records 0"), "{text}");
-        assert_eq!(text.lines().count(), 19);
+        assert!(text.contains("pipeline_wal_records_written 0"), "{text}");
+        assert!(text.contains("pipeline_recovery_replayed 0"), "{text}");
+        assert_eq!(text.lines().count(), 23);
     }
 }

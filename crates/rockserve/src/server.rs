@@ -45,8 +45,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use optimizers::space::ConfigSpace;
 use optimizers::tuner::TuningContext;
-use pipeline::{AutotuneBackend, AutotuneClient, AutotuneService};
-use sparksim::event::SparkEvent;
+use pipeline::{AutotuneBackend, AutotuneClient, AutotuneService, ReplayedOp};
 
 use crate::metrics::{render_text, ServeMetrics};
 use crate::proto::{self, codes, Request, Response, WireError, PROTOCOL_VERSION};
@@ -70,6 +69,14 @@ pub struct ServeConfig {
     /// How long a suggest waits on the backend before degrading to the
     /// default configuration.
     pub suggest_timeout: Duration,
+    /// Durable-state directory. When set, the backend recovers from it
+    /// *before* the listener accepts anything (replay-before-accept) and
+    /// WAL-logs every mutation to it from then on; the coalescing cache is
+    /// prepopulated from the replayed request stream so a restarted server
+    /// answers repeated requests exactly as the crashed one would have.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// WAL records between compacted snapshots (ignored without `state_dir`).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +86,8 @@ impl Default for ServeConfig {
             max_pending_conns: 1024,
             max_inflight_suggests: 256,
             suggest_timeout: Duration::from_secs(30),
+            state_dir: None,
+            snapshot_every: pipeline::durability::DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -133,16 +142,28 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     service: Option<AutotuneService>,
+    /// What boot-time recovery found; `None` without a state dir.
+    recovery: Option<pipeline::RecoveryReport>,
 }
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
     /// `backend` on a fixed-width worker pool.
     pub fn spawn(
-        backend: AutotuneBackend,
+        mut backend: AutotuneBackend,
         addr: &str,
         cfg: ServeConfig,
     ) -> std::io::Result<Server> {
+        // Replay-before-accept: recover durable state (and rebuild the
+        // coalescing cache from the replayed request stream) before the
+        // listener exists, so no request can race the replay.
+        let mut recovered_cache: HashMap<CoalesceKey, Slot> = HashMap::new();
+        let mut recovery = None;
+        if let Some(dir) = &cfg.state_dir {
+            let report = backend.recover_from_with(dir, cfg.snapshot_every.max(1))?;
+            prepopulate_coalescer(&mut recovered_cache, &report.ops);
+            recovery = Some(report);
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let (service, client) = AutotuneService::spawn(backend);
@@ -160,7 +181,7 @@ impl Server {
             draining: AtomicBool::new(false),
             queued: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
-            coalescer: Mutex::new(HashMap::new()),
+            coalescer: Mutex::new(recovered_cache),
             metrics: ServeMetrics::default(),
         });
         let (conn_tx, conn_rx) = unbounded::<TcpStream>();
@@ -180,12 +201,19 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             service: Some(service),
+            recovery,
         })
     }
 
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// What boot-time recovery replayed and quarantined; `None` when the
+    /// server was spawned without a state directory.
+    pub fn recovery_report(&self) -> Option<&pipeline::RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Block until something drains the server (a `Shutdown` frame from a
@@ -209,7 +237,14 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        self.service.take().and_then(AutotuneService::shutdown)
+        let mut backend = self.service.take().and_then(AutotuneService::shutdown);
+        // Flush-on-drain: force-sync the WAL so a clean shutdown loses
+        // nothing. Deliberately a sync, not a final snapshot — the next
+        // boot exercises real log replay.
+        if let Some(b) = backend.as_mut() {
+            let _ = b.flush_durability();
+        }
+        backend
     }
 }
 
@@ -227,6 +262,38 @@ impl Drop for Server {
 fn begin_drain(shared: &Shared) {
     if !shared.draining.swap(true, Ordering::AcqRel) {
         let _ = TcpStream::connect(shared.local_addr);
+    }
+}
+
+/// Rebuild the coalescing cache from the recovery's replayed request stream,
+/// in WAL order: each replayed suggestion publishes its (bit-identical)
+/// point; each replayed report invalidates the tenant's entries for the
+/// signatures it mentioned — exactly what the live paths would have done.
+fn prepopulate_coalescer(map: &mut HashMap<CoalesceKey, Slot>, ops: &[ReplayedOp]) {
+    for op in ops {
+        match op {
+            ReplayedOp::Suggest {
+                user,
+                signature,
+                ctx,
+                point,
+            } => {
+                let Ok(ctx_bytes) = serde_json::to_vec(ctx) else {
+                    continue;
+                };
+                map.insert(
+                    (user.clone(), *signature, ctx_bytes),
+                    Slot::Done {
+                        point: point.clone(),
+                        fallback: None,
+                        batch: 1,
+                    },
+                );
+            }
+            ReplayedOp::Invalidate { user, signatures } => {
+                map.retain(|k, _| !(&k.0 == user && signatures.binary_search(&k.1).is_ok()));
+            }
+        }
     }
 }
 
@@ -514,23 +581,9 @@ fn serve_report(shared: &Arc<Shared>, user: &str, app_id: &str, jsonl: String) -
     // suggestions for every signature the document mentions, so the *content*
     // of the report history — not timing — decides what later suggests see.
     let (events, _quarantined) = sparksim::event::from_jsonl_lossy(&jsonl);
-    let mut sigs: Vec<u64> = events
-        .iter()
-        .filter_map(|e| match e {
-            SparkEvent::QueryStart {
-                query_signature, ..
-            }
-            | SparkEvent::QueryEnd {
-                query_signature, ..
-            }
-            | SparkEvent::StageCompleted {
-                query_signature, ..
-            } => Some(*query_signature),
-            SparkEvent::ApplicationStart { .. } | SparkEvent::ApplicationEnd { .. } => None,
-        })
-        .collect();
-    sigs.sort_unstable();
-    sigs.dedup();
+    // One definition shared with replay-time cache rebuild: see
+    // `pipeline::report_signatures`.
+    let sigs = pipeline::report_signatures(&events);
     if !sigs.is_empty() {
         let mut map = lock_coalescer(shared);
         map.retain(|k, _| !(k.0 == user && sigs.binary_search(&k.1).is_ok()));

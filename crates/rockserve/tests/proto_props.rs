@@ -117,6 +117,10 @@ proptest! {
             failed_runs: c(16),
             quarantined_lines: c(17),
             tracked_signatures: c(18),
+            wal_records_written: c(19),
+            wal_records_quarantined: c(20),
+            snapshot_writes: c(21),
+            recovery_replayed: c(22),
         };
         for resp in [
             Response::Suggestion {

@@ -37,4 +37,7 @@ cargo run -q --release -p bench --bin serve_loadgen -- --quick
 echo "==> chaos smoke (fault injection)"
 cargo run -q --release -p experiments --bin exp_fault_injection -- --quick
 
+echo "==> kill-and-recover smoke (durable serving state → recovery.log)"
+scripts/kill_recover_smoke.sh
+
 echo "CI: all green"

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Kill-and-recover smoke: start a durable rockserve, load it, SIGKILL it
+# (no drain, no final fsync barrier), restart on the same state dir, and
+# require that the second boot actually replayed WAL records before
+# accepting traffic. recovery.log is the uploadable artifact: both servers'
+# stdout plus the durability counters and the verdict.
+# Expects ./target/release/{rockserve,serve_loadgen} to exist
+# (scripts/ci.sh builds them first).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STATE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STATE_DIR"' EXIT
+rm -f recovery.log
+
+wait_for_port() {
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+      exec 3>&- || true
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "server on port $1 never came up" >> recovery.log
+  return 1
+}
+
+./target/release/rockserve --addr 127.0.0.1:7171 --seed 77 \
+  --state-dir "$STATE_DIR" >> recovery.log 2>&1 &
+SERVE_PID=$!
+wait_for_port 7171
+./target/release/serve_loadgen --quick --seed 77 \
+  --addr 127.0.0.1:7171 --out "$STATE_DIR/phase_a.json"
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+./target/release/rockserve --addr 127.0.0.1:7172 --seed 77 \
+  --state-dir "$STATE_DIR" >> recovery.log 2>&1 &
+SERVE_PID=$!
+wait_for_port 7172
+./target/release/serve_loadgen --quick --seed 78 \
+  --addr 127.0.0.1:7172 --out "$STATE_DIR/phase_b.json"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+grep -o '"durability": {[^}]*}' "$STATE_DIR/phase_b.json" >> recovery.log
+REPLAYED="$(grep -o '"recovery_replayed": [0-9]*' "$STATE_DIR/phase_b.json" \
+  | grep -o '[0-9]*$' || echo 0)"
+if [ "${REPLAYED:-0}" -gt 0 ] && grep -q "rockserve recovered:" recovery.log; then
+  echo "kill-and-recover: OK (${REPLAYED} record(s) replayed after SIGKILL)" \
+    | tee -a recovery.log
+else
+  echo "kill-and-recover: FAILED (recovery_replayed=${REPLAYED:-0})" \
+    | tee -a recovery.log
+  exit 1
+fi
