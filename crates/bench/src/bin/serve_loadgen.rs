@@ -1,12 +1,18 @@
-//! `cargo run -p bench --bin serve_loadgen -- [--quick] [--seed N]
-//! [--addr HOST:PORT] [--out PATH]`
+//! `cargo run -p bench --bin serve_loadgen -- [--quick | --zipf] [--seed N]
+//! [--addr HOST:PORT] [--out PATH] [--shards N] [--shard-capacity N]
+//! [--zipf-signatures N] [--skew S]`
 //!
 //! Drive a rockserve endpoint with a seeded open-loop fleet of concurrent
 //! clients sending a mixed `Suggest`/`Report`/`Health`/`Metrics` schedule,
 //! then write the `BENCH_serve.json` baseline. Without `--addr` the server is
 //! spawned in-process on an ephemeral port and drain-shutdown is part of the
 //! measurement; with `--addr` an already-running server is driven and left
-//! running. Exits non-zero on any protocol error or an unclean drain.
+//! running. `--zipf` switches to the multi-tenant preset (zipfian signatures
+//! over a 100k space, 4 shards, a small per-shard tuner LRU, durable state in
+//! a temp dir so evicted tuners restore from rockdur sidecars);
+//! `--zipf-signatures`/`--skew`/`--shards`/`--shard-capacity` override any
+//! preset's knobs piecemeal. Exits non-zero on any protocol error or an
+//! unclean drain.
 
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
@@ -15,13 +21,19 @@ use bench::serve::{self, ServeBenchConfig};
 
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut zipf = false;
     let mut seed = 42u64;
     let mut addr: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut shard_capacity: Option<usize> = None;
+    let mut zipf_signatures: Option<u64> = None;
+    let mut skew: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--zipf" => zipf = true,
             "--seed" => {
                 let Some(v) = args.next() else {
                     return usage("--seed needs an integer");
@@ -40,14 +52,55 @@ fn main() -> ExitCode {
                 };
                 out = Some(v);
             }
+            "--shards" => {
+                let Some(v) = args.next() else {
+                    return usage("--shards needs an integer");
+                };
+                shards = v.parse().ok();
+            }
+            "--shard-capacity" => {
+                let Some(v) = args.next() else {
+                    return usage("--shard-capacity needs an integer");
+                };
+                shard_capacity = v.parse().ok();
+            }
+            "--zipf-signatures" => {
+                let Some(v) = args.next() else {
+                    return usage("--zipf-signatures needs an integer");
+                };
+                zipf_signatures = v.parse().ok();
+            }
+            "--skew" => {
+                let Some(v) = args.next() else {
+                    return usage("--skew needs a float");
+                };
+                skew = v.parse().ok();
+            }
             other => return usage(&format!("unknown flag {other}")),
         }
     }
-    let cfg = if quick {
+    if quick && zipf {
+        return usage("--quick and --zipf are mutually exclusive presets");
+    }
+    let mut cfg = if zipf {
+        ServeBenchConfig::zipf(seed)
+    } else if quick {
         ServeBenchConfig::quick(seed)
     } else {
         ServeBenchConfig::full(seed)
     };
+    if let Some(n) = shards {
+        cfg.shards = n;
+    }
+    if let Some(n) = shard_capacity {
+        cfg.shard_capacity = n;
+    }
+    if let Some(n) = zipf_signatures {
+        cfg.zipf_signatures = n;
+    }
+    if let Some(s) = skew {
+        cfg.zipf_skew = s;
+    }
 
     let report = match &addr {
         Some(spec) => {
@@ -59,6 +112,17 @@ fn main() -> ExitCode {
                 return usage(&format!("cannot resolve --addr {spec}"));
             };
             serve::run_serve_bench_against(resolved, &cfg)
+        }
+        None if zipf => {
+            // The zipf preset's whole point is LRU pressure + sidecar
+            // restore, which needs a durable state dir; use a throwaway one.
+            let dir = std::env::temp_dir()
+                .join(format!("serve_loadgen-zipf-{seed}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let result = std::fs::create_dir_all(&dir)
+                .and_then(|()| serve::run_serve_bench_durable(&cfg, &dir));
+            let _ = std::fs::remove_dir_all(&dir);
+            result
         }
         None => serve::run_serve_bench(&cfg),
     };
@@ -92,6 +156,16 @@ fn main() -> ExitCode {
         "overloaded: {} | protocol errors: {} | clean drain: {} | fingerprint {:016x}",
         report.overloaded, report.protocol_errors, report.clean_drain, report.suggest_fingerprint
     );
+    if report.shards > 1 || report.shard_capacity > 0 || report.zipf_signatures > 0 {
+        println!(
+            "sharding: {} shard(s), capacity {} | resident {} | evictions {} | restored {}",
+            report.shards,
+            report.shard_capacity,
+            report.resident_tuners,
+            report.tuner_evictions,
+            report.evicted_restored
+        );
+    }
 
     let path = out
         .map(std::path::PathBuf::from)
@@ -118,6 +192,9 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("serve_loadgen: {problem}");
-    eprintln!("usage: serve_loadgen [--quick] [--seed N] [--addr HOST:PORT] [--out PATH]");
+    eprintln!(
+        "usage: serve_loadgen [--quick | --zipf] [--seed N] [--addr HOST:PORT] [--out PATH] \
+         [--shards N] [--shard-capacity N] [--zipf-signatures N] [--skew S]"
+    );
     ExitCode::from(2)
 }

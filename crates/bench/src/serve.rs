@@ -23,8 +23,10 @@ use sparksim::event::SparkEvent;
 use sparksim::metrics::QueryMetrics;
 
 /// Schema tag stamped into `BENCH_serve.json`. v2 added the `durability`
-/// counter block (WAL writes, quarantines, snapshots, recovery replays).
-pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v2";
+/// counter block (WAL writes, quarantines, snapshots, recovery replays);
+/// v3 added the `zipf` load block and the `sharding` block (shard count,
+/// LRU capacity, eviction counters, per-shard suggest counters).
+pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v3";
 
 /// Default output path; overridable via `ROCKHOPPER_SERVE_OUT`.
 pub const SERVE_DEFAULT_OUT: &str = "BENCH_serve.json";
@@ -44,10 +46,21 @@ pub struct ServeBenchConfig {
     pub clients: usize,
     /// Frames each lane sends.
     pub requests_per_client: usize,
-    /// Distinct `Suggest` workload signatures in the mix.
+    /// Distinct `Suggest` workload signatures in the mix (uniform mode).
     pub suggest_signatures: u64,
     /// Mean open-loop inter-request gap per lane, microseconds.
     pub mean_gap_us: u64,
+    /// When nonzero, signatures are drawn zipfian over `0..zipf_signatures`
+    /// instead of uniformly over `0..suggest_signatures` — the production
+    /// shape: a huge signature space with a hot head and a long cold tail.
+    pub zipf_signatures: u64,
+    /// Zipf skew exponent `s` (weight of rank `i` is `1/(i+1)^s`); ignored
+    /// when `zipf_signatures` is 0.
+    pub zipf_skew: f64,
+    /// Signature-hash shards the in-process server splits its backend into.
+    pub shards: usize,
+    /// Per-shard tuner LRU capacity (`0` keeps the pipeline default).
+    pub shard_capacity: usize,
 }
 
 impl ServeBenchConfig {
@@ -60,6 +73,10 @@ impl ServeBenchConfig {
             requests_per_client: 8,
             suggest_signatures: 4,
             mean_gap_us: 200,
+            zipf_signatures: 0,
+            zipf_skew: 0.0,
+            shards: 1,
+            shard_capacity: 0,
         }
     }
 
@@ -72,6 +89,28 @@ impl ServeBenchConfig {
             requests_per_client: 32,
             suggest_signatures: 8,
             mean_gap_us: 100,
+            zipf_signatures: 0,
+            zipf_skew: 0.0,
+            shards: 1,
+            shard_capacity: 0,
+        }
+    }
+
+    /// The multi-tenant shape: zipfian signatures over a 100k space, four
+    /// shards, and a tuner LRU small enough that the hot head keeps evicting
+    /// the cold tail — the memory-bound gate runs this durably and checks
+    /// the eviction counters.
+    pub fn zipf(seed: u64) -> ServeBenchConfig {
+        ServeBenchConfig {
+            seed,
+            clients: 16,
+            requests_per_client: 16,
+            suggest_signatures: 8,
+            mean_gap_us: 100,
+            zipf_signatures: 100_000,
+            zipf_skew: 1.1,
+            shards: 4,
+            shard_capacity: 8,
         }
     }
 }
@@ -122,6 +161,23 @@ pub struct ServeBenchReport {
     /// Whether the server drained cleanly after the run (in-process mode) or
     /// answered a final health probe (external mode).
     pub clean_drain: bool,
+    /// Signature-hash shards the server ran with.
+    pub shards: usize,
+    /// Per-shard tuner LRU capacity (0 = unbounded pipeline default).
+    pub shard_capacity: usize,
+    /// Zipfian signature-space size (0 = uniform mode).
+    pub zipf_signatures: u64,
+    /// Zipf skew exponent (meaningless when `zipf_signatures` is 0).
+    pub zipf_skew: f64,
+    /// Tuners evicted from the per-shard LRUs during the run.
+    pub tuner_evictions: u64,
+    /// Evicted tuners restored bit-identically from rockdur sidecars.
+    pub evicted_restored: u64,
+    /// Tuners resident across all shards at drain (0 in external mode,
+    /// where the backend is not handed back over the wire).
+    pub resident_tuners: u64,
+    /// Per-shard serving counters, shard order.
+    pub per_shard: Vec<rockserve::ShardMetricsSnapshot>,
 }
 
 impl ServeBenchReport {
@@ -163,6 +219,28 @@ impl ServeBenchReport {
             self.recovery_replayed
         ));
         out.push_str(&format!(
+            "  \"zipf\": {{\"signatures\": {}, \"skew\": {:.2}}},\n",
+            self.zipf_signatures, self.zipf_skew
+        ));
+        out.push_str(&format!(
+            "  \"sharding\": {{\"shards\": {}, \"shard_capacity\": {}, \"resident_tuners\": {}, \"tuner_evictions\": {}, \"evicted_restored\": {}, \"per_shard\": [",
+            self.shards,
+            self.shard_capacity,
+            self.resident_tuners,
+            self.tuner_evictions,
+            self.evicted_restored
+        ));
+        for (i, s) in self.per_shard.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"shard\": {}, \"suggests\": {}, \"backend_evals\": {}, \"coalesced_hits\": {}, \"overloaded\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+                s.shard, s.suggests, s.backend_evals, s.coalesced_hits, s.overloaded, s.p50_us, s.p99_us
+            ));
+        }
+        out.push_str("]},\n");
+        out.push_str(&format!(
             "  \"suggest_fingerprint\": \"{:016x}\",\n",
             self.suggest_fingerprint
         ));
@@ -181,13 +259,50 @@ enum Shot {
     Metrics,
 }
 
+/// Seeded zipfian sampler over ranks `0..n`: rank `i` carries weight
+/// `1/(i+1)^skew`. Built once per lane as a normalized cumulative table;
+/// each draw is one uniform f64 plus a binary search, so a 100k-signature
+/// space costs one `Vec<f64>` per lane, not per draw.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, skew: f64) -> Zipf {
+        let n = usize::try_from(n.max(1)).unwrap_or(usize::MAX);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(skew);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c <= u) as u64
+    }
+}
+
 /// The request mix: ~70% suggest, 15% report, 10% health, 5% metrics.
-fn draw_shot(rng: &mut StdRng, suggest_signatures: u64) -> Shot {
+/// With a zipf sampler the signature comes from the skewed distribution
+/// (hot head, long tail); without one it is uniform over the small preset
+/// signature set. Reports stay in the disjoint `REPORT_SIG_BASE` band
+/// either way (the zipf space tops out well below the base).
+fn draw_shot(rng: &mut StdRng, suggest_signatures: u64, zipf: Option<&Zipf>) -> Shot {
     let roll: u32 = rng.random_range(0..100u32);
+    let sig = |rng: &mut StdRng| match zipf {
+        Some(z) => z.draw(rng),
+        None => rng.random_range(0..suggest_signatures.max(1)),
+    };
     if roll < 70 {
-        Shot::Suggest(rng.random_range(0..suggest_signatures.max(1)))
+        Shot::Suggest(sig(rng))
     } else if roll < 85 {
-        Shot::Report(REPORT_SIG_BASE + rng.random_range(0..suggest_signatures.max(1)))
+        Shot::Report(REPORT_SIG_BASE + sig(rng))
     } else if roll < 95 {
         Shot::Health
     } else {
@@ -263,12 +378,16 @@ struct LaneResult {
 /// arbitrary *range* of the exact frames an uninterrupted run would send.
 fn lane_schedule(cfg: &ServeBenchConfig, lane: usize) -> Vec<(u64, Shot)> {
     let mut rng = StdRng::seed_from_u64(rockpool::split_seed(cfg.seed, lane as u64));
+    let zipf = (cfg.zipf_signatures > 0).then(|| Zipf::new(cfg.zipf_signatures, cfg.zipf_skew));
     (0..cfg.requests_per_client)
         .map(|_| {
             // Open-loop arrival: the gap is scheduled from the seed, not
             // from the previous reply's timing.
             let gap_us = rng.random_range(0..cfg.mean_gap_us.saturating_mul(2).max(1));
-            (gap_us, draw_shot(&mut rng, cfg.suggest_signatures))
+            (
+                gap_us,
+                draw_shot(&mut rng, cfg.suggest_signatures, zipf.as_ref()),
+            )
         })
         .collect()
 }
@@ -378,6 +497,7 @@ fn aggregate(
     server: rockserve::MetricsSnapshot,
     dashboard: pipeline::DashboardCounters,
     clean_drain: bool,
+    resident_tuners: u64,
 ) -> ServeBenchReport {
     let mut fingerprint = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
@@ -426,6 +546,14 @@ fn aggregate(
         recovery_replayed: dashboard.recovery_replayed,
         suggest_fingerprint: fingerprint,
         clean_drain,
+        shards: cfg.shards.max(1),
+        shard_capacity: cfg.shard_capacity,
+        zipf_signatures: cfg.zipf_signatures,
+        zipf_skew: cfg.zipf_skew,
+        tuner_evictions: dashboard.tuner_evictions,
+        evicted_restored: dashboard.evicted_restored,
+        resident_tuners,
+        per_shard: server.shards,
     }
 }
 
@@ -439,15 +567,51 @@ fn fold_point(acc: u64, point: &[f64]) -> u64 {
     h
 }
 
+/// Every shard backend must survive the drain; resident tuners sum over the
+/// shards that did.
+fn drained_and_resident(backends: &[Option<pipeline::AutotuneBackend>]) -> (bool, u64) {
+    let drained = !backends.is_empty() && backends.iter().all(Option::is_some);
+    let resident: usize = backends
+        .iter()
+        .flatten()
+        .map(pipeline::AutotuneBackend::tuner_count)
+        .sum();
+    (drained, resident as u64)
+}
+
 /// Spawn an in-process server on an ephemeral port, run the fleet, then
-/// drain-shutdown and verify the backend came back intact.
+/// drain-shutdown and verify every shard backend came back intact.
 pub fn run_serve_bench(cfg: &ServeBenchConfig) -> std::io::Result<ServeBenchReport> {
+    run_serve_bench_inner(cfg, None)
+}
+
+/// [`run_serve_bench`] with a durable state directory: every mutation is
+/// WAL-logged under per-shard lineages, so LRU-evicted tuners restore
+/// bit-identically from their rockdur sidecars when the load re-touches
+/// them. The memory-bound gate runs the zipf preset through this.
+pub fn run_serve_bench_durable(
+    cfg: &ServeBenchConfig,
+    state_dir: &std::path::Path,
+) -> std::io::Result<ServeBenchReport> {
+    run_serve_bench_inner(cfg, Some(state_dir))
+}
+
+fn run_serve_bench_inner(
+    cfg: &ServeBenchConfig,
+    state_dir: Option<&std::path::Path>,
+) -> std::io::Result<ServeBenchReport> {
     let backend = pipeline::AutotuneBackend::new(
         std::sync::Arc::new(pipeline::Storage::new()),
         None,
         cfg.seed,
     );
-    let server = Server::spawn(backend, "127.0.0.1:0", ServeConfig::default())?;
+    let serve_cfg = ServeConfig {
+        state_dir: state_dir.map(std::path::Path::to_path_buf),
+        shards: cfg.shards.max(1),
+        shard_capacity: cfg.shard_capacity,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(backend, "127.0.0.1:0", serve_cfg)?;
     let addr = server.local_addr();
     let (lanes, wall_ms) = run_fleet(addr, cfg);
 
@@ -455,7 +619,8 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> std::io::Result<ServeBenchRepo
     let mut control = ServeClient::connect(addr)?;
     let (snapshot, dashboard) = read_counters(&mut control);
     let acked = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
-    let drained = server.join().is_some();
+    let backends = server.join();
+    let (drained, resident) = drained_and_resident(&backends);
     Ok(aggregate(
         cfg,
         lanes,
@@ -463,6 +628,7 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> std::io::Result<ServeBenchRepo
         snapshot,
         dashboard,
         acked && drained,
+        resident,
     ))
 }
 
@@ -488,7 +654,9 @@ pub fn run_serve_bench_against(
     let mut control = ServeClient::connect(addr)?;
     let (snapshot, dashboard) = read_counters(&mut control);
     let healthy = matches!(control.health(), Ok(Response::Healthy { .. }));
-    Ok(aggregate(cfg, lanes, wall_ms, snapshot, dashboard, healthy))
+    Ok(aggregate(
+        cfg, lanes, wall_ms, snapshot, dashboard, healthy, 0,
+    ))
 }
 
 /// Snapshot cadence the crash-recovery bench serves at — small enough that
@@ -515,6 +683,19 @@ fn merge_snapshots(
     a: rockserve::MetricsSnapshot,
     b: rockserve::MetricsSnapshot,
 ) -> rockserve::MetricsSnapshot {
+    let mut shards = a.shards;
+    for (i, sb) in b.shards.into_iter().enumerate() {
+        if let Some(sa) = shards.get_mut(i) {
+            sa.suggests += sb.suggests;
+            sa.backend_evals += sb.backend_evals;
+            sa.coalesced_hits += sb.coalesced_hits;
+            sa.overloaded += sb.overloaded;
+            sa.p50_us = sa.p50_us.max(sb.p50_us);
+            sa.p99_us = sa.p99_us.max(sb.p99_us);
+        } else {
+            shards.push(sb);
+        }
+    }
     rockserve::MetricsSnapshot {
         suggests: a.suggests + b.suggests,
         reports: a.reports + b.reports,
@@ -531,6 +712,7 @@ fn merge_snapshots(
         p50_us: a.p50_us.max(b.p50_us),
         p95_us: a.p95_us.max(b.p95_us),
         p99_us: a.p99_us.max(b.p99_us),
+        shards,
     }
 }
 
@@ -561,6 +743,8 @@ pub fn run_crash_recovery_bench(
     let serve_cfg = || ServeConfig {
         state_dir: Some(state_dir.to_path_buf()),
         snapshot_every: CRASH_BENCH_SNAPSHOT_EVERY,
+        shards: cfg.shards.max(1),
+        shard_capacity: cfg.shard_capacity,
         ..ServeConfig::default()
     };
     let backend = || {
@@ -580,13 +764,19 @@ pub fn run_crash_recovery_bench(
     let mut control = ServeClient::connect(addr)?;
     let (snap_a, _) = read_counters(&mut control);
     let acked_a = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
-    let drained_a = server.join().is_some();
+    let (drained_a, _) = drained_and_resident(&server.join());
 
     // The crash: tear a seed-derived number of bytes off the newest WAL
     // segment. Recovery must keep the committed prefix and quarantine —
-    // never replay — the torn record.
+    // never replay — the torn record. Under sharding the victim shard's
+    // lineage is seed-chosen; the other shards recover untouched logs.
     if tear_wal_tail {
-        rockdur::fault::torn_tail(state_dir, cfg.seed)?;
+        let shards = cfg.shards.max(1);
+        let victim = usize::try_from(cfg.seed % shards as u64).unwrap_or(0);
+        rockdur::fault::torn_tail(
+            &rockserve::shard_state_dir(state_dir, victim, shards),
+            cfg.seed,
+        )?;
     }
 
     // Second lifetime: recover (replay-before-accept) and serve the rest of
@@ -600,7 +790,7 @@ pub fn run_crash_recovery_bench(
     // counters need summing across lifetimes.
     let (snap_b, dashboard) = read_counters(&mut control);
     let acked_b = matches!(control.shutdown_server(), Ok(Response::ShuttingDown));
-    let drained_b = server.join().is_some();
+    let (drained_b, resident) = drained_and_resident(&server.join());
 
     let lanes: Vec<LaneResult> = lanes_a
         .into_iter()
@@ -614,6 +804,7 @@ pub fn run_crash_recovery_bench(
         merge_snapshots(snap_a, snap_b),
         dashboard,
         acked_a && drained_a && acked_b && drained_b,
+        resident,
     ))
 }
 
@@ -672,6 +863,33 @@ mod tests {
             recovery_replayed: 5,
             suggest_fingerprint: 0xDEAD_BEEF,
             clean_drain: true,
+            shards: 2,
+            shard_capacity: 8,
+            zipf_signatures: 100_000,
+            zipf_skew: 1.1,
+            tuner_evictions: 7,
+            evicted_restored: 3,
+            resident_tuners: 16,
+            per_shard: vec![
+                rockserve::ShardMetricsSnapshot {
+                    shard: 0,
+                    suggests: 6,
+                    backend_evals: 2,
+                    coalesced_hits: 4,
+                    overloaded: 0,
+                    p50_us: 11,
+                    p99_us: 31,
+                },
+                rockserve::ShardMetricsSnapshot {
+                    shard: 1,
+                    suggests: 4,
+                    backend_evals: 2,
+                    coalesced_hits: 2,
+                    overloaded: 0,
+                    p50_us: 9,
+                    p99_us: 29,
+                },
+            ],
         };
         let json = report.to_json();
         let value = serde_json::value_from_str(&json).expect("valid JSON");
@@ -698,5 +916,87 @@ mod tests {
             value.get_field("clean_drain"),
             serde::Value::Bool(true)
         ));
+        let sharding = value.get_field("sharding");
+        match sharding.get_field("shards") {
+            serde::Value::UInt(2) | serde::Value::Int(2) => {}
+            other => panic!("sharding.shards field: {other:?}"),
+        }
+        match sharding.get_field("tuner_evictions") {
+            serde::Value::UInt(7) | serde::Value::Int(7) => {}
+            other => panic!("sharding.tuner_evictions field: {other:?}"),
+        }
+        match sharding.get_field("per_shard") {
+            serde::Value::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("sharding.per_shard field: {other:?}"),
+        }
+        match value.get_field("zipf").get_field("signatures") {
+            serde::Value::UInt(100_000) | serde::Value::Int(100_000) => {}
+            other => panic!("zipf.signatures field: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zipf_schedules_are_seeded_skewed_and_in_band() {
+        let cfg = ServeBenchConfig::zipf(0x21F);
+        // Pure function of (seed, lane): two builds must agree shot for shot.
+        for lane in 0..4 {
+            let a = lane_schedule(&cfg, lane);
+            let b = lane_schedule(&cfg, lane);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0, y.0);
+                match (x.1, y.1) {
+                    (Shot::Suggest(p), Shot::Suggest(q)) | (Shot::Report(p), Shot::Report(q)) => {
+                        assert_eq!(p, q);
+                    }
+                    (Shot::Health, Shot::Health) | (Shot::Metrics, Shot::Metrics) => {}
+                    _ => panic!("schedule kind diverged between identical builds"),
+                }
+            }
+        }
+        // Every signature stays inside its band, and the head outdraws a
+        // deep-tail rank by a wide margin (that is what "zipfian" buys).
+        let mut head = 0u64;
+        let mut tail = 0u64;
+        let mut suggests = 0u64;
+        for lane in 0..cfg.clients {
+            for (_, shot) in lane_schedule(&cfg, lane) {
+                match shot {
+                    Shot::Suggest(sig) => {
+                        assert!(sig < cfg.zipf_signatures);
+                        suggests += 1;
+                        if sig < 4 {
+                            head += 1;
+                        } else if sig >= cfg.zipf_signatures / 2 {
+                            tail += 1;
+                        }
+                    }
+                    Shot::Report(sig) => {
+                        let rank = sig - REPORT_SIG_BASE;
+                        assert!(rank < cfg.zipf_signatures, "report rank {rank} out of band");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(suggests > 0);
+        assert!(
+            head > tail,
+            "zipf head (ranks 0..4) drew {head} <= deep tail {tail} of {suggests}"
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_is_normalized_and_monotone() {
+        let z = Zipf::new(1000, 1.1);
+        assert_eq!(z.cdf.len(), 1000);
+        let last = *z.cdf.last().expect("nonempty table");
+        assert!((last - 1.0).abs() < 1e-9, "cdf must end at 1.0, got {last}");
+        assert!(
+            z.cdf.windows(2).all(|w| w[0] <= w[1]),
+            "cdf must be monotone"
+        );
+        // The head rank owns the largest single slice of probability.
+        assert!(z.cdf[0] > 1.0 / 1000.0 * 10.0);
     }
 }

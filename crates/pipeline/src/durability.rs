@@ -16,7 +16,7 @@
 //! silently drops a *committed* prefix.
 
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +79,10 @@ pub(crate) struct TunerEntry {
     pub(crate) signature: u64,
     /// Full tuner state, including raw RNG words.
     pub(crate) state: TunerState,
+    /// LRU recency tick at snapshot time — restores the exact eviction order
+    /// so a recovered bounded backend evicts the same keys its uninterrupted
+    /// twin would.
+    pub(crate) tick: u64,
 }
 
 /// One cached query embedding inside a [`BackendSnapshot`].
@@ -134,6 +138,13 @@ pub(crate) struct BackendSnapshot {
     /// The backend seed; adopted on recovery so new tuners derive the same
     /// per-signature streams as before the crash.
     pub(crate) seed: u64,
+    /// Which shard of `shard_count` wrote this snapshot. A recovering shard
+    /// refuses (quarantines) a snapshot from a different shard lineage —
+    /// restarting with a changed `--shards` on the same directory must fail
+    /// closed into a fresh shard, never adopt misrouted state.
+    pub(crate) shard_id: u64,
+    /// The shard layout width the writer ran under.
+    pub(crate) shard_count: u64,
     /// Transient-storage retries observed so far.
     pub(crate) ingest_retries: u64,
     /// Per-`(user, signature)` tuner checkpoints, sorted by key.
@@ -195,30 +206,85 @@ pub struct RecoveryReport {
     pub ops: Vec<ReplayedOp>,
 }
 
+/// Subdirectory of the WAL directory holding evicted-tuner sidecars.
+const SIDE_DIR: &str = "side";
+
+/// One evicted tuner's durable checkpoint — written when the bounded state
+/// map spills it, read back on the signature's next touch. The embedded key
+/// is verified on read so a hash collision degrades to a fresh tuner, never
+/// to adopting another signature's state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EvictedSidecar {
+    /// Tenant.
+    user: String,
+    /// Query signature.
+    signature: u64,
+    /// WAL sequence of the operation whose application caused the eviction.
+    seq: u64,
+    /// Full tuner state, including raw RNG words.
+    state: TunerState,
+}
+
+/// Stable hash of an eviction key for sidecar file names. Chained through
+/// `rockpool::split_seed` so the name is a pure function of `(user,
+/// signature)` across processes and shard widths.
+fn sidecar_key_hash(user: &str, signature: u64) -> u64 {
+    let mut h = rockpool::split_seed(0x51DE_CA4E, signature);
+    for b in user.bytes() {
+        h = rockpool::split_seed(h, u64::from(b));
+    }
+    h
+}
+
+/// Parse `"{key:016x}-{seq:016x}.json"` back into `(key_hash, seq)`.
+fn parse_sidecar_name(name: &str) -> Option<(u64, u64)> {
+    let stem = name.strip_suffix(".json")?;
+    let (key, seq) = stem.split_once('-')?;
+    if key.len() != 16 || seq.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(key, 16).ok()?,
+        u64::from_str_radix(seq, 16).ok()?,
+    ))
+}
+
 /// The backend's handle on its durable state: a `rockdur` WAL plus the
 /// snapshot cadence and the replay guard.
 #[derive(Debug)]
 pub(crate) struct Durability {
     wal: Wal,
+    /// The WAL directory — sidecars live in its [`SIDE_DIR`] subdirectory.
+    dir: PathBuf,
     snapshot_every: u64,
     records_since_snapshot: u64,
     /// While `true`, [`crate::AutotuneBackend`] mutators skip logging —
     /// replayed operations must not be re-appended.
     pub(crate) replaying: bool,
+    /// While replaying, the sequence number of the record being re-applied.
+    /// Sidecar writes are tagged with it and sidecar reads are bounded by it,
+    /// so replay sees exactly the sidecar versions the live run saw — never
+    /// a version from the (possibly lost) future of the pre-crash timeline.
+    pub(crate) replay_seq: Option<u64>,
 }
 
 impl Durability {
     /// Open (or create) the WAL under `dir` and return it with whatever
     /// state survived on disk. The caller decides whether to replay the
     /// recovery or treat its own in-memory state as authoritative.
+    /// Sidecars tagged at or beyond the recovered `next_seq` belong to a
+    /// torn-off suffix of the previous timeline and are deleted here.
     pub(crate) fn open(dir: &Path, snapshot_every: u64) -> io::Result<(Durability, Recovery)> {
         let (wal, recovery) = Wal::open(dir)?;
         let d = Durability {
             wal,
+            dir: dir.to_path_buf(),
             snapshot_every: snapshot_every.max(1),
             records_since_snapshot: 0,
             replaying: false,
+            replay_seq: None,
         };
+        d.prune_sidecars(|seq| seq >= recovery.next_seq);
         Ok((d, recovery))
     }
 
@@ -236,10 +302,18 @@ impl Durability {
         self.records_since_snapshot >= self.snapshot_every
     }
 
-    /// Write a compacted snapshot and prune the log behind it.
+    /// Write a compacted snapshot and prune the log behind it. Sidecar
+    /// versions superseded below the snapshot (an older checkpoint of a key
+    /// that has a newer one at or below the snapshot seq) can never be read
+    /// again — replay always starts at or after this snapshot — and are
+    /// garbage-collected here, bounding sidecar files to one per evicted key
+    /// plus the evictions since the last snapshot.
     pub(crate) fn write_snapshot(&mut self, payload: &[u8]) -> io::Result<u64> {
         let seq = self.wal.snapshot(payload)?;
         self.records_since_snapshot = 0;
+        for (key, best_seq) in self.newest_sidecar_below(seq) {
+            self.prune_sidecars_for_key(key, best_seq, seq);
+        }
         Ok(seq)
     }
 
@@ -248,6 +322,126 @@ impl Durability {
     /// exercise real log replay rather than a trivial snapshot load.
     pub(crate) fn sync(&mut self) -> io::Result<()> {
         self.wal.sync()
+    }
+
+    /// The sequence number of the most recently appended record (the one
+    /// currently being applied, under append-before-apply).
+    fn applying_seq(&self) -> u64 {
+        self.replay_seq
+            .unwrap_or_else(|| self.wal.next_seq().saturating_sub(1))
+    }
+
+    /// Spill one evicted tuner's checkpoint, tagged with the sequence of the
+    /// operation that caused the eviction (tmp + rename, so a crashed write
+    /// leaves the previous version or nothing — never a torn file).
+    pub(crate) fn write_evicted(
+        &mut self,
+        user: &str,
+        signature: u64,
+        state: &TunerState,
+    ) -> io::Result<()> {
+        let seq = self.applying_seq();
+        let side = self.dir.join(SIDE_DIR);
+        std::fs::create_dir_all(&side)?;
+        let entry = EvictedSidecar {
+            user: user.to_string(),
+            signature,
+            seq,
+            state: state.clone(),
+        };
+        let bytes = serde_json::to_vec(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        let name = format!("{:016x}-{seq:016x}.json", sidecar_key_hash(user, signature));
+        let tmp = side.join(format!(".tmp-{name}"));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, side.join(name))
+    }
+
+    /// The newest sidecar checkpoint for `(user, signature)` visible at the
+    /// current point in (replayed or live) time. Files are selected by the
+    /// name's key hash and verified against the embedded key; anything
+    /// unreadable degrades to `None` (a fresh tuner), never an error.
+    pub(crate) fn read_evicted(&self, user: &str, signature: u64) -> Option<TunerState> {
+        let bound = self.replay_seq.unwrap_or(u64::MAX);
+        let key = sidecar_key_hash(user, signature);
+        let entries = std::fs::read_dir(self.dir.join(SIDE_DIR)).ok()?;
+        let mut best: Option<(u64, PathBuf)> = None;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some((file_key, seq)) = name.to_str().and_then(parse_sidecar_name) else {
+                continue;
+            };
+            if file_key != key || seq > bound {
+                continue;
+            }
+            if best.as_ref().map_or(true, |(b, _)| seq > *b) {
+                best = Some((seq, entry.path()));
+            }
+        }
+        let (_, path) = best?;
+        let bytes = std::fs::read(path).ok()?;
+        let entry: EvictedSidecar = serde_json::from_slice(&bytes).ok()?;
+        (entry.user == user && entry.signature == signature).then_some(entry.state)
+    }
+
+    /// Delete every sidecar — the fresh-authority (`persist_to`) and
+    /// abandoned-timeline paths, where on-disk checkpoints no longer describe
+    /// any state this backend will replay.
+    pub(crate) fn clear_sidecars(&self) {
+        self.prune_sidecars(|_| true);
+    }
+
+    /// Delete sidecars whose seq tag matches `doomed`. Best-effort: sidecar
+    /// GC failures degrade to disk usage, never to an error.
+    fn prune_sidecars(&self, doomed: impl Fn(u64) -> bool) {
+        let Ok(entries) = std::fs::read_dir(self.dir.join(SIDE_DIR)) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(text) = name.to_str() else { continue };
+            let stale_tmp = text.starts_with(".tmp-");
+            let doomed_tag = parse_sidecar_name(text).is_some_and(|(_, seq)| doomed(seq));
+            if stale_tmp || doomed_tag {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Per key hash, the newest sidecar seq at or below `snapshot_seq`.
+    fn newest_sidecar_below(&self, snapshot_seq: u64) -> Vec<(u64, u64)> {
+        let mut newest: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let Ok(entries) = std::fs::read_dir(self.dir.join(SIDE_DIR)) else {
+            return Vec::new();
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some((key, seq)) = name.to_str().and_then(parse_sidecar_name) else {
+                continue;
+            };
+            if seq <= snapshot_seq {
+                let best = newest.entry(key).or_insert(seq);
+                *best = (*best).max(seq);
+            }
+        }
+        newest.into_iter().collect()
+    }
+
+    /// Drop `key`'s sidecar versions below `keep_seq` (superseded) — all of
+    /// them sit at or below `snapshot_seq`, where replay can no longer start.
+    fn prune_sidecars_for_key(&self, key: u64, keep_seq: u64, snapshot_seq: u64) {
+        let Ok(entries) = std::fs::read_dir(self.dir.join(SIDE_DIR)) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some((file_key, seq)) = name.to_str().and_then(parse_sidecar_name) else {
+                continue;
+            };
+            if file_key == key && seq < keep_seq && seq <= snapshot_seq {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 }
 

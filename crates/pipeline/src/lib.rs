@@ -15,19 +15,27 @@
 //! - [`durability`] — the backend's durable-state layer: every state-mutating
 //!   request is logged to a `rockdur` WAL before it is applied, with periodic
 //!   compacted snapshots, so a crashed backend recovers bit-identically.
+//! - [`sharding`] — the multi-tenant state engine: N signature-hash shards,
+//!   each a full backend on its own worker thread with a split seed stream and
+//!   a memory-bounded LRU over per-signature state (DESIGN.md §11).
+//! - [`lru`] — the deterministic bounded LRU map the shards build on.
 
 pub mod durability;
 pub mod etl;
 pub mod flighting;
+pub mod lru;
 pub mod monitor;
 pub mod service;
+pub mod sharding;
 pub mod storage;
 pub mod trainer;
 
 pub use durability::{report_signatures, RecoveryReport, ReplayedOp};
 pub use etl::TrainingRow;
+pub use lru::LruMap;
 pub use monitor::DashboardCounters;
 pub use service::{AutotuneBackend, AutotuneClient, AutotuneService, SuggestFallback};
+pub use sharding::{shard_of, ShardedAutotuneClient, ShardedAutotuneService};
 pub use storage::{AccessToken, Storage};
 
 /// Errors surfaced by the pipeline.

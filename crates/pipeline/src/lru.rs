@@ -1,0 +1,386 @@
+//! A deterministic, memory-bounded LRU map for per-signature backend state.
+//!
+//! The backend thread serializes every mutation, so recency is defined by a
+//! monotone logical tick rather than wall-clock time: `get`/`get_mut`/`touch`
+//! bump the entry's tick, `peek` does not, and eviction always removes the
+//! entry with the smallest tick. Given the same operation sequence the map
+//! evicts the same keys in the same order at any thread count — the property
+//! the cross-shard determinism gates rely on (DESIGN.md §11).
+//!
+//! The recency index is a `BTreeMap<tick, key>`; every tick is unique, so the
+//! index is a strict total order and `pop_first`-style eviction is O(log n).
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// One stored value with its recency tick.
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    tick: u64,
+}
+
+/// A capacity-bounded map with least-recently-used eviction.
+///
+/// Not a tracked collection head for growth lints on purpose: every insert
+/// path below checks `len` against `capacity` and evicts before growing, so
+/// `len() <= capacity()` is an invariant, not a hope.
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    map: HashMap<K, Slot<V>>,
+    recency: BTreeMap<u64, K>,
+    next_tick: u64,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// An empty map holding at most `capacity` entries (floored at 1 — a
+    /// zero-capacity cache could never admit the entry it is asked for).
+    pub fn new(capacity: usize) -> LruMap<K, V> {
+        LruMap {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_tick: 0,
+            capacity: capacity.max(1),
+            evictions: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The eviction bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted over this map's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is present (does not touch recency).
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Read without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Read and mark `key` most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.touch(key);
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Mutable read; marks `key` most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.touch(key);
+        self.map.get_mut(key).map(|s| &mut s.value)
+    }
+
+    /// Mark `key` most recently used if present.
+    fn touch(&mut self, key: &K) {
+        let tick = self.next_tick;
+        if let Some(slot) = self.map.get_mut(key) {
+            self.recency.remove(&slot.tick);
+            slot.tick = tick;
+            self.recency.insert(tick, key.clone());
+            self.next_tick += 1;
+        }
+    }
+
+    /// Insert `value` under `key`, marking it most recently used. When the
+    /// key is new and the map is full, the least-recently-used entry is
+    /// evicted first and returned so the caller can spill it durably.
+    /// Replacing an existing key returns the replaced value and never evicts.
+    pub fn insert(&mut self, key: K, value: V) -> Inserted<K, V> {
+        if let Some(slot) = self.map.get_mut(&key) {
+            let old = std::mem::replace(&mut slot.value, value);
+            self.touch(&key);
+            return Inserted {
+                replaced: Some(old),
+                evicted: None,
+            };
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.recency.insert(tick, key.clone());
+        self.map.insert(key, Slot { value, tick });
+        Inserted {
+            replaced: None,
+            evicted,
+        }
+    }
+
+    /// Get `key` (marking it most recently used), inserting `make()` first
+    /// when absent — evicting the least-recently-used entry if the map is
+    /// full. Total by construction: the entry is present on both arms, so
+    /// there is no failure path to unwrap. The evicted entry rides along so
+    /// the caller can spill it durably.
+    pub fn get_mut_or_insert_with(
+        &mut self,
+        key: K,
+        make: impl FnOnce() -> V,
+    ) -> (&mut V, Option<(K, V)>) {
+        let mut evicted = None;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            evicted = self.evict_lru();
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        match self.map.entry(key.clone()) {
+            Entry::Occupied(entry) => {
+                let slot = entry.into_mut();
+                self.recency.remove(&slot.tick);
+                slot.tick = tick;
+                self.recency.insert(tick, key);
+                (&mut slot.value, None)
+            }
+            Entry::Vacant(entry) => {
+                self.recency.insert(tick, key);
+                let slot = entry.insert(Slot {
+                    value: make(),
+                    tick,
+                });
+                (&mut slot.value, evicted)
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        self.recency.remove(&slot.tick);
+        Some(slot.value)
+    }
+
+    /// Drop the least-recently-used entry, counting the eviction.
+    fn evict_lru(&mut self) -> Option<(K, V)> {
+        let (&tick, _) = self.recency.iter().next()?;
+        let key = self.recency.remove(&tick)?;
+        let slot = self.map.remove(&key)?;
+        self.evictions = self.evictions.saturating_add(1);
+        Some((key, slot.value))
+    }
+
+    /// Iterate `(key, value)` from least- to most-recently used (does not
+    /// touch recency). Driven by the recency index, never by hash order, so
+    /// iteration is deterministic for a given operation history.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.recency
+            .values()
+            .filter_map(|k| self.map.get(k).map(|s| (k, &s.value)))
+    }
+
+    /// Keys from least- to most-recently used.
+    pub fn keys_by_recency(&self) -> impl Iterator<Item = &K> {
+        self.recency.values()
+    }
+}
+
+/// What [`LruMap::insert`] displaced, if anything.
+#[derive(Debug)]
+pub struct Inserted<K, V> {
+    /// The previous value under the same key (no eviction happened).
+    pub replaced: Option<V>,
+    /// The least-recently-used entry dropped to make room.
+    pub evicted: Option<(K, V)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut m = LruMap::new(3);
+        for i in 0..10u64 {
+            m.insert(i, i * 10);
+            assert!(m.len() <= 3, "len {} exceeded capacity", m.len());
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.evictions(), 7);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recently_used() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(m.get(&"a"), Some(&1));
+        let out = m.insert("c", 3);
+        assert_eq!(out.evicted, Some(("b", 2)));
+        assert!(m.contains_key(&"a") && m.contains_key(&"c"));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_recency() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.peek(&"a"), Some(&1));
+        let out = m.insert("c", 3);
+        // "a" stayed least-recently used because peek is recency-neutral.
+        assert_eq!(out.evicted, Some(("a", 1)));
+    }
+
+    #[test]
+    fn replacing_a_key_neither_grows_nor_evicts() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        let out = m.insert("a", 10);
+        assert_eq!(out.replaced, Some(1));
+        assert!(out.evicted.is_none());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.evictions(), 0);
+        assert_eq!(m.peek(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn get_mut_or_insert_with_touches_inserts_and_evicts() {
+        let mut m = LruMap::new(2);
+        let (v, evicted) = m.get_mut_or_insert_with("a", || 1);
+        assert_eq!(*v, 1);
+        assert!(evicted.is_none());
+        m.insert("b", 2);
+        // "a" is the LRU entry; admitting "c" evicts it.
+        let (v, evicted) = m.get_mut_or_insert_with("c", || 3);
+        *v += 10;
+        assert_eq!(evicted, Some(("a", 1)));
+        assert_eq!(m.peek(&"c"), Some(&13));
+        // Occupied path: the constructor is not called, recency is bumped.
+        let (v, evicted) = m.get_mut_or_insert_with("b", || 99);
+        assert_eq!(*v, 2);
+        assert!(evicted.is_none());
+        let order: Vec<&str> = m.keys_by_recency().copied().collect();
+        assert_eq!(order, vec!["c", "b"]);
+    }
+
+    #[test]
+    fn iteration_follows_recency_not_hash_order() {
+        let mut m = LruMap::new(8);
+        for k in [5u64, 1, 9, 3] {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.get(&5), Some(&10));
+        let seen: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(seen, vec![(1, 2), (9, 18), (3, 6), (5, 10)]);
+    }
+
+    #[test]
+    fn remove_frees_a_slot_without_counting_an_eviction() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.remove(&"a"), Some(1));
+        assert!(m.insert("c", 3).evicted.is_none());
+        assert_eq!(m.evictions(), 0);
+    }
+
+    /// Reference model: a vector ordered least- to most-recently used.
+    fn model_apply(model: &mut Vec<(u64, u64)>, cap: usize, op: &Op) -> Option<u64> {
+        match op {
+            Op::Insert(k, v) => {
+                if let Some(pos) = model.iter().position(|(mk, _)| mk == k) {
+                    model.remove(pos);
+                    model.push((*k, *v));
+                    None
+                } else {
+                    let evicted = if model.len() >= cap {
+                        Some(model.remove(0).0)
+                    } else {
+                        None
+                    };
+                    model.push((*k, *v));
+                    evicted
+                }
+            }
+            Op::Get(k) => {
+                if let Some(pos) = model.iter().position(|(mk, _)| mk == k) {
+                    let e = model.remove(pos);
+                    model.push(e);
+                }
+                None
+            }
+            Op::Remove(k) => {
+                model.retain(|(mk, _)| mk != k);
+                None
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u64, u64),
+        Get(u64),
+        Remove(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0..3u8, 0..24u64, 0..1000u64).prop_map(|(kind, k, v)| match kind {
+            0 => Op::Insert(k, v),
+            1 => Op::Get(k),
+            _ => Op::Remove(k),
+        })
+    }
+
+    proptest! {
+        /// Against the reference model: same membership, same evictions in
+        /// the same order, eviction counter exact, capacity never exceeded.
+        #[test]
+        fn matches_the_reference_model(
+            cap in 1..6usize,
+            ops in prop::collection::vec(op_strategy(), 1..200),
+        ) {
+            let mut m = LruMap::new(cap);
+            let mut model: Vec<(u64, u64)> = Vec::new();
+            let mut model_evictions = 0u64;
+            for op in &ops {
+                let model_evicted = model_apply(&mut model, cap, op);
+                if model_evicted.is_some() {
+                    model_evictions += 1;
+                }
+                let lru_evicted = match op {
+                    Op::Insert(k, v) => m.insert(*k, *v).evicted.map(|(k, _)| k),
+                    Op::Get(k) => {
+                        let got = m.get(k).copied();
+                        let want = model.iter().find(|(mk, _)| mk == k).map(|(_, v)| *v);
+                        prop_assert_eq!(got, want);
+                        None
+                    }
+                    Op::Remove(k) => {
+                        m.remove(k);
+                        None
+                    }
+                };
+                prop_assert_eq!(lru_evicted, model_evicted);
+                prop_assert!(m.len() <= cap);
+                prop_assert_eq!(m.len(), model.len());
+            }
+            prop_assert_eq!(m.evictions(), model_evictions);
+            let by_recency: Vec<u64> = m.keys_by_recency().copied().collect();
+            let model_order: Vec<u64> = model.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(by_recency, model_order);
+        }
+    }
+}

@@ -268,6 +268,39 @@ pub struct DashboardCounters {
     pub snapshot_writes: u64,
     /// WAL records replayed into the backend by recovery.
     pub recovery_replayed: u64,
+    /// Tuners evicted from the bounded per-shard state map (LRU capacity).
+    pub tuner_evictions: u64,
+    /// Evicted tuners restored bit-identically from their durable sidecar.
+    pub evicted_restored: u64,
+}
+
+impl DashboardCounters {
+    /// Field-wise sum — how a sharded deployment merges per-shard counters
+    /// into the single frame the wire protocol reports.
+    pub fn merged_with(self, other: DashboardCounters) -> DashboardCounters {
+        DashboardCounters {
+            ingested_records: self.ingested_records.saturating_add(other.ingested_records),
+            failed_runs: self.failed_runs.saturating_add(other.failed_runs),
+            quarantined_lines: self
+                .quarantined_lines
+                .saturating_add(other.quarantined_lines),
+            tracked_signatures: self
+                .tracked_signatures
+                .saturating_add(other.tracked_signatures),
+            wal_records_written: self
+                .wal_records_written
+                .saturating_add(other.wal_records_written),
+            wal_records_quarantined: self
+                .wal_records_quarantined
+                .saturating_add(other.wal_records_quarantined),
+            snapshot_writes: self.snapshot_writes.saturating_add(other.snapshot_writes),
+            recovery_replayed: self
+                .recovery_replayed
+                .saturating_add(other.recovery_replayed),
+            tuner_evictions: self.tuner_evictions.saturating_add(other.tuner_evictions),
+            evicted_restored: self.evicted_restored.saturating_add(other.evicted_restored),
+        }
+    }
 }
 
 /// Workspace-wide dashboard: one monitor per query signature.
@@ -335,6 +368,16 @@ impl Dashboard {
             .counters
             .wal_records_quarantined
             .saturating_add(quarantined);
+    }
+
+    /// Count one tuner evicted by the bounded state map.
+    pub fn record_tuner_eviction(&mut self) {
+        self.counters.tuner_evictions = self.counters.tuner_evictions.saturating_add(1);
+    }
+
+    /// Count one evicted tuner restored from its durable sidecar.
+    pub fn record_evicted_restored(&mut self) {
+        self.counters.evicted_restored = self.counters.evicted_restored.saturating_add(1);
     }
 
     /// One-copy snapshot of the aggregate counters.

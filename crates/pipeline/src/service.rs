@@ -27,6 +27,7 @@ use crate::durability::{
     ServedEntry, TunerEntry, WalEvent,
 };
 use crate::etl::{extract_batch, EtlBatch};
+use crate::lru::LruMap;
 use crate::monitor::{Dashboard, DashboardCounters};
 use crate::storage::{paths, Storage};
 use crate::PipelineError;
@@ -55,6 +56,12 @@ struct DegradedState {
 /// and an evicted tuner warm-starts again from the baseline on its next
 /// appearance. Production deployments in the paper track ~416 signatures;
 /// the caps are far above both that and every bench/test workload.
+///
+/// The tuner map is the exception to smallest-key eviction: it is a true
+/// [`LruMap`] (recency-ordered, capacity-configurable per shard via
+/// [`AutotuneBackend::with_tuner_capacity`]), and under durability an evicted
+/// tuner spills a sidecar checkpoint it is restored from bit-identically on
+/// its next touch (DESIGN.md §11).
 const MAX_TRACKED_TUNERS: usize = 4096;
 const MAX_TRACKED_EMBEDDINGS: usize = 8192;
 const MAX_TRACKED_DEGRADED: usize = 8192;
@@ -70,7 +77,9 @@ pub struct AutotuneBackend {
     space: ConfigSpace,
     /// Query-level baseline (warm start for new signatures).
     baseline: Option<BaselineModel>,
-    tuners: HashMap<(String, u64), RockhopperTuner>,
+    /// Memory-bounded per-(user, signature) tuner state; LRU-evicted at
+    /// capacity, with evictions spilled to durable sidecars when attached.
+    tuners: LruMap<(String, u64), RockhopperTuner>,
     /// Latest embedding seen per signature (context for app-cache scoring).
     embeddings: HashMap<u64, Vec<f64>>,
     app_cache: AppCache,
@@ -95,6 +104,11 @@ pub struct AutotuneBackend {
     /// its coalescing cache for operations the snapshot compacted away.
     served: HashMap<(String, u64, String), (TuningContext, Vec<f64>)>,
     seed: u64,
+    /// This backend's shard identity: `(shard_id, shard_count)` — `(0, 1)`
+    /// for an unsharded deployment. Stamped into snapshots so recovery
+    /// refuses state written under a different shard layout.
+    shard_id: u64,
+    shard_count: u64,
 }
 
 impl AutotuneBackend {
@@ -104,7 +118,7 @@ impl AutotuneBackend {
             storage,
             space: ConfigSpace::query_level(),
             baseline,
-            tuners: HashMap::new(),
+            tuners: LruMap::new(MAX_TRACKED_TUNERS),
             embeddings: HashMap::new(),
             app_cache: AppCache::new(),
             app_optimizer: AppLevelOptimizer::default(),
@@ -117,7 +131,68 @@ impl AutotuneBackend {
             durability: None,
             served: HashMap::new(),
             seed,
+            shard_id: 0,
+            shard_count: 1,
         }
+    }
+
+    /// Bound the tuner map to `capacity` live entries (floored at 1; `0`
+    /// keeps the default cap). Evictions beyond the bound are counted on the
+    /// dashboard and — under durability — spilled to sidecar checkpoints.
+    pub fn with_tuner_capacity(mut self, capacity: usize) -> Self {
+        let capacity = if capacity == 0 {
+            MAX_TRACKED_TUNERS
+        } else {
+            capacity
+        };
+        // Migrate existing entries in recency order (least-recent first), so
+        // shrinking the bound silently drops the coldest tuners.
+        let mut old = std::mem::replace(&mut self.tuners, LruMap::new(capacity));
+        let keys: Vec<(String, u64)> = old.keys_by_recency().cloned().collect();
+        for key in keys {
+            if let Some(tuner) = old.remove(&key) {
+                self.tuners.insert(key, tuner);
+            }
+        }
+        self
+    }
+
+    /// Stamp this backend as shard `shard_id` of `shard_count`. Shard
+    /// identity gates recovery (a snapshot from a different layout is
+    /// quarantined) but never the tuner streams themselves — those derive
+    /// from `(root seed, signature)` alone, so the same signature computes
+    /// the same suggestions at any shard count.
+    pub(crate) fn with_shard(mut self, shard_id: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        self.shard_id = u64::try_from(shard_id.min(shard_count - 1)).unwrap_or(0);
+        self.shard_count = u64::try_from(shard_count).unwrap_or(1);
+        self
+    }
+
+    /// Split this backend into `shards` sibling backends sharing its storage,
+    /// baseline, policies, and root seed. Shard 0 keeps this backend's
+    /// learned state; the others start fresh (intended for construction time,
+    /// before any state accumulates). `capacity` bounds each shard's tuner
+    /// map (`0` = default cap).
+    pub fn split_into_shards(self, shards: usize, capacity: usize) -> Vec<AutotuneBackend> {
+        let shards = shards.max(1);
+        let storage = Arc::clone(&self.storage);
+        let baseline = self.baseline.clone();
+        let guardrail = self.guardrail_policy.clone();
+        let (degrade_after, probe_period) = (self.degrade_after, self.probe_period);
+        let seed = self.seed;
+        let mut out = Vec::with_capacity(shards);
+        out.push(self.with_tuner_capacity(capacity).with_shard(0, shards));
+        for shard_id in 1..shards {
+            out.push(
+                AutotuneBackend::new(Arc::clone(&storage), baseline.clone(), seed)
+                    .with_guardrail_policy(guardrail.clone())
+                    .with_degraded_policy(degrade_after, probe_period)
+                    .with_tuner_capacity(capacity)
+                    .with_shard(shard_id, shards),
+            );
+        }
+        out
     }
 
     /// Override the guardrail policy for tuners created from now on. The paper's
@@ -214,22 +289,62 @@ impl AutotuneBackend {
 
     fn tuner_for(&mut self, user: &str, signature: u64) -> &mut RockhopperTuner {
         let key = (user.to_string(), signature);
-        if self.tuners.len() >= MAX_TRACKED_TUNERS && !self.tuners.contains_key(&key) {
-            if let Some(evict) = self.tuners.keys().min().cloned() {
-                self.tuners.remove(&evict);
+        // Admission runs before the map borrow: it needs `&mut self` for the
+        // dashboard counters and sidecar reads, which the entry closure below
+        // cannot have. `admitted` is `Some` exactly when the key is vacant.
+        let admitted = if self.tuners.contains_key(&key) {
+            None
+        } else {
+            Some(self.admit_tuner(user, signature))
+        };
+        let space = self.space.clone();
+        let seed = self.seed;
+        let (tuner, evicted) = self.tuners.get_mut_or_insert_with(key, move || {
+            admitted.unwrap_or_else(|| {
+                // Never taken (see above); a fresh canonically-seeded tuner
+                // keeps the lookup total instead of panicking.
+                RockhopperTuner::builder(space)
+                    .seed(RockhopperTuner::signature_seed(seed, signature))
+                    .build()
+            })
+        });
+        if let Some(((evicted_user, evicted_sig), evicted)) = evicted {
+            self.dashboard.record_tuner_eviction();
+            // Spill-before-drop: the evicted tuner's full checkpoint
+            // (raw RNG words included) goes to a rockdur sidecar, so a
+            // later touch restores it bit-identically instead of
+            // re-learning from scratch. Best-effort, like every other
+            // durability write: a failed spill degrades the evicted
+            // signature to a cold start, never the request.
+            if let Some(d) = self.durability.as_mut() {
+                let _ = d.write_evicted(&evicted_user, evicted_sig, &evicted.snapshot());
             }
         }
-        let (space, seed) = (&self.space, self.seed);
-        let (guardrail, baseline) = (&self.guardrail_policy, &self.baseline);
-        self.tuners.entry(key).or_insert_with(|| {
-            let mut builder = RockhopperTuner::builder(space.clone())
-                .seed(seed ^ signature)
-                .guardrail(guardrail.clone());
-            if let Some(b) = baseline {
-                builder = builder.baseline(b.clone());
-            }
-            builder.build()
-        })
+        tuner
+    }
+
+    /// Build the tuner that should serve `(user, signature)` right now:
+    /// the sidecar checkpoint its eviction spilled, if one is visible at the
+    /// current point in (live or replayed) time, or a fresh tuner seeded by
+    /// the canonical `split_seed(root, signature)` derivation — a pure
+    /// function of the root seed and the signature, so shard membership and
+    /// arrival order never change a tuner's stream.
+    fn admit_tuner(&mut self, user: &str, signature: u64) -> RockhopperTuner {
+        if let Some(state) = self
+            .durability
+            .as_ref()
+            .and_then(|d| d.read_evicted(user, signature))
+        {
+            self.dashboard.record_evicted_restored();
+            return RockhopperTuner::restore(self.space.clone(), state, self.baseline.clone());
+        }
+        let mut builder = RockhopperTuner::builder(self.space.clone())
+            .seed(RockhopperTuner::signature_seed(self.seed, signature))
+            .guardrail(self.guardrail_policy.clone());
+        if let Some(b) = &self.baseline {
+            builder = builder.baseline(b.clone());
+        }
+        builder.build()
     }
 
     /// Ingest an application's event file: persist it (with retry against a
@@ -361,7 +476,7 @@ impl AutotuneBackend {
     /// Whether the guardrail has disabled a signature.
     pub fn is_disabled(&self, user: &str, signature: u64) -> bool {
         self.tuners
-            .get(&(user.to_string(), signature))
+            .peek(&(user.to_string(), signature))
             .map(RockhopperTuner::is_disabled)
             .unwrap_or(false)
     }
@@ -383,7 +498,7 @@ impl AutotuneBackend {
     /// Observations (measured and censored) recorded for a signature's tuner.
     pub fn observation_count(&self, user: &str, signature: u64) -> usize {
         self.tuners
-            .get(&(user.to_string(), signature))
+            .peek(&(user.to_string(), signature))
             .map(|t| t.history.len())
             .unwrap_or(0)
     }
@@ -441,7 +556,7 @@ impl AutotuneBackend {
             .iter()
             .filter_map(|&sig| {
                 self.tuners
-                    .get(&(user.to_string(), sig))
+                    .peek(&(user.to_string(), sig))
                     .map(|t| QueryState {
                         signature: sig,
                         centroid: t.centroid(),
@@ -533,7 +648,7 @@ impl AutotuneBackend {
     /// history (see [`rockhopper::forecast`]); `None` before any observations.
     pub fn forecast_data_size(&self, user: &str, signature: u64) -> Option<f64> {
         self.tuners
-            .get(&(user.to_string(), signature))
+            .peek(&(user.to_string(), signature))
             .and_then(|t| rockhopper::forecast::forecast_data_size(&t.history))
             .map(|f| f.value)
     }
@@ -559,6 +674,21 @@ impl AutotuneBackend {
         self.tuners.len()
     }
 
+    /// The tuner map's eviction bound.
+    pub fn tuner_capacity(&self) -> usize {
+        self.tuners.capacity()
+    }
+
+    /// Tuners evicted by the bounded state map over this backend's lifetime.
+    pub fn tuner_evictions(&self) -> u64 {
+        self.tuners.evictions()
+    }
+
+    /// This backend's shard identity as `(shard_id, shard_count)`.
+    pub fn shard(&self) -> (u64, u64) {
+        (self.shard_id, self.shard_count)
+    }
+
     /// The monitoring dashboard (§6.3), accumulated from every ingested event file.
     pub fn dashboard(&self) -> &Dashboard {
         &self.dashboard
@@ -571,7 +701,7 @@ impl AutotuneBackend {
     pub fn persist_models(&self) -> usize {
         let token = self.storage.issue_token("models/", true, u64::MAX);
         let mut written = 0;
-        for ((user, sig), tuner) in &self.tuners {
+        for ((user, sig), tuner) in self.tuners.iter() {
             let snap = tuner.snapshot();
             if let Ok(bytes) = serde_json::to_vec(&snap) {
                 if self
@@ -613,7 +743,7 @@ impl AutotuneBackend {
             };
             let tuner = RockhopperTuner::restore(self.space.clone(), state, self.baseline.clone());
             let key = (user.to_string(), sig);
-            if self.tuners.len() >= MAX_TRACKED_TUNERS && !self.tuners.contains_key(&key) {
+            if self.tuners.len() >= self.tuners.capacity() && !self.tuners.contains_key(&key) {
                 // Same bound as `tuner_for`: a store with more persisted
                 // models than the cap must not blow up a fresh backend.
                 continue;
@@ -674,6 +804,9 @@ impl AutotuneBackend {
     /// (records between compacted snapshots).
     pub fn persist_to_with(&mut self, dir: &Path, snapshot_every: u64) -> io::Result<u64> {
         let (d, _superseded) = Durability::open(dir, snapshot_every)?;
+        // Fresh authority: sidecars under `dir` checkpoint a timeline this
+        // backend is superseding, exactly like the WAL records themselves.
+        d.clear_sidecars();
         self.durability = Some(d);
         self.write_snapshot_now()
     }
@@ -708,8 +841,16 @@ impl AutotuneBackend {
         // pre-snapshot state is vacuously empty and replay stays sound.
         let mut base_ok = true;
         if let Some(snap) = recovery.snapshot {
-            match serde_json::from_slice::<BackendSnapshot>(&snap.payload) {
-                Ok(s) => {
+            // A decoded snapshot from a different shard lineage is as foreign
+            // as an undecodable one: its records describe state routed under
+            // another layout, and adopting them would smear signatures across
+            // the wrong shards. Fail closed into a fresh shard.
+            let decoded = serde_json::from_slice::<BackendSnapshot>(&snap.payload).ok();
+            let lineage_ok = decoded
+                .as_ref()
+                .map(|s| s.shard_id == self.shard_id && s.shard_count == self.shard_count);
+            match decoded.filter(|_| lineage_ok == Some(true)) {
+                Some(s) => {
                     // The snapshot's served-memo stands in for the suggest
                     // records it compacted away: without these ops the
                     // serving layer would re-evaluate those keys on tuners
@@ -725,18 +866,27 @@ impl AutotuneBackend {
                     self.apply_snapshot(s);
                     report.restored_snapshot = true;
                 }
-                Err(_) => {
+                None => {
                     report.quarantined = report.quarantined.saturating_add(1);
                     report.quarantined_bytes = report
                         .quarantined_bytes
                         .saturating_add(u64::try_from(snap.payload.len()).unwrap_or(u64::MAX));
-                    base_ok = snap.seq == 0;
+                    // An undecodable snapshot at seq 0 compacted nothing, so
+                    // replaying the records over empty state stays sound; a
+                    // *wrong-lineage* snapshot poisons its records too — they
+                    // were routed under another shard layout.
+                    base_ok = snap.seq == 0 && lineage_ok != Some(false);
                 }
             }
         }
+        if !base_ok {
+            // The on-disk timeline is abandoned (its records cover state we
+            // refused to adopt); its sidecar checkpoints go with it.
+            d.clear_sidecars();
+        }
         d.replaying = true;
         self.durability = Some(d);
-        for (_seq, payload) in recovery.records {
+        for (seq, payload) in recovery.records {
             let parsed = if base_ok {
                 serde_json::from_slice::<WalEvent>(&payload).ok()
             } else {
@@ -744,6 +894,13 @@ impl AutotuneBackend {
             };
             match parsed {
                 Some(event) => {
+                    // Sidecar writes/reads during this record's re-application
+                    // are pinned to its sequence number, so replay sees the
+                    // sidecar versions the live run saw at this point — not
+                    // checkpoints from the timeline's (lost) future.
+                    if let Some(d) = self.durability.as_mut() {
+                        d.replay_seq = Some(seq);
+                    }
                     self.replay_event(event, &mut report);
                     report.replayed = report.replayed.saturating_add(1);
                 }
@@ -757,6 +914,7 @@ impl AutotuneBackend {
         }
         if let Some(d) = self.durability.as_mut() {
             d.replaying = false;
+            d.replay_seq = None;
         }
         self.dashboard
             .record_recovery(report.replayed, report.quarantined);
@@ -859,13 +1017,24 @@ impl AutotuneBackend {
     /// Encode the full learned state with hash maps flattened into
     /// key-sorted vectors, so equal logical state gives equal bytes.
     fn snapshot_state(&self) -> BackendSnapshot {
+        // Recency ranks are compacted to 0..n at encode time, so two
+        // deterministic replicas that applied the same operations — even if
+        // one of them recovered mid-way and re-assigned raw ticks — snapshot
+        // identical bytes. Order, not absolute tick values, drives eviction.
+        let rank_by_key: HashMap<&(String, u64), u64> = self
+            .tuners
+            .keys_by_recency()
+            .enumerate()
+            .map(|(rank, key)| (key, u64::try_from(rank).unwrap_or(u64::MAX)))
+            .collect();
         let mut tuners: Vec<TunerEntry> = self
             .tuners
             .iter()
-            .map(|((user, sig), t)| TunerEntry {
-                user: user.clone(),
-                signature: *sig,
+            .map(|(key, t)| TunerEntry {
+                user: key.0.clone(),
+                signature: key.1,
                 state: t.snapshot(),
+                tick: rank_by_key.get(key).copied().unwrap_or(0),
             })
             .collect();
         tuners.sort_by(|a, b| (&a.user, a.signature).cmp(&(&b.user, b.signature)));
@@ -904,6 +1073,8 @@ impl AutotuneBackend {
             .collect();
         BackendSnapshot {
             seed: self.seed,
+            shard_id: self.shard_id,
+            shard_count: self.shard_count,
             ingest_retries: self.ingest_retries,
             tuners,
             embeddings,
@@ -921,11 +1092,16 @@ impl AutotuneBackend {
         self.ingest_retries = snap.ingest_retries;
         self.app_cache = snap.app_cache;
         self.dashboard = snap.dashboard;
-        self.tuners.clear();
-        for t in snap.tuners {
-            if self.tuners.len() >= MAX_TRACKED_TUNERS {
-                break; // hand-grown snapshots still respect the cap
-            }
+        // Rebuild the tuner map in recency order (coldest first) so the
+        // restored LRU evicts exactly as the writer's would have. A snapshot
+        // holding more entries than this backend's capacity keeps only the
+        // most recent ones.
+        let capacity = self.tuners.capacity();
+        self.tuners = LruMap::new(capacity);
+        let mut entries = snap.tuners;
+        entries.sort_by_key(|t| t.tick);
+        let skip = entries.len().saturating_sub(capacity);
+        for t in entries.into_iter().skip(skip) {
             let tuner =
                 RockhopperTuner::restore(self.space.clone(), t.state, self.baseline.clone());
             self.tuners.insert((t.user, t.signature), tuner);

@@ -79,6 +79,18 @@ impl RockhopperTuner {
         }
     }
 
+    /// The canonical per-signature tuner seed: `split_seed(root, signature)`.
+    ///
+    /// Every layer that creates a tuner for a signature must derive its seed
+    /// through this one function, so the tuner's RNG stream is a pure
+    /// function of `(root seed, signature)` — independent of which shard the
+    /// signature routes to, how many shards exist, and in what order
+    /// signatures arrive. This is the invariant behind the cross-shard
+    /// determinism gates (DESIGN.md §11).
+    pub fn signature_seed(root_seed: u64, signature: u64) -> u64 {
+        rockpool::split_seed(root_seed, signature)
+    }
+
     /// Current centroid in raw units.
     pub fn centroid(&self) -> Vec<f64> {
         self.state.centroid(&self.space)

@@ -31,6 +31,6 @@ pub mod proto;
 pub mod server;
 
 pub use client::ServeClient;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, ShardMetricsSnapshot};
 pub use proto::{Request, Response, WireError, PROTOCOL_VERSION};
-pub use server::{ServeConfig, Server};
+pub use server::{shard_state_dir, ServeConfig, Server};

@@ -1,12 +1,15 @@
 //! `cargo run -p rockserve -- [--addr HOST:PORT] [--seed N] [--workers N]
-//! [--state-dir DIR] [--snapshot-every N]`
+//! [--state-dir DIR] [--snapshot-every N] [--shards N] [--shard-capacity N]`
 //!
 //! Binds a rockserve endpoint over a fresh autotune backend and serves until
 //! a client sends a `Shutdown` frame, then drains and reports what the
-//! backend accumulated. With `--state-dir` the backend recovers whatever
-//! learned state survives in the directory before accepting a single
+//! backend accumulated. With `--state-dir` each shard recovers whatever
+//! learned state survives in its directory before accepting a single
 //! connection, and WAL-logs every mutation there from then on — kill the
 //! process at any point and the next start replays to the exact same state.
+//! `--shards` splits the backend into signature-hash shards (per-shard WAL
+//! lineage under `shard-NNNN/`); `--shard-capacity` bounds each shard's
+//! resident tuner LRU.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -53,6 +56,18 @@ fn main() -> ExitCode {
                     .parse()
                     .unwrap_or(pipeline::durability::DEFAULT_SNAPSHOT_EVERY);
             }
+            "--shards" => {
+                let Some(v) = args.next() else {
+                    return usage("--shards needs an integer");
+                };
+                cfg.shards = v.parse().unwrap_or(1);
+            }
+            "--shard-capacity" => {
+                let Some(v) = args.next() else {
+                    return usage("--shard-capacity needs an integer");
+                };
+                cfg.shard_capacity = v.parse().unwrap_or(0);
+            }
             other => return usage(&format!("unknown flag {other}")),
         }
     }
@@ -82,18 +97,23 @@ fn main() -> ExitCode {
          send a Shutdown frame to drain",
         server.local_addr()
     );
-    match server.join() {
-        Some(backend) => {
-            println!(
-                "rockserve drained cleanly; backend tracked {} tuner(s)",
-                backend.tuner_count()
-            );
-            ExitCode::SUCCESS
-        }
-        None => {
-            eprintln!("rockserve: backend thread lost");
-            ExitCode::FAILURE
-        }
+    let backends = server.join();
+    let lost = backends.iter().filter(|b| b.is_none()).count();
+    let tuners: usize = backends
+        .iter()
+        .flatten()
+        .map(pipeline::AutotuneBackend::tuner_count)
+        .sum();
+    if lost == 0 {
+        println!(
+            "rockserve drained cleanly; {} shard(s) tracked {} tuner(s)",
+            backends.len(),
+            tuners
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rockserve: {lost} shard backend thread(s) lost");
+        ExitCode::FAILURE
     }
 }
 
@@ -101,7 +121,7 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("rockserve: {problem}");
     eprintln!(
         "usage: rockserve [--addr HOST:PORT] [--seed N] [--workers N] \
-         [--state-dir DIR] [--snapshot-every N]"
+         [--state-dir DIR] [--snapshot-every N] [--shards N] [--shard-capacity N]"
     );
     ExitCode::from(2)
 }

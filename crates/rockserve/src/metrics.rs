@@ -15,6 +15,18 @@ use serde::{Deserialize, Serialize};
 /// Histogram width: bucket 31 covers ~36 minutes, far beyond any suggest.
 const BUCKETS: usize = 32;
 
+/// Per-shard counter block: the suggest-path counters that are attributable
+/// to one signature-hash shard, plus that shard's own latency histogram.
+#[derive(Debug, Default)]
+struct ShardInner {
+    suggests: u64,
+    backend_evals: u64,
+    coalesced_hits: u64,
+    overloaded: u64,
+    latency_counts: [u64; BUCKETS],
+    latency_total: u64,
+}
+
 #[derive(Debug)]
 struct Inner {
     suggests: u64,
@@ -29,6 +41,7 @@ struct Inner {
     batch_max: u64,
     latency_counts: [u64; BUCKETS],
     latency_total: u64,
+    shards: Vec<ShardInner>,
 }
 
 impl Default for Inner {
@@ -46,6 +59,7 @@ impl Default for Inner {
             batch_max: 0,
             latency_counts: [0; BUCKETS],
             latency_total: 0,
+            shards: Vec::new(),
         }
     }
 }
@@ -57,12 +71,26 @@ pub(crate) struct ServeMetrics {
 }
 
 impl ServeMetrics {
+    /// Metrics with one per-shard counter block per shard. `Default` (zero
+    /// shard blocks) is only for unsharded unit tests — the server always
+    /// sizes the blocks to its lane count.
+    pub(crate) fn with_shards(shards: usize) -> ServeMetrics {
+        let m = ServeMetrics::default();
+        m.with(|i| i.shards = (0..shards).map(|_| ShardInner::default()).collect());
+        m
+    }
+
     fn with<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
         f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
-    pub(crate) fn count_suggest(&self) {
-        self.with(|i| i.suggests = i.suggests.saturating_add(1));
+    pub(crate) fn count_suggest(&self, shard: usize) {
+        self.with(|i| {
+            i.suggests = i.suggests.saturating_add(1);
+            if let Some(s) = i.shards.get_mut(shard) {
+                s.suggests = s.suggests.saturating_add(1);
+            }
+        });
     }
 
     pub(crate) fn count_report(&self) {
@@ -81,20 +109,41 @@ impl ServeMetrics {
         self.with(|i| i.shutdowns = i.shutdowns.saturating_add(1));
     }
 
+    /// An accept-gate shed, attributable to no shard.
     pub(crate) fn count_overloaded(&self) {
         self.with(|i| i.overloaded = i.overloaded.saturating_add(1));
+    }
+
+    /// A suggest-gate shed on one shard's admission gate.
+    pub(crate) fn count_shard_overloaded(&self, shard: usize) {
+        self.with(|i| {
+            i.overloaded = i.overloaded.saturating_add(1);
+            if let Some(s) = i.shards.get_mut(shard) {
+                s.overloaded = s.overloaded.saturating_add(1);
+            }
+        });
     }
 
     pub(crate) fn count_protocol_error(&self) {
         self.with(|i| i.protocol_errors = i.protocol_errors.saturating_add(1));
     }
 
-    pub(crate) fn count_backend_eval(&self) {
-        self.with(|i| i.backend_evals = i.backend_evals.saturating_add(1));
+    pub(crate) fn count_backend_eval(&self, shard: usize) {
+        self.with(|i| {
+            i.backend_evals = i.backend_evals.saturating_add(1);
+            if let Some(s) = i.shards.get_mut(shard) {
+                s.backend_evals = s.backend_evals.saturating_add(1);
+            }
+        });
     }
 
-    pub(crate) fn count_coalesced_hit(&self) {
-        self.with(|i| i.coalesced_hits = i.coalesced_hits.saturating_add(1));
+    pub(crate) fn count_coalesced_hit(&self, shard: usize) {
+        self.with(|i| {
+            i.coalesced_hits = i.coalesced_hits.saturating_add(1);
+            if let Some(s) = i.shards.get_mut(shard) {
+                s.coalesced_hits = s.coalesced_hits.saturating_add(1);
+            }
+        });
     }
 
     /// Track the largest batch (requests served by one backend evaluation).
@@ -110,6 +159,19 @@ impl ServeMetrics {
                 *c = c.saturating_add(1);
             }
             i.latency_total = i.latency_total.saturating_add(1);
+        });
+    }
+
+    /// Record one suggest's latency against its shard's own histogram.
+    pub(crate) fn record_shard_latency_us(&self, shard: usize, us: u64) {
+        let bucket = bucket_of(us);
+        self.with(|i| {
+            if let Some(s) = i.shards.get_mut(shard) {
+                if let Some(c) = s.latency_counts.get_mut(bucket) {
+                    *c = c.saturating_add(1);
+                }
+                s.latency_total = s.latency_total.saturating_add(1);
+            }
         });
     }
 
@@ -132,6 +194,20 @@ impl ServeMetrics {
             p50_us: quantile(&i.latency_counts, i.latency_total, 0.50),
             p95_us: quantile(&i.latency_counts, i.latency_total, 0.95),
             p99_us: quantile(&i.latency_counts, i.latency_total, 0.99),
+            shards: i
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(n, s)| ShardMetricsSnapshot {
+                    shard: n as u64,
+                    suggests: s.suggests,
+                    backend_evals: s.backend_evals,
+                    coalesced_hits: s.coalesced_hits,
+                    overloaded: s.overloaded,
+                    p50_us: quantile(&s.latency_counts, s.latency_total, 0.50),
+                    p99_us: quantile(&s.latency_counts, s.latency_total, 0.99),
+                })
+                .collect(),
         })
     }
 }
@@ -169,10 +245,30 @@ fn upper_edge(i: usize) -> u64 {
         .unwrap_or(u64::MAX)
 }
 
+/// One shard's slice of the suggest-path counters, plus its own latency
+/// percentiles — the per-shard half of `BENCH_serve.json`'s `sharding` block.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMetricsSnapshot {
+    /// Shard index (the `shard_of` routing target).
+    pub shard: u64,
+    /// `Suggest` frames routed to this shard.
+    pub suggests: u64,
+    /// Suggest evaluations this shard's backend actually ran.
+    pub backend_evals: u64,
+    /// Suggests served from a shared evaluation on this shard.
+    pub coalesced_hits: u64,
+    /// Suggests shed at this shard's admission gate.
+    pub overloaded: u64,
+    /// Median suggest latency on this shard (bucket upper edge), µs.
+    pub p50_us: u64,
+    /// 99th-percentile suggest latency on this shard, µs.
+    pub p99_us: u64,
+}
+
 /// A point-in-time copy of every serving counter and the latency percentiles.
 /// Carried verbatim inside `Response::MetricsReport` and folded into
 /// `BENCH_serve.json` by the load generator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// `Suggest` frames handled (including coalesced and shed ones).
     pub suggests: u64,
@@ -204,6 +300,9 @@ pub struct MetricsSnapshot {
     pub p95_us: u64,
     /// 99th-percentile service latency, microseconds.
     pub p99_us: u64,
+    /// Per-shard suggest-path counters, index = shard id. Empty only for
+    /// metrics built without shard blocks (unit tests).
+    pub shards: Vec<ShardMetricsSnapshot>,
 }
 
 /// Render the `/metrics`-style text page: `name value` per line, serving
@@ -237,11 +336,28 @@ pub(crate) fn render_text(s: &MetricsSnapshot, d: &DashboardCounters) -> String 
         ),
         ("pipeline_snapshot_writes", d.snapshot_writes),
         ("pipeline_recovery_replayed", d.recovery_replayed),
+        ("pipeline_tuner_evictions", d.tuner_evictions),
+        ("pipeline_evicted_restored", d.evicted_restored),
     ] {
         out.push_str(name);
         out.push(' ');
         out.push_str(&value.to_string());
         out.push('\n');
+    }
+    for shard in &s.shards {
+        for (family, value) in [
+            ("suggests", shard.suggests),
+            ("backend_evals", shard.backend_evals),
+            ("coalesced_hits", shard.coalesced_hits),
+            ("overloaded", shard.overloaded),
+            ("latency_p50_us", shard.p50_us),
+            ("latency_p99_us", shard.p99_us),
+        ] {
+            out.push_str(&format!(
+                "rockserve_shard{}_{family} {value}\n",
+                shard.shard
+            ));
+        }
     }
     out
 }
@@ -282,8 +398,8 @@ mod tests {
     #[test]
     fn render_includes_every_counter_family() {
         let m = ServeMetrics::default();
-        m.count_suggest();
-        m.count_backend_eval();
+        m.count_suggest(0);
+        m.count_backend_eval(0);
         m.observe_batch(64);
         let text = render_text(&m.snapshot(0, 0), &DashboardCounters::default());
         assert!(text.contains("rockserve_requests_suggest 1"), "{text}");
@@ -291,6 +407,48 @@ mod tests {
         assert!(text.contains("pipeline_ingested_records 0"), "{text}");
         assert!(text.contains("pipeline_wal_records_written 0"), "{text}");
         assert!(text.contains("pipeline_recovery_replayed 0"), "{text}");
-        assert_eq!(text.lines().count(), 23);
+        assert!(text.contains("pipeline_tuner_evictions 0"), "{text}");
+        assert!(text.contains("pipeline_evicted_restored 0"), "{text}");
+        assert_eq!(text.lines().count(), 25);
+    }
+
+    #[test]
+    fn shard_counters_split_by_shard_and_render_per_shard_lines() {
+        let m = ServeMetrics::with_shards(2);
+        m.count_suggest(0);
+        m.count_suggest(1);
+        m.count_suggest(1);
+        m.count_backend_eval(1);
+        m.count_coalesced_hit(1);
+        m.count_shard_overloaded(0);
+        m.record_shard_latency_us(1, 500);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].suggests, 1);
+        assert_eq!(snap.shards[1].suggests, 2);
+        assert_eq!(snap.shards[1].backend_evals, 1);
+        assert_eq!(snap.shards[1].coalesced_hits, 1);
+        assert_eq!(snap.shards[0].overloaded, 1);
+        assert!(snap.shards[1].p99_us >= 500);
+        assert_eq!(snap.shards[0].p50_us, 0);
+        // The shard gates also feed the fleet totals.
+        assert_eq!(snap.suggests, 3);
+        assert_eq!(snap.overloaded, 1);
+        let text = render_text(&snap, &DashboardCounters::default());
+        assert!(text.contains("rockserve_shard0_suggests 1"), "{text}");
+        assert!(text.contains("rockserve_shard1_suggests 2"), "{text}");
+        assert_eq!(text.lines().count(), 25 + 2 * 6);
+    }
+
+    #[test]
+    fn out_of_range_shard_indexes_are_ignored_not_panicked() {
+        let m = ServeMetrics::with_shards(1);
+        m.count_suggest(5);
+        m.count_backend_eval(5);
+        m.record_shard_latency_us(5, 100);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.suggests, 1, "fleet total still counted");
+        assert_eq!(snap.shards.len(), 1);
+        assert_eq!(snap.shards[0].suggests, 0);
     }
 }

@@ -2,6 +2,16 @@
 //! per-workload-signature request coalescing, admission control, and a
 //! drain-then-shutdown lifecycle wired to the pipeline's `Drop`-join contract.
 //!
+//! ## Sharding
+//!
+//! The backend is split into `ServeConfig::shards` signature-hash shards
+//! (`pipeline::shard_of`), each a full `AutotuneBackend` on its own worker
+//! thread with its own coalescer, admission gate, memory-bounded tuner LRU,
+//! and — when durable — its own WAL/snapshot lineage under
+//! [`shard_state_dir`]. Because routing is a pure function of the signature
+//! and tuner seeds derive from `(root_seed, signature)` alone, the served
+//! points are bit-identical at any shard count (DESIGN.md §11).
+//!
 //! ## Determinism under concurrency
 //!
 //! The backend's tuner state advances on every evaluation, so a naive server
@@ -45,7 +55,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use optimizers::space::ConfigSpace;
 use optimizers::tuner::TuningContext;
-use pipeline::{AutotuneBackend, AutotuneClient, AutotuneService, ReplayedOp};
+use pipeline::{
+    shard_of, AutotuneBackend, AutotuneClient, ReplayedOp, ShardedAutotuneClient,
+    ShardedAutotuneService,
+};
 
 use crate::metrics::{render_text, ServeMetrics};
 use crate::proto::{self, codes, Request, Response, WireError, PROTOCOL_VERSION};
@@ -69,14 +82,22 @@ pub struct ServeConfig {
     /// How long a suggest waits on the backend before degrading to the
     /// default configuration.
     pub suggest_timeout: Duration,
-    /// Durable-state directory. When set, the backend recovers from it
-    /// *before* the listener accepts anything (replay-before-accept) and
-    /// WAL-logs every mutation to it from then on; the coalescing cache is
-    /// prepopulated from the replayed request stream so a restarted server
-    /// answers repeated requests exactly as the crashed one would have.
+    /// Durable-state directory. When set, each shard recovers from its own
+    /// subdirectory (see [`shard_state_dir`]) *before* the listener accepts
+    /// anything (replay-before-accept) and WAL-logs every mutation there from
+    /// then on; each shard's coalescing cache is prepopulated from its
+    /// replayed request stream so a restarted server answers repeated
+    /// requests exactly as the crashed one would have.
     pub state_dir: Option<std::path::PathBuf>,
     /// WAL records between compacted snapshots (ignored without `state_dir`).
     pub snapshot_every: u64,
+    /// Signature-hash shards, each a full backend on its own worker thread
+    /// with its own coalescer, admission gate, and (when durable) WAL
+    /// lineage. `0` and `1` both mean a single shard.
+    pub shards: usize,
+    /// Per-shard bound on resident per-signature tuner state: the LRU above
+    /// it spills to durable sidecars. `0` keeps the pipeline default.
+    pub shard_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,7 +109,21 @@ impl Default for ServeConfig {
             suggest_timeout: Duration::from_secs(30),
             state_dir: None,
             snapshot_every: pipeline::durability::DEFAULT_SNAPSHOT_EVERY,
+            shards: 1,
+            shard_capacity: 0,
         }
+    }
+}
+
+/// Where shard `shard` of `shards` keeps its durable state under `root`:
+/// the root itself for a single-shard deployment (bit-compatible with the
+/// pre-sharding layout), `root/shard-NNNN` otherwise. The load generator and
+/// the kill-recover smoke script tear specific shards through this layout.
+pub fn shard_state_dir(root: &std::path::Path, shard: usize, shards: usize) -> std::path::PathBuf {
+    if shards <= 1 {
+        root.to_path_buf()
+    } else {
+        root.join(format!("shard-{shard:04}"))
     }
 }
 
@@ -114,23 +149,33 @@ enum Slot {
 /// Full request content: tenant, signature, canonical context bytes.
 type CoalesceKey = (String, u64, Vec<u8>);
 
-struct Shared {
+/// One shard's serving-side state: its backend client, its coalescer, and
+/// its own admission gate. Routing a signature to its lane is a pure
+/// function of the signature ([`shard_of`]), so per-signature ordering holds
+/// through the lane's queue no matter how many lanes exist.
+struct ShardLane {
     client: AutotuneClient,
+    /// Backend evaluations in flight on this shard.
+    inflight: AtomicU64,
+    coalescer: Mutex<HashMap<CoalesceKey, Slot>>,
+}
+
+struct Shared {
+    /// Fan-out client for work that spans shards (reports, merged counters).
+    client: ShardedAutotuneClient,
+    /// Per-shard serving lanes, index = shard id.
+    lanes: Vec<ShardLane>,
     space: ConfigSpace,
     cfg: ServeConfig,
     local_addr: SocketAddr,
     draining: AtomicBool,
     /// Connections accepted, not yet picked up by a worker.
     queued: AtomicU64,
-    /// Backend evaluations in flight.
-    inflight: AtomicU64,
-    coalescer: Mutex<HashMap<CoalesceKey, Slot>>,
     metrics: ServeMetrics,
 }
 
-fn lock_coalescer(shared: &Shared) -> MutexGuard<'_, HashMap<CoalesceKey, Slot>> {
-    shared
-        .coalescer
+fn lock_coalescer(lane: &ShardLane) -> MutexGuard<'_, HashMap<CoalesceKey, Slot>> {
+    lane.coalescer
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
 }
@@ -141,32 +186,57 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    service: Option<AutotuneService>,
-    /// What boot-time recovery found; `None` without a state dir.
+    service: Option<ShardedAutotuneService>,
+    /// What boot-time recovery found, merged over every shard; `None`
+    /// without a state dir.
     recovery: Option<pipeline::RecoveryReport>,
 }
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `backend` on a fixed-width worker pool.
+    /// `backend` — split into `cfg.shards` signature-hash shards — on a
+    /// fixed-width worker pool.
     pub fn spawn(
-        mut backend: AutotuneBackend,
+        backend: AutotuneBackend,
         addr: &str,
         cfg: ServeConfig,
     ) -> std::io::Result<Server> {
-        // Replay-before-accept: recover durable state (and rebuild the
-        // coalescing cache from the replayed request stream) before the
-        // listener exists, so no request can race the replay.
-        let mut recovered_cache: HashMap<CoalesceKey, Slot> = HashMap::new();
-        let mut recovery = None;
+        let shards = cfg.shards.clamp(1, 64);
+        let mut backends = backend.split_into_shards(shards, cfg.shard_capacity);
+        // Replay-before-accept: recover each shard's durable state (and
+        // rebuild its coalescing cache from its replayed request stream)
+        // before the listener exists, so no request can race the replay.
+        let mut recovered_caches: Vec<HashMap<CoalesceKey, Slot>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        let mut recovery: Option<pipeline::RecoveryReport> = None;
         if let Some(dir) = &cfg.state_dir {
-            let report = backend.recover_from_with(dir, cfg.snapshot_every.max(1))?;
-            prepopulate_coalescer(&mut recovered_cache, &report.ops);
-            recovery = Some(report);
+            let mut merged = pipeline::RecoveryReport::default();
+            for (i, b) in backends.iter_mut().enumerate() {
+                let report = b.recover_from_with(
+                    &shard_state_dir(dir, i, shards),
+                    cfg.snapshot_every.max(1),
+                )?;
+                prepopulate_coalescer(&mut recovered_caches[i], &report.ops);
+                merged.replayed += report.replayed;
+                merged.quarantined += report.quarantined;
+                merged.quarantined_bytes += report.quarantined_bytes;
+                merged.restored_snapshot |= report.restored_snapshot;
+                merged.ops.extend(report.ops);
+            }
+            recovery = Some(merged);
         }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let (service, client) = AutotuneService::spawn(backend);
+        let (service, client) = ShardedAutotuneService::spawn(backends);
+        let lanes = recovered_caches
+            .into_iter()
+            .zip(client.clients())
+            .map(|(cache, shard_client)| ShardLane {
+                client: shard_client.clone(),
+                inflight: AtomicU64::new(0),
+                coalescer: Mutex::new(cache),
+            })
+            .collect();
         let width = if cfg.workers == 0 {
             rockpool::configured_threads()
         } else {
@@ -175,14 +245,13 @@ impl Server {
         .clamp(1, 64);
         let shared = Arc::new(Shared {
             client,
+            lanes,
             space: ConfigSpace::query_level(),
             cfg,
             local_addr,
             draining: AtomicBool::new(false),
             queued: AtomicU64::new(0),
-            inflight: AtomicU64::new(0),
-            coalescer: Mutex::new(recovered_cache),
-            metrics: ServeMetrics::default(),
+            metrics: ServeMetrics::with_shards(shards),
         });
         let (conn_tx, conn_rx) = unbounded::<TcpStream>();
         let acceptor = {
@@ -217,34 +286,40 @@ impl Server {
     }
 
     /// Block until something drains the server (a `Shutdown` frame from a
-    /// client, typically), then join every thread and recover the backend.
-    /// `None` if the backend thread panicked.
-    pub fn join(mut self) -> Option<AutotuneBackend> {
+    /// client, typically), then join every thread and recover the per-shard
+    /// backends, index = shard id. A `None` entry marks a shard whose
+    /// backend thread panicked (its state is lost with it).
+    pub fn join(mut self) -> Vec<Option<AutotuneBackend>> {
         self.finish()
     }
 
-    /// Drain now: stop accepting, serve everything queued, join every thread,
-    /// and recover the backend. `None` if the backend thread panicked.
-    pub fn shutdown(mut self) -> Option<AutotuneBackend> {
+    /// Drain now: stop accepting, serve everything queued, join every
+    /// thread, and recover the per-shard backends, index = shard id. A
+    /// `None` entry marks a shard whose backend thread panicked.
+    pub fn shutdown(mut self) -> Vec<Option<AutotuneBackend>> {
         begin_drain(&self.shared);
         self.finish()
     }
 
-    fn finish(&mut self) -> Option<AutotuneBackend> {
+    fn finish(&mut self) -> Vec<Option<AutotuneBackend>> {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        let mut backend = self.service.take().and_then(AutotuneService::shutdown);
-        // Flush-on-drain: force-sync the WAL so a clean shutdown loses
-        // nothing. Deliberately a sync, not a final snapshot — the next
-        // boot exercises real log replay.
-        if let Some(b) = backend.as_mut() {
+        let mut backends = self
+            .service
+            .take()
+            .map(ShardedAutotuneService::shutdown)
+            .unwrap_or_default();
+        // Flush-on-drain: force-sync every shard's WAL so a clean shutdown
+        // loses nothing. Deliberately a sync, not a final snapshot — the
+        // next boot exercises real log replay.
+        for b in backends.iter_mut().flatten() {
             let _ = b.flush_durability();
         }
-        backend
+        backends
     }
 }
 
@@ -452,7 +527,30 @@ fn serve_suggest(
     signature: u64,
     ctx: &TuningContext,
 ) -> Response {
-    shared.metrics.count_suggest();
+    let started = Instant::now();
+    let shard = shard_of(signature, shared.lanes.len());
+    shared.metrics.count_suggest(shard);
+    let resp = serve_suggest_on(shared, shard, user, signature, ctx);
+    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_shard_latency_us(shard, us);
+    resp
+}
+
+/// The suggest path after routing: coalesce, gate, and evaluate on one
+/// shard's lane.
+fn serve_suggest_on(
+    shared: &Arc<Shared>,
+    shard: usize,
+    user: &str,
+    signature: u64,
+    ctx: &TuningContext,
+) -> Response {
+    let Some(lane) = shared.lanes.get(shard) else {
+        return Response::Error {
+            code: codes::MALFORMED_FRAME.to_string(),
+            message: format!("signature routed to missing shard {shard}"),
+        };
+    };
     let Ok(ctx_bytes) = serde_json::to_vec(ctx) else {
         return Response::Error {
             code: codes::MALFORMED_FRAME.to_string(),
@@ -461,7 +559,7 @@ fn serve_suggest(
     };
     let key: CoalesceKey = (user.to_string(), signature, ctx_bytes);
     let plan = {
-        let mut map = lock_coalescer(shared);
+        let mut map = lock_coalescer(lane);
         match map.get_mut(&key) {
             Some(Slot::Done {
                 point,
@@ -475,7 +573,7 @@ fn serve_suggest(
                 };
                 let batch = *batch;
                 drop(map);
-                shared.metrics.count_coalesced_hit();
+                shared.metrics.count_coalesced_hit(shard);
                 shared.metrics.observe_batch(batch);
                 SuggestPlan::Hit(served)
             }
@@ -483,21 +581,21 @@ fn serve_suggest(
                 let (tx, rx) = unbounded();
                 waiters.push(tx);
                 drop(map);
-                shared.metrics.count_coalesced_hit();
+                shared.metrics.count_coalesced_hit(shard);
                 SuggestPlan::Wait(rx)
             }
             None => {
-                let inflight = shared.inflight.load(Ordering::Acquire);
+                let inflight = lane.inflight.load(Ordering::Acquire);
                 let cap = u64::try_from(shared.cfg.max_inflight_suggests).unwrap_or(u64::MAX);
                 if inflight >= cap {
                     drop(map);
-                    shared.metrics.count_overloaded();
+                    shared.metrics.count_shard_overloaded(shard);
                     return Response::Overloaded {
                         inflight,
                         capacity: cap,
                     };
                 }
-                shared.inflight.fetch_add(1, Ordering::AcqRel);
+                lane.inflight.fetch_add(1, Ordering::AcqRel);
                 map.insert(
                     key.clone(),
                     Slot::InFlight {
@@ -533,22 +631,22 @@ fn serve_suggest(
             }
         }
         SuggestPlan::Lead => {
-            let (point, fallback) = shared.client.suggest_or_default(
+            let (point, fallback) = lane.client.suggest_or_default(
                 user,
                 signature,
                 ctx,
                 shared.cfg.suggest_timeout,
                 &shared.space,
             );
-            shared.inflight.fetch_sub(1, Ordering::AcqRel);
-            shared.metrics.count_backend_eval();
+            lane.inflight.fetch_sub(1, Ordering::AcqRel);
+            shared.metrics.count_backend_eval(shard);
             let fallback = fallback.map(|f| f.to_string());
             let served = Served {
                 point: point.clone(),
                 fallback: fallback.clone(),
             };
             let (waiters, batch) = {
-                let mut map = lock_coalescer(shared);
+                let mut map = lock_coalescer(lane);
                 let waiters = match map.remove(&key) {
                     Some(Slot::InFlight { waiters }) => waiters,
                     _ => Vec::new(),
@@ -585,8 +683,13 @@ fn serve_report(shared: &Arc<Shared>, user: &str, app_id: &str, jsonl: String) -
     // `pipeline::report_signatures`.
     let sigs = pipeline::report_signatures(&events);
     if !sigs.is_empty() {
-        let mut map = lock_coalescer(shared);
-        map.retain(|k, _| !(k.0 == user && sigs.binary_search(&k.1).is_ok()));
+        // Each signature's cache entries live only on its own lane, so a
+        // uniform retain over every lane invalidates exactly the owning
+        // shard's entries.
+        for lane in &shared.lanes {
+            let mut map = lock_coalescer(lane);
+            map.retain(|k, _| !(k.0 == user && sigs.binary_search(&k.1).is_ok()));
+        }
     }
     shared.client.report_jsonl(user, app_id, jsonl);
     Response::Reported
@@ -598,10 +701,14 @@ fn serve_metrics(shared: &Arc<Shared>) -> Response {
         .client
         .dashboard_counters(shared.cfg.suggest_timeout)
         .unwrap_or_default();
-    let serving = shared.metrics.snapshot(
-        shared.queued.load(Ordering::Acquire),
-        shared.inflight.load(Ordering::Acquire),
-    );
+    let inflight = shared
+        .lanes
+        .iter()
+        .map(|l| l.inflight.load(Ordering::Acquire))
+        .fold(0u64, u64::saturating_add);
+    let serving = shared
+        .metrics
+        .snapshot(shared.queued.load(Ordering::Acquire), inflight);
     let text = render_text(&serving, &dashboard);
     Response::MetricsReport {
         text,

@@ -111,6 +111,15 @@ proptest! {
             p50_us: c(12),
             p95_us: c(13),
             p99_us: c(14),
+            shards: vec![rockserve::ShardMetricsSnapshot {
+                shard: 0,
+                suggests: c(0),
+                backend_evals: c(7),
+                coalesced_hits: c(8),
+                overloaded: c(5),
+                p50_us: c(12),
+                p99_us: c(14),
+            }],
         };
         let dashboard = DashboardCounters {
             ingested_records: c(15),
@@ -121,6 +130,8 @@ proptest! {
             wal_records_quarantined: c(20),
             snapshot_writes: c(21),
             recovery_replayed: c(22),
+            tuner_evictions: c(23),
+            evicted_restored: c(24),
         };
         for resp in [
             Response::Suggestion {

@@ -34,10 +34,17 @@ cargo run -q --release -p bench -- --quick
 echo "==> serving load-gen smoke (BENCH_serve.json)"
 cargo run -q --release -p bench --bin serve_loadgen -- --quick
 
+echo "==> sharded serving smoke (4 shards → BENCH_serve_sharded.json)"
+cargo run -q --release -p bench --bin serve_loadgen -- --quick --shards 4 \
+  --out BENCH_serve_sharded.json
+
 echo "==> chaos smoke (fault injection)"
 cargo run -q --release -p experiments --bin exp_fault_injection -- --quick
 
 echo "==> kill-and-recover smoke (durable serving state → recovery.log)"
 scripts/kill_recover_smoke.sh
+
+echo "==> sharded kill-and-recover smoke (4 shards → recovery-shards4.log)"
+scripts/kill_recover_smoke.sh 4
 
 echo "CI: all green"

@@ -2,17 +2,30 @@
 # Kill-and-recover smoke: start a durable rockserve, load it, SIGKILL it
 # (no drain, no final fsync barrier), restart on the same state dir, and
 # require that the second boot actually replayed WAL records before
-# accepting traffic. recovery.log is the uploadable artifact: both servers'
+# accepting traffic. The log file is the uploadable artifact: both servers'
 # stdout plus the durability counters and the verdict.
+# Usage: scripts/kill_recover_smoke.sh [SHARDS]
+#   SHARDS (default 1) runs the same smoke against a sharded server — one
+#   WAL/snapshot lineage per shard-NNNN/ directory, recovered independently.
+#   Sharded runs log to recovery-shardsN.log so runs don't clobber each other.
 # Expects ./target/release/{rockserve,serve_loadgen} to exist
 # (scripts/ci.sh builds them first).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+SHARDS="${1:-1}"
+PORT_A=$((7161 + SHARDS * 10))
+PORT_B=$((PORT_A + 1))
+if [ "$SHARDS" -gt 1 ]; then
+  LOG="recovery-shards${SHARDS}.log"
+else
+  LOG="recovery.log"
+fi
+
 STATE_DIR="$(mktemp -d)"
 trap 'rm -rf "$STATE_DIR"' EXIT
-rm -f recovery.log
+rm -f "$LOG"
 
 wait_for_port() {
   for _ in $(seq 1 100); do
@@ -22,37 +35,37 @@ wait_for_port() {
     fi
     sleep 0.2
   done
-  echo "server on port $1 never came up" >> recovery.log
+  echo "server on port $1 never came up" >> "$LOG"
   return 1
 }
 
-./target/release/rockserve --addr 127.0.0.1:7171 --seed 77 \
-  --state-dir "$STATE_DIR" >> recovery.log 2>&1 &
+./target/release/rockserve --addr "127.0.0.1:$PORT_A" --seed 77 \
+  --state-dir "$STATE_DIR" --shards "$SHARDS" >> "$LOG" 2>&1 &
 SERVE_PID=$!
-wait_for_port 7171
+wait_for_port "$PORT_A"
 ./target/release/serve_loadgen --quick --seed 77 \
-  --addr 127.0.0.1:7171 --out "$STATE_DIR/phase_a.json"
+  --addr "127.0.0.1:$PORT_A" --out "$STATE_DIR/phase_a.json"
 
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 
-./target/release/rockserve --addr 127.0.0.1:7172 --seed 77 \
-  --state-dir "$STATE_DIR" >> recovery.log 2>&1 &
+./target/release/rockserve --addr "127.0.0.1:$PORT_B" --seed 77 \
+  --state-dir "$STATE_DIR" --shards "$SHARDS" >> "$LOG" 2>&1 &
 SERVE_PID=$!
-wait_for_port 7172
+wait_for_port "$PORT_B"
 ./target/release/serve_loadgen --quick --seed 78 \
-  --addr 127.0.0.1:7172 --out "$STATE_DIR/phase_b.json"
+  --addr "127.0.0.1:$PORT_B" --out "$STATE_DIR/phase_b.json"
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 
-grep -o '"durability": {[^}]*}' "$STATE_DIR/phase_b.json" >> recovery.log
+grep -o '"durability": {[^}]*}' "$STATE_DIR/phase_b.json" >> "$LOG"
 REPLAYED="$(grep -o '"recovery_replayed": [0-9]*' "$STATE_DIR/phase_b.json" \
   | grep -o '[0-9]*$' || echo 0)"
-if [ "${REPLAYED:-0}" -gt 0 ] && grep -q "rockserve recovered:" recovery.log; then
-  echo "kill-and-recover: OK (${REPLAYED} record(s) replayed after SIGKILL)" \
-    | tee -a recovery.log
+if [ "${REPLAYED:-0}" -gt 0 ] && grep -q "rockserve recovered:" "$LOG"; then
+  echo "kill-and-recover (${SHARDS} shard(s)): OK (${REPLAYED} record(s) replayed after SIGKILL)" \
+    | tee -a "$LOG"
 else
-  echo "kill-and-recover: FAILED (recovery_replayed=${REPLAYED:-0})" \
-    | tee -a recovery.log
+  echo "kill-and-recover (${SHARDS} shard(s)): FAILED (recovery_replayed=${REPLAYED:-0})" \
+    | tee -a "$LOG"
   exit 1
 fi

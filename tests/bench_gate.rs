@@ -129,3 +129,105 @@ fn bench_serve_json_is_deterministic_and_clean() {
         other => panic!("latency_us.p95 missing: {other:?}"),
     }
 }
+
+#[test]
+fn bench_serve_multi_shard_fingerprint_is_deterministic() {
+    use bench::serve::{run_serve_bench, ServeBenchConfig};
+
+    let base = ServeBenchConfig::quick(0xB6);
+    let unsharded = run_serve_bench(&base).expect("unsharded run");
+
+    let mut cfg = base;
+    cfg.shards = 4;
+    let first = run_serve_bench(&cfg).expect("first 4-shard run");
+    let second = run_serve_bench(&cfg).expect("second 4-shard run");
+
+    assert_eq!(
+        first.suggest_fingerprint, second.suggest_fingerprint,
+        "4-shard served suggestions changed between identically-seeded runs"
+    );
+    assert_eq!(
+        first.suggest_fingerprint, unsharded.suggest_fingerprint,
+        "sharding moved the served-suggestion fingerprint"
+    );
+    for (label, run) in [("first", &first), ("second", &second)] {
+        assert_eq!(
+            run.protocol_errors, 0,
+            "{label} 4-shard run spoke bad frames"
+        );
+        assert!(run.clean_drain, "{label} 4-shard run did not drain cleanly");
+        assert_eq!(run.per_shard.len(), 4, "{label} run lost per-shard metrics");
+    }
+}
+
+#[test]
+fn bench_serve_zipf_mode_stays_within_the_memory_bound() {
+    use bench::serve::{run_serve_bench_durable, ServeBenchConfig, SERVE_SCHEMA};
+
+    let cfg = ServeBenchConfig::zipf(0x21F5);
+    assert!(
+        cfg.zipf_signatures >= 100_000,
+        "the zipf preset must cover a production-sized signature space"
+    );
+    let bound = (cfg.shards * cfg.shard_capacity) as u64;
+
+    let dir = std::env::temp_dir().join(format!("rockhopper-zipf-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("state dir creates");
+    let report = run_serve_bench_durable(&cfg, &dir).expect("zipf bench runs");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(report.protocol_errors, 0, "zipf run spoke bad frames");
+    assert!(report.clean_drain, "zipf run did not drain cleanly");
+    // The memory bound held: what remained resident at drain fits the LRUs,
+    // and the hot-head/cold-tail churn actually exercised eviction.
+    assert!(
+        report.resident_tuners <= bound,
+        "{} resident tuners exceed the {}×{} LRU bound",
+        report.resident_tuners,
+        cfg.shards,
+        cfg.shard_capacity
+    );
+    assert!(
+        report.tuner_evictions > 0,
+        "a zipfian load over {} signatures through {} bounded slots must \
+         evict: {report:?}",
+        cfg.zipf_signatures,
+        bound
+    );
+    // Durability did the forgetting for us: evicted tuners checkpoint to
+    // rockdur sidecars, and re-touched hot-head signatures restore from them
+    // (bit-exactness of the restore is gated in tests/sharding.rs).
+    assert!(
+        report.wal_records_written > 0,
+        "zipf mode must run durable: {report:?}"
+    );
+    assert!(
+        report.evicted_restored > 0,
+        "the zipf head re-touches evicted signatures, so sidecar restores \
+         must be counted: {report:?}"
+    );
+
+    // The v3 schema carries the sharding block, and per-shard counters
+    // partition the totals.
+    let doc = serde_json::value_from_str(&report.to_json()).expect("BENCH_serve.json parses");
+    match doc.get_field("schema") {
+        serde::Value::Str(s) => assert_eq!(s, SERVE_SCHEMA),
+        other => panic!("schema field missing or mistyped: {other:?}"),
+    }
+    let sharding = doc.get_field("sharding");
+    match sharding.get_field("shards") {
+        serde::Value::UInt(n) => assert_eq!(*n as usize, cfg.shards),
+        serde::Value::Int(n) => assert_eq!(*n as usize, cfg.shards),
+        other => panic!("sharding.shards missing: {other:?}"),
+    }
+    match sharding.get_field("per_shard") {
+        serde::Value::Array(items) => assert_eq!(items.len(), cfg.shards),
+        other => panic!("sharding.per_shard missing: {other:?}"),
+    }
+    match doc.get_field("zipf").get_field("signatures") {
+        serde::Value::UInt(n) => assert_eq!(*n, cfg.zipf_signatures),
+        serde::Value::Int(n) => assert_eq!(u64::try_from(*n).unwrap_or(0), cfg.zipf_signatures),
+        other => panic!("zipf.signatures missing: {other:?}"),
+    }
+}

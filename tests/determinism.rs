@@ -208,6 +208,49 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Served-suggestion determinism across shard counts and thread widths
+// (DESIGN.md §11): the serving fingerprint is a pure function of the seed
+// and the request schedule — not of how the backend is sharded or how many
+// worker threads serve it. Shard seeds derive from `(root_seed, signature)`,
+// so shard membership never shifts a tuner's RNG stream.
+//
+// One test sweeps the whole {shards} × {RH_THREADS} grid: the property is
+// width-invariance, so concurrent env mutation by the other tests in this
+// binary cannot break it (they only move along an axis the fingerprint must
+// ignore anyway).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_fingerprint_is_invariant_across_shard_counts_and_thread_widths() {
+    use bench::serve::{run_serve_bench, ServeBenchConfig};
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 8] {
+        std::env::set_var(rockpool::THREADS_ENV, threads.to_string());
+        for shards in [1usize, 2, 8] {
+            let mut cfg = ServeBenchConfig::quick(0x5A4D);
+            cfg.shards = shards;
+            let report = run_serve_bench(&cfg).expect("serve bench runs");
+            assert_eq!(
+                report.protocol_errors, 0,
+                "bad frames at shards={shards} RH_THREADS={threads}"
+            );
+            assert!(report.clean_drain);
+            runs.push((threads, shards, report.suggest_fingerprint));
+        }
+    }
+    std::env::remove_var(rockpool::THREADS_ENV);
+
+    let reference = runs.first().map(|r| r.2).expect("the grid ran");
+    for (threads, shards, fingerprint) in runs {
+        assert_eq!(
+            fingerprint, reference,
+            "served fingerprint moved at shards={shards} RH_THREADS={threads}"
+        );
+    }
+}
+
 #[test]
 fn chaos_regime_traces_contain_faults() {
     // Guard against vacuous equality: under chaos the traced outcomes must

@@ -46,19 +46,26 @@ impl Drop for StateDir {
 }
 
 /// Shared body: reference run vs split run, with or without fault injection.
-fn assert_split_run_matches(seed: u64, tear_wal_tail: bool, tag: &str) {
+/// The reference is always the *unsharded* uninterrupted run, so at
+/// `shards > 1` this proves cross-shard-count fingerprint equality and
+/// kill-and-recover continuity in one comparison (under a torn tail the
+/// victim shard's lineage is seed-chosen; the others replay untouched logs).
+fn assert_split_run_matches(seed: u64, shards: usize, tear_wal_tail: bool, tag: &str) {
     let cfg = ServeBenchConfig::quick(seed);
     let reference = run_serve_bench(&cfg).expect("uninterrupted run");
     assert_eq!(reference.protocol_errors, 0, "reference run must be clean");
 
     let dir = StateDir::new(tag);
     let split = cfg.requests_per_client / 2;
-    let crashed = run_crash_recovery_bench(&cfg, &dir.0, split, tear_wal_tail).expect("split run");
+    let mut split_cfg = cfg;
+    split_cfg.shards = shards;
+    let crashed =
+        run_crash_recovery_bench(&split_cfg, &dir.0, split, tear_wal_tail).expect("split run");
 
     assert_eq!(
         crashed.suggest_fingerprint, reference.suggest_fingerprint,
-        "recovered server diverged from the uninterrupted run \
-         (tear_wal_tail={tear_wal_tail}): {crashed:?}"
+        "recovered server diverged from the uninterrupted unsharded run \
+         (shards={shards}, tear_wal_tail={tear_wal_tail}): {crashed:?}"
     );
     assert_eq!(crashed.requests_total, reference.requests_total);
     assert_eq!(crashed.sent, reference.sent);
@@ -85,7 +92,7 @@ fn assert_split_run_matches(seed: u64, tear_wal_tail: bool, tag: &str) {
 
 #[test]
 fn clean_restart_continues_the_suggestion_stream_bit_identically() {
-    assert_split_run_matches(0xD15C_0001, false, "clean");
+    assert_split_run_matches(0xD15C_0001, 1, false, "clean");
 }
 
 #[test]
@@ -94,7 +101,20 @@ fn torn_tail_crash_recovers_and_continues_bit_identically() {
     // arrival order (thread-timing dependent), so whether the seed-derived
     // chop lands mid-record or exactly on a boundary varies run to run.
     // The fingerprint, by contrast, must never move.
-    assert_split_run_matches(0xD15C_0002, true, "torn");
+    assert_split_run_matches(0xD15C_0002, 1, true, "torn");
+}
+
+#[test]
+fn sharded_clean_restart_matches_the_unsharded_stream() {
+    assert_split_run_matches(0xD15C_0005, 2, false, "sharded-clean");
+}
+
+#[test]
+fn sharded_torn_shard_recovers_and_matches_the_unsharded_stream() {
+    // 8 shards, one seed-chosen victim lineage torn mid-append: the other
+    // seven replay clean logs, the victim quarantines its torn suffix, and
+    // the merged suggestion stream still equals the unsharded reference.
+    assert_split_run_matches(0xD15C_0006, 8, true, "sharded-torn");
 }
 
 /// The backend-level entry points with the *default* snapshot cadence:

@@ -119,7 +119,13 @@ fn concurrent_suggests_match_the_in_process_path_and_share_one_evaluation() {
         Ok(Response::ShuttingDown) => {}
         other => panic!("expected shutdown ack, got {other:?}"),
     }
-    let backend = server.join().expect("backend survives the drain");
+    let backends = server.join();
+    assert_eq!(backends.len(), 1, "default config is a single shard");
+    let backend = backends
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("backend survives the drain");
     assert_eq!(
         backend.tuner_count(),
         1,
@@ -155,7 +161,7 @@ fn zero_inflight_capacity_sheds_suggests_with_overloaded_not_hangs() {
             ..
         })
     ));
-    assert!(server.shutdown().is_some());
+    assert!(server.shutdown().iter().all(Option::is_some));
 }
 
 #[test]
@@ -177,7 +183,7 @@ fn zero_pending_capacity_sheds_at_the_accept_gate() {
         Response::Overloaded { capacity, .. } => assert_eq!(capacity, 0),
         other => panic!("expected overloaded at the accept gate, got {other:?}"),
     }
-    assert!(server.shutdown().is_some());
+    assert!(server.shutdown().iter().all(Option::is_some));
 }
 
 /// Open a raw connection, run `write` against it, and return the decoded
@@ -250,5 +256,5 @@ fn bad_frames_get_typed_error_replies_not_hangs_or_panics() {
         client.suggest("tenant", 1, &ctx()),
         Ok(Response::Suggestion { .. })
     ));
-    assert!(server.shutdown().is_some());
+    assert!(server.shutdown().iter().all(Option::is_some));
 }
