@@ -1,6 +1,6 @@
-//! `cargo run -p bench --bin serve_loadgen -- [--quick | --zipf] [--seed N]
-//! [--addr HOST:PORT] [--out PATH] [--shards N] [--shard-capacity N]
-//! [--zipf-signatures N] [--skew S]`
+//! `cargo run -p bench --bin serve_loadgen -- [--quick | --zipf | --cold-start]
+//! [--seed N] [--addr HOST:PORT] [--out PATH] [--shards N]
+//! [--shard-capacity N] [--zipf-signatures N] [--skew S]`
 //!
 //! Drive a rockserve endpoint with a seeded open-loop fleet of concurrent
 //! clients sending a mixed `Suggest`/`Report`/`Health`/`Metrics` schedule,
@@ -9,7 +9,11 @@
 //! measurement; with `--addr` an already-running server is driven and left
 //! running. `--zipf` switches to the multi-tenant preset (zipfian signatures
 //! over a 100k space, 4 shards, a small per-shard tuner LRU, durable state in
-//! a temp dir so evicted tuners restore from rockdur sidecars);
+//! a temp dir so evicted tuners restore from rockdur sidecars).
+//! `--cold-start` switches to the retrieval preset: fresh zipf-tail
+//! signatures served against a pre-warmed retrieval corpus, so cold
+//! evaluations transfer instead of exploring (the `retrieval` block of the
+//! report carries the hit counters).
 //! `--zipf-signatures`/`--skew`/`--shards`/`--shard-capacity` override any
 //! preset's knobs piecemeal. Exits non-zero on any protocol error or an
 //! unclean drain.
@@ -22,6 +26,7 @@ use bench::serve::{self, ServeBenchConfig};
 fn main() -> ExitCode {
     let mut quick = false;
     let mut zipf = false;
+    let mut cold_start = false;
     let mut seed = 42u64;
     let mut addr: Option<String> = None;
     let mut out: Option<String> = None;
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--zipf" => zipf = true,
+            "--cold-start" => cold_start = true,
             "--seed" => {
                 let Some(v) = args.next() else {
                     return usage("--seed needs an integer");
@@ -79,11 +85,13 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown flag {other}")),
         }
     }
-    if quick && zipf {
-        return usage("--quick and --zipf are mutually exclusive presets");
+    if [quick, zipf, cold_start].iter().filter(|&&f| f).count() > 1 {
+        return usage("--quick, --zipf, and --cold-start are mutually exclusive presets");
     }
     let mut cfg = if zipf {
         ServeBenchConfig::zipf(seed)
+    } else if cold_start {
+        ServeBenchConfig::cold_start(seed)
     } else if quick {
         ServeBenchConfig::quick(seed)
     } else {
@@ -112,6 +120,19 @@ fn main() -> ExitCode {
                 return usage(&format!("cannot resolve --addr {spec}"));
             };
             serve::run_serve_bench_against(resolved, &cfg)
+        }
+        None if cold_start => {
+            // The cold-start preset needs a pre-warmed retrieval corpus on
+            // disk; build it in a throwaway dir and serve against it.
+            let dir = std::env::temp_dir().join(format!(
+                "serve_loadgen-corpus-{seed}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let result = std::fs::create_dir_all(&dir)
+                .and_then(|()| serve::run_serve_bench_coldstart(&cfg, &dir));
+            let _ = std::fs::remove_dir_all(&dir);
+            result
         }
         None if zipf => {
             // The zipf preset's whole point is LRU pressure + sidecar
@@ -156,6 +177,16 @@ fn main() -> ExitCode {
         "overloaded: {} | protocol errors: {} | clean drain: {} | fingerprint {:016x}",
         report.overloaded, report.protocol_errors, report.clean_drain, report.suggest_fingerprint
     );
+    if report.corpus_entries > 0 || report.cold_hits > 0 || report.transfer_served > 0 {
+        println!(
+            "retrieval: {} corpus entries | cold hits {} / misses {} | transfer served {} | seeded {}",
+            report.corpus_entries,
+            report.cold_hits,
+            report.cold_misses,
+            report.transfer_served,
+            report.transfer_seeded
+        );
+    }
     if report.shards > 1 || report.shard_capacity > 0 || report.zipf_signatures > 0 {
         println!(
             "sharding: {} shard(s), capacity {} | resident {} | evictions {} | restored {}",
@@ -193,8 +224,8 @@ fn main() -> ExitCode {
 fn usage(problem: &str) -> ExitCode {
     eprintln!("serve_loadgen: {problem}");
     eprintln!(
-        "usage: serve_loadgen [--quick | --zipf] [--seed N] [--addr HOST:PORT] [--out PATH] \
-         [--shards N] [--shard-capacity N] [--zipf-signatures N] [--skew S]"
+        "usage: serve_loadgen [--quick | --zipf | --cold-start] [--seed N] [--addr HOST:PORT] \
+         [--out PATH] [--shards N] [--shard-capacity N] [--zipf-signatures N] [--skew S]"
     );
     ExitCode::from(2)
 }

@@ -25,8 +25,10 @@ use sparksim::metrics::QueryMetrics;
 /// Schema tag stamped into `BENCH_serve.json`. v2 added the `durability`
 /// counter block (WAL writes, quarantines, snapshots, recovery replays);
 /// v3 added the `zipf` load block and the `sharding` block (shard count,
-/// LRU capacity, eviction counters, per-shard suggest counters).
-pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v3";
+/// LRU capacity, eviction counters, per-shard suggest counters); v4 added
+/// the `retrieval` block (corpus size, cold hits/misses, transfer counters)
+/// for the cold-start preset.
+pub const SERVE_SCHEMA: &str = "rockhopper-bench-serve/v4";
 
 /// Default output path; overridable via `ROCKHOPPER_SERVE_OUT`.
 pub const SERVE_DEFAULT_OUT: &str = "BENCH_serve.json";
@@ -113,6 +115,26 @@ impl ServeBenchConfig {
             shard_capacity: 8,
         }
     }
+
+    /// The cold-start shape: every suggest signature is drawn zipfian from a
+    /// 50k space the server has never seen, so each distinct signature's
+    /// first evaluation is cold. Run it through
+    /// [`run_serve_bench_coldstart`], which pre-warms a retrieval corpus
+    /// whose embedding families exactly cover the load's context embeddings
+    /// — cold evaluations must transfer instead of exploring.
+    pub fn cold_start(seed: u64) -> ServeBenchConfig {
+        ServeBenchConfig {
+            seed,
+            clients: 16,
+            requests_per_client: 8,
+            suggest_signatures: 8,
+            mean_gap_us: 100,
+            zipf_signatures: 50_000,
+            zipf_skew: 1.1,
+            shards: 2,
+            shard_capacity: 0,
+        }
+    }
 }
 
 /// What one bench run measured; rendered to `BENCH_serve.json` by
@@ -178,6 +200,16 @@ pub struct ServeBenchReport {
     pub resident_tuners: u64,
     /// Per-shard serving counters, shard order.
     pub per_shard: Vec<rockserve::ShardMetricsSnapshot>,
+    /// Entries in the pre-warmed retrieval corpus (0 without retrieval).
+    pub corpus_entries: u64,
+    /// Cold suggests answered from the retrieval index.
+    pub cold_hits: u64,
+    /// Cold suggests with no eligible corpus neighbor.
+    pub cold_misses: u64,
+    /// Tuners seeded with trust-discounted transferred observations.
+    pub transfer_seeded: u64,
+    /// Suggestion responses tagged `transferred` on the wire.
+    pub transfer_served: u64,
 }
 
 impl ServeBenchReport {
@@ -217,6 +249,14 @@ impl ServeBenchReport {
             self.wal_records_quarantined,
             self.snapshot_writes,
             self.recovery_replayed
+        ));
+        out.push_str(&format!(
+            "  \"retrieval\": {{\"corpus_entries\": {}, \"cold_hits\": {}, \"cold_misses\": {}, \"transfer_seeded\": {}, \"transfer_served\": {}}},\n",
+            self.corpus_entries,
+            self.cold_hits,
+            self.cold_misses,
+            self.transfer_seeded,
+            self.transfer_served
         ));
         out.push_str(&format!(
             "  \"zipf\": {{\"signatures\": {}, \"skew\": {:.2}}},\n",
@@ -554,6 +594,11 @@ fn aggregate(
         evicted_restored: dashboard.evicted_restored,
         resident_tuners,
         per_shard: server.shards,
+        corpus_entries: 0,
+        cold_hits: dashboard.cold_hits,
+        cold_misses: dashboard.cold_misses,
+        transfer_seeded: dashboard.transfer_seeded,
+        transfer_served: server.transfer_served,
     }
 }
 
@@ -582,7 +627,7 @@ fn drained_and_resident(backends: &[Option<pipeline::AutotuneBackend>]) -> (bool
 /// Spawn an in-process server on an ephemeral port, run the fleet, then
 /// drain-shutdown and verify every shard backend came back intact.
 pub fn run_serve_bench(cfg: &ServeBenchConfig) -> std::io::Result<ServeBenchReport> {
-    run_serve_bench_inner(cfg, None)
+    run_serve_bench_inner(cfg, None, None)
 }
 
 /// [`run_serve_bench`] with a durable state directory: every mutation is
@@ -593,12 +638,59 @@ pub fn run_serve_bench_durable(
     cfg: &ServeBenchConfig,
     state_dir: &std::path::Path,
 ) -> std::io::Result<ServeBenchReport> {
-    run_serve_bench_inner(cfg, Some(state_dir))
+    run_serve_bench_inner(cfg, Some(state_dir), None)
+}
+
+/// Embedding families `ctx_for` cycles through — the corpus pre-warmed by
+/// [`prewarm_corpus`] covers exactly these directions, so every cold-start
+/// suggest finds a similarity-1.0 neighbor.
+pub const COLD_CORPUS_FAMILIES: u64 = 7;
+
+/// Signature band the pre-warmed corpus entries live in, disjoint from both
+/// the suggest space and the `REPORT_SIG_BASE` band.
+pub const CORPUS_SIG_BASE: u64 = 2_000_000;
+
+/// Write a deterministic warm-signature corpus under `dir`: one entry per
+/// [`COLD_CORPUS_FAMILIES`] embedding family, each holding that family's
+/// "best observed" config. Content-addressed, seed-free: two calls produce
+/// bit-identical corpus lineages, which the cold-start determinism gate
+/// relies on. Returns the entry count.
+pub fn prewarm_corpus(dir: &std::path::Path) -> std::io::Result<u64> {
+    let space = optimizers::ConfigSpace::query_level();
+    let (mut corpus, _recovery) = pipeline::Corpus::open(dir)?;
+    for family in 0..COLD_CORPUS_FAMILIES {
+        corpus.upsert(pipeline::CorpusEntry {
+            signature: CORPUS_SIG_BASE + family,
+            embedding: vec![0.2 + family as f64 * 0.1, 0.5],
+            best_point: space.default_point(),
+            observations: 8,
+            best_elapsed_ms: 100.0 + family as f64 * 10.0,
+            mean_elapsed_ms: 125.0 + family as f64 * 10.0,
+            data_size: 1.0 + family as f64,
+        })?;
+    }
+    corpus.sync()?;
+    Ok(corpus.len() as u64)
+}
+
+/// [`run_serve_bench`] with a pre-warmed retrieval corpus attached: the
+/// cold-start preset's fresh zipf-tail signatures are answered by transfer
+/// from `corpus_dir` instead of cold exploration. The corpus is written by
+/// [`prewarm_corpus`] if the directory is empty.
+pub fn run_serve_bench_coldstart(
+    cfg: &ServeBenchConfig,
+    corpus_dir: &std::path::Path,
+) -> std::io::Result<ServeBenchReport> {
+    let entries = prewarm_corpus(corpus_dir)?;
+    let mut report = run_serve_bench_inner(cfg, None, Some(corpus_dir))?;
+    report.corpus_entries = entries;
+    Ok(report)
 }
 
 fn run_serve_bench_inner(
     cfg: &ServeBenchConfig,
     state_dir: Option<&std::path::Path>,
+    retrieval_dir: Option<&std::path::Path>,
 ) -> std::io::Result<ServeBenchReport> {
     let backend = pipeline::AutotuneBackend::new(
         std::sync::Arc::new(pipeline::Storage::new()),
@@ -609,6 +701,7 @@ fn run_serve_bench_inner(
         state_dir: state_dir.map(std::path::Path::to_path_buf),
         shards: cfg.shards.max(1),
         shard_capacity: cfg.shard_capacity,
+        retrieval_dir: retrieval_dir.map(std::path::Path::to_path_buf),
         ..ServeConfig::default()
     };
     let server = Server::spawn(backend, "127.0.0.1:0", serve_cfg)?;
@@ -706,6 +799,7 @@ fn merge_snapshots(
         protocol_errors: a.protocol_errors + b.protocol_errors,
         backend_evals: a.backend_evals + b.backend_evals,
         coalesced_hits: a.coalesced_hits + b.coalesced_hits,
+        transfer_served: a.transfer_served + b.transfer_served,
         batch_max: a.batch_max.max(b.batch_max),
         queue_depth: a.queue_depth.max(b.queue_depth),
         inflight: a.inflight.max(b.inflight),
@@ -890,6 +984,11 @@ mod tests {
                     p99_us: 29,
                 },
             ],
+            corpus_entries: 7,
+            cold_hits: 5,
+            cold_misses: 1,
+            transfer_seeded: 2,
+            transfer_served: 6,
         };
         let json = report.to_json();
         let value = serde_json::value_from_str(&json).expect("valid JSON");
@@ -932,6 +1031,15 @@ mod tests {
         match value.get_field("zipf").get_field("signatures") {
             serde::Value::UInt(100_000) | serde::Value::Int(100_000) => {}
             other => panic!("zipf.signatures field: {other:?}"),
+        }
+        let retrieval = value.get_field("retrieval");
+        match retrieval.get_field("cold_hits") {
+            serde::Value::UInt(5) | serde::Value::Int(5) => {}
+            other => panic!("retrieval.cold_hits field: {other:?}"),
+        }
+        match retrieval.get_field("transfer_served") {
+            serde::Value::UInt(6) | serde::Value::Int(6) => {}
+            other => panic!("retrieval.transfer_served field: {other:?}"),
         }
     }
 

@@ -43,7 +43,7 @@ impl VirtualOpScheme {
     }
 
     /// Virtual variants per physical operator type.
-    pub fn variants_per_type(&self) -> usize {
+    pub(crate) fn variants_per_type(&self) -> usize {
         self.input_buckets() * self.ratio_buckets()
     }
 
@@ -64,7 +64,7 @@ impl VirtualOpScheme {
     }
 
     /// The virtual-operator index (within its physical type) of a plan node.
-    pub fn variant_of(&self, node: &PlanNode) -> usize {
+    pub(crate) fn variant_of(&self, node: &PlanNode) -> usize {
         let input_rows = node_input_rows(node);
         let ratio = if input_rows > 0.0 {
             node.est_rows / input_rows

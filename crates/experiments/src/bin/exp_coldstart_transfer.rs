@@ -1,0 +1,8 @@
+//! Regenerates the `exp_coldstart_transfer` extension experiment (retrieval
+//! transfer vs cold BO vs warm-started CBO over the cold-start request
+//! window). Pass `--quick` for a smoke run.
+
+fn main() {
+    let scale = experiments::Scale::from_args();
+    experiments::exp_coldstart_transfer::run(scale).print();
+}

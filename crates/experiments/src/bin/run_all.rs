@@ -28,6 +28,10 @@ fn main() {
         ("aqe_interaction", experiments::exp_aqe_interaction::run),
         ("fault_injection", experiments::exp_fault_injection::run),
         ("restart_regret", experiments::exp_restart_regret::run),
+        (
+            "coldstart_transfer",
+            experiments::exp_coldstart_transfer::run,
+        ),
         ("applevel", experiments::exp_applevel::run),
     ];
     // Fan the experiments out over the ambient rockpool (`RH_THREADS`), then

@@ -17,6 +17,7 @@ pub mod exp_ablation_overshoot;
 pub mod exp_ablation_window;
 pub mod exp_applevel;
 pub mod exp_aqe_interaction;
+pub mod exp_coldstart_transfer;
 pub mod exp_embedding_ablation;
 pub mod exp_fault_injection;
 pub mod exp_restart_regret;

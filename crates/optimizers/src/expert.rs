@@ -99,7 +99,6 @@ impl SimulatedExpert {
     }
 
     /// Best point found so far (raw units).
-    // rhlint:allow(dead-pub): best-config readout for expert-baseline harnesses
     pub fn best_point(&self) -> Vec<f64> {
         self.space.denormalize(&self.best)
     }

@@ -24,6 +24,7 @@ use optimizers::tuner::TuningContext;
 use rockdur::{Recovery, Wal};
 use rockhopper::applevel::AppCache;
 use rockhopper::tuner::TunerState;
+use rockindex::Provenance;
 
 use crate::monitor::Dashboard;
 
@@ -110,6 +111,9 @@ pub(crate) struct ServedEntry {
     pub(crate) ctx: TuningContext,
     /// The configuration that was served.
     pub(crate) point: Vec<f64>,
+    /// Whether the point came from the retrieval corpus or the tuner.
+    /// Pre-retrieval snapshots have no field here and decode as `Explored`.
+    pub(crate) provenance: Provenance,
 }
 
 /// One degradation-tracking entry inside a [`BackendSnapshot`].
@@ -178,6 +182,10 @@ pub enum ReplayedOp {
         ctx: TuningContext,
         /// The configuration the replayed tuner produced.
         point: Vec<f64>,
+        /// Whether the point was transferred from the retrieval corpus or
+        /// explored by the tuner — replayed so a rebuilt coalescing cache
+        /// answers with the same provenance tag the live server did.
+        provenance: Provenance,
     },
     /// A report was replayed; any cached suggestion for these signatures is
     /// stale, exactly as it would have been invalidated live.

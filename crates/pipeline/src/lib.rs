@@ -19,6 +19,11 @@
 //!   each a full backend on its own worker thread with a split seed stream and
 //!   a memory-bounded LRU over per-signature state (DESIGN.md §11).
 //! - [`lru`] — the deterministic bounded LRU map the shards build on.
+//!
+//! Cold-start serving (DESIGN.md §12) plugs a `rockindex` retrieval index into
+//! the backend: a cold Suggest with no tuner state consults the warm-signature
+//! corpus and serves a transferred config tagged [`rockindex::Provenance`],
+//! then hands off to the normal tuning loop when real reports arrive.
 
 pub mod durability;
 pub mod etl;
@@ -34,6 +39,7 @@ pub use durability::{report_signatures, RecoveryReport, ReplayedOp};
 pub use etl::TrainingRow;
 pub use lru::LruMap;
 pub use monitor::DashboardCounters;
+pub use rockindex::{Corpus, CorpusEntry, KnnIndex, Provenance, TransferPolicy};
 pub use service::{AutotuneBackend, AutotuneClient, AutotuneService, SuggestFallback};
 pub use sharding::{shard_of, ShardedAutotuneClient, ShardedAutotuneService};
 pub use storage::{AccessToken, Storage};

@@ -221,6 +221,38 @@ mod tests {
     }
 
     #[test]
+    fn capacity_zero_is_floored_to_one() {
+        // A zero-capacity cache could never admit the entry it is asked
+        // for, so the constructor floors at 1: inserts succeed, the map
+        // holds exactly one entry, and each new key evicts the previous.
+        let mut m = LruMap::new(0);
+        assert_eq!(m.capacity(), 1);
+        assert!(m.insert("a", 1).evicted.is_none());
+        let out = m.insert("b", 2);
+        assert_eq!(out.evicted, Some(("a", 1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_newest_key() {
+        let mut m = LruMap::new(1);
+        m.insert("a", 1);
+        // Replacing the resident key must not evict...
+        let out = m.insert("a", 10);
+        assert_eq!(out.replaced, Some(1));
+        assert!(out.evicted.is_none());
+        // ...but admitting a new key must evict the only resident, via
+        // both the insert and the get-or-insert paths.
+        assert_eq!(m.insert("b", 2).evicted, Some(("a", 10)));
+        let (v, evicted) = m.get_mut_or_insert_with("c", || 3);
+        assert_eq!(*v, 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.evictions(), 2);
+    }
+
+    #[test]
     fn eviction_order_is_least_recently_used() {
         let mut m = LruMap::new(2);
         m.insert("a", 1);

@@ -272,6 +272,15 @@ pub struct DashboardCounters {
     pub tuner_evictions: u64,
     /// Evicted tuners restored bit-identically from their durable sidecar.
     pub evicted_restored: u64,
+    /// Cold suggests answered from the retrieval corpus (zero-execution
+    /// transfer, DESIGN.md §12).
+    pub cold_hits: u64,
+    /// Cold suggests with no close-enough corpus neighbor (fell through to
+    /// normal exploration).
+    pub cold_misses: u64,
+    /// Tuners warm-started from a transferred prior on their first real
+    /// report (trust-discounted handoff).
+    pub transfer_seeded: u64,
 }
 
 impl DashboardCounters {
@@ -299,6 +308,9 @@ impl DashboardCounters {
                 .saturating_add(other.recovery_replayed),
             tuner_evictions: self.tuner_evictions.saturating_add(other.tuner_evictions),
             evicted_restored: self.evicted_restored.saturating_add(other.evicted_restored),
+            cold_hits: self.cold_hits.saturating_add(other.cold_hits),
+            cold_misses: self.cold_misses.saturating_add(other.cold_misses),
+            transfer_seeded: self.transfer_seeded.saturating_add(other.transfer_seeded),
         }
     }
 }
@@ -378,6 +390,21 @@ impl Dashboard {
     /// Count one evicted tuner restored from its durable sidecar.
     pub fn record_evicted_restored(&mut self) {
         self.counters.evicted_restored = self.counters.evicted_restored.saturating_add(1);
+    }
+
+    /// Count one cold suggest served from the retrieval corpus.
+    pub fn record_cold_hit(&mut self) {
+        self.counters.cold_hits = self.counters.cold_hits.saturating_add(1);
+    }
+
+    /// Count one cold suggest with no close-enough corpus neighbor.
+    pub fn record_cold_miss(&mut self) {
+        self.counters.cold_misses = self.counters.cold_misses.saturating_add(1);
+    }
+
+    /// Count one tuner warm-started from a transferred prior.
+    pub fn record_transfer_seeded(&mut self) {
+        self.counters.transfer_seeded = self.counters.transfer_seeded.saturating_add(1);
     }
 
     /// One-copy snapshot of the aggregate counters.

@@ -20,6 +20,7 @@ use optimizers::tuner::{Outcome, Tuner, TuningContext};
 use rockhopper::applevel::{AppCache, AppCacheEntry, AppLevelOptimizer, QueryState};
 use rockhopper::baseline::BaselineModel;
 use rockhopper::RockhopperTuner;
+use rockindex::{CorpusEntry, KnnIndex, Provenance, TransferPolicy};
 use sparksim::event::SparkEvent;
 
 use crate::durability::{
@@ -102,7 +103,12 @@ pub struct AutotuneBackend {
     /// `(user, signature, ctx-json)` — maintained only under durability, and
     /// carried in every snapshot so a restarted serving layer can rebuild
     /// its coalescing cache for operations the snapshot compacted away.
-    served: HashMap<(String, u64, String), (TuningContext, Vec<f64>)>,
+    served: HashMap<(String, u64, String), (TuningContext, Vec<f64>, Provenance)>,
+    /// Zero-execution retrieval (DESIGN.md §12): a shared k-NN index over
+    /// the transfer corpus plus the policy gating transfers. `None` =
+    /// retrieval off (every cold suggest explores). Shared by `Arc` across
+    /// shards so all shards rank against the identical corpus.
+    retrieval: Option<(Arc<KnnIndex>, TransferPolicy)>,
     seed: u64,
     /// This backend's shard identity: `(shard_id, shard_count)` — `(0, 1)`
     /// for an unsharded deployment. Stamped into snapshots so recovery
@@ -130,10 +136,30 @@ impl AutotuneBackend {
             ingest_retries: 0,
             durability: None,
             served: HashMap::new(),
+            retrieval: None,
             seed,
             shard_id: 0,
             shard_count: 1,
         }
+    }
+
+    /// Attach a retrieval index for zero-execution cold starts: a cold
+    /// Suggest (no resident tuner, no evicted sidecar) with a close-enough
+    /// corpus neighbor serves the neighbor's best-observed config verbatim,
+    /// tagged [`Provenance::Transferred`], and the signature's tuner is
+    /// warm-started with a trust-discounted prior on its first real report.
+    ///
+    /// Attach **before** [`AutotuneBackend::recover_from`]: replayed
+    /// suggestions must consult the same index the live run did to re-derive
+    /// the same points.
+    pub fn with_retrieval(mut self, index: Arc<KnnIndex>, policy: TransferPolicy) -> Self {
+        self.retrieval = Some((index, policy));
+        self
+    }
+
+    /// The attached retrieval index and policy, if any.
+    pub fn retrieval(&self) -> Option<(&Arc<KnnIndex>, &TransferPolicy)> {
+        self.retrieval.as_ref().map(|(i, p)| (i, p))
     }
 
     /// Bound the tuner map to `capacity` live entries (floored at 1; `0`
@@ -181,16 +207,19 @@ impl AutotuneBackend {
         let guardrail = self.guardrail_policy.clone();
         let (degrade_after, probe_period) = (self.degrade_after, self.probe_period);
         let seed = self.seed;
+        let retrieval = self.retrieval.clone();
         let mut out = Vec::with_capacity(shards);
         out.push(self.with_tuner_capacity(capacity).with_shard(0, shards));
         for shard_id in 1..shards {
-            out.push(
-                AutotuneBackend::new(Arc::clone(&storage), baseline.clone(), seed)
-                    .with_guardrail_policy(guardrail.clone())
-                    .with_degraded_policy(degrade_after, probe_period)
-                    .with_tuner_capacity(capacity)
-                    .with_shard(shard_id, shards),
-            );
+            let mut shard = AutotuneBackend::new(Arc::clone(&storage), baseline.clone(), seed)
+                .with_guardrail_policy(guardrail.clone())
+                .with_degraded_policy(degrade_after, probe_period)
+                .with_tuner_capacity(capacity)
+                .with_shard(shard_id, shards);
+            // Every shard ranks against the identical shared corpus, so a
+            // transferred point is invariant to the shard layout.
+            shard.retrieval = retrieval.clone();
+            out.push(shard);
         }
         out
     }
@@ -217,6 +246,19 @@ impl AutotuneBackend {
     /// degraded mode get the default configuration, except for the periodic
     /// probe that checks whether tuning can be re-enabled.
     pub fn suggest(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+        self.suggest_tagged(user, signature, ctx).0
+    }
+
+    /// As [`AutotuneBackend::suggest`], also reporting where the point came
+    /// from: [`Provenance::Transferred`] for a zero-execution corpus hit,
+    /// [`Provenance::Explored`] for a normal tuner draw (and for degraded
+    /// defaults). The tag rides the wire protocol and the serving metrics.
+    pub fn suggest_tagged(
+        &mut self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+    ) -> (Vec<f64>, Provenance) {
         // Append-before-apply: a suggestion advances tuner RNG/iteration
         // state, so the WAL must record it before the tuner moves.
         self.log_event(&WalEvent::Suggest {
@@ -224,14 +266,19 @@ impl AutotuneBackend {
             signature,
             ctx: ctx.clone(),
         });
-        let point = self.suggest_point(user, signature, ctx);
-        self.memo_served(user, signature, ctx, &point);
-        point
+        let (point, provenance) = self.suggest_point(user, signature, ctx);
+        self.memo_served(user, signature, ctx, &point, provenance);
+        (point, provenance)
     }
 
     /// The tuning logic behind [`AutotuneBackend::suggest`], after the WAL
     /// append and before the served-memo update.
-    fn suggest_point(&mut self, user: &str, signature: u64, ctx: &TuningContext) -> Vec<f64> {
+    fn suggest_point(
+        &mut self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+    ) -> (Vec<f64>, Provenance) {
         if self.embeddings.len() >= MAX_TRACKED_EMBEDDINGS
             && !self.embeddings.contains_key(&signature)
         {
@@ -251,18 +298,69 @@ impl AutotuneBackend {
         if state.degraded {
             state.suggests_while_degraded += 1;
             if state.suggests_while_degraded % probe_period != 0 {
-                return self.space.default_point();
+                return (self.space.default_point(), Provenance::Explored);
             }
         }
+        if let Some(point) = self.transfer_lookup(user, signature, ctx) {
+            return (point, Provenance::Transferred);
+        }
         let tuner = self.tuner_for(user, signature);
-        tuner.suggest(ctx)
+        (tuner.suggest(ctx), Provenance::Explored)
+    }
+
+    /// Zero-execution retrieval (DESIGN.md §12): a *cold* signature — no
+    /// resident tuner and no evicted sidecar — with a close-enough corpus
+    /// neighbor is served the neighbor's best-observed config verbatim. No
+    /// tuner is created and no RNG advances, so the signature's eventual
+    /// tuner stream stays a pure function of `(root_seed, signature)`;
+    /// warm signatures never consult the index. `None` = explore normally.
+    fn transfer_lookup(
+        &mut self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+    ) -> Option<Vec<f64>> {
+        let (index, policy) = match &self.retrieval {
+            Some((index, policy)) => (Arc::clone(index), *policy),
+            None => return None,
+        };
+        if self.tuners.contains_key(&(user.to_string(), signature)) {
+            return None;
+        }
+        // An evicted tuner is warm state parked on disk, not a cold start:
+        // serving a transfer here would shadow its learned config.
+        if self
+            .durability
+            .as_ref()
+            .and_then(|d| d.read_evicted(user, signature))
+            .is_some()
+        {
+            return None;
+        }
+        match policy.lookup(&index, &ctx.embedding) {
+            Some(neighbor) => {
+                self.dashboard.record_cold_hit();
+                Some(neighbor.best_point)
+            }
+            None => {
+                self.dashboard.record_cold_miss();
+                None
+            }
+        }
     }
 
     /// Remember a served suggestion for the snapshot's served-memo. Only
     /// durable backends pay for this: the memo exists so a *restarted*
     /// serving layer can rebuild its coalescing cache, and an in-memory
     /// backend has no restarts to survive.
-    fn memo_served(&mut self, user: &str, signature: u64, ctx: &TuningContext, point: &[f64]) {
+    fn memo_served(
+        &mut self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        point: &[f64],
+        provenance: Provenance,
+    ) {
         if self.durability.is_none() {
             return;
         }
@@ -273,7 +371,8 @@ impl AutotuneBackend {
         if self.served.len() >= MAX_SERVED_MEMO && !self.served.contains_key(&key) {
             return;
         }
-        self.served.insert(key, (ctx.clone(), point.to_vec()));
+        self.served
+            .insert(key, (ctx.clone(), point.to_vec(), provenance));
     }
 
     /// Drop memo entries a report's signatures make stale — the same rule
@@ -343,6 +442,33 @@ impl AutotuneBackend {
             .guardrail(self.guardrail_policy.clone());
         if let Some(b) = &self.baseline {
             builder = builder.baseline(b.clone());
+        }
+        // Transfer handoff (DESIGN.md §12): a truly cold signature whose
+        // embedding has eligible corpus neighbors starts its centroid at the
+        // nearest neighbor's best point and seeds its history with
+        // trust-discounted pseudo-observations (elapsed inflated by the
+        // policy margin, so local real measurements outrank the borrowed
+        // prior). Seeding goes through `History::push`, which draws no RNG —
+        // the tuner's random stream stays the canonical
+        // `split_seed(root, signature)` derivation, bit-identical with or
+        // without a corpus hit.
+        if let Some((index, policy)) = &self.retrieval {
+            if let Some(embedding) = self.embeddings.get(&signature) {
+                let eligible = policy.eligible(index, embedding);
+                if let Some(nearest) = eligible.first() {
+                    builder = builder.start_at(nearest.best_point.clone());
+                    let mut tuner = builder.build();
+                    for neighbor in &eligible {
+                        tuner.history.push(
+                            neighbor.best_point.clone(),
+                            neighbor.data_size,
+                            policy.discounted_elapsed_ms(neighbor),
+                        );
+                    }
+                    self.dashboard.record_transfer_seeded();
+                    return tuner;
+                }
+            }
         }
         builder.build()
     }
@@ -694,6 +820,49 @@ impl AutotuneBackend {
         &self.dashboard
     }
 
+    /// Harvest the warm-signature corpus for `user`: one [`CorpusEntry`] per
+    /// resident tuner that has both a cached embedding and at least one real
+    /// (non-censored) observation, in ascending signature order. This is the
+    /// offline side of the retrieval loop (DESIGN.md §12): a warm backend
+    /// harvests what it learned into a `rockindex::Corpus` so the next cold
+    /// process can transfer from it without executing anything.
+    pub fn harvest_corpus(&self, user: &str) -> Vec<CorpusEntry> {
+        let mut entries = Vec::new();
+        for ((owner, signature), tuner) in self.tuners.iter() {
+            if owner != user {
+                continue;
+            }
+            let Some(embedding) = self.embeddings.get(signature) else {
+                continue;
+            };
+            let Some(best) = tuner.best_observed() else {
+                continue;
+            };
+            let measured: Vec<f64> = tuner
+                .history
+                .all
+                .iter()
+                .filter(|o| !o.is_censored())
+                .map(|o| o.elapsed_ms)
+                .collect();
+            if measured.is_empty() {
+                continue;
+            }
+            let mean_elapsed_ms = measured.iter().sum::<f64>() / measured.len() as f64;
+            entries.push(CorpusEntry {
+                signature: *signature,
+                embedding: embedding.clone(),
+                best_point: best.point.clone(),
+                observations: measured.len() as u64,
+                best_elapsed_ms: best.elapsed_ms,
+                mean_elapsed_ms,
+                data_size: best.data_size,
+            });
+        }
+        entries.sort_by_key(|e| e.signature);
+        entries
+    }
+
     /// Persist every per-signature tuner state as a model file (the Model Updater's
     /// output in Figure 7: models are written to storage for the next application's
     /// client to load). Returns the number of models written.
@@ -861,6 +1030,7 @@ impl AutotuneBackend {
                             signature: e.signature,
                             ctx: e.ctx.clone(),
                             point: e.point.clone(),
+                            provenance: e.provenance,
                         });
                     }
                     self.apply_snapshot(s);
@@ -987,12 +1157,13 @@ impl AutotuneBackend {
                 signature,
                 ctx,
             } => {
-                let point = self.suggest(&user, signature, &ctx);
+                let (point, provenance) = self.suggest_tagged(&user, signature, &ctx);
                 report.ops.push(ReplayedOp::Suggest {
                     user,
                     signature,
                     ctx,
                     point,
+                    provenance,
                 });
             }
             WalEvent::IngestJsonl { user, app_id, doc } => {
@@ -1063,12 +1234,15 @@ impl AutotuneBackend {
         let served: Vec<ServedEntry> = served_keys
             .into_iter()
             .filter_map(|k| {
-                self.served.get(k).map(|(ctx, point)| ServedEntry {
-                    user: k.0.clone(),
-                    signature: k.1,
-                    ctx: ctx.clone(),
-                    point: point.clone(),
-                })
+                self.served
+                    .get(k)
+                    .map(|(ctx, point, provenance)| ServedEntry {
+                        user: k.0.clone(),
+                        signature: k.1,
+                        ctx: ctx.clone(),
+                        point: point.clone(),
+                        provenance: *provenance,
+                    })
             })
             .collect();
         BackendSnapshot {
@@ -1131,8 +1305,10 @@ impl AutotuneBackend {
             let Ok(ctx_key) = serde_json::to_string(&e.ctx) else {
                 continue;
             };
-            self.served
-                .insert((e.user, e.signature, ctx_key), (e.ctx, e.point));
+            self.served.insert(
+                (e.user, e.signature, ctx_key),
+                (e.ctx, e.point, e.provenance),
+            );
         }
     }
 }
@@ -1185,7 +1361,7 @@ enum Request {
         user: String,
         signature: u64,
         ctx: TuningContext,
-        reply: Sender<Vec<f64>>,
+        reply: Sender<(Vec<f64>, Provenance)>,
     },
     Ingest {
         user: String,
@@ -1232,8 +1408,8 @@ impl AutotuneService {
                         ctx,
                         reply,
                     } => {
-                        let point = backend.suggest(&user, signature, &ctx);
-                        let _ = reply.send(point);
+                        let tagged = backend.suggest_tagged(&user, signature, &ctx);
+                        let _ = reply.send(tagged);
                     }
                     Request::Ingest {
                         user,
@@ -1328,6 +1504,20 @@ impl AutotuneClient {
         ctx: &TuningContext,
         timeout: Duration,
     ) -> Result<Vec<f64>, SuggestFallback> {
+        self.suggest_tagged(user, signature, ctx, timeout)
+            .map(|(point, _)| point)
+    }
+
+    /// As [`AutotuneClient::suggest`], also returning the provenance tag —
+    /// whether the point was [`Provenance::Transferred`] from the retrieval
+    /// corpus or [`Provenance::Explored`] by the tuner's own loop.
+    pub fn suggest_tagged(
+        &self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, Provenance), SuggestFallback> {
         let (reply_tx, reply_rx) = unbounded();
         if self
             .tx
@@ -1342,7 +1532,7 @@ impl AutotuneClient {
             return Err(SuggestFallback::BackendDown);
         }
         match reply_rx.recv_timeout(timeout) {
-            Ok(point) => Ok(point),
+            Ok(tagged) => Ok(tagged),
             Err(RecvTimeoutError::Disconnected) => Err(SuggestFallback::BackendDown),
             Err(RecvTimeoutError::Timeout) => Err(SuggestFallback::TimedOut),
         }
@@ -1359,9 +1549,25 @@ impl AutotuneClient {
         timeout: Duration,
         space: &ConfigSpace,
     ) -> (Vec<f64>, Option<SuggestFallback>) {
-        match self.suggest(user, signature, ctx, timeout) {
-            Ok(point) => (point, None),
-            Err(why) => (space.default_point(), Some(why)),
+        let (point, _, fallback) =
+            self.suggest_or_default_tagged(user, signature, ctx, timeout, space);
+        (point, fallback)
+    }
+
+    /// As [`AutotuneClient::suggest_or_default`], also returning the
+    /// provenance tag. A fallback default point is always
+    /// [`Provenance::Explored`] — nothing was transferred.
+    pub fn suggest_or_default_tagged(
+        &self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        timeout: Duration,
+        space: &ConfigSpace,
+    ) -> (Vec<f64>, Provenance, Option<SuggestFallback>) {
+        match self.suggest_tagged(user, signature, ctx, timeout) {
+            Ok((point, provenance)) => (point, provenance, None),
+            Err(why) => (space.default_point(), Provenance::Explored, Some(why)),
         }
     }
 

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use optimizers::space::ConfigSpace;
 use optimizers::tuner::TuningContext;
+use rockindex::Provenance;
 use sparksim::event::SparkEvent;
 
 use crate::monitor::DashboardCounters;
@@ -131,6 +132,20 @@ impl ShardedAutotuneClient {
             .suggest(user, signature, ctx, timeout)
     }
 
+    /// As [`ShardedAutotuneClient::suggest`], also returning the provenance
+    /// tag from the owning shard.
+    pub fn suggest_tagged(
+        &self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, Provenance), SuggestFallback> {
+        self.client_for(signature)
+            .ok_or(SuggestFallback::BackendDown)?
+            .suggest_tagged(user, signature, ctx, timeout)
+    }
+
     /// As [`ShardedAutotuneClient::suggest`], degrading to the default point
     /// when the owning shard is dead or wedged.
     pub fn suggest_or_default(
@@ -144,6 +159,27 @@ impl ShardedAutotuneClient {
         match self.client_for(signature) {
             Some(client) => client.suggest_or_default(user, signature, ctx, timeout, space),
             None => (space.default_point(), Some(SuggestFallback::BackendDown)),
+        }
+    }
+
+    /// As [`ShardedAutotuneClient::suggest_or_default`], also returning the
+    /// provenance tag (a fallback default point is always
+    /// [`Provenance::Explored`]).
+    pub fn suggest_or_default_tagged(
+        &self,
+        user: &str,
+        signature: u64,
+        ctx: &TuningContext,
+        timeout: Duration,
+        space: &ConfigSpace,
+    ) -> (Vec<f64>, Provenance, Option<SuggestFallback>) {
+        match self.client_for(signature) {
+            Some(client) => client.suggest_or_default_tagged(user, signature, ctx, timeout, space),
+            None => (
+                space.default_point(),
+                Provenance::Explored,
+                Some(SuggestFallback::BackendDown),
+            ),
         }
     }
 

@@ -444,19 +444,20 @@ impl fmt::Display for LintError {
 impl std::error::Error for LintError {}
 
 /// Crates whose library code must be panic-free and float-safe.
-pub const PANIC_SCOPE: [&str; 8] = [
+pub const PANIC_SCOPE: [&str; 9] = [
     "embedding",
     "ml",
     "optimizers",
     "pipeline",
     "rockdur",
     "rockhopper",
+    "rockindex",
     "rockserve",
     "sparksim",
 ];
 
 /// Crates where all randomness must be seeded and iteration deterministic.
-pub const DETERMINISM_SCOPE: [&str; 3] = ["optimizers", "rockhopper", "sparksim"];
+pub const DETERMINISM_SCOPE: [&str; 4] = ["optimizers", "rockhopper", "rockindex", "sparksim"];
 
 /// Scope membership for one scanned file, derived from its crate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -1,0 +1,317 @@
+//! The retrieval corpus: one entry per tuned warm signature, durably logged
+//! through its own rockdur WAL/snapshot lineage.
+//!
+//! Write path: every [`Corpus::upsert`] appends the entry to the WAL
+//! *before* applying it in memory (append-before-apply, the same discipline
+//! as `pipeline::durability`), and a compacted snapshot of the full sorted
+//! entry set is written every [`Corpus::snapshot_every`] records. Recovery
+//! is the newest valid snapshot plus the contiguous record tail — replaying
+//! the same lineage always rebuilds the same `BTreeMap`, so a corpus
+//! rebuilt after a kill is bit-identical to the one that crashed.
+//!
+//! The corpus is bounded at [`MAX_CORPUS_ENTRIES`]. When full, admitting a
+//! new signature evicts the least-supported resident entry first (fewest
+//! observations, ties to the smallest signature) — a pure function of the
+//! entry set, so replay reproduces evictions exactly.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use rockdur::Wal;
+use serde::{Deserialize, Serialize};
+
+/// Hard bound on resident corpus entries.
+pub const MAX_CORPUS_ENTRIES: usize = 65_536;
+
+/// Snapshot cadence: a compacted snapshot every this many upserts.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+/// One tuned signature, as harvested from warm backend state: the workload
+/// embedding, the best config observed so far, and a cost summary that lets
+/// the transfer handoff seed a trust-discounted prior.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The workload's query signature (`embedding::query_signature`).
+    pub signature: u64,
+    /// The workload embedding the signature was tuned under.
+    pub embedding: Vec<f64>,
+    /// Best-observed configuration point in `ConfigSpace` order.
+    pub best_point: Vec<f64>,
+    /// How many real observations back this entry.
+    pub observations: u64,
+    /// Elapsed milliseconds of the best observation.
+    pub best_elapsed_ms: f64,
+    /// Mean elapsed milliseconds across all observations.
+    pub mean_elapsed_ms: f64,
+    /// Data size (GB) the best observation ran at.
+    pub data_size: f64,
+}
+
+/// What corpus recovery found on open.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorpusRecovery {
+    /// WAL records replayed after the snapshot (valid JSON upserts).
+    pub replayed: u64,
+    /// Whether a snapshot seeded the entry set.
+    pub restored_snapshot: bool,
+    /// Records quarantined: rockdur-level corruption plus JSON payloads
+    /// that no longer decode as a [`CorpusEntry`].
+    pub quarantined: u64,
+}
+
+/// The corpus: a sorted map of entries over an optional rockdur lineage.
+pub struct Corpus {
+    entries: BTreeMap<u64, CorpusEntry>,
+    wal: Option<Wal>,
+    snapshot_every: u64,
+    records_since_snapshot: u64,
+    evictions: u64,
+}
+
+impl Corpus {
+    /// An unpersisted corpus (experiments, tests, in-process pre-warming).
+    pub fn in_memory() -> Corpus {
+        Corpus {
+            entries: BTreeMap::new(),
+            wal: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            records_since_snapshot: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Open (or create) a durable corpus at `dir`, replaying its lineage.
+    ///
+    /// Corruption is quarantined by rockdur, never fatal: the corpus boots
+    /// from the newest valid snapshot plus the contiguous record tail.
+    pub fn open(dir: &Path) -> io::Result<(Corpus, CorpusRecovery)> {
+        let (wal, recovery) = Wal::open(dir)?;
+        let mut corpus = Corpus {
+            entries: BTreeMap::new(),
+            wal: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            records_since_snapshot: 0,
+            evictions: 0,
+        };
+        let mut report = CorpusRecovery {
+            quarantined: recovery.quarantined,
+            ..CorpusRecovery::default()
+        };
+        if let Some(snapshot) = &recovery.snapshot {
+            match serde_json::from_slice::<Vec<CorpusEntry>>(&snapshot.payload) {
+                Ok(entries) => {
+                    report.restored_snapshot = true;
+                    for entry in entries {
+                        corpus.apply(entry);
+                    }
+                }
+                // A snapshot that no longer decodes is quarantined state,
+                // not an error: boot from the record tail alone.
+                Err(_) => report.quarantined += 1,
+            }
+        }
+        for (_seq, payload) in &recovery.records {
+            match serde_json::from_slice::<CorpusEntry>(payload) {
+                Ok(entry) => {
+                    report.replayed += 1;
+                    corpus.apply(entry);
+                }
+                Err(_) => report.quarantined += 1,
+            }
+        }
+        corpus.wal = Some(wal);
+        Ok((corpus, report))
+    }
+
+    /// Insert or replace the entry for its signature, logging it durably
+    /// first (append-before-apply) and compacting on cadence.
+    pub fn upsert(&mut self, entry: CorpusEntry) -> io::Result<()> {
+        if let Some(wal) = &mut self.wal {
+            let bytes = serde_json::to_vec(&entry)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+            wal.append(&bytes)?;
+            self.records_since_snapshot += 1;
+        }
+        self.apply(entry);
+        if self.wal.is_some() && self.records_since_snapshot >= self.snapshot_every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Apply one upsert to the in-memory map, evicting the least-supported
+    /// entry when admitting a new signature at the bound.
+    fn apply(&mut self, entry: CorpusEntry) {
+        let admitting_new = !self.entries.contains_key(&entry.signature);
+        if admitting_new && self.entries.len() >= MAX_CORPUS_ENTRIES {
+            let victim = self
+                .entries
+                .values()
+                .min_by(|a, b| {
+                    a.observations
+                        .cmp(&b.observations)
+                        .then(a.signature.cmp(&b.signature))
+                })
+                .map(|e| e.signature);
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(entry.signature, entry);
+    }
+
+    /// Write a compacted snapshot of the full entry set now.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(());
+        };
+        let sorted: Vec<&CorpusEntry> = self.entries.values().collect();
+        let bytes = serde_json::to_vec(&sorted)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        wal.snapshot(&bytes)?;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Flush buffered WAL appends to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match &mut self.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted at the [`MAX_CORPUS_ENTRIES`] bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The entry for one signature.
+    pub fn get(&self, signature: u64) -> Option<&CorpusEntry> {
+        self.entries.get(&signature)
+    }
+
+    /// All entries in ascending signature order.
+    pub fn entries(&self) -> impl Iterator<Item = &CorpusEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(signature: u64, observations: u64) -> CorpusEntry {
+        CorpusEntry {
+            signature,
+            embedding: vec![1.0, 0.0, signature as f64],
+            best_point: vec![2.0, 4.0],
+            observations,
+            best_elapsed_ms: 100.0 + signature as f64,
+            mean_elapsed_ms: 150.0,
+            data_size: 2.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rockindex-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir creates");
+        dir
+    }
+
+    #[test]
+    fn upserts_replace_and_keep_sorted_order() {
+        let mut corpus = Corpus::in_memory();
+        for sig in [5u64, 1, 3, 1] {
+            corpus.upsert(entry(sig, sig)).expect("in-memory upsert");
+        }
+        assert_eq!(corpus.len(), 3);
+        let sigs: Vec<u64> = corpus.entries().map(|e| e.signature).collect();
+        assert_eq!(sigs, vec![1, 3, 5], "BTreeMap order must be by signature");
+    }
+
+    #[test]
+    fn reopen_rebuilds_bit_identically_across_sessions() {
+        let dir = temp_dir("reopen");
+        // Session 1: half the entries, killed without compaction.
+        {
+            let (mut corpus, recovery) = Corpus::open(&dir).expect("fresh open");
+            assert_eq!(recovery, CorpusRecovery::default());
+            for sig in 0..8u64 {
+                corpus.upsert(entry(sig, sig + 1)).expect("upsert");
+            }
+            corpus.sync().expect("sync");
+        }
+        // Session 2: recover, write the rest, compact, kill again.
+        {
+            let (mut corpus, recovery) = Corpus::open(&dir).expect("reopen");
+            assert_eq!(recovery.replayed, 8);
+            for sig in 8..16u64 {
+                corpus.upsert(entry(sig, sig + 1)).expect("upsert");
+            }
+            corpus.compact().expect("compact");
+        }
+        // Session 3 must equal a single uninterrupted session.
+        let (recovered, recovery) = Corpus::open(&dir).expect("final open");
+        assert!(recovery.restored_snapshot, "compaction must persist");
+        let mut witness = Corpus::in_memory();
+        for sig in 0..16u64 {
+            witness.upsert(entry(sig, sig + 1)).expect("witness upsert");
+        }
+        let got: Vec<&CorpusEntry> = recovered.entries().collect();
+        let want: Vec<&CorpusEntry> = witness.entries().collect();
+        assert_eq!(got, want, "recovered corpus must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_committed_prefix() {
+        let dir = temp_dir("torn");
+        {
+            let (mut corpus, _) = Corpus::open(&dir).expect("fresh open");
+            for sig in 0..6u64 {
+                corpus.upsert(entry(sig, 1)).expect("upsert");
+            }
+            corpus.sync().expect("sync");
+        }
+        rockdur::fault::torn_tail(&dir, 0xDEAD).expect("tear the tail");
+        let (recovered, recovery) = Corpus::open(&dir).expect("recover");
+        assert!(recovery.quarantined > 0, "the torn record must quarantine");
+        assert!(recovered.len() < 6, "the torn entry must not replay");
+        // The surviving prefix is the first N entries, in order.
+        for (i, e) in recovered.entries().enumerate() {
+            assert_eq!(e, &entry(i as u64, 1));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_bound_evicts_least_supported_first() {
+        let mut corpus = Corpus::in_memory();
+        for sig in 0..MAX_CORPUS_ENTRIES as u64 {
+            corpus.upsert(entry(sig, sig + 10)).expect("fill");
+        }
+        assert_eq!(corpus.len(), MAX_CORPUS_ENTRIES);
+        // Signature 0 has the fewest observations (10) → evicted first.
+        corpus
+            .upsert(entry(u64::MAX, 1_000_000))
+            .expect("overflow upsert");
+        assert_eq!(corpus.len(), MAX_CORPUS_ENTRIES);
+        assert_eq!(corpus.evictions(), 1);
+        assert!(corpus.get(0).is_none(), "least-supported entry evicts");
+        assert!(corpus.get(u64::MAX).is_some());
+    }
+}

@@ -1,0 +1,150 @@
+//! Concept-drift detection over workload embeddings.
+//!
+//! A transferred neighbor set is only as good as the embedding it was
+//! ranked against. When a workload's data scale shifts mid-stream (the
+//! sparksim `DataSchedule` scenario), its plan-derived embedding moves and
+//! the cached neighbors are stale. The detector tracks the last embedding
+//! seen per signature and flags a relative L2 displacement above the
+//! threshold, at which point the caller must re-rank against the index
+//! with the fresh embedding.
+
+use std::collections::BTreeMap;
+
+/// Bound on tracked signatures; admitting a new signature at the bound
+/// evicts the smallest tracked signature (deterministic, content-only).
+const MAX_TRACKED_SIGNATURES: usize = 4096;
+
+/// What one embedding observation means for a signature.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DriftSignal {
+    /// First embedding seen for the signature: nothing to compare against.
+    Baseline,
+    /// Displacement at or below the threshold — the neighbor set holds.
+    Stable {
+        /// Relative L2 displacement against the tracked embedding.
+        relative_change: f64,
+    },
+    /// Displacement above the threshold — re-rank the neighbor set.
+    Drifted {
+        /// Relative L2 displacement against the tracked embedding.
+        relative_change: f64,
+    },
+}
+
+impl DriftSignal {
+    /// Whether the caller should re-rank against the index.
+    pub fn drifted(&self) -> bool {
+        matches!(self, DriftSignal::Drifted { .. })
+    }
+}
+
+/// Per-signature embedding tracker with a relative-displacement threshold.
+pub struct DriftDetector {
+    threshold: f64,
+    last: BTreeMap<u64, Vec<f64>>,
+}
+
+impl DriftDetector {
+    /// A detector firing when the embedding moves by more than `threshold`
+    /// (relative L2 displacement; 0.2 means "a fifth of its own length").
+    pub fn new(threshold: f64) -> DriftDetector {
+        DriftDetector {
+            threshold: threshold.max(0.0),
+            last: BTreeMap::new(),
+        }
+    }
+
+    /// Observe `signature`'s current embedding. On drift the tracked
+    /// embedding is replaced, so the next observation compares against the
+    /// post-shift baseline instead of re-firing forever.
+    pub fn observe(&mut self, signature: u64, embedding: &[f64]) -> DriftSignal {
+        match self.last.get(&signature) {
+            None => {
+                if self.last.len() >= MAX_TRACKED_SIGNATURES {
+                    let evict = self.last.keys().next().copied();
+                    if let Some(evict) = evict {
+                        self.last.remove(&evict);
+                    }
+                }
+                self.last.insert(signature, embedding.to_vec());
+                DriftSignal::Baseline
+            }
+            Some(prev) => {
+                let relative_change = relative_displacement(prev, embedding);
+                if relative_change > self.threshold {
+                    self.last.insert(signature, embedding.to_vec());
+                    DriftSignal::Drifted { relative_change }
+                } else {
+                    DriftSignal::Stable { relative_change }
+                }
+            }
+        }
+    }
+
+    /// Signatures currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last.len()
+    }
+}
+
+/// `|a - b| / max(|a|, |b|)`, zero-padding the shorter vector; 0 when both
+/// vectors are zero.
+fn relative_displacement(a: &[f64], b: &[f64]) -> f64 {
+    let dims = a.len().max(b.len());
+    let mut diff_sq = 0.0;
+    let mut a_sq = 0.0;
+    let mut b_sq = 0.0;
+    for i in 0..dims {
+        let x = a.get(i).copied().unwrap_or(0.0);
+        let y = b.get(i).copied().unwrap_or(0.0);
+        diff_sq += (x - y) * (x - y);
+        a_sq += x * x;
+        b_sq += y * y;
+    }
+    let scale = a_sq.max(b_sq).sqrt();
+    if scale <= 0.0 {
+        return 0.0;
+    }
+    diff_sq.sqrt() / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_then_stable_then_drift() {
+        let mut detector = DriftDetector::new(0.2);
+        assert_eq!(detector.observe(7, &[1.0, 0.0]), DriftSignal::Baseline);
+        assert!(!detector.observe(7, &[1.0, 0.01]).drifted());
+        assert!(detector.observe(7, &[0.0, 1.0]).drifted());
+    }
+
+    #[test]
+    fn drift_rebaselines_instead_of_refiring() {
+        let mut detector = DriftDetector::new(0.2);
+        detector.observe(7, &[1.0, 0.0]);
+        assert!(detector.observe(7, &[0.0, 1.0]).drifted());
+        assert!(
+            !detector.observe(7, &[0.0, 1.0]).drifted(),
+            "the post-shift embedding is the new baseline"
+        );
+    }
+
+    #[test]
+    fn signatures_are_tracked_independently() {
+        let mut detector = DriftDetector::new(0.2);
+        detector.observe(1, &[1.0, 0.0]);
+        assert_eq!(detector.observe(2, &[0.0, 1.0]), DriftSignal::Baseline);
+        assert!(!detector.observe(1, &[1.0, 0.0]).drifted());
+    }
+
+    #[test]
+    fn the_tracker_is_bounded() {
+        let mut detector = DriftDetector::new(0.2);
+        for sig in 0..(MAX_TRACKED_SIGNATURES as u64 + 10) {
+            detector.observe(sig, &[1.0]);
+        }
+        assert!(detector.tracked() <= MAX_TRACKED_SIGNATURES);
+    }
+}

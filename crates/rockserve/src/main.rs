@@ -1,5 +1,6 @@
 //! `cargo run -p rockserve -- [--addr HOST:PORT] [--seed N] [--workers N]
-//! [--state-dir DIR] [--snapshot-every N] [--shards N] [--shard-capacity N]`
+//! [--state-dir DIR] [--snapshot-every N] [--shards N] [--shard-capacity N]
+//! [--retrieval-dir DIR]`
 //!
 //! Binds a rockserve endpoint over a fresh autotune backend and serves until
 //! a client sends a `Shutdown` frame, then drains and reports what the
@@ -9,7 +10,8 @@
 //! process at any point and the next start replays to the exact same state.
 //! `--shards` splits the backend into signature-hash shards (per-shard WAL
 //! lineage under `shard-NNNN/`); `--shard-capacity` bounds each shard's
-//! resident tuner LRU.
+//! resident tuner LRU. `--retrieval-dir` opens a rockindex corpus lineage
+//! and serves cold signatures by zero-execution transfer (DESIGN.md §12).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -68,6 +70,12 @@ fn main() -> ExitCode {
                 };
                 cfg.shard_capacity = v.parse().unwrap_or(0);
             }
+            "--retrieval-dir" => {
+                let Some(v) = args.next() else {
+                    return usage("--retrieval-dir needs a directory path");
+                };
+                cfg.retrieval_dir = Some(std::path::PathBuf::from(v));
+            }
             other => return usage(&format!("unknown flag {other}")),
         }
     }
@@ -121,7 +129,8 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("rockserve: {problem}");
     eprintln!(
         "usage: rockserve [--addr HOST:PORT] [--seed N] [--workers N] \
-         [--state-dir DIR] [--snapshot-every N] [--shards N] [--shard-capacity N]"
+         [--state-dir DIR] [--snapshot-every N] [--shards N] [--shard-capacity N] \
+         [--retrieval-dir DIR]"
     );
     ExitCode::from(2)
 }

@@ -38,6 +38,7 @@ struct Inner {
     protocol_errors: u64,
     backend_evals: u64,
     coalesced_hits: u64,
+    transfer_served: u64,
     batch_max: u64,
     latency_counts: [u64; BUCKETS],
     latency_total: u64,
@@ -56,6 +57,7 @@ impl Default for Inner {
             protocol_errors: 0,
             backend_evals: 0,
             coalesced_hits: 0,
+            transfer_served: 0,
             batch_max: 0,
             latency_counts: [0; BUCKETS],
             latency_total: 0,
@@ -146,6 +148,12 @@ impl ServeMetrics {
         });
     }
 
+    /// A suggestion answered with a config transferred from the retrieval
+    /// corpus (a cold signature served without executing anything).
+    pub(crate) fn count_transfer_served(&self) {
+        self.with(|i| i.transfer_served = i.transfer_served.saturating_add(1));
+    }
+
     /// Track the largest batch (requests served by one backend evaluation).
     pub(crate) fn observe_batch(&self, size: u64) {
         self.with(|i| i.batch_max = i.batch_max.max(size));
@@ -188,6 +196,7 @@ impl ServeMetrics {
             protocol_errors: i.protocol_errors,
             backend_evals: i.backend_evals,
             coalesced_hits: i.coalesced_hits,
+            transfer_served: i.transfer_served,
             batch_max: i.batch_max,
             queue_depth,
             inflight,
@@ -288,6 +297,9 @@ pub struct MetricsSnapshot {
     pub backend_evals: u64,
     /// Suggest requests served from a shared evaluation instead of their own.
     pub coalesced_hits: u64,
+    /// Suggestions answered with a config transferred from the retrieval
+    /// corpus (cold signatures served without executing anything).
+    pub transfer_served: u64,
     /// Largest number of requests served by a single backend evaluation.
     pub batch_max: u64,
     /// Connections waiting for a worker when the snapshot was taken.
@@ -319,6 +331,7 @@ pub(crate) fn render_text(s: &MetricsSnapshot, d: &DashboardCounters) -> String 
         ("rockserve_protocol_errors", s.protocol_errors),
         ("rockserve_backend_evals", s.backend_evals),
         ("rockserve_coalesced_hits", s.coalesced_hits),
+        ("rockserve_transfer_served", s.transfer_served),
         ("rockserve_batch_max", s.batch_max),
         ("rockserve_queue_depth", s.queue_depth),
         ("rockserve_inflight", s.inflight),
@@ -338,6 +351,9 @@ pub(crate) fn render_text(s: &MetricsSnapshot, d: &DashboardCounters) -> String 
         ("pipeline_recovery_replayed", d.recovery_replayed),
         ("pipeline_tuner_evictions", d.tuner_evictions),
         ("pipeline_evicted_restored", d.evicted_restored),
+        ("pipeline_cold_hits", d.cold_hits),
+        ("pipeline_cold_misses", d.cold_misses),
+        ("pipeline_transfer_seeded", d.transfer_seeded),
     ] {
         out.push_str(name);
         out.push(' ');
@@ -409,7 +425,11 @@ mod tests {
         assert!(text.contains("pipeline_recovery_replayed 0"), "{text}");
         assert!(text.contains("pipeline_tuner_evictions 0"), "{text}");
         assert!(text.contains("pipeline_evicted_restored 0"), "{text}");
-        assert_eq!(text.lines().count(), 25);
+        assert!(text.contains("rockserve_transfer_served 0"), "{text}");
+        assert!(text.contains("pipeline_cold_hits 0"), "{text}");
+        assert!(text.contains("pipeline_cold_misses 0"), "{text}");
+        assert!(text.contains("pipeline_transfer_seeded 0"), "{text}");
+        assert_eq!(text.lines().count(), 29);
     }
 
     #[test]
@@ -437,7 +457,7 @@ mod tests {
         let text = render_text(&snap, &DashboardCounters::default());
         assert!(text.contains("rockserve_shard0_suggests 1"), "{text}");
         assert!(text.contains("rockserve_shard1_suggests 2"), "{text}");
-        assert_eq!(text.lines().count(), 25 + 2 * 6);
+        assert_eq!(text.lines().count(), 29 + 2 * 6);
     }
 
     #[test]

@@ -158,6 +158,13 @@ pub enum Response {
         /// `Some(reason)` when the backend fell back to the default
         /// configuration (dead or wedged backend) instead of tuning.
         fallback: Option<String>,
+        /// Where the point came from: `"transferred"` when it was served
+        /// from the retrieval corpus on a cold signature, `"explored"` when
+        /// the tuner's own loop produced it. `None` on frames from builds
+        /// predating the retrieval subsystem — absent decodes as `None`, so
+        /// v3 clients and servers interoperate unchanged
+        /// (see [`rockindex::Provenance::from_wire`]).
+        provenance: Option<String>,
     },
     /// The report was accepted for ingestion (fire-and-forget backend-side).
     Reported,

@@ -56,8 +56,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use optimizers::space::ConfigSpace;
 use optimizers::tuner::TuningContext;
 use pipeline::{
-    shard_of, AutotuneBackend, AutotuneClient, ReplayedOp, ShardedAutotuneClient,
-    ShardedAutotuneService,
+    shard_of, AutotuneBackend, AutotuneClient, Corpus, KnnIndex, Provenance, ReplayedOp,
+    ShardedAutotuneClient, ShardedAutotuneService, TransferPolicy,
 };
 
 use crate::metrics::{render_text, ServeMetrics};
@@ -98,6 +98,12 @@ pub struct ServeConfig {
     /// Per-shard bound on resident per-signature tuner state: the LRU above
     /// it spills to durable sidecars. `0` keeps the pipeline default.
     pub shard_capacity: usize,
+    /// Retrieval corpus directory (a `rockindex::Corpus` lineage). When set,
+    /// the corpus is opened and indexed at boot and every shard consults it
+    /// on cold suggests (DESIGN.md §12): a signature with no tuner state is
+    /// served its nearest warm neighbor's best config, tagged `transferred`
+    /// on the wire, before the normal tuning loop takes over.
+    pub retrieval_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +117,7 @@ impl Default for ServeConfig {
             snapshot_every: pipeline::durability::DEFAULT_SNAPSHOT_EVERY,
             shards: 1,
             shard_capacity: 0,
+            retrieval_dir: None,
         }
     }
 }
@@ -132,6 +139,7 @@ pub fn shard_state_dir(root: &std::path::Path, shard: usize, shards: usize) -> s
 struct Served {
     point: Vec<f64>,
     fallback: Option<String>,
+    provenance: Provenance,
 }
 
 /// One coalescing slot per distinct request content.
@@ -142,6 +150,7 @@ enum Slot {
     Done {
         point: Vec<f64>,
         fallback: Option<String>,
+        provenance: Provenance,
         batch: u64,
     },
 }
@@ -202,6 +211,16 @@ impl Server {
         cfg: ServeConfig,
     ) -> std::io::Result<Server> {
         let shards = cfg.shards.clamp(1, 64);
+        // Open and index the retrieval corpus before the split, so every
+        // shard shares the identical index (transfer answers must be
+        // bit-identical at any shard count) and before recovery, so replayed
+        // suggests consult the same index the crashed process did.
+        let mut backend = backend;
+        if let Some(dir) = &cfg.retrieval_dir {
+            let (corpus, _recovery) = Corpus::open(dir)?;
+            let index = Arc::new(KnnIndex::build(&corpus));
+            backend = backend.with_retrieval(index, TransferPolicy::default());
+        }
         let mut backends = backend.split_into_shards(shards, cfg.shard_capacity);
         // Replay-before-accept: recover each shard's durable state (and
         // rebuild its coalescing cache from its replayed request stream)
@@ -352,6 +371,7 @@ fn prepopulate_coalescer(map: &mut HashMap<CoalesceKey, Slot>, ops: &[ReplayedOp
                 signature,
                 ctx,
                 point,
+                provenance,
             } => {
                 let Ok(ctx_bytes) = serde_json::to_vec(ctx) else {
                     continue;
@@ -361,6 +381,7 @@ fn prepopulate_coalescer(map: &mut HashMap<CoalesceKey, Slot>, ops: &[ReplayedOp
                     Slot::Done {
                         point: point.clone(),
                         fallback: None,
+                        provenance: *provenance,
                         batch: 1,
                     },
                 );
@@ -564,12 +585,14 @@ fn serve_suggest_on(
             Some(Slot::Done {
                 point,
                 fallback,
+                provenance,
                 batch,
             }) => {
                 *batch = batch.saturating_add(1);
                 let served = Served {
                     point: point.clone(),
                     fallback: fallback.clone(),
+                    provenance: *provenance,
                 };
                 let batch = *batch;
                 drop(map);
@@ -607,10 +630,7 @@ fn serve_suggest_on(
         }
     };
     match plan {
-        SuggestPlan::Hit(s) => Response::Suggestion {
-            point: s.point,
-            fallback: s.fallback,
-        },
+        SuggestPlan::Hit(s) => suggestion_response(shared, s),
         SuggestPlan::Wait(rx) => {
             // Grace beyond the leader's own timeout: the leader always
             // publishes (a default on fallback), so this only fires if the
@@ -620,18 +640,16 @@ fn serve_suggest_on(
                 .suggest_timeout
                 .saturating_add(Duration::from_secs(1));
             match rx.recv_timeout(wait) {
-                Ok(s) => Response::Suggestion {
-                    point: s.point,
-                    fallback: s.fallback,
-                },
+                Ok(s) => suggestion_response(shared, s),
                 Err(_) => Response::Suggestion {
                     point: shared.space.default_point(),
                     fallback: Some("coalesced leader unavailable".to_string()),
+                    provenance: Some(Provenance::Explored.to_string()),
                 },
             }
         }
         SuggestPlan::Lead => {
-            let (point, fallback) = lane.client.suggest_or_default(
+            let (point, provenance, fallback) = lane.client.suggest_or_default_tagged(
                 user,
                 signature,
                 ctx,
@@ -644,6 +662,7 @@ fn serve_suggest_on(
             let served = Served {
                 point: point.clone(),
                 fallback: fallback.clone(),
+                provenance,
             };
             let (waiters, batch) = {
                 let mut map = lock_coalescer(lane);
@@ -659,6 +678,7 @@ fn serve_suggest_on(
                     Slot::Done {
                         point: point.clone(),
                         fallback: fallback.clone(),
+                        provenance,
                         batch,
                     },
                 );
@@ -668,8 +688,23 @@ fn serve_suggest_on(
             for w in waiters {
                 let _ = w.send(served.clone());
             }
-            Response::Suggestion { point, fallback }
+            suggestion_response(shared, served)
         }
+    }
+}
+
+/// Build the wire response for a served suggestion, counting transfers. Every
+/// answer of a transferred point counts — fresh evaluations and coalesced
+/// copies alike — because each one is a request a cold tuner did not have to
+/// explore for.
+fn suggestion_response(shared: &Arc<Shared>, s: Served) -> Response {
+    if s.provenance == Provenance::Transferred {
+        shared.metrics.count_transfer_served();
+    }
+    Response::Suggestion {
+        point: s.point,
+        fallback: s.fallback,
+        provenance: Some(s.provenance.to_string()),
     }
 }
 

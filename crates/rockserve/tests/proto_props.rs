@@ -90,8 +90,9 @@ proptest! {
     fn every_response_variant_round_trips(
         point in prop::collection::vec(0.0f64..1.0e6, 0..8),
         fallback_doc in doc(),
-        counters in prop::collection::vec(0u64..u64::MAX, 19),
+        counters in prop::collection::vec(0u64..u64::MAX, 29),
         draining: bool,
+        has_provenance: bool,
         protocol_version: u16,
     ) {
         let c = |i: usize| counters.get(i).copied().unwrap_or(0);
@@ -105,6 +106,7 @@ proptest! {
             protocol_errors: c(6),
             backend_evals: c(7),
             coalesced_hits: c(8),
+            transfer_served: c(25),
             batch_max: c(9),
             queue_depth: c(10),
             inflight: c(11),
@@ -132,11 +134,19 @@ proptest! {
             recovery_replayed: c(22),
             tuner_evictions: c(23),
             evicted_restored: c(24),
+            cold_hits: c(26),
+            cold_misses: c(27),
+            transfer_seeded: c(28),
         };
         for resp in [
             Response::Suggestion {
                 point,
                 fallback: if draining { Some(fallback_doc.clone()) } else { None },
+                provenance: if has_provenance {
+                    Some("transferred".to_string())
+                } else {
+                    None
+                },
             },
             Response::Reported,
             Response::Healthy { draining, protocol_version },
@@ -153,6 +163,33 @@ proptest! {
             },
         ] {
             assert_response_round_trips(&resp);
+        }
+    }
+
+    #[test]
+    fn v3_suggestion_frames_without_provenance_still_round_trip(
+        point in prop::collection::vec(-1.0e6f64..1.0e6, 0..8),
+        has_fallback: bool,
+    ) {
+        // A v3 peer's Suggestion payload has no `provenance` field at all.
+        // The absent field must decode as `None` — not an error — so old
+        // clients and servers interoperate with this build unchanged.
+        let rendered: Vec<String> = point.iter().map(|p| format!("{p:?}")).collect();
+        let fallback = if has_fallback { "\"backend down\"" } else { "null" };
+        let v3_payload = format!(
+            "{{\"Suggestion\":{{\"point\":[{}],\"fallback\":{}}}}}",
+            rendered.join(","),
+            fallback,
+        );
+        let back = frame_and_read(v3_payload.as_bytes());
+        let decoded = proto::decode_response(&back).expect("v3 frame decodes");
+        match decoded {
+            Response::Suggestion { point: got, fallback: got_fb, provenance } => {
+                prop_assert_eq!(got, point);
+                prop_assert_eq!(got_fb.is_some(), has_fallback);
+                prop_assert_eq!(provenance, None, "absent provenance must decode as None");
+            }
+            other => prop_assert!(false, "expected a Suggestion, got {other:?}"),
         }
     }
 

@@ -1,0 +1,107 @@
+//! Concept-drift scenarios: mid-stream data-scale shifts.
+//!
+//! Production workloads recur under a fixed identity (the signature of the
+//! query *template*) while their inputs grow — a partition backfill, a
+//! quarter-end data load, an upstream pipeline doubling its output. The
+//! tuning stack sees the same signature with a moving plan: leaf input
+//! sizes jump, the plan-derived embedding moves, and any neighbor set
+//! ranked against the pre-shift embedding is stale. [`ScaleShift`] models
+//! the sharpest version of that drift — a step change in data scale at a
+//! known iteration — as a pure function of the iteration index, so drift
+//! detection and index re-ranking can be exercised deterministically.
+
+use crate::plan::PlanNode;
+
+/// A step change in input data scale at a fixed iteration.
+///
+/// Iterations `t < shift_at` run the template plan scaled by `before`;
+/// iterations `t >= shift_at` run it scaled by `after`. The template plan
+/// itself never changes, which is what keeps the workload's signature
+/// stable across the shift while its embedding moves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleShift {
+    /// The query template: the plan at scale factor 1.0.
+    pub template: PlanNode,
+    /// Leaf-size multiplier before the shift.
+    pub before: f64,
+    /// Leaf-size multiplier at and after the shift.
+    pub after: f64,
+    /// First iteration that runs at the `after` scale.
+    pub shift_at: u32,
+}
+
+impl ScaleShift {
+    /// A shift from `before`× to `after`× the template's data at `shift_at`.
+    pub fn new(template: PlanNode, before: f64, after: f64, shift_at: u32) -> ScaleShift {
+        ScaleShift {
+            template,
+            before,
+            after,
+            shift_at,
+        }
+    }
+
+    /// The data-scale multiplier in effect at iteration `t`.
+    pub fn scale_at(&self, t: u32) -> f64 {
+        if t < self.shift_at {
+            self.before
+        } else {
+            self.after
+        }
+    }
+
+    /// Whether iteration `t` runs on the post-shift data scale.
+    pub fn shifted(&self, t: u32) -> bool {
+        t >= self.shift_at
+    }
+
+    /// The plan the simulator executes at iteration `t`: the template with
+    /// its leaves scaled and cardinalities re-estimated.
+    pub fn plan_at(&self, t: u32) -> PlanNode {
+        self.template.scaled(self.scale_at(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> PlanNode {
+        PlanNode::scan("lineitem", 1_000_000.0, 100.0)
+            .filter(0.1)
+            .hash_aggregate(0.01)
+    }
+
+    #[test]
+    fn scale_steps_exactly_at_the_shift_iteration() {
+        let shift = ScaleShift::new(template(), 1.0, 8.0, 5);
+        assert_eq!(shift.scale_at(0), 1.0);
+        assert_eq!(shift.scale_at(4), 1.0);
+        assert_eq!(shift.scale_at(5), 8.0);
+        assert_eq!(shift.scale_at(100), 8.0);
+        assert!(!shift.shifted(4));
+        assert!(shift.shifted(5));
+    }
+
+    #[test]
+    fn the_template_keeps_its_shape_while_leaves_grow() {
+        let shift = ScaleShift::new(template(), 1.0, 8.0, 5);
+        let pre = shift.plan_at(0);
+        let post = shift.plan_at(5);
+        assert_eq!(pre.node_count(), post.node_count());
+        assert_eq!(pre, shift.template, "pre-shift at 1.0x is the template");
+        assert!(
+            post.leaf_input_bytes() > pre.leaf_input_bytes() * 7.9,
+            "the shift must actually move the input data"
+        );
+    }
+
+    #[test]
+    fn plan_at_is_a_pure_function_of_t() {
+        let shift = ScaleShift::new(template(), 2.0, 0.5, 3);
+        assert_eq!(shift.plan_at(2), shift.plan_at(2));
+        assert_eq!(shift.plan_at(7), shift.plan_at(3));
+        // Down-shifts are legal too: a backfill draining back to normal.
+        assert!(shift.plan_at(3).leaf_input_bytes() < shift.plan_at(2).leaf_input_bytes());
+    }
+}

@@ -38,6 +38,10 @@ echo "==> sharded serving smoke (4 shards → BENCH_serve_sharded.json)"
 cargo run -q --release -p bench --bin serve_loadgen -- --quick --shards 4 \
   --out BENCH_serve_sharded.json
 
+echo "==> cold-start retrieval smoke (prebuilt corpus → BENCH_serve_coldstart.json)"
+cargo run -q --release -p bench --bin serve_loadgen -- --cold-start \
+  --out BENCH_serve_coldstart.json
+
 echo "==> chaos smoke (fault injection)"
 cargo run -q --release -p experiments --bin exp_fault_injection -- --quick
 

@@ -231,3 +231,94 @@ fn bench_serve_zipf_mode_stays_within_the_memory_bound() {
         other => panic!("zipf.signatures missing: {other:?}"),
     }
 }
+
+#[test]
+fn bench_serve_cold_start_transfers_deterministically_across_shards_and_restarts() {
+    use bench::serve::{run_serve_bench_coldstart, ServeBenchConfig, SERVE_SCHEMA};
+
+    let dir = std::env::temp_dir().join(format!("rockhopper-cold-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("corpus dir creates");
+
+    // First run pre-warms the corpus from scratch; the second run over the
+    // SAME directory is the kill-and-recover leg — the server process is
+    // gone, the corpus lineage (WAL + snapshot) is all that survives, and
+    // the recovered index must serve bit-identical transfers.
+    let cfg = ServeBenchConfig::cold_start(0xC01D);
+    let first = run_serve_bench_coldstart(&cfg, &dir).expect("first cold-start run");
+    let recovered = run_serve_bench_coldstart(&cfg, &dir).expect("recovered cold-start run");
+
+    // Retrieval actually fired: the pre-warmed families cover every cold
+    // embedding, so cold evaluations hit the index and suggestions go out
+    // tagged `transferred`.
+    for (label, run) in [("first", &first), ("recovered", &recovered)] {
+        assert!(
+            run.cold_hits > 0,
+            "{label} run never hit the index: {run:?}"
+        );
+        assert!(
+            run.transfer_served > 0,
+            "{label} run served no transferred suggestions: {run:?}"
+        );
+        assert_eq!(run.protocol_errors, 0, "{label} run spoke bad frames");
+        assert!(run.clean_drain, "{label} run did not drain cleanly");
+    }
+    assert_eq!(
+        first.suggest_fingerprint, recovered.suggest_fingerprint,
+        "corpus kill-and-recover moved the served-suggestion fingerprint"
+    );
+
+    // A compaction between restarts (WAL folded into the snapshot) must not
+    // change what the index serves either.
+    {
+        let (mut corpus, recovery) = pipeline::Corpus::open(&dir).expect("corpus reopens");
+        assert_eq!(
+            recovery.quarantined, 0,
+            "corpus lineage quarantined records"
+        );
+        assert!(!corpus.is_empty(), "recovered corpus lost its entries");
+        corpus.compact().expect("corpus compacts");
+    }
+    let compacted = run_serve_bench_coldstart(&cfg, &dir).expect("post-compaction run");
+    assert_eq!(
+        first.suggest_fingerprint, compacted.suggest_fingerprint,
+        "corpus compaction moved the served-suggestion fingerprint"
+    );
+
+    // Transferred answers are pure functions of (index, embedding), so the
+    // shard count must not be observable in what gets served.
+    for shards in [1usize, 8] {
+        let mut sharded = cfg;
+        sharded.shards = shards;
+        let run = run_serve_bench_coldstart(&sharded, &dir).expect("sharded cold-start run");
+        assert_eq!(
+            run.suggest_fingerprint, first.suggest_fingerprint,
+            "{shards}-shard cold-start run moved the fingerprint"
+        );
+        assert!(run.cold_hits > 0, "{shards}-shard run never hit the index");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The v4 schema carries the retrieval block with live counters.
+    let doc = serde_json::value_from_str(&first.to_json()).expect("BENCH_serve.json parses");
+    match doc.get_field("schema") {
+        serde::Value::Str(s) => assert_eq!(s, SERVE_SCHEMA),
+        other => panic!("schema field missing or mistyped: {other:?}"),
+    }
+    let retrieval = doc.get_field("retrieval");
+    match retrieval.get_field("corpus_entries") {
+        serde::Value::UInt(n) => assert_eq!(*n, first.corpus_entries),
+        serde::Value::Int(n) => assert_eq!(u64::try_from(*n).unwrap_or(0), first.corpus_entries),
+        other => panic!("retrieval.corpus_entries missing: {other:?}"),
+    }
+    match retrieval.get_field("cold_hits") {
+        serde::Value::UInt(n) => assert_eq!(*n, first.cold_hits),
+        serde::Value::Int(n) => assert_eq!(u64::try_from(*n).unwrap_or(0), first.cold_hits),
+        other => panic!("retrieval.cold_hits missing: {other:?}"),
+    }
+    match retrieval.get_field("transfer_served") {
+        serde::Value::UInt(n) => assert_eq!(*n, first.transfer_served),
+        serde::Value::Int(n) => assert_eq!(u64::try_from(*n).unwrap_or(0), first.transfer_served),
+        other => panic!("retrieval.transfer_served missing: {other:?}"),
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end audit of the rockindex cold-start serving mode (tier 1):
+//!
+//! 1. **Zero-execution transfer + handoff** — a warm donor backend's state is
+//!    harvested into a durable corpus, the corpus is killed and recovered,
+//!    and a cold backend serves the donor's best point tagged `transferred`
+//!    on its very first request; once a real report arrives, the handoff
+//!    seeds the tuner (trust-discounted) and suggestions flip to `explored`.
+//! 2. **Shard invariance** — the transferred answer is bit-identical across
+//!    shard counts {1, 2, 8}, because it is a pure function of
+//!    `(index, embedding)`.
+//! 3. **Concept drift** — a mid-stream data-scale shift (sparksim
+//!    `ScaleShift`) moves the recurring job's embedding, the
+//!    `DriftDetector` fires exactly at the shift, and re-ranking against
+//!    the index swaps in the right donor — the stale neighbor set really
+//!    was invalidated.
+
+use std::sync::Arc;
+
+use optimizers::env::{Environment, QueryEnv};
+use pipeline::{shard_of, AutotuneBackend, Corpus, KnnIndex, Provenance, Storage, TransferPolicy};
+use rockindex::drift::DriftDetector;
+use sparksim::fault::FaultSpec;
+use sparksim::noise::NoiseSpec;
+use sparksim::plan::PlanNode;
+use sparksim::scenario::ScaleShift;
+
+const QUERY: usize = 6;
+const SCALE_FACTOR: f64 = 5.0;
+
+fn fresh_env(seed: u64) -> QueryEnv {
+    QueryEnv::tpch(
+        QUERY,
+        SCALE_FACTOR,
+        NoiseSpec {
+            fluctuation: 0.1,
+            spike: 0.05,
+        },
+        seed,
+    )
+}
+
+/// One request through the backend: suggest, execute, report back.
+fn drive(backend: &mut AutotuneBackend, env: &mut QueryEnv, seed: u64, t: usize) {
+    let sig = env.signature();
+    let ctx = env.context();
+    let point = backend.suggest("prod", sig, &ctx);
+    let conf = env.space().to_conf(&point);
+    let app_id = format!("app-{t}");
+    let run_seed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(t as u64);
+    let (_outcome, events) = env.sim.run_and_events(
+        &app_id,
+        "artifact-coldstart",
+        sig,
+        &env.plan,
+        &conf,
+        ctx.embedding.clone(),
+        run_seed,
+        &FaultSpec::none(),
+    );
+    backend.ingest("prod", &app_id, &events);
+    let _ = env.run(&point);
+}
+
+/// Warm a donor backend over `warm` requests and return its harvest.
+fn donor_harvest(donor_seed: u64, warm: usize) -> Vec<pipeline::CorpusEntry> {
+    let mut env = fresh_env(donor_seed);
+    let mut donor = AutotuneBackend::new(Arc::new(Storage::new()), None, donor_seed);
+    for t in 0..warm {
+        drive(&mut donor, &mut env, donor_seed, t);
+    }
+    let harvest = donor.harvest_corpus("prod");
+    assert!(!harvest.is_empty(), "the donor learned nothing to harvest");
+    harvest
+}
+
+#[test]
+fn transfer_serves_the_donor_best_point_then_hands_off_to_the_tuner() {
+    let harvest = donor_harvest(0xD0_0001, 10);
+    let signature = fresh_env(0xC0_0001).signature();
+    let donor_best = harvest
+        .iter()
+        .find(|e| e.signature == signature)
+        .expect("the donor tuned the same recurring query")
+        .best_point
+        .clone();
+
+    // The corpus lineage survives a kill: write, drop, recover from disk.
+    let dir = std::env::temp_dir().join(format!("rockhopper-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("corpus dir creates");
+    {
+        let (mut corpus, _) = Corpus::open(&dir).expect("corpus opens fresh");
+        for entry in &harvest {
+            corpus.upsert(entry.clone()).expect("corpus upserts");
+        }
+        corpus.sync().expect("corpus syncs");
+    } // <- the "process" dies here; only the WAL + snapshots survive.
+    let (corpus, recovery) = Corpus::open(&dir).expect("corpus recovers");
+    assert_eq!(recovery.quarantined, 0, "clean lineage quarantined records");
+    assert_eq!(corpus.len(), harvest.len(), "recovery lost entries");
+    let index = Arc::new(KnnIndex::build(&corpus));
+
+    // A cold backend with the recovered index: the first suggest is the
+    // donor's best point, served with zero executions and no RNG draw.
+    let mut env = fresh_env(0xC0_0001);
+    let ctx = env.context();
+    let mut backend = AutotuneBackend::new(Arc::new(Storage::new()), None, 0xC0_0001)
+        .with_retrieval(Arc::clone(&index), TransferPolicy::default());
+    let (point, provenance) = backend.suggest_tagged("prod", signature, &ctx);
+    assert_eq!(provenance, Provenance::Transferred);
+    assert_eq!(point, donor_best, "transfer must serve the donor's best");
+    assert_eq!(backend.dashboard().counters().cold_hits, 1);
+
+    // Still cold (no report yet): the transfer repeats bit-identically.
+    let (again, provenance) = backend.suggest_tagged("prod", signature, &ctx);
+    assert_eq!(
+        (again, provenance),
+        (point.clone(), Provenance::Transferred)
+    );
+
+    // A real report arrives: the handoff seeds the tuner with the
+    // trust-discounted donor prior, and suggestions flip to `explored`.
+    drive(&mut backend, &mut env, 0xC0_0001, 0);
+    assert_eq!(backend.dashboard().counters().transfer_seeded, 1);
+    let (_, provenance) = backend.suggest_tagged("prod", signature, &env.context());
+    assert_eq!(
+        provenance,
+        Provenance::Explored,
+        "a warm signature must never consult the index"
+    );
+
+    // Determinism across the recovery: an index built from the recovered
+    // corpus serves the same bytes a pre-kill index would — both are pure
+    // functions of the same entry set.
+    let mut pre_kill = Corpus::in_memory();
+    for entry in &harvest {
+        pre_kill.upsert(entry.clone()).expect("in-memory upserts");
+    }
+    let pre_kill_index = KnnIndex::build(&pre_kill);
+    let mut twin = AutotuneBackend::new(Arc::new(Storage::new()), None, 0xC0_0001)
+        .with_retrieval(Arc::new(pre_kill_index), TransferPolicy::default());
+    let (twin_point, twin_prov) = twin.suggest_tagged("prod", signature, &ctx);
+    assert_eq!((twin_point, twin_prov), (point, Provenance::Transferred));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transferred_answers_are_bit_identical_across_shard_counts() {
+    let harvest = donor_harvest(0xD0_0002, 8);
+    let mut corpus = Corpus::in_memory();
+    for entry in harvest {
+        corpus.upsert(entry).expect("in-memory upserts");
+    }
+    let index = Arc::new(KnnIndex::build(&corpus));
+
+    let env = fresh_env(0xC0_0002);
+    let signature = env.signature();
+    let ctx = env.context();
+
+    let mut answers = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let backend = AutotuneBackend::new(Arc::new(Storage::new()), None, 0xC0_0002)
+            .with_retrieval(Arc::clone(&index), TransferPolicy::default());
+        let mut split = backend.split_into_shards(shards, 0);
+        let owner = shard_of(signature, shards);
+        let (point, provenance) = split[owner].suggest_tagged("prod", signature, &ctx);
+        assert_eq!(
+            provenance,
+            Provenance::Transferred,
+            "{shards}-shard split lost the transfer"
+        );
+        answers.push(point);
+    }
+    assert_eq!(answers[0], answers[1], "1-shard vs 2-shard answers differ");
+    assert_eq!(answers[0], answers[2], "1-shard vs 8-shard answers differ");
+}
+
+#[test]
+fn a_data_scale_shift_invalidates_the_neighbor_set_and_reranking_recovers() {
+    // The recurring job's template: sized so an 8x data shift crosses the
+    // virtual-op input buckets and visibly moves the embedding.
+    let template = PlanNode::scan("lineitem", 2.0e5, 100.0)
+        .filter(0.1)
+        .hash_aggregate(0.01);
+    let shift = ScaleShift::new(template.clone(), 1.0, 8.0, 5);
+    let embedder = embedding::WorkloadEmbedder::virtual_ops();
+    let job_signature = embedding::query_signature(&template);
+
+    // Two donors in the corpus: one tuned at the small scale, one at the
+    // large scale, with distinct best points.
+    const SMALL_DONOR: u64 = 101;
+    const LARGE_DONOR: u64 = 202;
+    let mut corpus = Corpus::in_memory();
+    for (signature, scale, best_point) in [
+        (SMALL_DONOR, shift.scale_at(0), vec![0.1, 0.2, 0.3]),
+        (
+            LARGE_DONOR,
+            shift.scale_at(shift.shift_at),
+            vec![0.7, 0.8, 0.9],
+        ),
+    ] {
+        corpus
+            .upsert(pipeline::CorpusEntry {
+                signature,
+                embedding: embedder.embed(&template.scaled(scale)),
+                best_point,
+                observations: 16,
+                best_elapsed_ms: 100.0,
+                mean_elapsed_ms: 120.0,
+                data_size: scale,
+            })
+            .expect("in-memory upserts");
+    }
+    let index = KnnIndex::build(&corpus);
+    let policy = TransferPolicy::default();
+
+    // Serve the recurring job across the shift, re-ranking only when the
+    // detector fires — the production cadence: rank once, trust the cached
+    // neighbor until the embedding moves.
+    let mut detector = DriftDetector::new(0.2);
+    let mut cached = policy
+        .lookup(&index, &embedder.embed(&shift.plan_at(0)))
+        .expect("the small donor covers the pre-shift embedding");
+    let mut drift_iterations = Vec::new();
+    for t in 0..10u32 {
+        let embedding = embedder.embed(&shift.plan_at(t));
+        let signal = detector.observe(job_signature, &embedding);
+        if signal.drifted() {
+            drift_iterations.push(t);
+            let stale = cached.clone();
+            cached = policy
+                .lookup(&index, &embedding)
+                .expect("the large donor covers the post-shift embedding");
+            assert_ne!(
+                stale.signature, cached.signature,
+                "the shift must actually invalidate the cached neighbor"
+            );
+        }
+        let expected = if shift.shifted(t) {
+            LARGE_DONOR
+        } else {
+            SMALL_DONOR
+        };
+        assert_eq!(
+            cached.signature, expected,
+            "iteration {t}: wrong transfer source after drift handling"
+        );
+    }
+    assert_eq!(
+        drift_iterations,
+        vec![shift.shift_at],
+        "the detector must fire exactly once, at the shift iteration"
+    );
+    assert_eq!(
+        detector.tracked(),
+        1,
+        "one recurring signature means one tracked baseline"
+    );
+}

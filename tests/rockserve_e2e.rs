@@ -66,8 +66,17 @@ fn concurrent_suggests_match_the_in_process_path_and_share_one_evaluation() {
                 scope.spawn(move || {
                     let mut client = ServeClient::connect(addr).expect("client connects");
                     match client.suggest("tenant", 42, &ctx()) {
-                        Ok(Response::Suggestion { point, fallback }) => {
+                        Ok(Response::Suggestion {
+                            point,
+                            fallback,
+                            provenance,
+                        }) => {
                             assert!(fallback.is_none(), "degraded fallback: {fallback:?}");
+                            assert_eq!(
+                                rockindex::Provenance::from_wire(provenance.as_deref()),
+                                rockindex::Provenance::Explored,
+                                "no retrieval corpus is attached, so nothing can transfer"
+                            );
                             point
                         }
                         other => panic!("expected a suggestion, got {other:?}"),
